@@ -1,0 +1,88 @@
+// Ablation of the reproduction's compiler design choices (the knobs
+// DESIGN.md calls out beyond the paper's own Fig. 5 ablations):
+//
+//   * no-ssa             — skip pruned-SSA live-range splitting
+//   * no-weighted-spills — Fig. 4(b) verbatim spill choice instead of
+//                          Chaitin cost/degree with loop weights
+//   * no-rehome          — leave all spills in local memory instead of
+//                          re-homing the hottest into shared memory
+//
+// Each variant compiles at a tight occupancy level (where allocation
+// quality matters) and reports runtime normalized to the full pipeline.
+#include "bench_util.h"
+
+namespace {
+
+using namespace orion;
+
+double RunVariant(const workloads::Workload& w, const arch::GpuSpec& spec,
+                  const arch::OccupancyLevel& level,
+                  const alloc::AllocOptions& alloc_options, bool* feasible) {
+  core::TuneOptions options;
+  options.alloc = alloc_options;
+  std::vector<isa::Module> pool;
+  const auto version =
+      core::CompileAtLevel(w.module, spec, level, options, &pool);
+  if (!version.has_value()) {
+    *feasible = false;
+    return 0.0;
+  }
+  *feasible = true;
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = bench::SeedMemory(w.gmem_words, w.seed);
+  double ms = 0.0;
+  for (int it = 0; it < 3; ++it) {
+    ms += simulator
+              .LaunchAll(pool[version->module_index], &gmem, w.ParamsFor(it),
+                         version->smem_padding_bytes)
+              .ms;
+  }
+  return ms / 3;
+}
+
+}  // namespace
+
+int main() {
+  using namespace orion;
+  const arch::GpuSpec& spec = arch::Gtx680();
+  std::printf("# Compiler design-choice ablation (GTX680, tight occupancy)\n");
+  std::printf("%-18s %-8s %-10s %-20s %-12s\n", "benchmark", "full",
+              "no-ssa", "no-weighted-spills", "no-rehome");
+  for (const std::string& name : bench::UpwardBenchmarks()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    const auto levels = arch::EnumerateOccupancyLevels(
+        spec, arch::CacheConfig::kSmallCache, w.module.launch.block_dim);
+    const arch::OccupancyLevel& level = levels[levels.size() / 3];
+
+    alloc::AllocOptions full;
+    alloc::AllocOptions no_ssa;
+    no_ssa.use_ssa = false;
+    alloc::AllocOptions no_weighted;
+    no_weighted.weighted_spills = false;
+    alloc::AllocOptions no_rehome;
+    no_rehome.rehome_spills = false;
+
+    bool ok = false;
+    const double base = RunVariant(w, spec, level, full, &ok);
+    if (!ok) {
+      std::printf("%-18s (level infeasible)\n", name.c_str());
+      continue;
+    }
+    std::printf("%-18s %-8.2f", name.c_str(), 1.0);
+    for (const alloc::AllocOptions* options :
+         {&no_ssa, &no_weighted, &no_rehome}) {
+      bool feasible = false;
+      const double ms = RunVariant(w, spec, level, *options, &feasible);
+      if (feasible) {
+        std::printf(" %-12.3f", ms / base);
+      } else {
+        std::printf(" %-12s", "-");
+      }
+      if (options == &no_weighted) {
+        std::printf("       ");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: loop unrolling inside the occupancy-plateau "leeway".
+//
+// The paper closes Section 4.2 with this use of the tuner's output:
+// when performance plateaus over a range of occupancies (matrixMul,
+// Fig. 2), the compiler knows how much register pressure it may add
+// without leaving the best-performance band — enough, for example, to
+// unroll loops.  This bench measures exactly that: matrixMul plain vs
+// fully unrolled, both run at their natural occupancies, with the
+// plateau detected from the exhaustive sweep.
+#include "bench_util.h"
+
+#include "opt/passes.h"
+
+int main() {
+  using namespace orion;
+  const arch::GpuSpec& spec = arch::TeslaC2075();
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+
+  // 1. The plateau: occupancies within 2% of the best.
+  const std::vector<bench::LevelRun> sweep =
+      bench::RunExhaustive(w, spec, arch::CacheConfig::kSmallCache);
+  double best_ms = 1e300;
+  for (const bench::LevelRun& run : sweep) {
+    best_ms = std::min(best_ms, run.ms);
+  }
+  double plateau_low = 1.0;
+  for (const bench::LevelRun& run : sweep) {
+    if (run.ms <= best_ms * 1.02) {
+      plateau_low = std::min(plateau_low, run.occupancy);
+    }
+  }
+  std::printf("# matrixMul on %s: best %.4f ms, plateau down to occupancy "
+              "%.3f\n",
+              spec.name.c_str(), best_ms, plateau_low);
+
+  // 2. Unroll and recompile both variants at full register freedom.
+  isa::Module plain = w.module;
+  isa::Module unrolled = w.module;
+  opt::UnrollOptions unroll_options;
+  unroll_options.max_expansion = 2048;
+  const opt::PassStats stats =
+      opt::OptimizeFunction(&unrolled.Kernel(), /*unroll=*/true,
+                            unroll_options);
+  std::printf("# unroller: %u loops, %u body instructions replicated\n",
+              stats.unrolled_loops, stats.unrolled_copies);
+
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  std::printf("%-12s %-8s %-10s %-12s %-12s\n", "variant", "regs",
+              "occupancy", "ms", "vs-plain");
+  double plain_ms = 0.0;
+  for (const auto* variant : {&plain, &unrolled}) {
+    alloc::AllocBudget budget;
+    budget.reg_words = spec.max_regs_per_thread;
+    const isa::Module compiled =
+        alloc::AllocateModule(*variant, budget, {}, nullptr);
+    sim::GlobalMemory gmem = bench::SeedMemory(w.gmem_words, w.seed);
+    double ms = 0.0;
+    arch::OccupancyResult occ;
+    for (int it = 0; it < 3; ++it) {
+      const sim::SimResult sr = simulator.LaunchAll(compiled, &gmem, w.params);
+      ms += sr.ms;
+      occ = sr.occupancy;
+    }
+    ms /= 3;
+    const bool is_plain = variant == &plain;
+    if (is_plain) {
+      plain_ms = ms;
+    }
+    std::printf("%-12s %-8u %-10.3f %-12.4f %-12.3f%s\n",
+                is_plain ? "plain" : "unrolled",
+                compiled.usage.regs_per_thread, occ.occupancy, ms,
+                ms / plain_ms,
+                !is_plain && occ.occupancy + 1e-9 >= plateau_low
+                    ? "  (still inside the plateau)"
+                    : "");
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench/fig*/table* binary regenerates one table or figure of the
+// paper's evaluation: same rows/series, produced by this reproduction's
+// compiler + simulator instead of the authors' GPUs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "workloads/workloads.h"
+
+namespace orion::bench {
+
+inline sim::GlobalMemory SeedMemory(std::size_t words, std::uint64_t seed) {
+  sim::GlobalMemory gmem(words);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+// Per-iteration cost of the nvcc-compiled baseline.
+struct BaselineRun {
+  double ms = 0.0;
+  double energy = 0.0;
+  arch::OccupancyResult occupancy;
+  std::uint32_t regs_per_thread = 0;
+};
+
+inline BaselineRun RunNvcc(const workloads::Workload& w,
+                           const arch::GpuSpec& spec, arch::CacheConfig config,
+                           std::uint32_t iterations = 4) {
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+  sim::GpuSimulator simulator(spec, config);
+  sim::GlobalMemory gmem = SeedMemory(w.gmem_words, w.seed);
+  BaselineRun run;
+  run.regs_per_thread = compiled.usage.regs_per_thread;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    const sim::SimResult sr =
+        simulator.LaunchAll(compiled, &gmem, w.ParamsFor(it));
+    run.ms += sr.ms;
+    run.energy += sr.energy;
+    run.occupancy = sr.occupancy;
+  }
+  run.ms /= iterations;
+  run.energy /= iterations;
+  return run;
+}
+
+// Exhaustive sweep over every occupancy level (the Orion-Min/Orion-Max
+// oracle), reporting per-iteration steady cost per level.
+struct LevelRun {
+  double occupancy = 0.0;
+  double ms = 0.0;
+  double energy = 0.0;
+  std::uint32_t regs_per_thread = 0;
+  std::uint32_t active_warps = 0;
+};
+
+inline std::vector<LevelRun> RunExhaustive(const workloads::Workload& w,
+                                           const arch::GpuSpec& spec,
+                                           arch::CacheConfig config,
+                                           std::uint32_t iterations = 2) {
+  core::TuneOptions options;
+  options.cache_config = config;
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(w.module, spec, options);
+  sim::GpuSimulator simulator(spec, config);
+  std::vector<LevelRun> runs;
+  for (const runtime::KernelVersion& version : all.versions) {
+    sim::GlobalMemory gmem = SeedMemory(w.gmem_words, w.seed);
+    LevelRun run;
+    run.occupancy = version.occupancy.occupancy;
+    run.active_warps = version.occupancy.active_warps_per_sm;
+    run.regs_per_thread = all.ModuleOf(version).usage.regs_per_thread;
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+      const sim::SimResult sr =
+          simulator.LaunchAll(all.ModuleOf(version), &gmem, w.ParamsFor(it),
+                              version.smem_padding_bytes);
+      run.ms += sr.ms;
+      run.energy += sr.energy;
+    }
+    run.ms /= iterations;
+    run.energy /= iterations;
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+// Orion end to end: Fig. 8 compile-time selection + Fig. 9 runtime
+// adaptation over the application loop.
+inline runtime::TunedRunResult RunOrion(const workloads::Workload& w,
+                                        const arch::GpuSpec& spec,
+                                        arch::CacheConfig config) {
+  core::TuneOptions options;
+  options.cache_config = config;
+  options.can_tune = w.can_tune;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, options);
+  sim::GpuSimulator simulator(spec, config);
+  sim::GlobalMemory gmem = SeedMemory(w.gmem_words, w.seed);
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = w.iterations;
+  return launcher.Run(&gmem, w.params, plan,
+                      w.per_iteration_params.empty()
+                          ? nullptr
+                          : &w.per_iteration_params);
+}
+
+inline const arch::GpuSpec& SpecByName(const std::string& name) {
+  return name == "c2075" || name == "TeslaC2075" ? arch::TeslaC2075()
+                                                 : arch::Gtx680();
+}
+
+// The seven benchmarks the compiler tunes upward (Fig. 11) and the five
+// it tunes downward (Figs. 12-13), in paper order.
+inline const std::vector<std::string>& UpwardBenchmarks() {
+  static const std::vector<std::string> names = {
+      "cfd",       "dxtc",      "FDTD3d",          "hotspot",
+      "imageDenoising", "particles", "recursiveGaussian"};
+  return names;
+}
+
+inline const std::vector<std::string>& DownwardBenchmarks() {
+  static const std::vector<std::string> names = {
+      "backprop", "bfs", "gaussian", "srad", "streamcluster"};
+  return names;
+}
+
+}  // namespace orion::bench

@@ -1,0 +1,24 @@
+// Figure 1: running time vs occupancy for imageDenoising on GTX680.
+// The paper's headline motivation: a valley with its optimum at 50%
+// occupancy and up to ~3x slowdown at the extremes.
+#include "bench_util.h"
+
+int main() {
+  using namespace orion;
+  const workloads::Workload w = workloads::MakeWorkload("imageDenoising");
+  const std::vector<bench::LevelRun> runs = bench::RunExhaustive(
+      w, arch::Gtx680(), arch::CacheConfig::kSmallCache);
+
+  double best = 1e300;
+  for (const bench::LevelRun& run : runs) {
+    best = std::min(best, run.ms);
+  }
+  std::printf("# Figure 1: imageDenoising runtime vs occupancy (GTX680)\n");
+  std::printf("# normalized to the best occupancy (paper: best at 0.50)\n");
+  std::printf("%-10s %-14s %-10s\n", "occupancy", "runtime(ms)", "normalized");
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    std::printf("%-10.2f %-14.4f %-10.2f\n", it->occupancy, it->ms,
+                it->ms / best);
+  }
+  return 0;
+}

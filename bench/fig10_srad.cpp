@@ -1,0 +1,23 @@
+// Figure 10: normalized srad performance vs occupancy on Tesla C2075.
+// Flat from roughly one-third occupancy upward: reducing occupancy by
+// half costs nearly nothing, so Orion tunes it down for resource and
+// energy savings.
+#include "bench_util.h"
+
+int main() {
+  using namespace orion;
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  const std::vector<bench::LevelRun> runs = bench::RunExhaustive(
+      w, arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+
+  // The paper normalizes to the maximal-active-threads point.
+  const double max_occ_ms = runs.front().ms;
+  std::printf("# Figure 10: srad runtime vs occupancy (Tesla C2075)\n");
+  std::printf("# normalized to the maximum-occupancy point\n");
+  std::printf("%-10s %-14s %-10s\n", "occupancy", "runtime(ms)", "normalized");
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    std::printf("%-10.3f %-14.4f %-10.2f\n", it->occupancy, it->ms,
+                it->ms / max_occ_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11: normalized speedup over the nvcc baseline for the seven
+// upward-tuned benchmarks, on both GPUs.
+//
+//   Orion-Min    — worst occupancy found by exhaustive search
+//   nvcc         — the occupancy-oblivious baseline (1.0 by definition)
+//   Orion-Max    — best occupancy found by exhaustive search
+//   Orion-Select — Orion's two-level tuning, INCLUDING the dynamic
+//                  tuning overhead across the application's iterations
+//
+// Expected shape: Orion-Select close to Orion-Max, above nvcc; paper
+// averages +26.17% (C2075) and +24.94% (GTX680).
+#include "bench_util.h"
+
+namespace {
+
+using namespace orion;
+
+void RunArch(const arch::GpuSpec& spec) {
+  std::printf("\n# --- %s ---\n", spec.name.c_str());
+  std::printf("%-18s %-10s %-8s %-10s %-13s %-8s %-6s\n", "benchmark",
+              "OrionMin", "nvcc", "OrionMax", "OrionSelect", "settle",
+              "final");
+  double total_select = 0.0;
+  int count = 0;
+  for (const std::string& name : bench::UpwardBenchmarks()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    const bench::BaselineRun nvcc =
+        bench::RunNvcc(w, spec, arch::CacheConfig::kSmallCache);
+    const std::vector<bench::LevelRun> sweep =
+        bench::RunExhaustive(w, spec, arch::CacheConfig::kSmallCache);
+    double worst = 0.0;
+    double best = 1e300;
+    for (const bench::LevelRun& run : sweep) {
+      worst = std::max(worst, run.ms);
+      best = std::min(best, run.ms);
+    }
+    const runtime::TunedRunResult orion =
+        bench::RunOrion(w, spec, arch::CacheConfig::kSmallCache);
+
+    // Totals over the same number of application iterations, so the
+    // Orion number carries its tuning overhead like the paper's bar.
+    const std::uint32_t iters =
+        static_cast<std::uint32_t>(orion.records.size());
+    const double nvcc_total = nvcc.ms * iters;
+    const double select_speedup = nvcc_total / orion.total_ms;
+    std::printf("%-18s %-10.3f %-8.3f %-10.3f %-13.3f %-8u v%-5u\n",
+                name.c_str(), nvcc.ms / worst, 1.0, nvcc.ms / best,
+                select_speedup, orion.iterations_to_settle,
+                orion.final_version);
+    total_select += select_speedup;
+    ++count;
+  }
+  std::printf("# average Orion-Select speedup: %.2f%%\n",
+              (total_select / count - 1.0) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace orion;
+  std::printf("# Figure 11: normalized speedup over nvcc (upward benchmarks)\n");
+  RunArch(arch::TeslaC2075());
+  RunArch(arch::Gtx680());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 14: effects of occupancy on performance on Tesla C2075 —
+// (a) gaussian: insensitive to occupancy (flat curve; prime candidate
+//     for resource/energy saving), and
+// (b) streamcluster: a skewed bell, best near 75% occupancy and nearly
+//     flat above 50%.
+#include "bench_util.h"
+
+namespace {
+
+void PrintCurve(const char* label, const char* name) {
+  using namespace orion;
+  const workloads::Workload w = workloads::MakeWorkload(name);
+  const std::vector<bench::LevelRun> runs = bench::RunExhaustive(
+      w, arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  double best = 1e300;
+  for (const bench::LevelRun& run : runs) {
+    best = std::min(best, run.ms);
+  }
+  std::printf("\n# Figure 14(%s): %s\n", label, name);
+  std::printf("%-10s %-14s %-10s\n", "occupancy", "runtime(ms)", "normalized");
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    std::printf("%-10.3f %-14.4f %-10.2f\n", it->occupancy, it->ms,
+                it->ms / best);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 14: occupancy curves on Tesla C2075\n");
+  PrintCurve("a", "gaussian");
+  PrintCurve("b", "streamcluster");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 15: effects of occupancy on performance on GTX680 —
+// (a) backprop: best around 75% occupancy, little change above 50%, and
+// (b) bfs: best at the highest occupancy (scattered, latency-bound),
+//     changing little above 50%.
+#include "bench_util.h"
+
+namespace {
+
+void PrintCurve(const char* label, const char* name) {
+  using namespace orion;
+  const workloads::Workload w = workloads::MakeWorkload(name);
+  const std::vector<bench::LevelRun> runs = bench::RunExhaustive(
+      w, arch::Gtx680(), arch::CacheConfig::kSmallCache);
+  double best = 1e300;
+  for (const bench::LevelRun& run : runs) {
+    best = std::min(best, run.ms);
+  }
+  std::printf("\n# Figure 15(%s): %s\n", label, name);
+  std::printf("%-10s %-14s %-10s\n", "occupancy", "runtime(ms)", "normalized");
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    std::printf("%-10.3f %-14.4f %-10.2f\n", it->occupancy, it->ms,
+                it->ms / best);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 15: occupancy curves on GTX680\n");
+  PrintCurve("a", "backprop");
+  PrintCurve("b", "bfs");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Micro-benchmarks of the Orion compiler itself (google-benchmark):
+// throughput of the allocation pipeline, the Kuhn–Munkres matching,
+// the occupancy-level enumeration, and the simulator.
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.h"
+#include "alloc/hungarian.h"
+#include "arch/occupancy.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "sim/gpu_sim.h"
+#include "workloads/workloads.h"
+
+namespace orion {
+namespace {
+
+void BM_AllocateModule(benchmark::State& state) {
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  alloc::AllocBudget budget;
+  budget.reg_words = static_cast<std::uint32_t>(state.range(0));
+  budget.spriv_slot_words = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc::AllocateModule(w.module, budget, {}, nullptr));
+  }
+}
+BENCHMARK(BM_AllocateModule)->Arg(63)->Arg(32)->Arg(24);
+
+void BM_CompileMultiVersion(benchmark::State& state) {
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::CompileMultiVersion(w.module, arch::TeslaC2075(), {}));
+  }
+}
+BENCHMARK(BM_CompileMultiVersion);
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) {
+      c = static_cast<double>(rng.NextBounded(1000));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::MinCostAssignment(cost));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_OccupancyEnumeration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::EnumerateOccupancyLevels(
+        arch::Gtx680(), arch::CacheConfig::kSmallCache, 256));
+  }
+}
+BENCHMARK(BM_OccupancyEnumeration);
+
+void BM_SimulateKernel(benchmark::State& state) {
+  const workloads::Workload w = workloads::MakeWorkload("gaussian");
+  alloc::AllocBudget budget;
+  budget.reg_words = 63;
+  const isa::Module compiled =
+      alloc::AllocateModule(w.module, budget, {}, nullptr);
+  sim::GpuSimulator simulator(arch::TeslaC2075(),
+                              arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem(w.gmem_words);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const sim::SimResult result =
+        simulator.LaunchAll(compiled, &gmem, w.params);
+    instructions += result.warp_instructions;
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.counters["warp_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateKernel);
+
+}  // namespace
+}  // namespace orion
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table 3: Orion-Select speedup over nvcc with the Small Cache (16KB L1
+// + 48KB shared) vs Large Cache (48KB L1 + 16KB shared) configuration,
+// for the seven upward benchmarks on both GPUs.  Entries are '-' when
+// hardware constraints prevent the large-cache configuration (the
+// kernel's shared-memory footprint exceeds 16KB per SM at any
+// occupancy), exactly as in the paper.
+#include "bench_util.h"
+
+#include "common/error.h"
+
+namespace {
+
+using namespace orion;
+
+// Speedup of Orion-Select over nvcc under one cache configuration, or
+// a negative value when the configuration cannot run the kernel.
+double SelectSpeedup(const workloads::Workload& w, const arch::GpuSpec& spec,
+                     arch::CacheConfig config) {
+  try {
+    const bench::BaselineRun nvcc = bench::RunNvcc(w, spec, config);
+    const runtime::TunedRunResult orion = bench::RunOrion(w, spec, config);
+    const std::uint32_t iters =
+        static_cast<std::uint32_t>(orion.records.size());
+    return nvcc.ms * iters / orion.total_ms;
+  } catch (const OrionError&) {
+    return -1.0;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Table 3: Orion-Select speedup, small cache (SC) vs large "
+              "cache (LC)\n");
+  std::printf("%-18s %-10s %-10s %-10s %-10s\n", "benchmark", "C2075-SC",
+              "C2075-LC", "GTX680-SC", "GTX680-LC");
+  for (const std::string& name : bench::UpwardBenchmarks()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    std::printf("%-18s", name.c_str());
+    for (const arch::GpuSpec* spec :
+         {&arch::TeslaC2075(), &arch::Gtx680()}) {
+      for (const arch::CacheConfig config :
+           {arch::CacheConfig::kSmallCache, arch::CacheConfig::kLargeCache}) {
+        const double speedup = SelectSpeedup(w, *spec, config);
+        if (speedup < 0) {
+          std::printf(" %-9s", "-");
+        } else {
+          std::printf(" %-9.4f", speedup);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// occupancy_explorer — sweep a benchmark kernel across every realizable
+// occupancy level on a chosen GPU and print the runtime/energy curve.
+//
+//   ./occupancy_explorer [workload] [gpu] [cache]
+//     workload: any of the suite (default imageDenoising); `list` lists
+//     gpu:      gtx680 | c2075            (default gtx680)
+//     cache:    sc | lc                   (default sc)
+//
+// This is the exhaustive search the paper's figures 1, 2, 10, 14 and 15
+// are built from; Orion's whole point is reaching the best point of this
+// curve without sweeping it.
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/orion.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+orion::sim::GlobalMemory SeedMemory(std::size_t words, std::uint64_t seed) {
+  orion::sim::GlobalMemory gmem(words);
+  orion::Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace orion;
+  const std::string name = argc > 1 ? argv[1] : "imageDenoising";
+  if (name == "list") {
+    for (const std::string& n : workloads::AllNames()) {
+      std::printf("%s\n", n.c_str());
+    }
+    return 0;
+  }
+  const std::string gpu = argc > 2 ? argv[2] : "gtx680";
+  const std::string cache = argc > 3 ? argv[3] : "sc";
+
+  const arch::GpuSpec& spec =
+      gpu == "c2075" ? arch::TeslaC2075() : arch::Gtx680();
+  const arch::CacheConfig config = cache == "lc"
+                                       ? arch::CacheConfig::kLargeCache
+                                       : arch::CacheConfig::kSmallCache;
+
+  const workloads::Workload w = workloads::MakeWorkload(name);
+  core::TuneOptions options;
+  options.cache_config = config;
+
+  std::printf("# %s on %s (%s cache), max-live=%u words\n", w.name.c_str(),
+              spec.name.c_str(), cache.c_str(),
+              alloc::KernelMaxLive(w.module));
+  std::printf("%-10s %-8s %-6s %-8s %-12s %-10s %-8s %-8s\n", "occupancy",
+              "blocks", "regs", "pad", "ms", "energy", "l1hit", "winstr");
+
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(w.module, spec, options);
+  sim::GpuSimulator simulator(spec, config);
+  double best_ms = 1e300;
+  double best_occ = 0;
+  for (const runtime::KernelVersion& version : all.versions) {
+    const isa::Module& module = all.ModuleOf(version);
+    sim::GlobalMemory gmem = SeedMemory(w.gmem_words, w.seed);
+    const runtime::FixedRunResult result = runtime::RunFixed(
+        module, &simulator, &gmem, w.params, /*iterations=*/2,
+        version.smem_padding_bytes);
+    sim::GlobalMemory gmem2 = SeedMemory(w.gmem_words, w.seed);
+    const sim::SimResult detail = simulator.LaunchAll(
+        module, &gmem2, w.params, version.smem_padding_bytes);
+    std::printf("%-10.3f %-8u %-6u %-8u %-12.4f %-10.0f %-8.2f %-8llu\n",
+                version.occupancy.occupancy,
+                version.occupancy.active_blocks_per_sm,
+                module.usage.regs_per_thread, version.smem_padding_bytes,
+                result.ms, result.energy, detail.mem.L1HitRate(),
+                static_cast<unsigned long long>(detail.warp_instructions));
+    if (result.ms < best_ms) {
+      best_ms = result.ms;
+      best_occ = version.occupancy.occupancy;
+    }
+  }
+  std::printf("# best: occupancy %.3f at %.4f ms\n", best_occ, best_ms);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// quickstart — the 60-second tour of Orion.
+//
+// 1. Author a GPU kernel against the virtual ISA (or load a virtual
+//    binary; see the tune_binary example for the byte-level flow).
+// 2. Compile it with Orion: the Fig. 8 compile-time tuner emits a small
+//    multi-version binary in the predicted tuning direction.
+// 3. Run it in an application loop on the simulated GPU: the Fig. 9
+//    runtime tuner walks the candidates and locks the best occupancy.
+#include <cstdio>
+
+#include "core/orion.h"
+#include "isa/builder.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+
+using namespace orion;
+
+namespace {
+
+// A small register-hungry kernel: out[i] = sum of 24 running averages
+// over a strided window — the kind of kernel whose best occupancy is
+// not obvious.
+isa::Module BuildKernel() {
+  isa::ModuleBuilder mb("quickstart");
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/56);
+  auto fb = mb.AddKernel("main");
+  using V = isa::Operand;
+  const V tid = fb.S2R(isa::SpecialReg::kTid);
+  const V bid = fb.S2R(isa::SpecialReg::kBid);
+  const V bdim = fb.S2R(isa::SpecialReg::kBlockDim);
+  const V gtid = fb.IMad(bid, bdim, tid);
+  const V addr = fb.IMul(gtid, V::Imm(4));
+
+  std::vector<V> state;
+  for (int i = 0; i < 24; ++i) {
+    state.push_back(fb.LdGlobal(addr, 4 * i));
+  }
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(8), V::Imm(1));
+  {
+    const V off = fb.IMul(loop.induction, V::Imm(1 << 14));
+    const V x = fb.LdGlobal(fb.IAdd(addr, off), 1 << 20);
+    for (int i = 0; i < 6; ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(state[i]);
+      fma.srcs = {x, V::FImm(0.25f), state[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+  fb.LoopEnd(loop);
+  V total = state[0];
+  for (std::size_t i = 1; i < state.size(); ++i) {
+    total = fb.FAdd(total, state[i]);
+  }
+  fb.StGlobal(addr, 1 << 22, total);
+  fb.Exit();
+  return mb.Build();
+}
+
+}  // namespace
+
+int main() {
+  // --- compile -----------------------------------------------------------
+  const isa::Module kernel = BuildKernel();
+  const arch::GpuSpec& gpu = arch::Gtx680();
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(kernel, gpu, core::TuneOptions{});
+
+  std::printf("Orion compiled '%s' for %s\n", binary.kernel_name.c_str(),
+              binary.gpu_name.c_str());
+  std::printf("  max-live  : %u words (threshold %u => tuning %s)\n",
+              binary.max_live_words, core::MaxLiveThreshold(gpu),
+              binary.direction == runtime::TuneDirection::kIncreasing
+                  ? "UP"
+                  : "DOWN");
+  std::printf("  candidates:\n");
+  for (const runtime::KernelVersion& version : binary.versions) {
+    std::printf("    %-14s occupancy %.3f  (%2u regs/thread, pad %u B)\n",
+                version.tag.c_str(), version.occupancy.occupancy,
+                binary.ModuleOf(version).usage.regs_per_thread,
+                version.smem_padding_bytes);
+  }
+
+  // --- run with the Fig. 9 feedback tuner ---------------------------------
+  sim::GpuSimulator simulator(gpu, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem(std::size_t{1} << 22);
+  for (std::size_t i = 0; i < gmem.size_words(); ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(i % 911) + 1);
+  }
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = 16;
+  const runtime::TunedRunResult result = launcher.Run(&gmem, {}, plan);
+
+  std::printf("\nruntime adaptation over %zu iterations:\n",
+              result.records.size());
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const runtime::IterationRecord& record = result.records[i];
+    std::printf("  iter %2zu: %-14s occ %.3f  %.4f ms%s\n", i,
+                binary.Candidate(record.version).tag.c_str(), record.occupancy,
+                record.ms,
+                i + 1 == result.iterations_to_settle ? "  <- settled" : "");
+    if (i >= result.iterations_to_settle && i >= 4) {
+      std::printf("  ... (steady state)\n");
+      break;
+    }
+  }
+  std::printf("\nfinal: %s at occupancy %.3f, steady %.4f ms/iteration\n",
+              binary.Candidate(result.final_version).tag.c_str(),
+              result.steady_occupancy.occupancy, result.steady_ms);
+  return 0;
+}

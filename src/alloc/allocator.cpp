@@ -1,0 +1,573 @@
+#include "alloc/allocator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "alloc/coloring.h"
+#include "alloc/spill.h"
+#include "alloc/stack_layout.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "ir/callgraph.h"
+#include "ir/cfg.h"
+#include "ir/interference.h"
+#include "ir/liveness.h"
+#include "ir/loops.h"
+#include "ir/ssa.h"
+#include "isa/verifier.h"
+
+namespace orion::alloc {
+
+namespace {
+
+std::uint32_t AlignUp4(std::uint32_t v) { return (v + 3) / 4 * 4; }
+
+// A function's frame base must be 4-aligned only when the frame can
+// contain wide (64/96/128-bit) values, whose in-frame alignment must
+// survive translation to absolute register numbers.
+bool HasWideVRegs(const isa::Function& func) {
+  for (const isa::Instruction& instr : func.instrs) {
+    for (const isa::Operand& op : instr.dsts) {
+      if (op.IsReg() && op.width > 1) {
+        return true;
+      }
+    }
+    for (const isa::Operand& op : instr.srcs) {
+      if (op.IsReg() && op.width > 1) {
+        return true;
+      }
+    }
+  }
+  for (const isa::Operand& param : func.params) {
+    if (param.width > 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Minimum colors for which spilling can converge in `func`: the widest
+// single instruction (all distinct register operands live at once, with
+// alignment padding) plus the ABI parameter area.  Below this even
+// spill-everything cannot produce colorable code.
+std::uint32_t MinColorsNeeded(const isa::Function& func) {
+  // Operands occupy naturally-aligned blocks of 1/2/4 words, which pack
+  // without holes; two extra words absorb fragmentation from
+  // interleaved narrow temporaries.
+  auto block_words = [](const isa::Operand& op) -> std::uint32_t {
+    const std::uint32_t align = ColorAlignment(op.width);
+    return (op.width + align - 1) / align * align;
+  };
+  std::uint32_t per_instr = 0;
+  for (const isa::Instruction& instr : func.instrs) {
+    std::uint32_t words = 0;
+    for (const isa::Operand& op : instr.dsts) {
+      if (op.IsReg()) {
+        words += block_words(op);
+      }
+    }
+    for (const isa::Operand& op : instr.srcs) {
+      if (op.IsReg()) {
+        words += block_words(op);
+      }
+    }
+    per_instr = std::max(per_instr, words);
+  }
+  std::uint32_t param_words = 0;
+  for (const isa::Operand& param : func.params) {
+    param_words += block_words(param);
+  }
+  return std::max<std::uint32_t>(per_instr + param_words + 2, 8);
+}
+
+// ABI layout of a function's parameters: frame-relative word offsets,
+// width-aligned in declaration order.
+std::vector<std::uint32_t> ParamOffsets(const isa::Function& func) {
+  std::vector<std::uint32_t> offsets;
+  std::uint32_t next = 0;
+  for (const isa::Operand& param : func.params) {
+    const std::uint32_t align = ColorAlignment(param.width);
+    next = (next + align - 1) / align * align;
+    offsets.push_back(next);
+    next += param.width;
+  }
+  return offsets;
+}
+
+// Vregs that must survive a call in caller slots: live-across values
+// plus argument sources (conservatively kept below the compression
+// height so argument moves never race the callee frame).
+DenseBitSet SiteLiveSet(const isa::Instruction& call,
+                        const ir::Liveness& liveness,
+                        std::uint32_t instr_index) {
+  DenseBitSet live = liveness.LiveAfterInstr(instr_index);
+  for (const isa::Operand& dst : call.dsts) {
+    if (dst.kind == isa::OperandKind::kVReg) {
+      live.Reset(dst.id);
+    }
+  }
+  for (const isa::Operand& src : call.srcs) {
+    if (src.kind == isa::OperandKind::kVReg) {
+      live.Set(src.id);
+    }
+  }
+  return live;
+}
+
+// Per-function result of the coloring phase.
+struct FunctionPlan {
+  isa::Function body;  // with spill code, still virtual registers
+  ColoringResult coloring;
+  SpillState spills;
+  std::uint32_t base = 0;
+  std::uint32_t spill_rounds = 0;
+  std::uint32_t spilled_vregs = 0;
+  std::vector<CallSiteInfo> sites;               // live sets + weights
+  std::vector<std::uint32_t> minimal_heights;    // per site
+  std::vector<std::uint32_t> site_callee;        // function index per site
+};
+
+}  // namespace
+
+std::uint32_t KernelMaxLive(const isa::Module& module) {
+  const isa::Function& kernel = module.Kernel();
+  const ir::Cfg cfg = ir::Cfg::Build(kernel);
+  const ir::VRegInfo info = ir::VRegInfo::Gather(kernel);
+  const ir::Liveness liveness(cfg, info);
+  return ir::MaxLiveWords(cfg, liveness, info);
+}
+
+namespace {
+
+isa::Module AllocateModuleImpl(const isa::Module& input,
+                               const AllocBudget& budget,
+                               const AllocOptions& options, AllocStats* stats,
+                               bool with_callee_reserve);
+
+}  // namespace
+
+isa::Module AllocateModule(const isa::Module& input, const AllocBudget& budget,
+                           const AllocOptions& options, AllocStats* stats) {
+  // First attempt: give every function the full remaining budget.  When
+  // values live across calls leave no room for callee frames, retry
+  // with callee-subtree reserves, which forces the callers to spill
+  // those values instead.
+  try {
+    return AllocateModuleImpl(input, budget, options, stats, false);
+  } catch (const CompileError&) {
+    return AllocateModuleImpl(input, budget, options, stats, true);
+  }
+}
+
+namespace {
+
+isa::Module AllocateModuleImpl(const isa::Module& input,
+                               const AllocBudget& budget,
+                               const AllocOptions& options, AllocStats* stats,
+                               bool with_callee_reserve) {
+  isa::VerifyModuleOrThrow(input);
+  isa::Module module = input;
+  const ir::CallGraph callgraph(module);
+  const std::uint32_t num_funcs =
+      static_cast<std::uint32_t>(module.functions.size());
+
+  // ABI scratch registers for return values sit at absolute word 0.
+  std::uint32_t abi_words = 0;
+  for (const isa::Function& func : module.functions) {
+    abi_words = std::max<std::uint32_t>(abi_words, func.ret_width);
+  }
+
+  std::vector<FunctionPlan> plans(num_funcs);
+  std::vector<bool> wide(num_funcs, false);
+  for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+    wide[fi] = HasWideVRegs(module.functions[fi]);
+  }
+  auto base_align = [&](std::uint32_t fi, std::uint32_t value) {
+    return wide[fi] ? AlignUp4(value) : value;
+  };
+  std::vector<std::uint32_t> pending_base(num_funcs, 0);
+  for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+    pending_base[fi] = base_align(fi, abi_words);
+  }
+
+  // Callee-subtree register reserve: a caller's coloring budget must
+  // leave at least this many words above its own compressed stack so
+  // every function below it in the call graph can still get its minimum
+  // colorable frame (+4 words per level for frame-base alignment).
+  // This is what forces callers to spill values that are live across
+  // calls when the occupancy target is tight.
+  std::vector<std::uint32_t> reserve(num_funcs, 0);
+  if (with_callee_reserve) {
+    std::vector<std::uint32_t> bottom_up(callgraph.TopoOrder());
+    std::reverse(bottom_up.begin(), bottom_up.end());
+    for (const std::uint32_t fi : bottom_up) {
+      for (const std::uint32_t callee : callgraph.Callees(fi)) {
+        const std::uint32_t align_slack = wide[callee] ? 3 : 0;
+        reserve[fi] = std::max(
+            reserve[fi], MinColorsNeeded(module.functions[callee]) +
+                             reserve[callee] + align_slack);
+      }
+    }
+  }
+
+  std::uint32_t kernel_index = 0;
+  for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+    if (module.functions[fi].is_kernel) {
+      kernel_index = fi;
+    }
+  }
+
+  // ---- Phase 1: color each function, propagate frame bases ------------
+  for (const std::uint32_t fi : callgraph.TopoOrder()) {
+    FunctionPlan& plan = plans[fi];
+    plan.base = pending_base[fi];
+    const std::uint32_t reserved = plan.base + reserve[fi];
+    const std::uint32_t budget_words =
+        budget.reg_words > reserved ? budget.reg_words - reserved : 0;
+    if (budget_words < MinColorsNeeded(module.functions[fi])) {
+      throw CompileError(StrFormat(
+          "register budget %u infeasible: function '%s' at frame base %u has "
+          "only %u colors",
+          budget.reg_words, module.functions[fi].name.c_str(), plan.base,
+          budget_words));
+    }
+    plan.body = module.functions[fi];
+    if (options.use_ssa) {
+      // Section 3.2: build pruned SSA and eliminate φs before assigning
+      // the pruned SSA variables.
+      ir::ConvertToSsaForm(&plan.body);
+    }
+
+    // Pre-color parameters at their ABI offsets.
+    std::map<std::uint32_t, std::uint32_t> precolored;
+    const std::vector<std::uint32_t> param_offsets = ParamOffsets(plan.body);
+    std::vector<std::uint32_t> param_vregs;
+    for (std::size_t pi = 0; pi < plan.body.params.size(); ++pi) {
+      precolored.emplace(plan.body.params[pi].id, param_offsets[pi]);
+      param_vregs.push_back(plan.body.params[pi].id);
+    }
+
+    // Color-spill iteration.  Virtual registers introduced by spill
+    // rewriting (ids at or beyond the original count) must never be
+    // spilled again.
+    const std::uint32_t original_vregs = [&] {
+      const ir::VRegInfo info = ir::VRegInfo::Gather(plan.body);
+      return info.num_vregs;
+    }();
+    for (;;) {
+      const ir::Cfg cfg = ir::Cfg::Build(plan.body);
+      const ir::VRegInfo info = ir::VRegInfo::Gather(plan.body);
+      const ir::Liveness liveness(cfg, info);
+      const ir::Dominance dom(cfg);
+      const ir::LoopInfo loops(cfg, dom);
+      const ir::InterferenceGraph graph(
+          cfg, liveness, info, options.weighted_spills ? &loops : nullptr);
+      ColoringInput in;
+      in.graph = &graph;
+      in.num_colors = budget_words;
+      in.precolored = precolored;
+      in.weighted_spill_choice = options.weighted_spills;
+      in.unspillable.assign(info.num_vregs, false);
+      for (std::uint32_t v = original_vregs; v < info.num_vregs; ++v) {
+        in.unspillable[v] = true;
+      }
+      plan.coloring = ColorGraph(in);
+      if (!plan.coloring.HasSpills()) {
+        // Final coloring: gather call-site facts on this body.
+        for (std::uint32_t ii = 0; ii < plan.body.NumInstrs(); ++ii) {
+          const isa::Instruction& instr = plan.body.instrs[ii];
+          if (instr.op != isa::Opcode::kCal) {
+            continue;
+          }
+          CallSiteInfo site;
+          site.instr_index = ii;
+          site.live_vregs = SiteLiveSet(instr, liveness, ii);
+          site.weight = loops.Weight(cfg.BlockOf(ii));
+          plan.sites.push_back(std::move(site));
+          const isa::Function* callee = module.FindFunction(instr.target);
+          ORION_CHECK(callee != nullptr);
+          for (std::uint32_t ci = 0; ci < num_funcs; ++ci) {
+            if (&module.functions[ci] == callee) {
+              plan.site_callee.push_back(ci);
+            }
+          }
+        }
+        const FrameLayoutBuilder builder(info, plan.coloring, param_vregs);
+        if (options.space_min) {
+          plan.minimal_heights = builder.MinimalHeights(plan.sites);
+        } else {
+          plan.minimal_heights.assign(plan.sites.size(), builder.WordsUsed());
+        }
+        for (std::size_t k = 0; k < plan.sites.size(); ++k) {
+          const std::uint32_t callee = plan.site_callee[k];
+          pending_base[callee] = std::max(
+              pending_base[callee],
+              base_align(callee, plan.base + plan.minimal_heights[k]));
+        }
+        break;
+      }
+      plan.spilled_vregs +=
+          static_cast<std::uint32_t>(plan.coloring.spilled.size());
+      RewriteSpills(&plan.body, plan.coloring.spilled, cfg,
+                    options.weighted_spills ? &loops : nullptr, &plan.spills);
+      if (++plan.spill_rounds > options.max_spill_rounds) {
+        throw CompileError(StrFormat(
+            "spilling did not converge for '%s' within %u rounds (budget %u)",
+            plan.body.name.c_str(), options.max_spill_rounds, budget_words));
+      }
+    }
+  }
+
+  // ---- Global shared-memory re-homing of hot spill slots ---------------
+  std::uint32_t spriv_used = 0;
+  if (options.rehome_spills && budget.spriv_slot_words > 0) {
+    struct Candidate {
+      std::uint32_t func = 0;
+      std::uint32_t first_word = 0;
+      std::uint8_t width = 1;
+      double heat = 0.0;
+    };
+    std::vector<Candidate> candidates;
+    for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+      for (const auto& [vreg, slot] : plans[fi].spills.slots) {
+        candidates.push_back({fi, slot.first_word, slot.width, slot.heat});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.heat != b.heat) {
+                  return a.heat > b.heat;
+                }
+                if (a.func != b.func) {
+                  return a.func < b.func;
+                }
+                return a.first_word < b.first_word;
+              });
+    std::vector<std::map<std::uint32_t, std::uint32_t>> mapping(num_funcs);
+    for (const Candidate& c : candidates) {
+      if (spriv_used + c.width > budget.spriv_slot_words) {
+        continue;
+      }
+      mapping[c.func].emplace(c.first_word, spriv_used);
+      spriv_used += c.width;
+    }
+    for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+      if (!mapping[fi].empty()) {
+        RetargetLocalWords(&plans[fi].body, mapping[fi]);
+      }
+    }
+  }
+
+  // ---- Disjoint local-slot regions per function -------------------------
+  std::uint32_t local_total = 0;
+  std::vector<std::uint32_t> local_base(num_funcs, 0);
+  for (const std::uint32_t fi : callgraph.TopoOrder()) {
+    local_base[fi] = local_total;
+    OffsetLocalWords(&plans[fi].body, local_total);
+    local_total += plans[fi].spills.NumWords();
+  }
+
+  // ---- Phase 2: final layout and physical lowering ----------------------
+  if (stats != nullptr) {
+    *stats = AllocStats{};
+    stats->abi_words = abi_words;
+    stats->kernel_max_live_words = KernelMaxLive(input);
+  }
+  std::uint32_t peak_regs = std::max<std::uint32_t>(abi_words, 1);
+
+  for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+    FunctionPlan& plan = plans[fi];
+    isa::Function& body = plan.body;
+    const ir::VRegInfo info = ir::VRegInfo::Gather(body);
+    std::vector<std::uint32_t> param_vregs;
+    for (const isa::Operand& param : body.params) {
+      param_vregs.push_back(param.id);
+    }
+    const FrameLayoutBuilder builder(info, plan.coloring, param_vregs);
+    for (std::size_t k = 0; k < plan.sites.size(); ++k) {
+      const std::uint32_t callee_base = plans[plan.site_callee[k]].base;
+      ORION_CHECK(callee_base >= plan.base + plan.minimal_heights[k]);
+      plan.sites[k].gap = callee_base - plan.base;
+    }
+    LayoutOptions layout_options;
+    layout_options.move_min = options.move_min;
+    layout_options.weighted_moves = options.weighted_moves;
+    const FrameLayout layout = builder.Finalize(plan.sites, layout_options);
+
+    if (plan.base + layout.frame_words > budget.reg_words) {
+      throw CompileError(StrFormat(
+          "register budget %u infeasible: '%s' frame [%u, %u) overflows",
+          budget.reg_words, body.name.c_str(), plan.base,
+          plan.base + layout.frame_words));
+    }
+    peak_regs = std::max(peak_regs, plan.base + layout.frame_words);
+
+    // Physical address of a virtual register operand.
+    auto preg_of = [&](const isa::Operand& op) {
+      ORION_CHECK(op.kind == isa::OperandKind::kVReg);
+      const std::int64_t addr = layout.vreg_addr[op.id];
+      ORION_CHECK_MSG(addr >= 0, "operand vreg has no frame address");
+      return isa::Operand::PReg(plan.base + static_cast<std::uint32_t>(addr),
+                                op.width);
+    };
+    auto rewrite_operands = [&](isa::Instruction* instr) {
+      for (isa::Operand& op : instr->dsts) {
+        if (op.kind == isa::OperandKind::kVReg) {
+          op = preg_of(op);
+        }
+      }
+      for (isa::Operand& op : instr->srcs) {
+        if (op.kind == isa::OperandKind::kVReg) {
+          op = preg_of(op);
+        }
+      }
+    };
+
+    // Site plans by instruction index.
+    std::map<std::uint32_t, const SitePlan*> plan_at;
+    for (const SitePlan& site : layout.sites) {
+      plan_at.emplace(site.instr_index, &site);
+    }
+    std::map<std::uint32_t, std::uint32_t> callee_of_site;
+    for (std::size_t k = 0; k < plan.sites.size(); ++k) {
+      callee_of_site.emplace(plan.sites[k].instr_index, plan.site_callee[k]);
+    }
+
+    std::vector<isa::Instruction> out;
+    out.reserve(body.instrs.size() + 8 * layout.sites.size());
+    std::vector<std::uint32_t> new_index(body.NumInstrs() + 1, 0);
+
+    auto emit_mov = [&](isa::Operand dst, isa::Operand src) {
+      isa::Instruction mov;
+      mov.op = isa::Opcode::kMov;
+      mov.dsts.push_back(dst);
+      mov.srcs.push_back(src);
+      out.push_back(std::move(mov));
+    };
+
+    for (std::uint32_t ii = 0; ii < body.NumInstrs(); ++ii) {
+      new_index[ii] = static_cast<std::uint32_t>(out.size());
+      isa::Instruction instr = body.instrs[ii];
+
+      if (instr.op == isa::Opcode::kCal) {
+        const SitePlan& site = *plan_at.at(ii);
+        const std::uint32_t callee_idx = callee_of_site.at(ii);
+        const std::uint32_t callee_base = plans[callee_idx].base;
+        const isa::Function& callee_sig = module.functions[callee_idx];
+        const std::vector<std::uint32_t> callee_offsets =
+            ParamOffsets(callee_sig);
+
+        // 1. Compression (park) moves; remember parked addresses.
+        std::map<std::uint32_t, std::uint32_t> parked;  // home -> park (rel)
+        for (const auto& [from, to] : site.parks) {
+          emit_mov(isa::Operand::PReg(plan.base + to, 1),
+                   isa::Operand::PReg(plan.base + from, 1));
+          parked.emplace(from, to);
+        }
+        // 2. Argument moves into the callee frame.
+        for (std::size_t ai = 0; ai < instr.srcs.size(); ++ai) {
+          const isa::Operand& src = instr.srcs[ai];
+          const isa::Operand dst = isa::Operand::PReg(
+              callee_base + callee_offsets[ai], callee_sig.params[ai].width);
+          if (src.kind == isa::OperandKind::kVReg) {
+            std::int64_t addr = layout.vreg_addr[src.id];
+            ORION_CHECK(addr >= 0);
+            std::uint32_t rel = static_cast<std::uint32_t>(addr);
+            if (src.width == 1) {
+              const auto it = parked.find(rel);
+              if (it != parked.end()) {
+                rel = it->second;
+              }
+            }
+            emit_mov(dst, isa::Operand::PReg(plan.base + rel, src.width));
+          } else {
+            emit_mov(dst, src);
+          }
+        }
+        // 3. The bare call.
+        isa::Instruction call;
+        call.op = isa::Opcode::kCal;
+        call.target = instr.target;
+        out.push_back(std::move(call));
+        // 4. Restore moves (reverse order).
+        for (auto it = site.parks.rbegin(); it != site.parks.rend(); ++it) {
+          emit_mov(isa::Operand::PReg(plan.base + it->first, 1),
+                   isa::Operand::PReg(plan.base + it->second, 1));
+        }
+        // 5. Return value from the ABI scratch registers.
+        if (instr.HasDst()) {
+          emit_mov(preg_of(instr.Dst()),
+                   isa::Operand::PReg(0, instr.Dst().width));
+        }
+        continue;
+      }
+
+      if (instr.op == isa::Opcode::kRet && !instr.srcs.empty()) {
+        const isa::Operand value = instr.srcs[0];
+        if (value.kind == isa::OperandKind::kVReg) {
+          emit_mov(isa::Operand::PReg(0, value.width), preg_of(value));
+        } else {
+          emit_mov(isa::Operand::PReg(0, 1), value);
+        }
+        isa::Instruction ret;
+        ret.op = isa::Opcode::kRet;
+        out.push_back(std::move(ret));
+        continue;
+      }
+
+      rewrite_operands(&instr);
+      out.push_back(std::move(instr));
+    }
+    new_index[body.NumInstrs()] = static_cast<std::uint32_t>(out.size());
+
+    isa::Function& dest = module.functions[fi];
+    dest.instrs = std::move(out);
+    dest.labels = body.labels;
+    for (auto& [label, index] : dest.labels) {
+      index = new_index[index];
+    }
+    dest.allocated = true;
+    dest.frame_regs = layout.frame_words;
+    dest.params.clear();
+    for (std::size_t pi = 0; pi < body.params.size(); ++pi) {
+      dest.params.push_back(isa::Operand::PReg(
+          plan.base + ParamOffsets(body)[pi], body.params[pi].width));
+    }
+
+    if (stats != nullptr) {
+      FunctionAllocStats fs;
+      fs.name = dest.name;
+      fs.frame_base = plan.base;
+      fs.frame_words = layout.frame_words;
+      fs.spilled_vregs = plan.spilled_vregs;
+      fs.local_words = plan.spills.NumWords();
+      fs.static_park_moves = layout.static_park_moves;
+      fs.weighted_park_moves = layout.weighted_park_moves;
+      fs.spill_rounds = plan.spill_rounds;
+      stats->functions.push_back(std::move(fs));
+      stats->static_park_moves += layout.static_park_moves;
+      stats->weighted_park_moves += layout.weighted_park_moves;
+      stats->spilled_vregs += plan.spilled_vregs;
+    }
+  }
+  (void)kernel_index;
+
+  module.usage.regs_per_thread = peak_regs;
+  module.usage.local_slots_per_thread = local_total;
+  module.usage.spriv_slots_per_thread = spriv_used;
+  module.usage.user_smem_bytes_per_block = module.user_smem_bytes;
+  if (stats != nullptr) {
+    stats->peak_regs = peak_regs;
+    stats->local_words = local_total;
+    stats->spriv_words = spriv_used;
+  }
+
+  isa::VerifyOptions verify_options;
+  verify_options.reg_budget = budget.reg_words;
+  isa::VerifyModuleOrThrow(module, verify_options);
+  return module;
+}
+
+}  // namespace
+
+}  // namespace orion::alloc

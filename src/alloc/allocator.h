@@ -1,0 +1,94 @@
+// Module-level on-chip memory allocation — the paper's "realizing
+// occupancy" stage (Section 3.2).
+//
+// Given a per-thread register budget and a per-thread shared-memory
+// budget (both derived from a target occupancy level), this driver:
+//
+//   1. colors every function with the Fig. 4 multi-class allocator,
+//      iterating spill-code insertion until the budget is met;
+//   2. stacks function frames with the compressible stack: in
+//      topological (callers-first) order, each callee's frame base is
+//      the maximum over its call sites of the caller base plus the
+//      site's minimal compressed height;
+//   3. optimizes slot addressing per function with the Theorem 1
+//      bipartite matching and plans park/restore movements per call;
+//   4. lowers calls to physical code: compression moves, ABI argument
+//      moves into the callee frame, the bare CAL, restore moves, and
+//      the return-value move through the ABI scratch registers;
+//   5. re-homes the hottest spilled (local-memory) slots into spare
+//      per-thread shared memory, globally ranked across functions.
+//
+// The result is a fully physical module plus resource-usage and
+// movement statistics for the occupancy calculator and the Fig. 5
+// ablation benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::alloc {
+
+struct AllocBudget {
+  std::uint32_t reg_words = 63;        // physical registers per thread
+  std::uint32_t spriv_slot_words = 0;  // shared-memory spill words per thread
+};
+
+struct AllocOptions {
+  // Compress the caller stack at call sites (paper default).  When false
+  // frames are stacked at full width — the "No Space Minimization"
+  // ablation of Figure 5.
+  bool space_min = true;
+  // Optimize slot addressing with the Theorem 1 matching.  When false —
+  // the "No Data Movement Minimization" ablation of Figure 5.
+  bool move_min = true;
+  // Weight movements by loop depth instead of static counts (extension).
+  bool weighted_moves = false;
+  // Weight spill choice by loop depth.
+  bool weighted_spills = true;
+  // Re-home hot spills into spare shared memory.
+  bool rehome_spills = true;
+  // Run the paper's SSA pipeline first (pruned SSA construction, φ
+  // elimination, copy coalescing): splits live ranges before coloring.
+  bool use_ssa = true;
+  std::uint32_t max_spill_rounds = 64;
+};
+
+struct FunctionAllocStats {
+  std::string name;
+  std::uint32_t frame_base = 0;
+  std::uint32_t frame_words = 0;
+  std::uint32_t spilled_vregs = 0;
+  std::uint32_t local_words = 0;
+  std::uint32_t static_park_moves = 0;
+  double weighted_park_moves = 0.0;
+  std::uint32_t spill_rounds = 0;
+};
+
+struct AllocStats {
+  std::uint32_t peak_regs = 0;       // registers per thread actually used
+  std::uint32_t local_words = 0;     // per-thread local-memory words
+  std::uint32_t spriv_words = 0;     // per-thread shared spill words
+  std::uint32_t abi_words = 0;
+  std::uint32_t static_park_moves = 0;
+  double weighted_park_moves = 0.0;
+  std::uint32_t spilled_vregs = 0;
+  std::uint32_t kernel_max_live_words = 0;  // Section 3.3 "max-live"
+  std::vector<FunctionAllocStats> functions;
+};
+
+// Allocates `input` (virtual registers) against `budget`.  Returns the
+// physical module with Module::usage filled in.  Throws CompileError
+// when the budget is infeasible (callee frame bases exhaust the budget
+// or spilling fails to converge).
+isa::Module AllocateModule(const isa::Module& input, const AllocBudget& budget,
+                           const AllocOptions& options, AllocStats* stats);
+
+// The max-live metric of the kernel of an unallocated module, in
+// register words (Section 3.3): drives the compile-time tuning
+// direction.
+std::uint32_t KernelMaxLive(const isa::Module& module);
+
+}  // namespace orion::alloc

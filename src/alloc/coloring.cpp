@@ -1,0 +1,227 @@
+#include "alloc/coloring.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace orion::alloc {
+
+std::uint32_t ColorAlignment(std::uint8_t width) {
+  return width >= 3 ? 4 : width;
+}
+
+ColoringResult ColorGraph(const ColoringInput& input) {
+  const ir::InterferenceGraph& graph = *input.graph;
+  const std::uint32_t n = graph.NumNodes();
+  const std::uint32_t num_colors = input.num_colors;
+
+  ColoringResult result;
+  result.color.assign(n, -1);
+
+  // Validate and apply precoloring.
+  for (const auto& [v, word] : input.precolored) {
+    ORION_CHECK(v < n);
+    const std::uint8_t width = graph.Width(v);
+    ORION_CHECK_MSG(width > 0, "precolored vreg never occurs");
+    if (word % ColorAlignment(width) != 0 || word + width > num_colors) {
+      throw CompileError(StrFormat(
+          "precolored v%u at word %u (width %u) violates budget %u", v, word,
+          width, num_colors));
+    }
+    result.color[v] = word;
+  }
+  for (const auto& [a, worda] : input.precolored) {
+    for (const auto& [b, wordb] : input.precolored) {
+      if (a < b && graph.Interferes(a, b)) {
+        const bool overlap = worda < wordb + graph.Width(b) &&
+                             wordb < worda + graph.Width(a);
+        if (overlap) {
+          throw CompileError(
+              StrFormat("interfering precolored v%u and v%u overlap", a, b));
+        }
+      }
+    }
+  }
+
+  // The working node set G: occurring, non-precolored vregs.
+  std::vector<std::uint32_t> nodes;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (graph.Width(v) > 0 && !input.precolored.contains(v)) {
+      nodes.push_back(v);
+    }
+  }
+
+  // --- Fig. 4(b): stack order -------------------------------------------
+  // Removal degree must reflect the *remaining* graph, so track per-node
+  // remaining neighbor words.
+  std::vector<std::uint32_t> degree_words(n, 0);
+  std::vector<bool> in_g(n, false);
+  for (const std::uint32_t v : nodes) {
+    in_g[v] = true;
+  }
+  for (const std::uint32_t v : nodes) {
+    std::uint32_t words = 0;
+    for (const std::uint32_t u : graph.Neighbors(v)) {
+      if (in_g[u] || input.precolored.contains(u)) {
+        words += graph.Width(u);
+      }
+    }
+    degree_words[v] = words;
+  }
+
+  std::vector<std::uint32_t> stack;  // push order; color in reverse
+  {
+    std::vector<std::uint32_t> g = nodes;
+    while (!g.empty()) {
+      const std::uint32_t kNone = UINT32_MAX;
+      std::uint32_t next = kNone;
+      // Prefer a trivially-colorable node of minimal width.
+      for (const std::uint32_t v : g) {
+        if (graph.Width(v) + degree_words[v] <= num_colors) {
+          if (next == kNone || graph.Width(next) > graph.Width(v)) {
+            next = v;
+          }
+        }
+      }
+      if (next == kNone) {
+        // No trivially-colorable node: pick the spill candidate.
+        next = g.front();
+        if (input.weighted_spill_choice) {
+          // Chaitin priority: minimize loop-weighted cost per degree
+          // word freed, so cold values spill before hot loop state.
+          auto priority = [&](std::uint32_t v) {
+            return graph.SpillWeight(v) /
+                   std::max<std::uint32_t>(1, degree_words[v]);
+          };
+          for (const std::uint32_t v : g) {
+            if (priority(v) < priority(next) ||
+                (priority(v) == priority(next) &&
+                 graph.Width(v) < graph.Width(next))) {
+              next = v;
+            }
+          }
+        } else {
+          // Fig. 4(b) verbatim: minimal width, then minimal degree.
+          for (const std::uint32_t v : g) {
+            if (graph.Width(next) > graph.Width(v) ||
+                (graph.Width(next) == graph.Width(v) &&
+                 degree_words[next] > degree_words[v])) {
+              next = v;
+            }
+          }
+        }
+      }
+      stack.push_back(next);
+      in_g[next] = false;
+      g.erase(std::find(g.begin(), g.end(), next));
+      for (const std::uint32_t u : graph.Neighbors(next)) {
+        if (in_g[u]) {
+          degree_words[u] -= graph.Width(next);
+        }
+      }
+    }
+  }
+
+  // --- Fig. 4(c): select with spill-and-restart --------------------------
+  // `stack` holds push order; selection pops from the top.  After a node
+  // fails to color it is moved to the spill list and selection restarts
+  // from a clean slate (colors of non-precolored nodes reset).
+  std::vector<bool> dropped(n, false);
+  bool finished = false;
+  while (!finished) {
+    finished = true;
+    // Clean slate: spilled nodes must not retain stale colors, or they
+    // would falsely block their neighbors' color scan.
+    for (const std::uint32_t v : nodes) {
+      result.color[v] = -1;
+    }
+    for (std::size_t si = stack.size(); si-- > 0;) {
+      const std::uint32_t v = stack[si];
+      if (dropped[v]) {
+        continue;
+      }
+      const std::uint8_t width = graph.Width(v);
+      const std::uint32_t align = ColorAlignment(width);
+      // Words already claimed by colored neighbors.
+      std::vector<bool> used(num_colors, false);
+      for (const std::uint32_t u : graph.Neighbors(v)) {
+        if (result.color[u] >= 0) {
+          for (std::uint8_t w = 0; w < graph.Width(u); ++w) {
+            const std::uint64_t word =
+                static_cast<std::uint64_t>(result.color[u]) + w;
+            if (word < num_colors) {
+              used[word] = true;
+            }
+          }
+        }
+      }
+      bool colored = false;
+      for (std::uint32_t c = 0; c + width <= num_colors; c += align) {
+        bool free = true;
+        for (std::uint8_t w = 0; w < width && free; ++w) {
+          free = !used[c + w];
+        }
+        if (free) {
+          result.color[v] = c;
+          colored = true;
+          break;
+        }
+      }
+      if (!colored) {
+        const bool spillable =
+            v >= input.unspillable.size() || !input.unspillable[v];
+        std::uint32_t victim = v;
+        if (!spillable) {
+          // Evict the cheapest spillable colored neighbor instead.
+          victim = UINT32_MAX;
+          double best = 0.0;
+          for (const std::uint32_t u : graph.Neighbors(v)) {
+            if (result.color[u] < 0 || dropped[u] ||
+                input.precolored.contains(u) ||
+                (u < input.unspillable.size() && input.unspillable[u])) {
+              continue;
+            }
+            if (victim == UINT32_MAX || graph.SpillWeight(u) < best) {
+              victim = u;
+              best = graph.SpillWeight(u);
+            }
+          }
+          if (victim == UINT32_MAX) {
+            std::string detail;
+            for (const std::uint32_t u : graph.Neighbors(v)) {
+              if (result.color[u] >= 0 && !dropped[u]) {
+                detail += StrFormat(" v%u(w%u@%d%s)", u, graph.Width(u),
+                                    static_cast<int>(result.color[u]),
+                                    input.precolored.contains(u) ? ",pre"
+                                    : (u < input.unspillable.size() &&
+                                       input.unspillable[u])
+                                        ? ",tmp"
+                                        : "");
+              }
+            }
+            throw CompileError(StrFormat(
+                "cannot color spill temporary v%u (width %u) within %u "
+                "registers; colored neighbors:%s",
+                v, graph.Width(v), num_colors, detail.c_str()));
+          }
+        }
+        dropped[victim] = true;
+        result.spilled.push_back(victim);
+        finished = false;
+        break;  // restart selection
+      }
+    }
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (result.color[v] >= 0) {
+      result.words_used =
+          std::max(result.words_used,
+                   static_cast<std::uint32_t>(result.color[v]) + graph.Width(v));
+    }
+  }
+  return result;
+}
+
+}  // namespace orion::alloc

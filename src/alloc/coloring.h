@@ -1,0 +1,58 @@
+// Single-procedure multi-class register allocation (paper Figure 4).
+//
+// A Chaitin–Briggs variant extended for wide variables: a width-w
+// variable needs w consecutive, aligned physical register words (64-bit
+// values on even words, 96/128-bit on multiples of four).  The simplify
+// phase follows Fig. 4(b) — a node is trivially colorable when
+// v.width + v.edges <= C, where v.edges conservatively counts neighbor
+// *words* — and the select phase follows Fig. 4(c), restarting after
+// each spill decision.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/interference.h"
+
+namespace orion::alloc {
+
+struct ColoringInput {
+  const ir::InterferenceGraph* graph = nullptr;
+  std::uint32_t num_colors = 0;  // C: available register words
+  // Pre-colored nodes (ABI parameters): vreg -> fixed starting word.
+  std::map<std::uint32_t, std::uint32_t> precolored;
+  // Spill-candidate choice: false follows Fig. 4(b) verbatim (minimal
+  // width, then minimal degree); true uses Chaitin's classic
+  // cost/degree priority with loop-weighted access counts, spilling
+  // cold long-lived values before hot in-loop state.
+  bool weighted_spill_choice = false;
+  // Nodes that must not be spilled (spill-code temporaries: re-spilling
+  // them recreates an identical temporary and the iteration diverges).
+  // When such a node fails to color, a spillable colored neighbor is
+  // evicted instead; if none exists the budget is genuinely infeasible
+  // and ColorGraph throws CompileError.
+  std::vector<bool> unspillable;
+};
+
+struct ColoringResult {
+  // vreg -> starting word, or -1 for spilled / never-occurring vregs.
+  std::vector<std::int64_t> color;
+  // vregs chosen for spilling, in decision order.
+  std::vector<std::uint32_t> spilled;
+  // One past the highest word used (frame width before re-addressing).
+  std::uint32_t words_used = 0;
+
+  bool HasSpills() const { return !spilled.empty(); }
+};
+
+// Runs Fig. 4.  Pre-colored nodes are never spilled; throws CompileError
+// if a pre-colored node conflicts with another pre-colored node or lies
+// outside the color budget.
+ColoringResult ColorGraph(const ColoringInput& input);
+
+// Alignment rule shared with the verifier: starting word of a width-w
+// register (2 -> even, 3/4 -> multiple of 4).
+std::uint32_t ColorAlignment(std::uint8_t width);
+
+}  // namespace orion::alloc

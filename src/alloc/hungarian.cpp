@@ -1,0 +1,101 @@
+#include "alloc/hungarian.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace orion::alloc {
+
+// Classic O(n^3) shortest-augmenting-path formulation of Kuhn–Munkres
+// with row/column potentials (sometimes credited to Jonker–Volgenant).
+// Rows are assigned one at a time; each step grows an alternating tree
+// along tight edges, adjusting potentials until an augmenting path to an
+// unassigned column is found.
+std::vector<std::uint32_t> MinCostAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  if (n == 0) {
+    return {};
+  }
+  for (const std::vector<double>& row : cost) {
+    ORION_CHECK_MSG(row.size() == n, "cost matrix must be square");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // 1-indexed internals; column 0 is the virtual root.
+  std::vector<double> u(n + 1, 0.0);    // row potentials
+  std::vector<double> v(n + 1, 0.0);    // column potentials
+  std::vector<std::size_t> match(n + 1, 0);  // column -> row (0 = free)
+  std::vector<std::size_t> way(n + 1, 0);    // alternating-path back links
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) {
+          continue;
+        }
+        const double reduced = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (reduced < minv[j]) {
+          minv[j] = reduced;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Unwind the augmenting path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::uint32_t> assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    assign[match[j] - 1] = static_cast<std::uint32_t>(j - 1);
+  }
+  return assign;
+}
+
+std::vector<std::uint32_t> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weight) {
+  std::vector<std::vector<double>> cost(weight.size());
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    cost[i].reserve(weight[i].size());
+    for (const double w : weight[i]) {
+      cost[i].push_back(-w);
+    }
+  }
+  return MinCostAssignment(cost);
+}
+
+double AssignmentCost(const std::vector<std::vector<double>>& cost,
+                      const std::vector<std::uint32_t>& assign) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    total += cost[i][assign[i]];
+  }
+  return total;
+}
+
+}  // namespace orion::alloc

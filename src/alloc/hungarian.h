@@ -1,0 +1,30 @@
+// Kuhn–Munkres (Hungarian) algorithm for the assignment problem.
+//
+// The paper (Section 3.2) models compressible-stack slot addressing as a
+// maximum-weight bipartite matching between variable sets SS_i and
+// physical slot addresses SLOT_j, with edge weight -W_ij (W_ij = number
+// of data movements incurred by placing SS_i at address j, Theorem 1),
+// and solves it "using the modified Kuhn-Munkres algorithm, with O(M^3)
+// time complexity".  This is that solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orion::alloc {
+
+// Solves the square min-cost assignment problem: given an n x n cost
+// matrix, returns `assign` with assign[row] = column such that the total
+// cost is minimal.  O(n^3).  An empty matrix yields an empty assignment.
+std::vector<std::uint32_t> MinCostAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+// Maximum-weight convenience wrapper (negates the weights).
+std::vector<std::uint32_t> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weight);
+
+// Total cost of an assignment under a cost matrix.
+double AssignmentCost(const std::vector<std::vector<double>>& cost,
+                      const std::vector<std::uint32_t>& assign);
+
+}  // namespace orion::alloc

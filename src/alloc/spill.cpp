@@ -1,0 +1,232 @@
+#include "alloc/spill.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "ir/liveness.h"
+
+namespace orion::alloc {
+
+namespace {
+
+// Next virtual register id not yet used in the function.
+std::uint32_t NextVRegId(const isa::Function& func) {
+  std::uint32_t next = isa::MaxVRegId(func);
+  for (const isa::Operand& param : func.params) {
+    if (param.kind == isa::OperandKind::kVReg) {
+      next = std::max(next, param.id + 1);
+    }
+  }
+  return next;
+}
+
+isa::Instruction MakeLocalLd(isa::Operand dst, std::uint32_t slot_word) {
+  isa::Instruction ld;
+  ld.op = isa::Opcode::kLd;
+  ld.space = isa::MemSpace::kLocal;
+  ld.dsts.push_back(dst);
+  ld.srcs = {isa::Operand::Imm(slot_word), isa::Operand::Imm(0)};
+  return ld;
+}
+
+isa::Instruction MakeLocalSt(isa::Operand value, std::uint32_t slot_word) {
+  isa::Instruction st;
+  st.op = isa::Opcode::kSt;
+  st.space = isa::MemSpace::kLocal;
+  st.srcs = {isa::Operand::Imm(slot_word), isa::Operand::Imm(0), value};
+  return st;
+}
+
+}  // namespace
+
+std::uint32_t RewriteSpills(isa::Function* func,
+                            const std::vector<std::uint32_t>& spilled,
+                            const ir::Cfg& cfg, const ir::LoopInfo* loops,
+                            SpillState* state) {
+  if (spilled.empty()) {
+    return 0;
+  }
+  // Widths and slot assignment.
+  const ir::VRegInfo info = ir::VRegInfo::Gather(*func);
+  std::map<std::uint32_t, SpillSlot*> spill_of;
+  for (const std::uint32_t v : spilled) {
+    ORION_CHECK_MSG(!state->slots.contains(v), "vreg spilled twice");
+    ORION_CHECK_MSG(info.widths[v] > 0, "spilling a vreg that never occurs");
+    // A parameter must not be spilled: it is pre-colored.
+    for (const isa::Operand& param : func->params) {
+      ORION_CHECK_MSG(!(param.kind == isa::OperandKind::kVReg && param.id == v),
+                      "cannot spill a parameter");
+    }
+    SpillSlot slot;
+    slot.width = info.widths[v];
+    slot.first_word = state->next_word;
+    state->next_word += slot.width;
+    state->slots.emplace(v, slot);
+  }
+  for (const std::uint32_t v : spilled) {
+    spill_of.emplace(v, &state->slots.at(v));
+  }
+
+  // Loop weight per original instruction index (instruction positions
+  // shift during rewriting, so capture weights first).
+  std::vector<double> weight(func->NumInstrs(), 1.0);
+  if (loops != nullptr) {
+    for (std::uint32_t i = 0; i < func->NumInstrs(); ++i) {
+      weight[i] = loops->Weight(cfg.BlockOf(i));
+    }
+  }
+
+  std::uint32_t next_vreg = NextVRegId(*func);
+  std::uint32_t inserted_total = 0;
+
+  std::vector<isa::Instruction> out;
+  out.reserve(func->instrs.size() * 2);
+  // Old instruction index -> new index, for label remapping.
+  std::vector<std::uint32_t> new_index(func->NumInstrs() + 1, 0);
+
+  for (std::uint32_t i = 0; i < func->NumInstrs(); ++i) {
+    new_index[i] = static_cast<std::uint32_t>(out.size());
+    isa::Instruction instr = func->instrs[i];
+
+    // Temporaries for this instruction: one per distinct spilled vreg.
+    std::map<std::uint32_t, isa::Operand> temp_of;
+    auto temp_for = [&](const isa::Operand& op) {
+      auto it = temp_of.find(op.id);
+      if (it == temp_of.end()) {
+        const SpillSlot& slot = *spill_of.at(op.id);
+        const isa::Operand temp = isa::Operand::VReg(next_vreg++, slot.width);
+        it = temp_of.emplace(op.id, temp).first;
+      }
+      return it->second;
+    };
+
+    bool uses_spilled = false;
+    for (const isa::Operand& op : instr.srcs) {
+      if (op.kind == isa::OperandKind::kVReg && spill_of.contains(op.id)) {
+        uses_spilled = true;
+      }
+    }
+    bool defs_spilled = false;
+    for (const isa::Operand& op : instr.dsts) {
+      if (op.kind == isa::OperandKind::kVReg && spill_of.contains(op.id)) {
+        defs_spilled = true;
+      }
+    }
+    if (!uses_spilled && !defs_spilled) {
+      out.push_back(std::move(instr));
+      continue;
+    }
+
+    // Reloads before the instruction.
+    std::vector<std::uint32_t> reloaded;
+    for (isa::Operand& op : instr.srcs) {
+      if (op.kind == isa::OperandKind::kVReg && spill_of.contains(op.id)) {
+        const std::uint32_t v = op.id;
+        const isa::Operand temp = temp_for(op);
+        if (std::find(reloaded.begin(), reloaded.end(), v) == reloaded.end()) {
+          out.push_back(MakeLocalLd(temp, spill_of.at(v)->first_word));
+          spill_of.at(v)->heat += weight[i];
+          ++spill_of.at(v)->accesses;
+          ++inserted_total;
+          reloaded.push_back(v);
+        }
+        op = temp;
+      }
+    }
+    // Rewrite defs and append stores after.
+    std::vector<isa::Instruction> stores;
+    for (isa::Operand& op : instr.dsts) {
+      if (op.kind == isa::OperandKind::kVReg && spill_of.contains(op.id)) {
+        const std::uint32_t v = op.id;
+        const isa::Operand temp = temp_for(op);
+        stores.push_back(MakeLocalSt(temp, spill_of.at(v)->first_word));
+        spill_of.at(v)->heat += weight[i];
+        ++spill_of.at(v)->accesses;
+        ++inserted_total;
+        op = temp;
+      }
+    }
+    ORION_CHECK_MSG(stores.empty() || !isa::IsTerminator(instr.op),
+                    "terminator defines a spilled vreg");
+    out.push_back(std::move(instr));
+    for (isa::Instruction& st : stores) {
+      out.push_back(std::move(st));
+    }
+  }
+  new_index[func->NumInstrs()] = static_cast<std::uint32_t>(out.size());
+
+  for (auto& [label, index] : func->labels) {
+    index = new_index[index];
+  }
+  func->instrs = std::move(out);
+  return inserted_total;
+}
+
+std::uint32_t RehomeSpillsToShared(isa::Function* func, SpillState* state,
+                                   std::uint32_t spriv_budget_words,
+                                   std::uint32_t spriv_base_word,
+                                   std::map<std::uint32_t, std::uint32_t>*
+                                       local_to_spriv) {
+  // Rank slots hottest-first.
+  std::vector<const SpillSlot*> ranked;
+  for (const auto& [vreg, slot] : state->slots) {
+    ranked.push_back(&slot);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const SpillSlot* a, const SpillSlot* b) {
+              if (a->heat != b->heat) {
+                return a->heat > b->heat;
+              }
+              return a->first_word < b->first_word;
+            });
+
+  std::uint32_t used = 0;
+  std::map<std::uint32_t, std::uint32_t> mapping;  // local word -> spriv word
+  for (const SpillSlot* slot : ranked) {
+    if (used + slot->width > spriv_budget_words) {
+      continue;  // try a narrower colder slot; greedy by heat
+    }
+    mapping.emplace(slot->first_word, spriv_base_word + used);
+    used += slot->width;
+  }
+  if (mapping.empty()) {
+    return 0;
+  }
+
+  RetargetLocalWords(func, mapping);
+  if (local_to_spriv != nullptr) {
+    *local_to_spriv = mapping;
+  }
+  return used;
+}
+
+void RetargetLocalWords(isa::Function* func,
+                        const std::map<std::uint32_t, std::uint32_t>&
+                            local_to_spriv) {
+  for (isa::Instruction& instr : func->instrs) {
+    if (!isa::IsMemory(instr.op) || instr.space != isa::MemSpace::kLocal) {
+      continue;
+    }
+    const std::uint32_t word = static_cast<std::uint32_t>(instr.srcs[0].imm);
+    const auto it = local_to_spriv.find(word);
+    if (it != local_to_spriv.end()) {
+      instr.space = isa::MemSpace::kSharedPriv;
+      instr.srcs[0] = isa::Operand::Imm(it->second);
+    }
+  }
+}
+
+void OffsetLocalWords(isa::Function* func, std::uint32_t offset) {
+  if (offset == 0) {
+    return;
+  }
+  for (isa::Instruction& instr : func->instrs) {
+    if (!isa::IsMemory(instr.op) || instr.space != isa::MemSpace::kLocal) {
+      continue;
+    }
+    instr.srcs[0] =
+        isa::Operand::Imm(instr.srcs[0].imm + static_cast<std::int64_t>(offset));
+  }
+}
+
+}  // namespace orion::alloc

@@ -1,0 +1,69 @@
+// Spill code generation and shared-memory re-homing.
+//
+// Spilled variables are assigned per-thread *local memory* slots (which
+// the hardware backs with the L1 cache) and accessed through short-lived
+// temporaries.  Following Hayes & Zhang [11] — integrated here as the
+// second half of "realizing occupancy" — the hottest local slots are
+// then re-homed into spare per-thread shared-memory slots when the
+// occupancy target leaves shared memory unused.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/loops.h"
+#include "isa/isa.h"
+
+namespace orion::alloc {
+
+// Bookkeeping for one function's spilled variables.
+struct SpillSlot {
+  std::uint32_t first_word = 0;   // local slot index (function-relative)
+  std::uint8_t width = 1;
+  double heat = 0.0;              // loop-weighted static access count
+  std::uint32_t accesses = 0;     // static access count
+};
+
+struct SpillState {
+  // vreg -> slot, for every vreg spilled so far in this function.
+  std::map<std::uint32_t, SpillSlot> slots;
+  std::uint32_t next_word = 0;  // local words handed out so far
+
+  std::uint32_t NumWords() const { return next_word; }
+};
+
+// Rewrites `func` so that each vreg in `spilled` lives in a local slot:
+// every use becomes a fresh temporary defined by LD.L just before, every
+// def stores through ST.L just after.  Loop weights (from the CFG built
+// over the *pre-rewrite* body) accumulate slot heat.  Returns the number
+// of memory instructions inserted.
+std::uint32_t RewriteSpills(isa::Function* func,
+                            const std::vector<std::uint32_t>& spilled,
+                            const ir::Cfg& cfg, const ir::LoopInfo* loops,
+                            SpillState* state);
+
+// Re-homes the hottest local slots into shared-memory private slots.
+// `local_to_spriv` receives (function-relative local first-word ->
+// spriv first-word) for each re-homed slot; the function body is
+// rewritten accordingly.  `spriv_budget_words` caps the total words
+// moved; returns the words actually used.
+std::uint32_t RehomeSpillsToShared(isa::Function* func, SpillState* state,
+                                   std::uint32_t spriv_budget_words,
+                                   std::uint32_t spriv_base_word,
+                                   std::map<std::uint32_t, std::uint32_t>*
+                                       local_to_spriv);
+
+// Applies an explicit local->shared-private retargeting (first-word to
+// first-word) to a function body.  Used by the module allocator, which
+// ranks slots globally across functions before deciding the mapping.
+void RetargetLocalWords(isa::Function* func,
+                        const std::map<std::uint32_t, std::uint32_t>&
+                            local_to_spriv);
+
+// Adds `offset` to every local-memory slot index in the function (the
+// module allocator gives each function a disjoint local-slot region).
+void OffsetLocalWords(isa::Function* func, std::uint32_t offset);
+
+}  // namespace orion::alloc

@@ -1,0 +1,287 @@
+#include "alloc/stack_layout.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "alloc/hungarian.h"
+#include "common/error.h"
+
+namespace orion::alloc {
+
+FrameLayoutBuilder::FrameLayoutBuilder(
+    const ir::VRegInfo& info, const ColoringResult& coloring,
+    const std::vector<std::uint32_t>& param_vregs)
+    : info_(info), coloring_(coloring), words_used_(coloring.words_used) {
+  kind_.assign(words_used_, WordKind::kUnit);
+  hosted_.assign(words_used_, {});
+  static_addr_.assign(words_used_, -1);
+
+  // Host map and wide grouping.  Words of a wide variable form a
+  // contiguous interval; overlapping wide variables merge intervals.
+  std::vector<bool> in_wide(words_used_, false);
+  for (std::uint32_t v = 0; v < info.num_vregs; ++v) {
+    if (coloring.color[v] < 0) {
+      continue;
+    }
+    const std::uint32_t start = static_cast<std::uint32_t>(coloring.color[v]);
+    for (std::uint8_t w = 0; w < info.widths[v]; ++w) {
+      hosted_[start + w].push_back(v);
+      if (info.widths[v] > 1) {
+        in_wide[start + w] = true;
+      }
+    }
+  }
+  // Fixed words: parameter homes stay at their ABI addresses.
+  std::vector<bool> is_fixed(words_used_, false);
+  for (const std::uint32_t p : param_vregs) {
+    if (coloring.color[p] < 0) {
+      continue;
+    }
+    const std::uint32_t start = static_cast<std::uint32_t>(coloring.color[p]);
+    for (std::uint8_t w = 0; w < info.widths[p]; ++w) {
+      is_fixed[start + w] = true;
+    }
+  }
+  // A wide interval touching a fixed word is wholly fixed (identity
+  // addressing keeps both the ABI contract and the interval intact).
+  // Compute maximal contiguous wide intervals first.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;  // [lo, hi)
+  for (std::uint32_t w = 0; w < words_used_;) {
+    if (!in_wide[w]) {
+      ++w;
+      continue;
+    }
+    std::uint32_t hi = w;
+    while (hi < words_used_ && in_wide[hi]) {
+      ++hi;
+    }
+    intervals.emplace_back(w, hi);
+    w = hi;
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> movable_intervals;
+  for (const auto& [lo, hi] : intervals) {
+    bool touches_fixed = false;
+    for (std::uint32_t w = lo; w < hi; ++w) {
+      touches_fixed |= is_fixed[w];
+    }
+    if (touches_fixed) {
+      for (std::uint32_t w = lo; w < hi; ++w) {
+        is_fixed[w] = true;
+      }
+    } else {
+      movable_intervals.emplace_back(lo, hi);
+    }
+  }
+
+  for (std::uint32_t w = 0; w < words_used_; ++w) {
+    if (is_fixed[w]) {
+      kind_[w] = WordKind::kFixed;
+      static_addr_[w] = w;
+    } else if (in_wide[w]) {
+      kind_[w] = WordKind::kPinned;
+    }
+  }
+
+  // Pack movable pinned intervals at the lowest free addresses with the
+  // congruence A == lo (mod 4), which preserves every member's
+  // alignment (all alignments divide 4).  Largest intervals first.
+  immovable_addr_ = DenseBitSet(words_used_ + 4);
+  for (std::uint32_t w = 0; w < words_used_; ++w) {
+    if (is_fixed[w]) {
+      immovable_addr_.Set(w);
+    }
+  }
+  std::sort(movable_intervals.begin(), movable_intervals.end(),
+            [](const auto& a, const auto& b) {
+              const std::uint32_t la = a.second - a.first;
+              const std::uint32_t lb = b.second - b.first;
+              if (la != lb) {
+                return la > lb;
+              }
+              return a.first < b.first;
+            });
+  for (const auto& [lo, hi] : movable_intervals) {
+    const std::uint32_t len = hi - lo;
+    bool placed = false;
+    for (std::uint32_t addr = lo % 4; addr + len <= immovable_addr_.size();
+         addr += 4) {
+      bool free = true;
+      for (std::uint32_t t = 0; t < len && free; ++t) {
+        free = !immovable_addr_.Test(addr + t);
+      }
+      if (free) {
+        for (std::uint32_t t = 0; t < len; ++t) {
+          static_addr_[lo + t] = addr + t;
+          immovable_addr_.Set(addr + t);
+        }
+        placed = true;
+        break;
+      }
+    }
+    ORION_CHECK_MSG(placed, "pinned interval packing failed");
+  }
+
+  for (std::uint32_t w = 0; w < words_used_; ++w) {
+    if (kind_[w] == WordKind::kUnit && !hosted_[w].empty()) {
+      unit_words_.push_back(w);
+    }
+  }
+}
+
+bool FrameLayoutBuilder::WordLiveAt(std::uint32_t word,
+                                    const DenseBitSet& live_vregs) const {
+  for (const std::uint32_t v : hosted_[word]) {
+    if (live_vregs.Test(v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t FrameLayoutBuilder::MinimalHeightAt(
+    const DenseBitSet& live_vregs) const {
+  // Immovable live words force B above their address; movable live words
+  // need a free address below B.
+  std::uint32_t max_immovable_end = 0;
+  std::uint32_t movable_live = 0;
+  DenseBitSet immovable_live(immovable_addr_.size());
+  for (std::uint32_t w = 0; w < words_used_; ++w) {
+    if (hosted_[w].empty() || !WordLiveAt(w, live_vregs)) {
+      continue;
+    }
+    if (kind_[w] == WordKind::kUnit) {
+      ++movable_live;
+    } else {
+      const auto addr = static_cast<std::uint32_t>(static_addr_[w]);
+      immovable_live.Set(addr);
+      max_immovable_end = std::max(max_immovable_end, addr + 1);
+    }
+  }
+  // Smallest B with (free addresses below B) >= movable_live.
+  std::uint32_t b = max_immovable_end;
+  std::uint32_t free_below = 0;
+  for (std::uint32_t addr = 0; addr < b; ++addr) {
+    free_below += immovable_live.Test(addr) ? 0 : 1;
+  }
+  while (free_below < movable_live) {
+    free_below += (b < immovable_live.size() && immovable_live.Test(b)) ? 0 : 1;
+    ++b;
+  }
+  return b;
+}
+
+std::vector<std::uint32_t> FrameLayoutBuilder::MinimalHeights(
+    const std::vector<CallSiteInfo>& sites) const {
+  std::vector<std::uint32_t> heights;
+  heights.reserve(sites.size());
+  for (const CallSiteInfo& site : sites) {
+    heights.push_back(MinimalHeightAt(site.live_vregs));
+  }
+  return heights;
+}
+
+FrameLayout FrameLayoutBuilder::Finalize(const std::vector<CallSiteInfo>& sites,
+                                         const LayoutOptions& options) const {
+  const std::size_t num_units = unit_words_.size();
+  const std::uint32_t num_sites = static_cast<std::uint32_t>(sites.size());
+
+  // Effective compression heights.
+  std::vector<std::uint32_t> b(num_sites, 0);
+  for (std::uint32_t k = 0; k < num_sites; ++k) {
+    ORION_CHECK_MSG(sites[k].gap != UINT32_MAX, "call-site gap not set");
+    b[k] = std::min(sites[k].gap, words_used_);
+    ORION_CHECK_MSG(b[k] >= MinimalHeightAt(sites[k].live_vregs),
+                    "relaxed height below the feasible minimum");
+  }
+
+  // Candidate addresses for unit words: lowest free addresses.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t addr = 0; candidates.size() < num_units; ++addr) {
+    if (addr >= immovable_addr_.size() || !immovable_addr_.Test(addr)) {
+      candidates.push_back(addr);
+    }
+  }
+
+  // Theorem 1 cost matrix and the assignment.
+  std::vector<std::uint32_t> assign(num_units);
+  if (options.move_min && num_units > 0) {
+    std::vector<std::vector<double>> cost(num_units,
+                                          std::vector<double>(num_units, 0.0));
+    for (std::size_t i = 0; i < num_units; ++i) {
+      for (std::uint32_t k = 0; k < num_sites; ++k) {
+        if (!WordLiveAt(unit_words_[i], sites[k].live_vregs)) {
+          continue;
+        }
+        const double w = options.weighted_moves ? sites[k].weight : 1.0;
+        for (std::size_t j = 0; j < num_units; ++j) {
+          if (candidates[j] >= b[k]) {
+            cost[i][j] += w;
+          }
+        }
+      }
+    }
+    assign = MinCostAssignment(cost);
+  } else {
+    std::iota(assign.begin(), assign.end(), 0);
+  }
+
+  FrameLayout layout;
+  // Address per original word.
+  std::vector<std::int64_t> word_addr = static_addr_;
+  for (std::size_t i = 0; i < num_units; ++i) {
+    word_addr[unit_words_[i]] = candidates[assign[i]];
+  }
+  layout.vreg_addr.assign(info_.num_vregs, -1);
+  for (std::uint32_t v = 0; v < info_.num_vregs; ++v) {
+    if (coloring_.color[v] >= 0) {
+      layout.vreg_addr[v] = word_addr[coloring_.color[v]];
+    }
+  }
+  for (std::uint32_t w = 0; w < words_used_; ++w) {
+    if (!hosted_[w].empty() || kind_[w] == WordKind::kFixed) {
+      if (word_addr[w] >= 0) {
+        layout.frame_words = std::max(
+            layout.frame_words, static_cast<std::uint32_t>(word_addr[w]) + 1);
+      }
+    }
+  }
+
+  // Park plans.
+  for (std::uint32_t k = 0; k < num_sites; ++k) {
+    SitePlan plan;
+    plan.instr_index = sites[k].instr_index;
+    plan.b_k = b[k];
+    // Addresses already occupied by live values below b_k.
+    DenseBitSet taken(std::max<std::size_t>(b[k], 1));
+    std::vector<std::uint32_t> to_park;
+    for (std::uint32_t w = 0; w < words_used_; ++w) {
+      if (hosted_[w].empty() || !WordLiveAt(w, sites[k].live_vregs)) {
+        continue;
+      }
+      const auto addr = static_cast<std::uint32_t>(word_addr[w]);
+      if (addr < b[k]) {
+        taken.Set(addr);
+      } else {
+        ORION_CHECK_MSG(kind_[w] == WordKind::kUnit,
+                        "immovable live word above compression height");
+        to_park.push_back(addr);
+      }
+    }
+    std::sort(to_park.begin(), to_park.end());
+    std::uint32_t next_free = 0;
+    for (const std::uint32_t from : to_park) {
+      while (next_free < b[k] && taken.Test(next_free)) {
+        ++next_free;
+      }
+      ORION_CHECK_MSG(next_free < b[k], "no parking slot below B_k");
+      taken.Set(next_free);
+      plan.parks.emplace_back(from, next_free);
+    }
+    layout.static_park_moves += static_cast<std::uint32_t>(plan.parks.size());
+    layout.weighted_park_moves += sites[k].weight * plan.parks.size();
+    layout.sites.push_back(std::move(plan));
+  }
+  return layout;
+}
+
+}  // namespace orion::alloc

@@ -1,0 +1,111 @@
+// Compressible-stack frame layout (paper Section 3.2).
+//
+// After graph coloring assigns each variable a frame-relative register
+// word, this module decides the *addressing* of those words and plans
+// the data movements around call sites:
+//
+//   * Right before a sub-procedure call the caller compresses its live
+//     slots below a height B_k so the callee gets contiguous free slots;
+//     right after the call the moved slots are restored.
+//   * Theorem 1: the movements contributed by placing variable set SS_i
+//     at address j are W_ij = sum_k [live(i,k) and j >= B_k], a constant
+//     independent of the other placements — so the optimal addressing is
+//     a maximum-weight bipartite matching, solved with Kuhn–Munkres.
+//   * The refinement at the end of Section 3.2: when the callee's frame
+//     base leaves a larger gap than the minimal compressed height, B_k
+//     is relaxed to the gap, avoiding pointless compression movements.
+//
+// Word classes: ABI parameter words are *fixed* (their address is the
+// calling convention); words hosting wide (64/96/128-bit) variables are
+// *pinned* — packed at low addresses, never parked, since parking cannot
+// preserve their contiguity/alignment in arbitrary holes; the remaining
+// *unit* words are freely addressable and participate in the matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/coloring.h"
+#include "common/bitset.h"
+#include "ir/liveness.h"
+
+namespace orion::alloc {
+
+struct CallSiteInfo {
+  std::uint32_t instr_index = 0;
+  // Virtual registers that must survive the call in caller slots:
+  // live-across values plus argument sources.
+  DenseBitSet live_vregs;
+  // Loop weight of the call's block (1.0 when unweighted).
+  double weight = 1.0;
+  // Relaxed compression height: callee frame base minus caller frame
+  // base.  UINT32_MAX means "not yet known" (minimal-height phase).
+  std::uint32_t gap = UINT32_MAX;
+};
+
+struct SitePlan {
+  std::uint32_t instr_index = 0;
+  std::uint32_t b_k = 0;  // compression height actually used
+  // Park moves (frame-relative word addresses, width 1): value at
+  // `first` moves to `second` before the call and back after it.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> parks;
+};
+
+struct FrameLayout {
+  // vreg -> frame-relative starting word, -1 if spilled/unused.
+  std::vector<std::int64_t> vreg_addr;
+  std::uint32_t frame_words = 0;
+  std::vector<SitePlan> sites;
+  std::uint32_t static_park_moves = 0;
+  double weighted_park_moves = 0.0;
+};
+
+struct LayoutOptions {
+  // Optimize slot addressing with the bipartite matching (Theorem 1).
+  // When false, unit words keep their coloring order — the paper's
+  // "No Data Movement Minimization" ablation of Figure 5.
+  bool move_min = true;
+  // Weight movements by loop depth instead of static counts (an Orion
+  // extension; the paper counts static movements).
+  bool weighted_moves = false;
+};
+
+class FrameLayoutBuilder {
+ public:
+  FrameLayoutBuilder(const ir::VRegInfo& info, const ColoringResult& coloring,
+                     const std::vector<std::uint32_t>& param_vregs);
+
+  // Minimal compressed height per call site (requires only liveness):
+  // the smallest B such that every live word fits strictly below B with
+  // fixed/pinned words unmoved.  Used to propagate callee frame bases.
+  std::vector<std::uint32_t> MinimalHeights(
+      const std::vector<CallSiteInfo>& sites) const;
+
+  // Final addressing and park plans.  Call-site `gap`s must be set (use
+  // the frame word count itself to disable compression at a site).
+  FrameLayout Finalize(const std::vector<CallSiteInfo>& sites,
+                       const LayoutOptions& options) const;
+
+  // Footprint of the coloring before re-addressing.
+  std::uint32_t WordsUsed() const { return words_used_; }
+
+ private:
+  enum class WordKind : std::uint8_t { kFixed, kPinned, kUnit };
+
+  bool WordLiveAt(std::uint32_t word, const DenseBitSet& live_vregs) const;
+  std::uint32_t MinimalHeightAt(const DenseBitSet& live_vregs) const;
+
+  const ir::VRegInfo& info_;
+  const ColoringResult& coloring_;
+  std::uint32_t words_used_ = 0;
+  // Per original word (coloring color index):
+  std::vector<WordKind> kind_;
+  std::vector<std::vector<std::uint32_t>> hosted_;  // word -> vregs
+  // Static address of fixed and pinned words (identity for fixed,
+  // packed-low for pinned); units get addresses in Finalize.
+  std::vector<std::int64_t> static_addr_;
+  std::vector<std::uint32_t> unit_words_;  // original word indices
+  DenseBitSet immovable_addr_;             // addresses taken by fixed/pinned
+};
+
+}  // namespace orion::alloc

@@ -1,0 +1,64 @@
+#include "arch/gpu_spec.h"
+
+namespace orion::arch {
+
+const GpuSpec& Gtx680() {
+  static const GpuSpec spec = [] {
+    GpuSpec s;
+    s.name = "GTX680";
+    // Section 4: 8 SMs x 192 cores = 1536 cores; 65536 registers per SM;
+    // 64KB combined shared memory + L1; 64 warps / 2048 threads per SM.
+    s.num_sms = 8;
+    s.cores_per_sm = 192;
+    s.registers_per_sm = 65536;
+    s.max_warps_per_sm = 64;
+    s.max_threads_per_sm = 2048;
+    s.max_blocks_per_sm = 16;
+    s.max_regs_per_thread = 63;
+    s.reg_alloc_unit = 256;   // Kepler: warp-level register granularity
+    s.smem_alloc_unit = 256;
+    // GK104: L1 serves local (spill) traffic only; global loads go to L2.
+    s.l1_caches_global = false;
+    s.supports_power_measurement = false;
+    s.timing.core_clock_mhz = 1006.0;
+    // Kepler has wider issue and more bandwidth than Fermi.
+    s.timing.warp_issue_per_cycle = 2;
+    s.timing.dram_transactions_per_cycle = 3.0;
+    s.timing.l2_transactions_per_cycle = 10.0;
+    s.timing.l2_bytes = 512 * 1024;
+    return s;
+  }();
+  return spec;
+}
+
+const GpuSpec& TeslaC2075() {
+  static const GpuSpec spec = [] {
+    GpuSpec s;
+    s.name = "TeslaC2075";
+    // Section 4: 14 SMs x 32 cores = 448 cores; 32768 registers per SM;
+    // 64KB combined shared memory + L1; 48 warps / 1536 threads per SM.
+    s.num_sms = 14;
+    s.cores_per_sm = 32;
+    s.registers_per_sm = 32768;
+    s.max_warps_per_sm = 48;
+    s.max_threads_per_sm = 1536;
+    s.max_blocks_per_sm = 8;
+    s.max_regs_per_thread = 63;
+    s.reg_alloc_unit = 64;    // Fermi: warp-level register granularity
+    s.smem_alloc_unit = 128;
+    // GF110: L1 caches both global and local accesses.
+    s.l1_caches_global = true;
+    s.supports_power_measurement = true;
+    s.timing.core_clock_mhz = 1147.0;
+    // Fermi's off-chip latencies were notoriously high.
+    s.timing.l2_latency = 240;
+    s.timing.dram_latency = 600;
+    s.timing.warp_issue_per_cycle = 1;
+    s.timing.dram_transactions_per_cycle = 2.0;
+    s.timing.l2_transactions_per_cycle = 8.0;
+    return s;
+  }();
+  return spec;
+}
+
+}  // namespace orion::arch

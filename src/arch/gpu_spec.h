@@ -1,0 +1,103 @@
+// GPU architecture models.
+//
+// The paper evaluates on two machines: an NVIDIA GTX680 (Kepler GK104)
+// and a Tesla C2075 (Fermi GF110).  These structs carry the exact
+// resource parameters the paper quotes plus the rounding granularities
+// of the NVIDIA occupancy calculator, and the timing/energy parameters
+// consumed by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orion::arch {
+
+// L1/shared-memory split of the 64KB on-chip SRAM (Section 4, Table 3).
+enum class CacheConfig : std::uint8_t {
+  kSmallCache = 0,  // 16KB L1 + 48KB shared memory ("SC", the default)
+  kLargeCache,      // 48KB L1 + 16KB shared memory ("LC")
+};
+
+struct TimingParams {
+  // Issue/dependency latencies (cycles).
+  std::uint32_t alu_latency = 10;
+  std::uint32_t sfu_latency = 40;       // FSQRT/FRCP/FEXP
+  std::uint32_t smem_latency = 30;
+  std::uint32_t l1_latency = 40;
+  std::uint32_t l2_latency = 180;
+  std::uint32_t dram_latency = 420;
+  // Throughputs.
+  std::uint32_t warp_issue_per_cycle = 1;   // instructions issued per SM cycle
+  std::uint32_t sfu_throughput_shift = 2;   // SFU issue occupies 2^k cycles
+  // DRAM bandwidth: global memory transactions (128B) retired per cycle
+  // across the whole chip; requests beyond this queue.
+  double dram_transactions_per_cycle = 2.0;
+  // L2 bandwidth in transactions per cycle across the chip.
+  double l2_transactions_per_cycle = 8.0;
+  // Clock in MHz, used only to convert cycles to milliseconds in reports.
+  double core_clock_mhz = 1000.0;
+  // Cache geometry.
+  std::uint32_t cache_line_bytes = 128;
+  std::uint32_t l1_assoc = 4;
+  std::uint32_t l2_bytes = 768 * 1024;
+  std::uint32_t l2_assoc = 8;
+  // Control overheads.
+  std::uint32_t barrier_latency = 20;
+  std::uint32_t block_install_cycles = 100;
+  std::uint32_t kernel_launch_overhead = 3000;  // per kernel invocation
+};
+
+struct EnergyParams {
+  // Dynamic energy per executed warp-instruction, by class (arbitrary
+  // energy units; only ratios matter for the normalized Fig. 13 plot).
+  double alu_energy = 1.0;
+  double sfu_energy = 4.0;
+  double smem_energy = 2.0;
+  double l1_energy = 3.0;
+  double l2_energy = 12.0;
+  double dram_energy = 60.0;
+  // Static/leakage power per SM-cycle: a base component plus a component
+  // proportional to the *allocated* fraction of the register file and
+  // shared memory (the paper's observation that lower occupancy powers
+  // down register resources).
+  double base_static_power = 2.0;
+  double regfile_static_power = 3.0;  // × allocated-registers fraction
+  double smem_static_power = 1.0;    // × allocated-smem fraction
+};
+
+struct GpuSpec {
+  std::string name;
+  std::uint32_t num_sms = 0;
+  std::uint32_t cores_per_sm = 0;
+  std::uint32_t registers_per_sm = 0;     // 32-bit registers
+  std::uint32_t onchip_sram_bytes = 65536;  // L1 + shared memory combined
+  std::uint32_t max_warps_per_sm = 0;
+  std::uint32_t max_threads_per_sm = 0;
+  std::uint32_t max_blocks_per_sm = 8;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_regs_per_thread = 63;
+  // Occupancy-calculator rounding rules.
+  std::uint32_t reg_alloc_unit = 0;       // registers, allocated per warp
+  std::uint32_t smem_alloc_unit = 128;    // bytes, per block
+  // Whether the L1 caches global loads (Fermi) or only local spills
+  // (Kepler GK104) — Section 4.2 attributes the easier low-occupancy
+  // speedups on C2075 to this difference.
+  bool l1_caches_global = true;
+  bool supports_power_measurement = true;  // GTX680 does not (Fig. 13)
+
+  TimingParams timing;
+  EnergyParams energy;
+
+  std::uint32_t SmemBytes(CacheConfig config) const {
+    return config == CacheConfig::kSmallCache ? 48 * 1024 : 16 * 1024;
+  }
+  std::uint32_t L1Bytes(CacheConfig config) const {
+    return onchip_sram_bytes - SmemBytes(config);
+  }
+};
+
+// The two evaluation platforms (Section 4 "Platform").
+const GpuSpec& Gtx680();
+const GpuSpec& TeslaC2075();
+
+}  // namespace orion::arch

@@ -1,0 +1,135 @@
+#include "arch/occupancy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace orion::arch {
+
+namespace {
+
+std::uint32_t AlignUp(std::uint32_t value, std::uint32_t unit) {
+  return (value + unit - 1) / unit * unit;
+}
+
+std::uint32_t AlignDown(std::uint32_t value, std::uint32_t unit) {
+  return value / unit * unit;
+}
+
+}  // namespace
+
+std::uint32_t WarpsPerBlock(const GpuSpec& spec, std::uint32_t block_dim) {
+  ORION_CHECK(block_dim > 0);
+  return (block_dim + spec.warp_size - 1) / spec.warp_size;
+}
+
+OccupancyResult ComputeOccupancy(const GpuSpec& spec, CacheConfig config,
+                                 const KernelResources& resources) {
+  const std::uint32_t warps_per_block = WarpsPerBlock(spec, resources.block_dim);
+
+  OccupancyResult result;
+
+  // Scheduling limits.
+  const std::uint32_t by_warps = spec.max_warps_per_sm / warps_per_block;
+  const std::uint32_t by_threads =
+      spec.max_threads_per_sm / (warps_per_block * spec.warp_size);
+  const std::uint32_t by_blocks = spec.max_blocks_per_sm;
+
+  // Register limit: registers are allocated per warp, rounded up to the
+  // architecture's register allocation unit.
+  std::uint32_t by_regs = UINT32_MAX;
+  if (resources.regs_per_thread > 0) {
+    const std::uint32_t regs_per_warp =
+        AlignUp(resources.regs_per_thread * spec.warp_size, spec.reg_alloc_unit);
+    const std::uint32_t warps_by_regs = spec.registers_per_sm / regs_per_warp;
+    by_regs = warps_by_regs / warps_per_block;
+  }
+
+  // Shared-memory limit: per-block footprint rounded up to the
+  // allocation unit, against the configured split.
+  std::uint32_t by_smem = UINT32_MAX;
+  if (resources.smem_bytes_per_block > 0) {
+    const std::uint32_t smem_per_block =
+        AlignUp(resources.smem_bytes_per_block, spec.smem_alloc_unit);
+    by_smem = spec.SmemBytes(config) / smem_per_block;
+  }
+
+  result.active_blocks_per_sm = std::min(
+      {by_warps, by_threads, by_blocks, by_regs, by_smem});
+
+  // Identify the binding constraint for diagnostics.
+  const std::uint32_t limit = result.active_blocks_per_sm;
+  if (limit == by_regs && by_regs != UINT32_MAX) {
+    result.limiter = OccupancyLimiter::kRegisters;
+  } else if (limit == by_smem && by_smem != UINT32_MAX) {
+    result.limiter = OccupancyLimiter::kSharedMemory;
+  } else if (limit == by_blocks) {
+    result.limiter = OccupancyLimiter::kBlockSlots;
+  } else {
+    result.limiter = OccupancyLimiter::kWarpSlots;
+  }
+
+  result.active_warps_per_sm = result.active_blocks_per_sm * warps_per_block;
+  result.active_threads_per_sm =
+      result.active_blocks_per_sm * warps_per_block * spec.warp_size;
+  result.occupancy = static_cast<double>(result.active_warps_per_sm) /
+                     static_cast<double>(spec.max_warps_per_sm);
+  return result;
+}
+
+OccupancyLevel LevelForBlocks(const GpuSpec& spec, CacheConfig config,
+                              std::uint32_t block_dim,
+                              std::uint32_t blocks_per_sm) {
+  ORION_CHECK(blocks_per_sm > 0);
+  const std::uint32_t warps_per_block = WarpsPerBlock(spec, block_dim);
+  const std::uint32_t max_blocks =
+      std::min({spec.max_warps_per_sm / warps_per_block,
+                spec.max_threads_per_sm / (warps_per_block * spec.warp_size),
+                spec.max_blocks_per_sm});
+  if (blocks_per_sm > max_blocks) {
+    throw CompileError(StrFormat(
+        "%s: %u blocks of %u threads exceed the SM scheduling limit (%u)",
+        spec.name.c_str(), blocks_per_sm, block_dim, max_blocks));
+  }
+
+  OccupancyLevel level;
+  level.blocks_per_sm = blocks_per_sm;
+  level.warps_per_sm = blocks_per_sm * warps_per_block;
+  level.occupancy = static_cast<double>(level.warps_per_sm) /
+                    static_cast<double>(spec.max_warps_per_sm);
+
+  // Largest register budget: the total warps at this level must fit the
+  // register file after warp-granularity rounding.
+  const std::uint32_t total_warps = blocks_per_sm * warps_per_block;
+  const std::uint32_t regs_per_warp_budget =
+      AlignDown(spec.registers_per_sm / total_warps, spec.reg_alloc_unit);
+  level.reg_budget_per_thread =
+      std::min(regs_per_warp_budget / spec.warp_size, spec.max_regs_per_thread);
+
+  // Largest shared-memory budget per block.
+  level.smem_budget_per_block =
+      AlignDown(spec.SmemBytes(config) / blocks_per_sm, spec.smem_alloc_unit);
+  return level;
+}
+
+std::vector<OccupancyLevel> EnumerateOccupancyLevels(const GpuSpec& spec,
+                                                     CacheConfig config,
+                                                     std::uint32_t block_dim) {
+  const std::uint32_t warps_per_block = WarpsPerBlock(spec, block_dim);
+  const std::uint32_t max_blocks =
+      std::min({spec.max_warps_per_sm / warps_per_block,
+                spec.max_threads_per_sm / (warps_per_block * spec.warp_size),
+                spec.max_blocks_per_sm});
+  std::vector<OccupancyLevel> levels;
+  for (std::uint32_t blocks = max_blocks; blocks >= 1; --blocks) {
+    OccupancyLevel level = LevelForBlocks(spec, config, block_dim, blocks);
+    if (level.reg_budget_per_thread == 0) {
+      continue;
+    }
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+}  // namespace orion::arch

@@ -1,0 +1,77 @@
+// GPU occupancy calculator.
+//
+// Implements Equation (1) of the paper plus the rounding rules of the
+// NVIDIA occupancy calculator the paper defers to: register allocation
+// granularity at warp level, shared-memory allocation granularity at
+// block level, and the block/warp/thread scheduling limits.
+//
+// Two directions are provided:
+//   * forward  — given a kernel's resource usage, what occupancy results;
+//   * inverse  — given a target occupancy level (active blocks per SM),
+//     what per-thread register and per-block shared-memory budgets
+//     realize it.  The Orion compiler's "realizing occupancy" stage
+//     (Section 3.2) allocates against these budgets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+
+namespace orion::arch {
+
+struct KernelResources {
+  std::uint32_t regs_per_thread = 0;
+  std::uint32_t smem_bytes_per_block = 0;
+  std::uint32_t block_dim = 256;
+};
+
+enum class OccupancyLimiter : std::uint8_t {
+  kRegisters,
+  kSharedMemory,
+  kWarpSlots,
+  kBlockSlots,
+};
+
+struct OccupancyResult {
+  std::uint32_t active_blocks_per_sm = 0;
+  std::uint32_t active_warps_per_sm = 0;
+  std::uint32_t active_threads_per_sm = 0;
+  double occupancy = 0.0;  // active warps / max warps
+  OccupancyLimiter limiter = OccupancyLimiter::kWarpSlots;
+};
+
+// Forward direction.  Returns zero active blocks when the kernel cannot
+// run at all (resources exceed a whole SM).
+OccupancyResult ComputeOccupancy(const GpuSpec& spec, CacheConfig config,
+                                 const KernelResources& resources);
+
+// One realizable occupancy step: running `blocks_per_sm` blocks
+// concurrently, with the largest resource budgets that still allow it.
+struct OccupancyLevel {
+  std::uint32_t blocks_per_sm = 0;
+  std::uint32_t warps_per_sm = 0;
+  double occupancy = 0.0;
+  // Largest per-thread register count that still admits blocks_per_sm
+  // concurrent blocks (capped at the hardware per-thread maximum).
+  std::uint32_t reg_budget_per_thread = 0;
+  // Largest per-block shared-memory footprint that still admits it.
+  std::uint32_t smem_budget_per_block = 0;
+};
+
+// All realizable occupancy levels for a block size, highest occupancy
+// first.  Levels whose register budget would be zero are dropped.
+std::vector<OccupancyLevel> EnumerateOccupancyLevels(const GpuSpec& spec,
+                                                     CacheConfig config,
+                                                     std::uint32_t block_dim);
+
+// Inverse direction for a specific block count (throws CompileError if
+// unachievable for this block size).
+OccupancyLevel LevelForBlocks(const GpuSpec& spec, CacheConfig config,
+                              std::uint32_t block_dim,
+                              std::uint32_t blocks_per_sm);
+
+// Warps per block after the warp-granularity round-up.
+std::uint32_t WarpsPerBlock(const GpuSpec& spec, std::uint32_t block_dim);
+
+}  // namespace orion::arch

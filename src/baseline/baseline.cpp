@@ -1,0 +1,21 @@
+#include "baseline/baseline.h"
+
+namespace orion::baseline {
+
+isa::Module CompileDefault(const isa::Module& virt, const arch::GpuSpec& spec,
+                           alloc::AllocStats* stats) {
+  alloc::AllocBudget budget;
+  budget.reg_words = spec.max_regs_per_thread;
+  budget.spriv_slot_words = 0;
+  alloc::AllocOptions options;
+  options.rehome_spills = false;
+  options.weighted_spills = false;
+  options.move_min = false;
+  options.use_ssa = false;  // plain live-range allocation
+  // nvcc does compress frames across calls (its ABI reuses registers),
+  // so space minimization stays on.
+  options.space_min = true;
+  return alloc::AllocateModule(virt, budget, options, stats);
+}
+
+}  // namespace orion::baseline

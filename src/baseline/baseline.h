@@ -1,0 +1,22 @@
+// The nvcc stand-in baseline compiler.
+//
+// Plays the role of the paper's comparison point: a competent,
+// occupancy-oblivious compilation.  It allocates registers for minimal
+// spilling up to the hardware per-thread cap — the occupancy is whatever
+// falls out — with none of Orion's occupancy-oriented machinery: no
+// shared-memory re-homing of spills, no loop-weighted spill choice, and
+// no slot-addressing optimization.
+#pragma once
+
+#include "alloc/allocator.h"
+#include "arch/gpu_spec.h"
+#include "isa/isa.h"
+
+namespace orion::baseline {
+
+// Compiles `virt` the way the default toolchain would.  `stats` is
+// optional.
+isa::Module CompileDefault(const isa::Module& virt, const arch::GpuSpec& spec,
+                           alloc::AllocStats* stats = nullptr);
+
+}  // namespace orion::baseline

@@ -1,0 +1,102 @@
+// Dense dynamically-sized bitset used by the dataflow analyses.
+//
+// Header-only for inlining in the liveness fixpoint, which dominates
+// compile time on large kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace orion {
+
+class DenseBitSet {
+ public:
+  DenseBitSet() = default;
+  explicit DenseBitSet(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool Test(std::size_t i) const {
+    ORION_CHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(std::size_t i) {
+    ORION_CHECK(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void Reset(std::size_t i) {
+    ORION_CHECK(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void Clear() {
+    for (std::uint64_t& w : words_) {
+      w = 0;
+    }
+  }
+
+  // this |= other.  Returns true if this changed.
+  bool UnionWith(const DenseBitSet& other) {
+    ORION_CHECK(size_ == other.size_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t merged = words_[i] | other.words_[i];
+      changed |= merged != words_[i];
+      words_[i] = merged;
+    }
+    return changed;
+  }
+
+  // this &= ~other.
+  void SubtractWith(const DenseBitSet& other) {
+    ORION_CHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+  }
+
+  bool Intersects(const DenseBitSet& other) const {
+    ORION_CHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t Count() const {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
+  bool operator==(const DenseBitSet& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  // Iterate set bits: ForEach(fn) calls fn(index) in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace orion

@@ -1,0 +1,17 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace orion {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream oss;
+  oss << "ORION_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " (" << message << ")";
+  }
+  throw OrionError(oss.str());
+}
+
+}  // namespace orion

@@ -1,0 +1,61 @@
+// Error handling primitives for the Orion framework.
+//
+// Orion is a compiler + runtime; most failures are programmer errors
+// (malformed ISA, invalid occupancy request) and are reported through
+// OrionError exceptions carrying a formatted message.  Recoverable
+// conditions (e.g. "this occupancy level is not realizable") are
+// expressed through std::optional / status returns at the call site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace orion {
+
+// Base class for all errors raised by the Orion library.
+class OrionError : public std::runtime_error {
+ public:
+  explicit OrionError(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+// Raised when parsing/decoding a virtual binary or assembly text fails.
+class DecodeError : public OrionError {
+ public:
+  explicit DecodeError(std::string message) : OrionError(std::move(message)) {}
+};
+
+// Raised when a compiler pass receives ill-formed input (e.g. a CFG with
+// an unterminated block, or a register allocation request that cannot be
+// satisfied even with unlimited spilling).
+class CompileError : public OrionError {
+ public:
+  explicit CompileError(std::string message) : OrionError(std::move(message)) {}
+};
+
+// Raised by the simulated GPU runtime (launch failures, resource limits).
+class LaunchError : public OrionError {
+ public:
+  explicit LaunchError(std::string message) : OrionError(std::move(message)) {}
+};
+
+// ORION_CHECK: internal invariant checking.  These are enabled in all
+// build types; the simulator and compiler are host-side tools where the
+// cost of checks is negligible compared to silent miscompilation.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+#define ORION_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      ::orion::CheckFailed(#expr, __FILE__, __LINE__, "");              \
+    }                                                                   \
+  } while (false)
+
+#define ORION_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      ::orion::CheckFailed(#expr, __FILE__, __LINE__, (msg));           \
+    }                                                                   \
+  } while (false)
+
+}  // namespace orion

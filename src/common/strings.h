@@ -1,0 +1,34 @@
+// Small string utilities shared by the assembler, disassembler and the
+// benchmark report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orion {
+
+// Split on any of the given delimiter characters; empty tokens dropped.
+std::vector<std::string_view> SplitTokens(std::string_view text,
+                                          std::string_view delims = " \t,");
+
+// Split into lines (handles both \n and \r\n); keeps empty lines.
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+// Strip leading/trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Parse a signed 64-bit integer (decimal or 0x-hex).  Returns false on
+// malformed input.
+bool ParseInt(std::string_view text, std::int64_t* out);
+
+// Parse a double.  Returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace orion

@@ -1,0 +1,388 @@
+#include "core/orion.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/static_model.h"
+#include "isa/binary.h"
+
+namespace orion::core {
+
+namespace {
+
+std::uint32_t AlignDown(std::uint32_t v, std::uint32_t unit) {
+  return v / unit * unit;
+}
+
+// Shared-memory footprint of an allocated module's blocks, before any
+// launch-time padding.
+std::uint32_t BaseSmemPerBlock(const isa::Module& module) {
+  return module.usage.user_smem_bytes_per_block +
+         module.usage.SmemBytesPerThread() * module.launch.block_dim;
+}
+
+arch::OccupancyResult OccupancyOf(const isa::Module& module,
+                                  const arch::GpuSpec& spec,
+                                  arch::CacheConfig config,
+                                  std::uint32_t padding) {
+  arch::KernelResources res;
+  res.regs_per_thread = module.usage.regs_per_thread;
+  res.smem_bytes_per_block = BaseSmemPerBlock(module) + padding;
+  res.block_dim = module.launch.block_dim;
+  return ComputeOccupancy(spec, config, res);
+}
+
+// Launch-time padding that brings the module down to exactly
+// `target_blocks` resident blocks (0 if already there).  Returns nullopt
+// when no padding achieves the target (alignment granularity).
+std::optional<std::uint32_t> PaddingForBlocks(const isa::Module& module,
+                                              const arch::GpuSpec& spec,
+                                              arch::CacheConfig config,
+                                              std::uint32_t target_blocks) {
+  const arch::OccupancyResult base = OccupancyOf(module, spec, config, 0);
+  if (base.active_blocks_per_sm <= target_blocks) {
+    return base.active_blocks_per_sm == target_blocks
+               ? std::optional<std::uint32_t>(0)
+               : std::nullopt;
+  }
+  const std::uint32_t smem = spec.SmemBytes(config);
+  const std::uint32_t unit = spec.smem_alloc_unit;
+  // Largest aligned per-block footprint admitting `target_blocks`.
+  std::uint32_t per_block = AlignDown(smem / target_blocks, unit);
+  const std::uint32_t base_bytes = BaseSmemPerBlock(module);
+  while (per_block > base_bytes) {
+    const std::uint32_t padding = per_block - base_bytes;
+    const arch::OccupancyResult occ = OccupancyOf(module, spec, config, padding);
+    if (occ.active_blocks_per_sm == target_blocks) {
+      return padding;
+    }
+    if (occ.active_blocks_per_sm < target_blocks) {
+      return std::nullopt;  // another limit dropped us below the target
+    }
+    per_block -= unit;
+  }
+  return std::nullopt;
+}
+
+// Shared-memory spill budget (words per thread) a level leaves after the
+// kernel's own static shared memory.
+std::uint32_t SprivBudgetWords(const isa::Module& virt,
+                               const arch::OccupancyLevel& level) {
+  if (level.smem_budget_per_block <= virt.user_smem_bytes) {
+    return 0;
+  }
+  const std::uint32_t spare = level.smem_budget_per_block - virt.user_smem_bytes;
+  return spare / 4 / virt.launch.block_dim;
+}
+
+}  // namespace
+
+std::uint32_t MaxLiveThreshold(const arch::GpuSpec& spec) {
+  return spec.registers_per_sm / spec.max_threads_per_sm;
+}
+
+std::optional<runtime::KernelVersion> CompileAtLevel(
+    const isa::Module& virt, const arch::GpuSpec& spec,
+    const arch::OccupancyLevel& level, const TuneOptions& options,
+    std::vector<isa::Module>* module_pool) {
+  alloc::AllocBudget budget;
+  budget.reg_words = level.reg_budget_per_thread;
+  budget.spriv_slot_words = options.alloc.rehome_spills
+                                ? SprivBudgetWords(virt, level)
+                                : 0;
+  runtime::KernelVersion version;
+  isa::Module allocated;
+  try {
+    allocated =
+        alloc::AllocateModule(virt, budget, options.alloc, &version.alloc_stats);
+  } catch (const CompileError&) {
+    return std::nullopt;  // level infeasible for this kernel
+  }
+
+  const std::optional<std::uint32_t> padding = PaddingForBlocks(
+      allocated, spec, options.cache_config, level.blocks_per_sm);
+  version.smem_padding_bytes = padding.value_or(0);
+  version.occupancy = OccupancyOf(allocated, spec, options.cache_config,
+                                  version.smem_padding_bytes);
+  if (version.occupancy.active_blocks_per_sm == 0) {
+    return std::nullopt;
+  }
+  version.tag = StrFormat("occ=%.3f", version.occupancy.occupancy);
+  module_pool->push_back(std::move(allocated));
+  version.module_index = static_cast<std::uint32_t>(module_pool->size() - 1);
+  return version;
+}
+
+runtime::KernelVersion CompileOriginal(const isa::Module& virt,
+                                       const arch::GpuSpec& spec,
+                                       const TuneOptions& options,
+                                       std::vector<isa::Module>* module_pool) {
+  alloc::AllocBudget budget;
+  budget.reg_words = spec.max_regs_per_thread;
+  budget.spriv_slot_words = 0;  // the original version uses registers only
+  runtime::KernelVersion version;
+  isa::Module allocated =
+      alloc::AllocateModule(virt, budget, options.alloc, &version.alloc_stats);
+  version.smem_padding_bytes = 0;
+  version.occupancy = OccupancyOf(allocated, spec, options.cache_config, 0);
+  if (version.occupancy.active_blocks_per_sm == 0) {
+    throw CompileError(StrFormat(
+        "kernel '%s' cannot run on %s even at the original occupancy",
+        virt.name.c_str(), spec.name.c_str()));
+  }
+  version.tag = "original";
+  module_pool->push_back(std::move(allocated));
+  version.module_index = static_cast<std::uint32_t>(module_pool->size() - 1);
+  return version;
+}
+
+runtime::MultiVersionBinary EnumerateAllVersions(const isa::Module& virt,
+                                                 const arch::GpuSpec& spec,
+                                                 const TuneOptions& options) {
+  runtime::MultiVersionBinary binary;
+  binary.kernel_name = virt.name;
+  binary.gpu_name = spec.name;
+  binary.max_live_words = alloc::KernelMaxLive(virt);
+  binary.direction = runtime::TuneDirection::kIncreasing;
+  const std::vector<arch::OccupancyLevel> levels = arch::EnumerateOccupancyLevels(
+      spec, options.cache_config, virt.launch.block_dim);
+  for (const arch::OccupancyLevel& level : levels) {
+    std::optional<runtime::KernelVersion> version =
+        CompileAtLevel(virt, spec, level, options, &binary.modules);
+    if (version.has_value()) {
+      binary.versions.push_back(std::move(*version));
+    }
+  }
+  if (binary.versions.empty()) {
+    throw CompileError(StrFormat("kernel '%s' has no feasible occupancy on %s",
+                                 virt.name.c_str(), spec.name.c_str()));
+  }
+  return binary;
+}
+
+namespace {
+
+// Keep at most `cap` versions: always the first (original) plus an even
+// subsample of the rest that retains the last entry.
+void SubsampleVersions(std::vector<runtime::KernelVersion>* versions,
+                       std::uint32_t cap) {
+  if (versions->size() <= cap || cap < 2) {
+    return;
+  }
+  std::vector<runtime::KernelVersion> kept;
+  kept.push_back(versions->front());
+  const std::size_t tail = versions->size() - 1;  // candidates after original
+  const std::size_t want = cap - 1;
+  for (std::size_t i = 0; i < want; ++i) {
+    // Even positions over [1, tail], ending exactly at the last entry.
+    const std::size_t pick = (i + 1) * tail / want;
+    kept.push_back((*versions)[pick]);
+  }
+  // The arithmetic above can duplicate when tail < want; dedup by tag.
+  std::vector<runtime::KernelVersion> unique;
+  for (runtime::KernelVersion& version : kept) {
+    bool dup = false;
+    for (const runtime::KernelVersion& existing : unique) {
+      dup |= existing.module_index == version.module_index &&
+             existing.smem_padding_bytes == version.smem_padding_bytes;
+    }
+    if (!dup) {
+      unique.push_back(std::move(version));
+    }
+  }
+  *versions = std::move(unique);
+}
+
+}  // namespace
+
+runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
+                                                const arch::GpuSpec& spec,
+                                                const TuneOptions& options) {
+  runtime::MultiVersionBinary binary;
+  binary.kernel_name = virt.name;
+  binary.gpu_name = spec.name;
+  binary.can_tune = options.can_tune;
+  binary.max_live_words = alloc::KernelMaxLive(virt);
+  binary.direction = binary.max_live_words >= MaxLiveThreshold(spec)
+                         ? runtime::TuneDirection::kIncreasing
+                         : runtime::TuneDirection::kDecreasing;
+
+  const runtime::KernelVersion original =
+      CompileOriginal(virt, spec, options, &binary.modules);
+  const std::uint32_t original_blocks =
+      original.occupancy.active_blocks_per_sm;
+  binary.versions.push_back(original);
+
+  const std::vector<arch::OccupancyLevel> levels = arch::EnumerateOccupancyLevels(
+      spec, options.cache_config, virt.launch.block_dim);
+
+  bool had_conservative = false;
+  if (binary.direction == runtime::TuneDirection::kIncreasing) {
+    // Find the conservative version: the highest occupancy at which all
+    // variables still fit on chip — leftover local-memory words must fit
+    // the per-thread share of the L1.
+    std::optional<runtime::KernelVersion> conservative;
+    for (const arch::OccupancyLevel& level : levels) {
+      std::optional<runtime::KernelVersion> version =
+          CompileAtLevel(virt, spec, level, options, &binary.modules);
+      if (!version.has_value()) {
+        continue;
+      }
+      const std::uint32_t threads =
+          level.blocks_per_sm * virt.launch.block_dim;
+      const std::uint32_t l1_share =
+          spec.L1Bytes(options.cache_config) / std::max(threads, 1u);
+      if (version->alloc_stats.local_words * 4 <= l1_share) {
+        conservative = std::move(version);
+        had_conservative = true;
+        break;
+      }
+    }
+    // Candidates from conservative occupancy up to maximum (Fig. 8
+    // lines 7-9), walked in increasing-occupancy order.
+    const std::uint32_t floor_blocks =
+        conservative.has_value()
+            ? conservative->occupancy.active_blocks_per_sm
+            : original_blocks + 1;
+    std::vector<runtime::KernelVersion> ups;
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {  // ascending
+      if (it->blocks_per_sm < floor_blocks ||
+          it->blocks_per_sm <= original_blocks) {
+        continue;
+      }
+      if (conservative.has_value() &&
+          it->blocks_per_sm == conservative->occupancy.active_blocks_per_sm) {
+        runtime::KernelVersion v = *conservative;
+        v.tag = "conservative";
+        ups.push_back(std::move(v));
+        continue;
+      }
+      std::optional<runtime::KernelVersion> version =
+          CompileAtLevel(virt, spec, *it, options, &binary.modules);
+      if (version.has_value()) {
+        ups.push_back(std::move(*version));
+      }
+    }
+    for (runtime::KernelVersion& version : ups) {
+      binary.versions.push_back(std::move(version));
+    }
+  } else {
+    // Decreasing direction (Fig. 8 line 11 + Section 3.3): a single
+    // binary; occupancy is lowered at launch time with shared-memory
+    // padding, so each lower level is a padded variant of the original.
+    const isa::Module& module = binary.modules[original.module_index];
+    for (const arch::OccupancyLevel& level : levels) {
+      if (level.blocks_per_sm >= original_blocks || level.blocks_per_sm == 0) {
+        continue;
+      }
+      const std::optional<std::uint32_t> padding = PaddingForBlocks(
+          module, spec, options.cache_config, level.blocks_per_sm);
+      if (!padding.has_value()) {
+        continue;
+      }
+      runtime::KernelVersion version = original;
+      version.smem_padding_bytes = *padding;
+      version.occupancy =
+          OccupancyOf(module, spec, options.cache_config, *padding);
+      version.tag = StrFormat("occ=%.3f", version.occupancy.occupancy);
+      binary.versions.push_back(std::move(version));
+    }
+  }
+
+  SubsampleVersions(&binary.versions, options.max_versions);
+
+  // Fail-safe versions in the opposite direction (Section 3.3): probed
+  // by the runtime only when the predicted direction yields nothing.
+  // Downward fail-safes are free (padded variants of the original
+  // binary); upward fail-safes are fresh compilations.
+  if (binary.direction == runtime::TuneDirection::kIncreasing) {
+    const isa::Module& module = binary.modules[original.module_index];
+    std::uint32_t added = 0;
+    for (const arch::OccupancyLevel& level : levels) {
+      if (level.blocks_per_sm >= original_blocks || added >= 2) {
+        continue;
+      }
+      const std::optional<std::uint32_t> padding = PaddingForBlocks(
+          module, spec, options.cache_config, level.blocks_per_sm);
+      if (!padding.has_value()) {
+        continue;
+      }
+      runtime::KernelVersion version = original;
+      version.smem_padding_bytes = *padding;
+      version.occupancy =
+          OccupancyOf(module, spec, options.cache_config, *padding);
+      version.tag = StrFormat("failsafe-occ=%.3f", version.occupancy.occupancy);
+      binary.failsafe.push_back(std::move(version));
+      ++added;
+    }
+  } else {
+    std::uint32_t added = 0;
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {  // ascending
+      if (it->blocks_per_sm <= original_blocks || added >= 2) {
+        continue;
+      }
+      std::optional<runtime::KernelVersion> version =
+          CompileAtLevel(virt, spec, *it, options, &binary.modules);
+      if (version.has_value()) {
+        version->tag = "failsafe-" + version->tag;
+        binary.failsafe.push_back(std::move(*version));
+        ++added;
+      }
+    }
+  }
+
+  // Static selection for untunable kernels.  The conservative version
+  // (all variables on chip — the unified allocation of [11]) is the
+  // preferred static pick; when the conservative occupancy coincides
+  // with the original's, the original *is* the all-on-chip version.
+  // Otherwise fall back to the analytical model: the lowest occupancy
+  // that still provides the warps it asks for.
+  for (std::uint32_t i = 0; i < binary.versions.size(); ++i) {
+    if (binary.versions[i].tag == "conservative") {
+      binary.static_choice = i;
+      return binary;
+    }
+  }
+  if (had_conservative) {
+    binary.static_choice = 0;
+    return binary;
+  }
+  const StaticProfile profile = ProfileModule(virt, spec);
+  const std::uint32_t needed = WarpsNeeded(profile);
+  binary.static_choice = 0;
+  std::uint32_t best_warps = UINT32_MAX;
+  for (std::uint32_t i = 0; i < binary.versions.size(); ++i) {
+    const std::uint32_t warps =
+        binary.versions[i].occupancy.active_warps_per_sm;
+    if (warps >= needed && warps < best_warps) {
+      best_warps = warps;
+      binary.static_choice = i;
+    }
+  }
+  if (best_warps == UINT32_MAX) {
+    // Nothing satisfies the model: take the highest occupancy available.
+    std::uint32_t max_warps = 0;
+    for (std::uint32_t i = 0; i < binary.versions.size(); ++i) {
+      if (binary.versions[i].occupancy.active_warps_per_sm > max_warps) {
+        max_warps = binary.versions[i].occupancy.active_warps_per_sm;
+        binary.static_choice = i;
+      }
+    }
+  }
+  return binary;
+}
+
+TunedBinary TuneBinary(const std::vector<std::uint8_t>& cubin,
+                       const arch::GpuSpec& spec, const TuneOptions& options) {
+  const isa::Module virt = isa::DecodeModule(cubin);
+  TunedBinary tuned;
+  tuned.binary = CompileMultiVersion(virt, spec, options);
+  tuned.images.reserve(tuned.binary.modules.size());
+  for (const isa::Module& module : tuned.binary.modules) {
+    tuned.images.push_back(isa::EncodeModule(module));
+  }
+  return tuned;
+}
+
+}  // namespace orion::core

@@ -1,0 +1,88 @@
+// Orion — the GPU occupancy tuning framework (public API).
+//
+// Mirrors the paper's pipeline:
+//
+//   binary in                            (EncodeModule'd virtual cubin)
+//     └─ front end: decode to IR         (DecodeModule + Cfg/CallGraph)
+//     └─ middle end: occupancy realization at candidate levels
+//        (liveness, coloring, spilling, shared re-homing,
+//         compressible stack — src/alloc)
+//     └─ compile-time tuning (Fig. 8)    (CompileMultiVersion)
+//   multi-version binary out
+//     └─ runtime adaptation (Fig. 9)     (runtime::TunedLauncher)
+//
+// The headline entry points:
+//   * CompileAtLevel      — realize one occupancy level ("realizing
+//                           occupancy", Section 3.2)
+//   * EnumerateAllVersions— a version at *every* occupancy level, used
+//                           for exhaustive Orion-Min/Orion-Max sweeps
+//   * CompileMultiVersion — the Fig. 8 candidate selection (≤5 versions)
+//   * TuneBinary          — decode→tune→encode convenience over bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "arch/gpu_spec.h"
+#include "arch/occupancy.h"
+#include "runtime/multiversion.h"
+
+namespace orion::core {
+
+struct TuneOptions {
+  arch::CacheConfig cache_config = arch::CacheConfig::kSmallCache;
+  alloc::AllocOptions alloc;
+  std::uint32_t max_versions = 5;  // compile-time candidate cap (Sec 3.3)
+  // Application hint: false when the kernel has no loop and cannot be
+  // split (Fig. 8 `canTune`); the static model then picks the version.
+  bool can_tune = true;
+};
+
+// Realizes one occupancy level: allocates under the level's register and
+// shared-memory budgets, then pads launch-time shared memory so the
+// driver schedules exactly level.blocks_per_sm blocks.  Returns nullopt
+// when the level is infeasible for this kernel (budget below the spill
+// floor).
+std::optional<runtime::KernelVersion> CompileAtLevel(
+    const isa::Module& virt, const arch::GpuSpec& spec,
+    const arch::OccupancyLevel& level, const TuneOptions& options,
+    std::vector<isa::Module>* module_pool);
+
+// The "original" version (Section 3.3): all live values in the minimal
+// number of registers, or the per-thread hardware maximum.
+runtime::KernelVersion CompileOriginal(const isa::Module& virt,
+                                       const arch::GpuSpec& spec,
+                                       const TuneOptions& options,
+                                       std::vector<isa::Module>* module_pool);
+
+// One version per realizable occupancy level, highest occupancy first —
+// the exhaustive search the evaluation compares against.
+runtime::MultiVersionBinary EnumerateAllVersions(const isa::Module& virt,
+                                                 const arch::GpuSpec& spec,
+                                                 const TuneOptions& options);
+
+// Figure 8: the compile-time candidate selection.  Produces the ordered
+// walk list for the runtime tuner (original first), the tuning
+// direction from the max-live metric, and — when !options.can_tune —
+// the static model's choice.
+runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
+                                                const arch::GpuSpec& spec,
+                                                const TuneOptions& options);
+
+// Byte-level convenience: decode a virtual GPU binary, tune, and encode
+// every version back to binary images (the asfermi-style flow).
+struct TunedBinary {
+  runtime::MultiVersionBinary binary;
+  std::vector<std::vector<std::uint8_t>> images;  // one per module
+};
+TunedBinary TuneBinary(const std::vector<std::uint8_t>& cubin,
+                       const arch::GpuSpec& spec, const TuneOptions& options);
+
+// The max-live threshold that separates the two tuning directions on a
+// given architecture: the per-thread register count at which full
+// occupancy is still reachable (32 on Kepler, Section 3.3).
+std::uint32_t MaxLiveThreshold(const arch::GpuSpec& spec);
+
+}  // namespace orion::core

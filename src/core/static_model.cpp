@@ -1,0 +1,60 @@
+#include "core/static_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/cfg.h"
+#include "ir/dominance.h"
+#include "ir/loops.h"
+
+namespace orion::core {
+
+StaticProfile ProfileModule(const isa::Module& module,
+                            const arch::GpuSpec& spec) {
+  StaticProfile profile;
+  for (const isa::Function& func : module.functions) {
+    const ir::Cfg cfg = ir::Cfg::Build(func);
+    const ir::Dominance dom(cfg);
+    const ir::LoopInfo loops(cfg, dom);
+    for (std::uint32_t bi = 0; bi < cfg.NumBlocks(); ++bi) {
+      const double weight = loops.Weight(bi);
+      const ir::BasicBlock& block = cfg.block(bi);
+      for (std::uint32_t i = block.begin; i < block.end; ++i) {
+        const isa::Instruction& instr = func.instrs[i];
+        profile.weighted_instrs += weight;
+        if (isa::IsMemory(instr.op)) {
+          switch (instr.space) {
+            case isa::MemSpace::kGlobal:
+            case isa::MemSpace::kLocal:
+              profile.weighted_mem_ops += weight;
+              break;
+            case isa::MemSpace::kShared:
+            case isa::MemSpace::kSharedPriv:
+              profile.weighted_smem_ops += weight;
+              break;
+            case isa::MemSpace::kParam:
+              break;
+          }
+        }
+      }
+    }
+  }
+  // Latency estimate: a blend of L2 and DRAM (the static model cannot
+  // know hit rates; the paper's model is similarly coarse).
+  profile.avg_mem_latency =
+      0.5 * (spec.timing.l2_latency + spec.timing.dram_latency);
+  return profile;
+}
+
+std::uint32_t WarpsNeeded(const StaticProfile& profile) {
+  if (profile.weighted_mem_ops <= 0.0) {
+    return 1;  // compute-only kernels need no latency hiding
+  }
+  const double instrs_between_mem =
+      std::max(1.0, profile.weighted_instrs / profile.weighted_mem_ops);
+  const double warps =
+      std::ceil(profile.avg_mem_latency / instrs_between_mem);
+  return static_cast<std::uint32_t>(std::max(1.0, warps));
+}
+
+}  // namespace orion::core

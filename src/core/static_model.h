@@ -1,0 +1,38 @@
+// Static occupancy selection model.
+//
+// Used when dynamic tuning is impossible (Fig. 8, else-branch: a kernel
+// with a single invocation and too few threads to split, e.g. the
+// paper's `particles` benchmark).  Following the static selection of
+// Hayes & Zhang [11], the model estimates how many resident warps are
+// needed to hide memory latency from the kernel's static instruction
+// mix, and picks the lowest candidate occupancy that provides them:
+//
+//   warps_needed = ceil(mem_latency / issue_cycles_between_memory_ops)
+//
+// where the inter-memory-op distance is the loop-weighted static
+// instruction count divided by the loop-weighted static memory-op
+// count.  This is the WS * CDI / DL test of Fig. 8 line 17.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/gpu_spec.h"
+#include "isa/isa.h"
+
+namespace orion::core {
+
+struct StaticProfile {
+  double weighted_instrs = 0.0;      // loop-weighted static instructions
+  double weighted_mem_ops = 0.0;     // loop-weighted off-chip memory ops
+  double weighted_smem_ops = 0.0;
+  double avg_mem_latency = 0.0;      // estimated, from the target GPU
+};
+
+// Gathers the static profile of a module's kernel (loop-weighted).
+StaticProfile ProfileModule(const isa::Module& module,
+                            const arch::GpuSpec& spec);
+
+// Resident warps per SM needed to hide memory latency.
+std::uint32_t WarpsNeeded(const StaticProfile& profile);
+
+}  // namespace orion::core

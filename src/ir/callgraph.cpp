@@ -1,0 +1,76 @@
+#include "ir/callgraph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.h"
+
+namespace orion::ir {
+
+CallGraph::CallGraph(const isa::Module& module) : module_(module) {
+  const std::uint32_t n = static_cast<std::uint32_t>(module.functions.size());
+  sites_by_caller_.assign(n, {});
+
+  auto func_index = [&](const std::string& name) -> std::uint32_t {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (module.functions[i].name == name) {
+        return i;
+      }
+    }
+    throw CompileError("call graph: unknown function '" + name + "'");
+  };
+
+  for (std::uint32_t fi = 0; fi < n; ++fi) {
+    const isa::Function& func = module.functions[fi];
+    for (std::uint32_t ii = 0; ii < func.NumInstrs(); ++ii) {
+      if (func.instrs[ii].op == isa::Opcode::kCal) {
+        CallSite site;
+        site.caller = fi;
+        site.instr_index = ii;
+        site.callee = func_index(func.instrs[ii].target);
+        sites_by_caller_[fi].push_back(site);
+      }
+    }
+  }
+
+  // Topological order (callers first) via DFS; the verifier guarantees
+  // acyclicity but we guard anyway.
+  std::vector<std::uint8_t> state(n, 0);
+  std::function<void(std::uint32_t)> dfs = [&](std::uint32_t fi) {
+    ORION_CHECK_MSG(state[fi] != 1, "call graph cycle");
+    if (state[fi] == 2) {
+      return;
+    }
+    state[fi] = 1;
+    for (const CallSite& site : sites_by_caller_[fi]) {
+      dfs(site.callee);
+    }
+    state[fi] = 2;
+    topo_.push_back(fi);
+  };
+  for (std::uint32_t fi = 0; fi < n; ++fi) {
+    dfs(fi);
+  }
+  // dfs emits callees first; reverse for callers-first.
+  std::reverse(topo_.begin(), topo_.end());
+}
+
+std::uint32_t CallGraph::NumStaticCalls() const {
+  std::uint32_t total = 0;
+  for (const std::vector<CallSite>& sites : sites_by_caller_) {
+    total += static_cast<std::uint32_t>(sites.size());
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> CallGraph::Callees(std::uint32_t caller) const {
+  std::vector<std::uint32_t> out;
+  for (const CallSite& site : sites_by_caller_[caller]) {
+    if (std::find(out.begin(), out.end(), site.callee) == out.end()) {
+      out.push_back(site.callee);
+    }
+  }
+  return out;
+}
+
+}  // namespace orion::ir

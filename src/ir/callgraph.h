@@ -1,0 +1,51 @@
+// Module-wide call graph.
+//
+// The compressible-stack allocator (Section 3.2) assigns each device
+// function a fixed frame base on the on-chip stack; bases are computed
+// in topological order over this graph.  Recursion is rejected by the
+// verifier, so the graph is a DAG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::ir {
+
+struct CallSite {
+  std::uint32_t caller = 0;       // function index in the module
+  std::uint32_t instr_index = 0;  // index of the kCal instruction
+  std::uint32_t callee = 0;       // function index in the module
+};
+
+class CallGraph {
+ public:
+  explicit CallGraph(const isa::Module& module);
+
+  // Function indices in topological order: callers before callees.
+  const std::vector<std::uint32_t>& TopoOrder() const { return topo_; }
+
+  // All call sites, grouped by caller.
+  const std::vector<std::vector<CallSite>>& SitesByCaller() const {
+    return sites_by_caller_;
+  }
+  const std::vector<CallSite>& Sites(std::uint32_t caller) const {
+    return sites_by_caller_[caller];
+  }
+
+  // Total static call sites in the module (the paper's Table 2 "Func"
+  // column counts static calls after inlining).
+  std::uint32_t NumStaticCalls() const;
+
+  // Callees of function `caller` (deduplicated).
+  std::vector<std::uint32_t> Callees(std::uint32_t caller) const;
+
+ private:
+  const isa::Module& module_;
+  std::vector<std::vector<CallSite>> sites_by_caller_;
+  std::vector<std::uint32_t> topo_;
+};
+
+}  // namespace orion::ir

@@ -1,0 +1,133 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace orion::ir {
+
+namespace {
+
+// Resolve a branch target label to an instruction index.
+std::uint32_t ResolveLabel(const isa::Function& func, const std::string& label) {
+  const auto it = func.labels.find(label);
+  if (it == func.labels.end()) {
+    throw CompileError(StrFormat("function '%s': unresolved label '%s'",
+                                 func.name.c_str(), label.c_str()));
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Cfg Cfg::Build(const isa::Function& func) {
+  ORION_CHECK_MSG(!func.instrs.empty(), "cannot build CFG of empty function");
+  Cfg cfg;
+  cfg.func_ = &func;
+
+  // 1. Leaders: instruction 0, every label target, every instruction
+  //    following a terminator.
+  std::set<std::uint32_t> leaders;
+  leaders.insert(0);
+  for (const auto& [label, index] : func.labels) {
+    if (index < func.NumInstrs()) {
+      leaders.insert(index);
+    }
+  }
+  for (std::uint32_t i = 0; i < func.NumInstrs(); ++i) {
+    if (isa::IsTerminator(func.instrs[i].op) && i + 1 < func.NumInstrs()) {
+      leaders.insert(i + 1);
+    }
+  }
+
+  // 2. Blocks from consecutive leaders.
+  cfg.block_of_.assign(func.NumInstrs(), 0);
+  std::vector<std::uint32_t> leader_list(leaders.begin(), leaders.end());
+  for (std::size_t li = 0; li < leader_list.size(); ++li) {
+    BasicBlock block;
+    block.begin = leader_list[li];
+    block.end = (li + 1 < leader_list.size()) ? leader_list[li + 1]
+                                              : func.NumInstrs();
+    for (std::uint32_t i = block.begin; i < block.end; ++i) {
+      cfg.block_of_[i] = static_cast<std::uint32_t>(cfg.blocks_.size());
+    }
+    cfg.blocks_.push_back(block);
+  }
+
+  // 3. Edges.
+  auto block_at = [&](std::uint32_t instr_index) -> std::uint32_t {
+    ORION_CHECK(instr_index < func.NumInstrs());
+    return cfg.block_of_[instr_index];
+  };
+  for (std::uint32_t bi = 0; bi < cfg.NumBlocks(); ++bi) {
+    BasicBlock& block = cfg.blocks_[bi];
+    const isa::Instruction& last = func.instrs[block.end - 1];
+    auto add_edge = [&](std::uint32_t to) {
+      block.succs.push_back(to);
+      cfg.blocks_[to].preds.push_back(bi);
+    };
+    switch (last.op) {
+      case isa::Opcode::kBra: {
+        const std::uint32_t target = ResolveLabel(func, last.target);
+        if (target < func.NumInstrs()) {
+          add_edge(block_at(target));
+        }
+        break;
+      }
+      case isa::Opcode::kBrz:
+      case isa::Opcode::kBrnz: {
+        const std::uint32_t target = ResolveLabel(func, last.target);
+        if (target < func.NumInstrs()) {
+          add_edge(block_at(target));
+        }
+        if (block.end < func.NumInstrs()) {
+          add_edge(block_at(block.end));
+        }
+        break;
+      }
+      case isa::Opcode::kRet:
+      case isa::Opcode::kExit:
+        break;  // function exit
+      default:
+        // Fall-through from a non-terminated block (split at a label).
+        if (block.end < func.NumInstrs()) {
+          add_edge(block_at(block.end));
+        } else {
+          throw CompileError(StrFormat(
+              "function '%s': control falls off the end", func.name.c_str()));
+        }
+        break;
+    }
+  }
+
+  // 4. Reverse postorder (reachable blocks only).
+  cfg.rpo_index_.assign(cfg.NumBlocks(), UINT32_MAX);
+  std::vector<std::uint32_t> postorder;
+  std::vector<std::uint8_t> state(cfg.NumBlocks(), 0);  // 0 new, 1 open, 2 done
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  stack.emplace_back(cfg.entry(), 0);
+  state[cfg.entry()] = 1;
+  while (!stack.empty()) {
+    auto& [block, next_succ] = stack.back();
+    if (next_succ < cfg.blocks_[block].succs.size()) {
+      const std::uint32_t succ = cfg.blocks_[block].succs[next_succ++];
+      if (state[succ] == 0) {
+        state[succ] = 1;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      state[block] = 2;
+      postorder.push_back(block);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (std::uint32_t i = 0; i < cfg.rpo_.size(); ++i) {
+    cfg.rpo_index_[cfg.rpo_[i]] = i;
+  }
+  return cfg;
+}
+
+}  // namespace orion::ir

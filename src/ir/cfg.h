@@ -1,0 +1,53 @@
+// Control-flow graph over a virtual-ISA function.
+//
+// Built by the Orion front end after decoding a binary: instructions are
+// partitioned into maximal basic blocks at label targets and after
+// terminators; edges follow branch targets and fall-through.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::ir {
+
+struct BasicBlock {
+  std::uint32_t begin = 0;  // first instruction index (inclusive)
+  std::uint32_t end = 0;    // one past last instruction index
+  std::vector<std::uint32_t> succs;
+  std::vector<std::uint32_t> preds;
+
+  std::uint32_t NumInstrs() const { return end - begin; }
+};
+
+class Cfg {
+ public:
+  // Builds the CFG.  Throws CompileError on unresolved branch targets.
+  // The function must outlive the Cfg.
+  static Cfg Build(const isa::Function& func);
+
+  const isa::Function& func() const { return *func_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block(std::uint32_t id) const { return blocks_[id]; }
+  std::uint32_t NumBlocks() const { return static_cast<std::uint32_t>(blocks_.size()); }
+  std::uint32_t entry() const { return 0; }
+
+  // Block containing instruction `index`.
+  std::uint32_t BlockOf(std::uint32_t index) const { return block_of_[index]; }
+
+  // Reverse postorder over reachable blocks (entry first).
+  const std::vector<std::uint32_t>& Rpo() const { return rpo_; }
+
+  // Position of a block in the RPO sequence (UINT32_MAX if unreachable).
+  std::uint32_t RpoIndex(std::uint32_t block) const { return rpo_index_[block]; }
+
+ private:
+  const isa::Function* func_ = nullptr;
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::uint32_t> block_of_;
+  std::vector<std::uint32_t> rpo_;
+  std::vector<std::uint32_t> rpo_index_;
+};
+
+}  // namespace orion::ir

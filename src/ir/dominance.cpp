@@ -1,0 +1,96 @@
+#include "ir/dominance.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace orion::ir {
+
+Dominance::Dominance(const Cfg& cfg) : cfg_(cfg) {
+  const std::uint32_t n = cfg.NumBlocks();
+  idom_.assign(n, UINT32_MAX);
+  frontier_.assign(n, {});
+  children_.assign(n, {});
+
+  // Cooper–Harvey–Kennedy iterative algorithm over RPO.
+  const std::vector<std::uint32_t>& rpo = cfg.Rpo();
+  idom_[cfg.entry()] = cfg.entry();
+
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (cfg.RpoIndex(a) > cfg.RpoIndex(b)) {
+        a = idom_[a];
+      }
+      while (cfg.RpoIndex(b) > cfg.RpoIndex(a)) {
+        b = idom_[b];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t block : rpo) {
+      if (block == cfg.entry()) {
+        continue;
+      }
+      std::uint32_t new_idom = UINT32_MAX;
+      for (const std::uint32_t pred : cfg.block(block).preds) {
+        if (idom_[pred] == UINT32_MAX) {
+          continue;  // pred not yet processed / unreachable
+        }
+        new_idom = (new_idom == UINT32_MAX) ? pred : intersect(pred, new_idom);
+      }
+      if (new_idom != UINT32_MAX && idom_[block] != new_idom) {
+        idom_[block] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Dominator tree children.
+  for (std::uint32_t block = 0; block < n; ++block) {
+    if (block != cfg.entry() && idom_[block] != UINT32_MAX) {
+      children_[idom_[block]].push_back(block);
+    }
+  }
+
+  // Dominance frontiers (join-point formulation).
+  for (std::uint32_t block = 0; block < n; ++block) {
+    if (idom_[block] == UINT32_MAX || cfg.block(block).preds.size() < 2) {
+      continue;
+    }
+    for (const std::uint32_t pred : cfg.block(block).preds) {
+      if (idom_[pred] == UINT32_MAX) {
+        continue;
+      }
+      std::uint32_t runner = pred;
+      while (runner != idom_[block]) {
+        if (std::find(frontier_[runner].begin(), frontier_[runner].end(),
+                      block) == frontier_[runner].end()) {
+          frontier_[runner].push_back(block);
+        }
+        runner = idom_[runner];
+      }
+    }
+  }
+}
+
+bool Dominance::Dominates(std::uint32_t a, std::uint32_t b) const {
+  if (idom_[b] == UINT32_MAX) {
+    return false;
+  }
+  std::uint32_t runner = b;
+  for (;;) {
+    if (runner == a) {
+      return true;
+    }
+    if (runner == cfg_.entry()) {
+      return false;
+    }
+    runner = idom_[runner];
+  }
+}
+
+}  // namespace orion::ir

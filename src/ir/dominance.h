@@ -1,0 +1,42 @@
+// Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+//
+// Used by SSA construction (φ placement at iterated dominance frontiers)
+// and by the loop analysis (back-edge detection).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg.h"
+
+namespace orion::ir {
+
+class Dominance {
+ public:
+  explicit Dominance(const Cfg& cfg);
+
+  // Immediate dominator of `block` (entry's idom is itself; unreachable
+  // blocks report UINT32_MAX).
+  std::uint32_t Idom(std::uint32_t block) const { return idom_[block]; }
+
+  // True if `a` dominates `b` (reflexive).
+  bool Dominates(std::uint32_t a, std::uint32_t b) const;
+
+  // Dominance frontier of `block`.
+  const std::vector<std::uint32_t>& Frontier(std::uint32_t block) const {
+    return frontier_[block];
+  }
+
+  // Children of `block` in the dominator tree.
+  const std::vector<std::uint32_t>& Children(std::uint32_t block) const {
+    return children_[block];
+  }
+
+ private:
+  const Cfg& cfg_;
+  std::vector<std::uint32_t> idom_;
+  std::vector<std::vector<std::uint32_t>> frontier_;
+  std::vector<std::vector<std::uint32_t>> children_;
+};
+
+}  // namespace orion::ir

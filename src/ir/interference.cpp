@@ -1,0 +1,85 @@
+#include "ir/interference.h"
+
+#include <algorithm>
+
+namespace orion::ir {
+
+InterferenceGraph::InterferenceGraph(const Cfg& cfg, const Liveness& liveness,
+                                     const VRegInfo& info,
+                                     const LoopInfo* loops) {
+  num_nodes_ = info.num_vregs;
+  widths_ = info.widths;
+  adj_.assign(num_nodes_, DenseBitSet(num_nodes_));
+  neighbors_.assign(num_nodes_, {});
+  spill_weight_.assign(num_nodes_, 0.0);
+  occurrences_.assign(num_nodes_, 0);
+
+  std::vector<std::uint32_t> defs;
+  std::vector<std::uint32_t> uses;
+  for (std::uint32_t bi = 0; bi < cfg.NumBlocks(); ++bi) {
+    const double weight = loops != nullptr ? loops->Weight(bi) : 1.0;
+    liveness.WalkBlockBackward(
+        bi, [&](std::uint32_t i, const DenseBitSet& live_after) {
+          const isa::Instruction& instr = cfg.func().instrs[i];
+          CollectDefs(instr, &defs);
+          CollectUses(instr, &uses);
+          // Chaitin's copy refinement: for MOV d, s the pair (d, s) does
+          // not interfere through this definition alone.
+          const bool is_copy = instr.op == isa::Opcode::kMov &&
+                               instr.srcs.size() == 1 &&
+                               instr.srcs[0].kind == isa::OperandKind::kVReg;
+          const std::uint32_t copy_src = is_copy ? instr.srcs[0].id : UINT32_MAX;
+          for (const std::uint32_t d : defs) {
+            live_after.ForEach([&](std::size_t v32) {
+              const auto v = static_cast<std::uint32_t>(v32);
+              if (v != d && !(is_copy && v == copy_src)) {
+                AddEdge(d, v);
+              }
+            });
+          }
+          for (const std::uint32_t d : defs) {
+            spill_weight_[d] += weight;
+            ++occurrences_[d];
+          }
+          for (const std::uint32_t u : uses) {
+            spill_weight_[u] += weight;
+            ++occurrences_[u];
+          }
+        });
+  }
+
+  // Parameters are live-in together: they occupy distinct precolored
+  // slots, and any variable live at entry interferes with them.
+  // (Entry live-in already contains them via upward-exposed uses; add
+  // pairwise edges so precoloring stays consistent even for unused
+  // parameters.)
+  const DenseBitSet& entry_in = liveness.LiveIn(cfg.entry());
+  std::vector<std::uint32_t> entry_live;
+  entry_in.ForEach(
+      [&](std::size_t v) { entry_live.push_back(static_cast<std::uint32_t>(v)); });
+  for (std::size_t i = 0; i < entry_live.size(); ++i) {
+    for (std::size_t j = i + 1; j < entry_live.size(); ++j) {
+      AddEdge(entry_live[i], entry_live[j]);
+    }
+  }
+}
+
+void InterferenceGraph::AddEdge(std::uint32_t a, std::uint32_t b) {
+  if (a == b || adj_[a].Test(b)) {
+    return;
+  }
+  adj_[a].Set(b);
+  adj_[b].Set(a);
+  neighbors_[a].push_back(b);
+  neighbors_[b].push_back(a);
+}
+
+std::uint32_t InterferenceGraph::DegreeWords(std::uint32_t v) const {
+  std::uint32_t total = 0;
+  for (const std::uint32_t n : neighbors_[v]) {
+    total += widths_[n];
+  }
+  return total;
+}
+
+}  // namespace orion::ir

@@ -1,0 +1,64 @@
+// Interference graph over virtual registers.
+//
+// Nodes are virtual registers annotated with their width in 32-bit words
+// (wide 64/96/128-bit variables are single nodes that will need aligned,
+// consecutive physical registers).  Edges connect variables that are
+// simultaneously live.  The classic Chaitin refinement applies: at a MOV
+// the destination does not interfere with the source merely because of
+// the copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "ir/cfg.h"
+#include "ir/liveness.h"
+#include "ir/loops.h"
+
+namespace orion::ir {
+
+class InterferenceGraph {
+ public:
+  // Build from liveness.  `loops` supplies spill-weight multipliers; may
+  // be null (uniform weights).
+  InterferenceGraph(const Cfg& cfg, const Liveness& liveness,
+                    const VRegInfo& info, const LoopInfo* loops);
+
+  std::uint32_t NumNodes() const { return num_nodes_; }
+
+  // Width (words) of node `v`; 0 means the vreg never occurs (dead id).
+  std::uint8_t Width(std::uint32_t v) const { return widths_[v]; }
+
+  bool Interferes(std::uint32_t a, std::uint32_t b) const {
+    return adj_[a].Test(b);
+  }
+  const std::vector<std::uint32_t>& Neighbors(std::uint32_t v) const {
+    return neighbors_[v];
+  }
+
+  // Total width (words) of the neighbors of `v` — the conservative
+  // "v.edges" degree used by the Fig. 4 simplify test for multi-class
+  // (wide) variables.
+  std::uint32_t DegreeWords(std::uint32_t v) const;
+
+  // Static use+def count of `v`, weighted by loop depth.  Drives both
+  // the spill choice (spill the cheapest) and shared-memory re-homing
+  // (re-home the hottest spills).
+  double SpillWeight(std::uint32_t v) const { return spill_weight_[v]; }
+
+  // Occurrence count (unweighted uses + defs).
+  std::uint32_t NumOccurrences(std::uint32_t v) const { return occurrences_[v]; }
+
+  void AddEdge(std::uint32_t a, std::uint32_t b);
+
+ private:
+  std::uint32_t num_nodes_ = 0;
+  std::vector<std::uint8_t> widths_;
+  std::vector<DenseBitSet> adj_;
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+  std::vector<double> spill_weight_;
+  std::vector<std::uint32_t> occurrences_;
+};
+
+}  // namespace orion::ir

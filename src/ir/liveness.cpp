@@ -1,0 +1,155 @@
+#include "ir/liveness.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace orion::ir {
+
+VRegInfo VRegInfo::Gather(const isa::Function& func) {
+  VRegInfo info;
+  info.num_vregs = isa::MaxVRegId(func);
+  // Parameters may carry ids beyond any body use.
+  for (const isa::Operand& param : func.params) {
+    if (param.kind == isa::OperandKind::kVReg) {
+      info.num_vregs = std::max(info.num_vregs, param.id + 1);
+    }
+  }
+  info.widths.assign(info.num_vregs, 0);
+  auto note = [&](const isa::Operand& op) {
+    if (op.kind == isa::OperandKind::kVReg) {
+      info.widths[op.id] = std::max(info.widths[op.id], op.width);
+    }
+  };
+  for (const isa::Instruction& instr : func.instrs) {
+    for (const isa::Operand& op : instr.dsts) {
+      note(op);
+    }
+    for (const isa::Operand& op : instr.srcs) {
+      note(op);
+    }
+  }
+  for (const isa::Operand& param : func.params) {
+    note(param);
+  }
+  return info;
+}
+
+void CollectUses(const isa::Instruction& instr, std::vector<std::uint32_t>* out) {
+  out->clear();
+  for (const isa::Operand& op : instr.srcs) {
+    if (op.kind == isa::OperandKind::kVReg) {
+      out->push_back(op.id);
+    }
+  }
+}
+
+void CollectDefs(const isa::Instruction& instr, std::vector<std::uint32_t>* out) {
+  out->clear();
+  for (const isa::Operand& op : instr.dsts) {
+    if (op.kind == isa::OperandKind::kVReg) {
+      out->push_back(op.id);
+    }
+  }
+}
+
+Liveness::Liveness(const Cfg& cfg, const VRegInfo& info)
+    : cfg_(cfg), num_vregs_(info.num_vregs) {
+  const std::uint32_t n = cfg.NumBlocks();
+  live_in_.assign(n, DenseBitSet(num_vregs_));
+  live_out_.assign(n, DenseBitSet(num_vregs_));
+
+  // Per-block use (upward-exposed) and def sets.
+  std::vector<DenseBitSet> gen(n, DenseBitSet(num_vregs_));
+  std::vector<DenseBitSet> kill(n, DenseBitSet(num_vregs_));
+  std::vector<std::uint32_t> scratch;
+  for (std::uint32_t bi = 0; bi < n; ++bi) {
+    const BasicBlock& block = cfg.block(bi);
+    for (std::uint32_t i = block.begin; i < block.end; ++i) {
+      const isa::Instruction& instr = cfg.func().instrs[i];
+      CollectUses(instr, &scratch);
+      for (const std::uint32_t v : scratch) {
+        if (!kill[bi].Test(v)) {
+          gen[bi].Set(v);
+        }
+      }
+      CollectDefs(instr, &scratch);
+      for (const std::uint32_t v : scratch) {
+        kill[bi].Set(v);
+      }
+    }
+  }
+
+  // Backward fixpoint over postorder (reversed RPO) for fast convergence.
+  std::vector<std::uint32_t> order(cfg.Rpo().rbegin(), cfg.Rpo().rend());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t bi : order) {
+      DenseBitSet out(num_vregs_);
+      for (const std::uint32_t succ : cfg.block(bi).succs) {
+        out.UnionWith(live_in_[succ]);
+      }
+      if (!(out == live_out_[bi])) {
+        live_out_[bi] = out;
+        changed = true;
+      }
+      DenseBitSet in = out;
+      in.SubtractWith(kill[bi]);
+      in.UnionWith(gen[bi]);
+      if (!(in == live_in_[bi])) {
+        live_in_[bi] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+}
+
+void Liveness::WalkBlockBackward(
+    std::uint32_t block,
+    const std::function<void(std::uint32_t, const DenseBitSet&)>& fn) const {
+  const BasicBlock& bb = cfg_.block(block);
+  DenseBitSet live = live_out_[block];
+  std::vector<std::uint32_t> scratch;
+  for (std::uint32_t i = bb.end; i-- > bb.begin;) {
+    fn(i, live);
+    const isa::Instruction& instr = cfg_.func().instrs[i];
+    CollectDefs(instr, &scratch);
+    for (const std::uint32_t v : scratch) {
+      live.Reset(v);
+    }
+    CollectUses(instr, &scratch);
+    for (const std::uint32_t v : scratch) {
+      live.Set(v);
+    }
+  }
+}
+
+DenseBitSet Liveness::LiveAfterInstr(std::uint32_t index) const {
+  const std::uint32_t block = cfg_.BlockOf(index);
+  DenseBitSet result(num_vregs_);
+  WalkBlockBackward(block, [&](std::uint32_t i, const DenseBitSet& live) {
+    if (i == index) {
+      result = live;
+    }
+  });
+  return result;
+}
+
+std::uint32_t MaxLiveWords(const Cfg& cfg, const Liveness& liveness,
+                           const VRegInfo& info) {
+  std::uint32_t max_words = 0;
+  auto measure = [&](const DenseBitSet& live) {
+    std::uint32_t words = 0;
+    live.ForEach([&](std::size_t v) { words += info.widths[v]; });
+    max_words = std::max(max_words, words);
+  };
+  for (std::uint32_t bi = 0; bi < cfg.NumBlocks(); ++bi) {
+    liveness.WalkBlockBackward(
+        bi, [&](std::uint32_t, const DenseBitSet& live) { measure(live); });
+    measure(liveness.LiveIn(bi));
+  }
+  return max_words;
+}
+
+}  // namespace orion::ir

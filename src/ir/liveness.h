@@ -1,0 +1,63 @@
+// Live-variable analysis over virtual registers.
+//
+// Standard backward dataflow on the CFG.  Exposes block-boundary sets
+// and a backward per-instruction walk used by the interference builder,
+// the max-live metric (the compile-time tuning signal of Section 3.3)
+// and the call-site liveness needed by the compressible stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bitset.h"
+#include "ir/cfg.h"
+
+namespace orion::ir {
+
+// Per-virtual-register facts gathered from the function body.
+struct VRegInfo {
+  std::vector<std::uint8_t> widths;  // indexed by vreg id; 0 if unused
+  std::uint32_t num_vregs = 0;
+
+  static VRegInfo Gather(const isa::Function& func);
+};
+
+// Collect used/defined virtual register ids of one instruction.
+void CollectUses(const isa::Instruction& instr, std::vector<std::uint32_t>* out);
+void CollectDefs(const isa::Instruction& instr, std::vector<std::uint32_t>* out);
+
+class Liveness {
+ public:
+  Liveness(const Cfg& cfg, const VRegInfo& info);
+
+  const DenseBitSet& LiveIn(std::uint32_t block) const { return live_in_[block]; }
+  const DenseBitSet& LiveOut(std::uint32_t block) const { return live_out_[block]; }
+  std::uint32_t num_vregs() const { return num_vregs_; }
+
+  // Walks the instructions of `block` backwards.  For each instruction
+  // the callback receives (instr_index, live_after): the set of vregs
+  // live immediately *after* the instruction executes.  The live set
+  // *before* it is live_after - defs + uses.
+  void WalkBlockBackward(
+      std::uint32_t block,
+      const std::function<void(std::uint32_t, const DenseBitSet&)>& fn) const;
+
+  // The set of vregs live immediately after instruction `index`.
+  DenseBitSet LiveAfterInstr(std::uint32_t index) const;
+
+ private:
+  const Cfg& cfg_;
+  std::uint32_t num_vregs_ = 0;
+  std::vector<DenseBitSet> live_in_;
+  std::vector<DenseBitSet> live_out_;
+};
+
+// Maximum number of simultaneously-live 32-bit register words at any
+// program point — the paper's "max-live" metric (Section 3.3): when it
+// is below the hardware full-occupancy register budget the compiler can
+// only tune occupancy downward.
+std::uint32_t MaxLiveWords(const Cfg& cfg, const Liveness& liveness,
+                           const VRegInfo& info);
+
+}  // namespace orion::ir

@@ -1,0 +1,68 @@
+#include "ir/loops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitset.h"
+
+namespace orion::ir {
+
+LoopInfo::LoopInfo(const Cfg& cfg, const Dominance& dom) {
+  const std::uint32_t n = cfg.NumBlocks();
+  depth_.assign(n, 0);
+
+  // Back edge u -> h where h dominates u: natural loop is h plus every
+  // block that reaches u without passing through h.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (cfg.RpoIndex(u) == UINT32_MAX) {
+      continue;  // unreachable
+    }
+    for (const std::uint32_t h : cfg.block(u).succs) {
+      if (!dom.Dominates(h, u)) {
+        continue;
+      }
+      NaturalLoop loop;
+      loop.header = h;
+      DenseBitSet in_body(n);
+      in_body.Set(h);
+      std::vector<std::uint32_t> worklist;
+      if (u != h) {
+        in_body.Set(u);
+        worklist.push_back(u);
+      }
+      while (!worklist.empty()) {
+        const std::uint32_t block = worklist.back();
+        worklist.pop_back();
+        for (const std::uint32_t pred : cfg.block(block).preds) {
+          if (!in_body.Test(pred)) {
+            in_body.Set(pred);
+            worklist.push_back(pred);
+          }
+        }
+      }
+      in_body.ForEach([&](std::size_t b) {
+        loop.body.push_back(static_cast<std::uint32_t>(b));
+      });
+      loops_.push_back(std::move(loop));
+    }
+  }
+
+  // Depth = number of distinct loops containing the block.  Loops that
+  // share a header (multiple back edges) are merged for depth purposes.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;  // (header, block)
+  for (const NaturalLoop& loop : loops_) {
+    for (const std::uint32_t block : loop.body) {
+      const auto key = std::make_pair(loop.header, block);
+      if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+        seen.push_back(key);
+        ++depth_[block];
+      }
+    }
+  }
+}
+
+double LoopInfo::Weight(std::uint32_t block) const {
+  return std::pow(10.0, std::min<std::uint32_t>(depth_[block], 6));
+}
+
+}  // namespace orion::ir

@@ -1,0 +1,38 @@
+// Natural-loop detection and per-block loop depth.
+//
+// Loop depth weights spill costs (a reload in a triply-nested loop hurts
+// more) and, optionally, the compressible-stack movement counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/dominance.h"
+
+namespace orion::ir {
+
+struct NaturalLoop {
+  std::uint32_t header = 0;
+  std::vector<std::uint32_t> body;  // blocks, including header
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(const Cfg& cfg, const Dominance& dom);
+
+  const std::vector<NaturalLoop>& loops() const { return loops_; }
+
+  // Nesting depth of `block` (0 = not in any loop).
+  std::uint32_t Depth(std::uint32_t block) const { return depth_[block]; }
+
+  // Multiplicative execution-frequency estimate: 10^depth, saturated.
+  // Used as spill/movement weight.
+  double Weight(std::uint32_t block) const;
+
+ private:
+  std::vector<NaturalLoop> loops_;
+  std::vector<std::uint32_t> depth_;
+};
+
+}  // namespace orion::ir

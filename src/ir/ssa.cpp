@@ -1,0 +1,545 @@
+#include "ir/ssa.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "ir/cfg.h"
+#include "ir/dominance.h"
+#include "ir/interference.h"
+#include "ir/liveness.h"
+#include "ir/loops.h"
+
+namespace orion::ir {
+
+namespace {
+
+using isa::Function;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+Instruction MakeMov(std::uint32_t dst, std::uint32_t src, std::uint8_t width) {
+  Instruction mov;
+  mov.op = Opcode::kMov;
+  mov.dsts.push_back(Operand::VReg(dst, width));
+  mov.srcs.push_back(Operand::VReg(src, width));
+  return mov;
+}
+
+// Make every fall-through edge explicit with a BRA, so copies can later
+// be placed before a branch on any edge.  Returns true if changed.
+bool MaterializeFallthroughs(Function* func) {
+  const Cfg cfg = Cfg::Build(*func);
+  // Collect (instruction index to insert after, target label) pairs.
+  std::vector<std::pair<std::uint32_t, std::string>> inserts;
+  std::uint32_t next_label = 0;
+  auto label_of_block = [&](std::uint32_t block) -> std::string {
+    const std::uint32_t begin = cfg.block(block).begin;
+    for (const auto& [label, index] : func->labels) {
+      if (index == begin) {
+        return label;
+      }
+    }
+    std::string fresh =
+        StrFormat("ssa_bb%u_%u", block, next_label++);
+    func->labels.emplace(fresh, begin);
+    return fresh;
+  };
+  for (std::uint32_t bi = 0; bi < cfg.NumBlocks(); ++bi) {
+    const BasicBlock& block = cfg.block(bi);
+    const Instruction& last = func->instrs[block.end - 1];
+    if (isa::IsTerminator(last.op)) {
+      continue;
+    }
+    // Falls through to the next block: append an explicit BRA.
+    ORION_CHECK(block.succs.size() == 1);
+    inserts.emplace_back(block.end, label_of_block(block.succs[0]));
+  }
+  if (inserts.empty()) {
+    return false;
+  }
+  // Insert from the back so earlier indices stay valid; shift labels.
+  std::sort(inserts.begin(), inserts.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [index, label] : inserts) {
+    Instruction bra;
+    bra.op = Opcode::kBra;
+    bra.target = label;
+    func->instrs.insert(func->instrs.begin() + index, bra);
+    // The inserted BRA belongs to the block *before* `index`; labels at
+    // `index` mark the following block's head and must shift past it.
+    for (auto& [l, li] : func->labels) {
+      (void)l;
+      if (li >= index) {
+        ++li;
+      }
+    }
+  }
+  return true;
+}
+
+struct Phi {
+  std::uint32_t var = 0;        // original variable
+  std::uint32_t dst = 0;        // SSA name defined by the φ
+  std::uint8_t width = 1;
+  std::vector<std::uint32_t> srcs;  // one SSA name per predecessor
+};
+
+class SsaBuilder {
+ public:
+  SsaBuilder(Function* func, SsaStats* stats) : func_(func), stats_(stats) {}
+
+  void Run() {
+    // Normalize control flow so φ-elimination copies have a home.
+    MaterializeFallthroughs(func_);
+
+    cfg_ = std::make_unique<Cfg>(Cfg::Build(*func_));
+    dom_ = std::make_unique<Dominance>(*cfg_);
+    info_ = VRegInfo::Gather(*func_);
+    liveness_ = std::make_unique<Liveness>(*cfg_, info_);
+
+    PlacePhis();
+    Rename();
+    EliminatePhis();
+    Coalesce();
+    stats_->names_after = isa::MaxVRegId(*func_);
+  }
+
+ private:
+  void PlacePhis();
+  void Rename();
+  void RenameBlock(std::uint32_t block);
+  void EliminatePhis();
+  void Coalesce();
+
+  std::uint32_t FreshName(std::uint32_t var) {
+    const std::uint32_t name = next_name_++;
+    width_of_[name] = info_.widths[var];
+    return name;
+  }
+
+  Function* func_;
+  SsaStats* stats_;
+  std::unique_ptr<Cfg> cfg_;
+  std::unique_ptr<Dominance> dom_;
+  VRegInfo info_;
+  std::unique_ptr<Liveness> liveness_;
+
+  std::map<std::uint32_t, std::vector<Phi>> phis_;  // block -> φs
+  std::vector<std::vector<std::uint32_t>> def_stack_;  // var -> name stack
+  std::uint32_t next_name_ = 0;
+  std::map<std::uint32_t, std::uint8_t> width_of_;
+};
+
+void SsaBuilder::PlacePhis() {
+  const std::uint32_t n = cfg_->NumBlocks();
+  // Def blocks per variable.
+  std::vector<std::set<std::uint32_t>> def_blocks(info_.num_vregs);
+  std::vector<std::uint32_t> scratch;
+  for (std::uint32_t bi = 0; bi < n; ++bi) {
+    const BasicBlock& block = cfg_->block(bi);
+    for (std::uint32_t i = block.begin; i < block.end; ++i) {
+      CollectDefs(func_->instrs[i], &scratch);
+      for (const std::uint32_t v : scratch) {
+        def_blocks[v].insert(bi);
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < info_.num_vregs; ++v) {
+    if (def_blocks[v].empty()) {
+      continue;
+    }
+    // Iterated dominance frontier worklist.
+    std::vector<std::uint32_t> work(def_blocks[v].begin(),
+                                    def_blocks[v].end());
+    std::set<std::uint32_t> has_phi;
+    while (!work.empty()) {
+      const std::uint32_t block = work.back();
+      work.pop_back();
+      for (const std::uint32_t frontier : dom_->Frontier(block)) {
+        if (has_phi.contains(frontier)) {
+          continue;
+        }
+        has_phi.insert(frontier);
+        // Pruning: only variables live into the join block need a φ.
+        if (!liveness_->LiveIn(frontier).Test(v)) {
+          ++stats_->phis_pruned;
+          continue;
+        }
+        Phi phi;
+        phi.var = v;
+        phi.width = info_.widths[v];
+        phi.srcs.assign(cfg_->block(frontier).preds.size(), UINT32_MAX);
+        phis_[frontier].push_back(phi);
+        ++stats_->phis_placed;
+        if (!def_blocks[v].contains(frontier)) {
+          work.push_back(frontier);
+        }
+      }
+    }
+  }
+}
+
+void SsaBuilder::Rename() {
+  next_name_ = info_.num_vregs;
+  for (std::uint32_t v = 0; v < info_.num_vregs; ++v) {
+    width_of_[v] = info_.widths[v];
+  }
+  def_stack_.assign(info_.num_vregs, {});
+  // Parameters enter live with their own ids; uses of never-defined
+  // variables also keep their ids (they read zero, same as before).
+  for (const Operand& param : func_->params) {
+    if (param.kind == OperandKind::kVReg) {
+      def_stack_[param.id].push_back(param.id);
+    }
+  }
+  RenameBlock(cfg_->entry());
+}
+
+void SsaBuilder::RenameBlock(std::uint32_t block) {
+  std::vector<std::pair<std::uint32_t, bool>> pushed;  // (var, pushed?)
+
+  // φ definitions first.
+  if (auto it = phis_.find(block); it != phis_.end()) {
+    for (Phi& phi : it->second) {
+      phi.dst = FreshName(phi.var);
+      def_stack_[phi.var].push_back(phi.dst);
+      pushed.emplace_back(phi.var, true);
+    }
+  }
+
+  const BasicBlock& bb = cfg_->block(block);
+  std::vector<std::uint32_t> scratch;
+  for (std::uint32_t i = bb.begin; i < bb.end; ++i) {
+    Instruction& instr = func_->instrs[i];
+    for (Operand& op : instr.srcs) {
+      if (op.kind == OperandKind::kVReg) {
+        const auto& stack = def_stack_[op.id];
+        if (!stack.empty()) {
+          op.id = stack.back();
+        }
+      }
+    }
+    for (Operand& op : instr.dsts) {
+      if (op.kind == OperandKind::kVReg) {
+        const std::uint32_t var = op.id;
+        const std::uint32_t name = FreshName(var);
+        def_stack_[var].push_back(name);
+        pushed.emplace_back(var, true);
+        op.id = name;
+      }
+    }
+  }
+
+  // Feed successor φs.
+  for (const std::uint32_t succ : bb.succs) {
+    const auto& preds = cfg_->block(succ).preds;
+    const std::size_t pred_index =
+        static_cast<std::size_t>(std::find(preds.begin(), preds.end(), block) -
+                                 preds.begin());
+    if (auto it = phis_.find(succ); it != phis_.end()) {
+      for (Phi& phi : it->second) {
+        const auto& stack = def_stack_[phi.var];
+        phi.srcs[pred_index] = stack.empty() ? phi.var : stack.back();
+      }
+    }
+  }
+
+  for (const std::uint32_t child : dom_->Children(block)) {
+    RenameBlock(child);
+  }
+
+  for (auto it = pushed.rbegin(); it != pushed.rend(); ++it) {
+    def_stack_[it->first].pop_back();
+  }
+}
+
+void SsaBuilder::EliminatePhis() {
+  if (phis_.empty()) {
+    return;
+  }
+  // Copies per edge: (pred block, succ block) -> parallel copy set.
+  struct EdgeCopies {
+    std::uint32_t pred;
+    std::uint32_t succ;
+    std::vector<std::pair<Operand, Operand>> copies;  // dst <- src
+  };
+  std::vector<EdgeCopies> edges;
+  for (auto& [block, phi_list] : phis_) {
+    const auto& preds = cfg_->block(block).preds;
+    for (std::size_t pi = 0; pi < preds.size(); ++pi) {
+      EdgeCopies edge;
+      edge.pred = preds[pi];
+      edge.succ = block;
+      for (const Phi& phi : phi_list) {
+        ORION_CHECK_MSG(phi.srcs[pi] != UINT32_MAX, "unfilled phi operand");
+        if (phi.srcs[pi] != phi.dst) {
+          edge.copies.emplace_back(Operand::VReg(phi.dst, phi.width),
+                                   Operand::VReg(phi.srcs[pi], phi.width));
+        }
+      }
+      if (!edge.copies.empty()) {
+        edges.push_back(std::move(edge));
+      }
+    }
+  }
+
+  // Sequentialize each parallel copy set (cycle-break with a temp).
+  auto sequentialize = [&](std::vector<std::pair<Operand, Operand>> copies) {
+    std::vector<Instruction> out;
+    while (!copies.empty()) {
+      bool progressed = false;
+      for (std::size_t i = 0; i < copies.size(); ++i) {
+        const Operand dst = copies[i].first;
+        bool dst_is_source = false;
+        for (std::size_t j = 0; j < copies.size(); ++j) {
+          if (j != i && copies[j].second.id == dst.id) {
+            dst_is_source = true;
+            break;
+          }
+        }
+        if (!dst_is_source) {
+          out.push_back(MakeMov(dst.id, copies[i].second.id, dst.width));
+          ++stats_->copies_inserted;
+          copies.erase(copies.begin() + i);
+          progressed = true;
+          break;
+        }
+      }
+      if (!progressed) {
+        // A cycle: park one source in a fresh temporary.
+        const Operand src = copies.front().second;
+        const std::uint32_t temp = next_name_++;
+        out.push_back(MakeMov(temp, src.id, src.width));
+        ++stats_->copies_inserted;
+        for (auto& [dst, s] : copies) {
+          if (s.id == src.id) {
+            s = Operand::VReg(temp, src.width);
+          }
+        }
+      }
+    }
+    return out;
+  };
+
+  // Physical insertion.  Every block now ends with an explicit
+  // terminator.  For a predecessor with a single successor, copies go
+  // right before its terminator; otherwise the edge is split with a
+  // trampoline block appended at the end of the function.
+  struct Insertion {
+    std::uint32_t index;                  // insert before this instruction
+    std::vector<Instruction> instrs;
+    // Whether labels pointing exactly at `index` shift past the new
+    // code.  False for edge copies inserted before a block's own
+    // terminator (entries through the label must execute them); true
+    // for the fall-through trampoline jump appended after a
+    // conditional (it belongs to the predecessor, not the next block).
+    bool shift_labels_at_index = false;
+  };
+  std::vector<Insertion> insertions;
+  std::vector<Instruction> trampolines;  // appended code
+  std::map<std::string, std::uint32_t> trampoline_labels;
+  std::uint32_t fresh = 0;
+
+  auto block_label = [&](std::uint32_t block) -> std::string {
+    const std::uint32_t begin = cfg_->block(block).begin;
+    for (const auto& [label, index] : func_->labels) {
+      if (index == begin) {
+        return label;
+      }
+    }
+    throw CompileError("ssa: successor block has no label");
+  };
+
+  for (EdgeCopies& edge : edges) {
+    const BasicBlock& pred = cfg_->block(edge.pred);
+    Instruction& term = func_->instrs[pred.end - 1];
+    if (pred.succs.size() == 1) {
+      Insertion ins;
+      ins.index = pred.end - 1;
+      ins.instrs = sequentialize(edge.copies);
+      insertions.push_back(std::move(ins));
+      continue;
+    }
+    // Conditional terminator: split the edge with a trampoline.
+    const std::string succ_label = block_label(edge.succ);
+    const std::string tramp_label =
+        StrFormat("ssa_edge%u_%u_%u", edge.pred, edge.succ, fresh++);
+    std::vector<Instruction> body = sequentialize(edge.copies);
+    Instruction bra;
+    bra.op = Opcode::kBra;
+    bra.target = succ_label;
+    body.push_back(bra);
+    // Which way does the edge leave the conditional?
+    ORION_CHECK(isa::IsBranch(term.op));
+    const std::uint32_t target_index = func_->labels.at(term.target);
+    const bool edge_is_taken = target_index == cfg_->block(edge.succ).begin;
+    if (edge_is_taken) {
+      term.target = tramp_label;
+    } else {
+      // The fall-through side: it is the explicit BRA right after the
+      // conditional?  MaterializeFallthroughs guarantees blocks end in
+      // terminators, and a conditional's block ends at the conditional,
+      // so the *next block* starts with the fall-through path.  Guard:
+      // retarget by inserting the trampoline as the new fall-through is
+      // not representable; instead the conditional's fall-through block
+      // head gets the copies via a trampoline jumped to from a fresh
+      // unconditional branch appended after the conditional.
+      Insertion ins;
+      ins.index = pred.end;
+      ins.shift_labels_at_index = true;
+      Instruction jump;
+      jump.op = Opcode::kBra;
+      jump.target = tramp_label;
+      ins.instrs.push_back(jump);
+      insertions.push_back(std::move(ins));
+    }
+    trampoline_labels.emplace(tramp_label,
+                              static_cast<std::uint32_t>(trampolines.size()));
+    for (Instruction& instr : body) {
+      trampolines.push_back(std::move(instr));
+    }
+  }
+
+  // Apply insertions back-to-front.
+  std::sort(insertions.begin(), insertions.end(),
+            [](const Insertion& a, const Insertion& b) {
+              return a.index > b.index;
+            });
+  for (Insertion& ins : insertions) {
+    func_->instrs.insert(func_->instrs.begin() + ins.index,
+                         ins.instrs.begin(), ins.instrs.end());
+    const std::uint32_t count = static_cast<std::uint32_t>(ins.instrs.size());
+    for (auto& [label, li] : func_->labels) {
+      (void)label;
+      if (li > ins.index || (li == ins.index && ins.shift_labels_at_index)) {
+        li += count;
+      }
+    }
+  }
+
+  // Append trampolines.
+  const std::uint32_t base = func_->NumInstrs();
+  for (const auto& [label, offset] : trampoline_labels) {
+    func_->labels.emplace(label, base + offset);
+  }
+  for (Instruction& instr : trampolines) {
+    func_->instrs.push_back(std::move(instr));
+  }
+}
+
+void SsaBuilder::Coalesce() {
+  // Conservative copy coalescing: merge MOV-related names while their
+  // merged live ranges stay interference-free.
+  const Cfg cfg = Cfg::Build(*func_);
+  const VRegInfo info = VRegInfo::Gather(*func_);
+  const Liveness liveness(cfg, info);
+  InterferenceGraph graph(cfg, liveness, info, nullptr);
+
+  // Union-find with explicit neighbor sets for incremental merging.
+  std::vector<std::uint32_t> parent(info.num_vregs);
+  for (std::uint32_t v = 0; v < info.num_vregs; ++v) {
+    parent[v] = v;
+  }
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t v) -> std::uint32_t {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  std::vector<std::set<std::uint32_t>> adj(info.num_vregs);
+  for (std::uint32_t v = 0; v < info.num_vregs; ++v) {
+    for (const std::uint32_t u : graph.Neighbors(v)) {
+      adj[v].insert(u);
+    }
+  }
+  // Parameters must keep their ids: never merge a param INTO another
+  // representative (merge the other name into the param instead).
+  std::vector<bool> is_param(info.num_vregs, false);
+  for (const Operand& param : func_->params) {
+    if (param.kind == OperandKind::kVReg) {
+      is_param[param.id] = true;
+    }
+  }
+
+  for (const Instruction& instr : func_->instrs) {
+    if (instr.op != Opcode::kMov || instr.srcs.size() != 1 ||
+        instr.srcs[0].kind != OperandKind::kVReg ||
+        instr.dsts[0].kind != OperandKind::kVReg) {
+      continue;
+    }
+    std::uint32_t a = find(instr.Dst().id);
+    std::uint32_t b = find(instr.srcs[0].id);
+    if (a == b || info.widths[instr.Dst().id] != info.widths[instr.srcs[0].id]) {
+      continue;
+    }
+    if (adj[a].contains(b)) {
+      continue;  // interfere: cannot merge
+    }
+    if (is_param[b] || (!is_param[a] && b < a)) {
+      std::swap(a, b);  // keep params / smaller ids as representative
+    }
+    if (is_param[a] && is_param[b]) {
+      continue;  // two distinct parameters never merge
+    }
+    // Merge b into a.
+    parent[b] = a;
+    for (const std::uint32_t u : adj[b]) {
+      adj[u].erase(b);
+      adj[u].insert(a);
+      adj[a].insert(u);
+    }
+    ++stats_->copies_coalesced;
+  }
+
+  // Rewrite operands and drop self-moves.
+  std::vector<Instruction> out;
+  out.reserve(func_->instrs.size());
+  std::vector<std::uint32_t> new_index(func_->NumInstrs() + 1, 0);
+  for (std::uint32_t i = 0; i < func_->NumInstrs(); ++i) {
+    new_index[i] = static_cast<std::uint32_t>(out.size());
+    Instruction instr = func_->instrs[i];
+    for (Operand& op : instr.dsts) {
+      if (op.kind == OperandKind::kVReg) {
+        op.id = find(op.id);
+      }
+    }
+    for (Operand& op : instr.srcs) {
+      if (op.kind == OperandKind::kVReg) {
+        op.id = find(op.id);
+      }
+    }
+    const bool self_move =
+        instr.op == Opcode::kMov && instr.srcs.size() == 1 &&
+        instr.srcs[0].kind == OperandKind::kVReg &&
+        instr.Dst().kind == OperandKind::kVReg &&
+        instr.Dst().id == instr.srcs[0].id;
+    if (!self_move) {
+      out.push_back(std::move(instr));
+    }
+  }
+  new_index[func_->NumInstrs()] = static_cast<std::uint32_t>(out.size());
+  for (auto& [label, index] : func_->labels) {
+    index = new_index[index];
+  }
+  func_->instrs = std::move(out);
+}
+
+}  // namespace
+
+SsaStats ConvertToSsaForm(isa::Function* func) {
+  SsaStats stats;
+  SsaBuilder builder(func, &stats);
+  builder.Run();
+  return stats;
+}
+
+}  // namespace orion::ir

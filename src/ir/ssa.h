@@ -1,0 +1,48 @@
+// Pruned SSA construction and destruction.
+//
+// The paper's middle end (Section 3.2): "We first represent a program in
+// the Static Single Assignment (SSA) form, in which every variable is
+// defined once and only once.  Then we generate the pruned SSA form to
+// eliminate φ functions.  Next we start assigning the pruned SSA
+// variables ..."
+//
+// This module implements that pipeline over virtual-register functions:
+//
+//   * φ placement at iterated dominance frontiers, *pruned* by liveness
+//     (a φ is placed only where the variable is live-in), and renaming
+//     along the dominator tree — the standard Cytron et al. algorithm;
+//   * φ elimination by inserting parallel copies at predecessor block
+//     ends, sequentialized with a cycle-breaking temporary, yielding a
+//     conventional (multi-def) program whose variables are the pruned
+//     SSA names;
+//   * a copy-coalescing cleanup that merges copy-related names whose
+//     live ranges do not interfere, removing most of the MOVs that φ
+//     elimination introduces.
+//
+// ConvertToSsaForm splits live ranges: after it, each variable has one
+// connected live range, which tightens the interference graph the
+// Fig. 4 allocator colors.  The compiler runs it when
+// AllocOptions::use_ssa is set (on by default via core::TuneOptions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::ir {
+
+struct SsaStats {
+  std::uint32_t phis_placed = 0;
+  std::uint32_t phis_pruned = 0;    // suppressed by liveness pruning
+  std::uint32_t copies_inserted = 0;
+  std::uint32_t copies_coalesced = 0;
+  std::uint32_t names_after = 0;
+};
+
+// Rewrites `func` through SSA: construct pruned SSA, eliminate φs with
+// parallel copies, coalesce.  The function stays a valid virtual-ISA
+// function (the verifier accepts it) and computes the same results.
+SsaStats ConvertToSsaForm(isa::Function* func);
+
+}  // namespace orion::ir

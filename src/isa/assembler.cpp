@@ -1,0 +1,437 @@
+#include "isa/assembler.h"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace orion::isa {
+
+namespace {
+
+std::string PrintOperand(const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kNone:
+      return "<none>";
+    case OperandKind::kVReg:
+      return op.width == 1 ? StrFormat("v%u", op.id)
+                           : StrFormat("v%u.%u", op.id, op.width);
+    case OperandKind::kPReg:
+      return op.width == 1 ? StrFormat("r%u", op.id)
+                           : StrFormat("r%u.%u", op.id, op.width);
+    case OperandKind::kImm:
+      return StrFormat("#%lld", static_cast<long long>(op.imm));
+    case OperandKind::kSpecial:
+      return SpecialRegName(op.sreg);
+  }
+  return "<bad>";
+}
+
+std::optional<MemSpace> MemSpaceFromSuffix(std::string_view suffix) {
+  if (suffix == "G") return MemSpace::kGlobal;
+  if (suffix == "S") return MemSpace::kShared;
+  if (suffix == "SP") return MemSpace::kSharedPriv;
+  if (suffix == "L") return MemSpace::kLocal;
+  if (suffix == "P") return MemSpace::kParam;
+  return std::nullopt;
+}
+
+[[noreturn]] void Fail(std::size_t line_no, const std::string& message) {
+  throw DecodeError(StrFormat("asm line %zu: %s", line_no, message.c_str()));
+}
+
+// Parses "v12.2", "r5", "#-3", "TID" etc.
+Operand ParseOperand(std::string_view token, std::size_t line_no) {
+  if (token.empty()) {
+    Fail(line_no, "empty operand");
+  }
+  if (token.front() == 'v' || token.front() == 'r') {
+    const bool physical = token.front() == 'r';
+    std::string_view body = token.substr(1);
+    std::uint8_t width = 1;
+    const std::size_t dot = body.find('.');
+    if (dot != std::string_view::npos) {
+      std::int64_t w = 0;
+      if (!ParseInt(body.substr(dot + 1), &w) || w < 1 || w > 4) {
+        Fail(line_no, "bad register width in '" + std::string(token) + "'");
+      }
+      width = static_cast<std::uint8_t>(w);
+      body = body.substr(0, dot);
+    }
+    std::int64_t id = 0;
+    if (!ParseInt(body, &id) || id < 0) {
+      Fail(line_no, "bad register id in '" + std::string(token) + "'");
+    }
+    return physical ? Operand::PReg(static_cast<std::uint32_t>(id), width)
+                    : Operand::VReg(static_cast<std::uint32_t>(id), width);
+  }
+  if (token.front() == '#') {
+    std::string_view body = token.substr(1);
+    if (StartsWith(body, "f:")) {
+      double value = 0;
+      if (!ParseDouble(body.substr(2), &value)) {
+        Fail(line_no, "bad float immediate '" + std::string(token) + "'");
+      }
+      return Operand::FImm(static_cast<float>(value));
+    }
+    std::int64_t value = 0;
+    if (!ParseInt(body, &value)) {
+      Fail(line_no, "bad immediate '" + std::string(token) + "'");
+    }
+    return Operand::Imm(value);
+  }
+  if (auto sreg = SpecialRegFromName(token)) {
+    return Operand::Special(*sreg);
+  }
+  Fail(line_no, "unrecognized operand '" + std::string(token) + "'");
+}
+
+}  // namespace
+
+std::string PrintInstruction(const Instruction& instr) {
+  std::ostringstream oss;
+  oss << OpcodeName(instr.op);
+  if (instr.op == Opcode::kSetp) {
+    oss << '.' << CmpKindName(instr.cmp);
+    if (instr.cmp_type == CmpType::kFloat) {
+      oss << ".F";
+    }
+  }
+  if (IsMemory(instr.op)) {
+    oss << '.' << MemSpaceSuffix(instr.space);
+  }
+  bool first = true;
+  auto emit = [&](const std::string& text) {
+    oss << (first ? " " : ", ") << text;
+    first = false;
+  };
+  if (instr.op == Opcode::kLd) {
+    emit(PrintOperand(instr.Dst()));
+    emit("[" + PrintOperand(instr.srcs[0]) + " + " + PrintOperand(instr.srcs[1]) + "]");
+  } else if (instr.op == Opcode::kSt) {
+    emit("[" + PrintOperand(instr.srcs[0]) + " + " + PrintOperand(instr.srcs[1]) + "]");
+    emit(PrintOperand(instr.srcs[2]));
+  } else if (instr.op == Opcode::kCal) {
+    oss << ' ' << instr.target << '(';
+    for (std::size_t i = 0; i < instr.srcs.size(); ++i) {
+      oss << (i == 0 ? "" : ", ") << PrintOperand(instr.srcs[i]);
+    }
+    oss << ')';
+    if (instr.HasDst()) {
+      oss << " -> " << PrintOperand(instr.Dst());
+    }
+    return oss.str();
+  } else {
+    for (const Operand& op : instr.dsts) {
+      emit(PrintOperand(op));
+    }
+    for (const Operand& op : instr.srcs) {
+      emit(PrintOperand(op));
+    }
+  }
+  if (!instr.target.empty()) {
+    emit(instr.target);
+  }
+  if (IsMemory(instr.op) && instr.space == MemSpace::kGlobal && instr.stride != 1) {
+    oss << " stride=" << instr.stride;
+  }
+  return oss.str();
+}
+
+std::string PrintModule(const Module& module) {
+  std::ostringstream oss;
+  oss << ".module " << module.name << '\n';
+  oss << ".launch blockdim=" << module.launch.block_dim
+      << " griddim=" << module.launch.grid_dim
+      << " params=" << module.launch.param_words << '\n';
+  oss << ".smem " << module.user_smem_bytes << '\n';
+  for (const Function& func : module.functions) {
+    oss << (func.is_kernel ? ".kernel " : ".func ") << func.name << '\n';
+    if (!func.params.empty()) {
+      oss << ".params";
+      for (std::size_t i = 0; i < func.params.size(); ++i) {
+        oss << (i == 0 ? " " : ", ") << PrintOperand(func.params[i]);
+      }
+      oss << '\n';
+    }
+    if (func.ret_width != 0) {
+      oss << ".ret " << static_cast<unsigned>(func.ret_width) << '\n';
+    }
+    // Invert the label map: instruction index -> labels.
+    std::multimap<std::uint32_t, std::string> by_index;
+    for (const auto& [label, index] : func.labels) {
+      by_index.emplace(index, label);
+    }
+    for (std::uint32_t i = 0; i <= func.NumInstrs(); ++i) {
+      auto [begin, end] = by_index.equal_range(i);
+      for (auto it = begin; it != end; ++it) {
+        oss << it->second << ":\n";
+      }
+      if (i < func.NumInstrs()) {
+        oss << "  " << PrintInstruction(func.instrs[i]) << '\n';
+      }
+    }
+    oss << ".end\n";
+  }
+  return oss.str();
+}
+
+Module ParseModule(std::string_view text) {
+  Module module;
+  Function* func = nullptr;
+  bool saw_module = false;
+
+  const std::vector<std::string_view> lines = SplitLines(text);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::size_t line_no = li + 1;
+    std::string_view line = lines[li];
+    const std::size_t comment = line.find(';');
+    if (comment != std::string_view::npos) {
+      line = line.substr(0, comment);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+
+    if (line.front() == '.') {
+      const std::vector<std::string_view> words = SplitTokens(line, " \t");
+      const std::string_view directive = words[0];
+      if (directive == ".module") {
+        if (words.size() != 2) Fail(line_no, ".module expects a name");
+        module.name = std::string(words[1]);
+        saw_module = true;
+      } else if (directive == ".launch") {
+        for (std::size_t i = 1; i < words.size(); ++i) {
+          const std::size_t eq = words[i].find('=');
+          if (eq == std::string_view::npos) Fail(line_no, "bad .launch parameter");
+          const std::string_view key = words[i].substr(0, eq);
+          std::int64_t value = 0;
+          if (!ParseInt(words[i].substr(eq + 1), &value) || value < 0) {
+            Fail(line_no, "bad .launch value");
+          }
+          if (key == "blockdim") {
+            module.launch.block_dim = static_cast<std::uint32_t>(value);
+          } else if (key == "griddim") {
+            module.launch.grid_dim = static_cast<std::uint32_t>(value);
+          } else if (key == "params") {
+            module.launch.param_words = static_cast<std::uint32_t>(value);
+          } else {
+            Fail(line_no, "unknown .launch key '" + std::string(key) + "'");
+          }
+        }
+      } else if (directive == ".smem") {
+        std::int64_t value = 0;
+        if (words.size() != 2 || !ParseInt(words[1], &value) || value < 0) {
+          Fail(line_no, ".smem expects a byte count");
+        }
+        module.user_smem_bytes = static_cast<std::uint32_t>(value);
+      } else if (directive == ".kernel" || directive == ".func") {
+        if (words.size() != 2) Fail(line_no, directive.data() + std::string(" expects a name"));
+        module.functions.emplace_back();
+        func = &module.functions.back();
+        func->name = std::string(words[1]);
+        func->is_kernel = directive == ".kernel";
+      } else if (directive == ".params") {
+        if (func == nullptr) Fail(line_no, ".params outside a function");
+        const std::string_view rest = Trim(line.substr(directive.size()));
+        for (std::string_view token : SplitTokens(rest, ", \t")) {
+          func->params.push_back(ParseOperand(token, line_no));
+        }
+      } else if (directive == ".ret") {
+        if (func == nullptr) Fail(line_no, ".ret outside a function");
+        std::int64_t value = 0;
+        if (words.size() != 2 || !ParseInt(words[1], &value) || value < 0 ||
+            value > 4) {
+          Fail(line_no, ".ret expects a width in [0,4]");
+        }
+        func->ret_width = static_cast<std::uint8_t>(value);
+      } else if (directive == ".end") {
+        func = nullptr;
+      } else {
+        Fail(line_no, "unknown directive '" + std::string(directive) + "'");
+      }
+      continue;
+    }
+
+    if (line.back() == ':') {
+      if (func == nullptr) Fail(line_no, "label outside a function");
+      const std::string label(Trim(line.substr(0, line.size() - 1)));
+      if (label.empty()) Fail(line_no, "empty label");
+      if (!func->labels.emplace(label, func->NumInstrs()).second) {
+        Fail(line_no, "duplicate label '" + label + "'");
+      }
+      continue;
+    }
+
+    if (func == nullptr) Fail(line_no, "instruction outside a function");
+
+    // Pull out a trailing "stride=N" annotation before tokenizing operands.
+    std::uint16_t stride = 1;
+    {
+      const std::size_t pos = line.rfind("stride=");
+      if (pos != std::string_view::npos) {
+        std::int64_t value = 0;
+        if (!ParseInt(Trim(line.substr(pos + 7)), &value) || value < 0 ||
+            value > 0xFFFF) {
+          Fail(line_no, "bad stride annotation");
+        }
+        stride = static_cast<std::uint16_t>(value);
+        line = Trim(line.substr(0, pos));
+      }
+    }
+
+    // Mnemonic (with dotted suffixes) is the first whitespace token.
+    const std::size_t sp = line.find_first_of(" \t");
+    const std::string_view mnemonic =
+        sp == std::string_view::npos ? line : line.substr(0, sp);
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : Trim(line.substr(sp));
+
+    std::vector<std::string_view> parts = SplitTokens(mnemonic, ".");
+    if (parts.empty()) Fail(line_no, "missing mnemonic");
+    const auto opcode = OpcodeFromName(parts[0]);
+    if (!opcode) Fail(line_no, "unknown opcode '" + std::string(parts[0]) + "'");
+
+    Instruction instr;
+    instr.op = *opcode;
+    instr.stride = stride;
+    if (instr.op == Opcode::kSetp) {
+      if (parts.size() < 2) Fail(line_no, "SETP requires a comparison suffix");
+      const auto cmp = CmpKindFromName(parts[1]);
+      if (!cmp) Fail(line_no, "bad comparison '" + std::string(parts[1]) + "'");
+      instr.cmp = *cmp;
+      if (parts.size() == 3 && parts[2] == "F") {
+        instr.cmp_type = CmpType::kFloat;
+      } else if (parts.size() > 2) {
+        Fail(line_no, "bad SETP suffix");
+      }
+    } else if (IsMemory(instr.op)) {
+      if (parts.size() != 2) Fail(line_no, "memory op requires a space suffix");
+      const auto space = MemSpaceFromSuffix(parts[1]);
+      if (!space) Fail(line_no, "bad memory space '" + std::string(parts[1]) + "'");
+      instr.space = *space;
+    } else if (parts.size() != 1) {
+      Fail(line_no, "unexpected mnemonic suffix");
+    }
+
+    // CAL uses call syntax: CAL callee(arg, ...) [-> dst].
+    if (instr.op == Opcode::kCal) {
+      const std::size_t open = rest.find('(');
+      const std::size_t close = rest.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open) {
+        Fail(line_no, "CAL expects callee(args...) [-> dst]");
+      }
+      instr.target = std::string(Trim(rest.substr(0, open)));
+      if (instr.target.empty()) Fail(line_no, "CAL missing callee name");
+      const std::string_view args = Trim(rest.substr(open + 1, close - open - 1));
+      for (std::string_view token : SplitTokens(args, ", \t")) {
+        instr.srcs.push_back(ParseOperand(token, line_no));
+      }
+      std::string_view tail = Trim(rest.substr(close + 1));
+      if (!tail.empty()) {
+        if (!StartsWith(tail, "->")) Fail(line_no, "bad CAL result syntax");
+        instr.dsts.push_back(ParseOperand(Trim(tail.substr(2)), line_no));
+      }
+      func->instrs.push_back(std::move(instr));
+      continue;
+    }
+
+    // Operand scanning.  Memory operands use bracket syntax, so handle
+    // brackets before falling back to comma-separated tokens.
+    std::vector<std::string> tokens;
+    {
+      std::string current;
+      int bracket_depth = 0;
+      for (const char c : rest) {
+        if (c == '[') ++bracket_depth;
+        if (c == ']') --bracket_depth;
+        if (c == ',' && bracket_depth == 0) {
+          tokens.emplace_back(Trim(current));
+          current.clear();
+        } else {
+          current.push_back(c);
+        }
+      }
+      if (!Trim(current).empty()) {
+        tokens.emplace_back(Trim(current));
+      }
+      if (bracket_depth != 0) Fail(line_no, "unbalanced brackets");
+    }
+
+    auto parse_address = [&](std::string_view token, Instruction* out) {
+      if (token.size() < 2 || token.front() != '[' || token.back() != ']') {
+        Fail(line_no, "expected [addr] operand, got '" + std::string(token) + "'");
+      }
+      const std::string_view inner = Trim(token.substr(1, token.size() - 2));
+      const std::size_t plus = inner.find('+');
+      if (plus == std::string_view::npos) {
+        out->srcs.push_back(ParseOperand(Trim(inner), line_no));
+        out->srcs.push_back(Operand::Imm(0));
+      } else {
+        out->srcs.push_back(ParseOperand(Trim(inner.substr(0, plus)), line_no));
+        out->srcs.push_back(ParseOperand(Trim(inner.substr(plus + 1)), line_no));
+      }
+    };
+
+    switch (instr.op) {
+      case Opcode::kLd: {
+        if (tokens.size() != 2) Fail(line_no, "LD expects dst, [addr]");
+        instr.dsts.push_back(ParseOperand(tokens[0], line_no));
+        parse_address(tokens[1], &instr);
+        break;
+      }
+      case Opcode::kSt: {
+        if (tokens.size() != 2) Fail(line_no, "ST expects [addr], value");
+        parse_address(tokens[0], &instr);
+        instr.srcs.push_back(ParseOperand(tokens[1], line_no));
+        break;
+      }
+      case Opcode::kBra: {
+        if (tokens.size() != 1) Fail(line_no, "BRA expects a label");
+        instr.target = tokens[0];
+        break;
+      }
+      case Opcode::kBrz:
+      case Opcode::kBrnz: {
+        if (tokens.size() != 2) Fail(line_no, "conditional branch expects cond, label");
+        instr.srcs.push_back(ParseOperand(tokens[0], line_no));
+        instr.target = tokens[1];
+        break;
+      }
+      case Opcode::kRet: {
+        if (tokens.size() > 1) Fail(line_no, "RET takes at most one value");
+        if (tokens.size() == 1) {
+          instr.srcs.push_back(ParseOperand(tokens[0], line_no));
+        }
+        break;
+      }
+      case Opcode::kExit:
+      case Opcode::kBar:
+      case Opcode::kNop: {
+        if (!tokens.empty()) Fail(line_no, "unexpected operands");
+        break;
+      }
+      default: {
+        // Generic ALU form: dst, src...
+        if (tokens.empty()) Fail(line_no, "missing operands");
+        instr.dsts.push_back(ParseOperand(tokens[0], line_no));
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          instr.srcs.push_back(ParseOperand(tokens[i], line_no));
+        }
+        break;
+      }
+    }
+    func->instrs.push_back(std::move(instr));
+  }
+
+  if (!saw_module) {
+    throw DecodeError("assembly text missing .module directive");
+  }
+  return module;
+}
+
+}  // namespace orion::isa

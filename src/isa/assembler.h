@@ -1,0 +1,40 @@
+// Textual assembly for the Orion virtual ISA.
+//
+// The Orion compiler front end in the paper converts a GPU binary into
+// assembly text, analyzes it, transforms it, and the back end encodes it
+// back to binary.  This module provides the text layer: a printer
+// (disassembler) and a parser (assembler) with exact round-trip fidelity.
+//
+// Grammar (line oriented; '#' introduces immediates, ';' comments):
+//
+//   .module <name>
+//   .launch blockdim=<n> griddim=<n> params=<n>
+//   .smem <bytes>
+//   .kernel <name> | .func <name>
+//   <label>:
+//   <MNEMONIC>[.<suffixes>] operands...
+//   .end
+//
+// Operands:  vN[.w]  rN[.w]  #int  #0xhex  #f:float  TID|BID|BDIM|...
+// Memory:    LD.<space> dst, [addr + #off] [stride=<n>]
+//            ST.<space> [addr + #off], value [stride=<n>]
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/isa.h"
+
+namespace orion::isa {
+
+// Render a whole module as assembly text.
+std::string PrintModule(const Module& module);
+
+// Render a single instruction (no trailing newline).
+std::string PrintInstruction(const Instruction& instr);
+
+// Parse assembly text into a module.  Throws DecodeError on malformed
+// input with a line-number diagnostic.
+Module ParseModule(std::string_view text);
+
+}  // namespace orion::isa

@@ -1,0 +1,278 @@
+#include "isa/binary.h"
+
+#include <cstring>
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace orion::isa {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x56435542;  // "VCUB"
+constexpr std::uint16_t kVersion = 3;
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { bytes_.push_back(v); }
+  void U16(std::uint16_t v) {
+    U8(static_cast<std::uint8_t>(v));
+    U8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void U32(std::uint32_t v) {
+    U16(static_cast<std::uint16_t>(v));
+    U16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t U8() {
+    Need(1);
+    return bytes_[pos_++];
+  }
+  std::uint16_t U16() {
+    const std::uint16_t lo = U8();
+    return static_cast<std::uint16_t>(lo | (U8() << 8));
+  }
+  std::uint32_t U32() {
+    const std::uint32_t lo = U16();
+    return lo | (static_cast<std::uint32_t>(U16()) << 16);
+  }
+  std::uint64_t U64() {
+    const std::uint64_t lo = U32();
+    return lo | (static_cast<std::uint64_t>(U32()) << 32);
+  }
+  std::string Str() {
+    const std::uint32_t len = U32();
+    Need(len);
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return out;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  void Need(std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      throw DecodeError("truncated virtual binary");
+    }
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+void EncodeOperand(const Operand& op, Writer* w) {
+  w->U8(static_cast<std::uint8_t>(op.kind));
+  switch (op.kind) {
+    case OperandKind::kNone:
+      break;
+    case OperandKind::kVReg:
+    case OperandKind::kPReg:
+      w->U32(op.id);
+      w->U8(op.width);
+      break;
+    case OperandKind::kImm:
+      w->U64(static_cast<std::uint64_t>(op.imm));
+      break;
+    case OperandKind::kSpecial:
+      w->U8(static_cast<std::uint8_t>(op.sreg));
+      break;
+  }
+}
+
+Operand DecodeOperand(Reader* r) {
+  const std::uint8_t raw_kind = r->U8();
+  if (raw_kind > static_cast<std::uint8_t>(OperandKind::kSpecial)) {
+    throw DecodeError("bad operand kind " + std::to_string(raw_kind));
+  }
+  Operand op;
+  op.kind = static_cast<OperandKind>(raw_kind);
+  switch (op.kind) {
+    case OperandKind::kNone:
+      break;
+    case OperandKind::kVReg:
+    case OperandKind::kPReg: {
+      op.id = r->U32();
+      op.width = r->U8();
+      if (op.width < 1 || op.width > 4) {
+        throw DecodeError("bad operand width " + std::to_string(op.width));
+      }
+      break;
+    }
+    case OperandKind::kImm:
+      op.imm = static_cast<std::int64_t>(r->U64());
+      break;
+    case OperandKind::kSpecial: {
+      const std::uint8_t raw = r->U8();
+      if (raw > static_cast<std::uint8_t>(SpecialReg::kWarpId)) {
+        throw DecodeError("bad special register " + std::to_string(raw));
+      }
+      op.sreg = static_cast<SpecialReg>(raw);
+      break;
+    }
+  }
+  return op;
+}
+
+void EncodeInstruction(const Instruction& instr, Writer* w) {
+  w->U8(static_cast<std::uint8_t>(instr.op));
+  w->U8(static_cast<std::uint8_t>(instr.space));
+  w->U8(static_cast<std::uint8_t>(instr.cmp));
+  w->U8(static_cast<std::uint8_t>(instr.cmp_type));
+  w->U16(instr.stride);
+  w->U8(static_cast<std::uint8_t>(instr.dsts.size()));
+  w->U8(static_cast<std::uint8_t>(instr.srcs.size()));
+  for (const Operand& op : instr.dsts) {
+    EncodeOperand(op, w);
+  }
+  for (const Operand& op : instr.srcs) {
+    EncodeOperand(op, w);
+  }
+  w->Str(instr.target);
+}
+
+Instruction DecodeInstruction(Reader* r) {
+  Instruction instr;
+  const std::uint8_t raw_op = r->U8();
+  if (raw_op >= static_cast<std::uint8_t>(Opcode::kOpcodeCount)) {
+    throw DecodeError("bad opcode " + std::to_string(raw_op));
+  }
+  instr.op = static_cast<Opcode>(raw_op);
+  const std::uint8_t raw_space = r->U8();
+  if (raw_space > static_cast<std::uint8_t>(MemSpace::kParam)) {
+    throw DecodeError("bad memory space " + std::to_string(raw_space));
+  }
+  instr.space = static_cast<MemSpace>(raw_space);
+  const std::uint8_t raw_cmp = r->U8();
+  if (raw_cmp > static_cast<std::uint8_t>(CmpKind::kGt)) {
+    throw DecodeError("bad comparison kind " + std::to_string(raw_cmp));
+  }
+  instr.cmp = static_cast<CmpKind>(raw_cmp);
+  const std::uint8_t raw_cmp_type = r->U8();
+  if (raw_cmp_type > static_cast<std::uint8_t>(CmpType::kFloat)) {
+    throw DecodeError("bad comparison type " + std::to_string(raw_cmp_type));
+  }
+  instr.cmp_type = static_cast<CmpType>(raw_cmp_type);
+  instr.stride = r->U16();
+  const std::uint8_t nd = r->U8();
+  const std::uint8_t ns = r->U8();
+  for (std::uint8_t i = 0; i < nd; ++i) {
+    instr.dsts.push_back(DecodeOperand(r));
+  }
+  for (std::uint8_t i = 0; i < ns; ++i) {
+    instr.srcs.push_back(DecodeOperand(r));
+  }
+  instr.target = r->Str();
+  return instr;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeModule(const Module& module) {
+  Writer w;
+  w.U32(kMagic);
+  w.U16(kVersion);
+  w.Str(module.name);
+  w.U32(module.launch.block_dim);
+  w.U32(module.launch.grid_dim);
+  w.U32(module.launch.param_words);
+  w.U32(module.user_smem_bytes);
+  w.U32(module.usage.regs_per_thread);
+  w.U32(module.usage.local_slots_per_thread);
+  w.U32(module.usage.spriv_slots_per_thread);
+  w.U32(module.usage.user_smem_bytes_per_block);
+  w.U32(static_cast<std::uint32_t>(module.functions.size()));
+  for (const Function& func : module.functions) {
+    w.Str(func.name);
+    w.U8(func.is_kernel ? 1 : 0);
+    w.U8(func.allocated ? 1 : 0);
+    w.U8(func.ret_width);
+    w.U8(static_cast<std::uint8_t>(func.params.size()));
+    for (const Operand& param : func.params) {
+      EncodeOperand(param, &w);
+    }
+    w.U32(func.frame_regs);
+    w.U32(static_cast<std::uint32_t>(func.labels.size()));
+    for (const auto& [label, index] : func.labels) {
+      w.Str(label);
+      w.U32(index);
+    }
+    w.U32(func.NumInstrs());
+    for (const Instruction& instr : func.instrs) {
+      EncodeInstruction(instr, &w);
+    }
+  }
+  return w.Take();
+}
+
+Module DecodeModule(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.U32() != kMagic) {
+    throw DecodeError("bad virtual binary magic");
+  }
+  const std::uint16_t version = r.U16();
+  if (version != kVersion) {
+    throw DecodeError(StrFormat("unsupported binary version %u", version));
+  }
+  Module module;
+  module.name = r.Str();
+  module.launch.block_dim = r.U32();
+  module.launch.grid_dim = r.U32();
+  module.launch.param_words = r.U32();
+  module.user_smem_bytes = r.U32();
+  module.usage.regs_per_thread = r.U32();
+  module.usage.local_slots_per_thread = r.U32();
+  module.usage.spriv_slots_per_thread = r.U32();
+  module.usage.user_smem_bytes_per_block = r.U32();
+  const std::uint32_t num_functions = r.U32();
+  for (std::uint32_t fi = 0; fi < num_functions; ++fi) {
+    Function func;
+    func.name = r.Str();
+    func.is_kernel = r.U8() != 0;
+    func.allocated = r.U8() != 0;
+    func.ret_width = r.U8();
+    const std::uint8_t num_params = r.U8();
+    for (std::uint8_t pi = 0; pi < num_params; ++pi) {
+      func.params.push_back(DecodeOperand(&r));
+    }
+    func.frame_regs = r.U32();
+    const std::uint32_t num_labels = r.U32();
+    for (std::uint32_t li = 0; li < num_labels; ++li) {
+      const std::string label = r.Str();
+      const std::uint32_t index = r.U32();
+      func.labels.emplace(label, index);
+    }
+    const std::uint32_t num_instrs = r.U32();
+    for (std::uint32_t ii = 0; ii < num_instrs; ++ii) {
+      func.instrs.push_back(DecodeInstruction(&r));
+    }
+    for (const auto& [label, index] : func.labels) {
+      if (index > func.NumInstrs()) {
+        throw DecodeError("label '" + label + "' out of range");
+      }
+    }
+    module.functions.push_back(std::move(func));
+  }
+  if (!r.AtEnd()) {
+    throw DecodeError("trailing bytes in virtual binary");
+  }
+  return module;
+}
+
+}  // namespace orion::isa

@@ -1,0 +1,24 @@
+// Virtual GPU binary ("VCUB") encoder/decoder.
+//
+// Plays the role asfermi plays in the paper: the Orion front end takes a
+// GPU binary file as input and decodes it; the back end re-encodes the
+// transformed program.  The format is a compact little-endian
+// serialization with a string table, a header carrying launch geometry
+// and resource usage, and variable-length instruction records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::isa {
+
+// Serialize a module to a binary image.
+std::vector<std::uint8_t> EncodeModule(const Module& module);
+
+// Deserialize.  Throws DecodeError on corrupt input (bad magic, truncated
+// records, out-of-range enums, dangling string references).
+Module DecodeModule(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace orion::isa

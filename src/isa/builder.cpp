@@ -1,0 +1,320 @@
+#include "isa/builder.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "isa/verifier.h"
+
+namespace orion::isa {
+
+Function& FunctionBuilder::func() {
+  return parent_->module_.functions[func_index_];
+}
+
+Operand FunctionBuilder::NewReg(std::uint8_t width) {
+  ORION_CHECK(width >= 1 && width <= 4);
+  return Operand::VReg(parent_->next_vreg_++, width);
+}
+
+std::string FunctionBuilder::NewLabel(const std::string& hint) {
+  return StrFormat("%s%d_%s", hint.c_str(), next_label_++, func().name.c_str());
+}
+
+void FunctionBuilder::Bind(const std::string& label) {
+  pending_labels_.push_back(label);
+}
+
+std::uint32_t FunctionBuilder::Emit(Instruction instr) {
+  Function& f = func();
+  const std::uint32_t index = f.NumInstrs();
+  for (const std::string& label : pending_labels_) {
+    ORION_CHECK_MSG(f.labels.emplace(label, index).second,
+                    "duplicate label " + label);
+  }
+  pending_labels_.clear();
+  f.instrs.push_back(std::move(instr));
+  return index;
+}
+
+Operand FunctionBuilder::EmitAlu(Opcode op, std::uint8_t width,
+                                 std::vector<Operand> srcs) {
+  Instruction instr;
+  instr.op = op;
+  const Operand dst = NewReg(width);
+  instr.dsts.push_back(dst);
+  instr.srcs = std::move(srcs);
+  Emit(std::move(instr));
+  return dst;
+}
+
+Operand FunctionBuilder::Mov(Operand src, std::uint8_t width) {
+  const std::uint8_t w = src.IsReg() ? src.width : width;
+  return EmitAlu(Opcode::kMov, w, {src});
+}
+
+Operand FunctionBuilder::IAdd(Operand a, Operand b) { return EmitAlu(Opcode::kIAdd, 1, {a, b}); }
+Operand FunctionBuilder::ISub(Operand a, Operand b) { return EmitAlu(Opcode::kISub, 1, {a, b}); }
+Operand FunctionBuilder::IMul(Operand a, Operand b) { return EmitAlu(Opcode::kIMul, 1, {a, b}); }
+Operand FunctionBuilder::IMad(Operand a, Operand b, Operand c) {
+  return EmitAlu(Opcode::kIMad, 1, {a, b, c});
+}
+Operand FunctionBuilder::IMin(Operand a, Operand b) { return EmitAlu(Opcode::kIMin, 1, {a, b}); }
+Operand FunctionBuilder::IMax(Operand a, Operand b) { return EmitAlu(Opcode::kIMax, 1, {a, b}); }
+Operand FunctionBuilder::And(Operand a, Operand b) { return EmitAlu(Opcode::kAnd, 1, {a, b}); }
+Operand FunctionBuilder::Or(Operand a, Operand b) { return EmitAlu(Opcode::kOr, 1, {a, b}); }
+Operand FunctionBuilder::Xor(Operand a, Operand b) { return EmitAlu(Opcode::kXor, 1, {a, b}); }
+Operand FunctionBuilder::Shl(Operand a, Operand b) { return EmitAlu(Opcode::kShl, 1, {a, b}); }
+Operand FunctionBuilder::Shr(Operand a, Operand b) { return EmitAlu(Opcode::kShr, 1, {a, b}); }
+Operand FunctionBuilder::FAdd(Operand a, Operand b) { return EmitAlu(Opcode::kFAdd, 1, {a, b}); }
+Operand FunctionBuilder::FMul(Operand a, Operand b) { return EmitAlu(Opcode::kFMul, 1, {a, b}); }
+Operand FunctionBuilder::FFma(Operand a, Operand b, Operand c) {
+  return EmitAlu(Opcode::kFFma, 1, {a, b, c});
+}
+Operand FunctionBuilder::FMin(Operand a, Operand b) { return EmitAlu(Opcode::kFMin, 1, {a, b}); }
+Operand FunctionBuilder::FMax(Operand a, Operand b) { return EmitAlu(Opcode::kFMax, 1, {a, b}); }
+Operand FunctionBuilder::FSqrt(Operand a) { return EmitAlu(Opcode::kFSqrt, 1, {a}); }
+Operand FunctionBuilder::FRcp(Operand a) { return EmitAlu(Opcode::kFRcp, 1, {a}); }
+Operand FunctionBuilder::FExp(Operand a) { return EmitAlu(Opcode::kFExp, 1, {a}); }
+
+Operand FunctionBuilder::Setp(CmpKind cmp, Operand a, Operand b, CmpType type) {
+  Instruction instr;
+  instr.op = Opcode::kSetp;
+  instr.cmp = cmp;
+  instr.cmp_type = type;
+  const Operand dst = NewReg(1);
+  instr.dsts.push_back(dst);
+  instr.srcs = {a, b};
+  Emit(std::move(instr));
+  return dst;
+}
+
+Operand FunctionBuilder::Sel(Operand cond, Operand a, Operand b) {
+  return EmitAlu(Opcode::kSel, a.IsReg() ? a.width : 1, {cond, a, b});
+}
+
+Operand FunctionBuilder::S2R(SpecialReg sreg) {
+  return EmitAlu(Opcode::kS2R, 1, {Operand::Special(sreg)});
+}
+
+Operand FunctionBuilder::FAddW(Operand a, Operand b, std::uint8_t width) {
+  return EmitAlu(Opcode::kFAdd, width, {a, b});
+}
+
+Operand FunctionBuilder::FMulW(Operand a, Operand b, std::uint8_t width) {
+  return EmitAlu(Opcode::kFMul, width, {a, b});
+}
+
+Operand FunctionBuilder::LdGlobal(Operand addr, std::int64_t offset_bytes,
+                                  std::uint8_t width, std::uint16_t stride) {
+  Instruction instr;
+  instr.op = Opcode::kLd;
+  instr.space = MemSpace::kGlobal;
+  instr.stride = stride;
+  const Operand dst = NewReg(width);
+  instr.dsts.push_back(dst);
+  instr.srcs = {addr, Operand::Imm(offset_bytes)};
+  Emit(std::move(instr));
+  return dst;
+}
+
+void FunctionBuilder::StGlobal(Operand addr, std::int64_t offset_bytes,
+                               Operand value, std::uint16_t stride) {
+  Instruction instr;
+  instr.op = Opcode::kSt;
+  instr.space = MemSpace::kGlobal;
+  instr.stride = stride;
+  instr.srcs = {addr, Operand::Imm(offset_bytes), value};
+  Emit(std::move(instr));
+}
+
+Operand FunctionBuilder::LdShared(Operand addr, std::int64_t offset_bytes,
+                                  std::uint8_t width) {
+  Instruction instr;
+  instr.op = Opcode::kLd;
+  instr.space = MemSpace::kShared;
+  const Operand dst = NewReg(width);
+  instr.dsts.push_back(dst);
+  instr.srcs = {addr, Operand::Imm(offset_bytes)};
+  Emit(std::move(instr));
+  return dst;
+}
+
+void FunctionBuilder::StShared(Operand addr, std::int64_t offset_bytes,
+                               Operand value) {
+  Instruction instr;
+  instr.op = Opcode::kSt;
+  instr.space = MemSpace::kShared;
+  instr.srcs = {addr, Operand::Imm(offset_bytes), value};
+  Emit(std::move(instr));
+}
+
+Operand FunctionBuilder::LdParam(std::uint32_t index) {
+  Instruction instr;
+  instr.op = Opcode::kLd;
+  instr.space = MemSpace::kParam;
+  const Operand dst = NewReg(1);
+  instr.dsts.push_back(dst);
+  instr.srcs = {Operand::Imm(index), Operand::Imm(0)};
+  Emit(std::move(instr));
+  return dst;
+}
+
+void FunctionBuilder::Bra(const std::string& label) {
+  Instruction instr;
+  instr.op = Opcode::kBra;
+  instr.target = label;
+  Emit(std::move(instr));
+}
+
+void FunctionBuilder::Brz(Operand cond, const std::string& label) {
+  Instruction instr;
+  instr.op = Opcode::kBrz;
+  instr.srcs = {cond};
+  instr.target = label;
+  Emit(std::move(instr));
+}
+
+void FunctionBuilder::Brnz(Operand cond, const std::string& label) {
+  Instruction instr;
+  instr.op = Opcode::kBrnz;
+  instr.srcs = {cond};
+  instr.target = label;
+  Emit(std::move(instr));
+}
+
+Operand FunctionBuilder::Call(const std::string& callee,
+                              std::initializer_list<Operand> args,
+                              std::uint8_t ret_width) {
+  Instruction instr;
+  instr.op = Opcode::kCal;
+  instr.target = callee;
+  instr.srcs.assign(args.begin(), args.end());
+  Operand dst;
+  if (ret_width > 0) {
+    dst = NewReg(ret_width);
+    instr.dsts.push_back(dst);
+  }
+  Emit(std::move(instr));
+  return dst;
+}
+
+void FunctionBuilder::CallVoid(const std::string& callee,
+                               std::initializer_list<Operand> args) {
+  Call(callee, args, 0);
+}
+
+void FunctionBuilder::Ret() {
+  Instruction instr;
+  instr.op = Opcode::kRet;
+  Emit(std::move(instr));
+}
+
+void FunctionBuilder::Ret(Operand value) {
+  Instruction instr;
+  instr.op = Opcode::kRet;
+  instr.srcs = {value};
+  Emit(std::move(instr));
+}
+
+void FunctionBuilder::Exit() {
+  Instruction instr;
+  instr.op = Opcode::kExit;
+  Emit(std::move(instr));
+}
+
+void FunctionBuilder::Bar() {
+  Instruction instr;
+  instr.op = Opcode::kBar;
+  Emit(std::move(instr));
+}
+
+FunctionBuilder::Loop FunctionBuilder::LoopBegin(Operand begin, Operand end,
+                                                 Operand step) {
+  Loop loop;
+  loop.induction = Mov(begin, 1);
+  loop.bound = end.IsReg() ? end : Mov(end, 1);
+  loop.step_val = step.IsReg() ? step : Mov(step, 1);
+  loop.head = NewLabel("loop");
+  loop.exit = NewLabel("exit");
+  Bind(loop.head);
+  const Operand cond = Setp(CmpKind::kLt, loop.induction, loop.bound);
+  Brz(cond, loop.exit);
+  return loop;
+}
+
+void FunctionBuilder::LoopEnd(Loop& loop) {
+  // induction += step; loop back.  The Mov-free in-place add keeps the
+  // induction variable a single long-lived virtual register.
+  Instruction add;
+  add.op = Opcode::kIAdd;
+  add.dsts.push_back(loop.induction);
+  add.srcs = {loop.induction, loop.step_val};
+  Emit(std::move(add));
+  Bra(loop.head);
+  Bind(loop.exit);
+}
+
+ModuleBuilder::ModuleBuilder(std::string name) { module_.name = std::move(name); }
+
+void ModuleBuilder::SetLaunch(std::uint32_t block_dim, std::uint32_t grid_dim,
+                              std::uint32_t param_words) {
+  module_.launch.block_dim = block_dim;
+  module_.launch.grid_dim = grid_dim;
+  module_.launch.param_words = param_words;
+}
+
+void ModuleBuilder::SetUserSmemBytes(std::uint32_t bytes) {
+  module_.user_smem_bytes = bytes;
+}
+
+FunctionBuilder ModuleBuilder::AddKernel(const std::string& name) {
+  Function func;
+  func.name = name;
+  func.is_kernel = true;
+  module_.functions.push_back(std::move(func));
+  return FunctionBuilder(this, module_.functions.size() - 1);
+}
+
+FunctionBuilder ModuleBuilder::AddFunction(
+    const std::string& name, const std::vector<std::uint8_t>& param_widths,
+    std::uint8_t ret_width, std::vector<Operand>* params_out) {
+  Function func;
+  func.name = name;
+  func.is_kernel = false;
+  func.ret_width = ret_width;
+  for (const std::uint8_t width : param_widths) {
+    func.params.push_back(Operand::VReg(next_vreg_++, width));
+  }
+  if (params_out != nullptr) {
+    *params_out = func.params;
+  }
+  module_.functions.push_back(std::move(func));
+  return FunctionBuilder(this, module_.functions.size() - 1);
+}
+
+Module ModuleBuilder::Build() {
+  VerifyModuleOrThrow(module_);
+  return std::move(module_);
+}
+
+std::string AddFdivIntrinsic(ModuleBuilder& mb) {
+  const std::string name = "__fdiv";
+  if (mb.module().FindFunction(name) != nullptr) {
+    return name;
+  }
+  std::vector<Operand> params;
+  FunctionBuilder fb = mb.AddFunction(name, {1, 1}, 1, &params);
+  // q = a * rcp(b), one Newton-Raphson refinement:
+  //   r = rcp(b); r = r * (2 - b * r); q = a * r
+  const Operand a = params[0];
+  const Operand b = params[1];
+  const Operand r0 = fb.FRcp(b);
+  const Operand br = fb.FMul(b, r0);
+  const Operand two_minus = fb.FAdd(Operand::FImm(2.0f),
+                                    fb.FMul(br, Operand::FImm(-1.0f)));
+  const Operand r1 = fb.FMul(r0, two_minus);
+  const Operand q = fb.FMul(a, r1);
+  fb.Ret(q);
+  return name;
+}
+
+}  // namespace orion::isa

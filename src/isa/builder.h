@@ -1,0 +1,145 @@
+// Fluent construction of virtual-ISA modules.
+//
+// Used by the synthetic workload library and by tests to write kernels
+// the way one writes CUDA: values are opaque handles (virtual registers),
+// control flow is expressed with labels, and calls are expressed against
+// function signatures.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::isa {
+
+class ModuleBuilder;
+
+// Builds one function.  Obtain via ModuleBuilder::AddKernel/AddFunction.
+class FunctionBuilder {
+ public:
+  using V = Operand;
+
+  // Fresh virtual register of the given width (in 32-bit words).
+  V NewReg(std::uint8_t width = 1);
+
+  // Label management.  NewLabel only reserves a name; Bind attaches it to
+  // the next emitted instruction.
+  std::string NewLabel(const std::string& hint = "L");
+  void Bind(const std::string& label);
+
+  // Raw emission (returns the instruction index).
+  std::uint32_t Emit(Instruction instr);
+
+  // ALU helpers; each returns the destination handle.
+  V Mov(V src, std::uint8_t width = 1);
+  V IAdd(V a, V b);
+  V ISub(V a, V b);
+  V IMul(V a, V b);
+  V IMad(V a, V b, V c);
+  V IMin(V a, V b);
+  V IMax(V a, V b);
+  V And(V a, V b);
+  V Or(V a, V b);
+  V Xor(V a, V b);
+  V Shl(V a, V b);
+  V Shr(V a, V b);
+  V FAdd(V a, V b);
+  V FMul(V a, V b);
+  V FFma(V a, V b, V c);
+  V FMin(V a, V b);
+  V FMax(V a, V b);
+  V FSqrt(V a);
+  V FRcp(V a);
+  V FExp(V a);
+  V Setp(CmpKind cmp, V a, V b, CmpType type = CmpType::kInt);
+  V Sel(V cond, V a, V b);
+  V S2R(SpecialReg sreg);
+
+  // Wide-register variants of binary float ops (element-wise SIMD).
+  V FAddW(V a, V b, std::uint8_t width);
+  V FMulW(V a, V b, std::uint8_t width);
+
+  // Memory.
+  V LdGlobal(V addr, std::int64_t offset_bytes, std::uint8_t width = 1,
+             std::uint16_t stride = 1);
+  void StGlobal(V addr, std::int64_t offset_bytes, V value,
+                std::uint16_t stride = 1);
+  V LdShared(V addr, std::int64_t offset_bytes, std::uint8_t width = 1);
+  void StShared(V addr, std::int64_t offset_bytes, V value);
+  V LdParam(std::uint32_t index);
+
+  // Control flow.
+  void Bra(const std::string& label);
+  void Brz(V cond, const std::string& label);
+  void Brnz(V cond, const std::string& label);
+  V Call(const std::string& callee, std::initializer_list<V> args,
+         std::uint8_t ret_width = 0);
+  void CallVoid(const std::string& callee, std::initializer_list<V> args);
+  void Ret();
+  void Ret(V value);
+  void Exit();
+  void Bar();
+
+  // Structured counted loop: i from `begin` to `end` (exclusive) step
+  // `step`.  Returns the induction variable; the body runs between
+  // LoopBegin and LoopEnd.
+  struct Loop {
+    V induction;
+    std::string head;
+    std::string exit;
+    V bound;
+    V step_val;
+  };
+  Loop LoopBegin(V begin, V end, V step);
+  void LoopEnd(Loop& loop);
+
+ private:
+  friend class ModuleBuilder;
+  FunctionBuilder(ModuleBuilder* parent, std::size_t func_index)
+      : parent_(parent), func_index_(func_index) {}
+
+  V EmitAlu(Opcode op, std::uint8_t width, std::vector<V> srcs);
+  Function& func();
+
+  ModuleBuilder* parent_;
+  std::size_t func_index_;  // stable across module_.functions growth
+  std::vector<std::string> pending_labels_;
+  int next_label_ = 0;
+};
+
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name);
+
+  // Launch geometry for the kernel.
+  void SetLaunch(std::uint32_t block_dim, std::uint32_t grid_dim,
+                 std::uint32_t param_words = 8);
+  void SetUserSmemBytes(std::uint32_t bytes);
+
+  FunctionBuilder AddKernel(const std::string& name);
+  FunctionBuilder AddFunction(const std::string& name,
+                              const std::vector<std::uint8_t>& param_widths,
+                              std::uint8_t ret_width,
+                              std::vector<Operand>* params_out);
+
+  // Finalize: flush pending labels, verify, and return the module.
+  Module Build();
+
+  // Access during construction (for tests).
+  Module& module() { return module_; }
+
+ private:
+  friend class FunctionBuilder;
+  Module module_;
+  std::uint32_t next_vreg_ = 0;
+};
+
+// Adds the floating point division intrinsic `__fdiv(a, b)` (Newton
+// refinement around FRCP) to the module and returns its name.  SASS
+// implements float division as a function call; workloads that divide
+// call this to get the paper-faithful static call sites.
+std::string AddFdivIntrinsic(ModuleBuilder& mb);
+
+}  // namespace orion::isa

@@ -1,0 +1,216 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace orion::isa {
+
+Operand Operand::VReg(std::uint32_t id, std::uint8_t width) {
+  Operand op;
+  op.kind = OperandKind::kVReg;
+  op.id = id;
+  op.width = width;
+  return op;
+}
+
+Operand Operand::PReg(std::uint32_t id, std::uint8_t width) {
+  Operand op;
+  op.kind = OperandKind::kPReg;
+  op.id = id;
+  op.width = width;
+  return op;
+}
+
+Operand Operand::Imm(std::int64_t value) {
+  Operand op;
+  op.kind = OperandKind::kImm;
+  op.imm = value;
+  return op;
+}
+
+Operand Operand::FImm(float value) {
+  Operand op;
+  op.kind = OperandKind::kImm;
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  op.imm = static_cast<std::int64_t>(bits);
+  return op;
+}
+
+Operand Operand::Special(SpecialReg sreg) {
+  Operand op;
+  op.kind = OperandKind::kSpecial;
+  op.sreg = sreg;
+  return op;
+}
+
+bool Operand::operator==(const Operand& other) const {
+  if (kind != other.kind) {
+    return false;
+  }
+  switch (kind) {
+    case OperandKind::kNone:
+      return true;
+    case OperandKind::kVReg:
+    case OperandKind::kPReg:
+      return id == other.id && width == other.width;
+    case OperandKind::kImm:
+      return imm == other.imm;
+    case OperandKind::kSpecial:
+      return sreg == other.sreg;
+  }
+  return false;
+}
+
+bool IsBranch(Opcode op) {
+  return op == Opcode::kBra || op == Opcode::kBrz || op == Opcode::kBrnz;
+}
+
+bool IsTerminator(Opcode op) {
+  return IsBranch(op) || op == Opcode::kRet || op == Opcode::kExit;
+}
+
+bool IsMemory(Opcode op) { return op == Opcode::kLd || op == Opcode::kSt; }
+
+bool IsSfu(Opcode op) {
+  return op == Opcode::kFSqrt || op == Opcode::kFRcp || op == Opcode::kFExp;
+}
+
+namespace {
+
+constexpr std::array<const char*, static_cast<std::size_t>(Opcode::kOpcodeCount)>
+    kOpcodeNames = {
+        "NOP",  "MOV",  "IADD", "ISUB", "IMUL", "IMAD", "IMIN", "IMAX",
+        "AND",  "OR",   "XOR",  "SHL",  "SHR",  "FADD", "FMUL", "FFMA",
+        "FMIN", "FMAX", "FSQRT", "FRCP", "FEXP", "SETP", "SEL",  "S2R",
+        "LD",   "ST",   "BRA",  "BRZ",  "BRNZ", "CAL",  "RET",  "EXIT",
+        "BAR",
+};
+
+constexpr std::array<const char*, 6> kSpecialNames = {
+    "TID", "BID", "BDIM", "GDIM", "LANE", "WARP",
+};
+
+constexpr std::array<const char*, 6> kCmpNames = {
+    "LT", "LE", "EQ", "NE", "GE", "GT",
+};
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  ORION_CHECK(idx < kOpcodeNames.size());
+  return kOpcodeNames[idx];
+}
+
+std::optional<Opcode> OpcodeFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kOpcodeNames.size(); ++i) {
+    if (name == kOpcodeNames[i]) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const char* SpecialRegName(SpecialReg sreg) {
+  return kSpecialNames[static_cast<std::size_t>(sreg)];
+}
+
+std::optional<SpecialReg> SpecialRegFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kSpecialNames.size(); ++i) {
+    if (name == kSpecialNames[i]) {
+      return static_cast<SpecialReg>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const char* CmpKindName(CmpKind cmp) {
+  return kCmpNames[static_cast<std::size_t>(cmp)];
+}
+
+std::optional<CmpKind> CmpKindFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kCmpNames.size(); ++i) {
+    if (name == kCmpNames[i]) {
+      return static_cast<CmpKind>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const char* MemSpaceSuffix(MemSpace space) {
+  switch (space) {
+    case MemSpace::kGlobal:
+      return "G";
+    case MemSpace::kShared:
+      return "S";
+    case MemSpace::kSharedPriv:
+      return "SP";
+    case MemSpace::kLocal:
+      return "L";
+    case MemSpace::kParam:
+      return "P";
+  }
+  return "?";
+}
+
+Function* Module::FindFunction(std::string_view fname) {
+  for (Function& func : functions) {
+    if (func.name == fname) {
+      return &func;
+    }
+  }
+  return nullptr;
+}
+
+const Function* Module::FindFunction(std::string_view fname) const {
+  for (const Function& func : functions) {
+    if (func.name == fname) {
+      return &func;
+    }
+  }
+  return nullptr;
+}
+
+Function& Module::Kernel() {
+  for (Function& func : functions) {
+    if (func.is_kernel) {
+      return func;
+    }
+  }
+  throw CompileError("module '" + name + "' has no kernel function");
+}
+
+const Function& Module::Kernel() const {
+  for (const Function& func : functions) {
+    if (func.is_kernel) {
+      return func;
+    }
+  }
+  throw CompileError("module '" + name + "' has no kernel function");
+}
+
+std::uint32_t MaxVRegId(const Function& func) {
+  std::uint32_t max_id = 0;
+  bool any = false;
+  for (const Instruction& instr : func.instrs) {
+    for (const Operand& op : instr.dsts) {
+      if (op.kind == OperandKind::kVReg) {
+        max_id = std::max(max_id, op.id);
+        any = true;
+      }
+    }
+    for (const Operand& op : instr.srcs) {
+      if (op.kind == OperandKind::kVReg) {
+        max_id = std::max(max_id, op.id);
+        any = true;
+      }
+    }
+  }
+  return any ? max_id + 1 : 0;
+}
+
+}  // namespace orion::isa

@@ -1,0 +1,241 @@
+// The Orion virtual GPU ISA.
+//
+// Orion (Middleware'16) performs occupancy tuning by rewriting GPU
+// *binary* code (SASS), using the asfermi encoder/decoder.  This
+// reproduction defines a self-contained SASS-like virtual ISA with the
+// properties the paper's compiler depends on:
+//
+//   * flat register-based instructions over 32-bit register words,
+//   * wide variables (64/96/128-bit) that must occupy aligned,
+//     consecutive 32-bit registers after allocation,
+//   * explicit memory spaces: global, user shared memory, per-thread
+//     local memory (spill space, backed by L1), per-thread *private
+//     shared-memory slots* (the re-homed spills of Hayes & Zhang [11]),
+//     and kernel parameters,
+//   * procedure calls (CAL/RET) — including intrinsic calls such as
+//     floating point division, which SASS implements as a call,
+//   * block-wide barriers and SIMT launch geometry.
+//
+// Programs exist in two register states: *virtual* (unbounded vN ids,
+// produced by the front end) and *physical* (rN ids, produced by the
+// allocator).  The same containers hold both; Function::allocated says
+// which state a function is in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace orion::isa {
+
+// ---------------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------------
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kMov,   // dst = src
+  // Integer ALU.
+  kIAdd,  // dst = a + b
+  kISub,  // dst = a - b
+  kIMul,  // dst = a * b
+  kIMad,  // dst = a * b + c
+  kIMin,  // dst = min(a, b)
+  kIMax,  // dst = max(a, b)
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  // Float ALU (operands are 32-bit float bit patterns).
+  kFAdd,
+  kFMul,
+  kFFma,  // dst = a * b + c
+  kFMin,
+  kFMax,
+  kFSqrt,  // dst = sqrt(a); long-latency SFU op
+  kFRcp,   // dst = 1/a; long-latency SFU op
+  kFExp,   // dst = exp2(a); long-latency SFU op
+  // Comparison / select.  kSetp writes 0/1 into a 1-word register.
+  kSetp,
+  kSel,  // dst = cond ? a : b
+  // Special register read.
+  kS2R,
+  // Memory.  Space given by Instruction::space.
+  kLd,
+  kSt,
+  // Control flow.
+  kBra,   // unconditional, target label
+  kBrz,   // branch if src == 0
+  kBrnz,  // branch if src != 0
+  kCal,   // call: srcs = arguments, dsts = optional result, target = callee.
+          // The allocator lowers argument/result passing to physical moves.
+  kRet,   // return from device function; srcs = optional returned value
+  kExit,  // terminate kernel thread
+  kBar,   // block-wide barrier
+  kOpcodeCount,
+};
+
+// Comparison kinds for kSetp (stored in Instruction::cmp).
+enum class CmpKind : std::uint8_t { kLt, kLe, kEq, kNe, kGe, kGt };
+
+// Integer vs float compare for kSetp.
+enum class CmpType : std::uint8_t { kInt, kFloat };
+
+// Memory spaces.
+enum class MemSpace : std::uint8_t {
+  kGlobal = 0,  // off-chip DRAM through L1(configurable)/L2
+  kShared,      // user-managed shared memory, address operand
+  kSharedPriv,  // per-thread private shared-memory slot (immediate slot id)
+  kLocal,       // per-thread local-memory slot (immediate slot id; L1-cached)
+  kParam,       // kernel parameter word (immediate index)
+};
+
+// Special registers readable via kS2R.
+enum class SpecialReg : std::uint8_t {
+  kTid = 0,   // thread index within block (1-D model)
+  kBid,       // block index within grid
+  kBlockDim,  // threads per block
+  kGridDim,   // blocks per grid
+  kLane,      // lane within warp
+  kWarpId,    // warp index within block
+};
+
+// Lane access-pattern for global memory operations: lane l of a warp
+// accesses (base + l * stride_words * 4) bytes.  kScatterStride marks a
+// data-dependent scatter (graph workloads): the simulator derives per-lane
+// cache lines pseudo-randomly from the base address.
+inline constexpr std::uint16_t kScatterStride = 0xFFFF;
+
+// ---------------------------------------------------------------------------
+// Operands
+// ---------------------------------------------------------------------------
+
+enum class OperandKind : std::uint8_t {
+  kNone = 0,
+  kVReg,     // virtual register, unbounded id
+  kPReg,     // physical register word index (first of `width` words)
+  kImm,      // 64-bit signed immediate
+  kSpecial,  // special register name (kS2R source)
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::kNone;
+  std::uint32_t id = 0;     // vreg id or first physical register word
+  std::uint8_t width = 1;   // in 32-bit words: 1, 2, 3 or 4
+  std::int64_t imm = 0;     // kImm payload
+  SpecialReg sreg = SpecialReg::kTid;
+
+  static Operand VReg(std::uint32_t id, std::uint8_t width = 1);
+  static Operand PReg(std::uint32_t id, std::uint8_t width = 1);
+  static Operand Imm(std::int64_t value);
+  static Operand FImm(float value);  // float bit pattern as immediate
+  static Operand Special(SpecialReg sreg);
+
+  bool IsReg() const {
+    return kind == OperandKind::kVReg || kind == OperandKind::kPReg;
+  }
+  bool operator==(const Operand& other) const;
+};
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::vector<Operand> dsts;  // 0 or 1 entries
+  std::vector<Operand> srcs;
+
+  MemSpace space = MemSpace::kGlobal;  // for kLd/kSt
+  CmpKind cmp = CmpKind::kLt;          // for kSetp
+  CmpType cmp_type = CmpType::kInt;    // for kSetp
+  std::uint16_t stride = 1;            // lane stride for global kLd/kSt
+  std::string target;                  // label (branches) or callee (kCal)
+
+  bool HasDst() const { return !dsts.empty(); }
+  const Operand& Dst() const { return dsts.front(); }
+  Operand& Dst() { return dsts.front(); }
+};
+
+// Opcode classification helpers.
+bool IsBranch(Opcode op);             // kBra/kBrz/kBrnz
+bool IsTerminator(Opcode op);         // branches + kRet/kExit
+bool IsMemory(Opcode op);             // kLd/kSt
+bool IsSfu(Opcode op);                // kFSqrt/kFRcp/kFExp
+const char* OpcodeName(Opcode op);
+std::optional<Opcode> OpcodeFromName(std::string_view name);
+const char* SpecialRegName(SpecialReg sreg);
+std::optional<SpecialReg> SpecialRegFromName(std::string_view name);
+const char* CmpKindName(CmpKind cmp);
+std::optional<CmpKind> CmpKindFromName(std::string_view name);
+const char* MemSpaceSuffix(MemSpace space);
+
+// ---------------------------------------------------------------------------
+// Functions and modules
+// ---------------------------------------------------------------------------
+
+// Resource usage of an *allocated* function/kernel, filled in by the
+// register allocator and consumed by the occupancy calculator and
+// simulator.
+struct ResourceUsage {
+  std::uint32_t regs_per_thread = 0;        // physical 32-bit registers
+  std::uint32_t local_slots_per_thread = 0; // 4-byte local memory slots
+  std::uint32_t spriv_slots_per_thread = 0; // 4-byte private smem slots
+  std::uint32_t user_smem_bytes_per_block = 0;
+
+  std::uint32_t SmemBytesPerThread() const { return spriv_slots_per_thread * 4; }
+};
+
+struct Function {
+  std::string name;
+  bool is_kernel = false;
+  bool allocated = false;  // false: vregs; true: pregs + spill slots
+  // Device-function parameters: virtual registers live on entry, filled
+  // by the caller.  The allocator pre-colors them to the first slots of
+  // the callee frame (in declaration order, width-aligned).  Kernels
+  // take no parameters (they read launch parameters via LD.P).
+  std::vector<Operand> params;
+  // Width in words of the returned value (0 for void).  A returning
+  // function ends each path with `RET v`; the allocated form delivers
+  // the value through the module-wide ABI scratch registers.
+  std::uint8_t ret_width = 0;
+  std::vector<Instruction> instrs;
+  // Label -> index of the instruction the label precedes.  A label at
+  // instrs.size() marks the function end (allowed as a branch target for
+  // fall-off exits).
+  std::map<std::string, std::uint32_t> labels;
+
+  // Number of contiguous physical register slots this function's body
+  // uses *itself* (excluding callees); filled by the allocator.
+  std::uint32_t frame_regs = 0;
+
+  std::uint32_t NumInstrs() const { return static_cast<std::uint32_t>(instrs.size()); }
+};
+
+struct LaunchInfo {
+  std::uint32_t block_dim = 256;   // threads per block
+  std::uint32_t grid_dim = 64;     // blocks per grid
+  std::uint32_t param_words = 8;   // kernel parameter size
+};
+
+struct Module {
+  std::string name;
+  std::vector<Function> functions;
+  LaunchInfo launch;
+  std::uint32_t user_smem_bytes = 0;  // static __shared__ allocation per block
+  ResourceUsage usage;                // valid once the kernel is allocated
+
+  Function* FindFunction(std::string_view fname);
+  const Function* FindFunction(std::string_view fname) const;
+  // The unique kernel entry.  Throws CompileError if absent.
+  Function& Kernel();
+  const Function& Kernel() const;
+};
+
+// Highest virtual register id used in the function plus one (0 if none).
+std::uint32_t MaxVRegId(const Function& func);
+
+}  // namespace orion::isa

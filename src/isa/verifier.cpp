@@ -1,0 +1,337 @@
+#include "isa/verifier.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace orion::isa {
+
+namespace {
+
+// Alignment requirement for a wide register operand: 64-bit values on
+// even registers, 96/128-bit on multiples of four (NVIDIA rule).
+std::uint32_t WidthAlignment(std::uint8_t width) {
+  if (width >= 3) return 4;
+  return width;
+}
+
+class Verifier {
+ public:
+  Verifier(const Module& module, const VerifyOptions& options)
+      : module_(module), options_(options) {}
+
+  std::vector<std::string> Run() {
+    int kernels = 0;
+    for (const Function& func : module_.functions) {
+      kernels += func.is_kernel ? 1 : 0;
+    }
+    if (kernels != 1) {
+      Report("module", "expected exactly one kernel, found %d", kernels);
+    }
+    std::set<std::string> names;
+    for (const Function& func : module_.functions) {
+      if (!names.insert(func.name).second) {
+        Report(func.name.c_str(), "duplicate function name");
+      }
+    }
+    for (const Function& func : module_.functions) {
+      CheckFunction(func);
+    }
+    CheckCallGraphAcyclic();
+    return std::move(failures_);
+  }
+
+ private:
+  void Report(const char* where, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4))) {
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    failures_.push_back(std::string(where) + ": " + buf);
+  }
+
+  void CheckOperandState(const Function& func, const Operand& op,
+                         const char* where) {
+    if (op.kind == OperandKind::kVReg && func.allocated) {
+      Report(func.name.c_str(), "%s: virtual register in allocated function", where);
+    }
+    if (op.kind == OperandKind::kPReg && !func.allocated) {
+      Report(func.name.c_str(), "%s: physical register in unallocated function", where);
+    }
+    if (op.IsReg()) {
+      if (op.width < 1 || op.width > 4) {
+        Report(func.name.c_str(), "%s: bad register width %u", where, op.width);
+      }
+      if (op.kind == OperandKind::kPReg) {
+        if (op.id % WidthAlignment(op.width) != 0) {
+          Report(func.name.c_str(), "%s: misaligned wide register r%u.%u", where,
+                 op.id, op.width);
+        }
+        if (options_.reg_budget != 0 && op.id + op.width > options_.reg_budget) {
+          Report(func.name.c_str(), "%s: r%u.%u exceeds register budget %u",
+                 where, op.id, op.width, options_.reg_budget);
+        }
+      }
+    }
+  }
+
+  void CheckFunction(const Function& func) {
+    if (func.instrs.empty()) {
+      Report(func.name.c_str(), "empty function");
+      return;
+    }
+    if (func.is_kernel && !func.params.empty()) {
+      Report(func.name.c_str(), "kernels take no parameters");
+    }
+    for (const Operand& param : func.params) {
+      if (param.kind != OperandKind::kVReg && !func.allocated) {
+        Report(func.name.c_str(), "parameter must be a virtual register");
+      }
+    }
+    for (const auto& [label, index] : func.labels) {
+      if (index > func.NumInstrs()) {
+        Report(func.name.c_str(), "label '%s' out of range", label.c_str());
+      }
+    }
+    if (!IsTerminator(func.instrs.back().op)) {
+      Report(func.name.c_str(), "function does not end with a terminator");
+    }
+
+    for (std::uint32_t i = 0; i < func.NumInstrs(); ++i) {
+      const Instruction& instr = func.instrs[i];
+      const std::string where = StrFormat("instr %u (%s)", i, OpcodeName(instr.op));
+      for (const Operand& op : instr.dsts) {
+        CheckOperandState(func, op, where.c_str());
+        if (!op.IsReg()) {
+          Report(func.name.c_str(), "%s: destination must be a register",
+                 where.c_str());
+        }
+      }
+      for (const Operand& op : instr.srcs) {
+        CheckOperandState(func, op, where.c_str());
+      }
+      CheckShape(func, instr, where.c_str());
+    }
+  }
+
+  void CheckShape(const Function& func, const Instruction& instr,
+                  const char* where) {
+    auto expect = [&](bool ok, const char* what) {
+      if (!ok) {
+        Report(func.name.c_str(), "%s: %s", where, what);
+      }
+    };
+    switch (instr.op) {
+      case Opcode::kNop:
+      case Opcode::kBar:
+        expect(instr.dsts.empty() && instr.srcs.empty(), "expects no operands");
+        break;
+      case Opcode::kExit:
+        expect(instr.dsts.empty() && instr.srcs.empty(), "expects no operands");
+        expect(func.is_kernel || func.allocated,
+               "EXIT only allowed in kernel functions");
+        break;
+      case Opcode::kMov:
+        expect(instr.dsts.size() == 1 && instr.srcs.size() == 1,
+               "expects dst, src");
+        break;
+      case Opcode::kIAdd:
+      case Opcode::kISub:
+      case Opcode::kIMul:
+      case Opcode::kIMin:
+      case Opcode::kIMax:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kFAdd:
+      case Opcode::kFMul:
+      case Opcode::kFMin:
+      case Opcode::kFMax:
+        expect(instr.dsts.size() == 1 && instr.srcs.size() == 2,
+               "expects dst, a, b");
+        break;
+      case Opcode::kIMad:
+      case Opcode::kFFma:
+        expect(instr.dsts.size() == 1 && instr.srcs.size() == 3,
+               "expects dst, a, b, c");
+        break;
+      case Opcode::kFSqrt:
+      case Opcode::kFRcp:
+      case Opcode::kFExp:
+        expect(instr.dsts.size() == 1 && instr.srcs.size() == 1,
+               "expects dst, src");
+        break;
+      case Opcode::kSetp:
+        expect(instr.dsts.size() == 1 && instr.srcs.size() == 2,
+               "expects dst, a, b");
+        if (!instr.dsts.empty()) {
+          expect(instr.Dst().width == 1, "predicate register must be 1 word");
+        }
+        break;
+      case Opcode::kSel:
+        expect(instr.dsts.size() == 1 && instr.srcs.size() == 3,
+               "expects dst, cond, a, b");
+        break;
+      case Opcode::kS2R:
+        expect(instr.dsts.size() == 1 && instr.srcs.size() == 1 &&
+                   instr.srcs[0].kind == OperandKind::kSpecial,
+               "expects dst, special-register");
+        break;
+      case Opcode::kLd:
+      case Opcode::kSt: {
+        const bool is_load = instr.op == Opcode::kLd;
+        const std::size_t want_srcs = is_load ? 2 : 3;
+        expect(instr.dsts.size() == (is_load ? 1u : 0u) &&
+                   instr.srcs.size() == want_srcs,
+               "bad memory operand shape");
+        if (instr.srcs.size() == want_srcs) {
+          const Operand& addr = instr.srcs[0];
+          const Operand& offset = instr.srcs[1];
+          expect(offset.kind == OperandKind::kImm, "offset must be immediate");
+          switch (instr.space) {
+            case MemSpace::kGlobal:
+            case MemSpace::kShared:
+              expect(addr.IsReg() && addr.width == 1,
+                     "global/shared address must be a 1-word register");
+              break;
+            case MemSpace::kSharedPriv:
+            case MemSpace::kLocal:
+            case MemSpace::kParam:
+              expect(addr.kind == OperandKind::kImm,
+                     "slot-space address must be an immediate slot index");
+              expect(instr.space != MemSpace::kParam || is_load,
+                     "parameter space is read-only");
+              break;
+          }
+        }
+        break;
+      }
+      case Opcode::kBra:
+      case Opcode::kBrz:
+      case Opcode::kBrnz: {
+        expect(instr.dsts.empty(), "branch has no destination");
+        expect(instr.op == Opcode::kBra ? instr.srcs.empty()
+                                        : instr.srcs.size() == 1,
+               "bad branch operand count");
+        if (!func.labels.contains(instr.target)) {
+          Report(func.name.c_str(), "%s: unknown label '%s'", where,
+                 instr.target.c_str());
+        }
+        break;
+      }
+      case Opcode::kCal: {
+        const Function* callee = module_.FindFunction(instr.target);
+        if (callee == nullptr) {
+          Report(func.name.c_str(), "%s: unknown callee '%s'", where,
+                 instr.target.c_str());
+          break;
+        }
+        expect(!callee->is_kernel, "cannot call a kernel");
+        if (!func.allocated) {
+          expect(instr.srcs.size() == callee->params.size(),
+                 "argument count mismatch");
+          for (std::size_t i = 0;
+               i < std::min(instr.srcs.size(), callee->params.size()); ++i) {
+            const std::uint8_t want = callee->params[i].width;
+            const std::uint8_t got =
+                instr.srcs[i].IsReg() ? instr.srcs[i].width : 1;
+            if (want != got) {
+              Report(func.name.c_str(), "%s: argument %zu width %u != %u", where,
+                     i, got, want);
+            }
+          }
+          if (callee->ret_width == 0) {
+            expect(instr.dsts.empty(), "void callee cannot produce a result");
+          } else if (instr.dsts.size() == 1) {
+            expect(instr.Dst().width == callee->ret_width,
+                   "result width mismatch");
+          }
+        }
+        break;
+      }
+      case Opcode::kRet: {
+        expect(!func.is_kernel, "RET not allowed in kernels (use EXIT)");
+        if (!func.allocated) {
+          if (func.ret_width == 0) {
+            expect(instr.srcs.empty(), "void function cannot return a value");
+          } else {
+            expect(instr.srcs.size() == 1, "function must return its value");
+            if (instr.srcs.size() == 1 && instr.srcs[0].IsReg()) {
+              expect(instr.srcs[0].width == func.ret_width,
+                     "return width mismatch");
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void CheckCallGraphAcyclic() {
+    // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+    std::map<std::string, int> color;
+    std::function<void(const Function&)> dfs = [&](const Function& func) {
+      color[func.name] = 1;
+      for (const Instruction& instr : func.instrs) {
+        if (instr.op != Opcode::kCal) {
+          continue;
+        }
+        const Function* callee = module_.FindFunction(instr.target);
+        if (callee == nullptr) {
+          continue;  // reported elsewhere
+        }
+        const int c = color[callee->name];
+        if (c == 1) {
+          Report(func.name.c_str(), "recursive call chain through '%s'",
+                 callee->name.c_str());
+        } else if (c == 0) {
+          dfs(*callee);
+        }
+      }
+      color[func.name] = 2;
+    };
+    for (const Function& func : module_.functions) {
+      if (color[func.name] == 0) {
+        dfs(func);
+      }
+    }
+  }
+
+  const Module& module_;
+  const VerifyOptions& options_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace
+
+std::vector<std::string> VerifyModule(const Module& module,
+                                      const VerifyOptions& options) {
+  return Verifier(module, options).Run();
+}
+
+void VerifyModuleOrThrow(const Module& module, const VerifyOptions& options) {
+  const std::vector<std::string> failures = VerifyModule(module, options);
+  if (failures.empty()) {
+    return;
+  }
+  std::ostringstream oss;
+  oss << "module '" << module.name << "' failed verification:";
+  for (const std::string& failure : failures) {
+    oss << "\n  " << failure;
+  }
+  throw CompileError(oss.str());
+}
+
+}  // namespace orion::isa

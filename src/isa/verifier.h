@@ -1,0 +1,31 @@
+// Structural verification of virtual-ISA modules.
+//
+// The verifier enforces the invariants the compiler passes rely on:
+// operand shapes per opcode, resolvable branch targets, an acyclic call
+// graph (GPU device functions may not recurse under the compressible
+// stack discipline), terminated control flow, and — for allocated
+// functions — physical register bounds and wide-register alignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::isa {
+
+struct VerifyOptions {
+  // When set, allocated functions are additionally checked against this
+  // register budget (operand id + width <= budget).
+  std::uint32_t reg_budget = 0;
+};
+
+// Returns the list of verification failures (empty means the module is
+// well formed).  Each entry is a human-readable diagnostic.
+std::vector<std::string> VerifyModule(const Module& module,
+                                      const VerifyOptions& options = {});
+
+// Convenience wrapper: throws CompileError listing all failures.
+void VerifyModuleOrThrow(const Module& module, const VerifyOptions& options = {});
+
+}  // namespace orion::isa

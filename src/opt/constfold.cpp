@@ -1,0 +1,137 @@
+#include <map>
+
+#include "ir/cfg.h"
+#include "ir/dominance.h"
+#include "opt/passes.h"
+#include "sim/exec.h"
+
+namespace orion::opt {
+
+namespace {
+
+// Immediate value of an operand if it is a constant.
+bool ImmOf(const isa::Instruction& instr, std::size_t src_index,
+           std::uint32_t* out) {
+  const isa::Operand& op = instr.srcs[src_index];
+  if (op.kind != isa::OperandKind::kImm) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(op.imm);
+  return true;
+}
+
+}  // namespace
+
+PassStats FoldConstants(isa::Function* func) {
+  PassStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Single-definition immediates: vreg -> (constant, def index).  A
+    // substitution is only legal where the definition dominates the
+    // use (a use reached before the def reads zero, not the constant).
+    const ir::Cfg cfg = ir::Cfg::Build(*func);
+    const ir::Dominance dom(cfg);
+    std::map<std::uint32_t, std::uint32_t> def_count;
+    std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> constant;
+    for (const isa::Instruction& instr : func->instrs) {
+      for (const isa::Operand& dst : instr.dsts) {
+        if (dst.kind == isa::OperandKind::kVReg) {
+          ++def_count[dst.id];
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < func->NumInstrs(); ++i) {
+      const isa::Instruction& instr = func->instrs[i];
+      if (instr.op == isa::Opcode::kMov && instr.HasDst() &&
+          instr.Dst().kind == isa::OperandKind::kVReg &&
+          instr.Dst().width == 1 &&
+          instr.srcs[0].kind == isa::OperandKind::kImm &&
+          def_count[instr.Dst().id] == 1) {
+        constant[instr.Dst().id] = {
+            static_cast<std::uint32_t>(instr.srcs[0].imm), i};
+      }
+    }
+    auto def_dominates_use = [&](std::uint32_t def_index,
+                                 std::uint32_t use_index) {
+      const std::uint32_t db = cfg.BlockOf(def_index);
+      const std::uint32_t ub = cfg.BlockOf(use_index);
+      if (db == ub) {
+        return def_index < use_index;
+      }
+      return dom.Dominates(db, ub);
+    };
+
+    for (std::uint32_t ii = 0; ii < func->NumInstrs(); ++ii) {
+      isa::Instruction& instr = func->instrs[ii];
+      // Propagate known constants into width-1 register sources (not
+      // into destinations, addresses stay registers where required —
+      // the verifier's operand-shape rules are respected by only
+      // substituting where an immediate is legal).
+      const bool memory_op = isa::IsMemory(instr.op);
+      for (std::size_t si = 0; si < instr.srcs.size(); ++si) {
+        isa::Operand& op = instr.srcs[si];
+        if (op.kind != isa::OperandKind::kVReg || op.width != 1) {
+          continue;
+        }
+        const auto it = constant.find(op.id);
+        if (it == constant.end() || !def_dominates_use(it->second.second, ii)) {
+          continue;
+        }
+        // Address operands of global/shared accesses must stay
+        // registers (verifier operand-shape rules).
+        if (memory_op && si == 0) {
+          continue;
+        }
+        op = isa::Operand::Imm(static_cast<std::int64_t>(it->second.first));
+        changed = true;
+      }
+
+      // Fold pure-constant ALU instructions into a MOV.
+      if (!sim::IsAluClass(instr.op) || instr.op == isa::Opcode::kMov ||
+          !instr.HasDst() || instr.Dst().width != 1) {
+        continue;
+      }
+      bool all_const = true;
+      for (std::size_t si = 0; si < instr.srcs.size() && all_const; ++si) {
+        std::uint32_t unused;
+        all_const = ImmOf(instr, si, &unused);
+      }
+      if (!all_const) {
+        continue;
+      }
+      const std::uint32_t value = sim::EvalAluWord(
+          instr, 0, [&](std::size_t si, std::uint8_t) {
+            std::uint32_t v = 0;
+            ImmOf(instr, si, &v);
+            return v;
+          });
+      isa::Instruction mov;
+      mov.op = isa::Opcode::kMov;
+      mov.dsts = instr.dsts;
+      mov.srcs = {isa::Operand::Imm(static_cast<std::int64_t>(value))};
+      instr = std::move(mov);
+      ++stats.folded_instructions;
+      changed = true;
+    }
+  }
+  return stats;
+}
+
+PassStats OptimizeFunction(isa::Function* func, bool unroll,
+                           const UnrollOptions& options) {
+  PassStats total;
+  if (unroll) {
+    const PassStats u = UnrollLoops(func, options);
+    total.unrolled_loops += u.unrolled_loops;
+    total.unrolled_copies += u.unrolled_copies;
+  }
+  const PassStats f = FoldConstants(func);
+  total.folded_instructions += f.folded_instructions;
+  const PassStats d = DeadCodeElimination(func);
+  total.removed_instructions += d.removed_instructions;
+  return total;
+}
+
+}  // namespace orion::opt

@@ -1,0 +1,81 @@
+#include "ir/cfg.h"
+#include "ir/liveness.h"
+#include "opt/passes.h"
+
+namespace orion::opt {
+
+namespace {
+
+// True if the instruction only produces a register value (no memory
+// writes, control flow, barriers or calls) and may vanish when that
+// value is dead.
+bool IsRemovableWhenDead(const isa::Instruction& instr) {
+  switch (instr.op) {
+    case isa::Opcode::kSt:
+    case isa::Opcode::kBar:
+    case isa::Opcode::kBra:
+    case isa::Opcode::kBrz:
+    case isa::Opcode::kBrnz:
+    case isa::Opcode::kCal:  // conservatively kept (future side effects)
+    case isa::Opcode::kRet:
+    case isa::Opcode::kExit:
+    case isa::Opcode::kNop:
+      return false;
+    default:
+      return instr.HasDst();
+  }
+}
+
+}  // namespace
+
+PassStats DeadCodeElimination(isa::Function* func) {
+  PassStats stats;
+  for (;;) {
+    const ir::Cfg cfg = ir::Cfg::Build(*func);
+    const ir::VRegInfo info = ir::VRegInfo::Gather(*func);
+    const ir::Liveness liveness(cfg, info);
+
+    // An instruction is dead when every destination register is dead
+    // immediately after it.
+    std::vector<bool> dead(func->NumInstrs(), false);
+    std::uint32_t found = 0;
+    for (std::uint32_t bi = 0; bi < cfg.NumBlocks(); ++bi) {
+      liveness.WalkBlockBackward(
+          bi, [&](std::uint32_t i, const DenseBitSet& live_after) {
+            const isa::Instruction& instr = func->instrs[i];
+            if (!IsRemovableWhenDead(instr)) {
+              return;
+            }
+            for (const isa::Operand& dst : instr.dsts) {
+              if (dst.kind == isa::OperandKind::kVReg &&
+                  live_after.Test(dst.id)) {
+                return;
+              }
+            }
+            dead[i] = true;
+            ++found;
+          });
+    }
+    if (found == 0) {
+      return stats;
+    }
+    stats.removed_instructions += found;
+
+    std::vector<isa::Instruction> out;
+    out.reserve(func->instrs.size() - found);
+    std::vector<std::uint32_t> new_index(func->NumInstrs() + 1, 0);
+    for (std::uint32_t i = 0; i < func->NumInstrs(); ++i) {
+      new_index[i] = static_cast<std::uint32_t>(out.size());
+      if (!dead[i]) {
+        out.push_back(std::move(func->instrs[i]));
+      }
+    }
+    new_index[func->NumInstrs()] = static_cast<std::uint32_t>(out.size());
+    for (auto& [label, index] : func->labels) {
+      index = new_index[index];
+    }
+    func->instrs = std::move(out);
+  }
+}
+
+}  // namespace orion::opt

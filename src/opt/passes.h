@@ -1,0 +1,59 @@
+// Optimization passes over virtual-ISA functions.
+//
+// These implement the "additional optimization" direction the paper
+// closes Section 4.2 with: once the runtime tuner has identified the
+// *range* of occupancies with equal performance, the compiler knows how
+// much register/code-size leeway it has — enough to apply
+// register-hungry transformations such as loop unrolling without
+// dropping out of the best-performance band.
+//
+//   * DeadCodeElimination — removes side-effect-free definitions whose
+//     values are never used (loads included: the memory model has no
+//     volatile semantics).
+//   * FoldConstants — evaluates ALU instructions over immediate
+//     operands and propagates single-definition immediates.
+//   * UnrollLoops — fully unrolls counted loops of the canonical
+//     builder shape (constant bounds, single back edge) up to a trip
+//     budget, eliminating induction/branch overhead at the cost of
+//     code size and register pressure.
+//
+// All passes preserve semantics; tests/opt_test.cpp checks each one
+// differentially against the reference interpreter.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace orion::opt {
+
+struct PassStats {
+  std::uint32_t removed_instructions = 0;
+  std::uint32_t folded_instructions = 0;
+  std::uint32_t unrolled_loops = 0;
+  std::uint32_t unrolled_copies = 0;  // body instructions replicated
+};
+
+// Removes dead definitions.  Iterates to a fixpoint.
+PassStats DeadCodeElimination(isa::Function* func);
+
+// Folds constant ALU expressions and propagates immediate MOVs whose
+// destination has exactly one static definition.
+PassStats FoldConstants(isa::Function* func);
+
+struct UnrollOptions {
+  // Loops with more body instructions x trip count than this are left
+  // alone (code-size guard).
+  std::uint32_t max_expansion = 512;
+  // Only loops with a constant trip count at most this are unrolled.
+  std::uint32_t max_trip = 16;
+};
+
+// Fully unrolls eligible counted loops (see header comment).
+PassStats UnrollLoops(isa::Function* func, const UnrollOptions& options = {});
+
+// The standard cleanup pipeline: fold, eliminate, and optionally unroll.
+PassStats OptimizeFunction(isa::Function* func, bool unroll = false,
+                           const UnrollOptions& options = {});
+
+}  // namespace orion::opt

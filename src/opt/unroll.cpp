@@ -1,0 +1,252 @@
+// Full unrolling of counted loops in the canonical builder shape:
+//
+//     MOV  ind,   #begin          ; somewhere dominating the header
+//     MOV  bound, #B
+//     MOV  step,  #S
+//   head:
+//     SETP.LT cond, ind, bound
+//     BRZ  cond, exit
+//     ...body (may contain internal control flow)...
+//     IADD ind, ind, step
+//     BRA  head
+//   exit:
+//
+// The region is replaced by `trip` copies of (body + IADD); internal
+// labels are renamed per copy.  Loops with non-constant bounds, branches
+// escaping the region, or an expansion beyond the budget are left alone.
+#include <map>
+#include <optional>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "ir/cfg.h"
+#include "ir/dominance.h"
+#include "ir/loops.h"
+#include "opt/passes.h"
+
+namespace orion::opt {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+struct LoopShape {
+  std::uint32_t region_begin = 0;  // header's first instruction (SETP)
+  std::uint32_t region_end = 0;    // one past the latch BRA
+  std::uint32_t trip = 0;
+};
+
+// Constant value of the unique dominating immediate-MOV definition of
+// `vreg`, excluding definition index `exclude` (UINT32_MAX for none).
+std::optional<std::int64_t> UniqueConstDef(const isa::Function& func,
+                                           std::uint32_t vreg,
+                                           std::uint32_t exclude) {
+  std::optional<std::int64_t> value;
+  for (std::uint32_t i = 0; i < func.NumInstrs(); ++i) {
+    if (i == exclude) {
+      continue;
+    }
+    const Instruction& instr = func.instrs[i];
+    for (const Operand& dst : instr.dsts) {
+      if (dst.kind == OperandKind::kVReg && dst.id == vreg) {
+        if (value.has_value() || instr.op != Opcode::kMov ||
+            instr.srcs[0].kind != OperandKind::kImm) {
+          return std::nullopt;  // multiple defs or non-constant
+        }
+        value = instr.srcs[0].imm;
+      }
+    }
+  }
+  return value;
+}
+
+std::optional<LoopShape> MatchLoop(const isa::Function& func,
+                                   const ir::Cfg& cfg,
+                                   const ir::NaturalLoop& loop,
+                                   const UnrollOptions& options) {
+  const ir::BasicBlock& header = cfg.block(loop.header);
+  if (header.NumInstrs() != 2) {
+    return std::nullopt;
+  }
+  const Instruction& setp = func.instrs[header.begin];
+  const Instruction& brz = func.instrs[header.begin + 1];
+  if (setp.op != Opcode::kSetp || setp.cmp != isa::CmpKind::kLt ||
+      setp.cmp_type != isa::CmpType::kInt || brz.op != Opcode::kBrz ||
+      brz.srcs[0].kind != OperandKind::kVReg ||
+      brz.srcs[0].id != setp.Dst().id) {
+    return std::nullopt;
+  }
+  if (setp.srcs[0].kind != OperandKind::kVReg ||
+      setp.srcs[1].kind != OperandKind::kVReg) {
+    return std::nullopt;
+  }
+  const std::uint32_t ind = setp.srcs[0].id;
+  const std::uint32_t bound_reg = setp.srcs[1].id;
+
+  // The loop body must be physically contiguous right after the header.
+  std::uint32_t region_end = header.end;
+  for (const std::uint32_t block : loop.body) {
+    region_end = std::max(region_end, cfg.block(block).end);
+    if (cfg.block(block).begin < header.begin) {
+      return std::nullopt;  // body precedes header: not builder shape
+    }
+  }
+  // Latch: ends with BRA to the header preceded by IADD ind, ind, step.
+  if (region_end - header.begin < 4) {
+    return std::nullopt;
+  }
+  const Instruction& bra = func.instrs[region_end - 1];
+  const Instruction& iadd = func.instrs[region_end - 2];
+  const auto head_label = func.labels.find(bra.target);
+  if (bra.op != Opcode::kBra || head_label == func.labels.end() ||
+      head_label->second != header.begin) {
+    return std::nullopt;
+  }
+  if (iadd.op != Opcode::kIAdd || !iadd.HasDst() ||
+      iadd.Dst().kind != OperandKind::kVReg || iadd.Dst().id != ind ||
+      iadd.srcs[0].kind != OperandKind::kVReg || iadd.srcs[0].id != ind ||
+      iadd.srcs[1].kind != OperandKind::kVReg) {
+    return std::nullopt;
+  }
+  const std::uint32_t step_reg = iadd.srcs[1].id;
+
+  // Constant begin/bound/step.
+  const auto begin = UniqueConstDef(func, ind, region_end - 2);
+  const auto bound = UniqueConstDef(func, bound_reg, UINT32_MAX);
+  const auto step = UniqueConstDef(func, step_reg, UINT32_MAX);
+  if (!begin || !bound || !step || *step <= 0) {
+    return std::nullopt;
+  }
+  const std::int64_t span = *bound - *begin;
+  const std::int64_t trip = span <= 0 ? 0 : (span + *step - 1) / *step;
+  if (trip > options.max_trip) {
+    return std::nullopt;
+  }
+
+  // Branches within the region must stay within it (no escaping exits).
+  for (std::uint32_t i = header.begin + 2; i < region_end - 1; ++i) {
+    const Instruction& instr = func.instrs[i];
+    if (isa::IsBranch(instr.op)) {
+      const auto it = func.labels.find(instr.target);
+      if (it == func.labels.end() || it->second <= header.begin + 1 ||
+          it->second >= region_end) {
+        return std::nullopt;
+      }
+    }
+    if (instr.op == Opcode::kRet || instr.op == Opcode::kExit) {
+      return std::nullopt;
+    }
+  }
+
+  const std::uint32_t body_size = region_end - header.begin - 3;
+  if (trip * body_size > options.max_expansion) {
+    return std::nullopt;
+  }
+  LoopShape shape;
+  shape.region_begin = header.begin;
+  shape.region_end = region_end;
+  shape.trip = static_cast<std::uint32_t>(trip);
+  return shape;
+}
+
+// Unrolls one matched loop; returns body instructions replicated.
+std::uint32_t ApplyUnroll(isa::Function* func, const LoopShape& shape,
+                          std::uint32_t loop_seq) {
+  const std::uint32_t rb = shape.region_begin;
+  const std::uint32_t re = shape.region_end;
+  // Copy unit: body plus the induction IADD (indices rb+2 .. re-2).
+  const std::uint32_t copy_begin = rb + 2;
+  const std::uint32_t copy_end = re - 1;  // exclusive; drops the BRA
+  const std::uint32_t copy_size = copy_end - copy_begin;
+
+  // Labels inside the copy unit, by region offset.
+  std::vector<std::pair<std::string, std::uint32_t>> internal_labels;
+  for (const auto& [label, index] : func->labels) {
+    if (index >= copy_begin && index < copy_end) {
+      internal_labels.emplace_back(label, index - copy_begin);
+    }
+  }
+
+  std::vector<Instruction> replacement;
+  replacement.reserve(shape.trip * copy_size);
+  std::map<std::string, std::uint32_t> new_labels;
+  for (std::uint32_t k = 0; k < shape.trip; ++k) {
+    const std::uint32_t base = static_cast<std::uint32_t>(replacement.size());
+    for (const auto& [label, offset] : internal_labels) {
+      new_labels.emplace(StrFormat("%s_u%u_%u", label.c_str(), loop_seq, k),
+                         rb + base + offset);
+    }
+    for (std::uint32_t i = copy_begin; i < copy_end; ++i) {
+      Instruction instr = func->instrs[i];
+      if (isa::IsBranch(instr.op)) {
+        instr.target = StrFormat("%s_u%u_%u", instr.target.c_str(), loop_seq, k);
+      }
+      replacement.push_back(std::move(instr));
+    }
+  }
+
+  const std::int64_t delta =
+      static_cast<std::int64_t>(replacement.size()) -
+      static_cast<std::int64_t>(re - rb);
+
+  // Rewrite the label table: drop labels inside the region (the header
+  // label and internals), shift labels at/after region_end.
+  std::map<std::string, std::uint32_t> labels;
+  for (const auto& [label, index] : func->labels) {
+    if (index >= rb && index < re) {
+      continue;
+    }
+    labels.emplace(label, index >= re
+                              ? static_cast<std::uint32_t>(index + delta)
+                              : index);
+  }
+  for (const auto& [label, index] : new_labels) {
+    labels.emplace(label, index);
+  }
+
+  std::vector<Instruction> out;
+  out.reserve(func->instrs.size() + replacement.size());
+  out.insert(out.end(), func->instrs.begin(), func->instrs.begin() + rb);
+  out.insert(out.end(), replacement.begin(), replacement.end());
+  out.insert(out.end(), func->instrs.begin() + re, func->instrs.end());
+  func->instrs = std::move(out);
+  func->labels = std::move(labels);
+  return shape.trip * copy_size;
+}
+
+}  // namespace
+
+PassStats UnrollLoops(isa::Function* func, const UnrollOptions& options) {
+  PassStats stats;
+  // Unroll innermost-first, one loop at a time (indices shift).
+  std::uint32_t seq = 0;
+  for (std::uint32_t guard = 0; guard < 64; ++guard) {
+    const ir::Cfg cfg = ir::Cfg::Build(*func);
+    const ir::Dominance dom(cfg);
+    const ir::LoopInfo loops(cfg, dom);
+    std::optional<LoopShape> best;
+    std::uint32_t best_span = UINT32_MAX;
+    for (const ir::NaturalLoop& loop : loops.loops()) {
+      const auto shape = MatchLoop(*func, cfg, loop, options);
+      if (!shape.has_value()) {
+        continue;
+      }
+      const std::uint32_t span = shape->region_end - shape->region_begin;
+      if (span < best_span) {
+        best_span = span;
+        best = shape;
+      }
+    }
+    if (!best.has_value()) {
+      break;
+    }
+    stats.unrolled_copies += ApplyUnroll(func, *best, seq++);
+    ++stats.unrolled_loops;
+  }
+  return stats;
+}
+
+}  // namespace orion::opt

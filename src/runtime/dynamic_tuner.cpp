@@ -1,0 +1,95 @@
+#include "runtime/dynamic_tuner.h"
+
+#include "common/error.h"
+
+namespace orion::runtime {
+
+DynamicTuner::DynamicTuner(const MultiVersionBinary* binary,
+                           double slowdown_tolerance)
+    : binary_(binary), tolerance_(slowdown_tolerance) {
+  ORION_CHECK(!binary->versions.empty());
+  if (!binary->can_tune) {
+    // Static selection (Fig. 8 else-branch): no feedback loop, no
+    // fail-safe probing.
+    finalized_ = true;
+    final_version_ = binary->static_choice;
+  } else if (binary->NumCandidates() == 1) {
+    finalized_ = true;
+    final_version_ = 0;
+  }
+}
+
+std::uint32_t DynamicTuner::NextVersion() {
+  ++iteration_;
+  if (finalized_) {
+    return final_version_;
+  }
+  if (first_) {
+    // First iteration: run the original kernel.
+    first_ = false;
+    cursor_ = 0;
+    return 0;
+  }
+  // Run the next occupancy in the current direction's walk.
+  ++cursor_;
+  return cursor_;
+}
+
+void DynamicTuner::ReportRuntime(double ms) {
+  if (finalized_) {
+    return;
+  }
+  const std::uint32_t current = cursor_;
+  if (current == 0) {
+    prev_ms_ = ms;
+    prev_version_ = 0;
+    if (binary_->versions.size() == 1) {
+      // Only the original in the primary direction: probe the
+      // fail-safes if present, else settle immediately.
+      Finalize(0);
+    }
+    return;
+  }
+
+  // In the primary direction the paper uses "worse runtime?" upward and
+  // a 2% tolerance downward; fail-safe probing is by definition in the
+  // opposite direction.
+  const bool downward =
+      (binary_->direction == TuneDirection::kDecreasing) != failsafe_;
+  const bool worse = downward ? ms > prev_ms_ * (1.0 + tolerance_)
+                              : ms > prev_ms_;
+  if (worse) {
+    Finalize(prev_version_);
+    return;
+  }
+  prev_ms_ = ms;
+  prev_version_ = current;
+  const std::size_t walk_end = failsafe_
+                                   ? binary_->NumCandidates()
+                                   : binary_->versions.size();
+  if (current + 1 >= walk_end) {
+    Finalize(current);
+  }
+}
+
+void DynamicTuner::Finalize(std::uint32_t version) {
+  // Section 3.3 fail-safe: when the predicted direction produced
+  // nothing better than the original, try the opposite direction once.
+  if (!failsafe_ && version == 0 && !binary_->failsafe.empty()) {
+    EnterFailsafe();
+    return;
+  }
+  finalized_ = true;
+  final_version_ = version;
+  iterations_to_settle_ = iteration_;
+}
+
+void DynamicTuner::EnterFailsafe() {
+  failsafe_ = true;
+  // Resume the walk at the first fail-safe candidate; the baseline for
+  // comparison stays the original's runtime.
+  cursor_ = static_cast<std::uint32_t>(binary_->versions.size()) - 1;
+  prev_version_ = 0;
+}
+
+}  // namespace orion::runtime

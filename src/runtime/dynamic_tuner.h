@@ -1,0 +1,57 @@
+// Runtime occupancy adaptation — the Figure 9 state machine.
+//
+// In a loop that invokes the kernel, the first iteration runs the
+// original version; each subsequent iteration runs the next candidate in
+// the compile-time tuning direction until performance degrades, then the
+// tuner locks the previous (best) version.  In the decreasing direction
+// a small slowdown (2%) is tolerated, because lower occupancy saves
+// registers and energy even at equal performance (Sections 3.4, 4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/multiversion.h"
+
+namespace orion::runtime {
+
+class DynamicTuner {
+ public:
+  explicit DynamicTuner(const MultiVersionBinary* binary,
+                        double slowdown_tolerance = 0.02);
+
+  // Which version should run this iteration.
+  std::uint32_t NextVersion();
+
+  // Feedback for the version returned by the last NextVersion() call.
+  void ReportRuntime(double ms);
+
+  bool Finalized() const { return finalized_; }
+  std::uint32_t FinalVersion() const { return final_version_; }
+
+  // Iterations consumed before the tuner settled (paper: "less than
+  // three iterations on average").
+  std::uint32_t IterationsToSettle() const { return iterations_to_settle_; }
+
+  // True while the tuner probes the opposite-direction fail-safe
+  // candidates (Section 3.3: the compile-time direction was wrong).
+  bool InFailsafe() const { return failsafe_; }
+
+ private:
+  void Finalize(std::uint32_t version);
+  void EnterFailsafe();
+
+  const MultiVersionBinary* binary_;
+  const double tolerance_;
+  bool finalized_ = false;
+  bool failsafe_ = false;  // probing the opposite direction
+  std::uint32_t final_version_ = 0;
+  std::uint32_t cursor_ = 0;        // index of the version last handed out
+  bool first_ = true;
+  double prev_ms_ = 0.0;
+  std::uint32_t prev_version_ = 0;
+  std::uint32_t iteration_ = 0;
+  std::uint32_t iterations_to_settle_ = 0;
+};
+
+}  // namespace orion::runtime

@@ -1,0 +1,111 @@
+#include "runtime/launcher.h"
+
+#include "common/error.h"
+
+namespace orion::runtime {
+
+TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
+                                  const std::vector<std::uint32_t>& params,
+                                  const RunPlan& plan,
+                                  const std::vector<std::vector<std::uint32_t>>*
+                                      per_iteration_params) {
+  TunedRunResult result;
+  DynamicTuner tuner(binary_, plan.slowdown_tolerance);
+
+  const std::uint32_t grid =
+      binary_->modules.front().launch.grid_dim;
+
+  // Decide the iteration structure: a natural kernel loop, or kernel
+  // splitting of a single invocation.
+  std::uint32_t launches = plan.iterations;
+  std::uint32_t blocks_per_launch = grid;
+  bool split = false;
+  if (plan.iterations <= 1 && binary_->can_tune && plan.allow_split &&
+      plan.split_factor > 1 && grid >= plan.split_factor) {
+    split = true;
+    launches = plan.split_factor;
+    blocks_per_launch = grid / plan.split_factor;
+  }
+  result.used_split = split;
+
+  std::uint32_t next_block = 0;
+  for (std::uint32_t it = 0; it < launches; ++it) {
+    const std::uint32_t version_index = tuner.NextVersion();
+    const KernelVersion& version = binary_->Candidate(version_index);
+    const isa::Module& module = binary_->ModuleOf(version);
+
+    std::uint32_t first = 0;
+    std::uint32_t count = grid;
+    if (split) {
+      first = next_block;
+      count = (it + 1 == launches) ? grid - next_block : blocks_per_launch;
+      next_block += count;
+    }
+    const std::vector<std::uint32_t>& iter_params =
+        (per_iteration_params != nullptr && !per_iteration_params->empty())
+            ? (*per_iteration_params)[it % per_iteration_params->size()]
+            : params;
+    const sim::SimResult sr = sim_->Launch(module, gmem, iter_params, first,
+                                           count, version.smem_padding_bytes);
+    tuner.ReportRuntime(sr.ms);
+
+    IterationRecord record;
+    record.version = version_index;
+    record.ms = sr.ms;
+    record.energy = sr.energy;
+    record.occupancy = sr.occupancy.occupancy;
+    result.total_ms += sr.ms;
+    result.total_energy += sr.energy;
+    result.records.push_back(record);
+  }
+
+  result.final_version = tuner.FinalVersion();
+  result.iterations_to_settle = tuner.IterationsToSettle();
+
+  // Steady-state cost: average over iterations that ran the final
+  // version after settling (fall back to the last record).
+  double steady_ms = 0.0;
+  double steady_energy = 0.0;
+  double steady_occ = 0.0;
+  std::uint32_t steady_count = 0;
+  for (const IterationRecord& record : result.records) {
+    if (record.version == result.final_version) {
+      steady_ms += record.ms;
+      steady_energy += record.energy;
+      steady_occ = record.occupancy;
+      ++steady_count;
+    }
+  }
+  if (steady_count > 0) {
+    result.steady_ms = steady_ms / steady_count;
+    result.steady_energy = steady_energy / steady_count;
+  } else {
+    result.steady_ms = result.records.back().ms;
+    result.steady_energy = result.records.back().energy;
+  }
+  result.steady_occupancy =
+      binary_->Candidate(result.final_version).occupancy;
+  (void)steady_occ;
+  return result;
+}
+
+FixedRunResult RunFixed(const isa::Module& module, sim::GpuSimulator* sim,
+                        sim::GlobalMemory* gmem,
+                        const std::vector<std::uint32_t>& params,
+                        std::uint32_t iterations,
+                        std::uint32_t smem_padding_bytes) {
+  ORION_CHECK(iterations > 0);
+  FixedRunResult result;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    const sim::SimResult sr =
+        sim->LaunchAll(module, gmem, params, smem_padding_bytes);
+    result.ms += sr.ms;
+    result.energy += sr.energy;
+    result.occupancy = sr.occupancy;
+  }
+  result.ms /= iterations;
+  result.energy /= iterations;
+  return result;
+}
+
+}  // namespace orion::runtime

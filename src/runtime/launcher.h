@@ -1,0 +1,80 @@
+// Tuned kernel launching against the simulated GPU.
+//
+// Drives an application-style loop around a kernel: every iteration
+// launches the kernel once, the Fig. 9 tuner picks which version runs,
+// and runtimes feed back into it.  When an application has no kernel
+// loop but enough threads, one invocation is *split* into several
+// smaller launches to manufacture tuning iterations (Section 3.4,
+// kernel splitting [30]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/dynamic_tuner.h"
+#include "runtime/multiversion.h"
+#include "sim/gpu_sim.h"
+
+namespace orion::runtime {
+
+struct RunPlan {
+  std::uint32_t iterations = 16;  // application kernel-loop trip count
+  bool allow_split = true;        // kernel splitting when iterations == 1
+  std::uint32_t split_factor = 4;
+  double slowdown_tolerance = 0.02;
+};
+
+struct IterationRecord {
+  std::uint32_t version = 0;
+  double ms = 0.0;
+  double energy = 0.0;
+  double occupancy = 0.0;
+};
+
+struct TunedRunResult {
+  std::vector<IterationRecord> records;
+  std::uint32_t final_version = 0;
+  std::uint32_t iterations_to_settle = 0;
+  bool used_split = false;
+  double total_ms = 0.0;
+  double total_energy = 0.0;
+  // Steady-state (final version) per-iteration cost.
+  double steady_ms = 0.0;
+  double steady_energy = 0.0;
+  arch::OccupancyResult steady_occupancy;
+};
+
+class TunedLauncher {
+ public:
+  TunedLauncher(const MultiVersionBinary* binary, sim::GpuSimulator* sim)
+      : binary_(binary), sim_(sim) {}
+
+  // `per_iteration_params`, when given, overrides the kernel parameters
+  // per application iteration (e.g. bfs frontier sizes).
+  TunedRunResult Run(sim::GlobalMemory* gmem,
+                     const std::vector<std::uint32_t>& params,
+                     const RunPlan& plan,
+                     const std::vector<std::vector<std::uint32_t>>*
+                         per_iteration_params = nullptr);
+
+ private:
+  const MultiVersionBinary* binary_;
+  sim::GpuSimulator* sim_;
+};
+
+// Measures a single fixed version over `iterations` whole-grid launches
+// (used for the exhaustive Orion-Min/Orion-Max sweeps and the nvcc
+// baseline bars).  Returns per-iteration averages.
+struct FixedRunResult {
+  double ms = 0.0;
+  double energy = 0.0;
+  arch::OccupancyResult occupancy;
+};
+
+FixedRunResult RunFixed(const isa::Module& module, sim::GpuSimulator* sim,
+                        sim::GlobalMemory* gmem,
+                        const std::vector<std::uint32_t>& params,
+                        std::uint32_t iterations,
+                        std::uint32_t smem_padding_bytes = 0);
+
+}  // namespace orion::runtime

@@ -1,0 +1,69 @@
+// Multi-version kernel binaries.
+//
+// The Orion compiler emits a small set of candidate kernel versions
+// (Section 3.3, ≤5), ordered in the predicted tuning direction; the
+// runtime walks them with performance feedback (Section 3.4).  A
+// "version" is a compiled module plus a launch-time shared-memory pad:
+// decreasing-occupancy versions reuse one binary and differ only in the
+// pad, exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "arch/occupancy.h"
+#include "isa/isa.h"
+
+namespace orion::runtime {
+
+enum class TuneDirection : std::uint8_t { kIncreasing, kDecreasing };
+
+struct KernelVersion {
+  // Index into MultiVersionBinary::modules.
+  std::uint32_t module_index = 0;
+  // Launch-time dynamic shared memory pad (bytes per block).
+  std::uint32_t smem_padding_bytes = 0;
+  // Expected occupancy on the target GPU at compile time.
+  arch::OccupancyResult occupancy;
+  alloc::AllocStats alloc_stats;
+  std::string tag;  // "original", "conservative", "occ=0.50", ...
+};
+
+struct MultiVersionBinary {
+  std::string kernel_name;
+  std::string gpu_name;
+  std::vector<isa::Module> modules;     // compiled binaries (deduplicated)
+  std::vector<KernelVersion> versions;  // runtime walk order; [0] runs first
+  // Fail-safe candidates in the *opposite* tuning direction (Section
+  // 3.3): probed by the runtime only when the primary walk ends back at
+  // the original version, i.e. when the compile-time direction was
+  // wrong.  Indices refer to this list, offset by versions.size() in
+  // the tuner's numbering.
+  std::vector<KernelVersion> failsafe;
+  TuneDirection direction = TuneDirection::kIncreasing;
+  // False when the application cannot provide tuning iterations (no
+  // kernel loop and too few threads to split): the compiler's static
+  // selection is used instead (Section 3.3).
+  bool can_tune = true;
+  // Index into `versions` chosen by the static model when !can_tune.
+  std::uint32_t static_choice = 0;
+  // The paper's max-live metric that drove the direction decision.
+  std::uint32_t max_live_words = 0;
+
+  const isa::Module& ModuleOf(const KernelVersion& version) const {
+    return modules[version.module_index];
+  }
+
+  // Unified numbering over primary + fail-safe candidates.
+  std::size_t NumCandidates() const {
+    return versions.size() + failsafe.size();
+  }
+  const KernelVersion& Candidate(std::size_t index) const {
+    return index < versions.size() ? versions[index]
+                                   : failsafe[index - versions.size()];
+  }
+};
+
+}  // namespace orion::runtime

@@ -1,0 +1,28 @@
+// Scalar semantics of the virtual ISA's ALU operations.
+//
+// Shared by the functional interpreter (per-thread reference execution,
+// used to prove allocated binaries compute the same results as their
+// virtual originals) and by the timing simulator (warp-level
+// representative-lane execution).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/isa.h"
+
+namespace orion::sim {
+
+// Evaluates one element (32-bit word lane `word`) of an ALU-class
+// instruction: kMov, integer/float arithmetic, kSetp, kSel.  `fetch`
+// returns the value of source operand `src_index`, element `word`
+// (immediates broadcast; kSetp/kSel conditions read element 0).
+// Memory, control flow, kS2R and kBar are NOT handled here.
+std::uint32_t EvalAluWord(
+    const isa::Instruction& instr, std::uint8_t word,
+    const std::function<std::uint32_t(std::size_t, std::uint8_t)>& fetch);
+
+// True if EvalAluWord understands this opcode.
+bool IsAluClass(isa::Opcode op);
+
+}  // namespace orion::sim

@@ -1,0 +1,426 @@
+#include "sim/interpreter.h"
+
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sim/exec.h"
+
+namespace orion::sim {
+
+namespace {
+
+using isa::MemSpace;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+// Values of one virtual register (1..4 words).
+using Words = std::array<std::uint32_t, 4>;
+
+struct VirtualFrame {
+  std::uint32_t func = 0;
+  std::uint32_t pc = 0;
+  std::map<std::uint32_t, Words> vregs;
+  Operand ret_dst;  // caller's destination for the pending call (kNone ok)
+};
+
+struct Thread {
+  std::uint32_t tid = 0;        // within block
+  std::uint32_t global_block = 0;
+  bool done = false;
+  bool at_barrier = false;
+  std::uint64_t steps = 0;
+  // Allocated-module state.
+  std::vector<std::uint32_t> pregs;
+  std::vector<std::uint32_t> local;
+  std::vector<std::uint32_t> spriv;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> call_stack;  // func,pc
+  std::uint32_t func = 0;
+  std::uint32_t pc = 0;
+  // Virtual-module state.
+  std::vector<VirtualFrame> frames;
+};
+
+class BlockRunner {
+ public:
+  BlockRunner(const LinkedModule& linked, GlobalMemory* gmem,
+              const std::vector<std::uint32_t>& params,
+              std::uint32_t global_block, const InterpOptions& options)
+      : linked_(linked),
+        module_(linked.module()),
+        gmem_(gmem),
+        params_(params),
+        options_(options),
+        allocated_(module_.Kernel().allocated) {
+    shared_.assign((module_.user_smem_bytes + 3) / 4, 0);
+    const std::uint32_t block_dim = module_.launch.block_dim;
+    threads_.resize(block_dim);
+    for (std::uint32_t t = 0; t < block_dim; ++t) {
+      Thread& th = threads_[t];
+      th.tid = t;
+      th.global_block = global_block;
+      if (allocated_) {
+        th.pregs.assign(std::max<std::uint32_t>(module_.usage.regs_per_thread, 1),
+                        0);
+        th.local.assign(module_.usage.local_slots_per_thread, 0);
+        th.spriv.assign(module_.usage.spriv_slots_per_thread, 0);
+        th.func = linked.kernel_index();
+        th.pc = 0;
+      } else {
+        VirtualFrame frame;
+        frame.func = linked.kernel_index();
+        th.frames.push_back(std::move(frame));
+      }
+    }
+  }
+
+  void Run() {
+    for (;;) {
+      bool all_done = true;
+      for (Thread& th : threads_) {
+        if (!th.done && !th.at_barrier) {
+          RunThread(th);
+        }
+        all_done &= th.done;
+      }
+      if (all_done) {
+        return;
+      }
+      // Everyone alive is at a barrier: release it.
+      bool any_waiting = false;
+      for (Thread& th : threads_) {
+        any_waiting |= th.at_barrier;
+      }
+      ORION_CHECK_MSG(any_waiting, "deadlock: no runnable thread");
+      for (Thread& th : threads_) {
+        th.at_barrier = false;
+      }
+    }
+  }
+
+ private:
+  // ---- operand access ----------------------------------------------------
+
+  std::uint32_t ReadWord(Thread& th, const Operand& op, std::uint8_t word) {
+    switch (op.kind) {
+      case OperandKind::kImm:
+        // Immediates broadcast their low 32 bits to every element.
+        return static_cast<std::uint32_t>(op.imm);
+      case OperandKind::kPReg:
+        ORION_CHECK(op.id + word < th.pregs.size());
+        return th.pregs[op.id + word];
+      case OperandKind::kVReg: {
+        auto& vregs = th.frames.back().vregs;
+        const auto it = vregs.find(op.id);
+        return it == vregs.end() ? 0 : it->second[word];
+      }
+      default:
+        throw OrionError("interpreter: bad source operand");
+    }
+  }
+
+  void WriteWord(Thread& th, const Operand& op, std::uint8_t word,
+                 std::uint32_t value) {
+    switch (op.kind) {
+      case OperandKind::kPReg:
+        ORION_CHECK(op.id + word < th.pregs.size());
+        th.pregs[op.id + word] = value;
+        return;
+      case OperandKind::kVReg:
+        th.frames.back().vregs[op.id][word] = value;
+        return;
+      default:
+        throw OrionError("interpreter: bad destination operand");
+    }
+  }
+
+  std::uint32_t SpecialValue(const Thread& th, isa::SpecialReg sreg) const {
+    switch (sreg) {
+      case isa::SpecialReg::kTid:
+        return th.tid;
+      case isa::SpecialReg::kBid:
+        return th.global_block;
+      case isa::SpecialReg::kBlockDim:
+        return module_.launch.block_dim;
+      case isa::SpecialReg::kGridDim:
+        return module_.launch.grid_dim;
+      case isa::SpecialReg::kLane:
+        return th.tid % 32;
+      case isa::SpecialReg::kWarpId:
+        return th.tid / 32;
+    }
+    return 0;
+  }
+
+  // ---- memory ------------------------------------------------------------
+
+  // Loads latch their address at issue (before any destination word is
+  // written): a wide destination may legally overlap the address
+  // register, exactly as on real hardware.  `latched_byte` carries that
+  // address for the register-addressed spaces.
+  std::uint32_t MemRead(Thread& th, const isa::Instruction& instr,
+                        std::uint8_t word, std::uint64_t latched_byte) {
+    switch (instr.space) {
+      case MemSpace::kGlobal: {
+        return gmem_->Read(latched_byte / 4 + word);
+      }
+      case MemSpace::kShared: {
+        const std::uint64_t idx = latched_byte / 4 + word;
+        return idx < shared_.size() ? shared_[idx] : 0;
+      }
+      case MemSpace::kSharedPriv: {
+        const std::uint64_t slot =
+            static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
+        ORION_CHECK(slot < th.spriv.size());
+        return th.spriv[slot];
+      }
+      case MemSpace::kLocal: {
+        const std::uint64_t slot =
+            static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
+        ORION_CHECK(slot < th.local.size());
+        return th.local[slot];
+      }
+      case MemSpace::kParam: {
+        const std::uint64_t idx =
+            static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
+        return idx < params_.size() ? params_[idx] : 0;
+      }
+    }
+    return 0;
+  }
+
+  void MemWrite(Thread& th, const isa::Instruction& instr, std::uint8_t word,
+                std::uint32_t value) {
+    const std::int64_t offset = instr.srcs[1].imm;
+    switch (instr.space) {
+      case MemSpace::kGlobal: {
+        const std::uint64_t byte =
+            static_cast<std::uint64_t>(ReadWord(th, instr.srcs[0], 0)) +
+            static_cast<std::uint64_t>(offset);
+        gmem_->Write(byte / 4 + word, value);
+        return;
+      }
+      case MemSpace::kShared: {
+        const std::uint64_t byte =
+            static_cast<std::uint64_t>(ReadWord(th, instr.srcs[0], 0)) +
+            static_cast<std::uint64_t>(offset);
+        const std::uint64_t idx = byte / 4 + word;
+        if (idx < shared_.size()) {
+          shared_[idx] = value;
+        }
+        return;
+      }
+      case MemSpace::kSharedPriv: {
+        const std::uint64_t slot =
+            static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
+        ORION_CHECK(slot < th.spriv.size());
+        th.spriv[slot] = value;
+        return;
+      }
+      case MemSpace::kLocal: {
+        const std::uint64_t slot =
+            static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
+        ORION_CHECK(slot < th.local.size());
+        th.local[slot] = value;
+        return;
+      }
+      case MemSpace::kParam:
+        throw OrionError("interpreter: store to parameter space");
+    }
+  }
+
+  // ---- execution ---------------------------------------------------------
+
+  std::uint32_t& Pc(Thread& th) {
+    return allocated_ ? th.pc : th.frames.back().pc;
+  }
+  std::uint32_t Func(Thread& th) {
+    return allocated_ ? th.func : th.frames.back().func;
+  }
+
+  void RunThread(Thread& th) {
+    while (!th.done && !th.at_barrier) {
+      if (++th.steps > options_.max_steps_per_thread) {
+        throw OrionError(StrFormat(
+            "interpreter: thread %u of block %u exceeded %llu steps", th.tid,
+            th.global_block,
+            static_cast<unsigned long long>(options_.max_steps_per_thread)));
+      }
+      const std::uint32_t fi = Func(th);
+      const LinkedFunction& lf = linked_.func(fi);
+      std::uint32_t& pc = Pc(th);
+      if (pc >= lf.func->NumInstrs()) {
+        // Fell off the end: device functions return, kernels finish.
+        if (lf.func->is_kernel) {
+          th.done = true;
+        } else {
+          DoReturn(th, nullptr);
+        }
+        continue;
+      }
+      const isa::Instruction& instr = lf.func->instrs[pc];
+      switch (instr.op) {
+        case Opcode::kNop:
+          ++pc;
+          break;
+        case Opcode::kBar:
+          th.at_barrier = true;
+          ++pc;
+          break;
+        case Opcode::kExit:
+          th.done = true;
+          break;
+        case Opcode::kS2R:
+          WriteWord(th, instr.Dst(), 0, SpecialValue(th, instr.srcs[0].sreg));
+          ++pc;
+          break;
+        case Opcode::kLd: {
+          const Operand& dst = instr.Dst();
+          std::uint64_t latched_byte = 0;
+          if (instr.space == MemSpace::kGlobal ||
+              instr.space == MemSpace::kShared) {
+            latched_byte =
+                static_cast<std::uint64_t>(ReadWord(th, instr.srcs[0], 0)) +
+                static_cast<std::uint64_t>(instr.srcs[1].imm);
+          }
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            WriteWord(th, dst, w, MemRead(th, instr, w, latched_byte));
+          }
+          ++pc;
+          break;
+        }
+        case Opcode::kSt: {
+          const Operand& value = instr.srcs[2];
+          const std::uint8_t width =
+              value.IsReg() ? value.width : std::uint8_t{1};
+          for (std::uint8_t w = 0; w < width; ++w) {
+            MemWrite(th, instr, w, ReadWord(th, value, w));
+          }
+          ++pc;
+          break;
+        }
+        case Opcode::kBra:
+          pc = static_cast<std::uint32_t>(lf.branch_target[pc]);
+          break;
+        case Opcode::kBrz:
+        case Opcode::kBrnz: {
+          const std::uint32_t cond = ReadWord(th, instr.srcs[0], 0);
+          const bool taken =
+              instr.op == Opcode::kBrz ? (cond == 0) : (cond != 0);
+          pc = taken ? static_cast<std::uint32_t>(lf.branch_target[pc]) : pc + 1;
+          break;
+        }
+        case Opcode::kCal:
+          DoCall(th, lf, pc);
+          break;
+        case Opcode::kRet:
+          DoReturn(th, instr.srcs.empty() ? nullptr : &instr.srcs[0]);
+          break;
+        default: {
+          // ALU class.
+          const Operand& dst = instr.Dst();
+          Words results{};
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            results[w] = EvalAluWord(
+                instr, w, [&](std::size_t si, std::uint8_t word) {
+                  return ReadWord(th, instr.srcs[si], word);
+                });
+          }
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            WriteWord(th, dst, w, results[w]);
+          }
+          ++pc;
+          break;
+        }
+      }
+    }
+  }
+
+  void DoCall(Thread& th, const LinkedFunction& lf, std::uint32_t pc) {
+    const std::uint32_t callee =
+        static_cast<std::uint32_t>(lf.call_target[pc]);
+    if (allocated_) {
+      // Arguments are already in the callee frame (lowered moves).
+      th.call_stack.emplace_back(th.func, pc + 1);
+      th.func = callee;
+      th.pc = 0;
+      return;
+    }
+    const isa::Instruction& instr = lf.func->instrs[pc];
+    const isa::Function& callee_func = module_.functions[callee];
+    VirtualFrame frame;
+    frame.func = callee;
+    frame.ret_dst = instr.HasDst() ? instr.Dst() : Operand{};
+    // Bind arguments by value.
+    ORION_CHECK(instr.srcs.size() == callee_func.params.size());
+    for (std::size_t ai = 0; ai < instr.srcs.size(); ++ai) {
+      Words value{};
+      const std::uint8_t width = callee_func.params[ai].width;
+      for (std::uint8_t w = 0; w < width; ++w) {
+        value[w] = ReadWord(th, instr.srcs[ai], w);
+      }
+      frame.vregs[callee_func.params[ai].id] = value;
+    }
+    th.frames.back().pc = pc + 1;
+    th.frames.push_back(std::move(frame));
+  }
+
+  void DoReturn(Thread& th, const Operand* value) {
+    if (allocated_) {
+      ORION_CHECK_MSG(!th.call_stack.empty(), "RET with empty call stack");
+      // Return values were moved to the ABI scratch registers by the
+      // lowered code; nothing to do here.
+      th.func = th.call_stack.back().first;
+      th.pc = th.call_stack.back().second;
+      th.call_stack.pop_back();
+      return;
+    }
+    ORION_CHECK_MSG(th.frames.size() > 1, "RET from kernel frame");
+    Words result{};
+    std::uint8_t width = 0;
+    if (value != nullptr) {
+      width = value->IsReg() ? value->width : 1;
+      for (std::uint8_t w = 0; w < width; ++w) {
+        result[w] = ReadWord(th, *value, w);
+      }
+    }
+    const Operand ret_dst = th.frames.back().ret_dst;
+    th.frames.pop_back();
+    if (ret_dst.kind != OperandKind::kNone && width > 0) {
+      for (std::uint8_t w = 0; w < ret_dst.width; ++w) {
+        WriteWord(th, ret_dst, w, result[w]);
+      }
+    }
+  }
+
+  const LinkedModule& linked_;
+  const isa::Module& module_;
+  GlobalMemory* gmem_;
+  const std::vector<std::uint32_t>& params_;
+  const InterpOptions& options_;
+  const bool allocated_;
+  std::vector<std::uint32_t> shared_;
+  std::vector<Thread> threads_;
+};
+
+}  // namespace
+
+void Interpret(const isa::Module& module, GlobalMemory* gmem,
+               const std::vector<std::uint32_t>& params,
+               std::uint32_t first_block, std::uint32_t num_blocks,
+               const InterpOptions& options) {
+  const LinkedModule linked(module);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    BlockRunner runner(linked, gmem, params, first_block + b, options);
+    runner.Run();
+  }
+}
+
+void InterpretAll(const isa::Module& module, GlobalMemory* gmem,
+                  const std::vector<std::uint32_t>& params,
+                  const InterpOptions& options) {
+  Interpret(module, gmem, params, 0, module.launch.grid_dim, options);
+}
+
+}  // namespace orion::sim

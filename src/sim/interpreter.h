@@ -1,0 +1,42 @@
+// Functional reference interpreter.
+//
+// Executes a kernel launch per-thread with exact semantics and no
+// timing.  Runs both *virtual* modules (per-invocation vreg frames,
+// call-by-value arguments) and *allocated* modules (flat physical
+// register file, local/shared spill slots, lowered ABI).  Its primary
+// role is differential testing: an occupancy-realized binary must
+// produce bit-identical global memory to its virtual original — this
+// validates coloring, spilling, re-homing and the compressible-stack
+// park/restore sequences end to end.
+//
+// Barriers are supported by co-scheduling the threads of a block: each
+// thread runs until it hits BAR (or exits); when all alive threads of
+// the block are waiting, the barrier releases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/linked.h"
+#include "sim/memory.h"
+
+namespace orion::sim {
+
+struct InterpOptions {
+  std::uint64_t max_steps_per_thread = 4'000'000;
+};
+
+// Runs blocks [first_block, first_block + num_blocks) of the kernel.
+// `params` are the kernel parameter words (LD.P reads them).  Global
+// memory is read and mutated in place.
+void Interpret(const isa::Module& module, GlobalMemory* gmem,
+               const std::vector<std::uint32_t>& params,
+               std::uint32_t first_block, std::uint32_t num_blocks,
+               const InterpOptions& options = {});
+
+// Convenience: full grid.
+void InterpretAll(const isa::Module& module, GlobalMemory* gmem,
+                  const std::vector<std::uint32_t>& params,
+                  const InterpOptions& options = {});
+
+}  // namespace orion::sim

@@ -1,0 +1,44 @@
+#include "sim/linked.h"
+
+#include "common/error.h"
+
+namespace orion::sim {
+
+LinkedModule::LinkedModule(const isa::Module& module) : module_(&module) {
+  const std::uint32_t n = static_cast<std::uint32_t>(module.functions.size());
+  funcs_.resize(n);
+  bool kernel_found = false;
+  for (std::uint32_t fi = 0; fi < n; ++fi) {
+    const isa::Function& func = module.functions[fi];
+    if (func.is_kernel) {
+      kernel_index_ = fi;
+      kernel_found = true;
+    }
+    LinkedFunction& linked = funcs_[fi];
+    linked.func = &func;
+    linked.branch_target.assign(func.NumInstrs(), -1);
+    linked.call_target.assign(func.NumInstrs(), -1);
+    for (std::uint32_t ii = 0; ii < func.NumInstrs(); ++ii) {
+      const isa::Instruction& instr = func.instrs[ii];
+      if (isa::IsBranch(instr.op)) {
+        const auto it = func.labels.find(instr.target);
+        ORION_CHECK_MSG(it != func.labels.end(),
+                        "unresolved label " + instr.target);
+        linked.branch_target[ii] = static_cast<std::int32_t>(it->second);
+      } else if (instr.op == isa::Opcode::kCal) {
+        bool found = false;
+        for (std::uint32_t ci = 0; ci < n; ++ci) {
+          if (module.functions[ci].name == instr.target) {
+            linked.call_target[ii] = static_cast<std::int32_t>(ci);
+            found = true;
+            break;
+          }
+        }
+        ORION_CHECK_MSG(found, "unresolved callee " + instr.target);
+      }
+    }
+  }
+  ORION_CHECK_MSG(kernel_found, "linked module has no kernel");
+}
+
+}  // namespace orion::sim

@@ -1,0 +1,37 @@
+// Linked view of a module: branch labels and call targets resolved to
+// indices, shared by the interpreter and the timing simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::sim {
+
+struct LinkedFunction {
+  const isa::Function* func = nullptr;
+  // Per instruction: resolved branch target (instruction index; the
+  // function-end index means "fall off" and is treated as exit/return),
+  // or -1 for non-branches.
+  std::vector<std::int32_t> branch_target;
+  // Per instruction: callee function index, or -1 for non-calls.
+  std::vector<std::int32_t> call_target;
+};
+
+class LinkedModule {
+ public:
+  explicit LinkedModule(const isa::Module& module);
+
+  const isa::Module& module() const { return *module_; }
+  const LinkedFunction& func(std::uint32_t index) const { return funcs_[index]; }
+  std::uint32_t kernel_index() const { return kernel_index_; }
+  std::uint32_t num_funcs() const { return static_cast<std::uint32_t>(funcs_.size()); }
+
+ private:
+  const isa::Module* module_;
+  std::vector<LinkedFunction> funcs_;
+  std::uint32_t kernel_index_ = 0;
+};
+
+}  // namespace orion::sim

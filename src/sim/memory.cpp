@@ -1,0 +1,142 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace orion::sim {
+
+CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
+                       std::uint32_t assoc)
+    : line_bytes_(line_bytes), assoc_(assoc) {
+  ORION_CHECK(line_bytes > 0 && assoc > 0);
+  num_sets_ = std::max<std::uint32_t>(1, size_bytes / line_bytes / assoc);
+  ways_.assign(static_cast<std::size_t>(num_sets_) * assoc_, Way{});
+}
+
+bool CacheModel::Access(std::uint64_t byte_addr) {
+  ++tick_;
+  const std::uint64_t line = byte_addr / line_bytes_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  Way* base = &ways_[static_cast<std::size_t>(set) * assoc_];
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (base[w].tag == line) {
+      base[w].last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (base[w].last_use < victim->last_use) {
+      victim = &base[w];
+    }
+  }
+  victim->tag = line;
+  victim->last_use = tick_;
+  ++misses_;
+  return false;
+}
+
+void CacheModel::Flush() {
+  for (Way& way : ways_) {
+    way = Way{};
+  }
+}
+
+MemorySystem::MemorySystem(const arch::GpuSpec& spec, arch::CacheConfig config,
+                           std::uint32_t num_sms)
+    : spec_(spec),
+      l2_(spec.timing.l2_bytes, spec.timing.cache_line_bytes,
+          spec.timing.l2_assoc) {
+  for (std::uint32_t i = 0; i < num_sms; ++i) {
+    l1_.emplace_back(spec.L1Bytes(config), spec.timing.cache_line_bytes,
+                     spec.timing.l1_assoc);
+  }
+}
+
+void MemorySystem::ResetForKernel() {
+  for (CacheModel& l1 : l1_) {
+    l1.Flush();
+  }
+  l2_.Flush();
+  l2_next_free_ = 0.0;
+  dram_next_free_ = 0.0;
+}
+
+std::uint64_t MemorySystem::LineLatency(std::uint32_t sm,
+                                        std::uint64_t line_addr,
+                                        bool through_l1, std::uint64_t now,
+                                        bool count_bandwidth) {
+  const arch::TimingParams& t = spec_.timing;
+  if (through_l1) {
+    if (l1_[sm].Access(line_addr)) {
+      ++stats_.l1_hits;
+      return now + t.l1_latency;
+    }
+    ++stats_.l1_misses;
+  }
+  // L2 stage: bandwidth-limited.
+  double issue = static_cast<double>(now);
+  if (count_bandwidth) {
+    issue = std::max(issue, l2_next_free_);
+    l2_next_free_ = issue + 1.0 / t.l2_transactions_per_cycle;
+  }
+  if (l2_.Access(line_addr)) {
+    ++stats_.l2_hits;
+    return static_cast<std::uint64_t>(issue) + t.l2_latency;
+  }
+  ++stats_.l2_misses;
+  // DRAM stage.
+  double dram_issue = issue;
+  if (count_bandwidth) {
+    dram_issue = std::max(dram_issue, dram_next_free_);
+    dram_next_free_ = dram_issue + 1.0 / t.dram_transactions_per_cycle;
+  }
+  ++stats_.dram_transactions;
+  return static_cast<std::uint64_t>(dram_issue) + t.dram_latency;
+}
+
+std::uint64_t MemorySystem::AccessLoad(std::uint32_t sm,
+                                       std::uint64_t byte_addr,
+                                       std::uint32_t lines, bool through_l1,
+                                       bool scattered, std::uint64_t now) {
+  ORION_CHECK(sm < l1_.size());
+  const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;
+  std::uint64_t ready = now;
+  for (std::uint32_t i = 0; i < lines; ++i) {
+    std::uint64_t line_addr;
+    if (scattered) {
+      // Data-dependent scatter: derive pseudo-random lines from the base
+      // address so repeated traversals of the same structure re-touch
+      // the same lines (graph workloads stay cacheable at small sizes).
+      std::uint64_t h = byte_addr / line_bytes + 0x632BE59BD9B4E019ULL * (i + 1);
+      h ^= h >> 29;
+      h *= 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 32;
+      line_addr = (h % (1 << 16)) * line_bytes;
+    } else {
+      line_addr = byte_addr + static_cast<std::uint64_t>(i) * line_bytes;
+    }
+    ready = std::max(ready, LineLatency(sm, line_addr, through_l1, now, true));
+  }
+  return ready;
+}
+
+void MemorySystem::AccessStore(std::uint32_t sm, std::uint64_t byte_addr,
+                               std::uint32_t lines, bool through_l1,
+                               std::uint64_t now) {
+  ORION_CHECK(sm < l1_.size());
+  // Write-through with no allocate-stall: bandwidth is consumed, the
+  // warp does not wait.
+  const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;
+  for (std::uint32_t i = 0; i < lines; ++i) {
+    (void)LineLatency(sm, byte_addr + static_cast<std::uint64_t>(i) * line_bytes,
+                      through_l1, now, true);
+  }
+}
+
+std::uint64_t MemorySystem::AccessShared(std::uint64_t now) {
+  ++stats_.smem_accesses;
+  return now + spec_.timing.smem_latency;
+}
+
+}  // namespace orion::sim

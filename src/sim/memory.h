@@ -1,0 +1,120 @@
+// Memory hierarchy model for the GPU timing simulator.
+//
+// A flat global DRAM image holds kernel data.  Timing flows through a
+// per-SM L1 (set-associative, LRU, size set by the 16KB/48KB cache
+// configuration), a chip-wide L2, and a DRAM stage with a bandwidth
+// token bucket: transactions beyond the sustainable rate queue, which is
+// what makes high occupancy saturate — the contention side of the
+// occupancy trade-off the paper tunes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+
+namespace orion::sim {
+
+// Flat global memory image, word addressed.
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::size_t words) : words_(words, 0) {}
+
+  std::uint32_t Read(std::uint64_t word_addr) const {
+    return word_addr < words_.size() ? words_[word_addr] : 0;
+  }
+  void Write(std::uint64_t word_addr, std::uint32_t value) {
+    if (word_addr < words_.size()) {
+      words_[word_addr] = value;
+    }
+  }
+  std::size_t size_words() const { return words_.size(); }
+  const std::vector<std::uint32_t>& words() const { return words_; }
+  std::vector<std::uint32_t>& words() { return words_; }
+
+ private:
+  std::vector<std::uint32_t> words_;
+};
+
+// Set-associative LRU cache directory (tags only; data lives in
+// GlobalMemory since the model is functional+timing, not coherent).
+class CacheModel {
+ public:
+  CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
+             std::uint32_t assoc);
+
+  // Touches the line containing `byte_addr`; returns true on hit.
+  bool Access(std::uint64_t byte_addr);
+  void Flush();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = UINT64_MAX;
+    std::uint64_t last_use = 0;
+  };
+  std::uint32_t line_bytes_;
+  std::uint32_t num_sets_;
+  std::uint32_t assoc_;
+  std::vector<Way> ways_;  // num_sets_ * assoc_
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Counters reported by the memory system.
+struct MemoryStats {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dram_transactions = 0;
+  std::uint64_t smem_accesses = 0;
+
+  double L1HitRate() const {
+    const std::uint64_t total = l1_hits + l1_misses;
+    return total == 0 ? 0.0 : static_cast<double>(l1_hits) / total;
+  }
+};
+
+// Timing + counting front end over the cache hierarchy.
+class MemorySystem {
+ public:
+  MemorySystem(const arch::GpuSpec& spec, arch::CacheConfig config,
+               std::uint32_t num_sms);
+
+  // A load touching `lines` distinct cache lines starting at `byte_addr`
+  // (consecutive), issued by SM `sm` at `now`.  `through_l1` selects
+  // whether the L1 participates (global loads bypass it on Kepler).
+  // Returns the cycle at which the value is available.
+  std::uint64_t AccessLoad(std::uint32_t sm, std::uint64_t byte_addr,
+                           std::uint32_t lines, bool through_l1,
+                           bool scattered, std::uint64_t now);
+
+  // A store: consumes bandwidth, never stalls the warp.
+  void AccessStore(std::uint32_t sm, std::uint64_t byte_addr,
+                   std::uint32_t lines, bool through_l1, std::uint64_t now);
+
+  // Shared-memory access (timing only).
+  std::uint64_t AccessShared(std::uint64_t now);
+
+  const MemoryStats& stats() const { return stats_; }
+  void ResetForKernel();
+
+ private:
+  std::uint64_t LineLatency(std::uint32_t sm, std::uint64_t line_addr,
+                            bool through_l1, std::uint64_t now,
+                            bool count_bandwidth);
+
+  const arch::GpuSpec& spec_;
+  std::vector<CacheModel> l1_;  // one per SM
+  CacheModel l2_;
+  double l2_next_free_ = 0.0;
+  double dram_next_free_ = 0.0;
+  MemoryStats stats_;
+  std::uint64_t scatter_seed_ = 0x9E3779B97F4A7C15ULL;
+};
+
+}  // namespace orion::sim

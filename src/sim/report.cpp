@@ -1,0 +1,84 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace orion::sim {
+
+namespace {
+
+double Ipc(const SimResult& result, const arch::GpuSpec& spec) {
+  if (result.cycles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(result.warp_instructions) /
+         static_cast<double>(result.cycles) / spec.num_sms;
+}
+
+}  // namespace
+
+std::string FormatSimReport(const SimResult& result,
+                            const arch::GpuSpec& spec) {
+  std::ostringstream oss;
+  oss << StrFormat("runtime        : %.4f ms (%llu cycles @ %.0f MHz)\n",
+                   result.ms,
+                   static_cast<unsigned long long>(result.cycles),
+                   spec.timing.core_clock_mhz);
+  oss << StrFormat(
+      "occupancy      : %.3f (%u blocks x %u warps per SM, limited by %s)\n",
+      result.occupancy.occupancy, result.occupancy.active_blocks_per_sm,
+      result.occupancy.active_warps_per_sm /
+          std::max(1u, result.occupancy.active_blocks_per_sm),
+      [&] {
+        switch (result.occupancy.limiter) {
+          case arch::OccupancyLimiter::kRegisters:
+            return "registers";
+          case arch::OccupancyLimiter::kSharedMemory:
+            return "shared memory";
+          case arch::OccupancyLimiter::kWarpSlots:
+            return "warp slots";
+          case arch::OccupancyLimiter::kBlockSlots:
+            return "block slots";
+        }
+        return "?";
+      }());
+  oss << StrFormat(
+      "instructions   : %llu warp-instructions (IPC/SM %.2f)\n",
+      static_cast<unsigned long long>(result.warp_instructions),
+      Ipc(result, spec));
+  const std::uint64_t total = std::max<std::uint64_t>(
+      1, result.alu_instructions + result.sfu_instructions +
+             result.mem_instructions);
+  oss << StrFormat(
+      "  mix          : %.0f%% alu, %.0f%% sfu, %.0f%% memory\n",
+      100.0 * result.alu_instructions / total,
+      100.0 * result.sfu_instructions / total,
+      100.0 * result.mem_instructions / total);
+  oss << StrFormat(
+      "memory         : L1 %.0f%% hit (%llu/%llu), L2 %llu hit / %llu miss, "
+      "%llu DRAM txns\n",
+      100.0 * result.mem.L1HitRate(),
+      static_cast<unsigned long long>(result.mem.l1_hits),
+      static_cast<unsigned long long>(result.mem.l1_hits +
+                                      result.mem.l1_misses),
+      static_cast<unsigned long long>(result.mem.l2_hits),
+      static_cast<unsigned long long>(result.mem.l2_misses),
+      static_cast<unsigned long long>(result.mem.dram_transactions));
+  oss << StrFormat("  shared       : %llu accesses\n",
+                   static_cast<unsigned long long>(result.mem.smem_accesses));
+  oss << StrFormat("energy         : %.0f units\n", result.energy);
+  return oss.str();
+}
+
+std::string FormatSimSummary(const SimResult& result,
+                             const arch::GpuSpec& spec) {
+  return StrFormat(
+      "%.4f ms | occ %.2f | IPC/SM %.2f | L1 %.0f%% | DRAM %llu | E %.0f",
+      result.ms, result.occupancy.occupancy, Ipc(result, spec),
+      100.0 * result.mem.L1HitRate(),
+      static_cast<unsigned long long>(result.mem.dram_transactions),
+      result.energy);
+}
+
+}  // namespace orion::sim

@@ -1,0 +1,24 @@
+// Human-readable launch reports.
+//
+// Turns a SimResult into the kind of per-launch characterization a
+// profiler would print: issue utilization, instruction mix, memory
+// hierarchy behaviour, occupancy and the energy split.  Used by
+// `orion-cc sweep/run` and handy when calibrating workloads.
+#pragma once
+
+#include <string>
+
+#include "arch/gpu_spec.h"
+#include "sim/gpu_sim.h"
+
+namespace orion::sim {
+
+// Multi-line report (trailing newline included).
+std::string FormatSimReport(const SimResult& result,
+                            const arch::GpuSpec& spec);
+
+// One-line summary: "0.0423 ms | occ 0.50 | IPC 0.84 | L1 63% | ..."
+std::string FormatSimSummary(const SimResult& result,
+                             const arch::GpuSpec& spec);
+
+}  // namespace orion::sim

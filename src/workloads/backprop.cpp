@@ -1,0 +1,60 @@
+// backprop (Rodinia) — machine learning, Table 2: Reg 21, Func 0, no
+// user shared memory.  The paper singles this kernel out: fewer than a
+// hundred instructions, no loops or subroutines, runtime on the scale of
+// an empty kernel launch — so Orion defaults to the original version
+// rather than pay tuning overhead (Section 4.2).
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeBackprop() {
+  Workload w;
+  w.name = "backprop";
+  w.table2 = {21, 0, false, "Machine learning"};
+  w.iterations = 1;
+  w.can_tune = false;  // too small to tune profitably
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/840);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V unit_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+
+  // One layer of the weight update: straight-line, ~21 live values
+  // (four hidden units kept in registers simultaneously).
+  const V input = fb.LdGlobal(unit_addr, 0);
+  const V delta = fb.LdGlobal(unit_addr, 1 << 21);
+  const V momentum = fb.LdGlobal(unit_addr, 3 << 20);
+  std::vector<V> weights;
+  std::vector<V> new_weights;
+  std::vector<V> hidden;
+  constexpr int kUnits = 6;
+  for (int unit = 0; unit < kUnits; ++unit) {
+    weights.push_back(fb.LdGlobal(unit_addr, (1 << 20) + unit * 4096));
+  }
+  const V grad = fb.FMul(input, delta);
+  const V step =
+      fb.FFma(grad, V::FImm(0.3f), fb.FMul(momentum, V::FImm(0.3f)));
+  for (int unit = 0; unit < kUnits; ++unit) {
+    new_weights.push_back(fb.FAdd(weights[unit], step));
+    hidden.push_back(fb.FFma(new_weights.back(), input, delta));
+  }
+  V sum = hidden[0];
+  for (int unit = 1; unit < kUnits; ++unit) {
+    sum = fb.FAdd(sum, hidden[unit]);
+  }
+  for (int unit = 0; unit < kUnits; ++unit) {
+    fb.StGlobal(unit_addr, (1 << 22) + unit * 4096, new_weights[unit]);
+  }
+  const V squashed = fb.FRcp(
+      fb.FAdd(fb.FExp(fb.FMul(sum, V::FImm(-1.0f))), V::FImm(1.0f)));
+  fb.StGlobal(unit_addr, (1 << 22) + (1 << 20), squashed);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

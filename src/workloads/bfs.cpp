@@ -1,0 +1,77 @@
+// bfs (Rodinia) — breadth-first search, Table 2: Reg 16, Func 0, no
+// user shared memory.  Frontier expansion with data-dependent scattered
+// neighbor loads; the frontier size differs every iteration, which is
+// exactly why the paper reports the feedback tuner struggles to compare
+// consecutive invocations of this benchmark (Section 4.2).
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeBfs() {
+  Workload w;
+  w.name = "bfs";
+  w.table2 = {16, 0, false, "Graph traversal"};
+  w.iterations = 16;
+  w.gmem_words = std::size_t{1} << 22;
+  // Frontier sizes per iteration (param word 0): the BFS wave grows,
+  // peaks and shrinks.
+  for (const std::uint32_t frontier : {2u, 4u, 8u, 14u, 18u, 16u, 12u, 8u,
+                                       6u, 4u, 3u, 2u}) {
+    w.per_iteration_params.push_back({frontier});
+  }
+  w.params = {8};
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/840);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V node_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+  const V frontier = fb.LdParam(0);
+
+  const V node = fb.LdGlobal(node_addr, 0, /*width=*/1,
+                             /*stride=*/isa::kScatterStride);
+  V level = fb.LdGlobal(node_addr, 1 << 20);
+  const V level_reg = level;
+  // Visitation bookkeeping held in registers across the frontier loop
+  // (cost array, visited mask, updated count) — Table 2: Reg 16.
+  std::vector<V> state;
+  for (int i = 0; i < 8; ++i) {
+    state.push_back(fb.LdGlobal(node_addr, (3 << 20) + 4 * i));
+  }
+
+  auto loop = fb.LoopBegin(V::Imm(0), frontier, V::Imm(1));
+  {
+    // Edge offset -> neighbor id -> neighbor level: a dependent chain of
+    // scattered loads, the latency-bound pattern that wants maximum
+    // occupancy.
+    const V edge_addr = fb.IMad(node, V::Imm(4), fb.IMul(loop.induction,
+                                                         V::Imm(64)));
+    const V neighbor = fb.LdGlobal(edge_addr, 1 << 21, /*width=*/1,
+                                   /*stride=*/isa::kScatterStride);
+    const V nb_masked = fb.And(neighbor, V::Imm((1 << 20) - 1));
+    const V nb_addr = fb.IMul(nb_masked, V::Imm(4));
+    const V nb_level = fb.LdGlobal(nb_addr, 3 << 20, /*width=*/1,
+                                   /*stride=*/isa::kScatterStride);
+    const V candidate = fb.IAdd(nb_level, V::Imm(1));
+    isa::Instruction min;
+    min.op = isa::Opcode::kIMin;
+    min.dsts.push_back(level_reg);
+    min.srcs = {level_reg, candidate};
+    fb.Emit(std::move(min));
+  }
+  fb.LoopEnd(loop);
+
+  V bookkeeping = state[0];
+  for (std::size_t i = 1; i < state.size(); ++i) {
+    bookkeeping = fb.IAdd(bookkeeping, state[i]);
+  }
+  fb.StGlobal(node_addr, 1 << 22, level_reg);
+  fb.StGlobal(node_addr, (1 << 22) + 4096, bookkeeping);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

@@ -1,0 +1,68 @@
+#include "workloads/common.h"
+
+namespace orion::workloads {
+
+ThreadCtx EmitThreadCtx(isa::FunctionBuilder& fb) {
+  ThreadCtx ctx;
+  ctx.tid = fb.S2R(isa::SpecialReg::kTid);
+  ctx.bid = fb.S2R(isa::SpecialReg::kBid);
+  ctx.bdim = fb.S2R(isa::SpecialReg::kBlockDim);
+  ctx.gtid = fb.IMad(ctx.bid, ctx.bdim, ctx.tid);
+  return ctx;
+}
+
+V EmitGtidAddr(isa::FunctionBuilder& fb, const ThreadCtx& ctx,
+               std::int64_t base_bytes, std::uint32_t elem_bytes) {
+  const V scaled =
+      fb.IMul(ctx.gtid, V::Imm(static_cast<std::int64_t>(elem_bytes)));
+  return fb.IAdd(scaled, V::Imm(base_bytes));
+}
+
+std::vector<V> EmitAccumulators(isa::FunctionBuilder& fb, V addr,
+                                std::uint32_t count) {
+  std::vector<V> accs;
+  accs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    accs.push_back(fb.LdGlobal(addr, 4 * static_cast<std::int64_t>(i)));
+  }
+  return accs;
+}
+
+void EmitReduceAndStore(isa::FunctionBuilder& fb, std::vector<V>& accs,
+                        V addr, std::int64_t offset_bytes) {
+  V total = accs[0];
+  for (std::size_t i = 1; i < accs.size(); ++i) {
+    total = fb.FAdd(total, accs[i]);
+  }
+  fb.StGlobal(addr, offset_bytes, total);
+}
+
+V EmitTempWindow(isa::FunctionBuilder& fb, V seed, std::uint32_t count) {
+  std::vector<V> temps;
+  temps.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    temps.push_back(
+        fb.FFma(seed, V::FImm(0.5f + 0.25f * static_cast<float>(i)), seed));
+  }
+  V folded = temps[0];
+  for (std::uint32_t i = 1; i < count; ++i) {
+    folded = fb.FAdd(folded, temps[i]);
+  }
+  return folded;
+}
+
+std::string AddMulAddHelper(isa::ModuleBuilder& mb) {
+  const std::string name = "__muladd";
+  if (mb.module().FindFunction(name) != nullptr) {
+    return name;
+  }
+  std::vector<V> params;
+  auto fb = mb.AddFunction(name, {1, 1, 1}, 1, &params);
+  const V product = fb.FMul(params[0], params[1]);
+  const V scaled = fb.FAdd(product, params[2]);
+  const V result = fb.FMax(scaled, V::FImm(-1.0e30f));
+  fb.Ret(result);
+  return name;
+}
+
+}  // namespace orion::workloads

@@ -1,0 +1,48 @@
+// Shared kernel-construction helpers for the benchmark suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/builder.h"
+
+namespace orion::workloads {
+
+using V = isa::Operand;
+
+struct ThreadCtx {
+  V tid;   // thread index within block
+  V bid;   // global block index
+  V bdim;  // threads per block
+  V gtid;  // global thread index = bid * bdim + tid
+};
+
+// Emits the standard launch-geometry preamble.
+ThreadCtx EmitThreadCtx(isa::FunctionBuilder& fb);
+
+// gtid-indexed byte address: base_bytes + gtid * elem_bytes.
+V EmitGtidAddr(isa::FunctionBuilder& fb, const ThreadCtx& ctx,
+               std::int64_t base_bytes, std::uint32_t elem_bytes);
+
+// Creates `count` float accumulators initialized from consecutive global
+// words, establishing `count` long-lived registers (max-live pressure).
+std::vector<V> EmitAccumulators(isa::FunctionBuilder& fb, V addr,
+                                std::uint32_t count);
+
+// Folds accumulators into one value and stores it to `addr + offset`.
+void EmitReduceAndStore(isa::FunctionBuilder& fb, std::vector<V>& accs,
+                        V addr, std::int64_t offset_bytes);
+
+// A generic device helper used to reach the paper's static-call counts:
+// computes a * b + c through a float pipeline.  Returns its name.
+std::string AddMulAddHelper(isa::ModuleBuilder& mb);
+
+// Emits a call-free burst of `count` simultaneously-live temporaries
+// derived from `seed`, folded into one value.  Raises the function's
+// register peak *between* call sites, which is what makes compressible-
+// stack slot addressing matter: values live across calls must share the
+// frame with this window, so their addresses decide how many park moves
+// each call needs.
+V EmitTempWindow(isa::FunctionBuilder& fb, V seed, std::uint32_t count);
+
+}  // namespace orion::workloads

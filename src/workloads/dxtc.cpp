@@ -1,0 +1,98 @@
+// dxtc (CUDA SDK) — DXT texture compression, Table 2: Reg 49, Func 11,
+// user shared memory.  Loads a pixel block into shared memory, then
+// performs a compute-heavy endpoint search over it.
+#include <algorithm>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeDxtc() {
+  Workload w;
+  w.name = "dxtc";
+  w.table2 = {49, 11, true, "Image proc."};
+  w.iterations = 32;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/192, /*grid_dim=*/168);
+  mb.SetUserSmemBytes(6144);
+  const std::string fdiv = isa::AddFdivIntrinsic(mb);
+  const std::string muladd = AddMulAddHelper(mb);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+
+  // Stage the pixel block into shared memory (two rows per thread).
+  const V smem_addr = fb.IMul(ctx.tid, V::Imm(32));
+  {
+    const V px_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/32);
+    const V row0 = fb.LdGlobal(px_addr, 0, /*width=*/4);
+    const V row1 = fb.LdGlobal(px_addr, 16, /*width=*/4);
+    fb.StShared(smem_addr, 0, row0);
+    fb.StShared(smem_addr, 16, row1);
+  }
+  fb.Bar();
+
+  // Endpoint search state: ~38 long-lived registers.
+  const V seed_addr = EmitGtidAddr(fb, ctx, /*base=*/(1 << 21), /*elem=*/4);
+  std::vector<V> accs = EmitAccumulators(fb, seed_addr, 38);
+
+  // The endpoint search probes the tile data-dependently: the next
+  // probe position comes from the pixel just examined.
+  const V chase = fb.Mov(V::Imm(0));
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(10), V::Imm(1));
+  {
+    const V probe_off = fb.And(fb.IAdd(loop.induction, chase), V::Imm(7));
+    const V probe_addr = fb.IMad(probe_off, V::Imm(16), smem_addr);
+    const V px = fb.LdShared(probe_addr, 0);
+    const V px2 = fb.LdShared(probe_addr, 8);
+    isa::Instruction adv;
+    adv.op = isa::Opcode::kAnd;
+    adv.dsts.push_back(chase);
+    adv.srcs = {px, V::Imm(7)};
+    fb.Emit(std::move(adv));
+
+    // Error metric with division: 11 static call sites total (one fdiv
+    // per iteration position below plus ten muladd sites unrolled).
+    const V search = EmitTempWindow(fb, fb.FAdd(px, px2), 10);
+    V err = fb.Call(fdiv, {fb.FFma(search, V::FImm(0.1f), px),
+                           fb.FAdd(px2, V::FImm(2.0f))}, 1);
+    for (int site = 0; site < 7; ++site) {
+      err = fb.Call(muladd, {err, accs[site % accs.size()], px}, 1);
+      // Heavy ALU refinement between call sites.
+      err = fb.FFma(err, V::FImm(0.98f), px2);
+      err = fb.FMax(err, V::FImm(-64.0f));
+      err = fb.FMin(err, V::FImm(64.0f));
+    }
+    // Only the hot head of the register state is updated in the loop;
+    // the cold tail stays live until the epilogue reduction (spilling
+    // it is cheap, as in the real application).
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, accs.size()); ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(accs[i]);
+      fma.srcs = {err, V::FImm(0.01f), accs[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+  fb.LoopEnd(loop);
+
+  // Epilogue endpoint refinement: three call sites at low liveness —
+  // together with the in-loop eight this matches Table 2's 11 static
+  // calls while varying the compressed-stack heights across sites.
+  V total = accs[0];
+  for (std::size_t i = 1; i < accs.size(); ++i) {
+    total = fb.FAdd(total, accs[i]);
+  }
+  total = fb.Call(muladd, {total, V::FImm(1.0f / 38.0f), V::FImm(0.0f)}, 1);
+  total = fb.Call(muladd, {total, V::FImm(0.75f), total}, 1);
+  total = fb.Call(muladd, {total, V::FImm(1.25f), total}, 1);
+  fb.StGlobal(seed_addr, /*offset=*/1 << 22, total);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

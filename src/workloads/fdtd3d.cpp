@@ -1,0 +1,77 @@
+// FDTD3d (CUDA SDK) — finite-difference time domain, Table 2: Reg 48,
+// Func 0, user shared memory.  A 3D stencil: planes stream through
+// shared memory while a register queue holds the z-axis neighborhood —
+// streaming-bandwidth bound once enough warps are resident.
+#include <algorithm>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeFdtd3d() {
+  Workload w;
+  w.name = "FDTD3d";
+  w.table2 = {48, 0, true, "Numer. analysis"};
+  w.iterations = 32;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/168);
+  mb.SetUserSmemBytes(5120);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V col_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+  const V smem_addr = fb.IMul(ctx.tid, V::Imm(20));
+
+  // Register queue for the z-neighborhood: ~36 persistent values.
+  std::vector<V> accs = EmitAccumulators(fb, col_addr, 36);
+
+  // The wavefront position depends on the previous plane's values
+  // (boundary-adaptive stepping): iterations serialize within a warp.
+  const V chase = fb.Mov(V::Imm(0));
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(12), V::Imm(1));
+  {
+    // Stream the next z-plane: coalesced, no reuse across iterations.
+    const V plane_off = fb.IMul(loop.induction, V::Imm(1 << 16));
+    const V plane_addr = fb.IAdd(fb.IAdd(col_addr, plane_off), chase);
+    const V ahead = fb.LdGlobal(plane_addr, 1 << 20);
+    const V ahead2 = fb.LdGlobal(plane_addr, (1 << 20) + 57344);
+    isa::Instruction adv;
+    adv.op = isa::Opcode::kAnd;
+    adv.dsts.push_back(chase);
+    adv.srcs = {ahead, V::Imm(0xFFC)};
+    fb.Emit(std::move(adv));
+
+    // Share the in-plane halo through shared memory.
+    fb.StShared(smem_addr, 0, ahead);
+    fb.Bar();
+    const V west = fb.LdShared(smem_addr, 4);
+    const V east = fb.LdShared(smem_addr, 8);
+    fb.Bar();
+
+    // 3D stencil update through the register queue.
+    V stencil = fb.FAdd(west, east);
+    stencil = fb.FFma(ahead, V::FImm(0.4f), stencil);
+    stencil = fb.FFma(ahead2, V::FImm(0.2f), stencil);
+    // Only the hot head of the register state is updated in the loop;
+    // the cold tail stays live until the epilogue reduction (spilling
+    // it is cheap, as in the real application).
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, accs.size()); ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(accs[i]);
+      fma.srcs = {stencil, V::FImm(1.0f / 36.0f), accs[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+  fb.LoopEnd(loop);
+
+  EmitReduceAndStore(fb, accs, col_addr, /*offset=*/1 << 22);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

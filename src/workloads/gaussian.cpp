@@ -1,0 +1,48 @@
+// gaussian (Rodinia) — Gaussian elimination, Table 2: Reg 11, Func 2, no
+// user shared memory.  A small row-update kernel with two division call
+// sites; Figure 14(a): essentially insensitive to occupancy, which makes
+// it the showcase for resource/energy saving at unchanged performance.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeGaussian() {
+  Workload w;
+  w.name = "gaussian";
+  w.table2 = {11, 2, false, "Numer. analysis"};
+  w.iterations = 16;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/192, /*grid_dim=*/840);
+  const std::string fdiv = isa::AddFdivIntrinsic(mb);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V row_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+
+  const V a = fb.LdGlobal(row_addr, 0);
+  const V pivot = fb.LdGlobal(row_addr, 1 << 18);
+
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(6), V::Imm(1));
+  {
+    const V m = fb.Call(fdiv, {a, fb.FAdd(pivot, V::FImm(1.0f))}, 1);
+    // Column access down the matrix: strided across lanes, so each
+    // load touches many lines — bandwidth saturates at low occupancy,
+    // which is what makes gaussian insensitive to tuning (Fig. 14a).
+    const V b = fb.LdGlobal(
+        fb.IAdd(row_addr, fb.IMul(loop.induction, V::Imm(1 << 13))), 1 << 20,
+        /*width=*/1, /*stride=*/8);
+    const V scaled = fb.Call(fdiv, {fb.FMul(m, b), V::FImm(2.0f)}, 1);
+    fb.StGlobal(
+        fb.IAdd(row_addr, fb.IMul(loop.induction, V::Imm(1 << 13))),
+        1 << 22, scaled);
+  }
+  fb.LoopEnd(loop);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

@@ -1,0 +1,98 @@
+// hotspot (Rodinia) — thermal simulation, Table 2: Reg 37, Func 6, user
+// shared memory.  A 2D temperature stencil over a shared-memory tile
+// with per-cell power dissipation that divides by thermal capacitance.
+#include <algorithm>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeHotspot() {
+  Workload w;
+  w.name = "hotspot";
+  w.table2 = {37, 6, true, "Temp. modeling"};
+  w.iterations = 32;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/168);
+  mb.SetUserSmemBytes(4096);
+  const std::string fdiv = isa::AddFdivIntrinsic(mb);
+  const std::string muladd = AddMulAddHelper(mb);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V cell_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+  const V smem_addr = fb.IMul(ctx.tid, V::Imm(16));
+
+  // Stage the temperature tile.
+  {
+    const V temp = fb.LdGlobal(cell_addr, 0, /*width=*/4);
+    fb.StShared(smem_addr, 0, temp);
+  }
+  fb.Bar();
+
+  std::vector<V> accs = EmitAccumulators(fb, cell_addr, 26);
+
+  // The power trace is read through an index loaded from the grid
+  // (adaptive grid refinement): a dependent-load chain per warp.
+  const V chase = fb.Mov(V::Imm(0));
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(8), V::Imm(1));
+  {
+    const V power = fb.LdGlobal(
+        fb.IAdd(fb.IAdd(cell_addr, chase),
+                fb.IMul(loop.induction, V::Imm(1 << 15))),
+        1 << 20);
+    isa::Instruction adv;
+    adv.op = isa::Opcode::kAnd;
+    adv.dsts.push_back(chase);
+    adv.srcs = {power, V::Imm(0xFFC)};
+    fb.Emit(std::move(adv));
+    const V north = fb.LdShared(smem_addr, 0);
+    const V south = fb.LdShared(smem_addr, 4);
+    const V west = fb.LdShared(smem_addr, 8);
+    const V east = fb.LdShared(smem_addr, 12);
+
+    // Four of the six static call sites: two divisions and two fused
+    // updates inside the stencil loop; the last two normalize the
+    // result in the epilogue, where far fewer values are live — so the
+    // compressible stack sees call sites of very different heights.
+    const V window = EmitTempWindow(fb, fb.FAdd(north, west), 10);
+    const V denom = fb.FAdd(fb.FAdd(fb.FMul(window, V::FImm(0.1f)), south),
+                            V::FImm(4.0f));
+    const V delta = fb.Call(fdiv, {power, denom}, 1);
+    const V rate = fb.Call(fdiv, {fb.FAdd(west, east), denom}, 1);
+    V temp = fb.Call(muladd, {delta, rate, north}, 1);
+    temp = fb.Call(muladd, {temp, V::FImm(0.25f), south}, 1);
+    temp = fb.FFma(temp, V::FImm(0.25f), west);
+    temp = fb.FFma(temp, V::FImm(0.25f), east);
+
+    // Only the hot head of the register state is updated in the loop;
+    // the cold tail stays live until the epilogue reduction (spilling
+    // it is cheap, as in the real application).
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, accs.size()); ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(accs[i]);
+      fma.srcs = {temp, V::FImm(0.04f), accs[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+  fb.LoopEnd(loop);
+
+  // Epilogue normalization: two more call sites with almost nothing
+  // live, giving the compressible stack a short-height call pair.
+  V total = accs[0];
+  for (std::size_t i = 1; i < accs.size(); ++i) {
+    total = fb.FAdd(total, accs[i]);
+  }
+  total = fb.Call(muladd, {total, V::FImm(1.0f / 26.0f), V::FImm(0.0f)}, 1);
+  total = fb.Call(muladd, {total, V::FImm(0.5f), total}, 1);
+  fb.StGlobal(cell_addr, /*offset=*/1 << 22, total);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

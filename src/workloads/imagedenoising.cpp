@@ -1,0 +1,108 @@
+// imageDenoising (CUDA SDK) — image processing, Table 2: Reg 63, Func 2,
+// user shared memory.  The Figure 1 benchmark: on GTX680 its runtime
+// forms a valley with the optimum at 50% occupancy — below that too few
+// warps hide the window loads' latency, above it the resident blocks'
+// window working sets overflow the cache hierarchy.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeImageDenoising() {
+  Workload w;
+  w.name = "imageDenoising";
+  w.table2 = {63, 2, true, "Image proc."};
+  w.iterations = 32;
+  w.gmem_words = std::size_t{1} << 22;  // 16MB: covers the 8MB output plane
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/168);
+  mb.SetUserSmemBytes(2048);  // per-block filter-weight table
+  const std::string fdiv = isa::AddFdivIntrinsic(mb);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+
+  // Stage the weight table into shared memory (one row per thread).
+  const V smem_addr = fb.IMul(ctx.tid, V::Imm(16));
+  {
+    const V weights_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/16);
+    const V weights = fb.LdGlobal(weights_addr, 0, /*width=*/4);
+    fb.StShared(smem_addr, 0, weights);
+  }
+  fb.Bar();
+
+  // Per-block image window base: blocks revisit a ~12KB region.
+  const V window_base = [&] {
+    const V block_off = fb.IMul(ctx.bid, V::Imm(12288));
+    const V lane_off = fb.IMul(ctx.tid, V::Imm(4));
+    const V base = fb.IAdd(block_off, lane_off);
+    return fb.IAdd(base, V::Imm(1 << 20));  // image plane at 1MB
+  }();
+
+  // Long-lived state: ~50 accumulators + addressing => max-live ~63.
+  const V acc_addr = EmitGtidAddr(fb, ctx, /*base=*/(1 << 22), /*elem=*/4);
+  std::vector<V> accs = EmitAccumulators(fb, acc_addr, 52);
+
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(8), V::Imm(1));
+  {
+    // Window row: revisit the block's region (cache-resident at low
+    // block counts, thrashing at high occupancy).
+    const V row_off = fb.IMul(loop.induction, V::Imm(1536));
+    const V row_addr = fb.IAdd(window_base, row_off);
+    const V p0 = fb.LdGlobal(row_addr, 0);
+    const V p1 = fb.LdGlobal(row_addr, 1024);
+    const V wrow = fb.LdShared(smem_addr, 0);
+
+    // Denoising weight: exp of the normalized difference.  The fast
+    // in-loop path uses the reciprocal unit; the two precise divisions
+    // (Table 2: Func = 2) happen once, in the normalization epilogue.
+    const V diff = fb.FAdd(p0, fb.FMul(p1, V::FImm(-1.0f)));
+    const V norm = fb.FMul(diff, fb.FRcp(fb.FAdd(p1, V::FImm(1.0f))));
+    const V weight = fb.FExp(fb.FMul(norm, V::FImm(-0.7f)));
+
+    // Accumulate the weighted window into the running sums.  Rows
+    // alternate between the two halves of the state, so each iteration
+    // touches half of the accumulators.
+    const V contrib = fb.FMul(weight, fb.FAdd(p0, wrow));
+    const V is_odd = fb.And(loop.induction, V::Imm(1));
+    const std::string odd_half = fb.NewLabel("odd");
+    const std::string row_done = fb.NewLabel("done");
+    fb.Brnz(is_odd, odd_half);
+    for (std::size_t i = 0; i < accs.size(); i += 2) {
+      isa::Instruction add;
+      add.op = isa::Opcode::kFFma;
+      add.dsts.push_back(accs[i]);
+      add.srcs = {contrib, V::FImm(0.03f), accs[i]};
+      fb.Emit(std::move(add));
+    }
+    fb.Bra(row_done);
+    fb.Bind(odd_half);
+    for (std::size_t i = 1; i < accs.size(); i += 2) {
+      isa::Instruction add;
+      add.op = isa::Opcode::kFFma;
+      add.dsts.push_back(accs[i]);
+      add.srcs = {contrib, V::FImm(0.03f), accs[i]};
+      fb.Emit(std::move(add));
+    }
+    fb.Bind(row_done);
+  }
+  fb.LoopEnd(loop);
+
+  // Final normalization: both static FDIV call sites live here.
+  V total = accs[0];
+  for (std::size_t i = 1; i < accs.size(); ++i) {
+    total = fb.FAdd(total, accs[i]);
+  }
+  const V count = fb.FAdd(V::FImm(8.0f), V::FImm(44.0f));
+  const V scaled = fb.Call(fdiv, {total, count}, 1);
+  const V result = fb.Call(fdiv, {scaled, fb.FAdd(count, V::FImm(1.0f))}, 1);
+  const V out_addr = EmitGtidAddr(fb, ctx, /*base=*/(1 << 23), /*elem=*/4);
+  fb.StGlobal(out_addr, 0, result);
+  fb.Exit();
+
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

@@ -1,0 +1,65 @@
+// matrixMul (CUDA SDK) — tiled matrix multiplication, the Figure 2
+// benchmark.  Tiles of A and B stage through shared memory; performance
+// rises with occupancy and then plateaus from 50% upward (the program
+// has little register pressure), which is the paper's motivating case
+// for finding the *range* of best occupancies and taking the lowest.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeMatrixMul() {
+  Workload w;
+  w.name = "matrixmul";
+  w.table2 = {18, 0, true, "Linear algebra"};
+  w.iterations = 24;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/168);
+  mb.SetUserSmemBytes(8192);  // A-tile + B-tile
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V row_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+  const V a_smem = fb.IMul(ctx.tid, V::Imm(16));
+  const V b_smem = fb.IAdd(a_smem, V::Imm(4096));
+
+  std::vector<V> accs = EmitAccumulators(fb, row_addr, 8);
+
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(10), V::Imm(1));
+  {
+    // Stage the next tiles: coalesced streaming loads.
+    const V tile_off = fb.IMul(loop.induction, V::Imm(1 << 15));
+    const V a_elem = fb.LdGlobal(fb.IAdd(row_addr, tile_off), 1 << 20,
+                                 /*width=*/4);
+    const V b_elem = fb.LdGlobal(fb.IAdd(row_addr, tile_off),
+                                 (1 << 20) + 57344, /*width=*/4);
+    fb.StShared(a_smem, 0, a_elem);
+    fb.StShared(b_smem, 0, b_elem);
+    fb.Bar();
+
+    // Inner product over the staged tiles: compute-dense smem reuse.
+    for (int k = 0; k < 4; ++k) {
+      const V a = fb.LdShared(a_smem, 4 * k);
+      const V b = fb.LdShared(b_smem, 4 * k);
+      const V prod = fb.FMul(a, b);
+      for (std::size_t i = 0; i < accs.size(); ++i) {
+        isa::Instruction fma;
+        fma.op = isa::Opcode::kFFma;
+        fma.dsts.push_back(accs[i]);
+        fma.srcs = {prod, V::FImm(1.0f / 8.0f), accs[i]};
+        fb.Emit(std::move(fma));
+      }
+    }
+    fb.Bar();
+  }
+  fb.LoopEnd(loop);
+
+  EmitReduceAndStore(fb, accs, row_addr, /*offset=*/1 << 22);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

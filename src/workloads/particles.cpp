@@ -1,0 +1,74 @@
+// particles (CUDA SDK) — particle simulation, Table 2: Reg 52, Func 0,
+// no user shared memory.  An interaction kernel (distance computations
+// with square roots).  The paper notes this benchmark provides no
+// tuning iterations and cannot be split, so Orion falls back to the
+// compiler's static selection (Section 3.3).
+#include <algorithm>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeParticles() {
+  Workload w;
+  w.name = "particles";
+  w.table2 = {52, 0, false, "Simulation"};
+  w.iterations = 1;
+  w.can_tune = false;  // single invocation, not splittable
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/192, /*grid_dim=*/168);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V self_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/16);
+
+  // Particle state: position, velocity, force accumulators (~42 live).
+  std::vector<V> accs = EmitAccumulators(fb, self_addr, 42);
+  const V px = fb.LdGlobal(self_addr, 0);
+  const V py = fb.LdGlobal(self_addr, 4);
+
+  // Neighbor-list traversal: each neighbor's cell is found from the
+  // previous neighbor's data, serializing the loads within a warp.
+  const V chase = fb.Mov(V::Imm(0));
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(16), V::Imm(1));
+  {
+    // Neighbor particle: streaming, coalesced.
+    const V nb_off = fb.IMul(loop.induction, V::Imm(1 << 15));
+    const V nb_addr = fb.IAdd(fb.IAdd(self_addr, chase), nb_off);
+    const V qx = fb.LdGlobal(nb_addr, 1 << 20);
+    const V qy = fb.LdGlobal(nb_addr, (1 << 20) + 4);
+    isa::Instruction adv;
+    adv.op = isa::Opcode::kAnd;
+    adv.dsts.push_back(chase);
+    adv.srcs = {qx, V::Imm(0xFFC)};
+    fb.Emit(std::move(adv));
+
+    const V dx = fb.FAdd(px, fb.FMul(qx, V::FImm(-1.0f)));
+    const V dy = fb.FAdd(py, fb.FMul(qy, V::FImm(-1.0f)));
+    const V dist2 = fb.FFma(dx, dx, fb.FMul(dy, dy));
+    const V dist = fb.FSqrt(fb.FAdd(dist2, V::FImm(0.01f)));
+    const V force = fb.FRcp(fb.FAdd(dist, V::FImm(0.5f)));
+
+    // Only the hot head of the register state is updated in the loop;
+    // the cold tail stays live until the epilogue reduction (spilling
+    // it is cheap, as in the real application).
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, accs.size()); ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(accs[i]);
+      fma.srcs = {force, V::FImm(1.0f / 42.0f), accs[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+  fb.LoopEnd(loop);
+
+  EmitReduceAndStore(fb, accs, self_addr, /*offset=*/1 << 22);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

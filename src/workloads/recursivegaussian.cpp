@@ -1,0 +1,62 @@
+// recursiveGaussian (CUDA SDK) — recursive Gaussian filter, Table 2:
+// Reg 42, Func 21, no user shared memory.  A sequential IIR filter per
+// column: each output depends on the previous outputs.  The filter
+// stages are fully unrolled (as nvcc unrolls the SDK kernel), leaving
+// 21 static call sites: three per stage across seven stages.
+#include <algorithm>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeRecursiveGaussian() {
+  Workload w;
+  w.name = "recursiveGaussian";
+  w.table2 = {42, 21, false, "Numer. analysis"};
+  w.iterations = 32;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/192, /*grid_dim=*/168);
+  const std::string fdiv = isa::AddFdivIntrinsic(mb);
+  const std::string muladd = AddMulAddHelper(mb);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V col_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+
+  std::vector<V> accs = EmitAccumulators(fb, col_addr, 30);
+  // IIR state: y[n-1], y[n-2] — carried through the unrolled stages.
+  V y1 = fb.LdGlobal(col_addr, 4096);
+  V y2 = fb.LdGlobal(col_addr, 8192);
+
+  for (int stage = 0; stage < 7; ++stage) {
+    const V x = fb.LdGlobal(col_addr, (1 << 20) + (stage << 14));
+
+    // Three call sites per stage x 7 stages = 21 static calls.
+    const V a = fb.Call(muladd, {y1, V::FImm(1.6f), x}, 1);
+    const V b = fb.Call(muladd, {y2, V::FImm(-0.64f), a}, 1);
+    const V y = fb.Call(fdiv, {b, fb.FAdd(y1, V::FImm(2.0f))}, 1);
+
+    // Shift the recursive state: strictly serial dependence.  These are
+    // fresh SSA-style values because the stages are unrolled.
+    y2 = y1;
+    y1 = y;
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, accs.size()); ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(accs[i]);
+      fma.srcs = {y, V::FImm(1.0f / 32.0f), accs[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+
+  EmitReduceAndStore(fb, accs, col_addr, /*offset=*/1 << 22);
+  fb.StGlobal(col_addr, (1 << 22) + 4096, y1);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

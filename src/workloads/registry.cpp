@@ -1,0 +1,42 @@
+#include "common/error.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+const std::vector<std::string>& Table2Names() {
+  static const std::vector<std::string> names = {
+      "cfd",       "dxtc",      "FDTD3d",   "hotspot",
+      "imageDenoising", "particles", "recursiveGaussian",
+      "backprop",  "bfs",       "gaussian", "srad",
+      "streamcluster",
+  };
+  return names;
+}
+
+const std::vector<std::string>& AllNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = Table2Names();
+    all.push_back("matrixmul");
+    return all;
+  }();
+  return names;
+}
+
+Workload MakeWorkload(const std::string& name) {
+  if (name == "cfd") return MakeCfd();
+  if (name == "dxtc") return MakeDxtc();
+  if (name == "FDTD3d") return MakeFdtd3d();
+  if (name == "hotspot") return MakeHotspot();
+  if (name == "imageDenoising") return MakeImageDenoising();
+  if (name == "particles") return MakeParticles();
+  if (name == "recursiveGaussian") return MakeRecursiveGaussian();
+  if (name == "backprop") return MakeBackprop();
+  if (name == "bfs") return MakeBfs();
+  if (name == "gaussian") return MakeGaussian();
+  if (name == "srad") return MakeSrad();
+  if (name == "streamcluster") return MakeStreamcluster();
+  if (name == "matrixmul") return MakeMatrixMul();
+  throw OrionError("unknown workload '" + name + "'");
+}
+
+}  // namespace orion::workloads

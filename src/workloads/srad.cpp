@@ -1,0 +1,82 @@
+// srad (Rodinia) — speckle-reducing anisotropic diffusion, Table 2:
+// Reg 20, Func 7, user shared memory.  Figure 10: on Tesla C2075 its
+// runtime is flat from about one-third occupancy upward — bandwidth
+// saturates early — so halving occupancy costs nothing and saves
+// resources.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeSrad() {
+  Workload w;
+  w.name = "srad";
+  w.table2 = {20, 7, true, "Imaging app"};
+  w.iterations = 16;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/840);
+  mb.SetUserSmemBytes(4096);
+  const std::string fdiv = isa::AddFdivIntrinsic(mb);
+  const std::string muladd = AddMulAddHelper(mb);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V cell_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+  const V smem_addr = fb.IMul(ctx.tid, V::Imm(16));
+
+  {
+    const V tile = fb.LdGlobal(cell_addr, 0, /*width=*/4);
+    fb.StShared(smem_addr, 0, tile);
+  }
+  fb.Bar();
+
+  std::vector<V> accs = EmitAccumulators(fb, cell_addr, 8);
+
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(6), V::Imm(1));
+  {
+    // Streaming image plane loads: the bandwidth load that saturates.
+    const V plane_off = fb.IMul(loop.induction, V::Imm(1 << 16));
+    const V img0 = fb.LdGlobal(fb.IAdd(cell_addr, plane_off), 1 << 20,
+                               /*width=*/1, /*stride=*/4);
+    const V img1 = fb.LdGlobal(fb.IAdd(cell_addr, plane_off),
+                               (1 << 20) + 57344, /*width=*/1, /*stride=*/4);
+    const V img2 = fb.LdGlobal(fb.IAdd(cell_addr, plane_off),
+                               (1 << 20) + 114688, /*width=*/1, /*stride=*/2);
+    const V img3 = fb.LdGlobal(fb.IAdd(cell_addr, plane_off),
+                               (1 << 20) + 172032, /*width=*/1, /*stride=*/2);
+    const V north = fb.LdShared(smem_addr, 0);
+    const V south = fb.LdShared(smem_addr, 4);
+
+    // Diffusion coefficient with divisions: 7 static call sites total
+    // (2 fdiv + 5 muladd, one group of 7 per loop body... the group is
+    // emitted once; the loop re-executes the same sites).
+    const V grad = fb.FAdd(fb.FAdd(img0, img2),
+                           fb.FMul(fb.FAdd(img1, img3), V::FImm(-1.0f)));
+    const V q = fb.Call(fdiv, {grad, fb.FAdd(north, V::FImm(2.0f))}, 1);
+    const V c = fb.Call(fdiv, {V::FImm(1.0f),
+                               fb.FFma(q, q, V::FImm(1.0f))}, 1);
+    V update = fb.Call(muladd, {c, grad, south}, 1);
+    update = fb.Call(muladd, {update, V::FImm(0.25f), north}, 1);
+    update = fb.Call(muladd, {update, V::FImm(0.25f), img0}, 1);
+    update = fb.Call(muladd, {update, V::FImm(0.25f), img1}, 1);
+    update = fb.Call(muladd, {update, V::FImm(0.125f), grad}, 1);
+
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(accs[i]);
+      fma.srcs = {update, V::FImm(0.125f), accs[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+  fb.LoopEnd(loop);
+
+  EmitReduceAndStore(fb, accs, cell_addr, /*offset=*/1 << 22);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

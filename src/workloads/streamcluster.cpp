@@ -1,0 +1,62 @@
+// streamcluster (Rodinia) — data mining, Table 2: Reg 18, Func 0, no
+// user shared memory.  Distance evaluation of streaming points against
+// a resident set of cluster centers: Figure 14(b) shows a skewed bell
+// with the optimum near 75% occupancy — bandwidth wants more warps,
+// center reuse in the cache pushes back at the very top.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+
+Workload MakeStreamcluster() {
+  Workload w;
+  w.name = "streamcluster";
+  w.table2 = {18, 0, false, "Data mining"};
+  w.iterations = 16;
+  w.gmem_words = std::size_t{1} << 22;
+
+  isa::ModuleBuilder mb(w.name);
+  mb.SetLaunch(/*block_dim=*/256, /*grid_dim=*/840);
+
+  auto fb = mb.AddKernel("main");
+  const ThreadCtx ctx = EmitThreadCtx(fb);
+  const V point_addr = EmitGtidAddr(fb, ctx, /*base=*/0, /*elem=*/4);
+
+  const V px = fb.LdGlobal(point_addr, 0);
+  const V py = fb.LdGlobal(point_addr, 1 << 19);
+  std::vector<V> accs = EmitAccumulators(fb, point_addr, 8);
+
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(12), V::Imm(1));
+  {
+    // Cluster centers: a shared region revisited by every block (cache
+    // resident until too many warps compete), plus streaming point data.
+    const V center_off = fb.IMul(loop.induction, V::Imm(2048));
+    const V center_base = fb.IAdd(fb.IMul(ctx.tid, V::Imm(4)), center_off);
+    const V cx = fb.LdGlobal(center_base, 1 << 21);
+    const V cy = fb.LdGlobal(center_base, (1 << 21) + 8192);
+    const V stream = fb.LdGlobal(
+        fb.IAdd(point_addr, fb.IMul(loop.induction, V::Imm(1 << 15))),
+        1 << 20);
+
+    const V dx = fb.FAdd(px, fb.FMul(cx, V::FImm(-1.0f)));
+    const V dy = fb.FAdd(py, fb.FMul(cy, V::FImm(-1.0f)));
+    const V dist = fb.FFma(dx, dx, fb.FMul(dy, dy));
+    const V cost = fb.FFma(dist, V::FImm(0.5f), stream);
+
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+      isa::Instruction fma;
+      fma.op = isa::Opcode::kFFma;
+      fma.dsts.push_back(accs[i]);
+      fma.srcs = {cost, V::FImm(0.125f), accs[i]};
+      fb.Emit(std::move(fma));
+    }
+  }
+  fb.LoopEnd(loop);
+
+  EmitReduceAndStore(fb, accs, point_addr, /*offset=*/1 << 22);
+  fb.Exit();
+  w.module = mb.Build();
+  return w;
+}
+
+}  // namespace orion::workloads

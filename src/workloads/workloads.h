@@ -1,0 +1,71 @@
+// The benchmark suite.
+//
+// Virtual-ISA reconstructions of the twelve Rodinia / CUDA-SDK programs
+// in the paper's Table 2, plus matrixMul (Figure 2) and imageDenoising's
+// Figure 1 sweep.  Each is matched to the paper's reported profile —
+// register pressure (max-live), static function-call count, and
+// user-allocated shared memory — and given the memory-access character
+// of its domain (stencil halos, tiled reuse, scattered graph traversal,
+// streaming) so the occupancy-performance curve has the right shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace orion::workloads {
+
+struct Table2Row {
+  std::uint32_t reg = 0;   // registers needed to avoid spilling
+  std::uint32_t func = 0;  // static function calls (after inlining)
+  bool smem = false;       // user-allocated shared memory
+  const char* domain = "";
+};
+
+struct Workload {
+  std::string name;
+  isa::Module module;  // virtual (pre-allocation)
+  std::vector<std::uint32_t> params;
+  // Per-iteration parameter overrides (bfs: varying frontier sizes).
+  std::vector<std::vector<std::uint32_t>> per_iteration_params;
+  std::uint32_t iterations = 12;  // application kernel-loop trip count
+  bool can_tune = true;           // Fig. 8 canTune
+  std::size_t gmem_words = std::size_t{1} << 20;
+  std::uint64_t seed = 0x0410;
+  Table2Row table2;
+
+  const std::vector<std::uint32_t>& ParamsFor(std::uint32_t iteration) const {
+    if (!per_iteration_params.empty()) {
+      return per_iteration_params[iteration % per_iteration_params.size()];
+    }
+    return params;
+  }
+};
+
+// The paper's Table 2 benchmarks, in paper order.
+const std::vector<std::string>& Table2Names();
+
+// All workloads (Table 2 + "matrixmul").
+const std::vector<std::string>& AllNames();
+
+// Builds a workload by name; throws OrionError for unknown names.
+Workload MakeWorkload(const std::string& name);
+
+// Individual factories.
+Workload MakeCfd();
+Workload MakeDxtc();
+Workload MakeFdtd3d();
+Workload MakeHotspot();
+Workload MakeImageDenoising();
+Workload MakeParticles();
+Workload MakeRecursiveGaussian();
+Workload MakeBackprop();
+Workload MakeBfs();
+Workload MakeGaussian();
+Workload MakeSrad();
+Workload MakeStreamcluster();
+Workload MakeMatrixMul();
+
+}  // namespace orion::workloads

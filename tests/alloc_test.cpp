@@ -1,0 +1,411 @@
+// Tests for the allocation stack: Hungarian optimality (property swept
+// against brute force), Fig. 4 coloring validity, spill rewriting, the
+// compressible-stack layout, and the module allocator end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "alloc/allocator.h"
+#include "alloc/coloring.h"
+#include "alloc/hungarian.h"
+#include "alloc/spill.h"
+#include "alloc/stack_layout.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "ir/interference.h"
+#include "isa/verifier.h"
+#include "testutil.h"
+
+namespace orion::alloc {
+namespace {
+
+using test::MakeCallModule;
+using test::MakeLoopModule;
+using test::MakePressureModule;
+using test::MakeStraightLineModule;
+using test::MakeWideModule;
+
+// ---------------------------------------------------------------------------
+// Hungarian algorithm
+// ---------------------------------------------------------------------------
+
+double BruteForceMinCost(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += cost[i][perm[i]];
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+class HungarianProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianProperty, MatchesBruteForce) {
+  Rng rng(0xC0FFEE + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.NextBounded(5);  // 2..6 (brute force 720 max)
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) {
+      c = static_cast<double>(rng.NextBounded(100));
+    }
+  }
+  const auto assign = MinCostAssignment(cost);
+  // Valid permutation.
+  std::vector<bool> used(n, false);
+  for (const std::uint32_t j : assign) {
+    ASSERT_LT(j, n);
+    EXPECT_FALSE(used[j]);
+    used[j] = true;
+  }
+  EXPECT_DOUBLE_EQ(AssignmentCost(cost, assign), BruteForceMinCost(cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, HungarianProperty,
+                         ::testing::Range(0, 40));
+
+TEST(Hungarian, EmptyMatrix) {
+  EXPECT_TRUE(MinCostAssignment({}).empty());
+}
+
+TEST(Hungarian, IdentityOnDiagonalZeros) {
+  std::vector<std::vector<double>> cost = {
+      {0, 5, 5}, {5, 0, 5}, {5, 5, 0}};
+  const auto assign = MinCostAssignment(cost);
+  EXPECT_DOUBLE_EQ(AssignmentCost(cost, assign), 0.0);
+}
+
+TEST(Hungarian, MaxWeightWrapper) {
+  std::vector<std::vector<double>> weight = {{1, 9}, {9, 1}};
+  const auto assign = MaxWeightAssignment(weight);
+  EXPECT_EQ(assign[0], 1u);
+  EXPECT_EQ(assign[1], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Coloring (Fig. 4)
+// ---------------------------------------------------------------------------
+
+// Structural validity of a coloring against its graph.
+void ExpectValidColoring(const ir::InterferenceGraph& graph,
+                         const ColoringResult& result,
+                         std::uint32_t num_colors) {
+  for (std::uint32_t v = 0; v < graph.NumNodes(); ++v) {
+    if (result.color[v] < 0) {
+      continue;
+    }
+    const std::uint32_t c = static_cast<std::uint32_t>(result.color[v]);
+    EXPECT_EQ(c % ColorAlignment(graph.Width(v)), 0u) << "v" << v;
+    EXPECT_LE(c + graph.Width(v), num_colors) << "v" << v;
+    for (const std::uint32_t u : graph.Neighbors(v)) {
+      if (result.color[u] < 0) {
+        continue;
+      }
+      const std::uint32_t cu = static_cast<std::uint32_t>(result.color[u]);
+      const bool overlap =
+          c < cu + graph.Width(u) && cu < c + graph.Width(v);
+      EXPECT_FALSE(overlap) << "v" << v << " overlaps v" << u;
+    }
+  }
+}
+
+ColoringResult ColorKernel(const isa::Module& module, std::uint32_t colors,
+                           ir::InterferenceGraph** graph_out = nullptr) {
+  static std::vector<std::unique_ptr<ir::InterferenceGraph>> keep_alive;
+  const isa::Function& kernel = module.Kernel();
+  const ir::Cfg cfg = ir::Cfg::Build(kernel);
+  const ir::VRegInfo info = ir::VRegInfo::Gather(kernel);
+  const ir::Liveness live(cfg, info);
+  keep_alive.push_back(
+      std::make_unique<ir::InterferenceGraph>(cfg, live, info, nullptr));
+  ColoringInput in;
+  in.graph = keep_alive.back().get();
+  in.num_colors = colors;
+  if (graph_out != nullptr) {
+    *graph_out = keep_alive.back().get();
+  }
+  return ColorGraph(in);
+}
+
+TEST(Coloring, NoSpillsWithAmpleColors) {
+  ir::InterferenceGraph* graph = nullptr;
+  const ColoringResult result = ColorKernel(MakePressureModule(10), 64, &graph);
+  EXPECT_FALSE(result.HasSpills());
+  ExpectValidColoring(*graph, result, 64);
+}
+
+TEST(Coloring, SpillsUnderTightBudget) {
+  ir::InterferenceGraph* graph = nullptr;
+  const ColoringResult result = ColorKernel(MakePressureModule(30), 16, &graph);
+  EXPECT_TRUE(result.HasSpills());
+  ExpectValidColoring(*graph, result, 16);
+}
+
+TEST(Coloring, WideVariablesAlignedAndValid) {
+  ir::InterferenceGraph* graph = nullptr;
+  const ColoringResult result = ColorKernel(MakeWideModule(), 24, &graph);
+  EXPECT_FALSE(result.HasSpills());
+  ExpectValidColoring(*graph, result, 24);
+  // At least one width-4 node exists and is 4-aligned.
+  bool found_wide = false;
+  for (std::uint32_t v = 0; v < graph->NumNodes(); ++v) {
+    if (graph->Width(v) == 4 && result.color[v] >= 0) {
+      found_wide = true;
+      EXPECT_EQ(result.color[v] % 4, 0);
+    }
+  }
+  EXPECT_TRUE(found_wide);
+}
+
+TEST(Coloring, PrecoloredRespected) {
+  ir::InterferenceGraph* graph = nullptr;
+  // Precolor two vregs of the pressure kernel.
+  const isa::Module module = MakePressureModule(6);
+  const isa::Function& kernel = module.Kernel();
+  const ir::Cfg cfg = ir::Cfg::Build(kernel);
+  const ir::VRegInfo info = ir::VRegInfo::Gather(kernel);
+  const ir::Liveness live(cfg, info);
+  const ir::InterferenceGraph g(cfg, live, info, nullptr);
+  graph = const_cast<ir::InterferenceGraph*>(&g);
+  ColoringInput in;
+  in.graph = &g;
+  in.num_colors = 32;
+  // vreg 0 is the S2R tid destination.
+  in.precolored.emplace(0, 7);
+  const ColoringResult result = ColorGraph(in);
+  EXPECT_EQ(result.color[0], 7);
+  ExpectValidColoring(*graph, result, 32);
+}
+
+TEST(Coloring, WordsUsedIsTight) {
+  ir::InterferenceGraph* graph = nullptr;
+  const ColoringResult result = ColorKernel(MakeStraightLineModule(), 63, &graph);
+  std::uint32_t max_end = 0;
+  for (std::uint32_t v = 0; v < graph->NumNodes(); ++v) {
+    if (result.color[v] >= 0) {
+      max_end = std::max(max_end, static_cast<std::uint32_t>(result.color[v]) +
+                                      graph->Width(v));
+    }
+  }
+  EXPECT_EQ(result.words_used, max_end);
+}
+
+// Property sweep: random interference graphs stay valid at any budget.
+class ColoringProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringProperty, RandomPressureKernels) {
+  Rng rng(0xDEAD + static_cast<std::uint64_t>(GetParam()));
+  const std::uint32_t lanes = 2 + rng.NextBounded(28);
+  const std::uint32_t colors = 16 + rng.NextBounded(48);
+  ir::InterferenceGraph* graph = nullptr;
+  const ColoringResult result =
+      ColorKernel(MakePressureModule(lanes), colors, &graph);
+  ExpectValidColoring(*graph, result, colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ColoringProperty, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Spill rewriting
+// ---------------------------------------------------------------------------
+
+TEST(Spill, RewriteEliminatesSpilledVregs) {
+  isa::Module module = MakePressureModule(30);
+  isa::Function& kernel = module.Kernel();
+  const ir::Cfg cfg = ir::Cfg::Build(kernel);
+  const ir::VRegInfo info = ir::VRegInfo::Gather(kernel);
+  const ir::Liveness live(cfg, info);
+  const ir::InterferenceGraph graph(cfg, live, info, nullptr);
+  ColoringInput in;
+  in.graph = &graph;
+  in.num_colors = 16;
+  const ColoringResult result = ColorGraph(in);
+  ASSERT_TRUE(result.HasSpills());
+
+  SpillState state;
+  const std::uint32_t inserted =
+      RewriteSpills(&kernel, result.spilled, cfg, nullptr, &state);
+  EXPECT_GT(inserted, 0u);
+  EXPECT_EQ(state.slots.size(), result.spilled.size());
+  // No operand references a spilled vreg anymore.
+  for (const isa::Instruction& instr : kernel.instrs) {
+    for (const isa::Operand& op : instr.srcs) {
+      if (op.kind == isa::OperandKind::kVReg) {
+        EXPECT_EQ(std::find(result.spilled.begin(), result.spilled.end(),
+                            op.id),
+                  result.spilled.end());
+      }
+    }
+    for (const isa::Operand& op : instr.dsts) {
+      if (op.kind == isa::OperandKind::kVReg) {
+        EXPECT_EQ(std::find(result.spilled.begin(), result.spilled.end(),
+                            op.id),
+                  result.spilled.end());
+      }
+    }
+  }
+  // Still verifies.
+  EXPECT_TRUE(isa::VerifyModule(module).empty());
+}
+
+TEST(Spill, RehomeMovesHottestWithinBudget) {
+  isa::Module module = MakePressureModule(30, /*trip=*/4);
+  isa::Function& kernel = module.Kernel();
+  const ir::Cfg cfg = ir::Cfg::Build(kernel);
+  const ir::VRegInfo info = ir::VRegInfo::Gather(kernel);
+  const ir::Liveness live(cfg, info);
+  const ir::Dominance dom(cfg);
+  const ir::LoopInfo loops(cfg, dom);
+  const ir::InterferenceGraph graph(cfg, live, info, &loops);
+  ColoringInput in;
+  in.graph = &graph;
+  in.num_colors = 16;
+  const ColoringResult result = ColorGraph(in);
+  ASSERT_TRUE(result.HasSpills());
+  SpillState state;
+  RewriteSpills(&kernel, result.spilled, cfg, &loops, &state);
+
+  std::map<std::uint32_t, std::uint32_t> mapping;
+  const std::uint32_t used =
+      RehomeSpillsToShared(&kernel, &state, /*budget=*/3, /*base=*/0, &mapping);
+  EXPECT_LE(used, 3u);
+  EXPECT_EQ(used, mapping.size());
+  // Re-homed accesses now use the shared-private space.
+  std::uint32_t sp_accesses = 0;
+  for (const isa::Instruction& instr : kernel.instrs) {
+    if (isa::IsMemory(instr.op) &&
+        instr.space == isa::MemSpace::kSharedPriv) {
+      ++sp_accesses;
+    }
+  }
+  EXPECT_GT(sp_accesses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Module allocator
+// ---------------------------------------------------------------------------
+
+TEST(Allocator, StraightLineAllocates) {
+  AllocStats stats;
+  const isa::Module out = AllocateModule(MakeStraightLineModule(),
+                                         {.reg_words = 63}, {}, &stats);
+  EXPECT_TRUE(out.Kernel().allocated);
+  EXPECT_GT(stats.peak_regs, 0u);
+  EXPECT_EQ(stats.spilled_vregs, 0u);
+  isa::VerifyOptions v;
+  v.reg_budget = 63;
+  EXPECT_TRUE(isa::VerifyModule(out, v).empty());
+}
+
+TEST(Allocator, TightBudgetSpills) {
+  AllocStats loose_stats;
+  AllocStats tight_stats;
+  AllocateModule(MakePressureModule(40), {.reg_words = 63}, {}, &loose_stats);
+  const isa::Module tight = AllocateModule(MakePressureModule(40),
+                                           {.reg_words = 20}, {}, &tight_stats);
+  EXPECT_EQ(loose_stats.spilled_vregs, 0u);
+  EXPECT_GT(tight_stats.spilled_vregs, 0u);
+  EXPECT_GT(tight_stats.local_words, 0u);
+  EXPECT_LE(tight_stats.peak_regs, 20u);
+  isa::VerifyOptions v;
+  v.reg_budget = 20;
+  EXPECT_TRUE(isa::VerifyModule(tight, v).empty());
+}
+
+TEST(Allocator, CallChainFramesAreStacked) {
+  AllocStats stats;
+  const isa::Module out =
+      AllocateModule(MakeCallModule(), {.reg_words = 63}, {}, &stats);
+  ASSERT_EQ(stats.functions.size(), 3u);
+  // Bases are nondecreasing along the chain main -> helper -> __fdiv.
+  std::uint32_t base_main = 0;
+  std::uint32_t base_helper = 0;
+  std::uint32_t base_fdiv = 0;
+  for (const FunctionAllocStats& fs : stats.functions) {
+    if (fs.name == "main") base_main = fs.frame_base;
+    if (fs.name == "helper") base_helper = fs.frame_base;
+    if (fs.name == "__fdiv") base_fdiv = fs.frame_base;
+  }
+  EXPECT_LT(base_main, base_helper);
+  EXPECT_LT(base_helper, base_fdiv);
+  isa::VerifyOptions v;
+  v.reg_budget = 63;
+  EXPECT_TRUE(isa::VerifyModule(out, v).empty());
+}
+
+TEST(Allocator, SpaceMinReducesPeakRegs) {
+  AllocStats with;
+  AllocStats without;
+  AllocOptions opt_with;
+  opt_with.space_min = true;
+  AllocOptions opt_without;
+  opt_without.space_min = false;
+  AllocateModule(MakeCallModule(), {.reg_words = 63}, opt_with, &with);
+  AllocateModule(MakeCallModule(), {.reg_words = 63}, opt_without, &without);
+  EXPECT_LE(with.peak_regs, without.peak_regs);
+}
+
+TEST(Allocator, MoveMinNeverWorse) {
+  AllocOptions opt_with;
+  opt_with.move_min = true;
+  AllocOptions opt_without;
+  opt_without.move_min = false;
+  AllocStats with;
+  AllocStats without;
+  AllocateModule(MakeCallModule(), {.reg_words = 63}, opt_with, &with);
+  AllocateModule(MakeCallModule(), {.reg_words = 63}, opt_without, &without);
+  EXPECT_LE(with.static_park_moves, without.static_park_moves);
+}
+
+TEST(Allocator, WideKernelAllocates) {
+  AllocStats stats;
+  const isa::Module out =
+      AllocateModule(MakeWideModule(), {.reg_words = 63}, {}, &stats);
+  isa::VerifyOptions v;
+  v.reg_budget = 63;
+  EXPECT_TRUE(isa::VerifyModule(out, v).empty());
+}
+
+TEST(Allocator, InfeasibleBudgetThrows) {
+  EXPECT_THROW(
+      AllocateModule(MakePressureModule(20), {.reg_words = 4}, {}, nullptr),
+      CompileError);
+}
+
+TEST(Allocator, SpillEverythingBudgetStillWorks) {
+  // A budget barely above the per-instruction floor forces nearly every
+  // value into local memory, yet allocation must converge and verify.
+  AllocStats stats;
+  const isa::Module out =
+      AllocateModule(MakePressureModule(20), {.reg_words = 8}, {}, &stats);
+  EXPECT_GT(stats.spilled_vregs, 10u);
+  isa::VerifyOptions v;
+  v.reg_budget = 8;
+  EXPECT_TRUE(isa::VerifyModule(out, v).empty());
+}
+
+TEST(Allocator, RehomingConsumesSharedBudget) {
+  AllocStats stats;
+  AllocBudget budget;
+  budget.reg_words = 20;
+  budget.spriv_slot_words = 8;
+  const isa::Module out =
+      AllocateModule(MakePressureModule(40), budget, {}, &stats);
+  EXPECT_GT(stats.spriv_words, 0u);
+  EXPECT_LE(stats.spriv_words, 8u);
+  EXPECT_EQ(out.usage.spriv_slots_per_thread, stats.spriv_words);
+}
+
+TEST(Allocator, MaxLiveMetric) {
+  EXPECT_GT(KernelMaxLive(MakePressureModule(40)), 40u);
+  EXPECT_LT(KernelMaxLive(MakeStraightLineModule()), 10u);
+}
+
+}  // namespace
+}  // namespace orion::alloc

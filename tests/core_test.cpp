@@ -1,0 +1,167 @@
+// Tests for the Orion core: the Fig. 8 compile-time tuner, occupancy
+// realization at specific levels, the static model, the byte-level
+// decode→tune→encode flow, and the baseline compiler.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "core/orion.h"
+#include "core/static_model.h"
+#include "isa/binary.h"
+#include "isa/verifier.h"
+#include "testutil.h"
+#include "workloads/workloads.h"
+
+namespace orion::core {
+namespace {
+
+TEST(MaxLiveThreshold, MatchesPaper) {
+  // Section 3.3: threshold 32 on Kepler; the Fermi equivalent is 21.
+  EXPECT_EQ(MaxLiveThreshold(arch::Gtx680()), 32u);
+  EXPECT_EQ(MaxLiveThreshold(arch::TeslaC2075()), 21u);
+}
+
+TEST(CompileMultiVersion, DirectionFromMaxLive) {
+  const runtime::MultiVersionBinary high = CompileMultiVersion(
+      test::MakePressureModule(40), arch::Gtx680(), {});
+  EXPECT_EQ(high.direction, runtime::TuneDirection::kIncreasing);
+  EXPECT_GE(high.max_live_words, 32u);
+
+  const runtime::MultiVersionBinary low = CompileMultiVersion(
+      test::MakeStraightLineModule(), arch::Gtx680(), {});
+  EXPECT_EQ(low.direction, runtime::TuneDirection::kDecreasing);
+  EXPECT_LT(low.max_live_words, 32u);
+}
+
+TEST(CompileMultiVersion, AtMostFiveVersions) {
+  // Section 3.3: "no more than five different kernel versions".
+  for (const std::string& name : workloads::AllNames()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    for (const arch::GpuSpec* spec : {&arch::Gtx680(), &arch::TeslaC2075()}) {
+      const runtime::MultiVersionBinary binary =
+          CompileMultiVersion(w.module, *spec, {});
+      EXPECT_LE(binary.versions.size(), 5u) << name << " " << spec->name;
+      EXPECT_GE(binary.versions.size(), 1u) << name;
+      EXPECT_EQ(binary.versions.front().tag, "original") << name;
+    }
+  }
+}
+
+TEST(CompileMultiVersion, DecreasingSharesOneBinary) {
+  // Section 3.3: downward versions reuse one binary with launch-time
+  // shared-memory padding.
+  const runtime::MultiVersionBinary binary = CompileMultiVersion(
+      test::MakeStraightLineModule(), arch::Gtx680(), {});
+  ASSERT_EQ(binary.direction, runtime::TuneDirection::kDecreasing);
+  for (const runtime::KernelVersion& version : binary.versions) {
+    EXPECT_EQ(version.module_index, binary.versions.front().module_index);
+  }
+  // Padding grows as occupancy drops.
+  for (std::size_t i = 1; i < binary.versions.size(); ++i) {
+    EXPECT_GT(binary.versions[i].smem_padding_bytes,
+              binary.versions[i - 1].smem_padding_bytes);
+    EXPECT_LT(binary.versions[i].occupancy.occupancy,
+              binary.versions[i - 1].occupancy.occupancy);
+  }
+}
+
+TEST(CompileMultiVersion, IncreasingWalksUpward) {
+  const workloads::Workload w = workloads::MakeWorkload("cfd");
+  const runtime::MultiVersionBinary binary =
+      CompileMultiVersion(w.module, arch::Gtx680(), {});
+  ASSERT_EQ(binary.direction, runtime::TuneDirection::kIncreasing);
+  for (std::size_t i = 2; i < binary.versions.size(); ++i) {
+    EXPECT_GE(binary.versions[i].occupancy.active_warps_per_sm,
+              binary.versions[i - 1].occupancy.active_warps_per_sm);
+  }
+}
+
+TEST(EnumerateAllVersions, CoversTheLevelRange) {
+  const workloads::Workload w = workloads::MakeWorkload("imageDenoising");
+  const runtime::MultiVersionBinary all =
+      EnumerateAllVersions(w.module, arch::Gtx680(), {});
+  ASSERT_GE(all.versions.size(), 4u);
+  // Strictly decreasing occupancy, each version schedulable.
+  for (std::size_t i = 1; i < all.versions.size(); ++i) {
+    EXPECT_LT(all.versions[i].occupancy.active_warps_per_sm,
+              all.versions[i - 1].occupancy.active_warps_per_sm);
+  }
+  // Figure 1's range: 0.125 .. 1.0 on GTX680 with 256-thread blocks.
+  EXPECT_LE(all.versions.back().occupancy.occupancy, 0.126);
+}
+
+TEST(CompileAtLevel, RealizesRequestedOccupancy) {
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  const auto levels = arch::EnumerateOccupancyLevels(
+      arch::Gtx680(), arch::CacheConfig::kSmallCache,
+      w.module.launch.block_dim);
+  std::vector<isa::Module> pool;
+  for (const arch::OccupancyLevel& level : levels) {
+    const auto version = CompileAtLevel(w.module, arch::Gtx680(), level,
+                                        {}, &pool);
+    if (!version.has_value()) {
+      continue;
+    }
+    EXPECT_EQ(version->occupancy.active_blocks_per_sm, level.blocks_per_sm);
+    // The realized binary respects the level's register budget.
+    EXPECT_LE(pool[version->module_index].usage.regs_per_thread,
+              level.reg_budget_per_thread);
+  }
+}
+
+TEST(CompileOriginal, UsesRegistersOnly) {
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  std::vector<isa::Module> pool;
+  const runtime::KernelVersion original =
+      CompileOriginal(w.module, arch::TeslaC2075(), {}, &pool);
+  EXPECT_EQ(pool[original.module_index].usage.spriv_slots_per_thread, 0u);
+  EXPECT_EQ(original.smem_padding_bytes, 0u);
+}
+
+TEST(TuneBinary, ByteLevelRoundTrip) {
+  const workloads::Workload w = workloads::MakeWorkload("gaussian");
+  const std::vector<std::uint8_t> cubin = isa::EncodeModule(w.module);
+  const TunedBinary tuned = TuneBinary(cubin, arch::Gtx680(), {});
+  EXPECT_EQ(tuned.images.size(), tuned.binary.modules.size());
+  // Every emitted image decodes back to a verifying, allocated module.
+  for (const std::vector<std::uint8_t>& image : tuned.images) {
+    const isa::Module decoded = isa::DecodeModule(image);
+    EXPECT_TRUE(isa::VerifyModule(decoded).empty());
+    EXPECT_TRUE(decoded.Kernel().allocated);
+  }
+}
+
+TEST(StaticModel, MemoryBoundNeedsMoreWarps) {
+  const workloads::Workload mem = workloads::MakeWorkload("bfs");
+  const workloads::Workload compute = workloads::MakeWorkload("dxtc");
+  const StaticProfile mem_profile = ProfileModule(mem.module, arch::Gtx680());
+  const StaticProfile compute_profile =
+      ProfileModule(compute.module, arch::Gtx680());
+  EXPECT_GT(WarpsNeeded(mem_profile), WarpsNeeded(compute_profile));
+}
+
+TEST(StaticModel, ComputeOnlyNeedsOneWarp) {
+  StaticProfile profile;
+  profile.weighted_instrs = 1000;
+  profile.weighted_mem_ops = 0;
+  profile.avg_mem_latency = 400;
+  EXPECT_EQ(WarpsNeeded(profile), 1u);
+}
+
+TEST(Baseline, CompilesEveryWorkload) {
+  for (const std::string& name : workloads::AllNames()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    for (const arch::GpuSpec* spec : {&arch::Gtx680(), &arch::TeslaC2075()}) {
+      alloc::AllocStats stats;
+      const isa::Module compiled =
+          baseline::CompileDefault(w.module, *spec, &stats);
+      EXPECT_TRUE(compiled.Kernel().allocated) << name;
+      EXPECT_LE(stats.peak_regs, spec->max_regs_per_thread) << name;
+      isa::VerifyOptions options;
+      options.reg_budget = spec->max_regs_per_thread;
+      EXPECT_TRUE(isa::VerifyModule(compiled, options).empty()) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orion::core

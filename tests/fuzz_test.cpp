@@ -1,0 +1,313 @@
+// Differential fuzzing of the whole compiler.
+//
+// A seeded generator builds random — but well-formed — virtual-ISA
+// kernels (straight-line code, nested conditionals, counted loops,
+// calls into generated device functions, wide registers, shared
+// memory).  Each kernel is pushed through:
+//
+//   * assembler and binary round-trips,
+//   * SSA conversion,
+//   * the optimization pipeline,
+//   * occupancy realization at several register/shared-memory budgets,
+//
+// and every stage must produce bit-identical global memory under the
+// reference interpreter.  This is the widest net over allocator and
+// pass bugs in the suite.
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "ir/ssa.h"
+#include "isa/assembler.h"
+#include "isa/binary.h"
+#include "isa/builder.h"
+#include "isa/verifier.h"
+#include "opt/passes.h"
+#include "sim/interpreter.h"
+#include "sim/memory.h"
+
+namespace orion {
+namespace {
+
+using isa::FunctionBuilder;
+using isa::Operand;
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  isa::Module Generate() {
+    isa::ModuleBuilder mb("fuzz");
+    mb.SetLaunch(/*block_dim=*/64, /*grid_dim=*/4);
+    const bool use_smem = rng_.NextBool(0.4);
+    if (use_smem) {
+      mb.SetUserSmemBytes(1024);
+    }
+
+    // Optional device functions the kernel may call.
+    const int num_funcs = static_cast<int>(rng_.NextBounded(3));
+    for (int fi = 0; fi < num_funcs; ++fi) {
+      std::vector<Operand> params;
+      const std::uint8_t num_params =
+          static_cast<std::uint8_t>(1 + rng_.NextBounded(3));
+      auto fb = mb.AddFunction("helper" + std::to_string(fi),
+                               std::vector<std::uint8_t>(num_params, 1), 1,
+                               &params);
+      std::vector<Operand> pool(params);
+      EmitBody(fb, pool, /*depth=*/1, /*allow_calls=*/false, nullptr);
+      fb.Ret(pool[rng_.NextBounded(pool.size())]);
+      callees_.push_back({"helper" + std::to_string(fi), num_params});
+    }
+
+    auto fb = mb.AddKernel("main");
+    const Operand tid = fb.S2R(isa::SpecialReg::kTid);
+    const Operand bid = fb.S2R(isa::SpecialReg::kBid);
+    const Operand bdim = fb.S2R(isa::SpecialReg::kBlockDim);
+    const Operand gtid = fb.IMad(bid, bdim, tid);
+    const Operand addr = fb.IMul(gtid, Operand::Imm(4));
+    std::vector<Operand> pool = {tid, gtid, addr};
+    for (int i = 0; i < 4; ++i) {
+      pool.push_back(
+          fb.LdGlobal(addr, 4 * static_cast<std::int64_t>(i)));
+    }
+    if (use_smem) {
+      const Operand saddr = fb.IMul(tid, Operand::Imm(4));
+      fb.StShared(saddr, 0, pool.back());
+      fb.Bar();
+      pool.push_back(fb.LdShared(saddr, 0));
+      smem_addr_ = saddr;
+      has_smem_ = true;
+    }
+    EmitBody(fb, pool, /*depth=*/0, /*allow_calls=*/true, &addr);
+    // Stores so everything observable survives DCE comparisons.
+    for (int i = 0; i < 3; ++i) {
+      fb.StGlobal(addr, 8192 + 4 * i,
+                  pool[pool.size() - 1 - rng_.NextBounded(3)]);
+    }
+    fb.Exit();
+    return mb.Build();
+  }
+
+ private:
+  void EmitBody(FunctionBuilder& fb, std::vector<Operand>& pool, int depth,
+                bool allow_calls, const Operand* gaddr) {
+    const int num_ops = static_cast<int>(4 + rng_.NextBounded(10));
+    for (int i = 0; i < num_ops; ++i) {
+      EmitRandomOp(fb, pool, depth, allow_calls, gaddr);
+    }
+  }
+
+  Operand Pick(const std::vector<Operand>& pool) {
+    // Prefer width-1 values for generic operands.
+    for (int tries = 0; tries < 8; ++tries) {
+      const Operand& op = pool[rng_.NextBounded(pool.size())];
+      if (op.width == 1) {
+        return op;
+      }
+    }
+    return pool.front();
+  }
+
+  void EmitRandomOp(FunctionBuilder& fb, std::vector<Operand>& pool,
+                    int depth, bool allow_calls, const Operand* gaddr) {
+    switch (rng_.NextBounded(12)) {
+      case 0:
+        pool.push_back(fb.IAdd(Pick(pool), Pick(pool)));
+        break;
+      case 1:
+        pool.push_back(fb.FMul(Pick(pool), Operand::FImm(0.5f)));
+        break;
+      case 2:
+        pool.push_back(fb.FFma(Pick(pool), Pick(pool), Pick(pool)));
+        break;
+      case 3:
+        pool.push_back(fb.And(Pick(pool), Operand::Imm(0xFF)));
+        break;
+      case 4:
+        pool.push_back(
+            fb.Sel(fb.Setp(isa::CmpKind::kLt, Pick(pool), Pick(pool)),
+                   Pick(pool), Pick(pool)));
+        break;
+      case 5: {  // wide value round trip
+        if (gaddr != nullptr) {
+          const Operand wide = fb.LdGlobal(*gaddr, 1024, /*width=*/2);
+          pool.push_back(fb.FAddW(wide, wide, 2));
+          fb.StGlobal(*gaddr, 2048, pool.back());
+        } else {
+          pool.push_back(fb.IAdd(Pick(pool), Operand::Imm(3)));
+        }
+        break;
+      }
+      case 6: {  // conditional diamond
+        if (depth >= 2) {
+          pool.push_back(fb.ISub(Pick(pool), Pick(pool)));
+          break;
+        }
+        const Operand cond =
+            fb.Setp(isa::CmpKind::kGt, Pick(pool), Operand::Imm(64));
+        const std::string other = fb.NewLabel("f_else");
+        const std::string join = fb.NewLabel("f_join");
+        const Operand merged = fb.Mov(Operand::Imm(0));
+        fb.Brz(cond, other);
+        {
+          isa::Instruction mov;
+          mov.op = isa::Opcode::kMov;
+          mov.dsts.push_back(merged);
+          mov.srcs = {Pick(pool)};
+          fb.Emit(std::move(mov));
+          fb.Bra(join);
+        }
+        fb.Bind(other);
+        {
+          isa::Instruction mov;
+          mov.op = isa::Opcode::kMov;
+          mov.dsts.push_back(merged);
+          mov.srcs = {Pick(pool)};
+          fb.Emit(std::move(mov));
+        }
+        fb.Bind(join);
+        pool.push_back(merged);
+        break;
+      }
+      case 7: {  // counted loop with an accumulator
+        if (depth >= 2) {
+          pool.push_back(fb.IMax(Pick(pool), Pick(pool)));
+          break;
+        }
+        const Operand acc = fb.Mov(Operand::Imm(1));
+        auto loop = fb.LoopBegin(
+            Operand::Imm(0),
+            Operand::Imm(static_cast<std::int64_t>(1 + rng_.NextBounded(5))),
+            Operand::Imm(1));
+        {
+          std::vector<Operand> inner = pool;
+          inner.push_back(loop.induction);
+          EmitBody(fb, inner, depth + 1, false, nullptr);
+          isa::Instruction add;
+          add.op = isa::Opcode::kIAdd;
+          add.dsts.push_back(acc);
+          add.srcs = {acc, Pick(inner)};
+          fb.Emit(std::move(add));
+        }
+        fb.LoopEnd(loop);
+        pool.push_back(acc);
+        break;
+      }
+      case 8: {  // call
+        if (allow_calls && !callees_.empty()) {
+          const auto& [name, arity] = callees_[rng_.NextBounded(
+              callees_.size())];
+          std::vector<Operand> args;
+          for (std::uint8_t a = 0; a < arity; ++a) {
+            args.push_back(Pick(pool));
+          }
+          isa::Instruction call;
+          call.op = isa::Opcode::kCal;
+          call.target = name;
+          call.srcs = args;
+          const Operand dst = fb.NewReg();
+          call.dsts.push_back(dst);
+          fb.Emit(std::move(call));
+          pool.push_back(dst);
+        } else {
+          pool.push_back(fb.Shr(Pick(pool), Operand::Imm(2)));
+        }
+        break;
+      }
+      case 9:
+        pool.push_back(fb.FSqrt(Pick(pool)));
+        break;
+      case 10:
+        if (has_smem_ && gaddr != nullptr) {
+          fb.StShared(smem_addr_, 0, Pick(pool));
+          pool.push_back(fb.LdShared(smem_addr_, 0));
+        } else {
+          pool.push_back(fb.Xor(Pick(pool), Operand::Imm(0x55)));
+        }
+        break;
+      default:
+        pool.push_back(fb.IMin(Pick(pool), Operand::Imm(1 << 20)));
+        break;
+    }
+  }
+
+  Rng rng_;
+  std::vector<std::pair<std::string, std::uint8_t>> callees_;
+  Operand smem_addr_;
+  bool has_smem_ = false;
+};
+
+sim::GlobalMemory Seed(std::uint64_t seed) {
+  sim::GlobalMemory gmem(1 << 14);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < gmem.size_words(); ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1 << 10)) + 1);
+  }
+  return gmem;
+}
+
+class Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fuzz, AllStagesAgree) {
+  ProgramGenerator generator(0xF00D + static_cast<std::uint64_t>(GetParam()));
+  const isa::Module module = generator.Generate();
+  ASSERT_TRUE(isa::VerifyModule(module).empty());
+
+  // Reference result.
+  sim::GlobalMemory ref = Seed(GetParam());
+  sim::InterpretAll(module, &ref, {});
+
+  auto expect_same = [&](const isa::Module& variant, const char* what) {
+    sim::GlobalMemory mem = Seed(GetParam());
+    sim::InterpretAll(variant, &mem, {});
+    EXPECT_EQ(ref.words(), mem.words()) << what << " seed=" << GetParam();
+  };
+
+  // Text and binary round trips.
+  expect_same(isa::ParseModule(isa::PrintModule(module)), "assembler");
+  expect_same(isa::DecodeModule(isa::EncodeModule(module)), "binary");
+
+  // SSA conversion.
+  {
+    isa::Module ssa = module;
+    for (isa::Function& func : ssa.functions) {
+      ir::ConvertToSsaForm(&func);
+    }
+    ASSERT_TRUE(isa::VerifyModule(ssa).empty()) << "ssa seed=" << GetParam();
+    expect_same(ssa, "ssa");
+  }
+
+  // Optimization pipeline.
+  {
+    isa::Module optimized = module;
+    for (isa::Function& func : optimized.functions) {
+      opt::OptimizeFunction(&func, /*unroll=*/true);
+    }
+    ASSERT_TRUE(isa::VerifyModule(optimized).empty())
+        << "opt seed=" << GetParam();
+    expect_same(optimized, "opt");
+  }
+
+  // Occupancy realization at several budgets.
+  for (const std::uint32_t regs : {63u, 32u, 20u}) {
+    for (const std::uint32_t spriv : {0u, 6u}) {
+      alloc::AllocBudget budget;
+      budget.reg_words = regs;
+      budget.spriv_slot_words = spriv;
+      isa::Module allocated;
+      try {
+        allocated = alloc::AllocateModule(module, budget, {}, nullptr);
+      } catch (const CompileError&) {
+        continue;  // budget infeasible for this random program
+      }
+      expect_same(allocated,
+                  ("alloc r" + std::to_string(regs)).c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, Fuzz, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,135 @@
+// Cross-cutting integration tests: the full pipeline over every
+// workload on both GPUs, end-to-end invariants that individual module
+// tests do not cover.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "sim/report.h"
+#include "workloads/workloads.h"
+
+namespace orion {
+namespace {
+
+struct Target {
+  std::string workload;
+  const char* gpu;
+};
+
+class PipelineEverywhere : public ::testing::TestWithParam<Target> {};
+
+sim::GlobalMemory Seed(std::size_t words, std::uint64_t seed) {
+  sim::GlobalMemory gmem(words);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+TEST_P(PipelineEverywhere, CompileTuneRun) {
+  const Target& target = GetParam();
+  const workloads::Workload w = workloads::MakeWorkload(target.workload);
+  const arch::GpuSpec& spec = std::string(target.gpu) == "c2075"
+                                  ? arch::TeslaC2075()
+                                  : arch::Gtx680();
+  core::TuneOptions options;
+  options.can_tune = w.can_tune;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, options);
+
+  // Compile-time invariants from the paper.
+  ASSERT_GE(binary.versions.size(), 1u);
+  EXPECT_LE(binary.versions.size(), 5u);
+  EXPECT_EQ(binary.versions.front().tag, "original");
+  EXPECT_LE(binary.failsafe.size(), 2u);
+  for (const runtime::KernelVersion& version : binary.versions) {
+    EXPECT_GT(version.occupancy.active_blocks_per_sm, 0u);
+    const isa::Module& module = binary.ModuleOf(version);
+    EXPECT_TRUE(module.Kernel().allocated);
+    EXPECT_LE(module.usage.regs_per_thread, spec.max_regs_per_thread);
+  }
+
+  // Runtime adaptation over a shortened loop: must settle on a valid
+  // candidate and never crash.
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = Seed(w.gmem_words, w.seed);
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = std::min<std::uint32_t>(w.iterations, 8);
+  const runtime::TunedRunResult result =
+      launcher.Run(&gmem, w.params, plan,
+                   w.per_iteration_params.empty() ? nullptr
+                                                  : &w.per_iteration_params);
+  EXPECT_LT(result.final_version, binary.NumCandidates());
+  EXPECT_GT(result.total_ms, 0.0);
+  EXPECT_GT(result.steady_ms, 0.0);
+
+  // The report formatter digests any result.
+  sim::GlobalMemory gmem2 = Seed(w.gmem_words, w.seed);
+  const runtime::KernelVersion& final_version =
+      binary.Candidate(result.final_version);
+  const sim::SimResult sr =
+      simulator.LaunchAll(binary.ModuleOf(final_version), &gmem2,
+                          w.ParamsFor(0), final_version.smem_padding_bytes);
+  EXPECT_FALSE(sim::FormatSimReport(sr, spec).empty());
+}
+
+std::vector<Target> AllTargets() {
+  std::vector<Target> targets;
+  for (const std::string& name : workloads::AllNames()) {
+    targets.push_back({name, "gtx680"});
+    targets.push_back({name, "c2075"});
+  }
+  return targets;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PipelineEverywhere, ::testing::ValuesIn(AllTargets()),
+    [](const ::testing::TestParamInfo<Target>& info) {
+      std::string name = info.param.workload + "_" + info.param.gpu;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(Integration, BaselineAndOrionComputeTheSameFunction) {
+  // nvcc and every Orion version are different binaries of the same
+  // program: identical outputs, whole grid.
+  const workloads::Workload w = workloads::MakeWorkload("gaussian");
+  const isa::Module nvcc = baseline::CompileDefault(w.module, arch::Gtx680());
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, arch::Gtx680(), {});
+  sim::GpuSimulator simulator(arch::Gtx680(), arch::CacheConfig::kSmallCache);
+
+  sim::GlobalMemory ref = Seed(w.gmem_words, w.seed);
+  simulator.LaunchAll(nvcc, &ref, w.params);
+  for (const runtime::KernelVersion& version : binary.versions) {
+    sim::GlobalMemory mem = Seed(w.gmem_words, w.seed);
+    simulator.LaunchAll(binary.ModuleOf(version), &mem, w.params,
+                        version.smem_padding_bytes);
+    EXPECT_EQ(ref.words(), mem.words()) << version.tag;
+  }
+}
+
+TEST(Integration, PerIterationParamsReachTheKernel) {
+  const workloads::Workload w = workloads::MakeWorkload("bfs");
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, arch::Gtx680(), {});
+  sim::GpuSimulator simulator(arch::Gtx680(), arch::CacheConfig::kSmallCache);
+  // Frontier sizes change the executed instruction count per iteration.
+  sim::GlobalMemory gmem = Seed(w.gmem_words, w.seed);
+  const isa::Module& module = binary.modules[0];
+  const sim::SimResult small = simulator.LaunchAll(module, &gmem, {2});
+  const sim::SimResult big = simulator.LaunchAll(module, &gmem, {16});
+  EXPECT_GT(big.warp_instructions, small.warp_instructions);
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,250 @@
+// Tests for the IR analyses: CFG shape, dominance, liveness, loops,
+// interference and max-live.
+#include <gtest/gtest.h>
+
+#include "ir/callgraph.h"
+#include "ir/cfg.h"
+#include "ir/dominance.h"
+#include "ir/interference.h"
+#include "ir/liveness.h"
+#include "ir/loops.h"
+#include "testutil.h"
+
+namespace orion::ir {
+namespace {
+
+using test::MakeCallModule;
+using test::MakeLoopModule;
+using test::MakePressureModule;
+using test::MakeStraightLineModule;
+using test::MakeWideModule;
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  const isa::Module module = MakeStraightLineModule();
+  const Cfg cfg = Cfg::Build(module.Kernel());
+  EXPECT_EQ(cfg.NumBlocks(), 1u);
+  EXPECT_TRUE(cfg.block(0).succs.empty());
+  EXPECT_EQ(cfg.block(0).NumInstrs(), module.Kernel().NumInstrs());
+}
+
+TEST(Cfg, LoopHasBackEdge) {
+  const isa::Module module = MakeLoopModule();
+  const Cfg cfg = Cfg::Build(module.Kernel());
+  EXPECT_GE(cfg.NumBlocks(), 3u);
+  const Dominance dom(cfg);
+  bool back_edge = false;
+  for (std::uint32_t u = 0; u < cfg.NumBlocks(); ++u) {
+    for (const std::uint32_t v : cfg.block(u).succs) {
+      back_edge |= dom.Dominates(v, u);
+    }
+  }
+  EXPECT_TRUE(back_edge);
+}
+
+TEST(Cfg, EdgeConsistency) {
+  for (const isa::Module& module :
+       {MakeLoopModule(), MakeCallModule(), MakePressureModule(8)}) {
+    for (const isa::Function& func : module.functions) {
+      const Cfg cfg = Cfg::Build(func);
+      for (std::uint32_t b = 0; b < cfg.NumBlocks(); ++b) {
+        for (const std::uint32_t s : cfg.block(b).succs) {
+          const auto& preds = cfg.block(s).preds;
+          EXPECT_NE(std::find(preds.begin(), preds.end(), b), preds.end());
+        }
+        for (const std::uint32_t p : cfg.block(b).preds) {
+          const auto& succs = cfg.block(p).succs;
+          EXPECT_NE(std::find(succs.begin(), succs.end(), b), succs.end());
+        }
+      }
+    }
+  }
+}
+
+TEST(Cfg, RpoStartsAtEntry) {
+  const Cfg cfg = Cfg::Build(MakeLoopModule().Kernel());
+  ASSERT_FALSE(cfg.Rpo().empty());
+  EXPECT_EQ(cfg.Rpo().front(), cfg.entry());
+  // RPO property: for non-back edges, source precedes target.
+  const Dominance dom(cfg);
+  for (std::uint32_t u = 0; u < cfg.NumBlocks(); ++u) {
+    for (const std::uint32_t v : cfg.block(u).succs) {
+      if (!dom.Dominates(v, u)) {
+        EXPECT_LT(cfg.RpoIndex(u), cfg.RpoIndex(v));
+      }
+    }
+  }
+}
+
+TEST(Dominance, EntryDominatesAll) {
+  const Cfg cfg = Cfg::Build(MakeLoopModule().Kernel());
+  const Dominance dom(cfg);
+  for (std::uint32_t b = 0; b < cfg.NumBlocks(); ++b) {
+    if (cfg.RpoIndex(b) != UINT32_MAX) {
+      EXPECT_TRUE(dom.Dominates(cfg.entry(), b));
+    }
+  }
+}
+
+TEST(Dominance, SelfDominates) {
+  const Cfg cfg = Cfg::Build(MakeLoopModule().Kernel());
+  const Dominance dom(cfg);
+  for (std::uint32_t b = 0; b < cfg.NumBlocks(); ++b) {
+    if (cfg.RpoIndex(b) != UINT32_MAX) {
+      EXPECT_TRUE(dom.Dominates(b, b));
+    }
+  }
+}
+
+TEST(Liveness, LoopCarriedValueLiveAroundLoop) {
+  const isa::Module module = MakeLoopModule();
+  const isa::Function& kernel = module.Kernel();
+  const Cfg cfg = Cfg::Build(kernel);
+  const VRegInfo info = VRegInfo::Gather(kernel);
+  const Liveness live(cfg, info);
+  // The accumulator is defined before the loop (MOV #0) and stored after
+  // it, so it must be live-out of the loop header block.
+  std::uint32_t acc = UINT32_MAX;
+  for (const isa::Instruction& instr : kernel.instrs) {
+    if (instr.op == isa::Opcode::kMov && !instr.srcs.empty() &&
+        instr.srcs[0].kind == isa::OperandKind::kImm &&
+        instr.srcs[0].imm == 0) {
+      acc = instr.Dst().id;
+      break;
+    }
+  }
+  ASSERT_NE(acc, UINT32_MAX);
+  bool live_somewhere_with_backedge = false;
+  const Dominance dom(cfg);
+  for (std::uint32_t u = 0; u < cfg.NumBlocks(); ++u) {
+    for (const std::uint32_t v : cfg.block(u).succs) {
+      if (dom.Dominates(v, u)) {
+        live_somewhere_with_backedge |= live.LiveIn(v).Test(acc);
+      }
+    }
+  }
+  EXPECT_TRUE(live_somewhere_with_backedge);
+}
+
+TEST(Liveness, DeadAfterLastUse) {
+  const isa::Module module = MakeStraightLineModule();
+  const isa::Function& kernel = module.Kernel();
+  const Cfg cfg = Cfg::Build(kernel);
+  const VRegInfo info = VRegInfo::Gather(kernel);
+  const Liveness live(cfg, info);
+  // Nothing is live after the final EXIT.
+  const DenseBitSet after = live.LiveAfterInstr(kernel.NumInstrs() - 1);
+  EXPECT_EQ(after.Count(), 0u);
+}
+
+TEST(Liveness, ParamsLiveInAtEntry) {
+  const isa::Module module = MakeCallModule();
+  const isa::Function* helper = module.FindFunction("helper");
+  ASSERT_NE(helper, nullptr);
+  const Cfg cfg = Cfg::Build(*helper);
+  const VRegInfo info = VRegInfo::Gather(*helper);
+  const Liveness live(cfg, info);
+  for (const isa::Operand& param : helper->params) {
+    EXPECT_TRUE(live.LiveIn(cfg.entry()).Test(param.id));
+  }
+}
+
+TEST(MaxLive, GrowsWithPressure) {
+  const std::uint32_t low = MaxLiveWords(
+      Cfg::Build(MakePressureModule(4).Kernel()),
+      Liveness(Cfg::Build(MakePressureModule(4).Kernel()),
+               VRegInfo::Gather(MakePressureModule(4).Kernel())),
+      VRegInfo::Gather(MakePressureModule(4).Kernel()));
+  const isa::Module big = MakePressureModule(40);
+  const Cfg cfg = Cfg::Build(big.Kernel());
+  const VRegInfo info = VRegInfo::Gather(big.Kernel());
+  const Liveness live(cfg, info);
+  const std::uint32_t high = MaxLiveWords(cfg, live, info);
+  EXPECT_GT(high, low);
+  EXPECT_GE(high, 40u);
+}
+
+TEST(MaxLive, CountsWideWidths) {
+  const isa::Module module = MakeWideModule();
+  const Cfg cfg = Cfg::Build(module.Kernel());
+  const VRegInfo info = VRegInfo::Gather(module.Kernel());
+  const Liveness live(cfg, info);
+  EXPECT_GE(MaxLiveWords(cfg, live, info), 4u);
+}
+
+TEST(Loops, DepthInsideLoopIsPositive) {
+  const isa::Module module = MakeLoopModule();
+  const Cfg cfg = Cfg::Build(module.Kernel());
+  const Dominance dom(cfg);
+  const LoopInfo loops(cfg, dom);
+  ASSERT_FALSE(loops.loops().empty());
+  const NaturalLoop& loop = loops.loops().front();
+  EXPECT_GE(loops.Depth(loop.header), 1u);
+  EXPECT_EQ(loops.Depth(cfg.entry()), 0u);
+  EXPECT_GT(loops.Weight(loop.header), loops.Weight(cfg.entry()));
+}
+
+TEST(Interference, SimultaneouslyLiveValuesInterfere) {
+  const isa::Module module = MakePressureModule(6);
+  const isa::Function& kernel = module.Kernel();
+  const Cfg cfg = Cfg::Build(kernel);
+  const VRegInfo info = VRegInfo::Gather(kernel);
+  const Liveness live(cfg, info);
+  const InterferenceGraph graph(cfg, live, info, nullptr);
+  // Find the six accumulators (defined by MOV #imm before the loop).
+  std::vector<std::uint32_t> accs;
+  for (const isa::Instruction& instr : kernel.instrs) {
+    if (instr.op == isa::Opcode::kMov && !instr.srcs.empty() &&
+        instr.srcs[0].kind == isa::OperandKind::kImm) {
+      accs.push_back(instr.Dst().id);
+    }
+    if (accs.size() == 6) {
+      break;
+    }
+  }
+  ASSERT_GE(accs.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      EXPECT_TRUE(graph.Interferes(accs[i], accs[j])) << i << "," << j;
+    }
+  }
+}
+
+TEST(Interference, DegreeWordsMatchesNeighborWidths) {
+  const isa::Module module = MakeWideModule();
+  const Cfg cfg = Cfg::Build(module.Kernel());
+  const VRegInfo info = VRegInfo::Gather(module.Kernel());
+  const Liveness live(cfg, info);
+  const InterferenceGraph graph(cfg, live, info, nullptr);
+  for (std::uint32_t v = 0; v < graph.NumNodes(); ++v) {
+    std::uint32_t manual = 0;
+    for (const std::uint32_t u : graph.Neighbors(v)) {
+      manual += graph.Width(u);
+    }
+    EXPECT_EQ(graph.DegreeWords(v), manual);
+  }
+}
+
+TEST(CallGraph, TopoOrderCallersFirst) {
+  const isa::Module module = MakeCallModule();
+  const CallGraph graph(module);
+  const auto& topo = graph.TopoOrder();
+  auto pos = [&](const std::string& name) {
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      if (module.functions[topo[i]].name == name) {
+        return i;
+      }
+    }
+    return topo.size();
+  };
+  EXPECT_LT(pos("main"), pos("helper"));
+  EXPECT_LT(pos("helper"), pos("__fdiv"));
+}
+
+TEST(CallGraph, CountsStaticCalls) {
+  const isa::Module module = MakeCallModule();
+  const CallGraph graph(module);
+  EXPECT_EQ(graph.NumStaticCalls(), 2u);  // main->helper, helper->__fdiv
+}
+
+}  // namespace
+}  // namespace orion::ir

@@ -1,0 +1,274 @@
+// Tests for the virtual ISA: assembler and binary round-trips, the
+// verifier's rejection of malformed modules, and the builder helpers.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "isa/assembler.h"
+#include "isa/binary.h"
+#include "isa/builder.h"
+#include "isa/verifier.h"
+#include "testutil.h"
+
+namespace orion::isa {
+namespace {
+
+using test::MakeCallModule;
+using test::MakeLoopModule;
+using test::MakeStraightLineModule;
+using test::MakeWideModule;
+
+bool ModulesEqual(const Module& a, const Module& b) {
+  return PrintModule(a) == PrintModule(b) &&
+         a.launch.block_dim == b.launch.block_dim &&
+         a.launch.grid_dim == b.launch.grid_dim &&
+         a.user_smem_bytes == b.user_smem_bytes;
+}
+
+TEST(Assembler, RoundTripStraightLine) {
+  const Module module = MakeStraightLineModule();
+  const std::string text = PrintModule(module);
+  const Module parsed = ParseModule(text);
+  EXPECT_TRUE(ModulesEqual(module, parsed)) << text;
+}
+
+TEST(Assembler, RoundTripLoop) {
+  const Module module = MakeLoopModule();
+  const Module parsed = ParseModule(PrintModule(module));
+  EXPECT_TRUE(ModulesEqual(module, parsed));
+}
+
+TEST(Assembler, RoundTripCalls) {
+  const Module module = MakeCallModule();
+  const Module parsed = ParseModule(PrintModule(module));
+  EXPECT_TRUE(ModulesEqual(module, parsed));
+  // Params and return widths survive.
+  const Function* helper = parsed.FindFunction("helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->params.size(), 2u);
+  EXPECT_EQ(helper->ret_width, 1);
+}
+
+TEST(Assembler, RoundTripWide) {
+  const Module module = MakeWideModule();
+  const Module parsed = ParseModule(PrintModule(module));
+  EXPECT_TRUE(ModulesEqual(module, parsed));
+}
+
+TEST(Assembler, ParsesStrideAnnotation) {
+  const Module module = ParseModule(
+      ".module m\n"
+      ".kernel main\n"
+      "  S2R v0, TID\n"
+      "  LD.G v1, [v0 + #0] stride=32\n"
+      "  EXIT\n"
+      ".end\n");
+  EXPECT_EQ(module.Kernel().instrs[1].stride, 32);
+}
+
+TEST(Assembler, RejectsUnknownOpcode) {
+  EXPECT_THROW(ParseModule(".module m\n.kernel k\n  FROB v1, v2\n.end\n"),
+               DecodeError);
+}
+
+TEST(Assembler, RejectsBadOperand) {
+  EXPECT_THROW(ParseModule(".module m\n.kernel k\n  MOV v1, q9\n.end\n"),
+               DecodeError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_THROW(
+      ParseModule(".module m\n.kernel k\nL0:\nL0:\n  EXIT\n.end\n"),
+      DecodeError);
+}
+
+TEST(Assembler, ParsesNegativeAndHexImmediates) {
+  const Module module = ParseModule(
+      ".module m\n.kernel k\n  MOV v0, #-5\n  MOV v1, #0x1f\n  EXIT\n.end\n");
+  EXPECT_EQ(module.Kernel().instrs[0].srcs[0].imm, -5);
+  EXPECT_EQ(module.Kernel().instrs[1].srcs[0].imm, 0x1f);
+}
+
+TEST(Binary, RoundTripAllFactories) {
+  for (const Module& module :
+       {MakeStraightLineModule(), MakeLoopModule(), MakeCallModule(),
+        MakeWideModule()}) {
+    const std::vector<std::uint8_t> bytes = EncodeModule(module);
+    const Module decoded = DecodeModule(bytes);
+    EXPECT_TRUE(ModulesEqual(module, decoded)) << module.name;
+  }
+}
+
+TEST(Binary, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = EncodeModule(MakeStraightLineModule());
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(DecodeModule(bytes), DecodeError);
+}
+
+TEST(Binary, RejectsTruncation) {
+  const std::vector<std::uint8_t> bytes = EncodeModule(MakeStraightLineModule());
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{8}}) {
+    std::vector<std::uint8_t> clipped(bytes.begin(), bytes.begin() + cut);
+    EXPECT_THROW(DecodeModule(clipped), DecodeError) << cut;
+  }
+}
+
+TEST(Binary, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> bytes = EncodeModule(MakeStraightLineModule());
+  bytes.push_back(0);
+  EXPECT_THROW(DecodeModule(bytes), DecodeError);
+}
+
+TEST(Binary, RejectsCorruptOpcode) {
+  const Module module = MakeStraightLineModule();
+  std::vector<std::uint8_t> bytes = EncodeModule(module);
+  // Scan for a byte that, when set to 0xEE, triggers a decode error;
+  // corrupting any enum byte must never produce silent garbage.
+  bool threw = false;
+  for (std::size_t i = 16; i < bytes.size() && !threw; ++i) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[i] = 0xEE;
+    try {
+      (void)DecodeModule(mutated);
+    } catch (const DecodeError&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(Verifier, AcceptsFactories) {
+  for (const Module& module :
+       {MakeStraightLineModule(), MakeLoopModule(), MakeCallModule(),
+        MakeWideModule()}) {
+    EXPECT_TRUE(VerifyModule(module).empty()) << module.name;
+  }
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module module = MakeStraightLineModule();
+  module.Kernel().instrs.pop_back();  // drop EXIT
+  EXPECT_FALSE(VerifyModule(module).empty());
+}
+
+TEST(Verifier, RejectsUnknownLabel) {
+  Module module = MakeStraightLineModule();
+  Instruction bra;
+  bra.op = Opcode::kBra;
+  bra.target = "nowhere";
+  module.Kernel().instrs.insert(module.Kernel().instrs.begin(), bra);
+  EXPECT_FALSE(VerifyModule(module).empty());
+}
+
+TEST(Verifier, RejectsRecursion) {
+  ModuleBuilder mb("rec");
+  std::vector<Operand> params;
+  auto fb = mb.AddFunction("f", {1}, 1, &params);
+  const auto r = fb.Call("f", {params[0]}, 1);
+  fb.Ret(r);
+  auto kb = mb.AddKernel("main");
+  kb.Exit();
+  EXPECT_FALSE(VerifyModule(mb.module()).empty());
+}
+
+TEST(Verifier, RejectsArgumentWidthMismatch) {
+  ModuleBuilder mb("argw");
+  std::vector<Operand> params;
+  auto fb = mb.AddFunction("f", {2}, 0, &params);
+  fb.Ret();
+  auto kb = mb.AddKernel("main");
+  const auto narrow = kb.Mov(Operand::Imm(1));
+  kb.CallVoid("f", {narrow});  // width 1 into width-2 parameter
+  kb.Exit();
+  EXPECT_FALSE(VerifyModule(mb.module()).empty());
+}
+
+TEST(Verifier, RejectsMisalignedWidePhysicalRegister) {
+  Module module;
+  module.name = "m";
+  Function func;
+  func.name = "main";
+  func.is_kernel = true;
+  func.allocated = true;
+  Instruction mov;
+  mov.op = Opcode::kMov;
+  mov.dsts.push_back(Operand::PReg(1, 2));  // odd start for 64-bit
+  mov.srcs.push_back(Operand::Imm(0));
+  func.instrs.push_back(mov);
+  Instruction exit;
+  exit.op = Opcode::kExit;
+  func.instrs.push_back(exit);
+  module.functions.push_back(func);
+  EXPECT_FALSE(VerifyModule(module).empty());
+}
+
+TEST(Verifier, EnforcesRegisterBudget) {
+  Module module;
+  module.name = "m";
+  Function func;
+  func.name = "main";
+  func.is_kernel = true;
+  func.allocated = true;
+  Instruction mov;
+  mov.op = Opcode::kMov;
+  mov.dsts.push_back(Operand::PReg(30, 1));
+  mov.srcs.push_back(Operand::Imm(0));
+  func.instrs.push_back(mov);
+  Instruction exit;
+  exit.op = Opcode::kExit;
+  func.instrs.push_back(exit);
+  module.functions.push_back(func);
+  VerifyOptions options;
+  options.reg_budget = 16;
+  EXPECT_FALSE(VerifyModule(module, options).empty());
+  options.reg_budget = 32;
+  EXPECT_TRUE(VerifyModule(module, options).empty());
+}
+
+TEST(Builder, FdivIntrinsicIsIdempotent) {
+  ModuleBuilder mb("m");
+  const std::string first = AddFdivIntrinsic(mb);
+  const std::string second = AddFdivIntrinsic(mb);
+  EXPECT_EQ(first, second);
+  int count = 0;
+  for (const Function& func : mb.module().functions) {
+    count += func.name == first ? 1 : 0;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Builder, LoopShapesCfgCorrectly) {
+  const Module module = MakeLoopModule();
+  // The loop head label exists and points inside the body.
+  const Function& kernel = module.Kernel();
+  bool found_loop_label = false;
+  for (const auto& [label, index] : kernel.labels) {
+    if (label.find("loop") != std::string::npos) {
+      found_loop_label = true;
+      EXPECT_LT(index, kernel.NumInstrs());
+    }
+  }
+  EXPECT_TRUE(found_loop_label);
+}
+
+TEST(Isa, MaxVRegIdCoversParams) {
+  const Module module = MakeCallModule();
+  const Function* helper = module.FindFunction("helper");
+  ASSERT_NE(helper, nullptr);
+  std::uint32_t max_id = MaxVRegId(*helper);
+  for (const Operand& param : helper->params) {
+    EXPECT_LT(param.id, std::max(max_id, param.id + 1));
+  }
+}
+
+TEST(Isa, OpcodeNamesRoundTrip) {
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(Opcode::kOpcodeCount);
+       ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const auto back = OpcodeFromName(OpcodeName(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+}
+
+}  // namespace
+}  // namespace orion::isa

@@ -1,0 +1,161 @@
+// Tests for the occupancy calculator: Equation (1), the NVIDIA-style
+// rounding rules, and the inverse budget computation.
+#include <gtest/gtest.h>
+
+#include "arch/occupancy.h"
+#include "common/error.h"
+
+namespace orion::arch {
+namespace {
+
+TEST(GpuSpec, PaperParameters) {
+  const GpuSpec& kepler = Gtx680();
+  EXPECT_EQ(kepler.num_sms, 8u);
+  EXPECT_EQ(kepler.cores_per_sm * kepler.num_sms, 1536u);
+  EXPECT_EQ(kepler.registers_per_sm, 65536u);
+  EXPECT_EQ(kepler.max_warps_per_sm, 64u);
+  EXPECT_EQ(kepler.max_threads_per_sm, 2048u);
+
+  const GpuSpec& fermi = TeslaC2075();
+  EXPECT_EQ(fermi.num_sms, 14u);
+  EXPECT_EQ(fermi.cores_per_sm * fermi.num_sms, 448u);
+  EXPECT_EQ(fermi.registers_per_sm, 32768u);
+  EXPECT_EQ(fermi.max_warps_per_sm, 48u);
+  EXPECT_EQ(fermi.max_threads_per_sm, 1536u);
+}
+
+TEST(GpuSpec, CacheConfigSplits) {
+  const GpuSpec& spec = TeslaC2075();
+  EXPECT_EQ(spec.SmemBytes(CacheConfig::kSmallCache), 48u * 1024);
+  EXPECT_EQ(spec.L1Bytes(CacheConfig::kSmallCache), 16u * 1024);
+  EXPECT_EQ(spec.SmemBytes(CacheConfig::kLargeCache), 16u * 1024);
+  EXPECT_EQ(spec.L1Bytes(CacheConfig::kLargeCache), 48u * 1024);
+}
+
+TEST(Occupancy, UnconstrainedReachesMax) {
+  KernelResources res;
+  res.regs_per_thread = 16;  // 16*2048 = 32768 <= 65536
+  res.smem_bytes_per_block = 0;
+  res.block_dim = 256;
+  const OccupancyResult out =
+      ComputeOccupancy(Gtx680(), CacheConfig::kSmallCache, res);
+  EXPECT_DOUBLE_EQ(out.occupancy, 1.0);
+  EXPECT_EQ(out.active_threads_per_sm, 2048u);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  KernelResources res;
+  res.regs_per_thread = 63;
+  res.block_dim = 256;
+  const OccupancyResult out =
+      ComputeOccupancy(Gtx680(), CacheConfig::kSmallCache, res);
+  EXPECT_EQ(out.limiter, OccupancyLimiter::kRegisters);
+  EXPECT_LT(out.occupancy, 1.0);
+  // 63 regs * 32 threads = 2016, rounded to 2048 per warp; 65536/2048 =
+  // 32 warps; /8 warps-per-block = 4 blocks = 32 warps = 0.5 occupancy.
+  EXPECT_EQ(out.active_blocks_per_sm, 4u);
+  EXPECT_DOUBLE_EQ(out.occupancy, 0.5);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  KernelResources res;
+  res.regs_per_thread = 16;
+  res.smem_bytes_per_block = 24 * 1024;  // 2 blocks in 48KB
+  res.block_dim = 256;
+  const OccupancyResult out =
+      ComputeOccupancy(TeslaC2075(), CacheConfig::kSmallCache, res);
+  EXPECT_EQ(out.limiter, OccupancyLimiter::kSharedMemory);
+  EXPECT_EQ(out.active_blocks_per_sm, 2u);
+}
+
+TEST(Occupancy, LargeCacheShrinksSmemBlocks) {
+  KernelResources res;
+  res.regs_per_thread = 16;
+  res.smem_bytes_per_block = 12 * 1024;
+  res.block_dim = 192;
+  const OccupancyResult sc =
+      ComputeOccupancy(TeslaC2075(), CacheConfig::kSmallCache, res);
+  const OccupancyResult lc =
+      ComputeOccupancy(TeslaC2075(), CacheConfig::kLargeCache, res);
+  EXPECT_GT(sc.active_blocks_per_sm, lc.active_blocks_per_sm);
+}
+
+TEST(Occupancy, ZeroWhenBlockTooLarge) {
+  KernelResources res;
+  res.regs_per_thread = 16;
+  res.smem_bytes_per_block = 60 * 1024;  // does not fit 48KB
+  res.block_dim = 256;
+  const OccupancyResult out =
+      ComputeOccupancy(TeslaC2075(), CacheConfig::kSmallCache, res);
+  EXPECT_EQ(out.active_blocks_per_sm, 0u);
+}
+
+TEST(Occupancy, MonotoneNonIncreasingInRegisters) {
+  KernelResources res;
+  res.block_dim = 128;
+  double last = 2.0;
+  for (std::uint32_t regs = 8; regs <= 63; ++regs) {
+    res.regs_per_thread = regs;
+    const OccupancyResult out =
+        ComputeOccupancy(TeslaC2075(), CacheConfig::kSmallCache, res);
+    EXPECT_LE(out.occupancy, last + 1e-12) << "regs=" << regs;
+    last = out.occupancy;
+  }
+}
+
+TEST(OccupancyLevels, EnumerationIsConsistentWithForward) {
+  for (const GpuSpec* spec : {&Gtx680(), &TeslaC2075()}) {
+    for (const std::uint32_t block_dim : {64u, 128u, 192u, 256u, 512u}) {
+      const auto levels = EnumerateOccupancyLevels(
+          *spec, CacheConfig::kSmallCache, block_dim);
+      ASSERT_FALSE(levels.empty());
+      // Highest occupancy first, strictly decreasing block counts.
+      for (std::size_t i = 1; i < levels.size(); ++i) {
+        EXPECT_GT(levels[i - 1].blocks_per_sm, levels[i].blocks_per_sm);
+      }
+      for (const OccupancyLevel& level : levels) {
+        // Round trip: running at the advertised budgets yields at least
+        // the advertised block count.
+        KernelResources res;
+        res.regs_per_thread = level.reg_budget_per_thread;
+        res.smem_bytes_per_block = level.smem_budget_per_block;
+        res.block_dim = block_dim;
+        const OccupancyResult fwd =
+            ComputeOccupancy(*spec, CacheConfig::kSmallCache, res);
+        EXPECT_GE(fwd.active_blocks_per_sm, level.blocks_per_sm)
+            << spec->name << " block_dim=" << block_dim
+            << " blocks=" << level.blocks_per_sm;
+      }
+    }
+  }
+}
+
+TEST(OccupancyLevels, BudgetsShrinkWithOccupancy) {
+  const auto levels =
+      EnumerateOccupancyLevels(Gtx680(), CacheConfig::kSmallCache, 256);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    // Lower occupancy (later entries) => more generous budgets.
+    EXPECT_GE(levels[i].reg_budget_per_thread,
+              levels[i - 1].reg_budget_per_thread);
+    EXPECT_GE(levels[i].smem_budget_per_block,
+              levels[i - 1].smem_budget_per_block);
+  }
+}
+
+TEST(OccupancyLevels, PaperFigure1Range) {
+  // Figure 1 sweeps imageDenoising occupancy between 0.125 and 1.0 on
+  // GTX680; with 256-thread blocks the enumeration covers that range.
+  const auto levels =
+      EnumerateOccupancyLevels(Gtx680(), CacheConfig::kSmallCache, 256);
+  EXPECT_DOUBLE_EQ(levels.front().occupancy, 1.0);
+  EXPECT_LE(levels.back().occupancy, 0.125 + 1e-9);
+}
+
+TEST(OccupancyLevels, ThrowsBeyondScheduleLimit) {
+  EXPECT_THROW(
+      LevelForBlocks(Gtx680(), CacheConfig::kSmallCache, 1024, 3),
+      CompileError);
+}
+
+}  // namespace
+}  // namespace orion::arch

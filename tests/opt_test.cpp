@@ -1,0 +1,211 @@
+// Tests for the optimization passes: DCE, constant folding, and the
+// loop unroller — each checked structurally and differentially against
+// the reference interpreter.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "isa/verifier.h"
+#include "opt/passes.h"
+#include "sim/interpreter.h"
+#include "sim/memory.h"
+#include "testutil.h"
+#include "workloads/workloads.h"
+
+namespace orion::opt {
+namespace {
+
+sim::GlobalMemory Seed(std::size_t words) {
+  sim::GlobalMemory gmem(words);
+  Rng rng(1234);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+void ExpectSameSemantics(const isa::Module& before, const isa::Module& after,
+                         const char* label) {
+  EXPECT_TRUE(isa::VerifyModule(after).empty()) << label;
+  sim::GlobalMemory a = Seed(1 << 16);
+  sim::GlobalMemory b = a;
+  sim::InterpretAll(before, &a, std::vector<std::uint32_t>(8, 0));
+  sim::InterpretAll(after, &b, std::vector<std::uint32_t>(8, 0));
+  EXPECT_EQ(a.words(), b.words()) << label;
+}
+
+TEST(Dce, RemovesUnusedComputation) {
+  isa::ModuleBuilder mb("dce");
+  auto fb = mb.AddKernel("main");
+  using V = isa::Operand;
+  const V tid = fb.S2R(isa::SpecialReg::kTid);
+  const V addr = fb.IMul(tid, V::Imm(4));
+  const V kept = fb.LdGlobal(addr, 0);
+  const V dead1 = fb.FMul(kept, V::FImm(2.0f));   // never used
+  const V dead2 = fb.FAdd(dead1, V::FImm(1.0f));  // uses dead1, also dead
+  (void)dead2;
+  fb.StGlobal(addr, 4096, kept);
+  fb.Exit();
+  isa::Module module = mb.Build();
+  const isa::Module before = module;
+
+  const PassStats stats = DeadCodeElimination(&module.Kernel());
+  EXPECT_EQ(stats.removed_instructions, 2u);
+  ExpectSameSemantics(before, module, "dce");
+}
+
+TEST(Dce, KeepsStoresAndBarriers) {
+  isa::Module module = test::MakeLoopModule();
+  const std::uint32_t before_stores = [&] {
+    std::uint32_t count = 0;
+    for (const isa::Instruction& instr : module.Kernel().instrs) {
+      count += instr.op == isa::Opcode::kSt ? 1 : 0;
+    }
+    return count;
+  }();
+  DeadCodeElimination(&module.Kernel());
+  std::uint32_t after_stores = 0;
+  for (const isa::Instruction& instr : module.Kernel().instrs) {
+    after_stores += instr.op == isa::Opcode::kSt ? 1 : 0;
+  }
+  EXPECT_EQ(before_stores, after_stores);
+}
+
+TEST(ConstFold, FoldsConstantChains) {
+  isa::ModuleBuilder mb("fold");
+  auto fb = mb.AddKernel("main");
+  using V = isa::Operand;
+  const V tid = fb.S2R(isa::SpecialReg::kTid);
+  const V addr = fb.IMul(tid, V::Imm(4));
+  const V four = fb.Mov(V::Imm(4));
+  const V five = fb.IAdd(four, V::Imm(1));       // foldable -> 5
+  const V twenty = fb.IMul(five, four);          // foldable -> 20
+  const V value = fb.LdGlobal(addr, 0);
+  const V result = fb.IAdd(value, twenty);       // not foldable
+  fb.StGlobal(addr, 4096, result);
+  fb.Exit();
+  isa::Module module = mb.Build();
+  const isa::Module before = module;
+
+  const PassStats stats = FoldConstants(&module.Kernel());
+  EXPECT_GE(stats.folded_instructions, 2u);
+  ExpectSameSemantics(before, module, "constfold");
+  // After folding + DCE the constant chain disappears entirely.
+  DeadCodeElimination(&module.Kernel());
+  std::uint32_t imul = 0;
+  for (const isa::Instruction& instr : module.Kernel().instrs) {
+    imul += instr.op == isa::Opcode::kIMul ? 1 : 0;
+  }
+  EXPECT_EQ(imul, 1u);  // only the address computation remains
+}
+
+TEST(ConstFold, DoesNotPropagateAcrossUseBeforeDef) {
+  // A value read at the loop head before its (single) definition later
+  // in the body must not be treated as a constant.
+  isa::ModuleBuilder mb("ubd");
+  auto fb = mb.AddKernel("main");
+  using V = isa::Operand;
+  const V tid = fb.S2R(isa::SpecialReg::kTid);
+  const V addr = fb.IMul(tid, V::Imm(4));
+  const V carried = fb.NewReg();  // defined only inside the loop
+  auto loop = fb.LoopBegin(V::Imm(0), V::Imm(3), V::Imm(1));
+  {
+    // Use before def: first iteration reads 0.
+    fb.StGlobal(addr, 4096, carried);
+    isa::Instruction mov;
+    mov.op = isa::Opcode::kMov;
+    mov.dsts.push_back(carried);
+    mov.srcs = {V::Imm(7)};
+    fb.Emit(std::move(mov));
+  }
+  fb.LoopEnd(loop);
+  fb.StGlobal(addr, 8192, carried);
+  fb.Exit();
+  isa::Module module = mb.Build();
+  const isa::Module before = module;
+  FoldConstants(&module.Kernel());
+  ExpectSameSemantics(before, module, "use-before-def");
+}
+
+TEST(Unroll, FullyUnrollsCanonicalLoop) {
+  isa::Module module = test::MakeLoopModule(/*trip=*/8);
+  const isa::Module before = module;
+  const PassStats stats = UnrollLoops(&module.Kernel());
+  EXPECT_EQ(stats.unrolled_loops, 1u);
+  EXPECT_GT(stats.unrolled_copies, 0u);
+  // No loop remains: no backward branches.
+  const isa::Function& kernel = module.Kernel();
+  for (std::uint32_t i = 0; i < kernel.NumInstrs(); ++i) {
+    const isa::Instruction& instr = kernel.instrs[i];
+    if (isa::IsBranch(instr.op)) {
+      EXPECT_GT(kernel.labels.at(instr.target), i) << "backward branch left";
+    }
+  }
+  ExpectSameSemantics(before, module, "unroll");
+}
+
+TEST(Unroll, RespectsExpansionBudget) {
+  isa::Module module = test::MakeLoopModule(/*trip=*/8);
+  UnrollOptions options;
+  options.max_expansion = 4;  // way below the body size x trip
+  const PassStats stats = UnrollLoops(&module.Kernel(), options);
+  EXPECT_EQ(stats.unrolled_loops, 0u);
+}
+
+TEST(Unroll, SkipsNonConstantTripCounts) {
+  // bfs's frontier loop bound comes from a parameter: not unrollable.
+  const workloads::Workload w = workloads::MakeWorkload("bfs");
+  isa::Module module = w.module;
+  const PassStats stats = UnrollLoops(&module.Kernel());
+  EXPECT_EQ(stats.unrolled_loops, 0u);
+}
+
+TEST(Unroll, ZeroTripLoopVanishes) {
+  isa::ModuleBuilder mb("zt");
+  auto fb = mb.AddKernel("main");
+  using V = isa::Operand;
+  const V tid = fb.S2R(isa::SpecialReg::kTid);
+  const V addr = fb.IMul(tid, V::Imm(4));
+  auto loop = fb.LoopBegin(V::Imm(5), V::Imm(5), V::Imm(1));  // 0 trips
+  { fb.StGlobal(addr, 0, V::Imm(123)); }
+  fb.LoopEnd(loop);
+  fb.StGlobal(addr, 4096, tid);
+  fb.Exit();
+  isa::Module module = mb.Build();
+  const isa::Module before = module;
+  const PassStats stats = UnrollLoops(&module.Kernel());
+  EXPECT_EQ(stats.unrolled_loops, 1u);
+  EXPECT_EQ(stats.unrolled_copies, 0u);
+  ExpectSameSemantics(before, module, "zero-trip");
+}
+
+class OptWorkloads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptWorkloads, FullPipelinePreservesSemantics) {
+  const workloads::Workload w = workloads::MakeWorkload(GetParam());
+  isa::Module module = w.module;
+  for (isa::Function& func : module.functions) {
+    OptimizeFunction(&func, /*unroll=*/true);
+  }
+  EXPECT_TRUE(isa::VerifyModule(module).empty());
+  sim::GlobalMemory a = Seed(w.gmem_words);
+  sim::GlobalMemory b = a;
+  sim::Interpret(w.module, &a, w.ParamsFor(0), 0, 2);
+  sim::Interpret(module, &b, w.ParamsFor(0), 0, 2);
+  EXPECT_EQ(a.words(), b.words());
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, OptWorkloads,
+                         ::testing::ValuesIn(workloads::AllNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace orion::opt

@@ -1,0 +1,59 @@
+// Tests for the launch-report formatter.
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "sim/gpu_sim.h"
+#include "sim/report.h"
+#include "testutil.h"
+
+namespace orion::sim {
+namespace {
+
+SimResult RunSomething() {
+  const isa::Module module = alloc::AllocateModule(
+      test::MakeLoopModule(), {.reg_words = 63}, {}, nullptr);
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory gmem(1 << 16);
+  return sim.LaunchAll(module, &gmem, {});
+}
+
+TEST(Report, ContainsKeyFacts) {
+  const SimResult result = RunSomething();
+  const std::string report = FormatSimReport(result, arch::TeslaC2075());
+  EXPECT_NE(report.find("runtime"), std::string::npos);
+  EXPECT_NE(report.find("occupancy"), std::string::npos);
+  EXPECT_NE(report.find("warp-instructions"), std::string::npos);
+  EXPECT_NE(report.find("DRAM"), std::string::npos);
+  EXPECT_NE(report.find("energy"), std::string::npos);
+  // The occupancy value printed matches the result.
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "%.3f",
+                result.occupancy.occupancy);
+  EXPECT_NE(report.find(expected), std::string::npos);
+}
+
+TEST(Report, SummaryIsOneLine) {
+  const SimResult result = RunSomething();
+  const std::string summary = FormatSimSummary(result, arch::TeslaC2075());
+  EXPECT_EQ(summary.find('\n'), std::string::npos);
+  EXPECT_NE(summary.find("ms"), std::string::npos);
+  EXPECT_NE(summary.find("occ"), std::string::npos);
+}
+
+TEST(Report, InstructionMixIsConsistent) {
+  const SimResult result = RunSomething();
+  // Classified instructions never exceed the issued total (BAR/EXIT and
+  // NOPs are outside the alu/sfu/mem classes).
+  EXPECT_LE(result.alu_instructions + result.sfu_instructions +
+                result.mem_instructions,
+            result.warp_instructions);
+  EXPECT_GT(result.alu_instructions, 0u);
+  EXPECT_GT(result.mem_instructions, 0u);
+  // Formatting a default-constructed result must not divide by zero.
+  SimResult empty;
+  const std::string report = FormatSimReport(empty, arch::Gtx680());
+  EXPECT_FALSE(report.empty());
+}
+
+}  // namespace
+}  // namespace orion::sim

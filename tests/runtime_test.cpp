@@ -1,0 +1,223 @@
+// Tests for the runtime layer: the Fig. 9 dynamic tuner state machine,
+// the tuned launcher (including kernel splitting), and the multi-version
+// binary container.
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "core/orion.h"
+#include "runtime/dynamic_tuner.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "testutil.h"
+
+namespace orion::runtime {
+namespace {
+
+// A synthetic multi-version binary with `n` versions; the modules are
+// irrelevant for tuner state-machine tests.
+MultiVersionBinary MakeFakeBinary(std::size_t n, TuneDirection direction,
+                                  bool can_tune = true) {
+  MultiVersionBinary binary;
+  binary.kernel_name = "fake";
+  binary.direction = direction;
+  binary.can_tune = can_tune;
+  binary.modules.emplace_back();
+  for (std::size_t i = 0; i < n; ++i) {
+    KernelVersion version;
+    version.module_index = 0;
+    version.tag = "v" + std::to_string(i);
+    binary.versions.push_back(version);
+  }
+  return binary;
+}
+
+TEST(DynamicTuner, FirstIterationRunsOriginal) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(4, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+}
+
+TEST(DynamicTuner, IncreasingStopsOnDegradationAndKeepsPrevious) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(4, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportRuntime(10.0);
+  EXPECT_EQ(tuner.NextVersion(), 1u);
+  tuner.ReportRuntime(8.0);  // better, keep going
+  EXPECT_EQ(tuner.NextVersion(), 2u);
+  tuner.ReportRuntime(9.0);  // worse: lock version 1
+  EXPECT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 1u);
+  EXPECT_EQ(tuner.NextVersion(), 1u);
+}
+
+TEST(DynamicTuner, UnimodalCurveFindsOptimum) {
+  // Runtimes per version form a valley with minimum at index 3.
+  const std::vector<double> runtimes = {10, 8, 6, 5, 7, 9};
+  const MultiVersionBinary binary =
+      MakeFakeBinary(runtimes.size(), TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  while (!tuner.Finalized()) {
+    const std::uint32_t v = tuner.NextVersion();
+    tuner.ReportRuntime(runtimes[v]);
+  }
+  EXPECT_EQ(tuner.FinalVersion(), 3u);
+}
+
+TEST(DynamicTuner, DecreasingToleratesTwoPercent) {
+  // The paper's srad story: lower occupancy at near-equal performance.
+  const std::vector<double> runtimes = {10.0, 10.1, 10.15, 11.0};
+  const MultiVersionBinary binary =
+      MakeFakeBinary(runtimes.size(), TuneDirection::kDecreasing);
+  DynamicTuner tuner(&binary);
+  while (!tuner.Finalized()) {
+    const std::uint32_t v = tuner.NextVersion();
+    tuner.ReportRuntime(runtimes[v]);
+  }
+  // 10.1 within 2% of 10.0; 10.15 within 2% of 10.1; 11.0 degrades:
+  // keep the lowest occupancy inside the tolerance band.
+  EXPECT_EQ(tuner.FinalVersion(), 2u);
+}
+
+TEST(DynamicTuner, ExhaustsAllVersionsWhenMonotone) {
+  const std::vector<double> runtimes = {10, 9, 8, 7};
+  const MultiVersionBinary binary =
+      MakeFakeBinary(runtimes.size(), TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  while (!tuner.Finalized()) {
+    tuner.ReportRuntime(runtimes[tuner.NextVersion()]);
+  }
+  EXPECT_EQ(tuner.FinalVersion(), 3u);
+}
+
+TEST(DynamicTuner, StaticSelectionWhenUntunable) {
+  MultiVersionBinary binary =
+      MakeFakeBinary(4, TuneDirection::kIncreasing, /*can_tune=*/false);
+  binary.static_choice = 2;
+  DynamicTuner tuner(&binary);
+  EXPECT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 2u);
+  EXPECT_EQ(tuner.NextVersion(), 2u);
+}
+
+TEST(DynamicTuner, FailsafeProbesOppositeDirection) {
+  // The primary (increasing) walk degrades immediately, but the
+  // fail-safe (decreasing, padded) candidates are faster: the Section
+  // 3.3 fail-safe must find them.
+  MultiVersionBinary binary = MakeFakeBinary(3, TuneDirection::kIncreasing);
+  for (int i = 0; i < 2; ++i) {
+    KernelVersion version;
+    version.module_index = 0;
+    version.tag = "failsafe" + std::to_string(i);
+    binary.failsafe.push_back(version);
+  }
+  // Runtimes by candidate index: primary 0..2, failsafe 3..4.
+  const std::vector<double> runtimes = {10, 12, 13, 8, 9};
+  DynamicTuner tuner(&binary);
+  while (!tuner.Finalized()) {
+    const std::uint32_t v = tuner.NextVersion();
+    ASSERT_LT(v, binary.NumCandidates());
+    tuner.ReportRuntime(runtimes[v]);
+  }
+  EXPECT_EQ(tuner.FinalVersion(), 3u);  // first failsafe wins
+}
+
+TEST(DynamicTuner, FailsafeRejectedWhenOriginalIsBest) {
+  MultiVersionBinary binary = MakeFakeBinary(3, TuneDirection::kIncreasing);
+  KernelVersion version;
+  version.module_index = 0;
+  version.tag = "failsafe0";
+  binary.failsafe.push_back(version);
+  const std::vector<double> runtimes = {10, 12, 13, 14};
+  DynamicTuner tuner(&binary);
+  while (!tuner.Finalized()) {
+    tuner.ReportRuntime(runtimes[tuner.NextVersion()]);
+  }
+  EXPECT_EQ(tuner.FinalVersion(), 0u);  // back to the original
+}
+
+TEST(DynamicTuner, SettlesWithinThreeIterationsOnTypicalCurves) {
+  // Paper: "the tuner usually only needs three iterations".
+  const std::vector<double> runtimes = {10, 11, 12, 13, 14};
+  const MultiVersionBinary binary =
+      MakeFakeBinary(runtimes.size(), TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  std::uint32_t iterations = 0;
+  while (!tuner.Finalized()) {
+    ++iterations;
+    tuner.ReportRuntime(runtimes[tuner.NextVersion()]);
+  }
+  EXPECT_LE(tuner.IterationsToSettle(), 3u);
+  EXPECT_EQ(tuner.FinalVersion(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Launcher integration against the simulator
+// ---------------------------------------------------------------------------
+
+TEST(TunedLauncher, RunsAllIterationsAndSettles) {
+  const isa::Module virt = test::MakePressureModule(30, /*trip=*/8);
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(virt, arch::TeslaC2075(), {});
+  sim::GpuSimulator simulator(arch::TeslaC2075(),
+                              arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem(1 << 20);
+  TunedLauncher launcher(&binary, &simulator);
+  RunPlan plan;
+  plan.iterations = 10;
+  const TunedRunResult result = launcher.Run(&gmem, {}, plan);
+  EXPECT_EQ(result.records.size(), 10u);
+  EXPECT_LT(result.final_version, binary.NumCandidates());
+  EXPECT_GT(result.total_ms, 0.0);
+  EXPECT_GT(result.steady_ms, 0.0);
+  // After settling, every iteration runs the final version.
+  for (std::size_t i = result.iterations_to_settle; i < result.records.size();
+       ++i) {
+    EXPECT_EQ(result.records[i].version, result.final_version);
+  }
+}
+
+TEST(TunedLauncher, KernelSplittingManufacturesIterations) {
+  const isa::Module virt = test::MakePressureModule(20, /*trip=*/8);
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(virt, arch::TeslaC2075(), {});
+  sim::GpuSimulator simulator(arch::TeslaC2075(),
+                              arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem(1 << 20);
+  TunedLauncher launcher(&binary, &simulator);
+  RunPlan plan;
+  plan.iterations = 1;  // no application loop
+  plan.split_factor = 4;
+  const TunedRunResult result = launcher.Run(&gmem, {}, plan);
+  EXPECT_TRUE(result.used_split);
+  EXPECT_EQ(result.records.size(), 4u);
+}
+
+TEST(TunedLauncher, SplitCoversWholeGridExactlyOnce) {
+  // Functional check: a split tuned run writes the same output words as
+  // a single whole-grid launch of any version (all versions compute the
+  // same function).
+  const isa::Module virt = test::MakeStraightLineModule();
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(virt, arch::TeslaC2075(), {});
+  sim::GpuSimulator simulator(arch::TeslaC2075(),
+                              arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory split_mem(1 << 16);
+  sim::GlobalMemory whole_mem(1 << 16);
+  for (std::size_t i = 0; i < split_mem.size_words(); ++i) {
+    split_mem.Write(i, static_cast<std::uint32_t>(i % 97) + 1);
+    whole_mem.Write(i, static_cast<std::uint32_t>(i % 97) + 1);
+  }
+  TunedLauncher launcher(&binary, &simulator);
+  RunPlan plan;
+  plan.iterations = 1;
+  plan.split_factor = 2;
+  launcher.Run(&split_mem, {}, plan);
+  simulator.LaunchAll(binary.modules[0], &whole_mem, {});
+  EXPECT_EQ(split_mem.words(), whole_mem.words());
+}
+
+}  // namespace
+}  // namespace orion::runtime

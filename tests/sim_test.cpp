@@ -1,0 +1,290 @@
+// Tests for the simulator stack.
+//
+// The centerpiece is differential testing: for every factory kernel and
+// a sweep of register budgets, the occupancy-realized (physical) binary
+// must produce bit-identical global memory to the virtual original under
+// the reference interpreter.  This exercises coloring, spilling,
+// re-homing, ABI lowering and the compressible-stack park/restore moves
+// end to end.  The timing simulator is then checked for determinism and
+// for the qualitative behaviours the performance model needs.
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/gpu_sim.h"
+#include "sim/interpreter.h"
+#include "sim/memory.h"
+#include "testutil.h"
+
+namespace orion::sim {
+namespace {
+
+using test::MakeCallModule;
+using test::MakeLoopModule;
+using test::MakePressureModule;
+using test::MakeStraightLineModule;
+using test::MakeWideModule;
+
+GlobalMemory MakeSeededMemory(std::size_t words, std::uint64_t seed) {
+  GlobalMemory gmem(words);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    // Small positive floats double as sane integers.
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+void ExpectSameResults(const isa::Module& virt, const isa::Module& alloc,
+                       const char* label) {
+  GlobalMemory a = MakeSeededMemory(1 << 16, 42);
+  GlobalMemory b = a;
+  const std::vector<std::uint32_t> params(8, 0);
+  InterpretAll(virt, &a, params);
+  InterpretAll(alloc, &b, params);
+  EXPECT_EQ(a.words(), b.words()) << label;
+}
+
+TEST(Interpreter, VirtualModulesProduceOutput) {
+  GlobalMemory gmem = MakeSeededMemory(1 << 16, 7);
+  const GlobalMemory before = gmem;
+  InterpretAll(MakeStraightLineModule(), &gmem, {});
+  EXPECT_NE(gmem.words(), before.words());
+}
+
+TEST(Interpreter, DeterministicAcrossRuns) {
+  GlobalMemory a = MakeSeededMemory(1 << 16, 9);
+  GlobalMemory b = a;
+  InterpretAll(MakeLoopModule(), &a, {});
+  InterpretAll(MakeLoopModule(), &b, {});
+  EXPECT_EQ(a.words(), b.words());
+}
+
+struct DiffCase {
+  const char* name;
+  isa::Module (*make)();
+  std::uint32_t reg_budget;
+  std::uint32_t spriv_budget;
+};
+
+class Differential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(Differential, AllocatedMatchesVirtual) {
+  const DiffCase& c = GetParam();
+  const isa::Module virt = c.make();
+  alloc::AllocBudget budget;
+  budget.reg_words = c.reg_budget;
+  budget.spriv_slot_words = c.spriv_budget;
+  const isa::Module allocated =
+      alloc::AllocateModule(virt, budget, {}, nullptr);
+  ExpectSameResults(virt, allocated, c.name);
+}
+
+isa::Module MakePressure24() { return MakePressureModule(24); }
+isa::Module MakePressure40() { return MakePressureModule(40); }
+isa::Module MakeLoop() { return MakeLoopModule(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, Differential,
+    ::testing::Values(
+        DiffCase{"straight63", &test::MakeStraightLineModule, 63, 0},
+        DiffCase{"straight16", &test::MakeStraightLineModule, 16, 0},
+        DiffCase{"loop63", &MakeLoop, 63, 0},
+        DiffCase{"loop16", &MakeLoop, 16, 0},
+        DiffCase{"calls63", &test::MakeCallModule, 63, 0},
+        DiffCase{"calls32", &test::MakeCallModule, 32, 0},
+        DiffCase{"calls24", &test::MakeCallModule, 24, 4},
+        DiffCase{"wide63", &test::MakeWideModule, 63, 0},
+        DiffCase{"wide20", &test::MakeWideModule, 20, 0},
+        DiffCase{"pressure24at63", &MakePressure24, 63, 0},
+        DiffCase{"pressure24at20", &MakePressure24, 20, 0},
+        DiffCase{"pressure24at20sp", &MakePressure24, 20, 8},
+        DiffCase{"pressure40at24", &MakePressure40, 24, 0},
+        DiffCase{"pressure40at24sp", &MakePressure40, 24, 16}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Differential, AblationVariantsStayCorrect) {
+  const isa::Module virt = MakeCallModule();
+  for (const bool space_min : {false, true}) {
+    for (const bool move_min : {false, true}) {
+      alloc::AllocOptions options;
+      options.space_min = space_min;
+      options.move_min = move_min;
+      const isa::Module allocated =
+          alloc::AllocateModule(virt, {.reg_words = 40}, options, nullptr);
+      ExpectSameResults(virt, allocated,
+                        space_min ? (move_min ? "s1m1" : "s1m0")
+                                  : (move_min ? "s0m1" : "s0m0"));
+    }
+  }
+}
+
+TEST(Differential, KernelSplitMatchesWholeGrid) {
+  const isa::Module virt = MakeLoopModule();
+  const isa::Module allocated =
+      alloc::AllocateModule(virt, {.reg_words = 63}, {}, nullptr);
+  GlobalMemory a = MakeSeededMemory(1 << 16, 5);
+  GlobalMemory b = a;
+  InterpretAll(allocated, &a, {});
+  const std::uint32_t grid = allocated.launch.grid_dim;
+  Interpret(allocated, &b, {}, 0, grid / 2);
+  Interpret(allocated, &b, {}, grid / 2, grid - grid / 2);
+  EXPECT_EQ(a.words(), b.words());
+}
+
+// ---------------------------------------------------------------------------
+// Timing simulator
+// ---------------------------------------------------------------------------
+
+isa::Module AllocateAt(const isa::Module& virt, std::uint32_t regs,
+                       std::uint32_t spriv = 0) {
+  alloc::AllocBudget budget;
+  budget.reg_words = regs;
+  budget.spriv_slot_words = spriv;
+  return alloc::AllocateModule(virt, budget, {}, nullptr);
+}
+
+TEST(GpuSim, RunsAndReportsCycles) {
+  const isa::Module module = AllocateAt(MakeLoopModule(), 63);
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory gmem = MakeSeededMemory(1 << 16, 3);
+  const SimResult result = sim.LaunchAll(module, &gmem, {});
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.warp_instructions, 0u);
+  EXPECT_GT(result.ms, 0.0);
+  EXPECT_GT(result.energy, 0.0);
+  EXPECT_GT(result.occupancy.occupancy, 0.0);
+}
+
+TEST(GpuSim, Deterministic) {
+  const isa::Module module = AllocateAt(MakeCallModule(), 40);
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory a = MakeSeededMemory(1 << 16, 11);
+  GlobalMemory b = a;
+  const SimResult ra = sim.LaunchAll(module, &a, {});
+  const SimResult rb = sim.LaunchAll(module, &b, {});
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.warp_instructions, rb.warp_instructions);
+  EXPECT_EQ(a.words(), b.words());
+}
+
+TEST(GpuSim, MatchesInterpreterFunctionally) {
+  const isa::Module module = AllocateAt(MakeLoopModule(), 63);
+  GlobalMemory a = MakeSeededMemory(1 << 16, 13);
+  GlobalMemory b = a;
+  InterpretAll(module, &a, {});
+  // The timing simulator executes one representative lane per warp, so
+  // compare only the words that lane writes: thread ids that are
+  // multiples of the warp size.  (Kernel writes out[tid] at byte 8192.)
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  sim.LaunchAll(module, &b, {});
+  for (std::uint32_t tid = 0; tid < module.launch.block_dim; tid += 32) {
+    const std::uint64_t word = 8192 / 4 + tid;
+    EXPECT_EQ(a.Read(word), b.Read(word)) << tid;
+  }
+}
+
+TEST(GpuSim, MoreWarpsHideLatencyForMemoryBound) {
+  // The same memory-bound kernel, allocated fat (few resident warps) vs
+  // lean (many resident warps): with ample bandwidth the lean version
+  // must not be slower per unit of work.
+  isa::Module virt = MakePressureModule(8, /*trip=*/16);
+  virt.launch.grid_dim = 56;  // several blocks per SM
+  const isa::Module lean = AllocateAt(virt, 20);
+  // Inflate the fat version's footprint artificially via usage: allocate
+  // at 63 regs and force low occupancy through a big smem block.
+  isa::Module fat = AllocateAt(virt, 63);
+  fat.usage.user_smem_bytes_per_block = 24 * 1024;  // 2 blocks/SM
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory a = MakeSeededMemory(1 << 18, 17);
+  GlobalMemory b = a;
+  const SimResult lean_result = sim.LaunchAll(lean, &a, {});
+  const SimResult fat_result = sim.LaunchAll(fat, &b, {});
+  EXPECT_GT(lean_result.occupancy.active_warps_per_sm,
+            fat_result.occupancy.active_warps_per_sm);
+  EXPECT_LT(lean_result.cycles, fat_result.cycles);
+}
+
+TEST(GpuSim, SpillsCostInstructions) {
+  const isa::Module virt = MakePressureModule(40, /*trip=*/8);
+  const isa::Module no_spill = AllocateAt(virt, 63);
+  const isa::Module spilled = AllocateAt(virt, 24);
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory a = MakeSeededMemory(1 << 18, 19);
+  GlobalMemory b = a;
+  const SimResult clean = sim.LaunchAll(no_spill, &a, {});
+  const SimResult dirty = sim.LaunchAll(spilled, &b, {});
+  EXPECT_GT(dirty.warp_instructions, clean.warp_instructions);
+  EXPECT_GT(dirty.mem_instructions, clean.mem_instructions);
+}
+
+TEST(GpuSim, EnergyScalesWithRegisterAllocation) {
+  // Same kernel, same work, different register allocation fraction:
+  // the version using fewer registers (lower occupancy here equal) —
+  // compare static component by constructing equal-cycle runs.
+  const isa::Module virt = MakeLoopModule();
+  isa::Module small = AllocateAt(virt, 24);
+  isa::Module big = AllocateAt(virt, 24);
+  big.usage.regs_per_thread = 63;  // pretend nvcc allocated fat
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory a = MakeSeededMemory(1 << 16, 23);
+  GlobalMemory b = a;
+  const SimResult rs = sim.LaunchAll(small, &a, {});
+  const SimResult rb = sim.LaunchAll(big, &b, {});
+  if (rs.occupancy.active_warps_per_sm == rb.occupancy.active_warps_per_sm) {
+    EXPECT_LT(rs.energy, rb.energy);
+  } else {
+    // Register pressure lowered occupancy for the fat version; energy
+    // comparison is then workload-dependent, but both must be positive.
+    EXPECT_GT(rs.energy, 0.0);
+    EXPECT_GT(rb.energy, 0.0);
+  }
+}
+
+TEST(GpuSim, RejectsVirtualModule) {
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory gmem(1 << 10);
+  EXPECT_THROW(sim.LaunchAll(MakeLoopModule(), &gmem, {}), LaunchError);
+}
+
+TEST(GpuSim, RejectsUnschedulableKernel) {
+  isa::Module module = AllocateAt(MakeLoopModule(), 63);
+  module.usage.user_smem_bytes_per_block = 64 * 1024;
+  GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
+  GlobalMemory gmem(1 << 10);
+  EXPECT_THROW(sim.LaunchAll(module, &gmem, {}), LaunchError);
+}
+
+TEST(CacheModel, HitsAfterWarmup) {
+  CacheModel cache(16 * 1024, 128, 4);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 8 * 1024; addr += 128) {
+      cache.Access(addr);
+    }
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GE(cache.hits(), cache.misses());
+}
+
+TEST(CacheModel, ThrashesBeyondCapacity) {
+  CacheModel cache(4 * 1024, 128, 4);
+  std::uint64_t hits_before = 0;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 128) {
+      cache.Access(addr);
+    }
+    if (pass == 0) {
+      hits_before = cache.hits();
+    }
+  }
+  // Sequential sweep over 16x capacity: essentially no reuse hits.
+  EXPECT_EQ(hits_before, 0u);
+  EXPECT_LT(static_cast<double>(cache.hits()),
+            0.05 * static_cast<double>(cache.hits() + cache.misses()));
+}
+
+}  // namespace
+}  // namespace orion::sim

@@ -1,0 +1,176 @@
+// Tests for the compressible-stack layout: Theorem 1 cost optimality
+// (Hungarian vs exhaustive permutation search), minimal-height
+// computation, park-plan validity, and the Section 3.2 refinement that
+// relaxed heights never add movements.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "alloc/coloring.h"
+#include "alloc/stack_layout.h"
+#include "common/rng.h"
+#include "ir/liveness.h"
+
+namespace orion::alloc {
+namespace {
+
+// Builds a synthetic coloring of `n` unit slots with random liveness at
+// `k` call sites, and returns (builder inputs kept alive in the
+// fixture).
+struct Scenario {
+  ir::VRegInfo info;
+  ColoringResult coloring;
+  std::vector<CallSiteInfo> sites;
+
+  Scenario(std::uint32_t n, std::uint32_t k, Rng* rng) {
+    info.num_vregs = n;
+    info.widths.assign(n, 1);
+    coloring.color.assign(n, -1);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      coloring.color[v] = v;  // one variable per unit slot
+    }
+    coloring.words_used = n;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      CallSiteInfo site;
+      site.instr_index = s;
+      site.live_vregs = DenseBitSet(n);
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (rng->NextBool(0.5)) {
+          site.live_vregs.Set(v);
+        }
+      }
+      sites.push_back(std::move(site));
+    }
+  }
+};
+
+// Static park-move count for a given address permutation (Theorem 1's
+// objective, evaluated directly).
+std::uint32_t MovesForPermutation(const Scenario& scenario,
+                                  const std::vector<std::uint32_t>& addr_of,
+                                  const std::vector<std::uint32_t>& heights) {
+  std::uint32_t moves = 0;
+  for (std::size_t k = 0; k < scenario.sites.size(); ++k) {
+    for (std::uint32_t v = 0; v < scenario.info.num_vregs; ++v) {
+      if (scenario.sites[k].live_vregs.Test(v) && addr_of[v] >= heights[k]) {
+        ++moves;
+      }
+    }
+  }
+  return moves;
+}
+
+class Theorem1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1Property, HungarianMatchesExhaustive) {
+  Rng rng(0xBEEF + static_cast<std::uint64_t>(GetParam()));
+  const std::uint32_t n = 3 + static_cast<std::uint32_t>(rng.NextBounded(4));
+  const std::uint32_t k = 1 + static_cast<std::uint32_t>(rng.NextBounded(4));
+  Scenario scenario(n, k, &rng);
+
+  const FrameLayoutBuilder builder(scenario.info, scenario.coloring, {});
+  const std::vector<std::uint32_t> heights =
+      builder.MinimalHeights(scenario.sites);
+  for (std::size_t s = 0; s < scenario.sites.size(); ++s) {
+    scenario.sites[s].gap = heights[s];
+  }
+  LayoutOptions options;
+  options.move_min = true;
+  const FrameLayout layout = builder.Finalize(scenario.sites, options);
+
+  // Exhaustive: best static move count over every slot permutation.
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::uint32_t best = UINT32_MAX;
+  do {
+    best = std::min(best, MovesForPermutation(scenario, perm, heights));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  EXPECT_EQ(layout.static_park_moves, best)
+      << "n=" << n << " k=" << k << " seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Theorem1Property, ::testing::Range(0, 30));
+
+TEST(StackLayout, MinimalHeightEqualsLiveCountForUnitSlots) {
+  Rng rng(7);
+  Scenario scenario(6, 3, &rng);
+  const FrameLayoutBuilder builder(scenario.info, scenario.coloring, {});
+  const std::vector<std::uint32_t> heights =
+      builder.MinimalHeights(scenario.sites);
+  for (std::size_t s = 0; s < scenario.sites.size(); ++s) {
+    EXPECT_EQ(heights[s], scenario.sites[s].live_vregs.Count());
+  }
+}
+
+TEST(StackLayout, ParkPlansAreValid) {
+  Rng rng(21);
+  Scenario scenario(7, 4, &rng);
+  const FrameLayoutBuilder builder(scenario.info, scenario.coloring, {});
+  const std::vector<std::uint32_t> heights =
+      builder.MinimalHeights(scenario.sites);
+  for (std::size_t s = 0; s < scenario.sites.size(); ++s) {
+    scenario.sites[s].gap = heights[s];
+  }
+  const FrameLayout layout = builder.Finalize(scenario.sites, {});
+  for (std::size_t s = 0; s < layout.sites.size(); ++s) {
+    const SitePlan& plan = layout.sites[s];
+    std::set<std::uint32_t> targets;
+    for (const auto& [from, to] : plan.parks) {
+      EXPECT_GE(from, plan.b_k);          // only homes above B_k move
+      EXPECT_LT(to, plan.b_k);            // parks land below B_k
+      EXPECT_TRUE(targets.insert(to).second) << "duplicate park target";
+    }
+  }
+}
+
+TEST(StackLayout, RelaxedHeightsNeverAddMoves) {
+  // Section 3.2 refinement: compressing less (bigger B_k) can only
+  // reduce movements.
+  Rng rng(99);
+  Scenario scenario(8, 4, &rng);
+  const FrameLayoutBuilder builder(scenario.info, scenario.coloring, {});
+  const std::vector<std::uint32_t> heights =
+      builder.MinimalHeights(scenario.sites);
+
+  auto moves_with_extra = [&](std::uint32_t extra) {
+    Scenario copy(8, 0, &rng);  // fresh sites vector container
+    copy = scenario;
+    for (std::size_t s = 0; s < copy.sites.size(); ++s) {
+      copy.sites[s].gap = heights[s] + extra;
+    }
+    return builder.Finalize(copy.sites, {}).static_park_moves;
+  };
+  const std::uint32_t tight = moves_with_extra(0);
+  const std::uint32_t relaxed = moves_with_extra(2);
+  const std::uint32_t very_relaxed = moves_with_extra(8);
+  EXPECT_LE(relaxed, tight);
+  EXPECT_LE(very_relaxed, relaxed);
+  EXPECT_EQ(very_relaxed, 0u);  // B_k beyond the frame: nothing to park
+}
+
+TEST(StackLayout, IdentityAddressingNeverBeatsHungarian) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(1000 + seed);
+    Scenario scenario(8, 5, &rng);
+    const FrameLayoutBuilder builder(scenario.info, scenario.coloring, {});
+    const std::vector<std::uint32_t> heights =
+        builder.MinimalHeights(scenario.sites);
+    for (std::size_t s = 0; s < scenario.sites.size(); ++s) {
+      scenario.sites[s].gap = heights[s];
+    }
+    LayoutOptions with;
+    with.move_min = true;
+    LayoutOptions without;
+    without.move_min = false;
+    const std::uint32_t optimized =
+        builder.Finalize(scenario.sites, with).static_park_moves;
+    const std::uint32_t identity =
+        builder.Finalize(scenario.sites, without).static_park_moves;
+    EXPECT_LE(optimized, identity) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace orion::alloc

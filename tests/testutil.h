@@ -1,0 +1,144 @@
+// Shared test helpers: small module factories used across suites.
+#pragma once
+
+#include <string>
+
+#include "isa/builder.h"
+#include "isa/isa.h"
+
+namespace orion::test {
+
+// Straight-line kernel: out[i] = a[i]*2 + 1 over block threads.
+inline isa::Module MakeStraightLineModule() {
+  isa::ModuleBuilder mb("straightline");
+  mb.SetLaunch(/*block_dim=*/64, /*grid_dim=*/4);
+  auto fb = mb.AddKernel("main");
+  const auto tid = fb.S2R(isa::SpecialReg::kTid);
+  const auto bid = fb.S2R(isa::SpecialReg::kBid);
+  const auto bdim = fb.S2R(isa::SpecialReg::kBlockDim);
+  const auto gid = fb.IMad(bid, bdim, tid);
+  const auto addr = fb.IMul(gid, isa::Operand::Imm(4));
+  const auto value = fb.LdGlobal(addr, 0);
+  const auto doubled = fb.IAdd(value, value);
+  const auto result = fb.IAdd(doubled, isa::Operand::Imm(1));
+  fb.StGlobal(addr, 4096, result);
+  fb.Exit();
+  return mb.Build();
+}
+
+// Kernel with a counted loop and a conditional.
+inline isa::Module MakeLoopModule(std::uint32_t trip = 8) {
+  isa::ModuleBuilder mb("loopy");
+  mb.SetLaunch(64, 4);
+  auto fb = mb.AddKernel("main");
+  const auto tid = fb.S2R(isa::SpecialReg::kTid);
+  const auto addr = fb.IMul(tid, isa::Operand::Imm(4));
+  auto acc = fb.Mov(isa::Operand::Imm(0));
+  auto loop = fb.LoopBegin(isa::Operand::Imm(0),
+                           isa::Operand::Imm(static_cast<std::int64_t>(trip)),
+                           isa::Operand::Imm(1));
+  {
+    const auto value = fb.LdGlobal(addr, 0);
+    const auto is_even = fb.And(loop.induction, isa::Operand::Imm(1));
+    const auto skip = fb.NewLabel("skip");
+    fb.Brnz(is_even, skip);
+    // acc += value (re-defined, non-SSA on purpose).
+    isa::Instruction add;
+    add.op = isa::Opcode::kIAdd;
+    add.dsts.push_back(acc);
+    add.srcs = {acc, value};
+    fb.Emit(std::move(add));
+    fb.Bind(skip);
+    isa::Instruction nop;
+    nop.op = isa::Opcode::kNop;
+    fb.Emit(std::move(nop));
+  }
+  fb.LoopEnd(loop);
+  fb.StGlobal(addr, 8192, acc);
+  fb.Exit();
+  return mb.Build();
+}
+
+// Module with a device function call chain: kernel -> helper -> __fdiv.
+inline isa::Module MakeCallModule() {
+  isa::ModuleBuilder mb("cally");
+  mb.SetLaunch(64, 4);
+  const std::string fdiv = isa::AddFdivIntrinsic(mb);
+  {
+    std::vector<isa::Operand> params;
+    auto fb = mb.AddFunction("helper", {1, 1}, 1, &params);
+    const auto sum = fb.FAdd(params[0], params[1]);
+    const auto q = fb.Call(fdiv, {sum, params[1]}, 1);
+    const auto out = fb.FMul(q, params[0]);
+    fb.Ret(out);
+  }
+  {
+    auto fb = mb.AddKernel("main");
+    const auto tid = fb.S2R(isa::SpecialReg::kTid);
+    const auto addr = fb.IMul(tid, isa::Operand::Imm(4));
+    const auto a = fb.LdGlobal(addr, 0);
+    const auto b = fb.LdGlobal(addr, 1024);
+    const auto live1 = fb.FAdd(a, b);        // live across the call
+    const auto live2 = fb.FMul(a, b);        // live across the call
+    const auto r = fb.Call("helper", {a, b}, 1);
+    const auto s = fb.FAdd(live1, r);
+    const auto t = fb.FAdd(live2, s);
+    fb.StGlobal(addr, 2048, t);
+    fb.Exit();
+  }
+  return mb.Build();
+}
+
+// Kernel with deliberately high register pressure: `lanes` accumulators
+// alive across a loop.
+inline isa::Module MakePressureModule(std::uint32_t lanes,
+                                      std::uint32_t trip = 4) {
+  isa::ModuleBuilder mb("pressure");
+  mb.SetLaunch(64, 4);
+  auto fb = mb.AddKernel("main");
+  const auto tid = fb.S2R(isa::SpecialReg::kTid);
+  const auto addr = fb.IMul(tid, isa::Operand::Imm(4));
+  std::vector<isa::Operand> accs;
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    accs.push_back(
+        fb.Mov(isa::Operand::Imm(static_cast<std::int64_t>(i))));
+  }
+  auto loop = fb.LoopBegin(isa::Operand::Imm(0),
+                           isa::Operand::Imm(static_cast<std::int64_t>(trip)),
+                           isa::Operand::Imm(1));
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    const auto value = fb.LdGlobal(addr, 4 * static_cast<std::int64_t>(i));
+    isa::Instruction add;
+    add.op = isa::Opcode::kIAdd;
+    add.dsts.push_back(accs[i]);
+    add.srcs = {accs[i], value};
+    fb.Emit(std::move(add));
+  }
+  fb.LoopEnd(loop);
+  auto total = accs[0];
+  for (std::uint32_t i = 1; i < lanes; ++i) {
+    total = fb.IAdd(total, accs[i]);
+  }
+  fb.StGlobal(addr, 65536, total);
+  fb.Exit();
+  return mb.Build();
+}
+
+// Kernel using a 128-bit wide value (vector load/compute/store).
+inline isa::Module MakeWideModule() {
+  isa::ModuleBuilder mb("widey");
+  mb.SetLaunch(64, 4);
+  auto fb = mb.AddKernel("main");
+  const auto tid = fb.S2R(isa::SpecialReg::kTid);
+  const auto addr = fb.IMul(tid, isa::Operand::Imm(16));
+  const auto vec = fb.LdGlobal(addr, 0, /*width=*/4);
+  const auto twice = fb.FAddW(vec, vec, 4);
+  const auto pair = fb.LdGlobal(addr, 4096, /*width=*/2);
+  const auto scaled = fb.FMulW(pair, pair, 2);
+  fb.StGlobal(addr, 8192, twice);
+  fb.StGlobal(addr, 12288, scaled);
+  fb.Exit();
+  return mb.Build();
+}
+
+}  // namespace orion::test

@@ -1,0 +1,125 @@
+// Tests for the benchmark suite: every workload builds, verifies,
+// matches its Table 2 profile, computes deterministically, and survives
+// occupancy realization with identical results (per-workload
+// differential testing on top of the generic sim_test coverage).
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "ir/callgraph.h"
+#include "isa/verifier.h"
+#include "sim/interpreter.h"
+#include "workloads/workloads.h"
+
+namespace orion::workloads {
+namespace {
+
+class EveryWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryWorkload, BuildsAndVerifies) {
+  const Workload w = MakeWorkload(GetParam());
+  EXPECT_EQ(w.name, GetParam());
+  EXPECT_TRUE(isa::VerifyModule(w.module).empty());
+  EXPECT_FALSE(w.module.Kernel().allocated);
+}
+
+TEST_P(EveryWorkload, MatchesTable2Profile) {
+  const Workload w = MakeWorkload(GetParam());
+  // Static function calls match the paper exactly.
+  const ir::CallGraph callgraph(w.module);
+  EXPECT_EQ(callgraph.NumStaticCalls(), w.table2.func) << w.name;
+  // Shared-memory usage matches.
+  EXPECT_EQ(w.module.user_smem_bytes > 0, w.table2.smem) << w.name;
+  // Register pressure lands near the paper's value (the exact count
+  // depends on allocator details; stay within a moderate band).
+  alloc::AllocStats stats;
+  alloc::AllocBudget budget;
+  budget.reg_words = 63;
+  alloc::AllocateModule(w.module, budget, {}, &stats);
+  const double ratio =
+      static_cast<double>(stats.peak_regs) / std::max(1u, w.table2.reg);
+  EXPECT_GE(ratio, 0.4) << w.name << " regs=" << stats.peak_regs;
+  EXPECT_LE(ratio, 1.6) << w.name << " regs=" << stats.peak_regs;
+}
+
+TEST_P(EveryWorkload, DeterministicExecution) {
+  const Workload w = MakeWorkload(GetParam());
+  auto run = [&] {
+    sim::GlobalMemory gmem(w.gmem_words);
+    Rng rng(w.seed);
+    for (std::size_t i = 0; i < gmem.size_words(); ++i) {
+      gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+    }
+    // A couple of blocks is enough for determinism checking and keeps
+    // the per-thread reference interpreter fast.
+    sim::Interpret(w.module, &gmem, w.ParamsFor(0), 0, 2);
+    return gmem;
+  };
+  EXPECT_EQ(run().words(), run().words());
+}
+
+TEST_P(EveryWorkload, AllocatedMatchesVirtualOnTightBudget) {
+  const Workload w = MakeWorkload(GetParam());
+  alloc::AllocBudget budget;
+  budget.reg_words = 32;
+  budget.spriv_slot_words = 8;
+  isa::Module allocated;
+  try {
+    allocated = alloc::AllocateModule(w.module, budget, {}, nullptr);
+  } catch (const CompileError&) {
+    GTEST_SKIP() << "budget infeasible for " << w.name;
+  }
+  sim::GlobalMemory a(w.gmem_words);
+  Rng rng(w.seed);
+  for (std::size_t i = 0; i < a.size_words(); ++i) {
+    a.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  sim::GlobalMemory b = a;
+  sim::Interpret(w.module, &a, w.ParamsFor(0), 0, 2);
+  sim::Interpret(allocated, &b, w.ParamsFor(0), 0, 2);
+  EXPECT_EQ(a.words(), b.words()) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryWorkload,
+                         ::testing::ValuesIn(AllNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(MakeWorkload("nonsense"), OrionError);
+}
+
+TEST(Workloads, Table2ListMatchesPaperOrder) {
+  const std::vector<std::string>& names = Table2Names();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.front(), "cfd");
+  EXPECT_EQ(names.back(), "streamcluster");
+}
+
+TEST(Workloads, BfsVariesWorkPerIteration) {
+  const Workload w = MakeWorkload("bfs");
+  ASSERT_FALSE(w.per_iteration_params.empty());
+  // Frontier sizes are not all equal (that is the point).
+  bool varies = false;
+  for (std::size_t i = 1; i < w.per_iteration_params.size(); ++i) {
+    varies |= w.per_iteration_params[i] != w.per_iteration_params[0];
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Workloads, UntunableBenchmarksFlagged) {
+  EXPECT_FALSE(MakeWorkload("particles").can_tune);
+  EXPECT_FALSE(MakeWorkload("backprop").can_tune);
+  EXPECT_TRUE(MakeWorkload("srad").can_tune);
+}
+
+}  // namespace
+}  // namespace orion::workloads

@@ -1,0 +1,269 @@
+// orion-cc — command-line driver for the Orion framework.
+//
+//   orion-cc asm   <in.asm>  -o <out.vcub>       assemble text to binary
+//   orion-cc dis   <in.vcub>                     disassemble to stdout
+//   orion-cc info  <in.vcub>                     static facts (max-live,
+//                                                calls, smem, direction)
+//   orion-cc tune  <in.vcub> [-o prefix]         Fig. 8 multi-version
+//                                                compile; writes
+//                                                prefix.<tag>.vcub
+//   orion-cc sweep <in.vcub>                     exhaustive occupancy
+//                                                sweep on the simulator
+//   orion-cc run   <in.vcub> [--iters N]         simulate the app loop
+//                                                with the Fig. 9 tuner
+//
+// Common flags: --gpu gtx680|c2075 (default gtx680),
+//               --cache sc|lc      (default sc).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "core/static_model.h"
+#include "ir/callgraph.h"
+#include "isa/assembler.h"
+#include "isa/binary.h"
+#include "isa/verifier.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "sim/report.h"
+
+namespace {
+
+using namespace orion;
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: orion-cc <asm|dis|info|tune|sweep|run> <input> "
+               "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] [--iters N]\n");
+  std::exit(2);
+}
+
+std::vector<std::uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw OrionError("cannot open '" + path + "'");
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw OrionError("cannot write '" + path + "'");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+struct Args {
+  std::string command;
+  std::string input;
+  std::string output;
+  std::string gpu = "gtx680";
+  std::string cache = "sc";
+  std::uint32_t iters = 16;
+};
+
+Args Parse(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+  }
+  Args args;
+  args.command = argv[1];
+  args.input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      return argv[++i];
+    };
+    if (flag == "-o") {
+      args.output = value();
+    } else if (flag == "--gpu") {
+      args.gpu = value();
+    } else if (flag == "--cache") {
+      args.cache = value();
+    } else if (flag == "--iters") {
+      args.iters = static_cast<std::uint32_t>(std::stoul(value()));
+    } else {
+      Usage();
+    }
+  }
+  return args;
+}
+
+const arch::GpuSpec& Gpu(const Args& args) {
+  if (args.gpu == "gtx680") {
+    return arch::Gtx680();
+  }
+  if (args.gpu == "c2075") {
+    return arch::TeslaC2075();
+  }
+  throw OrionError("unknown GPU '" + args.gpu + "'");
+}
+
+arch::CacheConfig Cache(const Args& args) {
+  if (args.cache == "sc") {
+    return arch::CacheConfig::kSmallCache;
+  }
+  if (args.cache == "lc") {
+    return arch::CacheConfig::kLargeCache;
+  }
+  throw OrionError("unknown cache config '" + args.cache + "'");
+}
+
+sim::GlobalMemory SeedMemory(std::size_t words) {
+  sim::GlobalMemory gmem(words);
+  Rng rng(0x0410);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+int CmdAsm(const Args& args) {
+  const std::vector<std::uint8_t> text = ReadFile(args.input);
+  const isa::Module module = isa::ParseModule(
+      std::string(text.begin(), text.end()));
+  isa::VerifyModuleOrThrow(module);
+  const std::string out =
+      args.output.empty() ? args.input + ".vcub" : args.output;
+  WriteFile(out, isa::EncodeModule(module));
+  std::printf("assembled %s -> %s (%u instructions)\n", args.input.c_str(),
+              out.c_str(), module.Kernel().NumInstrs());
+  return 0;
+}
+
+int CmdDis(const Args& args) {
+  const isa::Module module = isa::DecodeModule(ReadFile(args.input));
+  std::fputs(isa::PrintModule(module).c_str(), stdout);
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  const isa::Module module = isa::DecodeModule(ReadFile(args.input));
+  const arch::GpuSpec& gpu = Gpu(args);
+  const std::uint32_t max_live = alloc::KernelMaxLive(module);
+  const ir::CallGraph callgraph(module);
+  const core::StaticProfile profile = core::ProfileModule(module, gpu);
+  std::printf("module         : %s\n", module.name.c_str());
+  std::printf("kernel         : %s (%u instrs, blockdim %u, griddim %u)\n",
+              module.Kernel().name.c_str(), module.Kernel().NumInstrs(),
+              module.launch.block_dim, module.launch.grid_dim);
+  std::printf("functions      : %zu (%u static call sites)\n",
+              module.functions.size(), callgraph.NumStaticCalls());
+  std::printf("user smem      : %u bytes/block\n", module.user_smem_bytes);
+  std::printf("max-live       : %u words (threshold on %s: %u)\n", max_live,
+              gpu.name.c_str(), core::MaxLiveThreshold(gpu));
+  std::printf("tune direction : %s\n",
+              max_live >= core::MaxLiveThreshold(gpu) ? "increasing"
+                                                      : "decreasing");
+  std::printf("warps needed   : %u (static latency-hiding model)\n",
+              core::WarpsNeeded(profile));
+  return 0;
+}
+
+int CmdTune(const Args& args) {
+  const std::vector<std::uint8_t> cubin = ReadFile(args.input);
+  core::TuneOptions options;
+  options.cache_config = Cache(args);
+  const core::TunedBinary tuned = core::TuneBinary(cubin, Gpu(args), options);
+  std::printf("direction %s, %zu candidate versions:\n",
+              tuned.binary.direction == runtime::TuneDirection::kIncreasing
+                  ? "increasing"
+                  : "decreasing",
+              tuned.binary.versions.size());
+  for (const runtime::KernelVersion& version : tuned.binary.versions) {
+    const isa::Module& module = tuned.binary.ModuleOf(version);
+    std::printf("  %-14s occ %.3f  regs %2u  local %2u  smem-spill %2u  "
+                "pad %u\n",
+                version.tag.c_str(), version.occupancy.occupancy,
+                module.usage.regs_per_thread,
+                module.usage.local_slots_per_thread,
+                module.usage.spriv_slots_per_thread,
+                version.smem_padding_bytes);
+    if (!args.output.empty()) {
+      const std::string path =
+          args.output + "." + version.tag + ".vcub";
+      WriteFile(path, tuned.images[version.module_index]);
+      std::printf("    wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdSweep(const Args& args) {
+  const isa::Module module = isa::DecodeModule(ReadFile(args.input));
+  core::TuneOptions options;
+  options.cache_config = Cache(args);
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(module, Gpu(args), options);
+  sim::GpuSimulator simulator(Gpu(args), Cache(args));
+  std::printf("%-10s %-6s %-8s %s\n", "occupancy", "regs", "pad", "summary");
+  for (const runtime::KernelVersion& version : all.versions) {
+    sim::GlobalMemory gmem = SeedMemory(std::size_t{1} << 22);
+    const sim::SimResult result = simulator.LaunchAll(
+        all.ModuleOf(version), &gmem, {}, version.smem_padding_bytes);
+    std::printf("%-10.3f %-6u %-8u %s\n", version.occupancy.occupancy,
+                all.ModuleOf(version).usage.regs_per_thread,
+                version.smem_padding_bytes,
+                sim::FormatSimSummary(result, Gpu(args)).c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  const isa::Module module = isa::DecodeModule(ReadFile(args.input));
+  core::TuneOptions options;
+  options.cache_config = Cache(args);
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(module, Gpu(args), options);
+  sim::GpuSimulator simulator(Gpu(args), Cache(args));
+  sim::GlobalMemory gmem = SeedMemory(std::size_t{1} << 22);
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = args.iters;
+  const runtime::TunedRunResult result = launcher.Run(&gmem, {}, plan);
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    std::printf("iter %2zu: %-14s occ %.3f  %.4f ms\n", i,
+                binary.Candidate(result.records[i].version).tag.c_str(),
+                result.records[i].occupancy, result.records[i].ms);
+  }
+  std::printf("final: %s (settled after %u iterations), steady %.4f ms\n",
+              binary.Candidate(result.final_version).tag.c_str(),
+              result.iterations_to_settle, result.steady_ms);
+  // Full characterization of one steady-state launch.
+  const runtime::KernelVersion& final_version =
+      binary.Candidate(result.final_version);
+  const sim::SimResult last = simulator.LaunchAll(
+      binary.ModuleOf(final_version), &gmem, {},
+      final_version.smem_padding_bytes);
+  std::fputs(sim::FormatSimReport(last, Gpu(args)).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = Parse(argc, argv);
+    if (args.command == "asm") return CmdAsm(args);
+    if (args.command == "dis") return CmdDis(args);
+    if (args.command == "info") return CmdInfo(args);
+    if (args.command == "tune") return CmdTune(args);
+    if (args.command == "sweep") return CmdSweep(args);
+    if (args.command == "run") return CmdRun(args);
+    Usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "orion-cc: %s\n", e.what());
+    return 1;
+  }
+}
