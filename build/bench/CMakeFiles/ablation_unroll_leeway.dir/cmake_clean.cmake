@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unroll_leeway.dir/ablation_unroll_leeway.cpp.o"
+  "CMakeFiles/ablation_unroll_leeway.dir/ablation_unroll_leeway.cpp.o.d"
+  "ablation_unroll_leeway"
+  "ablation_unroll_leeway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unroll_leeway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_imagedenoising.dir/fig01_imagedenoising.cpp.o"
+  "CMakeFiles/fig01_imagedenoising.dir/fig01_imagedenoising.cpp.o.d"
+  "fig01_imagedenoising"
+  "fig01_imagedenoising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_imagedenoising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_matrixmul.dir/fig02_matrixmul.cpp.o"
+  "CMakeFiles/fig02_matrixmul.dir/fig02_matrixmul.cpp.o.d"
+  "fig02_matrixmul"
+  "fig02_matrixmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_matrixmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

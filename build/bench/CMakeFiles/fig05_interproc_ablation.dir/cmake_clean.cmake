@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_interproc_ablation.dir/fig05_interproc_ablation.cpp.o"
+  "CMakeFiles/fig05_interproc_ablation.dir/fig05_interproc_ablation.cpp.o.d"
+  "fig05_interproc_ablation"
+  "fig05_interproc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_interproc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

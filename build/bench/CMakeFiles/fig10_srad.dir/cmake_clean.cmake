@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_srad.dir/fig10_srad.cpp.o"
+  "CMakeFiles/fig10_srad.dir/fig10_srad.cpp.o.d"
+  "fig10_srad"
+  "fig10_srad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_srad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_downward.cpp" "bench/CMakeFiles/fig12_downward.dir/fig12_downward.cpp.o" "gcc" "bench/CMakeFiles/fig12_downward.dir/fig12_downward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/orion_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/orion_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/orion_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/orion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/orion_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/orion_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/orion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/orion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_downward.dir/fig12_downward.cpp.o"
+  "CMakeFiles/fig12_downward.dir/fig12_downward.cpp.o.d"
+  "fig12_downward"
+  "fig12_downward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_downward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_curves_c2075.dir/fig14_curves_c2075.cpp.o"
+  "CMakeFiles/fig14_curves_c2075.dir/fig14_curves_c2075.cpp.o.d"
+  "fig14_curves_c2075"
+  "fig14_curves_c2075.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_curves_c2075.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_curves_c2075.
+# This may be replaced when dependencies are built.

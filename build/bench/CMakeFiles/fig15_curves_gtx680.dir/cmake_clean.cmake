@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_curves_gtx680.dir/fig15_curves_gtx680.cpp.o"
+  "CMakeFiles/fig15_curves_gtx680.dir/fig15_curves_gtx680.cpp.o.d"
+  "fig15_curves_gtx680"
+  "fig15_curves_gtx680.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_curves_gtx680.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_benchinfo.dir/table2_benchinfo.cpp.o"
+  "CMakeFiles/table2_benchinfo.dir/table2_benchinfo.cpp.o.d"
+  "table2_benchinfo"
+  "table2_benchinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_benchinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cacheconfig.dir/table3_cacheconfig.cpp.o"
+  "CMakeFiles/table3_cacheconfig.dir/table3_cacheconfig.cpp.o.d"
+  "table3_cacheconfig"
+  "table3_cacheconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cacheconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multikernel_app.dir/multikernel_app.cpp.o"
+  "CMakeFiles/multikernel_app.dir/multikernel_app.cpp.o.d"
+  "multikernel_app"
+  "multikernel_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multikernel_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multikernel_app.
+# This may be replaced when dependencies are built.

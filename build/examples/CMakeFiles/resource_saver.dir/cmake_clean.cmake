@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_saver.dir/resource_saver.cpp.o"
+  "CMakeFiles/resource_saver.dir/resource_saver.cpp.o.d"
+  "resource_saver"
+  "resource_saver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_saver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_binary.dir/tune_binary.cpp.o"
+  "CMakeFiles/tune_binary.dir/tune_binary.cpp.o.d"
+  "tune_binary"
+  "tune_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cpp" "src/alloc/CMakeFiles/orion_alloc.dir/allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/orion_alloc.dir/allocator.cpp.o.d"
+  "/root/repo/src/alloc/coloring.cpp" "src/alloc/CMakeFiles/orion_alloc.dir/coloring.cpp.o" "gcc" "src/alloc/CMakeFiles/orion_alloc.dir/coloring.cpp.o.d"
+  "/root/repo/src/alloc/hungarian.cpp" "src/alloc/CMakeFiles/orion_alloc.dir/hungarian.cpp.o" "gcc" "src/alloc/CMakeFiles/orion_alloc.dir/hungarian.cpp.o.d"
+  "/root/repo/src/alloc/spill.cpp" "src/alloc/CMakeFiles/orion_alloc.dir/spill.cpp.o" "gcc" "src/alloc/CMakeFiles/orion_alloc.dir/spill.cpp.o.d"
+  "/root/repo/src/alloc/stack_layout.cpp" "src/alloc/CMakeFiles/orion_alloc.dir/stack_layout.cpp.o" "gcc" "src/alloc/CMakeFiles/orion_alloc.dir/stack_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/orion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/orion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

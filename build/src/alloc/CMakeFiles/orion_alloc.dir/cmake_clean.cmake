@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_alloc.dir/allocator.cpp.o"
+  "CMakeFiles/orion_alloc.dir/allocator.cpp.o.d"
+  "CMakeFiles/orion_alloc.dir/coloring.cpp.o"
+  "CMakeFiles/orion_alloc.dir/coloring.cpp.o.d"
+  "CMakeFiles/orion_alloc.dir/hungarian.cpp.o"
+  "CMakeFiles/orion_alloc.dir/hungarian.cpp.o.d"
+  "CMakeFiles/orion_alloc.dir/spill.cpp.o"
+  "CMakeFiles/orion_alloc.dir/spill.cpp.o.d"
+  "CMakeFiles/orion_alloc.dir/stack_layout.cpp.o"
+  "CMakeFiles/orion_alloc.dir/stack_layout.cpp.o.d"
+  "liborion_alloc.a"
+  "liborion_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

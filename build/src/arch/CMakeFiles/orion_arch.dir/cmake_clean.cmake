@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_arch.dir/gpu_spec.cpp.o"
+  "CMakeFiles/orion_arch.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/orion_arch.dir/occupancy.cpp.o"
+  "CMakeFiles/orion_arch.dir/occupancy.cpp.o.d"
+  "liborion_arch.a"
+  "liborion_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_baseline.dir/baseline.cpp.o"
+  "CMakeFiles/orion_baseline.dir/baseline.cpp.o.d"
+  "liborion_baseline.a"
+  "liborion_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_common.dir/error.cpp.o"
+  "CMakeFiles/orion_common.dir/error.cpp.o.d"
+  "CMakeFiles/orion_common.dir/rng.cpp.o"
+  "CMakeFiles/orion_common.dir/rng.cpp.o.d"
+  "CMakeFiles/orion_common.dir/strings.cpp.o"
+  "CMakeFiles/orion_common.dir/strings.cpp.o.d"
+  "liborion_common.a"
+  "liborion_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_core.dir/orion.cpp.o"
+  "CMakeFiles/orion_core.dir/orion.cpp.o.d"
+  "CMakeFiles/orion_core.dir/static_model.cpp.o"
+  "CMakeFiles/orion_core.dir/static_model.cpp.o.d"
+  "liborion_core.a"
+  "liborion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/callgraph.cpp" "src/ir/CMakeFiles/orion_ir.dir/callgraph.cpp.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/callgraph.cpp.o.d"
+  "/root/repo/src/ir/cfg.cpp" "src/ir/CMakeFiles/orion_ir.dir/cfg.cpp.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/cfg.cpp.o.d"
+  "/root/repo/src/ir/dominance.cpp" "src/ir/CMakeFiles/orion_ir.dir/dominance.cpp.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/dominance.cpp.o.d"
+  "/root/repo/src/ir/interference.cpp" "src/ir/CMakeFiles/orion_ir.dir/interference.cpp.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/interference.cpp.o.d"
+  "/root/repo/src/ir/liveness.cpp" "src/ir/CMakeFiles/orion_ir.dir/liveness.cpp.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/liveness.cpp.o.d"
+  "/root/repo/src/ir/loops.cpp" "src/ir/CMakeFiles/orion_ir.dir/loops.cpp.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/loops.cpp.o.d"
+  "/root/repo/src/ir/ssa.cpp" "src/ir/CMakeFiles/orion_ir.dir/ssa.cpp.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/orion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

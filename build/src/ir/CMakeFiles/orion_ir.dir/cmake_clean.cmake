@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_ir.dir/callgraph.cpp.o"
+  "CMakeFiles/orion_ir.dir/callgraph.cpp.o.d"
+  "CMakeFiles/orion_ir.dir/cfg.cpp.o"
+  "CMakeFiles/orion_ir.dir/cfg.cpp.o.d"
+  "CMakeFiles/orion_ir.dir/dominance.cpp.o"
+  "CMakeFiles/orion_ir.dir/dominance.cpp.o.d"
+  "CMakeFiles/orion_ir.dir/interference.cpp.o"
+  "CMakeFiles/orion_ir.dir/interference.cpp.o.d"
+  "CMakeFiles/orion_ir.dir/liveness.cpp.o"
+  "CMakeFiles/orion_ir.dir/liveness.cpp.o.d"
+  "CMakeFiles/orion_ir.dir/loops.cpp.o"
+  "CMakeFiles/orion_ir.dir/loops.cpp.o.d"
+  "CMakeFiles/orion_ir.dir/ssa.cpp.o"
+  "CMakeFiles/orion_ir.dir/ssa.cpp.o.d"
+  "liborion_ir.a"
+  "liborion_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

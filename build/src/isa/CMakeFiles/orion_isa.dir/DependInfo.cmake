@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/orion_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/orion_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/binary.cpp" "src/isa/CMakeFiles/orion_isa.dir/binary.cpp.o" "gcc" "src/isa/CMakeFiles/orion_isa.dir/binary.cpp.o.d"
+  "/root/repo/src/isa/builder.cpp" "src/isa/CMakeFiles/orion_isa.dir/builder.cpp.o" "gcc" "src/isa/CMakeFiles/orion_isa.dir/builder.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/isa/CMakeFiles/orion_isa.dir/isa.cpp.o" "gcc" "src/isa/CMakeFiles/orion_isa.dir/isa.cpp.o.d"
+  "/root/repo/src/isa/verifier.cpp" "src/isa/CMakeFiles/orion_isa.dir/verifier.cpp.o" "gcc" "src/isa/CMakeFiles/orion_isa.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_isa.dir/assembler.cpp.o"
+  "CMakeFiles/orion_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/orion_isa.dir/binary.cpp.o"
+  "CMakeFiles/orion_isa.dir/binary.cpp.o.d"
+  "CMakeFiles/orion_isa.dir/builder.cpp.o"
+  "CMakeFiles/orion_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/orion_isa.dir/isa.cpp.o"
+  "CMakeFiles/orion_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/orion_isa.dir/verifier.cpp.o"
+  "CMakeFiles/orion_isa.dir/verifier.cpp.o.d"
+  "liborion_isa.a"
+  "liborion_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

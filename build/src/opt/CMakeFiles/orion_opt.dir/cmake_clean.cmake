@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_opt.dir/constfold.cpp.o"
+  "CMakeFiles/orion_opt.dir/constfold.cpp.o.d"
+  "CMakeFiles/orion_opt.dir/dce.cpp.o"
+  "CMakeFiles/orion_opt.dir/dce.cpp.o.d"
+  "CMakeFiles/orion_opt.dir/unroll.cpp.o"
+  "CMakeFiles/orion_opt.dir/unroll.cpp.o.d"
+  "liborion_opt.a"
+  "liborion_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

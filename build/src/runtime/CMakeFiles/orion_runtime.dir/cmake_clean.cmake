@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_runtime.dir/dynamic_tuner.cpp.o"
+  "CMakeFiles/orion_runtime.dir/dynamic_tuner.cpp.o.d"
+  "CMakeFiles/orion_runtime.dir/launcher.cpp.o"
+  "CMakeFiles/orion_runtime.dir/launcher.cpp.o.d"
+  "liborion_runtime.a"
+  "liborion_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/exec.cpp" "src/sim/CMakeFiles/orion_sim.dir/exec.cpp.o" "gcc" "src/sim/CMakeFiles/orion_sim.dir/exec.cpp.o.d"
+  "/root/repo/src/sim/gpu_sim.cpp" "src/sim/CMakeFiles/orion_sim.dir/gpu_sim.cpp.o" "gcc" "src/sim/CMakeFiles/orion_sim.dir/gpu_sim.cpp.o.d"
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/orion_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/orion_sim.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sim/linked.cpp" "src/sim/CMakeFiles/orion_sim.dir/linked.cpp.o" "gcc" "src/sim/CMakeFiles/orion_sim.dir/linked.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/orion_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/orion_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/orion_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/orion_sim.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/orion_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/orion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_sim.dir/exec.cpp.o"
+  "CMakeFiles/orion_sim.dir/exec.cpp.o.d"
+  "CMakeFiles/orion_sim.dir/gpu_sim.cpp.o"
+  "CMakeFiles/orion_sim.dir/gpu_sim.cpp.o.d"
+  "CMakeFiles/orion_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/orion_sim.dir/interpreter.cpp.o.d"
+  "CMakeFiles/orion_sim.dir/linked.cpp.o"
+  "CMakeFiles/orion_sim.dir/linked.cpp.o.d"
+  "CMakeFiles/orion_sim.dir/memory.cpp.o"
+  "CMakeFiles/orion_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/orion_sim.dir/report.cpp.o"
+  "CMakeFiles/orion_sim.dir/report.cpp.o.d"
+  "liborion_sim.a"
+  "liborion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/backprop.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/backprop.cpp.o.d"
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/cfd.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/cfd.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/cfd.cpp.o.d"
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/dxtc.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/dxtc.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/dxtc.cpp.o.d"
+  "/root/repo/src/workloads/fdtd3d.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/fdtd3d.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/fdtd3d.cpp.o.d"
+  "/root/repo/src/workloads/gaussian.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/gaussian.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/gaussian.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/imagedenoising.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/imagedenoising.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/imagedenoising.cpp.o.d"
+  "/root/repo/src/workloads/matrixmul.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/matrixmul.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/matrixmul.cpp.o.d"
+  "/root/repo/src/workloads/particles.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/particles.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/particles.cpp.o.d"
+  "/root/repo/src/workloads/recursivegaussian.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/recursivegaussian.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/recursivegaussian.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/srad.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/srad.cpp.o.d"
+  "/root/repo/src/workloads/streamcluster.cpp" "src/workloads/CMakeFiles/orion_workloads.dir/streamcluster.cpp.o" "gcc" "src/workloads/CMakeFiles/orion_workloads.dir/streamcluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/orion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

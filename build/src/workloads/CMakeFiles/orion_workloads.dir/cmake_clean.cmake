@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_workloads.dir/backprop.cpp.o"
+  "CMakeFiles/orion_workloads.dir/backprop.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/orion_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/cfd.cpp.o"
+  "CMakeFiles/orion_workloads.dir/cfd.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/common.cpp.o"
+  "CMakeFiles/orion_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/dxtc.cpp.o"
+  "CMakeFiles/orion_workloads.dir/dxtc.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/fdtd3d.cpp.o"
+  "CMakeFiles/orion_workloads.dir/fdtd3d.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/gaussian.cpp.o"
+  "CMakeFiles/orion_workloads.dir/gaussian.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/orion_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/imagedenoising.cpp.o"
+  "CMakeFiles/orion_workloads.dir/imagedenoising.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/matrixmul.cpp.o"
+  "CMakeFiles/orion_workloads.dir/matrixmul.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/particles.cpp.o"
+  "CMakeFiles/orion_workloads.dir/particles.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/recursivegaussian.cpp.o"
+  "CMakeFiles/orion_workloads.dir/recursivegaussian.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/registry.cpp.o"
+  "CMakeFiles/orion_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/srad.cpp.o"
+  "CMakeFiles/orion_workloads.dir/srad.cpp.o.d"
+  "CMakeFiles/orion_workloads.dir/streamcluster.cpp.o"
+  "CMakeFiles/orion_workloads.dir/streamcluster.cpp.o.d"
+  "liborion_workloads.a"
+  "liborion_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_test.cpp" "tests/CMakeFiles/orion_tests.dir/alloc_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/alloc_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/orion_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/orion_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/orion_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/orion_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/irreducible_test.cpp" "tests/CMakeFiles/orion_tests.dir/irreducible_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/irreducible_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/orion_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/memory_test.cpp" "tests/CMakeFiles/orion_tests.dir/memory_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/memory_test.cpp.o.d"
+  "/root/repo/tests/occupancy_test.cpp" "tests/CMakeFiles/orion_tests.dir/occupancy_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/occupancy_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/orion_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/orion_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/orion_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/orion_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/ssa_test.cpp" "tests/CMakeFiles/orion_tests.dir/ssa_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/ssa_test.cpp.o.d"
+  "/root/repo/tests/stack_layout_test.cpp" "tests/CMakeFiles/orion_tests.dir/stack_layout_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/stack_layout_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/orion_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/orion_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/orion_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/orion_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/orion_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/orion_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/orion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/orion_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/orion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/orion_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion-cc.dir/orion_cc.cpp.o"
+  "CMakeFiles/orion-cc.dir/orion_cc.cpp.o.d"
+  "orion-cc"
+  "orion-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
