@@ -14,6 +14,7 @@
 #include "core/orion.h"
 #include "runtime/launcher.h"
 #include "sim/gpu_sim.h"
+#include "sim/parallel.h"
 #include "workloads/workloads.h"
 
 namespace orion::bench {
@@ -68,23 +69,34 @@ struct LevelRun {
 inline std::vector<LevelRun> RunExhaustive(const workloads::Workload& w,
                                            const arch::GpuSpec& spec,
                                            arch::CacheConfig config,
-                                           std::uint32_t iterations = 2) {
+                                           std::uint32_t iterations = 2,
+                                           unsigned threads = 0) {
   core::TuneOptions options;
   options.cache_config = config;
   const runtime::MultiVersionBinary all =
       core::EnumerateAllVersions(w.module, spec, options);
-  sim::GpuSimulator simulator(spec, config);
+  // Every occupancy level starts from the same seeded memory image, so
+  // the levels are independent candidates: fan them out concurrently.
+  const sim::GlobalMemory base = SeedMemory(w.gmem_words, w.seed);
+  std::vector<sim::SweepCandidate> candidates(all.versions.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const runtime::KernelVersion& version = all.versions[i];
+    candidates[i].module = &all.ModuleOf(version);
+    candidates[i].dynamic_smem_bytes = version.smem_padding_bytes;
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+      candidates[i].iteration_params.push_back(w.ParamsFor(it));
+    }
+  }
+  const sim::ParallelSweep sweep(spec, config, threads);
+  const std::vector<sim::SweepOutcome> outcomes = sweep.Run(candidates, base);
   std::vector<LevelRun> runs;
-  for (const runtime::KernelVersion& version : all.versions) {
-    sim::GlobalMemory gmem = SeedMemory(w.gmem_words, w.seed);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const runtime::KernelVersion& version = all.versions[i];
     LevelRun run;
     run.occupancy = version.occupancy.occupancy;
     run.active_warps = version.occupancy.active_warps_per_sm;
     run.regs_per_thread = all.ModuleOf(version).usage.regs_per_thread;
-    for (std::uint32_t it = 0; it < iterations; ++it) {
-      const sim::SimResult sr =
-          simulator.LaunchAll(all.ModuleOf(version), &gmem, w.ParamsFor(it),
-                              version.smem_padding_bytes);
+    for (const sim::SimResult& sr : outcomes[i].launches) {
       run.ms += sr.ms;
       run.energy += sr.energy;
     }

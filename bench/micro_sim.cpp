@@ -1,0 +1,208 @@
+// Simulator-engine micro-benchmark: simulated instructions per second.
+//
+// Two measurements, written to BENCH_sim.json (machine readable) and
+// summarized on stdout:
+//
+//   1. Single-launch engine throughput on matrixmul / srad / bfs: the
+//      same allocated kernel is run by the reference per-cycle engine
+//      and the event-driven engine; both execute the identical
+//      instruction stream (bit-determinism), so the instr/sec ratio is
+//      a pure engine comparison.
+//   2. The fig11 candidate-sweep workload (all seven upward benchmarks,
+//      every occupancy level, RunExhaustive iterations): the seed
+//      configuration (reference engine, serial sweep) against the
+//      current one (event engine, ParallelSweep across hardware
+//      threads).  This is the end-to-end number the engine rewrite
+//      targets.
+//
+// Run from anywhere; BENCH_sim.json is written to the current
+// directory.  Use a Release build: Debug keeps ORION_DCHECK live.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/baseline.h"
+#include "bench_util.h"
+#include "sim/gpu_sim.h"
+#include "sim/parallel.h"
+#include "workloads/workloads.h"
+
+namespace orion::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+struct EngineRun {
+  std::uint64_t instructions = 0;
+  double seconds = 0.0;
+  // Fastest single repetition.  The mean is sensitive to scheduler
+  // noise on loaded machines; the peak measures engine capability and
+  // is what the repetitions exist to find.
+  double best_instr_per_sec = 0.0;
+  double InstrPerSec() const { return best_instr_per_sec; }
+  void Add(std::uint64_t instrs, double secs) {
+    instructions += instrs;
+    seconds += secs;
+    if (secs > 0.0) {
+      best_instr_per_sec =
+          std::max(best_instr_per_sec, static_cast<double>(instrs) / secs);
+    }
+  }
+};
+
+// Repeats full-grid launches of `module` until `min_seconds` of wall
+// time accumulate (at least `min_reps`), on a fresh memory image each
+// repetition so every run does identical work.
+EngineRun MeasureEngine(const workloads::Workload& w,
+                        const isa::Module& module, const arch::GpuSpec& spec,
+                        sim::SimEngine engine, double min_seconds,
+                        std::uint32_t min_reps) {
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache, engine);
+  const sim::GlobalMemory base = SeedMemory(w.gmem_words, w.seed);
+  EngineRun run;
+  std::uint32_t reps = 0;
+  while (reps < min_reps || run.seconds < min_seconds) {
+    sim::GlobalMemory gmem = base;
+    const auto begin = std::chrono::steady_clock::now();
+    const sim::SimResult sr = simulator.LaunchAll(module, &gmem, w.params);
+    run.Add(sr.warp_instructions,
+            Seconds(begin, std::chrono::steady_clock::now()));
+    ++reps;
+  }
+  return run;
+}
+
+// The fig11 sweep workload under one engine/threading configuration.
+// The whole sweep is repeated `reps` times; the fastest pass counts
+// (see EngineRun::Add).
+EngineRun MeasureSweep(const std::vector<workloads::Workload>& workloads,
+                       const arch::GpuSpec& spec, sim::SimEngine engine,
+                       unsigned threads, std::uint32_t reps) {
+  const arch::CacheConfig config = arch::CacheConfig::kSmallCache;
+  EngineRun run;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;
+    for (const workloads::Workload& w : workloads) {
+      core::TuneOptions options;
+      options.cache_config = config;
+      const runtime::MultiVersionBinary all =
+          core::EnumerateAllVersions(w.module, spec, options);
+      const sim::GlobalMemory base = SeedMemory(w.gmem_words, w.seed);
+      std::vector<sim::SweepCandidate> candidates(all.versions.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const runtime::KernelVersion& version = all.versions[i];
+        candidates[i].module = &all.ModuleOf(version);
+        candidates[i].dynamic_smem_bytes = version.smem_padding_bytes;
+        candidates[i].iteration_params = {w.ParamsFor(0), w.ParamsFor(1)};
+      }
+      const sim::ParallelSweep sweep(spec, config, threads, engine);
+      const auto begin = std::chrono::steady_clock::now();
+      const std::vector<sim::SweepOutcome> outcomes =
+          sweep.Run(candidates, base);
+      seconds += Seconds(begin, std::chrono::steady_clock::now());
+      for (const sim::SweepOutcome& outcome : outcomes) {
+        for (const sim::SimResult& sr : outcome.launches) {
+          instructions += sr.warp_instructions;
+        }
+      }
+    }
+    run.Add(instructions, seconds);
+  }
+  return run;
+}
+
+}  // namespace
+}  // namespace orion::bench
+
+int main() {
+  using namespace orion;
+  using bench::EngineRun;
+
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const double kMinSeconds = 0.5;
+  const std::uint32_t kMinReps = 3;
+
+  std::string json = "{\n  \"benchmark\": \"micro_sim\",\n";
+#ifdef NDEBUG
+  json += "  \"build\": \"release\",\n";
+#else
+  json += "  \"build\": \"debug\",\n";
+#endif
+  json += "  \"single_launch\": [\n";
+
+  std::printf("single-launch engine throughput (instr/sec)\n");
+  std::printf("%-12s %14s %14s %8s\n", "workload", "reference", "event",
+              "ratio");
+  const std::vector<std::string> singles = {"matrixmul", "srad", "bfs"};
+  for (std::size_t i = 0; i < singles.size(); ++i) {
+    const workloads::Workload w = workloads::MakeWorkload(singles[i]);
+    const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    const EngineRun ref =
+        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kReference,
+                             kMinSeconds, kMinReps);
+    const EngineRun event =
+        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kEventDriven,
+                             kMinSeconds, kMinReps);
+    const double ratio =
+        ref.InstrPerSec() > 0.0 ? event.InstrPerSec() / ref.InstrPerSec() : 0.0;
+    std::printf("%-12s %14.3e %14.3e %7.2fx\n", singles[i].c_str(),
+                ref.InstrPerSec(), event.InstrPerSec(), ratio);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workload\": \"%s\", "
+                  "\"reference_instr_per_sec\": %.6e, "
+                  "\"event_instr_per_sec\": %.6e, \"speedup\": %.4f}%s\n",
+                  singles[i].c_str(), ref.InstrPerSec(), event.InstrPerSec(),
+                  ratio, i + 1 < singles.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+
+  // The fig11 sweep: seed configuration vs current configuration.
+  std::vector<workloads::Workload> fig11;
+  for (const std::string& name : bench::UpwardBenchmarks()) {
+    fig11.push_back(workloads::MakeWorkload(name));
+  }
+  const std::uint32_t kSweepReps = 3;
+  const EngineRun seed_cfg = bench::MeasureSweep(
+      fig11, spec, sim::SimEngine::kReference, 1, kSweepReps);
+  const EngineRun new_cfg = bench::MeasureSweep(
+      fig11, spec, sim::SimEngine::kEventDriven, 0, kSweepReps);
+  const double sweep_speedup = seed_cfg.InstrPerSec() > 0.0
+                                   ? new_cfg.InstrPerSec() / seed_cfg.InstrPerSec()
+                                   : 0.0;
+  std::printf("\nfig11 candidate sweep (7 workloads, all occupancy levels)\n");
+  std::printf("  seed (reference engine, serial):    %.3e instr/sec\n",
+              seed_cfg.InstrPerSec());
+  std::printf("  new  (event engine, parallel):      %.3e instr/sec\n",
+              new_cfg.InstrPerSec());
+  std::printf("  speedup: %.2fx\n", sweep_speedup);
+
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"fig11_sweep\": {\"seed_instr_per_sec\": %.6e, "
+                "\"new_instr_per_sec\": %.6e, \"speedup\": %.4f, "
+                "\"seed_seconds\": %.4f, \"new_seconds\": %.4f, "
+                "\"instructions\": %llu, \"sweep_threads\": %u}\n}\n",
+                seed_cfg.InstrPerSec(), new_cfg.InstrPerSec(), sweep_speedup,
+                seed_cfg.seconds, new_cfg.seconds,
+                static_cast<unsigned long long>(new_cfg.instructions),
+                std::thread::hardware_concurrency());
+  json += buf;
+
+  std::FILE* out = std::fopen("BENCH_sim.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_sim.json\n");
+  }
+  return 0;
+}

@@ -58,4 +58,21 @@ class LaunchError : public OrionError {
     }                                                                   \
   } while (false)
 
+// ORION_DCHECK: invariant checking on the simulator's hot paths.  The
+// per-instruction interpreter loops execute these hundreds of millions
+// of times per sweep, where the branch cost is measurable; they compile
+// to nothing in Release (NDEBUG) builds and to ORION_CHECK otherwise.
+// Use ORION_CHECK for anything outside a per-instruction loop.
+#ifdef NDEBUG
+#define ORION_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#define ORION_DCHECK_MSG(expr, msg) \
+  do {                              \
+  } while (false)
+#else
+#define ORION_DCHECK(expr) ORION_CHECK(expr)
+#define ORION_DCHECK_MSG(expr, msg) ORION_CHECK_MSG(expr, msg)
+#endif
+
 }  // namespace orion

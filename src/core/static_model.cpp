@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.h"
 #include "ir/cfg.h"
 #include "ir/dominance.h"
 #include "ir/loops.h"
+#include "sim/parallel.h"
 
 namespace orion::core {
 
@@ -55,6 +57,29 @@ std::uint32_t WarpsNeeded(const StaticProfile& profile) {
   const double warps =
       std::ceil(profile.avg_mem_latency / instrs_between_mem);
   return static_cast<std::uint32_t>(std::max(1.0, warps));
+}
+
+std::uint32_t RefineStaticChoiceBySimulation(
+    const runtime::MultiVersionBinary& binary, const arch::GpuSpec& spec,
+    arch::CacheConfig cache_config, const sim::GlobalMemory& base,
+    const std::vector<std::uint32_t>& params, unsigned threads) {
+  ORION_CHECK(!binary.versions.empty());
+  std::vector<sim::SweepCandidate> candidates(binary.versions.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const runtime::KernelVersion& version = binary.versions[i];
+    candidates[i].module = &binary.ModuleOf(version);
+    candidates[i].iteration_params = {params};
+    candidates[i].dynamic_smem_bytes = version.smem_padding_bytes;
+  }
+  const sim::ParallelSweep sweep(spec, cache_config, threads);
+  const std::vector<sim::SweepOutcome> outcomes = sweep.Run(candidates, base);
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < outcomes.size(); ++i) {
+    if (outcomes[i].launches.front().ms < outcomes[best].launches.front().ms) {
+      best = i;
+    }
+  }
+  return best;
 }
 
 }  // namespace orion::core

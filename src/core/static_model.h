@@ -15,9 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "arch/gpu_spec.h"
 #include "isa/isa.h"
+#include "runtime/multiversion.h"
+#include "sim/memory.h"
 
 namespace orion::core {
 
@@ -34,5 +37,18 @@ StaticProfile ProfileModule(const isa::Module& module,
 
 // Resident warps per SM needed to hide memory latency.
 std::uint32_t WarpsNeeded(const StaticProfile& profile);
+
+// Simulation-backed refinement of the static choice: evaluates every
+// primary version of `binary` against a private copy of `base` (one
+// full-grid launch each, fanned out over sim::ParallelSweep) and
+// returns the index of the fastest version (ties break to the lowest
+// index, i.e. the analytic choice's walk order).  Used when a
+// representative input is available at compile time but the kernel
+// cannot be tuned at runtime.  `threads` = 0 uses hardware concurrency;
+// the result is identical for any thread count.
+std::uint32_t RefineStaticChoiceBySimulation(
+    const runtime::MultiVersionBinary& binary, const arch::GpuSpec& spec,
+    arch::CacheConfig cache_config, const sim::GlobalMemory& base,
+    const std::vector<std::uint32_t>& params, unsigned threads = 0);
 
 }  // namespace orion::core

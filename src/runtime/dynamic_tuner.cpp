@@ -84,6 +84,26 @@ void DynamicTuner::Finalize(std::uint32_t version) {
   iterations_to_settle_ = iteration_;
 }
 
+TunerPlan DynamicTuner::PlanFromSweep(const MultiVersionBinary& binary,
+                                      const std::vector<double>& candidate_ms,
+                                      double slowdown_tolerance) {
+  ORION_CHECK_MSG(candidate_ms.size() >= binary.NumCandidates(),
+                  "PlanFromSweep needs a runtime per candidate");
+  DynamicTuner tuner(&binary, slowdown_tolerance);
+  TunerPlan plan;
+  // The walk visits each candidate at most once (plus the original), so
+  // NumCandidates() + 1 bounds it; the guard makes that explicit.
+  const std::size_t bound = binary.NumCandidates() + 1;
+  while (!tuner.Finalized() && plan.visits.size() < bound) {
+    const std::uint32_t version = tuner.NextVersion();
+    plan.visits.push_back(version);
+    tuner.ReportRuntime(candidate_ms[version]);
+  }
+  plan.final_version = tuner.FinalVersion();
+  plan.iterations_to_settle = tuner.IterationsToSettle();
+  return plan;
+}
+
 void DynamicTuner::EnterFailsafe() {
   failsafe_ = true;
   // Resume the walk at the first fail-safe candidate; the baseline for

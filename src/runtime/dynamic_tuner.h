@@ -15,6 +15,16 @@
 
 namespace orion::runtime {
 
+// The Fig. 9 walk, replayed offline over pre-measured candidate
+// runtimes (see DynamicTuner::PlanFromSweep).
+struct TunerPlan {
+  std::uint32_t final_version = 0;
+  std::uint32_t iterations_to_settle = 0;
+  // Candidate index probed at each iteration until the tuner settled;
+  // iterations beyond the walk run final_version.
+  std::vector<std::uint32_t> visits;
+};
+
 class DynamicTuner {
  public:
   explicit DynamicTuner(const MultiVersionBinary* binary,
@@ -36,6 +46,15 @@ class DynamicTuner {
   // True while the tuner probes the opposite-direction fail-safe
   // candidates (Section 3.3: the compile-time direction was wrong).
   bool InFailsafe() const { return failsafe_; }
+
+  // Replays the feedback walk over runtimes measured up front (one per
+  // candidate in the binary's unified numbering, e.g. from a
+  // sim::ParallelSweep).  The returned plan visits exactly the versions
+  // the live walk would, provided each candidate's runtime does not
+  // depend on launch order.
+  static TunerPlan PlanFromSweep(const MultiVersionBinary& binary,
+                                 const std::vector<double>& candidate_ms,
+                                 double slowdown_tolerance = 0.02);
 
  private:
   void Finalize(std::uint32_t version);

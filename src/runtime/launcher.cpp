@@ -1,6 +1,9 @@
 #include "runtime/launcher.h"
 
+#include <optional>
+
 #include "common/error.h"
+#include "sim/parallel.h"
 
 namespace orion::runtime {
 
@@ -11,6 +14,30 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
                                       per_iteration_params) {
   TunedRunResult result;
   DynamicTuner tuner(binary_, plan.slowdown_tolerance);
+
+  // Optional parallel probe: measure every candidate up front on
+  // private memory copies and replay the walk over those runtimes.
+  std::optional<TunerPlan> probe;
+  if (plan.parallel_probe && binary_->can_tune &&
+      binary_->NumCandidates() > 1 && per_iteration_params == nullptr) {
+    std::vector<sim::SweepCandidate> candidates(binary_->NumCandidates());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const KernelVersion& version = binary_->Candidate(i);
+      candidates[i].module = &binary_->ModuleOf(version);
+      candidates[i].iteration_params = {params};
+      candidates[i].dynamic_smem_bytes = version.smem_padding_bytes;
+    }
+    const sim::ParallelSweep sweep(sim_->spec(), sim_->cache_config(),
+                                   plan.probe_threads, sim_->engine());
+    const std::vector<sim::SweepOutcome> outcomes =
+        sweep.Run(candidates, *gmem);
+    std::vector<double> candidate_ms(outcomes.size(), 0.0);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      candidate_ms[i] = outcomes[i].launches.front().ms;
+    }
+    probe = DynamicTuner::PlanFromSweep(*binary_, candidate_ms,
+                                        plan.slowdown_tolerance);
+  }
 
   const std::uint32_t grid =
       binary_->modules.front().launch.grid_dim;
@@ -30,7 +57,11 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
 
   std::uint32_t next_block = 0;
   for (std::uint32_t it = 0; it < launches; ++it) {
-    const std::uint32_t version_index = tuner.NextVersion();
+    const std::uint32_t version_index =
+        probe.has_value()
+            ? (it < probe->visits.size() ? probe->visits[it]
+                                         : probe->final_version)
+            : tuner.NextVersion();
     const KernelVersion& version = binary_->Candidate(version_index);
     const isa::Module& module = binary_->ModuleOf(version);
 
@@ -47,7 +78,9 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
             : params;
     const sim::SimResult sr = sim_->Launch(module, gmem, iter_params, first,
                                            count, version.smem_padding_bytes);
-    tuner.ReportRuntime(sr.ms);
+    if (!probe.has_value()) {
+      tuner.ReportRuntime(sr.ms);
+    }
 
     IterationRecord record;
     record.version = version_index;
@@ -59,8 +92,11 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
     result.records.push_back(record);
   }
 
-  result.final_version = tuner.FinalVersion();
-  result.iterations_to_settle = tuner.IterationsToSettle();
+  result.final_version =
+      probe.has_value() ? probe->final_version : tuner.FinalVersion();
+  result.iterations_to_settle =
+      probe.has_value() ? probe->iterations_to_settle
+                        : tuner.IterationsToSettle();
 
   // Steady-state cost: average over iterations that ran the final
   // version after settling (fall back to the last record).

@@ -22,6 +22,14 @@ struct RunPlan {
   bool allow_split = true;        // kernel splitting when iterations == 1
   std::uint32_t split_factor = 4;
   double slowdown_tolerance = 0.02;
+  // Pre-measure every candidate concurrently (sim::ParallelSweep, each
+  // against a private memory copy) and replay the Fig. 9 walk over
+  // those runtimes instead of tuning on live feedback.  The launched
+  // version sequence matches the feedback walk whenever candidate
+  // runtimes are launch-order independent.  Off by default: live
+  // feedback is the paper's mechanism.
+  bool parallel_probe = false;
+  unsigned probe_threads = 0;  // 0 = hardware concurrency
 };
 
 struct IterationRecord {

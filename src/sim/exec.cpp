@@ -1,30 +1,17 @@
 #include "sim/exec.h"
 
-#include <cmath>
-#include <cstring>
-#include <limits>
-
 #include "common/error.h"
 
 namespace orion::sim {
 
-namespace {
+namespace exec_detail {
 
-float AsFloat(std::uint32_t bits) {
-  float f;
-  std::memcpy(&f, &bits, sizeof(f));
-  return f;
+void UnsupportedAluOpcode(isa::Opcode op) {
+  throw OrionError(std::string("EvalAluWord: unsupported opcode ") +
+                   isa::OpcodeName(op));
 }
 
-std::uint32_t AsBits(float f) {
-  std::uint32_t bits;
-  std::memcpy(&bits, &f, sizeof(bits));
-  return bits;
-}
-
-std::int32_t AsInt(std::uint32_t bits) { return static_cast<std::int32_t>(bits); }
-
-}  // namespace
+}  // namespace exec_detail
 
 bool IsAluClass(isa::Opcode op) {
   using isa::Opcode;
@@ -60,91 +47,10 @@ bool IsAluClass(isa::Opcode op) {
 std::uint32_t EvalAluWord(
     const isa::Instruction& instr, std::uint8_t word,
     const std::function<std::uint32_t(std::size_t, std::uint8_t)>& fetch) {
-  using isa::Opcode;
-  auto a = [&] { return fetch(0, word); };
-  auto b = [&] { return fetch(1, word); };
-  auto c = [&] { return fetch(2, word); };
-  switch (instr.op) {
-    case Opcode::kMov:
-      return a();
-    case Opcode::kIAdd:
-      return a() + b();
-    case Opcode::kISub:
-      return a() - b();
-    case Opcode::kIMul:
-      return a() * b();
-    case Opcode::kIMad:
-      return a() * b() + c();
-    case Opcode::kIMin:
-      return static_cast<std::uint32_t>(std::min(AsInt(a()), AsInt(b())));
-    case Opcode::kIMax:
-      return static_cast<std::uint32_t>(std::max(AsInt(a()), AsInt(b())));
-    case Opcode::kAnd:
-      return a() & b();
-    case Opcode::kOr:
-      return a() | b();
-    case Opcode::kXor:
-      return a() ^ b();
-    case Opcode::kShl:
-      return a() << (b() & 31);
-    case Opcode::kShr:
-      return a() >> (b() & 31);
-    case Opcode::kFAdd:
-      return AsBits(AsFloat(a()) + AsFloat(b()));
-    case Opcode::kFMul:
-      return AsBits(AsFloat(a()) * AsFloat(b()));
-    case Opcode::kFFma:
-      return AsBits(AsFloat(a()) * AsFloat(b()) + AsFloat(c()));
-    case Opcode::kFMin:
-      return AsBits(std::fmin(AsFloat(a()), AsFloat(b())));
-    case Opcode::kFMax:
-      return AsBits(std::fmax(AsFloat(a()), AsFloat(b())));
-    case Opcode::kFSqrt:
-      return AsBits(std::sqrt(std::fmax(0.0f, AsFloat(a()))));
-    case Opcode::kFRcp: {
-      const float x = AsFloat(a());
-      return AsBits(x == 0.0f ? std::numeric_limits<float>::max() : 1.0f / x);
-    }
-    case Opcode::kFExp: {
-      const float x = AsFloat(a());
-      return AsBits(std::exp2(std::fmin(std::fmax(x, -60.0f), 60.0f)));
-    }
-    case Opcode::kSetp: {
-      // Predicate computed from element 0 regardless of `word`.
-      const std::uint32_t av = fetch(0, 0);
-      const std::uint32_t bv = fetch(1, 0);
-      bool result = false;
-      if (instr.cmp_type == isa::CmpType::kFloat) {
-        const float x = AsFloat(av);
-        const float y = AsFloat(bv);
-        switch (instr.cmp) {
-          case isa::CmpKind::kLt: result = x < y; break;
-          case isa::CmpKind::kLe: result = x <= y; break;
-          case isa::CmpKind::kEq: result = x == y; break;
-          case isa::CmpKind::kNe: result = x != y; break;
-          case isa::CmpKind::kGe: result = x >= y; break;
-          case isa::CmpKind::kGt: result = x > y; break;
-        }
-      } else {
-        const std::int32_t x = AsInt(av);
-        const std::int32_t y = AsInt(bv);
-        switch (instr.cmp) {
-          case isa::CmpKind::kLt: result = x < y; break;
-          case isa::CmpKind::kLe: result = x <= y; break;
-          case isa::CmpKind::kEq: result = x == y; break;
-          case isa::CmpKind::kNe: result = x != y; break;
-          case isa::CmpKind::kGe: result = x >= y; break;
-          case isa::CmpKind::kGt: result = x > y; break;
-        }
-      }
-      return result ? 1 : 0;
-    }
-    case Opcode::kSel:
-      return fetch(0, 0) != 0 ? fetch(1, word) : fetch(2, word);
-    default:
-      throw OrionError(std::string("EvalAluWord: unsupported opcode ") +
-                       isa::OpcodeName(instr.op));
-  }
+  return EvalAluWordT(instr, word,
+                      [&fetch](std::size_t si, std::uint8_t w) {
+                        return fetch(si, w);
+                      });
 }
 
 }  // namespace orion::sim

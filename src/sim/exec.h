@@ -6,8 +6,12 @@
 // representative-lane execution).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <limits>
 
 #include "isa/isa.h"
 
@@ -24,5 +28,200 @@ std::uint32_t EvalAluWord(
 
 // True if EvalAluWord understands this opcode.
 bool IsAluClass(isa::Opcode op);
+
+namespace exec_detail {
+
+inline float AsFloat(std::uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+inline std::uint32_t AsBits(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+inline std::int32_t AsInt(std::uint32_t bits) {
+  return static_cast<std::int32_t>(bits);
+}
+
+template <typename T>
+bool EvalCmp(isa::CmpKind cmp, T x, T y) {
+  switch (cmp) {
+    case isa::CmpKind::kLt: return x < y;
+    case isa::CmpKind::kLe: return x <= y;
+    case isa::CmpKind::kEq: return x == y;
+    case isa::CmpKind::kNe: return x != y;
+    case isa::CmpKind::kGe: return x >= y;
+    case isa::CmpKind::kGt: return x > y;
+  }
+  return false;
+}
+
+[[noreturn]] void UnsupportedAluOpcode(isa::Opcode op);
+
+}  // namespace exec_detail
+
+// Inline-dispatch variant of EvalAluWord: `fetch` is a callable taken by
+// template parameter, so the per-word operand reads inline into the
+// caller (the engines' hot loops) instead of going through
+// std::function.  Semantics are bit-identical to EvalAluWord, which is
+// implemented on top of this template.
+template <typename Fetch>
+std::uint32_t EvalAluWordT(const isa::Instruction& instr, std::uint8_t word,
+                           Fetch&& fetch) {
+  using isa::Opcode;
+  using exec_detail::AsBits;
+  using exec_detail::AsFloat;
+  using exec_detail::AsInt;
+  auto a = [&] { return fetch(std::size_t{0}, word); };
+  auto b = [&] { return fetch(std::size_t{1}, word); };
+  auto c = [&] { return fetch(std::size_t{2}, word); };
+  switch (instr.op) {
+    case Opcode::kMov:
+      return a();
+    case Opcode::kIAdd:
+      return a() + b();
+    case Opcode::kISub:
+      return a() - b();
+    case Opcode::kIMul:
+      return a() * b();
+    case Opcode::kIMad:
+      return a() * b() + c();
+    case Opcode::kIMin:
+      return static_cast<std::uint32_t>(std::min(AsInt(a()), AsInt(b())));
+    case Opcode::kIMax:
+      return static_cast<std::uint32_t>(std::max(AsInt(a()), AsInt(b())));
+    case Opcode::kAnd:
+      return a() & b();
+    case Opcode::kOr:
+      return a() | b();
+    case Opcode::kXor:
+      return a() ^ b();
+    case Opcode::kShl:
+      return a() << (b() & 31);
+    case Opcode::kShr:
+      return a() >> (b() & 31);
+    case Opcode::kFAdd:
+      return AsBits(AsFloat(a()) + AsFloat(b()));
+    case Opcode::kFMul:
+      return AsBits(AsFloat(a()) * AsFloat(b()));
+    case Opcode::kFFma:
+      return AsBits(AsFloat(a()) * AsFloat(b()) + AsFloat(c()));
+    case Opcode::kFMin:
+      return AsBits(std::fmin(AsFloat(a()), AsFloat(b())));
+    case Opcode::kFMax:
+      return AsBits(std::fmax(AsFloat(a()), AsFloat(b())));
+    case Opcode::kFSqrt:
+      return AsBits(std::sqrt(std::fmax(0.0f, AsFloat(a()))));
+    case Opcode::kFRcp: {
+      const float x = AsFloat(a());
+      return AsBits(x == 0.0f ? std::numeric_limits<float>::max() : 1.0f / x);
+    }
+    case Opcode::kFExp: {
+      const float x = AsFloat(a());
+      return AsBits(std::exp2(std::fmin(std::fmax(x, -60.0f), 60.0f)));
+    }
+    case Opcode::kSetp: {
+      // Predicate computed from element 0 regardless of `word`.
+      const std::uint32_t av = fetch(std::size_t{0}, std::uint8_t{0});
+      const std::uint32_t bv = fetch(std::size_t{1}, std::uint8_t{0});
+      bool result = false;
+      if (instr.cmp_type == isa::CmpType::kFloat) {
+        result = exec_detail::EvalCmp(instr.cmp, AsFloat(av), AsFloat(bv));
+      } else {
+        result = exec_detail::EvalCmp(instr.cmp, AsInt(av), AsInt(bv));
+      }
+      return result ? 1 : 0;
+    }
+    case Opcode::kSel:
+      return fetch(std::size_t{0}, std::uint8_t{0}) != 0 ? fetch(std::size_t{1}, word)
+                                                         : fetch(std::size_t{2}, word);
+    default:
+      exec_detail::UnsupportedAluOpcode(instr.op);
+  }
+}
+
+// Decoded-form variant for the timing engine: dispatches on the fields
+// sim::DecodedInstr carries (opcode + kSetp comparison) so the hot loop
+// never touches the raw isa::Instruction.  Must stay semantically
+// identical to EvalAluWordT above.
+template <typename Fetch>
+std::uint32_t EvalAluWordDecoded(isa::Opcode op, isa::CmpType cmp_type,
+                                 isa::CmpKind cmp, std::uint8_t word,
+                                 Fetch&& fetch) {
+  using isa::Opcode;
+  using exec_detail::AsBits;
+  using exec_detail::AsFloat;
+  using exec_detail::AsInt;
+  auto a = [&] { return fetch(std::size_t{0}, word); };
+  auto b = [&] { return fetch(std::size_t{1}, word); };
+  auto c = [&] { return fetch(std::size_t{2}, word); };
+  switch (op) {
+    case Opcode::kMov:
+      return a();
+    case Opcode::kIAdd:
+      return a() + b();
+    case Opcode::kISub:
+      return a() - b();
+    case Opcode::kIMul:
+      return a() * b();
+    case Opcode::kIMad:
+      return a() * b() + c();
+    case Opcode::kIMin:
+      return static_cast<std::uint32_t>(std::min(AsInt(a()), AsInt(b())));
+    case Opcode::kIMax:
+      return static_cast<std::uint32_t>(std::max(AsInt(a()), AsInt(b())));
+    case Opcode::kAnd:
+      return a() & b();
+    case Opcode::kOr:
+      return a() | b();
+    case Opcode::kXor:
+      return a() ^ b();
+    case Opcode::kShl:
+      return a() << (b() & 31);
+    case Opcode::kShr:
+      return a() >> (b() & 31);
+    case Opcode::kFAdd:
+      return AsBits(AsFloat(a()) + AsFloat(b()));
+    case Opcode::kFMul:
+      return AsBits(AsFloat(a()) * AsFloat(b()));
+    case Opcode::kFFma:
+      return AsBits(AsFloat(a()) * AsFloat(b()) + AsFloat(c()));
+    case Opcode::kFMin:
+      return AsBits(std::fmin(AsFloat(a()), AsFloat(b())));
+    case Opcode::kFMax:
+      return AsBits(std::fmax(AsFloat(a()), AsFloat(b())));
+    case Opcode::kFSqrt:
+      return AsBits(std::sqrt(std::fmax(0.0f, AsFloat(a()))));
+    case Opcode::kFRcp: {
+      const float x = AsFloat(a());
+      return AsBits(x == 0.0f ? std::numeric_limits<float>::max() : 1.0f / x);
+    }
+    case Opcode::kFExp: {
+      const float x = AsFloat(a());
+      return AsBits(std::exp2(std::fmin(std::fmax(x, -60.0f), 60.0f)));
+    }
+    case Opcode::kSetp: {
+      const std::uint32_t av = fetch(std::size_t{0}, std::uint8_t{0});
+      const std::uint32_t bv = fetch(std::size_t{1}, std::uint8_t{0});
+      bool result = false;
+      if (cmp_type == isa::CmpType::kFloat) {
+        result = exec_detail::EvalCmp(cmp, AsFloat(av), AsFloat(bv));
+      } else {
+        result = exec_detail::EvalCmp(cmp, AsInt(av), AsInt(bv));
+      }
+      return result ? 1 : 0;
+    }
+    case Opcode::kSel:
+      return fetch(std::size_t{0}, std::uint8_t{0}) != 0
+                 ? fetch(std::size_t{1}, word)
+                 : fetch(std::size_t{2}, word);
+    default:
+      exec_detail::UnsupportedAluOpcode(op);
+  }
+}
 
 }  // namespace orion::sim

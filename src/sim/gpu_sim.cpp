@@ -1,14 +1,43 @@
+// Event-driven timing engine (the default, fast engine).
+//
+// The machine model is identical to the reference engine
+// (gpu_sim_ref.cpp); what changed is how time advances and how
+// instructions are fetched:
+//
+//   * Event calendar.  Each SM exposes its next-ready cycle
+//     (`sm_next_[s]`): the head of its waiting queue, or `now + 1`
+//     while its ready deque is non-empty.  The machine advances `now`
+//     directly to the minimum next event and processes only the SMs
+//     that are due, in ascending SM index.  The reference engine polls
+//     every SM every cycle; on memory-bound workloads most of those
+//     polls find nothing to do.
+//   * Pre-decoded instructions.  Warps execute sim/linked.h
+//     DecodedInstrs — operands flattened to POD descriptors, branch and
+//     call targets resolved, scoreboard register ranges and
+//     global-memory line footprints precomputed — and each warp caches
+//     a pointer to its current function's decoded code.
+//   * ORION_DCHECK.  Hot-loop invariant checks compile out of Release
+//     builds (they stay on in Debug).
+//
+// Determinism contract: processing due SMs in ascending index at each
+// event time replays the exact (cycle, SM) activity sequence of the
+// reference loop — a skipped (cycle, SM) pair is precisely one where
+// the reference would have found an empty ready deque and no due
+// waiting warp, i.e. performed no work.  Since the shared L2/DRAM
+// token buckets and global memory are the only cross-SM state and are
+// touched in that same order, both engines produce bit-identical
+// SimResults and memory images (tests/determinism_test.cpp).
 #include "sim/gpu_sim.h"
 
 #include <algorithm>
 #include <array>
-#include <deque>
 #include <queue>
 
 #include "common/error.h"
 #include "common/strings.h"
 #include "sim/exec.h"
 #include "sim/linked.h"
+#include "sim/machine_common.h"
 
 namespace orion::sim {
 
@@ -16,27 +45,41 @@ namespace {
 
 using isa::MemSpace;
 using isa::Opcode;
-using isa::Operand;
 using isa::OperandKind;
+using machine_detail::kLocalRegionBase;
 
-// Local-memory traffic is mapped into a dedicated address region above
-// the global data so it exercises the caches without aliasing user data.
-constexpr std::uint64_t kLocalRegionBase = std::uint64_t{1} << 40;
+// One physical register word: its value and the cycle it becomes
+// readable.  Interleaving the two puts a scoreboard probe and the
+// subsequent value read on the same cache line.  Cycles fit 32 bits:
+// the machine aborts at kHardStopCycles (4e9) long before wrap.
+struct RegCell {
+  std::uint32_t v = 0;
+  std::uint32_t t = 0;
+};
 
 struct Warp {
+  // Hot fields first so the per-step working set (fetch, scoreboard,
+  // operand access) stays within the struct's first cache line.
+  std::uint32_t pc = 0;
+  std::uint32_t code_size = 0;
+  // Cached view of the current function's pre-decoded code; refreshed
+  // on call/return/install instead of per instruction.
+  const HotInstr* code = nullptr;
+  // Upper bound on every RegCell::t in this warp's register file.  When
+  // it is <= now the scoreboard scan cannot block and is skipped.
+  std::uint32_t max_pending_t = 0;
+  std::uint32_t func = 0;
+  // Cached views into the SM arenas; refreshed by InstallBlock when
+  // arena growth reallocates.
+  RegCell* regs = nullptr;
+  std::uint32_t* local = nullptr;
+  std::uint32_t* spriv = nullptr;
   std::uint32_t block_slot = 0;  // resident-block index within the SM
   std::uint32_t warp_in_block = 0;
   std::uint32_t rep_tid = 0;     // representative lane's thread id
   std::uint32_t global_block = 0;
   std::uint64_t warp_uid = 0;
-
-  std::uint32_t func = 0;
-  std::uint32_t pc = 0;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> call_stack;
-  std::vector<std::uint32_t> pregs;
-  std::vector<std::uint64_t> reg_ready;  // per physical register word
-  std::vector<std::uint32_t> local;
-  std::vector<std::uint32_t> spriv;
   bool done = false;
 };
 
@@ -46,45 +89,93 @@ struct ResidentBlock {
   std::vector<std::uint32_t> shared;
   std::uint32_t warps_total = 0;
   std::uint32_t warps_done = 0;
-  std::uint32_t warps_at_barrier = 0;
   std::vector<std::uint32_t> barrier_waiters;  // warp ids within the SM
 };
 
 struct Sm {
   std::vector<Warp> warps;
   std::vector<ResidentBlock> blocks;
-  // Warps ready to issue now (round-robin) and warps waiting on a cycle.
-  std::deque<std::uint32_t> ready;
-  std::priority_queue<std::pair<std::uint64_t, std::uint32_t>,
-                      std::vector<std::pair<std::uint64_t, std::uint32_t>>,
+  // Warps ready to issue now: a power-of-2 ring buffer (monotonic
+  // head/tail indices, physical slot = index & ready_mask).  Each live
+  // warp appears at most once, so the ring stays small; it grows only
+  // when occupancy exceeds the current capacity.  Round-robin order is
+  // the same as the reference engine's deque.
+  std::vector<std::uint32_t> ready;
+  std::uint64_t ready_head = 0;
+  std::uint64_t ready_tail = 0;
+  std::uint64_t ready_mask = 0;  // capacity - 1 (capacity 0 until first push)
+
+  void GrowReady() {
+    const std::size_t new_cap = ready.empty() ? 64 : ready.size() * 2;
+    std::vector<std::uint32_t> grown(new_cap);
+    for (std::uint64_t i = ready_head; i != ready_tail; ++i) {
+      grown[i & (new_cap - 1)] = ready[i & ready_mask];
+    }
+    ready = std::move(grown);
+    ready_mask = new_cap - 1;
+  }
+
+  void PushReady(std::uint32_t warp_id) {
+    if (ready_tail - ready_head == ready.size()) {
+      GrowReady();
+    }
+    ready[ready_tail++ & ready_mask] = warp_id;
+  }
+  // Warps waiting on a future cycle, ordered (cycle, warp id).  Both
+  // fields fit 32 bits (the machine aborts at kHardStopCycles < 2^32),
+  // so they pack into one word: min-heap order on the packed key is
+  // exactly lexicographic (cycle, warp id) order, and heap moves and
+  // compares touch half the memory of a pair.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                       std::greater<>>
       waiting;
-  std::uint64_t active_cycles = 0;
+
+  static std::uint64_t WakeKey(std::uint64_t cycle, std::uint32_t warp_id) {
+    ORION_DCHECK(cycle < (std::uint64_t{1} << 32));
+    return (cycle << 32) | warp_id;
+  }
+  static std::uint64_t WakeCycle(std::uint64_t key) { return key >> 32; }
+  static std::uint32_t WakeWarp(std::uint64_t key) {
+    return static_cast<std::uint32_t>(key);
+  }
+  // Per-warp register files (value + ready cycle interleaved) and
+  // private memory slots, flattened into per-SM arenas
+  // (warp_id * stride) so stepping a warp touches contiguous memory
+  // instead of several per-warp heap allocations.
+  std::vector<RegCell> regs;
+  std::vector<std::uint32_t> local;
+  std::vector<std::uint32_t> spriv;
 };
 
-class Machine {
+class EventMachine {
  public:
-  Machine(const arch::GpuSpec& spec, arch::CacheConfig config,
-          const isa::Module& module, GlobalMemory* gmem,
-          const std::vector<std::uint32_t>& params,
-          const arch::OccupancyResult& occ, std::uint32_t first_block,
-          std::uint32_t num_blocks)
+  EventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
+               const isa::Module& module, GlobalMemory* gmem,
+               const std::vector<std::uint32_t>& params,
+               const arch::OccupancyResult& occ, std::uint32_t first_block,
+               std::uint32_t num_blocks)
       : spec_(spec),
+        config_(config),
         module_(module),
-        linked_(module),
+        linked_(module, &spec),
         gmem_(gmem),
         params_(params),
         occ_(occ),
         mem_(spec, config, spec.num_sms),
-        warps_per_block_(arch::WarpsPerBlock(spec, module.launch.block_dim)) {
+        warps_per_block_(arch::WarpsPerBlock(spec, module.launch.block_dim)),
+        preg_stride_(std::max<std::uint32_t>(module.usage.regs_per_thread, 1)),
+        local_stride_(module.usage.local_slots_per_thread),
+        spriv_stride_(module.usage.spriv_slots_per_thread) {
     sms_.resize(spec.num_sms);
+    sm_next_.assign(spec.num_sms, UINT64_MAX);
     next_block_ = first_block;
     end_block_ = first_block + num_blocks;
     blocks_remaining_ = num_blocks;
     for (Sm& sm : sms_) {
       sm.blocks.resize(occ.active_blocks_per_sm);
     }
-    // Initial wave: round-robin block placement.
+    // Initial wave: round-robin block placement (identical to the
+    // reference engine so warp uids and shared traffic order match).
     bool placed = true;
     while (placed && next_block_ < end_block_) {
       placed = false;
@@ -99,26 +190,37 @@ class Machine {
         }
       }
     }
+    for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+      if (!sms_[s].waiting.empty()) {
+        sm_next_[s] = Sm::WakeCycle(sms_[s].waiting.top());
+      }
+    }
   }
 
   SimResult Run();
 
  private:
   void InstallBlock(std::uint32_t s, std::uint32_t slot, std::uint64_t cycle);
+  void BindFunction(Warp& warp, std::uint32_t func_index);
+  // One reference-engine cycle for one SM: drain due warps, issue up to
+  // the budget.  Returns the SM's next event time (> now).
+  std::uint64_t ProcessSm(std::uint32_t s, std::uint64_t now);
   // Executes one instruction of the warp.  Returns the cycle at which
   // the warp may issue again, or UINT64_MAX if it is held (barrier/done).
   std::uint64_t Step(std::uint32_t s, std::uint32_t warp_id,
                      std::uint64_t now);
-  std::uint32_t ReadWord(std::uint32_t s, Warp& warp, const Operand& op,
-                         std::uint8_t word);
-  void WriteWord(Warp& warp, const Operand& op, std::uint8_t word,
-                 std::uint32_t value, std::uint64_t ready_at);
-  std::uint64_t SrcReadyAt(const Warp& warp, const isa::Instruction& instr);
+  // ALU-class execution with a compile-time opcode: the per-word eval
+  // switch constant-folds into straight-line code, so each opcode costs
+  // one dispatch (Step's switch) instead of two.
+  template <Opcode OP>
+  std::uint64_t AluStep(const HotInstr& d, Warp& warp, RegCell* regs,
+                        std::uint64_t now, std::uint32_t now32);
+  std::uint32_t ReadWord(const RegCell* regs, const HotOp& op,
+                         std::uint8_t word) const;
   std::uint32_t SpecialValue(const Warp& warp, isa::SpecialReg sreg) const;
-  std::uint32_t GlobalLines(const isa::Instruction& instr,
-                            std::uint8_t width) const;
 
   const arch::GpuSpec& spec_;
+  arch::CacheConfig config_;
   const isa::Module& module_;
   const LinkedModule linked_;
   GlobalMemory* gmem_;
@@ -126,19 +228,27 @@ class Machine {
   const arch::OccupancyResult& occ_;
   MemorySystem mem_;
   std::uint32_t warps_per_block_;
+  // Arena strides (uniform across warps; fixed by the module's usage).
+  std::uint32_t preg_stride_;
+  std::uint32_t local_stride_;
+  std::uint32_t spriv_stride_;
   std::vector<Sm> sms_;
+  std::vector<std::uint64_t> sm_next_;  // per-SM next event time
   std::uint32_t next_block_ = 0;
   std::uint32_t end_block_ = 0;
   std::uint32_t blocks_remaining_ = 0;
-  // Counters.
-  std::uint64_t warp_instructions_ = 0;
-  std::uint64_t alu_instructions_ = 0;
-  std::uint64_t sfu_instructions_ = 0;
-  std::uint64_t mem_instructions_ = 0;
+  machine_detail::InstrCounters counters_;
 };
 
-void Machine::InstallBlock(std::uint32_t s, std::uint32_t slot,
-                           std::uint64_t cycle) {
+void EventMachine::BindFunction(Warp& warp, std::uint32_t func_index) {
+  const LinkedFunction& lf = linked_.func(func_index);
+  warp.func = func_index;
+  warp.code = lf.hot.data();
+  warp.code_size = static_cast<std::uint32_t>(lf.hot.size());
+}
+
+void EventMachine::InstallBlock(std::uint32_t s, std::uint32_t slot,
+                                std::uint64_t cycle) {
   Sm& sm = sms_[s];
   ResidentBlock& block = sm.blocks[slot];
   block.active = true;
@@ -146,7 +256,6 @@ void Machine::InstallBlock(std::uint32_t s, std::uint32_t slot,
   block.shared.assign((module_.user_smem_bytes + 3) / 4, 0);
   block.warps_total = warps_per_block_;
   block.warps_done = 0;
-  block.warps_at_barrier = 0;
   block.barrier_waiters.clear();
 
   const std::uint64_t start = cycle + spec_.timing.block_install_cycles;
@@ -158,21 +267,31 @@ void Machine::InstallBlock(std::uint32_t s, std::uint32_t slot,
     warp.global_block = block.global_block;
     warp.warp_uid =
         static_cast<std::uint64_t>(block.global_block) * warps_per_block_ + w;
-    warp.func = linked_.kernel_index();
+    BindFunction(warp, linked_.kernel_index());
     warp.pc = 0;
-    warp.pregs.assign(std::max<std::uint32_t>(module_.usage.regs_per_thread, 1),
-                      0);
-    warp.reg_ready.assign(warp.pregs.size(), 0);
-    warp.local.assign(module_.usage.local_slots_per_thread, 0);
-    warp.spriv.assign(module_.usage.spriv_slots_per_thread, 0);
     const std::uint32_t warp_id = static_cast<std::uint32_t>(sm.warps.size());
+    // Fresh zeroed register file / scoreboard / local slots in the
+    // per-SM arenas (resize zero-fills the new warp's region).
+    sm.regs.resize(std::size_t{warp_id + 1} * preg_stride_, RegCell{});
+    sm.local.resize(std::size_t{warp_id + 1} * local_stride_, 0);
+    sm.spriv.resize(std::size_t{warp_id + 1} * spriv_stride_, 0);
     sm.warps.push_back(std::move(warp));
-    sm.waiting.emplace(start, warp_id);
+    sm.waiting.push(Sm::WakeKey(start, warp_id));
+  }
+  // Arena growth may have reallocated: refresh every warp's cached
+  // views (rare — once per block install).
+  RegCell* const regs = sm.regs.data();
+  std::uint32_t* const local = sm.local.data();
+  std::uint32_t* const spriv = sm.spriv.data();
+  for (std::uint32_t w = 0; w < sm.warps.size(); ++w) {
+    sm.warps[w].regs = regs + std::size_t{w} * preg_stride_;
+    sm.warps[w].local = local + std::size_t{w} * local_stride_;
+    sm.warps[w].spriv = spriv + std::size_t{w} * spriv_stride_;
   }
 }
 
-std::uint32_t Machine::SpecialValue(const Warp& warp,
-                                    isa::SpecialReg sreg) const {
+std::uint32_t EventMachine::SpecialValue(const Warp& warp,
+                                         isa::SpecialReg sreg) const {
   switch (sreg) {
     case isa::SpecialReg::kTid:
       return warp.rep_tid;
@@ -190,98 +309,121 @@ std::uint32_t Machine::SpecialValue(const Warp& warp,
   return 0;
 }
 
-std::uint32_t Machine::ReadWord(std::uint32_t s, Warp& warp, const Operand& op,
-                                std::uint8_t word) {
-  (void)s;
-  switch (op.kind) {
-    case OperandKind::kImm:
-      return static_cast<std::uint32_t>(op.imm);
-    case OperandKind::kPReg:
-      ORION_CHECK(op.id + word < warp.pregs.size());
-      return warp.pregs[op.id + word];
-    default:
-      throw LaunchError("simulator requires an allocated (physical) kernel");
+std::uint32_t EventMachine::ReadWord(const RegCell* regs, const HotOp& op,
+                                     std::uint8_t word) const {
+  if (op.kind == 0) {
+    return op.imm_word;
   }
+  if (op.kind == 1) {
+    ORION_DCHECK(op.id + word < preg_stride_);
+    return regs[op.id + word].v;
+  }
+  throw LaunchError("simulator requires an allocated (physical) kernel");
 }
 
-void Machine::WriteWord(Warp& warp, const Operand& op, std::uint8_t word,
-                        std::uint32_t value, std::uint64_t ready_at) {
-  ORION_CHECK(op.kind == OperandKind::kPReg);
-  ORION_CHECK(op.id + word < warp.pregs.size());
-  warp.pregs[op.id + word] = value;
-  warp.reg_ready[op.id + word] = ready_at;
-}
-
-std::uint64_t Machine::SrcReadyAt(const Warp& warp,
-                                  const isa::Instruction& instr) {
-  std::uint64_t ready = 0;
-  auto scan = [&](const Operand& op) {
-    if (op.kind == OperandKind::kPReg) {
-      for (std::uint8_t w = 0; w < op.width; ++w) {
-        ready = std::max(ready, warp.reg_ready[op.id + w]);
-      }
-    }
+template <Opcode OP>
+inline std::uint64_t EventMachine::AluStep(const HotInstr& d, Warp& warp,
+                                           RegCell* regs, std::uint64_t now,
+                                           std::uint32_t now32) {
+  constexpr bool kSfu =
+      OP == Opcode::kFSqrt || OP == Opcode::kFRcp || OP == Opcode::kFExp;
+  if constexpr (kSfu) {
+    ++counters_.sfu_instructions;
+  } else {
+    ++counters_.alu_instructions;
+  }
+  const std::uint8_t width = d.dst_width;
+  ORION_DCHECK(d.dst_id + width <= preg_stride_);
+  // Branchless operand read: immediates carry id 0, so the (dead)
+  // register load is always in bounds.  Special-register sources are
+  // impossible here — linking flags them invalid outside kS2R.
+  const auto fetch = [&](std::size_t si, std::uint8_t word) {
+    const HotOp& op = d.srcs[si];
+    const std::uint32_t rv = regs[op.id + word].v;
+    return op.kind != 0 ? rv : op.imm_word;
   };
-  for (const Operand& op : instr.srcs) {
-    scan(op);
+  const auto cmp_type = static_cast<isa::CmpType>(d.cmp_bits >> 4);
+  const auto cmp = static_cast<isa::CmpKind>(d.cmp_bits & 0xF);
+  const std::uint32_t ready = now32 + d.exec_lat;
+  warp.max_pending_t = std::max(warp.max_pending_t, ready);
+  if (width == 1) {
+    regs[d.dst_id] = RegCell{EvalAluWordDecoded(OP, cmp_type, cmp, 0, fetch),
+                             ready};
+  } else {
+    // Compute every word before writing any: a wide op may read its own
+    // destination range.
+    std::array<std::uint32_t, 4> results{};
+    for (std::uint8_t w = 0; w < width; ++w) {
+      results[w] = EvalAluWordDecoded(OP, cmp_type, cmp, w, fetch);
+    }
+    for (std::uint8_t w = 0; w < width; ++w) {
+      regs[d.dst_id + w] = RegCell{results[w], ready};
+    }
   }
-  // Output dependences: a destination still in flight must land before
-  // it is overwritten.
-  for (const Operand& op : instr.dsts) {
-    scan(op);
-  }
-  return ready;
+  ++warp.pc;
+  // Wide ops and SFU ops occupy the issue slot longer (precomputed).
+  return now + d.issue_cycles;
 }
 
-std::uint32_t Machine::GlobalLines(const isa::Instruction& instr,
-                                   std::uint8_t width) const {
-  const std::uint32_t line = spec_.timing.cache_line_bytes;
-  if (instr.stride == isa::kScatterStride) {
-    return 8;  // partially-coalesced random gather
-  }
-  if (instr.stride == 0) {
-    return std::max<std::uint32_t>(1, width * 4 / line);
-  }
-  const std::uint32_t span_bytes =
-      ((spec_.warp_size - 1) * instr.stride + width) * 4;
-  return std::max<std::uint32_t>(1, (span_bytes + line - 1) / line);
-}
-
-std::uint64_t Machine::Step(std::uint32_t s, std::uint32_t warp_id,
-                            std::uint64_t now) {
+std::uint64_t EventMachine::Step(std::uint32_t s, std::uint32_t warp_id,
+                                 std::uint64_t now) {
   Sm& sm = sms_[s];
   Warp& warp = sm.warps[warp_id];
-  const LinkedFunction& lf = linked_.func(warp.func);
-  ORION_CHECK(warp.pc <= lf.func->NumInstrs());
-  if (warp.pc == lf.func->NumInstrs()) {
+  // Cached arena views of this warp's register file and private slots.
+  // InstallBlock refreshes them on arena growth: the kExit path must
+  // not touch them after installing a replacement block.
+  RegCell* const regs = warp.regs;
+  std::uint32_t* const local_mem = warp.local;
+  std::uint32_t* const spriv_mem = warp.spriv;
+  ORION_DCHECK(warp.pc <= warp.code_size);
+  if (warp.pc == warp.code_size) {
     // Fell off the end of a device function: implicit return.
     ORION_CHECK(!warp.call_stack.empty());
-    warp.func = warp.call_stack.back().first;
-    warp.pc = warp.call_stack.back().second;
+    const auto frame = warp.call_stack.back();
     warp.call_stack.pop_back();
+    BindFunction(warp, frame.first);
+    warp.pc = frame.second;
     return now + 1;
   }
-  const isa::Instruction& instr = lf.func->instrs[warp.pc];
-
-  // Scoreboard: wait for operands.
-  const std::uint64_t ready = SrcReadyAt(warp, instr);
-  if (ready > now) {
-    return ready;
+  const HotInstr& d = warp.code[warp.pc];
+  if (d.flags & HotInstr::kFlagInvalid) {
+    throw LaunchError("simulator requires an allocated (physical) kernel");
   }
 
-  ++warp_instructions_;
+  // Scoreboard: wait for source operands and in-flight destinations
+  // (precomputed register ranges cover both).
+  const std::uint32_t now32 = static_cast<std::uint32_t>(now);
+  if (warp.max_pending_t > now32) {
+    // Some write is still in flight; scan the referenced ranges.
+    std::uint32_t operands_ready = 0;
+    for (std::uint8_t i = 0; i < d.num_reg_refs; ++i) {
+      const HotRegRange& r = d.reg_refs[i];
+      for (std::uint32_t w = 0; w < r.count; ++w) {
+        operands_ready = std::max(operands_ready, regs[r.first + w].t);
+      }
+    }
+    if (operands_ready > now32) {
+      return operands_ready;
+    }
+  }
+
+  ++counters_.warp_instructions;
   const arch::TimingParams& t = spec_.timing;
 
-  switch (instr.op) {
+  switch (static_cast<Opcode>(d.op)) {
     case Opcode::kNop:
       ++warp.pc;
       return now + 1;
-    case Opcode::kS2R:
-      ++alu_instructions_;
-      WriteWord(warp, instr.Dst(), 0, SpecialValue(warp, instr.srcs[0].sreg),
-                now + t.alu_latency);
+    case Opcode::kS2R: {
+      ++counters_.alu_instructions;
+      ORION_DCHECK(d.dst_id < preg_stride_);
+      regs[d.dst_id].v =
+          SpecialValue(warp, static_cast<isa::SpecialReg>(d.srcs[0].id));
+      regs[d.dst_id].t = now32 + d.exec_lat;
+      warp.max_pending_t = std::max(warp.max_pending_t, now32 + d.exec_lat);
       ++warp.pc;
       return now + 1;
+    }
     case Opcode::kExit: {
       warp.done = true;
       ResidentBlock& block = sm.blocks[warp.block_slot];
@@ -298,7 +440,7 @@ std::uint64_t Machine::Step(std::uint32_t s, std::uint32_t warp_id,
         // barrier: release them (matches hardware arrival counting).
         const std::uint64_t release = now + t.barrier_latency;
         for (const std::uint32_t w : block.barrier_waiters) {
-          sm.waiting.emplace(release, w);
+          sm.waiting.push(Sm::WakeKey(release, w));
         }
         block.barrier_waiters.clear();
       }
@@ -313,7 +455,7 @@ std::uint64_t Machine::Step(std::uint32_t s, std::uint32_t warp_id,
         const std::uint64_t release = now + t.barrier_latency;
         for (const std::uint32_t w : block.barrier_waiters) {
           if (w != warp_id) {
-            sm.waiting.emplace(release, w);
+            sm.waiting.push(Sm::WakeKey(release, w));
           }
         }
         block.barrier_waiters.clear();
@@ -322,79 +464,79 @@ std::uint64_t Machine::Step(std::uint32_t s, std::uint32_t warp_id,
       return UINT64_MAX;  // released by the last arriver
     }
     case Opcode::kBra:
-      ++alu_instructions_;
-      warp.pc = static_cast<std::uint32_t>(lf.branch_target[warp.pc]);
+      ++counters_.alu_instructions;
+      warp.pc = static_cast<std::uint32_t>(d.target);
       return now + 1;
     case Opcode::kBrz:
     case Opcode::kBrnz: {
-      ++alu_instructions_;
-      const std::uint32_t cond = ReadWord(s, warp, instr.srcs[0], 0);
-      const bool taken = instr.op == Opcode::kBrz ? cond == 0 : cond != 0;
-      warp.pc = taken ? static_cast<std::uint32_t>(lf.branch_target[warp.pc])
-                      : warp.pc + 1;
+      ++counters_.alu_instructions;
+      const std::uint32_t cond = ReadWord(regs, d.srcs[0], 0);
+      const bool taken =
+          static_cast<Opcode>(d.op) == Opcode::kBrz ? cond == 0 : cond != 0;
+      warp.pc = taken ? static_cast<std::uint32_t>(d.target) : warp.pc + 1;
       return now + 1;
     }
     case Opcode::kCal: {
-      ++alu_instructions_;
+      ++counters_.alu_instructions;
       warp.call_stack.emplace_back(warp.func, warp.pc + 1);
-      warp.func = static_cast<std::uint32_t>(lf.call_target[warp.pc]);
+      BindFunction(warp, static_cast<std::uint32_t>(d.target));
       warp.pc = 0;
       return now + 2;  // call overhead
     }
     case Opcode::kRet: {
-      ++alu_instructions_;
+      ++counters_.alu_instructions;
       ORION_CHECK(!warp.call_stack.empty());
-      warp.func = warp.call_stack.back().first;
-      warp.pc = warp.call_stack.back().second;
+      const auto frame = warp.call_stack.back();
       warp.call_stack.pop_back();
+      BindFunction(warp, frame.first);
+      warp.pc = frame.second;
       return now + 2;
     }
     case Opcode::kLd: {
-      ++mem_instructions_;
-      const Operand& dst = instr.Dst();
+      ++counters_.mem_instructions;
+      const std::uint8_t width = d.dst_width;
+      ORION_DCHECK(d.dst_id + width <= preg_stride_);
       std::uint64_t value_ready = now;
-      switch (instr.space) {
+      switch (static_cast<MemSpace>(d.space)) {
         case MemSpace::kGlobal: {
           const std::uint64_t byte =
-              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
-              static_cast<std::uint64_t>(instr.srcs[1].imm);
-          for (std::uint8_t w = 0; w < dst.width; ++w) {
-            warp.pregs[dst.id + w] = gmem_->Read(byte / 4 + w);
+              static_cast<std::uint64_t>(ReadWord(regs, d.srcs[0], 0)) +
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(d.mem_off));
+          for (std::uint8_t w = 0; w < width; ++w) {
+            regs[d.dst_id + w].v = gmem_->Read(byte / 4 + w);
           }
-          value_ready = mem_.AccessLoad(
-              s, byte, GlobalLines(instr, dst.width), spec_.l1_caches_global,
-              instr.stride == isa::kScatterStride, now);
+          value_ready =
+              mem_.AccessLoad(s, byte, d.mem_lines, spec_.l1_caches_global,
+                              (d.flags & HotInstr::kFlagScattered) != 0, now);
           break;
         }
         case MemSpace::kShared: {
           const ResidentBlock& block = sm.blocks[warp.block_slot];
           const std::uint64_t byte =
-              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
-              static_cast<std::uint64_t>(instr.srcs[1].imm);
-          for (std::uint8_t w = 0; w < dst.width; ++w) {
+              static_cast<std::uint64_t>(ReadWord(regs, d.srcs[0], 0)) +
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(d.mem_off));
+          for (std::uint8_t w = 0; w < width; ++w) {
             const std::uint64_t idx = byte / 4 + w;
-            warp.pregs[dst.id + w] =
+            regs[d.dst_id + w].v =
                 idx < block.shared.size() ? block.shared[idx] : 0;
           }
           value_ready = mem_.AccessShared(now);
           break;
         }
         case MemSpace::kSharedPriv: {
-          const std::uint64_t slot =
-              static_cast<std::uint64_t>(instr.srcs[0].imm);
-          for (std::uint8_t w = 0; w < dst.width; ++w) {
-            ORION_CHECK(slot + w < warp.spriv.size());
-            warp.pregs[dst.id + w] = warp.spriv[slot + w];
+          const std::uint64_t slot = d.srcs[0].imm_word;
+          for (std::uint8_t w = 0; w < width; ++w) {
+            ORION_DCHECK(slot + w < spriv_stride_);
+            regs[d.dst_id + w].v = spriv_mem[slot + w];
           }
           value_ready = mem_.AccessShared(now);
           break;
         }
         case MemSpace::kLocal: {
-          const std::uint64_t slot =
-              static_cast<std::uint64_t>(instr.srcs[0].imm);
-          for (std::uint8_t w = 0; w < dst.width; ++w) {
-            ORION_CHECK(slot + w < warp.local.size());
-            warp.pregs[dst.id + w] = warp.local[slot + w];
+          const std::uint64_t slot = d.srcs[0].imm_word;
+          for (std::uint8_t w = 0; w < width; ++w) {
+            ORION_DCHECK(slot + w < local_stride_);
+            regs[d.dst_id + w].v = local_mem[slot + w];
           }
           // Per-thread interleaved layout: each word is its own line.
           const std::uint64_t byte =
@@ -403,74 +545,71 @@ std::uint64_t Machine::Step(std::uint32_t s, std::uint32_t warp_id,
                                    module_.usage.local_slots_per_thread, 1) +
                slot) *
                   spec_.timing.cache_line_bytes;
-          value_ready =
-              mem_.AccessLoad(s, byte, dst.width, /*through_l1=*/true,
-                              /*scattered=*/false, now);
+          value_ready = mem_.AccessLoad(s, byte, width, /*through_l1=*/true,
+                                        /*scattered=*/false, now);
           break;
         }
         case MemSpace::kParam: {
-          const std::uint64_t idx =
-              static_cast<std::uint64_t>(instr.srcs[0].imm);
-          for (std::uint8_t w = 0; w < dst.width; ++w) {
-            warp.pregs[dst.id + w] =
+          const std::uint64_t idx = d.srcs[0].imm_word;
+          for (std::uint8_t w = 0; w < width; ++w) {
+            regs[d.dst_id + w].v =
                 idx + w < params_.size() ? params_[idx + w] : 0;
           }
           value_ready = now + t.l1_latency;
           break;
         }
       }
-      for (std::uint8_t w = 0; w < dst.width; ++w) {
-        warp.reg_ready[dst.id + w] = value_ready;
+      const std::uint32_t t_ready = static_cast<std::uint32_t>(value_ready);
+      for (std::uint8_t w = 0; w < width; ++w) {
+        regs[d.dst_id + w].t = t_ready;
       }
+      warp.max_pending_t = std::max(warp.max_pending_t, t_ready);
       ++warp.pc;
       return now + 1;
     }
     case Opcode::kSt: {
-      ++mem_instructions_;
-      const Operand& value = instr.srcs[2];
-      const std::uint8_t width = value.IsReg() ? value.width : std::uint8_t{1};
-      switch (instr.space) {
+      ++counters_.mem_instructions;
+      const HotOp& value = d.srcs[2];
+      const std::uint8_t width = d.store_width;
+      switch (static_cast<MemSpace>(d.space)) {
         case MemSpace::kGlobal: {
           const std::uint64_t byte =
-              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
-              static_cast<std::uint64_t>(instr.srcs[1].imm);
+              static_cast<std::uint64_t>(ReadWord(regs, d.srcs[0], 0)) +
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(d.mem_off));
           for (std::uint8_t w = 0; w < width; ++w) {
-            gmem_->Write(byte / 4 + w, ReadWord(s, warp, value, w));
+            gmem_->Write(byte / 4 + w, ReadWord(regs, value, w));
           }
-          mem_.AccessStore(s, byte, GlobalLines(instr, width),
-                           spec_.l1_caches_global, now);
+          mem_.AccessStore(s, byte, d.mem_lines, spec_.l1_caches_global, now);
           break;
         }
         case MemSpace::kShared: {
           ResidentBlock& block = sm.blocks[warp.block_slot];
           const std::uint64_t byte =
-              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
-              static_cast<std::uint64_t>(instr.srcs[1].imm);
+              static_cast<std::uint64_t>(ReadWord(regs, d.srcs[0], 0)) +
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(d.mem_off));
           for (std::uint8_t w = 0; w < width; ++w) {
             const std::uint64_t idx = byte / 4 + w;
             if (idx < block.shared.size()) {
-              block.shared[idx] = ReadWord(s, warp, value, w);
+              block.shared[idx] = ReadWord(regs, value, w);
             }
           }
           (void)mem_.AccessShared(now);
           break;
         }
         case MemSpace::kSharedPriv: {
-          const std::uint64_t slot =
-              static_cast<std::uint64_t>(instr.srcs[0].imm);
+          const std::uint64_t slot = d.srcs[0].imm_word;
           for (std::uint8_t w = 0; w < width; ++w) {
-            ORION_CHECK(slot + w < warp.spriv.size());
-            warp.spriv[slot + w] = ReadWord(s, warp, value, w);
+            ORION_DCHECK(slot + w < spriv_stride_);
+            spriv_mem[slot + w] = ReadWord(regs, value, w);
           }
           (void)mem_.AccessShared(now);
           break;
         }
         case MemSpace::kLocal: {
-          const std::uint64_t slot =
-              static_cast<std::uint64_t>(instr.srcs[0].imm);
+          const std::uint64_t slot = d.srcs[0].imm_word;
           for (std::uint8_t w = 0; w < width; ++w) {
-            ORION_CHECK(slot + w < warp.local.size());
-            warp.local[slot + w] = ReadWord(s, warp, value, w);
+            ORION_DCHECK(slot + w < local_stride_);
+            local_mem[slot + w] = ReadWord(regs, value, w);
           }
           const std::uint64_t byte =
               kLocalRegionBase +
@@ -487,134 +626,180 @@ std::uint64_t Machine::Step(std::uint32_t s, std::uint32_t warp_id,
       ++warp.pc;
       return now + 1;
     }
-    default: {
-      // ALU class.
-      const bool sfu = isa::IsSfu(instr.op);
-      if (sfu) {
-        ++sfu_instructions_;
-      } else {
-        ++alu_instructions_;
-      }
-      const Operand& dst = instr.Dst();
-      std::array<std::uint32_t, 4> results{};
-      for (std::uint8_t w = 0; w < dst.width; ++w) {
-        results[w] =
-            EvalAluWord(instr, w, [&](std::size_t si, std::uint8_t word) {
-              return ReadWord(s, warp, instr.srcs[si], word);
-            });
-      }
-      const std::uint64_t latency = sfu ? t.sfu_latency : t.alu_latency;
-      for (std::uint8_t w = 0; w < dst.width; ++w) {
-        WriteWord(warp, dst, w, results[w], now + latency);
-      }
-      ++warp.pc;
-      // Wide ops and SFU ops occupy the issue slot longer.
-      const std::uint64_t issue_cycles =
-          std::max<std::uint64_t>(dst.width, sfu ? 1u << t.sfu_throughput_shift
-                                                 : 1u);
-      return now + issue_cycles;
-    }
+#define ORION_ALU_CASE(NAME)   \
+  case Opcode::NAME:           \
+    return AluStep<Opcode::NAME>(d, warp, regs, now, now32);
+    ORION_ALU_CASE(kMov)
+    ORION_ALU_CASE(kIAdd)
+    ORION_ALU_CASE(kISub)
+    ORION_ALU_CASE(kIMul)
+    ORION_ALU_CASE(kIMad)
+    ORION_ALU_CASE(kIMin)
+    ORION_ALU_CASE(kIMax)
+    ORION_ALU_CASE(kAnd)
+    ORION_ALU_CASE(kOr)
+    ORION_ALU_CASE(kXor)
+    ORION_ALU_CASE(kShl)
+    ORION_ALU_CASE(kShr)
+    ORION_ALU_CASE(kFAdd)
+    ORION_ALU_CASE(kFMul)
+    ORION_ALU_CASE(kFFma)
+    ORION_ALU_CASE(kFMin)
+    ORION_ALU_CASE(kFMax)
+    ORION_ALU_CASE(kFSqrt)
+    ORION_ALU_CASE(kFRcp)
+    ORION_ALU_CASE(kFExp)
+    ORION_ALU_CASE(kSetp)
+    ORION_ALU_CASE(kSel)
+#undef ORION_ALU_CASE
+    default:
+      exec_detail::UnsupportedAluOpcode(static_cast<Opcode>(d.op));
   }
 }
 
-SimResult Machine::Run() {
-  std::uint64_t now = 0;
-  const std::uint64_t hard_stop = 4'000'000'000ULL;
-  while (blocks_remaining_ > 0) {
-    ORION_CHECK_MSG(now < hard_stop, "simulation did not terminate");
-    bool issued_any = false;
-    std::uint64_t next_event = UINT64_MAX;
-    for (std::uint32_t s = 0; s < sms_.size(); ++s) {
-      Sm& sm = sms_[s];
-      while (!sm.waiting.empty() && sm.waiting.top().first <= now) {
-        sm.ready.push_back(sm.waiting.top().second);
-        sm.waiting.pop();
-      }
-      std::uint32_t issued = 0;
-      const std::uint32_t budget = spec_.timing.warp_issue_per_cycle;
-      std::uint32_t scanned = 0;
-      const std::uint32_t scan_limit =
-          static_cast<std::uint32_t>(sm.ready.size());
-      while (issued < budget && scanned < scan_limit && !sm.ready.empty()) {
-        const std::uint32_t warp_id = sm.ready.front();
-        sm.ready.pop_front();
-        ++scanned;
-        const std::uint64_t next = Step(s, warp_id, now);
-        if (next == UINT64_MAX) {
-          // Held (barrier) or done: not requeued here.
-        } else if (next <= now + 1) {
-          sm.ready.push_back(warp_id);
-        } else {
-          sm.waiting.emplace(next, warp_id);
-        }
-        ++issued;
-      }
-      if (issued > 0) {
-        issued_any = true;
-        ++sm.active_cycles;
-      }
-      if (!sm.ready.empty()) {
-        next_event = now + 1;
-      } else if (!sm.waiting.empty()) {
-        next_event = std::min(next_event, sm.waiting.top().first);
-      }
+std::uint64_t EventMachine::ProcessSm(std::uint32_t s, std::uint64_t now) {
+  Sm& sm = sms_[s];
+  const std::uint64_t due_limit = Sm::WakeKey(now + 1, 0);
+  while (!sm.waiting.empty() && sm.waiting.top() < due_limit) {
+    sm.PushReady(Sm::WakeWarp(sm.waiting.top()));
+    sm.waiting.pop();
+  }
+  std::uint32_t issued = 0;
+  const std::uint32_t budget = spec_.timing.warp_issue_per_cycle;
+  // Round-robin over the warps that were ready at the start of the
+  // cycle (re-queued warps go to the back and wait for the next cycle).
+  // The issue loop pushes at most `budget` entries, so growing the ring
+  // once up front lets it run on raw ring state without re-checking
+  // capacity (Step never touches the ready ring).
+  const std::uint32_t scan_limit =
+      static_cast<std::uint32_t>(sm.ready_tail - sm.ready_head);
+  while (scan_limit + budget > sm.ready.size()) {
+    sm.GrowReady();
+  }
+  std::uint32_t* const ring = sm.ready.data();
+  const std::uint64_t mask = sm.ready_mask;
+  std::uint64_t head = sm.ready_head;
+  std::uint64_t tail = sm.ready_tail;
+  std::uint32_t scanned = 0;
+  while (issued < budget && scanned < scan_limit) {
+    const std::uint32_t warp_id = ring[head++ & mask];
+    ++scanned;
+    // Warm the next warps while this one executes: the FIFO ring makes
+    // the schedule known ahead of time.  One slot ahead fetches the
+    // warp's code and registers (its struct was prefetched on the
+    // previous iteration); two slots ahead fetches the struct itself.
+    if (head + 1 < tail) {
+      __builtin_prefetch(&sm.warps[ring[(head + 1) & mask]]);
     }
-    if (blocks_remaining_ == 0) {
-      break;
+    if (head < tail) {
+      const Warp& nw = sm.warps[ring[head & mask]];
+      __builtin_prefetch(nw.code + nw.pc);
+      // Register file with write intent: every issued instruction with
+      // a destination stores into it.  Two lines cover 16 words.
+      __builtin_prefetch(nw.regs, 1);
+      __builtin_prefetch(nw.regs + 8, 1);
     }
-    if (issued_any || next_event == UINT64_MAX) {
-      ++now;
+    const std::uint64_t next = Step(s, warp_id, now);
+    if (next == UINT64_MAX) {
+      // Held (barrier) or done: not requeued here.
+    } else if (next <= now + 1) {
+      ring[tail++ & mask] = warp_id;
     } else {
-      now = std::max(now + 1, next_event);
+      sm.waiting.push(Sm::WakeKey(next, warp_id));
+    }
+    ++issued;
+  }
+  sm.ready_head = head;
+  sm.ready_tail = tail;
+  if (head != tail) {
+    return now + 1;
+  }
+  if (!sm.waiting.empty()) {
+    return Sm::WakeCycle(sm.waiting.top());
+  }
+  return UINT64_MAX;
+}
+
+SimResult EventMachine::Run() {
+  std::uint64_t now = 0;
+  while (blocks_remaining_ > 0) {
+    // Advance straight to the earliest next event across all SMs,
+    // remembering the runner-up and whether the minimum is unique.
+    std::uint64_t next = UINT64_MAX;
+    std::uint64_t second = UINT64_MAX;
+    std::uint32_t only = 0;
+    for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+      const std::uint64_t t = sm_next_[s];
+      if (t < next) {
+        second = next;
+        next = t;
+        only = s;
+      } else if (t < second) {
+        second = t;
+      }
+    }
+    now = next;
+    // A deadlocked simulation has no events (or the reference engine
+    // would spin past the hard stop); both engines report it the same.
+    ORION_CHECK_MSG(now < machine_detail::kHardStopCycles,
+                    "simulation did not terminate");
+    if (second > now) {
+      // A single SM owns every event before `second`.  Cross-SM
+      // interactions (shared memory-system order, block handout) are
+      // keyed by cycle, so no other SM can intervene until then:
+      // advance this one privately without rescanning the calendar.
+      std::uint64_t t = now;
+      do {
+        ORION_CHECK_MSG(t < machine_detail::kHardStopCycles,
+                        "simulation did not terminate");
+        now = t;  // `now` must track the last processed cycle: it is
+                  // the total-cycle count when the grid retires here.
+        t = ProcessSm(only, t);
+      } while (t < second);
+      sm_next_[only] = t;
+      continue;
+    }
+    for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+      if (sm_next_[s] <= now) {
+        sm_next_[s] = ProcessSm(s, now);
+      }
     }
   }
 
-  SimResult result;
-  result.cycles = now + spec_.timing.kernel_launch_overhead;
-  result.ms = static_cast<double>(result.cycles) /
-              (spec_.timing.core_clock_mhz * 1000.0);
-  result.warp_instructions = warp_instructions_;
-  result.alu_instructions = alu_instructions_;
-  result.sfu_instructions = sfu_instructions_;
-  result.mem_instructions = mem_instructions_;
-  result.mem = mem_.stats();
-  result.occupancy = occ_;
-
-  // Energy model: dynamic per-instruction components plus static power
-  // scaled by the allocated fraction of register file and shared memory.
-  const arch::EnergyParams& e = spec_.energy;
-  double dynamic = 0.0;
-  dynamic += static_cast<double>(alu_instructions_) * e.alu_energy;
-  dynamic += static_cast<double>(sfu_instructions_) * e.sfu_energy;
-  dynamic += static_cast<double>(result.mem.smem_accesses) * e.smem_energy;
-  dynamic += static_cast<double>(result.mem.l1_hits + result.mem.l1_misses) *
-             e.l1_energy;
-  dynamic += static_cast<double>(result.mem.l2_hits + result.mem.l2_misses) *
-             e.l2_energy;
-  dynamic += static_cast<double>(result.mem.dram_transactions) * e.dram_energy;
-  const double reg_fraction =
-      std::min(1.0, static_cast<double>(occ_.active_threads_per_sm) *
-                        module_.usage.regs_per_thread /
-                        spec_.registers_per_sm);
-  const double smem_fraction =
-      std::min(1.0,
-               static_cast<double>(occ_.active_blocks_per_sm) *
-                   (module_.usage.user_smem_bytes_per_block +
-                    module_.usage.SmemBytesPerThread() *
-                        module_.launch.block_dim) /
-                   (48.0 * 1024.0));
-  const double static_power = e.base_static_power +
-                              e.regfile_static_power * reg_fraction +
-                              e.smem_static_power * smem_fraction;
-  result.energy = dynamic + static_power * static_cast<double>(result.cycles) *
-                                spec_.num_sms / 100.0;
-  return result;
+  return machine_detail::FinalizeResult(spec_, config_, module_, occ_, now,
+                                        counters_, mem_.stats());
 }
 
 }  // namespace
 
-GpuSimulator::GpuSimulator(const arch::GpuSpec& spec, arch::CacheConfig config)
-    : spec_(spec), config_(config) {}
+SimResult RunEventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
+                          const isa::Module& module, GlobalMemory* gmem,
+                          const std::vector<std::uint32_t>& params,
+                          const arch::OccupancyResult& occ,
+                          std::uint32_t first_block, std::uint32_t num_blocks) {
+  EventMachine machine(spec, config, module, gmem, params, occ, first_block,
+                       num_blocks);
+  return machine.Run();
+}
+
+bool BitIdentical(const MemoryStats& a, const MemoryStats& b) {
+  return a.l1_hits == b.l1_hits && a.l1_misses == b.l1_misses &&
+         a.l2_hits == b.l2_hits && a.l2_misses == b.l2_misses &&
+         a.dram_transactions == b.dram_transactions &&
+         a.smem_accesses == b.smem_accesses;
+}
+
+bool BitIdentical(const SimResult& a, const SimResult& b) {
+  return a.cycles == b.cycles && a.ms == b.ms && a.energy == b.energy &&
+         a.warp_instructions == b.warp_instructions &&
+         a.alu_instructions == b.alu_instructions &&
+         a.sfu_instructions == b.sfu_instructions &&
+         a.mem_instructions == b.mem_instructions && BitIdentical(a.mem, b.mem);
+}
+
+GpuSimulator::GpuSimulator(const arch::GpuSpec& spec, arch::CacheConfig config,
+                           SimEngine engine)
+    : spec_(spec), config_(config), engine_(engine) {}
 
 SimResult GpuSimulator::Launch(const isa::Module& module, GlobalMemory* gmem,
                                const std::vector<std::uint32_t>& params,
@@ -638,9 +823,12 @@ SimResult GpuSimulator::Launch(const isa::Module& module, GlobalMemory* gmem,
         module.name.c_str(), spec_.name.c_str(), res.regs_per_thread,
         res.smem_bytes_per_block, res.block_dim));
   }
-  Machine machine(spec_, config_, module, gmem, params, occ, first_block,
-                  num_blocks);
-  return machine.Run();
+  if (engine_ == SimEngine::kReference) {
+    return RunReferenceMachine(spec_, config_, module, gmem, params, occ,
+                               first_block, num_blocks);
+  }
+  return RunEventMachine(spec_, config_, module, gmem, params, occ,
+                         first_block, num_blocks);
 }
 
 SimResult GpuSimulator::LaunchAll(const isa::Module& module, GlobalMemory* gmem,

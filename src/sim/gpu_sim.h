@@ -18,6 +18,19 @@
 // program once with a representative lane (lane 0); global-memory lane
 // footprints come from the kernel's stride annotations, so coalescing
 // and cache behaviour are modeled without simulating 32 lanes.
+//
+// Two engines implement the identical machine model:
+//
+//   * kEventDriven (default) — a global event calendar: each SM exposes
+//     its next-ready cycle and the machine advances time directly to
+//     the minimum next event, executing pre-decoded instructions
+//     (sim/linked.h).  This is the fast engine every production path
+//     uses.
+//   * kReference — the original per-cycle stepping loop over raw
+//     instructions, kept as the golden model.  The two engines are
+//     bit-deterministic: identical SimResult (cycles, instruction
+//     counts, cache stats, energy) and identical global-memory images,
+//     enforced by tests/determinism_test.cpp.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +42,12 @@
 #include "sim/memory.h"
 
 namespace orion::sim {
+
+// Which timing-engine implementation runs the launch.
+enum class SimEngine : std::uint8_t {
+  kEventDriven = 0,  // event calendar + pre-decoded instructions
+  kReference,        // seed per-cycle stepping (golden model)
+};
 
 struct SimResult {
   std::uint64_t cycles = 0;
@@ -42,9 +61,15 @@ struct SimResult {
   arch::OccupancyResult occupancy;
 };
 
+// Bitwise determinism predicates (the determinism contract compares
+// doubles exactly: both engines must perform the identical arithmetic).
+bool BitIdentical(const MemoryStats& a, const MemoryStats& b);
+bool BitIdentical(const SimResult& a, const SimResult& b);
+
 class GpuSimulator {
  public:
-  GpuSimulator(const arch::GpuSpec& spec, arch::CacheConfig config);
+  GpuSimulator(const arch::GpuSpec& spec, arch::CacheConfig config,
+               SimEngine engine = SimEngine::kEventDriven);
 
   // Launches blocks [first_block, first_block + num_blocks) of an
   // *allocated* kernel.  Occupancy is derived from the module's resource
@@ -66,10 +91,13 @@ class GpuSimulator {
 
   const arch::GpuSpec& spec() const { return spec_; }
   arch::CacheConfig cache_config() const { return config_; }
+  SimEngine engine() const { return engine_; }
+  void set_engine(SimEngine engine) { engine_ = engine; }
 
  private:
   const arch::GpuSpec& spec_;
   arch::CacheConfig config_;
+  SimEngine engine_;
 };
 
 }  // namespace orion::sim

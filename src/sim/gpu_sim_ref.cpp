@@ -1,0 +1,597 @@
+// Reference timing engine: the original per-cycle stepping loop,
+// preserved as the golden model for the event-driven engine.
+//
+// Every cycle it polls every SM: drains warps whose wake-up time
+// arrived, issues up to the per-cycle budget, and advances `now` by one
+// (or jumps to the next wake-up when nothing issued).  It executes raw
+// isa::Instruction operands with full ORION_CHECK validation, exactly
+// as the seed engine did.  It is deliberately NOT optimized: the
+// determinism regression (tests/determinism_test.cpp) runs both engines
+// on the same launches and requires bit-identical SimResults and memory
+// images, and bench/micro_sim.cpp reports the event engine's speedup
+// over this baseline.
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <queue>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sim/exec.h"
+#include "sim/linked.h"
+#include "sim/machine_common.h"
+
+namespace orion::sim {
+
+namespace {
+
+using isa::MemSpace;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+using machine_detail::kLocalRegionBase;
+
+struct Warp {
+  std::uint32_t block_slot = 0;  // resident-block index within the SM
+  std::uint32_t warp_in_block = 0;
+  std::uint32_t rep_tid = 0;     // representative lane's thread id
+  std::uint32_t global_block = 0;
+  std::uint64_t warp_uid = 0;
+
+  std::uint32_t func = 0;
+  std::uint32_t pc = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> call_stack;
+  std::vector<std::uint32_t> pregs;
+  std::vector<std::uint64_t> reg_ready;  // per physical register word
+  std::vector<std::uint32_t> local;
+  std::vector<std::uint32_t> spriv;
+  bool done = false;
+};
+
+struct ResidentBlock {
+  bool active = false;
+  std::uint32_t global_block = 0;
+  std::vector<std::uint32_t> shared;
+  std::uint32_t warps_total = 0;
+  std::uint32_t warps_done = 0;
+  std::uint32_t warps_at_barrier = 0;
+  std::vector<std::uint32_t> barrier_waiters;  // warp ids within the SM
+};
+
+struct Sm {
+  std::vector<Warp> warps;
+  std::vector<ResidentBlock> blocks;
+  // Warps ready to issue now (round-robin) and warps waiting on a cycle.
+  std::deque<std::uint32_t> ready;
+  std::priority_queue<std::pair<std::uint64_t, std::uint32_t>,
+                      std::vector<std::pair<std::uint64_t, std::uint32_t>>,
+                      std::greater<>>
+      waiting;
+  std::uint64_t active_cycles = 0;
+};
+
+class ReferenceMachine {
+ public:
+  ReferenceMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
+                   const isa::Module& module, GlobalMemory* gmem,
+                   const std::vector<std::uint32_t>& params,
+                   const arch::OccupancyResult& occ, std::uint32_t first_block,
+                   std::uint32_t num_blocks)
+      : spec_(spec),
+        config_(config),
+        module_(module),
+        linked_(module),
+        gmem_(gmem),
+        params_(params),
+        occ_(occ),
+        mem_(spec, config, spec.num_sms),
+        warps_per_block_(arch::WarpsPerBlock(spec, module.launch.block_dim)) {
+    sms_.resize(spec.num_sms);
+    next_block_ = first_block;
+    end_block_ = first_block + num_blocks;
+    blocks_remaining_ = num_blocks;
+    for (Sm& sm : sms_) {
+      sm.blocks.resize(occ.active_blocks_per_sm);
+    }
+    // Initial wave: round-robin block placement.
+    bool placed = true;
+    while (placed && next_block_ < end_block_) {
+      placed = false;
+      for (std::uint32_t s = 0; s < sms_.size() && next_block_ < end_block_;
+           ++s) {
+        for (std::uint32_t slot = 0; slot < sms_[s].blocks.size(); ++slot) {
+          if (!sms_[s].blocks[slot].active) {
+            InstallBlock(s, slot, /*cycle=*/0);
+            placed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  SimResult Run();
+
+ private:
+  void InstallBlock(std::uint32_t s, std::uint32_t slot, std::uint64_t cycle);
+  // Executes one instruction of the warp.  Returns the cycle at which
+  // the warp may issue again, or UINT64_MAX if it is held (barrier/done).
+  std::uint64_t Step(std::uint32_t s, std::uint32_t warp_id,
+                     std::uint64_t now);
+  std::uint32_t ReadWord(std::uint32_t s, Warp& warp, const Operand& op,
+                         std::uint8_t word);
+  void WriteWord(Warp& warp, const Operand& op, std::uint8_t word,
+                 std::uint32_t value, std::uint64_t ready_at);
+  std::uint64_t SrcReadyAt(const Warp& warp, const isa::Instruction& instr);
+  std::uint32_t SpecialValue(const Warp& warp, isa::SpecialReg sreg) const;
+  std::uint32_t GlobalLines(const isa::Instruction& instr,
+                            std::uint8_t width) const;
+
+  const arch::GpuSpec& spec_;
+  arch::CacheConfig config_;
+  const isa::Module& module_;
+  const LinkedModule linked_;
+  GlobalMemory* gmem_;
+  const std::vector<std::uint32_t>& params_;
+  const arch::OccupancyResult& occ_;
+  MemorySystem mem_;
+  std::uint32_t warps_per_block_;
+  std::vector<Sm> sms_;
+  std::uint32_t next_block_ = 0;
+  std::uint32_t end_block_ = 0;
+  std::uint32_t blocks_remaining_ = 0;
+  machine_detail::InstrCounters counters_;
+};
+
+void ReferenceMachine::InstallBlock(std::uint32_t s, std::uint32_t slot,
+                                    std::uint64_t cycle) {
+  Sm& sm = sms_[s];
+  ResidentBlock& block = sm.blocks[slot];
+  block.active = true;
+  block.global_block = next_block_++;
+  block.shared.assign((module_.user_smem_bytes + 3) / 4, 0);
+  block.warps_total = warps_per_block_;
+  block.warps_done = 0;
+  block.warps_at_barrier = 0;
+  block.barrier_waiters.clear();
+
+  const std::uint64_t start = cycle + spec_.timing.block_install_cycles;
+  for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
+    Warp warp;
+    warp.block_slot = slot;
+    warp.warp_in_block = w;
+    warp.rep_tid = w * spec_.warp_size;
+    warp.global_block = block.global_block;
+    warp.warp_uid =
+        static_cast<std::uint64_t>(block.global_block) * warps_per_block_ + w;
+    warp.func = linked_.kernel_index();
+    warp.pc = 0;
+    warp.pregs.assign(std::max<std::uint32_t>(module_.usage.regs_per_thread, 1),
+                      0);
+    warp.reg_ready.assign(warp.pregs.size(), 0);
+    warp.local.assign(module_.usage.local_slots_per_thread, 0);
+    warp.spriv.assign(module_.usage.spriv_slots_per_thread, 0);
+    const std::uint32_t warp_id = static_cast<std::uint32_t>(sm.warps.size());
+    sm.warps.push_back(std::move(warp));
+    sm.waiting.emplace(start, warp_id);
+  }
+}
+
+std::uint32_t ReferenceMachine::SpecialValue(const Warp& warp,
+                                             isa::SpecialReg sreg) const {
+  switch (sreg) {
+    case isa::SpecialReg::kTid:
+      return warp.rep_tid;
+    case isa::SpecialReg::kBid:
+      return warp.global_block;
+    case isa::SpecialReg::kBlockDim:
+      return module_.launch.block_dim;
+    case isa::SpecialReg::kGridDim:
+      return module_.launch.grid_dim;
+    case isa::SpecialReg::kLane:
+      return 0;
+    case isa::SpecialReg::kWarpId:
+      return warp.warp_in_block;
+  }
+  return 0;
+}
+
+std::uint32_t ReferenceMachine::ReadWord(std::uint32_t s, Warp& warp,
+                                         const Operand& op, std::uint8_t word) {
+  (void)s;
+  switch (op.kind) {
+    case OperandKind::kImm:
+      return static_cast<std::uint32_t>(op.imm);
+    case OperandKind::kPReg:
+      ORION_CHECK(op.id + word < warp.pregs.size());
+      return warp.pregs[op.id + word];
+    default:
+      throw LaunchError("simulator requires an allocated (physical) kernel");
+  }
+}
+
+void ReferenceMachine::WriteWord(Warp& warp, const Operand& op,
+                                 std::uint8_t word, std::uint32_t value,
+                                 std::uint64_t ready_at) {
+  ORION_CHECK(op.kind == OperandKind::kPReg);
+  ORION_CHECK(op.id + word < warp.pregs.size());
+  warp.pregs[op.id + word] = value;
+  warp.reg_ready[op.id + word] = ready_at;
+}
+
+std::uint64_t ReferenceMachine::SrcReadyAt(const Warp& warp,
+                                           const isa::Instruction& instr) {
+  std::uint64_t ready = 0;
+  auto scan = [&](const Operand& op) {
+    if (op.kind == OperandKind::kPReg) {
+      for (std::uint8_t w = 0; w < op.width; ++w) {
+        ready = std::max(ready, warp.reg_ready[op.id + w]);
+      }
+    }
+  };
+  for (const Operand& op : instr.srcs) {
+    scan(op);
+  }
+  // Output dependences: a destination still in flight must land before
+  // it is overwritten.
+  for (const Operand& op : instr.dsts) {
+    scan(op);
+  }
+  return ready;
+}
+
+std::uint32_t ReferenceMachine::GlobalLines(const isa::Instruction& instr,
+                                            std::uint8_t width) const {
+  const std::uint32_t line = spec_.timing.cache_line_bytes;
+  if (instr.stride == isa::kScatterStride) {
+    return 8;  // partially-coalesced random gather
+  }
+  if (instr.stride == 0) {
+    return std::max<std::uint32_t>(1, width * 4 / line);
+  }
+  const std::uint32_t span_bytes =
+      ((spec_.warp_size - 1) * instr.stride + width) * 4;
+  return std::max<std::uint32_t>(1, (span_bytes + line - 1) / line);
+}
+
+std::uint64_t ReferenceMachine::Step(std::uint32_t s, std::uint32_t warp_id,
+                                     std::uint64_t now) {
+  Sm& sm = sms_[s];
+  Warp& warp = sm.warps[warp_id];
+  const LinkedFunction& lf = linked_.func(warp.func);
+  ORION_CHECK(warp.pc <= lf.func->NumInstrs());
+  if (warp.pc == lf.func->NumInstrs()) {
+    // Fell off the end of a device function: implicit return.
+    ORION_CHECK(!warp.call_stack.empty());
+    warp.func = warp.call_stack.back().first;
+    warp.pc = warp.call_stack.back().second;
+    warp.call_stack.pop_back();
+    return now + 1;
+  }
+  const isa::Instruction& instr = lf.func->instrs[warp.pc];
+
+  // Scoreboard: wait for operands.
+  const std::uint64_t ready = SrcReadyAt(warp, instr);
+  if (ready > now) {
+    return ready;
+  }
+
+  ++counters_.warp_instructions;
+  const arch::TimingParams& t = spec_.timing;
+
+  switch (instr.op) {
+    case Opcode::kNop:
+      ++warp.pc;
+      return now + 1;
+    case Opcode::kS2R:
+      ++counters_.alu_instructions;
+      WriteWord(warp, instr.Dst(), 0, SpecialValue(warp, instr.srcs[0].sreg),
+                now + t.alu_latency);
+      ++warp.pc;
+      return now + 1;
+    case Opcode::kExit: {
+      warp.done = true;
+      ResidentBlock& block = sm.blocks[warp.block_slot];
+      if (++block.warps_done == block.warps_total) {
+        block.active = false;
+        --blocks_remaining_;
+        if (next_block_ < end_block_) {
+          InstallBlock(s, warp.block_slot, now);
+        }
+      } else if (!block.barrier_waiters.empty() &&
+                 block.barrier_waiters.size() + block.warps_done ==
+                     block.warps_total) {
+        // This warp exited while every other live warp waits at a
+        // barrier: release them (matches hardware arrival counting).
+        const std::uint64_t release = now + t.barrier_latency;
+        for (const std::uint32_t w : block.barrier_waiters) {
+          sm.waiting.emplace(release, w);
+        }
+        block.barrier_waiters.clear();
+      }
+      return UINT64_MAX;
+    }
+    case Opcode::kBar: {
+      ResidentBlock& block = sm.blocks[warp.block_slot];
+      ++warp.pc;
+      block.barrier_waiters.push_back(warp_id);
+      if (block.barrier_waiters.size() + block.warps_done ==
+          block.warps_total) {
+        const std::uint64_t release = now + t.barrier_latency;
+        for (const std::uint32_t w : block.barrier_waiters) {
+          if (w != warp_id) {
+            sm.waiting.emplace(release, w);
+          }
+        }
+        block.barrier_waiters.clear();
+        return release;
+      }
+      return UINT64_MAX;  // released by the last arriver
+    }
+    case Opcode::kBra:
+      ++counters_.alu_instructions;
+      warp.pc = static_cast<std::uint32_t>(lf.branch_target[warp.pc]);
+      return now + 1;
+    case Opcode::kBrz:
+    case Opcode::kBrnz: {
+      ++counters_.alu_instructions;
+      const std::uint32_t cond = ReadWord(s, warp, instr.srcs[0], 0);
+      const bool taken = instr.op == Opcode::kBrz ? cond == 0 : cond != 0;
+      warp.pc = taken ? static_cast<std::uint32_t>(lf.branch_target[warp.pc])
+                      : warp.pc + 1;
+      return now + 1;
+    }
+    case Opcode::kCal: {
+      ++counters_.alu_instructions;
+      warp.call_stack.emplace_back(warp.func, warp.pc + 1);
+      warp.func = static_cast<std::uint32_t>(lf.call_target[warp.pc]);
+      warp.pc = 0;
+      return now + 2;  // call overhead
+    }
+    case Opcode::kRet: {
+      ++counters_.alu_instructions;
+      ORION_CHECK(!warp.call_stack.empty());
+      warp.func = warp.call_stack.back().first;
+      warp.pc = warp.call_stack.back().second;
+      warp.call_stack.pop_back();
+      return now + 2;
+    }
+    case Opcode::kLd: {
+      ++counters_.mem_instructions;
+      const Operand& dst = instr.Dst();
+      std::uint64_t value_ready = now;
+      switch (instr.space) {
+        case MemSpace::kGlobal: {
+          const std::uint64_t byte =
+              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
+              static_cast<std::uint64_t>(instr.srcs[1].imm);
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            warp.pregs[dst.id + w] = gmem_->Read(byte / 4 + w);
+          }
+          value_ready = mem_.AccessLoad(
+              s, byte, GlobalLines(instr, dst.width), spec_.l1_caches_global,
+              instr.stride == isa::kScatterStride, now);
+          break;
+        }
+        case MemSpace::kShared: {
+          const ResidentBlock& block = sm.blocks[warp.block_slot];
+          const std::uint64_t byte =
+              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
+              static_cast<std::uint64_t>(instr.srcs[1].imm);
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            const std::uint64_t idx = byte / 4 + w;
+            warp.pregs[dst.id + w] =
+                idx < block.shared.size() ? block.shared[idx] : 0;
+          }
+          value_ready = mem_.AccessShared(now);
+          break;
+        }
+        case MemSpace::kSharedPriv: {
+          const std::uint64_t slot =
+              static_cast<std::uint64_t>(instr.srcs[0].imm);
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            ORION_CHECK(slot + w < warp.spriv.size());
+            warp.pregs[dst.id + w] = warp.spriv[slot + w];
+          }
+          value_ready = mem_.AccessShared(now);
+          break;
+        }
+        case MemSpace::kLocal: {
+          const std::uint64_t slot =
+              static_cast<std::uint64_t>(instr.srcs[0].imm);
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            ORION_CHECK(slot + w < warp.local.size());
+            warp.pregs[dst.id + w] = warp.local[slot + w];
+          }
+          // Per-thread interleaved layout: each word is its own line.
+          const std::uint64_t byte =
+              kLocalRegionBase +
+              (warp.warp_uid * std::max<std::uint64_t>(
+                                   module_.usage.local_slots_per_thread, 1) +
+               slot) *
+                  spec_.timing.cache_line_bytes;
+          value_ready =
+              mem_.AccessLoad(s, byte, dst.width, /*through_l1=*/true,
+                              /*scattered=*/false, now);
+          break;
+        }
+        case MemSpace::kParam: {
+          const std::uint64_t idx =
+              static_cast<std::uint64_t>(instr.srcs[0].imm);
+          for (std::uint8_t w = 0; w < dst.width; ++w) {
+            warp.pregs[dst.id + w] =
+                idx + w < params_.size() ? params_[idx + w] : 0;
+          }
+          value_ready = now + t.l1_latency;
+          break;
+        }
+      }
+      for (std::uint8_t w = 0; w < dst.width; ++w) {
+        warp.reg_ready[dst.id + w] = value_ready;
+      }
+      ++warp.pc;
+      return now + 1;
+    }
+    case Opcode::kSt: {
+      ++counters_.mem_instructions;
+      const Operand& value = instr.srcs[2];
+      const std::uint8_t width = value.IsReg() ? value.width : std::uint8_t{1};
+      switch (instr.space) {
+        case MemSpace::kGlobal: {
+          const std::uint64_t byte =
+              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
+              static_cast<std::uint64_t>(instr.srcs[1].imm);
+          for (std::uint8_t w = 0; w < width; ++w) {
+            gmem_->Write(byte / 4 + w, ReadWord(s, warp, value, w));
+          }
+          mem_.AccessStore(s, byte, GlobalLines(instr, width),
+                           spec_.l1_caches_global, now);
+          break;
+        }
+        case MemSpace::kShared: {
+          ResidentBlock& block = sm.blocks[warp.block_slot];
+          const std::uint64_t byte =
+              static_cast<std::uint64_t>(ReadWord(s, warp, instr.srcs[0], 0)) +
+              static_cast<std::uint64_t>(instr.srcs[1].imm);
+          for (std::uint8_t w = 0; w < width; ++w) {
+            const std::uint64_t idx = byte / 4 + w;
+            if (idx < block.shared.size()) {
+              block.shared[idx] = ReadWord(s, warp, value, w);
+            }
+          }
+          (void)mem_.AccessShared(now);
+          break;
+        }
+        case MemSpace::kSharedPriv: {
+          const std::uint64_t slot =
+              static_cast<std::uint64_t>(instr.srcs[0].imm);
+          for (std::uint8_t w = 0; w < width; ++w) {
+            ORION_CHECK(slot + w < warp.spriv.size());
+            warp.spriv[slot + w] = ReadWord(s, warp, value, w);
+          }
+          (void)mem_.AccessShared(now);
+          break;
+        }
+        case MemSpace::kLocal: {
+          const std::uint64_t slot =
+              static_cast<std::uint64_t>(instr.srcs[0].imm);
+          for (std::uint8_t w = 0; w < width; ++w) {
+            ORION_CHECK(slot + w < warp.local.size());
+            warp.local[slot + w] = ReadWord(s, warp, value, w);
+          }
+          const std::uint64_t byte =
+              kLocalRegionBase +
+              (warp.warp_uid * std::max<std::uint64_t>(
+                                   module_.usage.local_slots_per_thread, 1) +
+               slot) *
+                  spec_.timing.cache_line_bytes;
+          mem_.AccessStore(s, byte, width, /*through_l1=*/true, now);
+          break;
+        }
+        case MemSpace::kParam:
+          throw LaunchError("store to parameter space");
+      }
+      ++warp.pc;
+      return now + 1;
+    }
+    default: {
+      // ALU class.
+      const bool sfu = isa::IsSfu(instr.op);
+      if (sfu) {
+        ++counters_.sfu_instructions;
+      } else {
+        ++counters_.alu_instructions;
+      }
+      const Operand& dst = instr.Dst();
+      std::array<std::uint32_t, 4> results{};
+      for (std::uint8_t w = 0; w < dst.width; ++w) {
+        results[w] =
+            EvalAluWord(instr, w, [&](std::size_t si, std::uint8_t word) {
+              return ReadWord(s, warp, instr.srcs[si], word);
+            });
+      }
+      const std::uint64_t latency = sfu ? t.sfu_latency : t.alu_latency;
+      for (std::uint8_t w = 0; w < dst.width; ++w) {
+        WriteWord(warp, dst, w, results[w], now + latency);
+      }
+      ++warp.pc;
+      // Wide ops and SFU ops occupy the issue slot longer.
+      const std::uint64_t issue_cycles =
+          std::max<std::uint64_t>(dst.width, sfu ? 1u << t.sfu_throughput_shift
+                                                 : 1u);
+      return now + issue_cycles;
+    }
+  }
+}
+
+SimResult ReferenceMachine::Run() {
+  std::uint64_t now = 0;
+  while (blocks_remaining_ > 0) {
+    ORION_CHECK_MSG(now < machine_detail::kHardStopCycles,
+                    "simulation did not terminate");
+    bool issued_any = false;
+    std::uint64_t next_event = UINT64_MAX;
+    for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+      Sm& sm = sms_[s];
+      while (!sm.waiting.empty() && sm.waiting.top().first <= now) {
+        sm.ready.push_back(sm.waiting.top().second);
+        sm.waiting.pop();
+      }
+      std::uint32_t issued = 0;
+      const std::uint32_t budget = spec_.timing.warp_issue_per_cycle;
+      std::uint32_t scanned = 0;
+      const std::uint32_t scan_limit =
+          static_cast<std::uint32_t>(sm.ready.size());
+      while (issued < budget && scanned < scan_limit && !sm.ready.empty()) {
+        const std::uint32_t warp_id = sm.ready.front();
+        sm.ready.pop_front();
+        ++scanned;
+        const std::uint64_t next = Step(s, warp_id, now);
+        if (next == UINT64_MAX) {
+          // Held (barrier) or done: not requeued here.
+        } else if (next <= now + 1) {
+          sm.ready.push_back(warp_id);
+        } else {
+          sm.waiting.emplace(next, warp_id);
+        }
+        ++issued;
+      }
+      if (issued > 0) {
+        issued_any = true;
+        ++sm.active_cycles;
+      }
+      if (!sm.ready.empty()) {
+        next_event = now + 1;
+      } else if (!sm.waiting.empty()) {
+        next_event = std::min(next_event, sm.waiting.top().first);
+      }
+    }
+    if (blocks_remaining_ == 0) {
+      break;
+    }
+    if (issued_any || next_event == UINT64_MAX) {
+      ++now;
+    } else {
+      now = std::max(now + 1, next_event);
+    }
+  }
+
+  return machine_detail::FinalizeResult(spec_, config_, module_, occ_, now,
+                                        counters_, mem_.stats());
+}
+
+}  // namespace
+
+SimResult RunReferenceMachine(const arch::GpuSpec& spec,
+                              arch::CacheConfig config,
+                              const isa::Module& module, GlobalMemory* gmem,
+                              const std::vector<std::uint32_t>& params,
+                              const arch::OccupancyResult& occ,
+                              std::uint32_t first_block,
+                              std::uint32_t num_blocks) {
+  ReferenceMachine machine(spec, config, module, gmem, params, occ,
+                           first_block, num_blocks);
+  return machine.Run();
+}
+
+}  // namespace orion::sim

@@ -1,7 +1,5 @@
 #include "sim/interpreter.h"
 
-#include <map>
-
 #include "common/error.h"
 #include "common/strings.h"
 #include "sim/exec.h"
@@ -21,7 +19,10 @@ using Words = std::array<std::uint32_t, 4>;
 struct VirtualFrame {
   std::uint32_t func = 0;
   std::uint32_t pc = 0;
-  std::map<std::uint32_t, Words> vregs;
+  // Flat virtual register file, sized by the function's max_vreg at
+  // frame creation.  Zero-initialized, matching the read-before-write
+  // semantics of the old map representation (absent id -> 0).
+  std::vector<Words> vregs;
   Operand ret_dst;  // caller's destination for the pending call (kNone ok)
 };
 
@@ -70,6 +71,7 @@ class BlockRunner {
       } else {
         VirtualFrame frame;
         frame.func = linked.kernel_index();
+        frame.vregs.assign(linked.func(frame.func).max_vreg, Words{});
         th.frames.push_back(std::move(frame));
       }
     }
@@ -108,12 +110,12 @@ class BlockRunner {
         // Immediates broadcast their low 32 bits to every element.
         return static_cast<std::uint32_t>(op.imm);
       case OperandKind::kPReg:
-        ORION_CHECK(op.id + word < th.pregs.size());
+        ORION_DCHECK(op.id + word < th.pregs.size());
         return th.pregs[op.id + word];
       case OperandKind::kVReg: {
-        auto& vregs = th.frames.back().vregs;
-        const auto it = vregs.find(op.id);
-        return it == vregs.end() ? 0 : it->second[word];
+        const auto& vregs = th.frames.back().vregs;
+        ORION_DCHECK(op.id < vregs.size());
+        return vregs[op.id][word];
       }
       default:
         throw OrionError("interpreter: bad source operand");
@@ -124,12 +126,15 @@ class BlockRunner {
                  std::uint32_t value) {
     switch (op.kind) {
       case OperandKind::kPReg:
-        ORION_CHECK(op.id + word < th.pregs.size());
+        ORION_DCHECK(op.id + word < th.pregs.size());
         th.pregs[op.id + word] = value;
         return;
-      case OperandKind::kVReg:
-        th.frames.back().vregs[op.id][word] = value;
+      case OperandKind::kVReg: {
+        auto& vregs = th.frames.back().vregs;
+        ORION_DCHECK(op.id < vregs.size());
+        vregs[op.id][word] = value;
         return;
+      }
       default:
         throw OrionError("interpreter: bad destination operand");
     }
@@ -172,13 +177,13 @@ class BlockRunner {
       case MemSpace::kSharedPriv: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_CHECK(slot < th.spriv.size());
+        ORION_DCHECK(slot < th.spriv.size());
         return th.spriv[slot];
       }
       case MemSpace::kLocal: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_CHECK(slot < th.local.size());
+        ORION_DCHECK(slot < th.local.size());
         return th.local[slot];
       }
       case MemSpace::kParam: {
@@ -214,14 +219,14 @@ class BlockRunner {
       case MemSpace::kSharedPriv: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_CHECK(slot < th.spriv.size());
+        ORION_DCHECK(slot < th.spriv.size());
         th.spriv[slot] = value;
         return;
       }
       case MemSpace::kLocal: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_CHECK(slot < th.local.size());
+        ORION_DCHECK(slot < th.local.size());
         th.local[slot] = value;
         return;
       }
@@ -351,6 +356,7 @@ class BlockRunner {
     const isa::Function& callee_func = module_.functions[callee];
     VirtualFrame frame;
     frame.func = callee;
+    frame.vregs.assign(linked_.func(callee).max_vreg, Words{});
     frame.ret_dst = instr.HasDst() ? instr.Dst() : Operand{};
     // Bind arguments by value.
     ORION_CHECK(instr.srcs.size() == callee_func.params.size());

@@ -1,10 +1,150 @@
 #include "sim/linked.h"
 
+#include <algorithm>
+
+#include "arch/gpu_spec.h"
 #include "common/error.h"
 
 namespace orion::sim {
 
-LinkedModule::LinkedModule(const isa::Module& module) : module_(&module) {
+namespace {
+
+DecodedOperand DecodeOperand(const isa::Operand& op) {
+  DecodedOperand d;
+  d.kind = op.kind;
+  d.width = op.width;
+  d.sreg = op.sreg;
+  d.id = op.id;
+  d.imm = op.imm;
+  d.imm_word = static_cast<std::uint32_t>(op.imm);
+  return d;
+}
+
+// Distinct cache lines a global access of `width` words touches, from
+// the instruction's lane-stride annotation (see GpuSimulator header).
+std::uint32_t GlobalLines(const arch::GpuSpec& spec,
+                          const isa::Instruction& instr, std::uint8_t width) {
+  const std::uint32_t line = spec.timing.cache_line_bytes;
+  if (instr.stride == isa::kScatterStride) {
+    return 8;  // partially-coalesced random gather
+  }
+  if (instr.stride == 0) {
+    return std::max<std::uint32_t>(1, width * 4 / line);
+  }
+  const std::uint32_t span_bytes =
+      ((spec.warp_size - 1) * instr.stride + width) * 4;
+  return std::max<std::uint32_t>(1, (span_bytes + line - 1) / line);
+}
+
+void AddRegRef(DecodedInstr* d, const isa::Operand& op) {
+  if (op.kind != isa::OperandKind::kPReg) {
+    return;
+  }
+  ORION_CHECK_MSG(d->num_reg_refs < d->reg_refs.size(),
+                  "instruction references too many physical registers");
+  d->reg_refs[d->num_reg_refs].first = op.id;
+  d->reg_refs[d->num_reg_refs].count = op.width;
+  ++d->num_reg_refs;
+}
+
+HotOp ToHotOp(const DecodedOperand& op, bool* ok) {
+  HotOp h;
+  switch (op.kind) {
+    case isa::OperandKind::kImm:
+      h.kind = 0;
+      h.imm_word = op.imm_word;
+      break;
+    case isa::OperandKind::kPReg:
+      h.kind = 1;
+      if (op.id + op.width > UINT16_MAX) {
+        *ok = false;
+      }
+      h.id = static_cast<std::uint16_t>(op.id);
+      break;
+    case isa::OperandKind::kSpecial:
+      h.kind = 2;
+      h.id = static_cast<std::uint16_t>(op.sreg);
+      break;
+    default:
+      h.kind = 3;  // throws if ever read by the timing engine
+      break;
+  }
+  return h;
+}
+
+// Compresses a decoded instruction into the one-cache-line form.  Any
+// field that does not fit marks the record invalid instead of failing
+// the link: the timing engine throws if it ever executes one, and it
+// cannot in allocated kernels.
+HotInstr ToHot(const DecodedInstr& d, const arch::GpuSpec& spec) {
+  HotInstr h;
+  bool ok = true;
+  h.exec_lat = d.is_sfu ? spec.timing.sfu_latency : spec.timing.alu_latency;
+  h.op = static_cast<std::uint8_t>(d.op);
+  h.space = static_cast<std::uint8_t>(d.space);
+  if (d.is_sfu) {
+    h.flags |= HotInstr::kFlagSfu;
+  }
+  if (d.scattered) {
+    h.flags |= HotInstr::kFlagScattered;
+  }
+  h.dst_width = d.dst_width;
+  h.store_width = d.store_width;
+  h.num_reg_refs = d.num_reg_refs;
+  h.cmp_bits = static_cast<std::uint8_t>(d.cmp) |
+               static_cast<std::uint8_t>(static_cast<std::uint8_t>(d.cmp_type)
+                                         << 4);
+  ok = ok && d.dst_id + d.dst_width <= UINT16_MAX && d.mem_lines <= UINT16_MAX &&
+       d.issue_cycles <= UINT8_MAX;
+  h.dst_id = static_cast<std::uint16_t>(d.dst_id);
+  h.mem_lines = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(d.mem_lines, UINT16_MAX));
+  h.issue_cycles = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(d.issue_cycles, UINT8_MAX));
+  h.target = d.branch_target >= 0 ? d.branch_target : d.call_target;
+  if (d.op == isa::Opcode::kLd || d.op == isa::Opcode::kSt) {
+    switch (d.space) {
+      case isa::MemSpace::kGlobal:
+      case isa::MemSpace::kShared: {
+        // Address-forming offset must survive the int32 encoding with
+        // the same sign extension the engines apply to the int64 form.
+        const std::int64_t off = d.num_srcs > 1 ? d.srcs[1].imm : 0;
+        ok = ok && off >= INT32_MIN && off <= INT32_MAX;
+        h.mem_off = static_cast<std::int32_t>(off);
+        break;
+      }
+      case isa::MemSpace::kLocal:
+      case isa::MemSpace::kSharedPriv:
+      case isa::MemSpace::kParam: {
+        // Slot index is read as a full uint64 by the reference engine;
+        // the hot form keeps only 32 bits.
+        const std::int64_t slot = d.num_srcs > 0 ? d.srcs[0].imm : 0;
+        ok = ok && slot >= 0 && slot <= INT64_C(0xFFFFFFFF);
+        break;
+      }
+    }
+  }
+  for (std::uint8_t si = 0; si < d.num_srcs; ++si) {
+    h.srcs[si] = ToHotOp(d.srcs[si], &ok);
+    // Special-register sources exist only on kS2R; anywhere else the
+    // engine's branchless operand read could not represent them.
+    ok = ok && (h.srcs[si].kind != 2 || d.op == isa::Opcode::kS2R);
+  }
+  for (std::uint8_t ri = 0; ri < d.num_reg_refs; ++ri) {
+    ok = ok && d.reg_refs[ri].first + d.reg_refs[ri].count <= UINT16_MAX;
+    h.reg_refs[ri].first = static_cast<std::uint16_t>(d.reg_refs[ri].first);
+    h.reg_refs[ri].count = static_cast<std::uint16_t>(d.reg_refs[ri].count);
+  }
+  if (!ok) {
+    h.flags |= HotInstr::kFlagInvalid;
+  }
+  return h;
+}
+
+}  // namespace
+
+LinkedModule::LinkedModule(const isa::Module& module, const arch::GpuSpec* spec)
+    : module_(&module) {
   const std::uint32_t n = static_cast<std::uint32_t>(module.functions.size());
   funcs_.resize(n);
   bool kernel_found = false;
@@ -16,15 +156,67 @@ LinkedModule::LinkedModule(const isa::Module& module) : module_(&module) {
     }
     LinkedFunction& linked = funcs_[fi];
     linked.func = &func;
+    linked.max_vreg = isa::MaxVRegId(func);
+    // Parameters are bound into the frame by id at call time; a param
+    // never referenced in the body still needs a slot.
+    for (const isa::Operand& p : func.params) {
+      linked.max_vreg = std::max(linked.max_vreg, p.id + 1);
+    }
     linked.branch_target.assign(func.NumInstrs(), -1);
     linked.call_target.assign(func.NumInstrs(), -1);
+    linked.decoded.resize(func.NumInstrs());
     for (std::uint32_t ii = 0; ii < func.NumInstrs(); ++ii) {
       const isa::Instruction& instr = func.instrs[ii];
+      DecodedInstr& d = linked.decoded[ii];
+      d.raw = &instr;
+      d.op = instr.op;
+      d.space = instr.space;
+      d.cmp = instr.cmp;
+      d.cmp_type = instr.cmp_type;
+      d.is_sfu = isa::IsSfu(instr.op);
+      d.scattered = instr.stride == isa::kScatterStride;
+      d.num_srcs = static_cast<std::uint8_t>(
+          std::min<std::size_t>(instr.srcs.size(), d.srcs.size()));
+      for (std::uint8_t si = 0; si < d.num_srcs; ++si) {
+        d.srcs[si] = DecodeOperand(instr.srcs[si]);
+      }
+      if (instr.HasDst()) {
+        d.dst_width = instr.Dst().width;
+        d.dst_id = instr.Dst().id;
+      }
+      if (instr.op == isa::Opcode::kSt && instr.srcs.size() > 2) {
+        d.store_width =
+            instr.srcs[2].IsReg() ? instr.srcs[2].width : std::uint8_t{1};
+      }
+      // Scoreboard ranges: sources first, then in-flight destinations
+      // (a destination still pending must land before redefinition).
+      // Virtual calls can carry arbitrarily many vreg arguments, but
+      // only physical registers participate, and allocated calls are
+      // bare — the 4-entry capacity covers every allocated form.
+      if (instr.op != isa::Opcode::kCal || func.allocated) {
+        for (const isa::Operand& op : instr.srcs) {
+          AddRegRef(&d, op);
+        }
+        for (const isa::Operand& op : instr.dsts) {
+          AddRegRef(&d, op);
+        }
+      }
+      if (spec != nullptr) {
+        if (instr.op == isa::Opcode::kLd) {
+          d.mem_lines = GlobalLines(*spec, instr, d.dst_width);
+        } else if (instr.op == isa::Opcode::kSt) {
+          d.mem_lines = GlobalLines(*spec, instr, d.store_width);
+        }
+        d.issue_cycles = std::max<std::uint32_t>(
+            d.dst_width,
+            d.is_sfu ? 1u << spec->timing.sfu_throughput_shift : 1u);
+      }
       if (isa::IsBranch(instr.op)) {
         const auto it = func.labels.find(instr.target);
         ORION_CHECK_MSG(it != func.labels.end(),
                         "unresolved label " + instr.target);
         linked.branch_target[ii] = static_cast<std::int32_t>(it->second);
+        d.branch_target = linked.branch_target[ii];
       } else if (instr.op == isa::Opcode::kCal) {
         bool found = false;
         for (std::uint32_t ci = 0; ci < n; ++ci) {
@@ -35,6 +227,13 @@ LinkedModule::LinkedModule(const isa::Module& module) : module_(&module) {
           }
         }
         ORION_CHECK_MSG(found, "unresolved callee " + instr.target);
+        d.call_target = linked.call_target[ii];
+      }
+    }
+    if (spec != nullptr) {
+      linked.hot.reserve(linked.decoded.size());
+      for (const DecodedInstr& d : linked.decoded) {
+        linked.hot.push_back(ToHot(d, *spec));
       }
     }
   }

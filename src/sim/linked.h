@@ -1,27 +1,138 @@
-// Linked view of a module: branch labels and call targets resolved to
-// indices, shared by the interpreter and the timing simulator.
+// Linked, pre-decoded view of a module.
+//
+// Linking resolves branch labels and call targets to indices once, and
+// additionally pre-decodes every instruction into a dense
+// execution-ready form consumed by the engines' hot loops:
+//
+//   * operand classes flattened into fixed-size POD descriptors (no
+//     std::vector hop per operand read),
+//   * scoreboard register ranges precomputed (the physical-register
+//     words an instruction reads/overwrites),
+//   * global-memory line footprints and issue occupancy precomputed
+//     when a GpuSpec is supplied (they depend only on the instruction
+//     and the target's warp/line geometry),
+//   * the highest virtual register id, so the functional interpreter
+//     can use flat per-frame vreg arrays instead of a map.
+//
+// Shared by the interpreter and the timing simulator.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "isa/isa.h"
 
+namespace orion::arch {
+struct GpuSpec;
+}  // namespace orion::arch
+
 namespace orion::sim {
+
+// Flattened isa::Operand.
+struct DecodedOperand {
+  isa::OperandKind kind = isa::OperandKind::kNone;
+  std::uint8_t width = 1;
+  isa::SpecialReg sreg = isa::SpecialReg::kTid;
+  std::uint32_t id = 0;
+  std::int64_t imm = 0;
+  std::uint32_t imm_word = 0;  // imm truncated to one register word
+};
+
+// One scoreboard reference: `count` consecutive register-file words
+// starting at word `first`.
+struct RegRange {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+// Dense execution-ready form of one instruction.  `raw` stays valid for
+// the few consumers that need the full isa::Instruction (ALU semantics,
+// virtual-call argument binding).
+struct DecodedInstr {
+  const isa::Instruction* raw = nullptr;
+  isa::Opcode op = isa::Opcode::kNop;
+  isa::MemSpace space = isa::MemSpace::kGlobal;
+  isa::CmpKind cmp = isa::CmpKind::kLt;     // kSetp comparison
+  isa::CmpType cmp_type = isa::CmpType::kInt;
+  bool is_sfu = false;
+  bool scattered = false;  // global access with the scatter stride
+  std::uint8_t num_srcs = 0;
+  std::uint8_t dst_width = 0;    // 0 when the instruction has no destination
+  std::uint8_t store_width = 1;  // kSt value width
+  std::uint8_t num_reg_refs = 0;
+  std::uint32_t dst_id = 0;
+  std::int32_t branch_target = -1;  // resolved branch target, or -1
+  std::int32_t call_target = -1;    // callee function index, or -1
+  // Spec-dependent precomputations (valid when linked with a GpuSpec):
+  std::uint32_t mem_lines = 1;      // distinct cache lines per global access
+  std::uint32_t issue_cycles = 1;   // issue-slot occupancy of ALU-class ops
+  std::array<DecodedOperand, 3> srcs{};
+  std::array<RegRange, 4> reg_refs{};  // physical srcs + dsts (scoreboard)
+};
+
+// Compact source operand for the timing engine's hot loop.
+struct HotOp {
+  // 0 = immediate, 1 = physical register, 2 = special register,
+  // 3 = unsupported by the timing engine (virtual register etc.)
+  std::uint8_t kind = 0;
+  std::uint8_t pad = 0;
+  std::uint16_t id = 0;        // register word index / isa::SpecialReg
+  std::uint32_t imm_word = 0;  // immediate truncated to a register word
+};
+
+struct HotRegRange {
+  std::uint16_t first = 0;
+  std::uint16_t count = 0;
+};
+
+// One-cache-line execution record consumed by the event-driven timing
+// engine: everything the per-instruction hot path reads, and nothing
+// else.  Instructions whose encodings do not fit (huge immediates,
+// virtual operands) set kHotInvalid and throw if ever executed — the
+// timing engine only runs allocated kernels, where they cannot appear.
+struct alignas(64) HotInstr {
+  static constexpr std::uint8_t kFlagSfu = 1;
+  static constexpr std::uint8_t kFlagScattered = 2;
+  static constexpr std::uint8_t kFlagInvalid = 4;
+
+  std::uint8_t op = 0;     // isa::Opcode
+  std::uint8_t space = 0;  // isa::MemSpace
+  std::uint8_t flags = 0;
+  std::uint8_t dst_width = 0;  // 0 when the instruction has no destination
+  std::uint8_t store_width = 1;
+  std::uint8_t num_reg_refs = 0;
+  std::uint8_t issue_cycles = 1;
+  std::uint8_t cmp_bits = 0;  // CmpKind | CmpType << 4
+  std::uint16_t dst_id = 0;
+  std::uint16_t mem_lines = 1;
+  std::int32_t target = -1;   // resolved branch / callee index
+  std::int32_t mem_off = 0;   // address-forming immediate (srcs[1])
+  std::array<HotOp, 3> srcs{};
+  std::array<HotRegRange, 4> reg_refs{};
+  std::uint32_t exec_lat = 0;  // result latency of ALU/SFU/S2R ops
+};
+static_assert(sizeof(HotInstr) == 64, "HotInstr must stay one cache line");
 
 struct LinkedFunction {
   const isa::Function* func = nullptr;
-  // Per instruction: resolved branch target (instruction index; the
-  // function-end index means "fall off" and is treated as exit/return),
-  // or -1 for non-branches.
+  std::vector<DecodedInstr> decoded;  // one per instruction, index == pc
+  std::vector<HotInstr> hot;          // spec-linked compact form (same size)
+  std::uint32_t max_vreg = 0;         // highest vreg id + 1 (virtual modules)
+  // Legacy per-instruction target tables (kept for existing callers):
+  // resolved branch target (instruction index; the function-end index
+  // means "fall off" and is treated as exit/return), or -1.
   std::vector<std::int32_t> branch_target;
-  // Per instruction: callee function index, or -1 for non-calls.
+  // Callee function index, or -1 for non-calls.
   std::vector<std::int32_t> call_target;
 };
 
 class LinkedModule {
  public:
-  explicit LinkedModule(const isa::Module& module);
+  // `spec` enables the spec-dependent precomputations (line footprints,
+  // issue occupancy); pass nullptr for pure functional execution.
+  explicit LinkedModule(const isa::Module& module,
+                        const arch::GpuSpec* spec = nullptr);
 
   const isa::Module& module() const { return *module_; }
   const LinkedFunction& func(std::uint32_t index) const { return funcs_[index]; }

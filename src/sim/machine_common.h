@@ -1,0 +1,110 @@
+// Internals shared by the two timing-engine implementations
+// (sim/gpu_sim.cpp: event-driven; sim/gpu_sim_ref.cpp: reference
+// per-cycle stepping).  Both engines feed identical raw counters into
+// FinalizeResult so their SimResults are bit-identical by construction
+// whenever their execution traces agree — the determinism contract
+// tests/determinism_test.cpp enforces.
+//
+// This header is private to src/sim; it is not part of the public
+// simulator API.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "arch/gpu_spec.h"
+#include "arch/occupancy.h"
+#include "sim/gpu_sim.h"
+#include "sim/memory.h"
+
+namespace orion::sim::machine_detail {
+
+// Local-memory traffic is mapped into a dedicated address region above
+// the global data so it exercises the caches without aliasing user data.
+inline constexpr std::uint64_t kLocalRegionBase = std::uint64_t{1} << 40;
+
+// Simulations that exceed this cycle count are assumed non-terminating.
+inline constexpr std::uint64_t kHardStopCycles = 4'000'000'000ULL;
+
+struct InstrCounters {
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t alu_instructions = 0;
+  std::uint64_t sfu_instructions = 0;
+  std::uint64_t mem_instructions = 0;
+};
+
+// Converts the end-of-run machine state into a SimResult, including the
+// energy model: dynamic per-instruction components plus static power
+// scaled by the allocated fraction of register file and shared memory.
+// The shared-memory static fraction divides by the shared-memory size
+// of the *active cache configuration* (48KB or 16KB), not a hardcoded
+// 48KB — large-cache configs allocate against a 16KB pool.
+inline SimResult FinalizeResult(const arch::GpuSpec& spec,
+                                arch::CacheConfig config,
+                                const isa::Module& module,
+                                const arch::OccupancyResult& occ,
+                                std::uint64_t end_cycle,
+                                const InstrCounters& counters,
+                                const MemoryStats& mem_stats) {
+  SimResult result;
+  result.cycles = end_cycle + spec.timing.kernel_launch_overhead;
+  result.ms = static_cast<double>(result.cycles) /
+              (spec.timing.core_clock_mhz * 1000.0);
+  result.warp_instructions = counters.warp_instructions;
+  result.alu_instructions = counters.alu_instructions;
+  result.sfu_instructions = counters.sfu_instructions;
+  result.mem_instructions = counters.mem_instructions;
+  result.mem = mem_stats;
+  result.occupancy = occ;
+
+  const arch::EnergyParams& e = spec.energy;
+  double dynamic = 0.0;
+  dynamic += static_cast<double>(counters.alu_instructions) * e.alu_energy;
+  dynamic += static_cast<double>(counters.sfu_instructions) * e.sfu_energy;
+  dynamic += static_cast<double>(result.mem.smem_accesses) * e.smem_energy;
+  dynamic += static_cast<double>(result.mem.l1_hits + result.mem.l1_misses) *
+             e.l1_energy;
+  dynamic += static_cast<double>(result.mem.l2_hits + result.mem.l2_misses) *
+             e.l2_energy;
+  dynamic += static_cast<double>(result.mem.dram_transactions) * e.dram_energy;
+  const double reg_fraction =
+      std::min(1.0, static_cast<double>(occ.active_threads_per_sm) *
+                        module.usage.regs_per_thread /
+                        spec.registers_per_sm);
+  const double smem_fraction =
+      std::min(1.0,
+               static_cast<double>(occ.active_blocks_per_sm) *
+                   (module.usage.user_smem_bytes_per_block +
+                    module.usage.SmemBytesPerThread() *
+                        module.launch.block_dim) /
+                   static_cast<double>(spec.SmemBytes(config)));
+  const double static_power = e.base_static_power +
+                              e.regfile_static_power * reg_fraction +
+                              e.smem_static_power * smem_fraction;
+  result.energy = dynamic + static_power * static_cast<double>(result.cycles) *
+                                spec.num_sms / 100.0;
+  return result;
+}
+
+}  // namespace orion::sim::machine_detail
+
+namespace orion::sim {
+
+// Entry point of the reference (seed) per-cycle stepping engine,
+// implemented in gpu_sim_ref.cpp.
+SimResult RunReferenceMachine(const arch::GpuSpec& spec,
+                              arch::CacheConfig config,
+                              const isa::Module& module, GlobalMemory* gmem,
+                              const std::vector<std::uint32_t>& params,
+                              const arch::OccupancyResult& occ,
+                              std::uint32_t first_block,
+                              std::uint32_t num_blocks);
+
+// Entry point of the event-driven engine, implemented in gpu_sim.cpp.
+SimResult RunEventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
+                          const isa::Module& module, GlobalMemory* gmem,
+                          const std::vector<std::uint32_t>& params,
+                          const arch::OccupancyResult& occ,
+                          std::uint32_t first_block, std::uint32_t num_blocks);
+
+}  // namespace orion::sim

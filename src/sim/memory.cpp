@@ -12,12 +12,27 @@ CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
   ORION_CHECK(line_bytes > 0 && assoc > 0);
   num_sets_ = std::max<std::uint32_t>(1, size_bytes / line_bytes / assoc);
   ways_.assign(static_cast<std::size_t>(num_sets_) * assoc_, Way{});
+  const auto is_pow2 = [](std::uint32_t v) { return (v & (v - 1)) == 0; };
+  if (is_pow2(line_bytes_) && is_pow2(num_sets_)) {
+    pow2_geometry_ = true;
+    while ((1u << line_shift_) < line_bytes_) {
+      ++line_shift_;
+    }
+    set_mask_ = num_sets_ - 1;
+  }
 }
 
 bool CacheModel::Access(std::uint64_t byte_addr) {
   ++tick_;
-  const std::uint64_t line = byte_addr / line_bytes_;
-  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  std::uint64_t line;
+  std::uint32_t set;
+  if (pow2_geometry_) {
+    line = byte_addr >> line_shift_;
+    set = static_cast<std::uint32_t>(line) & set_mask_;
+  } else {
+    line = byte_addr / line_bytes_;
+    set = static_cast<std::uint32_t>(line % num_sets_);
+  }
   Way* base = &ways_[static_cast<std::size_t>(set) * assoc_];
   Way* victim = base;
   for (std::uint32_t w = 0; w < assoc_; ++w) {
@@ -99,7 +114,7 @@ std::uint64_t MemorySystem::AccessLoad(std::uint32_t sm,
                                        std::uint64_t byte_addr,
                                        std::uint32_t lines, bool through_l1,
                                        bool scattered, std::uint64_t now) {
-  ORION_CHECK(sm < l1_.size());
+  ORION_DCHECK(sm < l1_.size());
   const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;
   std::uint64_t ready = now;
   for (std::uint32_t i = 0; i < lines; ++i) {
@@ -124,7 +139,7 @@ std::uint64_t MemorySystem::AccessLoad(std::uint32_t sm,
 void MemorySystem::AccessStore(std::uint32_t sm, std::uint64_t byte_addr,
                                std::uint32_t lines, bool through_l1,
                                std::uint64_t now) {
-  ORION_CHECK(sm < l1_.size());
+  ORION_DCHECK(sm < l1_.size());
   // Write-through with no allocate-stall: bandwidth is consumed, the
   // warp does not wait.
   const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;

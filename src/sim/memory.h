@@ -58,6 +58,12 @@ class CacheModel {
   std::uint32_t line_bytes_;
   std::uint32_t num_sets_;
   std::uint32_t assoc_;
+  // Shift/mask fast path when line size and set count are powers of two
+  // (they are for every modeled GPU); the divide path is kept for
+  // arbitrary geometries.  Same line/set values either way.
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t set_mask_ = 0;
+  bool pow2_geometry_ = false;
   std::vector<Way> ways_;  // num_sets_ * assoc_
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

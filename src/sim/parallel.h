@@ -1,0 +1,73 @@
+// Deterministic parallel evaluation of independent candidate launches.
+//
+// Orion repeatedly evaluates many kernel versions against the same
+// input (compile-time selection sweeps, runtime-tuner probes, the
+// benchmark harness's exhaustive baselines).  Each candidate launch is
+// independent: it reads and writes only its own copy of global memory,
+// and the simulator itself is single-threaded per launch.  ParallelSweep
+// fans those candidates out over a thread pool.
+//
+// Determinism contract: results depend only on the candidate list and
+// the base memory image, never on the thread count or the order in
+// which workers pick up candidates.  Each candidate gets a private copy
+// of the base GlobalMemory, outcomes are stored by candidate index, and
+// exceptions are rethrown for the lowest failing index — so
+// ParallelSweep(threads=N) is bit-identical to a serial loop
+// (tests/determinism_test.cpp enforces this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "sim/gpu_sim.h"
+#include "sim/memory.h"
+
+namespace orion::sim {
+
+// One candidate in a sweep: a kernel version plus the parameter vector
+// of every launch to run against it (in order, sharing one memory
+// image — matching how the harness iterates a workload).
+struct SweepCandidate {
+  const isa::Module* module = nullptr;
+  std::vector<std::vector<std::uint32_t>> iteration_params;
+  std::uint32_t dynamic_smem_bytes = 0;
+};
+
+// Everything a candidate's evaluation produced.
+struct SweepOutcome {
+  std::vector<SimResult> launches;  // one per iteration, in order
+  GlobalMemory memory{0};           // final memory image of this candidate
+};
+
+// Runs `fn(i)` for i in [0, n) across `threads` workers (0 = hardware
+// concurrency).  Work is claimed from an atomic counter; any exception
+// is rethrown in the caller for the lowest failing index.
+void ParallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& fn);
+
+class ParallelSweep {
+ public:
+  // `threads` = 0 uses hardware concurrency (at least 1).
+  ParallelSweep(const arch::GpuSpec& spec, arch::CacheConfig config,
+                unsigned threads = 0,
+                SimEngine engine = SimEngine::kEventDriven);
+
+  // Evaluates every candidate against a private copy of `base`.
+  // Outcome i corresponds to candidates[i] regardless of thread count.
+  std::vector<SweepOutcome> Run(const std::vector<SweepCandidate>& candidates,
+                                const GlobalMemory& base) const;
+
+  unsigned threads() const { return threads_; }
+  SimEngine engine() const { return engine_; }
+
+ private:
+  const arch::GpuSpec& spec_;
+  arch::CacheConfig config_;
+  unsigned threads_;
+  SimEngine engine_;
+};
+
+}  // namespace orion::sim

@@ -1,0 +1,253 @@
+// The simulator's determinism contract.
+//
+// Two independent engines implement the machine model (sim/gpu_sim.h):
+// the event-driven calendar (default) and the reference per-cycle
+// stepping loop.  This suite pins the contract the rest of the system
+// relies on:
+//
+//   * the two engines produce bit-identical SimResults (cycles,
+//     instruction counts, cache statistics, energy — doubles compared
+//     exactly) and bit-identical global-memory images, across
+//     workloads, iterations and cache configurations;
+//   * sim::ParallelSweep produces identical outcomes for any thread
+//     count, and those outcomes equal a serial simulation loop;
+//   * DynamicTuner::PlanFromSweep replays exactly the walk the live
+//     feedback tuner performs over the same runtimes.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "runtime/dynamic_tuner.h"
+#include "sim/gpu_sim.h"
+#include "sim/memory.h"
+#include "sim/parallel.h"
+#include "workloads/workloads.h"
+
+namespace orion::sim {
+namespace {
+
+GlobalMemory MakeSeededMemory(std::size_t words, std::uint64_t seed) {
+  GlobalMemory gmem(words);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+void ExpectBitIdentical(const SimResult& a, const SimResult& b,
+                        const std::string& label) {
+  EXPECT_TRUE(BitIdentical(a, b)) << label << ": cycles " << a.cycles << "/"
+                                  << b.cycles << ", ms " << a.ms << "/" << b.ms
+                                  << ", energy " << a.energy << "/" << b.energy
+                                  << ", instrs " << a.warp_instructions << "/"
+                                  << b.warp_instructions;
+}
+
+// --- event engine vs reference engine ----------------------------------
+
+class EngineEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineEquivalence, EventMatchesReferenceBitExactly) {
+  const workloads::Workload w = workloads::MakeWorkload(GetParam());
+  for (const arch::CacheConfig config :
+       {arch::CacheConfig::kSmallCache, arch::CacheConfig::kLargeCache}) {
+    const arch::GpuSpec& spec = arch::Gtx680();
+    const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+
+    GpuSimulator event_sim(spec, config, SimEngine::kEventDriven);
+    GpuSimulator ref_sim(spec, config, SimEngine::kReference);
+    GlobalMemory event_mem = MakeSeededMemory(w.gmem_words, w.seed);
+    GlobalMemory ref_mem = MakeSeededMemory(w.gmem_words, w.seed);
+
+    // Several iterations so the second engine consumes memory the first
+    // iteration mutated — divergence compounds and cannot hide.
+    const std::uint32_t iterations = 3;
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+      const SimResult ev =
+          event_sim.LaunchAll(compiled, &event_mem, w.ParamsFor(it));
+      const SimResult rf =
+          ref_sim.LaunchAll(compiled, &ref_mem, w.ParamsFor(it));
+      ExpectBitIdentical(ev, rf,
+                         GetParam() + " iteration " + std::to_string(it));
+    }
+    EXPECT_EQ(event_mem.words(), ref_mem.words())
+        << GetParam() << ": engines diverged in global memory";
+  }
+}
+
+// Stencil with barriers + shared memory, tiled reuse, scattered graph
+// traversal, and plain streaming — the memory behaviours that stress
+// different engine paths.
+INSTANTIATE_TEST_SUITE_P(Workloads, EngineEquivalence,
+                         ::testing::Values("srad", "matrixmul", "bfs",
+                                           "hotspot"));
+
+// Split launches (kernel splitting) must agree too: partial grids
+// exercise block installation and the event calendar's tail drain.
+TEST(EngineEquivalenceSplit, PartialGridsMatch) {
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+  const std::uint32_t grid = compiled.launch.grid_dim;
+
+  GpuSimulator event_sim(spec, arch::CacheConfig::kSmallCache,
+                         SimEngine::kEventDriven);
+  GpuSimulator ref_sim(spec, arch::CacheConfig::kSmallCache,
+                       SimEngine::kReference);
+  GlobalMemory event_mem = MakeSeededMemory(w.gmem_words, w.seed);
+  GlobalMemory ref_mem = MakeSeededMemory(w.gmem_words, w.seed);
+
+  const SimResult ev_a =
+      event_sim.Launch(compiled, &event_mem, w.params, 0, grid / 2);
+  const SimResult rf_a =
+      ref_sim.Launch(compiled, &ref_mem, w.params, 0, grid / 2);
+  ExpectBitIdentical(ev_a, rf_a, "first half");
+  const SimResult ev_b = event_sim.Launch(compiled, &event_mem, w.params,
+                                          grid / 2, grid - grid / 2);
+  const SimResult rf_b = ref_sim.Launch(compiled, &ref_mem, w.params,
+                                        grid / 2, grid - grid / 2);
+  ExpectBitIdentical(ev_b, rf_b, "second half");
+  EXPECT_EQ(event_mem.words(), ref_mem.words());
+}
+
+// --- ParallelSweep ------------------------------------------------------
+
+std::vector<SweepCandidate> MakeCandidates(
+    const runtime::MultiVersionBinary& binary, const workloads::Workload& w,
+    std::uint32_t iterations) {
+  std::vector<SweepCandidate> candidates(binary.versions.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const runtime::KernelVersion& version = binary.versions[i];
+    candidates[i].module = &binary.ModuleOf(version);
+    candidates[i].dynamic_smem_bytes = version.smem_padding_bytes;
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+      candidates[i].iteration_params.push_back(w.ParamsFor(it));
+    }
+  }
+  return candidates;
+}
+
+void ExpectSameOutcomes(const std::vector<SweepOutcome>& a,
+                        const std::vector<SweepOutcome>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].launches.size(), b[i].launches.size()) << label;
+    for (std::size_t j = 0; j < a[i].launches.size(); ++j) {
+      ExpectBitIdentical(a[i].launches[j], b[i].launches[j],
+                         label + " candidate " + std::to_string(i));
+    }
+    EXPECT_EQ(a[i].memory.words(), b[i].memory.words())
+        << label << " candidate " << i << ": memory diverged";
+  }
+}
+
+TEST(ParallelSweepDeterminism, IdenticalAcrossThreadCounts) {
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(w.module, spec, options);
+  ASSERT_GE(all.versions.size(), 2u);
+  const std::vector<SweepCandidate> candidates = MakeCandidates(all, w, 2);
+  const GlobalMemory base = MakeSeededMemory(w.gmem_words, w.seed);
+
+  const arch::CacheConfig config = arch::CacheConfig::kSmallCache;
+  const std::vector<SweepOutcome> serial =
+      ParallelSweep(spec, config, 1).Run(candidates, base);
+  const std::vector<SweepOutcome> two =
+      ParallelSweep(spec, config, 2).Run(candidates, base);
+  const std::vector<SweepOutcome> hardware =
+      ParallelSweep(spec, config, 0).Run(candidates, base);
+
+  ExpectSameOutcomes(serial, two, "threads=1 vs threads=2");
+  ExpectSameOutcomes(serial, hardware, "threads=1 vs hardware");
+}
+
+TEST(ParallelSweepDeterminism, MatchesSerialSimulationLoop) {
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(w.module, spec, options);
+  const std::uint32_t iterations = 2;
+  const std::vector<SweepCandidate> candidates =
+      MakeCandidates(all, w, iterations);
+  const GlobalMemory base = MakeSeededMemory(w.gmem_words, w.seed);
+
+  const arch::CacheConfig config = arch::CacheConfig::kSmallCache;
+  const std::vector<SweepOutcome> swept =
+      ParallelSweep(spec, config, 0).Run(candidates, base);
+
+  ASSERT_EQ(swept.size(), all.versions.size());
+  for (std::size_t i = 0; i < all.versions.size(); ++i) {
+    GpuSimulator sim(spec, config);
+    GlobalMemory mem = base;
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+      const SimResult sr =
+          sim.LaunchAll(*candidates[i].module, &mem, w.ParamsFor(it),
+                        candidates[i].dynamic_smem_bytes);
+      ExpectBitIdentical(sr, swept[i].launches[it],
+                         "serial loop vs sweep, version " + std::to_string(i));
+    }
+    EXPECT_EQ(mem.words(), swept[i].memory.words());
+  }
+}
+
+TEST(ParallelSweepDeterminism, ExceptionRethrownForLowestIndex) {
+  // n tasks, several of which throw: the serial-equivalent (lowest
+  // index) exception must surface regardless of scheduling.
+  for (unsigned threads : {1u, 4u}) {
+    try {
+      ParallelFor(8, threads, [](std::size_t i) {
+        if (i >= 3) {
+          throw OrionError("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const OrionError& e) {
+      EXPECT_STREQ(e.what(), "task 3") << "threads=" << threads;
+    }
+  }
+}
+
+// --- PlanFromSweep vs the live feedback walk ---------------------------
+
+TEST(PlanFromSweep, ReplaysLiveTunerWalk) {
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, options);
+  ASSERT_GE(binary.NumCandidates(), 2u);
+
+  // Synthetic per-candidate runtimes with a strict interior optimum so
+  // the walk must probe past it and retreat.
+  std::vector<double> ms(binary.NumCandidates());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    ms[i] = 1.0 + 0.1 * static_cast<double>((i + 1) % ms.size());
+  }
+
+  const runtime::TunerPlan plan =
+      runtime::DynamicTuner::PlanFromSweep(binary, ms, 0.02);
+
+  runtime::DynamicTuner live(&binary, 0.02);
+  std::vector<std::uint32_t> live_visits;
+  while (!live.Finalized() &&
+         live_visits.size() < binary.NumCandidates() + 1) {
+    const std::uint32_t version = live.NextVersion();
+    live_visits.push_back(version);
+    live.ReportRuntime(ms[version]);
+  }
+  EXPECT_EQ(plan.visits, live_visits);
+  EXPECT_EQ(plan.final_version, live.FinalVersion());
+  EXPECT_EQ(plan.iterations_to_settle, live.IterationsToSettle());
+}
+
+}  // namespace
+}  // namespace orion::sim
