@@ -2,9 +2,17 @@
 //
 // Orion is a compiler + runtime; most failures are programmer errors
 // (malformed ISA, invalid occupancy request) and are reported through
-// OrionError exceptions carrying a formatted message.  Recoverable
-// conditions (e.g. "this occupancy level is not realizable") are
-// expressed through std::optional / status returns at the call site.
+// OrionError exceptions carrying a formatted message.
+//
+// The exception/Status boundary: exceptions mean "this module (or the
+// caller's contract) is broken" and may abort the whole operation;
+// *candidate-scoped* failures — one occupancy level, one launch, one
+// measurement — travel as orion::Status / Result<T> values
+// (common/status.h) so the fault-tolerant tuning pipeline can skip and
+// record them (docs/ROBUSTNESS.md).  Layers that still throw (the ISA
+// decoder, the simulator) are wrapped at the candidate boundary:
+// core::CompileAtLevel converts CompileError, and runtime::LaunchGuard
+// converts LaunchError/DecodeError, into Status.
 #pragma once
 
 #include <stdexcept>

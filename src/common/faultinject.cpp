@@ -1,0 +1,158 @@
+#include "common/faultinject.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace orion {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+// Each hook owns an independent stream derived from the plan seed, so
+// the number of draws at one hook cannot perturb another.
+std::uint64_t HookSeed(std::uint64_t seed, std::uint64_t salt) {
+  return seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string_view token : SplitTokens(spec, ",;")) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "fault-plan entry '" + std::string(token) +
+                               "' is not key=value");
+    }
+    const std::string_view key = Trim(token.substr(0, eq));
+    const std::string_view value = Trim(token.substr(eq + 1));
+    if (key == "seed") {
+      std::int64_t seed = 0;
+      if (!ParseInt(value, &seed) || seed < 0) {
+        return Status::Error(StatusCode::kInvalidArgument,
+                             "bad fault-plan seed '" + std::string(value) + "'");
+      }
+      plan.seed = static_cast<std::uint64_t>(seed);
+      continue;
+    }
+    double probability = 0.0;
+    if (!ParseDouble(value, &probability) || probability < 0.0 ||
+        probability > 1.0) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "fault-plan value for '" + std::string(key) +
+                               "' must be a probability in [0,1], got '" +
+                               std::string(value) + "'");
+    }
+    if (key == "decode.bitflip") {
+      plan.decode_bitflip = probability;
+    } else if (key == "decode.truncate") {
+      plan.decode_truncate = probability;
+    } else if (key == "compile.fail") {
+      plan.compile_fail = probability;
+    } else if (key == "launch.transient") {
+      plan.launch_transient = probability;
+    } else if (key == "launch.hang") {
+      plan.launch_hang = probability;
+    } else if (key == "measure.noise") {
+      plan.measure_noise = probability;
+    } else {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "unknown fault-plan key '" + std::string(key) + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  return StrFormat(
+      "seed=%llu,decode.bitflip=%g,decode.truncate=%g,compile.fail=%g,"
+      "launch.transient=%g,launch.hang=%g,measure.noise=%g",
+      static_cast<unsigned long long>(seed), decode_bitflip, decode_truncate,
+      compile_fail, launch_transient, launch_hang, measure_noise);
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      decode_rng_(HookSeed(plan.seed, 1)),
+      compile_rng_(HookSeed(plan.seed, 2)),
+      launch_rng_(HookSeed(plan.seed, 3)),
+      measure_rng_(HookSeed(plan.seed, 4)) {}
+
+bool FaultInjector::MutateEncodedModule(std::vector<std::uint8_t>* bytes) {
+  if (bytes->empty()) {
+    return false;
+  }
+  bool mutated = false;
+  if (plan_.decode_truncate > 0.0 &&
+      decode_rng_.NextBool(plan_.decode_truncate)) {
+    // Drop a random non-empty suffix.
+    bytes->resize(decode_rng_.NextBounded(bytes->size()));
+    mutated = true;
+  }
+  if (!bytes->empty() && plan_.decode_bitflip > 0.0 &&
+      decode_rng_.NextBool(plan_.decode_bitflip)) {
+    const std::uint64_t flips = 1 + decode_rng_.NextBounded(8);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      const std::size_t at = decode_rng_.NextBounded(bytes->size());
+      (*bytes)[at] ^= static_cast<std::uint8_t>(
+          1u << decode_rng_.NextBounded(8));
+    }
+    mutated = true;
+  }
+  if (mutated) {
+    ++counters_.decode_mutations;
+  }
+  return mutated;
+}
+
+bool FaultInjector::ShouldFailCompile() {
+  if (plan_.compile_fail <= 0.0 ||
+      !compile_rng_.NextBool(plan_.compile_fail)) {
+    return false;
+  }
+  ++counters_.compile_faults;
+  return true;
+}
+
+LaunchFault FaultInjector::NextLaunchFault() {
+  // One draw decides the attempt's fate; [0, hang) hangs,
+  // [hang, hang + transient) is transient, the rest is clean.
+  if (plan_.launch_hang <= 0.0 && plan_.launch_transient <= 0.0) {
+    return LaunchFault::kNone;
+  }
+  const double draw = launch_rng_.NextDouble();
+  if (draw < plan_.launch_hang) {
+    ++counters_.hangs;
+    return LaunchFault::kHang;
+  }
+  if (draw < plan_.launch_hang + plan_.launch_transient) {
+    ++counters_.transient_faults;
+    return LaunchFault::kTransient;
+  }
+  return LaunchFault::kNone;
+}
+
+double FaultInjector::PerturbMeasurement(double ms) {
+  if (plan_.measure_noise <= 0.0) {
+    return ms;
+  }
+  ++counters_.perturbed_measurements;
+  const double noisy =
+      ms * (1.0 + plan_.measure_noise * measure_rng_.NextGaussian());
+  // A measurement can be arbitrarily wrong but never non-positive.
+  return std::max(noisy, ms * 1e-3);
+}
+
+FaultInjector* FaultInjector::Current() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+void FaultInjector::Install(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+}  // namespace orion

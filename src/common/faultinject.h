@@ -1,0 +1,121 @@
+// Deterministic fault injection for the tuning pipeline.
+//
+// A FaultPlan names probabilities for each hook point; a FaultInjector
+// seeded from the plan draws from independent SplitMix64 streams per
+// hook, so the exact fault sequence is reproducible from the plan alone
+// and adding draws at one hook never shifts another hook's stream.
+//
+// Hook points (all no-ops when no injector is installed — the fast path
+// is one relaxed pointer load):
+//
+//   * binary decode      — bit-flips / truncation of the encoded bytes
+//                          before isa::DecodeModule parses them,
+//   * per-level compile  — core::CompileAtLevel fails the candidate,
+//   * launch             — runtime::LaunchGuard observes a transient
+//                          launch error or a forced hang,
+//   * measurement        — Gaussian relative noise on the runtime fed
+//                          to the Fig. 9 tuner.
+//
+// Installation is process-global and scoped (ScopedFaultInjector);
+// production runs never install one, and the guarded pipeline is
+// bit-identical to the unguarded pipeline in that state
+// (tests/determinism_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace orion {
+
+// What the launch hook injects for one launch attempt.
+enum class LaunchFault : std::uint8_t {
+  kNone = 0,
+  kTransient,  // the launch fails but a retry may succeed
+  kHang,       // the kernel never completes; only the watchdog ends it
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double decode_bitflip = 0.0;    // P[flip 1..8 bits of the image]
+  double decode_truncate = 0.0;   // P[drop a suffix of the image]
+  double compile_fail = 0.0;      // P[a candidate level fails to compile]
+  double launch_transient = 0.0;  // P[transient launch error per attempt]
+  double launch_hang = 0.0;       // P[forced hang per attempt]
+  double measure_noise = 0.0;     // Gaussian sigma, relative (0.05 = 5%)
+
+  // Parses "key=value" pairs separated by ',' or ';'.  Keys:
+  //   seed, decode.bitflip, decode.truncate, compile.fail,
+  //   launch.transient, launch.hang, measure.noise
+  // e.g. "seed=7,launch.transient=0.3,measure.noise=0.05".
+  static Result<FaultPlan> Parse(std::string_view spec);
+
+  std::string ToString() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // Decode hook: possibly corrupts `bytes` in place.  Returns true when
+  // a mutation was applied.
+  bool MutateEncodedModule(std::vector<std::uint8_t>* bytes);
+
+  // Per-level compile hook: true when this candidate must fail.
+  bool ShouldFailCompile();
+
+  // Launch hook: the fault (if any) for the next launch attempt.
+  LaunchFault NextLaunchFault();
+
+  // Measurement hook: returns ms perturbed by relative Gaussian noise,
+  // clamped positive.
+  double PerturbMeasurement(double ms);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  struct Counters {
+    std::uint64_t decode_mutations = 0;
+    std::uint64_t compile_faults = 0;
+    std::uint64_t transient_faults = 0;
+    std::uint64_t hangs = 0;
+    std::uint64_t perturbed_measurements = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  // Process-global installation.  The hooks sit on cold paths (decode,
+  // compile, launch boundaries), never in the simulator's instruction
+  // loops.
+  static FaultInjector* Current();
+  static void Install(FaultInjector* injector);  // nullptr uninstalls
+
+ private:
+  FaultPlan plan_;
+  Rng decode_rng_;
+  Rng compile_rng_;
+  Rng launch_rng_;
+  Rng measure_rng_;
+  Counters counters_;
+};
+
+// RAII installation for tests and orion-cc --fault-plan.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(const FaultPlan& plan) : injector_(plan) {
+    FaultInjector::Install(&injector_);
+  }
+  ~ScopedFaultInjector() { FaultInjector::Install(nullptr); }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace orion

@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <cmath>
+
 #include "common/error.h"
 
 namespace orion {
@@ -34,6 +36,13 @@ double Rng::NextDouble() {
 }
 
 bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  // Box–Muller; u1 is kept away from 0 so the log is finite.
+  const double u1 = (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.141592653589793 * u2);
+}
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xa02bdbf7bb3c0a7ULL); }
 

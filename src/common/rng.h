@@ -31,6 +31,11 @@ class Rng {
   // Bernoulli trial with probability p of returning true.
   bool NextBool(double p = 0.5);
 
+  // Standard normal deviate (Box–Muller over the SplitMix64 stream, so
+  // the sequence is identical across platforms).  Used for injected
+  // measurement noise.
+  double NextGaussian();
+
   // Derive an independent child generator (for parallel structures).
   Rng Fork();
 

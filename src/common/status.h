@@ -1,0 +1,153 @@
+// Recoverable-error primitives for candidate-scoped failure paths.
+//
+// Orion draws a hard line between two failure classes (see also the
+// header comment in common/error.h):
+//
+//   * Programmer errors and module-fatal conditions (malformed ISA, a
+//     kernel with no feasible occupancy at all) stay exceptions:
+//     OrionError and its subclasses.
+//   * Candidate-scoped failures — one occupancy level miscompiles, one
+//     launch faults, one measurement is unusable — are *expected* in a
+//     fault-tolerant tuning pipeline and travel as values: Status and
+//     Result<T>.  The tuner skips and records them; it never dies for
+//     one bad candidate.
+//
+// Status carries an error code plus a message that grows context as it
+// propagates (Status::WithContext), so a report like
+//   "compile candidate occ=0.500: register allocation: injected
+//    allocation fault"
+// names every layer the failure crossed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace orion {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller misuse detected at a recoverable boundary
+  kInfeasible,        // the request cannot be satisfied (expected, quiet)
+  kDecodeFault,       // corrupt candidate binary
+  kCompileFault,      // per-candidate compilation/allocation failure
+  kLaunchFault,       // transient or persistent launch failure
+  kWatchdogExpired,   // launch exceeded its cycle budget (hang)
+  kQuarantined,       // candidate disabled after repeated faults
+  kInternal,          // unexpected error mapped at a fault boundary
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kInfeasible:
+      return "infeasible";
+    case StatusCode::kDecodeFault:
+      return "decode-fault";
+    case StatusCode::kCompileFault:
+      return "compile-fault";
+    case StatusCode::kLaunchFault:
+      return "launch-fault";
+    case StatusCode::kWatchdogExpired:
+      return "watchdog-expired";
+    case StatusCode::kQuarantined:
+      return "quarantined";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(StatusCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Context chaining: prepend the caller's frame so the final message
+  // reads outermost-first, e.g. "tune srad: compile occ=0.500: <cause>".
+  Status WithContext(const std::string& context) const {
+    if (ok()) {
+      return *this;
+    }
+    return Status(code_, context + ": " + message_);
+  }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: a value or the Status explaining its absence.  The value
+// accessors mirror std::optional (has_value / operator-> / operator*)
+// so call sites that previously consumed std::optional keep working.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    ORION_CHECK_MSG(!status_.ok(), "Result constructed from an OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() {
+    ORION_CHECK_MSG(value_.has_value(), status_.ToString());
+    return *value_;
+  }
+  const T& value() const {
+    ORION_CHECK_MSG(value_.has_value(), status_.ToString());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // ok iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Early-return helper for Status-returning functions.
+#define ORION_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    const ::orion::Status status_ = (expr);  \
+    if (!status_.ok()) [[unlikely]] {        \
+      return status_;                        \
+    }                                        \
+  } while (false)
+
+}  // namespace orion

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/strings.h"
 #include "core/static_model.h"
 #include "isa/binary.h"
@@ -76,16 +77,38 @@ std::uint32_t SprivBudgetWords(const isa::Module& virt,
   return spare / 4 / virt.launch.block_dim;
 }
 
+// Records a level the compiler skipped because compilation *faulted*.
+// Expected infeasibility stays quiet: most kernels cannot realize most
+// levels and that is not a health event.
+void RecordSkip(runtime::MultiVersionBinary* binary,
+                const arch::OccupancyLevel& level, const Status& status) {
+  if (status.code() == StatusCode::kInfeasible) {
+    return;
+  }
+  binary->compile_skips.push_back(
+      {StrFormat("blocks=%u", level.blocks_per_sm), status});
+}
+
 }  // namespace
 
 std::uint32_t MaxLiveThreshold(const arch::GpuSpec& spec) {
   return spec.registers_per_sm / spec.max_threads_per_sm;
 }
 
-std::optional<runtime::KernelVersion> CompileAtLevel(
+Result<runtime::KernelVersion> CompileAtLevel(
     const isa::Module& virt, const arch::GpuSpec& spec,
     const arch::OccupancyLevel& level, const TuneOptions& options,
     std::vector<isa::Module>* module_pool) {
+  // Fault-injection hook: an installed injector can fail this level's
+  // compilation outright; the drivers must skip and record it.
+  if (FaultInjector* injector = FaultInjector::Current()) {
+    if (injector->ShouldFailCompile()) {
+      return Status::Error(
+          StatusCode::kCompileFault,
+          StrFormat("injected compile fault at level blocks=%u",
+                    level.blocks_per_sm));
+    }
+  }
   alloc::AllocBudget budget;
   budget.reg_words = level.reg_budget_per_thread;
   budget.spriv_slot_words = options.alloc.rehome_spills
@@ -96,8 +119,16 @@ std::optional<runtime::KernelVersion> CompileAtLevel(
   try {
     allocated =
         alloc::AllocateModule(virt, budget, options.alloc, &version.alloc_stats);
-  } catch (const CompileError&) {
-    return std::nullopt;  // level infeasible for this kernel
+  } catch (const CompileError& e) {
+    // Level infeasible for this kernel (budget below the spill floor) —
+    // the expected, quiet outcome.
+    return Status::Error(StatusCode::kInfeasible, e.what())
+        .WithContext(StrFormat("allocate at blocks=%u", level.blocks_per_sm));
+  } catch (const OrionError& e) {
+    // Anything else escaping the allocator is a per-candidate fault:
+    // skip the level, never kill the whole compile.
+    return Status::Error(StatusCode::kCompileFault, e.what())
+        .WithContext(StrFormat("allocate at blocks=%u", level.blocks_per_sm));
   }
 
   const std::optional<std::uint32_t> padding = PaddingForBlocks(
@@ -106,7 +137,10 @@ std::optional<runtime::KernelVersion> CompileAtLevel(
   version.occupancy = OccupancyOf(allocated, spec, options.cache_config,
                                   version.smem_padding_bytes);
   if (version.occupancy.active_blocks_per_sm == 0) {
-    return std::nullopt;
+    return Status::Error(
+        StatusCode::kInfeasible,
+        StrFormat("level blocks=%u schedules zero blocks after padding",
+                  level.blocks_per_sm));
   }
   version.tag = StrFormat("occ=%.3f", version.occupancy.occupancy);
   module_pool->push_back(std::move(allocated));
@@ -148,10 +182,12 @@ runtime::MultiVersionBinary EnumerateAllVersions(const isa::Module& virt,
   const std::vector<arch::OccupancyLevel> levels = arch::EnumerateOccupancyLevels(
       spec, options.cache_config, virt.launch.block_dim);
   for (const arch::OccupancyLevel& level : levels) {
-    std::optional<runtime::KernelVersion> version =
+    Result<runtime::KernelVersion> version =
         CompileAtLevel(virt, spec, level, options, &binary.modules);
     if (version.has_value()) {
       binary.versions.push_back(std::move(*version));
+    } else {
+      RecordSkip(&binary, level, version.status());
     }
   }
   if (binary.versions.empty()) {
@@ -224,9 +260,10 @@ runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
     // the per-thread share of the L1.
     std::optional<runtime::KernelVersion> conservative;
     for (const arch::OccupancyLevel& level : levels) {
-      std::optional<runtime::KernelVersion> version =
+      Result<runtime::KernelVersion> version =
           CompileAtLevel(virt, spec, level, options, &binary.modules);
       if (!version.has_value()) {
+        RecordSkip(&binary, level, version.status());
         continue;
       }
       const std::uint32_t threads =
@@ -234,7 +271,7 @@ runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
       const std::uint32_t l1_share =
           spec.L1Bytes(options.cache_config) / std::max(threads, 1u);
       if (version->alloc_stats.local_words * 4 <= l1_share) {
-        conservative = std::move(version);
+        conservative = std::move(*version);
         had_conservative = true;
         break;
       }
@@ -258,10 +295,12 @@ runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
         ups.push_back(std::move(v));
         continue;
       }
-      std::optional<runtime::KernelVersion> version =
+      Result<runtime::KernelVersion> version =
           CompileAtLevel(virt, spec, *it, options, &binary.modules);
       if (version.has_value()) {
         ups.push_back(std::move(*version));
+      } else {
+        RecordSkip(&binary, *it, version.status());
       }
     }
     for (runtime::KernelVersion& version : ups) {
@@ -322,12 +361,14 @@ runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
       if (it->blocks_per_sm <= original_blocks || added >= 2) {
         continue;
       }
-      std::optional<runtime::KernelVersion> version =
+      Result<runtime::KernelVersion> version =
           CompileAtLevel(virt, spec, *it, options, &binary.modules);
       if (version.has_value()) {
         version->tag = "failsafe-" + version->tag;
         binary.failsafe.push_back(std::move(*version));
         ++added;
+      } else {
+        RecordSkip(&binary, *it, version.status());
       }
     }
   }

@@ -27,6 +27,7 @@
 #include "alloc/allocator.h"
 #include "arch/gpu_spec.h"
 #include "arch/occupancy.h"
+#include "common/status.h"
 #include "runtime/multiversion.h"
 
 namespace orion::core {
@@ -42,10 +43,15 @@ struct TuneOptions {
 
 // Realizes one occupancy level: allocates under the level's register and
 // shared-memory budgets, then pads launch-time shared memory so the
-// driver schedules exactly level.blocks_per_sm blocks.  Returns nullopt
-// when the level is infeasible for this kernel (budget below the spill
-// floor).
-std::optional<runtime::KernelVersion> CompileAtLevel(
+// driver schedules exactly level.blocks_per_sm blocks.  A failing level
+// is never fatal: the Result carries kInfeasible when the level simply
+// cannot be realized for this kernel (budget below the spill floor —
+// the expected, quiet case) and kCompileFault when compilation failed
+// for an unexpected or injected reason (recorded by the multi-version
+// drivers as a CompileSkip).  Result<T> exposes the optional-style
+// has_value()/operator-> API, so `if (!version.has_value()) continue;`
+// call sites keep working.
+Result<runtime::KernelVersion> CompileAtLevel(
     const isa::Module& virt, const arch::GpuSpec& spec,
     const arch::OccupancyLevel& level, const TuneOptions& options,
     std::vector<isa::Module>* module_pool);

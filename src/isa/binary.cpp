@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/strings.h"
 
 namespace orion::isa {
@@ -66,11 +67,14 @@ class Reader {
     return out;
   }
   bool AtEnd() const { return pos_ == bytes_.size(); }
+  std::size_t pos() const { return pos_; }
 
  private:
   void Need(std::size_t n) {
     if (pos_ + n > bytes_.size()) {
-      throw DecodeError("truncated virtual binary");
+      throw DecodeError(StrFormat(
+          "truncated virtual binary: need %zu bytes at offset %zu, have %zu",
+          n, pos_, bytes_.size()));
     }
   }
   const std::vector<std::uint8_t>& bytes_;
@@ -99,7 +103,8 @@ void EncodeOperand(const Operand& op, Writer* w) {
 Operand DecodeOperand(Reader* r) {
   const std::uint8_t raw_kind = r->U8();
   if (raw_kind > static_cast<std::uint8_t>(OperandKind::kSpecial)) {
-    throw DecodeError("bad operand kind " + std::to_string(raw_kind));
+    throw DecodeError(StrFormat("bad operand kind %u at offset %zu", raw_kind,
+                                r->pos() - 1));
   }
   Operand op;
   op.kind = static_cast<OperandKind>(raw_kind);
@@ -111,7 +116,8 @@ Operand DecodeOperand(Reader* r) {
       op.id = r->U32();
       op.width = r->U8();
       if (op.width < 1 || op.width > 4) {
-        throw DecodeError("bad operand width " + std::to_string(op.width));
+        throw DecodeError(StrFormat("bad operand width %u at offset %zu",
+                                    op.width, r->pos() - 1));
       }
       break;
     }
@@ -121,7 +127,8 @@ Operand DecodeOperand(Reader* r) {
     case OperandKind::kSpecial: {
       const std::uint8_t raw = r->U8();
       if (raw > static_cast<std::uint8_t>(SpecialReg::kWarpId)) {
-        throw DecodeError("bad special register " + std::to_string(raw));
+        throw DecodeError(StrFormat("bad special register %u at offset %zu",
+                                    raw, r->pos() - 1));
       }
       op.sreg = static_cast<SpecialReg>(raw);
       break;
@@ -151,22 +158,29 @@ Instruction DecodeInstruction(Reader* r) {
   Instruction instr;
   const std::uint8_t raw_op = r->U8();
   if (raw_op >= static_cast<std::uint8_t>(Opcode::kOpcodeCount)) {
-    throw DecodeError("bad opcode " + std::to_string(raw_op));
+    throw DecodeError(
+        StrFormat("bad opcode %u at offset %zu", raw_op, r->pos() - 1));
   }
   instr.op = static_cast<Opcode>(raw_op);
   const std::uint8_t raw_space = r->U8();
   if (raw_space > static_cast<std::uint8_t>(MemSpace::kParam)) {
-    throw DecodeError("bad memory space " + std::to_string(raw_space));
+    throw DecodeError(
+        StrFormat("bad memory space %u at offset %zu", raw_space,
+                  r->pos() - 1));
   }
   instr.space = static_cast<MemSpace>(raw_space);
   const std::uint8_t raw_cmp = r->U8();
   if (raw_cmp > static_cast<std::uint8_t>(CmpKind::kGt)) {
-    throw DecodeError("bad comparison kind " + std::to_string(raw_cmp));
+    throw DecodeError(
+        StrFormat("bad comparison kind %u at offset %zu", raw_cmp,
+                  r->pos() - 1));
   }
   instr.cmp = static_cast<CmpKind>(raw_cmp);
   const std::uint8_t raw_cmp_type = r->U8();
   if (raw_cmp_type > static_cast<std::uint8_t>(CmpType::kFloat)) {
-    throw DecodeError("bad comparison type " + std::to_string(raw_cmp_type));
+    throw DecodeError(
+        StrFormat("bad comparison type %u at offset %zu", raw_cmp_type,
+                  r->pos() - 1));
   }
   instr.cmp_type = static_cast<CmpType>(raw_cmp_type);
   instr.stride = r->U16();
@@ -221,14 +235,19 @@ std::vector<std::uint8_t> EncodeModule(const Module& module) {
   return w.Take();
 }
 
-Module DecodeModule(const std::vector<std::uint8_t>& bytes) {
+namespace {
+
+Module DecodeModuleBytes(const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
-  if (r.U32() != kMagic) {
-    throw DecodeError("bad virtual binary magic");
+  const std::uint32_t magic = r.U32();
+  if (magic != kMagic) {
+    throw DecodeError(
+        StrFormat("bad virtual binary magic 0x%08x at offset 0", magic));
   }
   const std::uint16_t version = r.U16();
   if (version != kVersion) {
-    throw DecodeError(StrFormat("unsupported binary version %u", version));
+    throw DecodeError(StrFormat("unsupported binary version %u at offset 4",
+                                version));
   }
   Module module;
   module.name = r.Str();
@@ -264,15 +283,35 @@ Module DecodeModule(const std::vector<std::uint8_t>& bytes) {
     }
     for (const auto& [label, index] : func.labels) {
       if (index > func.NumInstrs()) {
-        throw DecodeError("label '" + label + "' out of range");
+        throw DecodeError(StrFormat(
+            "label '%s' out of range (index %u > %u instrs) at offset %zu",
+            label.c_str(), index, func.NumInstrs(), r.pos()));
       }
     }
     module.functions.push_back(std::move(func));
   }
   if (!r.AtEnd()) {
-    throw DecodeError("trailing bytes in virtual binary");
+    throw DecodeError(StrFormat(
+        "trailing bytes in virtual binary at offset %zu: %zu of %zu bytes "
+        "unconsumed",
+        r.pos(), bytes.size() - r.pos(), bytes.size()));
   }
   return module;
+}
+
+}  // namespace
+
+Module DecodeModule(const std::vector<std::uint8_t>& bytes) {
+  // Fault-injection hook: an installed injector may corrupt a copy of
+  // the image (bit-flips / truncation) before parsing; the decoder must
+  // then fail with a clean DecodeError, never crash or hang.
+  if (FaultInjector* injector = FaultInjector::Current()) {
+    std::vector<std::uint8_t> mutated = bytes;
+    if (injector->MutateEncodedModule(&mutated)) {
+      return DecodeModuleBytes(mutated);
+    }
+  }
+  return DecodeModuleBytes(bytes);
 }
 
 }  // namespace orion::isa

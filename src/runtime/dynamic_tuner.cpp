@@ -1,13 +1,37 @@
 #include "runtime/dynamic_tuner.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/error.h"
 
 namespace orion::runtime {
 
+namespace {
+
+// Median of the collected probes.  With a single probe this returns the
+// sample itself, keeping the default configuration bit-identical to the
+// pre-probing tuner.
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  if (n % 2 == 1) {
+    return samples[n / 2];
+  }
+  return (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+}
+
+}  // namespace
+
 DynamicTuner::DynamicTuner(const MultiVersionBinary* binary,
                            double slowdown_tolerance)
-    : binary_(binary), tolerance_(slowdown_tolerance) {
+    : DynamicTuner(binary, TunerOptions{slowdown_tolerance, 1, 0.0}) {}
+
+DynamicTuner::DynamicTuner(const MultiVersionBinary* binary,
+                           const TunerOptions& options)
+    : binary_(binary), options_(options) {
   ORION_CHECK(!binary->versions.empty());
+  ORION_CHECK_MSG(options_.probe_count >= 1, "probe_count must be >= 1");
   if (!binary->can_tune) {
     // Static selection (Fig. 8 else-branch): no feedback loop, no
     // fail-safe probing.
@@ -30,6 +54,11 @@ std::uint32_t DynamicTuner::NextVersion() {
     cursor_ = 0;
     return 0;
   }
+  if (!samples_.empty()) {
+    // Mid-probe: keep measuring the same candidate until its k samples
+    // are in.
+    return cursor_;
+  }
   // Run the next occupancy in the current direction's walk.
   ++cursor_;
   return cursor_;
@@ -37,8 +66,20 @@ std::uint32_t DynamicTuner::NextVersion() {
 
 void DynamicTuner::ReportRuntime(double ms) {
   if (finalized_) {
-    return;
+    return;  // documented no-op: the steady state needs no feedback
   }
+  ORION_CHECK_MSG(iteration_ > 0,
+                  "ReportRuntime called before the first NextVersion");
+  samples_.push_back(ms);
+  if (samples_.size() < options_.probe_count) {
+    return;  // keep probing this candidate
+  }
+  const double median = Median(std::move(samples_));
+  samples_.clear();
+  Decide(median);
+}
+
+void DynamicTuner::Decide(double ms) {
   const std::uint32_t current = cursor_;
   if (current == 0) {
     prev_ms_ = ms;
@@ -53,11 +94,15 @@ void DynamicTuner::ReportRuntime(double ms) {
 
   // In the primary direction the paper uses "worse runtime?" upward and
   // a 2% tolerance downward; fail-safe probing is by definition in the
-  // opposite direction.
+  // opposite direction.  Hysteresis widens both margins so borderline
+  // noise cannot flip the decision.
   const bool downward =
       (binary_->direction == TuneDirection::kDecreasing) != failsafe_;
-  const bool worse = downward ? ms > prev_ms_ * (1.0 + tolerance_)
-                              : ms > prev_ms_;
+  const bool worse =
+      downward
+          ? ms > prev_ms_ *
+                     (1.0 + options_.slowdown_tolerance + options_.hysteresis)
+          : ms > prev_ms_ * (1.0 + options_.hysteresis);
   if (worse) {
     Finalize(prev_version_);
     return;
@@ -69,6 +114,35 @@ void DynamicTuner::ReportRuntime(double ms) {
                                    : binary_->versions.size();
   if (current + 1 >= walk_end) {
     Finalize(current);
+  }
+}
+
+void DynamicTuner::ReportFault() {
+  if (finalized_) {
+    return;  // nothing to adapt; the caller handles steady-state faults
+  }
+  ORION_CHECK_MSG(iteration_ > 0,
+                  "ReportFault called before the first NextVersion");
+  samples_.clear();  // discard partial probes of the faulted candidate
+  const std::uint32_t current = cursor_;
+  if (current == 0) {
+    // The baseline itself faulted.  Degrade gracefully: any candidate
+    // that completes beats an unusable original, so the comparison
+    // baseline becomes +infinity and the walk continues.
+    prev_ms_ = std::numeric_limits<double>::infinity();
+    prev_version_ = 0;
+    if (binary_->versions.size() == 1) {
+      Finalize(0);
+    }
+    return;
+  }
+  // A faulted candidate is skipped: it never becomes the baseline and
+  // the walk advances past it on the next NextVersion().
+  const std::size_t walk_end = failsafe_
+                                   ? binary_->NumCandidates()
+                                   : binary_->versions.size();
+  if (current + 1 >= walk_end) {
+    Finalize(prev_version_);
   }
 }
 
@@ -87,13 +161,22 @@ void DynamicTuner::Finalize(std::uint32_t version) {
 TunerPlan DynamicTuner::PlanFromSweep(const MultiVersionBinary& binary,
                                       const std::vector<double>& candidate_ms,
                                       double slowdown_tolerance) {
+  return PlanFromSweep(binary, candidate_ms,
+                       TunerOptions{slowdown_tolerance, 1, 0.0});
+}
+
+TunerPlan DynamicTuner::PlanFromSweep(const MultiVersionBinary& binary,
+                                      const std::vector<double>& candidate_ms,
+                                      const TunerOptions& options) {
   ORION_CHECK_MSG(candidate_ms.size() >= binary.NumCandidates(),
                   "PlanFromSweep needs a runtime per candidate");
-  DynamicTuner tuner(&binary, slowdown_tolerance);
+  DynamicTuner tuner(&binary, options);
   TunerPlan plan;
-  // The walk visits each candidate at most once (plus the original), so
-  // NumCandidates() + 1 bounds it; the guard makes that explicit.
-  const std::size_t bound = binary.NumCandidates() + 1;
+  // The walk visits each candidate at most probe_count times (plus the
+  // original), so (NumCandidates() + 1) * probe_count bounds it; the
+  // guard makes that explicit.
+  const std::size_t bound =
+      (binary.NumCandidates() + 1) * options.probe_count;
   while (!tuner.Finalized() && plan.visits.size() < bound) {
     const std::uint32_t version = tuner.NextVersion();
     plan.visits.push_back(version);
@@ -110,6 +193,7 @@ void DynamicTuner::EnterFailsafe() {
   // comparison stays the original's runtime.
   cursor_ = static_cast<std::uint32_t>(binary_->versions.size()) - 1;
   prev_version_ = 0;
+  samples_.clear();
 }
 
 }  // namespace orion::runtime

@@ -6,6 +6,17 @@
 // tuner locks the previous (best) version.  In the decreasing direction
 // a small slowdown (2%) is tolerated, because lower occupancy saves
 // registers and energy even at equal performance (Sections 3.4, 4.2).
+//
+// Robustness extensions (all default-off, bit-identical when unused):
+//   * median-of-k probing — each candidate is measured `probe_count`
+//     times and the walk decides on the median, so one noisy sample
+//     cannot derail the walk;
+//   * hysteresis — an extra multiplicative margin a candidate must
+//     exceed before it counts as "worse", damping borderline flips
+//     under measurement noise;
+//   * ReportFault — a candidate whose launch faulted is skipped (never
+//     compared), and a faulted baseline degrades to "any working
+//     candidate wins".
 #pragma once
 
 #include <cstdint>
@@ -14,6 +25,18 @@
 #include "runtime/multiversion.h"
 
 namespace orion::runtime {
+
+// Knobs for the feedback walk.  The defaults reproduce the paper's
+// Fig. 9 behaviour exactly (single probe, no hysteresis, 2% downward
+// tolerance) and are bit-identical to the pre-options tuner.
+struct TunerOptions {
+  // Tolerated slowdown when walking *down* in occupancy (paper: 2%).
+  double slowdown_tolerance = 0.02;
+  // Probes per candidate; the walk decides on the median of k samples.
+  std::uint32_t probe_count = 1;
+  // Extra multiplicative margin before a candidate counts as worse.
+  double hysteresis = 0.0;
+};
 
 // The Fig. 9 walk, replayed offline over pre-measured candidate
 // runtimes (see DynamicTuner::PlanFromSweep).
@@ -29,12 +52,26 @@ class DynamicTuner {
  public:
   explicit DynamicTuner(const MultiVersionBinary* binary,
                         double slowdown_tolerance = 0.02);
+  DynamicTuner(const MultiVersionBinary* binary, const TunerOptions& options);
 
-  // Which version should run this iteration.
+  // Which version should run this iteration.  With probe_count > 1 the
+  // same candidate is handed out until its k samples are in.
   std::uint32_t NextVersion();
 
   // Feedback for the version returned by the last NextVersion() call.
+  // Calling before the first NextVersion() is a programming error
+  // (ORION_CHECK).  Calling after the tuner has settled is a documented
+  // no-op: steady-state launches need no feedback, so launch loops may
+  // keep reporting unconditionally.
   void ReportRuntime(double ms);
+
+  // The version returned by the last NextVersion() faulted (launch
+  // failure, watchdog trip, quarantine).  The candidate is skipped: it
+  // never becomes the comparison baseline and the walk moves on.  A
+  // faulted *original* degrades the baseline to +infinity so any
+  // working candidate wins; if every candidate faults the walk settles
+  // back on version 0 (callers then fall back to the original binary).
+  void ReportFault();
 
   bool Finalized() const { return finalized_; }
   std::uint32_t FinalVersion() const { return final_version_; }
@@ -55,13 +92,17 @@ class DynamicTuner {
   static TunerPlan PlanFromSweep(const MultiVersionBinary& binary,
                                  const std::vector<double>& candidate_ms,
                                  double slowdown_tolerance = 0.02);
+  static TunerPlan PlanFromSweep(const MultiVersionBinary& binary,
+                                 const std::vector<double>& candidate_ms,
+                                 const TunerOptions& options);
 
  private:
   void Finalize(std::uint32_t version);
   void EnterFailsafe();
+  void Decide(double ms);
 
   const MultiVersionBinary* binary_;
-  const double tolerance_;
+  const TunerOptions options_;
   bool finalized_ = false;
   bool failsafe_ = false;  // probing the opposite direction
   std::uint32_t final_version_ = 0;
@@ -71,6 +112,7 @@ class DynamicTuner {
   std::uint32_t prev_version_ = 0;
   std::uint32_t iteration_ = 0;
   std::uint32_t iterations_to_settle_ = 0;
+  std::vector<double> samples_;  // probes of the current candidate
 };
 
 }  // namespace orion::runtime

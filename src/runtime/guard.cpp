@@ -1,0 +1,213 @@
+#include "runtime/guard.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/strings.h"
+
+namespace orion::runtime {
+
+namespace {
+
+// RAII cycle-cap scope: the guard owns the watchdog budget; the
+// simulator's previous cap (normally 0) is restored on every exit path.
+class ScopedCycleCap {
+ public:
+  ScopedCycleCap(sim::GpuSimulator* sim, std::uint64_t cap)
+      : sim_(sim), saved_(sim->cycle_cap()) {
+    sim_->set_cycle_cap(cap);
+  }
+  ~ScopedCycleCap() { sim_->set_cycle_cap(saved_); }
+  ScopedCycleCap(const ScopedCycleCap&) = delete;
+  ScopedCycleCap& operator=(const ScopedCycleCap&) = delete;
+
+ private:
+  sim::GpuSimulator* sim_;
+  std::uint64_t saved_;
+};
+
+// The watchdog's LaunchError carries this prefix (see
+// sim/machine_common.h) — it distinguishes a budget expiry from other
+// launch failures, which matters because hangs are not retryable.
+bool IsWatchdogError(const char* what) {
+  return std::string_view(what).starts_with("watchdog:");
+}
+
+}  // namespace
+
+std::string HealthReport::ToString() const {
+  std::string out = StrFormat(
+      "launches=%llu/%llu ok, transients=%llu (retries=%llu, backoff=%.2fms), "
+      "watchdog_trips=%llu, faulted_iterations=%llu",
+      static_cast<unsigned long long>(launches_succeeded),
+      static_cast<unsigned long long>(launches_attempted),
+      static_cast<unsigned long long>(transient_faults),
+      static_cast<unsigned long long>(retries), backoff_ms,
+      static_cast<unsigned long long>(watchdog_trips),
+      static_cast<unsigned long long>(faulted_iterations));
+  if (!quarantined.empty()) {
+    out += ", quarantined=[";
+    for (std::size_t i = 0; i < quarantined.size(); ++i) {
+      out += StrFormat(i == 0 ? "%u" : " %u", quarantined[i]);
+    }
+    out += "]";
+  }
+  if (fallback_taken) {
+    out += ", fell back to original";
+  }
+  return out;
+}
+
+LaunchGuard::LaunchGuard(const MultiVersionBinary* binary,
+                         sim::GpuSimulator* sim, const GuardOptions& options)
+    : binary_(binary), sim_(sim), options_(options),
+      fault_counts_(binary->NumCandidates(), 0) {
+  ORION_CHECK_MSG(options_.max_attempts >= 1, "max_attempts must be >= 1");
+}
+
+bool LaunchGuard::Quarantined(std::uint32_t version_index) const {
+  for (const std::uint32_t q : health_.quarantined) {
+    if (q == version_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LaunchGuard::RecordFault(std::uint32_t iteration, std::uint32_t version,
+                              const Status& status) {
+  ++health_.faulted_iterations;
+  health_.fault_log.push_back({iteration, version, status});
+  if (version < fault_counts_.size()) {
+    ++fault_counts_[version];
+    // The original (version 0) is the fallback of last resort and is
+    // never quarantined.
+    if (version != 0 && !Quarantined(version) &&
+        fault_counts_[version] >= options_.quarantine_threshold) {
+      health_.quarantined.push_back(version);
+    }
+  }
+}
+
+GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
+                                  sim::GlobalMemory* gmem,
+                                  const std::vector<std::uint32_t>& params,
+                                  std::uint32_t first_block,
+                                  std::uint32_t num_blocks,
+                                  std::uint32_t iteration) {
+  GuardedLaunch out;
+  if (Quarantined(version_index)) {
+    out.status = Status::Error(
+        StatusCode::kQuarantined,
+        StrFormat("candidate %u is quarantined after %u faults",
+                  version_index, fault_counts_[version_index]));
+    // Quarantine hits are logged but do not re-count toward thresholds.
+    health_.fault_log.push_back({iteration, version_index, out.status});
+    ++health_.faulted_iterations;
+    return out;
+  }
+
+  const KernelVersion& version = binary_->Candidate(version_index);
+  const isa::Module& module = binary_->ModuleOf(version);
+  FaultInjector* injector = FaultInjector::Current();
+  Status last_error;
+
+  for (std::uint32_t attempt = 1; attempt <= options_.max_attempts;
+       ++attempt) {
+    out.attempts = attempt;
+    ++health_.launches_attempted;
+
+    // Injected launch faults fire before the simulator runs, the way a
+    // real driver rejects or loses a launch.
+    if (injector != nullptr) {
+      switch (injector->NextLaunchFault()) {
+        case LaunchFault::kHang: {
+          // A hung launch is terminated by the watchdog after its full
+          // cycle budget; the guard models that synthetically (the
+          // simulator never runs) and charges the budget as wall time.
+          ++health_.watchdog_trips;
+          out.measured_ms =
+              static_cast<double>(options_.watchdog_cycle_budget) /
+              (sim_->spec().timing.core_clock_mhz * 1000.0);
+          last_error = Status::Error(
+              StatusCode::kWatchdogExpired,
+              StrFormat("injected hang terminated after %llu-cycle budget",
+                        static_cast<unsigned long long>(
+                            options_.watchdog_cycle_budget)));
+          out.status = last_error.WithContext(
+              StrFormat("launch candidate %u", version_index));
+          RecordFault(iteration, version_index, out.status);
+          return out;  // hangs are not retryable
+        }
+        case LaunchFault::kTransient: {
+          ++health_.transient_faults;
+          last_error = Status::Error(
+              StatusCode::kLaunchFault,
+              StrFormat("injected transient launch failure (attempt %u)",
+                        attempt));
+          if (attempt < options_.max_attempts) {
+            // Exponential backoff before the retry, charged to the
+            // health report (simulated time, not iteration runtime).
+            ++health_.retries;
+            health_.backoff_ms +=
+                options_.backoff_base_ms * static_cast<double>(1u << (attempt - 1));
+            continue;
+          }
+          out.status = last_error.WithContext(
+              StrFormat("launch candidate %u: retries exhausted",
+                        version_index));
+          RecordFault(iteration, version_index, out.status);
+          return out;
+        }
+        case LaunchFault::kNone:
+          break;
+      }
+    }
+
+    try {
+      const ScopedCycleCap cap(sim_, options_.watchdog_cycle_budget);
+      out.result = sim_->Launch(module, gmem, params, first_block, num_blocks,
+                                version.smem_padding_bytes);
+      out.measured_ms = injector != nullptr
+                            ? injector->PerturbMeasurement(out.result.ms)
+                            : out.result.ms;
+      out.status = Status::Ok();
+      ++health_.launches_succeeded;
+      return out;
+    } catch (const DecodeError& e) {
+      out.status =
+          Status::Error(StatusCode::kDecodeFault, e.what())
+              .WithContext(StrFormat("launch candidate %u", version_index));
+      RecordFault(iteration, version_index, out.status);
+      return out;  // a corrupt binary does not get better on retry
+    } catch (const LaunchError& e) {
+      if (IsWatchdogError(e.what())) {
+        ++health_.watchdog_trips;
+        out.measured_ms =
+            static_cast<double>(options_.watchdog_cycle_budget) /
+            (sim_->spec().timing.core_clock_mhz * 1000.0);
+        out.status =
+            Status::Error(StatusCode::kWatchdogExpired, e.what())
+                .WithContext(StrFormat("launch candidate %u", version_index));
+        RecordFault(iteration, version_index, out.status);
+        return out;  // a runaway launch is not retryable
+      }
+      // Genuine (non-injected) launch failures are treated as
+      // persistent: the level is unlaunchable, retrying cannot help.
+      out.status =
+          Status::Error(StatusCode::kLaunchFault, e.what())
+              .WithContext(StrFormat("launch candidate %u", version_index));
+      RecordFault(iteration, version_index, out.status);
+      return out;
+    }
+  }
+
+  // Unreachable: every loop path returns or continues, and the last
+  // attempt always returns.  Kept for -Wreturn-type.
+  out.status = last_error;
+  RecordFault(iteration, version_index, out.status);
+  return out;
+}
+
+}  // namespace orion::runtime

@@ -1,0 +1,123 @@
+// Launch guard — the fault-tolerance layer between the tuner and the
+// simulated GPU.
+//
+// Every candidate launch the runtime makes goes through LaunchGuard,
+// which wraps the raw sim::GpuSimulator::Launch with:
+//
+//   * a watchdog: a cycle budget handed to the simulator so a runaway
+//     candidate (infinite loop, pathological contention) is terminated
+//     with a catchable fault instead of running to the global hard
+//     stop;
+//   * bounded retry with exponential backoff for *transient* launch
+//     failures (the kind a driver reports sporadically and a re-launch
+//     cures) — hangs and decode faults are not retryable;
+//   * per-version quarantine: a candidate that keeps faulting is
+//     disabled for the rest of the run so the tuner stops paying for
+//     it.  Version 0 (the original) is exempt — it is the fallback of
+//     last resort and must stay launchable;
+//   * measurement perturbation: an installed FaultInjector may add
+//     Gaussian noise to the reported runtime, exercising the tuner's
+//     median-of-k probing.
+//
+// A guarded launch never throws for candidate-scoped failures: the
+// outcome travels as a Status inside GuardedLaunch, and every fault is
+// appended to the run's HealthReport.  With no fault plan installed and
+// a zero watchdog budget the guard is a transparent pass-through —
+// bit-identical results to calling the simulator directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/multiversion.h"
+#include "sim/gpu_sim.h"
+
+namespace orion::runtime {
+
+struct GuardOptions {
+  // Watchdog cycle budget per launch; 0 disables the watchdog (the
+  // simulator's global hard stop still applies).
+  std::uint64_t watchdog_cycle_budget = 0;
+  // Total launch attempts per iteration (1 = no retries).
+  std::uint32_t max_attempts = 3;
+  // Simulated backoff before retry r is backoff_base_ms * 2^(r-1);
+  // accounted in HealthReport::backoff_ms, not in iteration runtimes.
+  double backoff_base_ms = 0.25;
+  // Terminal faults a version survives before it is quarantined.
+  std::uint32_t quarantine_threshold = 2;
+};
+
+// One entry in the run's fault log.
+struct FaultEvent {
+  std::uint32_t iteration = 0;
+  std::uint32_t version = 0;  // unified candidate numbering
+  Status status;
+};
+
+// Aggregated robustness telemetry for one tuned run.
+struct HealthReport {
+  std::uint64_t launches_attempted = 0;  // includes retries
+  std::uint64_t launches_succeeded = 0;
+  std::uint64_t transient_faults = 0;    // injected or observed transients
+  std::uint64_t retries = 0;             // re-attempts after a transient
+  std::uint64_t watchdog_trips = 0;      // hangs terminated by the budget
+  std::uint64_t faulted_iterations = 0;  // iterations with no usable result
+  double backoff_ms = 0.0;               // simulated retry backoff total
+  std::vector<std::uint32_t> quarantined;  // candidate indices, in order
+  std::vector<FaultEvent> fault_log;       // every terminal fault
+  // True when the run had to abandon the tuner's choice and fall back
+  // to version 0 (the original).
+  bool fallback_taken = false;
+
+  bool Healthy() const {
+    return fault_log.empty() && quarantined.empty() && !fallback_taken;
+  }
+  std::string ToString() const;
+};
+
+// Outcome of one guarded launch.
+struct GuardedLaunch {
+  Status status;          // ok() => `result` and `measured_ms` are valid
+  sim::SimResult result;  // raw simulator result (successful launches)
+  // Runtime as *measured* — equals result.ms unless an injector added
+  // noise; for faults, the simulated time charged (watchdog budget for
+  // a hang, 0 otherwise).
+  double measured_ms = 0.0;
+  std::uint32_t attempts = 0;
+};
+
+class LaunchGuard {
+ public:
+  LaunchGuard(const MultiVersionBinary* binary, sim::GpuSimulator* sim,
+              const GuardOptions& options);
+
+  // Launches candidate `version_index` (unified numbering) with the
+  // watchdog, retry, and quarantine policy applied.  Never throws for
+  // candidate-scoped failures; module-fatal conditions (ORION_CHECK)
+  // still propagate.
+  GuardedLaunch Launch(std::uint32_t version_index, sim::GlobalMemory* gmem,
+                       const std::vector<std::uint32_t>& params,
+                       std::uint32_t first_block, std::uint32_t num_blocks,
+                       std::uint32_t iteration);
+
+  bool Quarantined(std::uint32_t version_index) const;
+
+  // Marks the run as having fallen back to the original version.
+  void NoteFallback() { health_.fallback_taken = true; }
+
+  const HealthReport& health() const { return health_; }
+
+ private:
+  void RecordFault(std::uint32_t iteration, std::uint32_t version,
+                   const Status& status);
+
+  const MultiVersionBinary* binary_;
+  sim::GpuSimulator* sim_;
+  const GuardOptions options_;
+  HealthReport health_;
+  std::vector<std::uint32_t> fault_counts_;  // terminal faults per candidate
+};
+
+}  // namespace orion::runtime

@@ -13,7 +13,12 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
                                   const std::vector<std::vector<std::uint32_t>>*
                                       per_iteration_params) {
   TunedRunResult result;
-  DynamicTuner tuner(binary_, plan.slowdown_tolerance);
+  TunerOptions tuner_options;
+  tuner_options.slowdown_tolerance = plan.slowdown_tolerance;
+  tuner_options.probe_count = plan.probe_count;
+  tuner_options.hysteresis = plan.hysteresis;
+  DynamicTuner tuner(binary_, tuner_options);
+  LaunchGuard guard(binary_, sim_, plan.guard);
 
   // Optional parallel probe: measure every candidate up front on
   // private memory copies and replay the walk over those runtimes.
@@ -36,7 +41,7 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
       candidate_ms[i] = outcomes[i].launches.front().ms;
     }
     probe = DynamicTuner::PlanFromSweep(*binary_, candidate_ms,
-                                        plan.slowdown_tolerance);
+                                        tuner_options);
   }
 
   const std::uint32_t grid =
@@ -57,13 +62,21 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
 
   std::uint32_t next_block = 0;
   for (std::uint32_t it = 0; it < launches; ++it) {
-    const std::uint32_t version_index =
+    std::uint32_t version_index =
         probe.has_value()
             ? (it < probe->visits.size() ? probe->visits[it]
                                          : probe->final_version)
             : tuner.NextVersion();
-    const KernelVersion& version = binary_->Candidate(version_index);
-    const isa::Module& module = binary_->ModuleOf(version);
+    // Post-settle fallback: once the walk is over, a quarantined choice
+    // degrades to the original instead of burning iterations on a
+    // candidate the guard will refuse.  Mid-walk the quarantine hit is
+    // delivered as a fault so the tuner learns to skip the version.
+    const bool settled = probe.has_value() ? it >= probe->visits.size()
+                                           : tuner.Finalized();
+    if (settled && version_index != 0 && guard.Quarantined(version_index)) {
+      version_index = 0;
+      guard.NoteFallback();
+    }
 
     std::uint32_t first = 0;
     std::uint32_t count = grid;
@@ -76,19 +89,27 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
         (per_iteration_params != nullptr && !per_iteration_params->empty())
             ? (*per_iteration_params)[it % per_iteration_params->size()]
             : params;
-    const sim::SimResult sr = sim_->Launch(module, gmem, iter_params, first,
-                                           count, version.smem_padding_bytes);
-    if (!probe.has_value()) {
-      tuner.ReportRuntime(sr.ms);
-    }
+    const GuardedLaunch launch =
+        guard.Launch(version_index, gmem, iter_params, first, count, it);
 
     IterationRecord record;
     record.version = version_index;
-    record.ms = sr.ms;
-    record.energy = sr.energy;
-    record.occupancy = sr.occupancy.occupancy;
-    result.total_ms += sr.ms;
-    result.total_energy += sr.energy;
+    if (launch.status.ok()) {
+      if (!probe.has_value()) {
+        tuner.ReportRuntime(launch.measured_ms);
+      }
+      record.ms = launch.measured_ms;
+      record.energy = launch.result.energy;
+      record.occupancy = launch.result.occupancy.occupancy;
+    } else {
+      if (!probe.has_value()) {
+        tuner.ReportFault();
+      }
+      record.faulted = true;
+      record.ms = launch.measured_ms;  // time charged (hang budget or 0)
+    }
+    result.total_ms += record.ms;
+    result.total_energy += record.energy;
     result.records.push_back(record);
   }
 
@@ -97,31 +118,48 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
   result.iterations_to_settle =
       probe.has_value() ? probe->iterations_to_settle
                         : tuner.IterationsToSettle();
+  // A quarantined final choice falls back to the original version.
+  if (result.final_version != 0 && guard.Quarantined(result.final_version)) {
+    result.final_version = 0;
+    guard.NoteFallback();
+  }
+  // When not a single iteration produced a usable measurement, the run
+  // is riding on the original version by definition.
+  bool any_usable = false;
+  for (const IterationRecord& record : result.records) {
+    any_usable |= !record.faulted;
+  }
+  if (!result.records.empty() && !any_usable) {
+    guard.NoteFallback();
+  }
 
-  // Steady-state cost: average over iterations that ran the final
-  // version after settling (fall back to the last record).
+  // Steady-state cost: average over non-faulted iterations that ran the
+  // final version after settling (fall back to the last usable record).
   double steady_ms = 0.0;
   double steady_energy = 0.0;
-  double steady_occ = 0.0;
   std::uint32_t steady_count = 0;
+  const IterationRecord* last_usable = nullptr;
   for (const IterationRecord& record : result.records) {
+    if (record.faulted) {
+      continue;
+    }
+    last_usable = &record;
     if (record.version == result.final_version) {
       steady_ms += record.ms;
       steady_energy += record.energy;
-      steady_occ = record.occupancy;
       ++steady_count;
     }
   }
   if (steady_count > 0) {
     result.steady_ms = steady_ms / steady_count;
     result.steady_energy = steady_energy / steady_count;
-  } else {
-    result.steady_ms = result.records.back().ms;
-    result.steady_energy = result.records.back().energy;
+  } else if (last_usable != nullptr) {
+    result.steady_ms = last_usable->ms;
+    result.steady_energy = last_usable->energy;
   }
   result.steady_occupancy =
       binary_->Candidate(result.final_version).occupancy;
-  (void)steady_occ;
+  result.health = guard.health();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/dynamic_tuner.h"
+#include "runtime/guard.h"
 #include "runtime/multiversion.h"
 #include "sim/gpu_sim.h"
 
@@ -22,6 +23,13 @@ struct RunPlan {
   bool allow_split = true;        // kernel splitting when iterations == 1
   std::uint32_t split_factor = 4;
   double slowdown_tolerance = 0.02;
+  // Noise hardening for the feedback walk (see TunerOptions); the
+  // defaults reproduce the single-probe, no-hysteresis paper walk.
+  std::uint32_t probe_count = 1;
+  double hysteresis = 0.0;
+  // Fault-tolerance policy for every launch (watchdog, retry,
+  // quarantine).  The defaults are a transparent pass-through.
+  GuardOptions guard;
   // Pre-measure every candidate concurrently (sim::ParallelSweep, each
   // against a private memory copy) and replay the Fig. 9 walk over
   // those runtimes instead of tuning on live feedback.  The launched
@@ -37,6 +45,10 @@ struct IterationRecord {
   double ms = 0.0;
   double energy = 0.0;
   double occupancy = 0.0;
+  // True when the iteration produced no usable result (launch fault,
+  // watchdog trip, quarantine hit); `ms` then holds the simulated time
+  // charged (the watchdog budget for hangs, 0 otherwise).
+  bool faulted = false;
 };
 
 struct TunedRunResult {
@@ -46,10 +58,13 @@ struct TunedRunResult {
   bool used_split = false;
   double total_ms = 0.0;
   double total_energy = 0.0;
-  // Steady-state (final version) per-iteration cost.
+  // Steady-state (final version) per-iteration cost; faulted
+  // iterations are excluded from the averages.
   double steady_ms = 0.0;
   double steady_energy = 0.0;
   arch::OccupancyResult steady_occupancy;
+  // Robustness telemetry from the launch guard (empty when healthy).
+  HealthReport health;
 };
 
 class TunedLauncher {
@@ -59,6 +74,12 @@ class TunedLauncher {
 
   // `per_iteration_params`, when given, overrides the kernel parameters
   // per application iteration (e.g. bfs frontier sizes).
+  //
+  // Candidate-scoped failures never escape Run: every launch goes
+  // through a LaunchGuard, faulted iterations are recorded (and fed to
+  // the tuner as ReportFault), and if the settled version is
+  // quarantined the run falls back to version 0.  Only module-fatal
+  // conditions (ORION_CHECK invariants) still throw.
   TunedRunResult Run(sim::GlobalMemory* gmem,
                      const std::vector<std::uint32_t>& params,
                      const RunPlan& plan,

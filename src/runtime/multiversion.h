@@ -14,11 +14,22 @@
 
 #include "alloc/allocator.h"
 #include "arch/occupancy.h"
+#include "common/status.h"
 #include "isa/isa.h"
 
 namespace orion::runtime {
 
 enum class TuneDirection : std::uint8_t { kIncreasing, kDecreasing };
+
+// A candidate occupancy level the compiler attempted but could not turn
+// into a version.  Expected infeasibility (register budget below the
+// spill floor, padding granularity) is *not* recorded — only faults: a
+// level that failed for an unexpected reason is skipped, never fatal,
+// and the skip is kept here so health reporting can surface it.
+struct CompileSkip {
+  std::string level;  // e.g. "blocks=5"
+  Status status;
+};
 
 struct KernelVersion {
   // Index into MultiVersionBinary::modules.
@@ -42,6 +53,9 @@ struct MultiVersionBinary {
   // wrong.  Indices refer to this list, offset by versions.size() in
   // the tuner's numbering.
   std::vector<KernelVersion> failsafe;
+  // Occupancy levels skipped because compilation *faulted* (not merely
+  // infeasible).  Empty in a healthy compile.
+  std::vector<CompileSkip> compile_skips;
   TuneDirection direction = TuneDirection::kIncreasing;
   // False when the application cannot provide tuning iterations (no
   // kernel loop and too few threads to split): the compiler's static

@@ -153,8 +153,9 @@ class EventMachine {
                const isa::Module& module, GlobalMemory* gmem,
                const std::vector<std::uint32_t>& params,
                const arch::OccupancyResult& occ, std::uint32_t first_block,
-               std::uint32_t num_blocks)
-      : spec_(spec),
+               std::uint32_t num_blocks, std::uint64_t cycle_cap)
+      : cycle_cap_(cycle_cap),
+        spec_(spec),
         config_(config),
         module_(module),
         linked_(module, &spec),
@@ -219,6 +220,7 @@ class EventMachine {
                          std::uint8_t word) const;
   std::uint32_t SpecialValue(const Warp& warp, isa::SpecialReg sreg) const;
 
+  const std::uint64_t cycle_cap_;  // 0 = watchdog disabled
   const arch::GpuSpec& spec_;
   arch::CacheConfig config_;
   const isa::Module& module_;
@@ -741,8 +743,7 @@ SimResult EventMachine::Run() {
     now = next;
     // A deadlocked simulation has no events (or the reference engine
     // would spin past the hard stop); both engines report it the same.
-    ORION_CHECK_MSG(now < machine_detail::kHardStopCycles,
-                    "simulation did not terminate");
+    machine_detail::CheckCycleLimits(now, cycle_cap_);
     if (second > now) {
       // A single SM owns every event before `second`.  Cross-SM
       // interactions (shared memory-system order, block handout) are
@@ -750,8 +751,7 @@ SimResult EventMachine::Run() {
       // advance this one privately without rescanning the calendar.
       std::uint64_t t = now;
       do {
-        ORION_CHECK_MSG(t < machine_detail::kHardStopCycles,
-                        "simulation did not terminate");
+        machine_detail::CheckCycleLimits(t, cycle_cap_);
         now = t;  // `now` must track the last processed cycle: it is
                   // the total-cycle count when the grid retires here.
         t = ProcessSm(only, t);
@@ -776,9 +776,10 @@ SimResult RunEventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
                           const isa::Module& module, GlobalMemory* gmem,
                           const std::vector<std::uint32_t>& params,
                           const arch::OccupancyResult& occ,
-                          std::uint32_t first_block, std::uint32_t num_blocks) {
+                          std::uint32_t first_block, std::uint32_t num_blocks,
+                          std::uint64_t cycle_cap) {
   EventMachine machine(spec, config, module, gmem, params, occ, first_block,
-                       num_blocks);
+                       num_blocks, cycle_cap);
   return machine.Run();
 }
 
@@ -825,10 +826,10 @@ SimResult GpuSimulator::Launch(const isa::Module& module, GlobalMemory* gmem,
   }
   if (engine_ == SimEngine::kReference) {
     return RunReferenceMachine(spec_, config_, module, gmem, params, occ,
-                               first_block, num_blocks);
+                               first_block, num_blocks, cycle_cap_);
   }
   return RunEventMachine(spec_, config_, module, gmem, params, occ,
-                         first_block, num_blocks);
+                         first_block, num_blocks, cycle_cap_);
 }
 
 SimResult GpuSimulator::LaunchAll(const isa::Module& module, GlobalMemory* gmem,

@@ -94,10 +94,19 @@ class GpuSimulator {
   SimEngine engine() const { return engine_; }
   void set_engine(SimEngine engine) { engine_ = engine; }
 
+  // Launch watchdog: when non-zero, a launch that has not retired after
+  // `cap` simulated cycles throws LaunchError instead of running to the
+  // (much larger) global hard stop.  Used by runtime::LaunchGuard to
+  // terminate runaway candidates; 0 (default) disables the cap and is
+  // bit-identical to the uncapped simulator.
+  void set_cycle_cap(std::uint64_t cap) { cycle_cap_ = cap; }
+  std::uint64_t cycle_cap() const { return cycle_cap_; }
+
  private:
   const arch::GpuSpec& spec_;
   arch::CacheConfig config_;
   SimEngine engine_;
+  std::uint64_t cycle_cap_ = 0;
 };
 
 }  // namespace orion::sim

@@ -76,8 +76,9 @@ class ReferenceMachine {
                    const isa::Module& module, GlobalMemory* gmem,
                    const std::vector<std::uint32_t>& params,
                    const arch::OccupancyResult& occ, std::uint32_t first_block,
-                   std::uint32_t num_blocks)
-      : spec_(spec),
+                   std::uint32_t num_blocks, std::uint64_t cycle_cap)
+      : cycle_cap_(cycle_cap),
+        spec_(spec),
         config_(config),
         module_(module),
         linked_(module),
@@ -127,6 +128,7 @@ class ReferenceMachine {
   std::uint32_t GlobalLines(const isa::Instruction& instr,
                             std::uint8_t width) const;
 
+  const std::uint64_t cycle_cap_;  // 0 = watchdog disabled
   const arch::GpuSpec& spec_;
   arch::CacheConfig config_;
   const isa::Module& module_;
@@ -527,8 +529,7 @@ std::uint64_t ReferenceMachine::Step(std::uint32_t s, std::uint32_t warp_id,
 SimResult ReferenceMachine::Run() {
   std::uint64_t now = 0;
   while (blocks_remaining_ > 0) {
-    ORION_CHECK_MSG(now < machine_detail::kHardStopCycles,
-                    "simulation did not terminate");
+    machine_detail::CheckCycleLimits(now, cycle_cap_);
     bool issued_any = false;
     std::uint64_t next_event = UINT64_MAX;
     for (std::uint32_t s = 0; s < sms_.size(); ++s) {
@@ -588,9 +589,10 @@ SimResult RunReferenceMachine(const arch::GpuSpec& spec,
                               const std::vector<std::uint32_t>& params,
                               const arch::OccupancyResult& occ,
                               std::uint32_t first_block,
-                              std::uint32_t num_blocks) {
+                              std::uint32_t num_blocks,
+                              std::uint64_t cycle_cap) {
   ReferenceMachine machine(spec, config, module, gmem, params, occ,
-                           first_block, num_blocks);
+                           first_block, num_blocks, cycle_cap);
   return machine.Run();
 }
 

@@ -14,6 +14,8 @@
 
 #include "arch/gpu_spec.h"
 #include "arch/occupancy.h"
+#include "common/error.h"
+#include "common/strings.h"
 #include "sim/gpu_sim.h"
 #include "sim/memory.h"
 
@@ -25,6 +27,19 @@ inline constexpr std::uint64_t kLocalRegionBase = std::uint64_t{1} << 40;
 
 // Simulations that exceed this cycle count are assumed non-terminating.
 inline constexpr std::uint64_t kHardStopCycles = 4'000'000'000ULL;
+
+// Both engines call this when time advances.  A configured cycle cap
+// (the launch watchdog, see runtime/guard.h) terminates a runaway
+// launch with a catchable LaunchError; the global hard stop — a machine
+// invariant, not a recoverable condition — still trips ORION_CHECK.
+inline void CheckCycleLimits(std::uint64_t now, std::uint64_t cycle_cap) {
+  if (cycle_cap != 0 && now >= cycle_cap) [[unlikely]] {
+    throw LaunchError(StrFormat(
+        "watchdog: launch exceeded its cycle budget of %llu cycles",
+        static_cast<unsigned long long>(cycle_cap)));
+  }
+  ORION_CHECK_MSG(now < kHardStopCycles, "simulation did not terminate");
+}
 
 struct InstrCounters {
   std::uint64_t warp_instructions = 0;
@@ -91,20 +106,22 @@ inline SimResult FinalizeResult(const arch::GpuSpec& spec,
 namespace orion::sim {
 
 // Entry point of the reference (seed) per-cycle stepping engine,
-// implemented in gpu_sim_ref.cpp.
+// implemented in gpu_sim_ref.cpp.  `cycle_cap` 0 disables the watchdog.
 SimResult RunReferenceMachine(const arch::GpuSpec& spec,
                               arch::CacheConfig config,
                               const isa::Module& module, GlobalMemory* gmem,
                               const std::vector<std::uint32_t>& params,
                               const arch::OccupancyResult& occ,
                               std::uint32_t first_block,
-                              std::uint32_t num_blocks);
+                              std::uint32_t num_blocks,
+                              std::uint64_t cycle_cap);
 
 // Entry point of the event-driven engine, implemented in gpu_sim.cpp.
 SimResult RunEventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
                           const isa::Module& module, GlobalMemory* gmem,
                           const std::vector<std::uint32_t>& params,
                           const arch::OccupancyResult& occ,
-                          std::uint32_t first_block, std::uint32_t num_blocks);
+                          std::uint32_t first_block, std::uint32_t num_blocks,
+                          std::uint64_t cycle_cap);
 
 }  // namespace orion::sim

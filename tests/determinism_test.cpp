@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "core/orion.h"
 #include "runtime/dynamic_tuner.h"
+#include "runtime/launcher.h"
 #include "sim/gpu_sim.h"
 #include "sim/memory.h"
 #include "sim/parallel.h"
@@ -217,6 +218,60 @@ TEST(ParallelSweepDeterminism, ExceptionRethrownForLowestIndex) {
 }
 
 // --- PlanFromSweep vs the live feedback walk ---------------------------
+
+// --- the guarded pipeline's no-fault contract --------------------------
+
+// With no fault plan installed and default GuardOptions, the launch
+// guard must be a transparent pass-through: TunedLauncher::Run produces
+// bit-identical runtimes, energies, version choices, and memory images
+// to a hand-rolled unguarded feedback loop over the raw simulator.
+TEST(GuardedPipeline, NoFaultRunBitIdenticalToUnguardedLoop) {
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, options);
+  ASSERT_GE(binary.NumCandidates(), 2u);
+  const std::uint32_t iterations = 6;
+
+  // Guarded run through the production path.
+  GpuSimulator guarded_sim(spec, arch::CacheConfig::kSmallCache);
+  GlobalMemory guarded_mem = MakeSeededMemory(w.gmem_words, w.seed);
+  runtime::TunedLauncher launcher(&binary, &guarded_sim);
+  runtime::RunPlan plan;
+  plan.iterations = iterations;
+  const runtime::TunedRunResult guarded =
+      launcher.Run(&guarded_mem, w.params, plan);
+  EXPECT_TRUE(guarded.health.Healthy());
+  EXPECT_EQ(guarded.health.launches_attempted, iterations);
+  EXPECT_EQ(guarded.health.launches_succeeded, iterations);
+
+  // Unguarded replay: the pre-guard feedback loop, straight onto the
+  // simulator.
+  GpuSimulator raw_sim(spec, arch::CacheConfig::kSmallCache);
+  GlobalMemory raw_mem = MakeSeededMemory(w.gmem_words, w.seed);
+  runtime::DynamicTuner tuner(&binary, plan.slowdown_tolerance);
+  const std::uint32_t grid = binary.modules.front().launch.grid_dim;
+  ASSERT_EQ(guarded.records.size(), iterations);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    const std::uint32_t version_index = tuner.NextVersion();
+    const runtime::KernelVersion& version = binary.Candidate(version_index);
+    const SimResult sr =
+        raw_sim.Launch(binary.ModuleOf(version), &raw_mem, w.params, 0, grid,
+                       version.smem_padding_bytes);
+    tuner.ReportRuntime(sr.ms);
+    const runtime::IterationRecord& record = guarded.records[it];
+    EXPECT_FALSE(record.faulted) << "iteration " << it;
+    EXPECT_EQ(record.version, version_index) << "iteration " << it;
+    // Bit-exact double comparisons: the guard may not perturb anything.
+    EXPECT_EQ(record.ms, sr.ms) << "iteration " << it;
+    EXPECT_EQ(record.energy, sr.energy) << "iteration " << it;
+  }
+  EXPECT_EQ(guarded.final_version, tuner.FinalVersion());
+  EXPECT_EQ(guarded.iterations_to_settle, tuner.IterationsToSettle());
+  EXPECT_EQ(guarded_mem.words(), raw_mem.words())
+      << "guarded pipeline diverged in global memory";
+}
 
 TEST(PlanFromSweep, ReplaysLiveTunerWalk) {
   const workloads::Workload w = workloads::MakeWorkload("srad");

@@ -307,6 +307,49 @@ TEST_P(Fuzz, AllStagesAgree) {
   }
 }
 
+// Corrupt-binary fuzzing: every mutation of a valid encoded module —
+// random byte flips or truncation — must either decode to some module
+// (the mutation hit don't-care bytes) or fail with a clean DecodeError.
+// Crashes, hangs, and any other exception type are bugs; under the
+// ASan/UBSan CI job this also proves the decoder never reads out of
+// bounds on corrupt input.  25 programs x 25 mutations = 625 cases.
+TEST_P(Fuzz, CorruptBinaryDecodesCleanly) {
+  ProgramGenerator generator(0xF00D + static_cast<std::uint64_t>(GetParam()));
+  const isa::Module module = generator.Generate();
+  const std::vector<std::uint8_t> image = isa::EncodeModule(module);
+  ASSERT_FALSE(image.empty());
+
+  Rng rng(0xC0DE + static_cast<std::uint64_t>(GetParam()));
+  constexpr int kMutationsPerProgram = 25;
+  for (int m = 0; m < kMutationsPerProgram; ++m) {
+    std::vector<std::uint8_t> corrupt = image;
+    if (rng.NextBool(0.3)) {
+      // Truncate: drop a random suffix (possibly the whole image).
+      corrupt.resize(static_cast<std::size_t>(
+          rng.NextBounded(corrupt.size())));
+    } else {
+      // Flip 1..8 random bits.
+      const std::uint64_t flips = 1 + rng.NextBounded(8);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const std::size_t at =
+            static_cast<std::size_t>(rng.NextBounded(corrupt.size()));
+        corrupt[at] ^= static_cast<std::uint8_t>(1u << rng.NextBounded(8));
+      }
+    }
+    try {
+      const isa::Module decoded = isa::DecodeModule(corrupt);
+      (void)decoded;  // benign mutation: decoded to *something*
+    } catch (const DecodeError& e) {
+      // The only acceptable failure; the message must carry an offset.
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+          << "DecodeError without an offset: " << e.what();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "non-DecodeError escaped the decoder (seed="
+                    << GetParam() << " mutation=" << m << "): " << e.what();
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, Fuzz, ::testing::Range(0, 25));
 
 }  // namespace

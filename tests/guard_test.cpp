@@ -1,0 +1,575 @@
+// The fault-tolerant tuning pipeline.
+//
+// Covers the robustness layer end to end:
+//
+//   * DynamicTuner fault semantics (ReportFault skip/degrade/settle),
+//     median-of-k probing, hysteresis, and the ReportRuntime contract
+//     (pre-NextVersion misuse throws; post-settle reports are no-ops);
+//   * the launch watchdog — a genuine runaway kernel is terminated by
+//     the simulator's cycle cap and surfaced as a catchable fault;
+//   * LaunchGuard retry/backoff for transients, synthetic hang
+//     handling, and per-version quarantine with original-version
+//     fallback;
+//   * the noise-robustness property (Fig. 9 under Gaussian timing
+//     noise): with median-of-k probing and hysteresis the walk settles
+//     on the same version as the noise-free walk;
+//   * a seeded fault-scenario matrix over real benchmarks: with
+//     transient faults, forced hangs, and 5% timing noise injected,
+//     TunedLauncher::Run never throws, every fault is recorded in the
+//     HealthReport, and the tuner still finalizes on a valid version.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "isa/builder.h"
+#include "runtime/dynamic_tuner.h"
+#include "runtime/guard.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "sim/memory.h"
+#include "testutil.h"
+#include "workloads/workloads.h"
+
+namespace orion::runtime {
+namespace {
+
+sim::GlobalMemory MakeSeededMemory(std::size_t words, std::uint64_t seed) {
+  sim::GlobalMemory gmem(words);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+// A synthetic multi-version binary with `n` versions; the modules are
+// irrelevant for tuner state-machine tests.
+MultiVersionBinary MakeFakeBinary(std::size_t n, TuneDirection direction) {
+  MultiVersionBinary binary;
+  binary.kernel_name = "fake";
+  binary.direction = direction;
+  binary.modules.emplace_back();
+  for (std::size_t i = 0; i < n; ++i) {
+    KernelVersion version;
+    version.module_index = 0;
+    version.tag = "v" + std::to_string(i);
+    binary.versions.push_back(version);
+  }
+  return binary;
+}
+
+// A kernel that never terminates: the only way out is the watchdog.
+isa::Module MakeInfiniteLoopModule() {
+  isa::ModuleBuilder mb("runaway");
+  mb.SetLaunch(/*block_dim=*/64, /*grid_dim=*/4);
+  auto fb = mb.AddKernel("main");
+  const auto tid = fb.S2R(isa::SpecialReg::kTid);
+  const auto addr = fb.IMul(tid, isa::Operand::Imm(4));
+  const std::string spin = fb.NewLabel("spin");
+  fb.Bind(spin);
+  fb.StGlobal(addr, 0, tid);
+  fb.Bra(spin);
+  fb.Exit();
+  return mb.Build();
+}
+
+// --- ReportRuntime contract (regression) -------------------------------
+
+TEST(TunerContract, ReportRuntimeBeforeNextVersionThrows) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(3, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  EXPECT_THROW(tuner.ReportRuntime(1.0), OrionError);
+}
+
+TEST(TunerContract, ReportFaultBeforeNextVersionThrows) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(3, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  EXPECT_THROW(tuner.ReportFault(), OrionError);
+}
+
+TEST(TunerContract, ReportRuntimeAfterSettleIsNoOp) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(3, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportRuntime(10.0);
+  EXPECT_EQ(tuner.NextVersion(), 1u);
+  tuner.ReportRuntime(12.0);  // worse: settle on 0
+  ASSERT_TRUE(tuner.Finalized());
+  const std::uint32_t settled = tuner.FinalVersion();
+  // Steady-state loops keep reporting; none of it may change the state.
+  tuner.ReportRuntime(0.001);
+  tuner.ReportRuntime(1e9);
+  tuner.ReportFault();
+  EXPECT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), settled);
+  EXPECT_EQ(tuner.NextVersion(), settled);
+}
+
+TEST(TunerContract, StaticChoiceTunerAcceptsReportsWithoutNextVersion) {
+  MultiVersionBinary binary = MakeFakeBinary(3, TuneDirection::kIncreasing);
+  binary.can_tune = false;
+  binary.static_choice = 2;
+  DynamicTuner tuner(&binary);
+  ASSERT_TRUE(tuner.Finalized());
+  // Finalized-at-construction tuners are exactly the documented no-op
+  // case: unconditional reporting loops must not trip the misuse check.
+  EXPECT_NO_THROW(tuner.ReportRuntime(1.0));
+  EXPECT_EQ(tuner.FinalVersion(), 2u);
+}
+
+// --- tuner fault semantics ---------------------------------------------
+
+TEST(TunerFaults, FaultedCandidateIsSkippedNotCompared) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(5, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportRuntime(10.0);
+  EXPECT_EQ(tuner.NextVersion(), 1u);
+  tuner.ReportRuntime(8.0);
+  EXPECT_EQ(tuner.NextVersion(), 2u);
+  tuner.ReportFault();  // candidate 2 unusable: skip, keep baseline = v1
+  EXPECT_FALSE(tuner.Finalized());
+  EXPECT_EQ(tuner.NextVersion(), 3u);
+  tuner.ReportRuntime(9.0);  // worse than v1's 8.0: settle on v1
+  ASSERT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 1u);
+}
+
+TEST(TunerFaults, FaultedBaselineDegradesToAnyWorkingCandidate) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(3, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportFault();  // the original itself faults
+  EXPECT_EQ(tuner.NextVersion(), 1u);
+  tuner.ReportRuntime(50.0);  // anything beats an unusable baseline
+  EXPECT_EQ(tuner.NextVersion(), 2u);
+  tuner.ReportRuntime(60.0);  // worse than v1: settle there
+  ASSERT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 1u);
+}
+
+TEST(TunerFaults, AllCandidatesFaultingSettlesOnOriginal) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(4, TuneDirection::kIncreasing);
+  DynamicTuner tuner(&binary);
+  for (int i = 0; i < 4; ++i) {
+    tuner.NextVersion();
+    tuner.ReportFault();
+  }
+  ASSERT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 0u);
+}
+
+// --- median-of-k probing -----------------------------------------------
+
+TEST(MedianOfK, MidProbeRepeatsTheSameCandidate) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(3, TuneDirection::kIncreasing);
+  TunerOptions options;
+  options.probe_count = 3;
+  DynamicTuner tuner(&binary, options);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportRuntime(10.0);
+  EXPECT_EQ(tuner.NextVersion(), 0u);  // still probing the original
+  tuner.ReportRuntime(10.0);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportRuntime(10.0);
+  EXPECT_EQ(tuner.NextVersion(), 1u);  // k samples in: advance
+}
+
+TEST(MedianOfK, MedianDefeatsASingleOutlier) {
+  const MultiVersionBinary binary =
+      MakeFakeBinary(3, TuneDirection::kIncreasing);
+  TunerOptions options;
+  options.probe_count = 3;
+  DynamicTuner tuner(&binary, options);
+  for (const double ms : {10.0, 10.0, 10.0}) {  // v0
+    tuner.NextVersion();
+    tuner.ReportRuntime(ms);
+  }
+  for (const double ms : {8.0, 500.0, 8.0}) {  // v1: one wild outlier
+    tuner.NextVersion();
+    tuner.ReportRuntime(ms);
+  }
+  ASSERT_FALSE(tuner.Finalized());  // median 8.0 < 10.0: keep walking
+  for (const double ms : {9.0, 9.0, 9.0}) {  // v2: genuinely worse
+    tuner.NextVersion();
+    tuner.ReportRuntime(ms);
+  }
+  ASSERT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 1u);
+}
+
+TEST(MedianOfK, DefaultOptionsReplayIdenticallyToLegacyTuner) {
+  const std::vector<double> runtimes = {10, 8, 6, 5, 7, 9};
+  const MultiVersionBinary binary =
+      MakeFakeBinary(runtimes.size(), TuneDirection::kIncreasing);
+  const TunerPlan legacy =
+      DynamicTuner::PlanFromSweep(binary, runtimes, 0.02);
+  const TunerPlan options_based =
+      DynamicTuner::PlanFromSweep(binary, runtimes, TunerOptions{});
+  EXPECT_EQ(legacy.final_version, options_based.final_version);
+  EXPECT_EQ(legacy.iterations_to_settle, options_based.iterations_to_settle);
+  EXPECT_EQ(legacy.visits, options_based.visits);
+}
+
+// --- noise robustness (the Fig. 9 walk under Gaussian noise) -----------
+
+// Well-separated candidate runtime curves (gaps >> the 5% noise), both
+// directions, valley at different positions.
+struct NoiseCurve {
+  std::vector<double> runtimes;
+  TuneDirection direction;
+};
+
+TEST(NoiseRobustWalk, MedianOfKSettlesLikeTheNoiseFreeWalk) {
+  const std::vector<NoiseCurve> curves = {
+      {{10.0, 7.0, 5.0, 6.5, 9.0}, TuneDirection::kIncreasing},
+      {{10.0, 13.0, 17.0, 22.0}, TuneDirection::kIncreasing},
+      {{20.0, 15.0, 11.0, 8.0}, TuneDirection::kIncreasing},
+      {{10.0, 7.5, 5.5, 7.2, 9.6}, TuneDirection::kDecreasing},
+      {{8.0, 10.5, 14.0}, TuneDirection::kDecreasing},
+  };
+  constexpr double kSigma = 0.05;  // 5% relative Gaussian noise
+  constexpr int kSeeds = 50;
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    const NoiseCurve& curve = curves[c];
+    const MultiVersionBinary binary =
+        MakeFakeBinary(curve.runtimes.size(), curve.direction);
+    // Noise-free reference walk (single probe, paper configuration).
+    const TunerPlan reference =
+        DynamicTuner::PlanFromSweep(binary, curve.runtimes, TunerOptions{});
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(0xBADC0FFE + static_cast<std::uint64_t>(seed) * 977 + c);
+      TunerOptions options;
+      options.probe_count = 5;
+      options.hysteresis = 0.02;
+      DynamicTuner tuner(&binary, options);
+      int guard = 0;
+      while (!tuner.Finalized() && ++guard < 200) {
+        const std::uint32_t v = tuner.NextVersion();
+        const double noisy =
+            curve.runtimes[v] * (1.0 + kSigma * rng.NextGaussian());
+        tuner.ReportRuntime(noisy);
+      }
+      ASSERT_TRUE(tuner.Finalized()) << "curve " << c << " seed " << seed;
+      EXPECT_EQ(tuner.FinalVersion(), reference.final_version)
+          << "curve " << c << " seed " << seed;
+    }
+  }
+}
+
+// --- the launch watchdog -----------------------------------------------
+
+TEST(Watchdog, CycleCapTerminatesARunawayKernelOnBothEngines) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled =
+      baseline::CompileDefault(MakeInfiniteLoopModule(), spec);
+  for (const sim::SimEngine engine :
+       {sim::SimEngine::kEventDriven, sim::SimEngine::kReference}) {
+    sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache, engine);
+    simulator.set_cycle_cap(200'000);
+    sim::GlobalMemory gmem = MakeSeededMemory(1 << 14, 1);
+    try {
+      simulator.LaunchAll(compiled, &gmem, {});
+      FAIL() << "runaway kernel was not terminated";
+    } catch (const LaunchError& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("watchdog:", 0), 0u)
+          << "unexpected LaunchError: " << e.what();
+    }
+  }
+}
+
+TEST(Watchdog, UnreachedCycleCapIsBitIdenticalToNoCap) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled =
+      baseline::CompileDefault(test::MakeStraightLineModule(), spec);
+  sim::GpuSimulator uncapped(spec, arch::CacheConfig::kSmallCache);
+  sim::GpuSimulator capped(spec, arch::CacheConfig::kSmallCache);
+  capped.set_cycle_cap(std::uint64_t{1} << 40);
+  sim::GlobalMemory g1 = MakeSeededMemory(1 << 14, 2);
+  sim::GlobalMemory g2 = MakeSeededMemory(1 << 14, 2);
+  const sim::SimResult a = uncapped.LaunchAll(compiled, &g1, {});
+  const sim::SimResult b = capped.LaunchAll(compiled, &g2, {});
+  EXPECT_TRUE(sim::BitIdentical(a, b));
+  EXPECT_EQ(g1.words(), g2.words());
+}
+
+TEST(Watchdog, GuardConvertsRunawayLaunchToWatchdogExpired) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  MultiVersionBinary binary;
+  binary.kernel_name = "runaway";
+  binary.modules.push_back(
+      baseline::CompileDefault(MakeInfiniteLoopModule(), spec));
+  KernelVersion version;
+  version.tag = "original";
+  binary.versions.push_back(version);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  GuardOptions options;
+  options.watchdog_cycle_budget = 200'000;
+  LaunchGuard guard(&binary, &simulator, options);
+  sim::GlobalMemory gmem = MakeSeededMemory(1 << 14, 3);
+  const GuardedLaunch launch = guard.Launch(
+      0, &gmem, {}, 0, binary.modules.front().launch.grid_dim, 0);
+  EXPECT_FALSE(launch.status.ok());
+  EXPECT_EQ(launch.status.code(), StatusCode::kWatchdogExpired);
+  EXPECT_EQ(guard.health().watchdog_trips, 1u);
+  EXPECT_EQ(guard.health().faulted_iterations, 1u);
+  // The guard restored the simulator's cap on the way out.
+  EXPECT_EQ(simulator.cycle_cap(), 0u);
+}
+
+// --- guard retry, hang charging, quarantine ----------------------------
+
+// A real single-version binary the injected-fault tests can launch.
+MultiVersionBinary MakeRealBinary(const arch::GpuSpec& spec) {
+  MultiVersionBinary binary;
+  binary.kernel_name = "straightline";
+  binary.modules.push_back(
+      baseline::CompileDefault(test::MakeStraightLineModule(), spec));
+  KernelVersion v0;
+  v0.tag = "original";
+  binary.versions.push_back(v0);
+  KernelVersion v1 = v0;
+  v1.tag = "occ";
+  binary.versions.push_back(v1);
+  return binary;
+}
+
+TEST(LaunchGuardTest, TransientFaultsExhaustRetriesWithBackoff) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const MultiVersionBinary binary = MakeRealBinary(spec);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  FaultPlan plan;
+  plan.launch_transient = 1.0;  // every attempt fails
+  ScopedFaultInjector injector(plan);
+  GuardOptions options;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 0.25;
+  LaunchGuard guard(&binary, &simulator, options);
+  sim::GlobalMemory gmem = MakeSeededMemory(1 << 14, 4);
+  const GuardedLaunch launch = guard.Launch(
+      0, &gmem, {}, 0, binary.modules.front().launch.grid_dim, 0);
+  EXPECT_FALSE(launch.status.ok());
+  EXPECT_EQ(launch.status.code(), StatusCode::kLaunchFault);
+  EXPECT_EQ(launch.attempts, 3u);
+  EXPECT_EQ(guard.health().transient_faults, 3u);
+  EXPECT_EQ(guard.health().retries, 2u);
+  EXPECT_DOUBLE_EQ(guard.health().backoff_ms, 0.25 + 0.5);  // 2^0, 2^1
+  EXPECT_EQ(guard.health().launches_succeeded, 0u);
+}
+
+TEST(LaunchGuardTest, InjectedHangIsChargedTheWatchdogBudget) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const MultiVersionBinary binary = MakeRealBinary(spec);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  FaultPlan plan;
+  plan.launch_hang = 1.0;
+  ScopedFaultInjector injector(plan);
+  GuardOptions options;
+  options.watchdog_cycle_budget = 1'000'000;
+  LaunchGuard guard(&binary, &simulator, options);
+  sim::GlobalMemory gmem = MakeSeededMemory(1 << 14, 5);
+  const GuardedLaunch launch = guard.Launch(
+      0, &gmem, {}, 0, binary.modules.front().launch.grid_dim, 0);
+  EXPECT_EQ(launch.status.code(), StatusCode::kWatchdogExpired);
+  EXPECT_EQ(launch.attempts, 1u);  // hangs are not retryable
+  EXPECT_EQ(guard.health().watchdog_trips, 1u);
+  EXPECT_DOUBLE_EQ(
+      launch.measured_ms,
+      1'000'000.0 / (spec.timing.core_clock_mhz * 1000.0));
+}
+
+TEST(LaunchGuardTest, RepeatedFaultsQuarantineEverythingButTheOriginal) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const MultiVersionBinary binary = MakeRealBinary(spec);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  FaultPlan plan;
+  plan.launch_transient = 1.0;
+  ScopedFaultInjector injector(plan);
+  GuardOptions options;
+  options.max_attempts = 1;
+  options.quarantine_threshold = 2;
+  LaunchGuard guard(&binary, &simulator, options);
+  sim::GlobalMemory gmem = MakeSeededMemory(1 << 14, 6);
+  const std::uint32_t grid = binary.modules.front().launch.grid_dim;
+  // Two terminal faults trip the threshold for version 1...
+  EXPECT_FALSE(guard.Launch(1, &gmem, {}, 0, grid, 0).status.ok());
+  EXPECT_FALSE(guard.Quarantined(1));
+  EXPECT_FALSE(guard.Launch(1, &gmem, {}, 0, grid, 1).status.ok());
+  EXPECT_TRUE(guard.Quarantined(1));
+  // ...after which the guard refuses without attempting a launch.
+  const std::uint64_t attempts_before = guard.health().launches_attempted;
+  const GuardedLaunch refused = guard.Launch(1, &gmem, {}, 0, grid, 2);
+  EXPECT_EQ(refused.status.code(), StatusCode::kQuarantined);
+  EXPECT_EQ(guard.health().launches_attempted, attempts_before);
+  // The original is exempt however often it faults.
+  for (std::uint32_t it = 0; it < 5; ++it) {
+    EXPECT_FALSE(guard.Launch(0, &gmem, {}, 0, grid, 3 + it).status.ok());
+  }
+  EXPECT_FALSE(guard.Quarantined(0));
+  ASSERT_EQ(guard.health().quarantined.size(), 1u);
+  EXPECT_EQ(guard.health().quarantined.front(), 1u);
+}
+
+// --- compile-path degradation ------------------------------------------
+
+TEST(CompileFaults, InjectedCompileFaultsAreSkippedAndRecorded) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module module = test::MakePressureModule(24);
+  core::TuneOptions options;
+  // Reference compile: no injector.
+  const MultiVersionBinary clean =
+      core::CompileMultiVersion(module, spec, options);
+  EXPECT_TRUE(clean.compile_skips.empty());
+  for (int seed = 1; seed <= 20; ++seed) {
+    FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(seed);
+    plan.compile_fail = 0.4;
+    ScopedFaultInjector injector(plan);
+    const MultiVersionBinary binary =
+        core::CompileMultiVersion(module, spec, options);
+    // The original never goes through the per-level hook: a fault plan
+    // can shrink the candidate list but never empties it.
+    ASSERT_GE(binary.versions.size(), 1u);
+    EXPECT_EQ(binary.versions.front().tag, "original");
+    for (const CompileSkip& skip : binary.compile_skips) {
+      EXPECT_EQ(skip.status.code(), StatusCode::kCompileFault);
+      EXPECT_NE(skip.status.message().find("injected"), std::string::npos);
+    }
+    // Whatever survived must be launchable end to end.
+    sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+    sim::GlobalMemory gmem = MakeSeededMemory(1 << 16, 7);
+    TunedLauncher launcher(&binary, &simulator);
+    RunPlan run_plan;
+    run_plan.iterations = 4;
+    const TunedRunResult result = launcher.Run(&gmem, {}, run_plan);
+    EXPECT_LT(result.final_version, binary.NumCandidates());
+  }
+}
+
+// --- end-to-end fault-scenario matrix ----------------------------------
+
+class FaultMatrix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultMatrix, TunedRunSurvivesTwentySeededFaultScenarios) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const workloads::Workload w = workloads::MakeWorkload(GetParam());
+  core::TuneOptions options;
+  options.can_tune = w.can_tune;
+  const MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, options);
+
+  std::uint64_t total_transients = 0;
+  std::uint64_t total_hangs = 0;
+  for (int seed = 1; seed <= 20; ++seed) {
+    FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(seed) * 7919;
+    plan.launch_transient = 0.25;
+    plan.launch_hang = 0.10;
+    plan.measure_noise = 0.05;
+    ScopedFaultInjector injector(plan);
+
+    sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+    sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+    TunedLauncher launcher(&binary, &simulator);
+    RunPlan run_plan;
+    run_plan.iterations = 8;
+    run_plan.probe_count = 1;
+    run_plan.guard.watchdog_cycle_budget = 50'000'000;
+    const TunedRunResult result = launcher.Run(&gmem, w.params, run_plan);
+
+    // The run completed without throwing; the tuner settled on a valid
+    // candidate.
+    EXPECT_LT(result.final_version, binary.NumCandidates())
+        << GetParam() << " seed " << seed;
+    EXPECT_EQ(result.records.size(), run_plan.iterations);
+
+    const HealthReport& health = result.health;
+    std::uint64_t faulted_records = 0;
+    for (const IterationRecord& record : result.records) {
+      if (record.faulted) {
+        ++faulted_records;
+        EXPECT_GE(record.ms, 0.0);
+      }
+    }
+    EXPECT_EQ(health.faulted_iterations, faulted_records)
+        << GetParam() << " seed " << seed;
+    EXPECT_EQ(health.fault_log.size(), faulted_records);
+    for (const FaultEvent& event : health.fault_log) {
+      EXPECT_LT(event.version, binary.NumCandidates());
+      EXPECT_FALSE(event.status.ok());
+    }
+    for (const std::uint32_t q : health.quarantined) {
+      EXPECT_NE(q, 0u);  // the original is never quarantined
+    }
+    EXPECT_GE(health.launches_attempted,
+              health.launches_succeeded + health.transient_faults / 3);
+    total_transients += health.transient_faults;
+    total_hangs += health.watchdog_trips;
+  }
+  // With p=0.25 / p=0.10 over 160 launches the injector must have fired
+  // both fault classes at least once.
+  EXPECT_GT(total_transients, 0u) << GetParam();
+  EXPECT_GT(total_hangs, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, FaultMatrix,
+                         ::testing::Values("srad", "backprop", "hotspot",
+                                           "matrixmul"));
+
+TEST(FaultMatrixEdge, AllLaunchesFaultingFallsBackToOriginal) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  const MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, core::TuneOptions{});
+  FaultPlan plan;
+  plan.launch_transient = 1.0;
+  ScopedFaultInjector injector(plan);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+  TunedLauncher launcher(&binary, &simulator);
+  RunPlan run_plan;
+  run_plan.iterations = 8;
+  run_plan.guard.max_attempts = 1;
+  run_plan.guard.quarantine_threshold = 1;
+  const TunedRunResult result = launcher.Run(&gmem, w.params, run_plan);
+  EXPECT_EQ(result.final_version, 0u);
+  EXPECT_TRUE(result.health.fallback_taken);
+  for (const IterationRecord& record : result.records) {
+    EXPECT_TRUE(record.faulted);
+  }
+  EXPECT_EQ(result.health.launches_succeeded, 0u);
+}
+
+TEST(FaultMatrixEdge, NoFaultPlanMeansAHealthyReport) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const workloads::Workload w = workloads::MakeWorkload("backprop");
+  const MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, core::TuneOptions{});
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+  TunedLauncher launcher(&binary, &simulator);
+  RunPlan run_plan;
+  run_plan.iterations = 8;
+  const TunedRunResult result = launcher.Run(&gmem, w.params, run_plan);
+  EXPECT_TRUE(result.health.Healthy());
+  EXPECT_EQ(result.health.launches_attempted, 8u);
+  EXPECT_EQ(result.health.launches_succeeded, 8u);
+  EXPECT_TRUE(binary.compile_skips.empty());
+}
+
+}  // namespace
+}  // namespace orion::runtime

@@ -14,13 +14,22 @@
 //
 // Common flags: --gpu gtx680|c2075 (default gtx680),
 //               --cache sc|lc      (default sc).
+//
+// Robustness flags (run command):
+//   --fault-plan SPEC   install a deterministic fault injector, e.g.
+//                       "seed=7,launch.transient=0.2,measure.noise=0.05"
+//                       (see docs/ROBUSTNESS.md for the grammar)
+//   --watchdog N        per-launch watchdog cycle budget (0 = off)
+//   --probe-k K         median-of-k probing in the feedback walk
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/rng.h"
 #include "core/orion.h"
 #include "core/static_model.h"
@@ -39,7 +48,9 @@ using namespace orion;
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
                "usage: orion-cc <asm|dis|info|tune|sweep|run> <input> "
-               "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] [--iters N]\n");
+               "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] [--iters N]\n"
+               "       run-only: [--fault-plan SPEC] [--watchdog CYCLES] "
+               "[--probe-k K]\n");
   std::exit(2);
 }
 
@@ -68,6 +79,9 @@ struct Args {
   std::string gpu = "gtx680";
   std::string cache = "sc";
   std::uint32_t iters = 16;
+  std::string fault_plan;             // empty = no injector
+  std::uint64_t watchdog_cycles = 0;  // 0 = watchdog off
+  std::uint32_t probe_k = 1;
 };
 
 Args Parse(int argc, char** argv) {
@@ -93,6 +107,12 @@ Args Parse(int argc, char** argv) {
       args.cache = value();
     } else if (flag == "--iters") {
       args.iters = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--fault-plan") {
+      args.fault_plan = value();
+    } else if (flag == "--watchdog") {
+      args.watchdog_cycles = std::stoull(value());
+    } else if (flag == "--probe-k") {
+      args.probe_k = static_cast<std::uint32_t>(std::stoul(value()));
     } else {
       Usage();
     }
@@ -221,18 +241,41 @@ int CmdSweep(const Args& args) {
 }
 
 int CmdRun(const Args& args) {
+  // Install the fault injector (if any) before decode so every hook —
+  // binary decode, per-level compile, launch, measurement — is live for
+  // the whole pipeline.
+  std::optional<ScopedFaultInjector> injector;
+  if (!args.fault_plan.empty()) {
+    Result<FaultPlan> fault_plan = FaultPlan::Parse(args.fault_plan);
+    if (!fault_plan.has_value()) {
+      throw OrionError("bad --fault-plan: " + fault_plan.status().ToString());
+    }
+    std::printf("fault plan: %s\n", fault_plan->ToString().c_str());
+    injector.emplace(*fault_plan);
+  }
   const isa::Module module = isa::DecodeModule(ReadFile(args.input));
   core::TuneOptions options;
   options.cache_config = Cache(args);
   const runtime::MultiVersionBinary binary =
       core::CompileMultiVersion(module, Gpu(args), options);
+  for (const runtime::CompileSkip& skip : binary.compile_skips) {
+    std::printf("compile skip: %s (%s)\n", skip.level.c_str(),
+                skip.status.ToString().c_str());
+  }
   sim::GpuSimulator simulator(Gpu(args), Cache(args));
   sim::GlobalMemory gmem = SeedMemory(std::size_t{1} << 22);
   runtime::TunedLauncher launcher(&binary, &simulator);
   runtime::RunPlan plan;
   plan.iterations = args.iters;
+  plan.probe_count = args.probe_k;
+  plan.guard.watchdog_cycle_budget = args.watchdog_cycles;
   const runtime::TunedRunResult result = launcher.Run(&gmem, {}, plan);
   for (std::size_t i = 0; i < result.records.size(); ++i) {
+    if (result.records[i].faulted) {
+      std::printf("iter %2zu: %-14s FAULTED\n", i,
+                  binary.Candidate(result.records[i].version).tag.c_str());
+      continue;
+    }
     std::printf("iter %2zu: %-14s occ %.3f  %.4f ms\n", i,
                 binary.Candidate(result.records[i].version).tag.c_str(),
                 result.records[i].occupancy, result.records[i].ms);
@@ -240,6 +283,9 @@ int CmdRun(const Args& args) {
   std::printf("final: %s (settled after %u iterations), steady %.4f ms\n",
               binary.Candidate(result.final_version).tag.c_str(),
               result.iterations_to_settle, result.steady_ms);
+  if (injector.has_value() || !result.health.Healthy()) {
+    std::printf("health: %s\n", result.health.ToString().c_str());
+  }
   // Full characterization of one steady-state launch.
   const runtime::KernelVersion& final_version =
       binary.Candidate(result.final_version);
