@@ -14,6 +14,11 @@
 //      current one (event engine, ParallelSweep across hardware
 //      threads).  This is the end-to-end number the engine rewrite
 //      targets.
+//   3. Telemetry overhead: the same event-engine launch with the
+//      tracer disabled (the shipping default — instrumentation costs
+//      one branch) and enabled (spans + launch-boundary counters).
+//      The disabled number is the one the <2% regression budget in
+//      docs/OBSERVABILITY.md is measured against.
 //
 // Run from anywhere; BENCH_sim.json is written to the current
 // directory.  Use a Release build: Debug keeps ORION_DCHECK live.
@@ -29,6 +34,7 @@
 #include "bench_util.h"
 #include "sim/gpu_sim.h"
 #include "sim/parallel.h"
+#include "telemetry/telemetry.h"
 #include "workloads/workloads.h"
 
 namespace orion::bench {
@@ -191,12 +197,47 @@ int main() {
                 "  \"fig11_sweep\": {\"seed_instr_per_sec\": %.6e, "
                 "\"new_instr_per_sec\": %.6e, \"speedup\": %.4f, "
                 "\"seed_seconds\": %.4f, \"new_seconds\": %.4f, "
-                "\"instructions\": %llu, \"sweep_threads\": %u}\n}\n",
+                "\"instructions\": %llu, \"sweep_threads\": %u},\n",
                 seed_cfg.InstrPerSec(), new_cfg.InstrPerSec(), sweep_speedup,
                 seed_cfg.seconds, new_cfg.seconds,
                 static_cast<unsigned long long>(new_cfg.instructions),
                 std::thread::hardware_concurrency());
   json += buf;
+
+  // Telemetry overhead on the event engine: disabled (shipping default)
+  // vs enabled.  Both passes run after telemetry::Reset so the enabled
+  // pass pays realistic buffer growth, not reallocation of a warm one.
+  {
+    const workloads::Workload w = workloads::MakeWorkload("srad");
+    const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    telemetry::SetEnabled(false);
+    telemetry::Reset();
+    const EngineRun off =
+        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kEventDriven,
+                             kMinSeconds, kMinReps);
+    telemetry::Reset();
+    telemetry::SetEnabled(true);
+    const EngineRun on =
+        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kEventDriven,
+                             kMinSeconds, kMinReps);
+    telemetry::SetEnabled(false);
+    telemetry::Reset();
+    const double overhead_pct =
+        off.InstrPerSec() > 0.0
+            ? 100.0 * (1.0 - on.InstrPerSec() / off.InstrPerSec())
+            : 0.0;
+    std::printf("\ntelemetry overhead (srad, event engine)\n");
+    std::printf("  tracer off: %.3e instr/sec\n", off.InstrPerSec());
+    std::printf("  tracer on:  %.3e instr/sec\n", on.InstrPerSec());
+    std::printf("  overhead:   %.2f%%\n", overhead_pct);
+    std::snprintf(buf, sizeof(buf),
+                  "  \"telemetry_overhead\": {\"workload\": \"srad\", "
+                  "\"disabled_instr_per_sec\": %.6e, "
+                  "\"enabled_instr_per_sec\": %.6e, "
+                  "\"overhead_percent\": %.4f}\n}\n",
+                  off.InstrPerSec(), on.InstrPerSec(), overhead_pct);
+    json += buf;
+  }
 
   std::FILE* out = std::fopen("BENCH_sim.json", "w");
   if (out != nullptr) {

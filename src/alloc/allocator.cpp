@@ -15,6 +15,7 @@
 #include "ir/loops.h"
 #include "ir/ssa.h"
 #include "isa/verifier.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::alloc {
 
@@ -148,15 +149,37 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
 
 isa::Module AllocateModule(const isa::Module& input, const AllocBudget& budget,
                            const AllocOptions& options, AllocStats* stats) {
+  telemetry::ScopedSpan span("compiler", "alloc.module");
+  span.AddArg("kernel", input.name);
+  span.AddArg("budget", budget.reg_words);
+  AllocStats local_stats;
+  if (stats == nullptr && telemetry::Enabled()) {
+    stats = &local_stats;  // counters below need the numbers regardless
+  }
   // First attempt: give every function the full remaining budget.  When
   // values live across calls leave no room for callee frames, retry
   // with callee-subtree reserves, which forces the callers to spill
   // those values instead.
-  try {
-    return AllocateModuleImpl(input, budget, options, stats, false);
-  } catch (const CompileError&) {
-    return AllocateModuleImpl(input, budget, options, stats, true);
+  isa::Module module = [&] {
+    try {
+      return AllocateModuleImpl(input, budget, options, stats, false);
+    } catch (const CompileError&) {
+      return AllocateModuleImpl(input, budget, options, stats, true);
+    }
+  }();
+  if (telemetry::Enabled() && stats != nullptr) {
+    ORION_COUNTER_ADD("alloc.modules", 1);
+    ORION_COUNTER_ADD("alloc.spilled_vregs", stats->spilled_vregs);
+    ORION_COUNTER_ADD("alloc.park_moves", stats->static_park_moves);
+    ORION_COUNTER_ADD("alloc.local_words", stats->local_words);
+    ORION_COUNTER_ADD("alloc.spriv_words", stats->spriv_words);
+    ORION_GAUGE_MAX("alloc.peak_regs", stats->peak_regs);
+    ORION_GAUGE_MAX("alloc.max_live_words", stats->kernel_max_live_words);
+    span.AddArg("peak_regs", stats->peak_regs);
+    span.AddArg("spilled_vregs", stats->spilled_vregs);
+    span.AddArg("park_moves", stats->static_park_moves);
   }
+  return module;
 }
 
 namespace {
@@ -219,6 +242,8 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
 
   // ---- Phase 1: color each function, propagate frame bases ------------
   for (const std::uint32_t fi : callgraph.TopoOrder()) {
+    telemetry::ScopedSpan func_span("compiler", "alloc.function");
+    func_span.AddArg("name", module.functions[fi].name);
     FunctionPlan& plan = plans[fi];
     plan.base = pending_base[fi];
     const std::uint32_t reserved = plan.base + reserve[fi];
@@ -235,6 +260,7 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
     if (options.use_ssa) {
       // Section 3.2: build pruned SSA and eliminate φs before assigning
       // the pruned SSA variables.
+      ORION_TRACE_SPAN("compiler", "alloc.ssa");
       ir::ConvertToSsaForm(&plan.body);
     }
 
@@ -254,6 +280,7 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
       const ir::VRegInfo info = ir::VRegInfo::Gather(plan.body);
       return info.num_vregs;
     }();
+    telemetry::ScopedSpan color_span("compiler", "alloc.color");
     for (;;) {
       const ir::Cfg cfg = ir::Cfg::Build(plan.body);
       const ir::VRegInfo info = ir::VRegInfo::Gather(plan.body);
@@ -316,11 +343,14 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
             plan.body.name.c_str(), options.max_spill_rounds, budget_words));
       }
     }
+    color_span.AddArg("spill_rounds", plan.spill_rounds);
+    color_span.AddArg("spilled_vregs", plan.spilled_vregs);
   }
 
   // ---- Global shared-memory re-homing of hot spill slots ---------------
   std::uint32_t spriv_used = 0;
   if (options.rehome_spills && budget.spriv_slot_words > 0) {
+    telemetry::ScopedSpan rehome_span("compiler", "alloc.rehome");
     struct Candidate {
       std::uint32_t func = 0;
       std::uint32_t first_word = 0;
@@ -368,6 +398,7 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
   }
 
   // ---- Phase 2: final layout and physical lowering ----------------------
+  telemetry::ScopedSpan layout_span("compiler", "alloc.layout");
   if (stats != nullptr) {
     *stats = AllocStats{};
     stats->abi_words = abi_words;

@@ -1,0 +1,94 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+#include "telemetry/telemetry.h"
+
+namespace orion::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kError};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_sink_mu;
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+}  // namespace
+
+Level GetLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLevel(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+bool ParseLevel(std::string_view name, Level* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  if (lower == "error") {
+    *out = Level::kError;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = Level::kWarn;
+  } else if (lower == "info") {
+    *out = Level::kInfo;
+  } else if (lower == "debug") {
+    *out = Level::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kError:
+      return "ERROR";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+void SetSink(std::ostream* sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+Message::Message(Level level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+Message::~Message() {
+  const std::string body = stream_.str();
+  const std::string src =
+      std::string(Basename(file_)) + ":" + std::to_string(line_);
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    std::ostream* sink = g_sink.load(std::memory_order_relaxed);
+    std::ostream& out = sink != nullptr ? *sink : std::cerr;
+    out << "[" << LevelName(level_) << "] " << src << ": " << body << "\n";
+    out.flush();
+  }
+  if (telemetry::Enabled()) {
+    telemetry::Instant("log", LevelName(level_),
+                       {telemetry::Arg("msg", body),
+                        telemetry::Arg("src", src)});
+  }
+}
+
+}  // namespace detail
+}  // namespace orion::log

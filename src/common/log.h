@@ -1,0 +1,83 @@
+// Leveled logging for the Orion libraries.
+//
+//   ORION_LOG(WARN) << "version " << v << " quarantined";
+//
+// Messages below the global level cost one comparison and evaluate
+// none of the stream operands.  The sink defaults to stderr and is
+// redirectable (tests, orion-cc).  When telemetry tracing is enabled,
+// every emitted message is mirrored onto the "log" track so warnings
+// interleave with spans in exported traces.
+//
+// Library default level is ERROR (quiet); orion-cc raises it to WARN
+// and exposes --log-level {error,warn,info,debug}.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+namespace orion::log {
+
+enum class Level : std::uint8_t {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+// Macro token -> Level mapping (spelled with a prefix so ORION_LOG
+// arguments survive common macros like DEBUG).
+inline constexpr Level kLevel_ERROR = Level::kError;
+inline constexpr Level kLevel_WARN = Level::kWarn;
+inline constexpr Level kLevel_INFO = Level::kInfo;
+inline constexpr Level kLevel_DEBUG = Level::kDebug;
+
+Level GetLevel();
+void SetLevel(Level level);
+
+// Parses "error"/"warn"/"info"/"debug" (case-insensitive).  Returns
+// false on unknown names.
+bool ParseLevel(std::string_view name, Level* out);
+const char* LevelName(Level level);
+
+// Redirects the sink; nullptr restores stderr.  The stream must
+// outlive all logging.
+void SetSink(std::ostream* sink);
+
+inline bool ShouldLog(Level level) {
+  return static_cast<std::uint8_t>(level) <=
+         static_cast<std::uint8_t>(GetLevel());
+}
+
+namespace detail {
+
+class Message {
+ public:
+  Message(Level level, const char* file, int line);
+  ~Message();  // flushes to the sink (and the telemetry "log" track)
+  std::ostream& stream() { return stream_; }
+
+ private:
+  Level level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream expression in the disabled branch of ORION_LOG
+// without tripping dangling-else warnings.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace detail
+}  // namespace orion::log
+
+#define ORION_LOG(severity)                                              \
+  (!::orion::log::ShouldLog(::orion::log::kLevel_##severity))            \
+      ? (void)0                                                          \
+      : ::orion::log::detail::Voidify() &                                \
+            ::orion::log::detail::Message(::orion::log::kLevel_##severity, \
+                                          __FILE__, __LINE__)            \
+                .stream()

@@ -4,9 +4,11 @@
 
 #include "common/error.h"
 #include "common/faultinject.h"
+#include "common/log.h"
 #include "common/strings.h"
 #include "core/static_model.h"
 #include "isa/binary.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::core {
 
@@ -87,6 +89,16 @@ void RecordSkip(runtime::MultiVersionBinary* binary,
   }
   binary->compile_skips.push_back(
       {StrFormat("blocks=%u", level.blocks_per_sm), status});
+  ORION_LOG(WARN) << "kernel '" << binary->kernel_name
+                  << "' skipped level blocks=" << level.blocks_per_sm << ": "
+                  << status.ToString();
+  ORION_COUNTER_ADD("compile.skips", 1);
+  if (telemetry::Enabled()) {
+    telemetry::Instant("compiler", "compile.skip",
+                       {telemetry::Arg("kernel", binary->kernel_name),
+                        telemetry::Arg("blocks", level.blocks_per_sm),
+                        telemetry::Arg("status", status.ToString())});
+  }
 }
 
 }  // namespace
@@ -99,6 +111,9 @@ Result<runtime::KernelVersion> CompileAtLevel(
     const isa::Module& virt, const arch::GpuSpec& spec,
     const arch::OccupancyLevel& level, const TuneOptions& options,
     std::vector<isa::Module>* module_pool) {
+  telemetry::ScopedSpan span("compiler", "compile.level");
+  span.AddArg("kernel", virt.name);
+  span.AddArg("blocks", level.blocks_per_sm);
   // Fault-injection hook: an installed injector can fail this level's
   // compilation outright; the drivers must skip and record it.
   if (FaultInjector* injector = FaultInjector::Current()) {
@@ -152,6 +167,8 @@ runtime::KernelVersion CompileOriginal(const isa::Module& virt,
                                        const arch::GpuSpec& spec,
                                        const TuneOptions& options,
                                        std::vector<isa::Module>* module_pool) {
+  telemetry::ScopedSpan span("compiler", "compile.original");
+  span.AddArg("kernel", virt.name);
   alloc::AllocBudget budget;
   budget.reg_words = spec.max_regs_per_thread;
   budget.spriv_slot_words = 0;  // the original version uses registers only
@@ -174,6 +191,8 @@ runtime::KernelVersion CompileOriginal(const isa::Module& virt,
 runtime::MultiVersionBinary EnumerateAllVersions(const isa::Module& virt,
                                                  const arch::GpuSpec& spec,
                                                  const TuneOptions& options) {
+  telemetry::ScopedSpan span("compiler", "compile.enumerate");
+  span.AddArg("kernel", virt.name);
   runtime::MultiVersionBinary binary;
   binary.kernel_name = virt.name;
   binary.gpu_name = spec.name;
@@ -235,6 +254,8 @@ void SubsampleVersions(std::vector<runtime::KernelVersion>* versions,
 runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
                                                 const arch::GpuSpec& spec,
                                                 const TuneOptions& options) {
+  telemetry::ScopedSpan span("compiler", "compile.multiversion");
+  span.AddArg("kernel", virt.name);
   runtime::MultiVersionBinary binary;
   binary.kernel_name = virt.name;
   binary.gpu_name = spec.name;
@@ -416,13 +437,19 @@ runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
 
 TunedBinary TuneBinary(const std::vector<std::uint8_t>& cubin,
                        const arch::GpuSpec& spec, const TuneOptions& options) {
+  telemetry::ScopedSpan span("compiler", "compile.tune");
   const isa::Module virt = isa::DecodeModule(cubin);
+  span.AddArg("kernel", virt.name);
   TunedBinary tuned;
   tuned.binary = CompileMultiVersion(virt, spec, options);
   tuned.images.reserve(tuned.binary.modules.size());
   for (const isa::Module& module : tuned.binary.modules) {
     tuned.images.push_back(isa::EncodeModule(module));
   }
+  span.AddArg("versions",
+              static_cast<std::uint64_t>(tuned.binary.versions.size()));
+  span.AddArg("skips",
+              static_cast<std::uint64_t>(tuned.binary.compile_skips.size()));
   return tuned;
 }
 

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/faultinject.h"
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::isa {
 
@@ -199,6 +200,8 @@ Instruction DecodeInstruction(Reader* r) {
 }  // namespace
 
 std::vector<std::uint8_t> EncodeModule(const Module& module) {
+  telemetry::ScopedSpan span("compiler", "isa.encode");
+  span.AddArg("kernel", module.name);
   Writer w;
   w.U32(kMagic);
   w.U16(kVersion);
@@ -302,6 +305,8 @@ Module DecodeModuleBytes(const std::vector<std::uint8_t>& bytes) {
 }  // namespace
 
 Module DecodeModule(const std::vector<std::uint8_t>& bytes) {
+  telemetry::ScopedSpan span("compiler", "isa.decode");
+  span.AddArg("bytes", static_cast<std::uint64_t>(bytes.size()));
   // Fault-injection hook: an installed injector may corrupt a copy of
   // the image (bit-flips / truncation) before parsing; the decoder must
   // then fail with a clean DecodeError, never crash or hang.

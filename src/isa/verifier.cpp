@@ -8,7 +8,9 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::isa {
 
@@ -318,6 +320,7 @@ class Verifier {
 
 std::vector<std::string> VerifyModule(const Module& module,
                                       const VerifyOptions& options) {
+  ORION_TRACE_SPAN("compiler", "isa.verify");
   return Verifier(module, options).Run();
 }
 
@@ -325,6 +328,11 @@ void VerifyModuleOrThrow(const Module& module, const VerifyOptions& options) {
   const std::vector<std::string> failures = VerifyModule(module, options);
   if (failures.empty()) {
     return;
+  }
+  // Each failure is a leveled diagnostic first; the thrown error keeps
+  // the aggregate message for callers that catch and report.
+  for (const std::string& failure : failures) {
+    ORION_LOG(DEBUG) << "verify '" << module.name << "': " << failure;
   }
   std::ostringstream oss;
   oss << "module '" << module.name << "' failed verification:";

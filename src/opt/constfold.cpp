@@ -4,6 +4,7 @@
 #include "ir/dominance.h"
 #include "opt/passes.h"
 #include "sim/exec.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::opt {
 
@@ -23,6 +24,7 @@ bool ImmOf(const isa::Instruction& instr, std::size_t src_index,
 }  // namespace
 
 PassStats FoldConstants(isa::Function* func) {
+  telemetry::ScopedSpan span("opt", "opt.constfold");
   PassStats stats;
   bool changed = true;
   while (changed) {
@@ -116,6 +118,8 @@ PassStats FoldConstants(isa::Function* func) {
       changed = true;
     }
   }
+  ORION_COUNTER_ADD("opt.folded_instructions", stats.folded_instructions);
+  span.AddArg("folded", stats.folded_instructions);
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #include "ir/cfg.h"
 #include "ir/liveness.h"
 #include "opt/passes.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::opt {
 
@@ -29,6 +30,7 @@ bool IsRemovableWhenDead(const isa::Instruction& instr) {
 }  // namespace
 
 PassStats DeadCodeElimination(isa::Function* func) {
+  telemetry::ScopedSpan span("opt", "opt.dce");
   PassStats stats;
   for (;;) {
     const ir::Cfg cfg = ir::Cfg::Build(*func);
@@ -57,6 +59,8 @@ PassStats DeadCodeElimination(isa::Function* func) {
           });
     }
     if (found == 0) {
+      ORION_COUNTER_ADD("opt.removed_instructions", stats.removed_instructions);
+      span.AddArg("removed", stats.removed_instructions);
       return stats;
     }
     stats.removed_instructions += found;

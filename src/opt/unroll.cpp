@@ -23,6 +23,7 @@
 #include "ir/dominance.h"
 #include "ir/loops.h"
 #include "opt/passes.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::opt {
 
@@ -220,6 +221,7 @@ std::uint32_t ApplyUnroll(isa::Function* func, const LoopShape& shape,
 }  // namespace
 
 PassStats UnrollLoops(isa::Function* func, const UnrollOptions& options) {
+  telemetry::ScopedSpan span("opt", "opt.unroll");
   PassStats stats;
   // Unroll innermost-first, one loop at a time (indices shift).
   std::uint32_t seq = 0;
@@ -246,6 +248,9 @@ PassStats UnrollLoops(isa::Function* func, const UnrollOptions& options) {
     stats.unrolled_copies += ApplyUnroll(func, *best, seq++);
     ++stats.unrolled_loops;
   }
+  ORION_COUNTER_ADD("opt.unrolled_loops", stats.unrolled_loops);
+  span.AddArg("loops", stats.unrolled_loops);
+  span.AddArg("copies", stats.unrolled_copies);
   return stats;
 }
 

@@ -23,6 +23,28 @@ double Median(std::vector<double> samples) {
 
 }  // namespace
 
+const char* TunerDecisionName(TunerDecision decision) {
+  switch (decision) {
+    case TunerDecision::kNone:
+      return "none";
+    case TunerDecision::kBaseline:
+      return "baseline";
+    case TunerDecision::kProbe:
+      return "probe";
+    case TunerDecision::kAdvance:
+      return "advance";
+    case TunerDecision::kLock:
+      return "lock";
+    case TunerDecision::kFailsafe:
+      return "failsafe";
+    case TunerDecision::kFaultSkip:
+      return "fault-skip";
+    case TunerDecision::kSteady:
+      return "steady";
+  }
+  return "?";
+}
+
 DynamicTuner::DynamicTuner(const MultiVersionBinary* binary,
                            double slowdown_tolerance)
     : DynamicTuner(binary, TunerOptions{slowdown_tolerance, 1, 0.0}) {}
@@ -66,12 +88,14 @@ std::uint32_t DynamicTuner::NextVersion() {
 
 void DynamicTuner::ReportRuntime(double ms) {
   if (finalized_) {
+    last_decision_ = TunerDecision::kSteady;
     return;  // documented no-op: the steady state needs no feedback
   }
   ORION_CHECK_MSG(iteration_ > 0,
                   "ReportRuntime called before the first NextVersion");
   samples_.push_back(ms);
   if (samples_.size() < options_.probe_count) {
+    last_decision_ = TunerDecision::kProbe;
     return;  // keep probing this candidate
   }
   const double median = Median(std::move(samples_));
@@ -82,6 +106,7 @@ void DynamicTuner::ReportRuntime(double ms) {
 void DynamicTuner::Decide(double ms) {
   const std::uint32_t current = cursor_;
   if (current == 0) {
+    last_decision_ = TunerDecision::kBaseline;
     prev_ms_ = ms;
     prev_version_ = 0;
     if (binary_->versions.size() == 1) {
@@ -107,6 +132,7 @@ void DynamicTuner::Decide(double ms) {
     Finalize(prev_version_);
     return;
   }
+  last_decision_ = TunerDecision::kAdvance;
   prev_ms_ = ms;
   prev_version_ = current;
   const std::size_t walk_end = failsafe_
@@ -119,10 +145,12 @@ void DynamicTuner::Decide(double ms) {
 
 void DynamicTuner::ReportFault() {
   if (finalized_) {
+    last_decision_ = TunerDecision::kSteady;
     return;  // nothing to adapt; the caller handles steady-state faults
   }
   ORION_CHECK_MSG(iteration_ > 0,
                   "ReportFault called before the first NextVersion");
+  last_decision_ = TunerDecision::kFaultSkip;
   samples_.clear();  // discard partial probes of the faulted candidate
   const std::uint32_t current = cursor_;
   if (current == 0) {
@@ -151,11 +179,13 @@ void DynamicTuner::Finalize(std::uint32_t version) {
   // nothing better than the original, try the opposite direction once.
   if (!failsafe_ && version == 0 && !binary_->failsafe.empty()) {
     EnterFailsafe();
+    last_decision_ = TunerDecision::kFailsafe;
     return;
   }
   finalized_ = true;
   final_version_ = version;
   iterations_to_settle_ = iteration_;
+  last_decision_ = TunerDecision::kLock;
 }
 
 TunerPlan DynamicTuner::PlanFromSweep(const MultiVersionBinary& binary,

@@ -48,6 +48,21 @@ struct TunerPlan {
   std::vector<std::uint32_t> visits;
 };
 
+// What the walk did with the most recent piece of feedback —
+// telemetry only, never consulted by the walk itself.
+enum class TunerDecision : std::uint8_t {
+  kNone = 0,    // no feedback yet
+  kBaseline,    // original measured, walk begins
+  kProbe,       // mid median-of-k probe, awaiting more samples
+  kAdvance,     // candidate kept, walk moves to the next occupancy
+  kLock,        // walk over: settled (retreat-or-end)
+  kFailsafe,    // primary direction exhausted, probing fail-safes
+  kFaultSkip,   // candidate faulted and was skipped
+  kSteady,      // post-settle feedback (documented no-op)
+};
+
+const char* TunerDecisionName(TunerDecision decision);
+
 class DynamicTuner {
  public:
   explicit DynamicTuner(const MultiVersionBinary* binary,
@@ -84,6 +99,10 @@ class DynamicTuner {
   // candidates (Section 3.3: the compile-time direction was wrong).
   bool InFailsafe() const { return failsafe_; }
 
+  // The decision taken by the most recent Report{Runtime,Fault} call
+  // (telemetry/trace labelling; does not influence the walk).
+  TunerDecision LastDecision() const { return last_decision_; }
+
   // Replays the feedback walk over runtimes measured up front (one per
   // candidate in the binary's unified numbering, e.g. from a
   // sim::ParallelSweep).  The returned plan visits exactly the versions
@@ -113,6 +132,7 @@ class DynamicTuner {
   std::uint32_t iteration_ = 0;
   std::uint32_t iterations_to_settle_ = 0;
   std::vector<double> samples_;  // probes of the current candidate
+  TunerDecision last_decision_ = TunerDecision::kNone;
 };
 
 }  // namespace orion::runtime

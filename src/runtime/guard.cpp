@@ -4,7 +4,9 @@
 
 #include "common/error.h"
 #include "common/faultinject.h"
+#include "common/log.h"
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::runtime {
 
@@ -75,10 +77,26 @@ bool LaunchGuard::Quarantined(std::uint32_t version_index) const {
   return false;
 }
 
+void LaunchGuard::NoteFallback() {
+  if (!health_.fallback_taken) {
+    ORION_LOG(WARN) << "tuned run fell back to the original version";
+    ORION_COUNTER_ADD("guard.fallbacks", 1);
+    telemetry::Instant("guard", "guard.fallback");
+  }
+  health_.fallback_taken = true;
+}
+
 void LaunchGuard::RecordFault(std::uint32_t iteration, std::uint32_t version,
                               const Status& status) {
   ++health_.faulted_iterations;
   health_.fault_log.push_back({iteration, version, status});
+  ORION_COUNTER_ADD("guard.faulted_iterations", 1);
+  if (telemetry::Enabled()) {
+    telemetry::Instant("guard", "guard.fault",
+                       {telemetry::Arg("iter", iteration),
+                        telemetry::Arg("version", version),
+                        telemetry::Arg("status", status.ToString())});
+  }
   if (version < fault_counts_.size()) {
     ++fault_counts_[version];
     // The original (version 0) is the fallback of last resort and is
@@ -86,6 +104,14 @@ void LaunchGuard::RecordFault(std::uint32_t iteration, std::uint32_t version,
     if (version != 0 && !Quarantined(version) &&
         fault_counts_[version] >= options_.quarantine_threshold) {
       health_.quarantined.push_back(version);
+      ORION_LOG(WARN) << "candidate " << version << " quarantined after "
+                      << fault_counts_[version] << " faults";
+      ORION_COUNTER_ADD("guard.quarantines", 1);
+      if (telemetry::Enabled()) {
+        telemetry::Instant("guard", "guard.quarantine",
+                           {telemetry::Arg("version", version),
+                            telemetry::Arg("faults", fault_counts_[version])});
+      }
     }
   }
 }
@@ -105,6 +131,9 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
     // Quarantine hits are logged but do not re-count toward thresholds.
     health_.fault_log.push_back({iteration, version_index, out.status});
     ++health_.faulted_iterations;
+    ORION_COUNTER_ADD("guard.quarantine_hits", 1);
+    ORION_LOG(INFO) << "iteration " << iteration
+                    << " refused: " << out.status.message();
     return out;
   }
 
@@ -117,6 +146,7 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
        ++attempt) {
     out.attempts = attempt;
     ++health_.launches_attempted;
+    ORION_COUNTER_ADD("guard.launches_attempted", 1);
 
     // Injected launch faults fire before the simulator runs, the way a
     // real driver rejects or loses a launch.
@@ -127,6 +157,9 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
           // cycle budget; the guard models that synthetically (the
           // simulator never runs) and charges the budget as wall time.
           ++health_.watchdog_trips;
+          ORION_COUNTER_ADD("guard.watchdog_trips", 1);
+          ORION_LOG(WARN) << "watchdog terminated candidate "
+                          << version_index << " (injected hang)";
           out.measured_ms =
               static_cast<double>(options_.watchdog_cycle_budget) /
               (sim_->spec().timing.core_clock_mhz * 1000.0);
@@ -142,6 +175,7 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
         }
         case LaunchFault::kTransient: {
           ++health_.transient_faults;
+          ORION_COUNTER_ADD("guard.transient_faults", 1);
           last_error = Status::Error(
               StatusCode::kLaunchFault,
               StrFormat("injected transient launch failure (attempt %u)",
@@ -152,6 +186,17 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
             ++health_.retries;
             health_.backoff_ms +=
                 options_.backoff_base_ms * static_cast<double>(1u << (attempt - 1));
+            ORION_COUNTER_ADD("guard.retries", 1);
+            ORION_LOG(INFO) << "transient launch fault on candidate "
+                            << version_index << ", retrying (attempt "
+                            << attempt + 1 << "/" << options_.max_attempts
+                            << ")";
+            if (telemetry::Enabled()) {
+              telemetry::Instant("guard", "guard.retry",
+                                 {telemetry::Arg("iter", iteration),
+                                  telemetry::Arg("version", version_index),
+                                  telemetry::Arg("attempt", attempt)});
+            }
             continue;
           }
           out.status = last_error.WithContext(
@@ -174,6 +219,7 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
                             : out.result.ms;
       out.status = Status::Ok();
       ++health_.launches_succeeded;
+      ORION_COUNTER_ADD("guard.launches_succeeded", 1);
       return out;
     } catch (const DecodeError& e) {
       out.status =
@@ -184,6 +230,9 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
     } catch (const LaunchError& e) {
       if (IsWatchdogError(e.what())) {
         ++health_.watchdog_trips;
+        ORION_COUNTER_ADD("guard.watchdog_trips", 1);
+        ORION_LOG(WARN) << "watchdog terminated candidate " << version_index
+                        << ": " << e.what();
         out.measured_ms =
             static_cast<double>(options_.watchdog_cycle_budget) /
             (sim_->spec().timing.core_clock_mhz * 1000.0);

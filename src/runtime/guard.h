@@ -105,7 +105,7 @@ class LaunchGuard {
   bool Quarantined(std::uint32_t version_index) const;
 
   // Marks the run as having fallen back to the original version.
-  void NoteFallback() { health_.fallback_taken = true; }
+  void NoteFallback();
 
   const HealthReport& health() const { return health_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "sim/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::runtime {
 
@@ -108,6 +109,22 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
       record.faulted = true;
       record.ms = launch.measured_ms;  // time charged (hang budget or 0)
     }
+    ORION_COUNTER_ADD("tuner.iterations", 1);
+    if (telemetry::Enabled()) {
+      const char* decision =
+          probe.has_value()
+              ? (it < probe->visits.size() ? "replay" : "steady")
+              : TunerDecisionName(tuner.LastDecision());
+      telemetry::Instant(
+          "tuner", "tuner.iteration",
+          {telemetry::Arg("iter", it),
+           telemetry::Arg("version", version_index),
+           telemetry::Arg("tag", binary_->Candidate(version_index).tag),
+           telemetry::Arg("ms", record.ms),
+           telemetry::Arg("occupancy", record.occupancy),
+           telemetry::Arg("faulted", record.faulted),
+           telemetry::Arg("decision", decision)});
+    }
     result.total_ms += record.ms;
     result.total_energy += record.energy;
     result.records.push_back(record);
@@ -160,6 +177,18 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
   result.steady_occupancy =
       binary_->Candidate(result.final_version).occupancy;
   result.health = guard.health();
+  if (telemetry::Enabled()) {
+    telemetry::Instant(
+        "tuner", "tuner.lock",
+        {telemetry::Arg("version", result.final_version),
+         telemetry::Arg("tag",
+                        binary_->Candidate(result.final_version).tag),
+         telemetry::Arg("iterations_to_settle",
+                        result.iterations_to_settle),
+         telemetry::Arg("fallback", result.health.fallback_taken),
+         telemetry::Arg("steady_ms", result.steady_ms)});
+    ORION_COUNTER_ADD("tuner.settles", 1);
+  }
   return result;
 }
 

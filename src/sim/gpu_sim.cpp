@@ -38,6 +38,8 @@
 #include "sim/exec.h"
 #include "sim/linked.h"
 #include "sim/machine_common.h"
+#include "sim/report.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::sim {
 
@@ -824,12 +826,24 @@ SimResult GpuSimulator::Launch(const isa::Module& module, GlobalMemory* gmem,
         module.name.c_str(), spec_.name.c_str(), res.regs_per_thread,
         res.smem_bytes_per_block, res.block_dim));
   }
-  if (engine_ == SimEngine::kReference) {
-    return RunReferenceMachine(spec_, config_, module, gmem, params, occ,
-                               first_block, num_blocks, cycle_cap_);
+  telemetry::ScopedSpan span("sim", "sim.launch");
+  span.AddArg("kernel", module.name);
+  const SimResult result =
+      engine_ == SimEngine::kReference
+          ? RunReferenceMachine(spec_, config_, module, gmem, params, occ,
+                                first_block, num_blocks, cycle_cap_)
+          : RunEventMachine(spec_, config_, module, gmem, params, occ,
+                            first_block, num_blocks, cycle_cap_);
+  // Counters fold in at the launch boundary from the finished
+  // SimResult, so both engines yield identical telemetry by
+  // construction (asserted in determinism_test.cpp).
+  RecordSimCounters(result);
+  if (span.active()) {
+    span.AddArg("cycles", result.cycles);
+    span.AddArg("ms", result.ms);
+    span.AddArg("occupancy", result.occupancy.occupancy);
   }
-  return RunEventMachine(spec_, config_, module, gmem, params, occ,
-                         first_block, num_blocks, cycle_cap_);
+  return result;
 }
 
 SimResult GpuSimulator::LaunchAll(const isa::Module& module, GlobalMemory* gmem,

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::sim {
 
@@ -79,6 +80,25 @@ std::string FormatSimSummary(const SimResult& result,
       100.0 * result.mem.L1HitRate(),
       static_cast<unsigned long long>(result.mem.dram_transactions),
       result.energy);
+}
+
+void RecordSimCounters(const SimResult& result) {
+  if (!telemetry::Enabled()) {
+    return;
+  }
+  ORION_COUNTER_ADD("sim.launches", 1);
+  ORION_COUNTER_ADD("sim.cycles", result.cycles);
+  ORION_COUNTER_ADD("sim.warp_instructions", result.warp_instructions);
+  ORION_COUNTER_ADD("sim.alu_instructions", result.alu_instructions);
+  ORION_COUNTER_ADD("sim.sfu_instructions", result.sfu_instructions);
+  ORION_COUNTER_ADD("sim.mem_instructions", result.mem_instructions);
+  ORION_COUNTER_ADD("sim.l1_hits", result.mem.l1_hits);
+  ORION_COUNTER_ADD("sim.l1_misses", result.mem.l1_misses);
+  ORION_COUNTER_ADD("sim.l2_hits", result.mem.l2_hits);
+  ORION_COUNTER_ADD("sim.l2_misses", result.mem.l2_misses);
+  ORION_COUNTER_ADD("sim.dram_transactions", result.mem.dram_transactions);
+  ORION_COUNTER_ADD("sim.smem_accesses", result.mem.smem_accesses);
+  ORION_GAUGE_SET("sim.last_occupancy", result.occupancy.occupancy);
 }
 
 }  // namespace orion::sim

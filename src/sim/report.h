@@ -21,4 +21,12 @@ std::string FormatSimReport(const SimResult& result,
 std::string FormatSimSummary(const SimResult& result,
                              const arch::GpuSpec& spec);
 
+// Folds a finished launch into the telemetry counter registry
+// (sim.launches, sim.cycles, instruction mix, memory hierarchy
+// traffic).  Counters are derived from the SimResult at the launch
+// boundary — never from per-instruction hooks — so both engines
+// produce identical telemetry by construction and the disabled-path
+// cost is a single branch.  No-op when telemetry is off.
+void RecordSimCounters(const SimResult& result);
+
 }  // namespace orion::sim

@@ -1,0 +1,285 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace orion::telemetry {
+
+namespace {
+
+// Formats a double compactly: integral values print without a
+// fractional part so counters stay readable.
+std::string FormatNum(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+// Microsecond timestamp with nanosecond precision retained.
+std::string FormatTsUs(std::uint64_t ts_ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ts_ns / 1000),
+                static_cast<unsigned long long>(ts_ns % 1000));
+  return buf;
+}
+
+void AppendArgs(std::ostringstream& out, const std::vector<EventArg>& args) {
+  out << "{";
+  bool first = true;
+  for (const EventArg& arg : args) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << JsonEscape(arg.key) << "\":";
+    if (arg.is_num) {
+      out << FormatNum(arg.num);
+    } else {
+      out << "\"" << JsonEscape(arg.str) << "\"";
+    }
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJsonl() {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  std::ostringstream out;
+  for (const TraceEvent& event : events) {
+    out << "{\"ph\":\"" << event.phase << "\",\"track\":\""
+        << JsonEscape(event.track) << "\",\"name\":\""
+        << JsonEscape(event.name) << "\",\"ts_us\":" << FormatTsUs(event.ts_ns)
+        << ",\"thread\":" << event.thread << ",\"depth\":" << event.depth;
+    if (!event.args.empty()) {
+      out << ",\"args\":";
+      AppendArgs(out, event.args);
+    }
+    out << "}\n";
+  }
+  for (const auto& [name, value] : SnapshotCounters()) {
+    out << "{\"ph\":\"C\",\"name\":\"" << JsonEscape(name)
+        << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : SnapshotGauges()) {
+    out << "{\"ph\":\"C\",\"name\":\"" << JsonEscape(name)
+        << "\",\"value\":" << FormatNum(value) << "}\n";
+  }
+  if (DroppedEvents() > 0) {
+    out << "{\"ph\":\"M\",\"name\":\"dropped_events\",\"value\":"
+        << DroppedEvents() << "}\n";
+  }
+  return out.str();
+}
+
+std::string ToChromeTrace() {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+
+  // Each (track, thread) pair gets its own Chrome tid so Perfetto
+  // renders named per-track timelines with correct nesting.
+  std::map<std::pair<std::string, std::uint32_t>, int> tids;
+  for (const TraceEvent& event : events) {
+    const auto key = std::make_pair(event.track, event.thread);
+    if (tids.find(key) == tids.end()) {
+      const int tid = static_cast<int>(tids.size()) + 1;
+      tids.emplace(key, tid);
+    }
+  }
+  const int counters_tid = static_cast<int>(tids.size()) + 1;
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+  };
+
+  // Thread-name metadata first (ts implicitly 0).
+  for (const auto& [key, tid] : tids) {
+    comma();
+    std::string label = key.first;
+    if (key.second != 0) {
+      label += "/t" + std::to_string(key.second);
+    }
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << JsonEscape(label) << "\"}}";
+  }
+  comma();
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << counters_tid
+      << ",\"name\":\"thread_name\",\"args\":{\"name\":\"counters\"}}";
+
+  std::uint64_t max_ts_ns = 0;
+  for (const TraceEvent& event : events) {
+    max_ts_ns = std::max(max_ts_ns, event.ts_ns);
+    const int tid = tids.at(std::make_pair(event.track, event.thread));
+    comma();
+    out << "{\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":" << tid
+        << ",\"ts\":" << FormatTsUs(event.ts_ns) << ",\"cat\":\""
+        << JsonEscape(event.track) << "\",\"name\":\""
+        << JsonEscape(event.name) << "\"";
+    if (event.phase == 'i') {
+      out << ",\"s\":\"t\"";
+    }
+    if (!event.args.empty()) {
+      out << ",\"args\":";
+      std::ostringstream args;
+      AppendArgs(args, event.args);
+      out << args.str();
+    }
+    out << "}";
+  }
+
+  // Final counter/gauge values as Chrome counter samples.
+  for (const auto& [name, value] : SnapshotCounters()) {
+    comma();
+    out << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << counters_tid
+        << ",\"ts\":" << FormatTsUs(max_ts_ns) << ",\"cat\":\"counters\""
+        << ",\"name\":\"" << JsonEscape(name) << "\",\"args\":{\"value\":"
+        << value << "}}";
+  }
+  for (const auto& [name, value] : SnapshotGauges()) {
+    comma();
+    out << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << counters_tid
+        << ",\"ts\":" << FormatTsUs(max_ts_ns) << ",\"cat\":\"counters\""
+        << ",\"name\":\"" << JsonEscape(name) << "\",\"args\":{\"value\":"
+        << FormatNum(value) << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+std::string ToSummary() {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, SpanAgg> spans;
+
+  struct OpenSpan {
+    std::string key;
+    std::uint64_t ts_ns;
+  };
+  std::map<std::uint32_t, std::vector<OpenSpan>> stacks;
+  std::uint64_t instants = 0;
+  for (const TraceEvent& event : events) {
+    const std::string key = event.track + "/" + event.name;
+    if (event.phase == 'B') {
+      stacks[event.thread].push_back({key, event.ts_ns});
+    } else if (event.phase == 'E') {
+      std::vector<OpenSpan>& stack = stacks[event.thread];
+      if (!stack.empty() && stack.back().key == key) {
+        SpanAgg& agg = spans[key];
+        ++agg.count;
+        agg.total_ns += event.ts_ns - stack.back().ts_ns;
+        stack.pop_back();
+      }
+    } else {
+      ++instants;
+    }
+  }
+
+  std::ostringstream out;
+  out << "== telemetry summary ==\n";
+  char buf[256];
+  if (!spans.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-44s %8s %12s %12s\n", "span", "count",
+                  "total_ms", "mean_ms");
+    out << buf;
+    for (const auto& [key, agg] : spans) {
+      const double total_ms = static_cast<double>(agg.total_ns) / 1e6;
+      std::snprintf(buf, sizeof(buf), "%-44s %8llu %12.3f %12.3f\n",
+                    key.c_str(), static_cast<unsigned long long>(agg.count),
+                    total_ms, total_ms / static_cast<double>(agg.count));
+      out << buf;
+    }
+  }
+  const auto counters = SnapshotCounters();
+  if (!counters.empty()) {
+    out << "-- counters --\n";
+    for (const auto& [name, value] : counters) {
+      std::snprintf(buf, sizeof(buf), "%-44s %16llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out << buf;
+    }
+  }
+  const auto gauges = SnapshotGauges();
+  if (!gauges.empty()) {
+    out << "-- gauges --\n";
+    for (const auto& [name, value] : gauges) {
+      std::snprintf(buf, sizeof(buf), "%-44s %16s\n", name.c_str(),
+                    FormatNum(value).c_str());
+      out << buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "events: %llu spans+instants (%llu instants), dropped: %llu\n",
+                static_cast<unsigned long long>(events.size()),
+                static_cast<unsigned long long>(instants),
+                static_cast<unsigned long long>(DroppedEvents()));
+  out << buf;
+  return out.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace orion::telemetry

@@ -1,0 +1,32 @@
+// Exporters over a telemetry snapshot: JSONL event log, Chrome
+// trace-event JSON (Perfetto / chrome://tracing loadable), and a
+// human-readable end-of-run summary table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace orion::telemetry {
+
+// One JSON object per line: every buffered event in recording order,
+// then one {"ph":"C",...} line per counter and gauge.
+std::string ToJsonl();
+
+// Chrome trace-event format: {"traceEvents":[...]}.  Each
+// (track, thread) pair becomes its own tid with a thread_name
+// metadata record, so Perfetto shows "compiler", "tuner", "sim", ...
+// as separate named tracks.  Counters are appended as 'C' events on a
+// dedicated "counters" track.  Timestamps are microseconds.
+std::string ToChromeTrace();
+
+// Text summary: per-span aggregate table (count, total/mean ms,
+// grouped by track/name) followed by counter and gauge tables.
+std::string ToSummary();
+
+// Writes `content` to `path`; returns false on I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+// JSON string escaping helper (shared with the logger bridge).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace orion::telemetry

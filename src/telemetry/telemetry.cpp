@@ -1,0 +1,251 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace orion::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// Soft cap on buffered events: beyond this, events are counted as
+// dropped instead of growing the buffer without bound.
+constexpr std::size_t kMaxEvents = 1u << 20;
+
+using Clock = std::chrono::steady_clock;
+
+struct State {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  Clock::time_point epoch = Clock::now();
+  // std::map keeps node addresses stable, so Counter&/Gauge&
+  // references handed out by GetCounter/GetGauge never dangle.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::uint32_t next_thread = 0;
+};
+
+State& GetState() {
+  static State* state = new State();  // leaked: outlives exit-time dtors
+  return *state;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           GetState().epoch)
+          .count());
+}
+
+thread_local std::uint32_t t_depth = 0;
+thread_local std::uint32_t t_index = 0;
+thread_local bool t_index_assigned = false;
+
+void Record(TraceEvent&& event) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.events.size() >= kMaxEvents) {
+    ++state.dropped;
+    return;
+  }
+  state.events.push_back(std::move(event));
+}
+
+}  // namespace
+
+std::uint32_t ThreadIndex() {
+  if (!t_index_assigned) {
+    State& state = GetState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    t_index = state.next_thread++;
+    t_index_assigned = true;
+  }
+  return t_index;
+}
+
+void SetEnabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Reset() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.clear();
+  state.dropped = 0;
+  state.epoch = Clock::now();
+  for (auto& [name, counter] : state.counters) {
+    counter.Zero();
+  }
+  for (auto& [name, gauge] : state.gauges) {
+    gauge.Zero();
+  }
+}
+
+EventArg Arg(std::string key, std::string value) {
+  EventArg arg;
+  arg.key = std::move(key);
+  arg.str = std::move(value);
+  return arg;
+}
+EventArg Arg(std::string key, std::string_view value) {
+  return Arg(std::move(key), std::string(value));
+}
+EventArg Arg(std::string key, const char* value) {
+  return Arg(std::move(key), std::string(value));
+}
+EventArg Arg(std::string key, double value) {
+  EventArg arg;
+  arg.key = std::move(key);
+  arg.num = value;
+  arg.is_num = true;
+  return arg;
+}
+EventArg Arg(std::string key, std::uint64_t value) {
+  return Arg(std::move(key), static_cast<double>(value));
+}
+EventArg Arg(std::string key, std::uint32_t value) {
+  return Arg(std::move(key), static_cast<double>(value));
+}
+EventArg Arg(std::string key, std::int64_t value) {
+  return Arg(std::move(key), static_cast<double>(value));
+}
+EventArg Arg(std::string key, int value) {
+  return Arg(std::move(key), static_cast<double>(value));
+}
+EventArg Arg(std::string key, bool value) {
+  return Arg(std::move(key), value ? 1.0 : 0.0);
+}
+
+void Instant(std::string_view track, std::string_view name,
+             std::vector<EventArg> args) {
+  if (!Enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = 'i';
+  event.track = std::string(track);
+  event.name = std::string(name);
+  event.ts_ns = NowNs();
+  event.thread = ThreadIndex();
+  event.depth = t_depth;
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+ScopedSpan::ScopedSpan(std::string_view track, std::string_view name) {
+  if (!Enabled()) {
+    return;
+  }
+  active_ = true;
+  track_ = std::string(track);
+  name_ = std::string(name);
+  depth_ = t_depth++;
+  TraceEvent event;
+  event.phase = 'B';
+  event.track = track_;
+  event.name = name_;
+  event.ts_ns = NowNs();
+  event.thread = ThreadIndex();
+  event.depth = depth_;
+  Record(std::move(event));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) {
+    return;
+  }
+  --t_depth;
+  TraceEvent event;
+  event.phase = 'E';
+  event.track = std::move(track_);
+  event.name = std::move(name_);
+  event.ts_ns = NowNs();
+  event.thread = ThreadIndex();
+  event.depth = depth_;
+  event.args = std::move(args_);
+  Record(std::move(event));
+}
+
+void ScopedSpan::AddArg(EventArg arg) {
+  if (active_) {
+    args_.push_back(std::move(arg));
+  }
+}
+
+void Gauge::SetMax(double value) {
+  if (!Enabled()) {
+    return;
+  }
+  double current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Counter& GetCounter(std::string_view name) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.counters.find(name);
+  if (it == state.counters.end()) {
+    it = state.counters.emplace(std::piecewise_construct,
+                                std::forward_as_tuple(name),
+                                std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+Gauge& GetGauge(std::string_view name) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.gauges.find(name);
+  if (it == state.gauges.end()) {
+    it = state.gauges.emplace(std::piecewise_construct,
+                              std::forward_as_tuple(name),
+                              std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<TraceEvent> SnapshotEvents() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.events;
+}
+
+std::uint64_t DroppedEvents() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.dropped;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    out.emplace_back(name, counter.Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> SnapshotGauges() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(state.gauges.size());
+  for (const auto& [name, gauge] : state.gauges) {
+    out.emplace_back(name, gauge.Value());
+  }
+  return out;
+}
+
+}  // namespace orion::telemetry

@@ -1,0 +1,226 @@
+// orion::telemetry — zero-dependency structured tracing and metrics.
+//
+// The subsystem is dark by default: every recording entry point is
+// gated on one relaxed atomic load (`Enabled()`), so instrumented hot
+// paths pay a single predictable branch when tracing is off.  When
+// enabled, spans/instants accumulate into a process-wide event buffer
+// and counters/gauges into a name-keyed registry; exporters
+// (export.h) turn a snapshot into JSONL, Chrome trace-event JSON, or
+// a text summary.
+//
+// This library deliberately depends on the C++ standard library only
+// (no common/, no isa/) so that orion_common itself can link it
+// without a dependency cycle.
+//
+// Conventions (see docs/OBSERVABILITY.md):
+//   tracks:   "compiler", "opt", "sim", "tuner", "guard", "log"
+//   spans:    dotted lowercase, e.g. "alloc.color", "isa.decode"
+//   counters: dotted lowercase, e.g. "sim.cycles", "guard.retries"
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace orion::telemetry {
+
+// ---------------------------------------------------------------------------
+// Global enable flag.
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+// True when tracing/metrics collection is active.  Relaxed load: the
+// flag is a sampling switch, not a synchronization point.
+inline bool Enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Turns collection on/off.  Enabling for the first time (or after
+// Reset) pins the trace epoch to "now".
+void SetEnabled(bool enabled);
+
+// Clears all buffered events, zeroes every registered counter and
+// gauge, resets the dropped-event count and re-arms the trace epoch.
+// Registered Counter/Gauge references stay valid (the registry keeps
+// node addresses stable and is never erased).
+void Reset();
+
+// ---------------------------------------------------------------------------
+// Events.
+
+// One key/value attachment on an event.  Values are either numeric
+// (exported as JSON numbers) or strings.
+struct EventArg {
+  std::string key;
+  std::string str;
+  double num = 0.0;
+  bool is_num = false;
+};
+
+EventArg Arg(std::string key, std::string value);
+EventArg Arg(std::string key, std::string_view value);
+EventArg Arg(std::string key, const char* value);
+EventArg Arg(std::string key, double value);
+EventArg Arg(std::string key, std::uint64_t value);
+EventArg Arg(std::string key, std::uint32_t value);
+EventArg Arg(std::string key, std::int64_t value);
+EventArg Arg(std::string key, int value);
+EventArg Arg(std::string key, bool value);
+
+// A single buffered trace event.  `phase` follows the Chrome
+// trace-event convention: 'B' span begin, 'E' span end, 'i' instant.
+struct TraceEvent {
+  char phase = 'i';
+  std::string track;
+  std::string name;
+  std::uint64_t ts_ns = 0;   // nanoseconds since the trace epoch
+  std::uint32_t thread = 0;  // dense per-process thread index
+  std::uint32_t depth = 0;   // span nesting depth on that thread
+  std::vector<EventArg> args;
+};
+
+// Records an instant event on `track`.  No-op when disabled.
+void Instant(std::string_view track, std::string_view name,
+             std::vector<EventArg> args = {});
+
+// RAII span.  Records a 'B' event on construction and the matching
+// 'E' on destruction.  The end event is recorded iff the begin was
+// (decided once at construction), so B/E pairs stay balanced even if
+// the flag flips mid-span.  Args attached via AddArg land on the end
+// event, where durations-with-results naturally live.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view track, std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // True when this span is actually recording; use to skip building
+  // expensive argument values on the disabled path.
+  bool active() const { return active_; }
+
+  void AddArg(EventArg arg);
+  template <typename T>
+  void AddArg(std::string key, T value) {
+    if (active_) {
+      AddArg(Arg(std::move(key), value));
+    }
+  }
+
+ private:
+  bool active_ = false;
+  std::string track_;
+  std::string name_;
+  std::uint32_t depth_ = 0;
+  std::vector<EventArg> args_;
+};
+
+// Convenience macro for the common no-args case:
+//   ORION_TRACE_SPAN("compiler", "alloc.color");
+#define ORION_TRACE_SPAN_CAT2(a, b) a##b
+#define ORION_TRACE_SPAN_CAT(a, b) ORION_TRACE_SPAN_CAT2(a, b)
+#define ORION_TRACE_SPAN(track, name)                       \
+  ::orion::telemetry::ScopedSpan ORION_TRACE_SPAN_CAT(      \
+      orion_trace_span_, __LINE__) {                        \
+    track, name                                             \
+  }
+
+// ---------------------------------------------------------------------------
+// Counters and gauges.
+
+// Monotonic counter.  Add() is gated on the global flag; AddAlways()
+// skips the check for call sites that already branched on Enabled().
+class Counter {
+ public:
+  void Add(std::uint64_t delta) {
+    if (Enabled()) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  void AddAlways(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Zero() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-value / high-watermark gauge.
+class Gauge {
+ public:
+  void Set(double value) {
+    if (Enabled()) {
+      value_.store(value, std::memory_order_relaxed);
+    }
+  }
+  // Keeps the maximum of all observed values.
+  void SetMax(double value);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Zero() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Returns the counter/gauge registered under `name`, creating it on
+// first use.  References are stable for the process lifetime; cache
+// them in a static at hot call sites.
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+
+// Cached-lookup helpers for hot paths: one branch when disabled, one
+// static-local registry lookup ever.
+#define ORION_COUNTER_ADD(name, delta)                              \
+  do {                                                              \
+    if (::orion::telemetry::Enabled()) {                            \
+      static ::orion::telemetry::Counter& orion_counter_slot_ =     \
+          ::orion::telemetry::GetCounter(name);                     \
+      orion_counter_slot_.AddAlways(delta);                         \
+    }                                                               \
+  } while (false)
+
+#define ORION_GAUGE_SET(name, value)                                \
+  do {                                                              \
+    if (::orion::telemetry::Enabled()) {                            \
+      static ::orion::telemetry::Gauge& orion_gauge_slot_ =         \
+          ::orion::telemetry::GetGauge(name);                       \
+      orion_gauge_slot_.Set(value);                                 \
+    }                                                               \
+  } while (false)
+
+#define ORION_GAUGE_MAX(name, value)                                \
+  do {                                                              \
+    if (::orion::telemetry::Enabled()) {                            \
+      static ::orion::telemetry::Gauge& orion_gauge_slot_ =         \
+          ::orion::telemetry::GetGauge(name);                       \
+      orion_gauge_slot_.SetMax(value);                              \
+    }                                                               \
+  } while (false)
+
+// ---------------------------------------------------------------------------
+// Snapshots (for exporters and tests).
+
+// Copies the buffered events in recording order.
+std::vector<TraceEvent> SnapshotEvents();
+
+// Number of events discarded because the buffer hit its soft cap.
+std::uint64_t DroppedEvents();
+
+// Name-sorted copies of all registered counters/gauges.
+std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters();
+std::vector<std::pair<std::string, double>> SnapshotGauges();
+
+// Dense index of the calling thread (0 = first thread that recorded).
+std::uint32_t ThreadIndex();
+
+}  // namespace orion::telemetry

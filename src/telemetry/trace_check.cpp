@@ -1,0 +1,468 @@
+#include "telemetry/trace_check.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace orion::telemetry {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      *error = error_;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      *error = Err("trailing data after document");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string Err(const std::string& what) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " at byte %zu", pos_);
+    return what + buf;
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = Err(what);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = true;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = false;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kNull;
+          return true;
+        }
+        return Fail("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("bad number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Fail("bad escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("bad \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            // Validation only: fold non-ASCII code points to '?'.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseObject(JsonValue* out) {
+    Consume('{');
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    Consume('[');
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string EventLabel(std::size_t index, const JsonValue& event) {
+  std::string label = "event #" + std::to_string(index);
+  const JsonValue* name = event.Get("name");
+  if (name != nullptr && name->IsString()) {
+    label += " (" + name->string + ")";
+  }
+  return label;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<JsonValue> ParseJson(std::string_view text,
+                                     std::string* error) {
+  auto value = std::make_unique<JsonValue>();
+  Parser parser(text);
+  if (!parser.Parse(value.get(), error)) {
+    return nullptr;
+  }
+  return value;
+}
+
+std::vector<std::string> CheckChromeTrace(std::string_view json) {
+  std::vector<std::string> violations;
+  std::string error;
+  const std::unique_ptr<JsonValue> doc = ParseJson(json, &error);
+  if (doc == nullptr) {
+    violations.push_back("invalid JSON: " + error);
+    return violations;
+  }
+  const JsonValue* events = nullptr;
+  if (doc->IsArray()) {
+    events = doc.get();
+  } else if (doc->IsObject()) {
+    events = doc->Get("traceEvents");
+  }
+  if (events == nullptr || !events->IsArray()) {
+    violations.push_back("document has no traceEvents array");
+    return violations;
+  }
+
+  std::map<double, double> last_ts;                       // tid -> ts
+  std::map<double, std::vector<std::string>> open_spans;  // tid -> names
+  bool compiler_span = false;
+  std::size_t tuner_iterations = 0;
+  std::size_t tuner_locks = 0;
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    if (!event.IsObject()) {
+      violations.push_back(EventLabel(i, event) + ": not an object");
+      continue;
+    }
+    const JsonValue* ph = event.Get("ph");
+    const JsonValue* name = event.Get("name");
+    if (ph == nullptr || !ph->IsString() || ph->string.size() != 1) {
+      violations.push_back(EventLabel(i, event) +
+                           ": missing or malformed ph");
+      continue;
+    }
+    if (name == nullptr || !name->IsString() || name->string.empty()) {
+      violations.push_back(EventLabel(i, event) + ": missing name");
+      continue;
+    }
+    const char phase = ph->string[0];
+    if (phase == 'M') {
+      continue;  // metadata records carry no timestamp
+    }
+    const JsonValue* pid = event.Get("pid");
+    const JsonValue* tid = event.Get("tid");
+    const JsonValue* ts = event.Get("ts");
+    if (pid == nullptr || !pid->IsNumber() || tid == nullptr ||
+        !tid->IsNumber() || ts == nullptr || !ts->IsNumber()) {
+      violations.push_back(EventLabel(i, event) +
+                           ": missing pid/tid/ts");
+      continue;
+    }
+    if (ts->number < 0) {
+      violations.push_back(EventLabel(i, event) + ": negative ts");
+    }
+    const auto it = last_ts.find(tid->number);
+    if (it != last_ts.end() && ts->number < it->second) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    ": ts went backwards on tid %g (%.3f -> %.3f)",
+                    tid->number, it->second, ts->number);
+      violations.push_back(EventLabel(i, event) + buf);
+    }
+    last_ts[tid->number] = ts->number;
+
+    const JsonValue* cat = event.Get("cat");
+    const std::string track =
+        (cat != nullptr && cat->IsString()) ? cat->string : "";
+    if (phase == 'B') {
+      open_spans[tid->number].push_back(name->string);
+      if (track == "compiler") {
+        compiler_span = true;
+      }
+    } else if (phase == 'E') {
+      std::vector<std::string>& stack = open_spans[tid->number];
+      if (stack.empty()) {
+        violations.push_back(EventLabel(i, event) +
+                             ": span end without matching begin");
+      } else if (stack.back() != name->string) {
+        violations.push_back(EventLabel(i, event) +
+                             ": span end crosses open span '" +
+                             stack.back() + "'");
+        stack.pop_back();
+      } else {
+        stack.pop_back();
+      }
+    }
+
+    if (track == "tuner") {
+      if (name->string == "tuner.iteration") {
+        ++tuner_iterations;
+        const JsonValue* args = event.Get("args");
+        const bool has_args =
+            args != nullptr && args->IsObject() &&
+            args->Get("version") != nullptr &&
+            args->Get("decision") != nullptr;
+        if (!has_args) {
+          violations.push_back(EventLabel(i, event) +
+                               ": tuner.iteration lacks version/decision "
+                               "args");
+        }
+      } else if (name->string == "tuner.lock") {
+        ++tuner_locks;
+        const JsonValue* args = event.Get("args");
+        if (args == nullptr || !args->IsObject() ||
+            args->Get("version") == nullptr) {
+          violations.push_back(EventLabel(i, event) +
+                               ": tuner.lock lacks version arg");
+        }
+      }
+    }
+  }
+
+  for (const auto& [tid, stack] : open_spans) {
+    if (!stack.empty()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "tid %g has ", tid);
+      violations.push_back(std::string(buf) +
+                           std::to_string(stack.size()) +
+                           " unterminated span(s), innermost '" +
+                           stack.back() + "'");
+    }
+  }
+  if (!compiler_span) {
+    violations.push_back("no compiler-phase span (cat == \"compiler\")");
+  }
+  if (tuner_iterations == 0) {
+    violations.push_back("no tuner.iteration events — Fig. 9 walk missing");
+  }
+  if (tuner_locks != 1) {
+    violations.push_back("expected exactly 1 tuner.lock event, found " +
+                         std::to_string(tuner_locks));
+  }
+  return violations;
+}
+
+std::vector<std::string> CheckJsonl(std::string_view text) {
+  std::vector<std::string> violations;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::string error;
+    const std::unique_ptr<JsonValue> value = ParseJson(line, &error);
+    const std::string label = "line " + std::to_string(line_no);
+    if (value == nullptr) {
+      violations.push_back(label + ": invalid JSON: " + error);
+      continue;
+    }
+    if (!value->IsObject()) {
+      violations.push_back(label + ": not a JSON object");
+      continue;
+    }
+    const JsonValue* ph = value->Get("ph");
+    const JsonValue* name = value->Get("name");
+    if (ph == nullptr || !ph->IsString() || ph->string.size() != 1) {
+      violations.push_back(label + ": missing or malformed ph");
+    }
+    if (name == nullptr || !name->IsString() || name->string.empty()) {
+      violations.push_back(label + ": missing name");
+    }
+    const JsonValue* ts = value->Get("ts_us");
+    if (ts != nullptr && ts->IsNumber() && ts->number < 0) {
+      violations.push_back(label + ": negative ts_us");
+    }
+  }
+  return violations;
+}
+
+}  // namespace orion::telemetry

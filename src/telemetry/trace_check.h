@@ -1,0 +1,54 @@
+// Schema and invariant checks over exported traces, shared by
+// tools/trace_check.cpp and tests/telemetry_test.cpp.  Contains a
+// tiny self-contained JSON parser (std-only, like the rest of the
+// telemetry library).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orion::telemetry {
+
+// Minimal JSON value for validation purposes.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  // Returns the member or nullptr.
+  const JsonValue* Get(const std::string& key) const;
+};
+
+// Parses `text` as one JSON document.  On failure returns nullptr and
+// sets *error to a message with a byte offset.
+std::unique_ptr<JsonValue> ParseJson(std::string_view text,
+                                     std::string* error);
+
+// Validates a Chrome trace-event export.  Checks, in order:
+//  - the document is valid JSON with a traceEvents array;
+//  - every event has ph/name, and non-metadata events pid/tid/ts;
+//  - per-tid timestamps are monotonically non-decreasing;
+//  - B/E span events are balanced and properly nested per tid;
+//  - at least one compiler-phase span exists (cat == "compiler");
+//  - the tuner track reconstructs the Fig. 9 walk: every
+//    "tuner.iteration" instant carries version + decision args, and
+//    exactly one "tuner.lock" event records the final version.
+// Returns a list of violations; empty means the trace passes.
+std::vector<std::string> CheckChromeTrace(std::string_view json);
+
+// Validates a JSONL export: every line is a JSON object carrying at
+// least ph and name, with non-negative timestamps.
+std::vector<std::string> CheckJsonl(std::string_view text);
+
+}  // namespace orion::telemetry

@@ -26,6 +26,7 @@
 #include "sim/gpu_sim.h"
 #include "sim/memory.h"
 #include "sim/parallel.h"
+#include "telemetry/telemetry.h"
 #include "workloads/workloads.h"
 
 namespace orion::sim {
@@ -87,6 +88,38 @@ TEST_P(EngineEquivalence, EventMatchesReferenceBitExactly) {
 INSTANTIATE_TEST_SUITE_P(Workloads, EngineEquivalence,
                          ::testing::Values("srad", "matrixmul", "bfs",
                                            "hotspot"));
+
+// The engines must also agree through the telemetry lens: counters are
+// folded in from the SimResult at the launch boundary, so an identical
+// machine model implies an identical counter snapshot.  This pins the
+// contract that instrumentation never reads engine-internal state.
+TEST(EngineEquivalence, TelemetryCountersIdenticalAcrossEngines) {
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+
+  auto run_engine = [&](SimEngine engine) {
+    telemetry::Reset();
+    telemetry::SetEnabled(true);
+    GpuSimulator sim(spec, arch::CacheConfig::kSmallCache, engine);
+    GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+    for (std::uint32_t it = 0; it < 2; ++it) {
+      (void)sim.LaunchAll(compiled, &gmem, w.ParamsFor(it));
+    }
+    auto counters = telemetry::SnapshotCounters();
+    auto gauges = telemetry::SnapshotGauges();
+    telemetry::SetEnabled(false);
+    telemetry::Reset();
+    return std::make_pair(std::move(counters), std::move(gauges));
+  };
+
+  const auto event_driven = run_engine(SimEngine::kEventDriven);
+  const auto reference = run_engine(SimEngine::kReference);
+  EXPECT_EQ(event_driven.first, reference.first)
+      << "engines diverged in telemetry counters";
+  EXPECT_EQ(event_driven.second, reference.second)
+      << "engines diverged in telemetry gauges";
+}
 
 // Split launches (kernel splitting) must agree too: partial grids
 // exercise block installation and the event calendar's tail drain.

@@ -1,0 +1,370 @@
+// orion::telemetry contract tests.
+//
+// The telemetry registry is process-global, so every test runs inside
+// a fixture that resets the buffer and restores the disabled default —
+// the rest of the suite must keep seeing a dark, zero-cost subsystem.
+//
+// Covered here:
+//   * disabled tracer records nothing (events, counters, gauges);
+//   * span begin/end balance, nesting depth, argument placement;
+//   * identical compiles produce identical span sequences (tracing is
+//     deterministic, not time-shaped);
+//   * simulator counters equal the SimResult fields exactly;
+//   * Chrome/JSONL exports pass the structural validator, including
+//     per-tid timestamp monotonicity and the Fig. 9 tuner track;
+//   * the validator rejects malformed traces (negative cases);
+//   * the leveled logger filters below the threshold, honours sink
+//     redirection, and mirrors emitted messages onto the "log" track.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "sim/memory.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_check.h"
+#include "workloads/workloads.h"
+
+namespace orion::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Reset();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Reset();
+    log::SetLevel(log::Level::kError);
+    log::SetSink(nullptr);
+  }
+};
+
+sim::GlobalMemory MakeSeededMemory(std::size_t words, std::uint64_t seed) {
+  sim::GlobalMemory gmem(words);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+std::uint64_t CounterValue(const std::string& name) {
+  for (const auto& [key, value] : SnapshotCounters()) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+// --- core primitives ---------------------------------------------------
+
+TEST_F(TelemetryTest, DisabledTracerEmitsNothing) {
+  SetEnabled(false);
+  {
+    ScopedSpan span("compiler", "noop.phase");
+    EXPECT_FALSE(span.active());
+    span.AddArg("ignored", 7);
+    Instant("tuner", "noop.instant");
+    ORION_COUNTER_ADD("noop.counter", 123);
+    ORION_GAUGE_SET("noop.gauge", 4.5);
+  }
+  EXPECT_TRUE(SnapshotEvents().empty());
+  EXPECT_EQ(DroppedEvents(), 0u);
+  EXPECT_EQ(CounterValue("noop.counter"), 0u);
+  GetCounter("noop.direct").Add(9);  // gated Add: also a no-op
+  EXPECT_EQ(GetCounter("noop.direct").Value(), 0u);
+}
+
+TEST_F(TelemetryTest, SpanNestingBalancedAndOrdered) {
+  {
+    ScopedSpan outer("compiler", "outer");
+    ASSERT_TRUE(outer.active());
+    {
+      ScopedSpan inner("compiler", "inner");
+      inner.AddArg("blocks", 4);
+    }
+    outer.AddArg("kernel", "k");
+  }
+  Instant("sim", "tick", {Arg("n", std::uint64_t{1})});
+
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_EQ(events[2].name, "inner");
+  ASSERT_EQ(events[2].args.size(), 1u);  // AddArg lands on the end event
+  EXPECT_EQ(events[2].args[0].key, "blocks");
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_EQ(events[3].name, "outer");
+  ASSERT_EQ(events[3].args.size(), 1u);
+  EXPECT_EQ(events[3].args[0].str, "k");
+  EXPECT_EQ(events[4].phase, 'i');
+  EXPECT_EQ(events[4].track, "sim");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns) << "event " << i;
+  }
+}
+
+TEST_F(TelemetryTest, SpanActiveStateFrozenAtConstruction) {
+  // Disabling mid-span must not orphan the begin event.
+  auto span = std::make_unique<ScopedSpan>("compiler", "frozen");
+  SetEnabled(false);
+  span.reset();
+  SetEnabled(true);
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+}
+
+TEST_F(TelemetryTest, CountersAndGauges) {
+  Counter& counter = GetCounter("test.counter");
+  counter.Add(3);
+  counter.Add(4);
+  EXPECT_EQ(counter.Value(), 7u);
+  EXPECT_EQ(&counter, &GetCounter("test.counter"));  // stable reference
+
+  Gauge& gauge = GetGauge("test.gauge");
+  gauge.SetMax(2.0);
+  gauge.SetMax(5.0);
+  gauge.SetMax(3.0);  // high-watermark: must not regress
+  EXPECT_EQ(gauge.Value(), 5.0);
+
+  Reset();  // zeroes values, keeps registrations and references valid
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0.0);
+  SetEnabled(true);
+  counter.Add(1);
+  EXPECT_EQ(CounterValue("test.counter"), 1u);
+}
+
+// --- determinism -------------------------------------------------------
+
+// Span sequences are a function of the work performed, not of wall
+// time: two identical compiles must trace identically (modulo ts).
+TEST_F(TelemetryTest, IdenticalCompilesTraceIdentically) {
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions options;
+
+  auto shape = [](const std::vector<TraceEvent>& events) {
+    std::vector<std::string> out;
+    for (const TraceEvent& event : events) {
+      out.push_back(std::string(1, event.phase) + "|" + event.track + "|" +
+                    event.name + "|" + std::to_string(event.depth) + "|" +
+                    std::to_string(event.thread));
+    }
+    return out;
+  };
+
+  // Warm-up run: populates one-shot caches (e.g. memoized module
+  // verification) whose spans would differ between a cold and a warm
+  // compile.  Determinism is asserted on the steady state.
+  (void)core::CompileMultiVersion(w.module, spec, options);
+  Reset();
+  SetEnabled(true);
+
+  (void)core::CompileMultiVersion(w.module, spec, options);
+  const std::vector<std::string> first = shape(SnapshotEvents());
+  const auto first_counters = SnapshotCounters();
+  ASSERT_FALSE(first.empty());
+
+  Reset();
+  SetEnabled(true);
+  (void)core::CompileMultiVersion(w.module, spec, options);
+  EXPECT_EQ(shape(SnapshotEvents()), first);
+  EXPECT_EQ(SnapshotCounters(), first_counters);
+}
+
+// Simulator counters are folded in at the launch boundary from the
+// SimResult, so they must equal the result fields exactly.
+TEST_F(TelemetryTest, SimCountersMatchSimResultsExactly) {
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+
+  std::uint64_t cycles = 0, instrs = 0, l2_hits = 0, dram = 0, smem = 0;
+  double last_occupancy = 0.0;
+  const std::uint32_t launches = 3;
+  for (std::uint32_t it = 0; it < launches; ++it) {
+    const sim::SimResult result =
+        simulator.LaunchAll(compiled, &gmem, w.ParamsFor(it));
+    cycles += result.cycles;
+    instrs += result.warp_instructions;
+    l2_hits += result.mem.l2_hits;
+    dram += result.mem.dram_transactions;
+    smem += result.mem.smem_accesses;
+    last_occupancy = result.occupancy.occupancy;
+  }
+
+  EXPECT_EQ(CounterValue("sim.launches"), launches);
+  EXPECT_EQ(CounterValue("sim.cycles"), cycles);
+  EXPECT_EQ(CounterValue("sim.warp_instructions"), instrs);
+  EXPECT_EQ(CounterValue("sim.l2_hits"), l2_hits);
+  EXPECT_EQ(CounterValue("sim.dram_transactions"), dram);
+  EXPECT_EQ(CounterValue("sim.smem_accesses"), smem);
+  for (const auto& [name, value] : SnapshotGauges()) {
+    if (name == "sim.last_occupancy") {
+      EXPECT_EQ(value, last_occupancy);
+    }
+  }
+}
+
+// --- exporters ---------------------------------------------------------
+
+// Runs the full production pipeline (compile -> guarded tuned run) and
+// validates the Chrome export structurally: balanced spans, monotonic
+// per-tid timestamps, a compiler track, and a complete Fig. 9 walk.
+TEST_F(TelemetryTest, FullPipelineChromeTracePassesValidator) {
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, options);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = 8;
+  const runtime::TunedRunResult result = launcher.Run(&gmem, w.params, plan);
+
+  const std::string chrome = ToChromeTrace();
+  const std::vector<std::string> chrome_violations = CheckChromeTrace(chrome);
+  EXPECT_TRUE(chrome_violations.empty())
+      << "first violation: " << chrome_violations.front();
+
+  const std::string jsonl = ToJsonl();
+  const std::vector<std::string> jsonl_violations = CheckJsonl(jsonl);
+  EXPECT_TRUE(jsonl_violations.empty())
+      << "first violation: " << jsonl_violations.front();
+
+  // The tuner track reconstructs the walk: one instant per iteration,
+  // one lock naming the settled version.
+  std::size_t iterations = 0;
+  std::size_t locks = 0;
+  for (const TraceEvent& event : SnapshotEvents()) {
+    if (event.track != "tuner") {
+      continue;
+    }
+    if (event.name == "tuner.iteration") {
+      ++iterations;
+    } else if (event.name == "tuner.lock") {
+      ++locks;
+      for (const EventArg& arg : event.args) {
+        if (arg.key == "version") {
+          EXPECT_EQ(static_cast<std::uint32_t>(arg.num),
+                    result.final_version);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(iterations, plan.iterations);
+  EXPECT_EQ(locks, 1u);
+
+  // The text summary mentions every counter and at least one span.
+  const std::string summary = ToSummary();
+  EXPECT_NE(summary.find("sim.launches"), std::string::npos);
+  EXPECT_NE(summary.find("tuner.iterations"), std::string::npos);
+  EXPECT_NE(summary.find("sim/sim.launch"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceCheckRejectsMalformedTraces) {
+  EXPECT_FALSE(CheckChromeTrace("not json").empty());
+  EXPECT_FALSE(CheckChromeTrace("{\"events\":[]}").empty());
+  // Timestamps going backwards on one tid.
+  const std::string backwards = R"({"traceEvents":[
+    {"ph":"i","name":"a","cat":"compiler","pid":1,"tid":1,"ts":10,"s":"t"},
+    {"ph":"i","name":"b","cat":"compiler","pid":1,"tid":1,"ts":5,"s":"t"}]})";
+  bool found_backwards = false;
+  for (const std::string& v : CheckChromeTrace(backwards)) {
+    found_backwards |= v.find("backwards") != std::string::npos;
+  }
+  EXPECT_TRUE(found_backwards);
+  // Unbalanced spans.
+  const std::string unbalanced = R"({"traceEvents":[
+    {"ph":"B","name":"a","cat":"compiler","pid":1,"tid":1,"ts":1}]})";
+  bool found_unterminated = false;
+  for (const std::string& v : CheckChromeTrace(unbalanced)) {
+    found_unterminated |= v.find("unterminated") != std::string::npos;
+  }
+  EXPECT_TRUE(found_unterminated);
+  // Crossed end.
+  const std::string crossed = R"({"traceEvents":[
+    {"ph":"B","name":"a","cat":"compiler","pid":1,"tid":1,"ts":1},
+    {"ph":"E","name":"z","cat":"compiler","pid":1,"tid":1,"ts":2}]})";
+  bool found_crossed = false;
+  for (const std::string& v : CheckChromeTrace(crossed)) {
+    found_crossed |= v.find("crosses") != std::string::npos;
+  }
+  EXPECT_TRUE(found_crossed);
+  EXPECT_FALSE(CheckJsonl("{\"ph\":\"i\"}\nbroken\n").empty());
+}
+
+TEST_F(TelemetryTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --- leveled logger ----------------------------------------------------
+
+TEST_F(TelemetryTest, LogLevelFiltersAndRedirects) {
+  std::ostringstream sink;
+  log::SetSink(&sink);
+  log::SetLevel(log::Level::kWarn);
+
+  ORION_LOG(INFO) << "below threshold, never evaluated";
+  EXPECT_TRUE(sink.str().empty());
+  ORION_LOG(WARN) << "spill " << 42;
+  EXPECT_NE(sink.str().find("[WARN]"), std::string::npos);
+  EXPECT_NE(sink.str().find("spill 42"), std::string::npos);
+  EXPECT_NE(sink.str().find("telemetry_test.cpp"), std::string::npos);
+
+  log::Level parsed = log::Level::kError;
+  EXPECT_TRUE(log::ParseLevel("DEBUG", &parsed));
+  EXPECT_EQ(parsed, log::Level::kDebug);
+  EXPECT_TRUE(log::ParseLevel("warning", &parsed));
+  EXPECT_EQ(parsed, log::Level::kWarn);
+  EXPECT_FALSE(log::ParseLevel("loud", &parsed));
+}
+
+TEST_F(TelemetryTest, LogMessagesMirrorOntoLogTrack) {
+  std::ostringstream sink;
+  log::SetSink(&sink);
+  log::SetLevel(log::Level::kWarn);
+  ORION_LOG(WARN) << "mirrored";
+
+  bool found = false;
+  for (const TraceEvent& event : SnapshotEvents()) {
+    if (event.track == "log" && event.phase == 'i') {
+      for (const EventArg& arg : event.args) {
+        found |= arg.key == "msg" &&
+                 arg.str.find("mirrored") != std::string::npos;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace orion::telemetry

@@ -11,9 +11,19 @@
 //                                                sweep on the simulator
 //   orion-cc run   <in.vcub> [--iters N]         simulate the app loop
 //                                                with the Fig. 9 tuner
+//   orion-cc emit  <workload> -o <out.vcub>      write a built-in
+//                                                workload (e.g. srad)
+//                                                as a virtual binary
 //
 // Common flags: --gpu gtx680|c2075 (default gtx680),
 //               --cache sc|lc      (default sc).
+//
+// Observability flags (any command; see docs/OBSERVABILITY.md):
+//   --trace FILE        enable telemetry and export the trace to FILE
+//   --trace-format F    json (JSONL, default) | chrome (Perfetto) |
+//                       summary (text table)
+//   --metrics           print the counter/span summary to stdout
+//   --log-level L       error|warn|info|debug (default warn)
 //
 // Robustness flags (run command):
 //   --fault-plan SPEC   install a deterministic fault injector, e.g.
@@ -30,6 +40,7 @@
 
 #include "common/error.h"
 #include "common/faultinject.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "core/orion.h"
 #include "core/static_model.h"
@@ -40,6 +51,9 @@
 #include "runtime/launcher.h"
 #include "sim/gpu_sim.h"
 #include "sim/report.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "workloads/workloads.h"
 
 namespace {
 
@@ -47,8 +61,11 @@ using namespace orion;
 
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
-               "usage: orion-cc <asm|dis|info|tune|sweep|run> <input> "
+               "usage: orion-cc <asm|dis|info|tune|sweep|run|emit> <input> "
                "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] [--iters N]\n"
+               "       observability: [--trace FILE] "
+               "[--trace-format json|chrome|summary] [--metrics] "
+               "[--log-level error|warn|info|debug]\n"
                "       run-only: [--fault-plan SPEC] [--watchdog CYCLES] "
                "[--probe-k K]\n");
   std::exit(2);
@@ -82,6 +99,10 @@ struct Args {
   std::string fault_plan;             // empty = no injector
   std::uint64_t watchdog_cycles = 0;  // 0 = watchdog off
   std::uint32_t probe_k = 1;
+  std::string trace_path;             // empty = tracing off
+  std::string trace_format = "json";  // json | chrome | summary
+  bool metrics = false;
+  std::string log_level = "warn";
 };
 
 Args Parse(int argc, char** argv) {
@@ -113,6 +134,18 @@ Args Parse(int argc, char** argv) {
       args.watchdog_cycles = std::stoull(value());
     } else if (flag == "--probe-k") {
       args.probe_k = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--trace") {
+      args.trace_path = value();
+    } else if (flag == "--trace-format") {
+      args.trace_format = value();
+      if (args.trace_format != "json" && args.trace_format != "chrome" &&
+          args.trace_format != "summary") {
+        Usage();
+      }
+    } else if (flag == "--metrics") {
+      args.metrics = true;
+    } else if (flag == "--log-level") {
+      args.log_level = value();
     } else {
       Usage();
     }
@@ -283,9 +316,7 @@ int CmdRun(const Args& args) {
   std::printf("final: %s (settled after %u iterations), steady %.4f ms\n",
               binary.Candidate(result.final_version).tag.c_str(),
               result.iterations_to_settle, result.steady_ms);
-  if (injector.has_value() || !result.health.Healthy()) {
-    std::printf("health: %s\n", result.health.ToString().c_str());
-  }
+  std::printf("health: %s\n", result.health.ToString().c_str());
   // Full characterization of one steady-state launch.
   const runtime::KernelVersion& final_version =
       binary.Candidate(result.final_version);
@@ -296,18 +327,82 @@ int CmdRun(const Args& args) {
   return 0;
 }
 
+int CmdEmit(const Args& args) {
+  const workloads::Workload workload = workloads::MakeWorkload(args.input);
+  if (args.output.empty()) {
+    throw OrionError("emit requires -o <out.vcub>");
+  }
+  WriteFile(args.output, isa::EncodeModule(workload.module));
+  std::printf("emitted %s -> %s (%u instructions)\n", workload.name.c_str(),
+              args.output.c_str(), workload.module.Kernel().NumInstrs());
+  return 0;
+}
+
+// Exports the collected trace after the command ran.  Failures here are
+// diagnostics-only: they must not turn a successful run into a failure.
+void ExportTelemetry(const Args& args) {
+  if (!args.trace_path.empty()) {
+    std::string content;
+    if (args.trace_format == "chrome") {
+      content = telemetry::ToChromeTrace();
+    } else if (args.trace_format == "summary") {
+      content = telemetry::ToSummary();
+    } else {
+      content = telemetry::ToJsonl();
+    }
+    if (!telemetry::WriteFile(args.trace_path, content)) {
+      std::fprintf(stderr, "orion-cc: cannot write trace '%s'\n",
+                   args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: wrote %s (%s, %zu events)\n",
+                   args.trace_path.c_str(), args.trace_format.c_str(),
+                   telemetry::SnapshotEvents().size());
+    }
+  }
+  if (args.metrics) {
+    std::fputs(telemetry::ToSummary().c_str(), stdout);
+  }
+}
+
+int Dispatch(const Args& args) {
+  if (args.command == "asm") return CmdAsm(args);
+  if (args.command == "dis") return CmdDis(args);
+  if (args.command == "info") return CmdInfo(args);
+  if (args.command == "tune") return CmdTune(args);
+  if (args.command == "sweep") return CmdSweep(args);
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "emit") return CmdEmit(args);
+  Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
-    if (args.command == "asm") return CmdAsm(args);
-    if (args.command == "dis") return CmdDis(args);
-    if (args.command == "info") return CmdInfo(args);
-    if (args.command == "tune") return CmdTune(args);
-    if (args.command == "sweep") return CmdSweep(args);
-    if (args.command == "run") return CmdRun(args);
-    Usage();
+    log::Level level = log::Level::kWarn;
+    if (!log::ParseLevel(args.log_level, &level)) {
+      Usage();
+    }
+    log::SetLevel(level);
+    const bool telemetry_on = !args.trace_path.empty() || args.metrics;
+    if (telemetry_on) {
+      telemetry::Reset();
+      telemetry::SetEnabled(true);
+    }
+    int rc = 1;
+    try {
+      rc = Dispatch(args);
+    } catch (...) {
+      if (telemetry_on) {
+        ExportTelemetry(args);  // keep the partial trace for post-mortems
+      }
+      throw;
+    }
+    if (telemetry_on) {
+      ExportTelemetry(args);
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "orion-cc: %s\n", e.what());
     return 1;

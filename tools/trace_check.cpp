@@ -1,0 +1,68 @@
+// trace_check — structural validator for orion-cc trace exports.
+//
+//   trace_check <trace-file> [--format chrome|jsonl]
+//
+// Chrome mode checks everything CI cares about: valid JSON, balanced
+// and properly nested B/E spans per tid, non-decreasing timestamps per
+// tid, at least one compiler-phase span, and a complete Fig. 9 walk on
+// the tuner track (every iteration carries version + decision args and
+// exactly one tuner.lock names the final version).  Exit status 0 iff
+// the trace passes; violations are listed one per line on stderr.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "telemetry/trace_check.h"
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: trace_check <trace-file> [--format chrome|jsonl]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+  }
+  const std::string path = argv[1];
+  std::string format = "chrome";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      format = argv[++i];
+    } else {
+      Usage();
+    }
+  }
+  if (format != "chrome" && format != "jsonl") {
+    Usage();
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+
+  const std::vector<std::string> violations =
+      format == "chrome" ? orion::telemetry::CheckChromeTrace(content)
+                         : orion::telemetry::CheckJsonl(content);
+  if (violations.empty()) {
+    std::printf("trace_check: %s OK (%zu bytes, format %s)\n", path.c_str(),
+                content.size(), format.c_str());
+    return 0;
+  }
+  for (const std::string& violation : violations) {
+    std::fprintf(stderr, "trace_check: %s\n", violation.c_str());
+  }
+  std::fprintf(stderr, "trace_check: %s FAILED (%zu violations)\n",
+               path.c_str(), violations.size());
+  return 1;
+}
