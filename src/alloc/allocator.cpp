@@ -595,6 +595,8 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
 
   isa::VerifyOptions verify_options;
   verify_options.reg_budget = budget.reg_words;
+  verify_options.local_slot_budget = module.usage.local_slots_per_thread;
+  verify_options.spriv_slot_budget = module.usage.spriv_slots_per_thread;
   isa::VerifyModuleOrThrow(module, verify_options);
   return module;
 }

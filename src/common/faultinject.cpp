@@ -19,6 +19,22 @@ std::uint64_t HookSeed(std::uint64_t seed, std::uint64_t salt) {
 
 }  // namespace
 
+const char* MiscompileKindName(MiscompileKind kind) {
+  switch (kind) {
+    case MiscompileKind::kNone:
+      return "none";
+    case MiscompileKind::kSlotAddress:
+      return "slot-address";
+    case MiscompileKind::kDropPark:
+      return "drop-park";
+    case MiscompileKind::kWidePair:
+      return "wide-pair";
+    case MiscompileKind::kSwapSpill:
+      return "swap-spill";
+  }
+  return "?";
+}
+
 Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
   FaultPlan plan;
   for (const std::string_view token : SplitTokens(spec, ",;")) {
@@ -59,6 +75,14 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
       plan.launch_hang = probability;
     } else if (key == "measure.noise") {
       plan.measure_noise = probability;
+    } else if (key == "miscompile.slot") {
+      plan.miscompile_slot = probability;
+    } else if (key == "miscompile.park") {
+      plan.miscompile_park = probability;
+    } else if (key == "miscompile.wide") {
+      plan.miscompile_wide = probability;
+    } else if (key == "miscompile.spill") {
+      plan.miscompile_spill = probability;
     } else {
       return Status::Error(StatusCode::kInvalidArgument,
                            "unknown fault-plan key '" + std::string(key) + "'");
@@ -68,11 +92,19 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
 }
 
 std::string FaultPlan::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "seed=%llu,decode.bitflip=%g,decode.truncate=%g,compile.fail=%g,"
       "launch.transient=%g,launch.hang=%g,measure.noise=%g",
       static_cast<unsigned long long>(seed), decode_bitflip, decode_truncate,
       compile_fail, launch_transient, launch_hang, measure_noise);
+  if (miscompile_slot > 0.0 || miscompile_park > 0.0 || miscompile_wide > 0.0 ||
+      miscompile_spill > 0.0) {
+    out += StrFormat(
+        ",miscompile.slot=%g,miscompile.park=%g,miscompile.wide=%g,"
+        "miscompile.spill=%g",
+        miscompile_slot, miscompile_park, miscompile_wide, miscompile_spill);
+  }
+  return out;
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan)
@@ -80,7 +112,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
       decode_rng_(HookSeed(plan.seed, 1)),
       compile_rng_(HookSeed(plan.seed, 2)),
       launch_rng_(HookSeed(plan.seed, 3)),
-      measure_rng_(HookSeed(plan.seed, 4)) {}
+      measure_rng_(HookSeed(plan.seed, 4)),
+      miscompile_rng_(HookSeed(plan.seed, 5)) {}
 
 bool FaultInjector::MutateEncodedModule(std::vector<std::uint8_t>* bytes) {
   if (bytes->empty()) {
@@ -145,6 +178,35 @@ double FaultInjector::PerturbMeasurement(double ms) {
       ms * (1.0 + plan_.measure_noise * measure_rng_.NextGaussian());
   // A measurement can be arbitrarily wrong but never non-positive.
   return std::max(noisy, ms * 1e-3);
+}
+
+MiscompileKind FaultInjector::NextMiscompile(std::uint64_t* mutation_seed) {
+  if (plan_.miscompile_slot <= 0.0 && plan_.miscompile_park <= 0.0 &&
+      plan_.miscompile_wide <= 0.0 && plan_.miscompile_spill <= 0.0) {
+    return MiscompileKind::kNone;
+  }
+  // One draw decides the class (cumulative intervals, fixed order); a
+  // second draw seeds the mutation's site selection so the corruption
+  // itself is reproducible from the plan alone.
+  const double draw = miscompile_rng_.NextDouble();
+  *mutation_seed = miscompile_rng_.Next();
+  double cut = plan_.miscompile_slot;
+  if (draw < cut) {
+    return MiscompileKind::kSlotAddress;
+  }
+  cut += plan_.miscompile_park;
+  if (draw < cut) {
+    return MiscompileKind::kDropPark;
+  }
+  cut += plan_.miscompile_wide;
+  if (draw < cut) {
+    return MiscompileKind::kWidePair;
+  }
+  cut += plan_.miscompile_spill;
+  if (draw < cut) {
+    return MiscompileKind::kSwapSpill;
+  }
+  return MiscompileKind::kNone;
 }
 
 FaultInjector* FaultInjector::Current() {

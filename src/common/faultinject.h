@@ -40,6 +40,21 @@ enum class LaunchFault : std::uint8_t {
   kHang,       // the kernel never completes; only the watchdog ends it
 };
 
+// Allocator-output corruptions the miscompile hook can inject — the
+// failure shapes Theorem 1's compressible-stack discipline makes
+// dangerous.  The decision (which class, which seed) lives here; the
+// actual module mutation lives in validate/miscompile.h because
+// orion_common cannot depend on the ISA.
+enum class MiscompileKind : std::uint8_t {
+  kNone = 0,
+  kSlotAddress,  // wrong compressible-stack slot addressing (frame move)
+  kDropPark,     // dropped park/restore move around a call
+  kWidePair,     // misaligned wide (64/96/128-bit) register pair
+  kSwapSpill,    // swapped spill slots (loads read the wrong slot)
+};
+
+const char* MiscompileKindName(MiscompileKind kind);
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   double decode_bitflip = 0.0;    // P[flip 1..8 bits of the image]
@@ -48,10 +63,18 @@ struct FaultPlan {
   double launch_transient = 0.0;  // P[transient launch error per attempt]
   double launch_hang = 0.0;       // P[forced hang per attempt]
   double measure_noise = 0.0;     // Gaussian sigma, relative (0.05 = 5%)
+  // Miscompile injection: probability per freshly compiled candidate of
+  // corrupting the allocator's output in the named class.  The classes
+  // are drawn from one stream in the order below (first hit wins).
+  double miscompile_slot = 0.0;   // wrong compressible-stack slot address
+  double miscompile_park = 0.0;   // dropped park/restore move at a call
+  double miscompile_wide = 0.0;   // misaligned wide register pair
+  double miscompile_spill = 0.0;  // swapped spill slots
 
   // Parses "key=value" pairs separated by ',' or ';'.  Keys:
   //   seed, decode.bitflip, decode.truncate, compile.fail,
-  //   launch.transient, launch.hang, measure.noise
+  //   launch.transient, launch.hang, measure.noise,
+  //   miscompile.slot, miscompile.park, miscompile.wide, miscompile.spill
   // e.g. "seed=7,launch.transient=0.3,measure.noise=0.05".
   static Result<FaultPlan> Parse(std::string_view spec);
 
@@ -76,6 +99,15 @@ class FaultInjector {
   // clamped positive.
   double PerturbMeasurement(double ms);
 
+  // Miscompile hook: the corruption class (if any) for the next freshly
+  // compiled candidate, plus a fresh seed for the mutation's site
+  // selection.  The caller (core::CompileAtLevel via
+  // validate::ApplyMiscompile) reports an actually applied mutation
+  // back through NoteMiscompileApplied so the counter reflects real
+  // corruptions, not mere draws.
+  MiscompileKind NextMiscompile(std::uint64_t* mutation_seed);
+  void NoteMiscompileApplied() { ++counters_.miscompiles_applied; }
+
   const FaultPlan& plan() const { return plan_; }
 
   struct Counters {
@@ -84,6 +116,7 @@ class FaultInjector {
     std::uint64_t transient_faults = 0;
     std::uint64_t hangs = 0;
     std::uint64_t perturbed_measurements = 0;
+    std::uint64_t miscompiles_applied = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -99,6 +132,7 @@ class FaultInjector {
   Rng compile_rng_;
   Rng launch_rng_;
   Rng measure_rng_;
+  Rng miscompile_rng_;
   Counters counters_;
 };
 

@@ -36,6 +36,7 @@ enum class StatusCode : std::uint8_t {
   kLaunchFault,       // transient or persistent launch failure
   kWatchdogExpired,   // launch exceeded its cycle budget (hang)
   kQuarantined,       // candidate disabled after repeated faults
+  kValidationFailed,  // differential translation validation rejected it
   kInternal,          // unexpected error mapped at a fault boundary
 };
 
@@ -57,6 +58,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "watchdog-expired";
     case StatusCode::kQuarantined:
       return "quarantined";
+    case StatusCode::kValidationFailed:
+      return "validation-failed";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -9,6 +9,8 @@
 #include "core/static_model.h"
 #include "isa/binary.h"
 #include "telemetry/telemetry.h"
+#include "validate/miscompile.h"
+#include "validate/validate.h"
 
 namespace orion::core {
 
@@ -88,7 +90,8 @@ void RecordSkip(runtime::MultiVersionBinary* binary,
     return;
   }
   binary->compile_skips.push_back(
-      {StrFormat("blocks=%u", level.blocks_per_sm), status});
+      {StrFormat("blocks=%u", level.blocks_per_sm), status,
+       runtime::SkipReasonFromStatus(status.code())});
   ORION_LOG(WARN) << "kernel '" << binary->kernel_name
                   << "' skipped level blocks=" << level.blocks_per_sm << ": "
                   << status.ToString();
@@ -98,6 +101,24 @@ void RecordSkip(runtime::MultiVersionBinary* binary,
                        {telemetry::Arg("kernel", binary->kernel_name),
                         telemetry::Arg("blocks", level.blocks_per_sm),
                         telemetry::Arg("status", status.ToString())});
+  }
+}
+
+// Runs the differential validation gate over a freshly compiled binary:
+// stamps per-candidate verdicts and repoints the static choice away
+// from any rejected version (version 0 is the always-safe fallback).
+void RunValidationGate(const isa::Module& virt,
+                       runtime::MultiVersionBinary* binary,
+                       const validate::ProbeOptions& probe) {
+  const std::size_t failures = validate::ValidateBinary(virt, binary, probe);
+  if (failures == 0) {
+    return;
+  }
+  ORION_LOG(WARN) << "kernel '" << binary->kernel_name << "': " << failures
+                  << " candidate(s) rejected by translation validation";
+  if (binary->static_choice < binary->versions.size() &&
+      binary->versions[binary->static_choice].validation.Failed()) {
+    binary->static_choice = 0;
   }
 }
 
@@ -144,6 +165,22 @@ Result<runtime::KernelVersion> CompileAtLevel(
     // skip the level, never kill the whole compile.
     return Status::Error(StatusCode::kCompileFault, e.what())
         .WithContext(StrFormat("allocate at blocks=%u", level.blocks_per_sm));
+  }
+
+  // Miscompile hook: an installed injector can corrupt the allocator's
+  // freshly realized output — the bug classes the differential
+  // validation gate exists to catch.
+  if (FaultInjector* injector = FaultInjector::Current()) {
+    std::uint64_t mutation_seed = 0;
+    const MiscompileKind kind = injector->NextMiscompile(&mutation_seed);
+    if (kind != MiscompileKind::kNone &&
+        validate::ApplyMiscompile(&allocated, kind, mutation_seed)) {
+      injector->NoteMiscompileApplied();
+      ORION_LOG(WARN) << "injected miscompile (" << MiscompileKindName(kind)
+                      << ") into kernel '" << virt.name
+                      << "' at level blocks=" << level.blocks_per_sm;
+      ORION_COUNTER_ADD("compile.miscompiles_injected", 1);
+    }
   }
 
   const std::optional<std::uint32_t> padding = PaddingForBlocks(
@@ -213,6 +250,9 @@ runtime::MultiVersionBinary EnumerateAllVersions(const isa::Module& virt,
     throw CompileError(StrFormat("kernel '%s' has no feasible occupancy on %s",
                                  virt.name.c_str(), spec.name.c_str()));
   }
+  if (options.validate) {
+    RunValidationGate(virt, &binary, options.probe);
+  }
   return binary;
 }
 
@@ -251,9 +291,13 @@ void SubsampleVersions(std::vector<runtime::KernelVersion>* versions,
 
 }  // namespace
 
-runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
-                                                const arch::GpuSpec& spec,
-                                                const TuneOptions& options) {
+namespace {
+
+// The Fig. 8 selection proper; the public CompileMultiVersion wraps it
+// with the optional translation-validation gate.
+runtime::MultiVersionBinary CompileMultiVersionImpl(
+    const isa::Module& virt, const arch::GpuSpec& spec,
+    const TuneOptions& options) {
   telemetry::ScopedSpan span("compiler", "compile.multiversion");
   span.AddArg("kernel", virt.name);
   runtime::MultiVersionBinary binary;
@@ -431,6 +475,19 @@ runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
         binary.static_choice = i;
       }
     }
+  }
+  return binary;
+}
+
+}  // namespace
+
+runtime::MultiVersionBinary CompileMultiVersion(const isa::Module& virt,
+                                                const arch::GpuSpec& spec,
+                                                const TuneOptions& options) {
+  runtime::MultiVersionBinary binary =
+      CompileMultiVersionImpl(virt, spec, options);
+  if (options.validate) {
+    RunValidationGate(virt, &binary, options.probe);
   }
   return binary;
 }

@@ -29,6 +29,7 @@
 #include "arch/occupancy.h"
 #include "common/status.h"
 #include "runtime/multiversion.h"
+#include "validate/validate.h"
 
 namespace orion::core {
 
@@ -39,6 +40,14 @@ struct TuneOptions {
   // Application hint: false when the kernel has no loop and cannot be
   // split (Fig. 8 `canTune`); the static model then picks the version.
   bool can_tune = true;
+  // Differential translation validation (src/validate): when true,
+  // every realized candidate is co-simulated against the virtual
+  // original on probe inputs; failing candidates keep their verdict,
+  // are pre-quarantined by the launch guard, and the Fig. 9 walk never
+  // enters them.  Off by default — the pipeline is bit-identical to the
+  // ungated pipeline in that state.
+  bool validate = false;
+  validate::ProbeOptions probe;
 };
 
 // Realizes one occupancy level: allocates under the level's register and

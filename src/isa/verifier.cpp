@@ -208,12 +208,38 @@ class Verifier {
               break;
             case MemSpace::kSharedPriv:
             case MemSpace::kLocal:
-            case MemSpace::kParam:
+            case MemSpace::kParam: {
               expect(addr.kind == OperandKind::kImm,
                      "slot-space address must be an immediate slot index");
               expect(instr.space != MemSpace::kParam || is_load,
                      "parameter space is read-only");
+              if (addr.kind == OperandKind::kImm) {
+                expect(addr.imm >= 0, "slot index must be non-negative");
+                // A wide access touches [slot, slot + width): the whole
+                // span must fit the allocator's reservation.
+                const std::uint8_t access_width =
+                    is_load ? (instr.dsts.empty() ? std::uint8_t{1}
+                                                  : instr.Dst().width)
+                            : (instr.srcs[2].IsReg() ? instr.srcs[2].width
+                                                     : std::uint8_t{1});
+                const std::uint32_t budget =
+                    instr.space == MemSpace::kLocal
+                        ? options_.local_slot_budget
+                        : instr.space == MemSpace::kSharedPriv
+                              ? options_.spriv_slot_budget
+                              : 0;
+                if (budget != 0 && addr.imm >= 0 &&
+                    static_cast<std::uint64_t>(addr.imm) + access_width >
+                        budget) {
+                  Report(func.name.c_str(),
+                         "%s: slot %lld.%u exceeds %s budget %u", where,
+                         static_cast<long long>(addr.imm), access_width,
+                         instr.space == MemSpace::kLocal ? "local" : "spriv",
+                         budget);
+                }
+              }
               break;
+            }
           }
         }
         break;

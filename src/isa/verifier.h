@@ -18,6 +18,12 @@ struct VerifyOptions {
   // When set, allocated functions are additionally checked against this
   // register budget (operand id + width <= budget).
   std::uint32_t reg_budget = 0;
+  // When set, LOCAL / SHARED-PRIV slot accesses are checked against the
+  // per-thread slot counts the allocator reserved (slot + access width
+  // <= budget).  Zero disables the check (virtual modules carry no slot
+  // usage).
+  std::uint32_t local_slot_budget = 0;
+  std::uint32_t spriv_slot_budget = 0;
 };
 
 // Returns the list of verification failures (empty means the module is

@@ -54,6 +54,15 @@ DynamicTuner::DynamicTuner(const MultiVersionBinary* binary,
     : binary_(binary), options_(options) {
   ORION_CHECK(!binary->versions.empty());
   ORION_CHECK_MSG(options_.probe_count >= 1, "probe_count must be >= 1");
+  // Candidates rejected by compile-time translation validation are
+  // never entered: the walk steps over them as if they were not
+  // compiled.  Version 0 is exempt (always-safe fallback), and with the
+  // gate off every verdict is kNotValidated, leaving the walk
+  // bit-identical to the ungated tuner.
+  skip_.assign(binary->NumCandidates(), false);
+  for (std::size_t i = 1; i < binary->NumCandidates(); ++i) {
+    skip_[i] = binary->Candidate(i).validation.Failed();
+  }
   if (!binary->can_tune) {
     // Static selection (Fig. 8 else-branch): no feedback loop, no
     // fail-safe probing.
@@ -63,6 +72,26 @@ DynamicTuner::DynamicTuner(const MultiVersionBinary* binary,
     finalized_ = true;
     final_version_ = 0;
   }
+}
+
+std::uint32_t DynamicTuner::NextUnskipped(std::uint32_t from) const {
+  std::uint32_t i = from;
+  while (i < binary_->NumCandidates() && skip_[i]) {
+    ++i;
+  }
+  return i;
+}
+
+bool DynamicTuner::HasNext(std::uint32_t current) const {
+  const std::size_t walk_end = failsafe_
+                                   ? binary_->NumCandidates()
+                                   : binary_->versions.size();
+  return NextUnskipped(current + 1) < walk_end;
+}
+
+bool DynamicTuner::AnyFailsafeUsable() const {
+  return NextUnskipped(static_cast<std::uint32_t>(
+             binary_->versions.size())) < binary_->NumCandidates();
 }
 
 std::uint32_t DynamicTuner::NextVersion() {
@@ -81,8 +110,9 @@ std::uint32_t DynamicTuner::NextVersion() {
     // are in.
     return cursor_;
   }
-  // Run the next occupancy in the current direction's walk.
-  ++cursor_;
+  // Run the next occupancy in the current direction's walk, stepping
+  // over validation-rejected candidates.
+  cursor_ = NextUnskipped(cursor_ + 1);
   return cursor_;
 }
 
@@ -109,8 +139,8 @@ void DynamicTuner::Decide(double ms) {
     last_decision_ = TunerDecision::kBaseline;
     prev_ms_ = ms;
     prev_version_ = 0;
-    if (binary_->versions.size() == 1) {
-      // Only the original in the primary direction: probe the
+    if (!HasNext(0)) {
+      // Nothing else usable in the primary direction: probe the
       // fail-safes if present, else settle immediately.
       Finalize(0);
     }
@@ -135,10 +165,7 @@ void DynamicTuner::Decide(double ms) {
   last_decision_ = TunerDecision::kAdvance;
   prev_ms_ = ms;
   prev_version_ = current;
-  const std::size_t walk_end = failsafe_
-                                   ? binary_->NumCandidates()
-                                   : binary_->versions.size();
-  if (current + 1 >= walk_end) {
+  if (!HasNext(current)) {
     Finalize(current);
   }
 }
@@ -159,25 +186,23 @@ void DynamicTuner::ReportFault() {
     // baseline becomes +infinity and the walk continues.
     prev_ms_ = std::numeric_limits<double>::infinity();
     prev_version_ = 0;
-    if (binary_->versions.size() == 1) {
+    if (!HasNext(0)) {
       Finalize(0);
     }
     return;
   }
   // A faulted candidate is skipped: it never becomes the baseline and
   // the walk advances past it on the next NextVersion().
-  const std::size_t walk_end = failsafe_
-                                   ? binary_->NumCandidates()
-                                   : binary_->versions.size();
-  if (current + 1 >= walk_end) {
+  if (!HasNext(current)) {
     Finalize(prev_version_);
   }
 }
 
 void DynamicTuner::Finalize(std::uint32_t version) {
   // Section 3.3 fail-safe: when the predicted direction produced
-  // nothing better than the original, try the opposite direction once.
-  if (!failsafe_ && version == 0 && !binary_->failsafe.empty()) {
+  // nothing better than the original, try the opposite direction once
+  // (only if at least one fail-safe survived validation).
+  if (!failsafe_ && version == 0 && AnyFailsafeUsable()) {
     EnterFailsafe();
     last_decision_ = TunerDecision::kFailsafe;
     return;

@@ -119,9 +119,20 @@ class DynamicTuner {
   void Finalize(std::uint32_t version);
   void EnterFailsafe();
   void Decide(double ms);
+  // First candidate index >= `from` not skipped by a compile-time
+  // validation verdict (NumCandidates() when none remains).
+  std::uint32_t NextUnskipped(std::uint32_t from) const;
+  // True when the walk has an unskipped candidate after `current` in
+  // the active region (primary versions, or the full unified range in
+  // fail-safe mode).
+  bool HasNext(std::uint32_t current) const;
+  bool AnyFailsafeUsable() const;
 
   const MultiVersionBinary* binary_;
   const TunerOptions options_;
+  // Candidates the walk must never enter (failing validation verdicts);
+  // all-false when the compile ran without the validation gate.
+  std::vector<bool> skip_;
   bool finalized_ = false;
   bool failsafe_ = false;  // probing the opposite direction
   std::uint32_t final_version_ = 0;

@@ -36,7 +36,38 @@ bool IsWatchdogError(const char* what) {
   return std::string_view(what).starts_with("watchdog:");
 }
 
+// The quarantine reason a terminal fault implies, should it cross the
+// threshold.
+QuarantineReason ReasonFromStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kWatchdogExpired:
+      return QuarantineReason::kWatchdog;
+    case StatusCode::kLaunchFault:
+      return QuarantineReason::kLaunch;
+    case StatusCode::kDecodeFault:
+      return QuarantineReason::kDecode;
+    default:
+      return QuarantineReason::kFaults;
+  }
+}
+
 }  // namespace
+
+const char* QuarantineReasonName(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kFaults:
+      return "faults";
+    case QuarantineReason::kWatchdog:
+      return "watchdog";
+    case QuarantineReason::kLaunch:
+      return "launch";
+    case QuarantineReason::kDecode:
+      return "decode";
+    case QuarantineReason::kValidation:
+      return "validation";
+  }
+  return "?";
+}
 
 std::string HealthReport::ToString() const {
   std::string out = StrFormat(
@@ -51,7 +82,8 @@ std::string HealthReport::ToString() const {
   if (!quarantined.empty()) {
     out += ", quarantined=[";
     for (std::size_t i = 0; i < quarantined.size(); ++i) {
-      out += StrFormat(i == 0 ? "%u" : " %u", quarantined[i]);
+      out += StrFormat(i == 0 ? "%u:%s" : " %u:%s", quarantined[i].version,
+                       QuarantineReasonName(quarantined[i].reason));
     }
     out += "]";
   }
@@ -66,15 +98,34 @@ LaunchGuard::LaunchGuard(const MultiVersionBinary* binary,
     : binary_(binary), sim_(sim), options_(options),
       fault_counts_(binary->NumCandidates(), 0) {
   ORION_CHECK_MSG(options_.max_attempts >= 1, "max_attempts must be >= 1");
+  // Compile-time validation verdicts arrive as pre-quarantines: a
+  // rejected candidate must never be launched, not even once.  Version
+  // 0 stays launchable no matter what (fallback of last resort).
+  for (std::size_t i = 1; i < binary->NumCandidates(); ++i) {
+    if (binary->Candidate(i).validation.Failed()) {
+      health_.quarantined.push_back(
+          {static_cast<std::uint32_t>(i), QuarantineReason::kValidation});
+      ORION_LOG(WARN) << "candidate " << i
+                      << " pre-quarantined by translation validation: "
+                      << ValidationVerdictName(
+                             binary->Candidate(i).validation.verdict);
+      ORION_COUNTER_ADD("guard.validation_quarantines", 1);
+    }
+  }
+}
+
+const Quarantine* LaunchGuard::FindQuarantine(
+    std::uint32_t version_index) const {
+  for (const Quarantine& q : health_.quarantined) {
+    if (q.version == version_index) {
+      return &q;
+    }
+  }
+  return nullptr;
 }
 
 bool LaunchGuard::Quarantined(std::uint32_t version_index) const {
-  for (const std::uint32_t q : health_.quarantined) {
-    if (q == version_index) {
-      return true;
-    }
-  }
-  return false;
+  return FindQuarantine(version_index) != nullptr;
 }
 
 void LaunchGuard::NoteFallback() {
@@ -103,7 +154,8 @@ void LaunchGuard::RecordFault(std::uint32_t iteration, std::uint32_t version,
     // never quarantined.
     if (version != 0 && !Quarantined(version) &&
         fault_counts_[version] >= options_.quarantine_threshold) {
-      health_.quarantined.push_back(version);
+      health_.quarantined.push_back(
+          {version, ReasonFromStatus(status.code())});
       ORION_LOG(WARN) << "candidate " << version << " quarantined after "
                       << fault_counts_[version] << " faults";
       ORION_COUNTER_ADD("guard.quarantines", 1);
@@ -123,11 +175,16 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
                                   std::uint32_t num_blocks,
                                   std::uint32_t iteration) {
   GuardedLaunch out;
-  if (Quarantined(version_index)) {
+  if (const Quarantine* quarantine = FindQuarantine(version_index)) {
     out.status = Status::Error(
         StatusCode::kQuarantined,
-        StrFormat("candidate %u is quarantined after %u faults",
-                  version_index, fault_counts_[version_index]));
+        quarantine->reason == QuarantineReason::kValidation
+            ? StrFormat("candidate %u is quarantined by translation validation",
+                        version_index)
+            : StrFormat("candidate %u is quarantined (%s) after %u faults",
+                        version_index,
+                        QuarantineReasonName(quarantine->reason),
+                        fault_counts_[version_index]));
     // Quarantine hits are logged but do not re-count toward thresholds.
     health_.fault_log.push_back({iteration, version_index, out.status});
     ++health_.faulted_iterations;

@@ -56,6 +56,25 @@ struct FaultEvent {
   Status status;
 };
 
+// Why a candidate was quarantined.  kValidation entries are stamped at
+// guard construction from compile-time verdicts (the candidate is never
+// launched); the others are derived from the terminal fault that
+// crossed the quarantine threshold at runtime.
+enum class QuarantineReason : std::uint8_t {
+  kFaults = 0,  // repeated terminal faults of mixed/launch kinds
+  kWatchdog,    // watchdog-terminated hangs
+  kLaunch,      // persistent launch failures
+  kDecode,      // the candidate binary failed to decode
+  kValidation,  // differential translation validation rejected it
+};
+
+const char* QuarantineReasonName(QuarantineReason reason);
+
+struct Quarantine {
+  std::uint32_t version = 0;  // unified candidate numbering
+  QuarantineReason reason = QuarantineReason::kFaults;
+};
+
 // Aggregated robustness telemetry for one tuned run.
 struct HealthReport {
   std::uint64_t launches_attempted = 0;  // includes retries
@@ -65,8 +84,8 @@ struct HealthReport {
   std::uint64_t watchdog_trips = 0;      // hangs terminated by the budget
   std::uint64_t faulted_iterations = 0;  // iterations with no usable result
   double backoff_ms = 0.0;               // simulated retry backoff total
-  std::vector<std::uint32_t> quarantined;  // candidate indices, in order
-  std::vector<FaultEvent> fault_log;       // every terminal fault
+  std::vector<Quarantine> quarantined;   // candidates disabled, in order
+  std::vector<FaultEvent> fault_log;     // every terminal fault
   // True when the run had to abandon the tuner's choice and fall back
   // to version 0 (the original).
   bool fallback_taken = false;
@@ -90,6 +109,10 @@ struct GuardedLaunch {
 
 class LaunchGuard {
  public:
+  // Candidates carrying a failing compile-time validation verdict are
+  // pre-quarantined here (QuarantineReason::kValidation) — the guard
+  // refuses to launch them and the tuner walk never enters them.
+  // Version 0 is exempt as the fallback of last resort.
   LaunchGuard(const MultiVersionBinary* binary, sim::GpuSimulator* sim,
               const GuardOptions& options);
 
@@ -112,6 +135,7 @@ class LaunchGuard {
  private:
   void RecordFault(std::uint32_t iteration, std::uint32_t version,
                    const Status& status);
+  const Quarantine* FindQuarantine(std::uint32_t version_index) const;
 
   const MultiVersionBinary* binary_;
   sim::GpuSimulator* sim_;

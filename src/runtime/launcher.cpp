@@ -1,5 +1,6 @@
 #include "runtime/launcher.h"
 
+#include <limits>
 #include <optional>
 
 #include "common/error.h"
@@ -26,20 +27,34 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
   std::optional<TunerPlan> probe;
   if (plan.parallel_probe && binary_->can_tune &&
       binary_->NumCandidates() > 1 && per_iteration_params == nullptr) {
-    std::vector<sim::SweepCandidate> candidates(binary_->NumCandidates());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
+    // Validation-rejected candidates are excluded from the sweep: a
+    // miscompiled binary is never simulated, and the skip-aware replay
+    // walk never visits its slot (stubbed to +infinity).
+    constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+    std::vector<sim::SweepCandidate> candidates;
+    std::vector<std::size_t> sweep_slot(binary_->NumCandidates(), kNoSlot);
+    for (std::size_t i = 0; i < binary_->NumCandidates(); ++i) {
       const KernelVersion& version = binary_->Candidate(i);
-      candidates[i].module = &binary_->ModuleOf(version);
-      candidates[i].iteration_params = {params};
-      candidates[i].dynamic_smem_bytes = version.smem_padding_bytes;
+      if (i != 0 && version.validation.Failed()) {
+        continue;
+      }
+      sweep_slot[i] = candidates.size();
+      sim::SweepCandidate candidate;
+      candidate.module = &binary_->ModuleOf(version);
+      candidate.iteration_params = {params};
+      candidate.dynamic_smem_bytes = version.smem_padding_bytes;
+      candidates.push_back(std::move(candidate));
     }
     const sim::ParallelSweep sweep(sim_->spec(), sim_->cache_config(),
                                    plan.probe_threads, sim_->engine());
     const std::vector<sim::SweepOutcome> outcomes =
         sweep.Run(candidates, *gmem);
-    std::vector<double> candidate_ms(outcomes.size(), 0.0);
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      candidate_ms[i] = outcomes[i].launches.front().ms;
+    std::vector<double> candidate_ms(
+        binary_->NumCandidates(), std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < sweep_slot.size(); ++i) {
+      if (sweep_slot[i] != kNoSlot) {
+        candidate_ms[i] = outcomes[sweep_slot[i]].launches.front().ms;
+      }
     }
     probe = DynamicTuner::PlanFromSweep(*binary_, candidate_ms,
                                         tuner_options);

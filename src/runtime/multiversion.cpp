@@ -1,0 +1,80 @@
+#include "runtime/multiversion.h"
+
+#include "common/strings.h"
+
+namespace orion::runtime {
+
+const char* SkipReasonName(SkipReason reason) {
+  switch (reason) {
+    case SkipReason::kCompileFault:
+      return "compile-fault";
+    case SkipReason::kDecodeFault:
+      return "decode-fault";
+    case SkipReason::kValidationFault:
+      return "validation-fault";
+    case SkipReason::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+SkipReason SkipReasonFromStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCompileFault:
+      return SkipReason::kCompileFault;
+    case StatusCode::kDecodeFault:
+      return SkipReason::kDecodeFault;
+    case StatusCode::kValidationFailed:
+      return SkipReason::kValidationFault;
+    default:
+      return SkipReason::kOther;
+  }
+}
+
+const char* ValidationVerdictName(ValidationVerdict verdict) {
+  switch (verdict) {
+    case ValidationVerdict::kNotValidated:
+      return "not-validated";
+    case ValidationVerdict::kExempt:
+      return "exempt";
+    case ValidationVerdict::kPass:
+      return "pass";
+    case ValidationVerdict::kVerifyFault:
+      return "verify-fault";
+    case ValidationVerdict::kExecutionFault:
+      return "execution-fault";
+    case ValidationVerdict::kMemoryMismatch:
+      return "memory-mismatch";
+    case ValidationVerdict::kExitMismatch:
+      return "exit-mismatch";
+  }
+  return "?";
+}
+
+bool MultiVersionBinary::AnyValidationFailures() const {
+  for (std::size_t i = 0; i < NumCandidates(); ++i) {
+    if (Candidate(i).validation.Failed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string MultiVersionBinary::ValidationSummary() const {
+  bool any = false;
+  for (std::size_t i = 0; i < NumCandidates(); ++i) {
+    any |= Candidate(i).validation.verdict != ValidationVerdict::kNotValidated;
+  }
+  if (!any) {
+    return "";
+  }
+  std::string out = "validation=[";
+  for (std::size_t i = 0; i < NumCandidates(); ++i) {
+    out += StrFormat(i == 0 ? "%zu:%s" : " %zu:%s", i,
+                     ValidationVerdictName(Candidate(i).validation.verdict));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace orion::runtime

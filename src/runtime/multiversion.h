@@ -21,6 +21,19 @@ namespace orion::runtime {
 
 enum class TuneDirection : std::uint8_t { kIncreasing, kDecreasing };
 
+// Why a candidate occupancy level was skipped at compile time.  Derived
+// from the skip's StatusCode so health reporting can aggregate by cause
+// instead of collapsing everything into one "compile_skips" bucket.
+enum class SkipReason : std::uint8_t {
+  kCompileFault = 0,  // allocation/compilation faulted unexpectedly
+  kDecodeFault,       // the candidate binary failed to decode
+  kValidationFault,   // differential validation rejected the candidate
+  kOther,             // any other non-quiet status
+};
+
+const char* SkipReasonName(SkipReason reason);
+SkipReason SkipReasonFromStatus(StatusCode code);
+
 // A candidate occupancy level the compiler attempted but could not turn
 // into a version.  Expected infeasibility (register budget below the
 // spill floor, padding granularity) is *not* recorded — only faults: a
@@ -29,6 +42,35 @@ enum class TuneDirection : std::uint8_t { kIncreasing, kDecreasing };
 struct CompileSkip {
   std::string level;  // e.g. "blocks=5"
   Status status;
+  SkipReason reason = SkipReason::kCompileFault;
+};
+
+// Outcome of differential translation validation (src/validate) for one
+// kernel version.  The default kNotValidated keeps the pipeline
+// bit-identical when the validation gate is off.
+enum class ValidationVerdict : std::uint8_t {
+  kNotValidated = 0,  // gate off (or the module was never co-simulated)
+  kExempt,            // version 0, or a padded variant sharing its binary
+  kPass,              // co-simulation matched on every probe
+  // Failing verdicts (ValidationFailed(...) is true from here on).
+  kVerifyFault,     // candidate failed structural verification
+  kExecutionFault,  // co-simulation of the candidate faulted
+  kMemoryMismatch,  // final global-memory images differ
+  kExitMismatch,    // architectural exit state differs
+};
+
+const char* ValidationVerdictName(ValidationVerdict verdict);
+
+inline bool ValidationFailed(ValidationVerdict verdict) {
+  return verdict >= ValidationVerdict::kVerifyFault;
+}
+
+struct ValidationRecord {
+  ValidationVerdict verdict = ValidationVerdict::kNotValidated;
+  std::uint32_t probes_run = 0;
+  std::string detail;  // first mismatch / fault message; empty on pass
+
+  bool Failed() const { return ValidationFailed(verdict); }
 };
 
 struct KernelVersion {
@@ -40,6 +82,10 @@ struct KernelVersion {
   arch::OccupancyResult occupancy;
   alloc::AllocStats alloc_stats;
   std::string tag;  // "original", "conservative", "occ=0.50", ...
+  // Stamped by the validation gate (src/validate) when enabled; a
+  // failing verdict means the version is quarantined at runtime and the
+  // Fig. 9 walk never enters it.
+  ValidationRecord validation;
 };
 
 struct MultiVersionBinary {
@@ -78,6 +124,17 @@ struct MultiVersionBinary {
     return index < versions.size() ? versions[index]
                                    : failsafe[index - versions.size()];
   }
+  KernelVersion& Candidate(std::size_t index) {
+    return index < versions.size() ? versions[index]
+                                   : failsafe[index - versions.size()];
+  }
+
+  // True when any candidate carries a failing validation verdict.
+  bool AnyValidationFailures() const;
+
+  // "validation=[0:exempt 1:pass 2:memory-mismatch]" over the unified
+  // candidate numbering; empty when nothing was validated.
+  std::string ValidationSummary() const;
 };
 
 }  // namespace orion::runtime

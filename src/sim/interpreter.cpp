@@ -77,7 +77,7 @@ class BlockRunner {
     }
   }
 
-  void Run() {
+  void Run(InterpStats* stats) {
     for (;;) {
       bool all_done = true;
       for (Thread& th : threads_) {
@@ -87,6 +87,12 @@ class BlockRunner {
         all_done &= th.done;
       }
       if (all_done) {
+        if (stats != nullptr) {
+          stats->threads_retired += threads_.size();
+          for (const Thread& th : threads_) {
+            stats->steps += th.steps;
+          }
+        }
         return;
       }
       // Everyone alive is at a barrier: release it.
@@ -98,23 +104,36 @@ class BlockRunner {
       for (Thread& th : threads_) {
         th.at_barrier = false;
       }
+      if (stats != nullptr) {
+        ++stats->barrier_rounds;
+      }
     }
   }
 
  private:
   // ---- operand access ----------------------------------------------------
 
+  // Register and slot accesses bounds-check unconditionally (not just in
+  // Debug): the interpreter runs candidate binaries that may be corrupt
+  // (fuzzed images, injected miscompiles), and an out-of-range access
+  // must surface as a catchable fault, never as UB.
   std::uint32_t ReadWord(Thread& th, const Operand& op, std::uint8_t word) {
     switch (op.kind) {
       case OperandKind::kImm:
         // Immediates broadcast their low 32 bits to every element.
         return static_cast<std::uint32_t>(op.imm);
       case OperandKind::kPReg:
-        ORION_DCHECK(op.id + word < th.pregs.size());
+        if (op.id + word >= th.pregs.size()) {
+          throw OrionError(StrFormat("interpreter: preg r%u.%u out of range",
+                                     op.id, word));
+        }
         return th.pregs[op.id + word];
       case OperandKind::kVReg: {
         const auto& vregs = th.frames.back().vregs;
-        ORION_DCHECK(op.id < vregs.size());
+        if (op.id >= vregs.size()) {
+          throw OrionError(
+              StrFormat("interpreter: vreg v%u out of range", op.id));
+        }
         return vregs[op.id][word];
       }
       default:
@@ -126,12 +145,18 @@ class BlockRunner {
                  std::uint32_t value) {
     switch (op.kind) {
       case OperandKind::kPReg:
-        ORION_DCHECK(op.id + word < th.pregs.size());
+        if (op.id + word >= th.pregs.size()) {
+          throw OrionError(StrFormat("interpreter: preg r%u.%u out of range",
+                                     op.id, word));
+        }
         th.pregs[op.id + word] = value;
         return;
       case OperandKind::kVReg: {
         auto& vregs = th.frames.back().vregs;
-        ORION_DCHECK(op.id < vregs.size());
+        if (op.id >= vregs.size()) {
+          throw OrionError(
+              StrFormat("interpreter: vreg v%u out of range", op.id));
+        }
         vregs[op.id][word] = value;
         return;
       }
@@ -177,13 +202,21 @@ class BlockRunner {
       case MemSpace::kSharedPriv: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_DCHECK(slot < th.spriv.size());
+        if (slot >= th.spriv.size()) {
+          throw OrionError(StrFormat(
+              "interpreter: spriv slot %llu out of range",
+              static_cast<unsigned long long>(slot)));
+        }
         return th.spriv[slot];
       }
       case MemSpace::kLocal: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_DCHECK(slot < th.local.size());
+        if (slot >= th.local.size()) {
+          throw OrionError(StrFormat(
+              "interpreter: local slot %llu out of range",
+              static_cast<unsigned long long>(slot)));
+        }
         return th.local[slot];
       }
       case MemSpace::kParam: {
@@ -219,14 +252,22 @@ class BlockRunner {
       case MemSpace::kSharedPriv: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_DCHECK(slot < th.spriv.size());
+        if (slot >= th.spriv.size()) {
+          throw OrionError(StrFormat(
+              "interpreter: spriv slot %llu out of range",
+              static_cast<unsigned long long>(slot)));
+        }
         th.spriv[slot] = value;
         return;
       }
       case MemSpace::kLocal: {
         const std::uint64_t slot =
             static_cast<std::uint64_t>(instr.srcs[0].imm) + word;
-        ORION_DCHECK(slot < th.local.size());
+        if (slot >= th.local.size()) {
+          throw OrionError(StrFormat(
+              "interpreter: local slot %llu out of range",
+              static_cast<unsigned long long>(slot)));
+        }
         th.local[slot] = value;
         return;
       }
@@ -366,6 +407,10 @@ class BlockRunner {
       for (std::uint8_t w = 0; w < width; ++w) {
         value[w] = ReadWord(th, instr.srcs[ai], w);
       }
+      if (callee_func.params[ai].id >= frame.vregs.size()) {
+        throw OrionError(StrFormat("interpreter: param v%u out of range",
+                                   callee_func.params[ai].id));
+      }
       frame.vregs[callee_func.params[ai].id] = value;
     }
     th.frames.back().pc = pc + 1;
@@ -415,18 +460,18 @@ class BlockRunner {
 void Interpret(const isa::Module& module, GlobalMemory* gmem,
                const std::vector<std::uint32_t>& params,
                std::uint32_t first_block, std::uint32_t num_blocks,
-               const InterpOptions& options) {
+               const InterpOptions& options, InterpStats* stats) {
   const LinkedModule linked(module);
   for (std::uint32_t b = 0; b < num_blocks; ++b) {
     BlockRunner runner(linked, gmem, params, first_block + b, options);
-    runner.Run();
+    runner.Run(stats);
   }
 }
 
 void InterpretAll(const isa::Module& module, GlobalMemory* gmem,
                   const std::vector<std::uint32_t>& params,
-                  const InterpOptions& options) {
-  Interpret(module, gmem, params, 0, module.launch.grid_dim, options);
+                  const InterpOptions& options, InterpStats* stats) {
+  Interpret(module, gmem, params, 0, module.launch.grid_dim, options, stats);
 }
 
 }  // namespace orion::sim

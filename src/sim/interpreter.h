@@ -26,17 +26,31 @@ struct InterpOptions {
   std::uint64_t max_steps_per_thread = 4'000'000;
 };
 
+// Architectural exit state of a run — the non-memory half of the
+// differential-validation comparison (src/validate).  Step counts are
+// deliberately excluded from equivalence: a realized binary legally
+// executes more instructions than its virtual original (spill and
+// park/restore code), so only retirement and barrier structure must
+// match.
+struct InterpStats {
+  std::uint64_t threads_retired = 0;  // threads that reached EXIT/end
+  std::uint64_t barrier_rounds = 0;   // block-wide barrier releases
+  std::uint64_t steps = 0;            // total instructions executed
+};
+
 // Runs blocks [first_block, first_block + num_blocks) of the kernel.
 // `params` are the kernel parameter words (LD.P reads them).  Global
-// memory is read and mutated in place.
+// memory is read and mutated in place.  When `stats` is non-null the
+// run's exit state is accumulated into it.
 void Interpret(const isa::Module& module, GlobalMemory* gmem,
                const std::vector<std::uint32_t>& params,
                std::uint32_t first_block, std::uint32_t num_blocks,
-               const InterpOptions& options = {});
+               const InterpOptions& options = {}, InterpStats* stats = nullptr);
 
 // Convenience: full grid.
 void InterpretAll(const isa::Module& module, GlobalMemory* gmem,
                   const std::vector<std::uint32_t>& params,
-                  const InterpOptions& options = {});
+                  const InterpOptions& options = {},
+                  InterpStats* stats = nullptr);
 
 }  // namespace orion::sim

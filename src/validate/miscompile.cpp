@@ -1,0 +1,217 @@
+#include "validate/miscompile.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace orion::validate {
+
+namespace {
+
+using isa::Instruction;
+using isa::MemSpace;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+struct Site {
+  std::size_t func = 0;
+  std::size_t instr = 0;
+};
+
+bool IsSlotSpace(MemSpace space) {
+  return space == MemSpace::kLocal || space == MemSpace::kSharedPriv;
+}
+
+// Removes one instruction, keeping label indices pointing at the same
+// logical successors.
+void EraseInstr(isa::Function* func, std::size_t index) {
+  func->instrs.erase(func->instrs.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  for (auto& [label, at] : func->labels) {
+    if (at > index) {
+      --at;
+    }
+  }
+}
+
+// Wrong compressible-stack slot addressing: one slot-addressed access
+// targets a neighboring slot, so a spill round-trip reads stale data or
+// clobbers another value's home.
+bool MutateSlotAddress(isa::Module* module, Rng* rng) {
+  std::vector<Site> sites;
+  for (std::size_t f = 0; f < module->functions.size(); ++f) {
+    const isa::Function& func = module->functions[f];
+    if (!func.allocated) {
+      continue;
+    }
+    for (std::size_t i = 0; i < func.instrs.size(); ++i) {
+      const Instruction& instr = func.instrs[i];
+      if ((instr.op == Opcode::kLd || instr.op == Opcode::kSt) &&
+          IsSlotSpace(instr.space)) {
+        sites.push_back({f, i});
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  const Site site = sites[rng->NextBounded(sites.size())];
+  Operand& addr = module->functions[site.func].instrs[site.instr].srcs[0];
+  addr.imm = addr.imm == 0 ? addr.imm + 1 : addr.imm - 1;
+  return true;
+}
+
+// Dropped park/restore move around a call: one MOV of the lowered call
+// sequence vanishes, so a live value parked into the callee's gap (or
+// restored from it, or the returned value itself) is lost.
+bool MutateDropPark(isa::Module* module, Rng* rng) {
+  std::vector<Site> sites;  // index of the MOV to drop
+  for (std::size_t f = 0; f < module->functions.size(); ++f) {
+    const isa::Function& func = module->functions[f];
+    if (!func.allocated) {
+      continue;
+    }
+    for (std::size_t i = 0; i < func.instrs.size(); ++i) {
+      if (func.instrs[i].op != Opcode::kCal) {
+        continue;
+      }
+      // Restore / return-value moves follow the bare call; park and
+      // argument moves precede it.  Either drop breaks the contract.
+      if (i + 1 < func.instrs.size() &&
+          func.instrs[i + 1].op == Opcode::kMov) {
+        sites.push_back({f, i + 1});
+      } else if (i > 0 && func.instrs[i - 1].op == Opcode::kMov) {
+        sites.push_back({f, i - 1});
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  const Site site = sites[rng->NextBounded(sites.size())];
+  EraseInstr(&module->functions[site.func], site.instr);
+  return true;
+}
+
+// Misaligned wide register pair: one 64/96/128-bit operand shifts off
+// its alignment boundary, reading or writing a skewed register window.
+bool MutateWidePair(isa::Module* module, Rng* rng) {
+  struct OperandSite {
+    std::size_t func = 0;
+    std::size_t instr = 0;
+    bool dst = false;
+    std::size_t slot = 0;
+  };
+  std::vector<OperandSite> sites;
+  for (std::size_t f = 0; f < module->functions.size(); ++f) {
+    const isa::Function& func = module->functions[f];
+    if (!func.allocated) {
+      continue;
+    }
+    for (std::size_t i = 0; i < func.instrs.size(); ++i) {
+      const Instruction& instr = func.instrs[i];
+      for (std::size_t d = 0; d < instr.dsts.size(); ++d) {
+        if (instr.dsts[d].kind == OperandKind::kPReg &&
+            instr.dsts[d].width >= 2) {
+          sites.push_back({f, i, true, d});
+        }
+      }
+      for (std::size_t s = 0; s < instr.srcs.size(); ++s) {
+        if (instr.srcs[s].kind == OperandKind::kPReg &&
+            instr.srcs[s].width >= 2) {
+          sites.push_back({f, i, false, s});
+        }
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  const OperandSite site = sites[rng->NextBounded(sites.size())];
+  Instruction& instr = module->functions[site.func].instrs[site.instr];
+  Operand& op = site.dst ? instr.dsts[site.slot] : instr.srcs[site.slot];
+  op.id += 1;  // breaks the even / multiple-of-four alignment rule
+  return true;
+}
+
+// Swapped spill slots: two loads exchange their slot addresses, so each
+// reads the value the other spilled.
+bool MutateSwapSpill(isa::Module* module, Rng* rng) {
+  for (const MemSpace space : {MemSpace::kLocal, MemSpace::kSharedPriv}) {
+    std::vector<Site> sites;
+    for (std::size_t f = 0; f < module->functions.size(); ++f) {
+      const isa::Function& func = module->functions[f];
+      if (!func.allocated) {
+        continue;
+      }
+      for (std::size_t i = 0; i < func.instrs.size(); ++i) {
+        const Instruction& instr = func.instrs[i];
+        if (instr.op == Opcode::kLd && instr.space == space) {
+          sites.push_back({f, i});
+        }
+      }
+    }
+    if (sites.size() < 2) {
+      continue;
+    }
+    auto slot_of = [&](const Site& s) -> Operand& {
+      return module->functions[s.func].instrs[s.instr].srcs[0];
+    };
+    auto width_of = [&](const Site& s) -> std::uint8_t {
+      const Instruction& instr = module->functions[s.func].instrs[s.instr];
+      return instr.dsts.empty() ? std::uint8_t{1} : instr.dsts[0].width;
+    };
+    const std::size_t start = rng->NextBounded(sites.size());
+    for (std::size_t off = 0; off < sites.size(); ++off) {
+      const Site& a = sites[(start + off) % sites.size()];
+      // Prefer an equal-width partner: the swap then stays within the
+      // slot budget and only the differential comparison can catch it.
+      const Site* same_width = nullptr;
+      const Site* any = nullptr;
+      for (const Site& b : sites) {
+        if (slot_of(b).imm == slot_of(a).imm) {
+          continue;
+        }
+        if (same_width == nullptr && width_of(b) == width_of(a)) {
+          same_width = &b;
+        }
+        if (any == nullptr) {
+          any = &b;
+        }
+      }
+      const Site* partner = same_width != nullptr ? same_width : any;
+      if (partner == nullptr) {
+        continue;
+      }
+      std::swap(slot_of(a).imm, slot_of(*partner).imm);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ApplyMiscompile(isa::Module* module, MiscompileKind kind,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case MiscompileKind::kNone:
+      return false;
+    case MiscompileKind::kSlotAddress:
+      return MutateSlotAddress(module, &rng);
+    case MiscompileKind::kDropPark:
+      return MutateDropPark(module, &rng);
+    case MiscompileKind::kWidePair:
+      return MutateWidePair(module, &rng);
+    case MiscompileKind::kSwapSpill:
+      return MutateSwapSpill(module, &rng);
+  }
+  return false;
+}
+
+}  // namespace orion::validate

@@ -1,0 +1,28 @@
+// Seeded miscompile injector for the translation validator.
+//
+// Applies one deliberate corruption of an occupancy-realized module —
+// the allocator-output failure shapes Theorem 1's compressible-stack
+// discipline makes dangerous.  The corruption *class* is drawn by
+// common/faultinject (MiscompileKind); this file owns the actual module
+// mutation, picking the site deterministically from `seed`.  The
+// injector exists to prove the differential validator (validate.h)
+// catches real allocator bugs: every applied class must surface as a
+// failing ValidationVerdict.
+#pragma once
+
+#include <cstdint>
+
+#include "common/faultinject.h"
+#include "isa/isa.h"
+
+namespace orion::validate {
+
+// Mutates `module` in place with one corruption of `kind`, choosing the
+// site from `seed`.  Returns true when an applicable site existed and
+// was mutated; false when the module offers no site for this class
+// (e.g. kSwapSpill on a module that never spills) — the caller must
+// then treat the candidate as uncorrupted.
+bool ApplyMiscompile(isa::Module* module, MiscompileKind kind,
+                     std::uint64_t seed);
+
+}  // namespace orion::validate

@@ -1,0 +1,292 @@
+#include "validate/validate.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "isa/verifier.h"
+#include "sim/interpreter.h"
+#include "telemetry/telemetry.h"
+
+namespace orion::validate {
+
+namespace {
+
+using runtime::ValidationRecord;
+using runtime::ValidationVerdict;
+
+// Hard caps applied before interpreting an untrusted candidate: the
+// interpreter sizes register files, slot arrays and shared memory from
+// the module's own headers, so an insane header must fail the verdict
+// instead of attempting a huge allocation or a hopeless run.
+constexpr std::uint32_t kMaxBlockDim = 1024;
+constexpr std::uint32_t kMaxGridDim = 1u << 20;
+constexpr std::uint32_t kMaxRegsPerThread = 4096;
+constexpr std::uint32_t kMaxSlotsPerThread = 1u << 16;
+constexpr std::uint32_t kMaxVRegs = 1u << 12;
+constexpr std::uint32_t kMaxSmemBytes = 1u << 20;
+
+ValidationRecord Fail(ValidationVerdict verdict, std::string detail,
+                      std::uint32_t probes_run = 0) {
+  ValidationRecord record;
+  record.verdict = verdict;
+  record.detail = std::move(detail);
+  record.probes_run = probes_run;
+  return record;
+}
+
+ValidationRecord ValidateModuleImpl(const isa::Module& reference,
+                                    const isa::Module& candidate,
+                                    const ProbeOptions& caller_options) {
+  // Size the probe image to the reference's address footprint before
+  // anything else — a window smaller than the kernel's stores would
+  // leave the memory comparison with nothing to compare.
+  ProbeOptions options = caller_options;
+  options.gmem_words = EffectiveProbeWords(caller_options, reference);
+  // Occupancy realization never changes the launch geometry: a
+  // candidate that disagrees with its reference is already wrong.
+  if (candidate.launch.block_dim != reference.launch.block_dim ||
+      candidate.launch.grid_dim != reference.launch.grid_dim ||
+      candidate.launch.param_words != reference.launch.param_words) {
+    return Fail(ValidationVerdict::kVerifyFault,
+                "launch geometry differs from reference");
+  }
+  if (candidate.launch.block_dim == 0 ||
+      candidate.launch.block_dim > kMaxBlockDim ||
+      candidate.launch.grid_dim == 0 ||
+      candidate.launch.grid_dim > kMaxGridDim) {
+    return Fail(ValidationVerdict::kVerifyFault,
+                StrFormat("implausible launch geometry %ux%u",
+                          candidate.launch.block_dim,
+                          candidate.launch.grid_dim));
+  }
+  if (candidate.usage.regs_per_thread > kMaxRegsPerThread ||
+      candidate.usage.local_slots_per_thread > kMaxSlotsPerThread ||
+      candidate.usage.spriv_slots_per_thread > kMaxSlotsPerThread ||
+      candidate.user_smem_bytes > kMaxSmemBytes) {
+    return Fail(ValidationVerdict::kVerifyFault,
+                "implausible resource usage in module header");
+  }
+  for (const isa::Function& func : candidate.functions) {
+    if (!func.allocated && isa::MaxVRegId(func) > kMaxVRegs) {
+      return Fail(ValidationVerdict::kVerifyFault,
+                  StrFormat("function '%s' uses an implausible vreg id",
+                            func.name.c_str()));
+    }
+  }
+
+  // Structural verification against the candidate's *own* declared
+  // usage: every operand and slot access must fit what the interpreter
+  // will allocate.  This also rejects recursion, so the co-simulation's
+  // call depth is bounded.
+  isa::VerifyOptions verify;
+  verify.reg_budget = candidate.usage.regs_per_thread;
+  verify.local_slot_budget = candidate.usage.local_slots_per_thread;
+  verify.spriv_slot_budget = candidate.usage.spriv_slots_per_thread;
+  const std::vector<std::string> failures = isa::VerifyModule(candidate, verify);
+  if (!failures.empty()) {
+    return Fail(ValidationVerdict::kVerifyFault, failures.front());
+  }
+
+  sim::InterpOptions interp;
+  interp.max_steps_per_thread = options.max_steps_per_thread;
+  const std::uint32_t blocks =
+      options.max_blocks == 0
+          ? reference.launch.grid_dim
+          : std::min(reference.launch.grid_dim, options.max_blocks);
+  ValidationRecord record;
+  for (std::uint32_t probe = 0; probe < options.probes; ++probe) {
+    sim::GlobalMemory ref_mem = MakeProbeMemory(options, probe);
+    sim::GlobalMemory cand_mem = ref_mem;
+    sim::InterpStats ref_stats;
+    sim::InterpStats cand_stats;
+    try {
+      sim::Interpret(reference, &ref_mem, options.params, 0, blocks, interp,
+                     &ref_stats);
+    } catch (const OrionError& e) {
+      // The reference itself cannot run under probe conditions; no
+      // conclusion about the candidate is possible, and reporting a
+      // failure here would be a false positive.
+      record.verdict = ValidationVerdict::kNotValidated;
+      record.detail = std::string("reference fault: ") + e.what();
+      record.probes_run = probe;
+      return record;
+    }
+    try {
+      sim::Interpret(candidate, &cand_mem, options.params, 0, blocks, interp,
+                     &cand_stats);
+    } catch (const OrionError& e) {
+      return Fail(ValidationVerdict::kExecutionFault,
+                  StrFormat("probe %u: %s", probe, e.what()), probe);
+    }
+    const std::vector<std::uint32_t>& want = ref_mem.words();
+    const std::vector<std::uint32_t>& got = cand_mem.words();
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      if (want[w] != got[w]) {
+        return Fail(ValidationVerdict::kMemoryMismatch,
+                    StrFormat("probe %u: word %zu is 0x%08x, reference 0x%08x",
+                              probe, w, got[w], want[w]),
+                    probe);
+      }
+    }
+    if (cand_stats.threads_retired != ref_stats.threads_retired ||
+        cand_stats.barrier_rounds != ref_stats.barrier_rounds) {
+      return Fail(
+          ValidationVerdict::kExitMismatch,
+          StrFormat("probe %u: exit state %llu retired / %llu barrier rounds, "
+                    "reference %llu / %llu",
+                    probe,
+                    static_cast<unsigned long long>(cand_stats.threads_retired),
+                    static_cast<unsigned long long>(cand_stats.barrier_rounds),
+                    static_cast<unsigned long long>(ref_stats.threads_retired),
+                    static_cast<unsigned long long>(ref_stats.barrier_rounds)),
+          probe);
+    }
+    record.probes_run = probe + 1;
+  }
+  record.verdict = ValidationVerdict::kPass;
+  return record;
+}
+
+}  // namespace
+
+sim::GlobalMemory MakeProbeMemory(const ProbeOptions& options,
+                                  std::uint32_t probe) {
+  // Probe i draws from its own stream.  Two interleaved populations:
+  //
+  //   * small positive integers — benign when a kernel folds a loaded
+  //     word into an address (out-of-range accesses are dropped by the
+  //     interpreter, but staying mostly in range exercises real reuse);
+  //   * normal floats in [1.0, 2.0) with a random mantissa — entropy
+  //     that *survives* the float pipeline.  A uniform word in
+  //     [1, 1000] is a denormal as a float, and every FMUL/FADD
+  //     collapses denormals to 0.0 or swallows them against 1.0, so a
+  //     probe made only of small integers is blind to miscompiles on
+  //     float-carrying paths (e.g. a swapped spill slot feeding an FMA
+  //     chain).
+  Rng rng(options.seed ^
+          (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(probe) + 1)));
+  sim::GlobalMemory memory(options.gmem_words);
+  for (std::uint32_t& word : memory.words()) {
+    if (rng.NextBounded(3) == 0) {
+      word = 0x3F800000u |
+             static_cast<std::uint32_t>(rng.NextBounded(1u << 23));
+    } else {
+      word = static_cast<std::uint32_t>(rng.NextBounded(1000) + 1);
+    }
+  }
+  return memory;
+}
+
+std::uint32_t EffectiveProbeWords(const ProbeOptions& options,
+                                  const isa::Module& reference) {
+  // Largest static offset of any global load/store (srcs[1] of kLd/kSt
+  // is the immediate byte offset).  The dynamic base (address register)
+  // is launch-geometry bounded in practice; one extra 64K-word band of
+  // slack covers it for the probe grids the validator runs.
+  std::uint64_t max_offset_bytes = 0;
+  for (const isa::Function& func : reference.functions) {
+    for (const isa::Instruction& instr : func.instrs) {
+      if ((instr.op != isa::Opcode::kLd && instr.op != isa::Opcode::kSt) ||
+          instr.space != isa::MemSpace::kGlobal || instr.srcs.size() < 2 ||
+          instr.srcs[1].kind != isa::OperandKind::kImm) {
+        continue;
+      }
+      const std::int64_t offset = instr.srcs[1].imm;
+      max_offset_bytes = std::max(
+          max_offset_bytes,
+          static_cast<std::uint64_t>(offset < 0 ? -offset : offset));
+    }
+  }
+  constexpr std::uint64_t kSlackWords = 1u << 16;
+  constexpr std::uint64_t kCapWords = 1u << 26;  // 256 MiB of words
+  const std::uint64_t footprint = max_offset_bytes / 4 + kSlackWords;
+  return static_cast<std::uint32_t>(std::min(
+      kCapWords,
+      std::max<std::uint64_t>(options.gmem_words, footprint)));
+}
+
+std::uint64_t ChecksumMemory(const sim::GlobalMemory& memory) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a 64 offset basis
+  for (const std::uint32_t word : memory.words()) {
+    for (int b = 0; b < 4; ++b) {
+      hash ^= (word >> (8 * b)) & 0xFFu;
+      hash *= 1099511628211ull;  // FNV-1a 64 prime
+    }
+  }
+  return hash;
+}
+
+runtime::ValidationRecord ValidateModule(const isa::Module& reference,
+                                         const isa::Module& candidate,
+                                         const ProbeOptions& options) {
+  telemetry::ScopedSpan span("validate", "validate.module");
+  span.AddArg("kernel", candidate.name);
+  ValidationRecord record = ValidateModuleImpl(reference, candidate, options);
+  span.AddArg("verdict", runtime::ValidationVerdictName(record.verdict));
+  span.AddArg("probes", static_cast<std::uint64_t>(record.probes_run));
+  return record;
+}
+
+std::size_t ValidateBinary(const isa::Module& reference,
+                           runtime::MultiVersionBinary* binary,
+                           const ProbeOptions& options) {
+  telemetry::ScopedSpan span("validate", "validate.binary");
+  span.AddArg("kernel", binary->kernel_name);
+  const std::uint32_t original_module =
+      binary->versions.empty() ? 0 : binary->versions.front().module_index;
+  // Distinct modules are validated once; padded variants share verdicts.
+  std::map<std::uint32_t, ValidationRecord> by_module;
+  std::size_t failed_candidates = 0;
+  for (std::size_t i = 0; i < binary->NumCandidates(); ++i) {
+    runtime::KernelVersion& version = binary->Candidate(i);
+    if (!binary->versions.empty() && version.module_index == original_module) {
+      // Version 0 is the always-safe fallback (and padded variants
+      // execute its binary): exempt by design, never quarantined.
+      version.validation = ValidationRecord{};
+      version.validation.verdict = ValidationVerdict::kExempt;
+      continue;
+    }
+    auto it = by_module.find(version.module_index);
+    if (it == by_module.end()) {
+      ValidationRecord record =
+          ValidateModule(reference, binary->ModuleOf(version), options);
+      ORION_COUNTER_ADD("validate.modules", 1);
+      ORION_COUNTER_ADD("validate.probes", record.probes_run);
+      if (record.Failed()) {
+        ORION_COUNTER_ADD("validate.failures", 1);
+      }
+      it = by_module.emplace(version.module_index, std::move(record)).first;
+    }
+    version.validation = it->second;
+    if (version.validation.Failed()) {
+      ++failed_candidates;
+      ORION_LOG(WARN) << "kernel '" << binary->kernel_name << "' candidate "
+                      << i << " (" << version.tag << ") failed validation: "
+                      << runtime::ValidationVerdictName(
+                             version.validation.verdict)
+                      << " — " << version.validation.detail;
+      if (telemetry::Enabled()) {
+        telemetry::Instant(
+            "validate", "validate.reject",
+            {telemetry::Arg("kernel", binary->kernel_name),
+             telemetry::Arg("candidate", static_cast<std::uint64_t>(i)),
+             telemetry::Arg("verdict",
+                            runtime::ValidationVerdictName(
+                                version.validation.verdict)),
+             telemetry::Arg("detail", version.validation.detail)});
+      }
+    }
+  }
+  span.AddArg("candidates",
+              static_cast<std::uint64_t>(binary->NumCandidates()));
+  span.AddArg("failures", static_cast<std::uint64_t>(failed_candidates));
+  return failed_candidates;
+}
+
+}  // namespace orion::validate

@@ -1,0 +1,96 @@
+// Differential translation validation for occupancy-realized binaries.
+//
+// Occupancy realization (src/alloc) rewrites every function: coloring,
+// spilling, shared-memory re-homing and the compressible-stack
+// park/restore discipline of Theorem 1.  A bug in any of those passes
+// produces a candidate that runs — and silently computes the wrong
+// answer.  This subsystem closes that hole with translation validation:
+// each realized candidate is co-simulated against the virtual original
+// on deterministic probe inputs, and the final global-memory images
+// plus the architectural exit state (threads retired, barrier rounds)
+// must match bit for bit.
+//
+// The gate is wired into core::CompileMultiVersion /
+// core::EnumerateAllVersions behind TuneOptions::validate: failing
+// candidates keep their verdict on the KernelVersion, are pre-
+// quarantined by runtime::LaunchGuard, and are never entered by the
+// Fig. 9 feedback walk.  Version 0 (the original-occupancy compile) is
+// exempt — it is the always-safe fallback, and padded variants sharing
+// its binary inherit the exemption.
+//
+// See docs/VALIDATION.md for the probe-input design and verdict
+// semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+#include "runtime/multiversion.h"
+#include "sim/memory.h"
+
+namespace orion::validate {
+
+struct ProbeOptions {
+  // Number of independent probe inputs each candidate is checked on.
+  std::uint32_t probes = 2;
+  // Seed for the probe memory contents; probe i derives its own stream.
+  std::uint64_t seed = 0x0A11;
+  // Minimum probe global-memory size.  The validator grows the actual
+  // image to the reference's static address footprint (see
+  // EffectiveProbeWords): the interpreter's global memory is bounds-safe
+  // (OOB reads return 0, OOB writes drop), so a probe smaller than the
+  // kernel's footprint would silently hide everything the kernel stores
+  // beyond it.
+  std::uint32_t gmem_words = 1u << 16;
+  // Cap on the number of blocks interpreted per probe (0 = full grid).
+  std::uint32_t max_blocks = 0;
+  // Kernel parameter words for the probe runs.  Empty by default —
+  // matching how orion-cc launches workloads — so kernels see zeros for
+  // absent parameters and loop bounds stay benign.
+  std::vector<std::uint32_t> params;
+  // Per-thread step cap for each co-simulation; a candidate exceeding
+  // it faults the probe (kExecutionFault), a reference exceeding it
+  // leaves the verdict kNotValidated.
+  std::uint64_t max_steps_per_thread = 2'000'000;
+};
+
+// Deterministic probe memory for probe index `probe`: identical word
+// streams feed the reference and the candidate.
+sim::GlobalMemory MakeProbeMemory(const ProbeOptions& options,
+                                  std::uint32_t probe);
+
+// The probe image size the validator actually uses for `reference`:
+// options.gmem_words grown to cover the module's largest static
+// global-access offset.  Out-of-range stores are dropped by the
+// interpreter, so an image smaller than the address footprint makes the
+// kernel's output unobservable — a probe against it would pass any
+// miscompile.  Callers reproducing the validator's co-simulation
+// geometry (tests, ground-truth checks) must size memory with this.
+std::uint32_t EffectiveProbeWords(const ProbeOptions& options,
+                                  const isa::Module& reference);
+
+// FNV-1a 64-bit checksum of a memory image (golden-output self-checks,
+// tests/workloads).
+std::uint64_t ChecksumMemory(const sim::GlobalMemory& memory);
+
+// Differentially validates one candidate module against its reference:
+// structural verification (within the candidate's own declared resource
+// usage), then co-simulation on `options.probes` probe inputs.  Returns
+// the verdict plus the first failure's detail.  Never throws on a bad
+// candidate — corruption surfaces as a failing verdict.
+runtime::ValidationRecord ValidateModule(const isa::Module& reference,
+                                         const isa::Module& candidate,
+                                         const ProbeOptions& options = {});
+
+// Validates every candidate of a multi-version binary (unified
+// primary + fail-safe numbering) against the virtual reference,
+// stamping each KernelVersion::validation.  Versions sharing the
+// original's binary are kExempt; distinct modules are validated once
+// and the verdict fanned out.  Returns the number of candidates whose
+// verdict is failing.
+std::size_t ValidateBinary(const isa::Module& reference,
+                           runtime::MultiVersionBinary* binary,
+                           const ProbeOptions& options = {});
+
+}  // namespace orion::validate

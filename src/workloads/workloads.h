@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "isa/isa.h"
+#include "sim/memory.h"
 
 namespace orion::workloads {
 
@@ -52,6 +54,36 @@ const std::vector<std::string>& AllNames();
 
 // Builds a workload by name; throws OrionError for unknown names.
 Workload MakeWorkload(const std::string& name);
+
+// ---- Semantic self-check (golden final-memory checksums) -----------
+//
+// Every workload has a golden FNV-1a digest of the final global-memory
+// image after interpreting the first kSelfCheckBlocks blocks of its
+// *virtual* module (iteration-0 parameters) on freshly seeded memory.
+// The digests pin down workload semantics: an edit to a kernel builder
+// that changes what the program computes — rather than how fast it runs
+// — trips the self-check.  The same digest definition
+// (validate::ChecksumMemory) is used by the differential translation
+// validator, so golden values are directly comparable with its probes.
+
+// Blocks interpreted by the self-check probe (bounded so the check is
+// cheap enough to run for every workload in the test suite).
+inline constexpr std::uint32_t kSelfCheckBlocks = 8;
+
+// Global memory as every deterministic Orion run seeds it: gmem_words
+// words drawn from Rng(workload.seed) in [1, 1000].
+sim::GlobalMemory SeedWorkloadMemory(const Workload& workload);
+
+// Interprets the virtual module on seeded memory and digests the final
+// image (the quantity the golden table pins).
+std::uint64_t ComputeFinalMemoryChecksum(const Workload& workload);
+
+// The golden digest for a workload; throws OrionError for unknown names.
+std::uint64_t GoldenChecksum(const std::string& name);
+
+// Recomputes the digest and compares against the golden table.  Returns
+// OK on match; an error Status naming both digests on mismatch.
+Status SelfCheck(const std::string& name);
 
 // Individual factories.
 Workload MakeCfd();

@@ -26,6 +26,7 @@
 #include "opt/passes.h"
 #include "sim/interpreter.h"
 #include "sim/memory.h"
+#include "validate/validate.h"
 
 namespace orion {
 namespace {
@@ -346,6 +347,118 @@ TEST_P(Fuzz, CorruptBinaryDecodesCleanly) {
     } catch (const std::exception& e) {
       ADD_FAILURE() << "non-DecodeError escaped the decoder (seed="
                     << GetParam() << " mutation=" << m << "): " << e.what();
+    }
+  }
+}
+
+// The decoder and the structural verifier are necessary but not
+// sufficient: a bit flip can hit an immediate, a register id, or a slot
+// index and produce a module that decodes AND verifies cleanly yet
+// computes the wrong answer.  The differential validator is the
+// backstop — whenever it passes such a module, the module must be
+// genuinely equivalent to the original on the probe input, and whenever
+// the ground truth diverges the validator must have flagged it.
+TEST_P(Fuzz, VerifyCleanCorruptBinariesAreFlaggedDifferentially) {
+  ProgramGenerator generator(0xF00D + static_cast<std::uint64_t>(GetParam()));
+  const isa::Module module = generator.Generate();
+  const std::vector<std::uint8_t> image = isa::EncodeModule(module);
+  ASSERT_FALSE(image.empty());
+
+  validate::ProbeOptions probe;
+  probe.probes = 1;
+  probe.gmem_words = 1 << 14;
+  // Generated programs run a few hundred steps per thread; the cap only
+  // has to be generous enough to never clip a legitimate run while
+  // keeping runaway mutants (a bit flip in a loop-bound immediate)
+  // cheap to terminate.
+  probe.max_steps_per_thread = 20'000;
+  // Match the validator's geometry: it grows the probe image to the
+  // reference's address footprint.
+  probe.gmem_words = validate::EffectiveProbeWords(probe, module);
+
+  // Ground truth for the reference on probe 0's exact input.
+  sim::GlobalMemory ref_mem = validate::MakeProbeMemory(probe, 0);
+  sim::InterpStats ref_stats;
+  sim::InterpretAll(module, &ref_mem, probe.params,
+                    {probe.max_steps_per_thread}, &ref_stats);
+
+  Rng rng(0xD1FF + static_cast<std::uint64_t>(GetParam()));
+  int verify_clean = 0;
+  for (int m = 0; m < 60 && verify_clean < 8; ++m) {
+    std::vector<std::uint8_t> corrupt = image;
+    const std::uint64_t flips = 1 + rng.NextBounded(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const std::size_t at =
+          static_cast<std::size_t>(rng.NextBounded(corrupt.size()));
+      corrupt[at] ^= static_cast<std::uint8_t>(1u << rng.NextBounded(8));
+    }
+    isa::Module decoded;
+    try {
+      decoded = isa::DecodeModule(corrupt);
+    } catch (const DecodeError&) {
+      continue;  // the decoder caught it; nothing for the validator to do
+    }
+    if (!isa::VerifyModule(decoded).empty()) {
+      continue;  // the structural verifier caught it
+    }
+    ++verify_clean;
+
+    const runtime::ValidationRecord record =
+        validate::ValidateModule(module, decoded, probe);
+
+    // Independent ground truth: run the mutant on the same probe input.
+    // Only interpret mutants whose header still matches the reference's
+    // launch geometry and declares sane resources — a flip in grid /
+    // block dims or the declared register/slot/smem usage makes the
+    // interpretation arbitrarily expensive (billions of threads, or
+    // tens of GB of per-thread state), and the validator already
+    // rejects any such header as kVerifyFault before co-simulating, so
+    // there is no silent-pass risk in skipping them here.  The bounds
+    // mirror the validator's plausibility limits.
+    bool implausible =
+        decoded.launch.block_dim != module.launch.block_dim ||
+        decoded.launch.grid_dim != module.launch.grid_dim ||
+        decoded.usage.regs_per_thread > 4096 ||
+        decoded.usage.local_slots_per_thread > (1u << 16) ||
+        decoded.usage.spriv_slots_per_thread > (1u << 16) ||
+        decoded.user_smem_bytes > (1u << 20);
+    for (const isa::Function& func : decoded.functions) {
+      // A flipped register-id operand makes the interpreter's per-thread
+      // register file gigabytes wide; the validator bounds MaxVRegId the
+      // same way before co-simulating.
+      if (!func.allocated && isa::MaxVRegId(func) > (1u << 12)) {
+        implausible = true;
+      }
+    }
+    bool equal = false;
+    if (implausible) {
+      EXPECT_TRUE(record.Failed())
+          << "corrupt launch header not flagged (seed=" << GetParam()
+          << " mutation=" << m
+          << "): " << runtime::ValidationVerdictName(record.verdict);
+      continue;
+    }
+    try {
+      sim::GlobalMemory mut_mem = validate::MakeProbeMemory(probe, 0);
+      sim::InterpStats mut_stats;
+      sim::InterpretAll(decoded, &mut_mem, probe.params,
+                        {probe.max_steps_per_thread}, &mut_stats);
+      equal = ref_mem.words() == mut_mem.words() &&
+              ref_stats.threads_retired == mut_stats.threads_retired &&
+              ref_stats.barrier_rounds == mut_stats.barrier_rounds;
+    } catch (const std::exception&) {
+      equal = false;  // the mutant faulted; certainly not equivalent
+    }
+
+    if (record.verdict == runtime::ValidationVerdict::kPass) {
+      EXPECT_TRUE(equal) << "silent miscompile passed validation (seed="
+                         << GetParam() << " mutation=" << m << ")";
+    }
+    if (!equal) {
+      EXPECT_TRUE(record.Failed())
+          << "diverging mutant not flagged (seed=" << GetParam()
+          << " mutation=" << m
+          << "): " << runtime::ValidationVerdictName(record.verdict);
     }
   }
 }

@@ -421,7 +421,9 @@ TEST(LaunchGuardTest, RepeatedFaultsQuarantineEverythingButTheOriginal) {
   }
   EXPECT_FALSE(guard.Quarantined(0));
   ASSERT_EQ(guard.health().quarantined.size(), 1u);
-  EXPECT_EQ(guard.health().quarantined.front(), 1u);
+  EXPECT_EQ(guard.health().quarantined.front().version, 1u);
+  EXPECT_NE(guard.health().quarantined.front().reason,
+            QuarantineReason::kValidation);
 }
 
 // --- compile-path degradation ------------------------------------------
@@ -512,8 +514,8 @@ TEST_P(FaultMatrix, TunedRunSurvivesTwentySeededFaultScenarios) {
       EXPECT_LT(event.version, binary.NumCandidates());
       EXPECT_FALSE(event.status.ok());
     }
-    for (const std::uint32_t q : health.quarantined) {
-      EXPECT_NE(q, 0u);  // the original is never quarantined
+    for (const Quarantine& q : health.quarantined) {
+      EXPECT_NE(q.version, 0u);  // the original is never quarantined
     }
     EXPECT_GE(health.launches_attempted,
               health.launches_succeeded + health.transient_faults / 3);

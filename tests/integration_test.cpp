@@ -118,6 +118,43 @@ TEST(Integration, BaselineAndOrionComputeTheSameFunction) {
   }
 }
 
+TEST(Integration, WorkloadSelfChecksMatchGoldenChecksums) {
+  // Semantic pin: every workload's final-memory digest must match the
+  // golden table (src/workloads/selfcheck.cpp).  A mismatch means a
+  // kernel builder edit changed what the program *computes*.
+  for (const std::string& name : workloads::AllNames()) {
+    const Status status = workloads::SelfCheck(name);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+}
+
+TEST(Integration, ValidatedPipelineRunsCleanEndToEnd) {
+  // The full gate in one pass: compile srad with validation on, then
+  // run the tuned loop — no candidate may carry a failing verdict and
+  // the run must stay healthy.
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  core::TuneOptions options;
+  options.validate = true;
+  options.probe.probes = 1;
+  options.probe.max_blocks = 4;
+  options.probe.params = w.ParamsFor(0);
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, arch::Gtx680(), options);
+  EXPECT_FALSE(binary.AnyValidationFailures()) << binary.ValidationSummary();
+  for (std::size_t i = 0; i < binary.NumCandidates(); ++i) {
+    EXPECT_FALSE(binary.Candidate(i).validation.Failed())
+        << i << ": " << binary.Candidate(i).validation.detail;
+  }
+  sim::GpuSimulator simulator(arch::Gtx680(), arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = Seed(w.gmem_words, w.seed);
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = 8;
+  const runtime::TunedRunResult result = launcher.Run(&gmem, w.params, plan);
+  EXPECT_LT(result.final_version, binary.NumCandidates());
+  EXPECT_TRUE(result.health.quarantined.empty());
+}
+
 TEST(Integration, PerIterationParamsReachTheKernel) {
   const workloads::Workload w = workloads::MakeWorkload("bfs");
   const runtime::MultiVersionBinary binary =

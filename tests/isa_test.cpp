@@ -201,6 +201,98 @@ TEST(Verifier, RejectsMisalignedWidePhysicalRegister) {
   EXPECT_FALSE(VerifyModule(module).empty());
 }
 
+// One-instruction allocated kernel around `instr` for negative tests.
+Module MakeAllocatedKernel(Instruction instr) {
+  Module module;
+  module.name = "m";
+  Function func;
+  func.name = "main";
+  func.is_kernel = true;
+  func.allocated = true;
+  func.instrs.push_back(std::move(instr));
+  Instruction exit;
+  exit.op = Opcode::kExit;
+  func.instrs.push_back(exit);
+  module.functions.push_back(std::move(func));
+  return module;
+}
+
+// Every misalignment shape the miscompile injector's kWidePair mutator
+// can produce (odd 64-bit pairs, off-by-one 96/128-bit quads) must be
+// rejected; properly aligned shapes of the same widths must pass.
+TEST(Verifier, RejectsEveryMisalignedWideShape) {
+  struct Shape {
+    std::uint32_t id;
+    std::uint8_t width;
+    bool ok;
+  };
+  const Shape shapes[] = {
+      {1, 2, false}, {3, 2, false},  // 64-bit on odd registers
+      {1, 3, false}, {2, 3, false},  // 96-bit off a 4-boundary
+      {2, 4, false}, {6, 4, false},  // 128-bit off a 4-boundary
+      {0, 2, true},  {2, 2, true},   // aligned 64-bit
+      {4, 3, true},  {0, 4, true},   // aligned 96/128-bit
+  };
+  for (const Shape& shape : shapes) {
+    Instruction mov;
+    mov.op = Opcode::kMov;
+    mov.dsts.push_back(Operand::PReg(shape.id, shape.width));
+    mov.srcs.push_back(Operand::Imm(0));
+    const Module module = MakeAllocatedKernel(std::move(mov));
+    EXPECT_EQ(VerifyModule(module).empty(), shape.ok)
+        << "r" << shape.id << "." << static_cast<int>(shape.width);
+  }
+}
+
+// Slot-space accesses must stay inside the allocator's declared
+// reservation; a wide access is checked over its whole [slot, slot+w)
+// span, which is exactly what a swapped-spill-slot or slot-addressing
+// miscompile violates.
+TEST(Verifier, EnforcesSlotBudgets) {
+  struct Access {
+    MemSpace space;
+    std::int64_t slot;
+    std::uint8_t width;
+    bool ok;
+  };
+  const Access accesses[] = {
+      {MemSpace::kLocal, 7, 1, true},       // last slot in budget
+      {MemSpace::kLocal, 8, 1, false},      // one past the end
+      {MemSpace::kLocal, 7, 2, false},      // wide access straddles the end
+      {MemSpace::kSharedPriv, 3, 1, true},
+      {MemSpace::kSharedPriv, 4, 1, false},
+      {MemSpace::kSharedPriv, 3, 2, false},
+      {MemSpace::kSharedPriv, -1, 1, false},  // negative slot index
+  };
+  VerifyOptions options;
+  options.local_slot_budget = 8;
+  options.spriv_slot_budget = 4;
+  for (const Access& access : accesses) {
+    Instruction load;
+    load.op = Opcode::kLd;
+    load.space = access.space;
+    load.dsts.push_back(Operand::PReg(0, access.width));
+    load.srcs = {Operand::Imm(access.slot), Operand::Imm(0)};
+    const Module module = MakeAllocatedKernel(std::move(load));
+    EXPECT_EQ(VerifyModule(module, options).empty(), access.ok)
+        << (access.space == MemSpace::kLocal ? "local" : "spriv") << " slot "
+        << access.slot << "." << static_cast<int>(access.width);
+  }
+  // With no budget declared (0) the same accesses all pass, so existing
+  // callers that do not set the budgets keep their behavior.
+  for (const Access& access : accesses) {
+    if (access.slot < 0) {
+      continue;  // negative slots are rejected unconditionally
+    }
+    Instruction load;
+    load.op = Opcode::kLd;
+    load.space = access.space;
+    load.dsts.push_back(Operand::PReg(0, access.width));
+    load.srcs = {Operand::Imm(access.slot), Operand::Imm(0)};
+    EXPECT_TRUE(VerifyModule(MakeAllocatedKernel(std::move(load))).empty());
+  }
+}
+
 TEST(Verifier, EnforcesRegisterBudget) {
   Module module;
   module.name = "m";

@@ -1,0 +1,469 @@
+// Differential translation validation, end to end.
+//
+// Covers the tentpole robustness property of src/validate:
+//
+//   * zero false positives — with no injected miscompile, every
+//     candidate of every workload at every occupancy level validates
+//     clean;
+//   * detection — every seeded miscompile class (wrong slot addressing,
+//     dropped park/restore, misaligned wide pairs, swapped spill slots)
+//     is caught by the validator somewhere in the workload x level
+//     matrix, and whenever the validator passes a mutated module that
+//     module is genuinely equivalent to the reference on the probe
+//     input (no silent wrongs);
+//   * verdict taxonomy — synthetic candidates produce the specific
+//     failing verdicts (memory mismatch, exit-state mismatch,
+//     execution fault, verify fault);
+//   * pipeline wiring — with the gate on and a seeded miscompile
+//     injector installed, failing candidates are pre-quarantined by the
+//     launch guard and the Fig. 9 walk (live and sweep-replayed) never
+//     enters them, while version 0 stays launchable;
+//   * gate neutrality — with validation off every verdict stays
+//     kNotValidated and the tuned run is bit-identical to a run of a
+//     clean validated binary.
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/faultinject.h"
+#include "core/orion.h"
+#include "isa/builder.h"
+#include "runtime/dynamic_tuner.h"
+#include "runtime/guard.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "sim/interpreter.h"
+#include "sim/memory.h"
+#include "telemetry/telemetry.h"
+#include "testutil.h"
+#include "validate/miscompile.h"
+#include "validate/validate.h"
+#include "workloads/workloads.h"
+
+namespace orion::validate {
+namespace {
+
+using runtime::ValidationVerdict;
+
+// Probe configuration small enough to run the full workload x level
+// matrix in the suite.
+ProbeOptions FastProbe(const workloads::Workload& w) {
+  ProbeOptions probe;
+  probe.probes = 1;
+  probe.gmem_words = 1 << 14;
+  probe.max_blocks = 2;
+  probe.params = w.ParamsFor(0);
+  return probe;
+}
+
+// Independent ground truth for probe 0: interprets both modules on the
+// validator's exact probe input and compares memory plus exit state.
+bool GroundTruthEqual(const isa::Module& reference,
+                      const isa::Module& candidate,
+                      const ProbeOptions& options) {
+  // Mirror the validator's exact co-simulation geometry, including the
+  // footprint-grown probe image.
+  ProbeOptions probe = options;
+  probe.gmem_words = EffectiveProbeWords(options, reference);
+  const std::uint32_t grid = reference.launch.grid_dim;
+  const std::uint32_t blocks =
+      probe.max_blocks == 0 ? grid : std::min(grid, probe.max_blocks);
+  sim::GlobalMemory ref_mem = MakeProbeMemory(probe, 0);
+  sim::InterpStats ref_stats;
+  sim::Interpret(reference, &ref_mem, probe.params, 0, blocks,
+                 {probe.max_steps_per_thread}, &ref_stats);
+  try {
+    sim::GlobalMemory cand_mem = MakeProbeMemory(probe, 0);
+    sim::InterpStats cand_stats;
+    sim::Interpret(candidate, &cand_mem, probe.params, 0, blocks,
+                   {probe.max_steps_per_thread}, &cand_stats);
+    return ref_mem.words() == cand_mem.words() &&
+           ref_stats.threads_retired == cand_stats.threads_retired &&
+           ref_stats.barrier_rounds == cand_stats.barrier_rounds;
+  } catch (const std::exception&) {
+    return false;  // the candidate faulted; certainly not equivalent
+  }
+}
+
+// --- zero false positives ----------------------------------------------
+
+TEST(CleanMatrix, EveryWorkloadAtEveryLevelValidatesClean) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  for (const std::string& name : workloads::AllNames()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    core::TuneOptions options;
+    options.validate = true;
+    options.probe = FastProbe(w);
+    const runtime::MultiVersionBinary all =
+        core::EnumerateAllVersions(w.module, spec, options);
+    EXPECT_FALSE(all.AnyValidationFailures())
+        << name << ": " << all.ValidationSummary();
+    for (std::size_t i = 0; i < all.NumCandidates(); ++i) {
+      const runtime::ValidationRecord& record = all.Candidate(i).validation;
+      EXPECT_TRUE(record.verdict == ValidationVerdict::kExempt ||
+                  record.verdict == ValidationVerdict::kPass)
+          << name << " candidate " << i << ": "
+          << runtime::ValidationVerdictName(record.verdict) << " "
+          << record.detail;
+    }
+    // Every validated candidate appears in the summary line.
+    EXPECT_FALSE(all.ValidationSummary().empty()) << name;
+  }
+}
+
+// --- the miscompile class x workload x level matrix --------------------
+
+TEST(MiscompileMatrix, EveryClassIsDetectedAndNothingPassesSilently) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const MiscompileKind kinds[] = {
+      MiscompileKind::kSlotAddress, MiscompileKind::kDropPark,
+      MiscompileKind::kWidePair, MiscompileKind::kSwapSpill};
+  std::map<MiscompileKind, int> applied;
+  std::map<MiscompileKind, int> detected;
+  std::uint64_t seed = 0xBADC0DE;
+  for (const std::string& name : workloads::AllNames()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    core::TuneOptions options;
+    const runtime::MultiVersionBinary all =
+        core::EnumerateAllVersions(w.module, spec, options);
+    const ProbeOptions probe = FastProbe(w);
+    const std::uint32_t original = all.versions.front().module_index;
+    std::set<std::uint32_t> seen;
+    for (std::size_t i = 0; i < all.NumCandidates(); ++i) {
+      const std::uint32_t module_index = all.Candidate(i).module_index;
+      if (module_index == original || !seen.insert(module_index).second) {
+        continue;
+      }
+      for (const MiscompileKind kind : kinds) {
+        isa::Module mutated = all.modules[module_index];
+        if (!ApplyMiscompile(&mutated, kind, ++seed)) {
+          continue;  // this module has no site for the class
+        }
+        ++applied[kind];
+        const runtime::ValidationRecord record =
+            ValidateModule(w.module, mutated, probe);
+        const bool equal = GroundTruthEqual(w.module, mutated, probe);
+        if (record.verdict == ValidationVerdict::kPass) {
+          // The no-silent-wrongs property: a pass verdict must mean the
+          // mutation was genuinely behavior-preserving on the probe.
+          EXPECT_TRUE(equal)
+              << name << " candidate " << i << " "
+              << MiscompileKindName(kind) << ": silent miscompile passed";
+        }
+        if (!equal) {
+          EXPECT_TRUE(record.Failed())
+              << name << " candidate " << i << " "
+              << MiscompileKindName(kind) << ": diverging mutant not flagged";
+        }
+        if (record.Failed()) {
+          ++detected[kind];
+        }
+      }
+    }
+  }
+  // Every class must have been injectable and caught somewhere in the
+  // matrix — otherwise the injector (or the validator) is dead code.
+  for (const MiscompileKind kind : kinds) {
+    EXPECT_GT(applied[kind], 0) << MiscompileKindName(kind);
+    EXPECT_GT(detected[kind], 0) << MiscompileKindName(kind);
+  }
+}
+
+// --- verdict taxonomy on synthetic candidates --------------------------
+
+TEST(Verdicts, StoreOffsetCorruptionIsAMemoryMismatch) {
+  const isa::Module reference = test::MakeStraightLineModule();
+  isa::Module candidate = reference;
+  // Redirect the kernel's store: same instruction count, same exit
+  // state, different memory image.
+  for (isa::Instruction& instr : candidate.Kernel().instrs) {
+    if (instr.op == isa::Opcode::kSt) {
+      instr.srcs[1] = isa::Operand::Imm(instr.srcs[1].imm + 64);
+    }
+  }
+  const runtime::ValidationRecord record = ValidateModule(reference, candidate);
+  EXPECT_EQ(record.verdict, ValidationVerdict::kMemoryMismatch)
+      << record.detail;
+  EXPECT_FALSE(record.detail.empty());
+}
+
+TEST(Verdicts, ExtraBarrierIsAnExitStateMismatch) {
+  const isa::Module reference = test::MakeStraightLineModule();
+  isa::Module candidate = reference;
+  // An extra block-wide barrier leaves memory untouched but changes the
+  // barrier structure — only the exit-state comparison can see it.
+  isa::Instruction bar;
+  bar.op = isa::Opcode::kBar;
+  auto& instrs = candidate.Kernel().instrs;
+  instrs.insert(instrs.end() - 1, bar);
+  const runtime::ValidationRecord record = ValidateModule(reference, candidate);
+  EXPECT_EQ(record.verdict, ValidationVerdict::kExitMismatch) << record.detail;
+}
+
+TEST(Verdicts, RunawayCandidateIsAnExecutionFault) {
+  const isa::Module reference = test::MakeLoopModule(/*trip=*/2);
+  const isa::Module candidate = test::MakeLoopModule(/*trip=*/200000);
+  ProbeOptions probe;
+  probe.probes = 1;
+  probe.max_steps_per_thread = 10'000;
+  const runtime::ValidationRecord record =
+      ValidateModule(reference, candidate, probe);
+  EXPECT_EQ(record.verdict, ValidationVerdict::kExecutionFault)
+      << record.detail;
+}
+
+TEST(Verdicts, GeometryMismatchIsAVerifyFault) {
+  const isa::Module reference = test::MakeStraightLineModule();
+  isa::Module candidate = reference;
+  candidate.launch.block_dim *= 2;
+  const runtime::ValidationRecord record = ValidateModule(reference, candidate);
+  EXPECT_EQ(record.verdict, ValidationVerdict::kVerifyFault) << record.detail;
+}
+
+TEST(Verdicts, FaultingReferenceNeverConvictsTheCandidate) {
+  // When the *reference* cannot finish the probe, no verdict can be
+  // rendered — the candidate must not be blamed (zero false positives).
+  const isa::Module reference = test::MakeLoopModule(/*trip=*/200000);
+  const isa::Module candidate = test::MakeLoopModule(/*trip=*/200000);
+  ProbeOptions probe;
+  probe.probes = 1;
+  probe.max_steps_per_thread = 10'000;
+  const runtime::ValidationRecord record =
+      ValidateModule(reference, candidate, probe);
+  EXPECT_EQ(record.verdict, ValidationVerdict::kNotValidated) << record.detail;
+}
+
+// --- walk and guard semantics around failing verdicts ------------------
+
+runtime::MultiVersionBinary MakeFakeBinary(std::size_t n) {
+  runtime::MultiVersionBinary binary;
+  binary.kernel_name = "fake";
+  binary.modules.emplace_back();
+  for (std::size_t i = 0; i < n; ++i) {
+    runtime::KernelVersion version;
+    version.module_index = 0;
+    version.tag = "v" + std::to_string(i);
+    binary.versions.push_back(version);
+  }
+  return binary;
+}
+
+TEST(WalkSkips, TunerStepsOverValidationFailedCandidates) {
+  runtime::MultiVersionBinary binary = MakeFakeBinary(4);
+  binary.Candidate(2).validation.verdict = ValidationVerdict::kMemoryMismatch;
+  runtime::DynamicTuner tuner(&binary);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportRuntime(10.0);
+  EXPECT_EQ(tuner.NextVersion(), 1u);
+  tuner.ReportRuntime(9.0);
+  // Candidate 2 is rejected: the walk must hand out 3 next.
+  EXPECT_EQ(tuner.NextVersion(), 3u);
+  tuner.ReportRuntime(8.0);
+  ASSERT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 3u);
+}
+
+TEST(WalkSkips, AllCandidatesRejectedSettlesOnOriginal) {
+  runtime::MultiVersionBinary binary = MakeFakeBinary(3);
+  binary.Candidate(1).validation.verdict = ValidationVerdict::kExitMismatch;
+  binary.Candidate(2).validation.verdict = ValidationVerdict::kVerifyFault;
+  runtime::DynamicTuner tuner(&binary);
+  EXPECT_EQ(tuner.NextVersion(), 0u);
+  tuner.ReportRuntime(10.0);
+  EXPECT_TRUE(tuner.Finalized());
+  EXPECT_EQ(tuner.FinalVersion(), 0u);
+}
+
+TEST(WalkSkips, PlanFromSweepNeverVisitsRejectedCandidates) {
+  runtime::MultiVersionBinary binary = MakeFakeBinary(4);
+  binary.Candidate(1).validation.verdict = ValidationVerdict::kMemoryMismatch;
+  // Rejected candidates carry a placeholder runtime (the launcher uses
+  // +infinity); the replayed walk must never read it.
+  const std::vector<double> candidate_ms = {
+      10.0, std::numeric_limits<double>::infinity(), 9.0, 9.5};
+  const runtime::TunerPlan plan =
+      runtime::DynamicTuner::PlanFromSweep(binary, candidate_ms, 0.02);
+  for (const std::uint32_t visit : plan.visits) {
+    EXPECT_NE(visit, 1u);
+  }
+  EXPECT_NE(plan.final_version, 1u);
+}
+
+TEST(GuardPreQuarantine, RejectedCandidatesAreRefusedBeforeLaunch) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  runtime::MultiVersionBinary binary = MakeFakeBinary(3);
+  binary.Candidate(2).validation.verdict = ValidationVerdict::kMemoryMismatch;
+  // Version 0 is exempt even with a failing verdict stamped on it.
+  binary.Candidate(0).validation.verdict = ValidationVerdict::kVerifyFault;
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  runtime::LaunchGuard guard(&binary, &simulator, {});
+  EXPECT_FALSE(guard.Quarantined(0));
+  EXPECT_FALSE(guard.Quarantined(1));
+  EXPECT_TRUE(guard.Quarantined(2));
+  ASSERT_EQ(guard.health().quarantined.size(), 1u);
+  EXPECT_EQ(guard.health().quarantined.front().version, 2u);
+  EXPECT_EQ(guard.health().quarantined.front().reason,
+            runtime::QuarantineReason::kValidation);
+  sim::GlobalMemory gmem(1 << 10);
+  const runtime::GuardedLaunch refused = guard.Launch(2, &gmem, {}, 0, 1, 0);
+  EXPECT_EQ(refused.status.code(), StatusCode::kQuarantined);
+  EXPECT_NE(refused.status.message().find("translation validation"),
+            std::string::npos);
+  // The health line names the distinct reason.
+  EXPECT_NE(guard.health().ToString().find("2:validation"), std::string::npos);
+}
+
+// --- pipeline wiring with the seeded miscompile injector ---------------
+
+TEST(Pipeline, InjectedMiscompilesAreQuarantinedAndNeverEntered) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  // cfd tunes *upward*: its candidates are fresh compilations, the only
+  // place the miscompile hook can fire (padded variants of a
+  // downward-tuning kernel share the original's binary).
+  const workloads::Workload w = workloads::MakeWorkload("cfd");
+  core::TuneOptions options;
+  options.validate = true;
+  options.probe = FastProbe(w);
+  std::uint64_t total_applied = 0;
+  std::uint64_t total_rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.miscompile_slot = 0.15;
+    plan.miscompile_park = 0.15;
+    plan.miscompile_wide = 0.15;
+    plan.miscompile_spill = 0.15;
+    ScopedFaultInjector injector(plan);
+    const runtime::MultiVersionBinary binary =
+        core::CompileMultiVersion(w.module, spec, options);
+    total_applied += injector.injector().counters().miscompiles_applied;
+
+    std::vector<bool> rejected(binary.NumCandidates(), false);
+    for (std::size_t i = 0; i < binary.NumCandidates(); ++i) {
+      rejected[i] = binary.Candidate(i).validation.Failed();
+      total_rejected += rejected[i] ? 1 : 0;
+    }
+    // Version 0 is the always-safe fallback: never a failing verdict.
+    EXPECT_FALSE(rejected[0]);
+
+    sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+    for (const bool parallel_probe : {false, true}) {
+      sim::GlobalMemory gmem = workloads::SeedWorkloadMemory(w);
+      runtime::TunedLauncher launcher(&binary, &simulator);
+      runtime::RunPlan run_plan;
+      run_plan.iterations = 8;
+      run_plan.parallel_probe = parallel_probe;
+      const runtime::TunedRunResult result =
+          launcher.Run(&gmem, w.params, run_plan);
+      // The walk — live or sweep-replayed — never enters a rejected
+      // candidate, and never settles on one.
+      for (const runtime::IterationRecord& record : result.records) {
+        EXPECT_FALSE(rejected[record.version])
+            << "seed " << seed << (parallel_probe ? " (sweep)" : " (live)")
+            << " entered rejected candidate " << record.version;
+      }
+      EXPECT_FALSE(rejected[result.final_version]);
+      // Every rejected candidate shows up as a validation quarantine.
+      std::size_t validation_quarantines = 0;
+      for (const runtime::Quarantine& q : result.health.quarantined) {
+        if (q.reason == runtime::QuarantineReason::kValidation) {
+          ++validation_quarantines;
+          EXPECT_TRUE(rejected[q.version]);
+        }
+      }
+      EXPECT_EQ(validation_quarantines,
+                static_cast<std::size_t>(
+                    std::count(rejected.begin(), rejected.end(), true)));
+    }
+  }
+  // The matrix must actually have exercised the injector and the gate.
+  EXPECT_GT(total_applied, 0u);
+  EXPECT_GT(total_rejected, 0u);
+}
+
+// --- gate neutrality ---------------------------------------------------
+
+TEST(GateNeutrality, ValidateOffLeavesEveryVerdictUntouched) {
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, arch::Gtx680(), {});
+  for (std::size_t i = 0; i < binary.NumCandidates(); ++i) {
+    EXPECT_EQ(binary.Candidate(i).validation.verdict,
+              ValidationVerdict::kNotValidated);
+  }
+  EXPECT_FALSE(binary.AnyValidationFailures());
+  EXPECT_TRUE(binary.ValidationSummary().empty());
+}
+
+TEST(GateNeutrality, CleanValidatedRunIsBitIdenticalToUngatedRun) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  core::TuneOptions off;
+  core::TuneOptions on;
+  on.validate = true;
+  on.probe = FastProbe(w);
+  const runtime::MultiVersionBinary plain =
+      core::CompileMultiVersion(w.module, spec, off);
+  const runtime::MultiVersionBinary gated =
+      core::CompileMultiVersion(w.module, spec, on);
+  ASSERT_FALSE(gated.AnyValidationFailures()) << gated.ValidationSummary();
+
+  auto run = [&](const runtime::MultiVersionBinary& binary) {
+    sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+    sim::GlobalMemory gmem = workloads::SeedWorkloadMemory(w);
+    runtime::TunedLauncher launcher(&binary, &simulator);
+    runtime::RunPlan plan;
+    plan.iterations = 8;
+    return launcher.Run(&gmem, w.params, plan);
+  };
+  const runtime::TunedRunResult a = run(plain);
+  const runtime::TunedRunResult b = run(gated);
+  EXPECT_EQ(a.final_version, b.final_version);
+  EXPECT_EQ(a.iterations_to_settle, b.iterations_to_settle);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].version, b.records[i].version) << i;
+    EXPECT_EQ(a.records[i].ms, b.records[i].ms) << i;
+  }
+}
+
+// --- telemetry ---------------------------------------------------------
+
+TEST(Telemetry, ValidationEmitsSpansAndCounters) {
+  telemetry::Reset();
+  telemetry::SetEnabled(true);
+  const workloads::Workload w = workloads::MakeWorkload("gaussian");
+  core::TuneOptions options;
+  options.validate = true;
+  options.probe = FastProbe(w);
+  // EnumerateAllVersions realizes every level as a fresh module, so the
+  // gate validates distinct binaries (CompileMultiVersion on a
+  // downward-tuning kernel would yield only exempt padded variants).
+  (void)core::EnumerateAllVersions(w.module, arch::Gtx680(), options);
+  bool saw_binary_span = false;
+  bool saw_module_span = false;
+  for (const telemetry::TraceEvent& event : telemetry::SnapshotEvents()) {
+    saw_binary_span |= event.name == "validate.binary";
+    saw_module_span |= event.name == "validate.module";
+  }
+  std::uint64_t modules = 0;
+  std::uint64_t probes = 0;
+  for (const auto& [name, value] : telemetry::SnapshotCounters()) {
+    if (name == "validate.modules") modules = value;
+    if (name == "validate.probes") probes = value;
+  }
+  telemetry::SetEnabled(false);
+  telemetry::Reset();
+  EXPECT_TRUE(saw_binary_span);
+  EXPECT_TRUE(saw_module_span);
+  EXPECT_GT(modules, 0u);
+  EXPECT_GE(probes, modules);
+}
+
+}  // namespace
+}  // namespace orion::validate

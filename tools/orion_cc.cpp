@@ -11,6 +11,10 @@
 //                                                sweep on the simulator
 //   orion-cc run   <in.vcub> [--iters N]         simulate the app loop
 //                                                with the Fig. 9 tuner
+//   orion-cc validate <in.vcub>                  differential translation
+//                                                validation of every
+//                                                candidate (exit 1 on any
+//                                                failing verdict)
 //   orion-cc emit  <workload> -o <out.vcub>      write a built-in
 //                                                workload (e.g. srad)
 //                                                as a virtual binary
@@ -31,6 +35,11 @@
 //                       (see docs/ROBUSTNESS.md for the grammar)
 //   --watchdog N        per-launch watchdog cycle budget (0 = off)
 //   --probe-k K         median-of-k probing in the feedback walk
+//
+// Validation flags (run/validate commands; see docs/VALIDATION.md):
+//   --validate          gate compiled candidates behind differential
+//                       translation validation (run command)
+//   --probes N          probe inputs per candidate (default 2)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -61,13 +70,15 @@ using namespace orion;
 
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
-               "usage: orion-cc <asm|dis|info|tune|sweep|run|emit> <input> "
+               "usage: orion-cc <asm|dis|info|tune|sweep|run|validate|emit> "
+               "<input> "
                "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] [--iters N]\n"
                "       observability: [--trace FILE] "
                "[--trace-format json|chrome|summary] [--metrics] "
                "[--log-level error|warn|info|debug]\n"
                "       run-only: [--fault-plan SPEC] [--watchdog CYCLES] "
-               "[--probe-k K]\n");
+               "[--probe-k K] [--validate]\n"
+               "       validation: [--probes N]\n");
   std::exit(2);
 }
 
@@ -99,6 +110,9 @@ struct Args {
   std::string fault_plan;             // empty = no injector
   std::uint64_t watchdog_cycles = 0;  // 0 = watchdog off
   std::uint32_t probe_k = 1;
+  bool validate = false;              // run: gate candidates behind the
+                                      // differential validator
+  std::uint32_t probes = 2;           // probe inputs per candidate
   std::string trace_path;             // empty = tracing off
   std::string trace_format = "json";  // json | chrome | summary
   bool metrics = false;
@@ -134,6 +148,10 @@ Args Parse(int argc, char** argv) {
       args.watchdog_cycles = std::stoull(value());
     } else if (flag == "--probe-k") {
       args.probe_k = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--validate") {
+      args.validate = true;
+    } else if (flag == "--probes") {
+      args.probes = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--trace") {
       args.trace_path = value();
     } else if (flag == "--trace-format") {
@@ -289,11 +307,23 @@ int CmdRun(const Args& args) {
   const isa::Module module = isa::DecodeModule(ReadFile(args.input));
   core::TuneOptions options;
   options.cache_config = Cache(args);
+  options.validate = args.validate;
+  options.probe.probes = args.probes;
   const runtime::MultiVersionBinary binary =
       core::CompileMultiVersion(module, Gpu(args), options);
   for (const runtime::CompileSkip& skip : binary.compile_skips) {
-    std::printf("compile skip: %s (%s)\n", skip.level.c_str(),
+    std::printf("compile skip: %s [%s] (%s)\n", skip.level.c_str(),
+                runtime::SkipReasonName(skip.reason),
                 skip.status.ToString().c_str());
+  }
+  if (args.validate) {
+    for (std::size_t i = 0; i < binary.NumCandidates(); ++i) {
+      const runtime::KernelVersion& version = binary.Candidate(i);
+      std::printf("validate: %-14s %s%s%s\n", version.tag.c_str(),
+                  runtime::ValidationVerdictName(version.validation.verdict),
+                  version.validation.detail.empty() ? "" : " — ",
+                  version.validation.detail.c_str());
+    }
   }
   sim::GpuSimulator simulator(Gpu(args), Cache(args));
   sim::GlobalMemory gmem = SeedMemory(std::size_t{1} << 22);
@@ -316,7 +346,10 @@ int CmdRun(const Args& args) {
   std::printf("final: %s (settled after %u iterations), steady %.4f ms\n",
               binary.Candidate(result.final_version).tag.c_str(),
               result.iterations_to_settle, result.steady_ms);
-  std::printf("health: %s\n", result.health.ToString().c_str());
+  const std::string validation_summary = binary.ValidationSummary();
+  std::printf("health: %s%s%s\n", result.health.ToString().c_str(),
+              validation_summary.empty() ? "" : ", ",
+              validation_summary.c_str());
   // Full characterization of one steady-state launch.
   const runtime::KernelVersion& final_version =
       binary.Candidate(result.final_version);
@@ -324,6 +357,33 @@ int CmdRun(const Args& args) {
       binary.ModuleOf(final_version), &gmem, {},
       final_version.smem_padding_bytes);
   std::fputs(sim::FormatSimReport(last, Gpu(args)).c_str(), stdout);
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  const isa::Module module = isa::DecodeModule(ReadFile(args.input));
+  core::TuneOptions options;
+  options.cache_config = Cache(args);
+  options.validate = true;
+  options.probe.probes = args.probes;
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(module, Gpu(args), options);
+  std::uint32_t failures = 0;
+  for (std::size_t i = 0; i < all.NumCandidates(); ++i) {
+    const runtime::KernelVersion& version = all.Candidate(i);
+    failures += version.validation.Failed() ? 1 : 0;
+    std::printf("%-14s %-16s probes=%u%s%s\n", version.tag.c_str(),
+                runtime::ValidationVerdictName(version.validation.verdict),
+                version.validation.probes_run,
+                version.validation.detail.empty() ? "" : "  ",
+                version.validation.detail.c_str());
+  }
+  if (failures > 0) {
+    std::printf("validation FAILED: %u of %zu candidates rejected\n", failures,
+                all.NumCandidates());
+    return 1;
+  }
+  std::printf("validation clean: %zu candidates\n", all.NumCandidates());
   return 0;
 }
 
@@ -371,6 +431,7 @@ int Dispatch(const Args& args) {
   if (args.command == "tune") return CmdTune(args);
   if (args.command == "sweep") return CmdSweep(args);
   if (args.command == "run") return CmdRun(args);
+  if (args.command == "validate") return CmdValidate(args);
   if (args.command == "emit") return CmdEmit(args);
   Usage();
 }
