@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "alloc/coloring.h"
 #include "alloc/spill.h"
@@ -10,6 +13,7 @@
 #include "common/strings.h"
 #include "ir/callgraph.h"
 #include "ir/cfg.h"
+#include "ir/dominance.h"
 #include "ir/interference.h"
 #include "ir/liveness.h"
 #include "ir/loops.h"
@@ -138,79 +142,101 @@ std::uint32_t KernelMaxLive(const isa::Module& module) {
   return ir::MaxLiveWords(cfg, liveness, info);
 }
 
-namespace {
+namespace internal {
 
-isa::Module AllocateModuleImpl(const isa::Module& input,
-                               const AllocBudget& budget,
-                               const AllocOptions& options, AllocStats* stats,
-                               bool with_callee_reserve);
+// Round-0 analyses of one function's pruned-SSA body.  The Cfg stores a
+// pointer into `body` and Liveness/Dominance reference the Cfg, so each
+// FunctionAnalysis lives behind a unique_ptr: addresses never move once
+// AnalyzeModule returns.
+struct FunctionAnalysis {
+  isa::Function body;  // post-SSA when options.use_ssa, else a copy
+  std::uint32_t original_vregs = 0;  // vreg count before spill temps
+  bool wide = false;
+  std::uint32_t min_colors = 0;
+  std::vector<std::uint32_t> param_offsets;  // ABI layout of body.params
+  std::vector<std::uint32_t> param_vregs;
+  std::unique_ptr<ir::Cfg> cfg;
+  ir::VRegInfo info;
+  std::unique_ptr<ir::Liveness> liveness;
+  std::unique_ptr<ir::LoopInfo> loops;
+  std::unique_ptr<ir::InterferenceGraph> graph;
+};
 
-}  // namespace
+struct ModuleAnalysis {
+  std::unique_ptr<isa::Module> input;  // verified; CallGraph points here
+  AllocOptions options;
+  std::unique_ptr<ir::CallGraph> callgraph;
+  std::uint32_t abi_words = 0;
+  std::uint32_t kernel_max_live = 0;
+  // Callee-subtree register reserves for the retry attempt (see
+  // RealizeModule): budget-independent, so computed once.
+  std::vector<std::uint32_t> reserve;
+  std::vector<std::unique_ptr<FunctionAnalysis>> functions;
+};
 
-isa::Module AllocateModule(const isa::Module& input, const AllocBudget& budget,
-                           const AllocOptions& options, AllocStats* stats) {
-  telemetry::ScopedSpan span("compiler", "alloc.module");
-  span.AddArg("kernel", input.name);
-  span.AddArg("budget", budget.reg_words);
-  AllocStats local_stats;
-  if (stats == nullptr && telemetry::Enabled()) {
-    stats = &local_stats;  // counters below need the numbers regardless
-  }
-  // First attempt: give every function the full remaining budget.  When
-  // values live across calls leave no room for callee frames, retry
-  // with callee-subtree reserves, which forces the callers to spill
-  // those values instead.
-  isa::Module module = [&] {
-    try {
-      return AllocateModuleImpl(input, budget, options, stats, false);
-    } catch (const CompileError&) {
-      return AllocateModuleImpl(input, budget, options, stats, true);
-    }
-  }();
-  if (telemetry::Enabled() && stats != nullptr) {
-    ORION_COUNTER_ADD("alloc.modules", 1);
-    ORION_COUNTER_ADD("alloc.spilled_vregs", stats->spilled_vregs);
-    ORION_COUNTER_ADD("alloc.park_moves", stats->static_park_moves);
-    ORION_COUNTER_ADD("alloc.local_words", stats->local_words);
-    ORION_COUNTER_ADD("alloc.spriv_words", stats->spriv_words);
-    ORION_GAUGE_MAX("alloc.peak_regs", stats->peak_regs);
-    ORION_GAUGE_MAX("alloc.max_live_words", stats->kernel_max_live_words);
-    span.AddArg("peak_regs", stats->peak_regs);
-    span.AddArg("spilled_vregs", stats->spilled_vregs);
-    span.AddArg("park_moves", stats->static_park_moves);
-  }
-  return module;
+}  // namespace internal
+
+AnalyzedModule::AnalyzedModule()
+    : impl_(std::make_unique<internal::ModuleAnalysis>()) {}
+AnalyzedModule::AnalyzedModule(AnalyzedModule&&) noexcept = default;
+AnalyzedModule& AnalyzedModule::operator=(AnalyzedModule&&) noexcept = default;
+AnalyzedModule::~AnalyzedModule() = default;
+
+const isa::Module& AnalyzedModule::input() const { return *impl_->input; }
+const AllocOptions& AnalyzedModule::options() const { return impl_->options; }
+std::uint32_t AnalyzedModule::kernel_max_live_words() const {
+  return impl_->kernel_max_live;
 }
 
-namespace {
-
-isa::Module AllocateModuleImpl(const isa::Module& input,
-                               const AllocBudget& budget,
-                               const AllocOptions& options, AllocStats* stats,
-                               bool with_callee_reserve) {
+AnalyzedModule AnalyzeModule(const isa::Module& input,
+                             const AllocOptions& options) {
+  telemetry::ScopedSpan span("compiler", "alloc.analyze");
+  span.AddArg("kernel", input.name);
   isa::VerifyModuleOrThrow(input);
-  isa::Module module = input;
-  const ir::CallGraph callgraph(module);
-  const std::uint32_t num_funcs =
-      static_cast<std::uint32_t>(module.functions.size());
+
+  AnalyzedModule analyzed;
+  internal::ModuleAnalysis& ma = *analyzed.impl_;
+  ma.options = options;
+  ma.input = std::make_unique<isa::Module>(input);
+  ma.callgraph = std::make_unique<ir::CallGraph>(*ma.input);
+  ma.kernel_max_live = KernelMaxLive(*ma.input);
 
   // ABI scratch registers for return values sit at absolute word 0.
-  std::uint32_t abi_words = 0;
-  for (const isa::Function& func : module.functions) {
-    abi_words = std::max<std::uint32_t>(abi_words, func.ret_width);
+  for (const isa::Function& func : ma.input->functions) {
+    ma.abi_words = std::max<std::uint32_t>(ma.abi_words, func.ret_width);
   }
 
-  std::vector<FunctionPlan> plans(num_funcs);
-  std::vector<bool> wide(num_funcs, false);
+  const std::uint32_t num_funcs =
+      static_cast<std::uint32_t>(ma.input->functions.size());
+  ma.functions.reserve(num_funcs);
   for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
-    wide[fi] = HasWideVRegs(module.functions[fi]);
-  }
-  auto base_align = [&](std::uint32_t fi, std::uint32_t value) {
-    return wide[fi] ? AlignUp4(value) : value;
-  };
-  std::vector<std::uint32_t> pending_base(num_funcs, 0);
-  for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
-    pending_base[fi] = base_align(fi, abi_words);
+    const isa::Function& func = ma.input->functions[fi];
+    telemetry::ScopedSpan func_span("compiler", "alloc.function");
+    func_span.AddArg("name", func.name);
+    auto fa = std::make_unique<internal::FunctionAnalysis>();
+    fa->wide = HasWideVRegs(func);
+    fa->min_colors = MinColorsNeeded(func);
+    fa->body = func;
+    if (options.use_ssa) {
+      // Section 3.2: build pruned SSA and eliminate φs before assigning
+      // the pruned SSA variables.
+      ORION_TRACE_SPAN("compiler", "alloc.ssa");
+      ir::ConvertToSsaForm(&fa->body);
+    }
+    fa->param_offsets = ParamOffsets(fa->body);
+    for (const isa::Operand& param : fa->body.params) {
+      fa->param_vregs.push_back(param.id);
+    }
+    fa->cfg = std::make_unique<ir::Cfg>(ir::Cfg::Build(fa->body));
+    fa->info = ir::VRegInfo::Gather(fa->body);
+    fa->original_vregs = fa->info.num_vregs;
+    fa->liveness = std::make_unique<ir::Liveness>(*fa->cfg, fa->info);
+    const ir::Dominance dom(*fa->cfg);
+    fa->loops = std::make_unique<ir::LoopInfo>(*fa->cfg, dom);
+    fa->graph = std::make_unique<ir::InterferenceGraph>(
+        *fa->cfg, *fa->liveness, fa->info,
+        options.weighted_spills ? fa->loops.get() : nullptr);
+    ma.functions.push_back(std::move(fa));
   }
 
   // Callee-subtree register reserve: a caller's coloring budget must
@@ -219,83 +245,112 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
   // colorable frame (+4 words per level for frame-base alignment).
   // This is what forces callers to spill values that are live across
   // calls when the occupancy target is tight.
-  std::vector<std::uint32_t> reserve(num_funcs, 0);
-  if (with_callee_reserve) {
-    std::vector<std::uint32_t> bottom_up(callgraph.TopoOrder());
-    std::reverse(bottom_up.begin(), bottom_up.end());
-    for (const std::uint32_t fi : bottom_up) {
-      for (const std::uint32_t callee : callgraph.Callees(fi)) {
-        const std::uint32_t align_slack = wide[callee] ? 3 : 0;
-        reserve[fi] = std::max(
-            reserve[fi], MinColorsNeeded(module.functions[callee]) +
-                             reserve[callee] + align_slack);
-      }
+  ma.reserve.assign(num_funcs, 0);
+  std::vector<std::uint32_t> bottom_up(ma.callgraph->TopoOrder());
+  std::reverse(bottom_up.begin(), bottom_up.end());
+  for (const std::uint32_t fi : bottom_up) {
+    for (const std::uint32_t callee : ma.callgraph->Callees(fi)) {
+      const std::uint32_t align_slack = ma.functions[callee]->wide ? 3 : 0;
+      ma.reserve[fi] =
+          std::max(ma.reserve[fi], ma.functions[callee]->min_colors +
+                                       ma.reserve[callee] + align_slack);
     }
+  }
+  return analyzed;
+}
+
+namespace {
+
+// Analyses rebuilt privately after a spill round rewrote the body (the
+// shared round-0 analyses no longer describe it).
+struct LocalRound {
+  ir::Cfg cfg;
+  ir::VRegInfo info;
+  ir::Liveness liveness;
+  ir::Dominance dom;
+  ir::LoopInfo loops;
+  ir::InterferenceGraph graph;
+  LocalRound(const isa::Function& body, const AllocOptions& options)
+      : cfg(ir::Cfg::Build(body)),
+        info(ir::VRegInfo::Gather(body)),
+        liveness(cfg, info),
+        dom(cfg),
+        loops(cfg, dom),
+        graph(cfg, liveness, info,
+              options.weighted_spills ? &loops : nullptr) {}
+};
+
+isa::Module RealizeModuleImpl(const internal::ModuleAnalysis& ma,
+                              const AllocBudget& budget, AllocStats* stats,
+                              bool with_callee_reserve) {
+  const AllocOptions& options = ma.options;
+  isa::Module module = *ma.input;
+  const ir::CallGraph& callgraph = *ma.callgraph;
+  const std::uint32_t num_funcs =
+      static_cast<std::uint32_t>(module.functions.size());
+  const std::uint32_t abi_words = ma.abi_words;
+
+  std::vector<FunctionPlan> plans(num_funcs);
+  auto base_align = [&](std::uint32_t fi, std::uint32_t value) {
+    return ma.functions[fi]->wide ? AlignUp4(value) : value;
+  };
+  std::vector<std::uint32_t> pending_base(num_funcs, 0);
+  for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+    pending_base[fi] = base_align(fi, abi_words);
   }
 
-  std::uint32_t kernel_index = 0;
-  for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
-    if (module.functions[fi].is_kernel) {
-      kernel_index = fi;
-    }
-  }
+  const std::vector<std::uint32_t> no_reserve(num_funcs, 0);
+  const std::vector<std::uint32_t>& reserve =
+      with_callee_reserve ? ma.reserve : no_reserve;
 
   // ---- Phase 1: color each function, propagate frame bases ------------
   for (const std::uint32_t fi : callgraph.TopoOrder()) {
     telemetry::ScopedSpan func_span("compiler", "alloc.function");
     func_span.AddArg("name", module.functions[fi].name);
+    const internal::FunctionAnalysis& fa = *ma.functions[fi];
     FunctionPlan& plan = plans[fi];
     plan.base = pending_base[fi];
     const std::uint32_t reserved = plan.base + reserve[fi];
     const std::uint32_t budget_words =
         budget.reg_words > reserved ? budget.reg_words - reserved : 0;
-    if (budget_words < MinColorsNeeded(module.functions[fi])) {
+    if (budget_words < fa.min_colors) {
       throw CompileError(StrFormat(
           "register budget %u infeasible: function '%s' at frame base %u has "
           "only %u colors",
           budget.reg_words, module.functions[fi].name.c_str(), plan.base,
           budget_words));
     }
-    plan.body = module.functions[fi];
-    if (options.use_ssa) {
-      // Section 3.2: build pruned SSA and eliminate φs before assigning
-      // the pruned SSA variables.
-      ORION_TRACE_SPAN("compiler", "alloc.ssa");
-      ir::ConvertToSsaForm(&plan.body);
-    }
+    plan.body = fa.body;
 
     // Pre-color parameters at their ABI offsets.
     std::map<std::uint32_t, std::uint32_t> precolored;
-    const std::vector<std::uint32_t> param_offsets = ParamOffsets(plan.body);
-    std::vector<std::uint32_t> param_vregs;
-    for (std::size_t pi = 0; pi < plan.body.params.size(); ++pi) {
-      precolored.emplace(plan.body.params[pi].id, param_offsets[pi]);
-      param_vregs.push_back(plan.body.params[pi].id);
+    for (std::size_t pi = 0; pi < fa.param_vregs.size(); ++pi) {
+      precolored.emplace(fa.param_vregs[pi], fa.param_offsets[pi]);
     }
 
-    // Color-spill iteration.  Virtual registers introduced by spill
-    // rewriting (ids at or beyond the original count) must never be
-    // spilled again.
-    const std::uint32_t original_vregs = [&] {
-      const ir::VRegInfo info = ir::VRegInfo::Gather(plan.body);
-      return info.num_vregs;
-    }();
+    // Color-spill iteration.  Round 0 reads the shared level-independent
+    // analyses; spill rewriting mutates the private body, so later
+    // rounds re-analyze it locally.  Virtual registers introduced by
+    // spill rewriting (ids at or beyond the original count) must never
+    // be spilled again.
     telemetry::ScopedSpan color_span("compiler", "alloc.color");
     for (;;) {
-      const ir::Cfg cfg = ir::Cfg::Build(plan.body);
-      const ir::VRegInfo info = ir::VRegInfo::Gather(plan.body);
-      const ir::Liveness liveness(cfg, info);
-      const ir::Dominance dom(cfg);
-      const ir::LoopInfo loops(cfg, dom);
-      const ir::InterferenceGraph graph(
-          cfg, liveness, info, options.weighted_spills ? &loops : nullptr);
+      std::optional<LocalRound> local;
+      if (plan.spill_rounds > 0) {
+        local.emplace(plan.body, options);
+      }
+      const ir::Cfg& cfg = local ? local->cfg : *fa.cfg;
+      const ir::VRegInfo& info = local ? local->info : fa.info;
+      const ir::Liveness& liveness = local ? local->liveness : *fa.liveness;
+      const ir::LoopInfo& loops = local ? local->loops : *fa.loops;
+      const ir::InterferenceGraph& graph = local ? local->graph : *fa.graph;
       ColoringInput in;
       in.graph = &graph;
       in.num_colors = budget_words;
       in.precolored = precolored;
       in.weighted_spill_choice = options.weighted_spills;
       in.unspillable.assign(info.num_vregs, false);
-      for (std::uint32_t v = original_vregs; v < info.num_vregs; ++v) {
+      for (std::uint32_t v = fa.original_vregs; v < info.num_vregs; ++v) {
         in.unspillable[v] = true;
       }
       plan.coloring = ColorGraph(in);
@@ -319,7 +374,7 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
             }
           }
         }
-        const FrameLayoutBuilder builder(info, plan.coloring, param_vregs);
+        const FrameLayoutBuilder builder(info, plan.coloring, fa.param_vregs);
         if (options.space_min) {
           plan.minimal_heights = builder.MinimalHeights(plan.sites);
         } else {
@@ -402,19 +457,22 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
   if (stats != nullptr) {
     *stats = AllocStats{};
     stats->abi_words = abi_words;
-    stats->kernel_max_live_words = KernelMaxLive(input);
+    stats->kernel_max_live_words = ma.kernel_max_live;
   }
   std::uint32_t peak_regs = std::max<std::uint32_t>(abi_words, 1);
 
   for (std::uint32_t fi = 0; fi < num_funcs; ++fi) {
+    const internal::FunctionAnalysis& fa = *ma.functions[fi];
     FunctionPlan& plan = plans[fi];
     isa::Function& body = plan.body;
-    const ir::VRegInfo info = ir::VRegInfo::Gather(body);
-    std::vector<std::uint32_t> param_vregs;
-    for (const isa::Operand& param : body.params) {
-      param_vregs.push_back(param.id);
+    // Spill rewriting is the only phase-1 pass that adds vregs; an
+    // unspilled body still matches the shared round-0 VRegInfo.
+    std::optional<ir::VRegInfo> respill_info;
+    if (plan.spilled_vregs != 0) {
+      respill_info = ir::VRegInfo::Gather(body);
     }
-    const FrameLayoutBuilder builder(info, plan.coloring, param_vregs);
+    const ir::VRegInfo& info = respill_info ? *respill_info : fa.info;
+    const FrameLayoutBuilder builder(info, plan.coloring, fa.param_vregs);
     for (std::size_t k = 0; k < plan.sites.size(); ++k) {
       const std::uint32_t callee_base = plans[plan.site_callee[k]].base;
       ORION_CHECK(callee_base >= plan.base + plan.minimal_heights[k]);
@@ -485,8 +543,8 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
         const std::uint32_t callee_idx = callee_of_site.at(ii);
         const std::uint32_t callee_base = plans[callee_idx].base;
         const isa::Function& callee_sig = module.functions[callee_idx];
-        const std::vector<std::uint32_t> callee_offsets =
-            ParamOffsets(callee_sig);
+        const std::vector<std::uint32_t>& callee_offsets =
+            ma.functions[callee_idx]->param_offsets;
 
         // 1. Compression (park) moves; remember parked addresses.
         std::map<std::uint32_t, std::uint32_t> parked;  // home -> park (rel)
@@ -562,7 +620,7 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
     dest.params.clear();
     for (std::size_t pi = 0; pi < body.params.size(); ++pi) {
       dest.params.push_back(isa::Operand::PReg(
-          plan.base + ParamOffsets(body)[pi], body.params[pi].width));
+          plan.base + fa.param_offsets[pi], body.params[pi].width));
     }
 
     if (stats != nullptr) {
@@ -581,7 +639,6 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
       stats->spilled_vregs += plan.spilled_vregs;
     }
   }
-  (void)kernel_index;
 
   module.usage.regs_per_thread = peak_regs;
   module.usage.local_slots_per_thread = local_total;
@@ -602,5 +659,46 @@ isa::Module AllocateModuleImpl(const isa::Module& input,
 }
 
 }  // namespace
+
+isa::Module RealizeModule(const AnalyzedModule& analysis,
+                          const AllocBudget& budget, AllocStats* stats) {
+  telemetry::ScopedSpan span("compiler", "alloc.module");
+  span.AddArg("kernel", analysis.input().name);
+  span.AddArg("budget", budget.reg_words);
+  AllocStats local_stats;
+  if (stats == nullptr && telemetry::Enabled()) {
+    stats = &local_stats;  // counters below need the numbers regardless
+  }
+  const internal::ModuleAnalysis& ma = *analysis.impl_;
+  // First attempt: give every function the full remaining budget.  When
+  // values live across calls leave no room for callee frames, retry
+  // with callee-subtree reserves, which forces the callers to spill
+  // those values instead.
+  isa::Module module = [&] {
+    try {
+      return RealizeModuleImpl(ma, budget, stats, false);
+    } catch (const CompileError&) {
+      return RealizeModuleImpl(ma, budget, stats, true);
+    }
+  }();
+  if (telemetry::Enabled() && stats != nullptr) {
+    ORION_COUNTER_ADD("alloc.modules", 1);
+    ORION_COUNTER_ADD("alloc.spilled_vregs", stats->spilled_vregs);
+    ORION_COUNTER_ADD("alloc.park_moves", stats->static_park_moves);
+    ORION_COUNTER_ADD("alloc.local_words", stats->local_words);
+    ORION_COUNTER_ADD("alloc.spriv_words", stats->spriv_words);
+    ORION_GAUGE_MAX("alloc.peak_regs", stats->peak_regs);
+    ORION_GAUGE_MAX("alloc.max_live_words", stats->kernel_max_live_words);
+    span.AddArg("peak_regs", stats->peak_regs);
+    span.AddArg("spilled_vregs", stats->spilled_vregs);
+    span.AddArg("park_moves", stats->static_park_moves);
+  }
+  return module;
+}
+
+isa::Module AllocateModule(const isa::Module& input, const AllocBudget& budget,
+                           const AllocOptions& options, AllocStats* stats) {
+  return RealizeModule(AnalyzeModule(input, options), budget, stats);
+}
 
 }  // namespace orion::alloc

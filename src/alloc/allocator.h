@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,10 +80,65 @@ struct AllocStats {
   std::vector<FunctionAllocStats> functions;
 };
 
+namespace internal {
+struct ModuleAnalysis;  // allocator.cpp
+}  // namespace internal
+
+class AnalyzedModule;
+
+// Level-independent analysis of a virtual module: verified input,
+// call-graph topological order, ABI width, kernel max-live, and — per
+// function — the pruned-SSA body with its round-0 CFG, liveness,
+// dominance, loop nest and interference graph.  None of it depends on
+// the register/shared-memory budget, so multi-version compilation
+// computes it once per kernel and every candidate level realizes from
+// it.  Throws on a module that fails input verification (or whose SSA
+// conversion fails) — the same errors AllocateModule would raise.
+AnalyzedModule AnalyzeModule(const isa::Module& input,
+                             const AllocOptions& options);
+
+// Level-dependent realization: coloring under `budget` (with spill
+// iteration and the callee-reserve retry), shared-memory re-homing,
+// compressible-stack layout and physical lowering.  Consumes the
+// analysis by const reference — byte-identical to
+// AllocateModule(analysis.input(), budget, analysis.options(), stats)
+// at every budget (tests/alloc_test.cpp enforces this).  Throws
+// CompileError when the budget is infeasible.
+//
+// `analysis` is immutable here: concurrent RealizeModule calls against
+// one AnalyzedModule are safe (core::EnumerateAllVersions fans levels
+// out over worker threads this way).
+isa::Module RealizeModule(const AnalyzedModule& analysis,
+                          const AllocBudget& budget, AllocStats* stats);
+
+class AnalyzedModule {
+ public:
+  AnalyzedModule(AnalyzedModule&&) noexcept;
+  AnalyzedModule& operator=(AnalyzedModule&&) noexcept;
+  ~AnalyzedModule();
+
+  // The verified virtual module the analysis was computed from.
+  const isa::Module& input() const;
+  // The options baked into the analysis; realization always uses these.
+  const AllocOptions& options() const;
+  // Section 3.3 max-live of the kernel, cached for every level's stats.
+  std::uint32_t kernel_max_live_words() const;
+
+ private:
+  friend AnalyzedModule AnalyzeModule(const isa::Module&,
+                                      const AllocOptions&);
+  friend isa::Module RealizeModule(const AnalyzedModule&, const AllocBudget&,
+                                   AllocStats*);
+  AnalyzedModule();
+  std::unique_ptr<internal::ModuleAnalysis> impl_;
+};
+
 // Allocates `input` (virtual registers) against `budget`.  Returns the
 // physical module with Module::usage filled in.  Throws CompileError
 // when the budget is infeasible (callee frame bases exhaust the budget
-// or spilling fails to converge).
+// or spilling fails to converge).  Equivalent to AnalyzeModule +
+// RealizeModule; callers compiling several budgets should analyze once
+// and realize per budget instead.
 isa::Module AllocateModule(const isa::Module& input, const AllocBudget& budget,
                            const AllocOptions& options, AllocStats* stats);
 

@@ -1,0 +1,28 @@
+// Deterministic fan-out of independent work items over a thread pool.
+//
+// Both the simulator's candidate sweeps (sim::ParallelSweep) and the
+// compiler's multi-version level fan-out (core::EnumerateAllVersions)
+// share the same shape: N independent work items, each writing only its
+// own slot of a pre-sized result vector.  ParallelFor is that worker
+// pool.
+//
+// Determinism contract: results must depend only on the item list,
+// never on the thread count or the order in which workers claim items.
+// Callers give every item private state and commit results by index;
+// ParallelFor guarantees that any exception is rethrown for the lowest
+// failing index, so error behavior is also scheduling-independent
+// (tests/determinism_test.cpp enforces bit-identity for both users).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace orion {
+
+// Runs `fn(i)` for i in [0, n) across `threads` workers (0 = hardware
+// concurrency).  Work is claimed from an atomic counter; any exception
+// is rethrown in the caller for the lowest failing index.
+void ParallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace orion

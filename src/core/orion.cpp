@@ -1,10 +1,12 @@
 #include "core/orion.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.h"
 #include "common/faultinject.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "core/static_model.h"
 #include "isa/binary.h"
@@ -132,6 +134,26 @@ Result<runtime::KernelVersion> CompileAtLevel(
     const isa::Module& virt, const arch::GpuSpec& spec,
     const arch::OccupancyLevel& level, const TuneOptions& options,
     std::vector<isa::Module>* module_pool) {
+  // From-scratch path (one-shot callers, and the multi-version drivers
+  // when TuneOptions::reuse_analysis is off): the level-independent
+  // analysis is rebuilt for this level alone.
+  try {
+    return CompileAtLevel(alloc::AnalyzeModule(virt, options.alloc), spec,
+                          level, options, module_pool);
+  } catch (const CompileError& e) {
+    return Status::Error(StatusCode::kInfeasible, e.what())
+        .WithContext(StrFormat("allocate at blocks=%u", level.blocks_per_sm));
+  } catch (const OrionError& e) {
+    return Status::Error(StatusCode::kCompileFault, e.what())
+        .WithContext(StrFormat("allocate at blocks=%u", level.blocks_per_sm));
+  }
+}
+
+Result<runtime::KernelVersion> CompileAtLevel(
+    const alloc::AnalyzedModule& analysis, const arch::GpuSpec& spec,
+    const arch::OccupancyLevel& level, const TuneOptions& options,
+    std::vector<isa::Module>* module_pool) {
+  const isa::Module& virt = analysis.input();
   telemetry::ScopedSpan span("compiler", "compile.level");
   span.AddArg("kernel", virt.name);
   span.AddArg("blocks", level.blocks_per_sm);
@@ -153,8 +175,7 @@ Result<runtime::KernelVersion> CompileAtLevel(
   runtime::KernelVersion version;
   isa::Module allocated;
   try {
-    allocated =
-        alloc::AllocateModule(virt, budget, options.alloc, &version.alloc_stats);
+    allocated = alloc::RealizeModule(analysis, budget, &version.alloc_stats);
   } catch (const CompileError& e) {
     // Level infeasible for this kernel (budget below the spill floor) —
     // the expected, quiet outcome.
@@ -204,6 +225,15 @@ runtime::KernelVersion CompileOriginal(const isa::Module& virt,
                                        const arch::GpuSpec& spec,
                                        const TuneOptions& options,
                                        std::vector<isa::Module>* module_pool) {
+  return CompileOriginal(alloc::AnalyzeModule(virt, options.alloc), spec,
+                         options, module_pool);
+}
+
+runtime::KernelVersion CompileOriginal(const alloc::AnalyzedModule& analysis,
+                                       const arch::GpuSpec& spec,
+                                       const TuneOptions& options,
+                                       std::vector<isa::Module>* module_pool) {
+  const isa::Module& virt = analysis.input();
   telemetry::ScopedSpan span("compiler", "compile.original");
   span.AddArg("kernel", virt.name);
   alloc::AllocBudget budget;
@@ -211,7 +241,7 @@ runtime::KernelVersion CompileOriginal(const isa::Module& virt,
   budget.spriv_slot_words = 0;  // the original version uses registers only
   runtime::KernelVersion version;
   isa::Module allocated =
-      alloc::AllocateModule(virt, budget, options.alloc, &version.alloc_stats);
+      alloc::RealizeModule(analysis, budget, &version.alloc_stats);
   version.smem_padding_bytes = 0;
   version.occupancy = OccupancyOf(allocated, spec, options.cache_config, 0);
   if (version.occupancy.active_blocks_per_sm == 0) {
@@ -233,17 +263,63 @@ runtime::MultiVersionBinary EnumerateAllVersions(const isa::Module& virt,
   runtime::MultiVersionBinary binary;
   binary.kernel_name = virt.name;
   binary.gpu_name = spec.name;
-  binary.max_live_words = alloc::KernelMaxLive(virt);
   binary.direction = runtime::TuneDirection::kIncreasing;
+  // Analysis once, realization per level (and the cached kernel
+  // max-live doubles as the binary's).
+  std::optional<alloc::AnalyzedModule> analysis;
+  if (options.reuse_analysis) {
+    analysis.emplace(alloc::AnalyzeModule(virt, options.alloc));
+  }
+  binary.max_live_words = analysis.has_value()
+                              ? analysis->kernel_max_live_words()
+                              : alloc::KernelMaxLive(virt);
   const std::vector<arch::OccupancyLevel> levels = arch::EnumerateOccupancyLevels(
       spec, options.cache_config, virt.launch.block_dim);
-  for (const arch::OccupancyLevel& level : levels) {
-    Result<runtime::KernelVersion> version =
-        CompileAtLevel(virt, spec, level, options, &binary.modules);
-    if (version.has_value()) {
-      binary.versions.push_back(std::move(*version));
-    } else {
-      RecordSkip(&binary, level, version.status());
+  auto compile_level = [&](const arch::OccupancyLevel& level,
+                           std::vector<isa::Module>* pool) {
+    return analysis.has_value()
+               ? CompileAtLevel(*analysis, spec, level, options, pool)
+               : CompileAtLevel(virt, spec, level, options, pool);
+  };
+  // An installed fault injector draws its compile-fault and miscompile
+  // decisions from one sequential stream interleaved with the level
+  // loop; fanning out would permute it, so the injector forces serial.
+  const bool fan_out = options.compile_threads != 1 &&
+                       FaultInjector::Current() == nullptr &&
+                       levels.size() > 1;
+  if (!fan_out) {
+    for (const arch::OccupancyLevel& level : levels) {
+      Result<runtime::KernelVersion> version =
+          compile_level(level, &binary.modules);
+      if (version.has_value()) {
+        binary.versions.push_back(std::move(*version));
+      } else {
+        RecordSkip(&binary, level, version.status());
+      }
+    }
+  } else {
+    // Parallel fan-out: every worker realizes into a private module
+    // pool; results are committed in level order below, so the binary
+    // (module pool layout included) is bit-identical to the serial
+    // loop above for any thread count.
+    std::vector<std::vector<isa::Module>> pools(levels.size());
+    std::vector<std::optional<Result<runtime::KernelVersion>>> results(
+        levels.size());
+    ParallelFor(levels.size(), options.compile_threads, [&](std::size_t i) {
+      results[i].emplace(compile_level(levels[i], &pools[i]));
+    });
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      Result<runtime::KernelVersion>& version = *results[i];
+      if (version.has_value()) {
+        // Repoint the worker-local pool slot into the shared pool.
+        binary.modules.push_back(
+            std::move(pools[i][version->module_index]));
+        binary.versions.push_back(std::move(*version));
+        binary.versions.back().module_index =
+            static_cast<std::uint32_t>(binary.modules.size() - 1);
+      } else {
+        RecordSkip(&binary, levels[i], version.status());
+      }
     }
   }
   if (binary.versions.empty()) {
@@ -304,13 +380,31 @@ runtime::MultiVersionBinary CompileMultiVersionImpl(
   binary.kernel_name = virt.name;
   binary.gpu_name = spec.name;
   binary.can_tune = options.can_tune;
-  binary.max_live_words = alloc::KernelMaxLive(virt);
+  // One shared analysis feeds the original, the conservative search,
+  // the upward candidates and the fail-safes.  The Fig. 8 control flow
+  // itself stays serial: its searches are early-exit sequential scans,
+  // and the fault injector's streams are ordered along them.
+  std::optional<alloc::AnalyzedModule> analysis;
+  if (options.reuse_analysis) {
+    analysis.emplace(alloc::AnalyzeModule(virt, options.alloc));
+  }
+  auto compile_level = [&](const arch::OccupancyLevel& level) {
+    return analysis.has_value()
+               ? CompileAtLevel(*analysis, spec, level, options,
+                                &binary.modules)
+               : CompileAtLevel(virt, spec, level, options, &binary.modules);
+  };
+  binary.max_live_words = analysis.has_value()
+                              ? analysis->kernel_max_live_words()
+                              : alloc::KernelMaxLive(virt);
   binary.direction = binary.max_live_words >= MaxLiveThreshold(spec)
                          ? runtime::TuneDirection::kIncreasing
                          : runtime::TuneDirection::kDecreasing;
 
   const runtime::KernelVersion original =
-      CompileOriginal(virt, spec, options, &binary.modules);
+      analysis.has_value()
+          ? CompileOriginal(*analysis, spec, options, &binary.modules)
+          : CompileOriginal(virt, spec, options, &binary.modules);
   const std::uint32_t original_blocks =
       original.occupancy.active_blocks_per_sm;
   binary.versions.push_back(original);
@@ -325,8 +419,7 @@ runtime::MultiVersionBinary CompileMultiVersionImpl(
     // the per-thread share of the L1.
     std::optional<runtime::KernelVersion> conservative;
     for (const arch::OccupancyLevel& level : levels) {
-      Result<runtime::KernelVersion> version =
-          CompileAtLevel(virt, spec, level, options, &binary.modules);
+      Result<runtime::KernelVersion> version = compile_level(level);
       if (!version.has_value()) {
         RecordSkip(&binary, level, version.status());
         continue;
@@ -360,8 +453,7 @@ runtime::MultiVersionBinary CompileMultiVersionImpl(
         ups.push_back(std::move(v));
         continue;
       }
-      Result<runtime::KernelVersion> version =
-          CompileAtLevel(virt, spec, *it, options, &binary.modules);
+      Result<runtime::KernelVersion> version = compile_level(*it);
       if (version.has_value()) {
         ups.push_back(std::move(*version));
       } else {
@@ -426,8 +518,7 @@ runtime::MultiVersionBinary CompileMultiVersionImpl(
       if (it->blocks_per_sm <= original_blocks || added >= 2) {
         continue;
       }
-      Result<runtime::KernelVersion> version =
-          CompileAtLevel(virt, spec, *it, options, &binary.modules);
+      Result<runtime::KernelVersion> version = compile_level(*it);
       if (version.has_value()) {
         version->tag = "failsafe-" + version->tag;
         binary.failsafe.push_back(std::move(*version));

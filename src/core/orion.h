@@ -48,6 +48,19 @@ struct TuneOptions {
   // ungated pipeline in that state.
   bool validate = false;
   validate::ProbeOptions probe;
+  // Worker threads for fanning CompileAtLevel out across candidate
+  // levels in EnumerateAllVersions (0 = hardware concurrency).  Results
+  // are committed in level order, so every thread count produces a
+  // bit-identical binary (tests/determinism_test.cpp).  An installed
+  // FaultInjector forces the serial path: its compile-fault and
+  // miscompile streams are ordered per level.
+  unsigned compile_threads = 1;
+  // Compute the level-independent analysis (alloc::AnalyzedModule) once
+  // per kernel and share it across all candidate levels.  Off repeats
+  // the full analysis per level — the pre-cache pipeline, kept as the
+  // bench/micro_compiler baseline; realized bytes are identical either
+  // way (tests/alloc_test.cpp).
+  bool reuse_analysis = true;
 };
 
 // Realizes one occupancy level: allocates under the level's register and
@@ -65,9 +78,24 @@ Result<runtime::KernelVersion> CompileAtLevel(
     const arch::OccupancyLevel& level, const TuneOptions& options,
     std::vector<isa::Module>* module_pool);
 
+// Analysis-once variant: realizes the level from a pre-computed
+// level-independent analysis (alloc::AnalyzeModule of the same virtual
+// module with options.alloc).  Byte-identical to the from-scratch
+// overload; the multi-version drivers analyze once and call this per
+// level — concurrently from worker threads when compile_threads > 1
+// (the analysis is immutable, each call gets a private module pool).
+Result<runtime::KernelVersion> CompileAtLevel(
+    const alloc::AnalyzedModule& analysis, const arch::GpuSpec& spec,
+    const arch::OccupancyLevel& level, const TuneOptions& options,
+    std::vector<isa::Module>* module_pool);
+
 // The "original" version (Section 3.3): all live values in the minimal
 // number of registers, or the per-thread hardware maximum.
 runtime::KernelVersion CompileOriginal(const isa::Module& virt,
+                                       const arch::GpuSpec& spec,
+                                       const TuneOptions& options,
+                                       std::vector<isa::Module>* module_pool);
+runtime::KernelVersion CompileOriginal(const alloc::AnalyzedModule& analysis,
                                        const arch::GpuSpec& spec,
                                        const TuneOptions& options,
                                        std::vector<isa::Module>* module_pool);

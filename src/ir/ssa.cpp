@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "common/bitset.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "ir/cfg.h"
@@ -118,11 +119,7 @@ class SsaBuilder {
   void EliminatePhis();
   void Coalesce();
 
-  std::uint32_t FreshName(std::uint32_t var) {
-    const std::uint32_t name = next_name_++;
-    width_of_[name] = info_.widths[var];
-    return name;
-  }
+  std::uint32_t FreshName() { return next_name_++; }
 
   Function* func_;
   SsaStats* stats_;
@@ -131,42 +128,48 @@ class SsaBuilder {
   VRegInfo info_;
   std::unique_ptr<Liveness> liveness_;
 
-  std::map<std::uint32_t, std::vector<Phi>> phis_;  // block -> φs
+  std::vector<std::vector<Phi>> phis_;  // block id -> φs (sized in PlacePhis)
   std::vector<std::vector<std::uint32_t>> def_stack_;  // var -> name stack
   std::uint32_t next_name_ = 0;
-  std::map<std::uint32_t, std::uint8_t> width_of_;
 };
 
 void SsaBuilder::PlacePhis() {
   const std::uint32_t n = cfg_->NumBlocks();
-  // Def blocks per variable.
-  std::vector<std::set<std::uint32_t>> def_blocks(info_.num_vregs);
+  phis_.assign(n, {});
+  // Def blocks per variable, as block-id bitsets: the iterated frontier
+  // walk probes membership for every (variable, frontier) pair, and
+  // block ids are dense.
+  std::vector<DenseBitSet> def_blocks(info_.num_vregs, DenseBitSet(n));
   std::vector<std::uint32_t> scratch;
   for (std::uint32_t bi = 0; bi < n; ++bi) {
     const BasicBlock& block = cfg_->block(bi);
     for (std::uint32_t i = block.begin; i < block.end; ++i) {
       CollectDefs(func_->instrs[i], &scratch);
       for (const std::uint32_t v : scratch) {
-        def_blocks[v].insert(bi);
+        def_blocks[v].Set(bi);
       }
     }
   }
+  DenseBitSet has_phi(n);
+  std::vector<std::uint32_t> work;
   for (std::uint32_t v = 0; v < info_.num_vregs; ++v) {
-    if (def_blocks[v].empty()) {
+    if (def_blocks[v].Count() == 0) {
       continue;
     }
-    // Iterated dominance frontier worklist.
-    std::vector<std::uint32_t> work(def_blocks[v].begin(),
-                                    def_blocks[v].end());
-    std::set<std::uint32_t> has_phi;
+    // Iterated dominance frontier worklist, seeded in ascending block
+    // order (ForEach iterates set bits in increasing order).
+    work.clear();
+    def_blocks[v].ForEach(
+        [&](std::size_t bi) { work.push_back(static_cast<std::uint32_t>(bi)); });
+    has_phi.Clear();
     while (!work.empty()) {
       const std::uint32_t block = work.back();
       work.pop_back();
       for (const std::uint32_t frontier : dom_->Frontier(block)) {
-        if (has_phi.contains(frontier)) {
+        if (has_phi.Test(frontier)) {
           continue;
         }
-        has_phi.insert(frontier);
+        has_phi.Set(frontier);
         // Pruning: only variables live into the join block need a φ.
         if (!liveness_->LiveIn(frontier).Test(v)) {
           ++stats_->phis_pruned;
@@ -178,7 +181,7 @@ void SsaBuilder::PlacePhis() {
         phi.srcs.assign(cfg_->block(frontier).preds.size(), UINT32_MAX);
         phis_[frontier].push_back(phi);
         ++stats_->phis_placed;
-        if (!def_blocks[v].contains(frontier)) {
+        if (!def_blocks[v].Test(frontier)) {
           work.push_back(frontier);
         }
       }
@@ -188,9 +191,6 @@ void SsaBuilder::PlacePhis() {
 
 void SsaBuilder::Rename() {
   next_name_ = info_.num_vregs;
-  for (std::uint32_t v = 0; v < info_.num_vregs; ++v) {
-    width_of_[v] = info_.widths[v];
-  }
   def_stack_.assign(info_.num_vregs, {});
   // Parameters enter live with their own ids; uses of never-defined
   // variables also keep their ids (they read zero, same as before).
@@ -206,12 +206,10 @@ void SsaBuilder::RenameBlock(std::uint32_t block) {
   std::vector<std::pair<std::uint32_t, bool>> pushed;  // (var, pushed?)
 
   // φ definitions first.
-  if (auto it = phis_.find(block); it != phis_.end()) {
-    for (Phi& phi : it->second) {
-      phi.dst = FreshName(phi.var);
-      def_stack_[phi.var].push_back(phi.dst);
-      pushed.emplace_back(phi.var, true);
-    }
+  for (Phi& phi : phis_[block]) {
+    phi.dst = FreshName();
+    def_stack_[phi.var].push_back(phi.dst);
+    pushed.emplace_back(phi.var, true);
   }
 
   const BasicBlock& bb = cfg_->block(block);
@@ -229,7 +227,7 @@ void SsaBuilder::RenameBlock(std::uint32_t block) {
     for (Operand& op : instr.dsts) {
       if (op.kind == OperandKind::kVReg) {
         const std::uint32_t var = op.id;
-        const std::uint32_t name = FreshName(var);
+        const std::uint32_t name = FreshName();
         def_stack_[var].push_back(name);
         pushed.emplace_back(var, true);
         op.id = name;
@@ -243,11 +241,9 @@ void SsaBuilder::RenameBlock(std::uint32_t block) {
     const std::size_t pred_index =
         static_cast<std::size_t>(std::find(preds.begin(), preds.end(), block) -
                                  preds.begin());
-    if (auto it = phis_.find(succ); it != phis_.end()) {
-      for (Phi& phi : it->second) {
-        const auto& stack = def_stack_[phi.var];
-        phi.srcs[pred_index] = stack.empty() ? phi.var : stack.back();
-      }
+    for (Phi& phi : phis_[succ]) {
+      const auto& stack = def_stack_[phi.var];
+      phi.srcs[pred_index] = stack.empty() ? phi.var : stack.back();
     }
   }
 
@@ -261,7 +257,7 @@ void SsaBuilder::RenameBlock(std::uint32_t block) {
 }
 
 void SsaBuilder::EliminatePhis() {
-  if (phis_.empty()) {
+  if (stats_->phis_placed == 0) {
     return;
   }
   // Copies per edge: (pred block, succ block) -> parallel copy set.
@@ -271,7 +267,11 @@ void SsaBuilder::EliminatePhis() {
     std::vector<std::pair<Operand, Operand>> copies;  // dst <- src
   };
   std::vector<EdgeCopies> edges;
-  for (auto& [block, phi_list] : phis_) {
+  for (std::uint32_t block = 0; block < cfg_->NumBlocks(); ++block) {
+    const std::vector<Phi>& phi_list = phis_[block];
+    if (phi_list.empty()) {
+      continue;
+    }
     const auto& preds = cfg_->block(block).preds;
     for (std::size_t pi = 0; pi < preds.size(); ++pi) {
       EdgeCopies edge;

@@ -1,63 +1,8 @@
 #include "sim/parallel.h"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-
 #include "common/error.h"
 
 namespace orion::sim {
-
-void ParallelFor(std::size_t n, unsigned threads,
-                 const std::function<void(std::size_t)>& fn) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(n, 1)));
-
-  // First-failing-index exception wins, independent of scheduling.
-  std::mutex error_mu;
-  std::size_t error_index = SIZE_MAX;
-  std::exception_ptr error;
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) {
-        return;
-      }
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (i < error_index) {
-          error_index = i;
-          error = std::current_exception();
-        }
-      }
-    }
-  };
-
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back(worker);
-    }
-    for (std::thread& t : pool) {
-      t.join();
-    }
-  }
-  if (error) {
-    std::rethrow_exception(error);
-  }
-}
 
 ParallelSweep::ParallelSweep(const arch::GpuSpec& spec,
                              arch::CacheConfig config, unsigned threads,

@@ -14,18 +14,25 @@
 // exceptions are rethrown for the lowest failing index — so
 // ParallelSweep(threads=N) is bit-identical to a serial loop
 // (tests/determinism_test.cpp enforces this).
+//
+// The worker pool itself is common/parallel.h's ParallelFor, shared
+// with the compiler's multi-version level fan-out.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "arch/gpu_spec.h"
+#include "common/parallel.h"
 #include "sim/gpu_sim.h"
 #include "sim/memory.h"
 
 namespace orion::sim {
+
+// The generalized pool moved to common/parallel.h; sim call sites keep
+// the unqualified name.
+using ::orion::ParallelFor;
 
 // One candidate in a sweep: a kernel version plus the parameter vector
 // of every launch to run against it (in order, sharing one memory
@@ -41,12 +48,6 @@ struct SweepOutcome {
   std::vector<SimResult> launches;  // one per iteration, in order
   GlobalMemory memory{0};           // final memory image of this candidate
 };
-
-// Runs `fn(i)` for i in [0, n) across `threads` workers (0 = hardware
-// concurrency).  Work is claimed from an atomic counter; any exception
-// is rethrown in the caller for the lowest failing index.
-void ParallelFor(std::size_t n, unsigned threads,
-                 const std::function<void(std::size_t)>& fn);
 
 class ParallelSweep {
  public:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -42,12 +44,19 @@ ValidationRecord Fail(ValidationVerdict verdict, std::string detail,
 
 ValidationRecord ValidateModuleImpl(const isa::Module& reference,
                                     const isa::Module& candidate,
-                                    const ProbeOptions& caller_options) {
+                                    const ProbeOptions& caller_options,
+                                    ReferenceCache* cache) {
   // Size the probe image to the reference's address footprint before
   // anything else — a window smaller than the kernel's stores would
-  // leave the memory comparison with nothing to compare.
-  ProbeOptions options = caller_options;
-  options.gmem_words = EffectiveProbeWords(caller_options, reference);
+  // leave the memory comparison with nothing to compare.  A cache did
+  // that growth once in its constructor; the cache-free path grows a
+  // local copy.
+  ProbeOptions grown;
+  if (cache == nullptr) {
+    grown = caller_options;
+    grown.gmem_words = EffectiveProbeWords(caller_options, reference);
+  }
+  const ProbeOptions& options = cache != nullptr ? cache->options() : grown;
   // Occupancy realization never changes the launch geometry: a
   // candidate that disagrees with its reference is already wrong.
   if (candidate.launch.block_dim != reference.launch.block_dim ||
@@ -96,27 +105,51 @@ ValidationRecord ValidateModuleImpl(const isa::Module& reference,
   sim::InterpOptions interp;
   interp.max_steps_per_thread = options.max_steps_per_thread;
   const std::uint32_t blocks =
-      options.max_blocks == 0
-          ? reference.launch.grid_dim
-          : std::min(reference.launch.grid_dim, options.max_blocks);
+      cache != nullptr
+          ? cache->blocks()
+          : (options.max_blocks == 0
+                 ? reference.launch.grid_dim
+                 : std::min(reference.launch.grid_dim, options.max_blocks));
   ValidationRecord record;
   for (std::uint32_t probe = 0; probe < options.probes; ++probe) {
-    sim::GlobalMemory ref_mem = MakeProbeMemory(options, probe);
-    sim::GlobalMemory cand_mem = ref_mem;
-    sim::InterpStats ref_stats;
-    sim::InterpStats cand_stats;
-    try {
-      sim::Interpret(reference, &ref_mem, options.params, 0, blocks, interp,
-                     &ref_stats);
-    } catch (const OrionError& e) {
-      // The reference itself cannot run under probe conditions; no
-      // conclusion about the candidate is possible, and reporting a
-      // failure here would be a false positive.
-      record.verdict = ValidationVerdict::kNotValidated;
-      record.detail = std::string("reference fault: ") + e.what();
-      record.probes_run = probe;
-      return record;
+    sim::GlobalMemory cand_mem = MakeProbeMemory(options, probe);
+    // The reference's final image and exit stats for this probe: from
+    // the cache when one is supplied (executed at most once across all
+    // candidates), re-co-simulated otherwise.
+    sim::GlobalMemory local_ref_mem{0};
+    sim::InterpStats local_ref_stats;
+    const sim::GlobalMemory* ref_mem = nullptr;
+    const sim::InterpStats* ref_stats = nullptr;
+    if (cache != nullptr) {
+      const ReferenceCache::ProbeRun& run = cache->Run(probe);
+      if (run.faulted) {
+        // The reference itself cannot run under probe conditions; no
+        // conclusion about the candidate is possible, and reporting a
+        // failure here would be a false positive.
+        record.verdict = ValidationVerdict::kNotValidated;
+        record.detail = std::string("reference fault: ") + run.fault_detail;
+        record.probes_run = probe;
+        return record;
+      }
+      ref_mem = &run.memory;
+      ref_stats = &run.stats;
+    } else {
+      local_ref_mem = cand_mem;
+      try {
+        sim::Interpret(reference, &local_ref_mem, options.params, 0, blocks,
+                       interp, &local_ref_stats);
+      } catch (const OrionError& e) {
+        // See the cached branch above: a reference fault is never the
+        // candidate's failure.
+        record.verdict = ValidationVerdict::kNotValidated;
+        record.detail = std::string("reference fault: ") + e.what();
+        record.probes_run = probe;
+        return record;
+      }
+      ref_mem = &local_ref_mem;
+      ref_stats = &local_ref_stats;
     }
+    sim::InterpStats cand_stats;
     try {
       sim::Interpret(candidate, &cand_mem, options.params, 0, blocks, interp,
                      &cand_stats);
@@ -124,7 +157,7 @@ ValidationRecord ValidateModuleImpl(const isa::Module& reference,
       return Fail(ValidationVerdict::kExecutionFault,
                   StrFormat("probe %u: %s", probe, e.what()), probe);
     }
-    const std::vector<std::uint32_t>& want = ref_mem.words();
+    const std::vector<std::uint32_t>& want = ref_mem->words();
     const std::vector<std::uint32_t>& got = cand_mem.words();
     for (std::size_t w = 0; w < want.size(); ++w) {
       if (want[w] != got[w]) {
@@ -134,17 +167,18 @@ ValidationRecord ValidateModuleImpl(const isa::Module& reference,
                     probe);
       }
     }
-    if (cand_stats.threads_retired != ref_stats.threads_retired ||
-        cand_stats.barrier_rounds != ref_stats.barrier_rounds) {
+    if (cand_stats.threads_retired != ref_stats->threads_retired ||
+        cand_stats.barrier_rounds != ref_stats->barrier_rounds) {
       return Fail(
           ValidationVerdict::kExitMismatch,
-          StrFormat("probe %u: exit state %llu retired / %llu barrier rounds, "
-                    "reference %llu / %llu",
-                    probe,
-                    static_cast<unsigned long long>(cand_stats.threads_retired),
-                    static_cast<unsigned long long>(cand_stats.barrier_rounds),
-                    static_cast<unsigned long long>(ref_stats.threads_retired),
-                    static_cast<unsigned long long>(ref_stats.barrier_rounds)),
+          StrFormat(
+              "probe %u: exit state %llu retired / %llu barrier rounds, "
+              "reference %llu / %llu",
+              probe,
+              static_cast<unsigned long long>(cand_stats.threads_retired),
+              static_cast<unsigned long long>(cand_stats.barrier_rounds),
+              static_cast<unsigned long long>(ref_stats->threads_retired),
+              static_cast<unsigned long long>(ref_stats->barrier_rounds)),
           probe);
     }
     record.probes_run = probe + 1;
@@ -222,12 +256,66 @@ std::uint64_t ChecksumMemory(const sim::GlobalMemory& memory) {
   return hash;
 }
 
+ReferenceCache::ReferenceCache(const isa::Module& reference,
+                               const ProbeOptions& options)
+    : reference_(&reference), options_(options) {
+  options_.gmem_words = EffectiveProbeWords(options, reference);
+  blocks_ = options_.max_blocks == 0
+                ? reference.launch.grid_dim
+                : std::min(reference.launch.grid_dim, options_.max_blocks);
+  runs_.resize(options_.probes);
+}
+
+ReferenceCache::~ReferenceCache() = default;
+ReferenceCache::ReferenceCache(ReferenceCache&&) noexcept = default;
+ReferenceCache& ReferenceCache::operator=(ReferenceCache&&) noexcept = default;
+
+std::uint32_t ReferenceCache::runs_executed() const {
+  std::uint32_t executed = 0;
+  for (const std::unique_ptr<ProbeRun>& run : runs_) {
+    executed += run != nullptr;
+  }
+  return executed;
+}
+
+const ReferenceCache::ProbeRun& ReferenceCache::Run(std::uint32_t probe) {
+  std::unique_ptr<ProbeRun>& slot = runs_.at(probe);
+  if (slot == nullptr) {
+    auto run = std::make_unique<ProbeRun>();
+    run->memory = MakeProbeMemory(options_, probe);
+    sim::InterpOptions interp;
+    interp.max_steps_per_thread = options_.max_steps_per_thread;
+    try {
+      sim::Interpret(*reference_, &run->memory, options_.params, 0, blocks_,
+                     interp, &run->stats);
+    } catch (const OrionError& e) {
+      run->faulted = true;
+      run->fault_detail = e.what();
+      run->memory = sim::GlobalMemory(0);  // a faulted image is never read
+    }
+    slot = std::move(run);
+  }
+  return *slot;
+}
+
 runtime::ValidationRecord ValidateModule(const isa::Module& reference,
                                          const isa::Module& candidate,
                                          const ProbeOptions& options) {
   telemetry::ScopedSpan span("validate", "validate.module");
   span.AddArg("kernel", candidate.name);
-  ValidationRecord record = ValidateModuleImpl(reference, candidate, options);
+  ValidationRecord record =
+      ValidateModuleImpl(reference, candidate, options, nullptr);
+  span.AddArg("verdict", runtime::ValidationVerdictName(record.verdict));
+  span.AddArg("probes", static_cast<std::uint64_t>(record.probes_run));
+  return record;
+}
+
+runtime::ValidationRecord ValidateModule(ReferenceCache& cache,
+                                         const isa::Module& candidate) {
+  telemetry::ScopedSpan span("validate", "validate.module");
+  span.AddArg("kernel", candidate.name);
+  ValidationRecord record =
+      ValidateModuleImpl(cache.reference(), candidate, cache.options(), &cache);
   span.AddArg("verdict", runtime::ValidationVerdictName(record.verdict));
   span.AddArg("probes", static_cast<std::uint64_t>(record.probes_run));
   return record;
@@ -240,6 +328,13 @@ std::size_t ValidateBinary(const isa::Module& reference,
   span.AddArg("kernel", binary->kernel_name);
   const std::uint32_t original_module =
       binary->versions.empty() ? 0 : binary->versions.front().module_index;
+  // One reference execution per probe, shared across every candidate.
+  // Built lazily inside ValidateModule, so a binary with nothing to
+  // validate (or only verify-fault candidates) never runs the reference.
+  std::optional<ReferenceCache> cache;
+  if (options.reuse_reference) {
+    cache.emplace(reference, options);
+  }
   // Distinct modules are validated once; padded variants share verdicts.
   std::map<std::uint32_t, ValidationRecord> by_module;
   std::size_t failed_candidates = 0;
@@ -255,7 +350,9 @@ std::size_t ValidateBinary(const isa::Module& reference,
     auto it = by_module.find(version.module_index);
     if (it == by_module.end()) {
       ValidationRecord record =
-          ValidateModule(reference, binary->ModuleOf(version), options);
+          cache.has_value()
+              ? ValidateModule(*cache, binary->ModuleOf(version))
+              : ValidateModule(reference, binary->ModuleOf(version), options);
       ORION_COUNTER_ADD("validate.modules", 1);
       ORION_COUNTER_ADD("validate.probes", record.probes_run);
       if (record.Failed()) {
@@ -282,6 +379,11 @@ std::size_t ValidateBinary(const isa::Module& reference,
              telemetry::Arg("detail", version.validation.detail)});
       }
     }
+  }
+  if (cache.has_value()) {
+    ORION_COUNTER_ADD("validate.reference_runs", cache->runs_executed());
+    span.AddArg("reference_runs",
+                static_cast<std::uint64_t>(cache->runs_executed()));
   }
   span.AddArg("candidates",
               static_cast<std::uint64_t>(binary->NumCandidates()));

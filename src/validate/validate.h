@@ -23,10 +23,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "isa/isa.h"
 #include "runtime/multiversion.h"
+#include "sim/interpreter.h"
 #include "sim/memory.h"
 
 namespace orion::validate {
@@ -53,6 +56,13 @@ struct ProbeOptions {
   // it faults the probe (kExecutionFault), a reference exceeding it
   // leaves the verdict kNotValidated.
   std::uint64_t max_steps_per_thread = 2'000'000;
+  // Execute the virtual reference once per probe and compare every
+  // candidate against its cached final-memory image and exit state
+  // (ReferenceCache) instead of re-co-simulating the reference per
+  // candidate.  The interpreter is deterministic, so verdicts are
+  // identical either way (tests/validate_test.cpp); off reproduces the
+  // per-candidate reference cost — the bench/micro_compiler baseline.
+  bool reuse_reference = true;
 };
 
 // Deterministic probe memory for probe index `probe`: identical word
@@ -74,6 +84,47 @@ std::uint32_t EffectiveProbeWords(const ProbeOptions& options,
 // tests/workloads).
 std::uint64_t ChecksumMemory(const sim::GlobalMemory& memory);
 
+// The reference side of the co-simulation, executed at most once per
+// probe index and cached: the effective probe footprint
+// (EffectiveProbeWords, computed in the constructor) plus, lazily, the
+// reference's final memory image and exit stats — or its fault, which
+// is cached the same way (every candidate then reports kNotValidated,
+// exactly as if the reference had been re-run).  `reference` must
+// outlive the cache.  Runs are filled on demand from ValidateModule, so
+// a binary whose candidates all fail structural verification never
+// executes the reference at all.  Not thread-safe: the validation gate
+// walks candidates serially.
+class ReferenceCache {
+ public:
+  ReferenceCache(const isa::Module& reference, const ProbeOptions& options);
+  ~ReferenceCache();
+  ReferenceCache(ReferenceCache&&) noexcept;
+  ReferenceCache& operator=(ReferenceCache&&) noexcept;
+
+  const isa::Module& reference() const { return *reference_; }
+  // Caller options with gmem_words grown to the effective footprint.
+  const ProbeOptions& options() const { return options_; }
+  // Blocks interpreted per probe (max_blocks-capped grid).
+  std::uint32_t blocks() const { return blocks_; }
+  // Number of probes whose reference run actually executed so far.
+  std::uint32_t runs_executed() const;
+
+  struct ProbeRun {
+    bool faulted = false;
+    std::string fault_detail;        // OrionError::what() when faulted
+    sim::GlobalMemory memory{0};     // final image (valid when !faulted)
+    sim::InterpStats stats;
+  };
+  // The cached reference run for `probe`, executing it on first use.
+  const ProbeRun& Run(std::uint32_t probe);
+
+ private:
+  const isa::Module* reference_;
+  ProbeOptions options_;
+  std::uint32_t blocks_ = 0;
+  std::vector<std::unique_ptr<ProbeRun>> runs_;  // per probe, lazy
+};
+
 // Differentially validates one candidate module against its reference:
 // structural verification (within the candidate's own declared resource
 // usage), then co-simulation on `options.probes` probe inputs.  Returns
@@ -82,6 +133,13 @@ std::uint64_t ChecksumMemory(const sim::GlobalMemory& memory);
 runtime::ValidationRecord ValidateModule(const isa::Module& reference,
                                          const isa::Module& candidate,
                                          const ProbeOptions& options = {});
+
+// As above, but the reference's probe runs come from (and are memoized
+// in) `cache` — the path ValidateBinary uses when
+// ProbeOptions::reuse_reference is set.  Verdicts are identical to the
+// cache-free overload.
+runtime::ValidationRecord ValidateModule(ReferenceCache& cache,
+                                         const isa::Module& candidate);
 
 // Validates every candidate of a multi-version binary (unified
 // primary + fail-safe numbering) against the virtual reference,

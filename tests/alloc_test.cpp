@@ -14,6 +14,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "ir/interference.h"
+#include "isa/binary.h"
 #include "isa/verifier.h"
 #include "testutil.h"
 
@@ -405,6 +406,60 @@ TEST(Allocator, RehomingConsumesSharedBudget) {
 TEST(Allocator, MaxLiveMetric) {
   EXPECT_GT(KernelMaxLive(MakePressureModule(40)), 40u);
   EXPECT_LT(KernelMaxLive(MakeStraightLineModule()), 10u);
+}
+
+// The analyze/realize split's sharing contract (alloc/allocator.h): one
+// AnalyzedModule realized at every budget must produce byte-identical
+// modules and identical stats to the from-scratch AllocateModule path —
+// including budgets where both must throw the same infeasibility.
+TEST(Allocator, SharedAnalysisRealizesIdenticalModules) {
+  const std::vector<isa::Module> inputs = {
+      MakeStraightLineModule(), MakeLoopModule(), MakeCallModule(),
+      MakePressureModule(40), MakeWideModule()};
+  for (const isa::Module& input : inputs) {
+    const AnalyzedModule analysis = AnalyzeModule(input, {});
+    EXPECT_EQ(analysis.kernel_max_live_words(), KernelMaxLive(input))
+        << input.name;
+    for (const std::uint32_t regs : {63u, 32u, 24u, 16u, 8u, 4u}) {
+      for (const std::uint32_t spriv : {0u, 8u}) {
+        AllocBudget budget;
+        budget.reg_words = regs;
+        budget.spriv_slot_words = spriv;
+        const std::string label =
+            input.name + " regs=" + std::to_string(regs) +
+            " spriv=" + std::to_string(spriv);
+        AllocStats scratch_stats;
+        isa::Module scratch;
+        try {
+          scratch = AllocateModule(input, budget, {}, &scratch_stats);
+        } catch (const CompileError&) {
+          // Infeasible from scratch must be infeasible from the shared
+          // analysis too.
+          EXPECT_THROW(RealizeModule(analysis, budget, nullptr), CompileError)
+              << label;
+          continue;
+        }
+        AllocStats shared_stats;
+        const isa::Module shared =
+            RealizeModule(analysis, budget, &shared_stats);
+        EXPECT_EQ(isa::EncodeModule(scratch), isa::EncodeModule(shared))
+            << label << ": realized bytes diverged";
+        EXPECT_EQ(scratch_stats.peak_regs, shared_stats.peak_regs) << label;
+        EXPECT_EQ(scratch_stats.spilled_vregs, shared_stats.spilled_vregs)
+            << label;
+        EXPECT_EQ(scratch_stats.local_words, shared_stats.local_words)
+            << label;
+        EXPECT_EQ(scratch_stats.spriv_words, shared_stats.spriv_words)
+            << label;
+        EXPECT_EQ(scratch_stats.static_park_moves,
+                  shared_stats.static_park_moves)
+            << label;
+        EXPECT_EQ(scratch_stats.kernel_max_live_words,
+                  shared_stats.kernel_max_live_words)
+            << label;
+      }
+    }
+  }
 }
 
 }  // namespace

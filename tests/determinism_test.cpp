@@ -21,6 +21,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "core/orion.h"
+#include "isa/binary.h"
 #include "runtime/dynamic_tuner.h"
 #include "runtime/launcher.h"
 #include "sim/gpu_sim.h"
@@ -335,6 +336,91 @@ TEST(PlanFromSweep, ReplaysLiveTunerWalk) {
   EXPECT_EQ(plan.visits, live_visits);
   EXPECT_EQ(plan.final_version, live.FinalVersion());
   EXPECT_EQ(plan.iterations_to_settle, live.IterationsToSettle());
+}
+
+// --- parallel multi-version compilation --------------------------------
+
+// The compiler's determinism contract (core/orion.h): the shared
+// analysis cache and the per-level worker fan-out must both be
+// bit-identical to the pre-cache serial pipeline — same realized module
+// bytes, same version metadata, same skips, same direction.
+
+void ExpectSameBinary(const runtime::MultiVersionBinary& a,
+                      const runtime::MultiVersionBinary& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.modules.size(), b.modules.size()) << label;
+  for (std::size_t m = 0; m < a.modules.size(); ++m) {
+    EXPECT_EQ(isa::EncodeModule(a.modules[m]), isa::EncodeModule(b.modules[m]))
+        << label << ": module " << m << " bytes diverged";
+  }
+  ASSERT_EQ(a.NumCandidates(), b.NumCandidates()) << label;
+  for (std::size_t i = 0; i < a.NumCandidates(); ++i) {
+    const runtime::KernelVersion& va = a.Candidate(i);
+    const runtime::KernelVersion& vb = b.Candidate(i);
+    EXPECT_EQ(va.module_index, vb.module_index) << label << " candidate " << i;
+    EXPECT_EQ(va.smem_padding_bytes, vb.smem_padding_bytes)
+        << label << " candidate " << i;
+    EXPECT_EQ(va.tag, vb.tag) << label << " candidate " << i;
+    EXPECT_EQ(va.occupancy.occupancy, vb.occupancy.occupancy)
+        << label << " candidate " << i;
+    EXPECT_EQ(va.validation.verdict, vb.validation.verdict)
+        << label << " candidate " << i;
+  }
+  ASSERT_EQ(a.compile_skips.size(), b.compile_skips.size()) << label;
+  for (std::size_t i = 0; i < a.compile_skips.size(); ++i) {
+    EXPECT_EQ(a.compile_skips[i].level, b.compile_skips[i].level)
+        << label << " skip " << i;
+  }
+  EXPECT_EQ(a.direction, b.direction) << label;
+  EXPECT_EQ(a.max_live_words, b.max_live_words) << label;
+  EXPECT_EQ(a.static_choice, b.static_choice) << label;
+}
+
+class CompileDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompileDeterminism, EnumerationBitIdenticalAcrossThreadCounts) {
+  const workloads::Workload w = workloads::MakeWorkload(GetParam());
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions serial;
+  serial.reuse_analysis = false;
+  serial.compile_threads = 1;
+  const runtime::MultiVersionBinary want =
+      core::EnumerateAllVersions(w.module, spec, serial);
+  for (const unsigned threads : {1u, 4u}) {
+    core::TuneOptions options;
+    options.reuse_analysis = true;
+    options.compile_threads = threads;
+    const runtime::MultiVersionBinary got =
+        core::EnumerateAllVersions(w.module, spec, options);
+    ExpectSameBinary(want, got,
+                     GetParam() + " threads=" + std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, CompileDeterminism,
+                         ::testing::ValuesIn(workloads::AllNames()));
+
+// The Fig. 8 selection and the validation gate ride on the same
+// CompileAtLevel calls: verdicts and the tuner walk list must not
+// depend on the thread count either.
+TEST(CompileDeterminism, ValidatedMultiVersionIdenticalAcrossThreadCounts) {
+  const workloads::Workload w = workloads::MakeWorkload("srad");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions serial;
+  serial.reuse_analysis = false;
+  serial.compile_threads = 1;
+  serial.validate = true;
+  const runtime::MultiVersionBinary want =
+      core::CompileMultiVersion(w.module, spec, serial);
+  for (const unsigned threads : {1u, 4u}) {
+    core::TuneOptions options;
+    options.validate = true;
+    options.compile_threads = threads;
+    const runtime::MultiVersionBinary got =
+        core::CompileMultiVersion(w.module, spec, options);
+    ExpectSameBinary(want, got, "srad threads=" + std::to_string(threads));
+    EXPECT_EQ(want.ValidationSummary(), got.ValidationSummary());
+  }
 }
 
 }  // namespace

@@ -238,6 +238,87 @@ TEST(Verdicts, FaultingReferenceNeverConvictsTheCandidate) {
   EXPECT_EQ(record.verdict, ValidationVerdict::kNotValidated) << record.detail;
 }
 
+// --- reference-run reuse ------------------------------------------------
+
+// ProbeOptions::reuse_reference must never change a record: the cached
+// reference path (ReferenceCache, the default) and the per-candidate
+// re-run path produce identical verdicts, probe counts and detail
+// strings — for clean candidates and mutated ones alike.
+TEST(ReferenceReuse, CachedRecordsIdenticalToPerCandidateReruns) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  std::uint64_t seed = 0x5EED;
+  for (const std::string& name :
+       std::vector<std::string>{"srad", "hotspot", "bfs"}) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    const runtime::MultiVersionBinary all =
+        core::EnumerateAllVersions(w.module, spec, {});
+    ProbeOptions rerun_probe = FastProbe(w);
+    rerun_probe.reuse_reference = false;
+    ProbeOptions cached_probe = FastProbe(w);
+    cached_probe.reuse_reference = true;
+
+    runtime::MultiVersionBinary rerun = all;
+    runtime::MultiVersionBinary cached = all;
+    ValidateBinary(w.module, &rerun, rerun_probe);
+    ValidateBinary(w.module, &cached, cached_probe);
+    ASSERT_EQ(rerun.NumCandidates(), cached.NumCandidates());
+    for (std::size_t i = 0; i < rerun.NumCandidates(); ++i) {
+      const runtime::ValidationRecord& a = rerun.Candidate(i).validation;
+      const runtime::ValidationRecord& b = cached.Candidate(i).validation;
+      EXPECT_EQ(a.verdict, b.verdict) << name << " candidate " << i;
+      EXPECT_EQ(a.probes_run, b.probes_run) << name << " candidate " << i;
+      EXPECT_EQ(a.detail, b.detail) << name << " candidate " << i;
+    }
+
+    // Mutated candidates through one shared cache: failing records must
+    // match the cache-free path too, and the reference must have run at
+    // most once per probe no matter how many candidates were checked.
+    ReferenceCache cache(w.module, cached_probe);
+    std::uint32_t checked = 0;
+    for (const isa::Module& module : all.modules) {
+      isa::Module mutated = module;
+      if (!ApplyMiscompile(&mutated, MiscompileKind::kSlotAddress, ++seed)) {
+        continue;
+      }
+      ++checked;
+      const runtime::ValidationRecord a =
+          ValidateModule(w.module, mutated, rerun_probe);
+      const runtime::ValidationRecord b = ValidateModule(cache, mutated);
+      EXPECT_EQ(a.verdict, b.verdict) << name;
+      EXPECT_EQ(a.probes_run, b.probes_run) << name;
+      EXPECT_EQ(a.detail, b.detail) << name;
+    }
+    if (checked > 0) {
+      EXPECT_LE(cache.runs_executed(), cached_probe.probes) << name;
+    }
+  }
+}
+
+TEST(ReferenceReuse, FaultingReferenceIsCachedNotReconvicted) {
+  // A reference that cannot finish the probe renders every candidate
+  // kNotValidated, with the same detail as the re-run path — and the
+  // fault itself is computed once.
+  const isa::Module reference = test::MakeLoopModule(/*trip=*/200000);
+  const isa::Module candidate = test::MakeLoopModule(/*trip=*/200000);
+  ProbeOptions probe;
+  probe.probes = 1;
+  probe.max_steps_per_thread = 10'000;
+  probe.reuse_reference = false;
+  const runtime::ValidationRecord rerun =
+      ValidateModule(reference, candidate, probe);
+
+  ReferenceCache cache(reference, probe);
+  const runtime::ValidationRecord first = ValidateModule(cache, candidate);
+  const runtime::ValidationRecord second = ValidateModule(cache, candidate);
+  EXPECT_EQ(cache.runs_executed(), 1u);
+  for (const runtime::ValidationRecord* record : {&first, &second}) {
+    EXPECT_EQ(record->verdict, ValidationVerdict::kNotValidated);
+    EXPECT_EQ(record->verdict, rerun.verdict);
+    EXPECT_EQ(record->probes_run, rerun.probes_run);
+    EXPECT_EQ(record->detail, rerun.detail);
+  }
+}
+
 // --- walk and guard semantics around failing verdicts ------------------
 
 runtime::MultiVersionBinary MakeFakeBinary(std::size_t n) {

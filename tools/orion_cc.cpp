@@ -40,6 +40,11 @@
 //   --validate          gate compiled candidates behind differential
 //                       translation validation (run command)
 //   --probes N          probe inputs per candidate (default 2)
+//
+// Compilation flags (tune/sweep/run/validate; see docs/COMPILER.md):
+//   --compile-threads N worker threads for the per-level compile fan-out
+//                       (default 1 = serial, 0 = hardware concurrency;
+//                       every value produces a bit-identical binary)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -78,7 +83,8 @@ using namespace orion;
                "[--log-level error|warn|info|debug]\n"
                "       run-only: [--fault-plan SPEC] [--watchdog CYCLES] "
                "[--probe-k K] [--validate]\n"
-               "       validation: [--probes N]\n");
+               "       validation: [--probes N]\n"
+               "       compilation: [--compile-threads N]\n");
   std::exit(2);
 }
 
@@ -113,6 +119,7 @@ struct Args {
   bool validate = false;              // run: gate candidates behind the
                                       // differential validator
   std::uint32_t probes = 2;           // probe inputs per candidate
+  unsigned compile_threads = 1;       // per-level fan-out (0 = hardware)
   std::string trace_path;             // empty = tracing off
   std::string trace_format = "json";  // json | chrome | summary
   bool metrics = false;
@@ -152,6 +159,8 @@ Args Parse(int argc, char** argv) {
       args.validate = true;
     } else if (flag == "--probes") {
       args.probes = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--compile-threads") {
+      args.compile_threads = static_cast<unsigned>(std::stoul(value()));
     } else if (flag == "--trace") {
       args.trace_path = value();
     } else if (flag == "--trace-format") {
@@ -246,6 +255,7 @@ int CmdTune(const Args& args) {
   const std::vector<std::uint8_t> cubin = ReadFile(args.input);
   core::TuneOptions options;
   options.cache_config = Cache(args);
+  options.compile_threads = args.compile_threads;
   const core::TunedBinary tuned = core::TuneBinary(cubin, Gpu(args), options);
   std::printf("direction %s, %zu candidate versions:\n",
               tuned.binary.direction == runtime::TuneDirection::kIncreasing
@@ -275,6 +285,7 @@ int CmdSweep(const Args& args) {
   const isa::Module module = isa::DecodeModule(ReadFile(args.input));
   core::TuneOptions options;
   options.cache_config = Cache(args);
+  options.compile_threads = args.compile_threads;
   const runtime::MultiVersionBinary all =
       core::EnumerateAllVersions(module, Gpu(args), options);
   sim::GpuSimulator simulator(Gpu(args), Cache(args));
@@ -309,6 +320,7 @@ int CmdRun(const Args& args) {
   options.cache_config = Cache(args);
   options.validate = args.validate;
   options.probe.probes = args.probes;
+  options.compile_threads = args.compile_threads;
   const runtime::MultiVersionBinary binary =
       core::CompileMultiVersion(module, Gpu(args), options);
   for (const runtime::CompileSkip& skip : binary.compile_skips) {
@@ -366,6 +378,7 @@ int CmdValidate(const Args& args) {
   options.cache_config = Cache(args);
   options.validate = true;
   options.probe.probes = args.probes;
+  options.compile_threads = args.compile_threads;
   const runtime::MultiVersionBinary all =
       core::EnumerateAllVersions(module, Gpu(args), options);
   std::uint32_t failures = 0;
