@@ -1,13 +1,17 @@
 // Simulator-engine micro-benchmark: simulated instructions per second.
 //
-// Two measurements, written to BENCH_sim.json (machine readable) and
-// summarized on stdout:
+// Three measurements, written to BENCH_sim.json at the repo root
+// (machine readable, stable schema — see below) and summarized on
+// stdout:
 //
-//   1. Single-launch engine throughput on matrixmul / srad / bfs: the
-//      same allocated kernel is run by the reference per-cycle engine
-//      and the event-driven engine; both execute the identical
-//      instruction stream (bit-determinism), so the instr/sec ratio is
-//      a pure engine comparison.
+//   1. Single-launch engine throughput over all 13 workloads × all
+//      three engines (reference / event / traced) on probe-slice
+//      launches (one block wave, the launch shape the runtime tuner,
+//      median-of-k prober, and validation probes actually time).  The
+//      engines execute the identical instruction stream
+//      (bit-determinism), so the instr/sec ratios are pure engine
+//      comparisons.  The traced engine additionally reports the
+//      fraction of instructions retired inside fused bursts.
 //   2. The fig11 candidate-sweep workload (all seven upward benchmarks,
 //      every occupancy level, RunExhaustive iterations): the seed
 //      configuration (reference engine, serial sweep) against the
@@ -20,10 +24,21 @@
 //      The disabled number is the one the <2% regression budget in
 //      docs/OBSERVABILITY.md is measured against.
 //
-// Run from anywhere; BENCH_sim.json is written to the current
-// directory.  Use a Release build: Debug keeps ORION_DCHECK live.
+// Schema (schema_version 1; CI's sim-bench smoke gate parses it):
+//   single_launch[]: one row per workload with
+//     {workload, blocks, <engine>_instr_per_sec,
+//      event_speedup_vs_seed, traced_speedup_vs_seed,
+//      traced_speedup_vs_event, fused_fraction}
+//   traced_vs_event_geomean: geomean of traced_speedup_vs_event
+//   smoke: the row CI gates on (workload + traced_speedup_vs_event)
+//
+// BENCH_sim.json always lands at the repo root (ORION_BENCH_OUTPUT_DIR,
+// injected by bench/CMakeLists.txt) regardless of the working
+// directory, so the bench trajectory is tracked.  Use a Release build:
+// Debug keeps ORION_DCHECK live.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -37,8 +52,16 @@
 #include "telemetry/telemetry.h"
 #include "workloads/workloads.h"
 
+#ifndef ORION_BENCH_OUTPUT_DIR
+#define ORION_BENCH_OUTPUT_DIR "."
+#endif
+
 namespace orion::bench {
 namespace {
+
+// The workload CI's sim-bench smoke gate checks (compute-dense, so the
+// traced engine's advantage is stable across machines).
+constexpr const char* kSmokeWorkload = "matrixmul";
 
 double Seconds(std::chrono::steady_clock::time_point begin,
                std::chrono::steady_clock::time_point end) {
@@ -52,6 +75,7 @@ struct EngineRun {
   // noise on loaded machines; the peak measures engine capability and
   // is what the repetitions exist to find.
   double best_instr_per_sec = 0.0;
+  sim::SimResult last;
   double InstrPerSec() const { return best_instr_per_sec; }
   void Add(std::uint64_t instrs, double secs) {
     instructions += instrs;
@@ -63,13 +87,14 @@ struct EngineRun {
   }
 };
 
-// Repeats full-grid launches of `module` until `min_seconds` of wall
-// time accumulate (at least `min_reps`), on a fresh memory image each
-// repetition so every run does identical work.
+// Repeats probe-slice launches (`blocks` blocks, one wave) of `module`
+// until `min_seconds` of wall time accumulate (at least `min_reps`),
+// on a fresh memory image each repetition so every run does identical
+// work.
 EngineRun MeasureEngine(const workloads::Workload& w,
                         const isa::Module& module, const arch::GpuSpec& spec,
-                        sim::SimEngine engine, double min_seconds,
-                        std::uint32_t min_reps) {
+                        sim::SimEngine engine, std::uint32_t blocks,
+                        double min_seconds, std::uint32_t min_reps) {
   sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache, engine);
   const sim::GlobalMemory base = SeedMemory(w.gmem_words, w.seed);
   EngineRun run;
@@ -77,8 +102,8 @@ EngineRun MeasureEngine(const workloads::Workload& w,
   while (reps < min_reps || run.seconds < min_seconds) {
     sim::GlobalMemory gmem = base;
     const auto begin = std::chrono::steady_clock::now();
-    const sim::SimResult sr = simulator.LaunchAll(module, &gmem, w.params);
-    run.Add(sr.warp_instructions,
+    run.last = simulator.Launch(module, &gmem, w.ParamsFor(0), 0, blocks);
+    run.Add(run.last.warp_instructions,
             Seconds(begin, std::chrono::steady_clock::now()));
     ++reps;
   }
@@ -133,44 +158,90 @@ int main() {
   using bench::EngineRun;
 
   const arch::GpuSpec& spec = arch::Gtx680();
-  const double kMinSeconds = 0.5;
+  const double kMinSeconds = 0.25;
   const std::uint32_t kMinReps = 3;
 
   std::string json = "{\n  \"benchmark\": \"micro_sim\",\n";
+  json += "  \"schema_version\": 1,\n";
 #ifdef NDEBUG
   json += "  \"build\": \"release\",\n";
 #else
   json += "  \"build\": \"debug\",\n";
 #endif
+  json += "  \"engines\": [\"reference\", \"event\", \"traced\"],\n";
   json += "  \"single_launch\": [\n";
 
-  std::printf("single-launch engine throughput (instr/sec)\n");
-  std::printf("%-12s %14s %14s %8s\n", "workload", "reference", "event",
-              "ratio");
-  const std::vector<std::string> singles = {"matrixmul", "srad", "bfs"};
-  for (std::size_t i = 0; i < singles.size(); ++i) {
-    const workloads::Workload w = workloads::MakeWorkload(singles[i]);
+  std::printf("single-launch engine throughput (instr/sec, probe slice)\n");
+  std::printf("%-18s %12s %12s %12s %7s %7s %6s\n", "workload", "reference",
+              "event", "traced", "ev/ref", "tr/ev", "fused");
+  const std::vector<std::string>& names = workloads::AllNames();
+  double tr_ev_logsum = 0.0;
+  double smoke_tr_ev = 0.0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const workloads::Workload w = workloads::MakeWorkload(names[i]);
     const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    const std::uint32_t blocks =
+        std::min(spec.num_sms, compiled.launch.grid_dim);
     const EngineRun ref =
         bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kReference,
-                             kMinSeconds, kMinReps);
+                             blocks, kMinSeconds, kMinReps);
     const EngineRun event =
         bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kEventDriven,
-                             kMinSeconds, kMinReps);
-    const double ratio =
+                             blocks, kMinSeconds, kMinReps);
+    const EngineRun traced =
+        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kTraceCached,
+                             blocks, kMinSeconds, kMinReps);
+    const double ev_ref =
         ref.InstrPerSec() > 0.0 ? event.InstrPerSec() / ref.InstrPerSec() : 0.0;
-    std::printf("%-12s %14.3e %14.3e %7.2fx\n", singles[i].c_str(),
-                ref.InstrPerSec(), event.InstrPerSec(), ratio);
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"workload\": \"%s\", "
-                  "\"reference_instr_per_sec\": %.6e, "
-                  "\"event_instr_per_sec\": %.6e, \"speedup\": %.4f}%s\n",
-                  singles[i].c_str(), ref.InstrPerSec(), event.InstrPerSec(),
-                  ratio, i + 1 < singles.size() ? "," : "");
+    const double tr_ref =
+        ref.InstrPerSec() > 0.0 ? traced.InstrPerSec() / ref.InstrPerSec()
+                                : 0.0;
+    const double tr_ev = event.InstrPerSec() > 0.0
+                             ? traced.InstrPerSec() / event.InstrPerSec()
+                             : 0.0;
+    const double fused =
+        traced.last.warp_instructions
+            ? static_cast<double>(traced.last.fused_instructions) /
+                  static_cast<double>(traced.last.warp_instructions)
+            : 0.0;
+    if (tr_ev > 0.0) {
+      tr_ev_logsum += std::log(tr_ev);
+    }
+    if (names[i] == bench::kSmokeWorkload) {
+      smoke_tr_ev = tr_ev;
+    }
+    std::printf("%-18s %12.3e %12.3e %12.3e %6.2fx %6.2fx %5.1f%%\n",
+                names[i].c_str(), ref.InstrPerSec(), event.InstrPerSec(),
+                traced.InstrPerSec(), ev_ref, tr_ev, 100.0 * fused);
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"workload\": \"%s\", \"blocks\": %u, "
+        "\"reference_instr_per_sec\": %.6e, "
+        "\"event_instr_per_sec\": %.6e, "
+        "\"traced_instr_per_sec\": %.6e, "
+        "\"event_speedup_vs_seed\": %.4f, "
+        "\"traced_speedup_vs_seed\": %.4f, "
+        "\"traced_speedup_vs_event\": %.4f, "
+        "\"fused_fraction\": %.4f}%s\n",
+        names[i].c_str(), blocks, ref.InstrPerSec(), event.InstrPerSec(),
+        traced.InstrPerSec(), ev_ref, tr_ref, tr_ev, fused,
+        i + 1 < names.size() ? "," : "");
     json += buf;
   }
   json += "  ],\n";
+  const double tr_ev_geomean =
+      std::exp(tr_ev_logsum / static_cast<double>(names.size()));
+  std::printf("traced-vs-event geomean: %.2fx\n", tr_ev_geomean);
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"traced_vs_event_geomean\": %.4f,\n"
+                  "  \"smoke\": {\"workload\": \"%s\", "
+                  "\"traced_speedup_vs_event\": %.4f},\n",
+                  tr_ev_geomean, bench::kSmokeWorkload, smoke_tr_ev);
+    json += buf;
+  }
 
   // The fig11 sweep: seed configuration vs current configuration.
   std::vector<workloads::Workload> fig11;
@@ -210,16 +281,18 @@ int main() {
   {
     const workloads::Workload w = workloads::MakeWorkload("srad");
     const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    const std::uint32_t blocks =
+        std::min(spec.num_sms, compiled.launch.grid_dim);
     telemetry::SetEnabled(false);
     telemetry::Reset();
     const EngineRun off =
         bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kEventDriven,
-                             kMinSeconds, kMinReps);
+                             blocks, kMinSeconds, kMinReps);
     telemetry::Reset();
     telemetry::SetEnabled(true);
     const EngineRun on =
         bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kEventDriven,
-                             kMinSeconds, kMinReps);
+                             blocks, kMinSeconds, kMinReps);
     telemetry::SetEnabled(false);
     telemetry::Reset();
     const double overhead_pct =
@@ -239,11 +312,16 @@ int main() {
     json += buf;
   }
 
-  std::FILE* out = std::fopen("BENCH_sim.json", "w");
+  const std::string out_path =
+      std::string(ORION_BENCH_OUTPUT_DIR) + "/BENCH_sim.json";
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out != nullptr) {
     std::fputs(json.c_str(), out);
     std::fclose(out);
-    std::printf("\nwrote BENCH_sim.json\n");
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "micro_sim: cannot write %s\n", out_path.c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,4 +1,5 @@
-// Event-driven timing engine (the default, fast engine).
+// Event-driven timing engine (the default, fast engine) and the
+// trace-cached engine layered on top of it.
 //
 // The machine model is identical to the reference engine
 // (gpu_sim_ref.cpp); what changed is how time advances and how
@@ -27,6 +28,41 @@
 // token buckets and global memory are the only cross-SM state and are
 // touched in that same order, both engines produce bit-identical
 // SimResults and memory images (tests/determinism_test.cpp).
+//
+// The trace-cached engine (kTraced template flag) keeps the calendar
+// and retires link-time-fused runs (sim/linked.h TraceCache) without a
+// calendar round-trip per instruction, in two regimes:
+//
+//   * Solo fast path (StepFused).  When a warp is the only ready warp
+//     on its SM, a fused straight-line run of ALU-class ops retires in
+//     one event: a lone ready warp issues one instruction per cycle
+//     regardless of the issue budget, so the fused loop can replay
+//     Step's per-op cycle arithmetic — issue occupancy, scoreboard
+//     stalls, result latencies — verbatim.
+//   * Round bursts (ProcessSmTraced's burst dispatcher).  With several
+//     ready warps, the engine free-runs whole round-robin rounds ahead
+//     of the calendar: slot j of a round at cycle c issues ring warp
+//     (j mod avail).  An op may retire inside a burst iff it carries
+//     HotInstr::kFlagBurstable — it is SM-local (kFlagSync clear),
+//     occupies exactly one issue slot, and always requeues its warp at
+//     now + 1 — so retiring it early changes neither ring membership
+//     nor ring order, and the burst replays the event engine's issue
+//     schedule exactly.  Fusible ops (ALU/kS2R/kNop) are dispatched
+//     through an inlined ALU switch; burstable-but-not-fusible ops
+//     (branches, shared/param-space memory) go through Step and stay
+//     in the burst only when Step reports a plain now + 1 requeue.
+//     One-cycle scoreboard stalls charge their issue slot and keep the
+//     burst alive; anything that would park a warp — a longer stall,
+//     a non-burstable op at the ring head, the cycle any waiting warp
+//     wakes — ends the burst.  A burst commits (ring rotated, `now`
+//     advanced) only when at least one op actually retired; a burst
+//     that only observed stalls discards cleanly because it changed no
+//     state.
+//
+// Both regimes stop at fusion barriers (global/local memory, calls,
+// barriers, exit), before the cycle any waiting warp wakes, and before
+// the watchdog/hard-stop cycle so CheckCycleLimits observes exactly
+// the cycles it would have seen under single-step dispatch.
 #include "sim/gpu_sim.h"
 
 #include <algorithm>
@@ -147,8 +183,36 @@ struct Sm {
   std::vector<RegCell> regs;
   std::vector<std::uint32_t> local;
   std::vector<std::uint32_t> spriv;
+  // Trace-cached engine only: issue slots left in a cycle that
+  // ProcessSmTraced abandoned mid-issue because a sync op reached the
+  // front.  On re-entry (the calendar arrives at that same cycle) the
+  // first cycle issues only this many warps, resuming exactly where
+  // the interrupted round-robin pass stopped.
+  std::uint32_t resume_slots = 0;
 };
 
+// True when executing this record touches only state owned by the
+// warp's own SM — registers/pc/call stack, the resident block's shared
+// memory and barrier list, the SM's ready ring and waiting heap — plus
+// commutative global counters (instruction and smem-access tallies are
+// order-independent sums).  Such an op may execute while its SM
+// free-runs ahead of the global calendar (ProcessSmTraced): no other
+// SM can observe it happening "early".  Everything else is a sync
+// point that must wait for the calendar to arrive at its cycle: global
+// and local-memory accesses (shared L2/DRAM token buckets probed in
+// (cycle, SM) order), kExit (global block handout), and records the
+// link marked invalid (their diagnostic throw must surface in calendar
+// order).
+// The classification is precomputed at link time (ToHot) so the hot
+// dispatch loop pays one flag test.
+inline bool IsSmLocal(const HotInstr& d) {
+  return (d.flags & HotInstr::kFlagSync) == 0;
+}
+
+// kTraced = false is the event-driven engine; kTraced = true layers
+// fused macro-op retirement on top (see file header).  A compile-time
+// flag so the event engine's hot loop carries no trace-cache branches.
+template <bool kTraced>
 class EventMachine {
  public:
   EventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
@@ -160,7 +224,7 @@ class EventMachine {
         spec_(spec),
         config_(config),
         module_(module),
-        linked_(module, &spec),
+        linked_(module, &spec, /*build_trace_cache=*/kTraced),
         gmem_(gmem),
         params_(params),
         occ_(occ),
@@ -208,16 +272,31 @@ class EventMachine {
   // One reference-engine cycle for one SM: drain due warps, issue up to
   // the budget.  Returns the SM's next event time (> now).
   std::uint64_t ProcessSm(std::uint32_t s, std::uint64_t now);
+  // Trace-cached replacement for ProcessSm (kTraced only): processes as
+  // many consecutive cycles for this SM as temporal decoupling allows —
+  // the first cycle unconditionally (the calendar just synchronized
+  // here), later cycles only while every issued op is SM-local.
+  // Returns the cycle at which the SM must next synchronize with the
+  // global calendar.
+  std::uint64_t ProcessSmTraced(std::uint32_t s, std::uint64_t entry_now);
   // Executes one instruction of the warp.  Returns the cycle at which
   // the warp may issue again, or UINT64_MAX if it is held (barrier/done).
   std::uint64_t Step(std::uint32_t s, std::uint32_t warp_id,
                      std::uint64_t now);
+  // Trace-cached retirement (kTraced only): executes as much of the
+  // fused run containing warp.pc as the exactness conditions allow —
+  // possibly zero instructions, in which case it defers to Step.  Same
+  // return contract as Step.  The caller guarantees the warp was the
+  // only entry in the ready ring at this event.
+  std::uint64_t StepFused(std::uint32_t s, std::uint32_t warp_id,
+                          std::uint64_t now);
   // ALU-class execution with a compile-time opcode: the per-word eval
   // switch constant-folds into straight-line code, so each opcode costs
   // one dispatch (Step's switch) instead of two.
   template <Opcode OP>
-  std::uint64_t AluStep(const HotInstr& d, Warp& warp, RegCell* regs,
-                        std::uint64_t now, std::uint32_t now32);
+  [[gnu::always_inline]] std::uint64_t AluStep(const HotInstr& d, Warp& warp,
+                                               RegCell* regs, std::uint64_t now,
+                                               std::uint32_t now32);
   std::uint32_t ReadWord(const RegCell* regs, const HotOp& op,
                          std::uint8_t word) const;
   std::uint32_t SpecialValue(const Warp& warp, isa::SpecialReg sreg) const;
@@ -242,16 +321,21 @@ class EventMachine {
   std::uint32_t end_block_ = 0;
   std::uint32_t blocks_remaining_ = 0;
   machine_detail::InstrCounters counters_;
+  // Trace-cache bookkeeping (kTraced only; stays zero otherwise).
+  std::uint64_t fused_instructions_ = 0;
+  std::uint64_t macro_ops_retired_ = 0;
 };
 
-void EventMachine::BindFunction(Warp& warp, std::uint32_t func_index) {
+template <bool kTraced>
+void EventMachine<kTraced>::BindFunction(Warp& warp, std::uint32_t func_index) {
   const LinkedFunction& lf = linked_.func(func_index);
   warp.func = func_index;
   warp.code = lf.hot.data();
   warp.code_size = static_cast<std::uint32_t>(lf.hot.size());
 }
 
-void EventMachine::InstallBlock(std::uint32_t s, std::uint32_t slot,
+template <bool kTraced>
+void EventMachine<kTraced>::InstallBlock(std::uint32_t s, std::uint32_t slot,
                                 std::uint64_t cycle) {
   Sm& sm = sms_[s];
   ResidentBlock& block = sm.blocks[slot];
@@ -294,8 +378,9 @@ void EventMachine::InstallBlock(std::uint32_t s, std::uint32_t slot,
   }
 }
 
-std::uint32_t EventMachine::SpecialValue(const Warp& warp,
-                                         isa::SpecialReg sreg) const {
+template <bool kTraced>
+std::uint32_t EventMachine<kTraced>::SpecialValue(const Warp& warp,
+                                                  isa::SpecialReg sreg) const {
   switch (sreg) {
     case isa::SpecialReg::kTid:
       return warp.rep_tid;
@@ -313,8 +398,10 @@ std::uint32_t EventMachine::SpecialValue(const Warp& warp,
   return 0;
 }
 
-std::uint32_t EventMachine::ReadWord(const RegCell* regs, const HotOp& op,
-                                     std::uint8_t word) const {
+template <bool kTraced>
+std::uint32_t EventMachine<kTraced>::ReadWord(const RegCell* regs,
+                                              const HotOp& op,
+                                              std::uint8_t word) const {
   if (op.kind == 0) {
     return op.imm_word;
   }
@@ -325,10 +412,12 @@ std::uint32_t EventMachine::ReadWord(const RegCell* regs, const HotOp& op,
   throw LaunchError("simulator requires an allocated (physical) kernel");
 }
 
+template <bool kTraced>
 template <Opcode OP>
-inline std::uint64_t EventMachine::AluStep(const HotInstr& d, Warp& warp,
-                                           RegCell* regs, std::uint64_t now,
-                                           std::uint32_t now32) {
+inline std::uint64_t EventMachine<kTraced>::AluStep(const HotInstr& d,
+                                                    Warp& warp, RegCell* regs,
+                                                    std::uint64_t now,
+                                                    std::uint32_t now32) {
   constexpr bool kSfu =
       OP == Opcode::kFSqrt || OP == Opcode::kFRcp || OP == Opcode::kFExp;
   if constexpr (kSfu) {
@@ -369,8 +458,10 @@ inline std::uint64_t EventMachine::AluStep(const HotInstr& d, Warp& warp,
   return now + d.issue_cycles;
 }
 
-std::uint64_t EventMachine::Step(std::uint32_t s, std::uint32_t warp_id,
-                                 std::uint64_t now) {
+template <bool kTraced>
+std::uint64_t EventMachine<kTraced>::Step(std::uint32_t s,
+                                          std::uint32_t warp_id,
+                                          std::uint64_t now) {
   Sm& sm = sms_[s];
   Warp& warp = sm.warps[warp_id];
   // Cached arena views of this warp's register file and private slots.
@@ -661,7 +752,154 @@ std::uint64_t EventMachine::Step(std::uint32_t s, std::uint32_t warp_id,
   }
 }
 
-std::uint64_t EventMachine::ProcessSm(std::uint32_t s, std::uint64_t now) {
+// Fused retirement.  The caller established that this warp was the only
+// entry in the ready ring at this event, so (a) the issue budget cannot
+// split the cycle across warps — a lone ready warp issues exactly one
+// instruction per cycle under any warp_issue_per_cycle — and (b) no
+// other warp on this SM can observe the skipped intermediate cycles:
+// fusible ops touch only warp-private state plus commutative global
+// counters.  Each iteration replays Step's arithmetic for one op; the
+// loop stops
+//   * at the fused run's end (the next pc is a fusion barrier or a
+//     branch target — single-step dispatch resumes there),
+//   * strictly before the cycle the earliest waiting warp wakes (from
+//     that cycle on the ring is no longer singleton), and
+//   * strictly before the watchdog / hard-stop cycle (Run checks the
+//     limits before processing an event, so single-step never executes
+//     an op at a cycle >= the cap either).
+// Stopping anywhere is safe: a partially retired run is per-op
+// identical to the single-step history, and the returned cycle obeys
+// Step's contract (next issue cycle, or the stall-wake cycle when the
+// op at the stop point has operands still in flight).
+template <bool kTraced>
+std::uint64_t EventMachine<kTraced>::StepFused(std::uint32_t s,
+                                               std::uint32_t warp_id,
+                                               std::uint64_t now) {
+  Sm& sm = sms_[s];
+  Warp& warp = sm.warps[warp_id];
+  if (warp.pc >= warp.code_size) {
+    return Step(s, warp_id, now);  // implicit-return path
+  }
+  const FusedBlock* block = linked_.func(warp.func).trace.BlockAt(warp.pc);
+  if (block == nullptr) {
+    return Step(s, warp_id, now);  // fusion barrier at pc
+  }
+  const std::uint32_t end = block->end;
+  const std::uint64_t next_wake =
+      sm.waiting.empty() ? UINT64_MAX : Sm::WakeCycle(sm.waiting.top());
+  const std::uint64_t fuse_limit =
+      std::min(cycle_cap_ == 0 ? UINT64_MAX : cycle_cap_,
+               machine_detail::kHardStopCycles);
+  RegCell* const regs = warp.regs;
+  std::uint64_t c = now;
+  std::uint64_t ops = 0;
+  // Each iteration issues the op at warp.pc at cycle `c`.  An op at a
+  // cycle e > now may only execute fused when e + 1 < next_wake: in
+  // single-step, an op whose return is e + 1 puts the warp back on the
+  // ready ring during event e, AHEAD of any warp the calendar wakes at
+  // e + 1 — a priority ProcessSm can only reproduce for a return of
+  // now + 1 (its requeue test is relative to the event time).  Stopping
+  // with a return v < next_wake is always safe (the warp is alone at
+  // v, so ring-vs-heap placement is unobservable), and the first op at
+  // c == now is always safe (a return of now + 1 requeues normally).
+  while (true) {
+    if (c != now && (c + 1 >= next_wake || c >= fuse_limit)) {
+      break;  // re-attempt at event c; v = c < next_wake
+    }
+    const HotInstr& d = warp.code[warp.pc];
+    std::uint32_t c32 = static_cast<std::uint32_t>(c);
+    if (warp.max_pending_t > c32) {
+      std::uint32_t operands_ready = 0;
+      for (std::uint8_t i = 0; i < d.num_reg_refs; ++i) {
+        const HotRegRange& r = d.reg_refs[i];
+        for (std::uint32_t w = 0; w < r.count; ++w) {
+          operands_ready = std::max(operands_ready, regs[r.first + w].t);
+        }
+      }
+      if (operands_ready > c32) {
+        const std::uint64_t r64 = operands_ready;
+        if (r64 + 1 < next_wake && r64 < fuse_limit) {
+          c = r64;  // advance to the stall wake and issue there
+          c32 = static_cast<std::uint32_t>(c);
+        } else if (r64 < next_wake || c == now || r64 > c + 1) {
+          // Matches Step's stall contract at event c: the warp parks at
+          // the wake cycle (or requeues when it is now + 1).  With
+          // contention at r64 this is exact only when single-step would
+          // also park (r64 > c + 1) or when ProcessSm's requeue test
+          // still applies (c == now).
+          c = r64;
+          break;
+        } else {
+          // r64 == c + 1 >= next_wake with c > now: single-step would
+          // requeue at event c.  Defer the whole attempt to event c so
+          // the requeue happens with the correct priority.
+          break;
+        }
+      }
+    }
+    ++counters_.warp_instructions;
+    switch (static_cast<Opcode>(d.op)) {
+      case Opcode::kNop:
+        ++warp.pc;
+        c += 1;
+        break;
+      case Opcode::kS2R: {
+        ++counters_.alu_instructions;
+        ORION_DCHECK(d.dst_id < preg_stride_);
+        regs[d.dst_id].v =
+            SpecialValue(warp, static_cast<isa::SpecialReg>(d.srcs[0].id));
+        regs[d.dst_id].t = c32 + d.exec_lat;
+        warp.max_pending_t = std::max(warp.max_pending_t, c32 + d.exec_lat);
+        ++warp.pc;
+        c += 1;
+        break;
+      }
+#define ORION_ALU_CASE(NAME)                            \
+  case Opcode::NAME:                                    \
+    c = AluStep<Opcode::NAME>(d, warp, regs, c, c32);   \
+    break;
+      ORION_ALU_CASE(kMov)
+      ORION_ALU_CASE(kIAdd)
+      ORION_ALU_CASE(kISub)
+      ORION_ALU_CASE(kIMul)
+      ORION_ALU_CASE(kIMad)
+      ORION_ALU_CASE(kIMin)
+      ORION_ALU_CASE(kIMax)
+      ORION_ALU_CASE(kAnd)
+      ORION_ALU_CASE(kOr)
+      ORION_ALU_CASE(kXor)
+      ORION_ALU_CASE(kShl)
+      ORION_ALU_CASE(kShr)
+      ORION_ALU_CASE(kFAdd)
+      ORION_ALU_CASE(kFMul)
+      ORION_ALU_CASE(kFFma)
+      ORION_ALU_CASE(kFMin)
+      ORION_ALU_CASE(kFMax)
+      ORION_ALU_CASE(kFSqrt)
+      ORION_ALU_CASE(kFRcp)
+      ORION_ALU_CASE(kFExp)
+      ORION_ALU_CASE(kSetp)
+      ORION_ALU_CASE(kSel)
+#undef ORION_ALU_CASE
+      default:
+        // Unreachable: IsFusible admits only the cases above.
+        exec_detail::UnsupportedAluOpcode(static_cast<Opcode>(d.op));
+    }
+    ++ops;
+    if (warp.pc >= end) {
+      break;  // run retired; the op at `end` is a fusion barrier
+    }
+  }
+  if (ops != 0) {
+    fused_instructions_ += ops;
+    ++macro_ops_retired_;
+  }
+  return c;
+}
+
+template <bool kTraced>
+std::uint64_t EventMachine<kTraced>::ProcessSm(std::uint32_t s,
+                                               std::uint64_t now) {
   Sm& sm = sms_[s];
   const std::uint64_t due_limit = Sm::WakeKey(now + 1, 0);
   while (!sm.waiting.empty() && sm.waiting.top() < due_limit) {
@@ -724,7 +962,308 @@ std::uint64_t EventMachine::ProcessSm(std::uint32_t s, std::uint64_t now) {
   return UINT64_MAX;
 }
 
-SimResult EventMachine::Run() {
+// Free-running SM processing (the trace-cached engine's replacement
+// for ProcessSm).  Each loop iteration replays one ProcessSm cycle
+// verbatim — drain due warps, issue up to the budget, requeue or park
+// — but instead of returning to the global calendar after the cycle,
+// the SM keeps processing its own consecutive event cycles inline
+// (temporal decoupling).  That is exact because
+//
+//   * the first cycle (c == entry_now) carries no restrictions: the
+//     calendar just synchronized every due SM at this cycle, in
+//     ascending SM index, exactly like the event engine;
+//   * at a later cycle (c > entry_now) each issue slot first checks
+//     the warp's next op: SM-local ops (IsSmLocal) are unobservable
+//     from other SMs, so interleaving them before other SMs'
+//     earlier-cycle events cannot change any result bit;
+//   * the moment a sync op (global/local memory, kExit, invalid
+//     record) reaches the front of an issue slot, the loop returns its
+//     cycle without popping that warp, remembering how many slots the
+//     interrupted cycle still owes (Sm::resume_slots): the calendar
+//     re-arrives at that exact cycle with ascending-SM-index order and
+//     the next call finishes the round-robin pass where it stopped, so
+//     cross-SM state is touched in the event engine's exact
+//     (cycle, SM) order and every warp gets the slots it would have;
+//   * the loop never executes an op at a cycle >= the watchdog /
+//     hard-stop limit (Run checks the limits before entering, and the
+//     loop returns any later cycle that reaches them, so
+//     CheckCycleLimits throws exactly where the event engine would).
+//
+// Within a cycle, a warp alone in the ring retires through StepFused
+// (fused macro-op runs).  With company, the issue budget and
+// round-robin interleave are timing-relevant — but they are also
+// *closed-form* while the ring is stable: each cycle pops the front
+// min(ring, budget) warps, and a fusible op (ALU-class, single issue
+// cycle, operands ready) always requeues its warp, so ring membership
+// and order are invariant and overall slot j issues ring warp
+// (j mod ring) at cycle c + j / min(ring, budget).  The burst
+// dispatcher below retires ops along that schedule with one slot
+// counter — no pops, requeues, heap checks, or per-cycle scans —
+// aborting back to per-cycle dispatch at the first op that could
+// change the schedule: a fusion barrier (memory/branch/barrier/exit),
+// a multi-cycle issue (the warp would park), a scoreboard stall (the
+// warp might park), a heap wake (the ring would grow), or the
+// watchdog limit.  An abort mid-cycle simply rotates the ring by the
+// slots already burst and lets the normal issue loop finish the cycle.
+// Idle gaps (empty ring, future wakes) jump straight to the next wake
+// cycle.
+template <bool kTraced>
+std::uint64_t EventMachine<kTraced>::ProcessSmTraced(std::uint32_t s,
+                                                     std::uint64_t entry_now) {
+  Sm& sm = sms_[s];
+  const std::uint32_t budget = spec_.timing.warp_issue_per_cycle;
+  const std::uint64_t fuse_limit =
+      std::min(cycle_cap_ == 0 ? UINT64_MAX : cycle_cap_,
+               machine_detail::kHardStopCycles);
+  std::uint64_t c = entry_now;
+  // The whole SM view lives in locals across the free-run segment.
+  // Step never touches the ready ring (block installs and barrier
+  // releases push into the waiting heap), so head/tail/ring/mask are
+  // exclusively ours until flushed on return; requeues cannot overflow
+  // because occupancy never exceeds its value at segment entry.  The
+  // warps base and the earliest-wake cache are re-derived after the
+  // rare Step returns that can invalidate them (tracked via the heap
+  // size: pops happen only in our drain, so an unchanged size means an
+  // unchanged top).
+  std::uint64_t head = sm.ready_head;
+  std::uint64_t tail = sm.ready_tail;
+  std::uint32_t* ring = sm.ready.data();
+  std::uint64_t mask = sm.ready_mask;
+  Warp* warps = sm.warps.data();
+  std::size_t heap_size = sm.waiting.size();
+  std::uint64_t next_wake =
+      heap_size == 0 ? UINT64_MAX : Sm::WakeCycle(sm.waiting.top());
+  // Slots owed to a cycle a previous call abandoned mid-issue (at a
+  // sync op) or a burst abandoned mid-cycle; consumed by the next
+  // issue-loop pass.
+  std::uint32_t owed_slots = sm.resume_slots;
+  sm.resume_slots = 0;
+  while (true) {
+    if (c != entry_now && c >= fuse_limit) {
+      break;  // let Run's CheckCycleLimits observe this cycle
+    }
+    if (next_wake <= c) {
+      // Drain warps due at or before c into the ring (may grow it).
+      sm.ready_head = head;
+      sm.ready_tail = tail;
+      const std::uint64_t due_limit = Sm::WakeKey(c + 1, 0);
+      do {
+        sm.PushReady(Sm::WakeWarp(sm.waiting.top()));
+        sm.waiting.pop();
+      } while (!sm.waiting.empty() && sm.waiting.top() < due_limit);
+      head = sm.ready_head;
+      tail = sm.ready_tail;
+      ring = sm.ready.data();
+      mask = sm.ready_mask;
+      heap_size = sm.waiting.size();
+      next_wake =
+          heap_size == 0 ? UINT64_MAX : Sm::WakeCycle(sm.waiting.top());
+    }
+    const std::uint32_t avail = static_cast<std::uint32_t>(tail - head);
+    if (avail == 0) {
+      if (next_wake == UINT64_MAX) {
+        sm.ready_head = head;
+        sm.ready_tail = tail;
+        return UINT64_MAX;  // grid done here, or warps held at a barrier
+      }
+      c = next_wake;  // idle gap: jump straight to the next wake
+      continue;
+    }
+    std::uint32_t n;
+    if (owed_slots != 0) {
+      // Finish a cycle interrupted mid-issue (sync return or burst
+      // abort): the front warps are exactly the not-yet-issued ones.
+      n = owed_slots;
+      owed_slots = 0;
+    } else {
+      n = avail < budget ? avail : budget;
+      if (avail >= 2) {
+        // Round burst along the closed-form schedule (header comment).
+        // cap: the schedule holds only while ring membership and order
+        // are invariant — a heap wake would grow the ring, and the
+        // burst itself can never shrink it (burstable ops always
+        // requeue) or push wakes (they touch only SM-local state).
+        const std::uint64_t cap =
+            next_wake < fuse_limit ? next_wake : fuse_limit;
+        std::uint64_t bc = c;     // cycle the next slot issues at
+        std::uint64_t ops = 0;    // slots burst so far
+        std::uint32_t pos = 0;    // ring position of the next slot
+        std::uint32_t used = 0;   // slots already used in cycle bc
+        while (bc < cap) {
+          const std::uint32_t wid = ring[(head + pos) & mask];
+          Warp& w = warps[wid];
+          if (w.pc >= w.code_size) {
+            break;  // implicit return: single-step it
+          }
+          const HotInstr& d = w.code[w.pc];
+          if ((d.flags & HotInstr::kFlagBurstable) == 0) {
+            break;  // burst barrier: sync / park / multi-cycle issue
+          }
+          const std::uint32_t bc32 = static_cast<std::uint32_t>(bc);
+          if ((d.flags & HotInstr::kFlagFusible) == 0) {
+            // Burstable but not ALU-class (branch, shared/param memory
+            // op): Step executes it with full semantics, including the
+            // scoreboard wait.  A bc+1 return is either a retire or a
+            // one-cycle stall — both charge the slot and requeue, which
+            // is exactly what the schedule accounts for.  Anything
+            // later is a stall that would park the warp; Step changed
+            // no state on that path, so abort and single-step it.
+            // Burstable ops never push wakes or grow arenas, so every
+            // cached view stays valid across the call.
+            const std::uint64_t e = Step(s, wid, bc);
+            if (e != bc + 1) {
+              break;
+            }
+            ++ops;
+            goto slot_consumed;
+          }
+          if (w.max_pending_t > bc32) {
+            std::uint32_t operands_ready = 0;
+            for (std::uint8_t r = 0; r < d.num_reg_refs; ++r) {
+              const HotRegRange& rr = d.reg_refs[r];
+              for (std::uint32_t wd = 0; wd < rr.count; ++wd) {
+                operands_ready =
+                    std::max(operands_ready, w.regs[rr.first + wd].t);
+              }
+            }
+            if (operands_ready == bc32 + 1) {
+              // One-cycle stall: the event engine charges the slot and
+              // requeues without executing — ring order is unchanged,
+              // so the schedule survives.  Consume the slot the same
+              // way and leave the op for the warp's next turn.
+              goto slot_consumed;
+            }
+            if (operands_ready > bc32) {
+              break;  // longer stall: the warp would park — single-step
+            }
+          }
+          {
+          RegCell* const regs = w.regs;
+          ++counters_.warp_instructions;
+          switch (static_cast<Opcode>(d.op)) {
+            case Opcode::kNop:
+              ++w.pc;
+              break;
+            case Opcode::kS2R: {
+              ++counters_.alu_instructions;
+              ORION_DCHECK(d.dst_id < preg_stride_);
+              regs[d.dst_id].v =
+                  SpecialValue(w, static_cast<isa::SpecialReg>(d.srcs[0].id));
+              regs[d.dst_id].t = bc32 + d.exec_lat;
+              w.max_pending_t = std::max(w.max_pending_t, bc32 + d.exec_lat);
+              ++w.pc;
+              break;
+            }
+#define ORION_ALU_CASE(NAME)                        \
+  case Opcode::NAME:                                \
+    AluStep<Opcode::NAME>(d, w, regs, bc, bc32);    \
+    break;
+            ORION_ALU_CASE(kMov)
+            ORION_ALU_CASE(kIAdd)
+            ORION_ALU_CASE(kISub)
+            ORION_ALU_CASE(kIMul)
+            ORION_ALU_CASE(kIMad)
+            ORION_ALU_CASE(kIMin)
+            ORION_ALU_CASE(kIMax)
+            ORION_ALU_CASE(kAnd)
+            ORION_ALU_CASE(kOr)
+            ORION_ALU_CASE(kXor)
+            ORION_ALU_CASE(kShl)
+            ORION_ALU_CASE(kShr)
+            ORION_ALU_CASE(kFAdd)
+            ORION_ALU_CASE(kFMul)
+            ORION_ALU_CASE(kFFma)
+            ORION_ALU_CASE(kFMin)
+            ORION_ALU_CASE(kFMax)
+            ORION_ALU_CASE(kFSqrt)
+            ORION_ALU_CASE(kFRcp)
+            ORION_ALU_CASE(kFExp)
+            ORION_ALU_CASE(kSetp)
+            ORION_ALU_CASE(kSel)
+#undef ORION_ALU_CASE
+            default:
+              // Unreachable: kFlagFusible admits only the cases above.
+              exec_detail::UnsupportedAluOpcode(static_cast<Opcode>(d.op));
+          }
+          ++ops;
+          }
+        slot_consumed:
+          if (++pos == avail) {
+            pos = 0;
+          }
+          if (++used == n) {
+            used = 0;
+            ++bc;
+          }
+        }
+        if (ops != 0) {
+          fused_instructions_ += ops;
+          ++macro_ops_retired_;
+          // Reproduce the pops-and-requeues the event engine would
+          // have done: rotate the ring by the burst slots past whole
+          // rotations.  (The write targets coincide with the sources
+          // when the ring is exactly full; the values are identical.)
+          for (std::uint32_t t = 0; t < pos; ++t) {
+            ring[tail++ & mask] = ring[head++ & mask];
+          }
+          c = bc;
+          if (used == 0) {
+            continue;  // clean cycle boundary: re-drain / re-burst
+          }
+          n -= used;  // finish cycle bc in the issue loop below
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t warp_id = ring[head & mask];
+      if (c != entry_now && warps[warp_id].pc < warps[warp_id].code_size &&
+          !IsSmLocal(warps[warp_id].code[warps[warp_id].pc])) {
+        // Sync op at the front mid-free-run: the calendar must arrive
+        // at c first.  Warps already issued this cycle were SM-local —
+        // unobservable early — so leave this warp queued and remember
+        // how many slots the interrupted cycle still owes.  (An
+        // implicit return, pc == code_size, is warp-local.)
+        sm.resume_slots = n - i;
+        goto sync;
+      }
+      ++head;
+      if (avail > 2 && head < tail) {
+        const Warp& nw = warps[ring[head & mask]];
+        __builtin_prefetch(nw.code + nw.pc);
+        __builtin_prefetch(nw.regs, 1);
+        __builtin_prefetch(nw.regs + 8, 1);
+      }
+      const std::uint64_t next =
+          avail == 1 ? StepFused(s, warp_id, c) : Step(s, warp_id, c);
+      if (next <= c + 1) {
+        // Requeue (the common case); no Step on this path pushes wakes.
+        ring[tail++ & mask] = warp_id;
+        continue;
+      }
+      if (next != UINT64_MAX) {
+        sm.waiting.push(Sm::WakeKey(next, warp_id));
+      } else {
+        // Held (barrier) or done; a block install may have reallocated
+        // the warps vector.
+        warps = sm.warps.data();
+      }
+      // Barrier releases and block installs push wakes inside Step;
+      // re-derive the earliest-wake cache when the heap grew.
+      if (sm.waiting.size() != heap_size) {
+        heap_size = sm.waiting.size();
+        next_wake = Sm::WakeCycle(sm.waiting.top());
+      }
+    }
+    ++c;  // ring non-empty: next cycle is an event; empty: drain jumps
+  }
+sync:
+  sm.ready_head = head;
+  sm.ready_tail = tail;
+  return c;
+}
+
+template <bool kTraced>
+SimResult EventMachine<kTraced>::Run() {
   std::uint64_t now = 0;
   while (blocks_remaining_ > 0) {
     // Advance straight to the earliest next event across all SMs,
@@ -756,20 +1295,33 @@ SimResult EventMachine::Run() {
         machine_detail::CheckCycleLimits(t, cycle_cap_);
         now = t;  // `now` must track the last processed cycle: it is
                   // the total-cycle count when the grid retires here.
-        t = ProcessSm(only, t);
+        if constexpr (kTraced) {
+          t = ProcessSmTraced(only, t);
+        } else {
+          t = ProcessSm(only, t);
+        }
       } while (t < second);
       sm_next_[only] = t;
       continue;
     }
     for (std::uint32_t s = 0; s < sms_.size(); ++s) {
       if (sm_next_[s] <= now) {
-        sm_next_[s] = ProcessSm(s, now);
+        if constexpr (kTraced) {
+          sm_next_[s] = ProcessSmTraced(s, now);
+        } else {
+          sm_next_[s] = ProcessSm(s, now);
+        }
       }
     }
   }
 
-  return machine_detail::FinalizeResult(spec_, config_, module_, occ_, now,
-                                        counters_, mem_.stats());
+  SimResult result = machine_detail::FinalizeResult(
+      spec_, config_, module_, occ_, now, counters_, mem_.stats());
+  if constexpr (kTraced) {
+    result.fused_instructions = fused_instructions_;
+    result.macro_ops_retired = macro_ops_retired_;
+  }
+  return result;
 }
 
 }  // namespace
@@ -780,9 +1332,45 @@ SimResult RunEventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
                           const arch::OccupancyResult& occ,
                           std::uint32_t first_block, std::uint32_t num_blocks,
                           std::uint64_t cycle_cap) {
-  EventMachine machine(spec, config, module, gmem, params, occ, first_block,
-                       num_blocks, cycle_cap);
+  EventMachine<false> machine(spec, config, module, gmem, params, occ,
+                              first_block, num_blocks, cycle_cap);
   return machine.Run();
+}
+
+SimResult RunTracedMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
+                           const isa::Module& module, GlobalMemory* gmem,
+                           const std::vector<std::uint32_t>& params,
+                           const arch::OccupancyResult& occ,
+                           std::uint32_t first_block, std::uint32_t num_blocks,
+                           std::uint64_t cycle_cap) {
+  EventMachine<true> machine(spec, config, module, gmem, params, occ,
+                             first_block, num_blocks, cycle_cap);
+  return machine.Run();
+}
+
+const char* SimEngineName(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kEventDriven:
+      return "event";
+    case SimEngine::kReference:
+      return "reference";
+    case SimEngine::kTraceCached:
+      return "traced";
+  }
+  return "unknown";
+}
+
+bool ParseSimEngine(std::string_view name, SimEngine* engine) {
+  if (name == "event") {
+    *engine = SimEngine::kEventDriven;
+  } else if (name == "reference") {
+    *engine = SimEngine::kReference;
+  } else if (name == "traced") {
+    *engine = SimEngine::kTraceCached;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool BitIdentical(const MemoryStats& a, const MemoryStats& b) {
@@ -828,16 +1416,35 @@ SimResult GpuSimulator::Launch(const isa::Module& module, GlobalMemory* gmem,
   }
   telemetry::ScopedSpan span("sim", "sim.launch");
   span.AddArg("kernel", module.name);
-  const SimResult result =
-      engine_ == SimEngine::kReference
-          ? RunReferenceMachine(spec_, config_, module, gmem, params, occ,
-                                first_block, num_blocks, cycle_cap_)
-          : RunEventMachine(spec_, config_, module, gmem, params, occ,
-                            first_block, num_blocks, cycle_cap_);
+  SimResult result;
+  switch (engine_) {
+    case SimEngine::kReference:
+      result = RunReferenceMachine(spec_, config_, module, gmem, params, occ,
+                                   first_block, num_blocks, cycle_cap_);
+      break;
+    case SimEngine::kTraceCached:
+      result = RunTracedMachine(spec_, config_, module, gmem, params, occ,
+                                first_block, num_blocks, cycle_cap_);
+      break;
+    case SimEngine::kEventDriven:
+      result = RunEventMachine(spec_, config_, module, gmem, params, occ,
+                               first_block, num_blocks, cycle_cap_);
+      break;
+  }
   // Counters fold in at the launch boundary from the finished
-  // SimResult, so both engines yield identical telemetry by
-  // construction (asserted in determinism_test.cpp).
+  // SimResult, so all engines yield identical telemetry by construction
+  // (asserted in determinism_test.cpp).  The sim.trace_cache.* family
+  // is engine bookkeeping, recorded only for the traced engine and
+  // excluded from that parity contract.
   RecordSimCounters(result);
+  if (engine_ == SimEngine::kTraceCached) {
+    ORION_COUNTER_ADD("sim.trace_cache.macro_ops_retired",
+                      result.macro_ops_retired);
+    ORION_COUNTER_ADD("sim.trace_cache.fused_instructions",
+                      result.fused_instructions);
+    ORION_COUNTER_ADD("sim.trace_cache.fallback_single_steps",
+                      result.warp_instructions - result.fused_instructions);
+  }
   if (span.active()) {
     span.AddArg("cycles", result.cycles);
     span.AddArg("ms", result.ms);

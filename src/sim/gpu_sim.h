@@ -19,21 +19,34 @@
 // footprints come from the kernel's stride annotations, so coalescing
 // and cache behaviour are modeled without simulating 32 lanes.
 //
-// Two engines implement the identical machine model:
+// Three engines implement the identical machine model:
 //
 //   * kEventDriven (default) — a global event calendar: each SM exposes
 //     its next-ready cycle and the machine advances time directly to
 //     the minimum next event, executing pre-decoded instructions
 //     (sim/linked.h).  This is the fast engine every production path
 //     uses.
+//   * kTraceCached — the event engine plus a link-time trace cache:
+//     straight-line runs of non-memory, non-branch, non-barrier ops
+//     are fused into macro-ops (sim/linked.h FusedBlock).  A warp that
+//     is alone on its SM retires a whole fused run per event; with
+//     several ready warps the dispatcher free-runs round-robin rounds
+//     of burst-legal ops (HotInstr::kFlagBurstable) ahead of the
+//     calendar.  Both paths fall back to single-step dispatch at every
+//     fusion barrier, wake boundary, and watchdog point, and replay
+//     the event engine's issue schedule bit-exactly.  Candidate
+//     default once the bench proves parity.
 //   * kReference — the original per-cycle stepping loop over raw
-//     instructions, kept as the golden model.  The two engines are
-//     bit-deterministic: identical SimResult (cycles, instruction
-//     counts, cache stats, energy) and identical global-memory images,
-//     enforced by tests/determinism_test.cpp.
+//     instructions, kept as the golden model.
+//
+// All engines are bit-deterministic against each other: identical
+// SimResult (cycles, instruction counts, cache stats, energy) and
+// identical global-memory images, enforced by
+// tests/determinism_test.cpp.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "arch/gpu_spec.h"
@@ -47,7 +60,13 @@ namespace orion::sim {
 enum class SimEngine : std::uint8_t {
   kEventDriven = 0,  // event calendar + pre-decoded instructions
   kReference,        // seed per-cycle stepping (golden model)
+  kTraceCached,      // event calendar + fused macro-op retirement
 };
+
+// Short stable names for flags/JSON: "event", "reference", "traced".
+const char* SimEngineName(SimEngine engine);
+// Parses the names above; returns false on anything else.
+bool ParseSimEngine(std::string_view name, SimEngine* engine);
 
 struct SimResult {
   std::uint64_t cycles = 0;
@@ -59,6 +78,11 @@ struct SimResult {
   std::uint64_t mem_instructions = 0;
   MemoryStats mem;
   arch::OccupancyResult occupancy;
+  // Trace-cache diagnostics (kTraceCached only; always 0 elsewhere).
+  // Engine bookkeeping, not machine-model state: deliberately excluded
+  // from the BitIdentical determinism contract.
+  std::uint64_t fused_instructions = 0;  // instrs retired inside macro-ops
+  std::uint64_t macro_ops_retired = 0;   // fused-run retirements
 };
 
 // Bitwise determinism predicates (the determinism contract compares

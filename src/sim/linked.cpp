@@ -4,6 +4,8 @@
 
 #include "arch/gpu_spec.h"
 #include "common/error.h"
+#include "isa/isa.h"
+#include "telemetry/telemetry.h"
 
 namespace orion::sim {
 
@@ -138,12 +140,145 @@ HotInstr ToHot(const DecodedInstr& d, const arch::GpuSpec& spec) {
   if (!ok) {
     h.flags |= HotInstr::kFlagInvalid;
   }
+  // Cross-SM synchronisation points: global/local memory goes through
+  // the shared L2 and bandwidth model, kExit hands the finished block
+  // back to the launch-wide scheduler, and invalid records throw.
+  const bool mem_sync =
+      (d.op == isa::Opcode::kLd || d.op == isa::Opcode::kSt) &&
+      d.space != isa::MemSpace::kShared &&
+      d.space != isa::MemSpace::kSharedPriv &&
+      d.space != isa::MemSpace::kParam;
+  if (!ok || mem_sync || d.op == isa::Opcode::kExit) {
+    h.flags |= HotInstr::kFlagSync;
+  }
+  if (IsFusible(h)) {
+    h.flags |= HotInstr::kFlagFusible;
+  }
+  // Burst-legal: SM-local, one issue slot, and a guaranteed now+1
+  // requeue — kBar parks (or wakes other warps), kCal/kRet return
+  // now+2, kSt.param throws, and multi-cycle ops park the warp.
+  const bool requeues =
+      d.op != isa::Opcode::kBar && d.op != isa::Opcode::kCal &&
+      d.op != isa::Opcode::kRet &&
+      !(d.op == isa::Opcode::kSt && d.space == isa::MemSpace::kParam);
+  if ((h.flags & HotInstr::kFlagSync) == 0 && h.issue_cycles == 1 &&
+      requeues) {
+    h.flags |= HotInstr::kFlagBurstable;
+  }
   return h;
 }
 
 }  // namespace
 
-LinkedModule::LinkedModule(const isa::Module& module, const arch::GpuSpec* spec)
+bool IsFusible(const HotInstr& instr) {
+  if (instr.flags & HotInstr::kFlagInvalid) {
+    return false;
+  }
+  switch (static_cast<isa::Opcode>(instr.op)) {
+    case isa::Opcode::kLd:
+    case isa::Opcode::kSt:
+    case isa::Opcode::kBra:
+    case isa::Opcode::kBrz:
+    case isa::Opcode::kBrnz:
+    case isa::Opcode::kCal:
+    case isa::Opcode::kRet:
+    case isa::Opcode::kBar:
+    case isa::Opcode::kExit:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void LinkedModule::BuildTraceCache(const arch::GpuSpec& spec) {
+  (void)spec;
+  telemetry::ScopedSpan span("sim", "sim.build_trace_cache");
+  std::uint64_t total_instrs = 0;
+  for (LinkedFunction& linked : funcs_) {
+    const std::uint32_t n = static_cast<std::uint32_t>(linked.hot.size());
+    total_instrs += n;
+    TraceCache& tc = linked.trace;
+    tc.block_of.assign(n, -1);
+    // Basic-block leaders: entry, every branch target, and every
+    // fall-through successor of a control transfer.  A fused run never
+    // crosses a leader, so a branch into the middle of straight-line
+    // code starts its own macro-op and per-block aggregates stay
+    // meaningful.
+    std::vector<bool> leader(n + 1, false);
+    if (n > 0) {
+      leader[0] = true;
+    }
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+      const isa::Opcode op = static_cast<isa::Opcode>(linked.hot[pc].op);
+      if (isa::IsBranch(op)) {
+        const std::int32_t target = linked.branch_target[pc];
+        ORION_DCHECK(target >= 0);
+        if (static_cast<std::uint32_t>(target) < n) {
+          leader[static_cast<std::uint32_t>(target)] = true;
+        }
+        leader[pc + 1] = true;
+      } else if (op == isa::Opcode::kCal || op == isa::Opcode::kRet ||
+                 op == isa::Opcode::kExit || op == isa::Opcode::kBar) {
+        leader[pc + 1] = true;
+      }
+    }
+    // Fuse maximal straight-line runs of fusible instructions within
+    // each basic block.  Runs of length 1 still become macro-ops: the
+    // engine's per-event overhead is what fusion amortizes, and even a
+    // single fused op retires without a calendar round-trip.
+    std::uint32_t pc = 0;
+    while (pc < n) {
+      if (!IsFusible(linked.hot[pc])) {
+        ++pc;
+        continue;
+      }
+      FusedBlock block;
+      block.begin = pc;
+      block.reg_lo = UINT32_MAX;
+      block.reg_hi = 0;
+      while (pc < n && IsFusible(linked.hot[pc]) &&
+             (pc == block.begin || !leader[pc])) {
+        const HotInstr& h = linked.hot[pc];
+        if (h.flags & HotInstr::kFlagSfu) {
+          ++block.sfu_count;
+        } else if (static_cast<isa::Opcode>(h.op) != isa::Opcode::kNop) {
+          ++block.alu_count;
+        }
+        block.min_issue_cycles += h.issue_cycles;
+        if (h.dst_width > 0) {
+          block.reg_lo = std::min<std::uint32_t>(block.reg_lo, h.dst_id);
+          block.reg_hi =
+              std::max<std::uint32_t>(block.reg_hi, h.dst_id + h.dst_width);
+        }
+        ++pc;
+      }
+      block.end = pc;
+      if (block.reg_lo == UINT32_MAX) {
+        block.reg_lo = block.reg_hi = 0;
+      }
+      const std::int32_t index = static_cast<std::int32_t>(tc.blocks.size());
+      for (std::uint32_t i = block.begin; i < block.end; ++i) {
+        tc.block_of[i] = index;
+      }
+      tc.blocks.push_back(block);
+      trace_blocks_ += 1;
+      trace_fused_instrs_ += block.size();
+    }
+  }
+  ORION_COUNTER_ADD("sim.trace_cache.blocks_fused", trace_blocks_);
+  if (span.active()) {
+    span.AddArg("functions", static_cast<std::uint64_t>(funcs_.size()));
+    span.AddArg("blocks", trace_blocks_);
+    span.AddArg("fused_instructions", trace_fused_instrs_);
+    span.AddArg("coverage",
+                total_instrs > 0 ? static_cast<double>(trace_fused_instrs_) /
+                                       static_cast<double>(total_instrs)
+                                 : 0.0);
+  }
+}
+
+LinkedModule::LinkedModule(const isa::Module& module, const arch::GpuSpec* spec,
+                           bool build_trace_cache)
     : module_(&module) {
   const std::uint32_t n = static_cast<std::uint32_t>(module.functions.size());
   funcs_.resize(n);
@@ -238,6 +373,10 @@ LinkedModule::LinkedModule(const isa::Module& module, const arch::GpuSpec* spec)
     }
   }
   ORION_CHECK_MSG(kernel_found, "linked module has no kernel");
+  if (build_trace_cache) {
+    ORION_CHECK_MSG(spec != nullptr, "trace cache requires a GpuSpec");
+    BuildTraceCache(*spec);
+  }
 }
 
 }  // namespace orion::sim

@@ -12,7 +12,11 @@
 //     when a GpuSpec is supplied (they depend only on the instruction
 //     and the target's warp/line geometry),
 //   * the highest virtual register id, so the functional interpreter
-//     can use flat per-frame vreg arrays instead of a map.
+//     can use flat per-frame vreg arrays instead of a map,
+//   * optionally (the trace-cached engine), a per-function trace
+//     cache: the instruction stream segmented into basic blocks and
+//     straight-line runs of fusible ops collapsed into macro-ops with
+//     precomputed aggregates (see TraceCache below).
 //
 // Shared by the interpreter and the timing simulator.
 #pragma once
@@ -95,6 +99,27 @@ struct alignas(64) HotInstr {
   static constexpr std::uint8_t kFlagSfu = 1;
   static constexpr std::uint8_t kFlagScattered = 2;
   static constexpr std::uint8_t kFlagInvalid = 4;
+  // Set at link time on instructions that touch state shared across
+  // SMs (global/local memory with its L2 and bandwidth model, kExit's
+  // block-install handshake, invalid records).  The trace-cached
+  // engine may only free-run an SM past the calendar while every op it
+  // issues has this bit clear.
+  static constexpr std::uint8_t kFlagSync = 8;
+  // Link-time cache of IsFusible(): the record may retire inside a
+  // fused macro-op (ALU-class/kS2R/kNop — touches only warp-private
+  // state).  Lets the trace-cached engine's burst dispatcher test
+  // fusion legality with one flag read per op.
+  static constexpr std::uint8_t kFlagFusible = 16;
+  // The record may retire inside a free-run burst: it is SM-local
+  // (kFlagSync clear), occupies exactly one issue slot, and always
+  // requeues the warp at now+1 — so retiring it early cannot change
+  // ring membership or order, and the burst replays the event engine's
+  // issue schedule exactly.  Superset of kFlagFusible (restricted to
+  // issue_cycles == 1) that additionally admits branches and
+  // shared/param memory ops.  Excluded: global/local memory (cross-SM
+  // L2/DRAM model), kBar (parks or wakes other warps), kCal/kRet
+  // (now+2 return parks the warp), kExit, multi-cycle-issue ALU/SFU.
+  static constexpr std::uint8_t kFlagBurstable = 32;
 
   std::uint8_t op = 0;     // isa::Opcode
   std::uint8_t space = 0;  // isa::MemSpace
@@ -114,10 +139,61 @@ struct alignas(64) HotInstr {
 };
 static_assert(sizeof(HotInstr) == 64, "HotInstr must stay one cache line");
 
+// True when the trace-cached engine may retire this instruction inside
+// a fused macro-op: ALU-class ops (including SFU), kS2R and kNop.  The
+// fusion barriers — memory ops, branches, calls/returns, barriers,
+// kExit, and records the link marked invalid — all touch cross-warp or
+// cross-SM state (or change control flow) and must go through the
+// event calendar one at a time.
+bool IsFusible(const HotInstr& instr);
+
+// One macro-op: a maximal straight-line run of fusible instructions
+// inside a single basic block, with aggregates precomputed at link
+// time.  [begin, end) are instruction indices (pcs) in the owning
+// function.  A warp may enter mid-run (e.g. resuming after a partial
+// retire stopped at a wake boundary); the aggregates describe the
+// whole run.
+struct FusedBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  // Aggregate instruction mix (energy follows from these and the
+  // spec's per-class energies; warp_instructions == end - begin).
+  std::uint32_t alu_count = 0;  // includes kS2R, excludes SFU ops
+  std::uint32_t sfu_count = 0;
+  // Aggregate latency: the run occupies at least this many issue
+  // cycles (scoreboard stalls can only lengthen it).
+  std::uint32_t min_issue_cycles = 0;
+  // Aggregate register effect: the physical-register words the run
+  // writes all lie in [reg_lo, reg_hi).  reg_lo == reg_hi when the run
+  // writes nothing (all-kNop).
+  std::uint32_t reg_lo = 0;
+  std::uint32_t reg_hi = 0;
+
+  std::uint32_t size() const { return end - begin; }
+};
+
+// Per-function trace cache: the macro-ops plus a per-pc index so the
+// engine can key a lookup by (function, entry pc) in O(1).
+struct TraceCache {
+  std::vector<FusedBlock> blocks;
+  // block_of[pc] = index into `blocks` of the fused run containing pc,
+  // or -1 when pc is a fusion barrier.
+  std::vector<std::int32_t> block_of;
+
+  // The fused run containing `pc`, or nullptr.
+  const FusedBlock* BlockAt(std::uint32_t pc) const {
+    if (pc >= block_of.size() || block_of[pc] < 0) {
+      return nullptr;
+    }
+    return &blocks[static_cast<std::size_t>(block_of[pc])];
+  }
+};
+
 struct LinkedFunction {
   const isa::Function* func = nullptr;
   std::vector<DecodedInstr> decoded;  // one per instruction, index == pc
   std::vector<HotInstr> hot;          // spec-linked compact form (same size)
+  TraceCache trace;                   // empty unless linked with the cache
   std::uint32_t max_vreg = 0;         // highest vreg id + 1 (virtual modules)
   // Legacy per-instruction target tables (kept for existing callers):
   // resolved branch target (instruction index; the function-end index
@@ -131,18 +207,31 @@ class LinkedModule {
  public:
   // `spec` enables the spec-dependent precomputations (line footprints,
   // issue occupancy); pass nullptr for pure functional execution.
+  // `build_trace_cache` additionally segments every function into
+  // basic blocks and fuses straight-line runs into macro-ops (requires
+  // a spec); only the trace-cached engine asks for it, so the other
+  // engines never pay the extra link pass.
   explicit LinkedModule(const isa::Module& module,
-                        const arch::GpuSpec* spec = nullptr);
+                        const arch::GpuSpec* spec = nullptr,
+                        bool build_trace_cache = false);
 
   const isa::Module& module() const { return *module_; }
   const LinkedFunction& func(std::uint32_t index) const { return funcs_[index]; }
   std::uint32_t kernel_index() const { return kernel_index_; }
   std::uint32_t num_funcs() const { return static_cast<std::uint32_t>(funcs_.size()); }
 
+  // Trace-cache totals across all functions (0 when not built).
+  std::uint64_t trace_blocks() const { return trace_blocks_; }
+  std::uint64_t trace_fused_instructions() const { return trace_fused_instrs_; }
+
  private:
+  void BuildTraceCache(const arch::GpuSpec& spec);
+
   const isa::Module* module_;
   std::vector<LinkedFunction> funcs_;
   std::uint32_t kernel_index_ = 0;
+  std::uint64_t trace_blocks_ = 0;
+  std::uint64_t trace_fused_instrs_ = 0;
 };
 
 }  // namespace orion::sim

@@ -124,4 +124,13 @@ SimResult RunEventMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
                           std::uint32_t first_block, std::uint32_t num_blocks,
                           std::uint64_t cycle_cap);
 
+// Entry point of the trace-cached engine (the event engine with fused
+// macro-op retirement), implemented in gpu_sim.cpp.
+SimResult RunTracedMachine(const arch::GpuSpec& spec, arch::CacheConfig config,
+                           const isa::Module& module, GlobalMemory* gmem,
+                           const std::vector<std::uint32_t>& params,
+                           const arch::OccupancyResult& occ,
+                           std::uint32_t first_block, std::uint32_t num_blocks,
+                           std::uint64_t cycle_cap);
+
 }  // namespace orion::sim

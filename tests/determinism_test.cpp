@@ -1,24 +1,28 @@
 // The simulator's determinism contract.
 //
-// Two independent engines implement the machine model (sim/gpu_sim.h):
-// the event-driven calendar (default) and the reference per-cycle
-// stepping loop.  This suite pins the contract the rest of the system
-// relies on:
+// Three independent engines implement the machine model (sim/gpu_sim.h):
+// the event-driven calendar (default), the trace-cached burst engine,
+// and the reference per-cycle stepping loop.  This suite pins the
+// contract the rest of the system relies on:
 //
-//   * the two engines produce bit-identical SimResults (cycles,
+//   * the engines produce bit-identical SimResults (cycles,
 //     instruction counts, cache statistics, energy — doubles compared
 //     exactly) and bit-identical global-memory images, across
-//     workloads, iterations and cache configurations;
+//     workloads, iterations and cache configurations; the trace-cached
+//     engine additionally across every occupancy level of every
+//     workload, under the watchdog, and under seeded fault plans;
 //   * sim::ParallelSweep produces identical outcomes for any thread
 //     count, and those outcomes equal a serial simulation loop;
 //   * DynamicTuner::PlanFromSweep replays exactly the walk the live
 //     feedback tuner performs over the same runtimes.
+#include <algorithm>
 #include <thread>
 
 #include <gtest/gtest.h>
 
 #include "baseline/baseline.h"
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/rng.h"
 #include "core/orion.h"
 #include "isa/binary.h"
@@ -94,6 +98,10 @@ INSTANTIATE_TEST_SUITE_P(Workloads, EngineEquivalence,
 // folded in from the SimResult at the launch boundary, so an identical
 // machine model implies an identical counter snapshot.  This pins the
 // contract that instrumentation never reads engine-internal state.
+// The traced engine's sim.trace_cache.* family (macro-ops retired,
+// fused instructions, fallback single-steps) is engine bookkeeping by
+// design, excluded from the parity comparison but required to be
+// present and self-consistent.
 TEST(EngineEquivalence, TelemetryCountersIdenticalAcrossEngines) {
   const workloads::Workload w = workloads::MakeWorkload("srad");
   const arch::GpuSpec& spec = arch::Gtx680();
@@ -116,10 +124,44 @@ TEST(EngineEquivalence, TelemetryCountersIdenticalAcrossEngines) {
 
   const auto event_driven = run_engine(SimEngine::kEventDriven);
   const auto reference = run_engine(SimEngine::kReference);
+  const auto traced = run_engine(SimEngine::kTraceCached);
   EXPECT_EQ(event_driven.first, reference.first)
       << "engines diverged in telemetry counters";
   EXPECT_EQ(event_driven.second, reference.second)
       << "engines diverged in telemetry gauges";
+
+  // Traced parity holds once the trace_cache family is filtered out.
+  const auto is_trace_cache = [](const std::pair<std::string, std::uint64_t>&
+                                     counter) {
+    return counter.first.rfind("sim.trace_cache.", 0) == 0;
+  };
+  auto traced_counters = traced.first;
+  std::uint64_t macro_ops = 0;
+  std::uint64_t fused = 0;
+  std::uint64_t fallback = 0;
+  std::uint64_t warp_instructions = 0;
+  for (const auto& counter : traced_counters) {
+    if (counter.first == "sim.trace_cache.macro_ops_retired") {
+      macro_ops = counter.second;
+    } else if (counter.first == "sim.trace_cache.fused_instructions") {
+      fused = counter.second;
+    } else if (counter.first == "sim.trace_cache.fallback_single_steps") {
+      fallback = counter.second;
+    } else if (counter.first == "sim.warp_instructions") {
+      warp_instructions = counter.second;
+    }
+  }
+  traced_counters.erase(std::remove_if(traced_counters.begin(),
+                                       traced_counters.end(), is_trace_cache),
+                        traced_counters.end());
+  EXPECT_EQ(traced_counters, event_driven.first)
+      << "traced engine diverged in non-trace-cache telemetry counters";
+  EXPECT_EQ(traced.second, event_driven.second)
+      << "traced engine diverged in telemetry gauges";
+  EXPECT_GT(macro_ops, 0u);
+  EXPECT_GT(fused, 0u);
+  EXPECT_EQ(fused + fallback, warp_instructions)
+      << "fused + fallback must partition retired instructions";
 }
 
 // Split launches (kernel splitting) must agree too: partial grids
@@ -148,6 +190,174 @@ TEST(EngineEquivalenceSplit, PartialGridsMatch) {
                                         grid / 2, grid - grid / 2);
   ExpectBitIdentical(ev_b, rf_b, "second half");
   EXPECT_EQ(event_mem.words(), ref_mem.words());
+}
+
+// --- trace-cached engine vs event engine -------------------------------
+
+// The tentpole contract of the trace-cached engine: bit-identical to
+// the event engine on every workload at *every occupancy level*.  The
+// occupancy sweep matters because ring size drives the burst
+// dispatcher's closed-form schedule — each level exercises a different
+// ready-ring/wake-heap interleaving.
+class TracedEngineEquivalence : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(TracedEngineEquivalence, MatchesEventAtEveryOccupancyLevel) {
+  const workloads::Workload w = workloads::MakeWorkload(GetParam());
+  const arch::GpuSpec& spec = arch::Gtx680();
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(w.module, spec, options);
+  ASSERT_GE(all.versions.size(), 1u);
+
+  GpuSimulator event_sim(spec, arch::CacheConfig::kSmallCache,
+                         SimEngine::kEventDriven);
+  GpuSimulator traced_sim(spec, arch::CacheConfig::kSmallCache,
+                          SimEngine::kTraceCached);
+  std::uint64_t fused_total = 0;
+  for (const runtime::KernelVersion& version : all.versions) {
+    const isa::Module& module = all.ModuleOf(version);
+    GlobalMemory event_mem = MakeSeededMemory(w.gmem_words, w.seed);
+    GlobalMemory traced_mem = MakeSeededMemory(w.gmem_words, w.seed);
+    const SimResult ev = event_sim.LaunchAll(module, &event_mem, w.ParamsFor(0),
+                                             version.smem_padding_bytes);
+    const SimResult tr = traced_sim.LaunchAll(
+        module, &traced_mem, w.ParamsFor(0), version.smem_padding_bytes);
+    ExpectBitIdentical(ev, tr, GetParam() + " level " + version.tag);
+    EXPECT_EQ(event_mem.words(), traced_mem.words())
+        << GetParam() << " level " << version.tag
+        << ": engines diverged in global memory";
+    EXPECT_EQ(ev.fused_instructions, 0u) << "event engine reported fusion";
+    fused_total += tr.fused_instructions;
+  }
+  // The equivalence must not be vacuous: the traced engine actually
+  // retired work inside fused bursts on at least one level.
+  EXPECT_GT(fused_total, 0u)
+      << GetParam() << ": trace-cached engine never fused anything";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, TracedEngineEquivalence,
+                         ::testing::ValuesIn(workloads::AllNames()));
+
+// Cross-spec / cross-cache / multi-iteration coverage: C2075 has a
+// different issue width (1 slot/cycle vs 2), which exercises the burst
+// schedule's cycle arithmetic differently, and iteration chaining makes
+// any divergence compound through global memory.
+TEST(TracedEngineEquivalenceConfigs, MatchesEventAcrossSpecsAndCaches) {
+  for (const char* name : {"srad", "matrixmul"}) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    for (const arch::GpuSpec* spec :
+         {&arch::Gtx680(), &arch::TeslaC2075()}) {
+      const isa::Module compiled = baseline::CompileDefault(w.module, *spec);
+      for (const arch::CacheConfig config :
+           {arch::CacheConfig::kSmallCache, arch::CacheConfig::kLargeCache}) {
+        GpuSimulator event_sim(*spec, config, SimEngine::kEventDriven);
+        GpuSimulator traced_sim(*spec, config, SimEngine::kTraceCached);
+        GlobalMemory event_mem = MakeSeededMemory(w.gmem_words, w.seed);
+        GlobalMemory traced_mem = MakeSeededMemory(w.gmem_words, w.seed);
+        for (std::uint32_t it = 0; it < 2; ++it) {
+          const SimResult ev =
+              event_sim.LaunchAll(compiled, &event_mem, w.ParamsFor(it));
+          const SimResult tr =
+              traced_sim.LaunchAll(compiled, &traced_mem, w.ParamsFor(it));
+          ExpectBitIdentical(ev, tr, std::string(name) + " on " + spec->name +
+                                         " iteration " + std::to_string(it));
+        }
+        EXPECT_EQ(event_mem.words(), traced_mem.words())
+            << name << " on " << spec->name;
+      }
+    }
+  }
+}
+
+// Partial grids through the traced engine: kernel splitting exercises
+// block installation and calendar tail-drain under the burst
+// dispatcher.
+TEST(TracedEngineEquivalenceSplit, PartialGridsMatch) {
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+  const std::uint32_t grid = compiled.launch.grid_dim;
+
+  GpuSimulator event_sim(spec, arch::CacheConfig::kSmallCache,
+                         SimEngine::kEventDriven);
+  GpuSimulator traced_sim(spec, arch::CacheConfig::kSmallCache,
+                          SimEngine::kTraceCached);
+  GlobalMemory event_mem = MakeSeededMemory(w.gmem_words, w.seed);
+  GlobalMemory traced_mem = MakeSeededMemory(w.gmem_words, w.seed);
+
+  const SimResult ev_a =
+      event_sim.Launch(compiled, &event_mem, w.params, 0, grid / 2);
+  const SimResult tr_a =
+      traced_sim.Launch(compiled, &traced_mem, w.params, 0, grid / 2);
+  ExpectBitIdentical(ev_a, tr_a, "first half");
+  const SimResult ev_b = event_sim.Launch(compiled, &event_mem, w.params,
+                                          grid / 2, grid - grid / 2);
+  const SimResult tr_b = traced_sim.Launch(compiled, &traced_mem, w.params,
+                                           grid / 2, grid - grid / 2);
+  ExpectBitIdentical(ev_b, tr_b, "second half");
+  EXPECT_EQ(event_mem.words(), traced_mem.words());
+}
+
+// An *unreached* watchdog cap must not perturb the traced engine (the
+// fuse limit folds the cap into burst scheduling, so this pins that the
+// fold is exact), and a whole guarded+faulted tuner run must replay
+// bit-identically on the traced engine: same version walk, same
+// fault/retry pattern from the seeded injector, same memory image.
+TEST(TracedEngineEquivalenceGuard, WatchdogCapAndFaultPlanReplay) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  {
+    const workloads::Workload w = workloads::MakeWorkload("srad");
+    const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    GpuSimulator capped(spec, arch::CacheConfig::kSmallCache,
+                        SimEngine::kTraceCached);
+    capped.set_cycle_cap(std::uint64_t{1} << 40);
+    GpuSimulator event_sim(spec, arch::CacheConfig::kSmallCache,
+                           SimEngine::kEventDriven);
+    GlobalMemory capped_mem = MakeSeededMemory(w.gmem_words, w.seed);
+    GlobalMemory event_mem = MakeSeededMemory(w.gmem_words, w.seed);
+    const SimResult tr = capped.LaunchAll(compiled, &capped_mem, w.params);
+    const SimResult ev = event_sim.LaunchAll(compiled, &event_mem, w.params);
+    ExpectBitIdentical(ev, tr, "unreached watchdog cap");
+    EXPECT_EQ(event_mem.words(), capped_mem.words());
+  }
+
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, spec, options);
+  auto guarded_run = [&](SimEngine engine) {
+    FaultPlan plan;
+    plan.seed = 7919;
+    plan.launch_transient = 0.25;
+    plan.measure_noise = 0.05;
+    ScopedFaultInjector injector(plan);
+    GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache, engine);
+    GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+    runtime::TunedLauncher launcher(&binary, &simulator);
+    runtime::RunPlan run_plan;
+    run_plan.iterations = 8;
+    run_plan.guard.watchdog_cycle_budget = 50'000'000;
+    const runtime::TunedRunResult result =
+        launcher.Run(&gmem, w.params, run_plan);
+    return std::make_pair(result, gmem.words());
+  };
+  const auto event_run = guarded_run(SimEngine::kEventDriven);
+  const auto traced_run = guarded_run(SimEngine::kTraceCached);
+  ASSERT_EQ(event_run.first.records.size(), traced_run.first.records.size());
+  for (std::size_t i = 0; i < event_run.first.records.size(); ++i) {
+    const runtime::IterationRecord& ev = event_run.first.records[i];
+    const runtime::IterationRecord& tr = traced_run.first.records[i];
+    EXPECT_EQ(ev.version, tr.version) << "iteration " << i;
+    EXPECT_EQ(ev.faulted, tr.faulted) << "iteration " << i;
+    EXPECT_EQ(ev.ms, tr.ms) << "iteration " << i;
+    EXPECT_EQ(ev.energy, tr.energy) << "iteration " << i;
+  }
+  EXPECT_EQ(event_run.first.final_version, traced_run.first.final_version);
+  EXPECT_EQ(event_run.first.health.transient_faults,
+            traced_run.first.health.transient_faults);
+  EXPECT_EQ(event_run.second, traced_run.second)
+      << "fault-plan replay diverged in global memory";
 }
 
 // --- ParallelSweep ------------------------------------------------------

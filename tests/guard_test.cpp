@@ -273,12 +273,13 @@ TEST(NoiseRobustWalk, MedianOfKSettlesLikeTheNoiseFreeWalk) {
 
 // --- the launch watchdog -----------------------------------------------
 
-TEST(Watchdog, CycleCapTerminatesARunawayKernelOnBothEngines) {
+TEST(Watchdog, CycleCapTerminatesARunawayKernelOnEveryEngine) {
   const arch::GpuSpec& spec = arch::Gtx680();
   const isa::Module compiled =
       baseline::CompileDefault(MakeInfiniteLoopModule(), spec);
   for (const sim::SimEngine engine :
-       {sim::SimEngine::kEventDriven, sim::SimEngine::kReference}) {
+       {sim::SimEngine::kEventDriven, sim::SimEngine::kReference,
+        sim::SimEngine::kTraceCached}) {
     sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache, engine);
     simulator.set_cycle_cap(200'000);
     sim::GlobalMemory gmem = MakeSeededMemory(1 << 14, 1);

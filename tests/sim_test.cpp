@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include "alloc/allocator.h"
+#include "baseline/baseline.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "sim/gpu_sim.h"
 #include "sim/interpreter.h"
+#include "sim/linked.h"
 #include "sim/memory.h"
 #include "testutil.h"
+#include "workloads/workloads.h"
 
 namespace orion::sim {
 namespace {
@@ -256,6 +259,274 @@ TEST(GpuSim, RejectsUnschedulableKernel) {
   GpuSimulator sim(arch::TeslaC2075(), arch::CacheConfig::kSmallCache);
   GlobalMemory gmem(1 << 10);
   EXPECT_THROW(sim.LaunchAll(module, &gmem, {}), LaunchError);
+}
+
+// --- TraceCache -----------------------------------------------------------
+//
+// Link-time segmentation behind the trace-cached engine: fusible runs
+// are collapsed into macro-ops with precomputed aggregates, and every
+// fusion barrier (memory op, branch, call/return, barrier, exit) is
+// left outside any run.  These tests pin the structural invariants the
+// burst dispatcher relies on.
+
+isa::Opcode OpOf(const HotInstr& h) { return static_cast<isa::Opcode>(h.op); }
+isa::MemSpace SpaceOf(const HotInstr& h) {
+  return static_cast<isa::MemSpace>(h.space);
+}
+
+bool IsControlTransfer(isa::Opcode op) {
+  return op == isa::Opcode::kBra || op == isa::Opcode::kBrz ||
+         op == isa::Opcode::kBrnz || op == isa::Opcode::kCal ||
+         op == isa::Opcode::kRet || op == isa::Opcode::kExit;
+}
+
+bool IsMemoryOp(isa::Opcode op) {
+  return op == isa::Opcode::kLd || op == isa::Opcode::kSt;
+}
+
+// Basic-block leaders: entry, branch targets, and fall-throughs of
+// control transfers.  A fused run must never straddle one.
+std::vector<bool> Leaders(const LinkedFunction& f) {
+  std::vector<bool> leader(f.hot.size() + 1, false);
+  if (!leader.empty()) {
+    leader[0] = true;
+  }
+  for (std::size_t pc = 0; pc < f.hot.size(); ++pc) {
+    const HotInstr& h = f.hot[pc];
+    const isa::Opcode op = OpOf(h);
+    if ((op == isa::Opcode::kBra || op == isa::Opcode::kBrz ||
+         op == isa::Opcode::kBrnz) &&
+        h.target >= 0 &&
+        static_cast<std::size_t>(h.target) < leader.size()) {
+      leader[static_cast<std::size_t>(h.target)] = true;
+    }
+    if (IsControlTransfer(op) || op == isa::Opcode::kBar) {
+      leader[pc + 1] = true;
+    }
+  }
+  return leader;
+}
+
+TEST(TraceCache, SegmentationInvariantsHoldOnEveryWorkload) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  std::uint64_t total_blocks = 0;
+  std::uint64_t total_fused = 0;
+  for (const std::string& name : workloads::AllNames()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    const LinkedModule linked(compiled, &spec, /*build_trace_cache=*/true);
+    std::uint64_t module_blocks = 0;
+    std::uint64_t module_fused = 0;
+    for (std::uint32_t fi = 0; fi < linked.num_funcs(); ++fi) {
+      const LinkedFunction& f = linked.func(fi);
+      const TraceCache& trace = f.trace;
+      ASSERT_EQ(trace.block_of.size(), f.hot.size()) << name;
+      const std::vector<bool> leader = Leaders(f);
+      // A pc is inside a fused run exactly when it is fusible.
+      for (std::size_t pc = 0; pc < f.hot.size(); ++pc) {
+        EXPECT_EQ(trace.block_of[pc] >= 0, IsFusible(f.hot[pc]))
+            << name << " pc " << pc;
+      }
+      for (std::size_t bi = 0; bi < trace.blocks.size(); ++bi) {
+        const FusedBlock& b = trace.blocks[bi];
+        ASSERT_LT(b.begin, b.end) << name;
+        ASSERT_LE(b.end, f.hot.size()) << name;
+        std::uint32_t alu = 0;
+        std::uint32_t sfu = 0;
+        std::uint32_t issue = 0;
+        for (std::uint32_t pc = b.begin; pc < b.end; ++pc) {
+          const HotInstr& h = f.hot[pc];
+          EXPECT_TRUE(IsFusible(h)) << name << " pc " << pc;
+          EXPECT_EQ(trace.block_of[pc], static_cast<std::int32_t>(bi))
+              << name << " pc " << pc;
+          EXPECT_EQ(trace.BlockAt(pc), &b) << name << " pc " << pc;
+          // Runs never straddle a basic-block leader.
+          if (pc != b.begin) {
+            EXPECT_FALSE(leader[pc]) << name << " pc " << pc;
+          }
+          // Aggregate register effect covers every write in the run.
+          if (h.dst_width != 0) {
+            EXPECT_LE(b.reg_lo, h.dst_id) << name << " pc " << pc;
+            EXPECT_GE(b.reg_hi, h.dst_id + h.dst_width) << name << " pc " << pc;
+          }
+          if ((h.flags & HotInstr::kFlagSfu) != 0) {
+            ++sfu;
+          } else if (OpOf(h) != isa::Opcode::kNop) {
+            ++alu;
+          }
+          issue += h.issue_cycles;
+        }
+        EXPECT_EQ(b.alu_count, alu) << name << " block " << bi;
+        EXPECT_EQ(b.sfu_count, sfu) << name << " block " << bi;
+        EXPECT_EQ(b.min_issue_cycles, issue) << name << " block " << bi;
+        // Maximality: the run only stops at a barrier or a leader.
+        EXPECT_TRUE(b.begin == 0 || !IsFusible(f.hot[b.begin - 1]) ||
+                    leader[b.begin])
+            << name << " block " << bi;
+        EXPECT_TRUE(b.end == f.hot.size() || !IsFusible(f.hot[b.end]) ||
+                    leader[b.end])
+            << name << " block " << bi;
+        module_fused += b.size();
+      }
+      module_blocks += trace.blocks.size();
+    }
+    EXPECT_EQ(linked.trace_blocks(), module_blocks) << name;
+    EXPECT_EQ(linked.trace_fused_instructions(), module_fused) << name;
+    total_blocks += module_blocks;
+    total_fused += module_fused;
+  }
+  // Non-vacuity: real workloads fuse a substantial amount of work.
+  EXPECT_GT(total_blocks, 0u);
+  EXPECT_GT(total_fused, total_blocks);
+}
+
+TEST(TraceCache, FusionBarriersSitAtControlAndMemoryOps) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  std::uint64_t branches = 0;
+  std::uint64_t global_mem = 0;
+  std::uint64_t bars = 0;
+  std::uint64_t exits = 0;
+  for (const char* name : {"matrixmul", "srad"}) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    const LinkedModule linked(compiled, &spec, /*build_trace_cache=*/true);
+    for (std::uint32_t fi = 0; fi < linked.num_funcs(); ++fi) {
+      const LinkedFunction& f = linked.func(fi);
+      for (std::size_t pc = 0; pc < f.hot.size(); ++pc) {
+        const isa::Opcode op = OpOf(f.hot[pc]);
+        if (IsControlTransfer(op) || IsMemoryOp(op) ||
+            op == isa::Opcode::kBar) {
+          EXPECT_EQ(f.trace.block_of[pc], -1) << name << " pc " << pc;
+          EXPECT_EQ(f.trace.BlockAt(static_cast<std::uint32_t>(pc)), nullptr)
+              << name << " pc " << pc;
+          branches += IsControlTransfer(op) && op != isa::Opcode::kExit;
+          global_mem += IsMemoryOp(op) &&
+                        SpaceOf(f.hot[pc]) == isa::MemSpace::kGlobal;
+          bars += op == isa::Opcode::kBar;
+          exits += op == isa::Opcode::kExit;
+        }
+      }
+    }
+  }
+  // The pair of workloads actually exercises every barrier category.
+  EXPECT_GT(branches, 0u);
+  EXPECT_GT(global_mem, 0u);
+  EXPECT_GT(bars, 0u);
+  EXPECT_GT(exits, 0u);
+}
+
+TEST(TraceCache, FlagPlacementFollowsOpcodeClasses) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  std::uint64_t burstable_not_fusible = 0;
+  for (const std::string& name : workloads::AllNames()) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+    const LinkedModule linked(compiled, &spec, /*build_trace_cache=*/true);
+    for (std::uint32_t fi = 0; fi < linked.num_funcs(); ++fi) {
+      const LinkedFunction& f = linked.func(fi);
+      for (std::size_t pc = 0; pc < f.hot.size(); ++pc) {
+        const HotInstr& h = f.hot[pc];
+        const isa::Opcode op = OpOf(h);
+        // kFlagSync marks exactly the ops touching cross-SM state.
+        const bool mem_sync = IsMemoryOp(op) &&
+                              SpaceOf(h) != isa::MemSpace::kShared &&
+                              SpaceOf(h) != isa::MemSpace::kSharedPriv &&
+                              SpaceOf(h) != isa::MemSpace::kParam;
+        const bool sync_expected = (h.flags & HotInstr::kFlagInvalid) != 0 ||
+                                   op == isa::Opcode::kExit || mem_sync;
+        EXPECT_EQ((h.flags & HotInstr::kFlagSync) != 0, sync_expected)
+            << name << " pc " << pc;
+        // Fusible ops never include control flow, memory or barriers.
+        if ((h.flags & HotInstr::kFlagFusible) != 0) {
+          EXPECT_FALSE(IsControlTransfer(op) || IsMemoryOp(op) ||
+                       op == isa::Opcode::kBar)
+              << name << " pc " << pc;
+          EXPECT_EQ((h.flags & HotInstr::kFlagInvalid), 0) << name;
+        }
+        // Burst-legal = SM-local, one issue slot, guaranteed now+1
+        // requeue (no kBar / kCal / kRet / param-store).
+        const bool requeues =
+            op != isa::Opcode::kBar && op != isa::Opcode::kCal &&
+            op != isa::Opcode::kRet &&
+            !(op == isa::Opcode::kSt && SpaceOf(h) == isa::MemSpace::kParam);
+        const bool burst_expected =
+            !sync_expected && h.issue_cycles == 1 && requeues;
+        EXPECT_EQ((h.flags & HotInstr::kFlagBurstable) != 0, burst_expected)
+            << name << " pc " << pc;
+        burstable_not_fusible += (h.flags & HotInstr::kFlagBurstable) != 0 &&
+                                 (h.flags & HotInstr::kFlagFusible) == 0;
+      }
+    }
+  }
+  // Burstable is a strict superset of fusible in practice: branches and
+  // shared/param memory ops join bursts without being macro-op members.
+  EXPECT_GT(burstable_not_fusible, 0u);
+}
+
+TEST(TraceCache, BuilderModulesSegmentAsExpected) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  // Straight-line kernel: the ALU prologue fuses into a run that ends
+  // exactly at the first global memory op.
+  {
+    const isa::Module compiled =
+        baseline::CompileDefault(MakeStraightLineModule(), spec);
+    const LinkedModule linked(compiled, &spec, /*build_trace_cache=*/true);
+    const LinkedFunction& f = linked.func(linked.kernel_index());
+    ASSERT_FALSE(f.trace.blocks.empty());
+    std::size_t first_mem = f.hot.size();
+    for (std::size_t pc = 0; pc < f.hot.size(); ++pc) {
+      if (IsMemoryOp(OpOf(f.hot[pc]))) {
+        first_mem = pc;
+        break;
+      }
+    }
+    ASSERT_LT(first_mem, f.hot.size());
+    EXPECT_EQ(f.trace.block_of[first_mem], -1);
+    if (first_mem > 0 && IsFusible(f.hot[first_mem - 1])) {
+      EXPECT_EQ(f.trace.BlockAt(static_cast<std::uint32_t>(first_mem - 1))->end,
+                first_mem);
+    }
+  }
+  // Loop kernel: the backward-branch target is a basic-block leader, so
+  // any fused run containing it must begin there.
+  {
+    const isa::Module compiled =
+        baseline::CompileDefault(MakeLoopModule(), spec);
+    const LinkedModule linked(compiled, &spec, /*build_trace_cache=*/true);
+    const LinkedFunction& f = linked.func(linked.kernel_index());
+    bool saw_branch = false;
+    for (std::size_t pc = 0; pc < f.hot.size(); ++pc) {
+      const isa::Opcode op = OpOf(f.hot[pc]);
+      if ((op == isa::Opcode::kBra || op == isa::Opcode::kBrz ||
+           op == isa::Opcode::kBrnz) &&
+          f.hot[pc].target >= 0) {
+        saw_branch = true;
+        EXPECT_EQ(f.trace.block_of[pc], -1) << "branch at pc " << pc;
+        const auto target = static_cast<std::uint32_t>(f.hot[pc].target);
+        if (target < f.hot.size() && IsFusible(f.hot[target])) {
+          EXPECT_EQ(f.trace.BlockAt(target)->begin, target)
+              << "target of branch at pc " << pc;
+        }
+      }
+    }
+    EXPECT_TRUE(saw_branch);
+  }
+}
+
+TEST(TraceCache, OnlyBuiltWhenRequested) {
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled =
+      baseline::CompileDefault(MakeLoopModule(), spec);
+  const LinkedModule plain(compiled, &spec);
+  EXPECT_EQ(plain.trace_blocks(), 0u);
+  EXPECT_EQ(plain.trace_fused_instructions(), 0u);
+  for (std::uint32_t fi = 0; fi < plain.num_funcs(); ++fi) {
+    EXPECT_TRUE(plain.func(fi).trace.blocks.empty());
+    EXPECT_TRUE(plain.func(fi).trace.block_of.empty());
+  }
+  const LinkedModule traced(compiled, &spec, /*build_trace_cache=*/true);
+  EXPECT_GT(traced.trace_blocks(), 0u);
+  EXPECT_GT(traced.trace_fused_instructions(), 0u);
 }
 
 TEST(CacheModel, HitsAfterWarmup) {

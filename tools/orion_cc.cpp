@@ -20,7 +20,11 @@
 //                                                as a virtual binary
 //
 // Common flags: --gpu gtx680|c2075 (default gtx680),
-//               --cache sc|lc      (default sc).
+//               --cache sc|lc      (default sc),
+//               --engine reference|event|traced (default event) —
+//               which simulator engine backs sweep/run/emit-driven
+//               launches, so all three engines can be A/B'd from the
+//               CLI (see docs/SIMULATOR.md).
 //
 // Observability flags (any command; see docs/OBSERVABILITY.md):
 //   --trace FILE        enable telemetry and export the trace to FILE
@@ -77,7 +81,8 @@ using namespace orion;
   std::fprintf(stderr,
                "usage: orion-cc <asm|dis|info|tune|sweep|run|validate|emit> "
                "<input> "
-               "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] [--iters N]\n"
+               "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] "
+               "[--engine reference|event|traced] [--iters N]\n"
                "       observability: [--trace FILE] "
                "[--trace-format json|chrome|summary] [--metrics] "
                "[--log-level error|warn|info|debug]\n"
@@ -112,6 +117,7 @@ struct Args {
   std::string output;
   std::string gpu = "gtx680";
   std::string cache = "sc";
+  sim::SimEngine engine = sim::SimEngine::kEventDriven;
   std::uint32_t iters = 16;
   std::string fault_plan;             // empty = no injector
   std::uint64_t watchdog_cycles = 0;  // 0 = watchdog off
@@ -147,6 +153,10 @@ Args Parse(int argc, char** argv) {
       args.gpu = value();
     } else if (flag == "--cache") {
       args.cache = value();
+    } else if (flag == "--engine") {
+      if (!sim::ParseSimEngine(value(), &args.engine)) {
+        Usage();
+      }
     } else if (flag == "--iters") {
       args.iters = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--fault-plan") {
@@ -288,7 +298,7 @@ int CmdSweep(const Args& args) {
   options.compile_threads = args.compile_threads;
   const runtime::MultiVersionBinary all =
       core::EnumerateAllVersions(module, Gpu(args), options);
-  sim::GpuSimulator simulator(Gpu(args), Cache(args));
+  sim::GpuSimulator simulator(Gpu(args), Cache(args), args.engine);
   std::printf("%-10s %-6s %-8s %s\n", "occupancy", "regs", "pad", "summary");
   for (const runtime::KernelVersion& version : all.versions) {
     sim::GlobalMemory gmem = SeedMemory(std::size_t{1} << 22);
@@ -337,7 +347,7 @@ int CmdRun(const Args& args) {
                   version.validation.detail.c_str());
     }
   }
-  sim::GpuSimulator simulator(Gpu(args), Cache(args));
+  sim::GpuSimulator simulator(Gpu(args), Cache(args), args.engine);
   sim::GlobalMemory gmem = SeedMemory(std::size_t{1} << 22);
   runtime::TunedLauncher launcher(&binary, &simulator);
   runtime::RunPlan plan;
