@@ -1,0 +1,214 @@
+// Persistence micro-benchmark: cold vs warm crash-safe sessions,
+// written to BENCH_persist.json (the BENCH_sim.json convention) and
+// summarized on stdout.
+//
+// For each workload the bench runs the same tuning job twice against
+// one session directory:
+//
+//   cold — fresh directory: multi-version compile, artifact commit,
+//          and the journaled Fig. 9 tuned run to a locked version;
+//   warm — reopen the locked session: the lock and the binary artifact
+//          are loaded from the content-addressed store, and compile,
+//          validation and probing are skipped entirely (the orion-cc
+//          `run --session` warm path).
+//
+// Reported per workload: cold and warm wall seconds, the cold/warm
+// speedup, and the artifact-store hit rate observed by the warm open
+// (which must be 1.0 — a warm session never misses).  The warm lock is
+// also checked against the cold run's: a mismatch means the journal
+// replay contract broke, and the bench fails loudly rather than
+// publishing numbers for a wrong answer.
+//
+// Run from anywhere; BENCH_persist.json lands at the repo root
+// (ORION_BENCH_OUTPUT_DIR).  Use a Release build.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "persist/codec.h"
+#include "persist/session.h"
+
+#ifndef ORION_BENCH_OUTPUT_DIR
+#define ORION_BENCH_OUTPUT_DIR "."
+#endif
+
+namespace orion::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+struct PersistRun {
+  std::string workload;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double speedup = 0.0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  double hit_rate = 0.0;
+  std::uint32_t final_version = 0;
+};
+
+}  // namespace
+}  // namespace orion::bench
+
+int main() {
+  using namespace orion;
+
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const std::vector<std::string> names = {"backprop", "hotspot", "matrixmul"};
+  const std::string scratch =
+      std::filesystem::temp_directory_path().string() +
+      "/orion_bench_persist_" + std::to_string(::getpid());
+  std::filesystem::remove_all(scratch);
+
+  std::vector<bench::PersistRun> runs;
+  std::printf("cold vs warm session wall time (seconds)\n");
+  std::printf("%-16s %10s %10s %9s %8s\n", "workload", "cold", "warm",
+              "speedup", "hitrate");
+  for (const std::string& name : names) {
+    const workloads::Workload w = workloads::MakeWorkload(name);
+    const std::string dir = scratch + "/" + name;
+    persist::SessionMeta meta;
+    meta.kernel_hash = persist::Fnv64(name.data(), name.size());
+    meta.gpu = spec.name;
+    meta.fingerprint = "bench";
+
+    bench::PersistRun run;
+    run.workload = name;
+
+    // Cold: compile, commit the binary artifact, tune to a lock with
+    // every decision journaled.
+    std::uint32_t cold_final = 0;
+    {
+      const auto begin = std::chrono::steady_clock::now();
+      auto session = persist::Session::Open(dir, meta);
+      if (!session.has_value()) {
+        std::fprintf(stderr, "cold open failed: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      core::TuneOptions options;
+      options.can_tune = w.can_tune;
+      const runtime::MultiVersionBinary binary =
+          core::CompileMultiVersion(w.module, spec, options);
+      (void)(*session)->SaveBinary(binary);
+      sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+      sim::GlobalMemory gmem = workloads::SeedWorkloadMemory(w);
+      runtime::TunedLauncher launcher(&binary, &simulator);
+      runtime::RunPlan plan;
+      plan.iterations = w.iterations;
+      plan.journal = session->get();
+      const runtime::TunedRunResult result =
+          launcher.Run(&gmem, w.params, plan,
+                       w.per_iteration_params.empty()
+                           ? nullptr
+                           : &w.per_iteration_params);
+      run.cold_seconds = bench::Seconds(begin, std::chrono::steady_clock::now());
+      cold_final = result.final_version;
+      if (!(*session)->HasLock()) {
+        std::fprintf(stderr, "%s: cold run produced no lock\n", name.c_str());
+        return 1;
+      }
+    }
+
+    // Warm: reopen the locked session.  Everything comes from the
+    // journal and the store — no compile, no validation, no probes.
+    {
+      const auto begin = std::chrono::steady_clock::now();
+      auto session = persist::Session::Open(dir, meta);
+      if (!session.has_value() || !(*session)->HasLock()) {
+        std::fprintf(stderr, "%s: warm open found no lock\n", name.c_str());
+        return 1;
+      }
+      const Result<runtime::MultiVersionBinary> binary =
+          (*session)->LoadBinary();
+      if (!binary.has_value()) {
+        std::fprintf(stderr, "%s: warm binary artifact miss: %s\n",
+                     name.c_str(), binary.status().ToString().c_str());
+        return 1;
+      }
+      run.warm_seconds = bench::Seconds(begin, std::chrono::steady_clock::now());
+      run.final_version = (*session)->lock().final_version;
+      run.warm_hits = (*session)->store().stats().hits;
+      run.warm_misses = (*session)->store().stats().misses;
+      const std::uint64_t lookups = run.warm_hits + run.warm_misses;
+      run.hit_rate =
+          lookups == 0 ? 0.0 : static_cast<double>(run.warm_hits) / lookups;
+    }
+
+    // The warm lock must be the cold decision, bit for bit.
+    if (run.final_version != cold_final) {
+      std::fprintf(stderr, "%s: warm lock %u != cold lock %u\n", name.c_str(),
+                   run.final_version, cold_final);
+      return 1;
+    }
+    run.speedup =
+        run.warm_seconds > 0.0 ? run.cold_seconds / run.warm_seconds : 0.0;
+    std::printf("%-16s %10.4f %10.4f %8.1fx %7.0f%%\n", name.c_str(),
+                run.cold_seconds, run.warm_seconds, run.speedup,
+                run.hit_rate * 100.0);
+    runs.push_back(run);
+  }
+  std::filesystem::remove_all(scratch);
+
+  std::string json = "{\n  \"benchmark\": \"micro_persist\",\n";
+#ifdef NDEBUG
+  json += "  \"build\": \"release\",\n";
+#else
+  json += "  \"build\": \"debug\",\n";
+#endif
+  json += "  \"workloads\": [\n";
+  double cold_total = 0.0;
+  double warm_total = 0.0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const bench::PersistRun& run = runs[i];
+    cold_total += run.cold_seconds;
+    warm_total += run.warm_seconds;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"workload\": \"%s\", \"cold_seconds\": %.6f, "
+        "\"warm_seconds\": %.6f, \"speedup\": %.2f, \"store_hits\": %llu, "
+        "\"store_misses\": %llu, \"hit_rate\": %.4f, "
+        "\"final_version\": %u}%s\n",
+        run.workload.c_str(), run.cold_seconds, run.warm_seconds, run.speedup,
+        static_cast<unsigned long long>(run.warm_hits),
+        static_cast<unsigned long long>(run.warm_misses), run.hit_rate,
+        run.final_version, i + 1 < runs.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  const double total_speedup =
+      warm_total > 0.0 ? cold_total / warm_total : 0.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"aggregate\": {\"cold_seconds\": %.6f, "
+                "\"warm_seconds\": %.6f, \"speedup\": %.2f}\n",
+                cold_total, warm_total, total_speedup);
+  json += buf;
+  json += "}\n";
+
+  std::printf("\naggregate over %zu workloads: cold %.4f s, warm %.4f s "
+              "(%.0fx)\n",
+              runs.size(), cold_total, warm_total, total_speedup);
+
+  const std::string out_path =
+      std::string(ORION_BENCH_OUTPUT_DIR) + "/BENCH_persist.json";
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

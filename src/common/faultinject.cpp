@@ -35,6 +35,22 @@ const char* MiscompileKindName(MiscompileKind kind) {
   return "?";
 }
 
+const char* PersistFaultName(PersistFault fault) {
+  switch (fault) {
+    case PersistFault::kNone:
+      return "none";
+    case PersistFault::kKill:
+      return "kill";
+    case PersistFault::kTornRename:
+      return "torn-rename";
+    case PersistFault::kShortWrite:
+      return "short-write";
+    case PersistFault::kEnospc:
+      return "enospc";
+  }
+  return "?";
+}
+
 Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
   FaultPlan plan;
   for (const std::string_view token : SplitTokens(spec, ",;")) {
@@ -53,6 +69,16 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
                              "bad fault-plan seed '" + std::string(value) + "'");
       }
       plan.seed = static_cast<std::uint64_t>(seed);
+      continue;
+    }
+    if (key == "persist.kill_at") {
+      std::int64_t op = 0;
+      if (!ParseInt(value, &op) || op < 0) {
+        return Status::Error(StatusCode::kInvalidArgument,
+                             "bad persist.kill_at '" + std::string(value) +
+                                 "' (want a non-negative write index)");
+      }
+      plan.persist_kill_at = static_cast<std::uint64_t>(op);
       continue;
     }
     double probability = 0.0;
@@ -83,6 +109,14 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
       plan.miscompile_wide = probability;
     } else if (key == "miscompile.spill") {
       plan.miscompile_spill = probability;
+    } else if (key == "persist.torn_rename") {
+      plan.persist_torn_rename = probability;
+    } else if (key == "persist.short_write") {
+      plan.persist_short_write = probability;
+    } else if (key == "persist.bitflip_read") {
+      plan.persist_bitflip_read = probability;
+    } else if (key == "persist.enospc") {
+      plan.persist_enospc = probability;
     } else {
       return Status::Error(StatusCode::kInvalidArgument,
                            "unknown fault-plan key '" + std::string(key) + "'");
@@ -104,6 +138,15 @@ std::string FaultPlan::ToString() const {
         "miscompile.spill=%g",
         miscompile_slot, miscompile_park, miscompile_wide, miscompile_spill);
   }
+  if (persist_kill_at > 0 || persist_torn_rename > 0.0 ||
+      persist_short_write > 0.0 || persist_bitflip_read > 0.0 ||
+      persist_enospc > 0.0) {
+    out += StrFormat(
+        ",persist.kill_at=%llu,persist.torn_rename=%g,persist.short_write=%g,"
+        "persist.bitflip_read=%g,persist.enospc=%g",
+        static_cast<unsigned long long>(persist_kill_at), persist_torn_rename,
+        persist_short_write, persist_bitflip_read, persist_enospc);
+  }
   return out;
 }
 
@@ -113,7 +156,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
       compile_rng_(HookSeed(plan.seed, 2)),
       launch_rng_(HookSeed(plan.seed, 3)),
       measure_rng_(HookSeed(plan.seed, 4)),
-      miscompile_rng_(HookSeed(plan.seed, 5)) {}
+      miscompile_rng_(HookSeed(plan.seed, 5)),
+      persist_rng_(HookSeed(plan.seed, 6)) {}
 
 bool FaultInjector::MutateEncodedModule(std::vector<std::uint8_t>* bytes) {
   if (bytes->empty()) {
@@ -207,6 +251,52 @@ MiscompileKind FaultInjector::NextMiscompile(std::uint64_t* mutation_seed) {
     return MiscompileKind::kSwapSpill;
   }
   return MiscompileKind::kNone;
+}
+
+PersistWriteFault FaultInjector::NextPersistWrite(bool commit_op) {
+  // The kill-point counter advances on every durable write, faulted or
+  // not, so `persist.kill_at=N` names the Nth write a healthy run would
+  // make — the seeded matrix enumerates N to cover every pipeline
+  // stage.
+  ++persist_ops_;
+  if (plan_.persist_kill_at > 0 && persist_ops_ == plan_.persist_kill_at) {
+    ++counters_.persist_kills;
+    // The crash lands before the write (keep 0), mid-write (torn
+    // prefix), or between the write and its commit (keep 1000 — the
+    // kill-before-commit shape); the seed decides.
+    return {PersistFault::kKill,
+            static_cast<std::uint32_t>(persist_rng_.NextBounded(1001))};
+  }
+  if (commit_op && plan_.persist_torn_rename > 0.0 &&
+      persist_rng_.NextBool(plan_.persist_torn_rename)) {
+    ++counters_.torn_renames;
+    return {PersistFault::kTornRename, 1000};
+  }
+  if (plan_.persist_short_write > 0.0 &&
+      persist_rng_.NextBool(plan_.persist_short_write)) {
+    ++counters_.short_writes;
+    // Strictly partial: at least one byte lost, at least none kept.
+    return {PersistFault::kShortWrite,
+            static_cast<std::uint32_t>(persist_rng_.NextBounded(1000))};
+  }
+  if (plan_.persist_enospc > 0.0 &&
+      persist_rng_.NextBool(plan_.persist_enospc)) {
+    ++counters_.enospc_faults;
+    return {PersistFault::kEnospc, 0};
+  }
+  return {PersistFault::kNone, 1000};
+}
+
+bool FaultInjector::MutatePersistRead(std::vector<std::uint8_t>* bytes) {
+  if (bytes->empty() || plan_.persist_bitflip_read <= 0.0 ||
+      !persist_rng_.NextBool(plan_.persist_bitflip_read)) {
+    return false;
+  }
+  const std::size_t at = persist_rng_.NextBounded(bytes->size());
+  (*bytes)[at] ^=
+      static_cast<std::uint8_t>(1u << persist_rng_.NextBounded(8));
+  ++counters_.bitflip_reads;
+  return true;
 }
 
 FaultInjector* FaultInjector::Current() {

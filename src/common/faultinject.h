@@ -14,7 +14,12 @@
 //   * launch             — runtime::LaunchGuard observes a transient
 //                          launch error or a forced hang,
 //   * measurement        — Gaussian relative noise on the runtime fed
-//                          to the Fig. 9 tuner.
+//                          to the Fig. 9 tuner,
+//   * persistence        — filesystem faults against src/persist (the
+//                          session journal and the artifact store):
+//                          seeded kill-points (crash at the Nth persist
+//                          write), torn renames, short writes,
+//                          bit-flips on read, and ENOSPC.
 //
 // Installation is process-global and scoped (ScopedFaultInjector);
 // production runs never install one, and the guarded pipeline is
@@ -55,6 +60,29 @@ enum class MiscompileKind : std::uint8_t {
 
 const char* MiscompileKindName(MiscompileKind kind);
 
+// What the persistence write hook injects for one journal append or
+// store commit.  The decision lives here; the actual filesystem damage
+// lives in persist/io.cpp, the single chokepoint every durable write
+// goes through.
+enum class PersistFault : std::uint8_t {
+  kNone = 0,
+  kKill,        // crash the process at this write (kill-point matrix)
+  kTornRename,  // commit writes the temp file but the rename is lost
+  kShortWrite,  // only a prefix of the bytes reaches the medium
+  kEnospc,      // the medium refuses the write outright
+};
+
+const char* PersistFaultName(PersistFault fault);
+
+// One persistence write fault plus its seeded shape: for kKill and
+// kShortWrite, how much of the record survives (permille of the byte
+// count; 1000 for kKill means the bytes all landed and the crash hit
+// between write and commit — the classic kill-before-commit).
+struct PersistWriteFault {
+  PersistFault kind = PersistFault::kNone;
+  std::uint32_t keep_permille = 1000;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   double decode_bitflip = 0.0;    // P[flip 1..8 bits of the image]
@@ -70,11 +98,23 @@ struct FaultPlan {
   double miscompile_park = 0.0;   // dropped park/restore move at a call
   double miscompile_wide = 0.0;   // misaligned wide register pair
   double miscompile_spill = 0.0;  // swapped spill slots
+  // Persistence faults (src/persist).  kill_at is a deterministic
+  // kill-point, not a probability: the process crashes at the Nth
+  // durable write (1-based; 0 = off) — the seeded kill-point matrix in
+  // tests/persist_test.cpp and the CI crash-soak drive resume testing
+  // through it.  The rest are per-write/per-read probabilities.
+  std::uint64_t persist_kill_at = 0;  // crash at the Nth persist write
+  double persist_torn_rename = 0.0;   // P[commit loses its rename]
+  double persist_short_write = 0.0;   // P[write lands only a prefix]
+  double persist_bitflip_read = 0.0;  // P[read returns a flipped bit]
+  double persist_enospc = 0.0;        // P[write refused, ENOSPC-style]
 
   // Parses "key=value" pairs separated by ',' or ';'.  Keys:
   //   seed, decode.bitflip, decode.truncate, compile.fail,
   //   launch.transient, launch.hang, measure.noise,
-  //   miscompile.slot, miscompile.park, miscompile.wide, miscompile.spill
+  //   miscompile.slot, miscompile.park, miscompile.wide, miscompile.spill,
+  //   persist.kill_at (integer), persist.torn_rename,
+  //   persist.short_write, persist.bitflip_read, persist.enospc
   // e.g. "seed=7,launch.transient=0.3,measure.noise=0.05".
   static Result<FaultPlan> Parse(std::string_view spec);
 
@@ -108,6 +148,21 @@ class FaultInjector {
   MiscompileKind NextMiscompile(std::uint64_t* mutation_seed);
   void NoteMiscompileApplied() { ++counters_.miscompiles_applied; }
 
+  // Persistence write hook: the fault (if any) for the next durable
+  // write.  Every call advances the deterministic kill-point counter;
+  // torn renames are only drawn for commit-style (temp+rename) writes,
+  // so journal appends and store commits share one op numbering but
+  // not every fault class.
+  PersistWriteFault NextPersistWrite(bool commit_op);
+
+  // Persistence read hook: possibly flips one bit of `bytes` in place
+  // (a silently-corrupting medium; the caller's checksum must catch
+  // it).  Returns true when a mutation was applied.
+  bool MutatePersistRead(std::vector<std::uint8_t>* bytes);
+
+  // Durable writes attempted so far (the kill-point op counter).
+  std::uint64_t persist_ops() const { return persist_ops_; }
+
   const FaultPlan& plan() const { return plan_; }
 
   struct Counters {
@@ -117,6 +172,11 @@ class FaultInjector {
     std::uint64_t hangs = 0;
     std::uint64_t perturbed_measurements = 0;
     std::uint64_t miscompiles_applied = 0;
+    std::uint64_t persist_kills = 0;
+    std::uint64_t torn_renames = 0;
+    std::uint64_t short_writes = 0;
+    std::uint64_t bitflip_reads = 0;
+    std::uint64_t enospc_faults = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -133,6 +193,8 @@ class FaultInjector {
   Rng launch_rng_;
   Rng measure_rng_;
   Rng miscompile_rng_;
+  Rng persist_rng_;
+  std::uint64_t persist_ops_ = 0;
   Counters counters_;
 };
 

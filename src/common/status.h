@@ -38,6 +38,9 @@ enum class StatusCode : std::uint8_t {
   kQuarantined,       // candidate disabled after repeated faults
   kValidationFailed,  // differential translation validation rejected it
   kInternal,          // unexpected error mapped at a fault boundary
+  kNotFound,          // a persisted record does not exist (store miss)
+  kDataLoss,          // a persisted record is corrupt (checksum/framing)
+  kResourceExhausted, // the backing medium refused the write (ENOSPC)
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -62,6 +65,12 @@ inline const char* StatusCodeName(StatusCode code) {
       return "validation-failed";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kDataLoss:
+      return "data-loss";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "unknown";
 }

@@ -1,0 +1,239 @@
+#include "persist/artifact.h"
+
+#include "common/error.h"
+#include "isa/binary.h"
+#include "persist/codec.h"
+
+namespace orion::persist {
+
+namespace {
+
+constexpr std::uint32_t kBinaryFormat = 1;
+constexpr std::uint32_t kTuneFormat = 1;
+
+Status Corrupt(const char* what) {
+  return Status::Error(StatusCode::kDataLoss,
+                       std::string("corrupt artifact: ") + what);
+}
+
+void PutOccupancy(Writer* w, const arch::OccupancyResult& occ) {
+  w->U32(occ.active_blocks_per_sm);
+  w->U32(occ.active_warps_per_sm);
+  w->U32(occ.active_threads_per_sm);
+  w->F64(occ.occupancy);
+  w->U8(static_cast<std::uint8_t>(occ.limiter));
+}
+
+arch::OccupancyResult GetOccupancy(Reader* r) {
+  arch::OccupancyResult occ;
+  occ.active_blocks_per_sm = r->U32();
+  occ.active_warps_per_sm = r->U32();
+  occ.active_threads_per_sm = r->U32();
+  occ.occupancy = r->F64();
+  occ.limiter = static_cast<arch::OccupancyLimiter>(r->U8());
+  return occ;
+}
+
+void PutAllocStats(Writer* w, const alloc::AllocStats& stats) {
+  w->U32(stats.peak_regs);
+  w->U32(stats.local_words);
+  w->U32(stats.spriv_words);
+  w->U32(stats.abi_words);
+  w->U32(stats.static_park_moves);
+  w->F64(stats.weighted_park_moves);
+  w->U32(stats.spilled_vregs);
+  w->U32(stats.kernel_max_live_words);
+  // stats.functions deliberately skipped (see header).
+}
+
+alloc::AllocStats GetAllocStats(Reader* r) {
+  alloc::AllocStats stats;
+  stats.peak_regs = r->U32();
+  stats.local_words = r->U32();
+  stats.spriv_words = r->U32();
+  stats.abi_words = r->U32();
+  stats.static_park_moves = r->U32();
+  stats.weighted_park_moves = r->F64();
+  stats.spilled_vregs = r->U32();
+  stats.kernel_max_live_words = r->U32();
+  return stats;
+}
+
+void PutVersion(Writer* w, const runtime::KernelVersion& version) {
+  w->U32(version.module_index);
+  w->U32(version.smem_padding_bytes);
+  PutOccupancy(w, version.occupancy);
+  PutAllocStats(w, version.alloc_stats);
+  w->Str(version.tag);
+  w->U8(static_cast<std::uint8_t>(version.validation.verdict));
+  w->U32(version.validation.probes_run);
+  w->Str(version.validation.detail);
+}
+
+runtime::KernelVersion GetVersion(Reader* r) {
+  runtime::KernelVersion version;
+  version.module_index = r->U32();
+  version.smem_padding_bytes = r->U32();
+  version.occupancy = GetOccupancy(r);
+  version.alloc_stats = GetAllocStats(r);
+  version.tag = r->Str();
+  version.validation.verdict =
+      static_cast<runtime::ValidationVerdict>(r->U8());
+  version.validation.probes_run = r->U32();
+  version.validation.detail = r->Str();
+  return version;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeBinaryArtifact(
+    const runtime::MultiVersionBinary& binary) {
+  Writer w;
+  w.U32(kBinaryFormat);
+  w.Str(binary.kernel_name);
+  w.Str(binary.gpu_name);
+  w.U32(static_cast<std::uint32_t>(binary.modules.size()));
+  for (const isa::Module& module : binary.modules) {
+    w.Blob(isa::EncodeModule(module));
+  }
+  w.U32(static_cast<std::uint32_t>(binary.versions.size()));
+  for (const runtime::KernelVersion& version : binary.versions) {
+    PutVersion(&w, version);
+  }
+  w.U32(static_cast<std::uint32_t>(binary.failsafe.size()));
+  for (const runtime::KernelVersion& version : binary.failsafe) {
+    PutVersion(&w, version);
+  }
+  w.U32(static_cast<std::uint32_t>(binary.compile_skips.size()));
+  for (const runtime::CompileSkip& skip : binary.compile_skips) {
+    w.Str(skip.level);
+    w.U32(static_cast<std::uint32_t>(skip.status.code()));
+    w.Str(skip.status.message());
+    w.U8(static_cast<std::uint8_t>(skip.reason));
+  }
+  w.U8(static_cast<std::uint8_t>(binary.direction));
+  w.U8(binary.can_tune ? 1 : 0);
+  w.U32(binary.static_choice);
+  w.U32(binary.max_live_words);
+  return w.Take();
+}
+
+Result<runtime::MultiVersionBinary> DecodeBinaryArtifact(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.U32() != kBinaryFormat) {
+    return Corrupt("unknown binary-artifact format");
+  }
+  runtime::MultiVersionBinary binary;
+  binary.kernel_name = r.Str();
+  binary.gpu_name = r.Str();
+  const std::uint32_t module_count = r.U32();
+  if (!r.ok() || module_count > r.Remaining()) {
+    return Corrupt("module count out of range");
+  }
+  binary.modules.reserve(module_count);
+  for (std::uint32_t i = 0; i < module_count; ++i) {
+    const std::vector<std::uint8_t> image = r.Blob();
+    if (!r.ok()) {
+      return Corrupt("truncated module image");
+    }
+    try {
+      binary.modules.push_back(isa::DecodeModule(image));
+    } catch (const OrionError& error) {
+      return Corrupt(error.what());
+    }
+  }
+  const std::uint32_t version_count = r.U32();
+  if (!r.ok() || version_count > r.Remaining()) {
+    return Corrupt("version count out of range");
+  }
+  for (std::uint32_t i = 0; i < version_count; ++i) {
+    binary.versions.push_back(GetVersion(&r));
+  }
+  const std::uint32_t failsafe_count = r.U32();
+  if (!r.ok() || failsafe_count > r.Remaining()) {
+    return Corrupt("failsafe count out of range");
+  }
+  for (std::uint32_t i = 0; i < failsafe_count; ++i) {
+    binary.failsafe.push_back(GetVersion(&r));
+  }
+  const std::uint32_t skip_count = r.U32();
+  if (!r.ok() || skip_count > r.Remaining()) {
+    return Corrupt("skip count out of range");
+  }
+  for (std::uint32_t i = 0; i < skip_count; ++i) {
+    runtime::CompileSkip skip;
+    skip.level = r.Str();
+    const std::uint32_t code = r.U32();
+    const std::string message = r.Str();
+    skip.status = Status::Error(static_cast<StatusCode>(code), message);
+    skip.reason = static_cast<runtime::SkipReason>(r.U8());
+    binary.compile_skips.push_back(std::move(skip));
+  }
+  binary.direction = static_cast<runtime::TuneDirection>(r.U8());
+  binary.can_tune = r.U8() != 0;
+  binary.static_choice = r.U32();
+  binary.max_live_words = r.U32();
+  if (!r.AtEnd()) {
+    return Corrupt("binary artifact has trailing or missing bytes");
+  }
+  for (const runtime::KernelVersion& version : binary.versions) {
+    if (version.module_index >= binary.modules.size()) {
+      return Corrupt("version references a missing module");
+    }
+  }
+  for (const runtime::KernelVersion& version : binary.failsafe) {
+    if (version.module_index >= binary.modules.size()) {
+      return Corrupt("failsafe references a missing module");
+    }
+  }
+  return binary;
+}
+
+std::vector<std::uint8_t> EncodeTuneArtifact(const TuneArtifact& tune) {
+  Writer w;
+  w.U32(kTuneFormat);
+  w.U32(tune.final_version);
+  w.U32(tune.iterations_to_settle);
+  w.F64(tune.steady_ms);
+  w.F64(tune.steady_energy);
+  w.F64(tune.steady_occupancy);
+  w.U8(tune.fallback_taken ? 1 : 0);
+  w.U64(tune.watchdog_trips);
+  w.U32(tune.faulted_iterations);
+  w.U32(static_cast<std::uint32_t>(tune.candidate_median_ms.size()));
+  for (double ms : tune.candidate_median_ms) {
+    w.F64(ms);
+  }
+  return w.Take();
+}
+
+Result<TuneArtifact> DecodeTuneArtifact(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.U32() != kTuneFormat) {
+    return Corrupt("unknown tune-artifact format");
+  }
+  TuneArtifact tune;
+  tune.final_version = r.U32();
+  tune.iterations_to_settle = r.U32();
+  tune.steady_ms = r.F64();
+  tune.steady_energy = r.F64();
+  tune.steady_occupancy = r.F64();
+  tune.fallback_taken = r.U8() != 0;
+  tune.watchdog_trips = r.U64();
+  tune.faulted_iterations = r.U32();
+  const std::uint32_t medians = r.U32();
+  if (!r.ok() || medians > r.Remaining()) {
+    return Corrupt("median count out of range");
+  }
+  for (std::uint32_t i = 0; i < medians; ++i) {
+    tune.candidate_median_ms.push_back(r.F64());
+  }
+  if (!r.AtEnd()) {
+    return Corrupt("tune artifact has trailing or missing bytes");
+  }
+  return tune;
+}
+
+}  // namespace orion::persist

@@ -1,0 +1,61 @@
+// Artifact payload codecs: the byte formats stored under ArtifactStore
+// keys.
+//
+// Two artifact kinds exist today:
+//   * "binary" — a realized MultiVersionBinary: every compiled module
+//     (via the VCUB encoder), every candidate version with its
+//     occupancy prediction, allocation stats and validation verdict,
+//     the compile skips, and the direction decision.  A warm run
+//     decodes this instead of re-running the compiler and the
+//     validation gate.
+//   * "tune"   — a locked tuning decision: the final version, steady
+//     stats and per-candidate probe medians of a completed run.  A warm
+//     run that finds one skips probing entirely.
+//
+// Decoders never trust their input: framing is bounds-checked by
+// persist::Reader, module bytes go through isa::DecodeModule (which
+// throws on corruption — converted to kDataLoss here), and any
+// leftover/missing bytes fail the decode.  The store quarantines on
+// kDataLoss, so a corrupt artifact costs recomputation, never a wrong
+// binary.
+//
+// Deliberately not serialized: AllocStats::functions (per-function
+// allocator internals used only by compile-time reporting).  A decoded
+// artifact reports empty function stats; everything the runtime and the
+// health report consume round-trips bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/multiversion.h"
+
+namespace orion::persist {
+
+std::vector<std::uint8_t> EncodeBinaryArtifact(
+    const runtime::MultiVersionBinary& binary);
+
+// kDataLoss on any framing/decode failure.
+Result<runtime::MultiVersionBinary> DecodeBinaryArtifact(
+    const std::vector<std::uint8_t>& bytes);
+
+// The locked decision of a completed tuned run.
+struct TuneArtifact {
+  std::uint32_t final_version = 0;
+  std::uint32_t iterations_to_settle = 0;
+  double steady_ms = 0.0;
+  double steady_energy = 0.0;
+  double steady_occupancy = 0.0;
+  bool fallback_taken = false;
+  std::uint64_t watchdog_trips = 0;
+  std::uint32_t faulted_iterations = 0;
+  // Median probe runtime per candidate (unified numbering); NaN for
+  // candidates the walk never measured.
+  std::vector<double> candidate_median_ms;
+};
+
+std::vector<std::uint8_t> EncodeTuneArtifact(const TuneArtifact& tune);
+Result<TuneArtifact> DecodeTuneArtifact(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace orion::persist

@@ -1,0 +1,140 @@
+// Little-endian record (de)serialization for the persistence layer.
+//
+// Every durable byte Orion writes — journal records, artifact store
+// payloads — goes through this one fixed-width codec, so the on-disk
+// format is identical across platforms and standard libraries (the same
+// reasoning that puts SplitMix64 behind common/rng.h).  The Reader is
+// deliberately paranoid: every accessor bounds-checks, a failed read
+// poisons the reader, and string/blob lengths are validated against the
+// remaining bytes before allocation, so a corrupt record can never make
+// a caller allocate gigabytes or read past the buffer.  Callers check
+// `ok()` once at the end instead of after every field.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace orion::persist {
+
+// FNV-1a 64-bit over a byte range — the per-record checksum.  (The
+// validate subsystem keeps its own copy for memory images; this one is
+// persistence-local so persist does not depend on validate.)
+inline std::uint64_t Fnv64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = 14695981039346656037ull;  // offset basis
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    const auto* data = reinterpret_cast<const std::uint8_t*>(s.data());
+    out_.insert(out_.end(), data, data + s.size());
+  }
+  void Blob(const std::vector<std::uint8_t>& bytes) {
+    U64(bytes.size());
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t U8() {
+    std::uint8_t v = 0;
+    Copy(&v, 1);
+    return v;
+  }
+  std::uint32_t U32() {
+    std::uint8_t raw[4] = {};
+    Copy(raw, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint8_t raw[8] = {};
+    Copy(raw, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+    }
+    return v;
+  }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    const std::uint32_t len = U32();
+    if (!ok_ || len > Remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  std::vector<std::uint8_t> Blob() {
+    const std::uint64_t len = U64();
+    if (!ok_ || len > Remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> bytes(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return bytes;
+  }
+
+  bool ok() const { return ok_; }
+  // True when the reader is healthy and every byte was consumed —
+  // trailing garbage in a record is corruption, not padding.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+  std::size_t Remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+ private:
+  void Copy(void* dst, std::size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace orion::persist

@@ -1,0 +1,217 @@
+#include "persist/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/faultinject.h"
+#include "common/strings.h"
+#include "telemetry/telemetry.h"
+
+namespace orion::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+CrashMode g_crash_mode = CrashMode::kThrow;
+
+// Ends the process (or the run, in test mode) at an injected
+// kill-point.  Buffers the caller already fclose'd are on disk; nothing
+// else gets flushed — the on-disk state is exactly what a SIGKILL at
+// this instruction would leave.
+[[noreturn]] void Crash(const std::string& what) {
+  ORION_COUNTER_ADD("persist.injected_kills", 1);
+  if (g_crash_mode == CrashMode::kExit) {
+    std::fprintf(stderr, "orion: injected crash: %s\n", what.c_str());
+    std::_Exit(kCrashExitCode);
+  }
+  throw SimulatedCrash("injected crash: " + what);
+}
+
+Status IoError(const std::string& op, const std::string& path) {
+  return Status::Error(StatusCode::kInternal, op + " '" + path + "' failed");
+}
+
+// Writes `count` bytes of `bytes` to `path` (mode "wb" or "ab") and
+// closes the file so the data is in the kernel before any injected
+// crash fires.
+Status WriteBytes(const std::string& path, const char* mode,
+                  const std::vector<std::uint8_t>& bytes, std::size_t count) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) {
+    return IoError("open", path);
+  }
+  if (count > 0 && std::fwrite(bytes.data(), 1, count, f) != count) {
+    std::fclose(f);
+    return IoError("write", path);
+  }
+  if (std::fclose(f) != 0) {
+    return IoError("close", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void SetCrashMode(CrashMode mode) { g_crash_mode = mode; }
+CrashMode GetCrashMode() { return g_crash_mode; }
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    return IoError("create directory", dir);
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+bool IsDirectory(const std::string& path) {
+  std::error_code ec;
+  return fs::is_directory(path, ec);
+}
+
+std::uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  return ec ? IoError("remove", path) : Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  return ec ? IoError("rename", from) : Status::Ok();
+}
+
+Status TruncateFile(const std::string& path, std::uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  return ec ? IoError("truncate", path) : Status::Ok();
+}
+
+Result<std::vector<std::uint8_t>> ReadFileBytes(const std::string& path) {
+  if (!FileExists(path)) {
+    return Status::Error(StatusCode::kNotFound, "no such file '" + path + "'");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return IoError("open", path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return IoError("read", path);
+  }
+  if (FaultInjector* injector = FaultInjector::Current()) {
+    injector->MutatePersistRead(&bytes);
+  }
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  PersistWriteFault fault;
+  if (FaultInjector* injector = FaultInjector::Current()) {
+    fault = injector->NextPersistWrite(/*commit_op=*/true);
+  }
+  ORION_COUNTER_ADD("persist.io.commits", 1);
+  switch (fault.kind) {
+    case PersistFault::kEnospc:
+      return Status::Error(StatusCode::kResourceExhausted,
+                           "injected ENOSPC committing '" + path + "'");
+    case PersistFault::kKill: {
+      // keep = 0: crash before anything lands; 1..999: torn temp file;
+      // 1000: full temp written, crash before the rename publishes it.
+      const std::size_t keep = bytes.size() * fault.keep_permille / 1000;
+      if (keep > 0) {
+        (void)WriteBytes(tmp, "wb", bytes, keep);
+      }
+      Crash(StrFormat("persist write %llu (commit of '%s')",
+                      static_cast<unsigned long long>(
+                          FaultInjector::Current()->persist_ops()),
+                      path.c_str()));
+    }
+    case PersistFault::kTornRename: {
+      // The temp file lands but the publish step is lost: the committed
+      // name never changes.  Reported as success — exactly the silent
+      // data loss a crashed rename leaves — so callers must never
+      // assume a Put is readable without checking.
+      (void)WriteBytes(tmp, "wb", bytes, bytes.size());
+      return Status::Ok();
+    }
+    case PersistFault::kShortWrite: {
+      const std::size_t keep = bytes.size() * fault.keep_permille / 1000;
+      ORION_RETURN_IF_ERROR(WriteBytes(tmp, "wb", bytes, keep));
+      return RenameFile(tmp, path);
+    }
+    case PersistFault::kNone:
+      break;
+  }
+  ORION_RETURN_IF_ERROR(WriteBytes(tmp, "wb", bytes, bytes.size()));
+  return RenameFile(tmp, path);
+}
+
+Status AppendFile(const std::string& path,
+                  const std::vector<std::uint8_t>& bytes) {
+  PersistWriteFault fault;
+  if (FaultInjector* injector = FaultInjector::Current()) {
+    fault = injector->NextPersistWrite(/*commit_op=*/false);
+  }
+  ORION_COUNTER_ADD("persist.io.appends", 1);
+  switch (fault.kind) {
+    case PersistFault::kEnospc:
+      return Status::Error(StatusCode::kResourceExhausted,
+                           "injected ENOSPC appending to '" + path + "'");
+    case PersistFault::kKill: {
+      const std::size_t keep = bytes.size() * fault.keep_permille / 1000;
+      if (keep > 0) {
+        (void)WriteBytes(path, "ab", bytes, keep);
+      }
+      Crash(StrFormat("persist write %llu (append to '%s')",
+                      static_cast<unsigned long long>(
+                          FaultInjector::Current()->persist_ops()),
+                      path.c_str()));
+    }
+    case PersistFault::kShortWrite: {
+      const std::size_t keep = bytes.size() * fault.keep_permille / 1000;
+      return WriteBytes(path, "ab", bytes, keep);
+    }
+    case PersistFault::kTornRename:  // commit-only fault; not drawn here
+    case PersistFault::kNone:
+      break;
+  }
+  return WriteBytes(path, "ab", bytes, bytes.size());
+}
+
+}  // namespace orion::persist

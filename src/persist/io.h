@@ -1,0 +1,85 @@
+// Filesystem primitives for the persistence layer — the single
+// chokepoint every durable read and write goes through, and therefore
+// the place the crash-injection harness (common/faultinject) hooks.
+//
+// Write discipline:
+//   * WriteFileAtomic — the commit protocol for store records: the
+//     bytes land in `<path>.tmp` first and only a successful rename
+//     publishes them, so a reader can never observe a half-written
+//     record under the final name.  A crash leaves either the old
+//     state or a `.tmp` leftover (which fsck quarantines).
+//   * AppendFile — the journal's append: a crash can tear only the
+//     tail, which recovery truncates (the write-ahead contract).
+//
+// Injected faults (when a FaultInjector with persist.* keys is
+// installed): kill-points crash the process at the Nth durable write
+// (std::_Exit in CLI mode, SimulatedCrash in test mode — no
+// destructors, no flushes, exactly like SIGKILL), torn renames drop the
+// publish step, short writes land a prefix, ENOSPC refuses the write,
+// and reads may come back with a flipped bit.  None of the faults are
+// ever reported to the caller as success-with-bad-data: silent classes
+// are caught later by per-record checksums, loud classes travel as
+// Status.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/status.h"
+
+namespace orion::persist {
+
+// Thrown when an injected kill-point fires in CrashMode::kThrow (the
+// in-process test mode).  Deliberately NOT a subclass of the
+// candidate-scoped failure types: nothing in the pipeline catches it,
+// so it unwinds the whole run the way a real kill ends the process.
+class SimulatedCrash : public OrionError {
+ public:
+  explicit SimulatedCrash(std::string message)
+      : OrionError(std::move(message)) {}
+};
+
+// How an injected kill-point ends the process.  kExit (orion-cc) is a
+// real no-cleanup process exit with kCrashExitCode, indistinguishable
+// from SIGKILL for the on-disk state; kThrow (tests) unwinds into the
+// test harness so one process can run the whole seeded matrix.
+enum class CrashMode : std::uint8_t { kThrow, kExit };
+
+void SetCrashMode(CrashMode mode);
+CrashMode GetCrashMode();
+
+// Exit status of an injected kill in CrashMode::kExit (mirrors the
+// 128+SIGKILL convention so the CI crash-soak can assert on it).
+inline constexpr int kCrashExitCode = 137;
+
+Status EnsureDir(const std::string& dir);
+bool FileExists(const std::string& path);
+bool IsDirectory(const std::string& path);
+std::uint64_t FileSize(const std::string& path);  // 0 when absent
+
+// Regular files directly inside `dir`, file names only, sorted.
+std::vector<std::string> ListDir(const std::string& dir);
+
+Status RemoveFile(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+Status TruncateFile(const std::string& path, std::uint64_t size);
+
+// Reads the whole file.  kNotFound when absent; an installed injector
+// may flip a bit of the returned bytes (persist.bitflip_read) — the
+// caller's checksum is responsible for catching it.
+Result<std::vector<std::uint8_t>> ReadFileBytes(const std::string& path);
+
+// Temp-file + rename commit.  On success the final name holds exactly
+// `bytes`; on failure the final name is untouched (modulo injected
+// short writes, which commit a checksummed-detectable prefix).
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+// Appends `bytes` to `path` (creating it).  A crash mid-append tears
+// the tail; journal recovery truncates it.
+Status AppendFile(const std::string& path,
+                  const std::vector<std::uint8_t>& bytes);
+
+}  // namespace orion::persist

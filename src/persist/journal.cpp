@@ -1,0 +1,163 @@
+#include "persist/journal.h"
+
+#include "common/strings.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+#include "telemetry/telemetry.h"
+
+namespace orion::persist {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4f4a4e4c;  // "OJNL"
+constexpr std::uint32_t kFormat = 1;
+constexpr std::size_t kFileHeaderBytes = 4 + 4;
+// frame_len covers: type (1) + checksum (8) + payload.
+constexpr std::size_t kFrameOverhead = 1 + 8;
+
+}  // namespace
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kMeta:
+      return "meta";
+    case RecordType::kArtifactNote:
+      return "artifact-note";
+    case RecordType::kProbeIntent:
+      return "probe-intent";
+    case RecordType::kProbeResult:
+      return "probe-result";
+    case RecordType::kFaultEvent:
+      return "fault-event";
+    case RecordType::kQuarantineEvent:
+      return "quarantine-event";
+    case RecordType::kLock:
+      return "lock";
+    case RecordType::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+Result<JournalScan> Journal::Scan() const {
+  ORION_TRACE_SPAN("persist", "persist.journal.scan");
+  Result<std::vector<std::uint8_t>> raw = ReadFileBytes(path_);
+  if (!raw.has_value()) {
+    return raw.status().WithContext("journal scan");
+  }
+  const std::vector<std::uint8_t>& bytes = *raw;
+  if (bytes.size() < kFileHeaderBytes) {
+    // A file so short it has no complete header: a crash during the
+    // very first append.  Everything after offset 0 is torn tail.
+    JournalScan scan;
+    scan.stable_size = 0;
+    scan.truncated_bytes = bytes.size();
+    return scan;
+  }
+  Reader header(bytes.data(), kFileHeaderBytes);
+  if (header.U32() != kMagic || header.U32() != kFormat) {
+    return Status::Error(
+        StatusCode::kDataLoss,
+        "journal '" + path_ + "' has a corrupt file header");
+  }
+
+  JournalScan scan;
+  std::size_t pos = kFileHeaderBytes;
+  scan.stable_size = pos;
+  while (pos < bytes.size()) {
+    const std::size_t record_start = pos;
+    // Frame length field itself.
+    if (bytes.size() - pos < 4) {
+      break;  // torn tail: not even a complete length prefix
+    }
+    Reader len_reader(bytes.data() + pos, 4);
+    const std::uint32_t frame_len = len_reader.U32();
+    pos += 4;
+    if (frame_len < kFrameOverhead) {
+      // A length that cannot frame a record.  If this is the last frame
+      // before EOF it is a torn append; otherwise the middle of the
+      // file is mangled.
+      if (record_start + 4 + frame_len >= bytes.size()) {
+        pos = record_start;
+        break;
+      }
+      return Status::Error(
+          StatusCode::kDataLoss,
+          StrFormat("journal '%s': invalid frame length %u at offset %llu",
+                    path_.c_str(), frame_len,
+                    static_cast<unsigned long long>(record_start)));
+    }
+    if (bytes.size() - pos < frame_len) {
+      pos = record_start;  // frame reaches past EOF: torn tail
+      break;
+    }
+    Reader frame(bytes.data() + pos, frame_len);
+    const std::uint8_t type = frame.U8();
+    const std::uint64_t checksum = frame.U64();
+    const std::size_t payload_len = frame_len - kFrameOverhead;
+    const std::uint8_t* payload = bytes.data() + pos + kFrameOverhead;
+    if (Fnv64(payload, payload_len) != checksum) {
+      // Checksum failure.  Only a frame that touches EOF can be a torn
+      // append; a bad checksum with valid bytes after it means the
+      // middle of the history is corrupt — unrecoverable.
+      if (pos + frame_len >= bytes.size()) {
+        pos = record_start;
+        break;
+      }
+      return Status::Error(
+          StatusCode::kDataLoss,
+          StrFormat("journal '%s': checksum mismatch at offset %llu "
+                    "(mid-file corruption)",
+                    path_.c_str(),
+                    static_cast<unsigned long long>(record_start)));
+    }
+    JournalRecord record;
+    record.type = static_cast<RecordType>(type);
+    record.payload.assign(payload, payload + payload_len);
+    scan.records.push_back(std::move(record));
+    pos += frame_len;
+    scan.stable_size = pos;
+  }
+  scan.truncated_bytes = bytes.size() - scan.stable_size;
+  if (scan.truncated_bytes > 0) {
+    ORION_COUNTER_ADD("persist.journal.torn_tails", 1);
+  }
+  return scan;
+}
+
+Status Journal::TruncateToStable(const JournalScan& scan) const {
+  if (scan.truncated_bytes == 0) {
+    return Status::Ok();
+  }
+  if (scan.stable_size == 0) {
+    // Nothing good in the file at all — drop it and start fresh.
+    return RemoveFile(path_);
+  }
+  return TruncateFile(path_, scan.stable_size);
+}
+
+Status Journal::Append(RecordType type,
+                       const std::vector<std::uint8_t>& payload) {
+  Writer frame;
+  frame.U32(static_cast<std::uint32_t>(kFrameOverhead + payload.size()));
+  frame.U8(static_cast<std::uint8_t>(type));
+  frame.U64(Fnv64(payload.data(), payload.size()));
+  std::vector<std::uint8_t> bytes = frame.Take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  if (!FileExists(path_)) {
+    Writer header;
+    header.U32(kMagic);
+    header.U32(kFormat);
+    // Header and first record land in one append so a crash between
+    // them cannot leave a headerless file with a dangling record.
+    std::vector<std::uint8_t> first = header.Take();
+    first.insert(first.end(), bytes.begin(), bytes.end());
+    bytes = std::move(first);
+  }
+  ORION_COUNTER_ADD("persist.journal.appends", 1);
+  return AppendFile(path_, bytes).WithContext(
+      std::string("journal append ") + RecordTypeName(type));
+}
+
+}  // namespace orion::persist

@@ -1,0 +1,93 @@
+// Write-ahead session journal — the durable decision log of one tuning
+// run.
+//
+// Contract: every decision (compile committed, probe measured, fault
+// observed, version quarantined, version locked) is appended to the
+// journal *before* it takes effect in the run, so a process killed at
+// any instruction can be restarted and will converge to the same locked
+// version — replayed probes come from the journal, never from
+// re-measurement.
+//
+// On-disk layout: a fixed file header followed by length-prefixed,
+// checksummed record frames:
+//
+//   file   := header record*
+//   header := u32 magic 'OJNL' | u32 format
+//   record := u32 frame_len | u8 type | u64 checksum(payload) | payload
+//
+// `frame_len` counts the bytes after itself (type + checksum +
+// payload), so a scanner can skip records it does not understand while
+// still checksumming them.
+//
+// Recovery rule (the only two outcomes — there is no "repair"):
+//   * a bad record whose frame reaches EOF is a torn tail from a crash
+//     mid-append: the file is truncated back to the last good record
+//     and the run resumes;
+//   * a bad record with valid data after it is mid-file corruption
+//     (bitflip, overwrite): the journal cannot be trusted and the scan
+//     fails with kDataLoss — the caller reports it loudly and exits,
+//     never resumes over corrupt history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orion::persist {
+
+enum class RecordType : std::uint8_t {
+  kMeta = 1,            // session identity: kernel hash, arch, options
+  kArtifactNote = 2,    // a store Put committed (key text)
+  kProbeIntent = 3,     // about to launch iteration N with version V
+  kProbeResult = 4,     // iteration N measured: ms/energy/occupancy
+                        // + guard-state snapshot
+  kFaultEvent = 5,      // guard observed a fault
+  kQuarantineEvent = 6, // guard quarantined a version
+  kLock = 7,            // final decision: locked version + steady stats
+  kNote = 8,            // free-form annotation (ignored on replay)
+};
+
+const char* RecordTypeName(RecordType type);
+
+struct JournalRecord {
+  RecordType type = RecordType::kNote;
+  std::vector<std::uint8_t> payload;
+};
+
+// Result of scanning a journal file.
+struct JournalScan {
+  std::vector<JournalRecord> records;  // every verified record, in order
+  // File offset just past the last good record — the truncation target
+  // that drops a torn tail.
+  std::uint64_t stable_size = 0;
+  // Bytes of torn tail dropped (0 when the file ended cleanly).
+  std::uint64_t truncated_bytes = 0;
+};
+
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  // Reads and verifies the whole journal.  kNotFound when the file does
+  // not exist (a fresh session); kDataLoss on mid-file corruption or a
+  // mangled file header.  A torn tail is not an error — it is counted
+  // in `truncated_bytes` and excluded from `records`/`stable_size`.
+  Result<JournalScan> Scan() const;
+
+  // Truncates the file to `stable_size` (drops a torn tail in place).
+  Status TruncateToStable(const JournalScan& scan) const;
+
+  // Appends one record (writing the file header first when the file is
+  // new).  The append is the durability point: it must succeed before
+  // the decision it records takes effect.
+  Status Append(RecordType type, const std::vector<std::uint8_t>& payload);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace orion::persist

@@ -1,0 +1,431 @@
+#include "persist/session.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+#include "telemetry/telemetry.h"
+
+namespace orion::persist {
+
+namespace {
+
+constexpr const char* kJournalFile = "journal.ojl";
+constexpr const char* kStoreDir = "store";
+
+// Journal file header (magic + format) — mirrored from journal.cpp so
+// record offsets can be reconstructed for the stable-point truncation.
+constexpr std::uint64_t kJournalHeaderBytes = 8;
+// Frame overhead per record: u32 len + u8 type + u64 checksum.
+constexpr std::uint64_t kFrameBytes = 4 + 1 + 8;
+
+// Records that commit state.  Anything after the last committed record
+// is an uncommitted trailer (an intent whose result never landed, fault
+// events of an iteration that will re-run live) and is dropped on
+// recovery so nothing is double-counted.
+bool CommitsState(RecordType type) {
+  switch (type) {
+    case RecordType::kMeta:
+    case RecordType::kArtifactNote:
+    case RecordType::kProbeResult:
+    case RecordType::kLock:
+    case RecordType::kNote:
+      return true;
+    case RecordType::kProbeIntent:
+    case RecordType::kFaultEvent:
+    case RecordType::kQuarantineEvent:
+      return false;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> EncodeMeta(const SessionMeta& meta) {
+  Writer w;
+  w.U64(meta.kernel_hash);
+  w.Str(meta.gpu);
+  w.Str(meta.fingerprint);
+  return w.Take();
+}
+
+void PutHealthSnapshot(Writer* w, const runtime::HealthReport& health,
+                       const std::vector<std::uint32_t>& fault_counts) {
+  w->U64(health.launches_attempted);
+  w->U64(health.launches_succeeded);
+  w->U64(health.transient_faults);
+  w->U64(health.retries);
+  w->U64(health.watchdog_trips);
+  w->U64(health.faulted_iterations);
+  w->F64(health.backoff_ms);
+  w->U8(health.fallback_taken ? 1 : 0);
+  w->U32(static_cast<std::uint32_t>(health.quarantined.size()));
+  for (const runtime::Quarantine& q : health.quarantined) {
+    w->U32(q.version);
+    w->U8(static_cast<std::uint8_t>(q.reason));
+  }
+  w->U32(static_cast<std::uint32_t>(fault_counts.size()));
+  for (std::uint32_t count : fault_counts) {
+    w->U32(count);
+  }
+}
+
+bool GetHealthSnapshot(Reader* r, runtime::HealthReport* health,
+                       std::vector<std::uint32_t>* fault_counts) {
+  health->launches_attempted = r->U64();
+  health->launches_succeeded = r->U64();
+  health->transient_faults = r->U64();
+  health->retries = r->U64();
+  health->watchdog_trips = r->U64();
+  health->faulted_iterations = r->U64();
+  health->backoff_ms = r->F64();
+  health->fallback_taken = r->U8() != 0;
+  const std::uint32_t quarantines = r->U32();
+  if (!r->ok() || quarantines > r->Remaining()) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < quarantines; ++i) {
+    runtime::Quarantine q;
+    q.version = r->U32();
+    q.reason = static_cast<runtime::QuarantineReason>(r->U8());
+    health->quarantined.push_back(q);
+  }
+  const std::uint32_t counts = r->U32();
+  if (!r->ok() || counts > r->Remaining()) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < counts; ++i) {
+    fault_counts->push_back(r->U32());
+  }
+  return r->ok();
+}
+
+Status CorruptRecord(const char* type_name) {
+  return Status::Error(StatusCode::kDataLoss,
+                       StrFormat("journal %s record failed to decode "
+                                 "(checksummed but malformed)",
+                                 type_name));
+}
+
+}  // namespace
+
+Session::Session(std::string dir, SessionMeta meta)
+    : dir_(std::move(dir)),
+      meta_(std::move(meta)),
+      journal_(dir_ + "/" + kJournalFile),
+      store_(dir_ + "/" + kStoreDir) {}
+
+Result<std::unique_ptr<Session>> Session::Open(const std::string& dir,
+                                               const SessionMeta& meta) {
+  ORION_TRACE_SPAN("persist", "persist.session.open");
+  ORION_RETURN_IF_ERROR(EnsureDir(dir));
+  std::unique_ptr<Session> session(new Session(dir, meta));
+  ORION_RETURN_IF_ERROR(session->Recover());
+  return session;
+}
+
+Status Session::Recover() {
+  // The store is repaired first: crash debris (.tmp leftovers) and any
+  // corrupt record are quarantined before anything can read them.
+  fsck_report_ = store_.Fsck();
+
+  Result<JournalScan> scanned = journal_.Scan();
+  if (!scanned.has_value()) {
+    if (scanned.status().code() == StatusCode::kNotFound) {
+      // Fresh session: the identity record is the first durable write.
+      AppendOrDegrade(RecordType::kMeta, EncodeMeta(meta_));
+      return Status::Ok();
+    }
+    return scanned.status();  // kDataLoss: corrupt history, never resumed
+  }
+  JournalScan scan = std::move(*scanned);
+
+  // Drop the uncommitted trailer: records after the last state-committing
+  // one belong to an iteration whose result never became durable — it
+  // re-runs live, and keeping its intents/fault events would double
+  // count.  The file is truncated to match so new appends continue from
+  // the committed state.
+  std::size_t keep = 0;
+  std::uint64_t keep_bytes = kJournalHeaderBytes;
+  std::uint64_t offset = kJournalHeaderBytes;
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    offset += kFrameBytes + scan.records[i].payload.size();
+    if (CommitsState(scan.records[i].type)) {
+      keep = i + 1;
+      keep_bytes = offset;
+    }
+  }
+  scan.records.resize(keep);
+  truncated_bytes_ = scan.truncated_bytes + (scan.stable_size - keep_bytes);
+  if (keep == 0) {
+    // Nothing committed survived (crash during the very first append):
+    // start the journal over.
+    if (FileExists(journal_.path())) {
+      ORION_RETURN_IF_ERROR(RemoveFile(journal_.path()));
+    }
+    AppendOrDegrade(RecordType::kMeta, EncodeMeta(meta_));
+    return Status::Ok();
+  }
+  if (keep_bytes < scan.stable_size || scan.truncated_bytes > 0) {
+    ORION_RETURN_IF_ERROR(TruncateFile(journal_.path(), keep_bytes));
+    ORION_LOG(WARN) << "session recovery: dropped "
+                    << truncated_bytes_
+                    << " uncommitted journal bytes (torn tail / trailer)";
+    ORION_COUNTER_ADD("persist.session.recoveries", 1);
+  }
+
+  // Identity check before anything is believed.
+  {
+    if (scan.records[0].type != RecordType::kMeta) {
+      return Status::Error(StatusCode::kDataLoss,
+                           "journal does not start with a meta record");
+    }
+    Reader r(scan.records[0].payload);
+    SessionMeta recorded;
+    recorded.kernel_hash = r.U64();
+    recorded.gpu = r.Str();
+    recorded.fingerprint = r.Str();
+    if (!r.AtEnd()) {
+      return CorruptRecord("meta");
+    }
+    if (recorded.kernel_hash != meta_.kernel_hash ||
+        recorded.gpu != meta_.gpu ||
+        recorded.fingerprint != meta_.fingerprint) {
+      return Status::Error(
+          StatusCode::kInvalidArgument,
+          StrFormat("session at '%s' belongs to kernel %016llx on %s "
+                    "(options %s), not to this run — refusing to mix",
+                    dir_.c_str(),
+                    static_cast<unsigned long long>(recorded.kernel_hash),
+                    recorded.gpu.c_str(), recorded.fingerprint.c_str()));
+    }
+  }
+
+  // Rebuild replay state.
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    const JournalRecord& record = scan.records[i];
+    switch (record.type) {
+      case RecordType::kProbeResult: {
+        Reader r(record.payload);
+        const std::uint32_t iteration = r.U32();
+        runtime::IterationRecord iter;
+        iter.version = r.U32();
+        iter.faulted = r.U8() != 0;
+        iter.ms = r.F64();
+        iter.energy = r.F64();
+        iter.occupancy = r.F64();
+        GuardSnapshot snapshot;
+        if (!GetHealthSnapshot(&r, &snapshot.health, &snapshot.fault_counts) ||
+            !r.AtEnd()) {
+          return CorruptRecord("probe-result");
+        }
+        iterations_[iteration] = iter;
+        snapshot_ = std::move(snapshot);
+        break;
+      }
+      case RecordType::kFaultEvent: {
+        Reader r(record.payload);
+        LoggedFault fault;
+        fault.iteration = r.U32();
+        fault.version = r.U32();
+        const std::uint32_t code = r.U32();
+        const std::string message = r.Str();
+        r.U8();  // counted flag (informational)
+        if (!r.AtEnd()) {
+          return CorruptRecord("fault-event");
+        }
+        fault.status = Status::Error(static_cast<StatusCode>(code), message);
+        restored_faults_.push_back(std::move(fault));
+        break;
+      }
+      case RecordType::kLock: {
+        Result<TuneArtifact> tune = DecodeTuneArtifact(record.payload);
+        if (!tune.has_value()) {
+          return CorruptRecord("lock");
+        }
+        lock_ = std::move(*tune);
+        break;
+      }
+      case RecordType::kMeta:
+        return Status::Error(StatusCode::kDataLoss,
+                             "journal holds a second meta record");
+      case RecordType::kArtifactNote:
+      case RecordType::kProbeIntent:
+      case RecordType::kQuarantineEvent:
+      case RecordType::kNote:
+        break;  // informational
+    }
+  }
+  recovered_ = scan.records.size();
+  if (recovered_ > 1) {
+    ORION_LOG(INFO) << "session resumed: " << iterations_.size()
+                    << " recorded iterations, "
+                    << (lock_.has_value() ? "locked" : "no lock yet");
+  }
+  return Status::Ok();
+}
+
+void Session::AppendOrDegrade(RecordType type,
+                              const std::vector<std::uint8_t>& payload) {
+  if (degraded_) {
+    return;
+  }
+  const Status status = journal_.Append(type, payload);
+  if (!status.ok()) {
+    degraded_ = true;
+    ORION_COUNTER_ADD("persist.session.degraded", 1);
+    ORION_LOG(ERROR) << "session journal append failed — journaling "
+                        "disabled, the run continues without the resume "
+                        "guarantee: "
+                     << status.ToString();
+  }
+}
+
+Status Session::SaveBinary(const runtime::MultiVersionBinary& binary) {
+  const ArtifactKey key = BinaryKey();
+  ORION_RETURN_IF_ERROR(store_.Put(key, EncodeBinaryArtifact(binary)));
+  Writer w;
+  w.Str(key.ToString());
+  AppendOrDegrade(RecordType::kArtifactNote, w.Take());
+  return Status::Ok();
+}
+
+Result<runtime::MultiVersionBinary> Session::LoadBinary() {
+  Result<std::vector<std::uint8_t>> bytes = store_.Get(BinaryKey());
+  if (!bytes.has_value()) {
+    return bytes.status();
+  }
+  return DecodeBinaryArtifact(*bytes);
+}
+
+Status Session::SaveTuneResult(const TuneArtifact& tune) {
+  return store_.Put(TuneKey(), EncodeTuneArtifact(tune));
+}
+
+Result<TuneArtifact> Session::LoadTuneResult() {
+  Result<std::vector<std::uint8_t>> bytes = store_.Get(TuneKey());
+  if (!bytes.has_value()) {
+    return bytes.status();
+  }
+  return DecodeTuneArtifact(*bytes);
+}
+
+bool Session::ReplayIteration(std::uint32_t iteration,
+                              std::uint32_t expected_version,
+                              runtime::IterationRecord* record) {
+  const auto found = iterations_.find(iteration);
+  if (found == iterations_.end()) {
+    return false;
+  }
+  if (expected_version != runtime::RunJournal::kAnyVersion &&
+      found->second.version != expected_version) {
+    // The deterministic walk disagrees with the recorded history —
+    // semantic corruption, as fatal as a bad checksum.
+    throw JournalError(StrFormat(
+        "journal replay diverged at iteration %u: recorded version %u, "
+        "the tuner chose %u",
+        iteration, found->second.version, expected_version));
+  }
+  *record = found->second;
+  ++replayed_;
+  ORION_COUNTER_ADD("persist.session.replays", 1);
+  return true;
+}
+
+void Session::ProbeIntent(std::uint32_t iteration, std::uint32_t version) {
+  Writer w;
+  w.U32(iteration);
+  w.U32(version);
+  AppendOrDegrade(RecordType::kProbeIntent, w.Take());
+}
+
+void Session::ProbeResult(std::uint32_t iteration,
+                          const runtime::IterationRecord& record,
+                          const runtime::HealthReport& health,
+                          const std::vector<std::uint32_t>& fault_counts) {
+  Writer w;
+  w.U32(iteration);
+  w.U32(record.version);
+  w.U8(record.faulted ? 1 : 0);
+  w.F64(record.ms);
+  w.F64(record.energy);
+  w.F64(record.occupancy);
+  PutHealthSnapshot(&w, health, fault_counts);
+  AppendOrDegrade(RecordType::kProbeResult, w.Take());
+}
+
+void Session::OnFault(std::uint32_t iteration, std::uint32_t version,
+                      const Status& status, bool counted) {
+  Writer w;
+  w.U32(iteration);
+  w.U32(version);
+  w.U32(static_cast<std::uint32_t>(status.code()));
+  w.Str(status.message());
+  w.U8(counted ? 1 : 0);
+  AppendOrDegrade(RecordType::kFaultEvent, w.Take());
+}
+
+void Session::OnQuarantine(const runtime::Quarantine& quarantine) {
+  Writer w;
+  w.U32(quarantine.version);
+  w.U8(static_cast<std::uint8_t>(quarantine.reason));
+  AppendOrDegrade(RecordType::kQuarantineEvent, w.Take());
+}
+
+bool Session::RestoreGuard(runtime::HealthReport* health,
+                           std::vector<std::uint32_t>* fault_counts) {
+  if (!snapshot_.has_value()) {
+    return false;
+  }
+  *health = snapshot_->health;
+  for (const LoggedFault& fault : restored_faults_) {
+    health->fault_log.push_back(
+        {fault.iteration, fault.version, fault.status});
+  }
+  *fault_counts = snapshot_->fault_counts;
+  ORION_COUNTER_ADD("persist.session.guard_restores", 1);
+  return true;
+}
+
+void Session::LockDecision(const runtime::TunedRunResult& result) {
+  TuneArtifact tune;
+  tune.final_version = result.final_version;
+  tune.iterations_to_settle = result.iterations_to_settle;
+  tune.steady_ms = result.steady_ms;
+  tune.steady_energy = result.steady_energy;
+  tune.steady_occupancy = result.steady_occupancy.occupancy;
+  tune.fallback_taken = result.health.fallback_taken;
+  tune.watchdog_trips = result.health.watchdog_trips;
+  tune.faulted_iterations =
+      static_cast<std::uint32_t>(result.health.faulted_iterations);
+  // Median probe runtime per candidate, from the run's usable records.
+  std::uint32_t max_version = 0;
+  for (const runtime::IterationRecord& record : result.records) {
+    max_version = std::max(max_version, record.version);
+  }
+  std::vector<std::vector<double>> samples(max_version + 1);
+  for (const runtime::IterationRecord& record : result.records) {
+    if (!record.faulted) {
+      samples[record.version].push_back(record.ms);
+    }
+  }
+  tune.candidate_median_ms.assign(
+      samples.size(), std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t v = 0; v < samples.size(); ++v) {
+    if (samples[v].empty()) {
+      continue;
+    }
+    std::sort(samples[v].begin(), samples[v].end());
+    tune.candidate_median_ms[v] = samples[v][samples[v].size() / 2];
+  }
+  AppendOrDegrade(RecordType::kLock, EncodeTuneArtifact(tune));
+  if (!SaveTuneResult(tune).ok()) {
+    // Already logged by the store; the journal's lock record still
+    // carries the decision, so a warm run can rebuild the artifact.
+  }
+  lock_ = std::move(tune);
+}
+
+}  // namespace orion::persist

@@ -1,0 +1,156 @@
+// Crash-safe tuning session: the write-ahead journal + artifact store
+// bound to one (kernel, arch, options) tuning run.
+//
+// A session directory holds:
+//   <dir>/journal.ojl   — the write-ahead decision log (persist/journal.h)
+//   <dir>/store/        — the content-addressed artifact store
+//
+// Open() recovers: it scans the journal, truncates a torn tail, drops
+// trailing uncommitted records (intents and fault events after the last
+// durable probe result — their iteration re-runs live), rebuilds the
+// replay state (measured iterations, the latest guard snapshot, the
+// lock if the previous run completed), verifies the session identity
+// against the caller's, and fscks the store so crash debris is
+// quarantined before anything is read.  Mid-file journal corruption is
+// unrecoverable by design: Open() fails with kDataLoss and the caller
+// reports it loudly (orion-cc exit code 5) — a corrupt history is never
+// resumed over.
+//
+// During a run the session implements runtime::RunJournal: every
+// decision is appended *before* it takes effect, so a process killed at
+// any durable write resumes to the same locked version, with replayed
+// probes served from the journal instead of re-measurement.
+//
+// A journal append that fails (e.g. injected ENOSPC) degrades the
+// session: journaling stops, the run continues correctly, and only the
+// resume guarantee is lost — logged once, never silent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/status.h"
+#include "persist/artifact.h"
+#include "persist/journal.h"
+#include "persist/store.h"
+#include "runtime/run_journal.h"
+
+namespace orion::persist {
+
+// Thrown when a resumed run's deterministic walk contradicts the
+// journal (a recorded probe names a version the tuner would not pick).
+// Semantic corruption — as fatal as a failed checksum.
+class JournalError : public OrionError {
+ public:
+  explicit JournalError(std::string message)
+      : OrionError(std::move(message)) {}
+};
+
+// The identity a session is bound to.  A session directory reused for a
+// different kernel/arch/options is refused (kInvalidArgument), never
+// silently mixed.
+struct SessionMeta {
+  std::uint64_t kernel_hash = 0;  // FNV-1a 64 of the input binary bytes
+  std::string gpu;                // GPU spec name
+  std::string fingerprint;        // tune-options fingerprint
+};
+
+class Session final : public runtime::RunJournal {
+ public:
+  // Opens (creating or recovering) the session at `dir`.
+  // kDataLoss: the journal is corrupt beyond the torn-tail rule.
+  // kInvalidArgument: the directory belongs to a different identity.
+  static Result<std::unique_ptr<Session>> Open(const std::string& dir,
+                                               const SessionMeta& meta);
+
+  const std::string& dir() const { return dir_; }
+  const SessionMeta& meta() const { return meta_; }
+  ArtifactStore& store() { return store_; }
+
+  // Recovery facts from Open(), for reporting.
+  const ArtifactStore::FsckReport& fsck_report() const { return fsck_report_; }
+  std::uint64_t journal_records_recovered() const { return recovered_; }
+  std::uint64_t journal_bytes_truncated() const { return truncated_bytes_; }
+
+  // Measured iterations available for replay.
+  std::uint32_t recorded_iterations() const {
+    return static_cast<std::uint32_t>(iterations_.size());
+  }
+  // Iterations actually served from the journal this run.
+  std::uint32_t replayed_iterations() const { return replayed_; }
+
+  // The previous run's lock, when it completed.
+  bool HasLock() const { return lock_.has_value(); }
+  const TuneArtifact& lock() const { return *lock_; }
+
+  // True once a journal append has failed and journaling stopped.
+  bool degraded() const { return degraded_; }
+
+  // Artifact-store helpers bound to this session's identity.
+  ArtifactKey BinaryKey() const { return Key("binary"); }
+  ArtifactKey TuneKey() const { return Key("tune"); }
+  Status SaveBinary(const runtime::MultiVersionBinary& binary);
+  Result<runtime::MultiVersionBinary> LoadBinary();
+  Status SaveTuneResult(const TuneArtifact& tune);
+  Result<TuneArtifact> LoadTuneResult();
+
+  // runtime::RunJournal implementation.
+  bool ReplayIteration(std::uint32_t iteration, std::uint32_t expected_version,
+                       runtime::IterationRecord* record) override;
+  void ProbeIntent(std::uint32_t iteration, std::uint32_t version) override;
+  void ProbeResult(std::uint32_t iteration,
+                   const runtime::IterationRecord& record,
+                   const runtime::HealthReport& health,
+                   const std::vector<std::uint32_t>& fault_counts) override;
+  void OnFault(std::uint32_t iteration, std::uint32_t version,
+               const Status& status, bool counted) override;
+  void OnQuarantine(const runtime::Quarantine& quarantine) override;
+  bool RestoreGuard(runtime::HealthReport* health,
+                    std::vector<std::uint32_t>* fault_counts) override;
+  void LockDecision(const runtime::TunedRunResult& result) override;
+
+ private:
+  // Guard state as of the last durable probe result.
+  struct GuardSnapshot {
+    runtime::HealthReport health;  // aggregates + quarantines (no log)
+    std::vector<std::uint32_t> fault_counts;
+  };
+  // One restored fault-log entry (kFaultEvent record).
+  struct LoggedFault {
+    std::uint32_t iteration = 0;
+    std::uint32_t version = 0;
+    Status status;
+  };
+
+  Session(std::string dir, SessionMeta meta);
+
+  ArtifactKey Key(const char* kind) const {
+    return ArtifactKey{kind, meta_.kernel_hash, meta_.gpu, meta_.fingerprint};
+  }
+  // Appends one record; on failure degrades the session (log once,
+  // journaling stops, the run continues).
+  void AppendOrDegrade(RecordType type, const std::vector<std::uint8_t>& payload);
+  Status Recover();
+
+  std::string dir_;
+  SessionMeta meta_;
+  Journal journal_;
+  ArtifactStore store_;
+  ArtifactStore::FsckReport fsck_report_;
+
+  std::map<std::uint32_t, runtime::IterationRecord> iterations_;
+  std::optional<GuardSnapshot> snapshot_;
+  std::vector<LoggedFault> restored_faults_;
+  std::optional<TuneArtifact> lock_;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint32_t replayed_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace orion::persist

@@ -1,0 +1,263 @@
+#include "persist/store.h"
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+#include "telemetry/telemetry.h"
+
+namespace orion::persist {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4f415254;  // "OART"
+constexpr std::uint32_t kFormat = 1;
+// magic + format + checksum + payload length.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+constexpr const char* kRecordSuffix = ".art";
+constexpr const char* kQuarantineSuffix = ".quarantine";
+constexpr const char* kTmpSuffix = ".tmp";
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string ArtifactKey::ToString() const {
+  return StrFormat("%s|%016llx|%s|%s", kind.c_str(),
+                   static_cast<unsigned long long>(kernel_hash), arch.c_str(),
+                   options.c_str());
+}
+
+std::string ArtifactKey::FileName() const {
+  // kind in clear for humans; arch+options folded into a hash so the
+  // name stays short and filesystem-safe regardless of the fingerprint.
+  const std::string scope = arch + "|" + options;
+  return StrFormat("%s-%016llx-%016llx%s", kind.c_str(),
+                   static_cast<unsigned long long>(kernel_hash),
+                   static_cast<unsigned long long>(
+                       Fnv64(scope.data(), scope.size())),
+                   kRecordSuffix);
+}
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  const Status status = EnsureDir(dir_);
+  if (!status.ok()) {
+    ORION_LOG(ERROR) << "artifact store: " << status.ToString();
+  }
+}
+
+Status ArtifactStore::Put(const ArtifactKey& key,
+                          const std::vector<std::uint8_t>& payload) {
+  ORION_TRACE_SPAN("persist", "persist.store.put");
+  Writer body;
+  body.Str(key.ToString());
+  body.Blob(payload);
+  Writer record;
+  record.U32(kMagic);
+  record.U32(kFormat);
+  record.U64(Fnv64(body.bytes().data(), body.bytes().size()));
+  record.U64(body.bytes().size());
+  std::vector<std::uint8_t> bytes = record.Take();
+  bytes.insert(bytes.end(), body.bytes().begin(), body.bytes().end());
+
+  const Status status =
+      WriteFileAtomic(dir_ + "/" + key.FileName(), bytes);
+  if (status.ok()) {
+    ++stats_.writes;
+    ORION_COUNTER_ADD("persist.store.writes", 1);
+  } else {
+    ++stats_.write_failures;
+    ORION_COUNTER_ADD("persist.store.write_failures", 1);
+    ORION_LOG(WARN) << "artifact store: dropping '" << key.ToString()
+                    << "': " << status.ToString();
+  }
+  return status.WithContext("store put " + key.ToString());
+}
+
+ArtifactStore::Verify ArtifactStore::VerifyRecord(
+    const std::vector<std::uint8_t>& record, const std::string& file_name,
+    std::vector<std::uint8_t>* payload, std::string* embedded_key) const {
+  if (record.size() < kHeaderBytes) {
+    return Verify::kTruncated;
+  }
+  Reader header(record.data(), kHeaderBytes);
+  const std::uint32_t magic = header.U32();
+  const std::uint32_t format = header.U32();
+  const std::uint64_t checksum = header.U64();
+  const std::uint64_t length = header.U64();
+  if (magic != kMagic || format != kFormat) {
+    // A framing header that never matched: most likely a flipped bit in
+    // the header itself — checksum class (the payload is unreadable).
+    return Verify::kChecksum;
+  }
+  if (record.size() - kHeaderBytes < length) {
+    return Verify::kTruncated;
+  }
+  if (record.size() - kHeaderBytes != length) {
+    // Trailing bytes after the framed payload: a torn re-commit or
+    // concatenated records — never silently accept.
+    return Verify::kTruncated;
+  }
+  if (Fnv64(record.data() + kHeaderBytes, length) != checksum) {
+    return Verify::kChecksum;
+  }
+  Reader body(record.data() + kHeaderBytes, length);
+  const std::string key_text = body.Str();
+  std::vector<std::uint8_t> bytes = body.Blob();
+  if (!body.AtEnd()) {
+    return Verify::kChecksum;
+  }
+  if (embedded_key != nullptr) {
+    *embedded_key = key_text;
+  }
+  // The record must be filed under the name its own key derives —
+  // catches a record copied/duplicated under another key's name.
+  const std::size_t cut = key_text.find('|');
+  const std::size_t cut2 = key_text.find('|', cut + 1);
+  const std::size_t cut3 = key_text.find('|', cut2 + 1);
+  if (cut == std::string::npos || cut2 == std::string::npos ||
+      cut3 == std::string::npos) {
+    return Verify::kKeyMismatch;
+  }
+  ArtifactKey parsed;
+  parsed.kind = key_text.substr(0, cut);
+  parsed.kernel_hash =
+      std::strtoull(key_text.substr(cut + 1, cut2 - cut - 1).c_str(),
+                    nullptr, 16);
+  parsed.arch = key_text.substr(cut2 + 1, cut3 - cut2 - 1);
+  parsed.options = key_text.substr(cut3 + 1);
+  if (parsed.FileName() != file_name) {
+    return Verify::kKeyMismatch;
+  }
+  if (payload != nullptr) {
+    *payload = std::move(bytes);
+  }
+  return Verify::kOk;
+}
+
+void ArtifactStore::QuarantineFile(const std::string& file_name) {
+  ++stats_.quarantined;
+  ORION_COUNTER_ADD("persist.store.quarantined", 1);
+  const std::string from = dir_ + "/" + file_name;
+  const std::string to = from + kQuarantineSuffix;
+  ORION_LOG(WARN) << "artifact store: quarantining corrupt record '"
+                  << file_name << "'";
+  if (!RenameFile(from, to).ok()) {
+    // Renaming away failed (e.g. the medium is read-only); removing is
+    // the fallback so the corrupt bytes can never be re-read as data.
+    (void)RemoveFile(from);
+  }
+}
+
+Result<std::vector<std::uint8_t>> ArtifactStore::Get(const ArtifactKey& key) {
+  ORION_TRACE_SPAN("persist", "persist.store.get");
+  const std::string file_name = key.FileName();
+  Result<std::vector<std::uint8_t>> raw =
+      ReadFileBytes(dir_ + "/" + file_name);
+  if (!raw.has_value()) {
+    ++stats_.misses;
+    ORION_COUNTER_ADD("persist.store.misses", 1);
+    return raw.status().WithContext("store get " + key.ToString());
+  }
+  std::vector<std::uint8_t> payload;
+  std::string embedded_key;
+  const Verify verify = VerifyRecord(*raw, file_name, &payload, &embedded_key);
+  if (verify != Verify::kOk) {
+    QuarantineFile(file_name);
+    ++stats_.misses;
+    ORION_COUNTER_ADD("persist.store.misses", 1);
+    return Status::Error(
+        StatusCode::kDataLoss,
+        StrFormat("record '%s' failed verification (%s), quarantined",
+                  file_name.c_str(),
+                  verify == Verify::kTruncated   ? "truncated"
+                  : verify == Verify::kChecksum  ? "checksum mismatch"
+                                                 : "key mismatch"));
+  }
+  if (embedded_key != key.ToString()) {
+    // Filed consistently but not the record we asked for — a key-hash
+    // collision.  Treated as a miss, never as data.
+    ++stats_.misses;
+    ORION_COUNTER_ADD("persist.store.misses", 1);
+    return Status::Error(StatusCode::kNotFound,
+                         "key collision on '" + file_name + "'");
+  }
+  ++stats_.hits;
+  ORION_COUNTER_ADD("persist.store.hits", 1);
+  return payload;
+}
+
+std::string ArtifactStore::FsckReport::ToString() const {
+  std::string out = StrFormat(
+      "scanned=%u clean=%u truncated=%u checksum=%u key-mismatch=%u "
+      "tmp-leftovers=%u",
+      scanned, clean, truncated, checksum_mismatch, key_mismatch,
+      tmp_leftovers);
+  if (!quarantined.empty()) {
+    out += ", quarantined=[";
+    for (std::size_t i = 0; i < quarantined.size(); ++i) {
+      out += (i == 0 ? "" : " ") + quarantined[i];
+    }
+    out += "]";
+  }
+  return out;
+}
+
+ArtifactStore::FsckReport ArtifactStore::Fsck() {
+  ORION_TRACE_SPAN("persist", "persist.store.fsck");
+  FsckReport report;
+  for (const std::string& name : ListDir(dir_)) {
+    if (EndsWith(name, kQuarantineSuffix)) {
+      continue;  // already quarantined by an earlier scan or Get
+    }
+    if (EndsWith(name, kTmpSuffix)) {
+      // Crash debris: a commit that never renamed.  The committed state
+      // is authoritative; the temp file is quarantined like any other
+      // corrupt bytes.
+      ++report.tmp_leftovers;
+      report.quarantined.push_back(name);
+      QuarantineFile(name);
+      continue;
+    }
+    if (!EndsWith(name, kRecordSuffix)) {
+      continue;  // not ours (journal, stray files)
+    }
+    ++report.scanned;
+    Result<std::vector<std::uint8_t>> raw = ReadFileBytes(dir_ + "/" + name);
+    if (!raw.has_value()) {
+      ++report.truncated;
+      report.quarantined.push_back(name);
+      QuarantineFile(name);
+      continue;
+    }
+    switch (VerifyRecord(*raw, name, nullptr, nullptr)) {
+      case Verify::kOk:
+        ++report.clean;
+        break;
+      case Verify::kTruncated:
+        ++report.truncated;
+        report.quarantined.push_back(name);
+        QuarantineFile(name);
+        break;
+      case Verify::kChecksum:
+        ++report.checksum_mismatch;
+        report.quarantined.push_back(name);
+        QuarantineFile(name);
+        break;
+      case Verify::kKeyMismatch:
+        ++report.key_mismatch;
+        report.quarantined.push_back(name);
+        QuarantineFile(name);
+        break;
+    }
+  }
+  if (!report.Clean()) {
+    ORION_LOG(WARN) << "artifact store fsck: " << report.ToString();
+  }
+  return report;
+}
+
+}  // namespace orion::persist

@@ -1,0 +1,119 @@
+// Content-addressed artifact store.
+//
+// Tuning work products — realized multi-version binaries, validation
+// verdicts, locked tuning results with their probe medians — are keyed
+// by (kernel FNV-1a hash, architecture, tune-options fingerprint) plus
+// an artifact kind, so a fleet of submissions of the same kernel hits
+// the cache instead of recompiling (ROADMAP item 1; the
+// profile→artifact→optimize contract of rocm-perf-lab's on-disk JSON
+// artifacts is the exemplar).
+//
+// Durability discipline:
+//   * every record carries a header checksum over its payload and an
+//     embedded copy of its own key;
+//   * commits are temp-file + rename (persist/io.h), so a reader never
+//     sees a half-written record under a committed name;
+//   * nothing is ever read without verification: Get re-checksums,
+//     re-frames and key-checks every record, and a record that fails
+//     any of it is *quarantined* (renamed aside, never deleted — the
+//     bytes stay for post-mortems) and reported as a miss;
+//   * Fsck() is the same verification as a batch scan over the whole
+//     directory, plus temp-leftover cleanup — crash debris from a
+//     killed commit is quarantined too.
+//
+// A corrupt store therefore costs recomputation, never wrong answers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orion::persist {
+
+// The content address.  `kind` separates artifact types under one
+// logical key ("binary": the realized multi-version compile including
+// validation verdicts; "tune": the locked Fig. 9 result with probe
+// medians).
+struct ArtifactKey {
+  std::string kind;
+  std::uint64_t kernel_hash = 0;  // FNV-1a 64 of the input binary bytes
+  std::string arch;               // GPU spec name
+  std::string options;            // tune-options fingerprint
+
+  // Canonical text form, embedded verbatim in every record so fsck can
+  // detect a record filed under the wrong name (duplicate/copied key).
+  std::string ToString() const;
+  // File name in the store directory, derived from ToString().
+  std::string FileName() const;
+};
+
+class ArtifactStore {
+ public:
+  // Creates `dir` when missing.  Opening never scans — records are
+  // verified on use (Get) or in batch (Fsck).
+  explicit ArtifactStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // Commits `payload` under `key`.  A failed or injected-faulty write
+  // can lose the record (reported as a later miss) but can never
+  // corrupt an existing committed record.
+  Status Put(const ArtifactKey& key, const std::vector<std::uint8_t>& payload);
+
+  // Loads and verifies the record for `key`.  kNotFound on a miss;
+  // kDataLoss when the record exists but fails verification — it is
+  // quarantined before returning, so the next Get is a clean miss.
+  Result<std::vector<std::uint8_t>> Get(const ArtifactKey& key);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t write_failures = 0;
+    std::uint64_t quarantined = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Integrity scan over every record in the directory.
+  struct FsckReport {
+    std::uint32_t scanned = 0;
+    std::uint32_t clean = 0;
+    // Corruption classes (each quarantines the record):
+    std::uint32_t truncated = 0;          // frame shorter than declared
+    std::uint32_t checksum_mismatch = 0;  // payload checksum differs
+    std::uint32_t key_mismatch = 0;       // embedded key ≠ file name
+                                          // (duplicate/copied record)
+    std::uint32_t tmp_leftovers = 0;      // crash debris from a commit
+    std::vector<std::string> quarantined;  // file names moved aside
+
+    bool Clean() const {
+      return truncated == 0 && checksum_mismatch == 0 && key_mismatch == 0 &&
+             tmp_leftovers == 0;
+    }
+    std::string ToString() const;
+  };
+  FsckReport Fsck();
+
+ private:
+  // Verifies framing, checksum and embedded key.  On success fills
+  // `payload`; on failure names the corruption class in `detail`.
+  enum class Verify : std::uint8_t {
+    kOk,
+    kTruncated,
+    kChecksum,
+    kKeyMismatch,
+  };
+  Verify VerifyRecord(const std::vector<std::uint8_t>& record,
+                      const std::string& file_name,
+                      std::vector<std::uint8_t>* payload,
+                      std::string* embedded_key) const;
+  // Moves a failed record aside as `<name>.quarantine`.
+  void QuarantineFile(const std::string& file_name);
+
+  std::string dir_;
+  Stats stats_;
+};
+
+}  // namespace orion::persist

@@ -6,6 +6,7 @@
 #include "common/faultinject.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "runtime/run_journal.h"
 #include "telemetry/telemetry.h"
 
 namespace orion::runtime {
@@ -94,8 +95,9 @@ std::string HealthReport::ToString() const {
 }
 
 LaunchGuard::LaunchGuard(const MultiVersionBinary* binary,
-                         sim::GpuSimulator* sim, const GuardOptions& options)
-    : binary_(binary), sim_(sim), options_(options),
+                         sim::GpuSimulator* sim, const GuardOptions& options,
+                         RunJournal* journal)
+    : binary_(binary), sim_(sim), options_(options), journal_(journal),
       fault_counts_(binary->NumCandidates(), 0) {
   ORION_CHECK_MSG(options_.max_attempts >= 1, "max_attempts must be >= 1");
   // Compile-time validation verdicts arrive as pre-quarantines: a
@@ -110,6 +112,23 @@ LaunchGuard::LaunchGuard(const MultiVersionBinary* binary,
                       << ValidationVerdictName(
                              binary->Candidate(i).validation.verdict);
       ORION_COUNTER_ADD("guard.validation_quarantines", 1);
+    }
+  }
+  // A resumed session overrides the freshly built state wholesale: its
+  // last snapshot already includes the validation pre-quarantines above
+  // (they were taken identically before the crash), plus everything the
+  // interrupted run learned — quarantines are never re-tried, fault
+  // counts keep their progress toward thresholds.
+  if (journal_ != nullptr) {
+    std::vector<std::uint32_t> restored_counts;
+    HealthReport restored;
+    if (journal_->RestoreGuard(&restored, &restored_counts)) {
+      health_ = std::move(restored);
+      restored_counts.resize(binary->NumCandidates(), 0);
+      fault_counts_ = std::move(restored_counts);
+      ORION_LOG(INFO) << "guard state restored from session journal: "
+                      << health_.quarantined.size() << " quarantined, "
+                      << health_.fault_log.size() << " logged faults";
     }
   }
 }
@@ -141,6 +160,9 @@ void LaunchGuard::RecordFault(std::uint32_t iteration, std::uint32_t version,
                               const Status& status) {
   ++health_.faulted_iterations;
   health_.fault_log.push_back({iteration, version, status});
+  if (journal_ != nullptr) {
+    journal_->OnFault(iteration, version, status, /*counted=*/true);
+  }
   ORION_COUNTER_ADD("guard.faulted_iterations", 1);
   if (telemetry::Enabled()) {
     telemetry::Instant("guard", "guard.fault",
@@ -156,6 +178,9 @@ void LaunchGuard::RecordFault(std::uint32_t iteration, std::uint32_t version,
         fault_counts_[version] >= options_.quarantine_threshold) {
       health_.quarantined.push_back(
           {version, ReasonFromStatus(status.code())});
+      if (journal_ != nullptr) {
+        journal_->OnQuarantine(health_.quarantined.back());
+      }
       ORION_LOG(WARN) << "candidate " << version << " quarantined after "
                       << fault_counts_[version] << " faults";
       ORION_COUNTER_ADD("guard.quarantines", 1);
@@ -188,6 +213,10 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
     // Quarantine hits are logged but do not re-count toward thresholds.
     health_.fault_log.push_back({iteration, version_index, out.status});
     ++health_.faulted_iterations;
+    if (journal_ != nullptr) {
+      journal_->OnFault(iteration, version_index, out.status,
+                        /*counted=*/false);
+    }
     ORION_COUNTER_ADD("guard.quarantine_hits", 1);
     ORION_LOG(INFO) << "iteration " << iteration
                     << " refused: " << out.status.message();

@@ -36,6 +36,8 @@
 
 namespace orion::runtime {
 
+class RunJournal;  // runtime/run_journal.h
+
 struct GuardOptions {
   // Watchdog cycle budget per launch; 0 disables the watchdog (the
   // simulator's global hard stop still applies).
@@ -113,8 +115,14 @@ class LaunchGuard {
   // pre-quarantined here (QuarantineReason::kValidation) — the guard
   // refuses to launch them and the tuner walk never enters them.
   // Version 0 is exempt as the fallback of last resort.
+  //
+  // With a `journal`, quarantine decisions and fault events are written
+  // ahead to it, and on a resumed session the guard's whole state
+  // (health aggregates, fault log, quarantine list, per-candidate fault
+  // counts) is restored from the journal's last snapshot — a version
+  // quarantined before the crash is never retried.
   LaunchGuard(const MultiVersionBinary* binary, sim::GpuSimulator* sim,
-              const GuardOptions& options);
+              const GuardOptions& options, RunJournal* journal = nullptr);
 
   // Launches candidate `version_index` (unified numbering) with the
   // watchdog, retry, and quarantine policy applied.  Never throws for
@@ -132,6 +140,13 @@ class LaunchGuard {
 
   const HealthReport& health() const { return health_; }
 
+  // Terminal faults observed per candidate (unified numbering) —
+  // snapshotted into the session journal so a resumed run keeps its
+  // progress toward quarantine thresholds.
+  const std::vector<std::uint32_t>& fault_counts() const {
+    return fault_counts_;
+  }
+
  private:
   void RecordFault(std::uint32_t iteration, std::uint32_t version,
                    const Status& status);
@@ -140,6 +155,7 @@ class LaunchGuard {
   const MultiVersionBinary* binary_;
   sim::GpuSimulator* sim_;
   const GuardOptions options_;
+  RunJournal* journal_;
   HealthReport health_;
   std::vector<std::uint32_t> fault_counts_;  // terminal faults per candidate
 };

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/error.h"
+#include "runtime/run_journal.h"
 #include "sim/parallel.h"
 #include "telemetry/telemetry.h"
 
@@ -20,12 +21,15 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
   tuner_options.probe_count = plan.probe_count;
   tuner_options.hysteresis = plan.hysteresis;
   DynamicTuner tuner(binary_, tuner_options);
-  LaunchGuard guard(binary_, sim_, plan.guard);
+  RunJournal* journal = plan.journal;
+  LaunchGuard guard(binary_, sim_, plan.guard, journal);
 
   // Optional parallel probe: measure every candidate up front on
   // private memory copies and replay the walk over those runtimes.
+  // Incompatible with session journaling, whose replay contract is
+  // per-iteration live feedback — the journal wins.
   std::optional<TunerPlan> probe;
-  if (plan.parallel_probe && binary_->can_tune &&
+  if (plan.parallel_probe && journal == nullptr && binary_->can_tune &&
       binary_->NumCandidates() > 1 && per_iteration_params == nullptr) {
     // Validation-rejected candidates are excluded from the sweep: a
     // miscompiled binary is never simulated, and the skip-aware replay
@@ -83,16 +87,8 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
             ? (it < probe->visits.size() ? probe->visits[it]
                                          : probe->final_version)
             : tuner.NextVersion();
-    // Post-settle fallback: once the walk is over, a quarantined choice
-    // degrades to the original instead of burning iterations on a
-    // candidate the guard will refuse.  Mid-walk the quarantine hit is
-    // delivered as a fault so the tuner learns to skip the version.
     const bool settled = probe.has_value() ? it >= probe->visits.size()
                                            : tuner.Finalized();
-    if (settled && version_index != 0 && guard.Quarantined(version_index)) {
-      version_index = 0;
-      guard.NoteFallback();
-    }
 
     std::uint32_t first = 0;
     std::uint32_t count = grid;
@@ -101,10 +97,63 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
       count = (it + 1 == launches) ? grid - next_block : blocks_per_launch;
       next_block += count;
     }
+
+    // Session replay: an iteration the journal already holds is served
+    // from it — no launch, no re-measurement — and its recorded runtime
+    // feeds the tuner so the walk advances exactly as it did before the
+    // crash.  Mid-walk the recorded version must match the tuner's
+    // deterministic choice (ReplayIteration throws otherwise); once
+    // settled the recorded version is trusted as-is, because quarantines
+    // learned *later* in the interrupted run are already restored and
+    // would make today's fallback rewrite disagree with history.
+    if (journal != nullptr) {
+      IterationRecord replayed;
+      const std::uint32_t expected =
+          settled ? RunJournal::kAnyVersion : version_index;
+      if (journal->ReplayIteration(it, expected, &replayed)) {
+        if (!probe.has_value()) {
+          if (replayed.faulted) {
+            tuner.ReportFault();
+          } else {
+            tuner.ReportRuntime(replayed.ms);
+          }
+        }
+        ORION_COUNTER_ADD("tuner.iterations", 1);
+        ORION_COUNTER_ADD("tuner.replayed_iterations", 1);
+        if (telemetry::Enabled()) {
+          telemetry::Instant(
+              "tuner", "tuner.iteration",
+              {telemetry::Arg("iter", it),
+               telemetry::Arg("version", replayed.version),
+               telemetry::Arg("tag", binary_->Candidate(replayed.version).tag),
+               telemetry::Arg("ms", replayed.ms),
+               telemetry::Arg("faulted", replayed.faulted),
+               telemetry::Arg("decision", "journal-replay")});
+        }
+        result.total_ms += replayed.ms;
+        result.total_energy += replayed.energy;
+        result.records.push_back(replayed);
+        continue;
+      }
+    }
+
+    // Post-settle fallback: once the walk is over, a quarantined choice
+    // degrades to the original instead of burning iterations on a
+    // candidate the guard will refuse.  Mid-walk the quarantine hit is
+    // delivered as a fault so the tuner learns to skip the version.
+    if (settled && version_index != 0 && guard.Quarantined(version_index)) {
+      version_index = 0;
+      guard.NoteFallback();
+    }
+
     const std::vector<std::uint32_t>& iter_params =
         (per_iteration_params != nullptr && !per_iteration_params->empty())
             ? (*per_iteration_params)[it % per_iteration_params->size()]
             : params;
+    // Write-ahead: the launch decision is durable before its effect.
+    if (journal != nullptr) {
+      journal->ProbeIntent(it, version_index);
+    }
     const GuardedLaunch launch =
         guard.Launch(version_index, gmem, iter_params, first, count, it);
 
@@ -143,6 +192,11 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
     result.total_ms += record.ms;
     result.total_energy += record.energy;
     result.records.push_back(record);
+    // The measurement becomes durable (with a full guard-state snapshot)
+    // before the next iteration can act on it.
+    if (journal != nullptr) {
+      journal->ProbeResult(it, record, guard.health(), guard.fault_counts());
+    }
   }
 
   result.final_version =
@@ -203,6 +257,9 @@ TunedRunResult TunedLauncher::Run(sim::GlobalMemory* gmem,
          telemetry::Arg("fallback", result.health.fallback_taken),
          telemetry::Arg("steady_ms", result.steady_ms)});
     ORION_COUNTER_ADD("tuner.settles", 1);
+  }
+  if (journal != nullptr) {
+    journal->LockDecision(result);
   }
   return result;
 }

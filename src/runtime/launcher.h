@@ -18,6 +18,8 @@
 
 namespace orion::runtime {
 
+class RunJournal;  // runtime/run_journal.h
+
 struct RunPlan {
   std::uint32_t iterations = 16;  // application kernel-loop trip count
   bool allow_split = true;        // kernel splitting when iterations == 1
@@ -38,6 +40,12 @@ struct RunPlan {
   // feedback is the paper's mechanism.
   bool parallel_probe = false;
   unsigned probe_threads = 0;  // 0 = hardware concurrency
+  // Crash-safe session journaling (persist::Session).  When set, every
+  // decision is written ahead of its effect, recorded iterations replay
+  // from the journal instead of re-measuring, and the guard's
+  // quarantine state is restored on resume.  Implies live feedback
+  // (parallel_probe is ignored — the replay contract is per-iteration).
+  RunJournal* journal = nullptr;
 };
 
 struct IterationRecord {

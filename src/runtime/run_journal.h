@@ -1,0 +1,82 @@
+// Abstract journaling hooks for a tuned run.
+//
+// The runtime (TunedLauncher + LaunchGuard) calls these at every
+// decision point; the persistence layer (persist::Session) implements
+// them against the write-ahead session journal.  The indirection keeps
+// the dependency one-way — runtime knows nothing about files — while
+// letting a resumed run replay recorded probes instead of re-measuring
+// and restore the guard's quarantine state instead of re-learning it.
+//
+// Contract for implementations:
+//   * ProbeIntent is appended *before* the launch it announces
+//     (write-ahead), ProbeResult after the measurement, carrying a full
+//     guard-state snapshot so recovery needs no event re-counting;
+//   * ReplayIteration either returns false (nothing recorded — run
+//     live), fills the record (replay — the caller must not launch),
+//     or throws on a recorded version that contradicts the tuner's
+//     deterministic walk (corrupt history must never be resumed over);
+//   * all hooks may be called after a journal write failure — the
+//     implementation degrades to no-ops rather than failing the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/guard.h"
+#include "runtime/launcher.h"
+
+namespace orion::runtime {
+
+class RunJournal {
+ public:
+  // Passed as `expected_version` once the walk has settled: the
+  // recorded version is trusted as-is (post-settle quarantine growth
+  // legitimately changes what the tuner would pick today).
+  static constexpr std::uint32_t kAnyVersion = 0xffffffffu;
+
+  virtual ~RunJournal() = default;
+
+  // True when iteration `iteration` was already measured by a previous
+  // run of this session: `*record` is filled from the journal and the
+  // caller must feed it to the tuner instead of launching.  While the
+  // walk is live (`expected_version != kAnyVersion`) the recorded
+  // version is checked against the tuner's choice — a mismatch means
+  // the journal belongs to a different history and the implementation
+  // throws.
+  virtual bool ReplayIteration(std::uint32_t iteration,
+                               std::uint32_t expected_version,
+                               IterationRecord* record) = 0;
+
+  // Write-ahead announcement: iteration `iteration` is about to launch
+  // candidate `version`.
+  virtual void ProbeIntent(std::uint32_t iteration, std::uint32_t version) = 0;
+
+  // Durable measurement: the iteration's record plus a snapshot of the
+  // guard state *after* it (health aggregates, quarantine list,
+  // per-candidate fault counts).
+  virtual void ProbeResult(std::uint32_t iteration,
+                           const IterationRecord& record,
+                           const HealthReport& health,
+                           const std::vector<std::uint32_t>& fault_counts) = 0;
+
+  // A terminal fault the guard recorded.  `counted` is false for
+  // quarantine hits (logged but not counted toward thresholds).
+  virtual void OnFault(std::uint32_t iteration, std::uint32_t version,
+                       const Status& status, bool counted) = 0;
+
+  // A candidate crossed the quarantine threshold (or was pre-quarantined
+  // by validation at guard construction).
+  virtual void OnQuarantine(const Quarantine& quarantine) = 0;
+
+  // Restores guard state from the latest snapshot.  Returns false when
+  // the session has no snapshot (fresh run) — the guard keeps the state
+  // it built in its constructor.
+  virtual bool RestoreGuard(HealthReport* health,
+                            std::vector<std::uint32_t>* fault_counts) = 0;
+
+  // The run completed: the locked version and steady stats.
+  virtual void LockDecision(const TunedRunResult& result) = 0;
+};
+
+}  // namespace orion::runtime

@@ -1,0 +1,914 @@
+// The crash-safe persistence layer (src/persist).
+//
+// Covers:
+//
+//   * the record codec — round trips, bounds-checked reads, FNV-1a
+//     stability (the on-disk checksum must never drift);
+//   * the content-addressed artifact store — put/get, and an fsck unit
+//     for every corruption class: truncated record, flipped checksum
+//     byte, torn-rename leftovers, duplicate key (a record copied under
+//     another key's file name), plus the injected fault classes (short
+//     write, ENOSPC, bitflip-on-read) proving none of them is ever
+//     silent;
+//   * the write-ahead journal — append/scan round trips, torn-tail
+//     truncation, and the hard rule that mid-file corruption is
+//     kDataLoss, never resumed over;
+//   * artifact payload codecs — a realized MultiVersionBinary decodes
+//     to a binary that runs bit-identically to the original;
+//   * the session — identity checks, uncommitted-trailer dropping,
+//     guard-state restoration (resumed runs do not retry quarantined
+//     versions), replay divergence detection, ENOSPC degradation;
+//   * the seeded kill-point matrix (the tentpole guarantee): over four
+//     benchmarks, a run killed at the Nth durable write and then
+//     resumed locks the *same* version with the *same* steady stats as
+//     the uninterrupted run — 60 crash/resume cells in all.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "persist/artifact.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+#include "persist/journal.h"
+#include "persist/session.h"
+#include "persist/store.h"
+#include "runtime/guard.h"
+#include "runtime/launcher.h"
+#include "runtime/run_journal.h"
+#include "sim/gpu_sim.h"
+#include "workloads/workloads.h"
+
+namespace orion {
+namespace {
+
+// A unique scratch directory per test (ctest runs each TEST in its own
+// process, so the path carries the pid), removed on scope exit.
+struct TempDirGuard {
+  explicit TempDirGuard(const std::string& tag) {
+    static int counter = 0;
+    path = ::testing::TempDir() + "orion_persist_" + std::to_string(::getpid()) +
+           "_" + tag + "_" + std::to_string(counter++);
+    std::filesystem::remove_all(path);
+  }
+  ~TempDirGuard() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::vector<std::uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) {
+    out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+void OverwriteRaw(const std::string& path,
+                  const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void AppendRaw(const std::string& path,
+               const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- codec -----------------------------------------------------------
+
+TEST(PersistCodec, RoundTrip) {
+  persist::Writer w;
+  w.U8(0x5a);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.F64(-2.5);
+  w.Str("orion");
+  w.Blob(Bytes({1, 2, 3}));
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  persist::Reader r(bytes);
+  EXPECT_EQ(r.U8(), 0x5a);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.F64(), -2.5);
+  EXPECT_EQ(r.Str(), "orion");
+  EXPECT_EQ(r.Blob(), Bytes({1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(PersistCodec, ReaderRejectsTruncation) {
+  persist::Writer w;
+  w.U64(42);
+  w.Str("payload");
+  const std::vector<std::uint8_t>& full = w.bytes();
+
+  // Every proper prefix fails loudly instead of returning garbage.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    persist::Reader r(full.data(), cut);
+    r.U64();
+    const std::string s = r.Str();
+    EXPECT_FALSE(r.AtEnd());
+    if (cut < full.size()) {
+      EXPECT_TRUE(!r.ok() || s != "payload" || cut == full.size());
+    }
+  }
+
+  // A declared length far past the buffer must not allocate or read.
+  persist::Writer huge;
+  huge.U32(0xffffffffu);  // Str length prefix with no bytes behind it
+  persist::Reader r(huge.bytes());
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.Remaining(), 0u);
+}
+
+TEST(PersistCodec, FnvIsStable) {
+  // FNV-1a 64 published vectors: the on-disk checksum can never drift
+  // without invalidating every existing store record and journal.
+  EXPECT_EQ(persist::Fnv64("", 0), 14695981039346656037ull);
+  EXPECT_EQ(persist::Fnv64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(persist::Fnv64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+// --- artifact store --------------------------------------------------
+
+persist::ArtifactKey KeyFor(const char* kind, std::uint64_t hash) {
+  return persist::ArtifactKey{kind, hash, "gtx680", "iters=12"};
+}
+
+TEST(ArtifactStore, PutGetRoundTrip) {
+  TempDirGuard dir("store_roundtrip");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey key = KeyFor("binary", 0x1111);
+  const std::vector<std::uint8_t> payload = Bytes({9, 8, 7, 6, 5});
+
+  ASSERT_TRUE(store.Put(key, payload).ok());
+  const Result<std::vector<std::uint8_t>> got = store.Get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  EXPECT_EQ(store.stats().writes, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 0u);
+
+  // A re-put overwrites atomically; the new payload wins.
+  ASSERT_TRUE(store.Put(key, Bytes({1})).ok());
+  const Result<std::vector<std::uint8_t>> again = store.Get(key);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, Bytes({1}));
+}
+
+TEST(ArtifactStore, MissingKeyIsNotFound) {
+  TempDirGuard dir("store_miss");
+  persist::ArtifactStore store(dir.path);
+  const Result<std::vector<std::uint8_t>> got = store.Get(KeyFor("tune", 0x2));
+  ASSERT_FALSE(got.has_value());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(ArtifactStore, FsckTruncatedRecord) {
+  TempDirGuard dir("store_truncated");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey bad = KeyFor("binary", 0xbad);
+  const persist::ArtifactKey good = KeyFor("binary", 0x900d);
+  ASSERT_TRUE(store.Put(bad, Bytes({1, 2, 3, 4, 5, 6, 7, 8})).ok());
+  ASSERT_TRUE(store.Put(good, Bytes({1})).ok());
+
+  const std::string bad_path = dir.path + "/" + bad.FileName();
+  ASSERT_TRUE(persist::TruncateFile(bad_path, persist::FileSize(bad_path) - 5)
+                  .ok());
+
+  const persist::ArtifactStore::FsckReport report = store.Fsck();
+  EXPECT_EQ(report.scanned, 2u);
+  EXPECT_EQ(report.clean, 1u);
+  EXPECT_EQ(report.truncated, 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], bad.FileName());
+
+  // Quarantined means renamed aside: the next Get is a clean miss, the
+  // bytes survive for post-mortems, and a second scan is clean.
+  EXPECT_EQ(store.Get(bad).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(persist::FileExists(bad_path + ".quarantine"));
+  EXPECT_TRUE(store.Get(good).has_value());
+  EXPECT_TRUE(store.Fsck().Clean());
+}
+
+TEST(ArtifactStore, FsckFlippedChecksumByte) {
+  TempDirGuard dir("store_checksum");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey key = KeyFor("tune", 0xc0de);
+  ASSERT_TRUE(store.Put(key, Bytes({10, 20, 30, 40})).ok());
+
+  const std::string path = dir.path + "/" + key.FileName();
+  Result<std::vector<std::uint8_t>> raw = persist::ReadFileBytes(path);
+  ASSERT_TRUE(raw.has_value());
+  raw->back() ^= 0x01;  // flip one payload bit
+  OverwriteRaw(path, *raw);
+
+  const persist::ArtifactStore::FsckReport report = store.Fsck();
+  EXPECT_EQ(report.checksum_mismatch, 1u);
+  EXPECT_FALSE(report.Clean());
+  EXPECT_EQ(store.Get(key).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArtifactStore, GetQuarantinesCorruptRecordBeforeReturning) {
+  TempDirGuard dir("store_get_quarantine");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey key = KeyFor("binary", 0xfee1);
+  ASSERT_TRUE(store.Put(key, Bytes({1, 2, 3, 4, 5, 6})).ok());
+
+  const std::string path = dir.path + "/" + key.FileName();
+  Result<std::vector<std::uint8_t>> raw = persist::ReadFileBytes(path);
+  ASSERT_TRUE(raw.has_value());
+  (*raw)[raw->size() / 2] ^= 0x80;
+  OverwriteRaw(path, *raw);
+
+  // First read: loud kDataLoss, record moved aside.  Second: clean miss.
+  EXPECT_EQ(store.Get(key).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.Get(key).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.stats().quarantined, 1u);
+}
+
+TEST(ArtifactStore, FsckTornRenameLeftover) {
+  TempDirGuard dir("store_torn");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey key = KeyFor("binary", 0x7041);
+
+  // An injected torn rename: the temp file lands, the publish is lost.
+  {
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.persist_torn_rename = 1.0;
+    ScopedFaultInjector scoped(plan);
+    EXPECT_TRUE(store.Put(key, Bytes({1, 2, 3})).ok());
+    EXPECT_EQ(scoped.injector().counters().torn_renames, 1u);
+  }
+  EXPECT_EQ(store.Get(key).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(persist::FileExists(dir.path + "/" + key.FileName() + ".tmp"));
+
+  const persist::ArtifactStore::FsckReport report = store.Fsck();
+  EXPECT_EQ(report.tmp_leftovers, 1u);
+  EXPECT_FALSE(report.Clean());
+  EXPECT_FALSE(persist::FileExists(dir.path + "/" + key.FileName() + ".tmp"));
+  EXPECT_TRUE(store.Fsck().Clean());
+}
+
+TEST(ArtifactStore, FsckDuplicateKey) {
+  TempDirGuard dir("store_dup");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey original = KeyFor("binary", 0xaaaa);
+  const persist::ArtifactKey victim = KeyFor("binary", 0xbbbb);
+  ASSERT_TRUE(store.Put(original, Bytes({4, 4, 4, 4})).ok());
+
+  // Copy the record's bytes under the victim key's file name — a
+  // duplicated/mis-filed record.  Its checksum is fine; only the
+  // embedded key betrays it.
+  Result<std::vector<std::uint8_t>> raw =
+      persist::ReadFileBytes(dir.path + "/" + original.FileName());
+  ASSERT_TRUE(raw.has_value());
+  OverwriteRaw(dir.path + "/" + victim.FileName(), *raw);
+
+  const persist::ArtifactStore::FsckReport report = store.Fsck();
+  EXPECT_EQ(report.scanned, 2u);
+  EXPECT_EQ(report.clean, 1u);
+  EXPECT_EQ(report.key_mismatch, 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], victim.FileName());
+  EXPECT_TRUE(store.Get(original).has_value());
+}
+
+TEST(ArtifactStore, InjectedShortWriteIsCaughtOnRead) {
+  TempDirGuard dir("store_short");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey key = KeyFor("binary", 0x5407);
+  {
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.persist_short_write = 1.0;
+    ScopedFaultInjector scoped(plan);
+    (void)store.Put(key, Bytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+    EXPECT_EQ(scoped.injector().counters().short_writes, 1u);
+  }
+  // The prefix that landed can never be returned as data.
+  const Result<std::vector<std::uint8_t>> got = store.Get(key);
+  ASSERT_FALSE(got.has_value());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.stats().quarantined, 1u);
+}
+
+TEST(ArtifactStore, InjectedEnospcIsLoud) {
+  TempDirGuard dir("store_enospc");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey key = KeyFor("binary", 0xe205);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.persist_enospc = 1.0;
+  ScopedFaultInjector scoped(plan);
+  const Status status = store.Put(key, Bytes({1, 2, 3}));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(store.stats().write_failures, 1u);
+  EXPECT_FALSE(persist::FileExists(dir.path + "/" + key.FileName()));
+}
+
+TEST(ArtifactStore, InjectedBitflipReadIsCaughtByChecksum) {
+  TempDirGuard dir("store_bitflip");
+  persist::ArtifactStore store(dir.path);
+  const persist::ArtifactKey key = KeyFor("binary", 0xb17f);
+  ASSERT_TRUE(store.Put(key, Bytes({1, 2, 3, 4, 5, 6, 7, 8})).ok());
+
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.persist_bitflip_read = 1.0;
+  ScopedFaultInjector scoped(plan);
+  const Result<std::vector<std::uint8_t>> got = store.Get(key);
+  ASSERT_FALSE(got.has_value());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(scoped.injector().counters().bitflip_reads, 1u);
+}
+
+// --- journal ---------------------------------------------------------
+
+TEST(PersistJournal, AppendScanRoundTrip) {
+  TempDirGuard dir("journal_roundtrip");
+  ASSERT_TRUE(persist::EnsureDir(dir.path).ok());
+  persist::Journal journal(dir.path + "/journal.ojl");
+
+  ASSERT_TRUE(journal.Append(persist::RecordType::kMeta, Bytes({1})).ok());
+  ASSERT_TRUE(
+      journal.Append(persist::RecordType::kProbeResult, Bytes({2, 3})).ok());
+  ASSERT_TRUE(journal.Append(persist::RecordType::kLock, {}).ok());
+
+  const Result<persist::JournalScan> scan = journal.Scan();
+  ASSERT_TRUE(scan.has_value());
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0].type, persist::RecordType::kMeta);
+  EXPECT_EQ(scan->records[0].payload, Bytes({1}));
+  EXPECT_EQ(scan->records[1].type, persist::RecordType::kProbeResult);
+  EXPECT_EQ(scan->records[1].payload, Bytes({2, 3}));
+  EXPECT_EQ(scan->records[2].type, persist::RecordType::kLock);
+  EXPECT_TRUE(scan->records[2].payload.empty());
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+  EXPECT_EQ(scan->stable_size, persist::FileSize(journal.path()));
+}
+
+TEST(PersistJournal, TornTailIsTruncatedNotFatal) {
+  TempDirGuard dir("journal_torn");
+  ASSERT_TRUE(persist::EnsureDir(dir.path).ok());
+  persist::Journal journal(dir.path + "/journal.ojl");
+  ASSERT_TRUE(journal.Append(persist::RecordType::kMeta, Bytes({1})).ok());
+  ASSERT_TRUE(
+      journal.Append(persist::RecordType::kProbeResult, Bytes({2})).ok());
+
+  // A crash mid-append: a partial frame at EOF.
+  AppendRaw(journal.path(), Bytes({0x40, 0x00, 0x00}));
+
+  Result<persist::JournalScan> scan = journal.Scan();
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->truncated_bytes, 3u);
+
+  ASSERT_TRUE(journal.TruncateToStable(*scan).ok());
+  scan = journal.Scan();
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+
+  // Appending after recovery continues the same history.
+  ASSERT_TRUE(journal.Append(persist::RecordType::kLock, {}).ok());
+  scan = journal.Scan();
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->records.size(), 3u);
+}
+
+TEST(PersistJournal, TornTailMidRecordAtEof) {
+  TempDirGuard dir("journal_torn_mid");
+  ASSERT_TRUE(persist::EnsureDir(dir.path).ok());
+  persist::Journal journal(dir.path + "/journal.ojl");
+  ASSERT_TRUE(journal.Append(persist::RecordType::kMeta, Bytes({1})).ok());
+  const std::uint64_t stable = persist::FileSize(journal.path());
+  ASSERT_TRUE(
+      journal.Append(persist::RecordType::kProbeResult, Bytes({2, 3, 4})).ok());
+
+  // Cut into the middle of the last record: its frame reaches past EOF.
+  ASSERT_TRUE(
+      persist::TruncateFile(journal.path(),
+                            persist::FileSize(journal.path()) - 2)
+          .ok());
+  const Result<persist::JournalScan> scan = journal.Scan();
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->stable_size, stable);
+  EXPECT_GT(scan->truncated_bytes, 0u);
+}
+
+TEST(PersistJournal, MidFileCorruptionIsDataLoss) {
+  TempDirGuard dir("journal_midfile");
+  ASSERT_TRUE(persist::EnsureDir(dir.path).ok());
+  persist::Journal journal(dir.path + "/journal.ojl");
+  ASSERT_TRUE(
+      journal.Append(persist::RecordType::kMeta, Bytes({1, 2, 3, 4})).ok());
+  ASSERT_TRUE(
+      journal.Append(persist::RecordType::kProbeResult, Bytes({5, 6})).ok());
+
+  // Flip a byte inside the *first* record's payload: valid data follows,
+  // so this is mid-file corruption — never recoverable, never silent.
+  Result<std::vector<std::uint8_t>> raw =
+      persist::ReadFileBytes(journal.path());
+  ASSERT_TRUE(raw.has_value());
+  (*raw)[8 + 13] ^= 0xff;  // file header + first frame's overhead
+  OverwriteRaw(journal.path(), *raw);
+
+  const Result<persist::JournalScan> scan = journal.Scan();
+  ASSERT_FALSE(scan.has_value());
+  EXPECT_EQ(scan.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PersistJournal, CorruptHeaderIsDataLoss) {
+  TempDirGuard dir("journal_header");
+  ASSERT_TRUE(persist::EnsureDir(dir.path).ok());
+  persist::Journal journal(dir.path + "/journal.ojl");
+  ASSERT_TRUE(journal.Append(persist::RecordType::kMeta, Bytes({1})).ok());
+
+  Result<std::vector<std::uint8_t>> raw =
+      persist::ReadFileBytes(journal.path());
+  ASSERT_TRUE(raw.has_value());
+  (*raw)[0] ^= 0x01;
+  OverwriteRaw(journal.path(), *raw);
+
+  const Result<persist::JournalScan> scan = journal.Scan();
+  ASSERT_FALSE(scan.has_value());
+  EXPECT_EQ(scan.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PersistJournal, HeaderlessStubIsAllTornTail) {
+  TempDirGuard dir("journal_stub");
+  ASSERT_TRUE(persist::EnsureDir(dir.path).ok());
+  persist::Journal journal(dir.path + "/journal.ojl");
+  OverwriteRaw(journal.path(), Bytes({0x4c, 0x4e, 0x4a}));  // 3 bytes
+
+  const Result<persist::JournalScan> scan = journal.Scan();
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->records.size(), 0u);
+  EXPECT_EQ(scan->stable_size, 0u);
+  EXPECT_EQ(scan->truncated_bytes, 3u);
+
+  // Truncating to a zero stable point removes the file entirely.
+  ASSERT_TRUE(journal.TruncateToStable(*scan).ok());
+  EXPECT_FALSE(persist::FileExists(journal.path()));
+  EXPECT_EQ(journal.Scan().status().code(), StatusCode::kNotFound);
+}
+
+// --- artifact payload codecs -----------------------------------------
+
+runtime::MultiVersionBinary CompileWorkloadBinary(
+    const workloads::Workload& w) {
+  core::TuneOptions options;
+  options.can_tune = w.can_tune;
+  return core::CompileMultiVersion(w.module, arch::Gtx680(), options);
+}
+
+runtime::TunedRunResult RunTuned(const workloads::Workload& w,
+                                 const runtime::MultiVersionBinary& binary,
+                                 runtime::RunJournal* journal,
+                                 std::uint32_t iterations = 0) {
+  sim::GpuSimulator simulator(arch::Gtx680(), arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = workloads::SeedWorkloadMemory(w);
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = iterations == 0 ? w.iterations : iterations;
+  plan.journal = journal;
+  return launcher.Run(&gmem, w.params, plan,
+                      w.per_iteration_params.empty()
+                          ? nullptr
+                          : &w.per_iteration_params);
+}
+
+TEST(PersistArtifact, BinaryArtifactRunsIdentically) {
+  const workloads::Workload w = workloads::MakeWorkload("backprop");
+  const runtime::MultiVersionBinary binary = CompileWorkloadBinary(w);
+  const std::vector<std::uint8_t> bytes =
+      persist::EncodeBinaryArtifact(binary);
+
+  const Result<runtime::MultiVersionBinary> decoded =
+      persist::DecodeBinaryArtifact(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->versions.size(), binary.versions.size());
+  EXPECT_EQ(decoded->kernel_name, binary.kernel_name);
+  EXPECT_EQ(decoded->direction, binary.direction);
+  EXPECT_EQ(decoded->can_tune, binary.can_tune);
+  for (std::size_t i = 0; i < binary.versions.size(); ++i) {
+    EXPECT_EQ(decoded->versions[i].tag, binary.versions[i].tag);
+    EXPECT_EQ(decoded->versions[i].module_index,
+              binary.versions[i].module_index);
+    EXPECT_EQ(decoded->versions[i].smem_padding_bytes,
+              binary.versions[i].smem_padding_bytes);
+    EXPECT_EQ(decoded->versions[i].occupancy.active_blocks_per_sm,
+              binary.versions[i].occupancy.active_blocks_per_sm);
+  }
+
+  // The decoded binary is not just structurally equal — the tuned run
+  // over it is bit-identical to the original's.
+  const runtime::TunedRunResult a = RunTuned(w, binary, nullptr);
+  const runtime::TunedRunResult b = RunTuned(w, *decoded, nullptr);
+  EXPECT_EQ(a.final_version, b.final_version);
+  EXPECT_EQ(a.iterations_to_settle, b.iterations_to_settle);
+  EXPECT_EQ(a.steady_ms, b.steady_ms);
+  EXPECT_EQ(a.total_ms, b.total_ms);
+}
+
+TEST(PersistArtifact, CorruptBinaryArtifactRejected) {
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+  std::vector<std::uint8_t> bytes =
+      persist::EncodeBinaryArtifact(CompileWorkloadBinary(w));
+
+  std::vector<std::uint8_t> truncated(bytes.begin(),
+                                      bytes.begin() + bytes.size() / 2);
+  EXPECT_EQ(persist::DecodeBinaryArtifact(truncated).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(persist::DecodeBinaryArtifact({}).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(PersistArtifact, TuneArtifactRoundTrip) {
+  persist::TuneArtifact tune;
+  tune.final_version = 3;
+  tune.iterations_to_settle = 5;
+  tune.steady_ms = 0.125;
+  tune.steady_energy = 17.5;
+  tune.steady_occupancy = 0.625;
+  tune.fallback_taken = true;
+  tune.watchdog_trips = 2;
+  tune.faulted_iterations = 4;
+  tune.candidate_median_ms = {1.0, std::nan(""), 0.5};
+
+  const Result<persist::TuneArtifact> out =
+      persist::DecodeTuneArtifact(persist::EncodeTuneArtifact(tune));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->final_version, 3u);
+  EXPECT_EQ(out->iterations_to_settle, 5u);
+  EXPECT_EQ(out->steady_ms, 0.125);
+  EXPECT_EQ(out->steady_energy, 17.5);
+  EXPECT_EQ(out->steady_occupancy, 0.625);
+  EXPECT_TRUE(out->fallback_taken);
+  EXPECT_EQ(out->watchdog_trips, 2u);
+  EXPECT_EQ(out->faulted_iterations, 4u);
+  ASSERT_EQ(out->candidate_median_ms.size(), 3u);
+  EXPECT_EQ(out->candidate_median_ms[0], 1.0);
+  EXPECT_TRUE(std::isnan(out->candidate_median_ms[1]));
+  EXPECT_EQ(out->candidate_median_ms[2], 0.5);
+
+  EXPECT_EQ(persist::DecodeTuneArtifact(Bytes({1, 2, 3})).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// --- session ---------------------------------------------------------
+
+persist::SessionMeta TestMeta(std::uint64_t hash = 0xabcdef) {
+  persist::SessionMeta meta;
+  meta.kernel_hash = hash;
+  meta.gpu = "gtx680";
+  meta.fingerprint = "iters=12,probes=1";
+  return meta;
+}
+
+TEST(PersistSession, FreshOpenThenReopen) {
+  TempDirGuard dir("session_fresh");
+  {
+    const auto session = persist::Session::Open(dir.path, TestMeta());
+    ASSERT_TRUE(session.has_value());
+    EXPECT_FALSE((*session)->HasLock());
+    EXPECT_EQ((*session)->recorded_iterations(), 0u);
+    EXPECT_FALSE((*session)->degraded());
+  }
+  // Reopening recovers the identity record and nothing else.
+  const auto session = persist::Session::Open(dir.path, TestMeta());
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ((*session)->journal_records_recovered(), 1u);
+  EXPECT_EQ((*session)->recorded_iterations(), 0u);
+  EXPECT_TRUE((*session)->fsck_report().Clean());
+}
+
+TEST(PersistSession, IdentityMismatchRefused) {
+  TempDirGuard dir("session_identity");
+  ASSERT_TRUE(persist::Session::Open(dir.path, TestMeta(0x1)).has_value());
+
+  const auto wrong_kernel = persist::Session::Open(dir.path, TestMeta(0x2));
+  ASSERT_FALSE(wrong_kernel.has_value());
+  EXPECT_EQ(wrong_kernel.status().code(), StatusCode::kInvalidArgument);
+
+  persist::SessionMeta other_options = TestMeta(0x1);
+  other_options.fingerprint = "iters=99";
+  const auto wrong_options = persist::Session::Open(dir.path, other_options);
+  ASSERT_FALSE(wrong_options.has_value());
+  EXPECT_EQ(wrong_options.status().code(), StatusCode::kInvalidArgument);
+
+  // The matching identity still opens.
+  EXPECT_TRUE(persist::Session::Open(dir.path, TestMeta(0x1)).has_value());
+}
+
+TEST(PersistSession, SaveLoadArtifactsRoundTrip) {
+  TempDirGuard dir("session_artifacts");
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+  const runtime::MultiVersionBinary binary = CompileWorkloadBinary(w);
+
+  const auto session = persist::Session::Open(dir.path, TestMeta());
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ((*session)->LoadBinary().status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE((*session)->SaveBinary(binary).ok());
+  const Result<runtime::MultiVersionBinary> loaded = (*session)->LoadBinary();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->versions.size(), binary.versions.size());
+
+  persist::TuneArtifact tune;
+  tune.final_version = 2;
+  ASSERT_TRUE((*session)->SaveTuneResult(tune).ok());
+  const Result<persist::TuneArtifact> got = (*session)->LoadTuneResult();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->final_version, 2u);
+}
+
+TEST(PersistSession, UncommittedTrailerDroppedOnRecovery) {
+  TempDirGuard dir("session_trailer");
+  const persist::SessionMeta meta = TestMeta();
+  runtime::HealthReport health;
+  std::vector<std::uint32_t> counts(3, 0);
+  {
+    const auto session = persist::Session::Open(dir.path, meta);
+    ASSERT_TRUE(session.has_value());
+    runtime::IterationRecord record;
+    record.version = 1;
+    record.ms = 0.5;
+    (*session)->ProbeIntent(0, 1);
+    (*session)->ProbeResult(0, record, health, counts);
+    // Uncommitted trailer: an intent and a fault event whose iteration
+    // never produced a durable result.  Both must vanish on recovery so
+    // the re-run iteration is not double counted.
+    (*session)->ProbeIntent(1, 2);
+    (*session)->OnFault(1, 2, Status::Error(StatusCode::kInternal, "boom"),
+                        true);
+  }
+  const auto resumed = persist::Session::Open(dir.path, meta);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ((*resumed)->recorded_iterations(), 1u);
+  EXPECT_GT((*resumed)->journal_bytes_truncated(), 0u);
+
+  runtime::HealthReport restored;
+  std::vector<std::uint32_t> restored_counts;
+  ASSERT_TRUE((*resumed)->RestoreGuard(&restored, &restored_counts));
+  EXPECT_TRUE(restored.fault_log.empty());
+}
+
+TEST(PersistSession, GuardStateSurvivesResume) {
+  TempDirGuard dir("session_guard");
+  const persist::SessionMeta meta = TestMeta();
+  {
+    const auto session = persist::Session::Open(dir.path, meta);
+    ASSERT_TRUE(session.has_value());
+    // A version crossed the quarantine threshold before the crash.
+    runtime::HealthReport health;
+    health.launches_attempted = 7;
+    health.launches_succeeded = 4;
+    health.watchdog_trips = 2;
+    health.faulted_iterations = 2;
+    health.quarantined.push_back(
+        {2, runtime::QuarantineReason::kWatchdog});
+    std::vector<std::uint32_t> counts = {0, 0, 2, 0};
+    (*session)->OnFault(3, 2,
+                        Status::Error(StatusCode::kWatchdogExpired, "hang"),
+                        true);
+    (*session)->OnQuarantine(health.quarantined.back());
+    runtime::IterationRecord record;
+    record.version = 2;
+    record.faulted = true;
+    (*session)->ProbeResult(3, record, health, counts);
+  }
+
+  const auto resumed = persist::Session::Open(dir.path, meta);
+  ASSERT_TRUE(resumed.has_value());
+
+  // Satellite 1: a LaunchGuard built over the resumed session restores
+  // the quarantine and never retries the quarantined version.
+  const runtime::MultiVersionBinary binary = [] {
+    runtime::MultiVersionBinary b;
+    b.kernel_name = "fake";
+    b.modules.emplace_back();
+    for (int i = 0; i < 4; ++i) {
+      runtime::KernelVersion version;
+      version.module_index = 0;
+      version.tag = "v" + std::to_string(i);
+      b.versions.push_back(version);
+    }
+    return b;
+  }();
+  sim::GpuSimulator simulator(arch::Gtx680(), arch::CacheConfig::kSmallCache);
+  runtime::LaunchGuard guard(&binary, &simulator, runtime::GuardOptions{},
+                             resumed->get());
+  EXPECT_TRUE(guard.Quarantined(2));
+  EXPECT_FALSE(guard.Quarantined(1));
+  ASSERT_GE(guard.fault_counts().size(), 3u);
+  EXPECT_EQ(guard.fault_counts()[2], 2u);
+  EXPECT_EQ(guard.health().watchdog_trips, 2u);
+  EXPECT_EQ(guard.health().launches_attempted, 7u);
+  ASSERT_EQ(guard.health().fault_log.size(), 1u);
+  EXPECT_EQ(guard.health().fault_log[0].version, 2u);
+  EXPECT_EQ(guard.health().fault_log[0].status.code(),
+            StatusCode::kWatchdogExpired);
+}
+
+TEST(PersistSession, ReplayDivergenceThrowsJournalError) {
+  TempDirGuard dir("session_diverge");
+  const persist::SessionMeta meta = TestMeta();
+  {
+    const auto session = persist::Session::Open(dir.path, meta);
+    ASSERT_TRUE(session.has_value());
+    runtime::IterationRecord record;
+    record.version = 3;
+    (*session)->ProbeResult(0, record, runtime::HealthReport{}, {});
+  }
+  const auto resumed = persist::Session::Open(dir.path, meta);
+  ASSERT_TRUE(resumed.has_value());
+
+  runtime::IterationRecord out;
+  // Matching expectation replays; kAnyVersion always replays; a
+  // contradicting expectation is semantic corruption.
+  EXPECT_TRUE((*resumed)->ReplayIteration(0, 3, &out));
+  EXPECT_EQ(out.version, 3u);
+  EXPECT_TRUE(
+      (*resumed)->ReplayIteration(0, runtime::RunJournal::kAnyVersion, &out));
+  EXPECT_FALSE((*resumed)->ReplayIteration(1, 3, &out));  // not recorded
+  EXPECT_THROW((*resumed)->ReplayIteration(0, 1, &out), persist::JournalError);
+}
+
+TEST(PersistSession, EnospcDegradesButRunIsUnchanged) {
+  const workloads::Workload w = workloads::MakeWorkload("matrixmul");
+  const runtime::MultiVersionBinary binary = CompileWorkloadBinary(w);
+  const runtime::TunedRunResult reference = RunTuned(w, binary, nullptr);
+
+  TempDirGuard dir("session_enospc");
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.persist_enospc = 1.0;
+  ScopedFaultInjector scoped(plan);
+  const auto session = persist::Session::Open(dir.path, TestMeta());
+  ASSERT_TRUE(session.has_value());
+  EXPECT_TRUE((*session)->degraded());
+
+  // Persistence faults cost the resume guarantee, never the answer.
+  const runtime::TunedRunResult result = RunTuned(w, binary, session->get());
+  EXPECT_EQ(result.final_version, reference.final_version);
+  EXPECT_EQ(result.iterations_to_settle, reference.iterations_to_settle);
+  EXPECT_EQ(result.steady_ms, reference.steady_ms);
+}
+
+TEST(PersistSession, CompletedRunReplaysEntirelyOnReopen) {
+  const workloads::Workload w = workloads::MakeWorkload("hotspot");
+  const runtime::MultiVersionBinary binary = CompileWorkloadBinary(w);
+
+  TempDirGuard dir("session_warm");
+  const persist::SessionMeta meta = TestMeta(0x5e551011);
+  runtime::TunedRunResult first;
+  {
+    const auto session = persist::Session::Open(dir.path, meta);
+    ASSERT_TRUE(session.has_value());
+    ASSERT_TRUE((*session)->SaveBinary(binary).ok());
+    first = RunTuned(w, binary, session->get());
+    EXPECT_TRUE((*session)->HasLock());
+  }
+
+  const auto resumed = persist::Session::Open(dir.path, meta);
+  ASSERT_TRUE(resumed.has_value());
+  ASSERT_TRUE((*resumed)->HasLock());
+  EXPECT_EQ((*resumed)->lock().final_version, first.final_version);
+  const Result<persist::TuneArtifact> tune = (*resumed)->LoadTuneResult();
+  ASSERT_TRUE(tune.has_value());
+  EXPECT_EQ(tune->final_version, first.final_version);
+  EXPECT_EQ(tune->steady_ms, first.steady_ms);
+
+  // Re-running over the completed journal replays every iteration from
+  // the record — zero live measurements — and locks identically.
+  const runtime::TunedRunResult again = RunTuned(w, binary, resumed->get());
+  EXPECT_EQ((*resumed)->replayed_iterations(),
+            (*resumed)->recorded_iterations());
+  EXPECT_EQ(again.final_version, first.final_version);
+  EXPECT_EQ(again.steady_ms, first.steady_ms);
+  EXPECT_EQ(again.total_ms, first.total_ms);
+}
+
+// --- the kill-point matrix (the tentpole guarantee) ------------------
+//
+// For each benchmark: take the uninterrupted run's lock as ground
+// truth, then for every kill point N crash the process (SimulatedCrash
+// — no destructors run below the catch, exactly like SIGKILL for the
+// on-disk state) at the Nth durable persist write, resume without the
+// injector, and require the resumed run to converge to the *same*
+// locked version with bit-identical steady stats.  Kill points 1..13
+// sweep the meta append, the binary-artifact commit and the probe
+// intents/results; 19 and 21 land around the lock record and the
+// tune-artifact commit.  4 workloads x 15 kill points = 60 cells,
+// chunked into per-TEST slices so no slice busts the suite's per-test
+// timeout on the slower simulations (srad, hotspot).
+void RunKillPointMatrix(const std::string& workload_name,
+                        std::initializer_list<std::uint64_t> kill_points) {
+  const workloads::Workload w = workloads::MakeWorkload(workload_name);
+  const runtime::MultiVersionBinary binary = CompileWorkloadBinary(w);
+  // Bounded loop so a matrix slice stays cheap; the reference uses the
+  // identical plan, which is all convergence-to-same-lock needs.
+  const std::uint32_t iterations = std::min<std::uint32_t>(w.iterations, 8);
+  const runtime::TunedRunResult reference =
+      RunTuned(w, binary, nullptr, iterations);
+  const persist::SessionMeta meta = TestMeta(
+      persist::Fnv64(workload_name.data(), workload_name.size()));
+
+  for (const std::uint64_t kill_at : kill_points) {
+    SCOPED_TRACE(workload_name + " kill_at=" + std::to_string(kill_at));
+    TempDirGuard dir(workload_name + "_kill" + std::to_string(kill_at));
+
+    bool crashed = false;
+    {
+      FaultPlan plan;
+      plan.seed = 0x9000 + kill_at;  // seeds the torn-write shape
+      plan.persist_kill_at = kill_at;
+      ScopedFaultInjector scoped(plan);
+      try {
+        auto session = persist::Session::Open(dir.path, meta);
+        ASSERT_TRUE(session.has_value()) << session.status().ToString();
+        (void)(*session)->SaveBinary(binary);
+        (void)RunTuned(w, binary, session->get(), iterations);
+      } catch (const persist::SimulatedCrash&) {
+        crashed = true;
+      }
+    }
+
+    // Resume: no injector, fresh process state, same session directory.
+    auto resumed = persist::Session::Open(dir.path, meta);
+    ASSERT_TRUE(resumed.has_value()) << resumed.status().ToString();
+    if (!(*resumed)->HasLock()) {
+      ASSERT_TRUE(crashed);  // no lock can only mean the kill fired
+      if (!(*resumed)->LoadBinary().has_value()) {
+        // The binary commit itself was the casualty — recompute/commit.
+        ASSERT_TRUE((*resumed)->SaveBinary(binary).ok());
+      }
+      const runtime::TunedRunResult result =
+          RunTuned(w, binary, resumed->get(), iterations);
+      EXPECT_EQ(result.final_version, reference.final_version);
+      EXPECT_EQ(result.iterations_to_settle, reference.iterations_to_settle);
+      EXPECT_EQ(result.steady_ms, reference.steady_ms);
+      EXPECT_EQ(result.total_ms, reference.total_ms);
+    }
+    ASSERT_TRUE((*resumed)->HasLock());
+    EXPECT_EQ((*resumed)->lock().final_version, reference.final_version);
+    EXPECT_EQ((*resumed)->lock().steady_ms, reference.steady_ms);
+
+    // The session directory must come out of the wringer clean: any
+    // crash debris was quarantined during recovery, and a final scan
+    // finds nothing new.
+    persist::ArtifactStore store(dir.path + "/store");
+    EXPECT_TRUE(store.Fsck().Clean());
+  }
+}
+
+TEST(PersistKillMatrix, SradEarly) {
+  RunKillPointMatrix("srad", {1, 2, 3, 4});
+}
+TEST(PersistKillMatrix, SradProbes) {
+  RunKillPointMatrix("srad", {5, 6, 7, 8});
+}
+TEST(PersistKillMatrix, SradLateProbes) {
+  RunKillPointMatrix("srad", {9, 10, 11, 12});
+}
+TEST(PersistKillMatrix, SradLock) {
+  RunKillPointMatrix("srad", {13, 19, 21});
+}
+TEST(PersistKillMatrix, Backprop) {
+  RunKillPointMatrix("backprop",
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 19, 21});
+}
+TEST(PersistKillMatrix, HotspotEarly) {
+  RunKillPointMatrix("hotspot", {1, 2, 3, 4, 5, 6, 7});
+}
+TEST(PersistKillMatrix, HotspotLate) {
+  RunKillPointMatrix("hotspot", {8, 9, 10, 11, 12, 13, 19, 21});
+}
+TEST(PersistKillMatrix, Matrixmul) {
+  RunKillPointMatrix("matrixmul",
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 19, 21});
+}
+
+}  // namespace
+}  // namespace orion

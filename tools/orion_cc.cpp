@@ -13,11 +13,15 @@
 //                                                with the Fig. 9 tuner
 //   orion-cc validate <in.vcub>                  differential translation
 //                                                validation of every
-//                                                candidate (exit 1 on any
+//                                                candidate (exit 3 on any
 //                                                failing verdict)
 //   orion-cc emit  <workload> -o <out.vcub>      write a built-in
 //                                                workload (e.g. srad)
 //                                                as a virtual binary
+//   orion-cc fsck  <session-dir>                 integrity-scan a session:
+//                                                verify the journal and
+//                                                every store record (exit 5
+//                                                on unrecoverable damage)
 //
 // Common flags: --gpu gtx680|c2075 (default gtx680),
 //               --cache sc|lc      (default sc),
@@ -39,6 +43,25 @@
 //                       (see docs/ROBUSTNESS.md for the grammar)
 //   --watchdog N        per-launch watchdog cycle budget (0 = off)
 //   --probe-k K         median-of-k probing in the feedback walk
+//   --session DIR       crash-safe resumable tuning: journal every
+//                       decision to DIR ahead of its effect and cache
+//                       artifacts there.  Killed at any point, the same
+//                       command resumes from the journal and locks the
+//                       identical version; already-locked sessions skip
+//                       compile/validate/probe entirely (warm path).
+//                       See docs/ROBUSTNESS.md "Durability & recovery".
+//
+// Exit codes (run/validate/fsck; `orion-cc --help` prints this table):
+//   0    clean lock — tuning completed and locked a version
+//   1    generic error (bad input, I/O, wrong session identity)
+//   2    usage error
+//   3    validation-reject — differential validation rejected >= 1
+//        candidate
+//   4    watchdog-abort — the tuned choice was abandoned after watchdog
+//        trips and the run fell back to the original version
+//   5    journal/store corruption — the session history cannot be
+//        trusted (mid-file journal damage, unrecoverable store state)
+//   137  injected crash (persist.kill_at kill-point fired)
 //
 // Validation flags (run/validate commands; see docs/VALIDATION.md):
 //   --validate          gate compiled candidates behind differential
@@ -60,7 +83,13 @@
 #include "common/faultinject.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "core/orion.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+#include "persist/journal.h"
+#include "persist/session.h"
+#include "persist/store.h"
 #include "core/static_model.h"
 #include "ir/callgraph.h"
 #include "isa/assembler.h"
@@ -77,20 +106,59 @@ namespace {
 
 using namespace orion;
 
-[[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: orion-cc <asm|dis|info|tune|sweep|run|validate|emit> "
-               "<input> "
+// Exit codes (documented in --help; the CI crash-soak and the kill-point
+// matrix assert on them).
+constexpr int kExitCleanLock = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitValidationReject = 3;
+constexpr int kExitWatchdogAbort = 4;
+constexpr int kExitCorruption = 5;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: orion-cc <asm|dis|info|tune|sweep|run|validate|emit"
+               "|fsck> <input> "
                "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] "
                "[--engine reference|event|traced] [--iters N]\n"
                "       observability: [--trace FILE] "
                "[--trace-format json|chrome|summary] [--metrics] "
                "[--log-level error|warn|info|debug]\n"
                "       run-only: [--fault-plan SPEC] [--watchdog CYCLES] "
-               "[--probe-k K] [--validate]\n"
+               "[--probe-k K] [--validate] [--session DIR]\n"
                "       validation: [--probes N]\n"
-               "       compilation: [--compile-threads N]\n");
-  std::exit(2);
+               "       compilation: [--compile-threads N]\n"
+               "\n"
+               "  --session DIR  crash-safe resumable tuning: every "
+               "decision is journaled to DIR\n"
+               "                 before it takes effect; a killed run "
+               "resumes from the journal and\n"
+               "                 locks the identical version, and an "
+               "already-locked session skips\n"
+               "                 compile/validate/probe (warm path).\n"
+               "  fsck DIR       verify a session directory: journal "
+               "framing/checksums and every\n"
+               "                 artifact-store record.\n"
+               "\n"
+               "exit codes (run/validate/fsck):\n"
+               "  0    clean lock — tuning completed and locked a version\n"
+               "  1    generic error (bad input, I/O, wrong session "
+               "identity)\n"
+               "  2    usage error\n"
+               "  3    validation-reject — differential validation "
+               "rejected a candidate\n"
+               "  4    watchdog-abort — tuned choice abandoned after "
+               "watchdog trips (fell back\n"
+               "       to the original version)\n"
+               "  5    journal/store corruption — session history cannot "
+               "be trusted\n"
+               "  137  injected crash (persist.kill_at kill-point "
+               "fired)\n");
+}
+
+[[noreturn]] void Usage() {
+  PrintUsage(stderr);
+  std::exit(kExitUsage);
 }
 
 std::vector<std::uint8_t> ReadFile(const std::string& path) {
@@ -122,6 +190,7 @@ struct Args {
   std::string fault_plan;             // empty = no injector
   std::uint64_t watchdog_cycles = 0;  // 0 = watchdog off
   std::uint32_t probe_k = 1;
+  std::string session;                // empty = no crash-safe session
   bool validate = false;              // run: gate candidates behind the
                                       // differential validator
   std::uint32_t probes = 2;           // probe inputs per candidate
@@ -165,6 +234,8 @@ Args Parse(int argc, char** argv) {
       args.watchdog_cycles = std::stoull(value());
     } else if (flag == "--probe-k") {
       args.probe_k = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--session") {
+      args.session = value();
     } else if (flag == "--validate") {
       args.validate = true;
     } else if (flag == "--probes") {
@@ -312,10 +383,35 @@ int CmdSweep(const Args& args) {
   return 0;
 }
 
+// The tune-options fingerprint a session is keyed by: everything that
+// changes the compiled candidates or the walk's decisions.  The fault
+// plan is deliberately excluded — crash/resume cycles legitimately vary
+// it (a different kill-point each attempt) without changing identity.
+std::string SessionFingerprint(const Args& args) {
+  return StrFormat(
+      "cache=%s,engine=%d,iters=%u,probe_k=%u,watchdog=%llu,validate=%d,"
+      "probes=%u",
+      args.cache.c_str(), static_cast<int>(args.engine), args.iters,
+      args.probe_k, static_cast<unsigned long long>(args.watchdog_cycles),
+      args.validate ? 1 : 0, args.probes);
+}
+
+// The run command's exit code, from the locked run's outcome.
+int RunExitCode(const runtime::MultiVersionBinary& binary,
+                bool fallback_taken, std::uint64_t watchdog_trips) {
+  if (fallback_taken && watchdog_trips > 0) {
+    return kExitWatchdogAbort;
+  }
+  if (binary.AnyValidationFailures()) {
+    return kExitValidationReject;
+  }
+  return kExitCleanLock;
+}
+
 int CmdRun(const Args& args) {
   // Install the fault injector (if any) before decode so every hook —
-  // binary decode, per-level compile, launch, measurement — is live for
-  // the whole pipeline.
+  // binary decode, per-level compile, launch, measurement, persistence —
+  // is live for the whole pipeline.
   std::optional<ScopedFaultInjector> injector;
   if (!args.fault_plan.empty()) {
     Result<FaultPlan> fault_plan = FaultPlan::Parse(args.fault_plan);
@@ -325,14 +421,86 @@ int CmdRun(const Args& args) {
     std::printf("fault plan: %s\n", fault_plan->ToString().c_str());
     injector.emplace(*fault_plan);
   }
-  const isa::Module module = isa::DecodeModule(ReadFile(args.input));
+  const std::vector<std::uint8_t> cubin = ReadFile(args.input);
+  const isa::Module module = isa::DecodeModule(cubin);
   core::TuneOptions options;
   options.cache_config = Cache(args);
   options.validate = args.validate;
   options.probe.probes = args.probes;
   options.compile_threads = args.compile_threads;
-  const runtime::MultiVersionBinary binary =
-      core::CompileMultiVersion(module, Gpu(args), options);
+
+  // Crash-safe session: open (or recover) the journal + artifact store
+  // before any tuning work, so every decision from here on is durable
+  // ahead of its effect.
+  std::unique_ptr<persist::Session> session;
+  if (!args.session.empty()) {
+    persist::SessionMeta meta;
+    meta.kernel_hash = persist::Fnv64(cubin.data(), cubin.size());
+    meta.gpu = args.gpu;
+    meta.fingerprint = SessionFingerprint(args);
+    Result<std::unique_ptr<persist::Session>> opened =
+        persist::Session::Open(args.session, meta);
+    if (!opened.has_value()) {
+      std::fprintf(stderr, "orion-cc: session: %s\n",
+                   opened.status().ToString().c_str());
+      return opened.status().code() == StatusCode::kDataLoss
+                 ? kExitCorruption
+                 : kExitError;
+    }
+    session = std::move(*opened);
+    if (session->journal_bytes_truncated() > 0 ||
+        !session->fsck_report().Clean()) {
+      std::printf("session: recovered (%llu journal bytes dropped, store: "
+                  "%s)\n",
+                  static_cast<unsigned long long>(
+                      session->journal_bytes_truncated()),
+                  session->fsck_report().ToString().c_str());
+    }
+    if (session->recorded_iterations() > 0) {
+      std::printf("session: resuming with %u recorded iterations\n",
+                  session->recorded_iterations());
+    }
+  }
+
+  // Warm path: an already-locked session with an intact binary artifact
+  // skips compile, validation and probing entirely.
+  if (session != nullptr && session->HasLock()) {
+    Result<runtime::MultiVersionBinary> warm = session->LoadBinary();
+    if (warm.has_value() &&
+        session->lock().final_version < warm->NumCandidates()) {
+      const persist::TuneArtifact& lock = session->lock();
+      std::printf("session: warm hit — compile/validate/probe skipped\n");
+      std::printf("final: %s (settled after %u iterations), steady %.4f ms "
+                  "[from session lock]\n",
+                  warm->Candidate(lock.final_version).tag.c_str(),
+                  lock.iterations_to_settle, lock.steady_ms);
+      return RunExitCode(*warm, lock.fallback_taken, lock.watchdog_trips);
+    }
+    std::printf("session: lock present but binary artifact unusable (%s) — "
+                "recomputing\n",
+                warm.status().ToString().c_str());
+  }
+
+  // Binary artifact: a resumed session that crashed after compilation
+  // reuses the realized multi-version binary (with its validation
+  // verdicts) instead of recompiling.
+  runtime::MultiVersionBinary binary;
+  bool cached_binary = false;
+  if (session != nullptr) {
+    Result<runtime::MultiVersionBinary> cached = session->LoadBinary();
+    if (cached.has_value()) {
+      binary = std::move(*cached);
+      cached_binary = true;
+      std::printf("session: binary artifact hit — compile%s skipped\n",
+                  args.validate ? "+validation" : "");
+    }
+  }
+  if (!cached_binary) {
+    binary = core::CompileMultiVersion(module, Gpu(args), options);
+    if (session != nullptr) {
+      (void)session->SaveBinary(binary);  // failure logged by the store
+    }
+  }
   for (const runtime::CompileSkip& skip : binary.compile_skips) {
     std::printf("compile skip: %s [%s] (%s)\n", skip.level.c_str(),
                 runtime::SkipReasonName(skip.reason),
@@ -354,6 +522,7 @@ int CmdRun(const Args& args) {
   plan.iterations = args.iters;
   plan.probe_count = args.probe_k;
   plan.guard.watchdog_cycle_budget = args.watchdog_cycles;
+  plan.journal = session.get();
   const runtime::TunedRunResult result = launcher.Run(&gmem, {}, plan);
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     if (result.records[i].faulted) {
@@ -379,7 +548,15 @@ int CmdRun(const Args& args) {
       binary.ModuleOf(final_version), &gmem, {},
       final_version.smem_padding_bytes);
   std::fputs(sim::FormatSimReport(last, Gpu(args)).c_str(), stdout);
-  return 0;
+  if (session != nullptr) {
+    std::printf("session: %u/%zu iterations replayed from journal%s\n",
+                session->replayed_iterations(), result.records.size(),
+                session->degraded()
+                    ? " (DEGRADED: journaling disabled mid-run)"
+                    : "");
+  }
+  return RunExitCode(binary, result.health.fallback_taken,
+                     result.health.watchdog_trips);
 }
 
 int CmdValidate(const Args& args) {
@@ -404,10 +581,48 @@ int CmdValidate(const Args& args) {
   if (failures > 0) {
     std::printf("validation FAILED: %u of %zu candidates rejected\n", failures,
                 all.NumCandidates());
-    return 1;
+    return kExitValidationReject;
   }
   std::printf("validation clean: %zu candidates\n", all.NumCandidates());
   return 0;
+}
+
+// Integrity scan of a session directory: every store record is
+// re-framed, re-checksummed and key-checked (corrupt records are
+// quarantined), and the journal is verified end to end.  A torn journal
+// tail is reported but not fatal — the next `run --session` truncates
+// it; mid-file damage and store corruption are fatal (exit 5).
+int CmdFsck(const Args& args) {
+  if (!persist::IsDirectory(args.input)) {
+    std::fprintf(stderr, "orion-cc: '%s' is not a session directory\n",
+                 args.input.c_str());
+    return kExitError;
+  }
+  bool corrupt = false;
+  persist::ArtifactStore store(args.input + "/store");
+  const persist::ArtifactStore::FsckReport report = store.Fsck();
+  std::printf("store  : %s\n", report.ToString().c_str());
+  corrupt |= !report.Clean();
+
+  persist::Journal journal(args.input + "/journal.ojl");
+  const Result<persist::JournalScan> scan = journal.Scan();
+  if (!scan.has_value()) {
+    if (scan.status().code() == StatusCode::kNotFound) {
+      std::printf("journal: absent\n");
+    } else {
+      std::printf("journal: %s\n", scan.status().ToString().c_str());
+      corrupt = true;
+    }
+  } else {
+    std::printf("journal: %zu records verified", scan->records.size());
+    if (scan->truncated_bytes > 0) {
+      std::printf(", torn tail of %llu bytes (recoverable)",
+                  static_cast<unsigned long long>(scan->truncated_bytes));
+    }
+    std::printf("\n");
+  }
+  std::printf("fsck: %s\n", corrupt ? "FAILED" : "clean");
+  return corrupt ? kExitCorruption : 0;
 }
 
 int CmdEmit(const Args& args) {
@@ -456,12 +671,23 @@ int Dispatch(const Args& args) {
   if (args.command == "run") return CmdRun(args);
   if (args.command == "validate") return CmdValidate(args);
   if (args.command == "emit") return CmdEmit(args);
+  if (args.command == "fsck") return CmdFsck(args);
   Usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0 ||
+                    std::strcmp(argv[1], "help") == 0)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  // Injected kill-points end the process like SIGKILL (exit 137, no
+  // cleanup) instead of throwing — the on-disk state is exactly what a
+  // real crash leaves.
+  persist::SetCrashMode(persist::CrashMode::kExit);
   try {
     const Args args = Parse(argc, argv);
     log::Level level = log::Level::kWarn;
@@ -487,8 +713,13 @@ int main(int argc, char** argv) {
       ExportTelemetry(args);
     }
     return rc;
+  } catch (const persist::JournalError& e) {
+    // The journal contradicts the deterministic walk — semantic
+    // corruption, reported with the same exit code as a failed checksum.
+    std::fprintf(stderr, "orion-cc: journal corruption: %s\n", e.what());
+    return kExitCorruption;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "orion-cc: %s\n", e.what());
-    return 1;
+    return kExitError;
   }
 }
