@@ -126,6 +126,33 @@ Result<std::unique_ptr<Session>> Session::Open(const std::string& dir,
   return session;
 }
 
+Result<std::unique_ptr<Session>> Session::Inspect(const std::string& dir) {
+  ORION_TRACE_SPAN("persist", "persist.session.inspect");
+  // Peek at the journal's first record to learn the identity, then open
+  // normally so all recovery invariants (torn-tail truncation, fsck,
+  // identity verification) apply exactly as for a resumed run.
+  Journal journal(dir + "/" + kJournalFile);
+  Result<JournalScan> scanned = journal.Scan();
+  if (!scanned.has_value()) {
+    return scanned.status();  // kNotFound: no journal; kDataLoss: corrupt
+  }
+  if (scanned->records.empty() ||
+      scanned->records[0].type != RecordType::kMeta) {
+    return Status::Error(
+        StatusCode::kNotFound,
+        StrFormat("no session identity recorded at '%s'", dir.c_str()));
+  }
+  Reader r(scanned->records[0].payload);
+  SessionMeta meta;
+  meta.kernel_hash = r.U64();
+  meta.gpu = r.Str();
+  meta.fingerprint = r.Str();
+  if (!r.ok() || !r.AtEnd()) {
+    return CorruptRecord("meta");
+  }
+  return Open(dir, meta);
+}
+
 Status Session::Recover() {
   // The store is repaired first: crash debris (.tmp leftovers) and any
   // corrupt record are quarantined before anything can read them.
@@ -354,6 +381,11 @@ void Session::ProbeResult(std::uint32_t iteration,
   w.F64(record.occupancy);
   PutHealthSnapshot(&w, health, fault_counts);
   AppendOrDegrade(RecordType::kProbeResult, w.Take());
+  // Mirror the append into the recovered-iterations map so a live
+  // session's recorded() view equals what a reopen would scan back —
+  // the analysis of a just-finished session must match the analysis
+  // of the same directory reopened (resume stability).
+  iterations_[iteration] = record;
 }
 
 void Session::OnFault(std::uint32_t iteration, std::uint32_t version,

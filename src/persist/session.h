@@ -68,6 +68,13 @@ class Session final : public runtime::RunJournal {
   static Result<std::unique_ptr<Session>> Open(const std::string& dir,
                                                const SessionMeta& meta);
 
+  // Opens an existing session without knowing its identity up front:
+  // reads the identity from the journal's first meta record, then
+  // delegates to Open().  For inspection tools (orion-cc report) that
+  // are pointed at a directory, not at the original tuning command.
+  // kNotFound: no journal or no meta record at `dir`.
+  static Result<std::unique_ptr<Session>> Inspect(const std::string& dir);
+
   const std::string& dir() const { return dir_; }
   const SessionMeta& meta() const { return meta_; }
   ArtifactStore& store() { return store_; }
@@ -87,6 +94,18 @@ class Session final : public runtime::RunJournal {
   // The previous run's lock, when it completed.
   bool HasLock() const { return lock_.has_value(); }
   const TuneArtifact& lock() const { return *lock_; }
+
+  // Read-back for session analysis (profile::BuildSessionAnalysis):
+  // every measured iteration recovered from the journal, and the guard
+  // health (quarantine list included) as of the last durable probe
+  // result — nullptr when no probe completed.  Both are resume-stable:
+  // a crash-resumed session recovers the identical values.
+  const std::map<std::uint32_t, runtime::IterationRecord>& recorded() const {
+    return iterations_;
+  }
+  const runtime::HealthReport* guard_health() const {
+    return snapshot_.has_value() ? &snapshot_->health : nullptr;
+  }
 
   // True once a journal append has failed and journaling stopped.
   bool degraded() const { return degraded_; }

@@ -1,0 +1,322 @@
+#include "profile/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "profile/profile_json.h"
+#include "runtime/guard.h"
+
+namespace orion::profile {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// Deterministic memory seeding, identical to the orion-cc run path so
+// the re-simulated candidates see the same inputs the tuner did.
+sim::GlobalMemory SeedAnalysisMemory(const AnalysisOptions& options) {
+  sim::GlobalMemory gmem(options.gmem_words);
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.gmem_words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Num(std::uint32_t v) { return Num(static_cast<std::uint64_t>(v)); }
+
+std::string NumOrNull(double v) { return std::isnan(v) ? "null" : Num(v); }
+
+const char* Bool(bool v) { return v ? "true" : "false"; }
+
+std::string HexHash(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+// Prefixes every line after the first with `prefix` and drops the
+// trailing newline, so a standalone serialized document can be
+// embedded as a JSON value at any depth.
+std::string IndentBlock(const std::string& text, const char* prefix) {
+  std::string body = text;
+  if (!body.empty() && body.back() == '\n') {
+    body.pop_back();
+  }
+  std::string out;
+  out.reserve(body.size() + 64);
+  for (char c : body) {
+    out.push_back(c);
+    if (c == '\n') {
+      out += prefix;
+    }
+  }
+  return out;
+}
+
+std::string PercentObject(const StallBreakdown& b) {
+  std::ostringstream out;
+  out << "{\"issue\": " << Num(b.Percent(b.issue))
+      << ", \"scoreboard\": " << Num(b.Percent(b.scoreboard))
+      << ", \"barrier\": " << Num(b.Percent(b.barrier))
+      << ", \"smem_conflict\": " << Num(b.Percent(b.smem_conflict))
+      << ", \"queue\": " << Num(b.Percent(b.queue))
+      << ", \"watchdog\": " << Num(b.Percent(b.watchdog))
+      << ", \"idle\": " << Num(b.Percent(b.idle)) << "}";
+  return out.str();
+}
+
+std::string ShiftEndpoint(const CandidateAnalysis& c) {
+  std::ostringstream out;
+  out << "{\"index\": " << Num(c.index) << ", \"tag\": \"" << c.tag
+      << "\", \"occupancy\": " << Num(c.occupancy)
+      << ", \"percent\": " << PercentObject(c.profile.breakdown) << "}";
+  return out.str();
+}
+
+}  // namespace
+
+SessionAnalysis BuildSessionAnalysis(persist::Session& session,
+                                     const runtime::MultiVersionBinary& binary,
+                                     const arch::GpuSpec& spec,
+                                     arch::CacheConfig config,
+                                     const AnalysisOptions& options) {
+  if (!session.HasLock()) {
+    throw OrionError("session at '" + session.dir() +
+                     "' holds no lock — resume the tuning run to completion "
+                     "before asking for a report");
+  }
+  SessionAnalysis out;
+  out.kernel = binary.kernel_name;
+  out.gpu = spec.name;
+  out.kernel_hash = session.meta().kernel_hash;
+  out.fingerprint = session.meta().fingerprint;
+  out.direction = binary.direction == runtime::TuneDirection::kIncreasing
+                      ? "increasing"
+                      : "decreasing";
+  out.lock = session.lock();
+
+  // Quarantines are read back from the journal's guard snapshot — the
+  // resume-stable record — not re-derived.
+  std::map<std::uint32_t, runtime::QuarantineReason> quarantined;
+  if (const runtime::HealthReport* health = session.guard_health()) {
+    for (const runtime::Quarantine& q : health->quarantined) {
+      quarantined.emplace(q.version, q.reason);
+      out.quarantines.push_back(
+          {q.version, runtime::QuarantineReasonName(q.reason)});
+    }
+  }
+
+  for (std::size_t i = 0; i < binary.NumCandidates(); ++i) {
+    const runtime::KernelVersion& version = binary.Candidate(i);
+    CandidateAnalysis c;
+    c.index = static_cast<std::uint32_t>(i);
+    c.tag = version.tag;
+    c.occupancy = version.occupancy.occupancy;
+    c.measured_median_ms = i < out.lock.candidate_median_ms.size()
+                               ? out.lock.candidate_median_ms[i]
+                               : kNan;
+    c.validation = runtime::ValidationVerdictName(version.validation.verdict);
+    const auto found = quarantined.find(c.index);
+    if (found != quarantined.end()) {
+      c.quarantined = true;
+      c.quarantine_reason = runtime::QuarantineReasonName(found->second);
+    }
+    c.simulated_ms = kNan;
+    // Quarantined and validation-rejected candidates are reported but
+    // never re-executed — the guard's verdict stands.
+    if (!c.quarantined && !version.validation.Failed()) {
+      sim::GpuSimulator sim(spec, config, options.engine);
+      sim::GlobalMemory gmem = SeedAnalysisMemory(options);
+      try {
+        const sim::SimResult result =
+            sim.LaunchAll(binary.ModuleOf(version), &gmem, options.params,
+                          version.smem_padding_bytes);
+        c.profile = BuildLaunchProfile(
+            binary.kernel_name, binary.ModuleOf(version).launch.block_dim,
+            result, spec, config);
+        c.has_profile = true;
+        c.simulated_ms = result.ms;
+      } catch (const LaunchError&) {
+        // A candidate that cannot launch at analysis time is reported
+        // without a profile, never fatal to the report.
+      }
+    }
+    out.candidates.push_back(std::move(c));
+  }
+
+  for (const auto& [iteration, record] : session.recorded()) {
+    out.iterations.push_back(
+        {iteration, record.version, record.ms, record.faulted});
+  }
+
+  // Shift endpoints: lowest- and highest-occupancy profiled candidates
+  // (first match on ties — deterministic), requiring two *distinct*
+  // occupancy levels.
+  bool any = false;
+  std::size_t low = 0;
+  std::size_t high = 0;
+  for (std::size_t i = 0; i < out.candidates.size(); ++i) {
+    if (!out.candidates[i].has_profile) {
+      continue;
+    }
+    if (!any) {
+      any = true;
+      low = high = i;
+      continue;
+    }
+    if (out.candidates[i].occupancy < out.candidates[low].occupancy) {
+      low = i;
+    }
+    if (out.candidates[i].occupancy > out.candidates[high].occupancy) {
+      high = i;
+    }
+  }
+  if (any && out.candidates[low].occupancy < out.candidates[high].occupancy) {
+    out.has_shift = true;
+    out.shift_low_index = low;
+    out.shift_high_index = high;
+  }
+
+  // Verdict: the locked candidate's, falling back to the first
+  // profiled candidate.
+  if (out.lock.final_version < out.candidates.size() &&
+      out.candidates[out.lock.final_version].has_profile) {
+    out.has_verdict = true;
+    out.verdict = out.candidates[out.lock.final_version].profile.verdict;
+  } else if (any) {
+    out.has_verdict = true;
+    out.verdict = out.candidates[low].profile.verdict;
+  }
+  return out;
+}
+
+std::string SerializeSessionAnalysis(const SessionAnalysis& a) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"orion.analysis.v1\",\n";
+  out << "  \"kernel\": \"" << a.kernel << "\",\n";
+  out << "  \"gpu\": \"" << a.gpu << "\",\n";
+  out << "  \"kernel_hash\": \"" << HexHash(a.kernel_hash) << "\",\n";
+  out << "  \"fingerprint\": \"" << a.fingerprint << "\",\n";
+  out << "  \"direction\": \"" << a.direction << "\",\n";
+  out << "  \"lock\": {\"final_version\": " << Num(a.lock.final_version)
+      << ", \"iterations_to_settle\": " << Num(a.lock.iterations_to_settle)
+      << ", \"steady_ms\": " << Num(a.lock.steady_ms)
+      << ", \"steady_energy\": " << Num(a.lock.steady_energy)
+      << ", \"steady_occupancy\": " << Num(a.lock.steady_occupancy)
+      << ", \"fallback_taken\": " << Bool(a.lock.fallback_taken)
+      << ", \"watchdog_trips\": " << Num(a.lock.watchdog_trips)
+      << ", \"faulted_iterations\": " << Num(a.lock.faulted_iterations)
+      << "},\n";
+  out << "  \"candidates\": [\n";
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateAnalysis& c = a.candidates[i];
+    out << "    {\n";
+    out << "      \"index\": " << Num(c.index) << ",\n";
+    out << "      \"tag\": \"" << c.tag << "\",\n";
+    out << "      \"occupancy\": " << Num(c.occupancy) << ",\n";
+    out << "      \"measured_median_ms\": " << NumOrNull(c.measured_median_ms)
+        << ",\n";
+    out << "      \"validation\": \"" << c.validation << "\",\n";
+    out << "      \"quarantined\": " << Bool(c.quarantined) << ",\n";
+    out << "      \"quarantine_reason\": "
+        << (c.quarantined ? "\"" + c.quarantine_reason + "\"" : "null")
+        << ",\n";
+    out << "      \"simulated_ms\": " << NumOrNull(c.simulated_ms) << ",\n";
+    out << "      \"profile\": ";
+    if (c.has_profile) {
+      out << IndentBlock(SerializeLaunchProfile(c.profile), "      ");
+    } else {
+      out << "null";
+    }
+    out << "\n    }" << (i + 1 < a.candidates.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  // Response curve: candidates sorted by occupancy (stable on index).
+  std::vector<std::size_t> order(a.candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return a.candidates[x].occupancy <
+                            a.candidates[y].occupancy;
+                   });
+  out << "  \"response_curve\": [";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const CandidateAnalysis& c = a.candidates[order[i]];
+    out << (i > 0 ? "," : "") << "\n    {\"occupancy\": " << Num(c.occupancy)
+        << ", \"tag\": \"" << c.tag << "\", \"measured_median_ms\": "
+        << NumOrNull(c.measured_median_ms)
+        << ", \"simulated_ms\": " << NumOrNull(c.simulated_ms) << "}";
+  }
+  out << (order.empty() ? "],\n" : "\n  ],\n");
+  if (a.has_shift) {
+    const CandidateAnalysis& low = a.candidates[a.shift_low_index];
+    const CandidateAnalysis& high = a.candidates[a.shift_high_index];
+    const StallBreakdown& lb = low.profile.breakdown;
+    const StallBreakdown& hb = high.profile.breakdown;
+    out << "  \"stall_shift\": {\n";
+    out << "    \"low\": " << ShiftEndpoint(low) << ",\n";
+    out << "    \"high\": " << ShiftEndpoint(high) << ",\n";
+    out << "    \"delta\": {\"issue\": "
+        << Num(hb.Percent(hb.issue) - lb.Percent(lb.issue))
+        << ", \"scoreboard\": "
+        << Num(hb.Percent(hb.scoreboard) - lb.Percent(lb.scoreboard))
+        << ", \"barrier\": "
+        << Num(hb.Percent(hb.barrier) - lb.Percent(lb.barrier))
+        << ", \"smem_conflict\": "
+        << Num(hb.Percent(hb.smem_conflict) - lb.Percent(lb.smem_conflict))
+        << ", \"queue\": " << Num(hb.Percent(hb.queue) - lb.Percent(lb.queue))
+        << ", \"watchdog\": "
+        << Num(hb.Percent(hb.watchdog) - lb.Percent(lb.watchdog))
+        << ", \"idle\": " << Num(hb.Percent(hb.idle) - lb.Percent(lb.idle))
+        << "}\n";
+    out << "  },\n";
+  } else {
+    out << "  \"stall_shift\": null,\n";
+  }
+  out << "  \"iterations\": [";
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    const IterationSummary& it = a.iterations[i];
+    out << (i > 0 ? "," : "") << "\n    {\"iteration\": " << Num(it.iteration)
+        << ", \"version\": " << Num(it.version) << ", \"ms\": " << Num(it.ms)
+        << ", \"faulted\": " << Bool(it.faulted) << "}";
+  }
+  out << (a.iterations.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"quarantines\": [";
+  for (std::size_t i = 0; i < a.quarantines.size(); ++i) {
+    out << (i > 0 ? "," : "") << "\n    {\"version\": "
+        << Num(a.quarantines[i].version) << ", \"reason\": \""
+        << a.quarantines[i].reason << "\"}";
+  }
+  out << (a.quarantines.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"verdict\": \""
+      << (a.has_verdict ? BottleneckVerdictName(a.verdict) : "unknown")
+      << "\"\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace orion::profile

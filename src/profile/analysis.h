@@ -1,0 +1,106 @@
+// Tuning-session analysis: the `orion.analysis.v1` artifact.
+//
+// BuildSessionAnalysis reads a *locked* tuning session back from its
+// persist journal (measured iterations, quarantine events, the lock)
+// and joins it with a fresh deterministic re-simulation of every
+// healthy candidate: the occupancy response curve, the stall-mix shift
+// between the lowest- and highest-occupancy candidates, and a
+// first-cut bottleneck verdict.
+//
+// The analysis is resume-stable by construction: it depends only on
+// journal-recovered state (which a crash-resumed session rebuilds
+// identically — tests/persist_test.cpp) and on deterministic
+// simulation of candidates on freshly seeded memory, so the
+// analysis.json of a session that crashed and resumed N times is
+// byte-identical to the uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "persist/artifact.h"
+#include "persist/session.h"
+#include "profile/launch_profile.h"
+#include "runtime/multiversion.h"
+#include "sim/gpu_sim.h"
+
+namespace orion::profile {
+
+// One candidate version (unified primary + fail-safe numbering, the
+// same numbering the tuner and the lock use).
+struct CandidateAnalysis {
+  std::uint32_t index = 0;
+  std::string tag;
+  double occupancy = 0.0;           // compile-time expected occupancy
+  // Median probe runtime from the lock; NaN (serialized null) when the
+  // walk never measured this candidate.
+  double measured_median_ms = 0.0;
+  std::string validation;           // ValidationVerdictName
+  bool quarantined = false;
+  std::string quarantine_reason;    // empty when not quarantined
+  // Fresh deterministic re-simulation; absent (profile null) for
+  // quarantined / validation-failed / launch-faulting candidates.
+  bool has_profile = false;
+  LaunchProfile profile;
+  double simulated_ms = 0.0;        // NaN when !has_profile
+};
+
+struct IterationSummary {
+  std::uint32_t iteration = 0;
+  std::uint32_t version = 0;
+  double ms = 0.0;
+  bool faulted = false;
+};
+
+struct QuarantineSummary {
+  std::uint32_t version = 0;
+  std::string reason;  // QuarantineReasonName
+};
+
+struct SessionAnalysis {
+  std::string kernel;
+  std::string gpu;
+  std::uint64_t kernel_hash = 0;
+  std::string fingerprint;
+  std::string direction;  // "increasing" | "decreasing"
+  persist::TuneArtifact lock;
+  std::vector<CandidateAnalysis> candidates;
+  std::vector<IterationSummary> iterations;    // journal read-back
+  std::vector<QuarantineSummary> quarantines;  // from the guard snapshot
+  // Stall-mix shift endpoints: the lowest- and highest-occupancy
+  // profiled candidates; absent unless two distinct occupancies were
+  // profiled.
+  bool has_shift = false;
+  std::size_t shift_low_index = 0;
+  std::size_t shift_high_index = 0;
+  // The locked candidate's bottleneck verdict (falling back to the
+  // first profiled candidate); absent when nothing could be profiled.
+  bool has_verdict = false;
+  BottleneckVerdict verdict = BottleneckVerdict::kLatencyBound;
+};
+
+struct AnalysisOptions {
+  std::size_t gmem_words = std::size_t{1} << 22;
+  std::vector<std::uint32_t> params;
+  sim::SimEngine engine = sim::SimEngine::kEventDriven;
+  std::uint64_t seed = 0x0410;  // memory-seeding RNG seed
+};
+
+// Builds the analysis for a locked session.  Throws OrionError when
+// the session holds no lock (an unfinished run has no stable story to
+// tell — resume it first).
+SessionAnalysis BuildSessionAnalysis(persist::Session& session,
+                                     const runtime::MultiVersionBinary& binary,
+                                     const arch::GpuSpec& spec,
+                                     arch::CacheConfig config,
+                                     const AnalysisOptions& options = {});
+
+// Canonical serialization (same rules as SerializeLaunchProfile: fixed
+// key order, %.17g doubles, no timestamps).  kernel_hash is a 16-digit
+// hex *string* — a u64 does not survive a double round-trip.  Ends
+// with a newline.
+std::string SerializeSessionAnalysis(const SessionAnalysis& analysis);
+
+}  // namespace orion::profile

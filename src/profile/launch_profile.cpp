@@ -1,0 +1,179 @@
+#include "profile/launch_profile.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace orion::profile {
+
+namespace {
+
+// Largest-remainder split of `amount` proportional to `weights` (see
+// stall.cpp for the rationale); here weights fit comfortably, but the
+// 128-bit product keeps the same exactness guarantee.
+std::vector<std::uint64_t> Split(std::uint64_t amount,
+                                 const std::vector<std::uint64_t>& weights) {
+  std::vector<std::uint64_t> shares(weights.size(), 0);
+  unsigned __int128 total = 0;
+  for (const std::uint64_t w : weights) {
+    total += w;
+  }
+  if (total == 0) {
+    return shares;
+  }
+  std::vector<unsigned __int128> remainders(weights.size(), 0);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const unsigned __int128 scaled =
+        static_cast<unsigned __int128>(amount) * weights[i];
+    shares[i] = static_cast<std::uint64_t>(scaled / total);
+    remainders[i] = scaled % total;
+    assigned += shares[i];
+  }
+  for (std::uint64_t left = amount - assigned; left > 0; --left) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < weights.size(); ++i) {
+      if (remainders[i] > remainders[best]) {
+        best = i;
+      }
+    }
+    ++shares[best];
+    remainders[best] = 0;
+  }
+  return shares;
+}
+
+ProfileTimeline BuildTimeline(const sim::SimResult& result,
+                              const arch::GpuSpec& spec) {
+  ProfileTimeline timeline;
+  const std::uint64_t cycles = result.cycles;
+  const std::uint32_t buckets = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      kTimelineBuckets, std::max<std::uint64_t>(1, cycles)));
+
+  // Equal-width buckets via largest remainder: sum == cycles exactly.
+  timeline.bucket_cycles = Split(cycles, std::vector<std::uint64_t>(buckets, 1));
+
+  // The launch-overhead lead-in has no resident work; instructions and
+  // occupancy live in the execution window after it.
+  timeline.exec_start_cycle =
+      std::min<std::uint64_t>(cycles, spec.timing.kernel_launch_overhead);
+  const std::uint64_t exec_cycles = cycles - timeline.exec_start_cycle;
+
+  // Per-bucket instruction weights: the overlap of each bucket with
+  // the execution window.
+  std::vector<std::uint64_t> overlap(buckets, 0);
+  std::uint64_t bucket_start = 0;
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    const std::uint64_t bucket_end = bucket_start + timeline.bucket_cycles[b];
+    const std::uint64_t lo = std::max(bucket_start, timeline.exec_start_cycle);
+    overlap[b] = bucket_end > lo ? bucket_end - lo : 0;
+    bucket_start = bucket_end;
+  }
+  if (exec_cycles == 0) {
+    // Degenerate launch shorter than its own overhead: charge the last
+    // bucket so conservation still holds.
+    overlap.back() = 1;
+  }
+  timeline.instructions = Split(result.warp_instructions, overlap);
+  timeline.ipc.resize(buckets, 0.0);
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    if (timeline.bucket_cycles[b] > 0) {
+      timeline.ipc[b] = static_cast<double>(timeline.instructions[b]) /
+                        static_cast<double>(timeline.bucket_cycles[b]) /
+                        spec.num_sms;
+    }
+  }
+
+  // Per-SM rows: blocks go to SMs round-robin (block i runs on SM
+  // i mod num_sms, the machine model's install order); instructions
+  // split proportionally to block count; occupancy holds during the
+  // execution window on SMs that got work.
+  timeline.per_sm.resize(spec.num_sms);
+  std::vector<std::uint64_t> block_weights(spec.num_sms, 0);
+  for (std::uint32_t s = 0; s < spec.num_sms; ++s) {
+    const std::uint32_t blocks =
+        result.blocks_launched / spec.num_sms +
+        (s < result.blocks_launched % spec.num_sms ? 1 : 0);
+    timeline.per_sm[s].sm = s;
+    timeline.per_sm[s].blocks = blocks;
+    block_weights[s] = blocks;
+  }
+  if (result.blocks_launched == 0) {
+    block_weights[0] = 1;  // conservation: all instructions land on SM 0
+  }
+  const std::vector<std::uint64_t> sm_instructions =
+      Split(result.warp_instructions, block_weights);
+  for (std::uint32_t s = 0; s < spec.num_sms; ++s) {
+    timeline.per_sm[s].instructions = sm_instructions[s];
+    timeline.per_sm[s].occupancy.resize(buckets, 0.0);
+    if (timeline.per_sm[s].blocks == 0) {
+      continue;
+    }
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+      if (overlap[b] > 0 && exec_cycles > 0) {
+        timeline.per_sm[s].occupancy[b] = result.occupancy.occupancy;
+      }
+    }
+  }
+  return timeline;
+}
+
+struct CollectorState {
+  std::mutex mu;
+  std::vector<LaunchProfile> profiles;
+};
+
+CollectorState& GetCollector() {
+  static CollectorState* state = new CollectorState();  // leaked, like telemetry
+  return *state;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_collect{false};
+}  // namespace detail
+
+const char* CacheConfigName(arch::CacheConfig config) {
+  return config == arch::CacheConfig::kSmallCache ? "sc" : "lc";
+}
+
+LaunchProfile BuildLaunchProfile(std::string_view kernel,
+                                 std::uint32_t block_dim,
+                                 const sim::SimResult& result,
+                                 const arch::GpuSpec& spec,
+                                 arch::CacheConfig config) {
+  LaunchProfile profile;
+  profile.kernel = std::string(kernel);
+  profile.gpu = spec.name;
+  profile.cache_config = CacheConfigName(config);
+  profile.block_dim = block_dim;
+  profile.result = result;
+  profile.breakdown = ComputeStallBreakdown(result, spec);
+  profile.verdict = ClassifyBottleneck(profile.breakdown);
+  profile.timeline = BuildTimeline(result, spec);
+  return profile;
+}
+
+void EnableCollection(bool enabled) {
+  detail::g_collect.store(enabled, std::memory_order_relaxed);
+}
+
+void CollectLaunch(std::string_view kernel, std::uint32_t block_dim,
+                   const sim::SimResult& result, const arch::GpuSpec& spec,
+                   arch::CacheConfig config) {
+  LaunchProfile profile =
+      BuildLaunchProfile(kernel, block_dim, result, spec, config);
+  CollectorState& state = GetCollector();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.profiles.push_back(std::move(profile));
+}
+
+std::vector<LaunchProfile> TakeCollected() {
+  CollectorState& state = GetCollector();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<LaunchProfile> out;
+  out.swap(state.profiles);
+  return out;
+}
+
+}  // namespace orion::profile

@@ -1,0 +1,96 @@
+// Per-launch profiles: stall breakdown + per-SM occupancy/IPC
+// timelines, built at the launch boundary from the retired SimResult
+// (the RecordSimCounters contract), so every engine produces the
+// identical profile — profile.json carries no engine field and is
+// byte-identical across reference/event/traced by construction.
+//
+// The timelines are *model-derived* time series, not per-cycle engine
+// samples: instructions are spread over the execution window (after
+// the launch-overhead lead-in) and blocks are assigned to SMs
+// round-robin, exactly as the machine model schedules them.  They are
+// fixed-bucket (<= kTimelineBuckets) and exactly conserving: bucket
+// cycles sum to the launch's cycles, bucket and per-SM instructions
+// sum to warp_instructions, per-SM blocks sum to blocks_launched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "profile/stall.h"
+#include "sim/gpu_sim.h"
+
+namespace orion::profile {
+
+// Fixed bucket count for timelines (fewer when the launch is shorter
+// than kTimelineBuckets cycles).
+inline constexpr std::uint32_t kTimelineBuckets = 16;
+
+// Stable short names for the cache configs: "sc" / "lc".
+const char* CacheConfigName(arch::CacheConfig config);
+
+struct SmTimeline {
+  std::uint32_t sm = 0;
+  std::uint32_t blocks = 0;             // blocks this SM executed
+  std::uint64_t instructions = 0;       // warp-instructions retired here
+  std::vector<double> occupancy;        // per bucket, 0 when no resident work
+};
+
+struct ProfileTimeline {
+  std::uint64_t exec_start_cycle = 0;   // end of the launch-overhead lead-in
+  std::vector<std::uint64_t> bucket_cycles;  // sums to the launch's cycles
+  std::vector<std::uint64_t> instructions;   // sums to warp_instructions
+  std::vector<double> ipc;              // instructions / (bucket_cycles * sms)
+  std::vector<SmTimeline> per_sm;
+};
+
+struct LaunchProfile {
+  std::string kernel;
+  std::string gpu;
+  std::string cache_config;  // "sc" | "lc"
+  std::uint32_t block_dim = 0;
+  sim::SimResult result;
+  StallBreakdown breakdown;
+  BottleneckVerdict verdict = BottleneckVerdict::kLatencyBound;
+  ProfileTimeline timeline;
+};
+
+// Builds the full profile for one retired launch.
+LaunchProfile BuildLaunchProfile(std::string_view kernel,
+                                 std::uint32_t block_dim,
+                                 const sim::SimResult& result,
+                                 const arch::GpuSpec& spec,
+                                 arch::CacheConfig config);
+
+// ---------------------------------------------------------------------------
+// Collector: an opt-in hook at the simulator's launch boundary.
+//
+// Dark by default, mirroring telemetry::Enabled(): the simulator pays
+// one relaxed atomic load + branch per launch when collection is off
+// (the < 1% disabled-overhead gate in BENCH_sim.json).  When on, each
+// retired launch appends its LaunchProfile to a process-wide buffer.
+
+namespace detail {
+extern std::atomic<bool> g_collect;
+}  // namespace detail
+
+inline bool CollectionEnabled() {
+  return detail::g_collect.load(std::memory_order_relaxed);
+}
+
+// Turns collection on/off; enabling does not clear prior profiles.
+void EnableCollection(bool enabled);
+
+// Appends a profile for a retired launch (called by GpuSimulator).
+void CollectLaunch(std::string_view kernel, std::uint32_t block_dim,
+                   const sim::SimResult& result, const arch::GpuSpec& spec,
+                   arch::CacheConfig config);
+
+// Drains the collected profiles (oldest first), leaving the buffer
+// empty.
+std::vector<LaunchProfile> TakeCollected();
+
+}  // namespace orion::profile

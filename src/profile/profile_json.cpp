@@ -1,0 +1,130 @@
+#include "profile/profile_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace orion::profile {
+
+namespace {
+
+// Canonical number formats: every double as %.17g (round-trip exact,
+// locale-independent for the values we emit), every integer as
+// unsigned decimal.  No other formatting is allowed in the artifact.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Num(std::uint32_t v) { return Num(static_cast<std::uint64_t>(v)); }
+
+const char* LimiterName(arch::OccupancyLimiter limiter) {
+  switch (limiter) {
+    case arch::OccupancyLimiter::kRegisters:
+      return "registers";
+    case arch::OccupancyLimiter::kSharedMemory:
+      return "shared_memory";
+    case arch::OccupancyLimiter::kWarpSlots:
+      return "warp_slots";
+    case arch::OccupancyLimiter::kBlockSlots:
+      return "block_slots";
+  }
+  return "?";
+}
+
+template <typename T>
+void AppendArray(std::ostringstream& out, const std::vector<T>& values) {
+  out << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << Num(values[i]);
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string SerializeLaunchProfile(const LaunchProfile& p) {
+  const sim::SimResult& r = p.result;
+  const StallBreakdown& b = p.breakdown;
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"orion.profile.v1\",\n";
+  out << "  \"kernel\": \"" << p.kernel << "\",\n";
+  out << "  \"gpu\": \"" << p.gpu << "\",\n";
+  out << "  \"cache_config\": \"" << p.cache_config << "\",\n";
+  out << "  \"launch\": {\"blocks\": " << Num(r.blocks_launched)
+      << ", \"block_dim\": " << Num(p.block_dim) << "},\n";
+  out << "  \"occupancy\": {\"value\": " << Num(r.occupancy.occupancy)
+      << ", \"active_blocks_per_sm\": " << Num(r.occupancy.active_blocks_per_sm)
+      << ", \"active_warps_per_sm\": " << Num(r.occupancy.active_warps_per_sm)
+      << ", \"active_threads_per_sm\": "
+      << Num(r.occupancy.active_threads_per_sm) << ", \"limiter\": \""
+      << LimiterName(r.occupancy.limiter) << "\"},\n";
+  out << "  \"counters\": {\"cycles\": " << Num(r.cycles)
+      << ", \"ms\": " << Num(r.ms) << ", \"energy\": " << Num(r.energy)
+      << ", \"warp_instructions\": " << Num(r.warp_instructions)
+      << ", \"alu_instructions\": " << Num(r.alu_instructions)
+      << ", \"sfu_instructions\": " << Num(r.sfu_instructions)
+      << ", \"mem_instructions\": " << Num(r.mem_instructions)
+      << ", \"ipc_per_sm\": "
+      << Num(b.total_sm_cycles == 0
+                 ? 0.0
+                 : static_cast<double>(r.warp_instructions) /
+                       static_cast<double>(b.total_sm_cycles))
+      << ", \"l1_hits\": " << Num(r.mem.l1_hits)
+      << ", \"l1_misses\": " << Num(r.mem.l1_misses)
+      << ", \"l2_hits\": " << Num(r.mem.l2_hits)
+      << ", \"l2_misses\": " << Num(r.mem.l2_misses)
+      << ", \"dram_transactions\": " << Num(r.mem.dram_transactions)
+      << ", \"smem_accesses\": " << Num(r.mem.smem_accesses) << "},\n";
+  out << "  \"stall_breakdown\": {\"unit\": \"sm_cycles\", \"total\": "
+      << Num(b.total_sm_cycles) << ", \"issue\": " << Num(b.issue)
+      << ", \"scoreboard\": " << Num(b.scoreboard)
+      << ", \"barrier\": " << Num(b.barrier)
+      << ", \"smem_conflict\": " << Num(b.smem_conflict)
+      << ", \"queue\": " << Num(b.queue)
+      << ", \"watchdog\": " << Num(b.watchdog)
+      << ", \"idle\": " << Num(b.idle) << "},\n";
+  out << "  \"stall_percent\": {\"issue\": " << Num(b.Percent(b.issue))
+      << ", \"scoreboard\": " << Num(b.Percent(b.scoreboard))
+      << ", \"barrier\": " << Num(b.Percent(b.barrier))
+      << ", \"smem_conflict\": " << Num(b.Percent(b.smem_conflict))
+      << ", \"queue\": " << Num(b.Percent(b.queue))
+      << ", \"watchdog\": " << Num(b.Percent(b.watchdog))
+      << ", \"idle\": " << Num(b.Percent(b.idle)) << "},\n";
+  out << "  \"verdict\": \"" << BottleneckVerdictName(p.verdict) << "\",\n";
+  out << "  \"timeline\": {\n";
+  out << "    \"buckets\": " << p.timeline.bucket_cycles.size() << ",\n";
+  out << "    \"exec_start_cycle\": " << Num(p.timeline.exec_start_cycle)
+      << ",\n";
+  out << "    \"bucket_cycles\": ";
+  AppendArray(out, p.timeline.bucket_cycles);
+  out << ",\n    \"instructions\": ";
+  AppendArray(out, p.timeline.instructions);
+  out << ",\n    \"ipc\": ";
+  AppendArray(out, p.timeline.ipc);
+  out << ",\n    \"per_sm\": [\n";
+  for (std::size_t s = 0; s < p.timeline.per_sm.size(); ++s) {
+    const SmTimeline& sm = p.timeline.per_sm[s];
+    out << "      {\"sm\": " << Num(sm.sm) << ", \"blocks\": "
+        << Num(sm.blocks) << ", \"instructions\": " << Num(sm.instructions)
+        << ", \"occupancy\": ";
+    AppendArray(out, sm.occupancy);
+    out << "}" << (s + 1 < p.timeline.per_sm.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace orion::profile

@@ -1,0 +1,22 @@
+// Canonical serialization of LaunchProfile to the versioned
+// `orion.profile.v1` JSON artifact.
+//
+// The output is canonical: fixed key order, doubles printed with
+// "%.17g" (round-trip exact), integers unsigned-decimal, no
+// timestamps and no engine field — so two profiles of bit-identical
+// launches serialize byte-identically regardless of which engine ran
+// them or when.  The schema is validated by
+// telemetry::CheckProfileJson (tools/trace_check --profile) and
+// documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <string>
+
+#include "profile/launch_profile.h"
+
+namespace orion::profile {
+
+// Serializes one launch profile; ends with a newline.
+std::string SerializeLaunchProfile(const LaunchProfile& profile);
+
+}  // namespace orion::profile

@@ -1,0 +1,186 @@
+#include "profile/stall.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace orion::profile {
+
+namespace {
+
+// Largest-remainder apportionment of `amount` across `n` weights:
+// each share is floor(amount * w / total), and the leftover units go
+// to the largest fractional remainders (ties to the lower index), so
+// the shares always sum to `amount` exactly.  128-bit intermediates:
+// amount * weight overflows 64 bits on long launches.
+void Apportion(std::uint64_t amount, const std::uint64_t* weights,
+               std::uint64_t* shares, int n) {
+  unsigned __int128 total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += weights[i];
+  }
+  if (total == 0) {
+    for (int i = 0; i < n; ++i) {
+      shares[i] = 0;
+    }
+    return;
+  }
+  unsigned __int128 remainders[8] = {};
+  std::uint64_t assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    const unsigned __int128 scaled =
+        static_cast<unsigned __int128>(amount) * weights[i];
+    shares[i] = static_cast<std::uint64_t>(scaled / total);
+    remainders[i] = scaled % total;
+    assigned += shares[i];
+  }
+  for (std::uint64_t left = amount - assigned; left > 0; --left) {
+    int best = 0;
+    for (int i = 1; i < n; ++i) {
+      if (remainders[i] > remainders[best]) {
+        best = i;
+      }
+    }
+    ++shares[best];
+    remainders[best] = 0;
+  }
+}
+
+std::uint64_t SaturatingSub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+double StallBreakdown::Percent(std::uint64_t class_cycles) const {
+  if (total_sm_cycles == 0) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(class_cycles) /
+         static_cast<double>(total_sm_cycles);
+}
+
+const char* BottleneckVerdictName(BottleneckVerdict verdict) {
+  switch (verdict) {
+    case BottleneckVerdict::kComputeBound:
+      return "compute-bound";
+    case BottleneckVerdict::kLatencyBound:
+      return "latency-bound";
+    case BottleneckVerdict::kBandwidthBound:
+      return "bandwidth-bound";
+    case BottleneckVerdict::kUnderOccupied:
+      return "under-occupied";
+  }
+  return "?";
+}
+
+StallBreakdown ComputeStallBreakdown(const sim::SimResult& result,
+                                     const arch::GpuSpec& spec) {
+  const arch::TimingParams& t = spec.timing;
+  StallBreakdown out;
+  out.total_sm_cycles = result.cycles * spec.num_sms;
+  std::uint64_t remaining = out.total_sm_cycles;
+
+  // Idle: launch overhead and block installation are SM-cycles with no
+  // resident warp to issue from (the machine model charges both before
+  // any instruction retires).
+  out.idle = std::min<std::uint64_t>(
+      remaining,
+      static_cast<std::uint64_t>(t.kernel_launch_overhead) * spec.num_sms +
+          static_cast<std::uint64_t>(result.blocks_launched) *
+              t.block_install_cycles);
+  remaining -= out.idle;
+
+  // Issue: one issue *slot* per warp-instruction plus the extra slots
+  // an SFU op occupies (2^k total), converted to SM-cycles by the
+  // machine's issue width (Kepler dual-issues; Fermi is single-issue).
+  const std::uint64_t issue_slots =
+      result.warp_instructions +
+      result.sfu_instructions * ((1ull << t.sfu_throughput_shift) - 1);
+  const std::uint64_t width = std::max<std::uint32_t>(1, t.warp_issue_per_cycle);
+  out.issue = std::min<std::uint64_t>(remaining,
+                                      (issue_slots + width - 1) / width);
+  remaining -= out.issue;
+
+  // Everything left is stall time; prorate it over the model's stall
+  // weights.  Latency-class weights divide by resident warps — that is
+  // the paper's whole premise: more resident warps hide more of the
+  // same dependency latency.
+  const std::uint64_t warps =
+      std::max<std::uint32_t>(1, result.occupancy.active_warps_per_sm);
+  const std::uint64_t scoreboard_w =
+      (result.mem.l1_hits * t.l1_latency + result.mem.l2_hits * t.l2_latency +
+       result.mem.dram_transactions * t.dram_latency) /
+      warps;
+  const std::uint64_t smem_w =
+      result.mem.smem_accesses * t.smem_latency / warps;
+  const std::uint64_t barrier_w =
+      SaturatingSub(result.warp_instructions,
+                    result.alu_instructions + result.sfu_instructions +
+                        result.mem_instructions) *
+      t.barrier_latency;
+  // Bandwidth queueing does not shrink with more warps: the token
+  // buckets are chip-wide.
+  const std::uint64_t queue_w =
+      static_cast<std::uint64_t>(
+          static_cast<double>(result.mem.dram_transactions) /
+          t.dram_transactions_per_cycle) +
+      static_cast<std::uint64_t>(
+          static_cast<double>(result.mem.l2_hits + result.mem.l2_misses) /
+          t.l2_transactions_per_cycle);
+
+  const std::uint64_t weights[4] = {scoreboard_w, barrier_w, smem_w, queue_w};
+  std::uint64_t shares[4] = {};
+  Apportion(remaining, weights, shares, 4);
+  out.scoreboard = shares[0];
+  out.barrier = shares[1];
+  out.smem_conflict = shares[2];
+  out.queue = shares[3];
+
+  // All weights zero (e.g. a pure-ALU kernel whose cycles are fully
+  // covered by issue): the residual is drain time with nothing to
+  // issue — idle.
+  const std::uint64_t attributed = shares[0] + shares[1] + shares[2] + shares[3];
+  out.idle += remaining - attributed;
+  return out;
+}
+
+BottleneckVerdict ClassifyBottleneck(const StallBreakdown& b) {
+  const std::uint64_t latency = b.scoreboard + b.barrier + b.smem_conflict;
+  const std::uint64_t bandwidth = b.queue;
+  const std::uint64_t compute = b.issue;
+  const std::uint64_t under = b.idle + b.watchdog;
+
+  // Fixed evaluation order; strictly-greater replaces, so ties resolve
+  // to the earlier class deterministically.
+  BottleneckVerdict verdict = BottleneckVerdict::kLatencyBound;
+  std::uint64_t best = latency;
+  if (bandwidth > best) {
+    verdict = BottleneckVerdict::kBandwidthBound;
+    best = bandwidth;
+  }
+  if (compute > best) {
+    verdict = BottleneckVerdict::kComputeBound;
+    best = compute;
+  }
+  if (under > best) {
+    verdict = BottleneckVerdict::kUnderOccupied;
+  }
+  return verdict;
+}
+
+std::string FormatStallBreakdown(const StallBreakdown& b) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "stall breakdown: issue %.1f%%, scoreboard %.1f%%, barrier %.1f%%, "
+      "smem-conflict %.1f%%, queue %.1f%%, watchdog %.1f%%, idle %.1f%% "
+      "(%llu SM-cycles)\n"
+      "bottleneck     : %s\n",
+      b.Percent(b.issue), b.Percent(b.scoreboard), b.Percent(b.barrier),
+      b.Percent(b.smem_conflict), b.Percent(b.queue), b.Percent(b.watchdog),
+      b.Percent(b.idle), static_cast<unsigned long long>(b.total_sm_cycles),
+      BottleneckVerdictName(ClassifyBottleneck(b)));
+  return buf;
+}
+
+}  // namespace orion::profile

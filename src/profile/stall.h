@@ -1,0 +1,76 @@
+// Stall attribution: where did the SM-cycles of a launch go?
+//
+// The profiler attributes every simulated SM-cycle of a finished
+// launch to one cause class.  Attribution happens at the launch
+// boundary, from the retired SimResult plus the architecture model —
+// the same contract as RecordSimCounters — so all three engines
+// produce identical breakdowns by construction (the engines are
+// bit-identical in SimResult, enforced by determinism_test.cpp).
+// Nothing here hooks per-cycle engine state.
+//
+// The cycle budget is `cycles * num_sms` SM-cycles.  It is carved up
+// exactly (integer arithmetic, largest-remainder rounding), so the
+// classes always sum to the budget — the conservation invariant the
+// schema validator and tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/gpu_spec.h"
+#include "sim/gpu_sim.h"
+
+namespace orion::profile {
+
+// Cause classes, in serialization order.
+struct StallBreakdown {
+  std::uint64_t total_sm_cycles = 0;  // cycles * num_sms
+
+  std::uint64_t issue = 0;           // cycles spent issuing instructions
+  std::uint64_t scoreboard = 0;      // memory-latency dependency stalls
+  std::uint64_t barrier = 0;         // __syncthreads / control overhead
+  std::uint64_t smem_conflict = 0;   // shared-memory bank-conflict serialization
+  std::uint64_t queue = 0;           // L2/DRAM bandwidth queueing
+  std::uint64_t watchdog = 0;        // cycles lost to an aborted launch
+  std::uint64_t idle = 0;            // no resident warp (launch/install/drain)
+
+  // Always equals total_sm_cycles for breakdowns built by
+  // ComputeStallBreakdown (conservation by construction).
+  std::uint64_t Sum() const {
+    return issue + scoreboard + barrier + smem_conflict + queue + watchdog +
+           idle;
+  }
+  // Percent of the total budget, 0 when the budget is empty.
+  double Percent(std::uint64_t class_cycles) const;
+};
+
+// First-cut bottleneck taxonomy (ROADMAP item 2; the classes of Lim et
+// al.'s static/predictive analysis).
+enum class BottleneckVerdict : std::uint8_t {
+  kComputeBound = 0,   // issue dominates: the ALUs are the wall
+  kLatencyBound,       // dependency stalls dominate: more warps would help
+  kBandwidthBound,     // L2/DRAM queueing dominates: more warps would not
+  kUnderOccupied,      // idle SM-cycles dominate: not enough resident work
+};
+
+// Stable lowercase names: "compute-bound", "latency-bound",
+// "bandwidth-bound", "under-occupied".
+const char* BottleneckVerdictName(BottleneckVerdict verdict);
+
+// Attributes every SM-cycle of the launch to a cause class.  Exact:
+// the returned classes sum to cycles * num_sms.
+StallBreakdown ComputeStallBreakdown(const sim::SimResult& result,
+                                     const arch::GpuSpec& spec);
+
+// Largest class wins; grouped as issue -> compute, scoreboard +
+// barrier + smem -> latency, queue -> bandwidth, idle + watchdog ->
+// under-occupied.  Deterministic tie order (latency, bandwidth,
+// compute, under-occupied).
+BottleneckVerdict ClassifyBottleneck(const StallBreakdown& breakdown);
+
+// One human-readable line per cause class with percentages, appended
+// to FormatSimReport and rendered into profile.json from the same
+// struct so the two can never disagree.
+std::string FormatStallBreakdown(const StallBreakdown& breakdown);
+
+}  // namespace orion::profile

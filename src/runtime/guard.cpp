@@ -306,6 +306,9 @@ GuardedLaunch LaunchGuard::Launch(std::uint32_t version_index,
       out.status = Status::Ok();
       ++health_.launches_succeeded;
       ORION_COUNTER_ADD("guard.launches_succeeded", 1);
+      ORION_HISTOGRAM_RECORD("guard.probe_latency_ms", out.measured_ms);
+      ORION_HISTOGRAM_RECORD("guard.retries_per_launch",
+                             static_cast<double>(attempt - 1));
       return out;
     } catch (const DecodeError& e) {
       out.status =

@@ -71,6 +71,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "profile/launch_profile.h"
 #include "sim/exec.h"
 #include "sim/linked.h"
 #include "sim/machine_common.h"
@@ -1385,7 +1386,8 @@ bool BitIdentical(const SimResult& a, const SimResult& b) {
          a.warp_instructions == b.warp_instructions &&
          a.alu_instructions == b.alu_instructions &&
          a.sfu_instructions == b.sfu_instructions &&
-         a.mem_instructions == b.mem_instructions && BitIdentical(a.mem, b.mem);
+         a.mem_instructions == b.mem_instructions &&
+         a.blocks_launched == b.blocks_launched && BitIdentical(a.mem, b.mem);
 }
 
 GpuSimulator::GpuSimulator(const arch::GpuSpec& spec, arch::CacheConfig config,
@@ -1431,12 +1433,22 @@ SimResult GpuSimulator::Launch(const isa::Module& module, GlobalMemory* gmem,
                                first_block, num_blocks, cycle_cap_);
       break;
   }
+  // Set centrally (not per engine) so every engine reports the
+  // identical value — part of the BitIdentical contract.
+  result.blocks_launched = num_blocks;
   // Counters fold in at the launch boundary from the finished
   // SimResult, so all engines yield identical telemetry by construction
   // (asserted in determinism_test.cpp).  The sim.trace_cache.* family
   // is engine bookkeeping, recorded only for the traced engine and
   // excluded from that parity contract.
   RecordSimCounters(result);
+  // Same contract for the stall-attribution profiler: the profile is a
+  // pure function of the retired SimResult + the arch model, so every
+  // engine collects the identical LaunchProfile.
+  if (profile::CollectionEnabled()) {
+    profile::CollectLaunch(module.name, module.launch.block_dim, result,
+                           spec_, config_);
+  }
   if (engine_ == SimEngine::kTraceCached) {
     ORION_COUNTER_ADD("sim.trace_cache.macro_ops_retired",
                       result.macro_ops_retired);

@@ -76,6 +76,10 @@ struct SimResult {
   std::uint64_t alu_instructions = 0;
   std::uint64_t sfu_instructions = 0;
   std::uint64_t mem_instructions = 0;
+  // Blocks executed by this launch; set centrally by GpuSimulator so
+  // every engine reports the identical value (the stall-attribution
+  // profiler charges per-block install cycles from it).
+  std::uint32_t blocks_launched = 0;
   MemoryStats mem;
   arch::OccupancyResult occupancy;
   // Trace-cache diagnostics (kTraceCached only; always 0 elsewhere).

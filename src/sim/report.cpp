@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "profile/stall.h"
 #include "telemetry/telemetry.h"
 
 namespace orion::sim {
@@ -69,6 +70,10 @@ std::string FormatSimReport(const SimResult& result,
   oss << StrFormat("  shared       : %llu accesses\n",
                    static_cast<unsigned long long>(result.mem.smem_accesses));
   oss << StrFormat("energy         : %.0f units\n", result.energy);
+  // Rendered from the same StallBreakdown that profile.json serializes,
+  // so the human-readable report and the artifact can never disagree.
+  oss << profile::FormatStallBreakdown(
+      profile::ComputeStallBreakdown(result, spec));
   return oss.str();
 }
 

@@ -111,6 +111,15 @@ std::string ToJsonl() {
     out << "{\"ph\":\"C\",\"name\":\"" << JsonEscape(name)
         << "\",\"value\":" << FormatNum(value) << "}\n";
   }
+  for (const auto& [name, data] : SnapshotHistograms()) {
+    out << "{\"ph\":\"H\",\"name\":\"" << JsonEscape(name)
+        << "\",\"count\":" << data.count << ",\"sum\":" << FormatNum(data.sum)
+        << ",\"min\":" << FormatNum(data.count ? data.min : 0.0)
+        << ",\"max\":" << FormatNum(data.count ? data.max : 0.0)
+        << ",\"p50\":" << FormatNum(data.Percentile(0.50))
+        << ",\"p95\":" << FormatNum(data.Percentile(0.95))
+        << ",\"p99\":" << FormatNum(data.Percentile(0.99)) << "}\n";
+  }
   if (DroppedEvents() > 0) {
     out << "{\"ph\":\"M\",\"name\":\"dropped_events\",\"value\":"
         << DroppedEvents() << "}\n";
@@ -260,6 +269,23 @@ std::string ToSummary() {
     for (const auto& [name, value] : gauges) {
       std::snprintf(buf, sizeof(buf), "%-44s %16s\n", name.c_str(),
                     FormatNum(value).c_str());
+      out << buf;
+    }
+  }
+  const auto histograms = SnapshotHistograms();
+  if (!histograms.empty()) {
+    out << "-- histograms --\n";
+    std::snprintf(buf, sizeof(buf), "%-44s %8s %12s %12s %12s %12s\n",
+                  "histogram", "count", "p50", "p95", "p99", "max");
+    out << buf;
+    for (const auto& [name, data] : histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-44s %8llu %12s %12s %12s %12s\n", name.c_str(),
+                    static_cast<unsigned long long>(data.count),
+                    FormatNum(data.Percentile(0.50)).c_str(),
+                    FormatNum(data.Percentile(0.95)).c_str(),
+                    FormatNum(data.Percentile(0.99)).c_str(),
+                    FormatNum(data.count ? data.max : 0.0).c_str());
       out << buf;
     }
   }

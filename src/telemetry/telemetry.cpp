@@ -1,6 +1,9 @@
 #include "telemetry/telemetry.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 
@@ -27,6 +30,7 @@ struct State {
   // references handed out by GetCounter/GetGauge never dangle.
   std::map<std::string, Counter, std::less<>> counters;
   std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
   std::uint32_t next_thread = 0;
 };
 
@@ -83,6 +87,9 @@ void Reset() {
   }
   for (auto& [name, gauge] : state.gauges) {
     gauge.Zero();
+  }
+  for (auto& [name, histogram] : state.histograms) {
+    histogram.Zero();
   }
 }
 
@@ -188,6 +195,96 @@ void Gauge::SetMax(double value) {
   }
 }
 
+int HistogramBucketIndex(double value) {
+  // Underflow bin: zero, negatives, NaN and anything below 2^-32.
+  if (!(value >= 0x1p-32)) {
+    return 0;
+  }
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  if (exp > 32) {
+    return kHistogramBuckets - 1;  // overflow bin
+  }
+  // exp in [-31, 32] here (smaller exponents fell into the underflow
+  // test above), mapping onto buckets 1..64.
+  return exp + 32;
+}
+
+double HistogramBucketUpperEdge(int bucket) {
+  if (bucket <= 0) {
+    return 0x1p-32;
+  }
+  if (bucket >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, bucket - 32);
+}
+
+void HistogramData::Add(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  ++buckets[HistogramBucketIndex(value)];
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double HistogramData::Percentile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based, rounded up so q = 1 names the
+  // last sample and q = 0 the first.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return std::clamp(HistogramBucketUpperEdge(i), min, max);
+    }
+  }
+  return max;
+}
+
+void Histogram::RecordAlways(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.Add(value);
+}
+
+HistogramData Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+void Histogram::Zero() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = HistogramData{};
+}
+
 Counter& GetCounter(std::string_view name) {
   State& state = GetState();
   std::lock_guard<std::mutex> lock(state.mu);
@@ -209,6 +306,19 @@ Gauge& GetGauge(std::string_view name) {
     it = state.gauges.emplace(std::piecewise_construct,
                               std::forward_as_tuple(name),
                               std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.histograms.find(name);
+  if (it == state.histograms.end()) {
+    it = state.histograms.emplace(std::piecewise_construct,
+                                  std::forward_as_tuple(name),
+                                  std::forward_as_tuple())
              .first;
   }
   return it->second;
@@ -244,6 +354,17 @@ std::vector<std::pair<std::string, double>> SnapshotGauges() {
   out.reserve(state.gauges.size());
   for (const auto& [name, gauge] : state.gauges) {
     out.emplace_back(name, gauge.Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramData>> SnapshotHistograms() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::pair<std::string, HistogramData>> out;
+  out.reserve(state.histograms.size());
+  for (const auto& [name, histogram] : state.histograms) {
+    out.emplace_back(name, histogram.Snapshot());
   }
   return out;
 }

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -172,11 +173,71 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-// Returns the counter/gauge registered under `name`, creating it on
-// first use.  References are stable for the process lifetime; cache
-// them in a static at hot call sites.
+// ---------------------------------------------------------------------------
+// Histograms.
+//
+// Log2-bucketed distribution of non-negative samples, built for
+// latency-style values (probe milliseconds, retry counts).  Bucket 0
+// is the underflow bin (samples < 2^-32, including zero); buckets
+// 1..64 cover [2^(i-33), 2^(i-32)); bucket 65 is the overflow bin
+// (samples >= 2^32).  Snapshots are plain mergeable structs so
+// distributions from different processes/runs can be combined without
+// losing percentile fidelity beyond the bucket width.
+
+// Number of buckets in every histogram (fixed so Merge is positional).
+inline constexpr int kHistogramBuckets = 66;
+
+// Bucket index for a sample value (see the layout above).
+int HistogramBucketIndex(double value);
+
+// Inclusive upper edge of a bucket: 2^-32 for bucket 0, 2^(i-32) for
+// the log buckets, +inf for the overflow bucket.
+double HistogramBucketUpperEdge(int bucket);
+
+// A mergeable histogram snapshot.  All members are plain values: copy,
+// serialize, or merge freely.
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful iff count > 0
+  double max = 0.0;  // meaningful iff count > 0
+  std::uint64_t buckets[kHistogramBuckets] = {};
+
+  void Add(double value);
+  // Positional bucket merge; count/sum add, min/max combine.
+  void Merge(const HistogramData& other);
+  // Quantile estimate for q in [0, 1]: the upper edge of the first
+  // bucket whose cumulative count reaches q * count, clamped to
+  // [min, max] so single-sample histograms report the exact value.
+  // Monotone in q by construction.  Returns 0 when empty.
+  double Percentile(double q) const;
+};
+
+// Registered histogram: a mutex-guarded HistogramData.  Record() is
+// gated on the global flag; RecordAlways() skips the check for call
+// sites that already branched on Enabled().
+class Histogram {
+ public:
+  void Record(double value) {
+    if (Enabled()) {
+      RecordAlways(value);
+    }
+  }
+  void RecordAlways(double value);
+  HistogramData Snapshot() const;
+  void Zero();
+
+ private:
+  mutable std::mutex mu_;
+  HistogramData data_;
+};
+
+// Returns the counter/gauge/histogram registered under `name`,
+// creating it on first use.  References are stable for the process
+// lifetime; cache them in a static at hot call sites.
 Counter& GetCounter(std::string_view name);
 Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
 
 // Cached-lookup helpers for hot paths: one branch when disabled, one
 // static-local registry lookup ever.
@@ -207,6 +268,15 @@ Gauge& GetGauge(std::string_view name);
     }                                                               \
   } while (false)
 
+#define ORION_HISTOGRAM_RECORD(name, value)                         \
+  do {                                                              \
+    if (::orion::telemetry::Enabled()) {                            \
+      static ::orion::telemetry::Histogram& orion_histogram_slot_ = \
+          ::orion::telemetry::GetHistogram(name);                   \
+      orion_histogram_slot_.RecordAlways(value);                    \
+    }                                                               \
+  } while (false)
+
 // ---------------------------------------------------------------------------
 // Snapshots (for exporters and tests).
 
@@ -216,9 +286,10 @@ std::vector<TraceEvent> SnapshotEvents();
 // Number of events discarded because the buffer hit its soft cap.
 std::uint64_t DroppedEvents();
 
-// Name-sorted copies of all registered counters/gauges.
+// Name-sorted copies of all registered counters/gauges/histograms.
 std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters();
 std::vector<std::pair<std::string, double>> SnapshotGauges();
+std::vector<std::pair<std::string, HistogramData>> SnapshotHistograms();
 
 // Dense index of the calling thread (0 = first thread that recorded).
 std::uint32_t ThreadIndex();

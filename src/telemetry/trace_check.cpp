@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
+#include <utility>
 
 namespace orion::telemetry {
 
@@ -461,6 +463,421 @@ std::vector<std::string> CheckJsonl(std::string_view text) {
     if (ts != nullptr && ts->IsNumber() && ts->number < 0) {
       violations.push_back(label + ": negative ts_us");
     }
+  }
+  return violations;
+}
+
+namespace {
+
+// Conservation sums are integer-valued counters serialized as JSON
+// numbers; 0.5 absorbs double rounding without admitting an off-by-one.
+constexpr double kSumTolerance = 0.5;
+
+bool OneOf(const std::string& value, std::initializer_list<const char*> set) {
+  for (const char* candidate : set) {
+    if (value == candidate) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Fetches object member `key` as a non-negative number; reports and
+// returns nullptr otherwise.
+const JsonValue* GetCount(const JsonValue& object, const char* key,
+                          const std::string& where,
+                          std::vector<std::string>* violations) {
+  const JsonValue* value = object.Get(key);
+  if (value == nullptr || !value->IsNumber()) {
+    violations->push_back(where + ": missing numeric '" + key + "'");
+    return nullptr;
+  }
+  if (value->number < 0) {
+    violations->push_back(where + ": negative '" + key + "'");
+    return nullptr;
+  }
+  return value;
+}
+
+const JsonValue* GetString(const JsonValue& object, const char* key,
+                           const std::string& where,
+                           std::vector<std::string>* violations) {
+  const JsonValue* value = object.Get(key);
+  if (value == nullptr || !value->IsString()) {
+    violations->push_back(where + ": missing string '" + key + "'");
+    return nullptr;
+  }
+  return value;
+}
+
+double SumArray(const JsonValue& array) {
+  double sum = 0.0;
+  for (const JsonValue& v : array.array) {
+    sum += v.IsNumber() ? v.number : 0.0;
+  }
+  return sum;
+}
+
+bool NearlyEqual(double a, double b) {
+  return a > b - kSumTolerance && a < b + kSumTolerance;
+}
+
+}  // namespace
+
+void CheckProfileObject(const JsonValue& profile, const std::string& where,
+                        std::vector<std::string>* violations) {
+  if (!profile.IsObject()) {
+    violations->push_back(where + ": not a JSON object");
+    return;
+  }
+  const JsonValue* schema = GetString(profile, "schema", where, violations);
+  if (schema != nullptr && schema->string != "orion.profile.v1") {
+    violations->push_back(where + ": schema is '" + schema->string +
+                          "', want orion.profile.v1");
+  }
+  GetString(profile, "kernel", where, violations);
+  GetString(profile, "gpu", where, violations);
+  const JsonValue* cache =
+      GetString(profile, "cache_config", where, violations);
+  if (cache != nullptr && !OneOf(cache->string, {"sc", "lc"})) {
+    violations->push_back(where + ": cache_config '" + cache->string +
+                          "' not sc|lc");
+  }
+
+  const JsonValue* launch = profile.Get("launch");
+  double blocks = -1.0;
+  if (launch == nullptr || !launch->IsObject()) {
+    violations->push_back(where + ": missing launch object");
+  } else {
+    const JsonValue* b =
+        GetCount(*launch, "blocks", where + ".launch", violations);
+    GetCount(*launch, "block_dim", where + ".launch", violations);
+    if (b != nullptr) {
+      blocks = b->number;
+    }
+  }
+
+  const JsonValue* occupancy = profile.Get("occupancy");
+  if (occupancy == nullptr || !occupancy->IsObject()) {
+    violations->push_back(where + ": missing occupancy object");
+  } else {
+    const JsonValue* value =
+        GetCount(*occupancy, "value", where + ".occupancy", violations);
+    if (value != nullptr && value->number > 1.0) {
+      violations->push_back(where + ": occupancy.value > 1");
+    }
+    GetCount(*occupancy, "active_blocks_per_sm", where + ".occupancy",
+             violations);
+    GetCount(*occupancy, "active_warps_per_sm", where + ".occupancy",
+             violations);
+    GetCount(*occupancy, "active_threads_per_sm", where + ".occupancy",
+             violations);
+    const JsonValue* limiter =
+        GetString(*occupancy, "limiter", where + ".occupancy", violations);
+    if (limiter != nullptr &&
+        !OneOf(limiter->string,
+               {"registers", "shared_memory", "warp_slots", "block_slots"})) {
+      violations->push_back(where + ": unknown occupancy limiter '" +
+                            limiter->string + "'");
+    }
+  }
+
+  const JsonValue* counters = profile.Get("counters");
+  double cycles = -1.0;
+  double warp_instructions = -1.0;
+  if (counters == nullptr || !counters->IsObject()) {
+    violations->push_back(where + ": missing counters object");
+  } else {
+    const std::string label = where + ".counters";
+    const JsonValue* c = GetCount(*counters, "cycles", label, violations);
+    const JsonValue* w =
+        GetCount(*counters, "warp_instructions", label, violations);
+    for (const char* key :
+         {"ms", "energy", "alu_instructions", "sfu_instructions",
+          "mem_instructions", "ipc_per_sm", "l1_hits", "l1_misses", "l2_hits",
+          "l2_misses", "dram_transactions", "smem_accesses"}) {
+      GetCount(*counters, key, label, violations);
+    }
+    if (c != nullptr) {
+      cycles = c->number;
+    }
+    if (w != nullptr) {
+      warp_instructions = w->number;
+    }
+  }
+
+  static constexpr const char* kClasses[] = {
+      "issue", "scoreboard", "barrier", "smem_conflict",
+      "queue", "watchdog",   "idle"};
+
+  const JsonValue* breakdown = profile.Get("stall_breakdown");
+  if (breakdown == nullptr || !breakdown->IsObject()) {
+    violations->push_back(where + ": missing stall_breakdown object");
+  } else {
+    const std::string label = where + ".stall_breakdown";
+    const JsonValue* unit = GetString(*breakdown, "unit", label, violations);
+    if (unit != nullptr && unit->string != "sm_cycles") {
+      violations->push_back(label + ": unit is not sm_cycles");
+    }
+    const JsonValue* total = GetCount(*breakdown, "total", label, violations);
+    double sum = 0.0;
+    bool complete = total != nullptr;
+    for (const char* cls : kClasses) {
+      const JsonValue* v = GetCount(*breakdown, cls, label, violations);
+      complete &= v != nullptr;
+      sum += v != nullptr ? v->number : 0.0;
+    }
+    // The conservation invariant: classes sum *exactly* to the budget.
+    if (complete && !NearlyEqual(sum, total->number)) {
+      violations->push_back(label + ": classes do not sum to total");
+    }
+  }
+
+  const JsonValue* percent = profile.Get("stall_percent");
+  if (percent == nullptr || !percent->IsObject()) {
+    violations->push_back(where + ": missing stall_percent object");
+  } else {
+    for (const char* cls : kClasses) {
+      const JsonValue* v =
+          GetCount(*percent, cls, where + ".stall_percent", violations);
+      if (v != nullptr && v->number > 100.0) {
+        violations->push_back(where + ": stall_percent." + cls + " > 100");
+      }
+    }
+  }
+
+  const JsonValue* verdict = GetString(profile, "verdict", where, violations);
+  if (verdict != nullptr &&
+      !OneOf(verdict->string, {"compute-bound", "latency-bound",
+                               "bandwidth-bound", "under-occupied"})) {
+    violations->push_back(where + ": unknown verdict '" + verdict->string +
+                          "'");
+  }
+
+  const JsonValue* timeline = profile.Get("timeline");
+  if (timeline == nullptr || !timeline->IsObject()) {
+    violations->push_back(where + ": missing timeline object");
+    return;
+  }
+  const std::string label = where + ".timeline";
+  const JsonValue* buckets = GetCount(*timeline, "buckets", label, violations);
+  GetCount(*timeline, "exec_start_cycle", label, violations);
+  const JsonValue* bucket_cycles = timeline->Get("bucket_cycles");
+  const JsonValue* instructions = timeline->Get("instructions");
+  const JsonValue* ipc = timeline->Get("ipc");
+  const std::pair<const char*, const JsonValue*> arrays[] = {
+      {"bucket_cycles", bucket_cycles},
+      {"instructions", instructions},
+      {"ipc", ipc}};
+  for (const auto& [key, value] : arrays) {
+    if (value == nullptr || !value->IsArray()) {
+      violations->push_back(label + ": missing array '" + std::string(key) +
+                            "'");
+    } else if (buckets != nullptr &&
+               static_cast<double>(value->array.size()) != buckets->number) {
+      violations->push_back(label + ": '" + std::string(key) +
+                            "' length != buckets");
+    }
+  }
+  if (bucket_cycles != nullptr && bucket_cycles->IsArray() && cycles >= 0 &&
+      !NearlyEqual(SumArray(*bucket_cycles), cycles)) {
+    violations->push_back(label +
+                          ": bucket_cycles do not sum to counters.cycles");
+  }
+  if (instructions != nullptr && instructions->IsArray() &&
+      warp_instructions >= 0 &&
+      !NearlyEqual(SumArray(*instructions), warp_instructions)) {
+    violations->push_back(
+        label + ": instructions do not sum to counters.warp_instructions");
+  }
+  const JsonValue* per_sm = timeline->Get("per_sm");
+  if (per_sm == nullptr || !per_sm->IsArray()) {
+    violations->push_back(label + ": missing per_sm array");
+    return;
+  }
+  double sm_blocks = 0.0;
+  double sm_instructions = 0.0;
+  for (std::size_t s = 0; s < per_sm->array.size(); ++s) {
+    const JsonValue& sm = per_sm->array[s];
+    const std::string sm_label = label + ".per_sm[" + std::to_string(s) + "]";
+    if (!sm.IsObject()) {
+      violations->push_back(sm_label + ": not an object");
+      continue;
+    }
+    GetCount(sm, "sm", sm_label, violations);
+    const JsonValue* b = GetCount(sm, "blocks", sm_label, violations);
+    const JsonValue* instrs =
+        GetCount(sm, "instructions", sm_label, violations);
+    sm_blocks += b != nullptr ? b->number : 0.0;
+    sm_instructions += instrs != nullptr ? instrs->number : 0.0;
+    const JsonValue* occ = sm.Get("occupancy");
+    if (occ == nullptr || !occ->IsArray()) {
+      violations->push_back(sm_label + ": missing occupancy array");
+    } else if (buckets != nullptr &&
+               static_cast<double>(occ->array.size()) != buckets->number) {
+      violations->push_back(sm_label + ": occupancy length != buckets");
+    }
+  }
+  if (blocks >= 0 && !NearlyEqual(sm_blocks, blocks)) {
+    violations->push_back(label +
+                          ": per_sm blocks do not sum to launch.blocks");
+  }
+  if (warp_instructions >= 0 &&
+      !NearlyEqual(sm_instructions, warp_instructions)) {
+    violations->push_back(
+        label + ": per_sm instructions do not sum to warp_instructions");
+  }
+}
+
+std::vector<std::string> CheckProfileJson(std::string_view json) {
+  std::vector<std::string> violations;
+  std::string error;
+  const std::unique_ptr<JsonValue> doc = ParseJson(json, &error);
+  if (doc == nullptr) {
+    violations.push_back("invalid JSON: " + error);
+    return violations;
+  }
+  CheckProfileObject(*doc, "profile", &violations);
+  return violations;
+}
+
+std::vector<std::string> CheckAnalysisJson(std::string_view json) {
+  std::vector<std::string> violations;
+  std::string error;
+  const std::unique_ptr<JsonValue> doc = ParseJson(json, &error);
+  if (doc == nullptr) {
+    violations.push_back("invalid JSON: " + error);
+    return violations;
+  }
+  if (!doc->IsObject()) {
+    violations.push_back("analysis: not a JSON object");
+    return violations;
+  }
+  const std::string where = "analysis";
+  const JsonValue* schema = GetString(*doc, "schema", where, &violations);
+  if (schema != nullptr && schema->string != "orion.analysis.v1") {
+    violations.push_back(where + ": schema is '" + schema->string +
+                         "', want orion.analysis.v1");
+  }
+  GetString(*doc, "kernel", where, &violations);
+  GetString(*doc, "gpu", where, &violations);
+  GetString(*doc, "fingerprint", where, &violations);
+  const JsonValue* hash = GetString(*doc, "kernel_hash", where, &violations);
+  if (hash != nullptr) {
+    bool hex16 = hash->string.size() == 16;
+    for (char c : hash->string) {
+      hex16 &= (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    }
+    if (!hex16) {
+      violations.push_back(where +
+                           ": kernel_hash is not a 16-digit lowercase hex "
+                           "string");
+    }
+  }
+  const JsonValue* direction =
+      GetString(*doc, "direction", where, &violations);
+  if (direction != nullptr &&
+      !OneOf(direction->string, {"increasing", "decreasing"})) {
+    violations.push_back(where + ": direction '" + direction->string +
+                         "' not increasing|decreasing");
+  }
+
+  const JsonValue* lock = doc->Get("lock");
+  double final_version = -1.0;
+  if (lock == nullptr || !lock->IsObject()) {
+    violations.push_back(where + ": missing lock object");
+  } else {
+    const JsonValue* v =
+        GetCount(*lock, "final_version", where + ".lock", &violations);
+    for (const char* key :
+         {"iterations_to_settle", "steady_ms", "steady_energy",
+          "steady_occupancy", "watchdog_trips", "faulted_iterations"}) {
+      GetCount(*lock, key, where + ".lock", &violations);
+    }
+    if (v != nullptr) {
+      final_version = v->number;
+    }
+  }
+
+  const JsonValue* candidates = doc->Get("candidates");
+  if (candidates == nullptr || !candidates->IsArray()) {
+    violations.push_back(where + ": missing candidates array");
+    return violations;
+  }
+  if (candidates->array.empty()) {
+    violations.push_back(where + ": candidates array is empty");
+  }
+  if (final_version >= 0 &&
+      final_version >= static_cast<double>(candidates->array.size())) {
+    violations.push_back(where +
+                         ": lock.final_version out of candidate range");
+  }
+  for (std::size_t i = 0; i < candidates->array.size(); ++i) {
+    const JsonValue& c = candidates->array[i];
+    const std::string label = where + ".candidates[" + std::to_string(i) + "]";
+    if (!c.IsObject()) {
+      violations.push_back(label + ": not an object");
+      continue;
+    }
+    GetCount(c, "index", label, &violations);
+    GetString(c, "tag", label, &violations);
+    GetCount(c, "occupancy", label, &violations);
+    GetString(c, "validation", label, &violations);
+    // measured_median_ms / simulated_ms / quarantine_reason /
+    // profile may each be null.
+    for (const char* key : {"measured_median_ms", "simulated_ms"}) {
+      const JsonValue* v = c.Get(key);
+      if (v == nullptr ||
+          (v->kind != JsonValue::Kind::kNull && !v->IsNumber())) {
+        violations.push_back(label + ": '" + std::string(key) +
+                             "' must be a number or null");
+      }
+    }
+    const JsonValue* profile = c.Get("profile");
+    if (profile == nullptr) {
+      violations.push_back(label + ": missing 'profile' (object or null)");
+    } else if (profile->kind != JsonValue::Kind::kNull) {
+      CheckProfileObject(*profile, label + ".profile", &violations);
+    }
+  }
+
+  const JsonValue* curve = doc->Get("response_curve");
+  if (curve == nullptr || !curve->IsArray()) {
+    violations.push_back(where + ": missing response_curve array");
+  } else {
+    double last = -1.0;
+    for (std::size_t i = 0; i < curve->array.size(); ++i) {
+      const JsonValue* occ = curve->array[i].IsObject()
+                                 ? curve->array[i].Get("occupancy")
+                                 : nullptr;
+      if (occ == nullptr || !occ->IsNumber()) {
+        violations.push_back(where + ": response_curve[" + std::to_string(i) +
+                             "] has no occupancy");
+        continue;
+      }
+      if (occ->number < last) {
+        violations.push_back(where +
+                             ": response_curve occupancy not non-decreasing");
+        break;
+      }
+      last = occ->number;
+    }
+  }
+
+  for (const char* key : {"iterations", "quarantines"}) {
+    const JsonValue* array = doc->Get(key);
+    if (array == nullptr || !array->IsArray()) {
+      violations.push_back(where + ": missing '" + std::string(key) +
+                           "' array");
+    }
+  }
+  const JsonValue* verdict = GetString(*doc, "verdict", where, &violations);
+  if (verdict != nullptr &&
+      !OneOf(verdict->string, {"compute-bound", "latency-bound",
+                               "bandwidth-bound", "under-occupied",
+                               "unknown"})) {
+    violations.push_back(where + ": unknown verdict '" + verdict->string +
+                         "'");
   }
   return violations;
 }

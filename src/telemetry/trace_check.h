@@ -51,4 +51,25 @@ std::vector<std::string> CheckChromeTrace(std::string_view json);
 // least ph and name, with non-negative timestamps.
 std::vector<std::string> CheckJsonl(std::string_view text);
 
+// Validates one `orion.profile.v1` object (a parsed profile.json root,
+// or the embedded per-candidate profile inside analysis.json).
+// Structural checks plus the artifact's invariants: stall classes are
+// non-negative and sum exactly to the SM-cycle budget, percentages are
+// within [0, 100], timeline arrays have the declared bucket count,
+// bucket cycles sum to the launch's cycles, bucket and per-SM
+// instructions sum to warp_instructions, and per-SM blocks sum to the
+// launch's blocks.  `where` prefixes every violation message.
+void CheckProfileObject(const JsonValue& profile, const std::string& where,
+                        std::vector<std::string>* violations);
+
+// Validates a profile.json document (tools/trace_check --profile).
+std::vector<std::string> CheckProfileJson(std::string_view json);
+
+// Validates an analysis.json document (tools/trace_check --analysis):
+// schema/identity fields, the candidate table (embedded profiles are
+// checked with CheckProfileObject; null is allowed for quarantined or
+// unlaunchable candidates), the lock's final_version bound, and a
+// response curve sorted by occupancy.
+std::vector<std::string> CheckAnalysisJson(std::string_view json);
+
 }  // namespace orion::telemetry

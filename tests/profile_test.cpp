@@ -1,0 +1,515 @@
+// The stall-attribution profiler (src/profile) and the telemetry
+// Histogram type that backs its latency distributions.
+//
+// Covers:
+//
+//   * Histogram — log-bucket edges, enable gating, merge algebra,
+//     percentile monotonicity (p50 <= p95 <= p99 <= max, exact on a
+//     single sample), registry snapshots and the exporter surfaces;
+//   * cycle conservation — every stall class is accounted and the
+//     classes sum exactly to cycles * num_sms, the timeline buckets
+//     sum to the launch's cycles, per-SM blocks/instructions sum to
+//     the launch totals (the invariants trace_check --profile pins);
+//   * engine parity — profile.json is byte-identical across the
+//     reference, event-driven and trace-cached engines on every
+//     workload at up to three occupancy levels, because profiles are
+//     derived only from the retired SimResult (which the engines
+//     produce bit-identically) and the serialization is canonical;
+//   * the opt-in collector at the simulator's launch boundary;
+//   * the report renderer — FormatSimReport and profile.json render
+//     the stall section from the same struct;
+//   * analysis resume stability — the analysis.json of a session that
+//     crashed at a durable-write kill point and resumed is
+//     byte-identical to the uninterrupted run's (the acceptance bar
+//     shared with the persist kill-point matrix).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "arch/gpu_spec.h"
+#include "baseline/baseline.h"
+#include "common/faultinject.h"
+#include "common/rng.h"
+#include "core/orion.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+#include "persist/session.h"
+#include "profile/analysis.h"
+#include "profile/launch_profile.h"
+#include "profile/profile_json.h"
+#include "profile/stall.h"
+#include "runtime/launcher.h"
+#include "sim/gpu_sim.h"
+#include "sim/report.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_check.h"
+#include "workloads/workloads.h"
+
+namespace orion {
+namespace {
+
+sim::GlobalMemory MakeSeededMemory(std::size_t words, std::uint64_t seed) {
+  sim::GlobalMemory gmem(words);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < words; ++i) {
+    gmem.Write(i, static_cast<std::uint32_t>(rng.NextBounded(1000)) + 1);
+  }
+  return gmem;
+}
+
+// --- Histogram -------------------------------------------------------
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::Reset();
+    telemetry::SetEnabled(true);
+  }
+  void TearDown() override {
+    telemetry::SetEnabled(false);
+    telemetry::Reset();
+  }
+};
+
+TEST_F(HistogramTest, BucketEdges) {
+  // Underflow bin: zero, negatives, NaN, anything below 2^-32.
+  EXPECT_EQ(telemetry::HistogramBucketIndex(0.0), 0);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(-3.0), 0);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(std::nan("")), 0);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(0x1p-33), 0);
+
+  // Log buckets: value = m * 2^exp with m in [0.5, 1) lands in
+  // bucket exp + 32, so [0.5, 1) -> 32, [1, 2) -> 33, [2, 4) -> 34.
+  EXPECT_EQ(telemetry::HistogramBucketIndex(0x1p-32), 1);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(0.75), 32);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(1.0), 33);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(1.5), 33);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(2.0), 34);
+
+  // Overflow bin above 2^32.
+  EXPECT_EQ(telemetry::HistogramBucketIndex(0x1p32),
+            telemetry::kHistogramBuckets - 1);
+  EXPECT_EQ(telemetry::HistogramBucketIndex(1e300),
+            telemetry::kHistogramBuckets - 1);
+
+  // Edges bracket their bucket: upper edge of bucket 33 is 2.0, and
+  // the edges are the partition the percentile estimator reports.
+  EXPECT_EQ(telemetry::HistogramBucketUpperEdge(33), 2.0);
+  EXPECT_EQ(telemetry::HistogramBucketUpperEdge(0), 0x1p-32);
+  EXPECT_TRUE(std::isinf(telemetry::HistogramBucketUpperEdge(
+      telemetry::kHistogramBuckets - 1)));
+}
+
+TEST_F(HistogramTest, SingleSampleIsExactAndPercentilesMonotone) {
+  telemetry::HistogramData one;
+  one.Add(3.14);
+  // Clamping to [min, max] makes the single-sample case exact even
+  // though the bucket edge is coarser.
+  EXPECT_EQ(one.Percentile(0.0), 3.14);
+  EXPECT_EQ(one.Percentile(0.5), 3.14);
+  EXPECT_EQ(one.Percentile(1.0), 3.14);
+
+  telemetry::HistogramData many;
+  Rng rng(0x517);
+  for (int i = 0; i < 1000; ++i) {
+    many.Add(static_cast<double>(rng.NextBounded(100000)) / 100.0);
+  }
+  const double p50 = many.Percentile(0.50);
+  const double p95 = many.Percentile(0.95);
+  const double p99 = many.Percentile(0.99);
+  EXPECT_LE(many.min, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, many.max);
+  EXPECT_EQ(many.Percentile(1.0), many.max);
+
+  telemetry::HistogramData empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+}
+
+TEST_F(HistogramTest, MergeIsComponentwise) {
+  telemetry::HistogramData a;
+  telemetry::HistogramData b;
+  telemetry::HistogramData all;
+  const double a_samples[] = {0.25, 1.5, 7.0};
+  const double b_samples[] = {0.001, 42.0};
+  for (double v : a_samples) {
+    a.Add(v);
+    all.Add(v);
+  }
+  for (double v : b_samples) {
+    b.Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_EQ(a.sum, all.sum);
+  EXPECT_EQ(a.min, all.min);
+  EXPECT_EQ(a.max, all.max);
+  for (int i = 0; i < telemetry::kHistogramBuckets; ++i) {
+    EXPECT_EQ(a.buckets[i], all.buckets[i]) << "bucket " << i;
+  }
+
+  // Merging into an empty histogram adopts the donor's min/max.
+  telemetry::HistogramData fresh;
+  fresh.Merge(b);
+  EXPECT_EQ(fresh.count, 2u);
+  EXPECT_EQ(fresh.min, 0.001);
+  EXPECT_EQ(fresh.max, 42.0);
+}
+
+TEST_F(HistogramTest, RegistryGatingAndReset) {
+  telemetry::Histogram& h = telemetry::GetHistogram("test.latency");
+  h.Record(1.0);
+  ORION_HISTOGRAM_RECORD("test.latency", 2.0);
+  EXPECT_EQ(h.Snapshot().count, 2u);
+
+  // Disabled: Record and the macro are no-ops; RecordAlways is the
+  // escape hatch for call sites that already branched.
+  telemetry::SetEnabled(false);
+  h.Record(3.0);
+  ORION_HISTOGRAM_RECORD("test.latency", 4.0);
+  EXPECT_EQ(h.Snapshot().count, 2u);
+  h.RecordAlways(5.0);
+  EXPECT_EQ(h.Snapshot().count, 3u);
+  telemetry::SetEnabled(true);
+
+  h.Zero();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+
+  // Snapshots are name-sorted and include the registered histogram.
+  h.Record(0.5);
+  const auto snap = telemetry::SnapshotHistograms();
+  const auto it = std::find_if(snap.begin(), snap.end(), [](const auto& e) {
+    return e.first == "test.latency";
+  });
+  ASSERT_NE(it, snap.end());
+  EXPECT_EQ(it->second.count, 1u);
+}
+
+TEST_F(HistogramTest, ExportersRenderHistograms) {
+  telemetry::GetHistogram("test.export").Record(1.25);
+  const std::string jsonl = telemetry::ToJsonl();
+  EXPECT_NE(jsonl.find("\"ph\":\"H\""), std::string::npos);
+  EXPECT_NE(jsonl.find("test.export"), std::string::npos);
+  const std::string summary = telemetry::ToSummary();
+  EXPECT_NE(summary.find("-- histograms --"), std::string::npos);
+  EXPECT_NE(summary.find("test.export"), std::string::npos);
+}
+
+// --- conservation + engine parity ------------------------------------
+
+// The conservation invariants of one profile (the same set
+// trace_check --profile re-checks from the serialized artifact).
+void ExpectConserving(const profile::LaunchProfile& p,
+                      const sim::SimResult& result,
+                      const arch::GpuSpec& spec, const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(p.breakdown.total_sm_cycles, result.cycles * spec.num_sms);
+  EXPECT_EQ(p.breakdown.Sum(), p.breakdown.total_sm_cycles);
+
+  std::uint64_t bucket_cycles = 0;
+  std::uint64_t bucket_instructions = 0;
+  for (std::uint64_t c : p.timeline.bucket_cycles) {
+    bucket_cycles += c;
+  }
+  for (std::uint64_t i : p.timeline.instructions) {
+    bucket_instructions += i;
+  }
+  EXPECT_EQ(bucket_cycles, result.cycles);
+  EXPECT_EQ(bucket_instructions, result.warp_instructions);
+
+  std::uint64_t sm_blocks = 0;
+  std::uint64_t sm_instructions = 0;
+  for (const profile::SmTimeline& sm : p.timeline.per_sm) {
+    sm_blocks += sm.blocks;
+    sm_instructions += sm.instructions;
+    EXPECT_EQ(sm.occupancy.size(), p.timeline.bucket_cycles.size());
+  }
+  EXPECT_EQ(sm_blocks, result.blocks_launched);
+  EXPECT_EQ(sm_instructions, result.warp_instructions);
+}
+
+class ProfileEngineParity : public ::testing::TestWithParam<std::string> {};
+
+// The tentpole contract: profile.json is byte-identical across all
+// three engines at every sampled occupancy level, and every profile
+// conserves its cycle budget and passes the schema validator.
+TEST_P(ProfileEngineParity, ByteIdenticalProfileAcrossEngines) {
+  const workloads::Workload w = workloads::MakeWorkload(GetParam());
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const arch::CacheConfig config = arch::CacheConfig::kSmallCache;
+  core::TuneOptions options;
+  const runtime::MultiVersionBinary all =
+      core::EnumerateAllVersions(w.module, spec, options);
+  ASSERT_GE(all.versions.size(), 1u);
+
+  // First, middle and last level: the endpoints plus one interior
+  // point cover the occupancy range without tripling the suite cost.
+  std::vector<std::size_t> levels = {0};
+  if (all.versions.size() > 2) {
+    levels.push_back(all.versions.size() / 2);
+  }
+  if (all.versions.size() > 1) {
+    levels.push_back(all.versions.size() - 1);
+  }
+
+  for (std::size_t li : levels) {
+    const runtime::KernelVersion& version = all.versions[li];
+    const isa::Module& module = all.ModuleOf(version);
+    const sim::SimEngine engines[] = {sim::SimEngine::kReference,
+                                      sim::SimEngine::kEventDriven,
+                                      sim::SimEngine::kTraceCached};
+    std::vector<std::string> serialized;
+    for (sim::SimEngine engine : engines) {
+      sim::GpuSimulator simulator(spec, config, engine);
+      sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+      const sim::SimResult result = simulator.LaunchAll(
+          module, &gmem, w.ParamsFor(0), version.smem_padding_bytes);
+      const profile::LaunchProfile p = profile::BuildLaunchProfile(
+          module.name, module.launch.block_dim, result, spec, config);
+      ExpectConserving(p, result, spec,
+                       GetParam() + " level " + version.tag + " engine " +
+                           std::to_string(static_cast<int>(engine)));
+      serialized.push_back(profile::SerializeLaunchProfile(p));
+    }
+    EXPECT_EQ(serialized[0], serialized[1])
+        << GetParam() << " level " << version.tag
+        << ": reference vs event profile.json diverged";
+    EXPECT_EQ(serialized[0], serialized[2])
+        << GetParam() << " level " << version.tag
+        << ": reference vs traced profile.json diverged";
+
+    const std::vector<std::string> violations =
+        telemetry::CheckProfileJson(serialized[0]);
+    EXPECT_TRUE(violations.empty())
+        << GetParam() << " level " << version.tag << ": "
+        << (violations.empty() ? "" : violations[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ProfileEngineParity,
+                         ::testing::ValuesIn(workloads::AllNames()));
+
+// A tampered breakdown must fail the validator: conservation is
+// checked from the serialized artifact, not trusted from the builder.
+TEST(ProfileValidator, DetectsBrokenConservation) {
+  const workloads::Workload w = workloads::MakeWorkload("backprop");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+  const sim::SimResult result =
+      simulator.LaunchAll(compiled, &gmem, w.ParamsFor(0));
+  profile::LaunchProfile p = profile::BuildLaunchProfile(
+      compiled.name, compiled.launch.block_dim, result, spec,
+      arch::CacheConfig::kSmallCache);
+  ASSERT_TRUE(telemetry::CheckProfileJson(profile::SerializeLaunchProfile(p))
+                  .empty());
+
+  p.breakdown.issue += 17;  // break the cycle-conservation invariant
+  EXPECT_FALSE(telemetry::CheckProfileJson(profile::SerializeLaunchProfile(p))
+                   .empty());
+}
+
+// --- the collector ---------------------------------------------------
+
+TEST(ProfileCollector, DrainsAtLaunchBoundaryWhenEnabled) {
+  const workloads::Workload w = workloads::MakeWorkload("gaussian");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+
+  // Dark by default: nothing collected.
+  ASSERT_FALSE(profile::CollectionEnabled());
+  sim::GlobalMemory cold = MakeSeededMemory(w.gmem_words, w.seed);
+  (void)simulator.LaunchAll(compiled, &cold, w.ParamsFor(0));
+  EXPECT_TRUE(profile::TakeCollected().empty());
+
+  // Enabled: each retired launch appends the profile the standalone
+  // builder would produce from the same SimResult.
+  profile::EnableCollection(true);
+  sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+  const sim::SimResult result =
+      simulator.LaunchAll(compiled, &gmem, w.ParamsFor(0));
+  profile::EnableCollection(false);
+
+  std::vector<profile::LaunchProfile> collected = profile::TakeCollected();
+  ASSERT_EQ(collected.size(), 1u);
+  const profile::LaunchProfile direct = profile::BuildLaunchProfile(
+      compiled.name, compiled.launch.block_dim, result, spec,
+      arch::CacheConfig::kSmallCache);
+  EXPECT_EQ(profile::SerializeLaunchProfile(collected[0]),
+            profile::SerializeLaunchProfile(direct));
+
+  // TakeCollected drains.
+  EXPECT_TRUE(profile::TakeCollected().empty());
+}
+
+// --- the report renderer ---------------------------------------------
+
+TEST(ProfileReport, SimReportCarriesStallSection) {
+  const workloads::Workload w = workloads::MakeWorkload("backprop");
+  const arch::GpuSpec& spec = arch::Gtx680();
+  const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+  const sim::SimResult result =
+      simulator.LaunchAll(compiled, &gmem, w.ParamsFor(0));
+
+  // Report and profile.json render from the same struct: the report's
+  // stall section is exactly FormatStallBreakdown of the profile's
+  // breakdown.
+  const std::string report = sim::FormatSimReport(result, spec);
+  EXPECT_NE(report.find("stall breakdown"), std::string::npos);
+  EXPECT_NE(report.find("bottleneck"), std::string::npos);
+  const profile::StallBreakdown breakdown =
+      profile::ComputeStallBreakdown(result, spec);
+  EXPECT_NE(report.find(profile::FormatStallBreakdown(breakdown)),
+            std::string::npos);
+}
+
+// --- analysis resume stability ---------------------------------------
+
+struct TempDirGuard {
+  explicit TempDirGuard(const std::string& tag) {
+    static int counter = 0;
+    path = ::testing::TempDir() + "orion_profile_" +
+           std::to_string(::getpid()) + "_" + tag + "_" +
+           std::to_string(counter++);
+    std::filesystem::remove_all(path);
+  }
+  ~TempDirGuard() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+runtime::TunedRunResult RunTuned(const workloads::Workload& w,
+                                 const runtime::MultiVersionBinary& binary,
+                                 runtime::RunJournal* journal,
+                                 std::uint32_t iterations) {
+  sim::GpuSimulator simulator(arch::Gtx680(), arch::CacheConfig::kSmallCache);
+  sim::GlobalMemory gmem = workloads::SeedWorkloadMemory(w);
+  runtime::TunedLauncher launcher(&binary, &simulator);
+  runtime::RunPlan plan;
+  plan.iterations = iterations;
+  plan.journal = journal;
+  return launcher.Run(&gmem, w.params, plan,
+                      w.per_iteration_params.empty()
+                          ? nullptr
+                          : &w.per_iteration_params);
+}
+
+std::string AnalysisFor(persist::Session& session,
+                        const runtime::MultiVersionBinary& binary,
+                        const workloads::Workload& w) {
+  profile::AnalysisOptions options;
+  options.gmem_words = w.gmem_words;
+  options.params = w.params;
+  options.seed = w.seed;
+  const profile::SessionAnalysis analysis = profile::BuildSessionAnalysis(
+      session, binary, arch::Gtx680(), arch::CacheConfig::kSmallCache,
+      options);
+  return profile::SerializeSessionAnalysis(analysis);
+}
+
+// The acceptance bar: analysis.json from a session that crashed at a
+// durable-write kill point and resumed equals the uninterrupted run's,
+// byte for byte.  The analysis only reads journal-recovered state plus
+// deterministic re-simulation, so this follows from the persist
+// kill-point guarantee — this test pins the composition.
+TEST(ProfileAnalysis, CrashResumedAnalysisIsByteIdentical) {
+  const std::string workload_name = "backprop";
+  const workloads::Workload w = workloads::MakeWorkload(workload_name);
+  core::TuneOptions tune_options;
+  tune_options.can_tune = w.can_tune;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, arch::Gtx680(), tune_options);
+  const std::uint32_t iterations = std::min<std::uint32_t>(w.iterations, 8);
+  persist::SessionMeta meta;
+  meta.kernel_hash =
+      persist::Fnv64(workload_name.data(), workload_name.size());
+  meta.gpu = "gtx680";
+  meta.fingerprint = "iters=12,probes=1";
+
+  // Ground truth: the uninterrupted session's analysis.
+  std::string reference;
+  {
+    TempDirGuard dir("analysis_ref");
+    auto session = persist::Session::Open(dir.path, meta);
+    ASSERT_TRUE(session.has_value()) << session.status().ToString();
+    ASSERT_TRUE((*session)->SaveBinary(binary).ok());
+    (void)RunTuned(w, binary, session->get(), iterations);
+    ASSERT_TRUE((*session)->HasLock());
+    reference = AnalysisFor(**session, binary, w);
+    EXPECT_TRUE(telemetry::CheckAnalysisJson(reference).empty());
+    // Rebuilding from the same session is deterministic.
+    EXPECT_EQ(AnalysisFor(**session, binary, w), reference);
+  }
+
+  for (const std::uint64_t kill_at : {3ull, 7ull, 11ull, 21ull}) {
+    SCOPED_TRACE("kill_at=" + std::to_string(kill_at));
+    TempDirGuard dir("analysis_kill" + std::to_string(kill_at));
+
+    bool crashed = false;
+    {
+      FaultPlan plan;
+      plan.seed = 0x9000 + kill_at;
+      plan.persist_kill_at = kill_at;
+      ScopedFaultInjector scoped(plan);
+      try {
+        auto session = persist::Session::Open(dir.path, meta);
+        ASSERT_TRUE(session.has_value()) << session.status().ToString();
+        (void)(*session)->SaveBinary(binary);
+        (void)RunTuned(w, binary, session->get(), iterations);
+      } catch (const persist::SimulatedCrash&) {
+        crashed = true;
+      }
+    }
+
+    // Resume without the injector and finish the run if the crash
+    // landed before the lock.
+    auto resumed = persist::Session::Open(dir.path, meta);
+    ASSERT_TRUE(resumed.has_value()) << resumed.status().ToString();
+    if (!(*resumed)->HasLock()) {
+      ASSERT_TRUE(crashed);
+      if (!(*resumed)->LoadBinary().has_value()) {
+        ASSERT_TRUE((*resumed)->SaveBinary(binary).ok());
+      }
+      (void)RunTuned(w, binary, resumed->get(), iterations);
+    }
+    ASSERT_TRUE((*resumed)->HasLock());
+    EXPECT_EQ(AnalysisFor(**resumed, binary, w), reference);
+  }
+}
+
+// An unlocked session has no stable story to tell.
+TEST(ProfileAnalysis, RejectsUnlockedSession) {
+  const workloads::Workload w = workloads::MakeWorkload("backprop");
+  core::TuneOptions tune_options;
+  tune_options.can_tune = w.can_tune;
+  const runtime::MultiVersionBinary binary =
+      core::CompileMultiVersion(w.module, arch::Gtx680(), tune_options);
+  persist::SessionMeta meta;
+  meta.kernel_hash = 0xabcdef;
+  meta.gpu = "gtx680";
+  meta.fingerprint = "iters=12,probes=1";
+
+  TempDirGuard dir("analysis_unlocked");
+  auto session = persist::Session::Open(dir.path, meta);
+  ASSERT_TRUE(session.has_value()) << session.status().ToString();
+  EXPECT_THROW(AnalysisFor(**session, binary, w), OrionError);
+}
+
+}  // namespace
+}  // namespace orion

@@ -22,6 +22,16 @@
 //                                                verify the journal and
 //                                                every store record (exit 5
 //                                                on unrecoverable damage)
+//   orion-cc profile <workload|in.vcub>          one profiled launch:
+//                                                stall attribution +
+//                                                timelines; writes the
+//                                                canonical profile.json
+//                                                (-o, default profile.json)
+//   orion-cc report --session DIR                tuning-session analysis
+//                                                from the persist journal
+//                                                (response curve, stall
+//                                                shift, bottleneck verdict);
+//                                                writes analysis.json
 //
 // Common flags: --gpu gtx680|c2075 (default gtx680),
 //               --cache sc|lc      (default sc),
@@ -72,6 +82,7 @@
 //   --compile-threads N worker threads for the per-level compile fan-out
 //                       (default 1 = serial, 0 = hardware concurrency;
 //                       every value produces a bit-identical binary)
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -84,12 +95,16 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "baseline/baseline.h"
 #include "core/orion.h"
 #include "persist/codec.h"
 #include "persist/io.h"
 #include "persist/journal.h"
 #include "persist/session.h"
 #include "persist/store.h"
+#include "profile/analysis.h"
+#include "profile/launch_profile.h"
+#include "profile/profile_json.h"
 #include "core/static_model.h"
 #include "ir/callgraph.h"
 #include "isa/assembler.h"
@@ -118,7 +133,7 @@ constexpr int kExitCorruption = 5;
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: orion-cc <asm|dis|info|tune|sweep|run|validate|emit"
-               "|fsck> <input> "
+               "|fsck|profile|report> <input> "
                "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] "
                "[--engine reference|event|traced] [--iters N]\n"
                "       observability: [--trace FILE] "
@@ -139,6 +154,17 @@ void PrintUsage(std::FILE* out) {
                "  fsck DIR       verify a session directory: journal "
                "framing/checksums and every\n"
                "                 artifact-store record.\n"
+               "  profile W      run one launch of workload/binary W with "
+               "the stall-attribution\n"
+               "                 profiler on and write the canonical "
+               "profile.json artifact\n"
+               "                 (validated by trace_check --profile).\n"
+               "  report         aggregate a locked --session DIR into "
+               "analysis.json: occupancy\n"
+               "                 response curve, stall-mix shift, probe "
+               "decisions, quarantines,\n"
+               "                 and a bottleneck verdict (trace_check "
+               "--analysis).\n"
                "\n"
                "exit codes (run/validate/fsck):\n"
                "  0    clean lock — tuning completed and locked a version\n"
@@ -179,6 +205,14 @@ void WriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes) 
             static_cast<std::streamsize>(bytes.size()));
 }
 
+void WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw OrionError("cannot write '" + path + "'");
+  }
+  out << text;
+}
+
 struct Args {
   std::string command;
   std::string input;
@@ -207,8 +241,14 @@ Args Parse(int argc, char** argv) {
   }
   Args args;
   args.command = argv[1];
-  args.input = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // Commands that operate on a directory flag instead of an input file
+  // (report --session DIR) may start the flag list immediately.
+  int first_flag = 2;
+  if (argv[2][0] != '-') {
+    args.input = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -474,6 +514,17 @@ int CmdRun(const Args& args) {
                   "[from session lock]\n",
                   warm->Candidate(lock.final_version).tag.c_str(),
                   lock.iterations_to_settle, lock.steady_ms);
+      // The health line prints on every exit path — including this
+      // early return and its validation-reject / watchdog-abort exit
+      // codes — so scripts can always grep one "health:" line.
+      const std::string validation_summary = warm->ValidationSummary();
+      std::printf("health: watchdog_trips=%llu, faulted_iterations=%u, "
+                  "fallback=%s [from session lock]%s%s\n",
+                  static_cast<unsigned long long>(lock.watchdog_trips),
+                  lock.faulted_iterations,
+                  lock.fallback_taken ? "yes" : "no",
+                  validation_summary.empty() ? "" : ", ",
+                  validation_summary.c_str());
       return RunExitCode(*warm, lock.fallback_taken, lock.watchdog_trips);
     }
     std::printf("session: lock present but binary artifact unusable (%s) — "
@@ -636,6 +687,133 @@ int CmdEmit(const Args& args) {
   return 0;
 }
 
+// One profiled launch: the workload (or compiled binary) runs once on
+// the simulator with profile collection on, the sim report — stall
+// breakdown included — goes to stdout, and the canonical profile.json
+// artifact is written.  The profile derives only from the retired
+// SimResult, so every --engine produces the identical file.
+int CmdProfile(const Args& args) {
+  if (args.input.empty()) {
+    Usage();
+  }
+  std::optional<workloads::Workload> workload;
+  try {
+    workload = workloads::MakeWorkload(args.input);
+  } catch (const OrionError&) {
+    // Not a built-in workload name: treat the input as a virtual binary.
+  }
+  isa::Module module;
+  std::vector<std::uint32_t> params;
+  std::string kernel_name;
+  sim::GlobalMemory gmem(0);
+  if (workload.has_value()) {
+    module = baseline::CompileDefault(workload->module, Gpu(args));
+    params = workload->ParamsFor(0);
+    kernel_name = workload->name;
+    gmem = workloads::SeedWorkloadMemory(*workload);
+  } else {
+    module = baseline::CompileDefault(isa::DecodeModule(ReadFile(args.input)),
+                                      Gpu(args));
+    kernel_name = module.name;
+    gmem = SeedMemory(std::size_t{1} << 22);
+  }
+  sim::GpuSimulator simulator(Gpu(args), Cache(args), args.engine);
+  profile::EnableCollection(true);
+  sim::SimResult result;
+  try {
+    result = simulator.LaunchAll(module, &gmem, params, 0);
+  } catch (...) {
+    profile::EnableCollection(false);
+    throw;
+  }
+  std::vector<profile::LaunchProfile> profiles = profile::TakeCollected();
+  profile::EnableCollection(false);
+  if (profiles.empty()) {
+    throw OrionError("profiler collected no launch");
+  }
+  profiles.back().kernel = kernel_name;
+  std::fputs(sim::FormatSimReport(result, Gpu(args)).c_str(), stdout);
+  const std::string out =
+      args.output.empty() ? std::string("profile.json") : args.output;
+  WriteTextFile(out, profile::SerializeLaunchProfile(profiles.back()));
+  std::printf("profile: wrote %s (%s, %u blocks)\n", out.c_str(),
+              kernel_name.c_str(), result.blocks_launched);
+  return 0;
+}
+
+// Aggregates a locked tuning session into the analysis.json artifact.
+// Everything comes from the session directory itself (journal identity,
+// stored binary, recorded iterations, guard snapshot) plus a fresh
+// deterministic re-simulation of the healthy candidates — so a
+// crash-resumed session reports byte-identically to an uninterrupted
+// one.
+int CmdReport(const Args& args) {
+  if (args.session.empty()) {
+    std::fprintf(stderr, "orion-cc: report requires --session DIR\n");
+    Usage();
+  }
+  Result<std::unique_ptr<persist::Session>> opened =
+      persist::Session::Inspect(args.session);
+  if (!opened.has_value()) {
+    std::fprintf(stderr, "orion-cc: session: %s\n",
+                 opened.status().ToString().c_str());
+    return opened.status().code() == StatusCode::kDataLoss ? kExitCorruption
+                                                           : kExitError;
+  }
+  persist::Session& session = **opened;
+  if (!session.HasLock()) {
+    std::fprintf(stderr,
+                 "orion-cc: session at '%s' holds no lock — resume the "
+                 "tuning run to completion first\n",
+                 args.session.c_str());
+    return kExitError;
+  }
+  Result<runtime::MultiVersionBinary> binary = session.LoadBinary();
+  if (!binary.has_value()) {
+    std::fprintf(stderr, "orion-cc: session binary artifact unusable: %s\n",
+                 binary.status().ToString().c_str());
+    return kExitError;
+  }
+  // GPU and cache config come from the session identity, not from
+  // flags: the analysis must describe the run that wrote the journal.
+  const arch::GpuSpec& gpu = session.meta().gpu == "c2075"
+                                 ? arch::TeslaC2075()
+                                 : arch::Gtx680();
+  const arch::CacheConfig cache =
+      session.meta().fingerprint.find("cache=lc") != std::string::npos
+          ? arch::CacheConfig::kLargeCache
+          : arch::CacheConfig::kSmallCache;
+  // The engine stays at the default: all engines are bit-identical, so
+  // the artifact is independent of which one re-simulates.
+  const profile::SessionAnalysis analysis =
+      profile::BuildSessionAnalysis(session, *binary, gpu, cache, {});
+  const std::string out =
+      args.output.empty() ? std::string("analysis.json") : args.output;
+  WriteTextFile(out, profile::SerializeSessionAnalysis(analysis));
+  std::printf("session: %s on %s, direction %s, %zu candidates\n",
+              analysis.kernel.c_str(), analysis.gpu.c_str(),
+              analysis.direction.c_str(), analysis.candidates.size());
+  for (const profile::CandidateAnalysis& c : analysis.candidates) {
+    std::printf("  %-14s occ %.3f  median %s  sim %s  %s%s%s\n",
+                c.tag.c_str(), c.occupancy,
+                std::isnan(c.measured_median_ms)
+                    ? "  --    "
+                    : StrFormat("%.4f", c.measured_median_ms).c_str(),
+                std::isnan(c.simulated_ms)
+                    ? "  --    "
+                    : StrFormat("%.4f", c.simulated_ms).c_str(),
+                c.validation.c_str(),
+                c.quarantined ? ", quarantined: " : "",
+                c.quarantine_reason.c_str());
+  }
+  std::printf("verdict: %s\n",
+              analysis.has_verdict
+                  ? profile::BottleneckVerdictName(analysis.verdict)
+                  : "unknown");
+  std::printf("report: wrote %s\n", out.c_str());
+  return 0;
+}
+
 // Exports the collected trace after the command ran.  Failures here are
 // diagnostics-only: they must not turn a successful run into a failure.
 void ExportTelemetry(const Args& args) {
@@ -672,6 +850,8 @@ int Dispatch(const Args& args) {
   if (args.command == "validate") return CmdValidate(args);
   if (args.command == "emit") return CmdEmit(args);
   if (args.command == "fsck") return CmdFsck(args);
+  if (args.command == "profile") return CmdProfile(args);
+  if (args.command == "report") return CmdReport(args);
   Usage();
 }
 

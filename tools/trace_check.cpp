@@ -1,13 +1,19 @@
-// trace_check — structural validator for orion-cc trace exports.
+// trace_check — structural validator for orion-cc observability
+// artifacts.
 //
-//   trace_check <trace-file> [--format chrome|jsonl]
+//   trace_check <file> [--format chrome|jsonl|profile|analysis]
+//   trace_check <file> --profile      (= --format profile)
+//   trace_check <file> --analysis     (= --format analysis)
 //
 // Chrome mode checks everything CI cares about: valid JSON, balanced
 // and properly nested B/E spans per tid, non-decreasing timestamps per
 // tid, at least one compiler-phase span, and a complete Fig. 9 walk on
 // the tuner track (every iteration carries version + decision args and
-// exactly one tuner.lock names the final version).  Exit status 0 iff
-// the trace passes; violations are listed one per line on stderr.
+// exactly one tuner.lock names the final version).  Profile mode
+// validates an `orion.profile.v1` artifact (schema, stall-cycle
+// conservation, timeline sums); analysis mode an `orion.analysis.v1`
+// artifact, including every embedded candidate profile.  Exit status 0
+// iff the file passes; violations are listed one per line on stderr.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,7 +26,9 @@ namespace {
 
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
-               "usage: trace_check <trace-file> [--format chrome|jsonl]\n");
+               "usage: trace_check <file> "
+               "[--format chrome|jsonl|profile|analysis] "
+               "[--profile] [--analysis]\n");
   std::exit(2);
 }
 
@@ -35,11 +43,16 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
       format = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      format = "profile";
+    } else if (std::strcmp(argv[i], "--analysis") == 0) {
+      format = "analysis";
     } else {
       Usage();
     }
   }
-  if (format != "chrome" && format != "jsonl") {
+  if (format != "chrome" && format != "jsonl" && format != "profile" &&
+      format != "analysis") {
     Usage();
   }
 
@@ -51,9 +64,16 @@ int main(int argc, char** argv) {
   const std::string content((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
 
-  const std::vector<std::string> violations =
-      format == "chrome" ? orion::telemetry::CheckChromeTrace(content)
-                         : orion::telemetry::CheckJsonl(content);
+  std::vector<std::string> violations;
+  if (format == "chrome") {
+    violations = orion::telemetry::CheckChromeTrace(content);
+  } else if (format == "jsonl") {
+    violations = orion::telemetry::CheckJsonl(content);
+  } else if (format == "profile") {
+    violations = orion::telemetry::CheckProfileJson(content);
+  } else {
+    violations = orion::telemetry::CheckAnalysisJson(content);
+  }
   if (violations.empty()) {
     std::printf("trace_check: %s OK (%zu bytes, format %s)\n", path.c_str(),
                 content.size(), format.c_str());
