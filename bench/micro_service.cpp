@@ -1,0 +1,226 @@
+// Service micro-benchmark: daemon job throughput cold vs warm, written
+// to BENCH_service.json (the BENCH_persist.json convention) and
+// summarized on stdout.
+//
+// Two phases against one service root:
+//
+//   cold — a mixed-priority burst of distinct jobs over three
+//          workloads; every job compiles, tunes and locks from scratch
+//          and publishes into the shared artifact cache;
+//   warm — the same burst resubmitted under fresh job ids through a
+//          restarted daemon: every job must be served from the shared
+//          cache (hit rate 1.0) without touching the simulator.
+//
+// Reported: jobs/sec for each phase, the cold/warm speedup, the shared
+// cache hit rate observed by the warm daemon, and p50/p95 job latency
+// from the "service.job.latency_ms" histogram.  The warm results are
+// checked against the cold locks — a drifted answer fails the bench
+// loudly rather than publishing numbers for a wrong result.  The CI
+// smoke gate asserts warm > cold jobs/sec and hit_rate == 1.0.
+//
+// Run from anywhere; BENCH_service.json lands at the repo root
+// (ORION_BENCH_OUTPUT_DIR).  Use a Release build.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/daemon.h"
+#include "service/job.h"
+#include "telemetry/telemetry.h"
+
+#ifndef ORION_BENCH_OUTPUT_DIR
+#define ORION_BENCH_OUTPUT_DIR "."
+#endif
+
+namespace {
+
+using namespace orion;
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+service::JobSpec Spec(const std::string& id, const std::string& workload,
+                      std::uint32_t priority) {
+  service::JobSpec spec;
+  spec.id = id;
+  spec.workload = workload;
+  spec.priority = priority;
+  spec.iterations = 6;
+  return spec;
+}
+
+struct Phase {
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  std::uint64_t warm_hits = 0;
+  double cache_hit_rate = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+};
+
+// One daemon pass over `jobs`; fills the phase from wall time, daemon
+// stats and the job-latency histogram recorded during the pass.
+int RunPhase(const std::string& root,
+             const std::vector<service::JobSpec>& jobs, Phase* phase,
+             std::map<std::string, service::JobResult>* results) {
+  service::DaemonOptions options;
+  options.root = root;
+  options.workers = 2;
+  service::Daemon daemon(options);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "daemon start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  for (const service::JobSpec& spec : jobs) {
+    if (!daemon.Submit(spec).accepted) {
+      std::fprintf(stderr, "submit rejected: %s\n", spec.id.c_str());
+      return 1;
+    }
+  }
+  daemon.ServeUntilDrained();
+  phase->seconds = Seconds(begin, std::chrono::steady_clock::now());
+  phase->jobs_per_sec =
+      phase->seconds > 0.0 ? jobs.size() / phase->seconds : 0.0;
+  phase->warm_hits = daemon.stats().warm_hits;
+  const persist::ArtifactStore::Stats cache = daemon.cache_stats();
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  phase->cache_hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups;
+  for (const service::JobSpec& spec : jobs) {
+    Result<service::JobResult> job = daemon.Query(spec.id);
+    if (!job.has_value() || job->state != service::JobState::kLocked) {
+      std::fprintf(stderr, "%s: not locked after drain\n", spec.id.c_str());
+      return 1;
+    }
+    (*results)[spec.id] = *job;
+  }
+  for (const auto& [name, data] : telemetry::SnapshotHistograms()) {
+    if (name == "service.job.latency_ms") {
+      phase->p50_latency_ms = data.Percentile(0.50);
+      phase->p95_latency_ms = data.Percentile(0.95);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> names = {"backprop", "hotspot", "matrixmul"};
+  const std::string root = std::filesystem::temp_directory_path().string() +
+                           "/orion_bench_service_" +
+                           std::to_string(::getpid());
+  std::filesystem::remove_all(root);
+
+  // 3 workloads x 3 content-identical jobs each, priorities interleaved.
+  std::vector<service::JobSpec> cold_jobs;
+  std::vector<service::JobSpec> warm_jobs;
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const std::uint32_t priority = (w + i) % 3;
+      cold_jobs.push_back(Spec("cold-" + names[w] + "-" + std::to_string(i),
+                               names[w], priority));
+      warm_jobs.push_back(Spec("warm-" + names[w] + "-" + std::to_string(i),
+                               names[w], priority));
+    }
+  }
+
+  telemetry::Reset();
+  telemetry::SetEnabled(true);
+
+  std::map<std::string, service::JobResult> cold_results;
+  std::map<std::string, service::JobResult> warm_results;
+  Phase cold;
+  if (RunPhase(root, cold_jobs, &cold, &cold_results) != 0) {
+    return 1;
+  }
+  // Restart (fresh daemon, same root): the warm phase measures pure
+  // cache-serve throughput.  Reset telemetry so the latency percentiles
+  // are per-phase.
+  telemetry::Reset();
+  telemetry::SetEnabled(true);
+  Phase warm;
+  if (RunPhase(root, warm_jobs, &warm, &warm_results) != 0) {
+    return 1;
+  }
+  std::filesystem::remove_all(root);
+
+  // Every warm job must be a cache serve with the cold phase's answer.
+  if (warm.warm_hits != warm_jobs.size()) {
+    std::fprintf(stderr, "warm phase: %llu/%zu jobs served warm\n",
+                 static_cast<unsigned long long>(warm.warm_hits),
+                 warm_jobs.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < warm_jobs.size(); ++i) {
+    const service::JobResult& w = warm_results[warm_jobs[i].id];
+    const service::JobResult& c = cold_results[cold_jobs[i].id];
+    if (w.final_version != c.final_version || w.final_tag != c.final_tag ||
+        w.steady_ms != c.steady_ms) {
+      std::fprintf(stderr, "%s: warm answer drifted from cold (%s vs %s)\n",
+                   warm_jobs[i].id.c_str(), w.final_tag.c_str(),
+                   c.final_tag.c_str());
+      return 1;
+    }
+  }
+
+  const double speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  std::printf("daemon throughput over %zu jobs (%zu workloads)\n",
+              cold_jobs.size(), names.size());
+  std::printf("%-6s %10s %12s %9s %12s %12s\n", "phase", "seconds",
+              "jobs/sec", "hitrate", "p50 ms", "p95 ms");
+  std::printf("%-6s %10.4f %12.2f %8.0f%% %12.4f %12.4f\n", "cold",
+              cold.seconds, cold.jobs_per_sec, cold.cache_hit_rate * 100.0,
+              cold.p50_latency_ms, cold.p95_latency_ms);
+  std::printf("%-6s %10.4f %12.2f %8.0f%% %12.4f %12.4f\n", "warm",
+              warm.seconds, warm.jobs_per_sec, warm.cache_hit_rate * 100.0,
+              warm.p50_latency_ms, warm.p95_latency_ms);
+  std::printf("cold -> warm speedup: %.1fx\n", speedup);
+
+  std::string json = "{\n  \"benchmark\": \"micro_service\",\n";
+#ifdef NDEBUG
+  json += "  \"build\": \"release\",\n";
+#else
+  json += "  \"build\": \"debug\",\n";
+#endif
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"jobs\": %zu,\n"
+      "  \"workloads\": %zu,\n"
+      "  \"cold\": {\"seconds\": %.6f, \"jobs_per_sec\": %.3f, "
+      "\"cache_hit_rate\": %.4f, \"p50_latency_ms\": %.6f, "
+      "\"p95_latency_ms\": %.6f},\n"
+      "  \"warm\": {\"seconds\": %.6f, \"jobs_per_sec\": %.3f, "
+      "\"cache_hit_rate\": %.4f, \"p50_latency_ms\": %.6f, "
+      "\"p95_latency_ms\": %.6f},\n"
+      "  \"speedup\": %.2f\n}\n",
+      cold_jobs.size(), names.size(), cold.seconds, cold.jobs_per_sec,
+      cold.cache_hit_rate, cold.p50_latency_ms, cold.p95_latency_ms,
+      warm.seconds, warm.jobs_per_sec, warm.cache_hit_rate,
+      warm.p50_latency_ms, warm.p95_latency_ms, speedup);
+  json += buf;
+
+  const std::string out_path =
+      std::string(ORION_BENCH_OUTPUT_DIR) + "/BENCH_service.json";
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -81,6 +81,16 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
       plan.persist_kill_at = static_cast<std::uint64_t>(op);
       continue;
     }
+    if (key == "service.kill_at_job") {
+      std::int64_t job = 0;
+      if (!ParseInt(value, &job) || job < 0) {
+        return Status::Error(StatusCode::kInvalidArgument,
+                             "bad service.kill_at_job '" + std::string(value) +
+                                 "' (want a non-negative job index)");
+      }
+      plan.service_kill_at_job = static_cast<std::uint64_t>(job);
+      continue;
+    }
     double probability = 0.0;
     if (!ParseDouble(value, &probability) || probability < 0.0 ||
         probability > 1.0) {
@@ -117,6 +127,14 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
       plan.persist_bitflip_read = probability;
     } else if (key == "persist.enospc") {
       plan.persist_enospc = probability;
+    } else if (key == "service.worker_kill") {
+      plan.service_worker_kill = probability;
+    } else if (key == "service.queue_reject") {
+      plan.service_queue_reject = probability;
+    } else if (key == "service.spool_bitflip") {
+      plan.service_spool_bitflip = probability;
+    } else if (key == "service.enospc_commit") {
+      plan.service_enospc_commit = probability;
     } else {
       return Status::Error(StatusCode::kInvalidArgument,
                            "unknown fault-plan key '" + std::string(key) + "'");
@@ -147,6 +165,17 @@ std::string FaultPlan::ToString() const {
         static_cast<unsigned long long>(persist_kill_at), persist_torn_rename,
         persist_short_write, persist_bitflip_read, persist_enospc);
   }
+  if (service_kill_at_job > 0 || service_worker_kill > 0.0 ||
+      service_queue_reject > 0.0 || service_spool_bitflip > 0.0 ||
+      service_enospc_commit > 0.0) {
+    out += StrFormat(
+        ",service.kill_at_job=%llu,service.worker_kill=%g,"
+        "service.queue_reject=%g,service.spool_bitflip=%g,"
+        "service.enospc_commit=%g",
+        static_cast<unsigned long long>(service_kill_at_job),
+        service_worker_kill, service_queue_reject, service_spool_bitflip,
+        service_enospc_commit);
+  }
   return out;
 }
 
@@ -157,7 +186,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
       launch_rng_(HookSeed(plan.seed, 3)),
       measure_rng_(HookSeed(plan.seed, 4)),
       miscompile_rng_(HookSeed(plan.seed, 5)),
-      persist_rng_(HookSeed(plan.seed, 6)) {}
+      persist_rng_(HookSeed(plan.seed, 6)),
+      service_rng_(HookSeed(plan.seed, 7)) {}
 
 bool FaultInjector::MutateEncodedModule(std::vector<std::uint8_t>* bytes) {
   if (bytes->empty()) {
@@ -296,6 +326,54 @@ bool FaultInjector::MutatePersistRead(std::vector<std::uint8_t>* bytes) {
   (*bytes)[at] ^=
       static_cast<std::uint8_t>(1u << persist_rng_.NextBounded(8));
   ++counters_.bitflip_reads;
+  return true;
+}
+
+bool FaultInjector::NextJobStartKills() {
+  // The job counter advances on every execution start, killed or not,
+  // so `service.kill_at_job=N` names the Nth job a healthy stream
+  // would start — the chaos matrix enumerates N over the job stream.
+  ++service_jobs_;
+  if (plan_.service_kill_at_job > 0 &&
+      service_jobs_ == plan_.service_kill_at_job) {
+    ++counters_.service_kills;
+    return true;
+  }
+  if (plan_.service_worker_kill > 0.0 &&
+      service_rng_.NextBool(plan_.service_worker_kill)) {
+    ++counters_.service_kills;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::ShouldRejectAdmission() {
+  if (plan_.service_queue_reject <= 0.0 ||
+      !service_rng_.NextBool(plan_.service_queue_reject)) {
+    return false;
+  }
+  ++counters_.queue_rejects;
+  return true;
+}
+
+bool FaultInjector::MutateSpoolRead(std::vector<std::uint8_t>* bytes) {
+  if (bytes->empty() || plan_.service_spool_bitflip <= 0.0 ||
+      !service_rng_.NextBool(plan_.service_spool_bitflip)) {
+    return false;
+  }
+  const std::size_t at = service_rng_.NextBounded(bytes->size());
+  (*bytes)[at] ^=
+      static_cast<std::uint8_t>(1u << service_rng_.NextBounded(8));
+  ++counters_.spool_bitflips;
+  return true;
+}
+
+bool FaultInjector::ShouldFailResultCommit() {
+  if (plan_.service_enospc_commit <= 0.0 ||
+      !service_rng_.NextBool(plan_.service_enospc_commit)) {
+    return false;
+  }
+  ++counters_.service_enospc;
   return true;
 }
 

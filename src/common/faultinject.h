@@ -19,7 +19,13 @@
 //                          session journal and the artifact store):
 //                          seeded kill-points (crash at the Nth persist
 //                          write), torn renames, short writes,
-//                          bit-flips on read, and ENOSPC.
+//                          bit-flips on read, and ENOSPC,
+//   * service            — faults against the tuning-as-a-service
+//                          daemon (src/service): worker kill mid-job
+//                          (deterministic Nth-job kill-point or a
+//                          per-job probability), forced queue-full
+//                          admission rejections, bit-flips on spool
+//                          frames, and ENOSPC on the job-result commit.
 //
 // Installation is process-global and scoped (ScopedFaultInjector);
 // production runs never install one, and the guarded pipeline is
@@ -108,13 +114,24 @@ struct FaultPlan {
   double persist_short_write = 0.0;   // P[write lands only a prefix]
   double persist_bitflip_read = 0.0;  // P[read returns a flipped bit]
   double persist_enospc = 0.0;        // P[write refused, ENOSPC-style]
+  // Service faults (src/service, the tuning daemon).  kill_at_job is a
+  // deterministic kill-point at job granularity: the worker crashes at
+  // the start of the Nth job execution (1-based; 0 = off), the
+  // job-level sibling of persist.kill_at.  The rest are probabilities.
+  std::uint64_t service_kill_at_job = 0;  // crash starting the Nth job
+  double service_worker_kill = 0.0;   // P[worker crashes mid-job]
+  double service_queue_reject = 0.0;  // P[admission forced to reject]
+  double service_spool_bitflip = 0.0; // P[spool frame read flips a bit]
+  double service_enospc_commit = 0.0; // P[job-result commit refused]
 
   // Parses "key=value" pairs separated by ',' or ';'.  Keys:
   //   seed, decode.bitflip, decode.truncate, compile.fail,
   //   launch.transient, launch.hang, measure.noise,
   //   miscompile.slot, miscompile.park, miscompile.wide, miscompile.spill,
   //   persist.kill_at (integer), persist.torn_rename,
-  //   persist.short_write, persist.bitflip_read, persist.enospc
+  //   persist.short_write, persist.bitflip_read, persist.enospc,
+  //   service.kill_at_job (integer), service.worker_kill,
+  //   service.queue_reject, service.spool_bitflip, service.enospc_commit
   // e.g. "seed=7,launch.transient=0.3,measure.noise=0.05".
   static Result<FaultPlan> Parse(std::string_view spec);
 
@@ -163,6 +180,27 @@ class FaultInjector {
   // Durable writes attempted so far (the kill-point op counter).
   std::uint64_t persist_ops() const { return persist_ops_; }
 
+  // Service hooks (the tuning daemon, src/service).
+  //
+  // Job-start hook: advances the deterministic job counter and returns
+  // true when the worker must crash here — either the Nth-job
+  // kill-point fired or the per-job worker-kill probability hit.  The
+  // caller routes to persist::CrashNow so daemon crashes share the
+  // persist kill semantics (SimulatedCrash in tests, exit 137 in CLI).
+  bool NextJobStartKills();
+  // Admission hook: true when the queue must reject this admission as
+  // if full (the queue-full burst shape).
+  bool ShouldRejectAdmission();
+  // Spool read hook: possibly flips one bit of a spool frame in place
+  // (the protocol checksum must catch it).  True when mutated.
+  bool MutateSpoolRead(std::vector<std::uint8_t>* bytes);
+  // Result-commit hook: true when the job-result commit must be
+  // refused ENOSPC-style (the daemon degrades to cache-serve mode).
+  bool ShouldFailResultCommit();
+
+  // Job executions started so far (the job kill-point counter).
+  std::uint64_t service_jobs() const { return service_jobs_; }
+
   const FaultPlan& plan() const { return plan_; }
 
   struct Counters {
@@ -177,6 +215,10 @@ class FaultInjector {
     std::uint64_t short_writes = 0;
     std::uint64_t bitflip_reads = 0;
     std::uint64_t enospc_faults = 0;
+    std::uint64_t service_kills = 0;
+    std::uint64_t queue_rejects = 0;
+    std::uint64_t spool_bitflips = 0;
+    std::uint64_t service_enospc = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -194,7 +236,9 @@ class FaultInjector {
   Rng measure_rng_;
   Rng miscompile_rng_;
   Rng persist_rng_;
+  Rng service_rng_;
   std::uint64_t persist_ops_ = 0;
+  std::uint64_t service_jobs_ = 0;
   Counters counters_;
 };
 

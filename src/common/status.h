@@ -41,6 +41,8 @@ enum class StatusCode : std::uint8_t {
   kNotFound,          // a persisted record does not exist (store miss)
   kDataLoss,          // a persisted record is corrupt (checksum/framing)
   kResourceExhausted, // the backing medium refused the write (ENOSPC)
+  kUnavailable,       // the resource is held elsewhere (session lock,
+                      // degraded daemon) — retry later, never force
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -71,6 +73,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "data-loss";
     case StatusCode::kResourceExhausted:
       return "resource-exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

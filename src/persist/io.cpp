@@ -1,11 +1,17 @@
 #include "persist/io.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
 #include "common/faultinject.h"
+#include "common/log.h"
 #include "common/strings.h"
 #include "telemetry/telemetry.h"
 
@@ -57,6 +63,8 @@ Status WriteBytes(const std::string& path, const char* mode,
 
 void SetCrashMode(CrashMode mode) { g_crash_mode = mode; }
 CrashMode GetCrashMode() { return g_crash_mode; }
+
+void CrashNow(const std::string& what) { Crash(what); }
 
 Status EnsureDir(const std::string& dir) {
   std::error_code ec;
@@ -212,6 +220,62 @@ Status AppendFile(const std::string& path,
       break;
   }
   return WriteBytes(path, "ab", bytes, bytes.size());
+}
+
+Status AcquireLockFile(const std::string& path) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const std::string pid = std::to_string(::getpid());
+      const ssize_t wrote = ::write(fd, pid.data(), pid.size());
+      ::close(fd);
+      if (wrote != static_cast<ssize_t>(pid.size())) {
+        // The lock exists but names nobody; still held by us.
+        ORION_LOG(WARN) << "lock file '" << path << "' pid write was short";
+      }
+      return Status::Ok();
+    }
+    if (errno != EEXIST) {
+      return IoError("create lock", path);
+    }
+    // Somebody holds it.  Read the owner pid raw (not through
+    // ReadFileBytes — the injected bitflip-on-read hook must not
+    // corrupt liveness checks).
+    long holder = 0;
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+      char buffer[32] = {0};
+      const std::size_t got = std::fread(buffer, 1, sizeof buffer - 1, f);
+      std::fclose(f);
+      if (got > 0) {
+        holder = std::strtol(buffer, nullptr, 10);
+      }
+    }
+    const bool alive = holder > 0 && holder != ::getpid() &&
+                       (::kill(static_cast<pid_t>(holder), 0) == 0 ||
+                        errno == EPERM);
+    if (alive) {
+      return Status::Error(
+          StatusCode::kUnavailable,
+          StrFormat("locked by live process %ld ('%s') — a session "
+                    "directory admits one writer at a time",
+                    holder, path.c_str()));
+    }
+    // Stale: the owner is dead (SIGKILL / injected exit-mode crash
+    // leaves the file behind) or the file never got a pid.  Break it
+    // and retry the exclusive create once.
+    ORION_LOG(WARN) << "breaking stale lock '" << path << "' (owner "
+                    << holder << " is gone)";
+    ORION_COUNTER_ADD("persist.locks_broken", 1);
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  return Status::Error(StatusCode::kUnavailable,
+                       "lock '" + path + "' contested — retry later");
+}
+
+void ReleaseLockFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
 }
 
 }  // namespace orion::persist

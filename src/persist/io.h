@@ -54,6 +54,13 @@ CrashMode GetCrashMode();
 // 128+SIGKILL convention so the CI crash-soak can assert on it).
 inline constexpr int kCrashExitCode = 137;
 
+// Ends the process the way an injected kill-point does: SimulatedCrash
+// in CrashMode::kThrow, std::_Exit(kCrashExitCode) in kExit — no
+// destructors, no flushes.  The service layer's worker-kill hook
+// routes through here so daemon crashes share the persist kill
+// semantics and exit code.
+[[noreturn]] void CrashNow(const std::string& what);
+
 Status EnsureDir(const std::string& dir);
 bool FileExists(const std::string& path);
 bool IsDirectory(const std::string& path);
@@ -81,5 +88,16 @@ Status WriteFileAtomic(const std::string& path,
 // the tail; journal recovery truncates it.
 Status AppendFile(const std::string& path,
                   const std::vector<std::uint8_t>& bytes);
+
+// Advisory lock file: created O_CREAT|O_EXCL holding this process's
+// pid.  kUnavailable when another *live* process holds it; a dead
+// owner's stale lock (a real SIGKILL or an injected exit-mode crash
+// leaves one behind) is broken and re-acquired.  Deliberately NOT
+// routed through the fault injector: lock churn must not shift the
+// persist.kill_at op numbering the seeded matrices depend on.
+Status AcquireLockFile(const std::string& path);
+// Removes a lock file this process acquired.  Best-effort (the lock is
+// advisory); never throws.
+void ReleaseLockFile(const std::string& path);
 
 }  // namespace orion::persist

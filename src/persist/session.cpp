@@ -1,7 +1,10 @@
 #include "persist/session.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <limits>
+#include <mutex>
+#include <set>
 #include <utility>
 
 #include "common/log.h"
@@ -16,6 +19,50 @@ namespace {
 
 constexpr const char* kJournalFile = "journal.ojl";
 constexpr const char* kStoreDir = "store";
+constexpr const char* kLockFile = "lock";
+
+// In-process half of the advisory session lock.  The on-disk lock file
+// carries a pid, so a second *process* is refused by liveness check;
+// two opens from the same pid would both look "alive", so the registry
+// refuses them here first.  Keyed by the normalized absolute path.
+std::mutex g_session_lock_mutex;
+std::set<std::string>& SessionLockRegistry() {
+  static std::set<std::string> held;
+  return held;
+}
+
+std::string SessionLockKey(const std::string& dir) {
+  std::error_code ec;
+  const std::filesystem::path absolute =
+      std::filesystem::absolute(dir, ec);
+  return ec ? dir : absolute.lexically_normal().string();
+}
+
+Status AcquireSessionLock(const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> guard(g_session_lock_mutex);
+    if (!SessionLockRegistry().insert(SessionLockKey(dir)).second) {
+      return Status::Error(
+          StatusCode::kUnavailable,
+          StrFormat("session at '%s' is already open in this process — "
+                    "one writer at a time",
+                    dir.c_str()));
+    }
+  }
+  const Status status = AcquireLockFile(dir + "/" + kLockFile);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> guard(g_session_lock_mutex);
+    SessionLockRegistry().erase(SessionLockKey(dir));
+    return status.WithContext("session at '" + dir + "'");
+  }
+  return Status::Ok();
+}
+
+void ReleaseSessionLock(const std::string& dir) {
+  ReleaseLockFile(dir + "/" + kLockFile);
+  std::lock_guard<std::mutex> guard(g_session_lock_mutex);
+  SessionLockRegistry().erase(SessionLockKey(dir));
+}
 
 // Journal file header (magic + format) — mirrored from journal.cpp so
 // record offsets can be reconstructed for the stable-point truncation.
@@ -117,11 +164,23 @@ Session::Session(std::string dir, SessionMeta meta)
       journal_(dir_ + "/" + kJournalFile),
       store_(dir_ + "/" + kStoreDir) {}
 
+Session::~Session() {
+  if (lock_held_) {
+    ReleaseSessionLock(dir_);
+  }
+}
+
 Result<std::unique_ptr<Session>> Session::Open(const std::string& dir,
                                                const SessionMeta& meta) {
   ORION_TRACE_SPAN("persist", "persist.session.open");
   ORION_RETURN_IF_ERROR(EnsureDir(dir));
   std::unique_ptr<Session> session(new Session(dir, meta));
+  // The advisory lock comes first: recovery mutates the directory
+  // (journal truncation, store quarantine), so even that must be
+  // single-writer.  The flag is set before Recover() so an unwinding
+  // SimulatedCrash releases the lock exactly like a process death.
+  ORION_RETURN_IF_ERROR(AcquireSessionLock(dir));
+  session->lock_held_ = true;
   ORION_RETURN_IF_ERROR(session->Recover());
   return session;
 }

@@ -65,8 +65,17 @@ class Session final : public runtime::RunJournal {
   // Opens (creating or recovering) the session at `dir`.
   // kDataLoss: the journal is corrupt beyond the torn-tail rule.
   // kInvalidArgument: the directory belongs to a different identity.
+  // kUnavailable: another live opener (this process or another) holds
+  // the session's advisory lock — two writers would interleave journal
+  // appends, so Open refuses instead.  A dead owner's stale lock is
+  // broken silently (crash recovery).
   static Result<std::unique_ptr<Session>> Open(const std::string& dir,
                                                const SessionMeta& meta);
+
+  // Releases the advisory session lock (held since Open).  Runs on
+  // unwind too, so an in-process SimulatedCrash releases it the way a
+  // real process death invalidates the pid in the lock file.
+  ~Session() override;
 
   // Opens an existing session without knowing its identity up front:
   // reads the identity from the journal's first meta record, then
@@ -170,6 +179,7 @@ class Session final : public runtime::RunJournal {
   std::uint64_t truncated_bytes_ = 0;
   std::uint32_t replayed_ = 0;
   bool degraded_ = false;
+  bool lock_held_ = false;  // advisory session lock (dir/lock + registry)
 };
 
 }  // namespace orion::persist

@@ -1,0 +1,743 @@
+#include "service/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <limits>
+#include <system_error>
+
+#include "arch/gpu_spec.h"
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/log.h"
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "core/orion.h"
+#include "isa/binary.h"
+#include "persist/artifact.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+#include "persist/session.h"
+#include "runtime/launcher.h"
+#include "service/protocol.h"
+#include "telemetry/telemetry.h"
+#include "workloads/workloads.h"
+
+namespace orion::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kRequestFile = "/request";
+constexpr const char* kAttemptsFile = "/attempts";
+constexpr const char* kResultFile = "/result";
+constexpr const char* kQuarantineFile = "/quarantine";
+
+bool ValidJobId(const std::string& id) {
+  return !id.empty() && id.find('/') == std::string::npos && id[0] != '.';
+}
+
+const arch::GpuSpec* GpuByName(const std::string& name) {
+  if (name == "gtx680") {
+    return &arch::Gtx680();
+  }
+  if (name == "c2075") {
+    return &arch::TeslaC2075();
+  }
+  return nullptr;
+}
+
+// Decides whether a failed attempt is worth retrying.  Deterministic
+// verdicts (bad spec, deadline exceeded) repeat identically; transient
+// or corruption verdicts can change after session recovery.
+bool DeterministicFailure(StatusCode code) {
+  return code == StatusCode::kInvalidArgument ||
+         code == StatusCode::kWatchdogExpired;
+}
+
+// Reads and decodes a terminal record; a record that exists but fails
+// its frame is moved aside so the job can be recomputed (sessions make
+// the re-run idempotent — same lock, bit-identical record).
+bool TryLoadTerminal(const std::string& jobdir, JobResult* out) {
+  for (const char* name : {kResultFile, kQuarantineFile}) {
+    const std::string path = jobdir + name;
+    if (!persist::FileExists(path)) {
+      continue;
+    }
+    Result<std::vector<std::uint8_t>> bytes = persist::ReadFileBytes(path);
+    if (bytes.has_value()) {
+      Result<JobResult> decoded = DecodeResponse(*bytes);
+      if (decoded.has_value()) {
+        *out = std::move(*decoded);
+        return true;
+      }
+    }
+    ORION_LOG(WARN) << "service: terminal record " << path
+                    << " unreadable — moving aside and recomputing";
+    std::error_code ec;
+    fs::rename(path, path + ".corrupt", ec);
+  }
+  return false;
+}
+
+persist::TuneArtifact TuneFromRun(const runtime::TunedRunResult& run) {
+  persist::TuneArtifact tune;
+  tune.final_version = run.final_version;
+  tune.iterations_to_settle = run.iterations_to_settle;
+  tune.steady_ms = run.steady_ms;
+  tune.steady_energy = run.steady_energy;
+  tune.steady_occupancy = run.steady_occupancy.occupancy;
+  tune.fallback_taken = run.health.fallback_taken;
+  tune.watchdog_trips = run.health.watchdog_trips;
+  tune.faulted_iterations =
+      static_cast<std::uint32_t>(run.health.faulted_iterations);
+  return tune;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), queue_(options_.queue) {}
+
+std::string Daemon::JobsDir() const { return options_.root + "/jobs"; }
+
+std::string Daemon::JobDir(const std::string& id) const {
+  return JobsDir() + "/" + id;
+}
+
+Status Daemon::Start() {
+  if (options_.root.empty()) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "daemon needs a service root directory");
+  }
+  if (GpuByName(options_.gpu) == nullptr) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "unknown GPU '" + options_.gpu + "'");
+  }
+  if (options_.max_attempts == 0) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "max_attempts must be at least 1");
+  }
+  ORION_RETURN_IF_ERROR(persist::EnsureDir(options_.root));
+  ORION_RETURN_IF_ERROR(persist::EnsureDir(JobsDir()));
+  cache_ = std::make_unique<persist::ArtifactStore>(options_.root + "/cache");
+  return Recover();
+}
+
+Status Daemon::Recover() {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (fs::directory_iterator it(JobsDir(), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_directory()) {
+      ids.push_back(it->path().filename().string());
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::string& id : ids) {
+    const std::string jobdir = JobDir(id);
+    JobResult terminal;
+    if (TryLoadTerminal(jobdir, &terminal)) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      results_[id] = terminal;
+      ++stats_.recovered_terminal;
+      continue;
+    }
+    Result<std::vector<std::uint8_t>> bytes =
+        persist::ReadFileBytes(jobdir + kRequestFile);
+    Result<JobSpec> request =
+        bytes.has_value() ? DecodeRequest(*bytes) : bytes.status();
+    const std::uint64_t attempts = persist::FileSize(jobdir + kAttemptsFile);
+    if (!request.has_value()) {
+      if (bytes.status().code() == StatusCode::kNotFound && attempts == 0) {
+        // The crash fell between the directory create and the request
+        // write: the client never saw an acceptance (Submit died before
+        // returning), so this is admission debris, not a lost job.
+        // Remove it — the client's retry resubmits the same id fresh.
+        ORION_LOG(WARN) << "service: dropping aborted admission '" << id
+                        << "' (no request record, no attempts)";
+        std::error_code remove_ec;
+        fs::remove_all(jobdir, remove_ec);
+        continue;
+      }
+      // Admission promised this id (the record exists but is garbage,
+      // or execution already charged attempts against it): the honest
+      // terminal state is quarantine, never silent loss.
+      JobResult poisoned;
+      poisoned.id = id;
+      poisoned.state = JobState::kQuarantined;
+      poisoned.attempts = static_cast<std::uint32_t>(attempts);
+      poisoned.error =
+          "admission record unreadable: " + request.status().ToString();
+      CommitTerminal(jobdir, poisoned);
+      continue;
+    }
+    if (attempts >= options_.max_attempts) {
+      // The ledger says this job already burned its attempt budget —
+      // it kept crashing the daemon.  Quarantine durably instead of
+      // letting it crash-loop the service forever.
+      JobResult poisoned;
+      poisoned.id = id;
+      poisoned.state = JobState::kQuarantined;
+      poisoned.workload = request->workload;
+      poisoned.attempts = static_cast<std::uint32_t>(attempts);
+      poisoned.error = StrFormat(
+          "poison job: %llu attempts ended in a crash or failure",
+          static_cast<unsigned long long>(attempts));
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        ++stats_.poison_quarantined;
+      }
+      ORION_COUNTER_ADD("service.jobs.poison_quarantined", 1);
+      CommitTerminal(jobdir, poisoned);
+      continue;
+    }
+    // Admitted but not terminal: requeue.  force — a durably admitted
+    // job must never bounce off a full queue.
+    queue_.Push(*request, /*force=*/true);
+    JobResult queued;
+    queued.id = id;
+    queued.state = JobState::kQueued;
+    queued.workload = request->workload;
+    queued.attempts = static_cast<std::uint32_t>(attempts);
+    std::lock_guard<std::mutex> guard(mutex_);
+    results_[id] = queued;
+    ++stats_.requeued;
+  }
+  return Status::Ok();
+}
+
+bool Daemon::KnownJob(const std::string& id) const {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (results_.count(id) != 0) {
+      return true;
+    }
+  }
+  const std::string jobdir = JobDir(id);
+  return persist::FileExists(jobdir + kRequestFile) ||
+         persist::FileExists(jobdir + kResultFile) ||
+         persist::FileExists(jobdir + kQuarantineFile);
+}
+
+void Daemon::Degrade(const std::string& reason) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (!degraded_) {
+    degraded_ = true;
+    degraded_reason_ = reason;
+    ORION_LOG(WARN) << "service: DEGRADED (read-only cache-serve): "
+                    << reason;
+    ORION_COUNTER_ADD("service.degraded", 1);
+  }
+}
+
+bool Daemon::degraded() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return degraded_;
+}
+
+Admission Daemon::Submit(const JobSpec& spec) {
+  // Invalid specs are rejected with no retry hint — retrying an id
+  // that cannot name a job directory can never succeed.
+  if (!ValidJobId(spec.id)) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.rejected;
+    return {false, 0,
+            "job id '" + spec.id +
+                "' cannot name a job directory (empty, leading '.', or "
+                "contains '/')"};
+  }
+  if (spec.workload.empty()) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.rejected;
+    return {false, 0, "job names no workload"};
+  }
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  if (degraded()) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.rejected;
+    }
+    return {false, options_.queue.retry_after_ms,
+            "daemon degraded (ENOSPC): serving cached results only"};
+  }
+  // Idempotency: a known id is a duplicate, never a second execution.
+  if (KnownJob(spec.id)) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.duplicates;
+    return {true, 0, "duplicate: id already admitted"};
+  }
+  // Backpressure verdict + reservation, then the durable admission
+  // record.  A crash between the two loses only the in-memory
+  // reservation — the client saw no acceptance, and a spooled frame
+  // survives for re-ingest.
+  Admission admitted = queue_.Push(spec, /*force=*/false);
+  if (!admitted.accepted) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.rejected;
+    return admitted;
+  }
+  const std::string jobdir = JobDir(spec.id);
+  Status durable = persist::EnsureDir(jobdir);
+  if (durable.ok()) {
+    durable = persist::WriteFileAtomic(jobdir + kRequestFile,
+                                       EncodeRequest(spec));
+  }
+  if (!durable.ok()) {
+    // The job stays queued (it will run and its result serves from
+    // memory), but durability is gone — degrade so no further promises
+    // are made that a crash could break.
+    Degrade("admission record write failed: " + durable.ToString());
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.submitted;
+  JobResult queued;
+  queued.id = spec.id;
+  queued.state = JobState::kQueued;
+  queued.workload = spec.workload;
+  results_[spec.id] = queued;
+  return admitted;
+}
+
+std::size_t Daemon::IngestSpool() {
+  const std::string spool = SpoolDir(options_.root);
+  std::vector<std::string> frames;
+  for (const std::string& name : persist::ListDir(spool)) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".req") == 0) {
+      frames.push_back(name);
+    }
+  }
+  std::sort(frames.begin(), frames.end());
+  std::size_t ingested = 0;
+  for (const std::string& name : frames) {
+    const std::string path = spool + "/" + name;
+    Result<JobSpec> spec = ReadSpoolRequest(path);
+    if (!spec.has_value()) {
+      // Corrupt frame: set it aside (never deleted — the bytes stay
+      // for post-mortems) so the spool drains instead of jamming.
+      ORION_LOG(WARN) << "service: spool frame " << name << " rejected ("
+                      << spec.status().ToString() << ") — quarantined";
+      std::error_code ec;
+      fs::rename(path, path + ".quarantine", ec);
+      ORION_COUNTER_ADD("service.spool.quarantined", 1);
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.spool_quarantined;
+      continue;
+    }
+    Admission admitted = Submit(*spec);
+    if (!admitted.accepted && admitted.retry_after_ms > 0) {
+      // Backpressure: leave the frame for the next ingest pass.
+      continue;
+    }
+    if (!admitted.accepted) {
+      // Invalid spec: the frame can never be admitted.
+      std::error_code ec;
+      fs::rename(path, path + ".quarantine", ec);
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.spool_quarantined;
+      continue;
+    }
+    // Remove only after the durable admission record exists — a crash
+    // here re-ingests the frame and the duplicate is detected by id.
+    (void)persist::RemoveFile(path);
+    ++ingested;
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.spool_ingested;
+  }
+  return ingested;
+}
+
+void Daemon::ServeUntilDrained() {
+  queue_.Close();
+  const unsigned workers = std::max(1u, options_.workers);
+  // The worker pool IS ParallelFor: each lane claims jobs from the
+  // shared queue until it is drained.  An injected crash in one lane
+  // propagates after the surviving lanes finish their jobs.
+  ParallelFor(workers, workers, [this](std::size_t) { WorkerLoop(); });
+}
+
+void Daemon::WorkerLoop() {
+  JobSpec spec;
+  while (queue_.Pop(&spec)) {
+    ExecuteJob(spec);
+  }
+}
+
+void Daemon::ExecuteJob(const JobSpec& spec) {
+  const auto started = std::chrono::steady_clock::now();
+  const std::string jobdir = JobDir(spec.id);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    JobResult running;
+    running.id = spec.id;
+    running.state = JobState::kRunning;
+    running.workload = spec.workload;
+    results_[spec.id] = running;
+  }
+  // Attempts already charged by previous daemon lives (crash recovery).
+  std::uint32_t attempt =
+      static_cast<std::uint32_t>(persist::FileSize(jobdir + kAttemptsFile));
+  JobResult result;
+  double backoff_ms = 0.0;
+  Status last = Status::Ok();
+  bool done = false;
+  while (!done && attempt < options_.max_attempts) {
+    ++attempt;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.attempts;
+    }
+    // Charge the attempt *before* running it: if this attempt kills
+    // the daemon, the ledger already shows it, and enough crashes
+    // quarantine the job instead of crash-looping the service.
+    (void)persist::AppendFile(jobdir + kAttemptsFile, {0xA7});
+    FaultInjector* injector = FaultInjector::Current();
+    if (injector != nullptr && injector->NextJobStartKills()) {
+      persist::CrashNow(StrFormat(
+          "service: daemon killed mid-job '%s' (attempt %u)",
+          spec.id.c_str(), attempt));
+    }
+    Result<JobResult> attempted = RunAttempt(spec, jobdir);
+    if (attempted.has_value()) {
+      result = std::move(*attempted);
+      done = true;
+      break;
+    }
+    last = attempted.status();
+    ORION_LOG(WARN) << "service: job '" << spec.id << "' attempt " << attempt
+                    << "/" << options_.max_attempts << " failed: "
+                    << last.ToString();
+    ORION_COUNTER_ADD("service.jobs.attempt_failures", 1);
+    if (DeterministicFailure(last.code())) {
+      break;  // retrying replays the same verdict — quarantine now
+    }
+    if (attempt < options_.max_attempts) {
+      // Accounted, never slept: simulated time, like guard backoff.
+      backoff_ms += options_.backoff_base_ms *
+                    static_cast<double>(std::uint64_t{1} << (attempt - 1));
+    }
+  }
+  if (!done) {
+    result.id = spec.id;
+    result.state = JobState::kQuarantined;
+    result.workload = spec.workload;
+    result.error = last.ToString();
+    ORION_COUNTER_ADD("service.jobs.quarantined", 1);
+  }
+  result.attempts = attempt;
+  result.backoff_ms = backoff_ms;
+  CommitTerminal(jobdir, result);
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  ORION_HISTOGRAM_RECORD("service.job.latency_ms", latency_ms);
+}
+
+Result<JobResult> Daemon::RunAttempt(const JobSpec& spec,
+                                     const std::string& jobdir) {
+  try {
+    const workloads::Workload w = workloads::MakeWorkload(spec.workload);
+    const std::uint32_t iters =
+        spec.iterations == 0 ? w.iterations : spec.iterations;
+    const std::vector<std::uint8_t> image = isa::EncodeModule(w.module);
+    const std::uint64_t kernel_hash =
+        persist::Fnv64(image.data(), image.size());
+    // Content address shared across jobs: the id is deliberately NOT
+    // part of it, so a fleet of submissions of the same kernel shares
+    // one tuning.  The deadline is: a cached entry only exists if a
+    // prior job with the same budget met it.
+    const std::string fingerprint = StrFormat(
+        "svc,cache=%d,engine=%d,iters=%u,probe_k=%u,watchdog=%llu,"
+        "deadline=%g",
+        static_cast<int>(options_.cache), static_cast<int>(options_.engine),
+        iters, spec.probe_k,
+        static_cast<unsigned long long>(spec.watchdog_cycles),
+        spec.deadline_ms);
+    const persist::ArtifactKey binary_key{"binary", kernel_hash, options_.gpu,
+                                          fingerprint};
+    const persist::ArtifactKey tune_key{"tune", kernel_hash, options_.gpu,
+                                        fingerprint};
+
+    // Shared warm cache: an earlier job already tuned this content
+    // address — serve its locked decision without simulating.
+    {
+      std::lock_guard<std::mutex> guard(cache_mutex_);
+      Result<std::vector<std::uint8_t>> tune_bytes = cache_->Get(tune_key);
+      if (tune_bytes.has_value()) {
+        Result<std::vector<std::uint8_t>> binary_bytes =
+            cache_->Get(binary_key);
+        if (binary_bytes.has_value()) {
+          Result<persist::TuneArtifact> tune =
+              persist::DecodeTuneArtifact(*tune_bytes);
+          Result<runtime::MultiVersionBinary> binary =
+              persist::DecodeBinaryArtifact(*binary_bytes);
+          if (tune.has_value() && binary.has_value() &&
+              tune->final_version < binary->NumCandidates()) {
+            JobResult served;
+            served.id = spec.id;
+            served.state = JobState::kLocked;
+            served.workload = spec.workload;
+            served.final_version = tune->final_version;
+            served.final_tag = binary->Candidate(tune->final_version).tag;
+            served.iterations_to_settle = tune->iterations_to_settle;
+            served.steady_ms = tune->steady_ms;
+            served.fallback_taken = tune->fallback_taken;
+            served.warm_hit = true;
+            {
+              std::lock_guard<std::mutex> stats_guard(mutex_);
+              ++stats_.warm_hits;
+            }
+            ORION_COUNTER_ADD("service.cache.warm_hits", 1);
+            return served;
+          }
+          // A corrupt cache entry was quarantined by Get/decode —
+          // fall through and recompute (cold path repopulates it).
+        }
+      }
+    }
+
+    // Cold path: the job's own crash-safe session.  Everything from
+    // here is the orion-cc run pipeline, isolated under the job dir.
+    persist::SessionMeta meta;
+    meta.kernel_hash = kernel_hash;
+    meta.gpu = options_.gpu;
+    meta.fingerprint = fingerprint;
+    Result<std::unique_ptr<persist::Session>> opened =
+        persist::Session::Open(jobdir + "/session", meta);
+    if (!opened.has_value()) {
+      return opened.status();
+    }
+    persist::Session& session = **opened;
+
+    runtime::MultiVersionBinary binary;
+    bool have_binary = false;
+    if (session.HasLock()) {
+      // A previous attempt locked but died before the result commit.
+      Result<runtime::MultiVersionBinary> warm = session.LoadBinary();
+      if (warm.has_value() &&
+          session.lock().final_version < warm->NumCandidates()) {
+        const persist::TuneArtifact& lock = session.lock();
+        JobResult resumed;
+        resumed.id = spec.id;
+        resumed.state = JobState::kLocked;
+        resumed.workload = spec.workload;
+        resumed.final_version = lock.final_version;
+        resumed.final_tag = warm->Candidate(lock.final_version).tag;
+        resumed.iterations_to_settle = lock.iterations_to_settle;
+        resumed.steady_ms = lock.steady_ms;
+        resumed.fallback_taken = lock.fallback_taken;
+        PublishCache(binary_key, tune_key,
+                     persist::EncodeBinaryArtifact(*warm),
+                     persist::EncodeTuneArtifact(lock));
+        return resumed;
+      }
+      ORION_LOG(WARN) << "service: job '" << spec.id
+                      << "' lock present but binary artifact unusable ("
+                      << warm.status().ToString() << ") — recomputing";
+    }
+    if (!have_binary) {
+      Result<runtime::MultiVersionBinary> cached = session.LoadBinary();
+      if (cached.has_value()) {
+        binary = std::move(*cached);
+        have_binary = true;
+      }
+    }
+    const arch::GpuSpec& gpu = *GpuByName(options_.gpu);
+    if (!have_binary) {
+      core::TuneOptions tune_options;
+      tune_options.cache_config = options_.cache;
+      tune_options.can_tune = w.can_tune;
+      binary = core::CompileMultiVersion(w.module, gpu, tune_options);
+      (void)session.SaveBinary(binary);  // failure logged by the store
+    }
+    sim::GpuSimulator simulator(gpu, options_.cache, options_.engine);
+    sim::GlobalMemory gmem = workloads::SeedWorkloadMemory(w);
+    runtime::TunedLauncher launcher(&binary, &simulator);
+    runtime::RunPlan plan;
+    plan.iterations = iters;
+    plan.probe_count = spec.probe_k;
+    plan.guard.watchdog_cycle_budget = spec.watchdog_cycles;
+    plan.journal = &session;
+    const runtime::TunedRunResult run = launcher.Run(
+        &gmem, w.params, plan,
+        w.per_iteration_params.empty() ? nullptr : &w.per_iteration_params);
+    if (spec.deadline_ms > 0 && run.total_ms > spec.deadline_ms) {
+      // Deterministic — replaying the same tuning yields the same
+      // simulated total.  The shared cache is NOT fed, so no later job
+      // can warm-hit its way past a budget this content address missed.
+      return Status::Error(
+          StatusCode::kWatchdogExpired,
+          StrFormat("deadline exceeded: %.4f simulated ms > budget %.4f ms",
+                    run.total_ms, spec.deadline_ms));
+    }
+    JobResult completed;
+    completed.id = spec.id;
+    completed.state = JobState::kLocked;
+    completed.workload = spec.workload;
+    completed.final_version = run.final_version;
+    completed.final_tag = binary.Candidate(run.final_version).tag;
+    completed.iterations_to_settle = run.iterations_to_settle;
+    completed.steady_ms = run.steady_ms;
+    completed.fallback_taken = run.health.fallback_taken;
+    PublishCache(binary_key, tune_key, persist::EncodeBinaryArtifact(binary),
+                 persist::EncodeTuneArtifact(TuneFromRun(run)));
+    return completed;
+  } catch (const persist::SimulatedCrash&) {
+    throw;  // an injected daemon kill is not a job failure
+  } catch (const persist::JournalError& e) {
+    return Status::Error(StatusCode::kDataLoss, e.what());
+  } catch (const OrionError& e) {
+    return Status::Error(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+void Daemon::PublishCache(const persist::ArtifactKey& binary_key,
+                          const persist::ArtifactKey& tune_key,
+                          const std::vector<std::uint8_t>& binary_bytes,
+                          const std::vector<std::uint8_t>& tune_bytes) {
+  std::lock_guard<std::mutex> guard(cache_mutex_);
+  // Binary first: a crash between the two leaves a tune-less binary
+  // (a clean miss), never a tune pointing at a missing binary.
+  Status put = cache_->Put(binary_key, binary_bytes);
+  if (put.ok()) {
+    put = cache_->Put(tune_key, tune_bytes);
+  }
+  if (!put.ok()) {
+    if (put.code() == StatusCode::kResourceExhausted) {
+      Degrade("shared cache write failed: " + put.ToString());
+    }
+    ORION_LOG(WARN) << "service: shared cache publish failed: "
+                    << put.ToString();
+  }
+}
+
+void Daemon::CommitTerminal(const std::string& jobdir,
+                            const JobResult& result) {
+  const std::string path =
+      jobdir + (result.state == JobState::kQuarantined ? kQuarantineFile
+                                                       : kResultFile);
+  Status commit = Status::Ok();
+  FaultInjector* injector = FaultInjector::Current();
+  if (injector != nullptr && injector->ShouldFailResultCommit()) {
+    commit = Status::Error(StatusCode::kResourceExhausted,
+                           "injected ENOSPC committing the job record");
+  } else {
+    commit = persist::WriteFileAtomic(path, EncodeResponse(result));
+  }
+  if (!commit.ok()) {
+    if (commit.code() == StatusCode::kResourceExhausted) {
+      Degrade("job record commit failed: " + commit.ToString());
+    } else {
+      ORION_LOG(ERROR) << "service: job record commit failed: "
+                       << commit.ToString();
+    }
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  results_[result.id] = result;
+  if (result.state == JobState::kLocked) {
+    ++stats_.completed;
+  } else if (result.state == JobState::kQuarantined) {
+    ++stats_.quarantined;
+  }
+}
+
+Result<JobResult> Daemon::Query(const std::string& id) const {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = results_.find(id);
+    if (it != results_.end()) {
+      return it->second;
+    }
+  }
+  return QueryJobDir(options_.root, id);
+}
+
+std::vector<JobResult> Daemon::List() const {
+  std::map<std::string, JobResult> merged;
+  for (JobResult& job : ListJobDirs(options_.root)) {
+    merged[job.id] = std::move(job);
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto& [id, job] : results_) {
+      merged[id] = job;  // live state wins over the durable snapshot
+    }
+  }
+  std::vector<JobResult> jobs;
+  jobs.reserve(merged.size());
+  for (auto& [id, job] : merged) {
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+DaemonStats Daemon::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+Result<JobResult> QueryJobDir(const std::string& root,
+                              const std::string& id) {
+  const std::string jobdir = root + "/jobs/" + id;
+  for (const char* name : {kResultFile, kQuarantineFile}) {
+    const std::string path = jobdir + name;
+    if (!persist::FileExists(path)) {
+      continue;
+    }
+    Result<std::vector<std::uint8_t>> bytes = persist::ReadFileBytes(path);
+    if (!bytes.has_value()) {
+      return bytes.status();
+    }
+    return DecodeResponse(*bytes);
+  }
+  const std::string request = jobdir + kRequestFile;
+  if (persist::FileExists(request)) {
+    Result<std::vector<std::uint8_t>> bytes = persist::ReadFileBytes(request);
+    if (!bytes.has_value()) {
+      return bytes.status();
+    }
+    Result<JobSpec> spec = DecodeRequest(*bytes);
+    if (!spec.has_value()) {
+      return spec.status();
+    }
+    JobResult queued;
+    queued.id = id;
+    queued.state = JobState::kQueued;
+    queued.workload = spec->workload;
+    queued.attempts = static_cast<std::uint32_t>(
+        persist::FileSize(jobdir + kAttemptsFile));
+    return queued;
+  }
+  return Status::Error(StatusCode::kNotFound,
+                       "no record of job '" + id + "' under " + root);
+}
+
+std::vector<JobResult> ListJobDirs(const std::string& root) {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (fs::directory_iterator it(root + "/jobs", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_directory()) {
+      ids.push_back(it->path().filename().string());
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<JobResult> jobs;
+  for (const std::string& id : ids) {
+    Result<JobResult> job = QueryJobDir(root, id);
+    if (job.has_value()) {
+      jobs.push_back(std::move(*job));
+    } else {
+      JobResult unreadable;
+      unreadable.id = id;
+      unreadable.state = JobState::kQuarantined;
+      unreadable.error = "record unreadable: " + job.status().ToString();
+      jobs.push_back(std::move(unreadable));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace orion::service

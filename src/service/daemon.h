@@ -1,0 +1,176 @@
+// orion-d: the fault-isolated tuning-as-a-service daemon core.
+//
+// The daemon turns the single-shot `orion-cc run --session` pipeline
+// into a job service.  Every submitted job gets
+//
+//   <root>/jobs/<id>/request      durable admission record (a protocol
+//                                 request frame — the promise recovery
+//                                 holds the daemon to)
+//   <root>/jobs/<id>/attempts     attempt ledger: one byte appended at
+//                                 the *start* of each execution attempt,
+//                                 so a job that crashes the daemon is
+//                                 charged for the attempt it killed
+//   <root>/jobs/<id>/session/     its own crash-safe persist::Session
+//                                 (journal + artifact store + advisory
+//                                 lock) — one job's corruption or crash
+//                                 never touches another's state
+//   <root>/jobs/<id>/result       terminal success (a response frame)
+//   <root>/jobs/<id>/quarantine   terminal failure (a response frame
+//                                 naming the poison job's last error)
+//
+// plus a *shared* content-addressed cache at <root>/cache: the first
+// job to tune a (kernel, gpu, options) triple publishes its binary and
+// locked decision, and every later job with the same content address
+// is served warm without touching the simulator.
+//
+// Fault isolation:
+//   * each attempt runs under the job's own session; a JournalError or
+//     decode fault is caught at the attempt boundary, charged against
+//     the job (bounded retry, exponential accounted backoff), and the
+//     daemon keeps serving other jobs;
+//   * a job that fails (or kills the daemon — the attempt ledger
+//     survives the crash) max_attempts times is quarantined with a
+//     durable record instead of crash-looping the daemon forever;
+//   * a deadline (simulated-ms budget) violation is deterministic and
+//     quarantines immediately, no retries;
+//   * ENOSPC while committing a durable record degrades the daemon to
+//     read-only cache-serve: queued work finishes, in-memory results
+//     stay queryable, and every new admission is rejected with a retry
+//     hint until an operator restarts it with space.
+//
+// Recovery (Start): every job directory is classified into exactly one
+// state — terminal records are reloaded, a corrupt terminal record is
+// moved aside and the job re-run (sessions make the re-run idempotent
+// and bit-identical), jobs whose attempt ledger is already at the cap
+// are quarantined as poison, and everything else is requeued (force:
+// a durably admitted job must never bounce off a full queue).  No
+// admitted job is ever lost, and none is double-committed.
+//
+// Threading: ServeUntilDrained shards the queue across a worker pool
+// built on common/parallel.h ParallelFor — workers claim jobs from the
+// shared queue until it is closed and drained.  An injected daemon
+// kill (service.kill_at_job / persist.kill_at) propagates out of the
+// pool after the surviving workers finish, preserving the
+// crash-at-a-point semantics the chaos matrix replays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/store.h"
+#include "service/queue.h"
+#include "sim/gpu_sim.h"
+
+namespace orion::service {
+
+struct DaemonOptions {
+  std::string root;        // service root (spool/, jobs/, cache/)
+  unsigned workers = 1;    // worker pool width (ParallelFor lanes)
+  QueueOptions queue;
+  std::uint32_t max_attempts = 3;  // per-job attempt cap before quarantine
+  double backoff_base_ms = 0.25;   // accounted exponential retry backoff
+  std::string gpu = "gtx680";
+  arch::CacheConfig cache = arch::CacheConfig::kSmallCache;
+  sim::SimEngine engine = sim::SimEngine::kTraceCached;
+};
+
+struct DaemonStats {
+  std::uint64_t submitted = 0;           // accepted fresh admissions
+  std::uint64_t duplicates = 0;          // resubmitted ids (idempotent)
+  std::uint64_t rejected = 0;            // backpressure / bad spec / degraded
+  std::uint64_t requeued = 0;            // recovery requeues
+  std::uint64_t recovered_terminal = 0;  // terminal records reloaded
+  std::uint64_t poison_quarantined = 0;  // attempt ledger hit the cap
+  std::uint64_t completed = 0;           // jobs that locked
+  std::uint64_t quarantined = 0;         // jobs that exhausted attempts
+  std::uint64_t warm_hits = 0;           // served from the shared cache
+  std::uint64_t attempts = 0;            // execution attempts started
+  std::uint64_t spool_ingested = 0;
+  std::uint64_t spool_quarantined = 0;   // corrupt spool frames set aside
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+
+  // Creates the service directories and runs the recovery scan.
+  // kInvalidArgument: unusable options (unknown GPU, empty root).
+  Status Start();
+
+  // Admission control.  Rejections carry a retry hint (backpressure,
+  // degraded) or none (invalid spec — retrying cannot help).  A known
+  // id is accepted as a duplicate without a second execution.
+  Admission Submit(const JobSpec& spec);
+
+  // Drains <root>/spool: each intact frame is submitted and its file
+  // removed only after the durable admission record exists (a crash
+  // between the two re-ingests the frame; the duplicate is detected by
+  // id).  Corrupt frames are quarantined aside.  Backpressure leaves
+  // the frame in place for the next pass.  Returns frames admitted.
+  std::size_t IngestSpool();
+
+  // Closes the queue and runs the worker pool until every queued job
+  // is terminal.  New Submits are rejected once draining starts.
+  void ServeUntilDrained();
+
+  // In-memory state first (live daemon), then the durable records.
+  Result<JobResult> Query(const std::string& id) const;
+  std::vector<JobResult> List() const;
+
+  DaemonStats stats() const;
+  JobQueue::Stats queue_stats() const { return queue_.stats(); }
+  persist::ArtifactStore::Stats cache_stats() const {
+    return cache_ != nullptr ? cache_->stats() : persist::ArtifactStore::Stats{};
+  }
+  bool degraded() const;
+  const DaemonOptions& options() const { return options_; }
+
+ private:
+  std::string JobDir(const std::string& id) const;
+  std::string JobsDir() const;
+  Status Recover();
+  bool KnownJob(const std::string& id) const;
+  void Degrade(const std::string& reason);
+  void WorkerLoop();
+  void ExecuteJob(const JobSpec& spec);
+  Result<JobResult> RunAttempt(const JobSpec& spec, const std::string& jobdir);
+  // Writes the terminal record (result or quarantine) and publishes it
+  // in memory.  An ENOSPC commit degrades the daemon but the in-memory
+  // result still serves queries for this daemon's lifetime.
+  void CommitTerminal(const std::string& jobdir, const JobResult& result);
+  void PublishCache(const persist::ArtifactKey& binary_key,
+                    const persist::ArtifactKey& tune_key,
+                    const std::vector<std::uint8_t>& binary_bytes,
+                    const std::vector<std::uint8_t>& tune_bytes);
+
+  DaemonOptions options_;
+  JobQueue queue_;
+  // Created in Start() once the root is validated (the store constructor
+  // creates its directory as a side effect).
+  std::unique_ptr<persist::ArtifactStore> cache_;
+
+  // Serializes admission (validate → probe → durable record → enqueue)
+  // so the capacity probe and the durable write cannot interleave.
+  mutable std::mutex submit_mutex_;
+  // Guards results_, stats_, degraded_reason_.
+  mutable std::mutex mutex_;
+  std::map<std::string, JobResult> results_;
+  DaemonStats stats_;
+  bool degraded_ = false;
+  std::string degraded_reason_;
+  // The shared cache is not internally synchronized.
+  std::mutex cache_mutex_;
+};
+
+// Offline queries against a service root, for `orion-cc status` without
+// a live daemon.  kNotFound: no record of the id; kDataLoss: a record
+// exists but fails its frame checksum.
+Result<JobResult> QueryJobDir(const std::string& root, const std::string& id);
+std::vector<JobResult> ListJobDirs(const std::string& root);
+
+}  // namespace orion::service

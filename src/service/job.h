@@ -1,0 +1,90 @@
+// Job model for the tuning-as-a-service daemon (orion-d).
+//
+// A job names one tuning request against a built-in workload: which
+// kernel to tune, how many app-loop iterations to run, and the fault
+// budget it tunes under (watchdog cycles, probe-k, deadline).  The
+// daemon executes each job in its own crash-safe persist::Session
+// under <root>/jobs/<id>/, so one job's crash or corruption never
+// touches another's state.
+//
+// Job states:
+//
+//   kQueued      admitted (durable request record) but not yet run
+//   kRunning     a worker is executing it (in-memory only — a crashed
+//                daemon recovers kRunning jobs back to kQueued)
+//   kLocked      terminal: tuning completed and locked a version
+//   kQuarantined terminal: the job failed max_attempts times (poison
+//                job) or kept crashing the daemon across restarts; a
+//                durable quarantine record names the last error
+//   kRejected    never admitted: backpressure (retry later) or an
+//                invalid spec (never retry)
+//
+// Terminal means a durable record exists (result or quarantine file);
+// the recovery scan classifies every job directory into exactly one
+// state, so no admitted job is ever lost or run twice to completion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orion::service {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning,
+  kLocked,
+  kQuarantined,
+  kRejected,
+};
+
+inline const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kLocked:
+      return "locked";
+    case JobState::kQuarantined:
+      return "quarantined";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+inline bool IsTerminal(JobState state) {
+  return state == JobState::kLocked || state == JobState::kQuarantined ||
+         state == JobState::kRejected;
+}
+
+// One tuning request.  `id` is the client's idempotency key: a
+// resubmitted id is a duplicate (served from the existing record),
+// never a second execution.
+struct JobSpec {
+  std::string id;
+  std::string workload;            // built-in workload name (e.g. srad)
+  std::uint32_t priority = 1;      // 0 = highest; FIFO within a priority
+  std::uint32_t iterations = 8;    // app-loop iterations (0 = workload's)
+  std::uint32_t probe_k = 1;       // median-of-k probing
+  std::uint64_t watchdog_cycles = 0;  // per-launch watchdog (0 = off)
+  double deadline_ms = 0.0;        // simulated-time budget (0 = none)
+};
+
+// The terminal answer for one job (also the wire response frame).
+struct JobResult {
+  std::string id;
+  JobState state = JobState::kQueued;
+  std::string workload;
+  std::uint32_t final_version = 0;
+  std::string final_tag;
+  std::uint32_t iterations_to_settle = 0;
+  double steady_ms = 0.0;
+  bool fallback_taken = false;
+  bool warm_hit = false;      // served from the shared artifact cache
+  std::uint32_t attempts = 0;
+  double backoff_ms = 0.0;    // accounted retry backoff (never slept)
+  std::string error;          // quarantine/reject reason
+};
+
+}  // namespace orion::service

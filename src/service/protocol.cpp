@@ -1,0 +1,156 @@
+#include "service/protocol.h"
+
+#include "common/faultinject.h"
+#include "common/strings.h"
+#include "persist/codec.h"
+#include "persist/io.h"
+
+namespace orion::service {
+
+namespace {
+
+std::vector<std::uint8_t> Frame(std::uint32_t magic,
+                                const std::vector<std::uint8_t>& payload) {
+  persist::Writer w;
+  w.U32(magic);
+  w.U32(kProtocolFormat);
+  w.U64(persist::Fnv64(payload.data(), payload.size()));
+  w.Blob(payload);
+  return w.Take();
+}
+
+// Unframes and verifies; on success `payload` holds the checked bytes.
+Status Unframe(std::uint32_t magic, const std::vector<std::uint8_t>& bytes,
+               std::vector<std::uint8_t>* payload) {
+  persist::Reader r(bytes);
+  const std::uint32_t got_magic = r.U32();
+  const std::uint32_t format = r.U32();
+  const std::uint64_t checksum = r.U64();
+  *payload = r.Blob();
+  if (!r.AtEnd()) {
+    return Status::Error(StatusCode::kDataLoss,
+                         "frame truncated or carries trailing bytes");
+  }
+  if (got_magic != magic) {
+    return Status::Error(
+        StatusCode::kInvalidArgument,
+        StrFormat("wrong frame magic %08x (want %08x)", got_magic, magic));
+  }
+  if (format != kProtocolFormat) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         StrFormat("unsupported frame format %u", format));
+  }
+  if (persist::Fnv64(payload->data(), payload->size()) != checksum) {
+    return Status::Error(StatusCode::kDataLoss,
+                         "frame payload failed its checksum");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeRequest(const JobSpec& spec) {
+  persist::Writer w;
+  w.Str(spec.id);
+  w.Str(spec.workload);
+  w.U32(spec.priority);
+  w.U32(spec.iterations);
+  w.U32(spec.probe_k);
+  w.U64(spec.watchdog_cycles);
+  w.F64(spec.deadline_ms);
+  return Frame(kRequestMagic, w.Take());
+}
+
+Result<JobSpec> DecodeRequest(const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint8_t> payload;
+  ORION_RETURN_IF_ERROR(Unframe(kRequestMagic, bytes, &payload));
+  persist::Reader r(payload);
+  JobSpec spec;
+  spec.id = r.Str();
+  spec.workload = r.Str();
+  spec.priority = r.U32();
+  spec.iterations = r.U32();
+  spec.probe_k = r.U32();
+  spec.watchdog_cycles = r.U64();
+  spec.deadline_ms = r.F64();
+  if (!r.AtEnd()) {
+    return Status::Error(StatusCode::kDataLoss,
+                         "request payload malformed (checksummed but "
+                         "undecodable)");
+  }
+  return spec;
+}
+
+std::vector<std::uint8_t> EncodeResponse(const JobResult& result) {
+  persist::Writer w;
+  w.Str(result.id);
+  w.U8(static_cast<std::uint8_t>(result.state));
+  w.Str(result.workload);
+  w.U32(result.final_version);
+  w.Str(result.final_tag);
+  w.U32(result.iterations_to_settle);
+  w.F64(result.steady_ms);
+  w.U8(result.fallback_taken ? 1 : 0);
+  w.U8(result.warm_hit ? 1 : 0);
+  w.U32(result.attempts);
+  w.F64(result.backoff_ms);
+  w.Str(result.error);
+  return Frame(kResponseMagic, w.Take());
+}
+
+Result<JobResult> DecodeResponse(const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint8_t> payload;
+  ORION_RETURN_IF_ERROR(Unframe(kResponseMagic, bytes, &payload));
+  persist::Reader r(payload);
+  JobResult result;
+  result.id = r.Str();
+  result.state = static_cast<JobState>(r.U8());
+  result.workload = r.Str();
+  result.final_version = r.U32();
+  result.final_tag = r.Str();
+  result.iterations_to_settle = r.U32();
+  result.steady_ms = r.F64();
+  result.fallback_taken = r.U8() != 0;
+  result.warm_hit = r.U8() != 0;
+  result.attempts = r.U32();
+  result.backoff_ms = r.F64();
+  result.error = r.Str();
+  if (!r.AtEnd()) {
+    return Status::Error(StatusCode::kDataLoss,
+                         "response payload malformed (checksummed but "
+                         "undecodable)");
+  }
+  return result;
+}
+
+std::string SpoolDir(const std::string& root) { return root + "/spool"; }
+
+std::string SpoolRequestPath(const std::string& root, const std::string& id) {
+  return SpoolDir(root) + "/" + id + ".req";
+}
+
+Status SpoolSubmit(const std::string& root, const JobSpec& spec) {
+  if (spec.id.empty() || spec.id.find('/') != std::string::npos ||
+      spec.id[0] == '.') {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "job id '" + spec.id +
+                             "' cannot name a spool file (empty, leading "
+                             "'.', or contains '/')");
+  }
+  ORION_RETURN_IF_ERROR(persist::EnsureDir(SpoolDir(root)));
+  return persist::WriteFileAtomic(SpoolRequestPath(root, spec.id),
+                                  EncodeRequest(spec));
+}
+
+Result<JobSpec> ReadSpoolRequest(const std::string& path) {
+  Result<std::vector<std::uint8_t>> bytes = persist::ReadFileBytes(path);
+  if (!bytes.has_value()) {
+    return bytes.status();
+  }
+  if (FaultInjector* injector = FaultInjector::Current()) {
+    injector->MutateSpoolRead(&*bytes);
+  }
+  return DecodeRequest(*bytes);
+}
+
+}  // namespace orion::service

@@ -1,0 +1,60 @@
+// Wire-free client protocol for orion-d: length-prefixed, checksummed
+// request/response frames over a file-based job spool.
+//
+// A frame is persist/codec bytes:
+//
+//   u32 magic ('OREQ' requests, 'ORSP' responses)
+//   u32 format version
+//   u64 FNV-1a 64 of the payload
+//   u32 payload length | payload    (codec Blob)
+//
+// The checksum makes a spool frame self-verifying: a torn write or a
+// flipped bit (service.spool_bitflip) decodes to kDataLoss, and the
+// daemon quarantines the frame aside instead of admitting garbage — a
+// corrupt request is never partially believed.
+//
+// The spool is the client/daemon hand-off directory:
+//
+//   <root>/spool/<id>.req             a submitted request frame
+//   <root>/spool/<id>.req.quarantine  a frame that failed its checksum
+//
+// `orion-cc submit` writes request frames (atomically, temp+rename);
+// the daemon ingests them with IngestSpool(), removing each frame only
+// after the job's durable admission record exists — a crash between
+// the two re-ingests the frame, and the duplicate admission is
+// detected by job id (idempotent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/job.h"
+
+namespace orion::service {
+
+inline constexpr std::uint32_t kRequestMagic = 0x4f524551;   // 'OREQ'
+inline constexpr std::uint32_t kResponseMagic = 0x4f525350;  // 'ORSP'
+inline constexpr std::uint32_t kProtocolFormat = 1;
+
+std::vector<std::uint8_t> EncodeRequest(const JobSpec& spec);
+Result<JobSpec> DecodeRequest(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> EncodeResponse(const JobResult& result);
+Result<JobResult> DecodeResponse(const std::vector<std::uint8_t>& bytes);
+
+// Spool paths under a service root.
+std::string SpoolDir(const std::string& root);
+std::string SpoolRequestPath(const std::string& root, const std::string& id);
+
+// Writes the request frame to the spool (atomic temp+rename commit).
+// Refuses ids that cannot name a file ('/' or empty).
+Status SpoolSubmit(const std::string& root, const JobSpec& spec);
+
+// Reads one spool frame and decodes it.  An installed fault injector
+// may flip a bit first (service.spool_bitflip); the checksum catches
+// it and the caller quarantines the frame.
+Result<JobSpec> ReadSpoolRequest(const std::string& path);
+
+}  // namespace orion::service

@@ -1,0 +1,69 @@
+#include "service/queue.h"
+
+#include <algorithm>
+
+#include "common/faultinject.h"
+#include "common/strings.h"
+#include "telemetry/telemetry.h"
+
+namespace orion::service {
+
+Admission JobQueue::Push(const JobSpec& spec, bool force) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (closed_) {
+    ++stats_.rejected;
+    return {false, 0, "queue closed (daemon draining)"};
+  }
+  if (!force) {
+    if (jobs_.size() >= options_.capacity) {
+      ++stats_.rejected;
+      ORION_COUNTER_ADD("service.queue.rejects", 1);
+      return {false, options_.retry_after_ms,
+              StrFormat("queue full (%zu jobs, capacity %zu)", jobs_.size(),
+                        options_.capacity)};
+    }
+    FaultInjector* injector = FaultInjector::Current();
+    if (injector != nullptr && injector->ShouldRejectAdmission()) {
+      ++stats_.rejected;
+      ORION_COUNTER_ADD("service.queue.rejects", 1);
+      return {false, options_.retry_after_ms, "injected queue-full burst"};
+    }
+  }
+  jobs_.emplace(std::make_pair(spec.priority, next_seq_++), spec);
+  ++(force ? stats_.forced : stats_.accepted);
+  stats_.high_water = std::max(stats_.high_water, jobs_.size());
+  ready_.notify_one();
+  return {true, 0, ""};
+}
+
+bool JobQueue::Pop(JobSpec* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) {
+    return false;  // closed and drained
+  }
+  *out = std::move(jobs_.begin()->second);
+  jobs_.erase(jobs_.begin());
+  ++stats_.popped;
+  return true;
+}
+
+void JobQueue::Close() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::Size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return jobs_.size();
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace orion::service

@@ -1,0 +1,80 @@
+// Bounded, priority-ordered job queue with explicit backpressure.
+//
+// Admission control is reject-with-retry-after, never unbounded
+// growth: a Push against a full queue (or one the injected queue-full
+// burst targets — service.queue_reject) returns a rejection carrying a
+// retry hint, and the caller surfaces it to the client.  An accepted
+// job stays queued until a worker pops it — there is no drop path, so
+// "accepted" is a promise the recovery scan can hold the daemon to.
+//
+// Ordering is (priority, admission sequence): lower priority value
+// first, FIFO within a priority, so a flood of low-priority work can
+// never starve or reorder the high-priority stream.
+//
+// The force flag bypasses capacity (not ordering) for jobs that were
+// already durably admitted — recovery requeues must never bounce off a
+// full queue, or a crash could strand an admitted job.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "service/job.h"
+
+namespace orion::service {
+
+struct QueueOptions {
+  std::size_t capacity = 64;
+  std::uint64_t retry_after_ms = 50;  // backpressure hint to clients
+};
+
+// The admission verdict for one Push.
+struct Admission {
+  bool accepted = false;
+  std::uint64_t retry_after_ms = 0;  // 0 = do not retry (bad spec)
+  std::string reason;                // empty when accepted
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(QueueOptions options) : options_(options) {}
+
+  // Admission: capacity check (unless force), injected queue-full
+  // burst, then insertion in (priority, sequence) order.
+  Admission Push(const JobSpec& spec, bool force = false);
+
+  // Blocks until a job is available or the queue is closed and empty.
+  // Returns false only in the closed-and-empty case.
+  bool Pop(JobSpec* out);
+
+  // No further Push succeeds; Pop drains what remains.  Idempotent.
+  void Close();
+
+  std::size_t Size() const;
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t forced = 0;    // recovery requeues (capacity bypassed)
+    std::uint64_t rejected = 0;
+    std::uint64_t popped = 0;
+    std::size_t high_water = 0;  // max depth ever — bounded by capacity
+                                 // plus forced requeues
+  };
+  Stats stats() const;
+
+ private:
+  QueueOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  // (priority, admission seq) -> spec; begin() is the next job.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, JobSpec> jobs_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace orion::service

@@ -61,6 +61,8 @@ enum class SimEngine : std::uint8_t {
   kEventDriven = 0,  // event calendar + pre-decoded instructions
   kReference,        // seed per-cycle stepping (golden model)
   kTraceCached,      // event calendar + fused macro-op retirement
+                     // (default — bit-identical to the others, fastest;
+                     // --engine event restores the pre-cache engine)
 };
 
 // Short stable names for flags/JSON: "event", "reference", "traced".
@@ -97,7 +99,7 @@ bool BitIdentical(const SimResult& a, const SimResult& b);
 class GpuSimulator {
  public:
   GpuSimulator(const arch::GpuSpec& spec, arch::CacheConfig config,
-               SimEngine engine = SimEngine::kEventDriven);
+               SimEngine engine = SimEngine::kTraceCached);
 
   // Launches blocks [first_block, first_block + num_blocks) of an
   // *allocated* kernel.  Occupancy is derived from the module's resource

@@ -1,0 +1,331 @@
+// End-to-end regression tests over the installed binaries (orion-cc,
+// orion-d), asserting the documented exit-code table:
+//
+//   0    clean lock / success
+//   1    generic error
+//   2    usage error
+//   3    validation reject
+//   4    watchdog abort
+//   5    corruption detected (fsck, report, status on unreadable records)
+//   6    degraded — the run completed but durability was lost (ENOSPC)
+//   137  injected crash (kill-point fired; on-disk state = real crash)
+//
+// Every subcommand must honor the table — a corruption path returning 0
+// is itself a regression (the audit that motivated these tests found
+// fsck's semantic pass and report's corrupt-artifact path doing exactly
+// that).  The service tests drive submit -> orion-d (killed, restarted)
+// -> status through real processes, the same sequence the CI chaos-soak
+// step scripts.
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "persist/io.h"
+#include "persist/journal.h"
+
+#ifndef ORION_CC_BIN
+#error "ORION_CC_BIN must point at the orion-cc binary"
+#endif
+#ifndef ORION_D_BIN
+#error "ORION_D_BIN must point at the orion-d binary"
+#endif
+
+namespace orion {
+namespace {
+
+struct TempDirGuard {
+  explicit TempDirGuard(const std::string& tag) {
+    static int counter = 0;
+    path = ::testing::TempDir() + "orion_cli_" + std::to_string(::getpid()) +
+           "_" + tag + "_" + std::to_string(counter++);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDirGuard() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+
+  bool Contains(const std::string& needle) const {
+    return output.find(needle) != std::string::npos;
+  }
+};
+
+// Runs `command` via the shell, capturing interleaved stdout/stderr and
+// the real exit code (including the injected-kill 137).
+CommandResult RunCmd(const std::string& command, const std::string& out_dir) {
+  static int counter = 0;
+  const std::string capture =
+      out_dir + "/cmd_out_" + std::to_string(counter++);
+  const std::string shell = command + " > " + capture + " 2>&1";
+  const int raw = std::system(shell.c_str());
+  CommandResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  return result;
+}
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+std::string OrionCc() { return ORION_CC_BIN; }
+std::string OrionD() { return ORION_D_BIN; }
+
+// Emits a workload's virtual binary for `run` tests.
+std::string EmitWorkload(const std::string& dir, const std::string& name) {
+  const std::string path = dir + "/" + name + ".vcub";
+  const CommandResult emit =
+      RunCmd(OrionCc() + " emit " + name + " -o " + Quoted(path), dir);
+  EXPECT_EQ(emit.exit_code, 0) << emit.output;
+  return path;
+}
+
+int Submit(const std::string& root, const std::string& id,
+           const std::string& workload, const std::string& dir,
+           const std::string& extra = "") {
+  return RunCmd(OrionCc() + " submit " + workload + " --service " + Quoted(root) +
+                 " --id " + id + " --iters 5 " + extra,
+             dir)
+      .exit_code;
+}
+
+// ---- Exit-code table: usage and corruption -------------------------
+
+TEST(CliExitCodes, UsageErrorsExitTwo) {
+  TempDirGuard dir("usage");
+  EXPECT_EQ(RunCmd(OrionCc(), dir.path).exit_code, 2);
+  EXPECT_EQ(RunCmd(OrionCc() + " no-such-command", dir.path).exit_code, 2);
+  EXPECT_EQ(RunCmd(OrionCc() + " submit", dir.path).exit_code, 2);
+  EXPECT_EQ(RunCmd(OrionCc() + " status", dir.path).exit_code, 2);
+  EXPECT_EQ(RunCmd(OrionCc() + " drain", dir.path).exit_code, 2);
+  EXPECT_EQ(RunCmd(OrionD() + " --no-such-flag", dir.path).exit_code, 2);
+  EXPECT_EQ(RunCmd(OrionD(), dir.path).exit_code, 2);  // --root required
+}
+
+TEST(CliExitCodes, FsckSemanticFaultExitsFive) {
+  // A journal whose first record is not the session identity is
+  // semantically corrupt even though every checksum passes.  fsck
+  // returning 0 on this was the audited regression.
+  TempDirGuard dir("fsck_semantic");
+  const std::string session = dir.path + "/session";
+  ASSERT_TRUE(persist::EnsureDir(session).ok());
+  persist::Journal journal(session + "/journal.ojl");
+  ASSERT_TRUE(journal.Append(persist::RecordType::kNote, {1, 2, 3}).ok());
+  const CommandResult fsck =
+      RunCmd(OrionCc() + " fsck " + Quoted(session), dir.path);
+  EXPECT_EQ(fsck.exit_code, 5) << fsck.output;
+  EXPECT_TRUE(fsck.Contains("SEMANTIC FAULT")) << fsck.output;
+}
+
+TEST(CliExitCodes, FsckDoubleIdentityExitsFive) {
+  TempDirGuard dir("fsck_twometa");
+  const std::string session = dir.path + "/session";
+  ASSERT_TRUE(persist::EnsureDir(session).ok());
+  persist::Journal journal(session + "/journal.ojl");
+  ASSERT_TRUE(journal.Append(persist::RecordType::kMeta, {1}).ok());
+  ASSERT_TRUE(journal.Append(persist::RecordType::kMeta, {2}).ok());
+  const CommandResult fsck =
+      RunCmd(OrionCc() + " fsck " + Quoted(session), dir.path);
+  EXPECT_EQ(fsck.exit_code, 5) << fsck.output;
+  EXPECT_TRUE(fsck.Contains("SEMANTIC FAULT")) << fsck.output;
+}
+
+TEST(CliExitCodes, FsckCleanSessionExitsZero) {
+  TempDirGuard dir("fsck_clean");
+  const std::string binary = EmitWorkload(dir.path, "backprop");
+  const std::string session = dir.path + "/session";
+  const CommandResult run =
+      RunCmd(OrionCc() + " run " + Quoted(binary) + " --iters 5 --session " +
+              Quoted(session),
+          dir.path);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const CommandResult fsck =
+      RunCmd(OrionCc() + " fsck " + Quoted(session), dir.path);
+  EXPECT_EQ(fsck.exit_code, 0) << fsck.output;
+  EXPECT_TRUE(fsck.Contains("fsck: clean")) << fsck.output;
+}
+
+TEST(CliExitCodes, ReportOnCorruptArtifactExitsFive) {
+  TempDirGuard dir("report_corrupt");
+  const std::string binary = EmitWorkload(dir.path, "backprop");
+  const std::string session = dir.path + "/session";
+  const CommandResult run =
+      RunCmd(OrionCc() + " run " + Quoted(binary) + " --iters 5 --session " +
+              Quoted(session),
+          dir.path);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  // Flip one byte in every stored artifact: the lock survives but the
+  // binary artifact no longer decodes.
+  std::size_t corrupted = 0;
+  for (const std::string& name : persist::ListDir(session + "/store")) {
+    const std::string path = session + "/store/" + name;
+    Result<std::vector<std::uint8_t>> bytes = persist::ReadFileBytes(path);
+    ASSERT_TRUE(bytes.has_value()) << path;
+    if (bytes->size() < 16) {
+      continue;
+    }
+    (*bytes)[bytes->size() / 2] ^= 0x40;
+    ASSERT_TRUE(persist::WriteFileAtomic(path, *bytes).ok());
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+  const CommandResult report =
+      RunCmd(OrionCc() + " report --session " + Quoted(session), dir.path);
+  EXPECT_EQ(report.exit_code, 5) << report.output;
+}
+
+// ---- Degraded mode (satellite: E2E ENOSPC through orion-cc run) ----
+
+TEST(CliDegraded, EnospcRunCompletesDegradedExitsSix) {
+  TempDirGuard dir("enospc_cold");
+  const std::string binary = EmitWorkload(dir.path, "backprop");
+  const std::string session = dir.path + "/session";
+  // Every durable write fails (ENOSPC from the first byte): the run
+  // must still complete — degraded to in-memory — and say so.
+  const CommandResult run =
+      RunCmd(OrionCc() + " run " + Quoted(binary) + " --iters 5 --session " +
+              Quoted(session) +
+              " --fault-plan 'seed=3,persist.enospc=1.0'",
+          dir.path);
+  EXPECT_EQ(run.exit_code, 6) << run.output;
+  EXPECT_TRUE(run.Contains("DEGRADED")) << run.output;
+  EXPECT_TRUE(run.Contains("final:")) << run.output;  // run did finish
+}
+
+TEST(CliDegraded, EnospcWarmSessionStillServesArtifacts) {
+  TempDirGuard dir("enospc_warm");
+  const std::string binary = EmitWorkload(dir.path, "backprop");
+  const std::string session = dir.path + "/session";
+  const CommandResult cold =
+      RunCmd(OrionCc() + " run " + Quoted(binary) + " --iters 5 --session " +
+              Quoted(session),
+          dir.path);
+  ASSERT_EQ(cold.exit_code, 0) << cold.output;
+  // The disk fills after the session locked: reads still work, so the
+  // warm path serves the locked artifacts untouched and exits clean —
+  // degradation only gates writes.
+  const CommandResult warm =
+      RunCmd(OrionCc() + " run " + Quoted(binary) + " --iters 5 --session " +
+              Quoted(session) +
+              " --fault-plan 'seed=3,persist.enospc=1.0'",
+          dir.path);
+  EXPECT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_TRUE(warm.Contains("warm hit")) << warm.output;
+}
+
+TEST(CliDegraded, DrainUnderCommitEnospcExitsSix) {
+  TempDirGuard dir("enospc_drain");
+  const std::string root = dir.path + "/svc";
+  ASSERT_EQ(Submit(root, "j1", "backprop", dir.path), 0);
+  const CommandResult drain =
+      RunCmd(OrionCc() + " drain --service " + Quoted(root) +
+              " --fault-plan 'seed=9,service.enospc_commit=1.0'",
+          dir.path);
+  EXPECT_EQ(drain.exit_code, 6) << drain.output;
+  EXPECT_TRUE(drain.Contains("DEGRADED")) << drain.output;
+}
+
+// ---- Injected kill = exit 137 --------------------------------------
+
+TEST(CliKill, InjectedKillPointExits137) {
+  TempDirGuard dir("kill_rc");
+  const std::string binary = EmitWorkload(dir.path, "backprop");
+  const CommandResult killed =
+      RunCmd(OrionCc() + " run " + Quoted(binary) + " --iters 5 --session " +
+              Quoted(dir.path + "/session") +
+              " --fault-plan 'seed=1,persist.kill_at=3'",
+          dir.path);
+  EXPECT_EQ(killed.exit_code, 137) << killed.output;
+}
+
+// ---- Service end-to-end over real processes ------------------------
+
+TEST(CliService, SubmitDrainStatusRoundTrip) {
+  TempDirGuard dir("svc_roundtrip");
+  const std::string root = dir.path + "/svc";
+  ASSERT_EQ(Submit(root, "job-a", "srad", dir.path, "--priority 2"), 0);
+  ASSERT_EQ(Submit(root, "job-b", "backprop", dir.path, "--priority 0"), 0);
+  const CommandResult drain = RunCmd(
+      OrionD() + " --root " + Quoted(root) + " --workers 2", dir.path);
+  ASSERT_EQ(drain.exit_code, 0) << drain.output;
+  EXPECT_TRUE(drain.Contains("2 completed")) << drain.output;
+  const CommandResult status =
+      RunCmd(OrionCc() + " status --service " + Quoted(root), dir.path);
+  EXPECT_EQ(status.exit_code, 0) << status.output;
+  EXPECT_TRUE(status.Contains("2 jobs, 2 terminal")) << status.output;
+  const CommandResult one = RunCmd(
+      OrionCc() + " status --service " + Quoted(root) + " --id job-a",
+      dir.path);
+  EXPECT_EQ(one.exit_code, 0) << one.output;
+  EXPECT_TRUE(one.Contains("locked")) << one.output;
+}
+
+TEST(CliService, DaemonKilledThenRestartedFinishesEveryJob) {
+  // The CI chaos-soak step in script form: submit three jobs, kill the
+  // daemon at a seeded durable write (exit 137, torn state on disk),
+  // restart it clean, and require every job terminal.
+  TempDirGuard dir("svc_chaos");
+  const std::string root = dir.path + "/svc";
+  for (const char* id : {"c-1", "c-2", "c-3"}) {
+    ASSERT_EQ(Submit(root, id, "srad", dir.path), 0);
+  }
+  const CommandResult killed =
+      RunCmd(OrionD() + " --root " + Quoted(root) +
+              " --fault-plan 'seed=13,persist.kill_at=7'",
+          dir.path);
+  ASSERT_EQ(killed.exit_code, 137) << killed.output;
+  const CommandResult restarted =
+      RunCmd(OrionD() + " --root " + Quoted(root), dir.path);
+  ASSERT_EQ(restarted.exit_code, 0) << restarted.output;
+  const CommandResult status =
+      RunCmd(OrionCc() + " status --service " + Quoted(root), dir.path);
+  EXPECT_TRUE(status.Contains("3 jobs, 3 terminal")) << status.output;
+  // Killed-then-recovered results are served warm on the next ask: the
+  // shared cache survived the crash fsck-clean.
+  ASSERT_EQ(Submit(root, "c-4", "srad", dir.path), 0);
+  const CommandResult warm =
+      RunCmd(OrionD() + " --root " + Quoted(root), dir.path);
+  EXPECT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_TRUE(warm.Contains("(1 warm)")) << warm.output;
+}
+
+TEST(CliService, EngineFlagFallbackStillWorks) {
+  // kTraceCached is the default engine now; --engine event must remain
+  // a working fallback producing the same locked results.
+  TempDirGuard dir("svc_engine");
+  const std::string binary = EmitWorkload(dir.path, "backprop");
+  const CommandResult traced = RunCmd(
+      OrionCc() + " run " + Quoted(binary) + " --iters 5", dir.path);
+  ASSERT_EQ(traced.exit_code, 0) << traced.output;
+  const CommandResult event =
+      RunCmd(OrionCc() + " run " + Quoted(binary) + " --iters 5 --engine event",
+          dir.path);
+  ASSERT_EQ(event.exit_code, 0) << event.output;
+  // Both print the identical "final:" line (bit-identical engines).
+  const auto FinalLine = [](const std::string& out) {
+    const std::size_t pos = out.find("final:");
+    EXPECT_NE(pos, std::string::npos) << out;
+    return out.substr(pos, out.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(FinalLine(traced.output), FinalLine(event.output));
+}
+
+}  // namespace
+}  // namespace orion

@@ -31,6 +31,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/error.h"
@@ -620,6 +621,60 @@ TEST(PersistSession, IdentityMismatchRefused) {
 
   // The matching identity still opens.
   EXPECT_TRUE(persist::Session::Open(dir.path, TestMeta(0x1)).has_value());
+}
+
+TEST(PersistSession, AdvisoryLockRefusesSecondOpener) {
+  TempDirGuard dir("session_lock");
+  const auto first = persist::Session::Open(dir.path, TestMeta());
+  ASSERT_TRUE(first.has_value());
+  // A second opener — same identity, same process — is refused with a
+  // distinct error class while the first is live: two writers would
+  // interleave journal appends.
+  const auto second = persist::Session::Open(dir.path, TestMeta());
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(second.status().ToString().find("one writer"),
+            std::string::npos);
+  // The refusal left the first opener's lock intact.
+  EXPECT_TRUE(persist::FileExists(dir.path + "/lock"));
+}
+
+TEST(PersistSession, AdvisoryLockReleasedOnClose) {
+  TempDirGuard dir("session_lock_release");
+  {
+    const auto session = persist::Session::Open(dir.path, TestMeta());
+    ASSERT_TRUE(session.has_value());
+    EXPECT_TRUE(persist::FileExists(dir.path + "/lock"));
+  }
+  // Destruction released both halves (registry + lock file): the next
+  // opener proceeds.
+  EXPECT_FALSE(persist::FileExists(dir.path + "/lock"));
+  EXPECT_TRUE(persist::Session::Open(dir.path, TestMeta()).has_value());
+}
+
+TEST(PersistSession, StaleLockFromDeadOwnerIsBroken) {
+  TempDirGuard dir("session_lock_stale");
+  // Create-then-crash: a lock file naming a pid that no longer runs.
+  // (The pid is re-used from a forked child that already exited, so it
+  // is guaranteed dead and guaranteed not ours.)
+  {
+    const auto session = persist::Session::Open(dir.path, TestMeta());
+    ASSERT_TRUE(session.has_value());
+  }
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::_exit(0);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  const std::string stale = std::to_string(child);
+  OverwriteRaw(dir.path + "/lock",
+               std::vector<std::uint8_t>(stale.begin(), stale.end()));
+  // Crash recovery: the dead owner's lock is broken silently and the
+  // open succeeds.
+  const auto session = persist::Session::Open(dir.path, TestMeta());
+  ASSERT_TRUE(session.has_value()) << session.status().ToString();
 }
 
 TEST(PersistSession, SaveLoadArtifactsRoundTrip) {

@@ -1,0 +1,599 @@
+// The tuning-as-a-service daemon (src/service).
+//
+// Covers:
+//
+//   * the wire-free protocol — request/response frame round trips, and
+//     every corruption class (wrong magic, truncation, payload bitflip)
+//     decoding to an error, never to garbage;
+//   * the bounded priority queue — (priority, sequence) ordering,
+//     reject-with-retry-after backpressure under overload (no unbounded
+//     growth, no accepted-then-dropped job), injected queue-full
+//     bursts, and the forced path recovery requeues use;
+//   * the spool — submit/ingest hand-off, and injected bitflips
+//     quarantining the frame aside instead of admitting garbage;
+//   * daemon fault isolation — duplicate idempotency, shared-cache warm
+//     serves, poison-job quarantine via the durable attempt ledger,
+//     deterministic deadline quarantine, and ENOSPC degradation to
+//     read-only cache-serve;
+//   * the chaos-soak matrix (the tentpole guarantee): mixed-priority
+//     job streams over four workloads, the daemon killed at seeded
+//     durable-write points and restarted — after recovery every job is
+//     terminal exactly once, locked results are bit-identical to the
+//     uninterrupted run, and every store fscks clean.  40 kill-point
+//     cells plus 4 injected worker-kill cells.
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "persist/io.h"
+#include "persist/session.h"
+#include "persist/store.h"
+#include "service/daemon.h"
+#include "service/job.h"
+#include "service/protocol.h"
+#include "service/queue.h"
+
+namespace orion {
+namespace {
+
+struct TempDirGuard {
+  explicit TempDirGuard(const std::string& tag) {
+    static int counter = 0;
+    path = ::testing::TempDir() + "orion_service_" +
+           std::to_string(::getpid()) + "_" + tag + "_" +
+           std::to_string(counter++);
+    std::filesystem::remove_all(path);
+  }
+  ~TempDirGuard() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+service::JobSpec Spec(const std::string& id, const std::string& workload,
+                      std::uint32_t priority = 1,
+                      std::uint32_t iterations = 5) {
+  service::JobSpec spec;
+  spec.id = id;
+  spec.workload = workload;
+  spec.priority = priority;
+  spec.iterations = iterations;
+  return spec;
+}
+
+service::DaemonOptions Options(const std::string& root, unsigned workers = 1) {
+  service::DaemonOptions options;
+  options.root = root;
+  options.workers = workers;
+  return options;
+}
+
+FaultPlan Plan(const std::string& spec) {
+  Result<FaultPlan> plan = FaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.has_value()) << plan.status().ToString();
+  return *plan;
+}
+
+// ---- Protocol ------------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTrip) {
+  service::JobSpec spec;
+  spec.id = "job-42";
+  spec.workload = "srad";
+  spec.priority = 7;
+  spec.iterations = 11;
+  spec.probe_k = 3;
+  spec.watchdog_cycles = 123456789ull;
+  spec.deadline_ms = 2.5;
+  const Result<service::JobSpec> decoded =
+      service::DecodeRequest(service::EncodeRequest(spec));
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, spec.id);
+  EXPECT_EQ(decoded->workload, spec.workload);
+  EXPECT_EQ(decoded->priority, spec.priority);
+  EXPECT_EQ(decoded->iterations, spec.iterations);
+  EXPECT_EQ(decoded->probe_k, spec.probe_k);
+  EXPECT_EQ(decoded->watchdog_cycles, spec.watchdog_cycles);
+  EXPECT_EQ(decoded->deadline_ms, spec.deadline_ms);
+}
+
+TEST(ServiceProtocol, ResponseRoundTrip) {
+  service::JobResult result;
+  result.id = "job-9";
+  result.state = service::JobState::kQuarantined;
+  result.workload = "backprop";
+  result.final_version = 2;
+  result.final_tag = "occ=0.625";
+  result.iterations_to_settle = 4;
+  result.steady_ms = 0.125;
+  result.fallback_taken = true;
+  result.warm_hit = true;
+  result.attempts = 3;
+  result.backoff_ms = 1.75;
+  result.error = "poison";
+  const Result<service::JobResult> decoded =
+      service::DecodeResponse(service::EncodeResponse(result));
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, result.id);
+  EXPECT_EQ(decoded->state, result.state);
+  EXPECT_EQ(decoded->final_tag, result.final_tag);
+  EXPECT_EQ(decoded->steady_ms, result.steady_ms);
+  EXPECT_EQ(decoded->fallback_taken, result.fallback_taken);
+  EXPECT_EQ(decoded->warm_hit, result.warm_hit);
+  EXPECT_EQ(decoded->attempts, result.attempts);
+  EXPECT_EQ(decoded->backoff_ms, result.backoff_ms);
+  EXPECT_EQ(decoded->error, result.error);
+}
+
+TEST(ServiceProtocol, CorruptionNeverDecodes) {
+  std::vector<std::uint8_t> frame =
+      service::EncodeRequest(Spec("id", "srad"));
+  // A response magic on a request decode is a type confusion.
+  EXPECT_EQ(service::DecodeResponse(frame).status().code(),
+            StatusCode::kInvalidArgument);
+  // Any payload bitflip fails the checksum.
+  std::vector<std::uint8_t> flipped = frame;
+  flipped[flipped.size() / 2] ^= 0x10;
+  EXPECT_EQ(service::DecodeRequest(flipped).status().code(),
+            StatusCode::kDataLoss);
+  // Truncation is kDataLoss, not a short read of garbage.
+  std::vector<std::uint8_t> truncated(frame.begin(), frame.end() - 3);
+  EXPECT_EQ(service::DecodeRequest(truncated).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// ---- Queue ---------------------------------------------------------
+
+TEST(ServiceQueue, PriorityThenFifoOrdering) {
+  service::JobQueue queue({.capacity = 16, .retry_after_ms = 1});
+  ASSERT_TRUE(queue.Push(Spec("low-1", "srad", 5)).accepted);
+  ASSERT_TRUE(queue.Push(Spec("high-1", "srad", 0)).accepted);
+  ASSERT_TRUE(queue.Push(Spec("mid-1", "srad", 2)).accepted);
+  ASSERT_TRUE(queue.Push(Spec("high-2", "srad", 0)).accepted);
+  queue.Close();
+  std::vector<std::string> order;
+  service::JobSpec spec;
+  while (queue.Pop(&spec)) {
+    order.push_back(spec.id);
+  }
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"high-1", "high-2", "mid-1", "low-1"}));
+}
+
+TEST(ServiceQueue, OverloadRejectsWithBackpressure) {
+  service::JobQueue queue({.capacity = 4, .retry_after_ms = 25});
+  std::size_t accepted = 0, rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    const service::Admission verdict =
+        queue.Push(Spec("job-" + std::to_string(i), "srad"));
+    if (verdict.accepted) {
+      ++accepted;
+    } else {
+      ++rejected;
+      // A rejection is explicit backpressure: retry hint + reason.
+      EXPECT_EQ(verdict.retry_after_ms, 25u);
+      EXPECT_NE(verdict.reason.find("queue full"), std::string::npos);
+    }
+    EXPECT_LE(queue.Size(), 4u);  // never unbounded growth
+  }
+  EXPECT_EQ(accepted, 4u);
+  EXPECT_EQ(rejected, 6u);
+  EXPECT_LE(queue.stats().high_water, 4u);
+  // Every accepted job is poppable — accepted-then-dropped never happens.
+  queue.Close();
+  std::size_t popped = 0;
+  service::JobSpec spec;
+  while (queue.Pop(&spec)) {
+    ++popped;
+  }
+  EXPECT_EQ(popped, accepted);
+  // Capacity freed: a resubmit after the drain is accepted again.
+  EXPECT_FALSE(queue.Push(Spec("late", "srad")).accepted);  // closed
+}
+
+TEST(ServiceQueue, InjectedBurstRejects) {
+  ScopedFaultInjector injector(Plan("seed=11,service.queue_reject=1.0"));
+  service::JobQueue queue({.capacity = 8, .retry_after_ms = 10});
+  const service::Admission verdict = queue.Push(Spec("burst", "srad"));
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.retry_after_ms, 10u);
+  EXPECT_NE(verdict.reason.find("injected"), std::string::npos);
+  // The forced path (recovery requeue) bypasses both capacity and the
+  // injected burst — a durably admitted job never bounces.
+  EXPECT_TRUE(queue.Push(Spec("forced", "srad"), /*force=*/true).accepted);
+}
+
+TEST(ServiceQueue, ForcePushBypassesCapacityOnly) {
+  service::JobQueue queue({.capacity = 1, .retry_after_ms = 1});
+  ASSERT_TRUE(queue.Push(Spec("a", "srad")).accepted);
+  EXPECT_FALSE(queue.Push(Spec("b", "srad")).accepted);
+  EXPECT_TRUE(queue.Push(Spec("c", "srad"), /*force=*/true).accepted);
+  EXPECT_EQ(queue.Size(), 2u);
+}
+
+// ---- Spool ---------------------------------------------------------
+
+TEST(ServiceSpool, SubmitIngestRoundTrip) {
+  TempDirGuard dir("spool_roundtrip");
+  ASSERT_TRUE(service::SpoolSubmit(dir.path, Spec("s1", "srad")).ok());
+  const Result<service::JobSpec> read = service::ReadSpoolRequest(
+      service::SpoolRequestPath(dir.path, "s1"));
+  ASSERT_TRUE(read.has_value()) << read.status().ToString();
+  EXPECT_EQ(read->workload, "srad");
+}
+
+TEST(ServiceSpool, RejectsIdsThatCannotNameFiles) {
+  TempDirGuard dir("spool_badid");
+  EXPECT_EQ(service::SpoolSubmit(dir.path, Spec("", "srad")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service::SpoolSubmit(dir.path, Spec("a/b", "srad")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service::SpoolSubmit(dir.path, Spec(".hidden", "srad")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceSpool, BitflipQuarantinesFrameAside) {
+  TempDirGuard dir("spool_bitflip");
+  ASSERT_TRUE(service::SpoolSubmit(dir.path, Spec("s1", "srad")).ok());
+  {
+    ScopedFaultInjector injector(Plan("seed=5,service.spool_bitflip=1.0"));
+    const Result<service::JobSpec> read = service::ReadSpoolRequest(
+        service::SpoolRequestPath(dir.path, "s1"));
+    // Depending on where the flip lands the frame fails its checksum
+    // (kDataLoss) or its header sanity check (kInvalidArgument); either
+    // way it must never decode.
+    EXPECT_FALSE(read.has_value());
+  }
+  // The daemon ingest pass moves the corrupt frame aside (never
+  // deleted) and admits nothing.
+  service::Daemon daemon(Options(dir.path));
+  ASSERT_TRUE(daemon.Start().ok());
+  {
+    ScopedFaultInjector injector(Plan("seed=5,service.spool_bitflip=1.0"));
+    EXPECT_EQ(daemon.IngestSpool(), 0u);
+  }
+  EXPECT_FALSE(
+      persist::FileExists(service::SpoolRequestPath(dir.path, "s1")));
+  EXPECT_TRUE(persist::FileExists(
+      service::SpoolRequestPath(dir.path, "s1") + ".quarantine"));
+  EXPECT_EQ(daemon.stats().spool_quarantined, 1u);
+}
+
+// ---- Daemon behavior -----------------------------------------------
+
+TEST(ServiceDaemon, MixedPriorityStreamAllTerminal) {
+  TempDirGuard dir("daemon_mixed");
+  service::Daemon daemon(Options(dir.path, /*workers=*/2));
+  ASSERT_TRUE(daemon.Start().ok());
+  ASSERT_TRUE(daemon.Submit(Spec("a", "srad", 2)).accepted);
+  ASSERT_TRUE(daemon.Submit(Spec("b", "backprop", 0)).accepted);
+  ASSERT_TRUE(daemon.Submit(Spec("c", "hotspot", 1)).accepted);
+  daemon.ServeUntilDrained();
+  for (const char* id : {"a", "b", "c"}) {
+    const Result<service::JobResult> job = daemon.Query(id);
+    ASSERT_TRUE(job.has_value()) << id;
+    EXPECT_EQ(job->state, service::JobState::kLocked) << id;
+    EXPECT_FALSE(job->final_tag.empty()) << id;
+    // The terminal record is durable and offline-queryable.
+    const Result<service::JobResult> offline =
+        service::QueryJobDir(dir.path, id);
+    ASSERT_TRUE(offline.has_value()) << id;
+    EXPECT_EQ(offline->steady_ms, job->steady_ms) << id;
+  }
+  EXPECT_EQ(daemon.List().size(), 3u);
+  EXPECT_EQ(daemon.stats().completed, 3u);
+}
+
+TEST(ServiceDaemon, DuplicateSubmitIsIdempotent) {
+  TempDirGuard dir("daemon_dup");
+  service::Daemon daemon(Options(dir.path));
+  ASSERT_TRUE(daemon.Start().ok());
+  ASSERT_TRUE(daemon.Submit(Spec("dup", "backprop")).accepted);
+  const service::Admission again = daemon.Submit(Spec("dup", "backprop"));
+  EXPECT_TRUE(again.accepted);
+  EXPECT_NE(again.reason.find("duplicate"), std::string::npos);
+  daemon.ServeUntilDrained();
+  const Result<service::JobResult> job = daemon.Query("dup");
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->state, service::JobState::kLocked);
+  EXPECT_EQ(job->attempts, 1u);  // one execution, not two
+  EXPECT_EQ(daemon.stats().submitted, 1u);
+  EXPECT_EQ(daemon.stats().duplicates, 1u);
+}
+
+TEST(ServiceDaemon, SharedCacheServesSecondJobWarm) {
+  TempDirGuard dir("daemon_warm");
+  service::Daemon daemon(Options(dir.path));  // workers=1: deterministic
+  ASSERT_TRUE(daemon.Start().ok());
+  ASSERT_TRUE(daemon.Submit(Spec("cold", "srad", 0)).accepted);
+  ASSERT_TRUE(daemon.Submit(Spec("warm", "srad", 1)).accepted);
+  daemon.ServeUntilDrained();
+  const Result<service::JobResult> cold = daemon.Query("cold");
+  const Result<service::JobResult> warm = daemon.Query("warm");
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_FALSE(cold->warm_hit);
+  EXPECT_TRUE(warm->warm_hit);
+  // A warm serve answers identically to the cold tuning.
+  EXPECT_EQ(warm->final_version, cold->final_version);
+  EXPECT_EQ(warm->final_tag, cold->final_tag);
+  EXPECT_EQ(warm->steady_ms, cold->steady_ms);
+  EXPECT_EQ(warm->iterations_to_settle, cold->iterations_to_settle);
+  EXPECT_EQ(daemon.stats().warm_hits, 1u);
+  EXPECT_GT(daemon.cache_stats().hits, 0u);
+}
+
+TEST(ServiceDaemon, UnknownWorkloadQuarantinesWithoutRetry) {
+  TempDirGuard dir("daemon_badwork");
+  service::Daemon daemon(Options(dir.path));
+  ASSERT_TRUE(daemon.Start().ok());
+  ASSERT_TRUE(daemon.Submit(Spec("bad", "no-such-workload")).accepted);
+  daemon.ServeUntilDrained();
+  const Result<service::JobResult> job = daemon.Query("bad");
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->state, service::JobState::kQuarantined);
+  EXPECT_EQ(job->attempts, 1u);  // deterministic failure: no retries
+  EXPECT_FALSE(job->error.empty());
+  EXPECT_TRUE(
+      persist::FileExists(dir.path + "/jobs/bad/quarantine"));
+}
+
+TEST(ServiceDaemon, DeadlineViolationIsDeterministicQuarantine) {
+  TempDirGuard dir("daemon_deadline");
+  service::Daemon daemon(Options(dir.path));
+  ASSERT_TRUE(daemon.Start().ok());
+  service::JobSpec strict = Spec("strict", "backprop");
+  strict.deadline_ms = 1e-6;  // no tuning run fits this budget
+  ASSERT_TRUE(daemon.Submit(strict).accepted);
+  service::JobSpec strict2 = Spec("strict2", "backprop");
+  strict2.deadline_ms = 1e-6;
+  ASSERT_TRUE(daemon.Submit(strict2).accepted);
+  daemon.ServeUntilDrained();
+  for (const char* id : {"strict", "strict2"}) {
+    const Result<service::JobResult> job = daemon.Query(id);
+    ASSERT_TRUE(job.has_value()) << id;
+    EXPECT_EQ(job->state, service::JobState::kQuarantined) << id;
+    EXPECT_NE(job->error.find("deadline exceeded"), std::string::npos)
+        << id;
+    EXPECT_EQ(job->attempts, 1u) << id;
+  }
+  // The failed budget never fed the shared cache — no later job can
+  // warm-hit its way past the deadline.
+  EXPECT_EQ(daemon.stats().warm_hits, 0u);
+}
+
+TEST(ServiceDaemon, RejectsInvalidSpecsWithoutRetryHint) {
+  TempDirGuard dir("daemon_badspec");
+  service::Daemon daemon(Options(dir.path));
+  ASSERT_TRUE(daemon.Start().ok());
+  for (const auto& spec :
+       {Spec("", "srad"), Spec("a/b", "srad"), Spec(".dot", "srad"),
+        Spec("ok", "")}) {
+    const service::Admission verdict = daemon.Submit(spec);
+    EXPECT_FALSE(verdict.accepted);
+    EXPECT_EQ(verdict.retry_after_ms, 0u);  // retrying cannot help
+  }
+  daemon.ServeUntilDrained();
+  EXPECT_TRUE(daemon.List().empty());
+}
+
+TEST(ServiceDaemon, EnospcCommitDegradesToCacheServe) {
+  TempDirGuard dir("daemon_enospc");
+  service::Daemon daemon(Options(dir.path));
+  ASSERT_TRUE(daemon.Start().ok());
+  ASSERT_TRUE(daemon.Submit(Spec("j1", "backprop")).accepted);
+  {
+    ScopedFaultInjector injector(Plan("seed=9,service.enospc_commit=1.0"));
+    daemon.ServeUntilDrained();
+  }
+  EXPECT_TRUE(daemon.degraded());
+  // The in-memory result still serves queries for this daemon's life.
+  const Result<service::JobResult> job = daemon.Query("j1");
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->state, service::JobState::kLocked);
+  // ...but the durable record is gone, and new admissions are refused
+  // with an explicit degraded rejection carrying a retry hint.
+  EXPECT_FALSE(persist::FileExists(dir.path + "/jobs/j1/result"));
+  const service::Admission verdict = daemon.Submit(Spec("j2", "backprop"));
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_GT(verdict.retry_after_ms, 0u);
+  EXPECT_NE(verdict.reason.find("degraded"), std::string::npos);
+  // A restarted daemon (with space back) finishes the job for real.
+  service::Daemon restarted(Options(dir.path));
+  ASSERT_TRUE(restarted.Start().ok());
+  restarted.ServeUntilDrained();
+  const Result<service::JobResult> redone = restarted.Query("j1");
+  ASSERT_TRUE(redone.has_value());
+  EXPECT_EQ(redone->state, service::JobState::kLocked);
+  EXPECT_TRUE(persist::FileExists(dir.path + "/jobs/j1/result"));
+}
+
+TEST(ServiceDaemon, PoisonJobQuarantinedAfterRepeatedCrashes) {
+  TempDirGuard dir("daemon_poison");
+  // Every daemon life is killed at the first job start; the durable
+  // attempt ledger accumulates one charge per life.
+  for (int life = 0; life < 3; ++life) {
+    service::Daemon daemon(Options(dir.path));
+    ASSERT_TRUE(daemon.Start().ok());
+    if (life == 0) {
+      ASSERT_TRUE(daemon.Submit(Spec("poison", "srad")).accepted);
+    }
+    ScopedFaultInjector injector(Plan("seed=2,service.kill_at_job=1"));
+    EXPECT_THROW(daemon.ServeUntilDrained(), persist::SimulatedCrash);
+  }
+  EXPECT_EQ(persist::FileSize(dir.path + "/jobs/poison/attempts"), 3u);
+  // The next recovery sees a full ledger and quarantines durably —
+  // the poison job can no longer crash-loop the daemon.
+  service::Daemon daemon(Options(dir.path));
+  ASSERT_TRUE(daemon.Start().ok());
+  const Result<service::JobResult> job = daemon.Query("poison");
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->state, service::JobState::kQuarantined);
+  EXPECT_EQ(job->attempts, 3u);
+  EXPECT_NE(job->error.find("poison"), std::string::npos);
+  EXPECT_TRUE(persist::FileExists(dir.path + "/jobs/poison/quarantine"));
+  EXPECT_EQ(daemon.stats().poison_quarantined, 1u);
+  // And the daemon serves other work normally afterwards.
+  ASSERT_TRUE(daemon.Submit(Spec("healthy", "backprop")).accepted);
+  daemon.ServeUntilDrained();
+  EXPECT_EQ(daemon.Query("healthy")->state, service::JobState::kLocked);
+}
+
+// ---- Chaos-soak matrix ---------------------------------------------
+
+struct StreamJob {
+  service::JobSpec spec;
+};
+
+using Stream = std::vector<service::JobSpec>;
+
+// Runs `stream` to completion in a fresh root with no faults; the
+// terminal results are the reference every chaos cell must reproduce.
+std::vector<service::JobResult> ReferenceResults(const Stream& stream,
+                                                 const std::string& root) {
+  service::Daemon daemon(Options(root));
+  EXPECT_TRUE(daemon.Start().ok());
+  for (const service::JobSpec& spec : stream) {
+    EXPECT_TRUE(daemon.Submit(spec).accepted) << spec.id;
+  }
+  daemon.ServeUntilDrained();
+  std::vector<service::JobResult> results;
+  for (const service::JobSpec& spec : stream) {
+    Result<service::JobResult> job = daemon.Query(spec.id);
+    EXPECT_TRUE(job.has_value()) << spec.id;
+    results.push_back(*job);
+  }
+  return results;
+}
+
+// One chaos cell: submit the stream and serve under a fault plan that
+// kills the daemon at a seeded point; restart clean, resubmit the
+// stream (the client retry loop), drain, and assert that every job is
+// terminal exactly once with the reference's locked values and that
+// every store fscks clean.
+void RunChaosCell(const Stream& stream,
+                  const std::vector<service::JobResult>& reference,
+                  const std::string& plan, const std::string& root) {
+  std::filesystem::remove_all(root);
+  bool crashed = false;
+  {
+    ScopedFaultInjector injector(Plan(plan));
+    try {
+      service::Daemon daemon(Options(root));
+      ASSERT_TRUE(daemon.Start().ok());
+      for (const service::JobSpec& spec : stream) {
+        daemon.Submit(spec);
+      }
+      daemon.ServeUntilDrained();
+    } catch (const persist::SimulatedCrash&) {
+      crashed = true;
+    }
+  }
+  // Restart with no injector; the client resubmits everything it ever
+  // asked for (idempotent — already-admitted ids are duplicates).
+  service::Daemon daemon(Options(root));
+  ASSERT_TRUE(daemon.Start().ok()) << plan;
+  for (const service::JobSpec& spec : stream) {
+    daemon.Submit(spec);
+  }
+  daemon.ServeUntilDrained();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const std::string& id = stream[i].id;
+    SCOPED_TRACE(plan + " job " + id + (crashed ? " (crashed)" : ""));
+    const Result<service::JobResult> job = daemon.Query(id);
+    ASSERT_TRUE(job.has_value());
+    ASSERT_TRUE(service::IsTerminal(job->state));
+    // Exactly one terminal record — a result and a quarantine for the
+    // same job would be a double commit.
+    EXPECT_FALSE(persist::FileExists(root + "/jobs/" + id + "/result") &&
+                 persist::FileExists(root + "/jobs/" + id + "/quarantine"));
+    // Bit-identical locked values vs the uninterrupted run (warm_hit
+    // and attempts legitimately differ across crash schedules).
+    EXPECT_EQ(job->state, reference[i].state) << job->error;
+    EXPECT_EQ(job->final_version, reference[i].final_version);
+    EXPECT_EQ(job->final_tag, reference[i].final_tag);
+    EXPECT_EQ(job->steady_ms, reference[i].steady_ms);
+    EXPECT_EQ(job->iterations_to_settle, reference[i].iterations_to_settle);
+    // The job's private store survived the chaos fsck-clean.
+    persist::ArtifactStore store(root + "/jobs/" + id + "/session/store");
+    EXPECT_TRUE(store.Fsck().Clean());
+  }
+  // The shared cache fscks clean too.
+  persist::ArtifactStore cache(root + "/cache");
+  EXPECT_TRUE(cache.Fsck().Clean());
+}
+
+// 10 seeded durable-write kill points per stream; the early points land
+// in admission records and ledger appends, the later ones inside the
+// per-job session journals, artifact puts and result commits.
+const std::vector<int>& KillPoints() {
+  static const std::vector<int> points = {1, 2, 3, 5, 7, 9, 11, 14, 17, 20};
+  return points;
+}
+
+void RunKillPointCells(const Stream& stream, const std::string& tag) {
+  TempDirGuard ref_dir("chaos_ref_" + tag);
+  const std::vector<service::JobResult> reference =
+      ReferenceResults(stream, ref_dir.path);
+  TempDirGuard cell_dir("chaos_cell_" + tag);
+  for (int k : KillPoints()) {
+    RunChaosCell(stream, reference,
+                 "seed=13,persist.kill_at=" + std::to_string(k),
+                 cell_dir.path);
+  }
+}
+
+TEST(ServiceChaosMatrix, SradMixedPriorities) {
+  RunKillPointCells(
+      {Spec("s-a", "srad", 2), Spec("s-b", "srad", 0), Spec("s-c", "srad", 1)},
+      "srad");
+}
+
+TEST(ServiceChaosMatrix, BackpropHotspotMatrixmul) {
+  RunKillPointCells({Spec("m-a", "backprop", 1), Spec("m-b", "hotspot", 0),
+                     Spec("m-c", "matrixmul", 2)},
+                    "mixed");
+}
+
+TEST(ServiceChaosMatrix, HotspotWithWarmSiblings) {
+  // Two same-content jobs: the warm-serve path itself is crashed into.
+  RunKillPointCells({Spec("h-a", "hotspot", 0), Spec("h-b", "hotspot", 1),
+                     Spec("h-c", "matrixmul", 1)},
+                    "warm");
+}
+
+TEST(ServiceChaosMatrix, BackpropSradInterleaved) {
+  RunKillPointCells({Spec("i-a", "backprop", 0), Spec("i-b", "srad", 1)},
+                    "interleaved");
+}
+
+TEST(ServiceChaosMatrix, WorkerKillCells) {
+  // 4 cells driven by the service-level kill hook (Nth attempt start)
+  // instead of the persist durable-write counter.
+  const Stream stream = {Spec("w-a", "backprop", 0), Spec("w-b", "hotspot", 1)};
+  TempDirGuard ref_dir("chaos_ref_worker");
+  const std::vector<service::JobResult> reference =
+      ReferenceResults(stream, ref_dir.path);
+  TempDirGuard cell_dir("chaos_cell_worker");
+  for (int j : {1, 2}) {
+    RunChaosCell(stream, reference,
+                 "seed=17,service.kill_at_job=" + std::to_string(j),
+                 cell_dir.path);
+    RunChaosCell(stream, reference,
+                 "seed=23,service.kill_at_job=" + std::to_string(j) +
+                     ",persist.kill_at=9",
+                 cell_dir.path);
+  }
+}
+
+}  // namespace
+}  // namespace orion

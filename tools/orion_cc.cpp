@@ -32,13 +32,26 @@
 //                                                (response curve, stall
 //                                                shift, bottleneck verdict);
 //                                                writes analysis.json
+//   orion-cc submit <workload> --service ROOT    spool a tuning job for
+//                --id ID                         orion-d (wire-free
+//                                                protocol frame; see
+//                                                docs/SERVICE.md)
+//   orion-cc status --service ROOT [--id ID]     job states from the
+//                                                durable records (no
+//                                                live daemon needed)
+//   orion-cc drain --service ROOT                run one daemon pass
+//                                                inline: recover, ingest
+//                                                the spool, serve until
+//                                                drained
 //
 // Common flags: --gpu gtx680|c2075 (default gtx680),
 //               --cache sc|lc      (default sc),
-//               --engine reference|event|traced (default event) —
+//               --engine reference|event|traced (default traced) —
 //               which simulator engine backs sweep/run/emit-driven
 //               launches, so all three engines can be A/B'd from the
-//               CLI (see docs/SIMULATOR.md).
+//               CLI (see docs/SIMULATOR.md).  All engines are
+//               bit-identical; traced is the fast default and
+//               --engine event restores the pre-cache engine.
 //
 // Observability flags (any command; see docs/OBSERVABILITY.md):
 //   --trace FILE        enable telemetry and export the trace to FILE
@@ -71,6 +84,9 @@
 //        trips and the run fell back to the original version
 //   5    journal/store corruption — the session history cannot be
 //        trusted (mid-file journal damage, unrecoverable store state)
+//   6    degraded — the run completed (warm artifacts still served)
+//        but durability was lost mid-run (ENOSPC); only returned when
+//        the run would otherwise exit 0
 //   137  injected crash (persist.kill_at kill-point fired)
 //
 // Validation flags (run/validate commands; see docs/VALIDATION.md):
@@ -111,6 +127,8 @@
 #include "isa/binary.h"
 #include "isa/verifier.h"
 #include "runtime/launcher.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
 #include "sim/gpu_sim.h"
 #include "sim/report.h"
 #include "telemetry/export.h"
@@ -129,13 +147,15 @@ constexpr int kExitUsage = 2;
 constexpr int kExitValidationReject = 3;
 constexpr int kExitWatchdogAbort = 4;
 constexpr int kExitCorruption = 5;
+constexpr int kExitDegraded = 6;
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: orion-cc <asm|dis|info|tune|sweep|run|validate|emit"
-               "|fsck|profile|report> <input> "
+               "|fsck|profile|report|submit|status|drain> <input> "
                "[-o out] [--gpu gtx680|c2075] [--cache sc|lc] "
-               "[--engine reference|event|traced] [--iters N]\n"
+               "[--engine reference|event|traced (default traced)] "
+               "[--iters N]\n"
                "       observability: [--trace FILE] "
                "[--trace-format json|chrome|summary] [--metrics] "
                "[--log-level error|warn|info|debug]\n"
@@ -165,6 +185,19 @@ void PrintUsage(std::FILE* out) {
                "decisions, quarantines,\n"
                "                 and a bottleneck verdict (trace_check "
                "--analysis).\n"
+               "  submit W       spool a tuning job for orion-d: "
+               "--service ROOT --id ID\n"
+               "                 [--priority P] [--iters N] [--probe-k K] "
+               "[--watchdog N]\n"
+               "                 [--deadline-ms X] (docs/SERVICE.md).\n"
+               "  status         print job states from the durable "
+               "records under --service ROOT\n"
+               "                 (add --id ID for one job; works without "
+               "a live daemon).\n"
+               "  drain          one inline daemon pass over --service "
+               "ROOT: recover, ingest\n"
+               "                 the spool, serve until drained "
+               "[--workers N].\n"
                "\n"
                "exit codes (run/validate/fsck):\n"
                "  0    clean lock — tuning completed and locked a version\n"
@@ -178,6 +211,9 @@ void PrintUsage(std::FILE* out) {
                "       to the original version)\n"
                "  5    journal/store corruption — session history cannot "
                "be trusted\n"
+               "  6    degraded — run completed but durability was lost "
+               "mid-run (ENOSPC);\n"
+               "       warm artifacts are still served\n"
                "  137  injected crash (persist.kill_at kill-point "
                "fired)\n");
 }
@@ -219,7 +255,7 @@ struct Args {
   std::string output;
   std::string gpu = "gtx680";
   std::string cache = "sc";
-  sim::SimEngine engine = sim::SimEngine::kEventDriven;
+  sim::SimEngine engine = sim::SimEngine::kTraceCached;
   std::uint32_t iters = 16;
   std::string fault_plan;             // empty = no injector
   std::uint64_t watchdog_cycles = 0;  // 0 = watchdog off
@@ -233,6 +269,12 @@ struct Args {
   std::string trace_format = "json";  // json | chrome | summary
   bool metrics = false;
   std::string log_level = "warn";
+  // Service (submit/status/drain; see docs/SERVICE.md).
+  std::string service;                // service root directory
+  std::string job_id;                 // submit/status job id
+  std::uint32_t priority = 1;         // submit: 0 = highest
+  double deadline_ms = 0.0;           // submit: simulated budget (0 = none)
+  unsigned workers = 1;               // drain: worker pool width
 };
 
 Args Parse(int argc, char** argv) {
@@ -294,6 +336,16 @@ Args Parse(int argc, char** argv) {
       args.metrics = true;
     } else if (flag == "--log-level") {
       args.log_level = value();
+    } else if (flag == "--service") {
+      args.service = value();
+    } else if (flag == "--id") {
+      args.job_id = value();
+    } else if (flag == "--priority") {
+      args.priority = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = std::stod(value());
+    } else if (flag == "--workers") {
+      args.workers = static_cast<unsigned>(std::stoul(value()));
     } else {
       Usage();
     }
@@ -606,8 +658,15 @@ int CmdRun(const Args& args) {
                     ? " (DEGRADED: journaling disabled mid-run)"
                     : "");
   }
-  return RunExitCode(binary, result.health.fallback_taken,
-                     result.health.watchdog_trips);
+  const int rc = RunExitCode(binary, result.health.fallback_taken,
+                             result.health.watchdog_trips);
+  // Degradation (ENOSPC mid-run) reports exit 6, but only when the run
+  // is otherwise clean — a validation-reject or watchdog-abort verdict
+  // outranks the durability warning.
+  if (rc == kExitCleanLock && session != nullptr && session->degraded()) {
+    return kExitDegraded;
+  }
+  return rc;
 }
 
 int CmdValidate(const Args& args) {
@@ -671,6 +730,27 @@ int CmdFsck(const Args& args) {
                   static_cast<unsigned long long>(scan->truncated_bytes));
     }
     std::printf("\n");
+    // Semantic pass: a checksum-clean journal can still be one Open()
+    // would refuse — the identity record must come first and exactly
+    // once.  fsck must never pass a journal the recovery path rejects.
+    std::size_t meta_records = 0;
+    for (const persist::JournalRecord& record : scan->records) {
+      if (record.type == persist::RecordType::kMeta) {
+        ++meta_records;
+      }
+    }
+    if (!scan->records.empty() &&
+        scan->records.front().type != persist::RecordType::kMeta) {
+      std::printf("journal: SEMANTIC FAULT — first record is %s, not the "
+                  "session identity\n",
+                  persist::RecordTypeName(scan->records.front().type));
+      corrupt = true;
+    } else if (meta_records > 1) {
+      std::printf("journal: SEMANTIC FAULT — %zu identity records (a "
+                  "second meta means two sessions interleaved)\n",
+                  meta_records);
+      corrupt = true;
+    }
   }
   std::printf("fsck: %s\n", corrupt ? "FAILED" : "clean");
   return corrupt ? kExitCorruption : 0;
@@ -772,7 +852,14 @@ int CmdReport(const Args& args) {
   if (!binary.has_value()) {
     std::fprintf(stderr, "orion-cc: session binary artifact unusable: %s\n",
                  binary.status().ToString().c_str());
-    return kExitError;
+    // A corrupt artifact surfaces either as kDataLoss here or — when
+    // Open's store fsck already quarantined the record — as a miss with
+    // a dirty fsck report.  Both mean the session history cannot be
+    // trusted: exit 5, not the generic error.
+    return binary.status().code() == StatusCode::kDataLoss ||
+                   !session.fsck_report().Clean()
+               ? kExitCorruption
+               : kExitError;
   }
   // GPU and cache config come from the session identity, not from
   // flags: the analysis must describe the run that wrote the journal.
@@ -814,6 +901,134 @@ int CmdReport(const Args& args) {
   return 0;
 }
 
+// ---- Service commands (docs/SERVICE.md) ----------------------------
+
+void PrintJob(const service::JobResult& job) {
+  std::printf("job %-16s %-11s", job.id.c_str(), service::JobStateName(job.state));
+  if (job.state == service::JobState::kLocked) {
+    std::printf(" %-12s -> %s, steady %.4f ms, %u attempt%s%s",
+                job.workload.c_str(), job.final_tag.c_str(), job.steady_ms,
+                job.attempts, job.attempts == 1 ? "" : "s",
+                job.warm_hit ? " (warm)" : "");
+  } else if (!job.workload.empty()) {
+    std::printf(" %-12s", job.workload.c_str());
+  }
+  if (!job.error.empty()) {
+    std::printf(" — %s", job.error.c_str());
+  }
+  std::printf("\n");
+}
+
+// Spools one tuning job for orion-d.  Submission is fire-and-forget:
+// the frame sits in <root>/spool until a daemon pass ingests it.
+int CmdSubmit(const Args& args) {
+  if (args.input.empty() || args.service.empty() || args.job_id.empty()) {
+    std::fprintf(stderr,
+                 "orion-cc: submit requires <workload> --service ROOT "
+                 "--id ID\n");
+    Usage();
+  }
+  service::JobSpec spec;
+  spec.id = args.job_id;
+  spec.workload = args.input;
+  spec.priority = args.priority;
+  spec.iterations = args.iters;
+  spec.probe_k = args.probe_k;
+  spec.watchdog_cycles = args.watchdog_cycles;
+  spec.deadline_ms = args.deadline_ms;
+  const Status spooled = service::SpoolSubmit(args.service, spec);
+  if (!spooled.ok()) {
+    std::fprintf(stderr, "orion-cc: submit: %s\n",
+                 spooled.ToString().c_str());
+    return spooled.code() == StatusCode::kInvalidArgument ? kExitUsage
+                                                          : kExitError;
+  }
+  std::printf("submitted: %s (workload %s, priority %u) -> %s\n",
+              spec.id.c_str(), spec.workload.c_str(), spec.priority,
+              service::SpoolRequestPath(args.service, spec.id).c_str());
+  return 0;
+}
+
+// Job states straight from the durable records — no live daemon needed.
+int CmdStatus(const Args& args) {
+  if (args.service.empty()) {
+    std::fprintf(stderr, "orion-cc: status requires --service ROOT\n");
+    Usage();
+  }
+  if (!args.job_id.empty()) {
+    Result<service::JobResult> job =
+        service::QueryJobDir(args.service, args.job_id);
+    if (!job.has_value()) {
+      std::fprintf(stderr, "orion-cc: status: %s\n",
+                   job.status().ToString().c_str());
+      return job.status().code() == StatusCode::kDataLoss ? kExitCorruption
+                                                          : kExitError;
+    }
+    PrintJob(*job);
+    return job->state == service::JobState::kQuarantined &&
+                   !job->error.empty() && job->error.find("unreadable") !=
+                                              std::string::npos
+               ? kExitCorruption
+               : 0;
+  }
+  std::size_t terminal = 0;
+  const std::vector<service::JobResult> jobs =
+      service::ListJobDirs(args.service);
+  for (const service::JobResult& job : jobs) {
+    PrintJob(job);
+    if (service::IsTerminal(job.state)) {
+      ++terminal;
+    }
+  }
+  std::printf("status: %zu jobs, %zu terminal\n", jobs.size(), terminal);
+  return 0;
+}
+
+// One inline daemon pass, for scripts and tests that don't want a
+// long-lived orion-d: recover, ingest the spool, serve until drained.
+int CmdDrain(const Args& args) {
+  if (args.service.empty()) {
+    std::fprintf(stderr, "orion-cc: drain requires --service ROOT\n");
+    Usage();
+  }
+  std::optional<ScopedFaultInjector> injector;
+  if (!args.fault_plan.empty()) {
+    Result<FaultPlan> fault_plan = FaultPlan::Parse(args.fault_plan);
+    if (!fault_plan.has_value()) {
+      throw OrionError("bad --fault-plan: " + fault_plan.status().ToString());
+    }
+    std::printf("fault plan: %s\n", fault_plan->ToString().c_str());
+    injector.emplace(*fault_plan);
+  }
+  service::DaemonOptions options;
+  options.root = args.service;
+  options.workers = args.workers;
+  options.gpu = args.gpu;
+  options.cache = Cache(args);
+  options.engine = args.engine;
+  service::Daemon daemon(options);
+  const Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "orion-cc: drain: %s\n", started.ToString().c_str());
+    return kExitError;
+  }
+  const std::size_t ingested = daemon.IngestSpool();
+  daemon.ServeUntilDrained();
+  const service::DaemonStats stats = daemon.stats();
+  std::printf("drain: %zu ingested, %llu requeued, %llu completed, %llu "
+              "quarantined, %llu warm hits\n",
+              ingested, static_cast<unsigned long long>(stats.requeued),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.quarantined),
+              static_cast<unsigned long long>(stats.warm_hits));
+  if (daemon.degraded()) {
+    std::printf("drain: DEGRADED (read-only cache-serve; restart with "
+                "space to resume admissions)\n");
+    return kExitDegraded;
+  }
+  return 0;
+}
+
 // Exports the collected trace after the command ran.  Failures here are
 // diagnostics-only: they must not turn a successful run into a failure.
 void ExportTelemetry(const Args& args) {
@@ -852,6 +1067,9 @@ int Dispatch(const Args& args) {
   if (args.command == "fsck") return CmdFsck(args);
   if (args.command == "profile") return CmdProfile(args);
   if (args.command == "report") return CmdReport(args);
+  if (args.command == "submit") return CmdSubmit(args);
+  if (args.command == "status") return CmdStatus(args);
+  if (args.command == "drain") return CmdDrain(args);
   Usage();
 }
 

@@ -1,0 +1,235 @@
+// orion-d — the Orion tuning-as-a-service daemon (docs/SERVICE.md).
+//
+// One-shot by default: recover the service root, ingest the job spool,
+// serve until the queue drains, print a summary, exit.  That shape is
+// deliberately crash-equivalent to a long-lived daemon that dies and
+// restarts — the chaos-soak matrix kills it at seeded points and
+// re-runs it, asserting every admitted job still reaches a terminal
+// state exactly once.
+//
+//   orion-d --root DIR [--workers N] [--gpu gtx680|c2075] [--cache sc|lc]
+//           [--engine reference|event|traced] [--max-attempts N]
+//           [--capacity N] [--retry-after-ms N] [--fault-plan SPEC]
+//           [--watch [--idle-exit N]] [--log-level L]
+//
+// --watch polls: repeated recover+ingest+drain passes until N
+// consecutive passes find nothing to do.
+//
+// Exit codes (the service chaos-soak asserts on them):
+//   0    every ingested job reached a terminal state
+//   1    startup or recovery error
+//   2    usage error
+//   6    degraded — jobs were served but durability was lost (ENOSPC);
+//        restart with space to resume admissions
+//   137  injected crash (a persist.kill_at / service.kill_at_job
+//        kill-point fired)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/log.h"
+#include "persist/io.h"
+#include "service/daemon.h"
+#include "sim/gpu_sim.h"
+
+namespace {
+
+using namespace orion;
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDegraded = 6;
+
+struct Options {
+  std::string root;
+  unsigned workers = 1;
+  std::string gpu = "gtx680";
+  std::string cache = "sc";
+  sim::SimEngine engine = sim::SimEngine::kTraceCached;
+  std::uint32_t max_attempts = 3;
+  std::size_t capacity = 64;
+  std::uint64_t retry_after_ms = 50;
+  std::string fault_plan;
+  bool watch = false;
+  unsigned idle_exit = 3;
+  std::string log_level = "warn";
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: orion-d --root DIR [--workers N] [--gpu gtx680|c2075]\n"
+      "               [--cache sc|lc] [--engine reference|event|traced]\n"
+      "               [--max-attempts N] [--capacity N] "
+      "[--retry-after-ms N]\n"
+      "               [--fault-plan SPEC] [--watch [--idle-exit N]]\n"
+      "               [--log-level error|warn|info|debug]\n"
+      "\n"
+      "One daemon pass: recover the root, ingest <root>/spool, serve "
+      "until the\n"
+      "queue drains.  --watch repeats until --idle-exit consecutive "
+      "empty passes.\n"
+      "Exit codes: 0 drained, 1 error, 2 usage, 6 degraded (ENOSPC), "
+      "137 injected\n"
+      "crash.  See docs/SERVICE.md.\n");
+}
+
+[[noreturn]] void Usage() {
+  PrintUsage(stderr);
+  std::exit(kExitUsage);
+}
+
+Options Parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      return argv[++i];
+    };
+    if (flag == "--root") {
+      options.root = value();
+    } else if (flag == "--workers") {
+      options.workers = static_cast<unsigned>(std::stoul(value()));
+    } else if (flag == "--gpu") {
+      options.gpu = value();
+    } else if (flag == "--cache") {
+      options.cache = value();
+    } else if (flag == "--engine") {
+      if (!sim::ParseSimEngine(value(), &options.engine)) {
+        Usage();
+      }
+    } else if (flag == "--max-attempts") {
+      options.max_attempts = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--capacity") {
+      options.capacity = static_cast<std::size_t>(std::stoul(value()));
+    } else if (flag == "--retry-after-ms") {
+      options.retry_after_ms = std::stoull(value());
+    } else if (flag == "--fault-plan") {
+      options.fault_plan = value();
+    } else if (flag == "--watch") {
+      options.watch = true;
+    } else if (flag == "--idle-exit") {
+      options.idle_exit = static_cast<unsigned>(std::stoul(value()));
+    } else if (flag == "--log-level") {
+      options.log_level = value();
+    } else {
+      Usage();
+    }
+  }
+  if (options.root.empty()) {
+    Usage();
+  }
+  return options;
+}
+
+service::DaemonOptions ToDaemonOptions(const Options& options) {
+  service::DaemonOptions daemon;
+  daemon.root = options.root;
+  daemon.workers = options.workers;
+  daemon.queue.capacity = options.capacity;
+  daemon.queue.retry_after_ms = options.retry_after_ms;
+  daemon.max_attempts = options.max_attempts;
+  daemon.gpu = options.gpu;
+  daemon.cache = options.cache == "lc" ? arch::CacheConfig::kLargeCache
+                                       : arch::CacheConfig::kSmallCache;
+  daemon.engine = options.engine;
+  return daemon;
+}
+
+struct PassOutcome {
+  std::size_t ingested = 0;
+  std::uint64_t requeued = 0;
+  bool degraded = false;
+};
+
+// One recover+ingest+drain pass; a fresh Daemon each time keeps every
+// pass crash-equivalent to a daemon restart.
+Result<PassOutcome> RunPass(const Options& options) {
+  service::Daemon daemon(ToDaemonOptions(options));
+  ORION_RETURN_IF_ERROR(daemon.Start());
+  PassOutcome outcome;
+  outcome.ingested = daemon.IngestSpool();
+  daemon.ServeUntilDrained();
+  const service::DaemonStats stats = daemon.stats();
+  outcome.requeued = stats.requeued;
+  outcome.degraded = daemon.degraded();
+  const persist::ArtifactStore::Stats cache = daemon.cache_stats();
+  std::printf(
+      "orion-d: %zu ingested, %llu requeued, %llu completed (%llu warm), "
+      "%llu quarantined, cache %llu/%llu hits%s\n",
+      outcome.ingested, static_cast<unsigned long long>(stats.requeued),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.warm_hits),
+      static_cast<unsigned long long>(stats.quarantined),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.hits + cache.misses),
+      outcome.degraded ? " [DEGRADED: read-only cache-serve]" : "");
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  // Injected kill-points end the process like SIGKILL (exit 137, no
+  // cleanup) — the on-disk state is exactly what a real crash leaves.
+  persist::SetCrashMode(persist::CrashMode::kExit);
+  try {
+    const Options options = Parse(argc, argv);
+    log::Level level = log::Level::kWarn;
+    if (!log::ParseLevel(options.log_level, &level)) {
+      Usage();
+    }
+    log::SetLevel(level);
+    std::optional<ScopedFaultInjector> injector;
+    if (!options.fault_plan.empty()) {
+      Result<FaultPlan> plan = FaultPlan::Parse(options.fault_plan);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "orion-d: bad --fault-plan: %s\n",
+                     plan.status().ToString().c_str());
+        return kExitUsage;
+      }
+      std::printf("fault plan: %s\n", plan->ToString().c_str());
+      injector.emplace(*plan);
+    }
+    unsigned idle_passes = 0;
+    while (true) {
+      Result<PassOutcome> outcome = RunPass(options);
+      if (!outcome.has_value()) {
+        std::fprintf(stderr, "orion-d: %s\n",
+                     outcome.status().ToString().c_str());
+        return kExitError;
+      }
+      if (outcome->degraded) {
+        return kExitDegraded;
+      }
+      if (!options.watch) {
+        return kExitOk;
+      }
+      if (outcome->ingested == 0 && outcome->requeued == 0) {
+        if (++idle_passes >= options.idle_exit) {
+          return kExitOk;
+        }
+      } else {
+        idle_passes = 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "orion-d: %s\n", e.what());
+    return kExitError;
+  }
+}
