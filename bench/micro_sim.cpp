@@ -12,6 +12,16 @@
 //      (bit-determinism), so the instr/sec ratios are pure engine
 //      comparisons.  The traced engine additionally reports the
 //      fraction of instructions retired inside fused bursts.
+//   1b. The memory-bound slice (cfd, FDTD3d, imageDenoising, hotspot):
+//      the traced-vs-event geomean over the workloads whose runtime the
+//      memory model dominates.  This is the number the batched memory
+//      fast path (PR 10) moves; CI gates the cfd row.
+//   1c. Memory-model replay throughput: access streams recorded from
+//      real traced launches replayed through the current batched
+//      MemorySystem and the frozen pre-batching model
+//      (sim/memory_legacy.h).  Same-process, same-stream, so the ratio
+//      isolates the model rewrite from engine effects; CI gates the
+//      geomean.
 //   2. The fig11 candidate-sweep workload (all seven upward benchmarks,
 //      every occupancy level, RunExhaustive iterations): the seed
 //      configuration (reference engine, serial sweep) against the
@@ -48,6 +58,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,6 +68,7 @@
 #include "bench_util.h"
 #include "profile/launch_profile.h"
 #include "sim/gpu_sim.h"
+#include "sim/memory_legacy.h"
 #include "sim/parallel.h"
 #include "telemetry/telemetry.h"
 #include "workloads/workloads.h"
@@ -70,6 +83,13 @@ namespace {
 // The workload CI's sim-bench smoke gate checks (compute-dense, so the
 // traced engine's advantage is stable across machines).
 constexpr const char* kSmokeWorkload = "matrixmul";
+
+// The memory-bound probe-slice workloads: the slice whose traced-vs-
+// event ratio the batched memory model and horizon-gated memory bursts
+// target.  cfd (the heaviest memory share) is the CI gate row.
+constexpr const char* kMemoryBoundSlice[] = {"cfd", "FDTD3d",
+                                             "imageDenoising", "hotspot"};
+constexpr const char* kMemSmokeWorkload = "cfd";
 
 double Seconds(std::chrono::steady_clock::time_point begin,
                std::chrono::steady_clock::time_point end) {
@@ -118,6 +138,42 @@ EngineRun MeasureEngine(const workloads::Workload& w,
   return run;
 }
 
+// Measures several engines on the same workload as round-robin
+// interleaved repetitions inside one shared wall-clock window, so a
+// machine-load swing degrades every engine's reps alike and the
+// engine-vs-engine ratios (the CI-gated quantity) stay meaningful even
+// when absolute throughput drifts between rounds.
+void MeasureEnginesInterleaved(const workloads::Workload& w,
+                               const isa::Module& module,
+                               const arch::GpuSpec& spec,
+                               const sim::SimEngine* engines,
+                               EngineRun* runs, std::size_t n,
+                               std::uint32_t blocks, double min_seconds,
+                               std::uint32_t min_reps) {
+  std::vector<std::unique_ptr<sim::GpuSimulator>> sims;
+  sims.reserve(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    sims.push_back(std::make_unique<sim::GpuSimulator>(
+        spec, arch::CacheConfig::kSmallCache, engines[e]));
+  }
+  const sim::GlobalMemory base = SeedMemory(w.gmem_words, w.seed);
+  const auto window = std::chrono::steady_clock::now();
+  std::uint32_t rounds = 0;
+  while (rounds < min_reps ||
+         Seconds(window, std::chrono::steady_clock::now()) <
+             min_seconds * static_cast<double>(n)) {
+    for (std::size_t e = 0; e < n; ++e) {
+      sim::GlobalMemory gmem = base;
+      const auto begin = std::chrono::steady_clock::now();
+      runs[e].last =
+          sims[e]->Launch(module, &gmem, w.ParamsFor(0), 0, blocks);
+      runs[e].Add(runs[e].last.warp_instructions,
+                  Seconds(begin, std::chrono::steady_clock::now()));
+    }
+    ++rounds;
+  }
+}
+
 // The fig11 sweep workload under one engine/threading configuration.
 // The whole sweep is repeated `reps` times; the fastest pass counts
 // (see EngineRun::Add).
@@ -158,6 +214,67 @@ EngineRun MeasureSweep(const std::vector<workloads::Workload>& workloads,
   return run;
 }
 
+// Records every MemorySystem call one traced probe-slice launch makes.
+std::vector<sim::MemAccessRecord> RecordAccessStream(
+    const workloads::Workload& w, const isa::Module& module,
+    const arch::GpuSpec& spec, std::uint32_t blocks) {
+  std::vector<sim::MemAccessRecord> stream;
+  sim::MemorySystem::SetRecorderForTest(&stream);
+  sim::GpuSimulator simulator(spec, arch::CacheConfig::kSmallCache,
+                              sim::SimEngine::kTraceCached);
+  sim::GlobalMemory gmem = SeedMemory(w.gmem_words, w.seed);
+  (void)simulator.Launch(module, &gmem, w.ParamsFor(0), 0, blocks);
+  sim::MemorySystem::SetRecorderForTest(nullptr);
+  return stream;
+}
+
+// Keeps replay results observable so the model loops cannot be
+// optimized away; both models produce the identical value (the
+// bit-equality contract), so the sink never perturbs comparisons.
+volatile std::uint64_t g_replay_sink = 0;
+
+// One timed replay of `stream` through a fresh Model.  Model is
+// MemorySystem or LegacyMemorySystem.  Returns records/sec.
+template <typename Model>
+double ReplayOnce(const arch::GpuSpec& spec,
+                  const std::vector<sim::MemAccessRecord>& stream,
+                  std::vector<std::uint64_t>& readys) {
+  Model model(spec, arch::CacheConfig::kSmallCache, spec.num_sms);
+  readys.clear();
+  const auto begin = std::chrono::steady_clock::now();
+  sim::legacy::ReplayAccessStream(model, stream, &readys);
+  const double secs = Seconds(begin, std::chrono::steady_clock::now());
+  g_replay_sink = g_replay_sink + model.stats().dram_transactions +
+                  (readys.empty() ? 0 : readys.back());
+  return secs > 0.0 ? static_cast<double>(stream.size()) / secs : 0.0;
+}
+
+// Best-of replay throughput for the legacy and the batched model,
+// measured as interleaved A/B pairs inside one shared window so
+// machine-load swings hit both models alike and the ratio stays
+// meaningful even when absolute throughput drifts between reps.
+void MeasureReplayPair(const arch::GpuSpec& spec,
+                       const std::vector<sim::MemAccessRecord>& stream,
+                       double min_seconds, std::uint32_t min_reps,
+                       double* legacy_rps, double* new_rps) {
+  *legacy_rps = 0.0;
+  *new_rps = 0.0;
+  double total = 0.0;
+  std::uint32_t reps = 0;
+  std::vector<std::uint64_t> readys;
+  readys.reserve(stream.size());
+  const auto window = std::chrono::steady_clock::now();
+  while (reps < min_reps || total < min_seconds) {
+    *legacy_rps =
+        std::max(*legacy_rps, ReplayOnce<sim::legacy::LegacyMemorySystem>(
+                                  spec, stream, readys));
+    *new_rps = std::max(
+        *new_rps, ReplayOnce<sim::MemorySystem>(spec, stream, readys));
+    total = Seconds(window, std::chrono::steady_clock::now());
+    ++reps;
+  }
+}
+
 }  // namespace
 }  // namespace orion::bench
 
@@ -185,20 +302,21 @@ int main() {
   const std::vector<std::string>& names = workloads::AllNames();
   double tr_ev_logsum = 0.0;
   double smoke_tr_ev = 0.0;
+  std::map<std::string, double> tr_ev_by_workload;
   for (std::size_t i = 0; i < names.size(); ++i) {
     const workloads::Workload w = workloads::MakeWorkload(names[i]);
     const isa::Module compiled = baseline::CompileDefault(w.module, spec);
     const std::uint32_t blocks =
         std::min(spec.num_sms, compiled.launch.grid_dim);
-    const EngineRun ref =
-        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kReference,
-                             blocks, kMinSeconds, kMinReps);
-    const EngineRun event =
-        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kEventDriven,
-                             blocks, kMinSeconds, kMinReps);
-    const EngineRun traced =
-        bench::MeasureEngine(w, compiled, spec, sim::SimEngine::kTraceCached,
-                             blocks, kMinSeconds, kMinReps);
+    const sim::SimEngine engines[3] = {sim::SimEngine::kReference,
+                                       sim::SimEngine::kEventDriven,
+                                       sim::SimEngine::kTraceCached};
+    EngineRun runs[3];
+    bench::MeasureEnginesInterleaved(w, compiled, spec, engines, runs, 3,
+                                     blocks, kMinSeconds, kMinReps);
+    const EngineRun& ref = runs[0];
+    const EngineRun& event = runs[1];
+    const EngineRun& traced = runs[2];
     const double ev_ref =
         ref.InstrPerSec() > 0.0 ? event.InstrPerSec() / ref.InstrPerSec() : 0.0;
     const double tr_ref =
@@ -218,6 +336,7 @@ int main() {
     if (names[i] == bench::kSmokeWorkload) {
       smoke_tr_ev = tr_ev;
     }
+    tr_ev_by_workload[names[i]] = tr_ev;
     std::printf("%-18s %12.3e %12.3e %12.3e %6.2fx %6.2fx %5.1f%%\n",
                 names[i].c_str(), ref.InstrPerSec(), event.InstrPerSec(),
                 traced.InstrPerSec(), ev_ref, tr_ev, 100.0 * fused);
@@ -248,6 +367,92 @@ int main() {
                   "  \"smoke\": {\"workload\": \"%s\", "
                   "\"traced_speedup_vs_event\": %.4f},\n",
                   tr_ev_geomean, bench::kSmokeWorkload, smoke_tr_ev);
+    json += buf;
+  }
+
+  // Memory-bound slice: the traced-vs-event geomean over the workloads
+  // whose runtime the memory model dominates, plus the cfd row CI
+  // gates (the batched memory fast path's headline number).
+  {
+    double mb_logsum = 0.0;
+    double mem_smoke_tr_ev = 0.0;
+    std::size_t mb_count = 0;
+    for (const char* name : bench::kMemoryBoundSlice) {
+      const double tr_ev = tr_ev_by_workload[name];
+      if (tr_ev > 0.0) {
+        mb_logsum += std::log(tr_ev);
+        ++mb_count;
+      }
+      if (std::string(name) == bench::kMemSmokeWorkload) {
+        mem_smoke_tr_ev = tr_ev;
+      }
+    }
+    const double mb_geomean =
+        mb_count > 0
+            ? std::exp(mb_logsum / static_cast<double>(mb_count))
+            : 0.0;
+    std::printf("memory-bound slice traced-vs-event geomean: %.2fx "
+                "(%s %.2fx)\n",
+                mb_geomean, bench::kMemSmokeWorkload, mem_smoke_tr_ev);
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"memory_bound_slice\": {\"workloads\": "
+                  "[\"cfd\", \"FDTD3d\", \"imageDenoising\", \"hotspot\"], "
+                  "\"traced_vs_event_geomean\": %.4f, "
+                  "\"smoke\": {\"workload\": \"%s\", "
+                  "\"traced_speedup_vs_event\": %.4f}},\n",
+                  mb_geomean, bench::kMemSmokeWorkload, mem_smoke_tr_ev);
+    json += buf;
+  }
+
+  // Memory-model replay: access streams recorded from real traced
+  // launches replayed through the current batched model and the frozen
+  // pre-batching model.  Same process, same stream — the ratio
+  // isolates the model rewrite.
+  {
+    std::printf("\nmemory-model replay (recorded streams, records/sec)\n");
+    std::printf("%-18s %10s %12s %12s %8s\n", "workload", "records",
+                "legacy", "batched", "speedup");
+    json += "  \"mem_model\": {\"rows\": [\n";
+    double logsum = 0.0;
+    std::size_t count = 0;
+    const std::size_t slice_size =
+        sizeof(bench::kMemoryBoundSlice) / sizeof(bench::kMemoryBoundSlice[0]);
+    for (std::size_t i = 0; i < slice_size; ++i) {
+      const char* name = bench::kMemoryBoundSlice[i];
+      const workloads::Workload w = workloads::MakeWorkload(name);
+      const isa::Module compiled = baseline::CompileDefault(w.module, spec);
+      const std::uint32_t blocks =
+          std::min(spec.num_sms, compiled.launch.grid_dim);
+      const std::vector<sim::MemAccessRecord> stream =
+          bench::RecordAccessStream(w, compiled, spec, blocks);
+      double legacy_rps = 0.0;
+      double new_rps = 0.0;
+      bench::MeasureReplayPair(spec, stream, kMinSeconds, kMinReps,
+                               &legacy_rps, &new_rps);
+      const double speedup = legacy_rps > 0.0 ? new_rps / legacy_rps : 0.0;
+      if (speedup > 0.0) {
+        logsum += std::log(speedup);
+        ++count;
+      }
+      std::printf("%-18s %10zu %12.3e %12.3e %7.2fx\n", name, stream.size(),
+                  legacy_rps, new_rps, speedup);
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"workload\": \"%s\", \"records\": %zu, "
+                    "\"legacy_records_per_sec\": %.6e, "
+                    "\"new_records_per_sec\": %.6e, "
+                    "\"speedup\": %.4f}%s\n",
+                    name, stream.size(), legacy_rps, new_rps, speedup,
+                    i + 1 < slice_size ? "," : "");
+      json += buf;
+    }
+    const double geomean =
+        count > 0 ? std::exp(logsum / static_cast<double>(count)) : 0.0;
+    std::printf("memory-model new-vs-legacy geomean: %.2fx\n", geomean);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "  ], \"new_vs_legacy_geomean\": %.4f},\n", geomean);
     json += buf;
   }
 

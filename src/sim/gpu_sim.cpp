@@ -160,14 +160,47 @@ struct Sm {
     }
     ready[ready_tail++ & ready_mask] = warp_id;
   }
-  // Warps waiting on a future cycle, ordered (cycle, warp id).  Both
-  // fields fit 32 bits (the machine aborts at kHardStopCycles < 2^32),
-  // so they pack into one word: min-heap order on the packed key is
-  // exactly lexicographic (cycle, warp id) order, and heap moves and
-  // compares touch half the memory of a pair.
+  // Coalesced wake calendar.  A wave of same-cycle wakes — a barrier
+  // release or a block install, where one event readies a whole cohort
+  // of warps at the same cycle — shares ONE heap entry: the caller
+  // brackets the wave with BeginWakeWave/WaveWake/EndWakeWave and the
+  // woken warps chain through `wake_next` (intrusive list, kChainEnd-
+  // terminated), so a 48-warp wave costs O(log n) heap work instead of
+  // O(warps · log n).  Lone wakes (PushWake) — the common case in
+  // memory-bound phases, where bucket spacing spreads ready cycles —
+  // push a plain packed (cycle << 32) | kSingletonBit | warp key and
+  // never touch the chain array or any wave state: their push and
+  // drain are exactly the historical per-warp path.  Both packed
+  // fields fit 32 bits (the machine aborts at kHardStopCycles < 2^32;
+  // warp ids stay far below 2^31).
+  //
+  // DrainDue restores the exact historical (cycle, warp id) wake
+  // order: heap pops come out cycle-ascending; within a cycle, chain
+  // entries sort before singletons (the tag bit), so when the top of a
+  // due cycle is a singleton there is no chain left for that cycle and
+  // it can enter the ready ring directly (heap order is already warp-
+  // ascending); otherwise the cycle's entries are gathered and sorted
+  // by warp id.  The engines' issue schedules are unchanged bit for
+  // bit either way.
   std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                       std::greater<>>
       waiting;
+  static constexpr std::uint32_t kChainEnd = UINT32_MAX;
+  // Tag bit in the packed key's low word: set = lone warp (low bits are
+  // the warp id, no chain involvement), clear = head of a chain.  Clear
+  // sorts first, so chains of a cycle always pop before its singletons.
+  static constexpr std::uint64_t kSingletonBit = std::uint64_t{1} << 31;
+  std::vector<std::uint32_t> wake_next;  // per-warp intrusive chain
+  std::uint64_t wave_cycle = UINT64_MAX;  // live only inside a wave bracket
+  std::uint32_t wave_head = kChainEnd;
+  std::uint32_t wave_tail = kChainEnd;
+  // Bumps on every PushWake — cheap "did anything get scheduled?"
+  // signal for ProcessSmTraced's cached earliest-wake (a coalesced push
+  // changes no heap size, so the heap alone cannot carry that signal).
+  std::uint64_t wake_epoch = 0;
+  std::uint64_t wake_count = 0;        // logical pending wakes
+  std::uint64_t coalesced_wakes = 0;   // pushes absorbed into an open chain
+  std::vector<std::uint32_t> wake_scratch;  // drain staging
 
   static std::uint64_t WakeKey(std::uint64_t cycle, std::uint32_t warp_id) {
     ORION_DCHECK(cycle < (std::uint64_t{1} << 32));
@@ -176,6 +209,112 @@ struct Sm {
   static std::uint64_t WakeCycle(std::uint64_t key) { return key >> 32; }
   static std::uint32_t WakeWarp(std::uint64_t key) {
     return static_cast<std::uint32_t>(key);
+  }
+
+  // Schedules `warp_id` to enter the ready ring at `cycle`.  A warp is
+  // parked at most once at a time, so the chains are disjoint.
+  void PushWake(std::uint64_t cycle, std::uint32_t warp_id) {
+    ORION_DCHECK(warp_id < kSingletonBit);
+    ORION_DCHECK(wave_cycle == UINT64_MAX);
+    ++wake_epoch;
+    ++wake_count;
+    waiting.push(WakeKey(cycle, warp_id) | kSingletonBit);
+  }
+
+  // Wave bracket: every WaveWake between Begin and End shares `cycle`
+  // and the whole cohort lands in the heap as one chain entry.  The
+  // bracket must be closed before the engine next reads the calendar
+  // (NextWakeCycle / DrainDue) — waves are built in tight loops, so
+  // that holds by construction.
+  void BeginWakeWave(std::uint64_t cycle) {
+    ORION_DCHECK(wave_cycle == UINT64_MAX);
+    wave_cycle = cycle;
+    wave_head = kChainEnd;
+  }
+
+  void WaveWake(std::uint32_t warp_id) {
+    ORION_DCHECK(warp_id < kSingletonBit);
+    ++wake_epoch;
+    ++wake_count;
+    if (wave_head == kChainEnd) {
+      wave_head = wave_tail = warp_id;
+      return;
+    }
+    if (warp_id >= wake_next.size() || wave_tail >= wake_next.size()) {
+      wake_next.resize(warps.size(), kChainEnd);
+    }
+    wake_next[wave_tail] = warp_id;
+    wake_next[warp_id] = kChainEnd;
+    wave_tail = warp_id;
+    ++coalesced_wakes;
+  }
+
+  void EndWakeWave() {
+    if (wave_head != kChainEnd) {
+      if (wave_head == wave_tail) {
+        // A one-warp wave is just a lone wake.
+        waiting.push(WakeKey(wave_cycle, wave_head) | kSingletonBit);
+      } else {
+        waiting.push(WakeKey(wave_cycle, wave_head));
+      }
+    }
+    wave_cycle = UINT64_MAX;
+  }
+
+  // Earliest pending wake cycle, or UINT64_MAX when none.
+  std::uint64_t NextWakeCycle() const {
+    ORION_DCHECK(wave_cycle == UINT64_MAX);
+    return waiting.empty() ? UINT64_MAX : WakeCycle(waiting.top());
+  }
+
+  // Moves every warp due at or before `now` to the ready ring, in the
+  // historical (cycle, warp id) order.  Multiple heap entries can share
+  // a cycle (pushes for it may straddle other cycles), so each due
+  // cycle gathers all its chains before sorting.
+  void DrainDue(std::uint64_t now) {
+    ORION_DCHECK(wave_cycle == UINT64_MAX);
+    while (!waiting.empty()) {
+      const std::uint64_t key = waiting.top();
+      const std::uint64_t cycle = WakeCycle(key);
+      if (cycle > now) {
+        break;
+      }
+      if ((key & kSingletonBit) != 0) [[likely]] {
+        // Lone wake, and every chain of this cycle already popped (the
+        // tag bit sorts chains first): heap order is the historical
+        // (cycle, warp id) order, enter the ring directly.
+        PushReady(static_cast<std::uint32_t>(key & (kSingletonBit - 1)));
+        waiting.pop();
+        --wake_count;
+        continue;
+      }
+      DrainChainsAt(cycle);
+    }
+  }
+
+  // Cold half of DrainDue, kept out of line so the lone-wake loop stays
+  // compact: gather every entry of `cycle` (this chain, further chains,
+  // and the cycle's singletons) and restore warp-id order.
+  [[gnu::noinline, gnu::cold]] void DrainChainsAt(std::uint64_t cycle) {
+    wake_scratch.clear();
+    do {
+      const std::uint64_t k = waiting.top();
+      waiting.pop();
+      if ((k & kSingletonBit) != 0) {
+        wake_scratch.push_back(
+            static_cast<std::uint32_t>(k & (kSingletonBit - 1)));
+      } else {
+        for (std::uint32_t w = WakeWarp(k); w != kChainEnd;
+             w = wake_next[w]) {
+          wake_scratch.push_back(w);
+        }
+      }
+    } while (!waiting.empty() && WakeCycle(waiting.top()) == cycle);
+    std::sort(wake_scratch.begin(), wake_scratch.end());
+    for (const std::uint32_t w : wake_scratch) {
+      PushReady(w);
+    }
+    wake_count -= wake_scratch.size();
   }
   // Per-warp register files (value + ready cycle interleaved) and
   // private memory slots, flattened into per-SM arenas
@@ -259,9 +398,7 @@ class EventMachine {
       }
     }
     for (std::uint32_t s = 0; s < sms_.size(); ++s) {
-      if (!sms_[s].waiting.empty()) {
-        sm_next_[s] = Sm::WakeCycle(sms_[s].waiting.top());
-      }
+      sm_next_[s] = sms_[s].NextWakeCycle();
     }
   }
 
@@ -276,10 +413,15 @@ class EventMachine {
   // Trace-cached replacement for ProcessSm (kTraced only): processes as
   // many consecutive cycles for this SM as temporal decoupling allows —
   // the first cycle unconditionally (the calendar just synchronized
-  // here), later cycles only while every issued op is SM-local.
-  // Returns the cycle at which the SM must next synchronize with the
-  // global calendar.
-  std::uint64_t ProcessSmTraced(std::uint32_t s, std::uint64_t entry_now);
+  // here), later cycles only while every issued op is SM-local or a
+  // global/local memory op strictly below `horizon`, the first cycle at
+  // which another SM could act (Run passes the runner-up event time on
+  // the singleton path, entry_now + 1 on multi-SM rounds).  Within that
+  // window this SM touches the shared memory model in exactly the
+  // (cycle, SM) order the event engine would.  Returns the cycle at
+  // which the SM must next synchronize with the global calendar.
+  std::uint64_t ProcessSmTraced(std::uint32_t s, std::uint64_t entry_now,
+                                std::uint64_t horizon);
   // Executes one instruction of the warp.  Returns the cycle at which
   // the warp may issue again, or UINT64_MAX if it is held (barrier/done).
   std::uint64_t Step(std::uint32_t s, std::uint32_t warp_id,
@@ -348,6 +490,7 @@ void EventMachine<kTraced>::InstallBlock(std::uint32_t s, std::uint32_t slot,
   block.barrier_waiters.clear();
 
   const std::uint64_t start = cycle + spec_.timing.block_install_cycles;
+  sm.BeginWakeWave(start);  // the whole block wakes at one cycle
   for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
     Warp warp;
     warp.block_slot = slot;
@@ -365,8 +508,9 @@ void EventMachine<kTraced>::InstallBlock(std::uint32_t s, std::uint32_t slot,
     sm.local.resize(std::size_t{warp_id + 1} * local_stride_, 0);
     sm.spriv.resize(std::size_t{warp_id + 1} * spriv_stride_, 0);
     sm.warps.push_back(std::move(warp));
-    sm.waiting.push(Sm::WakeKey(start, warp_id));
+    sm.WaveWake(warp_id);
   }
+  sm.EndWakeWave();
   // Arena growth may have reallocated: refresh every warp's cached
   // views (rare — once per block install).
   RegCell* const regs = sm.regs.data();
@@ -535,9 +679,11 @@ std::uint64_t EventMachine<kTraced>::Step(std::uint32_t s,
         // This warp exited while every other live warp waits at a
         // barrier: release them (matches hardware arrival counting).
         const std::uint64_t release = now + t.barrier_latency;
+        sm.BeginWakeWave(release);
         for (const std::uint32_t w : block.barrier_waiters) {
-          sm.waiting.push(Sm::WakeKey(release, w));
+          sm.WaveWake(w);
         }
+        sm.EndWakeWave();
         block.barrier_waiters.clear();
       }
       return UINT64_MAX;
@@ -549,11 +695,13 @@ std::uint64_t EventMachine<kTraced>::Step(std::uint32_t s,
       if (block.barrier_waiters.size() + block.warps_done ==
           block.warps_total) {
         const std::uint64_t release = now + t.barrier_latency;
+        sm.BeginWakeWave(release);
         for (const std::uint32_t w : block.barrier_waiters) {
           if (w != warp_id) {
-            sm.waiting.push(Sm::WakeKey(release, w));
+            sm.WaveWake(w);
           }
         }
+        sm.EndWakeWave();
         block.barrier_waiters.clear();
         return release;
       }
@@ -786,8 +934,7 @@ std::uint64_t EventMachine<kTraced>::StepFused(std::uint32_t s,
     return Step(s, warp_id, now);  // fusion barrier at pc
   }
   const std::uint32_t end = block->end;
-  const std::uint64_t next_wake =
-      sm.waiting.empty() ? UINT64_MAX : Sm::WakeCycle(sm.waiting.top());
+  const std::uint64_t next_wake = sm.NextWakeCycle();
   const std::uint64_t fuse_limit =
       std::min(cycle_cap_ == 0 ? UINT64_MAX : cycle_cap_,
                machine_detail::kHardStopCycles);
@@ -902,11 +1049,7 @@ template <bool kTraced>
 std::uint64_t EventMachine<kTraced>::ProcessSm(std::uint32_t s,
                                                std::uint64_t now) {
   Sm& sm = sms_[s];
-  const std::uint64_t due_limit = Sm::WakeKey(now + 1, 0);
-  while (!sm.waiting.empty() && sm.waiting.top() < due_limit) {
-    sm.PushReady(Sm::WakeWarp(sm.waiting.top()));
-    sm.waiting.pop();
-  }
+  sm.DrainDue(now);
   std::uint32_t issued = 0;
   const std::uint32_t budget = spec_.timing.warp_issue_per_cycle;
   // Round-robin over the warps that were ready at the start of the
@@ -948,7 +1091,7 @@ std::uint64_t EventMachine<kTraced>::ProcessSm(std::uint32_t s,
     } else if (next <= now + 1) {
       ring[tail++ & mask] = warp_id;
     } else {
-      sm.waiting.push(Sm::WakeKey(next, warp_id));
+      sm.PushWake(next, warp_id);
     }
     ++issued;
   }
@@ -957,10 +1100,7 @@ std::uint64_t EventMachine<kTraced>::ProcessSm(std::uint32_t s,
   if (head != tail) {
     return now + 1;
   }
-  if (!sm.waiting.empty()) {
-    return Sm::WakeCycle(sm.waiting.top());
-  }
-  return UINT64_MAX;
+  return sm.NextWakeCycle();
 }
 
 // Free-running SM processing (the trace-cached engine's replacement
@@ -1010,7 +1150,8 @@ std::uint64_t EventMachine<kTraced>::ProcessSm(std::uint32_t s,
 // cycle.
 template <bool kTraced>
 std::uint64_t EventMachine<kTraced>::ProcessSmTraced(std::uint32_t s,
-                                                     std::uint64_t entry_now) {
+                                                     std::uint64_t entry_now,
+                                                     std::uint64_t horizon) {
   Sm& sm = sms_[s];
   const std::uint32_t budget = spec_.timing.warp_issue_per_cycle;
   const std::uint64_t fuse_limit =
@@ -1031,9 +1172,8 @@ std::uint64_t EventMachine<kTraced>::ProcessSmTraced(std::uint32_t s,
   std::uint32_t* ring = sm.ready.data();
   std::uint64_t mask = sm.ready_mask;
   Warp* warps = sm.warps.data();
-  std::size_t heap_size = sm.waiting.size();
-  std::uint64_t next_wake =
-      heap_size == 0 ? UINT64_MAX : Sm::WakeCycle(sm.waiting.top());
+  std::uint64_t wake_epoch = sm.wake_epoch;
+  std::uint64_t next_wake = sm.NextWakeCycle();
   // Slots owed to a cycle a previous call abandoned mid-issue (at a
   // sync op) or a burst abandoned mid-cycle; consumed by the next
   // issue-loop pass.
@@ -1047,18 +1187,13 @@ std::uint64_t EventMachine<kTraced>::ProcessSmTraced(std::uint32_t s,
       // Drain warps due at or before c into the ring (may grow it).
       sm.ready_head = head;
       sm.ready_tail = tail;
-      const std::uint64_t due_limit = Sm::WakeKey(c + 1, 0);
-      do {
-        sm.PushReady(Sm::WakeWarp(sm.waiting.top()));
-        sm.waiting.pop();
-      } while (!sm.waiting.empty() && sm.waiting.top() < due_limit);
+      sm.DrainDue(c);
       head = sm.ready_head;
       tail = sm.ready_tail;
       ring = sm.ready.data();
       mask = sm.ready_mask;
-      heap_size = sm.waiting.size();
-      next_wake =
-          heap_size == 0 ? UINT64_MAX : Sm::WakeCycle(sm.waiting.top());
+      wake_epoch = sm.wake_epoch;
+      next_wake = sm.NextWakeCycle();
     }
     const std::uint32_t avail = static_cast<std::uint32_t>(tail - head);
     if (avail == 0) {
@@ -1097,10 +1232,29 @@ std::uint64_t EventMachine<kTraced>::ProcessSmTraced(std::uint32_t s,
             break;  // implicit return: single-step it
           }
           const HotInstr& d = w.code[w.pc];
+          const std::uint32_t bc32 = static_cast<std::uint32_t>(bc);
           if ((d.flags & HotInstr::kFlagBurstable) == 0) {
+            if ((d.flags & HotInstr::kFlagMemSync) != 0 && bc < horizon) {
+              // Global/local memory op inside the horizon: no other SM
+              // can act before `horizon`, so probing the shared
+              // L2/DRAM model at cycle bc keeps the event engine's
+              // exact (cycle, SM) order.  The op occupies one issue
+              // slot and — when it executes — always requeues at
+              // bc + 1 (the memory model delays the *value*, never the
+              // issue schedule), so the closed-form round schedule
+              // survives; Step pushes no wakes and grows no arenas on
+              // this path.  A non-bc+1 return is a scoreboard stall
+              // that would park the warp: Step changed no state, so
+              // abort the burst and single-step it.
+              const std::uint64_t e = Step(s, wid, bc);
+              if (e != bc + 1) {
+                break;
+              }
+              ++ops;
+              goto slot_consumed;
+            }
             break;  // burst barrier: sync / park / multi-cycle issue
           }
-          const std::uint32_t bc32 = static_cast<std::uint32_t>(bc);
           if ((d.flags & HotInstr::kFlagFusible) == 0) {
             // Burstable but not ALU-class (branch, shared/param memory
             // op): Step executes it with full semantics, including the
@@ -1217,15 +1371,24 @@ std::uint64_t EventMachine<kTraced>::ProcessSmTraced(std::uint32_t s,
     }
     for (std::uint32_t i = 0; i < n; ++i) {
       const std::uint32_t warp_id = ring[head & mask];
-      if (c != entry_now && warps[warp_id].pc < warps[warp_id].code_size &&
-          !IsSmLocal(warps[warp_id].code[warps[warp_id].pc])) {
-        // Sync op at the front mid-free-run: the calendar must arrive
-        // at c first.  Warps already issued this cycle were SM-local —
-        // unobservable early — so leave this warp queued and remember
-        // how many slots the interrupted cycle still owes.  (An
-        // implicit return, pc == code_size, is warp-local.)
-        sm.resume_slots = n - i;
-        goto sync;
+      if (c != entry_now && warps[warp_id].pc < warps[warp_id].code_size) {
+        const HotInstr& front = warps[warp_id].code[warps[warp_id].pc];
+        if (!IsSmLocal(front) &&
+            ((front.flags & HotInstr::kFlagMemSync) == 0 || c >= horizon)) {
+          // Sync op at the front mid-free-run: the calendar must
+          // arrive at c first.  Warps already issued this cycle were
+          // SM-local (or horizon-legal memory ops) — unobservable
+          // early — so leave this warp queued and remember how many
+          // slots the interrupted cycle still owes.  Memory ops
+          // strictly below the horizon proceed: no other SM can act
+          // before `horizon`, so the shared-model order is preserved.
+          // kExit and invalid records always stop the free-run — block
+          // handout and diagnostic throws must stay in calendar order,
+          // and Run tracks grid retirement through its own `now`.  (An
+          // implicit return, pc == code_size, is warp-local.)
+          sm.resume_slots = n - i;
+          goto sync;
+        }
       }
       ++head;
       if (avail > 2 && head < tail) {
@@ -1242,17 +1405,20 @@ std::uint64_t EventMachine<kTraced>::ProcessSmTraced(std::uint32_t s,
         continue;
       }
       if (next != UINT64_MAX) {
-        sm.waiting.push(Sm::WakeKey(next, warp_id));
+        sm.PushWake(next, warp_id);
       } else {
         // Held (barrier) or done; a block install may have reallocated
         // the warps vector.
         warps = sm.warps.data();
       }
-      // Barrier releases and block installs push wakes inside Step;
-      // re-derive the earliest-wake cache when the heap grew.
-      if (sm.waiting.size() != heap_size) {
-        heap_size = sm.waiting.size();
-        next_wake = Sm::WakeCycle(sm.waiting.top());
+      // Barrier releases and block installs push wakes inside Step (as
+      // does our own park above); re-derive the earliest-wake cache
+      // when anything was scheduled.  The epoch stands in for the heap
+      // size: a coalesced push extends a chain without growing the
+      // heap.
+      if (sm.wake_epoch != wake_epoch) {
+        wake_epoch = sm.wake_epoch;
+        next_wake = sm.NextWakeCycle();
       }
     }
     ++c;  // ring non-empty: next cycle is an event; empty: drain jumps
@@ -1297,7 +1463,7 @@ SimResult EventMachine<kTraced>::Run() {
         now = t;  // `now` must track the last processed cycle: it is
                   // the total-cycle count when the grid retires here.
         if constexpr (kTraced) {
-          t = ProcessSmTraced(only, t);
+          t = ProcessSmTraced(only, t, /*horizon=*/second);
         } else {
           t = ProcessSm(only, t);
         }
@@ -1308,7 +1474,25 @@ SimResult EventMachine<kTraced>::Run() {
     for (std::uint32_t s = 0; s < sms_.size(); ++s) {
       if (sm_next_[s] <= now) {
         if constexpr (kTraced) {
-          sm_next_[s] = ProcessSmTraced(s, now);
+          // Multi-SM round: same-cycle SMs process in ascending index.
+          // While another SM still owes activity at `now`, this SM may
+          // only free-run memory ops at `now` itself (they interleave
+          // into the shared buckets in SM order within the cycle).
+          // Once every other SM is parked strictly in the future —
+          // common in memory-bound phases, where bucket serialization
+          // staggers wake cycles across SMs — memory ops may free-run
+          // up to the earliest foreign event without perturbing the
+          // bucket order.
+          std::uint64_t horizon = UINT64_MAX;
+          for (std::uint32_t s2 = 0; s2 < sms_.size(); ++s2) {
+            if (s2 != s) {
+              horizon = std::min(horizon, sm_next_[s2]);
+            }
+          }
+          if (horizon <= now) {
+            horizon = now + 1;
+          }
+          sm_next_[s] = ProcessSmTraced(s, now, horizon);
         } else {
           sm_next_[s] = ProcessSm(s, now);
         }
@@ -1318,6 +1502,11 @@ SimResult EventMachine<kTraced>::Run() {
 
   SimResult result = machine_detail::FinalizeResult(
       spec_, config_, module_, occ_, now, counters_, mem_.stats());
+  result.mem_streak_hits = mem_.streak_hits();
+  result.mem_batched_reservations = mem_.batched_reservations();
+  for (const Sm& sm : sms_) {
+    result.coalesced_wakes += sm.coalesced_wakes;
+  }
   if constexpr (kTraced) {
     result.fused_instructions = fused_instructions_;
     result.macro_ops_retired = macro_ops_retired_;
@@ -1378,7 +1567,8 @@ bool BitIdentical(const MemoryStats& a, const MemoryStats& b) {
   return a.l1_hits == b.l1_hits && a.l1_misses == b.l1_misses &&
          a.l2_hits == b.l2_hits && a.l2_misses == b.l2_misses &&
          a.dram_transactions == b.dram_transactions &&
-         a.smem_accesses == b.smem_accesses;
+         a.smem_accesses == b.smem_accesses &&
+         a.store_transactions == b.store_transactions;
 }
 
 bool BitIdentical(const SimResult& a, const SimResult& b) {
@@ -1387,7 +1577,10 @@ bool BitIdentical(const SimResult& a, const SimResult& b) {
          a.alu_instructions == b.alu_instructions &&
          a.sfu_instructions == b.sfu_instructions &&
          a.mem_instructions == b.mem_instructions &&
-         a.blocks_launched == b.blocks_launched && BitIdentical(a.mem, b.mem);
+         a.blocks_launched == b.blocks_launched &&
+         a.mem_streak_hits == b.mem_streak_hits &&
+         a.mem_batched_reservations == b.mem_batched_reservations &&
+         BitIdentical(a.mem, b.mem);
 }
 
 GpuSimulator::GpuSimulator(const arch::GpuSpec& spec, arch::CacheConfig config,
@@ -1448,6 +1641,13 @@ SimResult GpuSimulator::Launch(const isa::Module& module, GlobalMemory* gmem,
   if (profile::CollectionEnabled()) {
     profile::CollectLaunch(module.name, module.launch.block_dim, result,
                            spec_, config_);
+  }
+  // Wake coalescing is engine bookkeeping (the reference engine polls
+  // and never wakes): recorded outside RecordSimCounters so the
+  // engine-parity telemetry contract stays exact for the sim.mem.*
+  // model counters while this one is allowed to differ.
+  if (engine_ != SimEngine::kReference) {
+    ORION_COUNTER_ADD("sim.mem.coalesced_wakes", result.coalesced_wakes);
   }
   if (engine_ == SimEngine::kTraceCached) {
     ORION_COUNTER_ADD("sim.trace_cache.macro_ops_retired",

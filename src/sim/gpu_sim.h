@@ -84,11 +84,21 @@ struct SimResult {
   std::uint32_t blocks_launched = 0;
   MemoryStats mem;
   arch::OccupancyResult occupancy;
+  // Memory fast-path diagnostics.  Both are pure functions of the
+  // access stream, so every engine must report identical values — they
+  // are part of the BitIdentical determinism contract (exported as
+  // sim.mem.* telemetry).
+  std::uint64_t mem_streak_hits = 0;           // MRU streak-record hits
+  std::uint64_t mem_batched_reservations = 0;  // batched bucket charges
   // Trace-cache diagnostics (kTraceCached only; always 0 elsewhere).
   // Engine bookkeeping, not machine-model state: deliberately excluded
   // from the BitIdentical determinism contract.
   std::uint64_t fused_instructions = 0;  // instrs retired inside macro-ops
   std::uint64_t macro_ops_retired = 0;   // fused-run retirements
+  // Calendar wakeups absorbed into an already-open same-cycle wake
+  // entry (event/traced engines; the reference engine polls and reports
+  // 0).  Engine bookkeeping — excluded from BitIdentical.
+  std::uint64_t coalesced_wakes = 0;
 };
 
 // Bitwise determinism predicates (the determinism contract compares

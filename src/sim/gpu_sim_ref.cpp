@@ -577,8 +577,13 @@ SimResult ReferenceMachine::Run() {
     }
   }
 
-  return machine_detail::FinalizeResult(spec_, config_, module_, occ_, now,
-                                        counters_, mem_.stats());
+  SimResult result = machine_detail::FinalizeResult(
+      spec_, config_, module_, occ_, now, counters_, mem_.stats());
+  // Pure functions of the shared memory model's access stream — every
+  // engine must report the same values (BitIdentical contract).
+  result.mem_streak_hits = mem_.streak_hits();
+  result.mem_batched_reservations = mem_.batched_reservations();
+  return result;
 }
 
 }  // namespace

@@ -151,6 +151,9 @@ HotInstr ToHot(const DecodedInstr& d, const arch::GpuSpec& spec) {
   if (!ok || mem_sync || d.op == isa::Opcode::kExit) {
     h.flags |= HotInstr::kFlagSync;
   }
+  if (ok && mem_sync) {
+    h.flags |= HotInstr::kFlagMemSync;
+  }
   if (IsFusible(h)) {
     h.flags |= HotInstr::kFlagFusible;
   }

@@ -120,6 +120,16 @@ struct alignas(64) HotInstr {
   // L2/DRAM model), kBar (parks or wakes other warps), kCal/kRet
   // (now+2 return parks the warp), kExit, multi-cycle-issue ALU/SFU.
   static constexpr std::uint8_t kFlagBurstable = 32;
+  // The record is a global/local memory load/store: kFlagSync is set
+  // (it touches the shared L2/DRAM model), but the op still occupies
+  // exactly one issue slot and requeues its warp at now+1 — the memory
+  // model only decides how long the *value* takes, never the issue
+  // schedule.  The trace-cached engine may therefore retire it inside a
+  // free-run burst as long as the burst stays strictly below the
+  // horizon up to which no other SM can act (see ProcessSmTraced):
+  // within that window the cross-SM memory state is touched in exactly
+  // the calendar order the event engine would use.
+  static constexpr std::uint8_t kFlagMemSync = 64;
 
   std::uint8_t op = 0;     // isa::Opcode
   std::uint8_t space = 0;  // isa::MemSpace

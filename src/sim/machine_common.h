@@ -28,6 +28,13 @@ inline constexpr std::uint64_t kLocalRegionBase = std::uint64_t{1} << 40;
 // Simulations that exceed this cycle count are assumed non-terminating.
 inline constexpr std::uint64_t kHardStopCycles = 4'000'000'000ULL;
 
+// The event/traced engines' wake calendar packs (cycle << 32) | warp
+// into one 64-bit heap key (sim/gpu_sim.cpp, Sm::WakeKey); every cycle
+// the engines can reach must therefore fit 32 bits.  Anyone raising
+// the hard stop past 2^32 has to widen the key first.
+static_assert(kHardStopCycles <= (std::uint64_t{1} << 32),
+              "wake-calendar keys pack the cycle into 32 bits");
+
 // Both engines call this when time advances.  A configured cycle cap
 // (the launch watchdog, see runtime/guard.h) terminates a runaway
 // launch with a catchable LaunchError; the global hard stop — a machine

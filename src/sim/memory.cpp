@@ -6,12 +6,23 @@
 
 namespace orion::sim {
 
+namespace {
+
+// Largest run classified per pass; accesses with more lines are chunked.
+// Chunking is unobservable: every pass preserves the per-cache access
+// order and the bucket loop consumes misses in that same order, so the
+// state evolution is independent of the chunk boundaries.
+constexpr std::uint32_t kBatchLines = 64;
+
+}  // namespace
+
 CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
                        std::uint32_t assoc)
     : line_bytes_(line_bytes), assoc_(assoc) {
   ORION_CHECK(line_bytes > 0 && assoc > 0);
   num_sets_ = std::max<std::uint32_t>(1, size_bytes / line_bytes / assoc);
-  ways_.assign(static_cast<std::size_t>(num_sets_) * assoc_, Way{});
+  tags_.assign(static_cast<std::size_t>(num_sets_) * assoc_, UINT64_MAX);
+  stamps_.assign(static_cast<std::size_t>(num_sets_) * assoc_, 0);
   const auto is_pow2 = [](std::uint32_t v) { return (v & (v - 1)) == 0; };
   if (is_pow2(line_bytes_) && is_pow2(num_sets_)) {
     pow2_geometry_ = true;
@@ -23,48 +34,49 @@ CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
 }
 
 bool CacheModel::Access(std::uint64_t byte_addr) {
-  ++tick_;
-  std::uint64_t line;
-  std::uint32_t set;
-  if (pow2_geometry_) {
-    line = byte_addr >> line_shift_;
-    set = static_cast<std::uint32_t>(line) & set_mask_;
-  } else {
-    line = byte_addr / line_bytes_;
-    set = static_cast<std::uint32_t>(line % num_sets_);
-  }
-  Way* base = &ways_[static_cast<std::size_t>(set) * assoc_];
-  Way* victim = base;
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (base[w].tag == line) {
-      base[w].last_use = tick_;
-      ++hits_;
-      return true;
-    }
-    if (base[w].last_use < victim->last_use) {
-      victim = &base[w];
+  return AccessLine(pow2_geometry_ ? byte_addr >> line_shift_
+                                   : byte_addr / line_bytes_);
+}
+
+std::uint32_t CacheModel::AccessBatch(std::uint64_t base_line, std::uint32_t n,
+                                      std::uint64_t* hit_mask) {
+  ORION_DCHECK(n <= 64);
+  std::uint64_t mask = 0;
+  std::uint32_t misses = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (AccessLine(base_line + i)) {
+      mask |= std::uint64_t{1} << i;
+    } else {
+      ++misses;
     }
   }
-  victim->tag = line;
-  victim->last_use = tick_;
-  ++misses_;
-  return false;
+  *hit_mask = mask;
+  return misses;
 }
 
 void CacheModel::Flush() {
-  for (Way& way : ways_) {
-    way = Way{};
-  }
+  std::fill(tags_.begin(), tags_.end(), UINT64_MAX);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  streak_line_ = UINT64_MAX;  // the recorded way no longer holds it
 }
 
 MemorySystem::MemorySystem(const arch::GpuSpec& spec, arch::CacheConfig config,
                            std::uint32_t num_sms)
     : spec_(spec),
       l2_(spec.timing.l2_bytes, spec.timing.cache_line_bytes,
-          spec.timing.l2_assoc) {
+          spec.timing.l2_assoc),
+      l2_delta_(1.0 / spec.timing.l2_transactions_per_cycle),
+      dram_delta_(1.0 / spec.timing.dram_transactions_per_cycle) {
   for (std::uint32_t i = 0; i < num_sms; ++i) {
     l1_.emplace_back(spec.L1Bytes(config), spec.timing.cache_line_bytes,
                      spec.timing.l1_assoc);
+  }
+  const std::uint32_t lb = spec.timing.cache_line_bytes;
+  if ((lb & (lb - 1)) == 0) {
+    pow2_line_ = true;
+    while ((1u << line_shift_) < lb) {
+      ++line_shift_;
+    }
   }
 }
 
@@ -77,81 +89,149 @@ void MemorySystem::ResetForKernel() {
   dram_next_free_ = 0.0;
 }
 
-std::uint64_t MemorySystem::LineLatency(std::uint32_t sm,
-                                        std::uint64_t line_addr,
-                                        bool through_l1, std::uint64_t now,
-                                        bool count_bandwidth) {
-  const arch::TimingParams& t = spec_.timing;
-  if (through_l1) {
-    if (l1_[sm].Access(line_addr)) {
-      ++stats_.l1_hits;
-      return now + t.l1_latency;
-    }
-    ++stats_.l1_misses;
+std::uint64_t MemorySystem::streak_hits() const {
+  std::uint64_t total = l2_.streak_hits();
+  for (const CacheModel& l1 : l1_) {
+    total += l1.streak_hits();
   }
-  // L2 stage: bandwidth-limited.
-  double issue = static_cast<double>(now);
-  if (count_bandwidth) {
-    issue = std::max(issue, l2_next_free_);
-    l2_next_free_ = issue + 1.0 / t.l2_transactions_per_cycle;
-  }
-  if (l2_.Access(line_addr)) {
-    ++stats_.l2_hits;
-    return static_cast<std::uint64_t>(issue) + t.l2_latency;
-  }
-  ++stats_.l2_misses;
-  // DRAM stage.
-  double dram_issue = issue;
-  if (count_bandwidth) {
-    dram_issue = std::max(dram_issue, dram_next_free_);
-    dram_next_free_ = dram_issue + 1.0 / t.dram_transactions_per_cycle;
-  }
-  ++stats_.dram_transactions;
-  return static_cast<std::uint64_t>(dram_issue) + t.dram_latency;
+  return total;
 }
 
-std::uint64_t MemorySystem::AccessLoad(std::uint32_t sm,
-                                       std::uint64_t byte_addr,
-                                       std::uint32_t lines, bool through_l1,
-                                       bool scattered, std::uint64_t now) {
+// The batched hot path.  Equivalence with the historical per-line walk
+// (sim/memory_legacy.h, pinned bit-exact by replay tests):
+//
+//   * Verdicts: L1 and L2 are independent state machines keyed only by
+//     their own access sequence; classifying all L1 lines, then the L2
+//     lines of the misses (in the same ascending line order) produces
+//     the identical per-cache access order and thus identical verdicts,
+//     tick values and LRU stamps.
+//   * Buckets: the charge loop applies the identical operations in the
+//     identical order — for each L1 miss one L2-bucket charge, then for
+//     each L2 miss one DRAM-bucket charge, interleaved per line exactly
+//     as before.  The historical per-line std::max(now, l2_next_free_)
+//     is kept for the first charge; afterwards the bucket is saturated
+//     (next_free >= now always, since issue >= now and delta > 0), so
+//     reading the bucket directly yields the same double bit pattern
+//     the max would.
+//   * Ready cycles: within a run, L2-hit issues and DRAM issues are
+//     monotone nondecreasing, so each category's last line carries the
+//     category max; truncation to uint64 preserves monotonicity.
+
+std::uint64_t MemorySystem::AccessTimed(std::uint32_t sm,
+                                        std::uint64_t byte_addr,
+                                        std::uint32_t lines, bool through_l1,
+                                        bool scattered, std::uint64_t now) {
   ORION_DCHECK(sm < l1_.size());
-  const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;
+  const arch::TimingParams& t = spec_.timing;
+  const std::uint32_t line_bytes = t.cache_line_bytes;
+  const double now_d = static_cast<double>(now);
+  CacheModel& l1 = l1_[sm];
   std::uint64_t ready = now;
-  for (std::uint32_t i = 0; i < lines; ++i) {
-    std::uint64_t line_addr;
-    if (scattered) {
+  bool l2_run = false;
+  bool dram_run = false;
+  std::uint64_t line_buf[kBatchLines];
+  std::uint64_t miss_buf[kBatchLines];
+  for (std::uint32_t base = 0; base < lines; base += kBatchLines) {
+    const std::uint32_t n = std::min(kBatchLines, lines - base);
+    // --- L1 pass: classify the chunk's lines in order, collecting the
+    // miss lines (or all lines when the L1 is bypassed).
+    std::uint32_t miss_count = 0;
+    if (!scattered) {
+      const std::uint64_t base_line = byte_addr / line_bytes + base;
+      if (through_l1) {
+        std::uint64_t hit_mask = 0;
+        miss_count = l1.AccessBatch(base_line, n, &hit_mask);
+        std::uint32_t m = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if ((hit_mask & (std::uint64_t{1} << i)) == 0) {
+            miss_buf[m++] = base_line + i;
+          }
+        }
+      } else {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          miss_buf[i] = base_line + i;
+        }
+        miss_count = n;
+      }
+    } else {
       // Data-dependent scatter: derive pseudo-random lines from the base
       // address so repeated traversals of the same structure re-touch
       // the same lines (graph workloads stay cacheable at small sizes).
-      std::uint64_t h = byte_addr / line_bytes + 0x632BE59BD9B4E019ULL * (i + 1);
-      h ^= h >> 29;
-      h *= 0xBF58476D1CE4E5B9ULL;
-      h ^= h >> 32;
-      line_addr = (h % (1 << 16)) * line_bytes;
-    } else {
-      line_addr = byte_addr + static_cast<std::uint64_t>(i) * line_bytes;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint64_t h = byte_addr / line_bytes +
+                          0x632BE59BD9B4E019ULL * (base + i + 1);
+        h ^= h >> 29;
+        h *= 0xBF58476D1CE4E5B9ULL;
+        h ^= h >> 32;
+        line_buf[i] = h % (1 << 16);
+      }
+      if (through_l1) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (!l1.AccessLine(line_buf[i])) {
+            miss_buf[miss_count++] = line_buf[i];
+          }
+        }
+      } else {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          miss_buf[i] = line_buf[i];
+        }
+        miss_count = n;
+      }
     }
-    ready = std::max(ready, LineLatency(sm, line_addr, through_l1, now, true));
+    if (through_l1) {
+      const std::uint32_t hits = n - miss_count;
+      stats_.l1_hits += hits;
+      stats_.l1_misses += miss_count;
+      if (hits != 0) {
+        ready = std::max(ready, now + t.l1_latency);
+      }
+    }
+    if (miss_count == 0) {
+      continue;
+    }
+    // --- Fused L2 + bucket pass over the miss run, same ascending
+    // order: classify each line in L2 and charge the buckets in one
+    // tight loop (the historical per-line interleave minus the L1
+    // stage; the L2 directory and the bucket doubles are independent
+    // state, so fusing changes no verdict and no bit).
+    l2_run = true;
+    std::uint32_t l2_miss_count = 0;
+    double issue = std::max(now_d, l2_next_free_);
+    double last_l2_hit_issue = 0.0;
+    double last_dram_issue = 0.0;
+    bool any_l2_hit = false;
+    for (std::uint32_t j = 0;;) {
+      l2_next_free_ = issue + l2_delta_;
+      if (l2_.AccessLine(miss_buf[j])) {
+        any_l2_hit = true;
+        last_l2_hit_issue = issue;
+      } else {
+        const double dram_issue = std::max(issue, dram_next_free_);
+        dram_next_free_ = dram_issue + dram_delta_;
+        last_dram_issue = dram_issue;
+        ++l2_miss_count;
+      }
+      if (++j == miss_count) {
+        break;
+      }
+      issue = l2_next_free_;  // saturated: the historical max is identity
+    }
+    stats_.l2_hits += miss_count - l2_miss_count;
+    stats_.l2_misses += l2_miss_count;
+    stats_.dram_transactions += l2_miss_count;
+    if (any_l2_hit) {
+      ready = std::max(ready, static_cast<std::uint64_t>(last_l2_hit_issue) +
+                                  t.l2_latency);
+    }
+    if (l2_miss_count != 0) {
+      dram_run = true;
+      ready = std::max(ready, static_cast<std::uint64_t>(last_dram_issue) +
+                                  t.dram_latency);
+    }
   }
+  batched_reservations_ +=
+      static_cast<std::uint64_t>(l2_run) + static_cast<std::uint64_t>(dram_run);
   return ready;
-}
-
-void MemorySystem::AccessStore(std::uint32_t sm, std::uint64_t byte_addr,
-                               std::uint32_t lines, bool through_l1,
-                               std::uint64_t now) {
-  ORION_DCHECK(sm < l1_.size());
-  // Write-through with no allocate-stall: bandwidth is consumed, the
-  // warp does not wait.
-  const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;
-  for (std::uint32_t i = 0; i < lines; ++i) {
-    (void)LineLatency(sm, byte_addr + static_cast<std::uint64_t>(i) * line_bytes,
-                      through_l1, now, true);
-  }
-}
-
-std::uint64_t MemorySystem::AccessShared(std::uint64_t now) {
-  ++stats_.smem_accesses;
-  return now + spec_.timing.smem_latency;
 }
 
 }  // namespace orion::sim

@@ -6,6 +6,30 @@
 // token bucket: transactions beyond the sustainable rate queue, which is
 // what makes high occupancy saturate — the contention side of the
 // occupancy trade-off the paper tunes.
+//
+// The hot path is batched (PR 10) but bit-identical to the historical
+// per-line implementation (preserved in sim/memory_legacy.h and pinned
+// by replay tests):
+//
+//   * line-streak caching — each cache keeps an MRU record of the last
+//     line it touched; a repeat touch (the dominant pattern when
+//     consecutive warps walk the same lines) refreshes the LRU stamp
+//     without walking the set;
+//   * batched classification — AccessLoad/AccessStore classify a whole
+//     access in per-stage passes (all L1 lines, then the L2 lines for
+//     the misses) instead of interleaving stages per line.  Verdicts
+//     are unchanged: each cache is an independent state machine, and
+//     every pass preserves the per-cache access order;
+//   * epoch-batched token buckets — the L2/DRAM bandwidth charges for a
+//     miss run happen in one tight arithmetic loop.  After the first
+//     miss of a run the bucket is saturated (next_free > now), so the
+//     historical per-line std::max collapses to a repeated addition —
+//     the same repeated addition the old code performed, preserving the
+//     exact double-precision sequence (f_k = f_{k-1} + delta is NOT
+//     f_1 + (k-1)*delta in floating point, so no closed form is used
+//     for the bucket state itself).  The per-category ready cycles of a
+//     run form a monotone (arithmetic, once saturated) progression, so
+//     the returned max comes from each category's last line directly.
 #pragma once
 
 #include <cstdint>
@@ -45,29 +69,115 @@ class CacheModel {
 
   // Touches the line containing `byte_addr`; returns true on hit.
   bool Access(std::uint64_t byte_addr);
+  // Touches line index `line` (byte_addr / line_bytes); returns true on
+  // hit.  The streak fast path lives here: the line touched by the most
+  // recent access is guaranteed resident (it was just inserted or
+  // refreshed and nothing has intervened), so a repeat touch only
+  // refreshes the LRU stamp — tick, last_use and the hit counter
+  // advance exactly as a full walk would.  Defined inline: this is the
+  // innermost hot operation of the memory model and the replay bench is
+  // sensitive to the call overhead.
+  bool AccessLine(std::uint64_t line) {
+    ++tick_;
+    if (line == streak_line_) {
+      // The most recent access touched this exact line, so it is still
+      // resident in the recorded way (nothing has intervened to evict
+      // it).  Refresh the LRU stamp exactly as the full walk would.
+      stamps_[streak_way_] = tick_;
+      ++hits_;
+      ++streak_hits_;
+      return true;
+    }
+    // Set index from the full 64-bit line on both paths (the historical
+    // pow2 path narrowed to 32 bits before masking; the mask keeps only
+    // low bits, so the computed set is unchanged).
+    const std::uint32_t set =
+        pow2_geometry_ ? static_cast<std::uint32_t>(line & set_mask_)
+                       : static_cast<std::uint32_t>(line % num_sets_);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    // Hit scan first, tag compares only: hits dominate, and on a hit
+    // the LRU-victim bookkeeping the historical fused loop carried is
+    // dead work.  The scan is branchless over the contiguous tag array
+    // (tags of a set are unique, so at most one way matches and the
+    // scan order cannot matter) — the split layout plus the fixed trip
+    // count let the compiler vectorize it, which the historical
+    // struct-of-both layout prevented.  Splitting the scan changes
+    // neither the verdict nor any LRU stamp.
+    const std::uint64_t* tags = tags_.data() + base;
+    std::uint32_t match = assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      match = tags[w] == line ? w : match;
+    }
+    if (match != assoc_) {
+      stamps_[base + match] = tick_;
+      ++hits_;
+      streak_line_ = line;
+      streak_way_ = static_cast<std::uint32_t>(base + match);
+      return true;
+    }
+    // Miss: find the LRU victim (first way with the minimum stamp, same
+    // in-order < scan as the fused loop, so the same victim).
+    const std::uint64_t* stamps = stamps_.data() + base;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < assoc_; ++w) {
+      if (stamps[w] < stamps[victim]) {
+        victim = w;
+      }
+    }
+    tags_[base + victim] = line;
+    stamps_[base + victim] = tick_;
+    ++misses_;
+    streak_line_ = line;
+    streak_way_ = static_cast<std::uint32_t>(base + victim);
+    return false;
+  }
+  // Classifies the `n` (<= 64) consecutive lines [base_line,
+  // base_line + n) in one pass, in ascending order.  Bit i of *hit_mask
+  // is set iff line base_line + i hit; returns the miss count.  State
+  // evolution is identical to n AccessLine calls.
+  std::uint32_t AccessBatch(std::uint64_t base_line, std::uint32_t n,
+                            std::uint64_t* hit_mask);
   void Flush();
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  // Accesses resolved by the MRU streak record without a set walk.
+  std::uint64_t streak_hits() const { return streak_hits_; }
+
+  // Test hook (geometry-equivalence test): route every access through
+  // the general divide/modulo path even when the geometry is a power of
+  // two.  Both paths must compute identical sets from the full 64-bit
+  // line index.
+  void ForceDividePathForTest() { pow2_geometry_ = false; }
 
  private:
-  struct Way {
-    std::uint64_t tag = UINT64_MAX;
-    std::uint64_t last_use = 0;
-  };
   std::uint32_t line_bytes_;
   std::uint32_t num_sets_;
   std::uint32_t assoc_;
   // Shift/mask fast path when line size and set count are powers of two
   // (they are for every modeled GPU); the divide path is kept for
-  // arbitrary geometries.  Same line/set values either way.
+  // arbitrary geometries.  Same line/set values either way: the set is
+  // computed from the full 64-bit line index on both paths (the mask
+  // keeps only low bits, so masking before or after narrowing is
+  // equivalent — but the narrowing no longer happens first).
   std::uint32_t line_shift_ = 0;
-  std::uint32_t set_mask_ = 0;
+  std::uint64_t set_mask_ = 0;
   bool pow2_geometry_ = false;
-  std::vector<Way> ways_;  // num_sets_ * assoc_
+  // Split tag/stamp arrays (num_sets_ * assoc_ each; way i of set s at
+  // index s * assoc_ + i).  Tag UINT64_MAX = invalid — real line
+  // indices never reach it.  The split layout keeps the hit scan's
+  // loads contiguous and vectorizable.
+  std::vector<std::uint64_t> tags_;    // line index per way
+  std::vector<std::uint64_t> stamps_;  // LRU stamp per way
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // MRU streak record: the line of the most recent access and the way
+  // it resides in.  Invalidated by Flush (UINT64_MAX = none; real line
+  // indices never reach 2^64 - 1 — byte addresses stay far below 2^63).
+  std::uint64_t streak_line_ = UINT64_MAX;
+  std::uint32_t streak_way_ = 0;
+  std::uint64_t streak_hits_ = 0;
 };
 
 // Counters reported by the memory system.
@@ -78,11 +188,32 @@ struct MemoryStats {
   std::uint64_t l2_misses = 0;
   std::uint64_t dram_transactions = 0;
   std::uint64_t smem_accesses = 0;
+  // Line transactions issued by stores.  Stores funnel through the same
+  // cache/bucket stages as loads (write-through, no allocate-stall), so
+  // they still contribute to the l1/l2/dram counters above exactly as
+  // they always have — profile.json's fields keep their semantics —
+  // but this counter makes the store share visible on its own.
+  std::uint64_t store_transactions = 0;
 
   double L1HitRate() const {
     const std::uint64_t total = l1_hits + l1_misses;
     return total == 0 ? 0.0 : static_cast<double>(l1_hits) / total;
   }
+};
+
+// One recorded MemorySystem call (test/bench hook; see
+// MemorySystem::SetRecorderForTest).  Streams recorded from a real
+// launch replay bit-exactly into both the current model and the frozen
+// legacy model (sim/memory_legacy.h).
+enum class MemAccessKind : std::uint8_t { kLoad, kStore, kShared };
+struct MemAccessRecord {
+  MemAccessKind kind = MemAccessKind::kLoad;
+  bool through_l1 = false;
+  bool scattered = false;
+  std::uint32_t sm = 0;
+  std::uint32_t lines = 0;
+  std::uint64_t byte_addr = 0;
+  std::uint64_t now = 0;
 };
 
 // Timing + counting front end over the cache hierarchy.
@@ -94,33 +225,136 @@ class MemorySystem {
   // A load touching `lines` distinct cache lines starting at `byte_addr`
   // (consecutive), issued by SM `sm` at `now`.  `through_l1` selects
   // whether the L1 participates (global loads bypass it on Kepler).
-  // Returns the cycle at which the value is available.
+  // Returns the cycle at which the value is available.  The dominant
+  // single-line shape dispatches inline to AccessOneLine; everything
+  // else takes the out-of-line batched path.
   std::uint64_t AccessLoad(std::uint32_t sm, std::uint64_t byte_addr,
                            std::uint32_t lines, bool through_l1,
-                           bool scattered, std::uint64_t now);
+                           bool scattered, std::uint64_t now) {
+    if (recorder_ != nullptr) [[unlikely]] {
+      recorder_->push_back({MemAccessKind::kLoad, through_l1, scattered, sm,
+                            lines, byte_addr, now});
+    }
+    if (lines == 1 && !scattered) [[likely]] {
+      return AccessOneLine(sm, LineIndex(byte_addr), through_l1, now);
+    }
+    return AccessTimed(sm, byte_addr, lines, through_l1, scattered, now);
+  }
 
   // A store: consumes bandwidth, never stalls the warp.
   void AccessStore(std::uint32_t sm, std::uint64_t byte_addr,
-                   std::uint32_t lines, bool through_l1, std::uint64_t now);
+                   std::uint32_t lines, bool through_l1, std::uint64_t now) {
+    if (recorder_ != nullptr) [[unlikely]] {
+      recorder_->push_back({MemAccessKind::kStore, through_l1, false, sm,
+                            lines, byte_addr, now});
+    }
+    // Write-through with no allocate-stall: bandwidth is consumed, the
+    // warp does not wait.
+    if (lines == 1) [[likely]] {
+      (void)AccessOneLine(sm, LineIndex(byte_addr), through_l1, now);
+    } else {
+      (void)AccessTimed(sm, byte_addr, lines, through_l1,
+                        /*scattered=*/false, now);
+    }
+    stats_.store_transactions += lines;
+  }
 
   // Shared-memory access (timing only).
-  std::uint64_t AccessShared(std::uint64_t now);
+  std::uint64_t AccessShared(std::uint64_t now) {
+    if (recorder_ != nullptr) [[unlikely]] {
+      recorder_->push_back(
+          {MemAccessKind::kShared, false, false, 0, 0, 0, now});
+    }
+    ++stats_.smem_accesses;
+    return now + spec_.timing.smem_latency;
+  }
 
   const MemoryStats& stats() const { return stats_; }
   void ResetForKernel();
 
+  // Fast-path diagnostics.  Both are pure functions of the access
+  // stream, so every engine reports identical values (the stream order
+  // is part of the determinism contract); exported as sim.mem.*
+  // telemetry counters.
+  std::uint64_t streak_hits() const;
+  // Miss runs charged to the L2/DRAM token buckets as one batched
+  // reservation (one per bucket per access that reached it).
+  std::uint64_t batched_reservations() const { return batched_reservations_; }
+
+  // Test/bench hook: while set, every AccessLoad/AccessStore/
+  // AccessShared on every MemorySystem appends a MemAccessRecord.
+  // Process-global and unsynchronized — callers own single-threadedness
+  // (tests and the bench recorder do); pass nullptr to detach.
+  static void SetRecorderForTest(std::vector<MemAccessRecord>* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
-  std::uint64_t LineLatency(std::uint32_t sm, std::uint64_t line_addr,
-                            bool through_l1, std::uint64_t now,
-                            bool count_bandwidth);
+  // Classifies the access's lines through L1 (when through_l1) and L2
+  // in per-stage passes, then charges the token buckets for the miss
+  // run; returns the max ready cycle.  `scattered` derives the line set
+  // from the per-access hash, otherwise lines are consecutive from
+  // byte_addr.  Chunked internally; any `lines` count is accepted.
+  std::uint64_t AccessTimed(std::uint32_t sm, std::uint64_t byte_addr,
+                            std::uint32_t lines, bool through_l1,
+                            bool scattered, std::uint64_t now);
+
+  // Line index for a byte address.  Same pow2 shift fast path the cache
+  // directories use (identical value either way).
+  std::uint64_t LineIndex(std::uint64_t byte_addr) const {
+    return pow2_line_ ? byte_addr >> line_shift_
+                      : byte_addr / spec_.timing.cache_line_bytes;
+  }
+
+  // Single-line specialization of AccessTimed (the dominant access
+  // shape): identical arithmetic, no batch bookkeeping.  Inline — this
+  // is the path nearly every simulated memory op takes.
+  std::uint64_t AccessOneLine(std::uint32_t sm, std::uint64_t line,
+                              bool through_l1, std::uint64_t now) {
+    const arch::TimingParams& t = spec_.timing;
+    if (through_l1) {
+      if (l1_[sm].AccessLine(line)) {
+        ++stats_.l1_hits;
+        return now + t.l1_latency;
+      }
+      ++stats_.l1_misses;
+    }
+    const double issue = std::max(static_cast<double>(now), l2_next_free_);
+    l2_next_free_ = issue + l2_delta_;
+    if (l2_.AccessLine(line)) {
+      ++stats_.l2_hits;
+      ++batched_reservations_;  // the L2 bucket run alone
+      return static_cast<std::uint64_t>(issue) + t.l2_latency;
+    }
+    ++stats_.l2_misses;
+    const double dram_issue = std::max(issue, dram_next_free_);
+    dram_next_free_ = dram_issue + dram_delta_;
+    ++stats_.dram_transactions;
+    batched_reservations_ += 2;  // both buckets reached
+    return static_cast<std::uint64_t>(dram_issue) + t.dram_latency;
+  }
+
+  // Test/bench recorder (SetRecorderForTest): process-global by design
+  // so tests can tap the engines' internal MemorySystem without
+  // widening any engine API.  Unsynchronized; owners run
+  // single-threaded.
+  inline static std::vector<MemAccessRecord>* recorder_ = nullptr;
 
   const arch::GpuSpec& spec_;
   std::vector<CacheModel> l1_;  // one per SM
   CacheModel l2_;
+  // Pow2 line-index fast path (mirrors CacheModel's geometry check).
+  std::uint32_t line_shift_ = 0;
+  bool pow2_line_ = false;
+  // Bucket increments, fixed at construction (1 / transactions_per_
+  // cycle).  Hoisted because the per-access divides were measurable on
+  // the replay bench.
+  double l2_delta_ = 0.0;
+  double dram_delta_ = 0.0;
   double l2_next_free_ = 0.0;
   double dram_next_free_ = 0.0;
   MemoryStats stats_;
-  std::uint64_t scatter_seed_ = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t batched_reservations_ = 0;
 };
 
 }  // namespace orion::sim

@@ -1,0 +1,243 @@
+// Frozen pre-batching memory model, kept verbatim as the A/B reference
+// for the batched fast path in sim/memory.{h,cpp}.
+//
+// This is the per-line implementation the engines shipped with before
+// the line-streak / batched-token-bucket rewrite: every line walks the
+// set-associative directory and charges the L2/DRAM token buckets one
+// `std::max`+increment at a time.  It is NOT used by any engine — it
+// exists so that
+//
+//   * tests/sim_test.cpp can replay a recorded access stream through
+//     both models and assert bit-equality of every returned ready cycle
+//     and every counter (the proof that the fast path changed nothing),
+//   * bench/micro_sim.cpp can time the new model against the old one on
+//     real workload streams (the `mem_model` BENCH_sim.json section and
+//     its CI gate).
+//
+// Do not "improve" this file: its value is that it does not change.
+// The only deliberate deviations from the historical code are the
+// store_transactions counter (so final MemoryStats structs compare
+// equal field-for-field against the new model) and the full-64-bit set
+// index (the historical pow2 path masked a truncated 32-bit line; the
+// mask keeps only low bits, so the computed set — and therefore every
+// verdict — is identical; see CacheModel::AccessLine).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "common/error.h"
+#include "sim/memory.h"
+
+namespace orion::sim::legacy {
+
+// The historical per-line set-associative LRU directory.
+class LegacyCacheModel {
+ public:
+  LegacyCacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
+                   std::uint32_t assoc)
+      : line_bytes_(line_bytes), assoc_(assoc) {
+    ORION_CHECK(line_bytes > 0 && assoc > 0);
+    num_sets_ = std::max<std::uint32_t>(1, size_bytes / line_bytes / assoc);
+    ways_.assign(static_cast<std::size_t>(num_sets_) * assoc_, Way{});
+    const auto is_pow2 = [](std::uint32_t v) { return (v & (v - 1)) == 0; };
+    if (is_pow2(line_bytes_) && is_pow2(num_sets_)) {
+      pow2_geometry_ = true;
+      while ((1u << line_shift_) < line_bytes_) {
+        ++line_shift_;
+      }
+      set_mask_ = num_sets_ - 1;
+    }
+  }
+
+  bool Access(std::uint64_t byte_addr) {
+    ++tick_;
+    std::uint64_t line;
+    std::uint32_t set;
+    if (pow2_geometry_) {
+      line = byte_addr >> line_shift_;
+      set = static_cast<std::uint32_t>(line & set_mask_);
+    } else {
+      line = byte_addr / line_bytes_;
+      set = static_cast<std::uint32_t>(line % num_sets_);
+    }
+    Way* base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    Way* victim = base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      if (base[w].tag == line) {
+        base[w].last_use = tick_;
+        ++hits_;
+        return true;
+      }
+      if (base[w].last_use < victim->last_use) {
+        victim = &base[w];
+      }
+    }
+    victim->tag = line;
+    victim->last_use = tick_;
+    ++misses_;
+    return false;
+  }
+
+  void Flush() {
+    for (Way& way : ways_) {
+      way = Way{};
+    }
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = UINT64_MAX;
+    std::uint64_t last_use = 0;
+  };
+  std::uint32_t line_bytes_;
+  std::uint32_t num_sets_;
+  std::uint32_t assoc_;
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t set_mask_ = 0;
+  bool pow2_geometry_ = false;
+  std::vector<Way> ways_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// The historical per-line timing front end: one interleaved
+// L1 -> L2-bucket -> L2 -> DRAM-bucket walk per line.
+class LegacyMemorySystem {
+ public:
+  LegacyMemorySystem(const arch::GpuSpec& spec, arch::CacheConfig config,
+                     std::uint32_t num_sms)
+      : spec_(spec),
+        l2_(spec.timing.l2_bytes, spec.timing.cache_line_bytes,
+            spec.timing.l2_assoc) {
+    for (std::uint32_t i = 0; i < num_sms; ++i) {
+      l1_.emplace_back(spec.L1Bytes(config), spec.timing.cache_line_bytes,
+                       spec.timing.l1_assoc);
+    }
+  }
+
+  std::uint64_t AccessLoad(std::uint32_t sm, std::uint64_t byte_addr,
+                           std::uint32_t lines, bool through_l1,
+                           bool scattered, std::uint64_t now) {
+    ORION_DCHECK(sm < l1_.size());
+    const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;
+    std::uint64_t ready = now;
+    for (std::uint32_t i = 0; i < lines; ++i) {
+      std::uint64_t line_addr;
+      if (scattered) {
+        std::uint64_t h =
+            byte_addr / line_bytes + 0x632BE59BD9B4E019ULL * (i + 1);
+        h ^= h >> 29;
+        h *= 0xBF58476D1CE4E5B9ULL;
+        h ^= h >> 32;
+        line_addr = (h % (1 << 16)) * line_bytes;
+      } else {
+        line_addr = byte_addr + static_cast<std::uint64_t>(i) * line_bytes;
+      }
+      ready =
+          std::max(ready, LineLatency(sm, line_addr, through_l1, now, true));
+    }
+    return ready;
+  }
+
+  void AccessStore(std::uint32_t sm, std::uint64_t byte_addr,
+                   std::uint32_t lines, bool through_l1, std::uint64_t now) {
+    ORION_DCHECK(sm < l1_.size());
+    const std::uint32_t line_bytes = spec_.timing.cache_line_bytes;
+    for (std::uint32_t i = 0; i < lines; ++i) {
+      (void)LineLatency(sm,
+                        byte_addr + static_cast<std::uint64_t>(i) * line_bytes,
+                        through_l1, now, true);
+    }
+    stats_.store_transactions += lines;
+  }
+
+  std::uint64_t AccessShared(std::uint64_t now) {
+    ++stats_.smem_accesses;
+    return now + spec_.timing.smem_latency;
+  }
+
+  const MemoryStats& stats() const { return stats_; }
+
+  void ResetForKernel() {
+    for (LegacyCacheModel& l1 : l1_) {
+      l1.Flush();
+    }
+    l2_.Flush();
+    l2_next_free_ = 0.0;
+    dram_next_free_ = 0.0;
+  }
+
+ private:
+  std::uint64_t LineLatency(std::uint32_t sm, std::uint64_t line_addr,
+                            bool through_l1, std::uint64_t now,
+                            bool count_bandwidth) {
+    const arch::TimingParams& t = spec_.timing;
+    if (through_l1) {
+      if (l1_[sm].Access(line_addr)) {
+        ++stats_.l1_hits;
+        return now + t.l1_latency;
+      }
+      ++stats_.l1_misses;
+    }
+    // L2 stage: bandwidth-limited.
+    double issue = static_cast<double>(now);
+    if (count_bandwidth) {
+      issue = std::max(issue, l2_next_free_);
+      l2_next_free_ = issue + 1.0 / t.l2_transactions_per_cycle;
+    }
+    if (l2_.Access(line_addr)) {
+      ++stats_.l2_hits;
+      return static_cast<std::uint64_t>(issue) + t.l2_latency;
+    }
+    ++stats_.l2_misses;
+    // DRAM stage.
+    double dram_issue = issue;
+    if (count_bandwidth) {
+      dram_issue = std::max(dram_issue, dram_next_free_);
+      dram_next_free_ = dram_issue + 1.0 / t.dram_transactions_per_cycle;
+    }
+    ++stats_.dram_transactions;
+    return static_cast<std::uint64_t>(dram_issue) + t.dram_latency;
+  }
+
+  const arch::GpuSpec& spec_;
+  std::vector<LegacyCacheModel> l1_;
+  LegacyCacheModel l2_;
+  double l2_next_free_ = 0.0;
+  double dram_next_free_ = 0.0;
+  MemoryStats stats_;
+};
+
+// Replays a recorded access stream (MemorySystem::SetRecorderForTest)
+// into `model`, collecting the ready cycle every load returns.  Works
+// for both MemorySystem and LegacyMemorySystem, which is the point:
+// identical `readys` and identical final stats() prove the two models
+// perform the identical arithmetic.
+template <typename Model>
+inline void ReplayAccessStream(Model& model,
+                               const std::vector<MemAccessRecord>& stream,
+                               std::vector<std::uint64_t>* readys) {
+  for (const MemAccessRecord& r : stream) {
+    switch (r.kind) {
+      case MemAccessKind::kLoad:
+        readys->push_back(model.AccessLoad(r.sm, r.byte_addr, r.lines,
+                                           r.through_l1, r.scattered, r.now));
+        break;
+      case MemAccessKind::kStore:
+        model.AccessStore(r.sm, r.byte_addr, r.lines, r.through_l1, r.now);
+        break;
+      case MemAccessKind::kShared:
+        readys->push_back(model.AccessShared(r.now));
+        break;
+    }
+  }
+}
+
+}  // namespace orion::sim::legacy

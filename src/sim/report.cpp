@@ -103,6 +103,13 @@ void RecordSimCounters(const SimResult& result) {
   ORION_COUNTER_ADD("sim.l2_misses", result.mem.l2_misses);
   ORION_COUNTER_ADD("sim.dram_transactions", result.mem.dram_transactions);
   ORION_COUNTER_ADD("sim.smem_accesses", result.mem.smem_accesses);
+  // Memory fast-path diagnostics: pure functions of the access stream,
+  // so they fall under the engine-parity telemetry contract like every
+  // counter above (sim.mem.coalesced_wakes, which is engine
+  // bookkeeping, is recorded separately at the launch boundary).
+  ORION_COUNTER_ADD("sim.mem.streak_hits", result.mem_streak_hits);
+  ORION_COUNTER_ADD("sim.mem.batched_reservations",
+                    result.mem_batched_reservations);
   ORION_GAUGE_SET("sim.last_occupancy", result.occupancy.occupancy);
 }
 

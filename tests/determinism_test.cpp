@@ -16,6 +16,7 @@
 //   * DynamicTuner::PlanFromSweep replays exactly the walk the live
 //     feedback tuner performs over the same runtimes.
 #include <algorithm>
+#include <cstring>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -125,22 +126,49 @@ TEST(EngineEquivalence, TelemetryCountersIdenticalAcrossEngines) {
   const auto event_driven = run_engine(SimEngine::kEventDriven);
   const auto reference = run_engine(SimEngine::kReference);
   const auto traced = run_engine(SimEngine::kTraceCached);
-  EXPECT_EQ(event_driven.first, reference.first)
+
+  // Engine bookkeeping counters are excluded from the parity contract:
+  // the sim.trace_cache.* family (traced engine only) and
+  // sim.mem.coalesced_wakes (the reference engine polls instead of
+  // scheduling wakes, and the traced engine legitimately parks fewer
+  // warps — fused runs absorb scoreboard stalls without a calendar
+  // round-trip).  The sim.mem.streak_hits / sim.mem.batched_reservations
+  // model counters are pure functions of the access stream and stay
+  // inside the contract.
+  const auto is_engine_bookkeeping =
+      [](const std::pair<std::string, std::uint64_t>& counter) {
+        return counter.first.rfind("sim.trace_cache.", 0) == 0 ||
+               counter.first == "sim.mem.coalesced_wakes";
+      };
+  const auto bookkeeping_value = [&](const auto& snapshot,
+                                     const std::string& name) {
+    for (const auto& counter : snapshot.first) {
+      if (counter.first == name) {
+        return counter.second;
+      }
+    }
+    return std::uint64_t{0};
+  };
+  const auto strip = [&](const auto& snapshot) {
+    auto counters = snapshot.first;
+    counters.erase(std::remove_if(counters.begin(), counters.end(),
+                                  is_engine_bookkeeping),
+                   counters.end());
+    return counters;
+  };
+
+  EXPECT_EQ(strip(event_driven), strip(reference))
       << "engines diverged in telemetry counters";
   EXPECT_EQ(event_driven.second, reference.second)
       << "engines diverged in telemetry gauges";
 
-  // Traced parity holds once the trace_cache family is filtered out.
-  const auto is_trace_cache = [](const std::pair<std::string, std::uint64_t>&
-                                     counter) {
-    return counter.first.rfind("sim.trace_cache.", 0) == 0;
-  };
-  auto traced_counters = traced.first;
   std::uint64_t macro_ops = 0;
   std::uint64_t fused = 0;
   std::uint64_t fallback = 0;
   std::uint64_t warp_instructions = 0;
-  for (const auto& counter : traced_counters) {
+  std::uint64_t streak_hits = 0;
+  std::uint64_t batched_reservations = 0;
+  for (const auto& counter : traced.first) {
     if (counter.first == "sim.trace_cache.macro_ops_retired") {
       macro_ops = counter.second;
     } else if (counter.first == "sim.trace_cache.fused_instructions") {
@@ -149,19 +177,35 @@ TEST(EngineEquivalence, TelemetryCountersIdenticalAcrossEngines) {
       fallback = counter.second;
     } else if (counter.first == "sim.warp_instructions") {
       warp_instructions = counter.second;
+    } else if (counter.first == "sim.mem.streak_hits") {
+      streak_hits = counter.second;
+    } else if (counter.first == "sim.mem.batched_reservations") {
+      batched_reservations = counter.second;
     }
   }
-  traced_counters.erase(std::remove_if(traced_counters.begin(),
-                                       traced_counters.end(), is_trace_cache),
-                        traced_counters.end());
-  EXPECT_EQ(traced_counters, event_driven.first)
-      << "traced engine diverged in non-trace-cache telemetry counters";
+  EXPECT_EQ(strip(traced), strip(event_driven))
+      << "traced engine diverged in non-bookkeeping telemetry counters";
   EXPECT_EQ(traced.second, event_driven.second)
       << "traced engine diverged in telemetry gauges";
   EXPECT_GT(macro_ops, 0u);
   EXPECT_GT(fused, 0u);
   EXPECT_EQ(fused + fallback, warp_instructions)
       << "fused + fallback must partition retired instructions";
+
+  // The memory fast path actually engaged on this workload, and the
+  // model counters survived the strip (they are part of parity).
+  EXPECT_GT(streak_hits, 0u);
+  EXPECT_GT(batched_reservations, 0u);
+  EXPECT_EQ(streak_hits, bookkeeping_value(reference, "sim.mem.streak_hits"));
+  EXPECT_EQ(batched_reservations,
+            bookkeeping_value(reference, "sim.mem.batched_reservations"));
+
+  // Coalesced-wake self-consistency: the calendar engines both coalesce
+  // (srad's barrier waves guarantee same-cycle wakes), the polling
+  // reference engine never schedules a wake.
+  EXPECT_GT(bookkeeping_value(event_driven, "sim.mem.coalesced_wakes"), 0u);
+  EXPECT_GT(bookkeeping_value(traced, "sim.mem.coalesced_wakes"), 0u);
+  EXPECT_EQ(bookkeeping_value(reference, "sim.mem.coalesced_wakes"), 0u);
 }
 
 // Split launches (kernel splitting) must agree too: partial grids
@@ -358,6 +402,88 @@ TEST(TracedEngineEquivalenceGuard, WatchdogCapAndFaultPlanReplay) {
             traced_run.first.health.transient_faults);
   EXPECT_EQ(event_run.second, traced_run.second)
       << "fault-plan replay diverged in global memory";
+}
+
+// --- golden baseline ----------------------------------------------------
+
+// Absolute pin against the pre-batching memory model (PR 10): these
+// constants were captured from the simulator BEFORE the line-streak /
+// batched-token-bucket / coalesced-wakeup fast path landed, so any
+// arithmetic drift the fast path introduces — even one ULP in the
+// bucket doubles — fails here no matter how consistently all three
+// engines drift together.  Doubles are compared by bit pattern; the
+// memory image by FNV-1a.  Cross-engine equality is pinned by the
+// suites above, so one engine (traced) suffices here.
+struct GoldenRow {
+  const char* workload;
+  std::uint64_t cycles;
+  std::uint64_t ms_bits;
+  std::uint64_t energy_bits;
+  std::uint64_t warp_instructions;
+  std::uint64_t l1_misses;
+  std::uint64_t l2_hits;
+  std::uint64_t l2_misses;
+  std::uint64_t dram_transactions;
+  std::uint64_t smem_accesses;
+  std::uint64_t gmem_fnv;
+};
+
+std::uint64_t Fnv1a(const GlobalMemory& m) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint32_t w : m.words()) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t DoubleBits(double d) {
+  std::uint64_t u;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+TEST(GoldenBaseline, PrePrTenResultsAreUnchanged) {
+  // First enumerated version of each workload, traced engine, GTX680,
+  // small cache, seeded memory, iteration-0 params.
+  const GoldenRow kGolden[] = {
+      {"cfd", 134819, 0x3fc127668cf7464eULL, 0x415e27782f5c28f6ULL, 1322496,
+       70560, 57616, 78464, 78464, 20160, 0xf5522371ec0af536ULL},
+      {"hotspot", 105248, 0x3fbac86501ed04b2ULL, 0x4155fcc8c28f5c29ULL,
+       1161216, 45696, 41395, 54029, 54029, 60480, 0xdc284dcce424edcfULL},
+      {"bfs", 38686, 0x3fa3b068b02f5c4aULL, 0x41607a4d3deb851fULL, 376320, 0,
+       271711, 71009, 71009, 0, 0xbab0d393d1d29dfbULL},
+      {"srad", 288654, 0x3fd25d19bc848dd6ULL, 0x416c9e31e199999aULL, 4374720,
+       0, 495577, 62183, 62183, 87360, 0x51def8f4789e7bc5ULL},
+      {"matrixmul", 62847, 0x3faffc5a14555b3dULL, 0x413ff84898a3d70aULL,
+       807744, 0, 59071, 6785, 6785, 134400, 0xff738be0d268ca22ULL},
+  };
+  const arch::GpuSpec& spec = arch::Gtx680();
+  for (const GoldenRow& row : kGolden) {
+    const workloads::Workload w = workloads::MakeWorkload(row.workload);
+    core::TuneOptions options;
+    const runtime::MultiVersionBinary all =
+        core::EnumerateAllVersions(w.module, spec, options);
+    ASSERT_GE(all.versions.size(), 1u) << row.workload;
+    const runtime::KernelVersion& version = all.versions.front();
+    GpuSimulator sim(spec, arch::CacheConfig::kSmallCache,
+                     SimEngine::kTraceCached);
+    GlobalMemory gmem = MakeSeededMemory(w.gmem_words, w.seed);
+    const SimResult r = sim.LaunchAll(all.ModuleOf(version), &gmem,
+                                      w.ParamsFor(0),
+                                      version.smem_padding_bytes);
+    EXPECT_EQ(r.cycles, row.cycles) << row.workload;
+    EXPECT_EQ(DoubleBits(r.ms), row.ms_bits) << row.workload;
+    EXPECT_EQ(DoubleBits(r.energy), row.energy_bits) << row.workload;
+    EXPECT_EQ(r.warp_instructions, row.warp_instructions) << row.workload;
+    EXPECT_EQ(r.mem.l1_misses, row.l1_misses) << row.workload;
+    EXPECT_EQ(r.mem.l2_hits, row.l2_hits) << row.workload;
+    EXPECT_EQ(r.mem.l2_misses, row.l2_misses) << row.workload;
+    EXPECT_EQ(r.mem.dram_transactions, row.dram_transactions) << row.workload;
+    EXPECT_EQ(r.mem.smem_accesses, row.smem_accesses) << row.workload;
+    EXPECT_EQ(Fnv1a(gmem), row.gmem_fnv) << row.workload;
+  }
 }
 
 // --- ParallelSweep ------------------------------------------------------
